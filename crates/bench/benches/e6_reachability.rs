@@ -1,0 +1,48 @@
+//! E6 — the reachability use case of §2: "any packet with destination IP
+//! address X will never be dropped unless it is malformed", proved for a
+//! specific forwarding/filtering configuration and shown to fail when the
+//! configuration has no route for X.
+
+use dataplane_bench::row;
+use dataplane_pipeline::presets::firewall_pipeline;
+use dataplane_verifier::{Property, Verifier};
+use std::net::Ipv4Addr;
+
+fn main() {
+    let cases = [
+        ("routed-dst", Ipv4Addr::new(192, 168, 7, 7), true),
+        ("unrouted-dst", Ipv4Addr::new(8, 8, 8, 8), false),
+    ];
+    for (label, dst, expect_proof) in cases {
+        let pipeline = firewall_pipeline(vec![]);
+        let mut verifier = Verifier::new();
+        let property = Property::Reachability {
+            dst,
+            dst_offset: 30,
+            deliver_to: vec!["out0".to_string(), "out1".to_string()],
+            may_drop: vec!["strip".to_string(), "chk".to_string(), "ttl".to_string()],
+        };
+        let report = verifier.verify(&pipeline, &property);
+        row(
+            "e6-reachability",
+            &[
+                ("case", label.to_string()),
+                ("dst", dst.to_string()),
+                ("verdict", format!("{:?}", report.verdict)),
+                ("expected_proof", expect_proof.to_string()),
+                ("suspects", report.stats.suspects.to_string()),
+                ("discharged", report.stats.discharged.to_string()),
+                (
+                    "confirmed_counterexamples",
+                    report
+                        .counterexamples
+                        .iter()
+                        .filter(|c| c.confirmed)
+                        .count()
+                        .to_string(),
+                ),
+                ("seconds", format!("{:.3}", report.elapsed.as_secs_f64())),
+            ],
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! F1 — Figure 1 of the paper: symbolic execution of the toy program finds
+//! all three feasible paths, identifies the crashing input region (`in < 0`),
+//! and proves the instruction bound on the others. Criterion measures how
+//! long exploring the toy program takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataplane_bench::{figure1_program, row};
+use dataplane_symbex::{explore, EngineConfig, SegmentOutcome, Solver, SolverResult};
+
+fn report() {
+    let program = figure1_program();
+    let exploration = explore(&program, &EngineConfig::default()).unwrap();
+    let solver = Solver::new();
+    let feasible: Vec<_> = exploration
+        .segments
+        .iter()
+        .filter(|s| !solver.check(&s.constraint).is_unsat())
+        .collect();
+    let crashing = feasible.iter().filter(|s| s.outcome.is_crash()).count();
+    let emitting = feasible
+        .iter()
+        .filter(|s| s.outcome == SegmentOutcome::Emitted(0))
+        .count();
+    let max_instr = feasible.iter().map(|s| s.instructions).max().unwrap_or(0);
+    // Witness of the crashing path: a negative 32-bit input.
+    let witness_negative = feasible
+        .iter()
+        .filter(|s| s.outcome.is_crash())
+        .any(|s| match solver.check(&s.constraint) {
+            SolverResult::Sat(m) => m.packet.first().map(|b| b & 0x80 != 0).unwrap_or(false),
+            _ => false,
+        });
+    row(
+        "figure1",
+        &[
+            ("segments", exploration.segments.len().to_string()),
+            ("feasible", feasible.len().to_string()),
+            ("emitting", emitting.to_string()),
+            ("crashing", crashing.to_string()),
+            ("max_instructions", max_instr.to_string()),
+            ("crash_witness_negative", witness_negative.to_string()),
+        ],
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let program = figure1_program();
+    let mut group = c.benchmark_group("figure1");
+    group.sample_size(20);
+    group.bench_function("explore_toy_program", |b| {
+        b.iter(|| explore(&program, &EngineConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

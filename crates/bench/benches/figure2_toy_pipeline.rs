@@ -1,0 +1,38 @@
+//! F2 — Figure 2 of the paper: element E2 in isolation has a suspect
+//! (crashing) segment; composed after E1 the suspect becomes infeasible and
+//! the pipeline is proven crash-free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataplane_bench::{figure2_pipeline, row};
+use dataplane_verifier::{Property, Verifier};
+
+fn report() {
+    let mut verifier = Verifier::new();
+    let report = verifier.verify(&figure2_pipeline(), &Property::CrashFreedom);
+    row(
+        "figure2",
+        &[
+            ("verdict", format!("{:?}", report.verdict)),
+            ("suspects", report.stats.suspects.to_string()),
+            ("discharged", report.stats.discharged.to_string()),
+            ("composed_paths", report.stats.composed_paths.to_string()),
+            ("seconds", format!("{:.4}", report.elapsed.as_secs_f64())),
+        ],
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("figure2");
+    group.sample_size(10);
+    group.bench_function("verify_toy_pipeline", |b| {
+        b.iter(|| {
+            let mut verifier = Verifier::new();
+            verifier.verify(&figure2_pipeline(), &Property::CrashFreedom)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

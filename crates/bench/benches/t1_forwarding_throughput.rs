@@ -1,0 +1,65 @@
+//! T1 — dataplane feasibility: the concrete router actually forwards packets
+//! at a healthy software rate (shape check only; the paper's testbed numbers
+//! are line-rate hardware results we do not attempt to match). Criterion
+//! measures per-batch forwarding time single-threaded and with the
+//! SMPClick-style multi-threaded runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dataplane_bench::row;
+use dataplane_net::WorkloadGen;
+use dataplane_pipeline::presets::ip_router_pipeline;
+use dataplane_pipeline::{run_parallel, run_single_threaded};
+
+const BATCH: usize = 2_000;
+
+fn report() {
+    let packets = WorkloadGen::clean(0x71).batch(20_000);
+    let mut pipeline = ip_router_pipeline();
+    let run = run_single_threaded(&mut pipeline, packets.clone());
+    row(
+        "t1-throughput",
+        &[
+            ("threads", "1".to_string()),
+            ("packets", run.stats.injected.to_string()),
+            ("crashed", run.stats.crashed.to_string()),
+            ("pps", format!("{:.0}", run.packets_per_second())),
+        ],
+    );
+    for threads in [2, 4] {
+        let run = run_parallel(ip_router_pipeline, packets.clone(), threads);
+        row(
+            "t1-throughput",
+            &[
+                ("threads", threads.to_string()),
+                ("packets", run.stats.injected.to_string()),
+                ("crashed", run.stats.crashed.to_string()),
+                ("pps", format!("{:.0}", run.packets_per_second())),
+            ],
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("t1_forwarding");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let packets = WorkloadGen::clean(0x72).batch(BATCH);
+    group.bench_function(BenchmarkId::new("single_thread", BATCH), |b| {
+        b.iter(|| {
+            let mut pipeline = ip_router_pipeline();
+            run_single_threaded(&mut pipeline, packets.clone())
+        })
+    });
+    let adversarial = WorkloadGen::adversarial(0x73).batch(BATCH);
+    group.bench_function(BenchmarkId::new("single_thread_adversarial", BATCH), |b| {
+        b.iter(|| {
+            let mut pipeline = ip_router_pipeline();
+            run_single_threaded(&mut pipeline, adversarial.clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,387 @@
+//! Step 2: composing per-element segments into pipeline paths.
+//!
+//! A segment's constraint and packet transform are expressed over the symbols
+//! of *that element's input packet*. To reason about a pipeline path we
+//! rewrite ("stitch", in the paper's terms) every downstream term into the
+//! symbol space of the *original* packet entering the pipeline, by
+//! substituting each `PacketByte(i)` / `PacketLen` with the symbolic output
+//! of the upstream prefix, and renaming per-element fresh variables and
+//! data-structure reads so that different pipeline positions cannot collide.
+
+use dataplane_symbex::term::{self, Term, TermRef};
+use dataplane_symbex::{SymPacket, VarId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Stride between the variable/read namespaces of consecutive pipeline
+/// stages.
+pub const STAGE_STRIDE: u32 = 1_000_000;
+/// First variable id used for over-approximation variables created during
+/// composition (far above any renamed engine variable).
+const FRESH_BASE: u32 = 0x4000_0000;
+
+/// The symbolic view of the packet at some point in the pipeline, expressed
+/// over the original input packet's symbols.
+#[derive(Clone)]
+pub enum View {
+    /// The packet exactly as it entered the pipeline.
+    Original,
+    /// The packet after one more element.
+    Stage(Rc<StageView>),
+}
+
+/// One composition stage: the previous view plus the packet transform of the
+/// segment taken through the element at this stage.
+pub struct StageView {
+    prev: View,
+    packet: SymPacket,
+    stride: u32,
+}
+
+/// Shared composition context: allocates stage strides and over-approximation
+/// variables, and remembers which pipeline element owns each stride (needed
+/// to concretise static state later).
+pub struct Composer {
+    next_stride: u32,
+    next_fresh: RefCell<u32>,
+    /// `(stride, element index)` pairs in allocation order.
+    pub stride_elements: Vec<(u32, usize)>,
+}
+
+impl Default for Composer {
+    fn default() -> Self {
+        Composer::new()
+    }
+}
+
+impl Composer {
+    /// A fresh composer.
+    pub fn new() -> Self {
+        Composer {
+            next_stride: STAGE_STRIDE,
+            next_fresh: RefCell::new(FRESH_BASE),
+            stride_elements: Vec::new(),
+        }
+    }
+
+    /// Allocate the variable namespace for the next stage, owned by
+    /// `element_idx`.
+    pub fn alloc_stride(&mut self, element_idx: usize) -> u32 {
+        let stride = self.next_stride;
+        self.next_stride += STAGE_STRIDE;
+        self.stride_elements.push((stride, element_idx));
+        stride
+    }
+
+    /// Which element owns the namespace that variable/read id `id` falls in,
+    /// if any.
+    pub fn element_of_id(&self, id: u32) -> Option<usize> {
+        if id >= FRESH_BASE {
+            return None;
+        }
+        let stride = (id / STAGE_STRIDE) * STAGE_STRIDE;
+        self.stride_elements
+            .iter()
+            .find(|(s, _)| *s == stride)
+            .map(|(_, e)| *e)
+    }
+
+    fn fresh(&self, width: u8) -> TermRef {
+        let mut n = self.next_fresh.borrow_mut();
+        let id = *n;
+        *n += 1;
+        Rc::new(Term::Var {
+            id: VarId(id),
+            width,
+        })
+    }
+
+    /// Extend `view` with the packet transform of a segment taken at
+    /// `stride`.
+    pub fn extend_view(&self, view: &View, packet: &SymPacket, stride: u32) -> View {
+        View::Stage(Rc::new(StageView {
+            prev: view.clone(),
+            packet: packet.clone(),
+            stride,
+        }))
+    }
+
+    /// Byte `j` of the packet described by `view`, as a term over the
+    /// original input symbols.
+    pub fn view_byte(&self, view: &View, j: i64) -> TermRef {
+        match view {
+            View::Original => {
+                if j >= 0 {
+                    Rc::new(Term::PacketByte(j))
+                } else {
+                    term::constant(dataplane_ir::BitVec::u8(0))
+                }
+            }
+            View::Stage(stage) => {
+                if stage.packet.is_clobbered() {
+                    // Unknown content after a symbolic-offset rewrite.
+                    return self.fresh(8);
+                }
+                let local = stage.packet.out_byte(j);
+                self.rewrite(&stage.prev, stage.stride, &local)
+            }
+        }
+    }
+
+    /// The length of the packet described by `view`, over original symbols.
+    pub fn view_len(&self, view: &View) -> TermRef {
+        match view {
+            View::Original => Rc::new(Term::PacketLen),
+            View::Stage(stage) => {
+                let local = stage.packet.out_len();
+                self.rewrite(&stage.prev, stage.stride, &local)
+            }
+        }
+    }
+
+    /// The net front-shift of `view` relative to the original packet when the
+    /// view is a pure shift (no byte rewritten anywhere along the prefix).
+    fn pure_shift(&self, view: &View) -> Option<i64> {
+        match view {
+            View::Original => Some(0),
+            View::Stage(stage) => {
+                if stage.packet.rewrites_bytes() {
+                    None
+                } else {
+                    Some(self.pure_shift(&stage.prev)? + stage.packet.base())
+                }
+            }
+        }
+    }
+
+    /// Rewrite a term expressed over the input symbols of the element sitting
+    /// *after* `view` (whose fresh-variable namespace is `stride`) into a
+    /// term over the original input symbols.
+    pub fn rewrite(&self, view: &View, stride: u32, t: &TermRef) -> TermRef {
+        term::substitute(t, &|leaf| match leaf {
+            Term::PacketByte(i) => Some(self.view_byte(view, *i)),
+            Term::PacketLen => Some(self.view_len(view)),
+            Term::Var { id, width } => Some(Rc::new(Term::Var {
+                id: VarId(id.0 + stride),
+                width: *width,
+            })),
+            Term::DsRead {
+                ds,
+                key,
+                seq,
+                width,
+            } => Some(Rc::new(Term::DsRead {
+                ds: *ds,
+                key: self.rewrite(view, stride, key),
+                seq: seq + stride,
+                width: *width,
+            })),
+            Term::PacketByteAt { index } => {
+                let rewritten_index = self.rewrite(view, stride, index);
+                match self.pure_shift(view) {
+                    Some(shift) => {
+                        let shifted = if shift == 0 {
+                            rewritten_index
+                        } else if shift > 0 {
+                            term::binary(
+                                dataplane_ir::BinOp::Add,
+                                rewritten_index,
+                                term::constant(dataplane_ir::BitVec::u32(shift as u32)),
+                            )
+                        } else {
+                            term::binary(
+                                dataplane_ir::BinOp::Sub,
+                                rewritten_index,
+                                term::constant(dataplane_ir::BitVec::u32((-shift) as u32)),
+                            )
+                        };
+                        Some(Rc::new(Term::PacketByteAt { index: shifted }))
+                    }
+                    // Bytes may have been rewritten upstream: the value read
+                    // at a symbolic offset is unknown.
+                    None => Some(self.fresh(8)),
+                }
+            }
+            _ => None,
+        })
+    }
+
+    /// Rewrite a whole constraint (conjunct list).
+    pub fn rewrite_all(&self, view: &View, stride: u32, terms: &[TermRef]) -> Vec<TermRef> {
+        terms
+            .iter()
+            .map(|t| self.rewrite(view, stride, t))
+            .collect()
+    }
+}
+
+/// Substitute concrete values for chosen original packet bytes (used by the
+/// reachability property to pin the destination address).
+pub fn bind_packet_bytes(terms: &[TermRef], bindings: &[(i64, u8)]) -> Vec<TermRef> {
+    terms
+        .iter()
+        .map(|t| {
+            term::substitute(t, &|leaf| match leaf {
+                Term::PacketByte(i) => bindings
+                    .iter()
+                    .find(|(j, _)| j == i)
+                    .map(|(_, v)| term::constant(dataplane_ir::BitVec::u8(*v))),
+                _ => None,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane_ir::{BinOp, BitVec};
+    use dataplane_symbex::term::{binary, constant, eval, Assignment};
+
+    fn c32(v: u32) -> TermRef {
+        constant(BitVec::u32(v))
+    }
+
+    #[test]
+    fn original_view_is_identity() {
+        let composer = Composer::new();
+        let v = View::Original;
+        assert_eq!(composer.view_byte(&v, 3).to_string(), "pkt[3]");
+        assert_eq!(composer.view_len(&v).to_string(), "pkt.len");
+        assert_eq!(
+            composer.view_byte(&v, -1).as_const().unwrap(),
+            BitVec::u8(0)
+        );
+    }
+
+    #[test]
+    fn strip_stage_shifts_downstream_bytes() {
+        let mut composer = Composer::new();
+        let stride = composer.alloc_stride(0);
+        let mut packet = SymPacket::new();
+        packet.strip_front(14);
+        let view = composer.extend_view(&View::Original, &packet, stride);
+        // Byte 0 after the strip is original byte 14.
+        assert_eq!(composer.view_byte(&view, 0).to_string(), "pkt[14]");
+        // Length shrinks by 14.
+        let len = composer.view_len(&view);
+        let mut a = Assignment::from_packet(&vec![0u8; 64]);
+        a.packet_len = 64;
+        assert_eq!(eval(&len, &a).unwrap(), BitVec::u32(50));
+    }
+
+    #[test]
+    fn rewrites_rename_vars_and_reads() {
+        let mut composer = Composer::new();
+        let stride = composer.alloc_stride(2);
+        let var = Rc::new(Term::Var {
+            id: VarId(3),
+            width: 8,
+        });
+        let read = Rc::new(Term::DsRead {
+            ds: dataplane_ir::DsId(1),
+            key: Rc::new(Term::PacketByte(0)),
+            seq: 7,
+            width: 16,
+        });
+        let t = binary(
+            BinOp::Eq,
+            term::cast(dataplane_ir::CastKind::ZExt, 16, var),
+            read,
+        );
+        let rewritten = composer.rewrite(&View::Original, stride, &t);
+        let s = rewritten.to_string();
+        assert!(s.contains(&format!("v{}", 3 + stride)), "{s}");
+        assert!(s.contains(&format!("#{}", 7 + stride)), "{s}");
+        assert_eq!(composer.element_of_id(3 + stride), Some(2));
+        assert_eq!(composer.element_of_id(FRESH_BASE + 1), None);
+    }
+
+    #[test]
+    fn written_bytes_flow_into_downstream_terms() {
+        // Upstream writes byte 1 to (pkt[0] + 1); downstream constraint
+        // "byte 1 == 5" must become "pkt[0] + 1 == 5".
+        let mut composer = Composer::new();
+        let stride0 = composer.alloc_stride(0);
+        let mut packet = SymPacket::new();
+        let mut no_fresh = || panic!("unexpected fresh var");
+        let incremented = binary(
+            BinOp::Add,
+            Rc::new(Term::PacketByte(0)),
+            constant(BitVec::u8(1)),
+        );
+        packet.store(&c32(1), 1, &incremented, &mut no_fresh);
+        let view = composer.extend_view(&View::Original, &packet, stride0);
+
+        let stride1 = composer.alloc_stride(1);
+        let downstream = binary(
+            BinOp::Eq,
+            Rc::new(Term::PacketByte(1)),
+            constant(BitVec::u8(5)),
+        );
+        let composed = composer.rewrite(&view, stride1, &downstream);
+        // Evaluate under a concrete original packet: byte0 = 4 satisfies it.
+        let a = Assignment::from_packet(&[4, 9, 9]);
+        assert!(eval(&composed, &a).unwrap().is_true());
+        let a = Assignment::from_packet(&[7, 9, 9]);
+        assert!(!eval(&composed, &a).unwrap().is_true());
+    }
+
+    #[test]
+    fn clobbered_stage_over_approximates_bytes() {
+        let mut composer = Composer::new();
+        let stride = composer.alloc_stride(0);
+        let mut packet = SymPacket::new();
+        let mut counter = 0;
+        let mut fresh = || {
+            counter += 1;
+            Rc::new(Term::Var {
+                id: VarId(100 + counter),
+                width: 8,
+            })
+        };
+        // A store at a symbolic offset clobbers the overlay.
+        packet.store(&Rc::new(Term::PacketLen), 1, &constant(BitVec::u8(1)), &mut fresh);
+        let view = composer.extend_view(&View::Original, &packet, stride);
+        let b = composer.view_byte(&view, 3);
+        assert!(b.to_string().starts_with('v'), "expected a fresh var, got {b}");
+        // Length is still precise.
+        assert_eq!(composer.view_len(&view).to_string(), "pkt.len");
+    }
+
+    #[test]
+    fn binding_packet_bytes_substitutes_constants() {
+        let t = binary(
+            BinOp::Eq,
+            Rc::new(Term::PacketByte(30)),
+            constant(BitVec::u8(0xc0)),
+        );
+        let bound = bind_packet_bytes(&[t], &[(30, 0xc0)]);
+        assert!(bound[0].is_true());
+        let t = binary(
+            BinOp::Eq,
+            Rc::new(Term::PacketByte(30)),
+            constant(BitVec::u8(0x01)),
+        );
+        let bound = bind_packet_bytes(&[t], &[(30, 0xc0)]);
+        assert!(bound[0].is_false());
+    }
+
+    #[test]
+    fn stacked_strips_accumulate() {
+        let mut composer = Composer::new();
+        let s0 = composer.alloc_stride(0);
+        let mut p0 = SymPacket::new();
+        p0.strip_front(14);
+        let v1 = composer.extend_view(&View::Original, &p0, s0);
+        let s1 = composer.alloc_stride(1);
+        let mut p1 = SymPacket::new();
+        p1.strip_front(20);
+        let v2 = composer.extend_view(&v1, &p1, s1);
+        assert_eq!(composer.view_byte(&v2, 0).to_string(), "pkt[34]");
+        let len = composer.view_len(&v2);
+        let mut a = Assignment::from_packet(&vec![0u8; 100]);
+        a.packet_len = 100;
+        assert_eq!(eval(&len, &a).unwrap(), BitVec::u32(66));
+    }
+}

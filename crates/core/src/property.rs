@@ -1,0 +1,155 @@
+//! Verifiable properties.
+//!
+//! The paper's target properties are "crash freedom", "bounded latency"
+//! (expressed as a bound on the number of instructions executed per packet),
+//! and higher-level reachability properties for specific configurations.
+//! A [`Property`] determines which segments Step 1 tags as *suspect*.
+
+use dataplane_symbex::{Segment, SegmentOutcome};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A property the verifier can try to prove about a pipeline.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Property {
+    /// No packet sequence can make any element of the pipeline crash
+    /// (segmentation fault, failed assertion, division by zero, runaway
+    /// loop, ...).
+    CrashFreedom,
+    /// No packet executes more than `max_instructions` IR instructions across
+    /// the whole pipeline.
+    BoundedInstructions {
+        /// The per-packet instruction bound to prove.
+        max_instructions: u64,
+    },
+    /// Every well-formed packet whose IPv4 destination address equals `dst`
+    /// is delivered to one of the `deliver_to` elements (it is never dropped
+    /// elsewhere in the pipeline and never crashes). "Well-formed" means the
+    /// packet takes the accepting path of the pipeline's header checker;
+    /// malformed packets are exempt, exactly as the paper phrases it
+    /// ("... will never be dropped unless it is malformed").
+    Reachability {
+        /// The destination address of interest.
+        dst: Ipv4Addr,
+        /// Byte offset of the IPv4 destination field in the packet as the
+        /// pipeline entry element receives it (30 for an Ethernet frame,
+        /// 16 for a bare IP packet).
+        dst_offset: u32,
+        /// Instance names of elements where delivery counts as success
+        /// (typically the sinks, or the last element before the packet
+        /// leaves the pipeline).
+        deliver_to: Vec<String>,
+        /// Instance names of elements that are allowed to drop the packet —
+        /// the header checkers whose job is to reject malformed packets (the
+        /// property's "unless it is malformed" escape hatch).
+        may_drop: Vec<String>,
+    },
+}
+
+impl Property {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> String {
+        match self {
+            Property::CrashFreedom => "crash-freedom".to_string(),
+            Property::BoundedInstructions { max_instructions } => {
+                format!("bounded-instructions(<= {max_instructions})")
+            }
+            Property::Reachability { dst, .. } => format!("reachability(dst {dst})"),
+        }
+    }
+
+    /// Does `segment` of a single element, considered in isolation, possibly
+    /// violate this property? (Step 1's conservative tagging.)
+    pub fn is_suspect_segment(&self, segment: &Segment) -> bool {
+        match self {
+            Property::CrashFreedom => segment.outcome.is_crash(),
+            // A single element exceeding the whole-pipeline bound is suspect;
+            // pipeline-level accounting happens during composition.
+            Property::BoundedInstructions { max_instructions } => {
+                segment.outcome.is_crash() || segment.instructions > *max_instructions
+            }
+            // For reachability, any way an element can drop or crash a packet
+            // is suspect; composition then decides whether a well-formed
+            // packet with the right destination can reach that segment.
+            Property::Reachability { .. } => {
+                matches!(segment.outcome, SegmentOutcome::Dropped) || segment.outcome.is_crash()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane_symbex::{CrashKind, SymPacket};
+
+    fn segment(outcome: SegmentOutcome, instructions: u64) -> Segment {
+        Segment {
+            constraint: vec![],
+            outcome,
+            packet: SymPacket::new(),
+            ds_reads: vec![],
+            ds_writes: vec![],
+            instructions,
+            approximate: false,
+        }
+    }
+
+    #[test]
+    fn crash_freedom_flags_only_crashes() {
+        let p = Property::CrashFreedom;
+        assert!(p.is_suspect_segment(&segment(
+            SegmentOutcome::Crashed(CrashKind::DivisionByZero),
+            5
+        )));
+        assert!(!p.is_suspect_segment(&segment(SegmentOutcome::Emitted(0), 5)));
+        assert!(!p.is_suspect_segment(&segment(SegmentOutcome::Dropped, 5)));
+    }
+
+    #[test]
+    fn bounded_instructions_flags_expensive_segments() {
+        let p = Property::BoundedInstructions {
+            max_instructions: 100,
+        };
+        assert!(p.is_suspect_segment(&segment(SegmentOutcome::Emitted(0), 101)));
+        assert!(!p.is_suspect_segment(&segment(SegmentOutcome::Emitted(0), 100)));
+        assert!(p.is_suspect_segment(&segment(
+            SegmentOutcome::Crashed(CrashKind::PacketOutOfBounds),
+            1
+        )));
+    }
+
+    #[test]
+    fn reachability_flags_drops_and_crashes() {
+        let p = Property::Reachability {
+            dst: Ipv4Addr::new(192, 168, 0, 1),
+            dst_offset: 30,
+            deliver_to: vec!["out1".to_string()],
+            may_drop: vec!["chk".to_string()],
+        };
+        assert!(p.is_suspect_segment(&segment(SegmentOutcome::Dropped, 1)));
+        assert!(p.is_suspect_segment(&segment(
+            SegmentOutcome::Crashed(CrashKind::LoopBoundExceeded),
+            1
+        )));
+        assert!(!p.is_suspect_segment(&segment(SegmentOutcome::Emitted(1), 1)));
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(Property::CrashFreedom.name(), "crash-freedom");
+        assert!(Property::BoundedInstructions {
+            max_instructions: 3600
+        }
+        .name()
+        .contains("3600"));
+        assert!(Property::Reachability {
+            dst: Ipv4Addr::new(10, 0, 0, 1),
+            dst_offset: 30,
+            deliver_to: vec![],
+            may_drop: vec![],
+        }
+        .name()
+        .contains("10.0.0.1"));
+    }
+}

@@ -1,0 +1,823 @@
+//! The compositional verifier: Step 1 (per-element summaries and suspect
+//! tagging) followed by Step 2 (composition of suspects into pipeline paths
+//! and feasibility checking), as described in §3 of the paper.
+
+use crate::compose::{bind_packet_bytes, Composer, View};
+use crate::property::Property;
+use crate::report::{
+    Counterexample, InstructionBoundReport, Report, UnprovenPath, Verdict, VerificationStats,
+};
+use crate::summary::{ElementSummary, SummaryCache};
+use dataplane_ir::{DsClass, DsId};
+use dataplane_net::Packet;
+use dataplane_pipeline::pipeline::Disposition;
+use dataplane_pipeline::{ElementIdx, Pipeline};
+use dataplane_symbex::term::{self, Term, TermRef};
+use dataplane_symbex::{EngineConfig, Segment, SegmentOutcome, Solver, SolverResult};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Options controlling the verifier's behaviour and budgets.
+#[derive(Clone, Debug)]
+pub struct VerifierOptions {
+    /// Check the feasibility of every prefix while composing and prune
+    /// infeasible ones (recommended; the ablation bench switches it off).
+    pub prune_prefixes: bool,
+    /// Replay counterexample packets on the concrete pipeline to confirm
+    /// them.
+    pub validate_counterexamples: bool,
+    /// Maximum number of composed paths to examine before giving up.
+    pub max_composed_paths: usize,
+    /// Symbolic-execution configuration used for element summaries.
+    pub engine: EngineConfig,
+}
+
+impl Default for VerifierOptions {
+    fn default() -> Self {
+        VerifierOptions {
+            prune_prefixes: true,
+            validate_counterexamples: true,
+            max_composed_paths: 100_000,
+            engine: EngineConfig::decomposed(),
+        }
+    }
+}
+
+/// The compositional dataplane verifier.
+pub struct Verifier {
+    /// Verification options.
+    pub options: VerifierOptions,
+    solver: Solver,
+    cache: SummaryCache,
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Verifier::new()
+    }
+}
+
+impl Verifier {
+    /// A verifier with default options.
+    pub fn new() -> Self {
+        Verifier::with_options(VerifierOptions::default())
+    }
+
+    /// A verifier with explicit options.
+    pub fn with_options(options: VerifierOptions) -> Self {
+        Verifier {
+            options,
+            solver: Solver::new(),
+            cache: SummaryCache::new(),
+        }
+    }
+
+    /// Statistics of the summary cache (hits, misses).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+
+    /// Verify `property` over `pipeline`.
+    pub fn verify(&mut self, pipeline: &Pipeline, property: &Property) -> Report {
+        let start = Instant::now();
+        let mut stats = VerificationStats {
+            elements: pipeline.len(),
+            ..Default::default()
+        };
+
+        // ---------------- Step 1: summaries and suspects -------------------
+        let hits_before = self.cache.hits();
+        let misses_before = self.cache.misses();
+        let summaries = match self.summarise(pipeline) {
+            Ok(s) => s,
+            Err(e) => {
+                return Report {
+                    property: property.clone(),
+                    verdict: Verdict::Unknown,
+                    counterexamples: vec![],
+                    unproven: vec![UnprovenPath {
+                        path: vec![],
+                        reason: format!("element exploration exceeded its budget: {e}"),
+                    }],
+                    stats,
+                    elapsed: start.elapsed(),
+                }
+            }
+        };
+        stats.summaries_computed = (self.cache.misses() - misses_before) as usize;
+        stats.summaries_reused = (self.cache.hits() - hits_before) as usize;
+        stats.total_segments = summaries.iter().map(|s| s.segment_count()).sum();
+
+        let mut suspects: Vec<Vec<usize>> = Vec::with_capacity(pipeline.len());
+        for (idx, summary) in summaries.iter().enumerate() {
+            let node = pipeline.node(idx);
+            let mut element_suspects = Vec::new();
+            for (seg_idx, segment) in summary.exploration.segments.iter().enumerate() {
+                if !self.is_suspect(property, &node.name, segment) {
+                    continue;
+                }
+                // Local feasibility pre-check: a segment that is infeasible
+                // even in isolation cannot be violated in any pipeline.
+                stats.solver_calls += 1;
+                if self.solver.check(&segment.constraint).is_unsat() {
+                    continue;
+                }
+                element_suspects.push(seg_idx);
+            }
+            stats.suspects += element_suspects.len();
+            suspects.push(element_suspects);
+        }
+
+        if stats.suspects == 0 {
+            return Report {
+                property: property.clone(),
+                verdict: Verdict::Proven,
+                counterexamples: vec![],
+                unproven: vec![],
+                stats,
+                elapsed: start.elapsed(),
+            };
+        }
+
+        // ---------------- Step 2: composition ------------------------------
+        let hints = build_hints(property);
+        let mut ctx = ComposeCtx {
+            pipeline,
+            property,
+            summaries: &summaries,
+            suspects: &suspects,
+            composer: Composer::new(),
+            counterexamples: Vec::new(),
+            unproven: Vec::new(),
+            stats: &mut stats,
+            options: &self.options,
+            solver: &self.solver,
+            hints,
+            budget_exhausted: false,
+        };
+        let entry = pipeline.entry();
+        let first_stride = ctx.composer.alloc_stride(entry);
+        ctx.walk(
+            entry,
+            View::Original,
+            first_stride,
+            Vec::new(),
+            Vec::new(),
+            0,
+        );
+        let budget_exhausted = ctx.budget_exhausted;
+        let counterexamples = ctx.counterexamples;
+        let mut unproven = ctx.unproven;
+        if budget_exhausted {
+            unproven.push(UnprovenPath {
+                path: vec![],
+                reason: format!(
+                    "composed-path budget of {} exhausted",
+                    self.options.max_composed_paths
+                ),
+            });
+        }
+
+        let verdict = if counterexamples.iter().any(|c| c.confirmed)
+            || (!counterexamples.is_empty() && !self.options.validate_counterexamples)
+        {
+            Verdict::Violated
+        } else if !counterexamples.is_empty() || !unproven.is_empty() {
+            Verdict::Unknown
+        } else {
+            Verdict::Proven
+        };
+
+        Report {
+            property: property.clone(),
+            verdict,
+            counterexamples,
+            unproven,
+            stats,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Establish the pipeline's per-packet instruction bound and a witness
+    /// packet (the paper's second experiment: "the longest pipeline executes
+    /// up to about 3600 instructions per packet, and we also identified the
+    /// packet that yields this maximum").
+    pub fn max_instructions(&mut self, pipeline: &Pipeline) -> InstructionBoundReport {
+        let start = Instant::now();
+        let summaries = match self.summarise(pipeline) {
+            Ok(s) => s,
+            Err(_) => {
+                return InstructionBoundReport {
+                    max_instructions: 0,
+                    witness: None,
+                    path: vec![],
+                    approximate: true,
+                    paths_considered: 0,
+                    feasible_paths: 0,
+                    elapsed: start.elapsed(),
+                }
+            }
+        };
+
+        struct Best {
+            instructions: u64,
+            witness: Option<Vec<u8>>,
+            path: Vec<String>,
+            approximate: bool,
+        }
+        let mut best = Best {
+            instructions: 0,
+            witness: None,
+            path: vec![],
+            approximate: false,
+        };
+        let mut paths_considered = 0usize;
+        let mut feasible_paths = 0usize;
+
+        // Depth-first enumeration of full pipeline paths.
+        #[allow(clippy::too_many_arguments)]
+        fn walk(
+            verifier: &Verifier,
+            pipeline: &Pipeline,
+            summaries: &[Rc<ElementSummary>],
+            composer: &mut Composer,
+            element: ElementIdx,
+            view: View,
+            stride: u32,
+            constraint: Vec<TermRef>,
+            path: Vec<String>,
+            instructions: u64,
+            approximate: bool,
+            paths_considered: &mut usize,
+            feasible_paths: &mut usize,
+            best: &mut Best,
+            max_paths: usize,
+        ) {
+            if *paths_considered >= max_paths {
+                return;
+            }
+            let summary = &summaries[element];
+            let node = pipeline.node(element);
+            for segment in &summary.exploration.segments {
+                let mut seg_constraint = constraint.clone();
+                seg_constraint
+                    .extend(composer.rewrite_all(&view, stride, &segment.constraint));
+                let mut seg_path = path.clone();
+                seg_path.push(node.name.clone());
+                let seg_instr = instructions + segment.instructions;
+                let seg_approx = approximate || segment.approximate;
+                let next = segment
+                    .outcome
+                    .port()
+                    .and_then(|p| node.successors.get(p as usize).copied().flatten());
+                match next {
+                    Some(next_element) if !segment.outcome.is_crash() => {
+                        let new_view = composer.extend_view(&view, &segment.packet, stride);
+                        let new_stride = composer.alloc_stride(next_element);
+                        walk(
+                            verifier,
+                            pipeline,
+                            summaries,
+                            composer,
+                            next_element,
+                            new_view,
+                            new_stride,
+                            seg_constraint,
+                            seg_path,
+                            seg_instr,
+                            seg_approx,
+                            paths_considered,
+                            feasible_paths,
+                            best,
+                            max_paths,
+                        );
+                    }
+                    _ => {
+                        // Terminal: the packet leaves the pipeline here (or
+                        // the path crashes / drops).
+                        *paths_considered += 1;
+                        match verifier.solver.check(&seg_constraint) {
+                            SolverResult::Unsat => {}
+                            result => {
+                                *feasible_paths += 1;
+                                if seg_instr > best.instructions {
+                                    best.instructions = seg_instr;
+                                    best.approximate = seg_approx;
+                                    best.path = seg_path.clone();
+                                    best.witness = match result {
+                                        SolverResult::Sat(model) => {
+                                            Some(materialise_packet(&model))
+                                        }
+                                        _ => None,
+                                    };
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut composer = Composer::new();
+        let entry = pipeline.entry();
+        let stride = composer.alloc_stride(entry);
+        walk(
+            self,
+            pipeline,
+            &summaries,
+            &mut composer,
+            entry,
+            View::Original,
+            stride,
+            Vec::new(),
+            Vec::new(),
+            0,
+            false,
+            &mut paths_considered,
+            &mut feasible_paths,
+            &mut best,
+            self.options.max_composed_paths,
+        );
+
+        InstructionBoundReport {
+            max_instructions: best.instructions,
+            witness: best.witness,
+            path: best.path,
+            approximate: best.approximate,
+            paths_considered,
+            feasible_paths,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    fn summarise(
+        &mut self,
+        pipeline: &Pipeline,
+    ) -> Result<Vec<Rc<ElementSummary>>, dataplane_symbex::ExploreError> {
+        let mut summaries = Vec::with_capacity(pipeline.len());
+        for (_, node) in pipeline.iter() {
+            summaries.push(
+                self.cache
+                    .get_or_explore(node.element.as_ref(), &self.options.engine)?,
+            );
+        }
+        Ok(summaries)
+    }
+
+    fn is_suspect(&self, property: &Property, instance_name: &str, segment: &Segment) -> bool {
+        match property {
+            Property::Reachability {
+                deliver_to,
+                may_drop,
+                ..
+            } => {
+                if segment.outcome.is_crash() {
+                    return true;
+                }
+                if matches!(segment.outcome, SegmentOutcome::Dropped) {
+                    let name = instance_name.to_string();
+                    return !deliver_to.contains(&name) && !may_drop.contains(&name);
+                }
+                false
+            }
+            _ => property.is_suspect_segment(segment),
+        }
+    }
+}
+
+/// Build concrete packet bytes from a solver model: the bytes the model
+/// mentions, zero-extended to the model's packet length (capped at a sane
+/// frame size).
+pub fn materialise_packet(model: &dataplane_symbex::Assignment) -> Vec<u8> {
+    // The model's packet length is authoritative: the concrete packet must
+    // have exactly that many bytes (capped at a sane jumbo-frame size), with
+    // any bytes the model did not pin set to zero.
+    let len = (model.packet_len as usize).min(4096);
+    let mut bytes = model.packet.clone();
+    bytes.resize(len, 0);
+    bytes
+}
+
+/// Mutable context for the Step-2 walk over the pipeline.
+struct ComposeCtx<'a> {
+    pipeline: &'a Pipeline,
+    property: &'a Property,
+    summaries: &'a [Rc<ElementSummary>],
+    suspects: &'a [Vec<usize>],
+    composer: Composer,
+    counterexamples: Vec<Counterexample>,
+    unproven: Vec<UnprovenPath>,
+    stats: &'a mut VerificationStats,
+    options: &'a VerifierOptions,
+    solver: &'a Solver,
+    hints: Vec<dataplane_symbex::Assignment>,
+    budget_exhausted: bool,
+}
+
+/// Build hint assignments for the solver's model search: structurally valid
+/// packets (correct version, IHL, lengths, checksums) of the classes the
+/// paper's workloads contain. The generic constraint search is unlikely to
+/// stumble on a packet whose Internet checksum verifies; these templates give
+/// it realistic starting points, and every returned model is still verified
+/// against the constraints before being reported.
+fn build_hints(property: &Property) -> Vec<dataplane_symbex::Assignment> {
+    use dataplane_net::workload::{PacketClass, WorkloadConfig, WorkloadGen, WorkloadMix};
+    let mut packets: Vec<Vec<u8>> = Vec::new();
+    // A spread of well-formed and adversarial frames.
+    packets.extend(
+        WorkloadGen::adversarial(0x7E57)
+            .batch(24)
+            .into_iter()
+            .map(|p| p.into_bytes()),
+    );
+    for class in [
+        PacketClass::Udp,
+        PacketClass::WithIpOptions,
+        PacketClass::ExpiringTtl,
+        PacketClass::TcpSyn,
+    ] {
+        packets.extend(
+            WorkloadGen::new(WorkloadConfig {
+                seed: 0x7E58,
+                mix: WorkloadMix::only(class),
+                ..WorkloadConfig::default()
+            })
+            .batch(6)
+            .into_iter()
+            .map(|p| p.into_bytes()),
+        );
+    }
+    // For reachability the destination is pinned, so provide templates that
+    // carry exactly that destination (their checksums are then consistent
+    // with the bound bytes).
+    if let Property::Reachability { dst, dst_offset, .. } = property {
+        let extra: Vec<Vec<u8>> = packets
+            .iter()
+            .take(16)
+            .map(|bytes| {
+                let mut b = bytes.clone();
+                let off = *dst_offset as usize;
+                if b.len() >= off + 4 {
+                    b[off..off + 4].copy_from_slice(&dst.octets());
+                    // Fix the IPv4 header checksum if the destination sits in
+                    // a plausible IPv4 header (offset >= 16 implies an
+                    // Ethernet + IP layout with the header at 14, offset 16
+                    // implies a bare IP packet).
+                    let ip_start = if *dst_offset >= 30 { 14 } else { 0 };
+                    if b.len() >= ip_start + 20 {
+                        let mut hdr = b[ip_start..].to_vec();
+                        if dataplane_net::Ipv4Header::rewrite_checksum(&mut hdr) {
+                            let hl = ((hdr[0] & 0x0f) as usize) * 4;
+                            b[ip_start..ip_start + hl].copy_from_slice(&hdr[..hl]);
+                        }
+                    }
+                }
+                b
+            })
+            .collect();
+        packets.extend(extra);
+    }
+    packets
+        .into_iter()
+        .map(|bytes| dataplane_symbex::Assignment::from_packet(&bytes))
+        .collect()
+}
+
+impl<'a> ComposeCtx<'a> {
+    /// Walk the pipeline DAG from `element`, carrying the composed prefix.
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &mut self,
+        element: ElementIdx,
+        view: View,
+        stride: u32,
+        prefix_constraint: Vec<TermRef>,
+        prefix_path: Vec<String>,
+        prefix_instructions: u64,
+    ) {
+        if self.stats.composed_paths >= self.options.max_composed_paths {
+            self.budget_exhausted = true;
+            return;
+        }
+        self.stats.composed_paths += 1;
+        let node = self.pipeline.node(element);
+        let summary = &self.summaries[element];
+        let mut path = prefix_path.clone();
+        path.push(node.name.clone());
+
+        // Check this element's suspects against the composed prefix.
+        for &seg_idx in &self.suspects[element] {
+            let segment = &summary.exploration.segments[seg_idx];
+            // For the instruction-bound property, only paths whose cumulative
+            // count exceeds the bound matter.
+            if let Property::BoundedInstructions { max_instructions } = self.property {
+                if !segment.outcome.is_crash()
+                    && prefix_instructions + segment.instructions <= *max_instructions
+                {
+                    continue;
+                }
+            }
+            let mut constraint = prefix_constraint.clone();
+            constraint.extend(
+                self.composer
+                    .rewrite_all(&view, stride, &segment.constraint),
+            );
+            let constraint = self.apply_property_context(constraint);
+            self.stats.solver_calls += 1;
+            match self.solver.check_with_hints(&constraint, &self.hints) {
+                SolverResult::Unsat => {
+                    self.stats.discharged += 1;
+                }
+                SolverResult::Sat(model) => {
+                    let packet = self.materialise_counterexample(&model);
+                    let confirmed = self.options.validate_counterexamples
+                        && self.confirm(&packet, element, segment);
+                    self.counterexamples.push(Counterexample {
+                        packet,
+                        path: path.clone(),
+                        description: format!(
+                            "{} at element '{}'",
+                            describe_outcome(&segment.outcome),
+                            node.name
+                        ),
+                        confirmed,
+                    });
+                }
+                SolverResult::Unknown => {
+                    // Second chance: the stateful-element analysis (reads of
+                    // never-written private state can be replaced by the
+                    // default value).
+                    if self.discharged_by_ds_analysis(&constraint, element) {
+                        self.stats.discharged += 1;
+                    } else {
+                        self.unproven.push(UnprovenPath {
+                            path: path.clone(),
+                            reason: format!(
+                                "could not decide feasibility of {} at '{}'",
+                                describe_outcome(&segment.outcome),
+                                node.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Extend the prefix through every forwarding segment.
+        for segment in &summary.exploration.segments {
+            let Some(port) = segment.outcome.port() else {
+                continue;
+            };
+            let Some(Some(next)) = node.successors.get(port as usize).copied() else {
+                continue;
+            };
+            let mut constraint = prefix_constraint.clone();
+            constraint.extend(
+                self.composer
+                    .rewrite_all(&view, stride, &segment.constraint),
+            );
+            if self.options.prune_prefixes {
+                self.stats.solver_calls += 1;
+                if self
+                    .solver
+                    .check(&self.apply_property_context(constraint.clone()))
+                    .is_unsat()
+                {
+                    continue;
+                }
+            }
+            let new_view = self.composer.extend_view(&view, &segment.packet, stride);
+            let new_stride = self.composer.alloc_stride(next);
+            self.walk(
+                next,
+                new_view,
+                new_stride,
+                constraint,
+                path.clone(),
+                prefix_instructions + segment.instructions,
+            );
+        }
+    }
+
+    /// Turn a solver model into the packet reported to the user. For the
+    /// reachability property the destination bytes were substituted away
+    /// before solving, so they are restored here (and the IPv4 header
+    /// checksum recomputed) to keep the witness a well-formed packet with the
+    /// destination the property talks about.
+    fn materialise_counterexample(&self, model: &dataplane_symbex::Assignment) -> Vec<u8> {
+        let mut packet = materialise_packet(model);
+        if let Property::Reachability { dst, dst_offset, .. } = self.property {
+            let off = *dst_offset as usize;
+            if packet.len() < off + 4 {
+                packet.resize(off + 4, 0);
+            }
+            packet[off..off + 4].copy_from_slice(&dst.octets());
+            let ip_start = (off).saturating_sub(16);
+            if packet.len() >= ip_start + 20 {
+                let mut hdr = packet[ip_start..].to_vec();
+                if dataplane_net::Ipv4Header::rewrite_checksum(&mut hdr) {
+                    let hl = (((hdr[0] & 0x0f) as usize) * 4).min(hdr.len());
+                    packet[ip_start..ip_start + hl].copy_from_slice(&hdr[..hl]);
+                }
+            }
+        }
+        packet
+    }
+
+    /// Add the property's input assumptions (e.g. the reachability
+    /// destination binding) and concretise static state.
+    fn apply_property_context(&self, constraint: Vec<TermRef>) -> Vec<TermRef> {
+        match self.property {
+            Property::Reachability {
+                dst, dst_offset, ..
+            } => {
+                let octets = dst.octets();
+                let bindings: Vec<(i64, u8)> = octets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| (*dst_offset as i64 + i as i64, *b))
+                    .collect();
+                let bound = bind_packet_bytes(&constraint, &bindings);
+                self.concretise_static_reads(bound)
+            }
+            _ => constraint,
+        }
+    }
+
+    /// Replace reads of *static* data structures with the values installed by
+    /// the element's configuration (the paper's "certain properties can only
+    /// be proved for a specific configuration"): reads with a concrete key
+    /// are looked up directly; reads of small tables with a symbolic key
+    /// become a select chain over the table's populated entries.
+    fn concretise_static_reads(&self, mut terms: Vec<TermRef>) -> Vec<TermRef> {
+        // The select-chain expansion is only worthwhile (and only bounded)
+        // for small tables.
+        const MAX_CHAIN: usize = 32;
+        // Concretising one read can make another read's key concrete, so run
+        // a few passes until the terms stop changing.
+        for _ in 0..3 {
+            let next: Vec<TermRef> = terms
+                .iter()
+                .map(|t| {
+                    term::substitute(t, &|leaf| {
+                        if let Term::DsRead {
+                            ds, key, seq, width,
+                        } = leaf
+                        {
+                            let element_idx = self.composer.element_of_id(*seq)?;
+                            let element = self.pipeline.node(element_idx).element.as_ref();
+                            let program = element.model();
+                            let decl = program.ds(*ds)?;
+                            if decl.class != DsClass::Static {
+                                return None;
+                            }
+                            let contents = element
+                                .model_state()
+                                .get(ds)
+                                .cloned()
+                                .unwrap_or_default();
+                            if let Some(k) = key.as_const() {
+                                let value = contents
+                                    .iter()
+                                    .find(|(ck, _)| *ck == k.as_u64())
+                                    .map(|(_, v)| *v)
+                                    .unwrap_or(decl.default);
+                                return Some(term::constant(dataplane_ir::BitVec::new(
+                                    *width, value,
+                                )));
+                            }
+                            if contents.len() <= MAX_CHAIN {
+                                // Symbolic key over a small table: expand to
+                                // select(key == k1, v1, select(key == k2, ...)).
+                                let mut chain = term::constant(dataplane_ir::BitVec::new(
+                                    *width,
+                                    decl.default,
+                                ));
+                                for (k, v) in &contents {
+                                    chain = term::select(
+                                        term::binary(
+                                            dataplane_ir::BinOp::Eq,
+                                            key.clone(),
+                                            term::constant(dataplane_ir::BitVec::new(
+                                                decl.key_width,
+                                                *k,
+                                            )),
+                                        ),
+                                        term::constant(dataplane_ir::BitVec::new(*width, *v)),
+                                        chain,
+                                    );
+                                }
+                                return Some(chain);
+                            }
+                            None
+                        } else {
+                            None
+                        }
+                    })
+                })
+                .collect();
+            let changed = next != terms;
+            terms = next;
+            if !changed {
+                break;
+            }
+        }
+        terms
+    }
+
+    /// Try to discharge a constraint the solver could not decide by replacing
+    /// reads of private data structures that the element never writes with
+    /// their default values.
+    fn discharged_by_ds_analysis(&self, constraint: &[TermRef], element: ElementIdx) -> bool {
+        let node = self.pipeline.node(element);
+        let program = node.element.model();
+        let summary = &self.summaries[element];
+        // Data structures this element ever writes (on any segment).
+        let written: Vec<DsId> = summary
+            .exploration
+            .segments
+            .iter()
+            .flat_map(|s| s.ds_writes.iter().map(|w| w.ds))
+            .collect();
+        let substituted: Vec<TermRef> = constraint
+            .iter()
+            .map(|t| {
+                term::substitute(t, &|leaf| {
+                    if let Term::DsRead { ds, width, .. } = leaf {
+                        let decl = program.ds(*ds)?;
+                        if decl.class == DsClass::Private && !written.contains(ds) {
+                            return Some(term::constant(dataplane_ir::BitVec::new(
+                                *width,
+                                decl.default,
+                            )));
+                        }
+                    }
+                    None
+                })
+            })
+            .collect();
+        self.solver.check(&substituted).is_unsat()
+    }
+
+    /// Replay a counterexample packet on a fresh concrete pipeline and check
+    /// that the predicted violation really occurs.
+    fn confirm(&self, packet: &[u8], element: ElementIdx, segment: &Segment) -> bool {
+        // Rebuild the pipeline via its model runtime so private state starts
+        // fresh; a single packet suffices for the properties we check.
+        let mut runtime = dataplane_pipeline::ModelRuntime::new(self.pipeline);
+        let run = runtime.push(Packet::from_bytes(packet.to_vec()));
+        match (self.property, &segment.outcome) {
+            (Property::CrashFreedom, _) => {
+                matches!(run.disposition, Disposition::Crashed { .. })
+            }
+            (Property::BoundedInstructions { max_instructions }, outcome) => {
+                if outcome.is_crash() {
+                    matches!(run.disposition, Disposition::Crashed { .. })
+                } else {
+                    run.instructions > *max_instructions
+                }
+            }
+            (
+                Property::Reachability {
+                    deliver_to,
+                    may_drop,
+                    ..
+                },
+                _,
+            ) => {
+                let last = *run.hops.last().unwrap_or(&element);
+                let last_name = self.pipeline.node(last).name.clone();
+                match run.disposition {
+                    Disposition::Crashed { .. } => true,
+                    // A drop at a header checker means the witness was
+                    // malformed, which the property explicitly permits — that
+                    // is not a confirmation.
+                    Disposition::Dropped { .. } => {
+                        !deliver_to.contains(&last_name) && !may_drop.contains(&last_name)
+                    }
+                    Disposition::Exited { .. } => !deliver_to.contains(&last_name),
+                }
+            }
+        }
+    }
+}
+
+fn describe_outcome(outcome: &SegmentOutcome) -> String {
+    match outcome {
+        SegmentOutcome::Emitted(p) => format!("emission on port {p}"),
+        SegmentOutcome::Dropped => "packet drop".to_string(),
+        SegmentOutcome::Crashed(kind) => format!("crash ({kind})"),
+    }
+}
+
+/// Convenience map view of a pipeline's suspect counts per element, used by
+/// examples and benches to show Step-1 results.
+pub fn suspect_overview(report: &Report) -> BTreeMap<&'static str, usize> {
+    let mut m = BTreeMap::new();
+    m.insert("suspects", report.stats.suspects);
+    m.insert("discharged", report.stats.discharged);
+    m.insert("counterexamples", report.counterexamples.len());
+    m.insert("unproven", report.unproven.len());
+    m
+}

@@ -1,0 +1,370 @@
+//! Ergonomic construction of element programs.
+//!
+//! [`ProgramBuilder`] owns the declarations (locals, data structures, output
+//! ports); [`Block`] accumulates statements and nests via plain values, so
+//! element definitions read close to the pseudo-code in the paper's figures:
+//!
+//! ```
+//! use dataplane_ir::builder::{Block, ProgramBuilder};
+//! use dataplane_ir::expr::dsl::*;
+//!
+//! let mut pb = ProgramBuilder::new("ToyE2", 1);
+//! let out = pb.local("out", 32);
+//! let mut body = Block::new();
+//! body.assert(uge(pkt(0, 4), c(32, 0)), "input must be non-negative");
+//! body.if_else(
+//!     ult(pkt(0, 4), c(32, 10)),
+//!     Block::with(|b| {
+//!         b.assign(out, c(32, 10));
+//!     }),
+//!     Block::with(|b| {
+//!         b.assign(out, pkt(0, 4));
+//!     }),
+//! );
+//! body.emit(0);
+//! let program = pb.finish(body).expect("valid program");
+//! assert_eq!(program.name, "ToyE2");
+//! ```
+
+use crate::expr::{DsId, Expr, LocalId};
+use crate::program::{DsClass, DsDecl, DsKind, LocalDecl, Program, Stmt};
+use crate::validate::{validate, ValidationError};
+
+/// Builder for the declaration part of a [`Program`].
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    locals: Vec<LocalDecl>,
+    data_structures: Vec<DsDecl>,
+    num_output_ports: u8,
+}
+
+impl ProgramBuilder {
+    /// Start a program named `name` with `num_output_ports` output ports.
+    pub fn new(name: impl Into<String>, num_output_ports: u8) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            locals: Vec::new(),
+            data_structures: Vec::new(),
+            num_output_ports,
+        }
+    }
+
+    /// Declare a local variable of the given bit width.
+    pub fn local(&mut self, name: impl Into<String>, width: u8) -> LocalId {
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(LocalDecl {
+            name: name.into(),
+            width,
+        });
+        id
+    }
+
+    /// Declare a private (read/write, per-element) pre-allocated array.
+    pub fn private_array(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        key_width: u8,
+        value_width: u8,
+        default: u64,
+    ) -> DsId {
+        self.ds(name, DsKind::Array { size }, DsClass::Private, key_width, value_width, default)
+    }
+
+    /// Declare a static (read-only, shared) pre-allocated array.
+    pub fn static_array(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        key_width: u8,
+        value_width: u8,
+        default: u64,
+    ) -> DsId {
+        self.ds(name, DsKind::Array { size }, DsClass::Static, key_width, value_width, default)
+    }
+
+    /// Declare a private (read/write) open map.
+    pub fn private_map(
+        &mut self,
+        name: impl Into<String>,
+        key_width: u8,
+        value_width: u8,
+        default: u64,
+    ) -> DsId {
+        self.ds(name, DsKind::Map, DsClass::Private, key_width, value_width, default)
+    }
+
+    /// Declare a static (read-only) open map.
+    pub fn static_map(
+        &mut self,
+        name: impl Into<String>,
+        key_width: u8,
+        value_width: u8,
+        default: u64,
+    ) -> DsId {
+        self.ds(name, DsKind::Map, DsClass::Static, key_width, value_width, default)
+    }
+
+    fn ds(
+        &mut self,
+        name: impl Into<String>,
+        kind: DsKind,
+        class: DsClass,
+        key_width: u8,
+        value_width: u8,
+        default: u64,
+    ) -> DsId {
+        let id = DsId(self.data_structures.len() as u32);
+        self.data_structures.push(DsDecl {
+            name: name.into(),
+            kind,
+            class,
+            key_width,
+            value_width,
+            default,
+        });
+        id
+    }
+
+    /// Attach the body and validate, producing the finished [`Program`].
+    pub fn finish(self, body: Block) -> Result<Program, ValidationError> {
+        let program = Program {
+            name: self.name,
+            locals: self.locals,
+            data_structures: self.data_structures,
+            num_output_ports: self.num_output_ports,
+            body: body.stmts,
+        };
+        validate(&program)?;
+        Ok(program)
+    }
+
+    /// Attach the body **without** validating. Used by tests that deliberately
+    /// construct invalid programs.
+    pub fn finish_unchecked(self, body: Block) -> Program {
+        Program {
+            name: self.name,
+            locals: self.locals,
+            data_structures: self.data_structures,
+            num_output_ports: self.num_output_ports,
+            body: body.stmts,
+        }
+    }
+}
+
+/// A sequence of statements under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// An empty block.
+    pub fn new() -> Self {
+        Block { stmts: Vec::new() }
+    }
+
+    /// Build a block by applying `f` to a fresh block — convenient for nested
+    /// `if`/`loop` bodies.
+    pub fn with(f: impl FnOnce(&mut Block)) -> Self {
+        let mut b = Block::new();
+        f(&mut b);
+        b
+    }
+
+    /// The statements accumulated so far.
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// Consume the block, returning its statements.
+    pub fn into_stmts(self) -> Vec<Stmt> {
+        self.stmts
+    }
+
+    /// Append a raw statement.
+    pub fn push(&mut self, stmt: Stmt) -> &mut Self {
+        self.stmts.push(stmt);
+        self
+    }
+
+    /// `local := value`
+    pub fn assign(&mut self, local: LocalId, value: Expr) -> &mut Self {
+        self.push(Stmt::Assign { local, value })
+    }
+
+    /// Store `value` into the packet at a constant byte offset.
+    pub fn pkt_store(&mut self, offset: u32, width_bytes: u8, value: Expr) -> &mut Self {
+        self.push(Stmt::PacketStore {
+            offset: Expr::c32(offset),
+            width_bytes,
+            value,
+        })
+    }
+
+    /// Store `value` into the packet at a computed byte offset.
+    pub fn pkt_store_at(&mut self, offset: Expr, width_bytes: u8, value: Expr) -> &mut Self {
+        self.push(Stmt::PacketStore {
+            offset,
+            width_bytes,
+            value,
+        })
+    }
+
+    /// Write `value` under `key` in data structure `ds`.
+    pub fn ds_write(&mut self, ds: DsId, key: Expr, value: Expr) -> &mut Self {
+        self.push(Stmt::DsWrite { ds, key, value })
+    }
+
+    /// `if cond { then_blk } else { else_blk }`
+    pub fn if_else(&mut self, cond: Expr, then_blk: Block, else_blk: Block) -> &mut Self {
+        self.push(Stmt::If {
+            cond,
+            then_body: then_blk.stmts,
+            else_body: else_blk.stmts,
+        })
+    }
+
+    /// `if cond { then_blk }`
+    pub fn if_then(&mut self, cond: Expr, then_blk: Block) -> &mut Self {
+        self.if_else(cond, then_blk, Block::new())
+    }
+
+    /// A bounded loop: `while cond && iterations < max_iters { body }`, where
+    /// exceeding `max_iters` crashes.
+    pub fn loop_bounded(&mut self, max_iters: u32, cond: Expr, body: Block) -> &mut Self {
+        self.push(Stmt::Loop {
+            max_iters,
+            cond,
+            body: body.stmts,
+        })
+    }
+
+    /// Remove `n` bytes from the front of the packet (crashes if the packet
+    /// is shorter).
+    pub fn strip_front(&mut self, n: u32) -> &mut Self {
+        self.push(Stmt::StripFront { n })
+    }
+
+    /// Prepend `n` zero bytes to the front of the packet.
+    pub fn push_front(&mut self, n: u32) -> &mut Self {
+        self.push(Stmt::PushFront { n })
+    }
+
+    /// Crash unless `cond` holds.
+    pub fn assert(&mut self, cond: Expr, message: impl Into<String>) -> &mut Self {
+        self.push(Stmt::Assert {
+            cond,
+            message: message.into(),
+        })
+    }
+
+    /// Unconditional crash.
+    pub fn abort(&mut self, message: impl Into<String>) -> &mut Self {
+        self.push(Stmt::Abort {
+            message: message.into(),
+        })
+    }
+
+    /// Push the packet to output port `port` and stop.
+    pub fn emit(&mut self, port: u8) -> &mut Self {
+        self.push(Stmt::Emit { port })
+    }
+
+    /// Drop the packet and stop.
+    pub fn drop_packet(&mut self) -> &mut Self {
+        self.push(Stmt::Drop)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Stmt::Nop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::dsl::*;
+    use crate::program::DsClass;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut pb = ProgramBuilder::new("T", 1);
+        let a = pb.local("a", 8);
+        let b = pb.local("b", 16);
+        assert_eq!(a, LocalId(0));
+        assert_eq!(b, LocalId(1));
+        let d0 = pb.private_array("t0", 4, 8, 8, 0);
+        let d1 = pb.static_map("t1", 32, 16, 7);
+        assert_eq!(d0, DsId(0));
+        assert_eq!(d1, DsId(1));
+        let prog = pb.finish_unchecked(Block::new());
+        assert_eq!(prog.locals.len(), 2);
+        assert_eq!(prog.data_structures.len(), 2);
+        assert_eq!(prog.data_structures[0].class, DsClass::Private);
+        assert_eq!(prog.data_structures[1].class, DsClass::Static);
+        assert_eq!(prog.data_structures[1].default, 7);
+    }
+
+    #[test]
+    fn block_accumulates_statements() {
+        let mut pb = ProgramBuilder::new("T", 2);
+        let x = pb.local("x", 32);
+        let mut b = Block::new();
+        b.assign(x, c(32, 1))
+            .if_then(
+                eq(l(x), c(32, 1)),
+                Block::with(|bb| {
+                    bb.emit(1);
+                }),
+            )
+            .drop_packet();
+        let prog = pb.finish(b).unwrap();
+        assert_eq!(prog.body.len(), 3);
+        assert_eq!(prog.stmt_count(), 4);
+    }
+
+    #[test]
+    fn finish_rejects_invalid_program() {
+        let pb = ProgramBuilder::new("T", 1);
+        let mut b = Block::new();
+        // Emit to a non-existent port.
+        b.emit(3);
+        assert!(pb.finish(b).is_err());
+    }
+
+    #[test]
+    fn pkt_store_helpers() {
+        let mut pb = ProgramBuilder::new("T", 1);
+        let _ = pb.local("x", 8);
+        let mut b = Block::new();
+        b.pkt_store(0, 1, c(8, 0xab));
+        b.pkt_store_at(add(c(32, 1), c(32, 1)), 2, c(16, 0xcdef));
+        b.nop();
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        assert_eq!(prog.body.len(), 4);
+    }
+
+    #[test]
+    fn loop_and_ds_write_helpers() {
+        let mut pb = ProgramBuilder::new("T", 1);
+        let i = pb.local("i", 16);
+        let tbl = pb.private_array("tbl", 8, 16, 32, 0);
+        let mut b = Block::new();
+        b.loop_bounded(
+            8,
+            ult(l(i), c(16, 8)),
+            Block::with(|bb| {
+                bb.ds_write(tbl, l(i), c(32, 1));
+                bb.assign(i, add(l(i), c(16, 1)));
+            }),
+        );
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        assert!(prog.has_loops());
+        assert!(prog.uses_data_structures());
+    }
+}

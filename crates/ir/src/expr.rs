@@ -1,0 +1,526 @@
+//! Expression AST of the element IR.
+//!
+//! Expressions are side-effect free: they read locals, packet bytes, and
+//! data-structure entries, and combine them with bit-vector operators. All
+//! side effects (packet writes, table writes, control flow) live in
+//! [`crate::stmt::Stmt`].
+
+use crate::value::BitVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a local variable, indexing [`crate::program::Program::locals`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LocalId(pub u32);
+
+/// Identifier of a data structure, indexing
+/// [`crate::program::Program::data_structures`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DsId(pub u32);
+
+impl fmt::Debug for LocalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Debug for DsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ds{}", self.0)
+    }
+}
+
+/// Unary bit-vector operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// Boolean negation: 1-bit input, yields 1 when the input is 0.
+    LogicalNot,
+}
+
+/// Binary bit-vector operators. Comparison operators yield 1-bit results;
+/// every other operator requires and yields operands of equal width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division; division by zero is a crash.
+    UDiv,
+    /// Unsigned remainder; division by zero is a crash.
+    URem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic (sign-extending) shift right.
+    AShr,
+    /// Equality (1-bit result).
+    Eq,
+    /// Inequality (1-bit result).
+    Ne,
+    /// Unsigned less-than (1-bit result).
+    ULt,
+    /// Unsigned less-or-equal (1-bit result).
+    ULe,
+    /// Unsigned greater-than (1-bit result).
+    UGt,
+    /// Unsigned greater-or-equal (1-bit result).
+    UGe,
+    /// Signed less-than (1-bit result).
+    SLt,
+    /// Signed less-or-equal (1-bit result).
+    SLe,
+    /// 1-bit logical AND (both operands must be 1-bit).
+    BoolAnd,
+    /// 1-bit logical OR (both operands must be 1-bit).
+    BoolOr,
+}
+
+impl BinOp {
+    /// True if this operator produces a 1-bit (boolean) result regardless of
+    /// its operand width.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::ULt
+                | BinOp::ULe
+                | BinOp::UGt
+                | BinOp::UGe
+                | BinOp::SLt
+                | BinOp::SLe
+        )
+    }
+
+    /// True if this operator requires 1-bit operands.
+    pub fn is_boolean(self) -> bool {
+        matches!(self, BinOp::BoolAnd | BinOp::BoolOr)
+    }
+}
+
+/// Width-changing casts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CastKind {
+    /// Zero-extend to the target width (target must be >= source).
+    ZExt,
+    /// Sign-extend to the target width (target must be >= source).
+    SExt,
+    /// Truncate to the target width (target must be <= source).
+    Trunc,
+    /// Zero-extend or truncate, whichever applies.
+    Resize,
+}
+
+/// An expression tree.
+#[allow(missing_docs)] // variant fields are described in the variant docs
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// A constant bit-vector.
+    Const(BitVec),
+    /// The current value of a local variable.
+    Local(LocalId),
+    /// Load `width_bytes` bytes (big-endian, network order) from the packet at
+    /// the byte offset given by `offset`. Reading past the end of the packet
+    /// is a crash (the analog of a segmentation fault).
+    PacketLoad {
+        /// Byte offset into the packet; evaluated as a 32-bit value.
+        offset: Box<Expr>,
+        /// Number of bytes to read, 1..=8.
+        width_bytes: u8,
+    },
+    /// The packet length in bytes, as a 32-bit value.
+    PacketLen,
+    /// Read the value stored under `key` in data structure `ds`. The result
+    /// width is the declared value width of the data structure. Reading a key
+    /// outside an array's bounds is a crash.
+    DsRead { ds: DsId, key: Box<Expr> },
+    /// A unary operation.
+    Unary { op: UnOp, arg: Box<Expr> },
+    /// A binary operation.
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// `if cond { then_e } else { else_e }` as an expression; `cond` must be
+    /// 1-bit and both arms must have equal width.
+    Select {
+        cond: Box<Expr>,
+        then_e: Box<Expr>,
+        else_e: Box<Expr>,
+    },
+    /// A width-changing cast to `width` bits.
+    Cast {
+        kind: CastKind,
+        width: u8,
+        arg: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a constant.
+    pub fn constant(v: BitVec) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Convenience constructor for an 8-bit constant.
+    pub fn c8(v: u8) -> Expr {
+        Expr::Const(BitVec::u8(v))
+    }
+
+    /// Convenience constructor for a 16-bit constant.
+    pub fn c16(v: u16) -> Expr {
+        Expr::Const(BitVec::u16(v))
+    }
+
+    /// Convenience constructor for a 32-bit constant.
+    pub fn c32(v: u32) -> Expr {
+        Expr::Const(BitVec::u32(v))
+    }
+
+    /// Convenience constructor for a 1-bit constant.
+    pub fn cbool(v: bool) -> Expr {
+        Expr::Const(BitVec::bool(v))
+    }
+
+    /// Read a local.
+    pub fn local(id: LocalId) -> Expr {
+        Expr::Local(id)
+    }
+
+    /// Count the number of nodes in this expression tree (used by the
+    /// instruction-count metric and by engine statistics).
+    pub fn node_count(&self) -> u64 {
+        match self {
+            Expr::Const(_) | Expr::Local(_) | Expr::PacketLen => 1,
+            Expr::PacketLoad { offset, .. } => 1 + offset.node_count(),
+            Expr::DsRead { key, .. } => 1 + key.node_count(),
+            Expr::Unary { arg, .. } => 1 + arg.node_count(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.node_count() + rhs.node_count(),
+            Expr::Select {
+                cond,
+                then_e,
+                else_e,
+            } => 1 + cond.node_count() + then_e.node_count() + else_e.node_count(),
+            Expr::Cast { arg, .. } => 1 + arg.node_count(),
+        }
+    }
+
+    /// Collect every local referenced by this expression into `out`.
+    pub fn collect_locals(&self, out: &mut Vec<LocalId>) {
+        match self {
+            Expr::Const(_) | Expr::PacketLen => {}
+            Expr::Local(id) => out.push(*id),
+            Expr::PacketLoad { offset, .. } => offset.collect_locals(out),
+            Expr::DsRead { key, .. } => key.collect_locals(out),
+            Expr::Unary { arg, .. } => arg.collect_locals(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_locals(out);
+                rhs.collect_locals(out);
+            }
+            Expr::Select {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                cond.collect_locals(out);
+                then_e.collect_locals(out);
+                else_e.collect_locals(out);
+            }
+            Expr::Cast { arg, .. } => arg.collect_locals(out),
+        }
+    }
+
+    /// True if this expression (transitively) reads the packet.
+    pub fn reads_packet(&self) -> bool {
+        match self {
+            Expr::PacketLoad { .. } | Expr::PacketLen => true,
+            Expr::Const(_) | Expr::Local(_) => false,
+            Expr::DsRead { key, .. } => key.reads_packet(),
+            Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => arg.reads_packet(),
+            Expr::Binary { lhs, rhs, .. } => lhs.reads_packet() || rhs.reads_packet(),
+            Expr::Select {
+                cond,
+                then_e,
+                else_e,
+            } => cond.reads_packet() || then_e.reads_packet() || else_e.reads_packet(),
+        }
+    }
+
+    /// True if this expression (transitively) reads a data structure.
+    pub fn reads_ds(&self) -> bool {
+        match self {
+            Expr::DsRead { .. } => true,
+            Expr::Const(_) | Expr::Local(_) | Expr::PacketLen => false,
+            Expr::PacketLoad { offset, .. } => offset.reads_ds(),
+            Expr::Unary { arg, .. } | Expr::Cast { arg, .. } => arg.reads_ds(),
+            Expr::Binary { lhs, rhs, .. } => lhs.reads_ds() || rhs.reads_ds(),
+            Expr::Select {
+                cond,
+                then_e,
+                else_e,
+            } => cond.reads_ds() || then_e.reads_ds() || else_e.reads_ds(),
+        }
+    }
+}
+
+/// Helper constructors for building expressions fluently. These are free
+/// functions (rather than methods) so builder code reads close to the
+/// pseudo-code in the paper's figures.
+pub mod dsl {
+    use super::*;
+
+    /// `lhs + rhs`
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Add, lhs, rhs)
+    }
+    /// `lhs - rhs`
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Sub, lhs, rhs)
+    }
+    /// `lhs * rhs`
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Mul, lhs, rhs)
+    }
+    /// `lhs / rhs` (unsigned; division by zero crashes)
+    pub fn udiv(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::UDiv, lhs, rhs)
+    }
+    /// `lhs % rhs` (unsigned; division by zero crashes)
+    pub fn urem(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::URem, lhs, rhs)
+    }
+    /// `lhs & rhs`
+    pub fn and(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::And, lhs, rhs)
+    }
+    /// `lhs | rhs`
+    pub fn or(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Or, lhs, rhs)
+    }
+    /// `lhs ^ rhs`
+    pub fn xor(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Xor, lhs, rhs)
+    }
+    /// `lhs << rhs`
+    pub fn shl(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Shl, lhs, rhs)
+    }
+    /// `lhs >> rhs` (logical)
+    pub fn lshr(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::LShr, lhs, rhs)
+    }
+    /// `lhs >> rhs` (arithmetic)
+    pub fn ashr(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::AShr, lhs, rhs)
+    }
+    /// `lhs == rhs`
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Eq, lhs, rhs)
+    }
+    /// `lhs != rhs`
+    pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Ne, lhs, rhs)
+    }
+    /// `lhs < rhs` (unsigned)
+    pub fn ult(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::ULt, lhs, rhs)
+    }
+    /// `lhs <= rhs` (unsigned)
+    pub fn ule(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::ULe, lhs, rhs)
+    }
+    /// `lhs > rhs` (unsigned)
+    pub fn ugt(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::UGt, lhs, rhs)
+    }
+    /// `lhs >= rhs` (unsigned)
+    pub fn uge(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::UGe, lhs, rhs)
+    }
+    /// `lhs < rhs` (signed)
+    pub fn slt(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::SLt, lhs, rhs)
+    }
+    /// `lhs <= rhs` (signed)
+    pub fn sle(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::SLe, lhs, rhs)
+    }
+    /// Logical AND of two 1-bit expressions.
+    pub fn band(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::BoolAnd, lhs, rhs)
+    }
+    /// Logical OR of two 1-bit expressions.
+    pub fn bor(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::BoolOr, lhs, rhs)
+    }
+    /// Logical NOT of a 1-bit expression.
+    pub fn bnot(arg: Expr) -> Expr {
+        Expr::Unary {
+            op: UnOp::LogicalNot,
+            arg: Box::new(arg),
+        }
+    }
+    /// Bitwise complement.
+    pub fn not(arg: Expr) -> Expr {
+        Expr::Unary {
+            op: UnOp::Not,
+            arg: Box::new(arg),
+        }
+    }
+    /// Two's-complement negation.
+    pub fn neg(arg: Expr) -> Expr {
+        Expr::Unary {
+            op: UnOp::Neg,
+            arg: Box::new(arg),
+        }
+    }
+    /// Conditional expression.
+    pub fn select(cond: Expr, then_e: Expr, else_e: Expr) -> Expr {
+        Expr::Select {
+            cond: Box::new(cond),
+            then_e: Box::new(then_e),
+            else_e: Box::new(else_e),
+        }
+    }
+    /// Zero-extend to `width`.
+    pub fn zext(arg: Expr, width: u8) -> Expr {
+        Expr::Cast {
+            kind: CastKind::ZExt,
+            width,
+            arg: Box::new(arg),
+        }
+    }
+    /// Sign-extend to `width`.
+    pub fn sext(arg: Expr, width: u8) -> Expr {
+        Expr::Cast {
+            kind: CastKind::SExt,
+            width,
+            arg: Box::new(arg),
+        }
+    }
+    /// Truncate to `width`.
+    pub fn trunc(arg: Expr, width: u8) -> Expr {
+        Expr::Cast {
+            kind: CastKind::Trunc,
+            width,
+            arg: Box::new(arg),
+        }
+    }
+    /// Zero-extend or truncate to `width`.
+    pub fn resize(arg: Expr, width: u8) -> Expr {
+        Expr::Cast {
+            kind: CastKind::Resize,
+            width,
+            arg: Box::new(arg),
+        }
+    }
+    /// Load `width_bytes` bytes of the packet at constant byte offset `offset`.
+    pub fn pkt(offset: u32, width_bytes: u8) -> Expr {
+        Expr::PacketLoad {
+            offset: Box::new(Expr::c32(offset)),
+            width_bytes,
+        }
+    }
+    /// Load `width_bytes` bytes of the packet at a computed byte offset.
+    pub fn pkt_at(offset: Expr, width_bytes: u8) -> Expr {
+        Expr::PacketLoad {
+            offset: Box::new(offset),
+            width_bytes,
+        }
+    }
+    /// The packet length in bytes (32-bit).
+    pub fn pkt_len() -> Expr {
+        Expr::PacketLen
+    }
+    /// Read data structure `ds` at `key`.
+    pub fn ds_read(ds: DsId, key: Expr) -> Expr {
+        Expr::DsRead {
+            ds,
+            key: Box::new(key),
+        }
+    }
+    /// Read a local variable.
+    pub fn l(id: LocalId) -> Expr {
+        Expr::Local(id)
+    }
+    /// A constant of explicit width.
+    pub fn c(width: u8, value: u64) -> Expr {
+        Expr::Const(BitVec::new(width, value))
+    }
+    /// A 1-bit boolean constant.
+    pub fn cbool(value: bool) -> Expr {
+        Expr::Const(BitVec::bool(value))
+    }
+
+    fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+
+    #[test]
+    fn node_count_counts_all_nodes() {
+        let e = add(c(8, 1), c(8, 2));
+        assert_eq!(e.node_count(), 3);
+        let e = select(eq(pkt(0, 1), c(8, 4)), c(8, 1), c(8, 0));
+        // select + eq + pktload + offset-const + c4 + c1 + c0 = 7
+        assert_eq!(e.node_count(), 7);
+    }
+
+    #[test]
+    fn collect_locals_finds_all() {
+        let e = add(l(LocalId(3)), mul(l(LocalId(1)), l(LocalId(3))));
+        let mut out = Vec::new();
+        e.collect_locals(&mut out);
+        assert_eq!(out, vec![LocalId(3), LocalId(1), LocalId(3)]);
+    }
+
+    #[test]
+    fn reads_packet_and_ds() {
+        assert!(pkt(0, 2).reads_packet());
+        assert!(pkt_len().reads_packet());
+        assert!(!c(8, 0).reads_packet());
+        assert!(ds_read(DsId(0), c(16, 1)).reads_ds());
+        assert!(!l(LocalId(0)).reads_ds());
+        assert!(add(c(8, 1), ds_read(DsId(0), c(16, 1))).reads_ds());
+        assert!(ds_read(DsId(0), pkt(0, 2)).reads_packet());
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::SLe.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::BoolAnd.is_boolean());
+        assert!(!BinOp::Eq.is_boolean());
+    }
+
+    #[test]
+    fn debug_ids() {
+        assert_eq!(format!("{:?}", LocalId(4)), "l4");
+        assert_eq!(format!("{:?}", DsId(2)), "ds2");
+    }
+}

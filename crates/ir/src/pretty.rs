@@ -1,0 +1,288 @@
+//! Pretty printer for element programs.
+//!
+//! The printed form mirrors the pseudo-code used in the paper's figures and is
+//! what verification reports embed when they need to show which element or
+//! statement a suspect segment came from.
+
+use crate::expr::{BinOp, CastKind, Expr, UnOp};
+use crate::program::{DsClass, DsKind, Program, Stmt};
+use std::fmt::Write;
+
+/// Render a whole program as readable pseudo-code.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} (out_ports={})", p.name, p.num_output_ports);
+    for (i, l) in p.locals.iter().enumerate() {
+        let _ = writeln!(out, "  local l{}: {} : u{}", i, l.name, l.width);
+    }
+    for (i, d) in p.data_structures.iter().enumerate() {
+        let kind = match d.kind {
+            DsKind::Array { size } => format!("array[{size}]"),
+            DsKind::Map => "map".to_string(),
+        };
+        let class = match d.class {
+            DsClass::Private => "private",
+            DsClass::Static => "static",
+        };
+        let _ = writeln!(
+            out,
+            "  {} ds{}: {} : {} key=u{} value=u{} default={}",
+            class, i, d.name, kind, d.key_width, d.value_width, d.default
+        );
+    }
+    let _ = writeln!(out, "begin");
+    write_block(&mut out, &p.body, 1);
+    let _ = writeln!(out, "end");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_block(out: &mut String, stmts: &[Stmt], depth: usize) {
+    for s in stmts {
+        write_stmt(out, s, depth);
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Assign { local, value } => {
+            let _ = writeln!(out, "l{} := {}", local.0, expr_to_string(value));
+        }
+        Stmt::PacketStore {
+            offset,
+            width_bytes,
+            value,
+        } => {
+            let _ = writeln!(
+                out,
+                "pkt[{} .. +{}] := {}",
+                expr_to_string(offset),
+                width_bytes,
+                expr_to_string(value)
+            );
+        }
+        Stmt::DsWrite { ds, key, value } => {
+            let _ = writeln!(
+                out,
+                "ds{}[{}] := {}",
+                ds.0,
+                expr_to_string(key),
+                expr_to_string(value)
+            );
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = writeln!(out, "if {} {{", expr_to_string(cond));
+            write_block(out, then_body, depth + 1);
+            if !else_body.is_empty() {
+                indent(out, depth);
+                let _ = writeln!(out, "}} else {{");
+                write_block(out, else_body, depth + 1);
+            }
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::Loop {
+            max_iters,
+            cond,
+            body,
+        } => {
+            let _ = writeln!(out, "loop(max={}) while {} {{", max_iters, expr_to_string(cond));
+            write_block(out, body, depth + 1);
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::StripFront { n } => {
+            let _ = writeln!(out, "strip_front {}", n);
+        }
+        Stmt::PushFront { n } => {
+            let _ = writeln!(out, "push_front {}", n);
+        }
+        Stmt::Assert { cond, message } => {
+            let _ = writeln!(out, "assert {} \"{}\"", expr_to_string(cond), message);
+        }
+        Stmt::Abort { message } => {
+            let _ = writeln!(out, "abort \"{}\"", message);
+        }
+        Stmt::Emit { port } => {
+            let _ = writeln!(out, "emit port {}", port);
+        }
+        Stmt::Drop => {
+            let _ = writeln!(out, "drop");
+        }
+        Stmt::Nop => {
+            let _ = writeln!(out, "nop");
+        }
+    }
+}
+
+/// Render an expression as a compact infix string.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => v.to_string(),
+        Expr::Local(id) => format!("l{}", id.0),
+        Expr::PacketLoad {
+            offset,
+            width_bytes,
+        } => format!("pkt[{} .. +{}]", expr_to_string(offset), width_bytes),
+        Expr::PacketLen => "pkt.len".to_string(),
+        Expr::DsRead { ds, key } => format!("ds{}[{}]", ds.0, expr_to_string(key)),
+        Expr::Unary { op, arg } => {
+            let sym = match op {
+                UnOp::Not => "~",
+                UnOp::Neg => "-",
+                UnOp::LogicalNot => "!",
+            };
+            format!("{}({})", sym, expr_to_string(arg))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            format!(
+                "({} {} {})",
+                expr_to_string(lhs),
+                binop_symbol(*op),
+                expr_to_string(rhs)
+            )
+        }
+        Expr::Select {
+            cond,
+            then_e,
+            else_e,
+        } => format!(
+            "({} ? {} : {})",
+            expr_to_string(cond),
+            expr_to_string(then_e),
+            expr_to_string(else_e)
+        ),
+        Expr::Cast { kind, width, arg } => {
+            let k = match kind {
+                CastKind::ZExt => "zext",
+                CastKind::SExt => "sext",
+                CastKind::Trunc => "trunc",
+                CastKind::Resize => "resize",
+            };
+            format!("{}{}({})", k, width, expr_to_string(arg))
+        }
+    }
+}
+
+/// The infix symbol used for a binary operator.
+pub fn binop_symbol(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::UDiv => "/",
+        BinOp::URem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::LShr => ">>",
+        BinOp::AShr => ">>a",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::ULt => "<u",
+        BinOp::ULe => "<=u",
+        BinOp::UGt => ">u",
+        BinOp::UGe => ">=u",
+        BinOp::SLt => "<s",
+        BinOp::SLe => "<=s",
+        BinOp::BoolAnd => "&&",
+        BinOp::BoolOr => "||",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{Block, ProgramBuilder};
+    use crate::expr::dsl::*;
+
+    #[test]
+    fn prints_program_structure() {
+        let mut pb = ProgramBuilder::new("Demo", 2);
+        let x = pb.local("x", 32);
+        let fib = pb.static_array("fib", 16, 32, 8, 0);
+        let mut b = Block::new();
+        b.assign(x, pkt(0, 4));
+        b.if_else(
+            ult(l(x), c(32, 10)),
+            Block::with(|bb| {
+                bb.assert(eq(ds_read(fib, l(x)), c(8, 1)), "fib entry present");
+                bb.emit(0);
+            }),
+            Block::with(|bb| {
+                bb.loop_bounded(4, ult(l(x), c(32, 20)), Block::with(|lb| {
+                    lb.assign(x, add(l(x), c(32, 1)));
+                }));
+                bb.drop_packet();
+            }),
+        );
+        b.abort("unreachable");
+        let p = pb.finish(b).unwrap();
+        let s = program_to_string(&p);
+        assert!(s.contains("program Demo"));
+        assert!(s.contains("local l0: x : u32"));
+        assert!(s.contains("static ds0: fib : array[16]"));
+        assert!(s.contains("if (l0 <u 10u32)"));
+        assert!(s.contains("loop(max=4)"));
+        assert!(s.contains("emit port 0"));
+        assert!(s.contains("drop"));
+        assert!(s.contains("abort"));
+        assert!(s.contains("assert"));
+    }
+
+    #[test]
+    fn expr_printer_covers_forms() {
+        assert_eq!(expr_to_string(&c(8, 3)), "3u8");
+        assert_eq!(expr_to_string(&pkt_len()), "pkt.len");
+        assert_eq!(expr_to_string(&pkt(2, 2)), "pkt[2u32 .. +2]");
+        assert_eq!(expr_to_string(&bnot(cbool(true))), "!(true)");
+        assert_eq!(expr_to_string(&neg(c(8, 1))), "-(1u8)");
+        assert_eq!(expr_to_string(&not(c(8, 1))), "~(1u8)");
+        assert_eq!(
+            expr_to_string(&select(cbool(true), c(8, 1), c(8, 2))),
+            "(true ? 1u8 : 2u8)"
+        );
+        assert_eq!(expr_to_string(&zext(c(8, 1), 32)), "zext32(1u8)");
+        assert_eq!(expr_to_string(&trunc(c(32, 1), 8)), "trunc8(1u32)");
+        assert_eq!(expr_to_string(&sext(c(8, 1), 16)), "sext16(1u8)");
+        assert_eq!(expr_to_string(&resize(c(8, 1), 16)), "resize16(1u8)");
+        let s = expr_to_string(&add(c(8, 1), c(8, 2)));
+        assert_eq!(s, "(1u8 + 2u8)");
+    }
+
+    #[test]
+    fn all_binop_symbols_unique_enough() {
+        use BinOp::*;
+        let ops = [
+            Add, Sub, Mul, UDiv, URem, And, Or, Xor, Shl, LShr, AShr, Eq, Ne, ULt, ULe, UGt, UGe,
+            SLt, SLe, BoolAnd, BoolOr,
+        ];
+        for op in ops {
+            assert!(!binop_symbol(op).is_empty());
+        }
+    }
+
+    #[test]
+    fn nop_and_pkt_store_printed() {
+        let pb = ProgramBuilder::new("T", 1);
+        let mut b = Block::new();
+        b.nop();
+        b.pkt_store(0, 2, c(16, 0xabcd));
+        b.emit(0);
+        let p = pb.finish(b).unwrap();
+        let s = program_to_string(&p);
+        assert!(s.contains("nop"));
+        assert!(s.contains("pkt[0u32 .. +2] :="));
+    }
+}

@@ -1,0 +1,467 @@
+//! Statements, declarations, and whole element programs.
+
+use crate::expr::{DsId, Expr, LocalId};
+use crate::value::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// Declaration of a local variable.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalDecl {
+    /// Human-readable name, used by the pretty printer and in reports.
+    pub name: String,
+    /// Width in bits (1..=64).
+    pub width: u8,
+}
+
+/// The kind of a data structure owned or referenced by an element.
+///
+/// Following the paper, elements access state through a narrow key/value
+/// interface. Arrays are bounds-checked (an out-of-range key is a crash);
+/// maps accept any key of the declared width and return the default value for
+/// keys never written.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DsKind {
+    /// A pre-allocated array with `size` slots, indexed by key in `0..size`.
+    Array {
+        /// Number of slots.
+        size: u64,
+    },
+    /// An open key/value map over the full key domain.
+    Map,
+}
+
+/// The mutability class of a data structure, mirroring the paper's state
+/// taxonomy (§3 "Pipeline Structure").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DsClass {
+    /// Private state: owned by one element, read/write, persists across
+    /// packets (e.g. a NAT map or NetFlow table).
+    Private,
+    /// Static state: shared, read-only configuration (e.g. a forwarding
+    /// table). Writes to static state are rejected by validation.
+    Static,
+}
+
+/// Declaration of a data structure.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DsDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Kind (bounded array or open map).
+    pub kind: DsKind,
+    /// Mutability class (private read/write vs. static read-only).
+    pub class: DsClass,
+    /// Key width in bits.
+    pub key_width: u8,
+    /// Value width in bits.
+    pub value_width: u8,
+    /// Value returned for keys that have never been written.
+    pub default: u64,
+}
+
+impl DsDecl {
+    /// The default value as a bit-vector of the declared value width.
+    pub fn default_value(&self) -> BitVec {
+        BitVec::new(self.value_width, self.default)
+    }
+}
+
+/// A statement of the element IR.
+#[allow(missing_docs)] // variant fields are described in the variant docs
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `local := value`
+    Assign { local: LocalId, value: Expr },
+    /// Store `value` (low `width_bytes * 8` bits, big-endian) into the packet
+    /// at byte offset `offset`. Writing past the end of the packet is a crash.
+    PacketStore {
+        offset: Expr,
+        width_bytes: u8,
+        value: Expr,
+    },
+    /// Write `value` under `key` in data structure `ds`. Writing an
+    /// out-of-range array key is a crash; writing static state is rejected at
+    /// validation time.
+    DsWrite { ds: DsId, key: Expr, value: Expr },
+    /// Two-armed conditional; `cond` must be 1-bit.
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    /// A bounded loop: repeat `body` while `cond` holds, at most `max_iters`
+    /// times. Exceeding the bound is a crash ("runaway loop"), which keeps
+    /// every program's path set finite — the property the paper's loop
+    /// decomposition relies on.
+    Loop {
+        max_iters: u32,
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    /// Remove `n` bytes from the front of the packet (de-encapsulation, e.g.
+    /// stripping the Ethernet header). If the packet is shorter than `n`, the
+    /// element crashes — real code would read past the buffer.
+    StripFront { n: u32 },
+    /// Prepend `n` zero bytes to the front of the packet (encapsulation).
+    /// Subsequent `PacketStore`s fill in the new header.
+    PushFront { n: u32 },
+    /// Crash unless `cond` (1-bit) holds. Models C `assert`, null checks,
+    /// and implicit machine checks the paper cares about.
+    Assert { cond: Expr, message: String },
+    /// Unconditional crash (e.g. unreachable-code marker).
+    Abort { message: String },
+    /// Push the packet to output port `port` and stop processing.
+    Emit { port: u8 },
+    /// Drop the packet and stop processing.
+    Drop,
+    /// No operation (still counted as one instruction).
+    Nop,
+}
+
+impl Stmt {
+    /// Number of statement nodes in this statement (including nested bodies).
+    pub fn stmt_count(&self) -> u64 {
+        match self {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                1 + then_body.iter().map(Stmt::stmt_count).sum::<u64>()
+                    + else_body.iter().map(Stmt::stmt_count).sum::<u64>()
+            }
+            Stmt::Loop { body, .. } => 1 + body.iter().map(Stmt::stmt_count).sum::<u64>(),
+            _ => 1,
+        }
+    }
+
+    /// True if this statement terminates the program (no fall-through).
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Stmt::Emit { .. } | Stmt::Drop | Stmt::Abort { .. })
+    }
+}
+
+/// A complete element program: the verification model of one packet-processing
+/// element.
+///
+/// A program takes one packet on its (implicit, single) input port, reads and
+/// writes its declared data structures, and finishes by either emitting the
+/// packet on one of `num_output_ports` output ports, dropping it, or crashing.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Element type name (e.g. `"CheckIPHeader"`).
+    pub name: String,
+    /// Local variable declarations. Locals are zero-initialised when
+    /// processing of each packet begins.
+    pub locals: Vec<LocalDecl>,
+    /// Data structures the element may access.
+    pub data_structures: Vec<DsDecl>,
+    /// Number of output ports (≥ 1 for anything that can emit).
+    pub num_output_ports: u8,
+    /// The statement sequence executed per packet. Falling off the end is an
+    /// implicit [`Stmt::Drop`].
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Create an empty program with no locals, no data structures, and one
+    /// output port.
+    pub fn new(name: impl Into<String>, num_output_ports: u8) -> Self {
+        Program {
+            name: name.into(),
+            locals: Vec::new(),
+            data_structures: Vec::new(),
+            num_output_ports,
+            body: Vec::new(),
+        }
+    }
+
+    /// Look up a local's declaration.
+    pub fn local(&self, id: LocalId) -> Option<&LocalDecl> {
+        self.locals.get(id.0 as usize)
+    }
+
+    /// Look up a data structure's declaration.
+    pub fn ds(&self, id: DsId) -> Option<&DsDecl> {
+        self.data_structures.get(id.0 as usize)
+    }
+
+    /// Total number of statement nodes in the program body.
+    pub fn stmt_count(&self) -> u64 {
+        self.body.iter().map(Stmt::stmt_count).sum()
+    }
+
+    /// Count of branching statements (`If` and `Loop`), a rough proxy for the
+    /// `n` in the paper's `2^n` path-count argument.
+    pub fn branch_count(&self) -> u64 {
+        fn count(stmts: &[Stmt]) -> u64 {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => 1 + count(then_body) + count(else_body),
+                    Stmt::Loop { body, .. } => 1 + count(body),
+                    _ => 0,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+
+    /// True if any statement reads or writes a data structure.
+    pub fn uses_data_structures(&self) -> bool {
+        fn expr_uses(e: &Expr) -> bool {
+            e.reads_ds()
+        }
+        fn stmt_uses(s: &Stmt) -> bool {
+            match s {
+                Stmt::Assign { value, .. } => expr_uses(value),
+                Stmt::PacketStore { offset, value, .. } => expr_uses(offset) || expr_uses(value),
+                Stmt::DsWrite { .. } => true,
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    expr_uses(cond)
+                        || then_body.iter().any(stmt_uses)
+                        || else_body.iter().any(stmt_uses)
+                }
+                Stmt::Loop { cond, body, .. } => expr_uses(cond) || body.iter().any(stmt_uses),
+                Stmt::Assert { cond, .. } => expr_uses(cond),
+                Stmt::StripFront { .. }
+                | Stmt::PushFront { .. }
+                | Stmt::Abort { .. }
+                | Stmt::Emit { .. }
+                | Stmt::Drop
+                | Stmt::Nop => false,
+            }
+        }
+        self.body.iter().any(stmt_uses)
+    }
+
+    /// True if the program contains any loops.
+    pub fn has_loops(&self) -> bool {
+        fn any_loop(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::Loop { .. } => true,
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => any_loop(then_body) || any_loop(else_body),
+                _ => false,
+            })
+        }
+        any_loop(&self.body)
+    }
+}
+
+/// The terminal outcome of processing one packet through one element program
+/// (or, by concatenation, through a whole pipeline).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The packet was pushed to the given output port.
+    Emitted(u8),
+    /// The packet was dropped.
+    Dropped,
+    /// The element crashed (failed assertion, out-of-bounds access, division
+    /// by zero, runaway loop, or explicit abort).
+    Crashed(CrashReason),
+}
+
+impl Outcome {
+    /// True if the outcome is a crash.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, Outcome::Crashed(_))
+    }
+
+    /// The output port, if the packet was emitted.
+    pub fn port(&self) -> Option<u8> {
+        match self {
+            Outcome::Emitted(p) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+/// Why an element crashed. Each variant corresponds to a class of defect the
+/// paper's verifier is meant to find ("a segmentation fault, a kernel panic,
+/// a division by 0, a failed assertion, a counter overflow").
+#[allow(missing_docs)] // variant fields are self-describing
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashReason {
+    /// A failed `Assert`.
+    AssertionFailed { message: String },
+    /// An explicit `Abort`.
+    Aborted { message: String },
+    /// A packet load or store outside the packet bounds (segfault analog).
+    PacketOutOfBounds { offset: u64, width_bytes: u8, packet_len: u64 },
+    /// An array data-structure access with an out-of-range key.
+    DsKeyOutOfRange { ds: String, key: u64, size: u64 },
+    /// Unsigned division or remainder by zero.
+    DivisionByZero,
+    /// A loop exceeded its declared iteration bound.
+    LoopBoundExceeded { max_iters: u32 },
+    /// A `StripFront` removed more bytes than the packet holds.
+    StripUnderflow { strip: u32, packet_len: u64 },
+}
+
+impl std::fmt::Display for CrashReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashReason::AssertionFailed { message } => write!(f, "assertion failed: {message}"),
+            CrashReason::Aborted { message } => write!(f, "aborted: {message}"),
+            CrashReason::PacketOutOfBounds {
+                offset,
+                width_bytes,
+                packet_len,
+            } => write!(
+                f,
+                "packet access out of bounds: {width_bytes} bytes at offset {offset}, packet length {packet_len}"
+            ),
+            CrashReason::DsKeyOutOfRange { ds, key, size } => {
+                write!(f, "data structure '{ds}' key {key} out of range (size {size})")
+            }
+            CrashReason::DivisionByZero => write!(f, "division by zero"),
+            CrashReason::LoopBoundExceeded { max_iters } => {
+                write!(f, "loop exceeded its bound of {max_iters} iterations")
+            }
+            CrashReason::StripUnderflow { strip, packet_len } => {
+                write!(
+                    f,
+                    "cannot strip {strip} bytes from a {packet_len}-byte packet"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::dsl::*;
+
+    fn sample_program() -> Program {
+        Program {
+            name: "Sample".into(),
+            locals: vec![LocalDecl {
+                name: "x".into(),
+                width: 32,
+            }],
+            data_structures: vec![DsDecl {
+                name: "table".into(),
+                kind: DsKind::Array { size: 16 },
+                class: DsClass::Private,
+                key_width: 16,
+                value_width: 32,
+                default: 0,
+            }],
+            num_output_ports: 2,
+            body: vec![
+                Stmt::Assign {
+                    local: LocalId(0),
+                    value: pkt(0, 4),
+                },
+                Stmt::If {
+                    cond: eq(l(LocalId(0)), c(32, 7)),
+                    then_body: vec![Stmt::Emit { port: 0 }],
+                    else_body: vec![Stmt::Loop {
+                        max_iters: 4,
+                        cond: ult(l(LocalId(0)), c(32, 100)),
+                        body: vec![Stmt::Assign {
+                            local: LocalId(0),
+                            value: add(l(LocalId(0)), c(32, 1)),
+                        }],
+                    }],
+                },
+                Stmt::Drop,
+            ],
+        }
+    }
+
+    #[test]
+    fn stmt_and_branch_counts() {
+        let p = sample_program();
+        // assign, if, emit, loop, assign-in-loop, drop = 6
+        assert_eq!(p.stmt_count(), 6);
+        assert_eq!(p.branch_count(), 2);
+    }
+
+    #[test]
+    fn loop_and_ds_detection() {
+        let p = sample_program();
+        assert!(p.has_loops());
+        assert!(!p.uses_data_structures());
+        let mut p2 = p.clone();
+        p2.body.push(Stmt::DsWrite {
+            ds: DsId(0),
+            key: c(16, 1),
+            value: c(32, 5),
+        });
+        assert!(p2.uses_data_structures());
+    }
+
+    #[test]
+    fn lookups() {
+        let p = sample_program();
+        assert_eq!(p.local(LocalId(0)).unwrap().name, "x");
+        assert!(p.local(LocalId(9)).is_none());
+        assert_eq!(p.ds(DsId(0)).unwrap().name, "table");
+        assert!(p.ds(DsId(3)).is_none());
+        assert_eq!(p.ds(DsId(0)).unwrap().default_value(), BitVec::u32(0));
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(Outcome::Crashed(CrashReason::DivisionByZero).is_crash());
+        assert!(!Outcome::Dropped.is_crash());
+        assert_eq!(Outcome::Emitted(3).port(), Some(3));
+        assert_eq!(Outcome::Dropped.port(), None);
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Stmt::Drop.is_terminator());
+        assert!(Stmt::Emit { port: 0 }.is_terminator());
+        assert!(Stmt::Abort {
+            message: "x".into()
+        }
+        .is_terminator());
+        assert!(!Stmt::Nop.is_terminator());
+    }
+
+    #[test]
+    fn crash_reason_display() {
+        let r = CrashReason::PacketOutOfBounds {
+            offset: 20,
+            width_bytes: 4,
+            packet_len: 14,
+        };
+        assert!(r.to_string().contains("out of bounds"));
+        assert!(CrashReason::DivisionByZero.to_string().contains("zero"));
+        assert!(CrashReason::LoopBoundExceeded { max_iters: 8 }
+            .to_string()
+            .contains("8"));
+        assert!(CrashReason::AssertionFailed {
+            message: "ttl".into()
+        }
+        .to_string()
+        .contains("ttl"));
+        assert!(CrashReason::Aborted {
+            message: "unreachable".into()
+        }
+        .to_string()
+        .contains("unreachable"));
+        assert!(CrashReason::DsKeyOutOfRange {
+            ds: "t".into(),
+            key: 99,
+            size: 10
+        }
+        .to_string()
+        .contains("99"));
+    }
+}

@@ -1,0 +1,686 @@
+//! Static validation and width (type) checking of element programs.
+//!
+//! Validation runs before a program is executed or symbolically explored and
+//! rejects programs that are structurally malformed: width mismatches,
+//! references to undeclared locals or data structures, writes to static
+//! state, emits to non-existent ports, and degenerate loop bounds. Anything
+//! validation accepts has a well-defined concrete and symbolic semantics.
+
+use crate::expr::{BinOp, CastKind, Expr, UnOp};
+use crate::program::{DsClass, DsKind, Program, Stmt};
+use crate::value::MAX_WIDTH;
+use std::fmt;
+
+/// A validation failure, with enough context to point at the offending
+/// construct.
+#[allow(missing_docs)] // variant fields are self-describing
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A local id that has no declaration.
+    UnknownLocal { local: u32 },
+    /// A data structure id that has no declaration.
+    UnknownDataStructure { ds: u32 },
+    /// A declared width outside `1..=64`.
+    InvalidWidth { what: String, width: u8 },
+    /// Two sub-expressions that must agree in width do not.
+    WidthMismatch { context: String, left: u8, right: u8 },
+    /// A 1-bit expression was required (condition, boolean operand).
+    ExpectedBool { context: String, found: u8 },
+    /// A cast whose target width is invalid for its kind.
+    InvalidCast { kind: String, from: u8, to: u8 },
+    /// A packet access of width outside `1..=8` bytes.
+    InvalidPacketAccessWidth { width_bytes: u8 },
+    /// A packet offset expression that is not 32 bits wide.
+    InvalidPacketOffsetWidth { found: u8 },
+    /// An emit to an output port the program does not declare.
+    InvalidPort { port: u8, num_ports: u8 },
+    /// A write to a data structure declared as static (read-only) state.
+    WriteToStaticState { ds: String },
+    /// A loop with a zero iteration bound.
+    ZeroLoopBound,
+    /// A strip/push of zero bytes or of an implausibly large count.
+    InvalidReframe { n: u32 },
+    /// An array data structure declared with zero size.
+    ZeroSizeArray { ds: String },
+    /// A data-structure key expression whose width differs from the declared
+    /// key width.
+    KeyWidthMismatch { ds: String, declared: u8, found: u8 },
+    /// A data-structure value whose width differs from the declared value
+    /// width.
+    ValueWidthMismatch { ds: String, declared: u8, found: u8 },
+    /// An assignment whose value width differs from the local's declared
+    /// width.
+    AssignWidthMismatch { local: String, declared: u8, found: u8 },
+    /// A packet store whose value width does not match the access width.
+    StoreWidthMismatch { access_bits: u8, found: u8 },
+    /// The default value of a data structure does not fit its value width.
+    DefaultValueTooWide { ds: String },
+    /// A program that declares zero output ports but emits.
+    NoOutputPorts,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnknownLocal { local } => write!(f, "unknown local l{local}"),
+            ValidationError::UnknownDataStructure { ds } => {
+                write!(f, "unknown data structure ds{ds}")
+            }
+            ValidationError::InvalidWidth { what, width } => {
+                write!(f, "invalid width {width} for {what}")
+            }
+            ValidationError::WidthMismatch {
+                context,
+                left,
+                right,
+            } => write!(f, "width mismatch in {context}: {left} vs {right}"),
+            ValidationError::ExpectedBool { context, found } => {
+                write!(f, "expected 1-bit value in {context}, found width {found}")
+            }
+            ValidationError::InvalidCast { kind, from, to } => {
+                write!(f, "invalid {kind} cast from width {from} to {to}")
+            }
+            ValidationError::InvalidPacketAccessWidth { width_bytes } => {
+                write!(f, "packet access width must be 1..=8 bytes, got {width_bytes}")
+            }
+            ValidationError::InvalidPacketOffsetWidth { found } => {
+                write!(f, "packet offset must be 32 bits wide, got {found}")
+            }
+            ValidationError::InvalidPort { port, num_ports } => {
+                write!(f, "emit to port {port} but program has {num_ports} ports")
+            }
+            ValidationError::WriteToStaticState { ds } => {
+                write!(f, "write to static (read-only) data structure '{ds}'")
+            }
+            ValidationError::ZeroLoopBound => write!(f, "loop bound must be at least 1"),
+            ValidationError::InvalidReframe { n } => {
+                write!(f, "strip/push byte count {n} is zero or unreasonably large")
+            }
+            ValidationError::ZeroSizeArray { ds } => {
+                write!(f, "array data structure '{ds}' has zero size")
+            }
+            ValidationError::KeyWidthMismatch {
+                ds,
+                declared,
+                found,
+            } => write!(
+                f,
+                "key width mismatch for '{ds}': declared {declared}, found {found}"
+            ),
+            ValidationError::ValueWidthMismatch {
+                ds,
+                declared,
+                found,
+            } => write!(
+                f,
+                "value width mismatch for '{ds}': declared {declared}, found {found}"
+            ),
+            ValidationError::AssignWidthMismatch {
+                local,
+                declared,
+                found,
+            } => write!(
+                f,
+                "assignment width mismatch for '{local}': declared {declared}, found {found}"
+            ),
+            ValidationError::StoreWidthMismatch { access_bits, found } => write!(
+                f,
+                "packet store width mismatch: access is {access_bits} bits, value is {found}"
+            ),
+            ValidationError::DefaultValueTooWide { ds } => {
+                write!(f, "default value of '{ds}' does not fit its value width")
+            }
+            ValidationError::NoOutputPorts => {
+                write!(f, "program emits but declares zero output ports")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate a program, returning the first error found.
+pub fn validate(program: &Program) -> Result<(), ValidationError> {
+    // Declarations.
+    for (i, l) in program.locals.iter().enumerate() {
+        check_width(&format!("local '{}' (l{i})", l.name), l.width)?;
+    }
+    for d in &program.data_structures {
+        check_width(&format!("key of '{}'", d.name), d.key_width)?;
+        check_width(&format!("value of '{}'", d.name), d.value_width)?;
+        if let DsKind::Array { size } = d.kind {
+            if size == 0 {
+                return Err(ValidationError::ZeroSizeArray { ds: d.name.clone() });
+            }
+        }
+        if d.value_width < 64 && d.default >= (1u64 << d.value_width) {
+            return Err(ValidationError::DefaultValueTooWide { ds: d.name.clone() });
+        }
+    }
+    // Body.
+    check_block(program, &program.body)
+}
+
+fn check_width(what: &str, width: u8) -> Result<(), ValidationError> {
+    if width == 0 || width > MAX_WIDTH {
+        Err(ValidationError::InvalidWidth {
+            what: what.to_string(),
+            width,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_block(program: &Program, stmts: &[Stmt]) -> Result<(), ValidationError> {
+    for s in stmts {
+        check_stmt(program, s)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(program: &Program, stmt: &Stmt) -> Result<(), ValidationError> {
+    match stmt {
+        Stmt::Assign { local, value } => {
+            let decl = program
+                .local(*local)
+                .ok_or(ValidationError::UnknownLocal { local: local.0 })?;
+            let w = expr_width(program, value)?;
+            if w != decl.width {
+                return Err(ValidationError::AssignWidthMismatch {
+                    local: decl.name.clone(),
+                    declared: decl.width,
+                    found: w,
+                });
+            }
+            Ok(())
+        }
+        Stmt::PacketStore {
+            offset,
+            width_bytes,
+            value,
+        } => {
+            if *width_bytes == 0 || *width_bytes > 8 {
+                return Err(ValidationError::InvalidPacketAccessWidth {
+                    width_bytes: *width_bytes,
+                });
+            }
+            let ow = expr_width(program, offset)?;
+            if ow != 32 {
+                return Err(ValidationError::InvalidPacketOffsetWidth { found: ow });
+            }
+            let vw = expr_width(program, value)?;
+            let access_bits = width_bytes * 8;
+            if vw != access_bits {
+                return Err(ValidationError::StoreWidthMismatch {
+                    access_bits,
+                    found: vw,
+                });
+            }
+            Ok(())
+        }
+        Stmt::DsWrite { ds, key, value } => {
+            let decl = program
+                .ds(*ds)
+                .ok_or(ValidationError::UnknownDataStructure { ds: ds.0 })?;
+            if decl.class == DsClass::Static {
+                return Err(ValidationError::WriteToStaticState {
+                    ds: decl.name.clone(),
+                });
+            }
+            let kw = expr_width(program, key)?;
+            if kw != decl.key_width {
+                return Err(ValidationError::KeyWidthMismatch {
+                    ds: decl.name.clone(),
+                    declared: decl.key_width,
+                    found: kw,
+                });
+            }
+            let vw = expr_width(program, value)?;
+            if vw != decl.value_width {
+                return Err(ValidationError::ValueWidthMismatch {
+                    ds: decl.name.clone(),
+                    declared: decl.value_width,
+                    found: vw,
+                });
+            }
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            expect_bool(program, cond, "if condition")?;
+            check_block(program, then_body)?;
+            check_block(program, else_body)
+        }
+        Stmt::Loop {
+            max_iters,
+            cond,
+            body,
+        } => {
+            if *max_iters == 0 {
+                return Err(ValidationError::ZeroLoopBound);
+            }
+            expect_bool(program, cond, "loop condition")?;
+            check_block(program, body)
+        }
+        Stmt::Assert { cond, .. } => expect_bool(program, cond, "assert condition"),
+        Stmt::StripFront { n } | Stmt::PushFront { n } => {
+            if *n == 0 || *n > 4096 {
+                Err(ValidationError::InvalidReframe { n: *n })
+            } else {
+                Ok(())
+            }
+        }
+        Stmt::Abort { .. } | Stmt::Drop | Stmt::Nop => Ok(()),
+        Stmt::Emit { port } => {
+            if program.num_output_ports == 0 {
+                return Err(ValidationError::NoOutputPorts);
+            }
+            if *port >= program.num_output_ports {
+                return Err(ValidationError::InvalidPort {
+                    port: *port,
+                    num_ports: program.num_output_ports,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+fn expect_bool(program: &Program, e: &Expr, context: &str) -> Result<(), ValidationError> {
+    let w = expr_width(program, e)?;
+    if w != 1 {
+        Err(ValidationError::ExpectedBool {
+            context: context.to_string(),
+            found: w,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Compute the width of an expression, checking it is well-formed along the
+/// way. This is the IR's (very small) type system.
+pub fn expr_width(program: &Program, e: &Expr) -> Result<u8, ValidationError> {
+    match e {
+        Expr::Const(v) => Ok(v.width()),
+        Expr::Local(id) => program
+            .local(*id)
+            .map(|d| d.width)
+            .ok_or(ValidationError::UnknownLocal { local: id.0 }),
+        Expr::PacketLoad {
+            offset,
+            width_bytes,
+        } => {
+            if *width_bytes == 0 || *width_bytes > 8 {
+                return Err(ValidationError::InvalidPacketAccessWidth {
+                    width_bytes: *width_bytes,
+                });
+            }
+            let ow = expr_width(program, offset)?;
+            if ow != 32 {
+                return Err(ValidationError::InvalidPacketOffsetWidth { found: ow });
+            }
+            Ok(width_bytes * 8)
+        }
+        Expr::PacketLen => Ok(32),
+        Expr::DsRead { ds, key } => {
+            let decl = program
+                .ds(*ds)
+                .ok_or(ValidationError::UnknownDataStructure { ds: ds.0 })?;
+            let kw = expr_width(program, key)?;
+            if kw != decl.key_width {
+                return Err(ValidationError::KeyWidthMismatch {
+                    ds: decl.name.clone(),
+                    declared: decl.key_width,
+                    found: kw,
+                });
+            }
+            Ok(decl.value_width)
+        }
+        Expr::Unary { op, arg } => {
+            let w = expr_width(program, arg)?;
+            match op {
+                UnOp::LogicalNot => {
+                    if w != 1 {
+                        return Err(ValidationError::ExpectedBool {
+                            context: "logical not".to_string(),
+                            found: w,
+                        });
+                    }
+                    Ok(1)
+                }
+                UnOp::Not | UnOp::Neg => Ok(w),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let lw = expr_width(program, lhs)?;
+            let rw = expr_width(program, rhs)?;
+            if lw != rw {
+                return Err(ValidationError::WidthMismatch {
+                    context: format!("{op:?}"),
+                    left: lw,
+                    right: rw,
+                });
+            }
+            if op.is_boolean() {
+                if lw != 1 {
+                    return Err(ValidationError::ExpectedBool {
+                        context: format!("{op:?}"),
+                        found: lw,
+                    });
+                }
+                Ok(1)
+            } else if op.is_comparison() {
+                Ok(1)
+            } else {
+                Ok(lw)
+            }
+        }
+        Expr::Select {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            let cw = expr_width(program, cond)?;
+            if cw != 1 {
+                return Err(ValidationError::ExpectedBool {
+                    context: "select condition".to_string(),
+                    found: cw,
+                });
+            }
+            let tw = expr_width(program, then_e)?;
+            let ew = expr_width(program, else_e)?;
+            if tw != ew {
+                return Err(ValidationError::WidthMismatch {
+                    context: "select arms".to_string(),
+                    left: tw,
+                    right: ew,
+                });
+            }
+            Ok(tw)
+        }
+        Expr::Cast { kind, width, arg } => {
+            check_width("cast target", *width)?;
+            let aw = expr_width(program, arg)?;
+            let ok = match kind {
+                CastKind::ZExt | CastKind::SExt => *width >= aw,
+                CastKind::Trunc => *width <= aw,
+                CastKind::Resize => true,
+            };
+            if !ok {
+                return Err(ValidationError::InvalidCast {
+                    kind: format!("{kind:?}"),
+                    from: aw,
+                    to: *width,
+                });
+            }
+            Ok(*width)
+        }
+    }
+}
+
+/// Width of a binary operator's result given its (already equal-width)
+/// operands. Exposed for the symbolic engine.
+pub fn binop_result_width(op: BinOp, operand_width: u8) -> u8 {
+    if op.is_comparison() || op.is_boolean() {
+        1
+    } else {
+        operand_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{Block, ProgramBuilder};
+    use crate::expr::dsl::*;
+    use crate::expr::{DsId, LocalId};
+    use crate::program::{DsDecl, LocalDecl};
+
+    fn empty_prog() -> Program {
+        Program::new("T", 1)
+    }
+
+    #[test]
+    fn const_and_len_widths() {
+        let p = empty_prog();
+        assert_eq!(expr_width(&p, &c(8, 1)).unwrap(), 8);
+        assert_eq!(expr_width(&p, &pkt_len()).unwrap(), 32);
+        assert_eq!(expr_width(&p, &pkt(0, 2)).unwrap(), 16);
+    }
+
+    #[test]
+    fn binop_width_rules() {
+        let p = empty_prog();
+        assert_eq!(expr_width(&p, &add(c(8, 1), c(8, 2))).unwrap(), 8);
+        assert_eq!(expr_width(&p, &eq(c(8, 1), c(8, 2))).unwrap(), 1);
+        assert!(expr_width(&p, &add(c(8, 1), c(16, 2))).is_err());
+        assert!(expr_width(&p, &band(c(8, 1), c(8, 1))).is_err());
+        assert_eq!(expr_width(&p, &band(cbool(true), cbool(false))).unwrap(), 1);
+        assert_eq!(binop_result_width(BinOp::Add, 16), 16);
+        assert_eq!(binop_result_width(BinOp::Eq, 16), 1);
+    }
+
+    #[test]
+    fn select_and_cast_rules() {
+        let p = empty_prog();
+        assert_eq!(
+            expr_width(&p, &select(cbool(true), c(8, 1), c(8, 2))).unwrap(),
+            8
+        );
+        assert!(expr_width(&p, &select(c(8, 1), c(8, 1), c(8, 2))).is_err());
+        assert!(expr_width(&p, &select(cbool(true), c(8, 1), c(16, 2))).is_err());
+        assert_eq!(expr_width(&p, &zext(c(8, 1), 32)).unwrap(), 32);
+        assert!(expr_width(&p, &zext(c(32, 1), 8)).is_err());
+        assert!(expr_width(&p, &trunc(c(8, 1), 32)).is_err());
+        assert_eq!(expr_width(&p, &resize(c(8, 1), 32)).unwrap(), 32);
+        assert_eq!(expr_width(&p, &resize(c(32, 1), 8)).unwrap(), 8);
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        let p = empty_prog();
+        assert_eq!(
+            expr_width(&p, &l(LocalId(0))),
+            Err(ValidationError::UnknownLocal { local: 0 })
+        );
+        assert_eq!(
+            expr_width(&p, &ds_read(DsId(0), c(16, 0))),
+            Err(ValidationError::UnknownDataStructure { ds: 0 })
+        );
+    }
+
+    #[test]
+    fn packet_access_rules() {
+        let p = empty_prog();
+        assert!(expr_width(&p, &pkt(0, 0)).is_err());
+        assert!(expr_width(&p, &pkt(0, 9)).is_err());
+        assert!(expr_width(&p, &pkt_at(c(16, 0), 2)).is_err());
+        assert_eq!(expr_width(&p, &pkt_at(c(32, 0), 8)).unwrap(), 64);
+    }
+
+    #[test]
+    fn static_state_is_read_only() {
+        let mut pb = ProgramBuilder::new("T", 1);
+        let fib = pb.static_array("fib", 256, 32, 8, 0);
+        let mut b = Block::new();
+        b.ds_write(fib, c(32, 1), c(8, 1));
+        b.emit(0);
+        let err = pb.finish(b).unwrap_err();
+        assert!(matches!(err, ValidationError::WriteToStaticState { .. }));
+    }
+
+    #[test]
+    fn ds_width_mismatches_rejected() {
+        let mut pb = ProgramBuilder::new("T", 1);
+        let t = pb.private_array("t", 8, 16, 32, 0);
+        let mut b = Block::new();
+        b.ds_write(t, c(8, 1), c(32, 1)); // key width wrong
+        assert!(matches!(
+            pb.clone().finish(b).unwrap_err(),
+            ValidationError::KeyWidthMismatch { .. }
+        ));
+        let mut b = Block::new();
+        b.ds_write(t, c(16, 1), c(8, 1)); // value width wrong
+        assert!(matches!(
+            pb.finish(b).unwrap_err(),
+            ValidationError::ValueWidthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn assignment_and_store_width_checks() {
+        let mut pb = ProgramBuilder::new("T", 1);
+        let x = pb.local("x", 8);
+        let mut b = Block::new();
+        b.assign(x, c(16, 1));
+        assert!(matches!(
+            pb.clone().finish(b).unwrap_err(),
+            ValidationError::AssignWidthMismatch { .. }
+        ));
+        let mut b = Block::new();
+        b.pkt_store(0, 2, c(8, 1));
+        assert!(matches!(
+            pb.finish(b).unwrap_err(),
+            ValidationError::StoreWidthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn control_flow_checks() {
+        let pb = ProgramBuilder::new("T", 1);
+        let mut b = Block::new();
+        b.if_then(c(8, 1), Block::new());
+        assert!(matches!(
+            pb.clone().finish(b).unwrap_err(),
+            ValidationError::ExpectedBool { .. }
+        ));
+        let mut b = Block::new();
+        b.loop_bounded(0, cbool(true), Block::new());
+        assert!(matches!(
+            pb.clone().finish(b).unwrap_err(),
+            ValidationError::ZeroLoopBound
+        ));
+        let mut b = Block::new();
+        b.emit(1);
+        assert!(matches!(
+            pb.finish(b).unwrap_err(),
+            ValidationError::InvalidPort { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_declarations_rejected() {
+        let mut p = empty_prog();
+        p.locals.push(LocalDecl {
+            name: "bad".into(),
+            width: 0,
+        });
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            ValidationError::InvalidWidth { .. }
+        ));
+
+        let mut p = empty_prog();
+        p.data_structures.push(DsDecl {
+            name: "bad".into(),
+            kind: crate::program::DsKind::Array { size: 0 },
+            class: crate::program::DsClass::Private,
+            key_width: 8,
+            value_width: 8,
+            default: 0,
+        });
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            ValidationError::ZeroSizeArray { .. }
+        ));
+
+        let mut p = empty_prog();
+        p.data_structures.push(DsDecl {
+            name: "bad".into(),
+            kind: crate::program::DsKind::Map,
+            class: crate::program::DsClass::Private,
+            key_width: 8,
+            value_width: 4,
+            default: 255,
+        });
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            ValidationError::DefaultValueTooWide { .. }
+        ));
+    }
+
+    #[test]
+    fn emit_with_zero_ports_rejected() {
+        let pb = ProgramBuilder::new("T", 0);
+        let mut b = Block::new();
+        b.emit(0);
+        assert!(matches!(
+            pb.finish(b).unwrap_err(),
+            ValidationError::NoOutputPorts
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let errs: Vec<ValidationError> = vec![
+            ValidationError::UnknownLocal { local: 1 },
+            ValidationError::UnknownDataStructure { ds: 2 },
+            ValidationError::InvalidWidth {
+                what: "x".into(),
+                width: 0,
+            },
+            ValidationError::WidthMismatch {
+                context: "Add".into(),
+                left: 8,
+                right: 16,
+            },
+            ValidationError::ExpectedBool {
+                context: "if".into(),
+                found: 8,
+            },
+            ValidationError::InvalidCast {
+                kind: "ZExt".into(),
+                from: 32,
+                to: 8,
+            },
+            ValidationError::InvalidPacketAccessWidth { width_bytes: 9 },
+            ValidationError::InvalidPacketOffsetWidth { found: 8 },
+            ValidationError::InvalidPort {
+                port: 2,
+                num_ports: 1,
+            },
+            ValidationError::WriteToStaticState { ds: "fib".into() },
+            ValidationError::ZeroLoopBound,
+            ValidationError::ZeroSizeArray { ds: "a".into() },
+            ValidationError::KeyWidthMismatch {
+                ds: "a".into(),
+                declared: 8,
+                found: 16,
+            },
+            ValidationError::ValueWidthMismatch {
+                ds: "a".into(),
+                declared: 8,
+                found: 16,
+            },
+            ValidationError::AssignWidthMismatch {
+                local: "x".into(),
+                declared: 8,
+                found: 16,
+            },
+            ValidationError::StoreWidthMismatch {
+                access_bits: 16,
+                found: 8,
+            },
+            ValidationError::DefaultValueTooWide { ds: "a".into() },
+            ValidationError::NoOutputPorts,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Fixed-width bit-vector values.
+//!
+//! Every value that flows through an element program — packet fields, locals,
+//! table entries — is a [`BitVec`]: an unsigned integer of a declared width
+//! between 1 and 64 bits. All arithmetic wraps modulo `2^width`, mirroring the
+//! machine semantics of the C++ dataplane code the paper verifies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum supported bit-vector width.
+pub const MAX_WIDTH: u8 = 64;
+
+/// A fixed-width bit-vector value.
+///
+/// Invariant: `width` is in `1..=64` and `bits` has no bit set at or above
+/// `width`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    width: u8,
+    bits: u64,
+}
+
+impl BitVec {
+    /// Create a new bit-vector of `width` bits holding `value` truncated to
+    /// that width.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or greater than [`MAX_WIDTH`].
+    pub fn new(width: u8, value: u64) -> Self {
+        assert!(
+            width >= 1 && width <= MAX_WIDTH,
+            "bit-vector width must be in 1..=64, got {width}"
+        );
+        BitVec {
+            width,
+            bits: value & mask(width),
+        }
+    }
+
+    /// A 1-bit boolean value.
+    pub fn bool(b: bool) -> Self {
+        BitVec::new(1, b as u64)
+    }
+
+    /// An 8-bit value.
+    pub fn u8(v: u8) -> Self {
+        BitVec::new(8, v as u64)
+    }
+
+    /// A 16-bit value.
+    pub fn u16(v: u16) -> Self {
+        BitVec::new(16, v as u64)
+    }
+
+    /// A 32-bit value.
+    pub fn u32(v: u32) -> Self {
+        BitVec::new(32, v as u64)
+    }
+
+    /// A 64-bit value.
+    pub fn u64(v: u64) -> Self {
+        BitVec::new(64, v)
+    }
+
+    /// The zero value of the given width.
+    pub fn zero(width: u8) -> Self {
+        BitVec::new(width, 0)
+    }
+
+    /// The all-ones value of the given width.
+    pub fn ones(width: u8) -> Self {
+        BitVec::new(width, u64::MAX)
+    }
+
+    /// Width of this value in bits.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// The raw unsigned value.
+    pub fn as_u64(&self) -> u64 {
+        self.bits
+    }
+
+    /// The value interpreted as a signed two's-complement integer.
+    pub fn as_i64(&self) -> i64 {
+        let sign_bit = 1u64 << (self.width - 1);
+        if self.width < 64 && (self.bits & sign_bit) != 0 {
+            (self.bits | !mask(self.width)) as i64
+        } else {
+            self.bits as i64
+        }
+    }
+
+    /// True if the value is non-zero (used for 1-bit conditions).
+    pub fn is_true(&self) -> bool {
+        self.bits != 0
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// The maximum unsigned value representable at this width.
+    pub fn max_unsigned(width: u8) -> u64 {
+        mask(width)
+    }
+
+    // ---- arithmetic -------------------------------------------------------
+
+    /// Wrapping addition. Panics if widths differ.
+    pub fn add(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::new(self.width, self.bits.wrapping_add(rhs.bits))
+    }
+
+    /// Wrapping subtraction. Panics if widths differ.
+    pub fn sub(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::new(self.width, self.bits.wrapping_sub(rhs.bits))
+    }
+
+    /// Wrapping multiplication. Panics if widths differ.
+    pub fn mul(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::new(self.width, self.bits.wrapping_mul(rhs.bits))
+    }
+
+    /// Unsigned division. Returns `None` when dividing by zero (the
+    /// interpreter and the symbolic engine turn this into a crash).
+    pub fn udiv(self, rhs: BitVec) -> Option<BitVec> {
+        self.check_width(rhs);
+        if rhs.bits == 0 {
+            None
+        } else {
+            Some(BitVec::new(self.width, self.bits / rhs.bits))
+        }
+    }
+
+    /// Unsigned remainder. Returns `None` when dividing by zero.
+    pub fn urem(self, rhs: BitVec) -> Option<BitVec> {
+        self.check_width(rhs);
+        if rhs.bits == 0 {
+            None
+        } else {
+            Some(BitVec::new(self.width, self.bits % rhs.bits))
+        }
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(self) -> BitVec {
+        BitVec::new(self.width, self.bits.wrapping_neg())
+    }
+
+    // ---- bitwise ----------------------------------------------------------
+
+    /// Bitwise AND. Panics if widths differ.
+    pub fn and(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::new(self.width, self.bits & rhs.bits)
+    }
+
+    /// Bitwise OR. Panics if widths differ.
+    pub fn or(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::new(self.width, self.bits | rhs.bits)
+    }
+
+    /// Bitwise XOR. Panics if widths differ.
+    pub fn xor(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::new(self.width, self.bits ^ rhs.bits)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(self) -> BitVec {
+        BitVec::new(self.width, !self.bits)
+    }
+
+    /// Logical shift left. Shift amounts at or above the width yield zero.
+    pub fn shl(self, rhs: BitVec) -> BitVec {
+        let sh = rhs.bits;
+        if sh >= self.width as u64 {
+            BitVec::zero(self.width)
+        } else {
+            BitVec::new(self.width, self.bits << sh)
+        }
+    }
+
+    /// Logical shift right. Shift amounts at or above the width yield zero.
+    pub fn lshr(self, rhs: BitVec) -> BitVec {
+        let sh = rhs.bits;
+        if sh >= self.width as u64 {
+            BitVec::zero(self.width)
+        } else {
+            BitVec::new(self.width, self.bits >> sh)
+        }
+    }
+
+    /// Arithmetic shift right (sign-extending). Shift amounts at or above the
+    /// width yield all-zeros or all-ones depending on the sign bit.
+    pub fn ashr(self, rhs: BitVec) -> BitVec {
+        let sh = rhs.bits.min(self.width as u64 - 1);
+        let v = self.as_i64() >> sh;
+        BitVec::new(self.width, v as u64)
+    }
+
+    // ---- comparisons (return 1-bit values) --------------------------------
+
+    /// Equality.
+    pub fn eq_bv(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::bool(self.bits == rhs.bits)
+    }
+
+    /// Inequality.
+    pub fn ne_bv(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::bool(self.bits != rhs.bits)
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::bool(self.bits < rhs.bits)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn ule(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::bool(self.bits <= rhs.bits)
+    }
+
+    /// Signed less-than.
+    pub fn slt(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::bool(self.as_i64() < rhs.as_i64())
+    }
+
+    /// Signed less-or-equal.
+    pub fn sle(self, rhs: BitVec) -> BitVec {
+        self.check_width(rhs);
+        BitVec::bool(self.as_i64() <= rhs.as_i64())
+    }
+
+    // ---- width changes ----------------------------------------------------
+
+    /// Zero-extend or keep the value at `new_width` bits.
+    ///
+    /// # Panics
+    /// Panics if `new_width` is smaller than the current width.
+    pub fn zext(self, new_width: u8) -> BitVec {
+        assert!(
+            new_width >= self.width,
+            "zext target width {new_width} smaller than source width {}",
+            self.width
+        );
+        BitVec::new(new_width, self.bits)
+    }
+
+    /// Sign-extend the value to `new_width` bits.
+    ///
+    /// # Panics
+    /// Panics if `new_width` is smaller than the current width.
+    pub fn sext(self, new_width: u8) -> BitVec {
+        assert!(
+            new_width >= self.width,
+            "sext target width {new_width} smaller than source width {}",
+            self.width
+        );
+        BitVec::new(new_width, self.as_i64() as u64)
+    }
+
+    /// Truncate the value to `new_width` bits, keeping the low bits.
+    ///
+    /// # Panics
+    /// Panics if `new_width` is larger than the current width.
+    pub fn trunc(self, new_width: u8) -> BitVec {
+        assert!(
+            new_width <= self.width,
+            "trunc target width {new_width} larger than source width {}",
+            self.width
+        );
+        BitVec::new(new_width, self.bits)
+    }
+
+    /// Resize to `new_width`, zero-extending or truncating as needed.
+    pub fn resize(self, new_width: u8) -> BitVec {
+        if new_width >= self.width {
+            self.zext(new_width)
+        } else {
+            self.trunc(new_width)
+        }
+    }
+
+    fn check_width(&self, rhs: BitVec) {
+        assert_eq!(
+            self.width, rhs.width,
+            "bit-vector width mismatch: {} vs {}",
+            self.width, rhs.width
+        );
+    }
+}
+
+/// Bit mask with the low `width` bits set.
+pub fn mask(width: u8) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}u{}", self.bits, self.width)
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width == 1 {
+            write!(f, "{}", if self.bits != 0 { "true" } else { "false" })
+        } else if self.bits > 0xffff {
+            write!(f, "{:#x}u{}", self.bits, self.width)
+        } else {
+            write!(f, "{}u{}", self.bits, self.width)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_masks_to_width() {
+        let v = BitVec::new(8, 0x1ff);
+        assert_eq!(v.as_u64(), 0xff);
+        assert_eq!(v.width(), 8);
+        let v = BitVec::new(64, u64::MAX);
+        assert_eq!(v.as_u64(), u64::MAX);
+        let v = BitVec::new(1, 2);
+        assert_eq!(v.as_u64(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_panics() {
+        BitVec::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_wide_panics() {
+        BitVec::new(65, 0);
+    }
+
+    #[test]
+    fn add_wraps() {
+        let a = BitVec::u8(250);
+        let b = BitVec::u8(10);
+        assert_eq!(a.add(b).as_u64(), 4);
+        let a = BitVec::new(16, 0xffff);
+        assert_eq!(a.add(BitVec::u16(1)).as_u64(), 0);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        let a = BitVec::u8(3);
+        let b = BitVec::u8(5);
+        assert_eq!(a.sub(b).as_u64(), 254);
+    }
+
+    #[test]
+    fn mul_wraps() {
+        let a = BitVec::u8(16);
+        let b = BitVec::u8(17);
+        assert_eq!(a.mul(b).as_u64(), (16 * 17) & 0xff);
+    }
+
+    #[test]
+    fn div_by_zero_is_none() {
+        assert!(BitVec::u8(4).udiv(BitVec::u8(0)).is_none());
+        assert!(BitVec::u8(4).urem(BitVec::u8(0)).is_none());
+        assert_eq!(BitVec::u8(9).udiv(BitVec::u8(2)).unwrap().as_u64(), 4);
+        assert_eq!(BitVec::u8(9).urem(BitVec::u8(2)).unwrap().as_u64(), 1);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(BitVec::u8(0xff).as_i64(), -1);
+        assert_eq!(BitVec::u8(0x80).as_i64(), -128);
+        assert_eq!(BitVec::u8(0x7f).as_i64(), 127);
+        assert_eq!(BitVec::new(64, u64::MAX).as_i64(), -1);
+        assert_eq!(BitVec::bool(true).as_i64(), -1);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = BitVec::u8(0x80); // -128 signed, 128 unsigned
+        let b = BitVec::u8(1);
+        assert!(a.ult(b).is_zero());
+        assert!(b.ult(a).is_true());
+        assert!(a.slt(b).is_true());
+        assert!(b.slt(a).is_zero());
+        assert!(a.eq_bv(a).is_true());
+        assert!(a.ne_bv(b).is_true());
+        assert!(a.ule(a).is_true());
+        assert!(a.sle(a).is_true());
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BitVec::u8(0b1001_0001);
+        assert_eq!(a.shl(BitVec::u8(1)).as_u64(), 0b0010_0010);
+        assert_eq!(a.lshr(BitVec::u8(4)).as_u64(), 0b0000_1001);
+        assert_eq!(a.ashr(BitVec::u8(4)).as_u64(), 0b1111_1001);
+        // Oversized shift amounts.
+        assert_eq!(a.shl(BitVec::u8(8)).as_u64(), 0);
+        assert_eq!(a.lshr(BitVec::u8(200)).as_u64(), 0);
+        assert_eq!(a.ashr(BitVec::u8(200)).as_u64(), 0xff);
+        let p = BitVec::u8(0x71);
+        assert_eq!(p.ashr(BitVec::u8(200)).as_u64(), 0);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = BitVec::u8(0b1100);
+        let b = BitVec::u8(0b1010);
+        assert_eq!(a.and(b).as_u64(), 0b1000);
+        assert_eq!(a.or(b).as_u64(), 0b1110);
+        assert_eq!(a.xor(b).as_u64(), 0b0110);
+        assert_eq!(a.not().as_u64(), 0xf3);
+    }
+
+    #[test]
+    fn width_changes() {
+        let a = BitVec::u8(0x80);
+        assert_eq!(a.zext(16).as_u64(), 0x80);
+        assert_eq!(a.sext(16).as_u64(), 0xff80);
+        let b = BitVec::u16(0xabcd);
+        assert_eq!(b.trunc(8).as_u64(), 0xcd);
+        assert_eq!(b.resize(8).as_u64(), 0xcd);
+        assert_eq!(b.resize(32).as_u64(), 0xabcd);
+        assert_eq!(b.resize(16).as_u64(), 0xabcd);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_width_panics() {
+        BitVec::u8(1).add(BitVec::u16(1));
+    }
+
+    #[test]
+    fn neg_and_ones() {
+        assert_eq!(BitVec::u8(1).neg().as_u64(), 0xff);
+        assert_eq!(BitVec::u8(0).neg().as_u64(), 0);
+        assert_eq!(BitVec::ones(8).as_u64(), 0xff);
+        assert_eq!(BitVec::ones(64).as_u64(), u64::MAX);
+        assert_eq!(BitVec::max_unsigned(12), 0xfff);
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(BitVec::bool(true).to_string(), "true");
+        assert_eq!(BitVec::bool(false).to_string(), "false");
+        assert_eq!(BitVec::u8(7).to_string(), "7u8");
+        assert_eq!(BitVec::u32(0x1234_5678).to_string(), "0x12345678u32");
+        assert_eq!(format!("{:?}", BitVec::u16(9)), "9u16");
+    }
+}

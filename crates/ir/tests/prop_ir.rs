@@ -1,0 +1,131 @@
+//! Property-based tests for the IR value semantics and the concrete
+//! interpreter.
+
+use dataplane_ir::builder::{Block, ProgramBuilder};
+use dataplane_ir::expr::dsl::*;
+use dataplane_ir::interp::{eval_binop, execute_default, ElementState};
+use dataplane_ir::program::Outcome;
+use dataplane_ir::value::BitVec;
+use dataplane_ir::BinOp;
+use proptest::prelude::*;
+
+proptest! {
+    /// Addition over bit-vectors agrees with wrapping machine arithmetic at
+    /// every width.
+    #[test]
+    fn add_matches_wrapping(width in 1u8..=64, a: u64, b: u64) {
+        let x = BitVec::new(width, a);
+        let y = BitVec::new(width, b);
+        let expected = x.as_u64().wrapping_add(y.as_u64()) & BitVec::max_unsigned(width);
+        prop_assert_eq!(x.add(y).as_u64(), expected);
+    }
+
+    /// Subtraction then addition round-trips.
+    #[test]
+    fn sub_add_roundtrip(width in 1u8..=64, a: u64, b: u64) {
+        let x = BitVec::new(width, a);
+        let y = BitVec::new(width, b);
+        prop_assert_eq!(x.sub(y).add(y), x);
+    }
+
+    /// Unsigned comparison is a total order consistent with the raw values.
+    #[test]
+    fn comparison_consistent(width in 1u8..=64, a: u64, b: u64) {
+        let x = BitVec::new(width, a);
+        let y = BitVec::new(width, b);
+        prop_assert_eq!(x.ult(y).is_true(), x.as_u64() < y.as_u64());
+        prop_assert_eq!(x.ule(y).is_true(), x.as_u64() <= y.as_u64());
+        prop_assert_eq!(x.eq_bv(y).is_true(), x.as_u64() == y.as_u64());
+        prop_assert_eq!(x.slt(y).is_true(), x.as_i64() < y.as_i64());
+    }
+
+    /// Zero/sign extension preserves the numeric value (unsigned/signed
+    /// respectively) and truncation keeps the low bits.
+    #[test]
+    fn extension_preserves_value(width in 1u8..=32, extra in 0u8..=32, v: u64) {
+        let x = BitVec::new(width, v);
+        let wide = width + extra;
+        prop_assert_eq!(x.zext(wide).as_u64(), x.as_u64());
+        prop_assert_eq!(x.sext(wide).as_i64(), x.as_i64());
+        prop_assert_eq!(x.zext(wide).trunc(width), x);
+    }
+
+    /// De Morgan's law holds for bitwise operations.
+    #[test]
+    fn de_morgan(width in 1u8..=64, a: u64, b: u64) {
+        let x = BitVec::new(width, a);
+        let y = BitVec::new(width, b);
+        prop_assert_eq!(x.and(y).not(), x.not().or(y.not()));
+        prop_assert_eq!(x.or(y).not(), x.not().and(y.not()));
+    }
+
+    /// `eval_binop` never panics on arbitrary operands of equal width and
+    /// returns a value of the correct width.
+    #[test]
+    fn eval_binop_total(width in 1u8..=64, a: u64, b: u64, op_idx in 0usize..21) {
+        use BinOp::*;
+        let ops = [Add, Sub, Mul, UDiv, URem, And, Or, Xor, Shl, LShr, AShr,
+                   Eq, Ne, ULt, ULe, UGt, UGe, SLt, SLe, BoolAnd, BoolOr];
+        let op = ops[op_idx];
+        let (x, y) = if op.is_boolean() {
+            (BitVec::new(1, a), BitVec::new(1, b))
+        } else {
+            (BitVec::new(width, a), BitVec::new(width, b))
+        };
+        if let Some(r) = eval_binop(op, x, y) {
+            let expected_width = if op.is_comparison() || op.is_boolean() { 1 } else { x.width() };
+            prop_assert_eq!(r.width(), expected_width);
+        } else {
+            prop_assert!(matches!(op, UDiv | URem));
+            prop_assert!(y.is_zero());
+        }
+    }
+
+    /// The interpreter is deterministic: running the same program on the same
+    /// packet twice gives identical outcomes, instruction counts, and packet
+    /// contents.
+    #[test]
+    fn interpreter_deterministic(bytes in proptest::collection::vec(any::<u8>(), 4..64)) {
+        let mut pb = ProgramBuilder::new("Det", 2);
+        let x = pb.local("x", 16);
+        let mut b = Block::new();
+        b.assign(x, pkt(0, 2));
+        b.if_else(
+            ult(l(x), c(16, 0x8000)),
+            Block::with(|bb| { bb.pkt_store(2, 2, add(l(x), c(16, 1))); bb.emit(0); }),
+            Block::with(|bb| { bb.emit(1); }),
+        );
+        let prog = pb.finish(b).unwrap();
+
+        let mut p1 = bytes.clone();
+        let mut p2 = bytes.clone();
+        let mut s1 = ElementState::for_program(&prog);
+        let mut s2 = ElementState::for_program(&prog);
+        let r1 = execute_default(&prog, &mut p1, &mut s1).unwrap();
+        let r2 = execute_default(&prog, &mut p2, &mut s2).unwrap();
+        prop_assert_eq!(r1.outcome.clone(), r2.outcome);
+        prop_assert_eq!(r1.instructions, r2.instructions);
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// A program with no assertion, loop, division, or out-of-bounds access
+    /// never crashes, whatever the packet contents.
+    #[test]
+    fn straightline_program_never_crashes(bytes in proptest::collection::vec(any::<u8>(), 8..64)) {
+        let mut pb = ProgramBuilder::new("Safe", 1);
+        let x = pb.local("x", 32);
+        let mut b = Block::new();
+        b.assign(x, pkt(0, 4));
+        b.if_else(
+            eq(and(l(x), c(32, 1)), c(32, 1)),
+            Block::with(|bb| { bb.pkt_store(4, 4, xor(l(x), c(32, 0xffff_ffff))); bb.emit(0); }),
+            Block::with(|bb| { bb.drop_packet(); }),
+        );
+        let prog = pb.finish(b).unwrap();
+        let mut p = bytes.clone();
+        let mut s = ElementState::for_program(&prog);
+        let r = execute_default(&prog, &mut p, &mut s).unwrap();
+        prop_assert!(!r.outcome.is_crash());
+        prop_assert!(matches!(r.outcome, Outcome::Emitted(0) | Outcome::Dropped));
+    }
+}

@@ -1,0 +1,159 @@
+//! Ethernet II framing.
+
+use crate::packet::RawWriter;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Length of an Ethernet II header in bytes.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType for ARP.
+pub const ETHERTYPE_ARP: u16 = 0x0806;
+/// EtherType for IPv6.
+pub const ETHERTYPE_IPV6: u16 = 0x86dd;
+/// EtherType for 802.1Q VLAN tagging.
+pub const ETHERTYPE_VLAN: u16 = 0x8100;
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Build a locally-administered unicast address from a small index, used
+    /// by tests and workload generation (`02:00:00:00:00:<n>` style).
+    pub fn local(index: u8) -> MacAddr {
+        MacAddr([0x02, 0, 0, 0, 0, index])
+    }
+
+    /// True if the multicast (group) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == MacAddr::BROADCAST
+    }
+
+    /// The address bytes.
+    pub fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A parsed Ethernet II header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Parse the header from the front of `data`. Returns `None` when the
+    /// buffer is shorter than [`ETHERNET_HEADER_LEN`].
+    pub fn parse(data: &[u8]) -> Option<EthernetHeader> {
+        if data.len() < ETHERNET_HEADER_LEN {
+            return None;
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        Some(EthernetHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: u16::from_be_bytes([data[12], data[13]]),
+        })
+    }
+
+    /// Serialize the header into 14 bytes.
+    pub fn to_bytes(&self) -> [u8; ETHERNET_HEADER_LEN] {
+        let mut out = [0u8; ETHERNET_HEADER_LEN];
+        out[0..6].copy_from_slice(&self.dst.0);
+        out[6..12].copy_from_slice(&self.src.0);
+        out[12..14].copy_from_slice(&self.ethertype.to_be_bytes());
+        out
+    }
+
+    /// Write the header into a [`RawWriter`].
+    pub fn write(&self, w: &mut RawWriter) {
+        w.bytes(&self.to_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_serialize_round_trip() {
+        let hdr = EthernetHeader {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: ETHERTYPE_IPV4,
+        };
+        let bytes = hdr.to_bytes();
+        assert_eq!(bytes.len(), ETHERNET_HEADER_LEN);
+        let parsed = EthernetHeader::parse(&bytes).unwrap();
+        assert_eq!(parsed, hdr);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(EthernetHeader::parse(&[0u8; 13]).is_none());
+        assert!(EthernetHeader::parse(&[]).is_none());
+    }
+
+    #[test]
+    fn mac_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::local(5).is_multicast());
+        assert!(!MacAddr::local(5).is_broadcast());
+        assert_eq!(MacAddr::local(5).octets()[5], 5);
+        assert_eq!(MacAddr::ZERO.octets(), [0u8; 6]);
+        assert_eq!(format!("{}", MacAddr::local(0xab)), "02:00:00:00:00:ab");
+    }
+
+    #[test]
+    fn writer_appends_header() {
+        let hdr = EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::local(9),
+            ethertype: ETHERTYPE_ARP,
+        };
+        let mut w = RawWriter::new();
+        hdr.write(&mut w);
+        let v = w.finish();
+        assert_eq!(v.len(), 14);
+        assert_eq!(&v[0..6], &[0xff; 6]);
+        assert_eq!(u16::from_be_bytes([v[12], v[13]]), ETHERTYPE_ARP);
+    }
+}

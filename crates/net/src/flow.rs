@@ -1,0 +1,212 @@
+//! Flow identification: the classic 5-tuple used by NetFlow and NAT elements.
+
+use crate::ipv4::{Ipv4Header, PROTO_TCP, PROTO_UDP};
+use crate::packet::Packet;
+use crate::transport::{TcpHeader, UdpHeader};
+use crate::ethernet::{EthernetHeader, ETHERNET_HEADER_LEN, ETHERTYPE_IPV4};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A unidirectional flow key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port (0 for protocols without ports).
+    pub src_port: u16,
+    /// Destination transport port (0 for protocols without ports).
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub protocol: u8,
+}
+
+impl FiveTuple {
+    /// The reverse direction of this flow (addresses and ports swapped).
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// A compact 64-bit hash key suitable for array-backed flow tables. This
+    /// is the same folding the NetFlow/NAT element models use, so concrete
+    /// and verified behaviour match.
+    pub fn fold_u64(&self) -> u64 {
+        let s = u32::from(self.src_ip) as u64;
+        let d = u32::from(self.dst_ip) as u64;
+        let p = ((self.src_port as u64) << 32)
+            | ((self.dst_port as u64) << 16)
+            | self.protocol as u64;
+        s.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ d.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+            ^ p.wrapping_mul(0x1656_67b1_9e37_79f9)
+    }
+}
+
+impl fmt::Debug for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} proto {}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol
+        )
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Extract the 5-tuple from an Ethernet + IPv4 packet. Returns `None` if the
+/// packet is not IPv4 or is too short to contain the needed headers.
+pub fn extract_five_tuple(packet: &Packet) -> Option<FiveTuple> {
+    let eth = EthernetHeader::parse(packet.bytes())?;
+    if eth.ethertype != ETHERTYPE_IPV4 {
+        return None;
+    }
+    let ip_bytes = &packet.bytes()[ETHERNET_HEADER_LEN..];
+    let ip = Ipv4Header::parse(ip_bytes).ok()?;
+    let l4 = &ip_bytes[ip.header_len()..];
+    let (src_port, dst_port) = match ip.protocol {
+        PROTO_UDP => {
+            let u = UdpHeader::parse(l4)?;
+            (u.src_port, u.dst_port)
+        }
+        PROTO_TCP => {
+            let t = TcpHeader::parse(l4)?;
+            (t.src_port, t.dst_port)
+        }
+        _ => (0, 0),
+    };
+    Some(FiveTuple {
+        src_ip: ip.src,
+        dst_ip: ip.dst,
+        src_port,
+        dst_port,
+        protocol: ip.protocol,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pktbuild::PacketBuilder;
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let t = FiveTuple {
+            src_ip: Ipv4Addr::new(1, 2, 3, 4),
+            dst_ip: Ipv4Addr::new(5, 6, 7, 8),
+            src_port: 100,
+            dst_port: 200,
+            protocol: PROTO_TCP,
+        };
+        let r = t.reversed();
+        assert_eq!(r.src_ip, t.dst_ip);
+        assert_eq!(r.dst_port, t.src_port);
+        assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn fold_is_deterministic_and_direction_sensitive() {
+        let t = FiveTuple {
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: 5000,
+            dst_port: 80,
+            protocol: PROTO_UDP,
+        };
+        assert_eq!(t.fold_u64(), t.fold_u64());
+        assert_ne!(t.fold_u64(), t.reversed().fold_u64());
+    }
+
+    #[test]
+    fn extract_from_udp_packet() {
+        let pkt = PacketBuilder::udp(
+            Ipv4Addr::new(192, 168, 1, 1),
+            Ipv4Addr::new(192, 168, 1, 2),
+            1111,
+            2222,
+            b"hello",
+        )
+        .build();
+        let t = extract_five_tuple(&pkt).unwrap();
+        assert_eq!(t.src_ip, Ipv4Addr::new(192, 168, 1, 1));
+        assert_eq!(t.dst_ip, Ipv4Addr::new(192, 168, 1, 2));
+        assert_eq!(t.src_port, 1111);
+        assert_eq!(t.dst_port, 2222);
+        assert_eq!(t.protocol, PROTO_UDP);
+    }
+
+    #[test]
+    fn extract_from_tcp_and_icmp_packets() {
+        let pkt = PacketBuilder::tcp_syn(
+            Ipv4Addr::new(10, 1, 1, 1),
+            Ipv4Addr::new(10, 1, 1, 2),
+            40000,
+            443,
+        )
+        .build();
+        let t = extract_five_tuple(&pkt).unwrap();
+        assert_eq!(t.protocol, PROTO_TCP);
+        assert_eq!(t.dst_port, 443);
+
+        let pkt = PacketBuilder::icmp_echo(Ipv4Addr::new(10, 1, 1, 1), Ipv4Addr::new(10, 1, 1, 2))
+            .build();
+        let t = extract_five_tuple(&pkt).unwrap();
+        assert_eq!(t.src_port, 0);
+        assert_eq!(t.dst_port, 0);
+    }
+
+    #[test]
+    fn extract_rejects_non_ip_and_short_packets() {
+        let pkt = Packet::from_bytes(vec![0u8; 10]);
+        assert!(extract_five_tuple(&pkt).is_none());
+        let mut arp = PacketBuilder::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+            b"",
+        )
+        .build();
+        // Rewrite ethertype to ARP.
+        arp.set_u16(12, crate::ethernet::ETHERTYPE_ARP);
+        assert!(extract_five_tuple(&arp).is_none());
+        // IPv4 packet whose transport header is truncated.
+        let full = PacketBuilder::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+            b"",
+        )
+        .build();
+        let mut truncated = full.clone();
+        truncated.truncate(ETHERNET_HEADER_LEN + 20 + 4);
+        assert!(extract_five_tuple(&truncated).is_none());
+    }
+
+    #[test]
+    fn display_mentions_endpoints() {
+        let t = FiveTuple {
+            src_ip: Ipv4Addr::new(1, 2, 3, 4),
+            dst_ip: Ipv4Addr::new(5, 6, 7, 8),
+            src_port: 9,
+            dst_port: 10,
+            protocol: 6,
+        };
+        let s = t.to_string();
+        assert!(s.contains("1.2.3.4:9"));
+        assert!(s.contains("5.6.7.8:10"));
+    }
+}

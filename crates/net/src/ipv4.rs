@@ -1,0 +1,402 @@
+//! IPv4 header parsing and construction, including options.
+//!
+//! The IP-options handling matters for the reproduction: the paper's hardest
+//! element (`IPOptions`) loops over the variable-length options area, and the
+//! verifier's loop decomposition is exercised on exactly this format.
+
+use crate::checksum;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Minimum IPv4 header length (no options), in bytes.
+pub const IPV4_MIN_HEADER_LEN: usize = 20;
+/// Maximum IPv4 header length (IHL = 15), in bytes.
+pub const IPV4_MAX_HEADER_LEN: usize = 60;
+
+/// IP protocol number for ICMP.
+pub const PROTO_ICMP: u8 = 1;
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+/// IPv4 option kind: end of option list.
+pub const IPOPT_EOL: u8 = 0;
+/// IPv4 option kind: no-operation.
+pub const IPOPT_NOP: u8 = 1;
+/// IPv4 option kind: record route.
+pub const IPOPT_RR: u8 = 7;
+/// IPv4 option kind: timestamp.
+pub const IPOPT_TS: u8 = 68;
+/// IPv4 option kind: loose source route.
+pub const IPOPT_LSRR: u8 = 131;
+/// IPv4 option kind: strict source route.
+pub const IPOPT_SSRR: u8 = 137;
+
+/// A parsed IPv4 header (fixed part plus raw options bytes).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// Header length in 32-bit words (5..=15).
+    pub ihl: u8,
+    /// Differentiated services / TOS byte.
+    pub dscp_ecn: u8,
+    /// Total length of the IP datagram (header + payload) in bytes.
+    pub total_length: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Flags (3 bits) and fragment offset (13 bits).
+    pub flags_fragment: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub protocol: u8,
+    /// Header checksum as found on the wire.
+    pub checksum: u16,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Raw options bytes (empty when `ihl == 5`).
+    pub options: Vec<u8>,
+}
+
+/// Why parsing or validating an IPv4 header failed. The variants mirror the
+/// checks Click's `CheckIPHeader` element performs, which is what our element
+/// model implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ipv4Error {
+    /// The buffer is shorter than the minimum header.
+    Truncated,
+    /// The version field is not 4.
+    BadVersion,
+    /// The IHL field is below 5.
+    BadIhl,
+    /// The buffer is shorter than the length the IHL claims.
+    TruncatedOptions,
+    /// The total-length field is smaller than the header length or larger
+    /// than the buffer.
+    BadTotalLength,
+    /// The header checksum does not verify.
+    BadChecksum,
+}
+
+impl fmt::Display for Ipv4Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ipv4Error::Truncated => "truncated IPv4 header",
+            Ipv4Error::BadVersion => "IP version is not 4",
+            Ipv4Error::BadIhl => "IHL below minimum",
+            Ipv4Error::TruncatedOptions => "header length exceeds buffer",
+            Ipv4Error::BadTotalLength => "bad total length",
+            Ipv4Error::BadChecksum => "bad header checksum",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Ipv4Error {}
+
+impl Ipv4Header {
+    /// A well-formed default header: no options, TTL 64, UDP payload,
+    /// addresses 10.0.0.1 → 10.0.0.2, total length = header only.
+    pub fn template() -> Ipv4Header {
+        Ipv4Header {
+            ihl: 5,
+            dscp_ecn: 0,
+            total_length: IPV4_MIN_HEADER_LEN as u16,
+            identification: 0,
+            flags_fragment: 0x4000, // don't fragment
+            ttl: 64,
+            protocol: PROTO_UDP,
+            checksum: 0,
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            options: Vec::new(),
+        }
+    }
+
+    /// Header length in bytes (`ihl * 4`).
+    pub fn header_len(&self) -> usize {
+        self.ihl as usize * 4
+    }
+
+    /// Parse an IPv4 header from the front of `data`, without verifying the
+    /// checksum. Returns the header and its length in bytes.
+    pub fn parse(data: &[u8]) -> Result<Ipv4Header, Ipv4Error> {
+        if data.len() < IPV4_MIN_HEADER_LEN {
+            return Err(Ipv4Error::Truncated);
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(Ipv4Error::BadVersion);
+        }
+        let ihl = data[0] & 0x0f;
+        if ihl < 5 {
+            return Err(Ipv4Error::BadIhl);
+        }
+        let header_len = ihl as usize * 4;
+        if data.len() < header_len {
+            return Err(Ipv4Error::TruncatedOptions);
+        }
+        Ok(Ipv4Header {
+            ihl,
+            dscp_ecn: data[1],
+            total_length: u16::from_be_bytes([data[2], data[3]]),
+            identification: u16::from_be_bytes([data[4], data[5]]),
+            flags_fragment: u16::from_be_bytes([data[6], data[7]]),
+            ttl: data[8],
+            protocol: data[9],
+            checksum: u16::from_be_bytes([data[10], data[11]]),
+            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+            options: data[IPV4_MIN_HEADER_LEN..header_len].to_vec(),
+        })
+    }
+
+    /// Parse and run the full `CheckIPHeader`-style validation: version, IHL,
+    /// length consistency, and checksum.
+    pub fn parse_checked(data: &[u8]) -> Result<Ipv4Header, Ipv4Error> {
+        let hdr = Ipv4Header::parse(data)?;
+        let hl = hdr.header_len();
+        if (hdr.total_length as usize) < hl || (hdr.total_length as usize) > data.len() {
+            return Err(Ipv4Error::BadTotalLength);
+        }
+        if !checksum::verify(&data[..hl]) {
+            return Err(Ipv4Error::BadChecksum);
+        }
+        Ok(hdr)
+    }
+
+    /// Serialize the header (recomputing `ihl` from the options length) with
+    /// the checksum field set to the correct value.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let opt_len = self.options.len();
+        // Options are padded to a multiple of 4 bytes on serialisation.
+        let padded = (opt_len + 3) / 4 * 4;
+        let ihl = 5 + (padded / 4) as u8;
+        let header_len = ihl as usize * 4;
+        let mut out = vec![0u8; header_len];
+        out[0] = 0x40 | ihl;
+        out[1] = self.dscp_ecn;
+        out[2..4].copy_from_slice(&self.total_length.to_be_bytes());
+        out[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        out[6..8].copy_from_slice(&self.flags_fragment.to_be_bytes());
+        out[8] = self.ttl;
+        out[9] = self.protocol;
+        // checksum bytes 10..12 stay zero while computing
+        out[12..16].copy_from_slice(&self.src.octets());
+        out[16..20].copy_from_slice(&self.dst.octets());
+        out[IPV4_MIN_HEADER_LEN..IPV4_MIN_HEADER_LEN + opt_len].copy_from_slice(&self.options);
+        let c = checksum::checksum(&out);
+        out[10..12].copy_from_slice(&c.to_be_bytes());
+        out
+    }
+
+    /// Recompute the checksum of a serialized header in place (bytes
+    /// `0..ihl*4` of `data`). Returns `false` if the buffer is too short.
+    pub fn rewrite_checksum(data: &mut [u8]) -> bool {
+        if data.len() < IPV4_MIN_HEADER_LEN {
+            return false;
+        }
+        let ihl = (data[0] & 0x0f) as usize * 4;
+        if ihl < IPV4_MIN_HEADER_LEN || data.len() < ihl {
+            return false;
+        }
+        data[10] = 0;
+        data[11] = 0;
+        let c = checksum::checksum(&data[..ihl]);
+        data[10..12].copy_from_slice(&c.to_be_bytes());
+        true
+    }
+}
+
+/// One parsed IPv4 option.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ipv4Option {
+    /// Option kind byte.
+    pub kind: u8,
+    /// Option data (excluding the kind and length bytes); empty for
+    /// single-byte options.
+    pub data: Vec<u8>,
+}
+
+/// Why walking the options area failed. These are exactly the malformed-
+/// options cases the `IPOptions` element must reject rather than crash on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptionWalkError {
+    /// A multi-byte option whose length byte is missing.
+    MissingLength,
+    /// A multi-byte option whose length is below 2.
+    LengthTooSmall,
+    /// A multi-byte option whose length runs past the end of the options
+    /// area.
+    LengthOverrun,
+}
+
+/// Walk the options area of an IPv4 header, returning the parsed options in
+/// order. Stops at an end-of-list option.
+pub fn walk_options(options: &[u8]) -> Result<Vec<Ipv4Option>, OptionWalkError> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < options.len() {
+        let kind = options[i];
+        if kind == IPOPT_EOL {
+            break;
+        }
+        if kind == IPOPT_NOP {
+            out.push(Ipv4Option {
+                kind,
+                data: Vec::new(),
+            });
+            i += 1;
+            continue;
+        }
+        if i + 1 >= options.len() {
+            return Err(OptionWalkError::MissingLength);
+        }
+        let len = options[i + 1] as usize;
+        if len < 2 {
+            return Err(OptionWalkError::LengthTooSmall);
+        }
+        if i + len > options.len() {
+            return Err(OptionWalkError::LengthOverrun);
+        }
+        out.push(Ipv4Option {
+            kind,
+            data: options[i + 2..i + len].to_vec(),
+        });
+        i += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_round_trips_through_parse_checked() {
+        let hdr = Ipv4Header::template();
+        let bytes = hdr.to_bytes();
+        assert_eq!(bytes.len(), IPV4_MIN_HEADER_LEN);
+        let parsed = Ipv4Header::parse_checked(&bytes).unwrap();
+        assert_eq!(parsed.src, hdr.src);
+        assert_eq!(parsed.dst, hdr.dst);
+        assert_eq!(parsed.ttl, 64);
+        assert_eq!(parsed.header_len(), 20);
+        assert!(parsed.options.is_empty());
+    }
+
+    #[test]
+    fn options_are_padded_and_parsed() {
+        let mut hdr = Ipv4Header::template();
+        hdr.options = vec![IPOPT_NOP, IPOPT_NOP, IPOPT_RR, 7, 4, 0, 0];
+        hdr.total_length = 28 + 0;
+        let bytes = hdr.to_bytes();
+        assert_eq!(bytes.len(), 28); // 20 + 7 padded to 8
+        let parsed = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(parsed.ihl, 7);
+        assert_eq!(parsed.options.len(), 8);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_headers() {
+        assert_eq!(Ipv4Header::parse(&[0u8; 10]), Err(Ipv4Error::Truncated));
+        let mut bytes = Ipv4Header::template().to_bytes();
+        bytes[0] = 0x60 | 5; // version 6
+        assert_eq!(Ipv4Header::parse(&bytes), Err(Ipv4Error::BadVersion));
+        let mut bytes = Ipv4Header::template().to_bytes();
+        bytes[0] = 0x40 | 3; // IHL 3
+        assert_eq!(Ipv4Header::parse(&bytes), Err(Ipv4Error::BadIhl));
+        let mut bytes = Ipv4Header::template().to_bytes();
+        bytes[0] = 0x40 | 10; // claims 40-byte header, buffer has 20
+        assert_eq!(
+            Ipv4Header::parse(&bytes),
+            Err(Ipv4Error::TruncatedOptions)
+        );
+    }
+
+    #[test]
+    fn parse_checked_rejects_bad_lengths_and_checksum() {
+        let mut hdr = Ipv4Header::template();
+        hdr.total_length = 10; // smaller than header
+        let bytes = hdr.to_bytes();
+        assert_eq!(
+            Ipv4Header::parse_checked(&bytes),
+            Err(Ipv4Error::BadTotalLength)
+        );
+
+        let mut hdr = Ipv4Header::template();
+        hdr.total_length = 100; // larger than buffer
+        let bytes = hdr.to_bytes();
+        assert_eq!(
+            Ipv4Header::parse_checked(&bytes),
+            Err(Ipv4Error::BadTotalLength)
+        );
+
+        let hdr = Ipv4Header::template();
+        let mut bytes = hdr.to_bytes();
+        bytes[8] = bytes[8].wrapping_add(1); // corrupt TTL without fixing checksum
+        assert_eq!(
+            Ipv4Header::parse_checked(&bytes),
+            Err(Ipv4Error::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn rewrite_checksum_fixes_corruption() {
+        let hdr = Ipv4Header::template();
+        let mut bytes = hdr.to_bytes();
+        bytes[8] -= 1; // decrement TTL
+        assert!(Ipv4Header::parse_checked(&bytes).is_err());
+        assert!(Ipv4Header::rewrite_checksum(&mut bytes));
+        assert!(Ipv4Header::parse_checked(&bytes).is_ok());
+        assert!(!Ipv4Header::rewrite_checksum(&mut [0u8; 4]));
+        let mut bad_ihl = bytes.clone();
+        bad_ihl[0] = 0x40 | 15;
+        assert!(!Ipv4Header::rewrite_checksum(&mut bad_ihl[..20]));
+    }
+
+    #[test]
+    fn walk_options_handles_well_formed_sequences() {
+        let opts = [IPOPT_NOP, IPOPT_RR, 7, 4, 0, 0, 0, IPOPT_EOL];
+        let parsed = walk_options(&opts).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].kind, IPOPT_NOP);
+        assert_eq!(parsed[1].kind, IPOPT_RR);
+        assert_eq!(parsed[1].data.len(), 5);
+        assert_eq!(walk_options(&[]).unwrap().len(), 0);
+        assert_eq!(walk_options(&[IPOPT_EOL, 99, 99]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn walk_options_rejects_malformed_sequences() {
+        assert_eq!(
+            walk_options(&[IPOPT_RR]),
+            Err(OptionWalkError::MissingLength)
+        );
+        assert_eq!(
+            walk_options(&[IPOPT_RR, 1]),
+            Err(OptionWalkError::LengthTooSmall)
+        );
+        assert_eq!(
+            walk_options(&[IPOPT_RR, 10, 0]),
+            Err(OptionWalkError::LengthOverrun)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            Ipv4Error::Truncated,
+            Ipv4Error::BadVersion,
+            Ipv4Error::BadIhl,
+            Ipv4Error::TruncatedOptions,
+            Ipv4Error::BadTotalLength,
+            Ipv4Error::BadChecksum,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

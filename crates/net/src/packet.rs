@@ -1,0 +1,300 @@
+//! Packet buffers and per-packet metadata.
+//!
+//! A [`Packet`] is the unit of "packet state" in the paper's state taxonomy:
+//! it is owned by exactly one element at a time and handed over by value when
+//! pushed to the next element. The buffer holds the raw wire bytes starting at
+//! the Ethernet header; metadata carries the annotations Click elements
+//! traditionally stash alongside a packet (input port, paint colour, etc.).
+
+use bytes::{BufMut, BytesMut};
+use std::fmt;
+
+/// Per-packet metadata carried alongside the wire bytes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PacketMeta {
+    /// The pipeline input port (or device index) the packet arrived on.
+    pub input_port: u16,
+    /// A small colour value set by `Paint`-style elements and matched by
+    /// classifiers; mirrors Click's paint annotation.
+    pub paint: u8,
+    /// Monotonic sequence number assigned by the generator, used by tests and
+    /// benches to track packets through the pipeline.
+    pub sequence: u64,
+}
+
+/// A packet: owned wire bytes plus metadata.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Packet {
+    data: Vec<u8>,
+    meta: PacketMeta,
+}
+
+impl Packet {
+    /// Create a packet from raw wire bytes.
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Packet {
+            data,
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Create a packet from raw bytes and explicit metadata.
+    pub fn with_meta(data: Vec<u8>, meta: PacketMeta) -> Self {
+        Packet { data, meta }
+    }
+
+    /// Create an all-zero packet of the given length.
+    pub fn zeroed(len: usize) -> Self {
+        Packet::from_bytes(vec![0u8; len])
+    }
+
+    /// Length of the wire data in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the packet has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The wire bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the wire bytes.
+    pub fn bytes_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+
+    /// Consume the packet and return its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// The metadata.
+    pub fn meta(&self) -> &PacketMeta {
+        &self.meta
+    }
+
+    /// Mutable access to the metadata.
+    pub fn meta_mut(&mut self) -> &mut PacketMeta {
+        &mut self.meta
+    }
+
+    /// Read a single byte, if in bounds.
+    pub fn get_u8(&self, offset: usize) -> Option<u8> {
+        self.data.get(offset).copied()
+    }
+
+    /// Read a big-endian 16-bit value, if in bounds.
+    pub fn get_u16(&self, offset: usize) -> Option<u16> {
+        let b = self.data.get(offset..offset + 2)?;
+        Some(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Read a big-endian 32-bit value, if in bounds.
+    pub fn get_u32(&self, offset: usize) -> Option<u32> {
+        let b = self.data.get(offset..offset + 4)?;
+        Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Write a single byte. Returns `false` if out of bounds.
+    pub fn set_u8(&mut self, offset: usize, value: u8) -> bool {
+        if let Some(b) = self.data.get_mut(offset) {
+            *b = value;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Write a big-endian 16-bit value. Returns `false` if out of bounds.
+    pub fn set_u16(&mut self, offset: usize, value: u16) -> bool {
+        if let Some(b) = self.data.get_mut(offset..offset + 2) {
+            b.copy_from_slice(&value.to_be_bytes());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Write a big-endian 32-bit value. Returns `false` if out of bounds.
+    pub fn set_u32(&mut self, offset: usize, value: u32) -> bool {
+        if let Some(b) = self.data.get_mut(offset..offset + 4) {
+            b.copy_from_slice(&value.to_be_bytes());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove `n` bytes from the front of the packet (Click's `Strip`).
+    /// Returns `false` (and leaves the packet unchanged) if the packet is
+    /// shorter than `n`.
+    pub fn strip_front(&mut self, n: usize) -> bool {
+        if self.data.len() < n {
+            return false;
+        }
+        self.data.drain(0..n);
+        true
+    }
+
+    /// Prepend `bytes` to the front of the packet (Click's `Unstrip` /
+    /// encapsulation).
+    pub fn push_front(&mut self, bytes: &[u8]) {
+        let mut new = Vec::with_capacity(bytes.len() + self.data.len());
+        new.extend_from_slice(bytes);
+        new.extend_from_slice(&self.data);
+        self.data = new;
+    }
+
+    /// Truncate the packet to `len` bytes if it is longer.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Packet(len={}, port={}, paint={}, seq={})",
+            self.data.len(),
+            self.meta.input_port,
+            self.meta.paint,
+            self.meta.sequence
+        )
+    }
+}
+
+/// Incremental builder for raw packet bytes. Higher-level header writers live
+/// in the protocol modules; this type just manages the growing byte buffer.
+#[derive(Debug, Default)]
+pub struct RawWriter {
+    buf: BytesMut,
+}
+
+impl RawWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        RawWriter {
+            buf: BytesMut::with_capacity(128),
+        }
+    }
+
+    /// Append a byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Append a big-endian 16-bit value.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16(v);
+        self
+    }
+
+    /// Append a big-endian 32-bit value.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32(v);
+        self
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish and return the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        let mut p = Packet::zeroed(8);
+        assert_eq!(p.len(), 8);
+        assert!(!p.is_empty());
+        assert!(p.set_u8(0, 0xab));
+        assert!(p.set_u16(2, 0x1234));
+        assert!(p.set_u32(4, 0xdeadbeef));
+        assert_eq!(p.get_u8(0), Some(0xab));
+        assert_eq!(p.get_u16(2), Some(0x1234));
+        assert_eq!(p.get_u32(4), Some(0xdeadbeef));
+        // Out of bounds accesses return None/false, never panic.
+        assert_eq!(p.get_u32(6), None);
+        assert_eq!(p.get_u16(7), None);
+        assert_eq!(p.get_u8(8), None);
+        assert!(!p.set_u32(6, 0));
+        assert!(!p.set_u16(7, 0));
+        assert!(!p.set_u8(8, 0));
+    }
+
+    #[test]
+    fn strip_and_unstrip() {
+        let mut p = Packet::from_bytes(vec![1, 2, 3, 4, 5]);
+        assert!(p.strip_front(2));
+        assert_eq!(p.bytes(), &[3, 4, 5]);
+        p.push_front(&[9, 8]);
+        assert_eq!(p.bytes(), &[9, 8, 3, 4, 5]);
+        assert!(!p.strip_front(100));
+        assert_eq!(p.len(), 5);
+        p.truncate(2);
+        assert_eq!(p.bytes(), &[9, 8]);
+        p.truncate(10);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn metadata_and_debug() {
+        let mut p = Packet::with_meta(
+            vec![0; 4],
+            PacketMeta {
+                input_port: 3,
+                paint: 7,
+                sequence: 42,
+            },
+        );
+        assert_eq!(p.meta().paint, 7);
+        p.meta_mut().paint = 9;
+        assert_eq!(p.meta().paint, 9);
+        let s = format!("{:?}", p);
+        assert!(s.contains("len=4"));
+        assert!(s.contains("seq=42"));
+        assert_eq!(p.clone().into_bytes(), vec![0; 4]);
+    }
+
+    #[test]
+    fn raw_writer_builds_bytes() {
+        let mut w = RawWriter::new();
+        assert!(w.is_empty());
+        w.u8(1).u16(0x0203).u32(0x04050607).bytes(&[8, 9]);
+        assert_eq!(w.len(), 9);
+        assert_eq!(w.finish(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn bytes_mut_allows_in_place_edits() {
+        let mut p = Packet::from_bytes(vec![0, 1, 2]);
+        p.bytes_mut()[1] = 0xff;
+        assert_eq!(p.bytes(), &[0, 0xff, 2]);
+    }
+}

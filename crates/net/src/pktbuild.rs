@@ -1,0 +1,324 @@
+//! High-level packet construction for tests, examples, and workloads.
+
+use crate::ethernet::{EthernetHeader, MacAddr, ETHERTYPE_IPV4};
+use crate::ipv4::{Ipv4Header, PROTO_ICMP, PROTO_TCP, PROTO_UDP};
+use crate::packet::{Packet, PacketMeta};
+use crate::transport::{IcmpHeader, TcpHeader, UdpHeader, ICMP_ECHO_REQUEST};
+use std::net::Ipv4Addr;
+
+/// Builder that assembles a complete Ethernet/IPv4/transport packet with
+/// correct lengths and checksums.
+#[derive(Clone, Debug)]
+pub struct PacketBuilder {
+    eth_src: MacAddr,
+    eth_dst: MacAddr,
+    ip: Ipv4Header,
+    l4: L4,
+    payload: Vec<u8>,
+    meta: PacketMeta,
+}
+
+#[derive(Clone, Debug)]
+enum L4 {
+    Udp { src_port: u16, dst_port: u16 },
+    Tcp(TcpHeader),
+    Icmp(IcmpHeader),
+    None,
+}
+
+impl PacketBuilder {
+    /// Start a UDP packet.
+    pub fn udp(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16, payload: &[u8]) -> Self {
+        let mut ip = Ipv4Header::template();
+        ip.src = src;
+        ip.dst = dst;
+        ip.protocol = PROTO_UDP;
+        PacketBuilder {
+            eth_src: MacAddr::local(1),
+            eth_dst: MacAddr::local(2),
+            ip,
+            l4: L4::Udp { src_port, dst_port },
+            payload: payload.to_vec(),
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Start a TCP SYN packet.
+    pub fn tcp_syn(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16) -> Self {
+        let mut ip = Ipv4Header::template();
+        ip.src = src;
+        ip.dst = dst;
+        ip.protocol = PROTO_TCP;
+        PacketBuilder {
+            eth_src: MacAddr::local(1),
+            eth_dst: MacAddr::local(2),
+            ip,
+            l4: L4::Tcp(TcpHeader::syn(src_port, dst_port)),
+            payload: Vec::new(),
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Start an ICMP echo-request packet.
+    pub fn icmp_echo(src: Ipv4Addr, dst: Ipv4Addr) -> Self {
+        let mut ip = Ipv4Header::template();
+        ip.src = src;
+        ip.dst = dst;
+        ip.protocol = PROTO_ICMP;
+        PacketBuilder {
+            eth_src: MacAddr::local(1),
+            eth_dst: MacAddr::local(2),
+            ip,
+            l4: L4::Icmp(IcmpHeader {
+                icmp_type: ICMP_ECHO_REQUEST,
+                code: 0,
+                checksum: 0,
+                identifier: 1,
+                sequence: 1,
+            }),
+            payload: Vec::new(),
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Start a bare IPv4 packet with the given protocol number and no
+    /// transport header.
+    pub fn ipv4_raw(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload: &[u8]) -> Self {
+        let mut ip = Ipv4Header::template();
+        ip.src = src;
+        ip.dst = dst;
+        ip.protocol = protocol;
+        PacketBuilder {
+            eth_src: MacAddr::local(1),
+            eth_dst: MacAddr::local(2),
+            ip,
+            l4: L4::None,
+            payload: payload.to_vec(),
+            meta: PacketMeta::default(),
+        }
+    }
+
+    /// Set the Ethernet addresses.
+    pub fn eth(mut self, src: MacAddr, dst: MacAddr) -> Self {
+        self.eth_src = src;
+        self.eth_dst = dst;
+        self
+    }
+
+    /// Set the IPv4 TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ip.ttl = ttl;
+        self
+    }
+
+    /// Attach raw IPv4 options bytes (will be padded to a 4-byte multiple).
+    pub fn ip_options(mut self, options: &[u8]) -> Self {
+        self.ip.options = options.to_vec();
+        self
+    }
+
+    /// Set the payload bytes.
+    pub fn payload(mut self, payload: &[u8]) -> Self {
+        self.payload = payload.to_vec();
+        self
+    }
+
+    /// Set the packet metadata.
+    pub fn meta(mut self, meta: PacketMeta) -> Self {
+        self.meta = meta;
+        self
+    }
+
+    /// Pad the final packet with zero bytes up to `len` (if shorter).
+    pub fn pad_to(self, len: usize) -> PaddedBuilder {
+        PaddedBuilder { inner: self, len }
+    }
+
+    /// Assemble the packet: serialize headers, fix lengths and checksums.
+    pub fn build(self) -> Packet {
+        let meta = self.meta.clone();
+        let bytes = self.build_bytes();
+        Packet::with_meta(bytes, meta)
+    }
+
+    fn build_bytes(mut self) -> Vec<u8> {
+        // Layer 4 first so we know its length.
+        let ip_src = self.ip.src.octets();
+        let ip_dst = self.ip.dst.octets();
+        let l4_bytes: Vec<u8> = match &self.l4 {
+            L4::Udp { src_port, dst_port } => {
+                let length = (crate::transport::UDP_HEADER_LEN + self.payload.len()) as u16;
+                let mut udp = UdpHeader {
+                    src_port: *src_port,
+                    dst_port: *dst_port,
+                    length,
+                    checksum: 0,
+                };
+                udp.checksum = udp.compute_checksum(ip_src, ip_dst, &self.payload);
+                let mut v = udp.to_bytes().to_vec();
+                v.extend_from_slice(&self.payload);
+                v
+            }
+            L4::Tcp(tcp) => {
+                let mut v = tcp.to_bytes();
+                v.extend_from_slice(&self.payload);
+                v
+            }
+            L4::Icmp(icmp) => {
+                let mut h = *icmp;
+                h.checksum = h.compute_checksum(&self.payload);
+                let mut v = h.to_bytes().to_vec();
+                v.extend_from_slice(&self.payload);
+                v
+            }
+            L4::None => self.payload.clone(),
+        };
+
+        // IPv4 header with correct total length (header is serialized with
+        // padded options, so compute that length first).
+        let opt_padded = (self.ip.options.len() + 3) / 4 * 4;
+        let ip_header_len = 20 + opt_padded;
+        self.ip.total_length = (ip_header_len + l4_bytes.len()) as u16;
+        let ip_bytes = self.ip.to_bytes();
+
+        let eth = EthernetHeader {
+            dst: self.eth_dst,
+            src: self.eth_src,
+            ethertype: ETHERTYPE_IPV4,
+        };
+
+        let mut out = Vec::with_capacity(14 + ip_bytes.len() + l4_bytes.len());
+        out.extend_from_slice(&eth.to_bytes());
+        out.extend_from_slice(&ip_bytes);
+        out.extend_from_slice(&l4_bytes);
+        out
+    }
+}
+
+/// A [`PacketBuilder`] with a minimum-length pad applied at build time.
+#[derive(Clone, Debug)]
+pub struct PaddedBuilder {
+    inner: PacketBuilder,
+    len: usize,
+}
+
+impl PaddedBuilder {
+    /// Assemble the packet and pad to the requested length.
+    pub fn build(self) -> Packet {
+        let meta = self.inner.meta.clone();
+        let mut bytes = self.inner.build_bytes();
+        if bytes.len() < self.len {
+            bytes.resize(self.len, 0);
+        }
+        Packet::with_meta(bytes, meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::ETHERNET_HEADER_LEN;
+    use crate::ipv4::Ipv4Header;
+
+    #[test]
+    fn udp_packet_has_valid_ip_header_and_lengths() {
+        let pkt = PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 9),
+            5000,
+            53,
+            b"query",
+        )
+        .build();
+        let ip_bytes = &pkt.bytes()[ETHERNET_HEADER_LEN..];
+        let hdr = Ipv4Header::parse_checked(ip_bytes).unwrap();
+        assert_eq!(hdr.protocol, PROTO_UDP);
+        assert_eq!(hdr.total_length as usize, ip_bytes.len());
+        assert_eq!(pkt.len(), ETHERNET_HEADER_LEN + 20 + 8 + 5);
+    }
+
+    #[test]
+    fn options_grow_the_header() {
+        let pkt = PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 9),
+            5000,
+            53,
+            b"",
+        )
+        .ip_options(&[1, 1, 1, 1]) // four NOPs
+        .build();
+        let ip_bytes = &pkt.bytes()[ETHERNET_HEADER_LEN..];
+        let hdr = Ipv4Header::parse_checked(ip_bytes).unwrap();
+        assert_eq!(hdr.ihl, 6);
+        assert_eq!(hdr.header_len(), 24);
+    }
+
+    #[test]
+    fn ttl_eth_payload_and_meta_setters() {
+        let pkt = PacketBuilder::tcp_syn(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+        )
+        .ttl(3)
+        .eth(MacAddr::local(7), MacAddr::local(8))
+        .payload(b"xyz")
+        .meta(PacketMeta {
+            input_port: 2,
+            paint: 1,
+            sequence: 5,
+        })
+        .build();
+        assert_eq!(pkt.meta().sequence, 5);
+        assert_eq!(pkt.bytes()[6..12], MacAddr::local(7).octets());
+        let ip = Ipv4Header::parse_checked(&pkt.bytes()[ETHERNET_HEADER_LEN..]).unwrap();
+        assert_eq!(ip.ttl, 3);
+        assert_eq!(ip.protocol, PROTO_TCP);
+    }
+
+    #[test]
+    fn icmp_and_raw_builders() {
+        let pkt = PacketBuilder::icmp_echo(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .payload(b"ping")
+            .build();
+        let ip = Ipv4Header::parse_checked(&pkt.bytes()[ETHERNET_HEADER_LEN..]).unwrap();
+        assert_eq!(ip.protocol, PROTO_ICMP);
+
+        let pkt = PacketBuilder::ipv4_raw(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            89, // OSPF
+            b"lsa",
+        )
+        .build();
+        let ip = Ipv4Header::parse_checked(&pkt.bytes()[ETHERNET_HEADER_LEN..]).unwrap();
+        assert_eq!(ip.protocol, 89);
+        assert_eq!(ip.total_length as usize, 20 + 3);
+    }
+
+    #[test]
+    fn pad_to_extends_short_packets() {
+        let pkt = PacketBuilder::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+            b"",
+        )
+        .pad_to(64)
+        .build();
+        assert_eq!(pkt.len(), 64);
+        let pkt2 = PacketBuilder::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+            &[0u8; 100],
+        )
+        .pad_to(64)
+        .build();
+        assert!(pkt2.len() > 64);
+    }
+}

@@ -1,0 +1,315 @@
+//! UDP, TCP, and ICMP header codecs.
+
+use crate::checksum;
+use serde::{Deserialize, Serialize};
+
+/// UDP header length in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+/// Minimum TCP header length in bytes (no options).
+pub const TCP_MIN_HEADER_LEN: usize = 20;
+/// ICMP echo header length in bytes.
+pub const ICMP_HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload in bytes.
+    pub length: u16,
+    /// Checksum over pseudo-header, header, and payload (0 = not computed).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Parse from the front of `data`.
+    pub fn parse(data: &[u8]) -> Option<UdpHeader> {
+        if data.len() < UDP_HEADER_LEN {
+            return None;
+        }
+        Some(UdpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            length: u16::from_be_bytes([data[4], data[5]]),
+            checksum: u16::from_be_bytes([data[6], data[7]]),
+        })
+    }
+
+    /// Serialize to 8 bytes.
+    pub fn to_bytes(&self) -> [u8; UDP_HEADER_LEN] {
+        let mut out = [0u8; UDP_HEADER_LEN];
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.length.to_be_bytes());
+        out[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+        out
+    }
+
+    /// Compute the UDP checksum for this header plus `payload`, given the
+    /// enclosing IPv4 source and destination addresses.
+    pub fn compute_checksum(&self, src: [u8; 4], dst: [u8; 4], payload: &[u8]) -> u16 {
+        let mut hdr = *self;
+        hdr.checksum = 0;
+        let pseudo = checksum::pseudo_header_sum(src, dst, crate::ipv4::PROTO_UDP, self.length);
+        let mut buf = hdr.to_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        let c = checksum::checksum_with(&buf, pseudo);
+        // Per RFC 768 a computed checksum of zero is transmitted as all ones.
+        if c == 0 {
+            0xffff
+        } else {
+            c
+        }
+    }
+}
+
+/// A parsed TCP header (fixed part only; options are kept as raw bytes).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Data offset in 32-bit words (5..=15).
+    pub data_offset: u8,
+    /// Flag bits (FIN, SYN, RST, PSH, ACK, URG, ECE, CWR).
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum.
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+    /// Raw options bytes.
+    pub options: Vec<u8>,
+}
+
+/// TCP flag bit: FIN.
+pub const TCP_FIN: u8 = 0x01;
+/// TCP flag bit: SYN.
+pub const TCP_SYN: u8 = 0x02;
+/// TCP flag bit: RST.
+pub const TCP_RST: u8 = 0x04;
+/// TCP flag bit: ACK.
+pub const TCP_ACK: u8 = 0x10;
+
+impl TcpHeader {
+    /// Parse from the front of `data`.
+    pub fn parse(data: &[u8]) -> Option<TcpHeader> {
+        if data.len() < TCP_MIN_HEADER_LEN {
+            return None;
+        }
+        let data_offset = data[12] >> 4;
+        if data_offset < 5 {
+            return None;
+        }
+        let hlen = data_offset as usize * 4;
+        if data.len() < hlen {
+            return None;
+        }
+        Some(TcpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            data_offset,
+            flags: data[13],
+            window: u16::from_be_bytes([data[14], data[15]]),
+            checksum: u16::from_be_bytes([data[16], data[17]]),
+            urgent: u16::from_be_bytes([data[18], data[19]]),
+            options: data[TCP_MIN_HEADER_LEN..hlen].to_vec(),
+        })
+    }
+
+    /// Serialize the header, padding options to a multiple of 4 bytes and
+    /// recomputing the data offset accordingly.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let padded = (self.options.len() + 3) / 4 * 4;
+        let data_offset = 5 + (padded / 4) as u8;
+        let hlen = data_offset as usize * 4;
+        let mut out = vec![0u8; hlen];
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        out[12] = data_offset << 4;
+        out[13] = self.flags;
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        out[16..18].copy_from_slice(&self.checksum.to_be_bytes());
+        out[18..20].copy_from_slice(&self.urgent.to_be_bytes());
+        out[TCP_MIN_HEADER_LEN..TCP_MIN_HEADER_LEN + self.options.len()]
+            .copy_from_slice(&self.options);
+        out
+    }
+
+    /// A SYN packet template with sensible defaults.
+    pub fn syn(src_port: u16, dst_port: u16) -> TcpHeader {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq: 1,
+            ack: 0,
+            data_offset: 5,
+            flags: TCP_SYN,
+            window: 65535,
+            checksum: 0,
+            urgent: 0,
+            options: Vec::new(),
+        }
+    }
+}
+
+/// ICMP message type: echo reply.
+pub const ICMP_ECHO_REPLY: u8 = 0;
+/// ICMP message type: echo request.
+pub const ICMP_ECHO_REQUEST: u8 = 8;
+/// ICMP message type: destination unreachable.
+pub const ICMP_DEST_UNREACHABLE: u8 = 3;
+/// ICMP message type: time exceeded.
+pub const ICMP_TIME_EXCEEDED: u8 = 11;
+
+/// A parsed ICMP echo-style header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IcmpHeader {
+    /// Message type.
+    pub icmp_type: u8,
+    /// Message code.
+    pub code: u8,
+    /// Checksum over the whole ICMP message.
+    pub checksum: u16,
+    /// Identifier (echo) or unused.
+    pub identifier: u16,
+    /// Sequence number (echo) or unused.
+    pub sequence: u16,
+}
+
+impl IcmpHeader {
+    /// Parse from the front of `data`.
+    pub fn parse(data: &[u8]) -> Option<IcmpHeader> {
+        if data.len() < ICMP_HEADER_LEN {
+            return None;
+        }
+        Some(IcmpHeader {
+            icmp_type: data[0],
+            code: data[1],
+            checksum: u16::from_be_bytes([data[2], data[3]]),
+            identifier: u16::from_be_bytes([data[4], data[5]]),
+            sequence: u16::from_be_bytes([data[6], data[7]]),
+        })
+    }
+
+    /// Serialize to 8 bytes.
+    pub fn to_bytes(&self) -> [u8; ICMP_HEADER_LEN] {
+        let mut out = [0u8; ICMP_HEADER_LEN];
+        out[0] = self.icmp_type;
+        out[1] = self.code;
+        out[2..4].copy_from_slice(&self.checksum.to_be_bytes());
+        out[4..6].copy_from_slice(&self.identifier.to_be_bytes());
+        out[6..8].copy_from_slice(&self.sequence.to_be_bytes());
+        out
+    }
+
+    /// Compute the ICMP checksum for this header plus `payload`.
+    pub fn compute_checksum(&self, payload: &[u8]) -> u16 {
+        let mut hdr = *self;
+        hdr.checksum = 0;
+        let mut buf = hdr.to_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        checksum::checksum(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_round_trip_and_checksum() {
+        let hdr = UdpHeader {
+            src_port: 1234,
+            dst_port: 53,
+            length: 12,
+            checksum: 0,
+        };
+        let bytes = hdr.to_bytes();
+        assert_eq!(UdpHeader::parse(&bytes).unwrap(), hdr);
+        assert!(UdpHeader::parse(&bytes[..7]).is_none());
+
+        let payload = [1, 2, 3, 4];
+        let c = hdr.compute_checksum([10, 0, 0, 1], [10, 0, 0, 2], &payload);
+        assert_ne!(c, 0);
+        // Filling in the checksum makes the whole thing verify against the
+        // pseudo-header.
+        let mut full = hdr;
+        full.checksum = c;
+        let pseudo =
+            checksum::pseudo_header_sum([10, 0, 0, 1], [10, 0, 0, 2], crate::ipv4::PROTO_UDP, 12);
+        let mut buf = full.to_bytes().to_vec();
+        buf.extend_from_slice(&payload);
+        assert_eq!(checksum::checksum_with(&buf, pseudo), 0);
+    }
+
+    #[test]
+    fn tcp_round_trip_with_options() {
+        let mut hdr = TcpHeader::syn(4000, 80);
+        hdr.options = vec![2, 4, 0x05, 0xb4]; // MSS option
+        let bytes = hdr.to_bytes();
+        assert_eq!(bytes.len(), 24);
+        let parsed = TcpHeader::parse(&bytes).unwrap();
+        assert_eq!(parsed.src_port, 4000);
+        assert_eq!(parsed.dst_port, 80);
+        assert_eq!(parsed.flags, TCP_SYN);
+        assert_eq!(parsed.data_offset, 6);
+        assert_eq!(parsed.options, hdr.options);
+    }
+
+    #[test]
+    fn tcp_rejects_short_or_bad_offset() {
+        assert!(TcpHeader::parse(&[0u8; 10]).is_none());
+        let mut bytes = TcpHeader::syn(1, 2).to_bytes();
+        bytes[12] = 3 << 4; // bad offset
+        assert!(TcpHeader::parse(&bytes).is_none());
+        let mut bytes = TcpHeader::syn(1, 2).to_bytes();
+        bytes[12] = 10 << 4; // claims options beyond buffer
+        assert!(TcpHeader::parse(&bytes).is_none());
+    }
+
+    #[test]
+    fn icmp_round_trip_and_checksum() {
+        let hdr = IcmpHeader {
+            icmp_type: ICMP_ECHO_REQUEST,
+            code: 0,
+            checksum: 0,
+            identifier: 77,
+            sequence: 3,
+        };
+        let bytes = hdr.to_bytes();
+        assert_eq!(IcmpHeader::parse(&bytes).unwrap(), hdr);
+        assert!(IcmpHeader::parse(&bytes[..4]).is_none());
+        let payload = b"abcdefgh";
+        let c = hdr.compute_checksum(payload);
+        let mut filled = hdr;
+        filled.checksum = c;
+        let mut buf = filled.to_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        assert!(checksum::verify(&buf));
+    }
+
+    #[test]
+    fn flag_constants_are_distinct_bits() {
+        let flags = [TCP_FIN, TCP_SYN, TCP_RST, TCP_ACK];
+        for (i, a) in flags.iter().enumerate() {
+            for (j, b) in flags.iter().enumerate() {
+                if i != j {
+                    assert_eq!(a & b, 0);
+                }
+            }
+        }
+    }
+}

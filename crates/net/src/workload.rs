@@ -1,0 +1,356 @@
+//! Synthetic workload generation.
+//!
+//! The paper's testbed replays packets from line-rate hardware; our
+//! reproduction substitutes a deterministic, seedable generator that produces
+//! the same *classes* of packets the evaluation cares about: well-formed
+//! IPv4 traffic over a configurable address pool, packets carrying IP
+//! options (the expensive path), and malformed packets (truncated headers,
+//! bad checksums, bad versions) that a correct pipeline must reject without
+//! crashing.
+
+use crate::ethernet::ETHERNET_HEADER_LEN;
+use crate::ipv4::{IPOPT_NOP, IPOPT_RR};
+use crate::packet::{Packet, PacketMeta};
+use crate::pktbuild::PacketBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// The kinds of packets a workload can mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacketClass {
+    /// A well-formed UDP packet with no IP options.
+    Udp,
+    /// A well-formed TCP SYN.
+    TcpSyn,
+    /// A well-formed ICMP echo request.
+    IcmpEcho,
+    /// A well-formed UDP packet carrying IP options (record-route + NOPs).
+    WithIpOptions,
+    /// An IPv4 header whose checksum is wrong.
+    BadChecksum,
+    /// A packet truncated in the middle of the IPv4 header.
+    TruncatedIp,
+    /// An IP version other than 4.
+    BadVersion,
+    /// A TTL of zero or one (about to expire).
+    ExpiringTtl,
+}
+
+/// Relative weights of each packet class in a generated mix.
+#[derive(Clone, Debug)]
+pub struct WorkloadMix {
+    entries: Vec<(PacketClass, u32)>,
+}
+
+impl WorkloadMix {
+    /// A mix of only well-formed forwarding traffic (UDP/TCP/ICMP).
+    pub fn clean() -> Self {
+        WorkloadMix {
+            entries: vec![
+                (PacketClass::Udp, 70),
+                (PacketClass::TcpSyn, 20),
+                (PacketClass::IcmpEcho, 10),
+            ],
+        }
+    }
+
+    /// The adversarial mix used by robustness tests: roughly half the packets
+    /// are malformed or exercise slow paths.
+    pub fn adversarial() -> Self {
+        WorkloadMix {
+            entries: vec![
+                (PacketClass::Udp, 30),
+                (PacketClass::TcpSyn, 10),
+                (PacketClass::WithIpOptions, 20),
+                (PacketClass::BadChecksum, 10),
+                (PacketClass::TruncatedIp, 10),
+                (PacketClass::BadVersion, 10),
+                (PacketClass::ExpiringTtl, 10),
+            ],
+        }
+    }
+
+    /// A single-class mix.
+    pub fn only(class: PacketClass) -> Self {
+        WorkloadMix {
+            entries: vec![(class, 1)],
+        }
+    }
+
+    /// Build a custom mix from `(class, weight)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `entries` is empty or all weights are zero.
+    pub fn custom(entries: Vec<(PacketClass, u32)>) -> Self {
+        assert!(
+            entries.iter().map(|(_, w)| *w).sum::<u32>() > 0,
+            "workload mix must have positive total weight"
+        );
+        WorkloadMix { entries }
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> PacketClass {
+        let total: u32 = self.entries.iter().map(|(_, w)| w).sum();
+        let mut roll = rng.gen_range(0..total);
+        for (class, w) in &self.entries {
+            if roll < *w {
+                return *class;
+            }
+            roll -= w;
+        }
+        self.entries[0].0
+    }
+}
+
+/// Configuration of a synthetic workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// RNG seed; the same seed reproduces the same packet sequence.
+    pub seed: u64,
+    /// The class mix.
+    pub mix: WorkloadMix,
+    /// Number of distinct source addresses (10.0.x.y pool).
+    pub src_hosts: u32,
+    /// Number of distinct destination addresses (192.168.x.y pool).
+    pub dst_hosts: u32,
+    /// Payload length for well-formed packets.
+    pub payload_len: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0xDA7A_0001_2013_0011,
+            mix: WorkloadMix::clean(),
+            src_hosts: 64,
+            dst_hosts: 16,
+            payload_len: 26, // 64-byte minimum frame with UDP
+        }
+    }
+}
+
+/// Deterministic packet generator.
+#[derive(Debug)]
+pub struct WorkloadGen {
+    cfg: WorkloadConfig,
+    rng: StdRng,
+    sequence: u64,
+}
+
+impl WorkloadGen {
+    /// Create a generator from a configuration.
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        WorkloadGen {
+            cfg,
+            rng,
+            sequence: 0,
+        }
+    }
+
+    /// Convenience constructor: clean traffic with the given seed.
+    pub fn clean(seed: u64) -> Self {
+        WorkloadGen::new(WorkloadConfig {
+            seed,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    /// Convenience constructor: adversarial traffic with the given seed.
+    pub fn adversarial(seed: u64) -> Self {
+        WorkloadGen::new(WorkloadConfig {
+            seed,
+            mix: WorkloadMix::adversarial(),
+            ..WorkloadConfig::default()
+        })
+    }
+
+    /// Generate the next packet.
+    pub fn next_packet(&mut self) -> Packet {
+        let class = self.cfg.mix.pick(&mut self.rng);
+        let pkt = self.build(class);
+        self.sequence += 1;
+        pkt
+    }
+
+    /// Generate a batch of `n` packets.
+    pub fn batch(&mut self, n: usize) -> Vec<Packet> {
+        (0..n).map(|_| self.next_packet()).collect()
+    }
+
+    fn addr_pair(&mut self) -> (Ipv4Addr, Ipv4Addr) {
+        let s = self.rng.gen_range(0..self.cfg.src_hosts);
+        let d = self.rng.gen_range(0..self.cfg.dst_hosts);
+        (
+            Ipv4Addr::new(10, 0, (s >> 8) as u8, (s & 0xff) as u8),
+            Ipv4Addr::new(192, 168, (d >> 8) as u8, (d & 0xff) as u8),
+        )
+    }
+
+    fn meta(&self) -> PacketMeta {
+        PacketMeta {
+            input_port: 0,
+            paint: 0,
+            sequence: self.sequence,
+        }
+    }
+
+    fn build(&mut self, class: PacketClass) -> Packet {
+        let (src, dst) = self.addr_pair();
+        let payload: Vec<u8> = (0..self.cfg.payload_len)
+            .map(|_| self.rng.gen::<u8>())
+            .collect();
+        let sport = self.rng.gen_range(1024..65000);
+        let dport = *[53u16, 80, 443, 8080, 5000]
+            .get(self.rng.gen_range(0..5))
+            .unwrap();
+        match class {
+            PacketClass::Udp => PacketBuilder::udp(src, dst, sport, dport, &payload)
+                .meta(self.meta())
+                .build(),
+            PacketClass::TcpSyn => PacketBuilder::tcp_syn(src, dst, sport, dport)
+                .meta(self.meta())
+                .build(),
+            PacketClass::IcmpEcho => PacketBuilder::icmp_echo(src, dst)
+                .payload(&payload)
+                .meta(self.meta())
+                .build(),
+            PacketClass::WithIpOptions => {
+                // A record-route option with room for three hops plus NOP padding.
+                let options = vec![IPOPT_RR, 15, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, IPOPT_NOP];
+                PacketBuilder::udp(src, dst, sport, dport, &payload)
+                    .ip_options(&options)
+                    .meta(self.meta())
+                    .build()
+            }
+            PacketClass::BadChecksum => {
+                let mut pkt = PacketBuilder::udp(src, dst, sport, dport, &payload)
+                    .meta(self.meta())
+                    .build();
+                // Flip a bit in the checksum field.
+                let off = ETHERNET_HEADER_LEN + 10;
+                let b = pkt.get_u8(off).unwrap();
+                pkt.set_u8(off, b ^ 0x5a);
+                pkt
+            }
+            PacketClass::TruncatedIp => {
+                let mut pkt = PacketBuilder::udp(src, dst, sport, dport, &payload)
+                    .meta(self.meta())
+                    .build();
+                pkt.truncate(ETHERNET_HEADER_LEN + self.rng.gen_range(1..12));
+                pkt
+            }
+            PacketClass::BadVersion => {
+                let mut pkt = PacketBuilder::udp(src, dst, sport, dport, &payload)
+                    .meta(self.meta())
+                    .build();
+                let off = ETHERNET_HEADER_LEN;
+                pkt.set_u8(off, 0x65); // version 6, IHL 5
+                pkt
+            }
+            PacketClass::ExpiringTtl => {
+                let ttl = self.rng.gen_range(0..2u8);
+                PacketBuilder::udp(src, dst, sport, dport, &payload)
+                    .ttl(ttl)
+                    .meta(self.meta())
+                    .build()
+            }
+        }
+    }
+}
+
+impl Iterator for WorkloadGen {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        Some(self.next_packet())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::Ipv4Header;
+
+    #[test]
+    fn same_seed_same_packets() {
+        let a: Vec<_> = WorkloadGen::clean(7).batch(50);
+        let b: Vec<_> = WorkloadGen::clean(7).batch(50);
+        assert_eq!(a, b);
+        let c: Vec<_> = WorkloadGen::clean(8).batch(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clean_mix_produces_valid_ip_headers() {
+        let mut gen = WorkloadGen::clean(1);
+        for pkt in gen.batch(100) {
+            let ip = Ipv4Header::parse_checked(&pkt.bytes()[ETHERNET_HEADER_LEN..]);
+            assert!(ip.is_ok(), "clean packet failed validation: {ip:?}");
+        }
+    }
+
+    #[test]
+    fn adversarial_mix_contains_malformed_packets() {
+        let mut gen = WorkloadGen::adversarial(2);
+        let packets = gen.batch(300);
+        let bad = packets
+            .iter()
+            .filter(|p| {
+                p.len() < ETHERNET_HEADER_LEN + 20
+                    || Ipv4Header::parse_checked(&p.bytes()[ETHERNET_HEADER_LEN..]).is_err()
+            })
+            .count();
+        assert!(bad > 30, "expected plenty of malformed packets, got {bad}");
+        assert!(bad < 300, "expected some valid packets too");
+    }
+
+    #[test]
+    fn options_class_sets_ihl_above_five() {
+        let mut gen = WorkloadGen::new(WorkloadConfig {
+            seed: 3,
+            mix: WorkloadMix::only(PacketClass::WithIpOptions),
+            ..WorkloadConfig::default()
+        });
+        let pkt = gen.next_packet();
+        let ip = Ipv4Header::parse_checked(&pkt.bytes()[ETHERNET_HEADER_LEN..]).unwrap();
+        assert!(ip.ihl > 5);
+        assert!(!ip.options.is_empty());
+    }
+
+    #[test]
+    fn expiring_ttl_class_sets_low_ttl() {
+        let mut gen = WorkloadGen::new(WorkloadConfig {
+            seed: 4,
+            mix: WorkloadMix::only(PacketClass::ExpiringTtl),
+            ..WorkloadConfig::default()
+        });
+        for pkt in gen.batch(20) {
+            let ip = Ipv4Header::parse_checked(&pkt.bytes()[ETHERNET_HEADER_LEN..]).unwrap();
+            assert!(ip.ttl <= 1);
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_increase() {
+        let mut gen = WorkloadGen::clean(5);
+        let p = gen.batch(10);
+        for (i, pkt) in p.iter().enumerate() {
+            assert_eq!(pkt.meta().sequence, i as u64);
+        }
+    }
+
+    #[test]
+    fn iterator_interface_works() {
+        let gen = WorkloadGen::clean(6);
+        let v: Vec<_> = gen.take(5).collect();
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mix_rejected() {
+        WorkloadMix::custom(vec![(PacketClass::Udp, 0)]);
+    }
+}

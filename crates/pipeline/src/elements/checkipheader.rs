@@ -1,0 +1,292 @@
+//! `CheckIPHeader` — validates the IPv4 header exactly as Click's
+//! `CheckIPHeader` element does: version, IHL, length consistency, and
+//! header checksum. Malformed packets are dropped; valid packets are emitted
+//! on port 0.
+//!
+//! This element establishes the invariants (`packet length >= IHL*4`,
+//! checksum valid) that downstream elements such as `IPOptions` rely on
+//! without re-checking — the composition effect at the heart of the paper's
+//! Figure 2.
+//!
+//! The element expects the IP header at offset 0 (i.e. it runs after
+//! `EthDecap`).
+
+use crate::element::{Action, Element};
+use crate::elements::common::{self, ip_field};
+use dataplane_ir::builder::{Block, ProgramBuilder};
+use dataplane_ir::expr::dsl::*;
+use dataplane_ir::Program;
+use dataplane_net::Packet;
+
+/// Maximum number of 16-bit words in an IPv4 header (IHL = 15).
+const MAX_HEADER_WORDS: u32 = 30;
+
+/// The CheckIPHeader element.
+#[derive(Debug, Default)]
+pub struct CheckIPHeader {
+    dropped: u64,
+}
+
+impl CheckIPHeader {
+    /// New header checker.
+    pub fn new() -> Self {
+        CheckIPHeader::default()
+    }
+
+    /// Number of malformed packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The pure validation logic shared by [`Element::process`]; returns
+    /// `true` when the packet passes every check.
+    pub fn header_ok(bytes: &[u8]) -> bool {
+        if bytes.len() < 20 {
+            return false;
+        }
+        let version = bytes[0] >> 4;
+        if version != 4 {
+            return false;
+        }
+        let ihl = (bytes[0] & 0x0f) as usize;
+        if ihl < 5 {
+            return false;
+        }
+        let hl = ihl * 4;
+        if bytes.len() < hl {
+            return false;
+        }
+        let total_len = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        if total_len < hl || total_len > bytes.len() {
+            return false;
+        }
+        common::native_ip_checksum_ok(bytes, ihl * 2)
+    }
+}
+
+impl Element for CheckIPHeader {
+    fn type_name(&self) -> &'static str {
+        "CheckIPHeader"
+    }
+    fn output_ports(&self) -> usize {
+        1
+    }
+    fn process(&mut self, packet: Packet) -> Action {
+        if CheckIPHeader::header_ok(packet.bytes()) {
+            Action::Emit(0, packet)
+        } else {
+            self.dropped += 1;
+            Action::Drop
+        }
+    }
+    fn model(&self) -> Program {
+        let mut pb = ProgramBuilder::new("CheckIPHeader", 1);
+        let ver_ihl = pb.local("ver_ihl", 8);
+        let ihl = pb.local("ihl", 32);
+        let hl = pb.local("hl", 32);
+        let total_len = pb.local("total_len", 32);
+        let sum = pb.local("sum", 32);
+        let idx = pb.local("idx", 32);
+
+        let mut b = Block::new();
+        // Minimum length for the fixed header.
+        b.if_then(
+            ult(pkt_len(), c(32, 20)),
+            Block::with(|bb| {
+                bb.drop_packet();
+            }),
+        );
+        b.assign(ver_ihl, pkt(ip_field::VER_IHL, 1));
+        // Version must be 4.
+        b.if_then(
+            ne(lshr(l(ver_ihl), c(8, 4)), c(8, 4)),
+            Block::with(|bb| {
+                bb.drop_packet();
+            }),
+        );
+        b.assign(ihl, zext(and(l(ver_ihl), c(8, 0x0f)), 32));
+        // IHL must be at least 5.
+        b.if_then(
+            ult(l(ihl), c(32, 5)),
+            Block::with(|bb| {
+                bb.drop_packet();
+            }),
+        );
+        b.assign(hl, mul(l(ihl), c(32, 4)));
+        // The buffer must hold the whole header.
+        b.if_then(
+            ult(pkt_len(), l(hl)),
+            Block::with(|bb| {
+                bb.drop_packet();
+            }),
+        );
+        // Total length must cover the header and fit in the buffer.
+        b.assign(total_len, zext(pkt(ip_field::TOTAL_LEN, 2), 32));
+        b.if_then(
+            bor(ult(l(total_len), l(hl)), ugt(l(total_len), pkt_len())),
+            Block::with(|bb| {
+                bb.drop_packet();
+            }),
+        );
+        // Header checksum must verify (sum of all header words == 0xffff).
+        common::model_ip_checksum_sum(
+            &mut b,
+            0,
+            sum,
+            idx,
+            mul(l(ihl), c(32, 2)),
+            MAX_HEADER_WORDS,
+        );
+        b.if_then(
+            ne(l(sum), c(32, 0xffff)),
+            Block::with(|bb| {
+                bb.drop_packet();
+            }),
+        );
+        b.emit(0);
+        pb.finish(b).expect("CheckIPHeader model is valid")
+    }
+    fn reset(&mut self) {
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::run_model;
+    use dataplane_net::ethernet::ETHERNET_HEADER_LEN;
+    use dataplane_net::{PacketBuilder, WorkloadGen};
+    use std::net::Ipv4Addr;
+
+    /// A valid IP packet with the Ethernet header already stripped.
+    fn ip_packet() -> Packet {
+        let frame = PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 0, 1),
+            1000,
+            53,
+            b"hello",
+        )
+        .build();
+        Packet::from_bytes(frame.bytes()[ETHERNET_HEADER_LEN..].to_vec())
+    }
+
+    fn ip_packet_with_options() -> Packet {
+        let frame = PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 0, 1),
+            1000,
+            53,
+            b"hello",
+        )
+        .ip_options(&[1, 1, 7, 7, 4, 0, 0, 0]) // NOP NOP RR(len 7)
+        .build();
+        Packet::from_bytes(frame.bytes()[ETHERNET_HEADER_LEN..].to_vec())
+    }
+
+    #[test]
+    fn accepts_valid_packets() {
+        let mut e = CheckIPHeader::new();
+        assert_eq!(e.process(ip_packet()).port(), Some(0));
+        assert_eq!(e.process(ip_packet_with_options()).port(), Some(0));
+        assert_eq!(e.dropped(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_packets() {
+        let mut e = CheckIPHeader::new();
+        // Too short.
+        assert_eq!(e.process(Packet::from_bytes(vec![0x45; 10])), Action::Drop);
+        // Wrong version.
+        let mut p = ip_packet();
+        p.bytes_mut()[0] = 0x65;
+        assert_eq!(e.process(p), Action::Drop);
+        // Bad IHL.
+        let mut p = ip_packet();
+        p.bytes_mut()[0] = 0x43;
+        assert_eq!(e.process(p), Action::Drop);
+        // Corrupted checksum.
+        let mut p = ip_packet();
+        p.bytes_mut()[10] ^= 0xff;
+        assert_eq!(e.process(p), Action::Drop);
+        // Total length larger than the buffer.
+        let mut p = ip_packet();
+        p.bytes_mut()[2] = 0xff;
+        p.bytes_mut()[3] = 0xff;
+        assert_eq!(e.process(p), Action::Drop);
+        // Total length smaller than the header.
+        let mut p = ip_packet();
+        p.bytes_mut()[2] = 0;
+        p.bytes_mut()[3] = 4;
+        assert_eq!(e.process(p), Action::Drop);
+        assert_eq!(e.dropped(), 6);
+        e.reset();
+        assert_eq!(e.dropped(), 0);
+    }
+
+    #[test]
+    fn model_agrees_with_native_on_crafted_packets() {
+        let e = CheckIPHeader::new();
+        let mut cases = vec![
+            ip_packet(),
+            ip_packet_with_options(),
+            Packet::from_bytes(vec![]),
+            Packet::from_bytes(vec![0x45; 19]),
+            Packet::from_bytes(vec![0x45; 20]),
+        ];
+        // A few targeted corruptions.
+        for (i, mask) in [(0usize, 0xf0u8), (0, 0x0f), (2, 0xff), (3, 0x7f), (10, 0x01), (8, 0x80)] {
+            let mut p = ip_packet();
+            p.bytes_mut()[i] ^= mask;
+            cases.push(p);
+        }
+        for p in cases {
+            let mut native_e = CheckIPHeader::new();
+            let native = native_e.process(p.clone());
+            let (model, _) = run_model(&e, &p);
+            assert_eq!(native.port(), model.port(), "packet {:?}", p.bytes());
+            assert!(!model.is_crash());
+        }
+    }
+
+    #[test]
+    fn model_agrees_with_native_on_random_workload() {
+        let e = CheckIPHeader::new();
+        let mut gen = WorkloadGen::adversarial(0xC0FFEE);
+        for frame in gen.batch(200) {
+            // Strip the Ethernet header as EthDecap would; skip frames that
+            // are too short to strip.
+            if frame.len() < ETHERNET_HEADER_LEN {
+                continue;
+            }
+            let p = Packet::from_bytes(frame.bytes()[ETHERNET_HEADER_LEN..].to_vec());
+            let mut native_e = CheckIPHeader::new();
+            let native = native_e.process(p.clone());
+            let (model, _) = run_model(&e, &p);
+            assert_eq!(native.port(), model.port());
+            assert!(!model.is_crash());
+        }
+    }
+
+    #[test]
+    fn never_crashes_on_arbitrary_short_inputs() {
+        let e = CheckIPHeader::new();
+        for len in 0..64 {
+            let p = Packet::from_bytes(vec![0x45u8; len]);
+            let (model, _) = run_model(&e, &p);
+            assert!(!model.is_crash(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn instruction_count_grows_with_header_size() {
+        let e = CheckIPHeader::new();
+        let (_, no_opts) = run_model(&e, &ip_packet());
+        let (_, with_opts) = run_model(&e, &ip_packet_with_options());
+        assert!(
+            with_opts > no_opts,
+            "options header should cost more instructions ({with_opts} vs {no_opts})"
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! `Classifier` — dispatches packets to output ports by matching 16-bit
+//! values at fixed offsets, a simplified form of Click's `Classifier`
+//! element (patterns like `12/0800` meaning "bytes 12..14 equal 0x0800").
+
+use crate::element::{Action, Element};
+use dataplane_ir::builder::{Block, ProgramBuilder};
+use dataplane_ir::expr::dsl::*;
+use dataplane_ir::{Expr, Program};
+use dataplane_net::Packet;
+
+/// A single 16-bit match at a byte offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatchField {
+    /// Byte offset of the 16-bit big-endian field.
+    pub offset: u32,
+    /// Value the field must equal.
+    pub value: u16,
+}
+
+/// One classification rule: all fields must match. The rule's position in the
+/// classifier's rule list is the output port it forwards to.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ClassifierRule {
+    /// Fields that must all match.
+    pub fields: Vec<MatchField>,
+}
+
+impl ClassifierRule {
+    /// A rule matching a single 16-bit field.
+    pub fn field(offset: u32, value: u16) -> Self {
+        ClassifierRule {
+            fields: vec![MatchField { offset, value }],
+        }
+    }
+
+    /// A rule that matches every packet (useful as a final catch-all port).
+    pub fn any() -> Self {
+        ClassifierRule { fields: Vec::new() }
+    }
+
+    fn matches(&self, packet: &Packet) -> bool {
+        self.fields.iter().all(|f| {
+            packet
+                .get_u16(f.offset as usize)
+                .map(|v| v == f.value)
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// The classifier element. Packets matching rule `i` are emitted on port `i`;
+/// packets matching no rule are dropped.
+#[derive(Debug)]
+pub struct Classifier {
+    rules: Vec<ClassifierRule>,
+}
+
+impl Classifier {
+    /// Build a classifier from rules (one output port per rule).
+    ///
+    /// # Panics
+    /// Panics if `rules` is empty or has more than 255 entries.
+    pub fn new(rules: Vec<ClassifierRule>) -> Self {
+        assert!(
+            !rules.is_empty() && rules.len() <= 255,
+            "Classifier needs 1..=255 rules"
+        );
+        Classifier { rules }
+    }
+
+    /// The classic router front-end: IPv4 traffic to port 0 (identified by
+    /// EtherType 0x0800 at offset 12), everything else dropped.
+    pub fn ipv4_only() -> Self {
+        Classifier::new(vec![ClassifierRule::field(12, 0x0800)])
+    }
+
+    /// The three-way split of Click's reference IP-router configuration:
+    /// ARP requests → port 0, ARP replies → port 1, IPv4 → port 2.
+    pub fn arp_ip_split() -> Self {
+        Classifier::new(vec![
+            ClassifierRule {
+                fields: vec![
+                    MatchField {
+                        offset: 12,
+                        value: 0x0806,
+                    },
+                    MatchField {
+                        offset: 20,
+                        value: 0x0001,
+                    },
+                ],
+            },
+            ClassifierRule {
+                fields: vec![
+                    MatchField {
+                        offset: 12,
+                        value: 0x0806,
+                    },
+                    MatchField {
+                        offset: 20,
+                        value: 0x0002,
+                    },
+                ],
+            },
+            ClassifierRule::field(12, 0x0800),
+        ])
+    }
+}
+
+impl Element for Classifier {
+    fn type_name(&self) -> &'static str {
+        "Classifier"
+    }
+
+    fn config_key(&self) -> String {
+        let mut parts = Vec::new();
+        for r in &self.rules {
+            let fields: Vec<String> = r
+                .fields
+                .iter()
+                .map(|f| format!("{}/{:04x}", f.offset, f.value))
+                .collect();
+            parts.push(if fields.is_empty() {
+                "-".to_string()
+            } else {
+                fields.join(",")
+            });
+        }
+        parts.join(";")
+    }
+
+    fn output_ports(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn process(&mut self, packet: Packet) -> Action {
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.matches(&packet) {
+                return Action::Emit(i as u8, packet);
+            }
+        }
+        Action::Drop
+    }
+
+    fn model(&self) -> Program {
+        let pb = ProgramBuilder::new("Classifier", self.rules.len() as u8);
+        let mut body = Block::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            // A rule matches when, for every field, the packet is long enough
+            // AND the field equals the expected value. An empty rule matches
+            // unconditionally. The bounds check guards the packet load via a
+            // lazy `select` (the IR's `&&` evaluates both sides, which would
+            // read out of bounds on short packets).
+            let cond = rule.fields.iter().fold(None::<Expr>, |acc, f| {
+                let in_bounds = uge(pkt_len(), c(32, f.offset as u64 + 2));
+                let equals = eq(pkt(f.offset, 2), c(16, f.value as u64));
+                let field_ok = select(in_bounds, equals, cbool(false));
+                Some(match acc {
+                    None => field_ok,
+                    Some(prev) => band(prev, field_ok),
+                })
+            });
+            let cond = cond.unwrap_or_else(|| cbool(true));
+            body.if_then(
+                cond,
+                Block::with(|b| {
+                    b.emit(i as u8);
+                }),
+            );
+        }
+        body.drop_packet();
+        pb.finish(body).expect("Classifier model is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::run_model;
+    use dataplane_net::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn ipv4_packet() -> Packet {
+        PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            2000,
+            b"data",
+        )
+        .build()
+    }
+
+    fn arp_packet(op: u16) -> Packet {
+        // Minimal ARP-shaped frame: ethertype 0x0806 at 12, opcode at 20.
+        let mut bytes = vec![0u8; 42];
+        bytes[12] = 0x08;
+        bytes[13] = 0x06;
+        bytes[20] = (op >> 8) as u8;
+        bytes[21] = (op & 0xff) as u8;
+        Packet::from_bytes(bytes)
+    }
+
+    #[test]
+    fn ipv4_only_accepts_ip_and_drops_rest() {
+        let mut c = Classifier::ipv4_only();
+        assert_eq!(c.process(ipv4_packet()).port(), Some(0));
+        assert_eq!(c.process(arp_packet(1)), Action::Drop);
+        assert_eq!(c.process(Packet::from_bytes(vec![0u8; 5])), Action::Drop);
+        assert_eq!(c.output_ports(), 1);
+    }
+
+    #[test]
+    fn arp_ip_split_routes_to_three_ports() {
+        let mut c = Classifier::arp_ip_split();
+        assert_eq!(c.output_ports(), 3);
+        assert_eq!(c.process(arp_packet(1)).port(), Some(0));
+        assert_eq!(c.process(arp_packet(2)).port(), Some(1));
+        assert_eq!(c.process(ipv4_packet()).port(), Some(2));
+        assert_eq!(c.process(Packet::from_bytes(vec![0u8; 64])), Action::Drop);
+    }
+
+    #[test]
+    fn model_agrees_with_native_on_assorted_packets() {
+        let mut c = Classifier::arp_ip_split();
+        let packets = vec![
+            ipv4_packet(),
+            arp_packet(1),
+            arp_packet(2),
+            arp_packet(9),
+            Packet::from_bytes(vec![0u8; 3]),
+            Packet::from_bytes(vec![0xff; 64]),
+            Packet::from_bytes(vec![]),
+        ];
+        for p in packets {
+            let native = c.process(p.clone());
+            let (model, _) = run_model(&c, &p);
+            assert_eq!(native.port(), model.port(), "packet {:?}", p);
+            assert_eq!(native.is_crash(), model.is_crash());
+        }
+    }
+
+    #[test]
+    fn short_packets_never_crash_the_classifier() {
+        let mut c = Classifier::arp_ip_split();
+        for len in 0..24 {
+            let p = Packet::from_bytes(vec![0x08; len]);
+            assert!(!c.process(p.clone()).is_crash());
+            let (model, _) = run_model(&c, &p);
+            assert!(!model.is_crash(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn catch_all_rule_matches_everything() {
+        let mut c = Classifier::new(vec![
+            ClassifierRule::field(12, 0x0800),
+            ClassifierRule::any(),
+        ]);
+        assert_eq!(c.process(ipv4_packet()).port(), Some(0));
+        assert_eq!(c.process(arp_packet(1)).port(), Some(1));
+        assert_eq!(c.process(Packet::from_bytes(vec![])).port(), Some(1));
+    }
+
+    #[test]
+    fn config_key_reflects_rules() {
+        let c = Classifier::arp_ip_split();
+        let key = c.config_key();
+        assert!(key.contains("12/0806"));
+        assert!(key.contains("12/0800"));
+        let c2 = Classifier::new(vec![ClassifierRule::any()]);
+        assert_eq!(c2.config_key(), "-");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rule_list_rejected() {
+        Classifier::new(vec![]);
+    }
+}

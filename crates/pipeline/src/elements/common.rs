@@ -1,0 +1,216 @@
+//! Shared helpers for element implementations.
+//!
+//! The native implementations and the IR models of several elements need the
+//! same computations (IPv4 header checksum, incremental checksum update).
+//! Keeping both forms side by side in one module makes it easy to see that
+//! they implement the same arithmetic, which is what the differential tests
+//! then confirm.
+
+use dataplane_ir::builder::Block;
+use dataplane_ir::expr::dsl::*;
+use dataplane_ir::{Expr, LocalId};
+
+/// Offsets of IPv4 header fields relative to the start of the IP header.
+pub mod ip_field {
+    /// Version/IHL byte.
+    pub const VER_IHL: u32 = 0;
+    /// Total length (16 bits).
+    pub const TOTAL_LEN: u32 = 2;
+    /// TTL byte.
+    pub const TTL: u32 = 8;
+    /// Protocol byte.
+    pub const PROTOCOL: u32 = 9;
+    /// Header checksum (16 bits).
+    pub const CHECKSUM: u32 = 10;
+    /// Source address (32 bits).
+    pub const SRC: u32 = 12;
+    /// Destination address (32 bits).
+    pub const DST: u32 = 16;
+    /// First option byte.
+    pub const OPTIONS: u32 = 20;
+}
+
+/// Native: compute the IPv4 header checksum over `header_words` 16-bit words
+/// of `bytes` with the checksum field (bytes 10..12) treated as zero.
+/// Returns the value to store in the checksum field.
+pub fn native_ip_checksum(bytes: &[u8], header_words: usize) -> u16 {
+    let mut sum: u32 = 0;
+    for w in 0..header_words {
+        let off = w * 2;
+        // Treat the checksum field (bytes 10..12) as zero.
+        let (hi, lo) = if off == 10 {
+            (0u32, 0u32)
+        } else {
+            (bytes[off] as u32, bytes[off + 1] as u32)
+        };
+        sum += (hi << 8) | lo;
+    }
+    // Two folds suffice for at most 30 words (see the model builder below,
+    // which performs exactly the same two folds).
+    sum = (sum & 0xffff) + (sum >> 16);
+    sum = (sum & 0xffff) + (sum >> 16);
+    !(sum as u16)
+}
+
+/// Native: verify the IPv4 header checksum (header bytes including the stored
+/// checksum must sum to 0xffff).
+pub fn native_ip_checksum_ok(bytes: &[u8], header_words: usize) -> bool {
+    let mut sum: u32 = 0;
+    for w in 0..header_words {
+        let off = w * 2;
+        sum += ((bytes[off] as u32) << 8) | bytes[off + 1] as u32;
+    }
+    sum = (sum & 0xffff) + (sum >> 16);
+    sum = (sum & 0xffff) + (sum >> 16);
+    sum == 0xffff
+}
+
+/// Native: RFC 1624 incremental checksum update when the TTL byte is
+/// decremented by one (the high byte of the TTL/protocol word decreases by
+/// one, so the checksum increases by 0x0100 with end-around carry).
+pub fn native_ttl_checksum_update(old: u16) -> u16 {
+    let t = old as u32 + 0x0100;
+    ((t & 0xffff) + (t >> 16)) as u16
+}
+
+/// Model: append statements that sum `words` 16-bit words of the packet
+/// starting at `ip_base`, into 32-bit local `sum`, using `idx` as the loop
+/// counter, then fold twice. `words` is an expression for the number of
+/// 16-bit words (e.g. `ihl * 2`); `max_words` bounds the loop.
+///
+/// The checksum field (word 5) is **included**; callers that need the
+/// verify-style sum (which should equal 0xffff) use this directly, callers
+/// that recompute a checksum zero the field first.
+pub fn model_ip_checksum_sum(
+    body: &mut Block,
+    ip_base: u32,
+    sum: LocalId,
+    idx: LocalId,
+    words: Expr,
+    max_words: u32,
+) {
+    body.assign(sum, c(32, 0));
+    body.assign(idx, c(32, 0));
+    body.loop_bounded(
+        max_words,
+        ult(l(idx), words),
+        Block::with(|lb| {
+            lb.assign(
+                sum,
+                add(
+                    l(sum),
+                    zext(pkt_at(add(c(32, ip_base as u64), mul(l(idx), c(32, 2))), 2), 32),
+                ),
+            );
+            lb.assign(idx, add(l(idx), c(32, 1)));
+        }),
+    );
+    // Two folds, exactly as the native helper does.
+    body.assign(
+        sum,
+        add(and(l(sum), c(32, 0xffff)), lshr(l(sum), c(32, 16))),
+    );
+    body.assign(
+        sum,
+        add(and(l(sum), c(32, 0xffff)), lshr(l(sum), c(32, 16))),
+    );
+}
+
+/// Model: the RFC 1624 incremental update used by `DecTTL`, mirroring
+/// [`native_ttl_checksum_update`]. `old` must be a 32-bit expression holding
+/// the old checksum; the result is a 32-bit expression holding the new one.
+pub fn model_ttl_checksum_update(old: Expr) -> Expr {
+    let t = add(old, c(32, 0x0100));
+    add(and(t.clone(), c(32, 0xffff)), lshr(t, c(32, 16)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane_net::checksum;
+    use dataplane_net::Ipv4Header;
+
+    #[test]
+    fn native_checksum_matches_net_crate() {
+        let hdr = Ipv4Header::template();
+        let bytes = hdr.to_bytes();
+        // Our helper, told to treat the checksum field as zero, must agree
+        // with the reference implementation in dataplane-net.
+        let ours = native_ip_checksum(&bytes, bytes.len() / 2);
+        let mut zeroed = bytes.clone();
+        zeroed[10] = 0;
+        zeroed[11] = 0;
+        assert_eq!(ours, checksum::checksum(&zeroed));
+        assert!(native_ip_checksum_ok(&bytes, bytes.len() / 2));
+        let mut corrupted = bytes.clone();
+        corrupted[8] ^= 0x40;
+        assert!(!native_ip_checksum_ok(&corrupted, corrupted.len() / 2));
+    }
+
+    #[test]
+    fn ttl_update_matches_full_recompute() {
+        // For a range of headers, decrementing the TTL and applying the
+        // incremental update must leave a header whose checksum verifies.
+        for ttl in [2u8, 3, 10, 64, 128, 255] {
+            let mut hdr = Ipv4Header::template();
+            hdr.ttl = ttl;
+            let mut bytes = hdr.to_bytes();
+            let old = u16::from_be_bytes([bytes[10], bytes[11]]);
+            bytes[8] -= 1;
+            let new = native_ttl_checksum_update(old);
+            bytes[10..12].copy_from_slice(&new.to_be_bytes());
+            assert!(
+                checksum::verify(&bytes),
+                "incremental update broke checksum for ttl {ttl}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_checksum_sum_agrees_with_native() {
+        use dataplane_ir::builder::ProgramBuilder;
+        use dataplane_ir::interp::{execute_default, ElementState};
+
+        // Build a tiny program that computes the verify-sum over a 20-byte
+        // header at offset 0 and stores the low 16 bits at offset 20.
+        let mut pb = ProgramBuilder::new("SumTest", 1);
+        let sum = pb.local("sum", 32);
+        let idx = pb.local("idx", 32);
+        let mut body = Block::new();
+        model_ip_checksum_sum(&mut body, 0, sum, idx, c(32, 10), 30);
+        body.pkt_store(20, 2, trunc(l(sum), 16));
+        body.emit(0);
+        let prog = pb.finish(body).unwrap();
+
+        let hdr = Ipv4Header::template();
+        let mut bytes = hdr.to_bytes();
+        bytes.extend_from_slice(&[0, 0]); // room for the result
+        let mut state = ElementState::for_program(&prog);
+        execute_default(&prog, &mut bytes, &mut state).unwrap();
+        let model_sum = u16::from_be_bytes([bytes[20], bytes[21]]);
+        assert_eq!(model_sum, 0xffff, "valid header must verify to 0xffff");
+    }
+
+    #[test]
+    fn model_ttl_update_expression_evaluates_like_native() {
+        use dataplane_ir::builder::ProgramBuilder;
+        use dataplane_ir::interp::{execute_default, ElementState};
+
+        let mut pb = ProgramBuilder::new("TtlUpd", 1);
+        let old = pb.local("old", 32);
+        let mut body = Block::new();
+        body.assign(old, zext(pkt(0, 2), 32));
+        body.pkt_store(2, 2, trunc(model_ttl_checksum_update(l(old)), 16));
+        body.emit(0);
+        let prog = pb.finish(body).unwrap();
+
+        for old_val in [0x0000u16, 0x1234, 0xfeff, 0xff00, 0xffff] {
+            let mut bytes = vec![0u8; 4];
+            bytes[0..2].copy_from_slice(&old_val.to_be_bytes());
+            let mut state = ElementState::for_program(&prog);
+            execute_default(&prog, &mut bytes, &mut state).unwrap();
+            let got = u16::from_be_bytes([bytes[2], bytes[3]]);
+            assert_eq!(got, native_ttl_checksum_update(old_val), "old {old_val:#x}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! `EthDecap` and `EthEncap` — Ethernet de-/re-encapsulation, the
+//! counterparts of Click's `Strip(14)` and `EtherEncap`.
+
+use crate::element::{Action, Element};
+use dataplane_ir::builder::{Block, ProgramBuilder};
+use dataplane_ir::expr::dsl::*;
+use dataplane_ir::Program;
+use dataplane_net::ethernet::{EthernetHeader, MacAddr, ETHERNET_HEADER_LEN, ETHERTYPE_IPV4};
+use dataplane_net::Packet;
+
+/// Removes the 14-byte Ethernet header. Packets too short to contain one are
+/// dropped.
+#[derive(Debug, Default)]
+pub struct EthDecap;
+
+impl EthDecap {
+    /// New decapsulator.
+    pub fn new() -> Self {
+        EthDecap
+    }
+}
+
+impl Element for EthDecap {
+    fn type_name(&self) -> &'static str {
+        "EthDecap"
+    }
+    fn output_ports(&self) -> usize {
+        1
+    }
+    fn process(&mut self, mut packet: Packet) -> Action {
+        if packet.len() < ETHERNET_HEADER_LEN {
+            return Action::Drop;
+        }
+        packet.strip_front(ETHERNET_HEADER_LEN);
+        Action::Emit(0, packet)
+    }
+    fn model(&self) -> Program {
+        let pb = ProgramBuilder::new("EthDecap", 1);
+        let mut b = Block::new();
+        b.if_then(
+            ult(pkt_len(), c(32, ETHERNET_HEADER_LEN as u64)),
+            Block::with(|bb| {
+                bb.drop_packet();
+            }),
+        );
+        b.strip_front(ETHERNET_HEADER_LEN as u32);
+        b.emit(0);
+        pb.finish(b).expect("EthDecap model is valid")
+    }
+}
+
+/// Prepends a fresh Ethernet header with configured addresses and EtherType,
+/// like Click's `EtherEncap(0x0800, src, dst)`.
+#[derive(Debug)]
+pub struct EthEncap {
+    src: MacAddr,
+    dst: MacAddr,
+    ethertype: u16,
+}
+
+impl EthEncap {
+    /// Encapsulate with the given source/destination MAC addresses and
+    /// EtherType.
+    pub fn new(src: MacAddr, dst: MacAddr, ethertype: u16) -> Self {
+        EthEncap {
+            src,
+            dst,
+            ethertype,
+        }
+    }
+
+    /// IPv4 encapsulation with locally-administered test addresses.
+    pub fn ipv4_default() -> Self {
+        EthEncap::new(MacAddr::local(1), MacAddr::local(2), ETHERTYPE_IPV4)
+    }
+
+    fn mac_as_u64(mac: MacAddr) -> u64 {
+        let o = mac.octets();
+        ((o[0] as u64) << 40)
+            | ((o[1] as u64) << 32)
+            | ((o[2] as u64) << 24)
+            | ((o[3] as u64) << 16)
+            | ((o[4] as u64) << 8)
+            | o[5] as u64
+    }
+}
+
+impl Element for EthEncap {
+    fn type_name(&self) -> &'static str {
+        "EthEncap"
+    }
+    fn config_key(&self) -> String {
+        format!("{}>{}@{:04x}", self.src, self.dst, self.ethertype)
+    }
+    fn output_ports(&self) -> usize {
+        1
+    }
+    fn process(&mut self, mut packet: Packet) -> Action {
+        let hdr = EthernetHeader {
+            dst: self.dst,
+            src: self.src,
+            ethertype: self.ethertype,
+        };
+        packet.push_front(&hdr.to_bytes());
+        Action::Emit(0, packet)
+    }
+    fn model(&self) -> Program {
+        let pb = ProgramBuilder::new("EthEncap", 1);
+        let mut b = Block::new();
+        b.push_front(ETHERNET_HEADER_LEN as u32);
+        // dst MAC at 0..6, src MAC at 6..12, ethertype at 12..14.
+        b.pkt_store(0, 6, c(48, Self::mac_as_u64(self.dst)));
+        b.pkt_store(6, 6, c(48, Self::mac_as_u64(self.src)));
+        b.pkt_store(12, 2, c(16, self.ethertype as u64));
+        b.emit(0);
+        pb.finish(b).expect("EthEncap model is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::run_model;
+    use dataplane_net::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    fn ip_frame() -> Packet {
+        PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            b"payload",
+        )
+        .build()
+    }
+
+    #[test]
+    fn decap_strips_header() {
+        let mut e = EthDecap::new();
+        let frame = ip_frame();
+        let expected_len = frame.len() - ETHERNET_HEADER_LEN;
+        match e.process(frame) {
+            Action::Emit(0, p) => {
+                assert_eq!(p.len(), expected_len);
+                assert_eq!(p.bytes()[0] >> 4, 4, "IP version nibble now first");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(e.process(Packet::from_bytes(vec![0u8; 10])), Action::Drop);
+    }
+
+    #[test]
+    fn decap_model_matches_native() {
+        let e = EthDecap::new();
+        for pkt in [ip_frame(), Packet::from_bytes(vec![0u8; 3]), Packet::from_bytes(vec![1u8; 14])] {
+            let mut native_e = EthDecap::new();
+            let native = native_e.process(pkt.clone());
+            let (model, _) = run_model(&e, &pkt);
+            match (native, model) {
+                (Action::Emit(np, n), Action::Emit(mp, m)) => {
+                    assert_eq!(np, mp);
+                    assert_eq!(n.bytes(), m.bytes());
+                }
+                (Action::Drop, Action::Drop) => {}
+                other => panic!("mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn encap_prepends_configured_header() {
+        let mut e = EthEncap::new(MacAddr::local(7), MacAddr::local(8), ETHERTYPE_IPV4);
+        let inner = Packet::from_bytes(vec![0x45, 0, 0, 20]);
+        match e.process(inner.clone()) {
+            Action::Emit(0, p) => {
+                assert_eq!(p.len(), inner.len() + ETHERNET_HEADER_LEN);
+                let hdr = EthernetHeader::parse(p.bytes()).unwrap();
+                assert_eq!(hdr.src, MacAddr::local(7));
+                assert_eq!(hdr.dst, MacAddr::local(8));
+                assert_eq!(hdr.ethertype, ETHERTYPE_IPV4);
+                assert_eq!(&p.bytes()[14..], inner.bytes());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encap_model_matches_native() {
+        let e = EthEncap::ipv4_default();
+        for pkt in [
+            Packet::from_bytes(vec![]),
+            Packet::from_bytes(vec![1, 2, 3]),
+            ip_frame(),
+        ] {
+            let mut native_e = EthEncap::ipv4_default();
+            let native = native_e.process(pkt.clone());
+            let (model, _) = run_model(&e, &pkt);
+            match (native, model) {
+                (Action::Emit(0, n), Action::Emit(0, m)) => assert_eq!(n.bytes(), m.bytes()),
+                other => panic!("mismatch {other:?}"),
+            }
+        }
+        assert!(e.config_key().contains("0800"));
+    }
+
+    #[test]
+    fn decap_then_encap_round_trips_payload() {
+        let mut decap = EthDecap::new();
+        let mut encap = EthEncap::ipv4_default();
+        let frame = ip_frame();
+        let original_payload = frame.bytes()[14..].to_vec();
+        let stripped = match decap.process(frame) {
+            Action::Emit(0, p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        let rebuilt = match encap.process(stripped) {
+            Action::Emit(0, p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(&rebuilt.bytes()[14..], &original_payload[..]);
+    }
+}

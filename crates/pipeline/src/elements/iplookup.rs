@@ -1,0 +1,387 @@
+//! `IPLookup` — longest-prefix-match forwarding using pre-allocated arrays,
+//! the array-based lookup structure the paper points to (Gupta, Lin, McKeown:
+//! "Routing Lookups in Hardware at Memory Access Speeds") as the kind of
+//! data structure that keeps stateful elements statically verifiable.
+//!
+//! The implementation is a two-level DIR-16-8-style table:
+//!
+//! * **Level 1** — a 65 536-entry array indexed by the top 16 bits of the
+//!   destination address. An entry is either `0` (no route), `0xFE` marker
+//!   ("consult level 2"), or `port + 1`.
+//! * **Level 2** — a map indexed by the top 24 bits, holding `port + 1` for
+//!   prefixes longer than /16 (up to /24).
+//!
+//! Both levels are *static state*: read-only at forwarding time, installed
+//! from the routing configuration when the element is built.
+//!
+//! Expects the IP header at offset 0.
+
+use crate::element::{Action, DsContents, Element};
+use dataplane_ir::builder::{Block, ProgramBuilder};
+use dataplane_ir::expr::dsl::*;
+use dataplane_ir::{DsId, Program};
+use dataplane_net::Packet;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Marker stored in level 1 meaning "this /16 block has longer prefixes;
+/// consult level 2".
+const EXTEND_MARKER: u64 = 0xFE;
+/// Offset of the destination address within the IP header.
+const DST_OFFSET: u32 = 16;
+
+/// One route: prefix, prefix length (0..=24), output port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Network prefix.
+    pub prefix: Ipv4Addr,
+    /// Prefix length in bits; 0..=24 supported by the two-level table.
+    pub prefix_len: u8,
+    /// Output port for matching packets.
+    pub port: u8,
+}
+
+impl Route {
+    /// Construct a route.
+    pub fn new(prefix: Ipv4Addr, prefix_len: u8, port: u8) -> Self {
+        Route {
+            prefix,
+            prefix_len,
+            port,
+        }
+    }
+}
+
+/// The IPLookup element.
+#[derive(Debug)]
+pub struct IPLookup {
+    routes: Vec<Route>,
+    /// Level-1 table: 65 536 entries.
+    level1: Vec<u8>,
+    /// Level-2 table keyed by the top 24 bits of the destination.
+    level2: BTreeMap<u32, u8>,
+    ports: usize,
+    misses: u64,
+}
+
+impl IPLookup {
+    /// Build the lookup element from a route list.
+    ///
+    /// # Panics
+    /// Panics if a prefix length exceeds 24 (not representable in the
+    /// two-level table; see the module docs), if the route list is empty, or
+    /// if a port exceeds 253.
+    pub fn new(routes: Vec<Route>) -> Self {
+        assert!(!routes.is_empty(), "IPLookup needs at least one route");
+        for r in &routes {
+            assert!(
+                r.prefix_len <= 24,
+                "prefix length {} not supported (max /24)",
+                r.prefix_len
+            );
+            assert!(r.port < 0xFE - 1, "port {} too large", r.port);
+        }
+        let ports = routes.iter().map(|r| r.port as usize + 1).max().unwrap();
+
+        // Longest-prefix semantics: install shorter prefixes first so longer
+        // ones overwrite them.
+        let mut sorted = routes.clone();
+        sorted.sort_by_key(|r| r.prefix_len);
+
+        let mut level1 = vec![0u8; 65536];
+        let mut level2: BTreeMap<u32, u8> = BTreeMap::new();
+
+        for r in &sorted {
+            let addr = u32::from(r.prefix);
+            if r.prefix_len <= 16 {
+                let span = 1u32 << (16 - r.prefix_len as u32);
+                let start = (addr >> 16) & !(span - 1);
+                for idx in start..start + span {
+                    // Overwrite plain entries; keep EXTEND markers but update
+                    // the level-2 fallback below them.
+                    if level1[idx as usize] == EXTEND_MARKER as u8 {
+                        for low in 0u32..256 {
+                            let key24 = (idx << 8) | low;
+                            level2.entry(key24).or_insert(r.port + 1);
+                        }
+                    } else {
+                        level1[idx as usize] = r.port + 1;
+                    }
+                }
+            } else {
+                let block16 = (addr >> 16) as usize;
+                // Turn the block into an extended block, seeding level 2 with
+                // the previous level-1 answer as the fallback.
+                if level1[block16] != EXTEND_MARKER as u8 {
+                    let fallback = level1[block16];
+                    for low in 0u32..256 {
+                        let key24 = ((block16 as u32) << 8) | low;
+                        level2.insert(key24, fallback);
+                    }
+                    level1[block16] = EXTEND_MARKER as u8;
+                }
+                let span = 1u32 << (24 - r.prefix_len as u32);
+                let start = (addr >> 8) & !(span - 1);
+                for key24 in start..start + span {
+                    level2.insert(key24, r.port + 1);
+                }
+            }
+        }
+
+        IPLookup {
+            routes,
+            level1,
+            level2,
+            ports,
+            misses: 0,
+        }
+    }
+
+    /// A two-port router configuration used throughout the tests, examples,
+    /// and benches: `10.0.0.0/8 → port 0`, `192.168.0.0/16 → port 1`.
+    pub fn two_port_default() -> Self {
+        IPLookup::new(vec![
+            Route::new(Ipv4Addr::new(10, 0, 0, 0), 8, 0),
+            Route::new(Ipv4Addr::new(192, 168, 0, 0), 16, 1),
+        ])
+    }
+
+    /// The configured routes.
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// Number of packets that matched no route.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Perform the lookup exactly as the model does. Returns `Some(port)` or
+    /// `None` for a miss.
+    pub fn lookup(&self, dst: u32) -> Option<u8> {
+        let v1 = self.level1[(dst >> 16) as usize];
+        let v = if v1 as u64 == EXTEND_MARKER {
+            self.level2.get(&(dst >> 8)).copied().unwrap_or(0)
+        } else {
+            v1
+        };
+        if v == 0 {
+            None
+        } else {
+            Some(v - 1)
+        }
+    }
+}
+
+impl Element for IPLookup {
+    fn type_name(&self) -> &'static str {
+        "IPLookup"
+    }
+    fn config_key(&self) -> String {
+        self.routes
+            .iter()
+            .map(|r| format!("{}/{}→{}", r.prefix, r.prefix_len, r.port))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+    fn output_ports(&self) -> usize {
+        self.ports
+    }
+    fn process(&mut self, packet: Packet) -> Action {
+        // Guard the read the same way the model does.
+        let Some(dst) = packet.get_u32(DST_OFFSET as usize) else {
+            return Action::Drop;
+        };
+        match self.lookup(dst) {
+            Some(port) => Action::Emit(port, packet),
+            None => {
+                self.misses += 1;
+                Action::Drop
+            }
+        }
+    }
+    fn model(&self) -> Program {
+        let mut pb = ProgramBuilder::new("IPLookup", self.ports as u8);
+        let fib16 = pb.static_array("fib16", 65536, 32, 8, 0);
+        let fib24 = pb.static_map("fib24", 32, 8, 0);
+        let dst = pb.local("dst", 32);
+        let v = pb.local("v", 8);
+
+        let mut b = Block::new();
+        b.if_then(
+            ult(pkt_len(), c(32, DST_OFFSET as u64 + 4)),
+            Block::with(|bb| {
+                bb.drop_packet();
+            }),
+        );
+        b.assign(dst, pkt(DST_OFFSET, 4));
+        b.assign(v, ds_read(fib16, lshr(l(dst), c(32, 16))));
+        b.if_then(
+            eq(l(v), c(8, EXTEND_MARKER)),
+            Block::with(|bb| {
+                bb.assign(v, ds_read(fib24, lshr(l(dst), c(32, 8))));
+            }),
+        );
+        b.if_then(
+            eq(l(v), c(8, 0)),
+            Block::with(|bb| {
+                bb.drop_packet();
+            }),
+        );
+        // Dispatch to the (dynamically chosen) output port via a chain of
+        // constant-port emits, since the IR's emit takes a literal port.
+        for port in 0..self.ports {
+            b.if_then(
+                eq(l(v), c(8, port as u64 + 1)),
+                Block::with(|bb| {
+                    bb.emit(port as u8);
+                }),
+            );
+        }
+        b.drop_packet();
+        pb.finish(b).expect("IPLookup model is valid")
+    }
+    fn model_state(&self) -> BTreeMap<DsId, DsContents> {
+        let mut m = BTreeMap::new();
+        let l1: DsContents = self
+            .level1
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(k, &v)| (k as u64, v as u64))
+            .collect();
+        let l2: DsContents = self
+            .level2
+            .iter()
+            .filter(|(_, &v)| v != 0)
+            .map(|(&k, &v)| (k as u64, v as u64))
+            .collect();
+        m.insert(DsId(0), l1);
+        m.insert(DsId(1), l2);
+        m
+    }
+    fn reset(&mut self) {
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::run_model;
+    use dataplane_net::ethernet::ETHERNET_HEADER_LEN;
+    use dataplane_net::PacketBuilder;
+
+    fn ip_packet_to(dst: Ipv4Addr) -> Packet {
+        let frame = PacketBuilder::udp(Ipv4Addr::new(10, 0, 0, 1), dst, 1000, 53, b"x").build();
+        Packet::from_bytes(frame.bytes()[ETHERNET_HEADER_LEN..].to_vec())
+    }
+
+    #[test]
+    fn two_port_default_routes_correctly() {
+        let mut e = IPLookup::two_port_default();
+        assert_eq!(e.output_ports(), 2);
+        assert_eq!(
+            e.process(ip_packet_to(Ipv4Addr::new(10, 9, 8, 7))).port(),
+            Some(0)
+        );
+        assert_eq!(
+            e.process(ip_packet_to(Ipv4Addr::new(192, 168, 3, 4))).port(),
+            Some(1)
+        );
+        assert_eq!(
+            e.process(ip_packet_to(Ipv4Addr::new(8, 8, 8, 8))),
+            Action::Drop
+        );
+        assert_eq!(e.misses(), 1);
+        e.reset();
+        assert_eq!(e.misses(), 0);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let e = IPLookup::new(vec![
+            Route::new(Ipv4Addr::new(10, 0, 0, 0), 8, 0),
+            Route::new(Ipv4Addr::new(10, 1, 0, 0), 16, 1),
+            Route::new(Ipv4Addr::new(10, 1, 2, 0), 24, 2),
+        ]);
+        assert_eq!(e.lookup(u32::from(Ipv4Addr::new(10, 5, 5, 5))), Some(0));
+        assert_eq!(e.lookup(u32::from(Ipv4Addr::new(10, 1, 9, 9))), Some(1));
+        assert_eq!(e.lookup(u32::from(Ipv4Addr::new(10, 1, 2, 200))), Some(2));
+        assert_eq!(e.lookup(u32::from(Ipv4Addr::new(11, 0, 0, 1))), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let e = IPLookup::new(vec![
+            Route::new(Ipv4Addr::new(0, 0, 0, 0), 0, 3),
+            Route::new(Ipv4Addr::new(10, 0, 0, 0), 8, 0),
+        ]);
+        assert_eq!(e.lookup(u32::from(Ipv4Addr::new(1, 2, 3, 4))), Some(3));
+        assert_eq!(e.lookup(u32::from(Ipv4Addr::new(10, 2, 3, 4))), Some(0));
+        assert_eq!(e.output_ports(), 4);
+    }
+
+    #[test]
+    fn longer_prefix_after_shorter_in_same_block() {
+        // /24 carved out of a /12; addresses outside the /24 but inside the
+        // /12 must still use the /12's port.
+        let e = IPLookup::new(vec![
+            Route::new(Ipv4Addr::new(172, 16, 0, 0), 12, 0),
+            Route::new(Ipv4Addr::new(172, 16, 5, 0), 24, 1),
+        ]);
+        assert_eq!(e.lookup(u32::from(Ipv4Addr::new(172, 16, 5, 77))), Some(1));
+        assert_eq!(e.lookup(u32::from(Ipv4Addr::new(172, 16, 6, 77))), Some(0));
+        assert_eq!(e.lookup(u32::from(Ipv4Addr::new(172, 20, 6, 77))), Some(0));
+        assert_eq!(e.lookup(u32::from(Ipv4Addr::new(172, 32, 0, 1))), None);
+    }
+
+    #[test]
+    fn model_agrees_with_native() {
+        let e = IPLookup::new(vec![
+            Route::new(Ipv4Addr::new(10, 0, 0, 0), 8, 0),
+            Route::new(Ipv4Addr::new(192, 168, 0, 0), 16, 1),
+            Route::new(Ipv4Addr::new(192, 168, 7, 0), 24, 2),
+        ]);
+        let destinations = [
+            Ipv4Addr::new(10, 1, 1, 1),
+            Ipv4Addr::new(192, 168, 1, 1),
+            Ipv4Addr::new(192, 168, 7, 200),
+            Ipv4Addr::new(8, 8, 8, 8),
+            Ipv4Addr::new(255, 255, 255, 255),
+        ];
+        for dst in destinations {
+            let mut native_e = IPLookup::new(e.routes().to_vec());
+            let p = ip_packet_to(dst);
+            let native = native_e.process(p.clone());
+            let (model, _) = run_model(&e, &p);
+            assert_eq!(native.port(), model.port(), "dst {dst}");
+        }
+        // Short packet: both drop, neither crashes.
+        let short = Packet::from_bytes(vec![0x45; 10]);
+        let mut native_e = IPLookup::two_port_default();
+        assert_eq!(native_e.process(short.clone()), Action::Drop);
+        let (model, _) = run_model(&IPLookup::two_port_default(), &short);
+        assert_eq!(model, Action::Drop);
+    }
+
+    #[test]
+    fn config_key_lists_routes() {
+        let e = IPLookup::two_port_default();
+        let key = e.config_key();
+        assert!(key.contains("10.0.0.0/8"));
+        assert!(key.contains("192.168.0.0/16"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn prefix_longer_than_24_rejected() {
+        IPLookup::new(vec![Route::new(Ipv4Addr::new(10, 0, 0, 1), 32, 0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_route_list_rejected() {
+        IPLookup::new(vec![]);
+    }
+}

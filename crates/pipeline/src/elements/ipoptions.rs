@@ -1,0 +1,441 @@
+//! `IPOptions` — walks and processes the IPv4 options area (record-route
+//! handling), the loop-heavy element the paper singles out: symbolically
+//! executing it naively "would take months", which is what motivates loop
+//! decomposition.
+//!
+//! Deliberate design point for the reproduction: like the Click original,
+//! this element **relies on `CheckIPHeader` having already validated** that
+//! the packet really contains `IHL * 4` header bytes. In isolation its
+//! segments can therefore read past the end of a short packet (a crash); in
+//! the composed pipeline those segments are infeasible — exactly the
+//! suspect-then-discharged pattern of Figure 2 of the paper.
+//!
+//! Expects the IP header at offset 0.
+
+use crate::element::{Action, Element};
+use crate::elements::common::{self, ip_field};
+use dataplane_ir::builder::{Block, ProgramBuilder};
+use dataplane_ir::expr::dsl::*;
+use dataplane_ir::{CrashReason, Program};
+use dataplane_net::ipv4::{IPOPT_EOL, IPOPT_NOP, IPOPT_RR};
+use dataplane_net::Packet;
+use std::net::Ipv4Addr;
+
+/// Upper bound on option-walk iterations: options occupy at most 40 bytes
+/// (IHL 15 → 60-byte header, minus the 20 fixed bytes) and every iteration
+/// advances by at least one byte.
+const MAX_OPTION_ITERS: u32 = 40;
+/// Maximum number of 16-bit words in an IPv4 header.
+const MAX_HEADER_WORDS: u32 = 30;
+
+/// The IPOptions element.
+#[derive(Debug)]
+pub struct IPOptions {
+    /// Address written into record-route slots (the router's own address).
+    router_addr: Ipv4Addr,
+    malformed: u64,
+}
+
+impl IPOptions {
+    /// Create the element with the router address used to fill record-route
+    /// slots.
+    pub fn new(router_addr: Ipv4Addr) -> Self {
+        IPOptions {
+            router_addr,
+            malformed: 0,
+        }
+    }
+
+    /// Default router address used by the reference pipeline.
+    pub fn with_default_addr() -> Self {
+        IPOptions::new(Ipv4Addr::new(10, 255, 255, 254))
+    }
+
+    /// Number of packets dropped because their options were malformed.
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+
+    fn read_u8(bytes: &[u8], off: usize) -> Result<u8, CrashReason> {
+        bytes
+            .get(off)
+            .copied()
+            .ok_or(CrashReason::PacketOutOfBounds {
+                offset: off as u64,
+                width_bytes: 1,
+                packet_len: bytes.len() as u64,
+            })
+    }
+
+    fn write_u8(bytes: &mut [u8], off: usize, v: u8) -> Result<(), CrashReason> {
+        match bytes.get_mut(off) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(CrashReason::PacketOutOfBounds {
+                offset: off as u64,
+                width_bytes: 1,
+                packet_len: bytes.len() as u64,
+            }),
+        }
+    }
+
+    /// The option-walking logic. Mirrors the IR model statement for
+    /// statement; returns the action the element takes.
+    fn walk(&mut self, packet: &mut Packet) -> Result<Option<Action>, CrashReason> {
+        let router = u32::from(self.router_addr);
+        let bytes = packet.bytes_mut();
+        let ver_ihl = Self::read_u8(bytes, ip_field::VER_IHL as usize)?;
+        let ihl = (ver_ihl & 0x0f) as usize;
+        let hl = ihl * 4;
+        if ihl <= 5 {
+            return Ok(None); // no options: pass through untouched
+        }
+        let mut modified = false;
+        let mut i = 20usize;
+        let mut iters = 0u32;
+        while i < hl {
+            iters += 1;
+            if iters > MAX_OPTION_ITERS {
+                return Err(CrashReason::LoopBoundExceeded {
+                    max_iters: MAX_OPTION_ITERS,
+                });
+            }
+            let kind = Self::read_u8(bytes, i)?;
+            if kind == IPOPT_EOL {
+                i = hl;
+            } else if kind == IPOPT_NOP {
+                i += 1;
+            } else {
+                if i + 1 >= hl {
+                    self.malformed += 1;
+                    return Ok(Some(Action::Drop));
+                }
+                let optlen = Self::read_u8(bytes, i + 1)? as usize;
+                if optlen < 2 {
+                    self.malformed += 1;
+                    return Ok(Some(Action::Drop));
+                }
+                if i + optlen > hl {
+                    self.malformed += 1;
+                    return Ok(Some(Action::Drop));
+                }
+                if kind == IPOPT_RR && optlen >= 3 {
+                    let ptr = Self::read_u8(bytes, i + 2)? as usize;
+                    if ptr >= 4 && ptr + 3 <= optlen {
+                        let slot = i + ptr - 1;
+                        for (j, b) in router.to_be_bytes().iter().enumerate() {
+                            Self::write_u8(bytes, slot + j, *b)?;
+                        }
+                        Self::write_u8(bytes, i + 2, (ptr + 4) as u8)?;
+                        modified = true;
+                    }
+                }
+                i += optlen;
+            }
+        }
+        if modified {
+            // Recompute the header checksum over the (possibly rewritten)
+            // header, mirroring Click's SetIPChecksum behaviour.
+            if bytes.len() < hl {
+                return Err(CrashReason::PacketOutOfBounds {
+                    offset: hl as u64 - 1,
+                    width_bytes: 1,
+                    packet_len: bytes.len() as u64,
+                });
+            }
+            let c = common::native_ip_checksum(bytes, ihl * 2);
+            bytes[10..12].copy_from_slice(&c.to_be_bytes());
+        }
+        Ok(None)
+    }
+}
+
+impl Element for IPOptions {
+    fn type_name(&self) -> &'static str {
+        "IPOptions"
+    }
+    fn config_key(&self) -> String {
+        self.router_addr.to_string()
+    }
+    fn output_ports(&self) -> usize {
+        1
+    }
+    fn process(&mut self, mut packet: Packet) -> Action {
+        match self.walk(&mut packet) {
+            Ok(Some(action)) => action,
+            Ok(None) => Action::Emit(0, packet),
+            Err(reason) => Action::Crash(reason),
+        }
+    }
+    fn model(&self) -> Program {
+        let router = u32::from(self.router_addr) as u64;
+        let mut pb = ProgramBuilder::new("IPOptions", 1);
+        let ihl = pb.local("ihl", 32);
+        let hl = pb.local("hl", 32);
+        let i = pb.local("i", 32);
+        let kind = pb.local("kind", 8);
+        let optlen = pb.local("optlen", 32);
+        let ptr = pb.local("ptr", 32);
+        let modified = pb.local("modified", 1);
+        let sum = pb.local("sum", 32);
+        let idx = pb.local("idx", 32);
+
+        let mut b = Block::new();
+        b.assign(ihl, zext(and(pkt(ip_field::VER_IHL, 1), c(8, 0x0f)), 32));
+        b.assign(hl, mul(l(ihl), c(32, 4)));
+        b.if_then(
+            ule(l(ihl), c(32, 5)),
+            Block::with(|bb| {
+                bb.emit(0);
+            }),
+        );
+        b.assign(i, c(32, 20));
+        b.assign(modified, cbool(false));
+        b.loop_bounded(
+            MAX_OPTION_ITERS,
+            ult(l(i), l(hl)),
+            Block::with(|lb| {
+                lb.assign(kind, pkt_at(l(i), 1));
+                lb.if_else(
+                    eq(l(kind), c(8, IPOPT_EOL as u64)),
+                    Block::with(|eol| {
+                        eol.assign(i, l(hl));
+                    }),
+                    Block::with(|not_eol| {
+                        not_eol.if_else(
+                            eq(l(kind), c(8, IPOPT_NOP as u64)),
+                            Block::with(|nop| {
+                                nop.assign(i, add(l(i), c(32, 1)));
+                            }),
+                            Block::with(|multi| {
+                                // Multi-byte option: need a length byte inside
+                                // the header.
+                                multi.if_then(
+                                    uge(add(l(i), c(32, 1)), l(hl)),
+                                    Block::with(|bb| {
+                                        bb.drop_packet();
+                                    }),
+                                );
+                                multi.assign(optlen, zext(pkt_at(add(l(i), c(32, 1)), 1), 32));
+                                multi.if_then(
+                                    ult(l(optlen), c(32, 2)),
+                                    Block::with(|bb| {
+                                        bb.drop_packet();
+                                    }),
+                                );
+                                multi.if_then(
+                                    ugt(add(l(i), l(optlen)), l(hl)),
+                                    Block::with(|bb| {
+                                        bb.drop_packet();
+                                    }),
+                                );
+                                // Record-route processing.
+                                multi.if_then(
+                                    band(
+                                        eq(l(kind), c(8, IPOPT_RR as u64)),
+                                        uge(l(optlen), c(32, 3)),
+                                    ),
+                                    Block::with(|rr| {
+                                        rr.assign(ptr, zext(pkt_at(add(l(i), c(32, 2)), 1), 32));
+                                        rr.if_then(
+                                            band(
+                                                uge(l(ptr), c(32, 4)),
+                                                ule(add(l(ptr), c(32, 3)), l(optlen)),
+                                            ),
+                                            Block::with(|write| {
+                                                write.pkt_store_at(
+                                                    sub(add(l(i), l(ptr)), c(32, 1)),
+                                                    4,
+                                                    c(32, router),
+                                                );
+                                                write.pkt_store_at(
+                                                    add(l(i), c(32, 2)),
+                                                    1,
+                                                    trunc(add(l(ptr), c(32, 4)), 8),
+                                                );
+                                                write.assign(modified, cbool(true));
+                                            }),
+                                        );
+                                    }),
+                                );
+                                multi.assign(i, add(l(i), l(optlen)));
+                            }),
+                        );
+                    }),
+                );
+            }),
+        );
+        // Recompute the checksum if we rewrote any option bytes.
+        b.if_then(
+            l(modified),
+            Block::with(|fix| {
+                fix.pkt_store(ip_field::CHECKSUM, 2, c(16, 0));
+                common::model_ip_checksum_sum(
+                    fix,
+                    0,
+                    sum,
+                    idx,
+                    mul(l(ihl), c(32, 2)),
+                    MAX_HEADER_WORDS,
+                );
+                fix.pkt_store(ip_field::CHECKSUM, 2, trunc(not(l(sum)), 16));
+            }),
+        );
+        b.emit(0);
+        pb.finish(b).expect("IPOptions model is valid")
+    }
+    fn reset(&mut self) {
+        self.malformed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::run_model;
+    use dataplane_net::checksum;
+    use dataplane_net::ethernet::ETHERNET_HEADER_LEN;
+    use dataplane_net::PacketBuilder;
+
+    fn ip_packet_with_options(options: &[u8]) -> Packet {
+        let frame = PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 0, 1),
+            1000,
+            53,
+            b"payload",
+        )
+        .ip_options(options)
+        .build();
+        Packet::from_bytes(frame.bytes()[ETHERNET_HEADER_LEN..].to_vec())
+    }
+
+    fn plain_ip_packet() -> Packet {
+        let frame = PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 0, 1),
+            1000,
+            53,
+            b"payload",
+        )
+        .build();
+        Packet::from_bytes(frame.bytes()[ETHERNET_HEADER_LEN..].to_vec())
+    }
+
+    #[test]
+    fn passes_through_packets_without_options() {
+        let mut e = IPOptions::with_default_addr();
+        let p = plain_ip_packet();
+        match e.process(p.clone()) {
+            Action::Emit(0, out) => assert_eq!(out.bytes(), p.bytes()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nop_and_eol_options_pass_through() {
+        let mut e = IPOptions::with_default_addr();
+        let p = ip_packet_with_options(&[IPOPT_NOP, IPOPT_NOP, IPOPT_NOP, IPOPT_EOL]);
+        assert_eq!(e.process(p).port(), Some(0));
+    }
+
+    #[test]
+    fn record_route_written_and_checksum_fixed() {
+        let mut e = IPOptions::new(Ipv4Addr::new(1, 2, 3, 4));
+        // RR option: kind 7, len 11, ptr 4, room for two 4-byte slots.
+        let p = ip_packet_with_options(&[IPOPT_RR, 11, 4, 0, 0, 0, 0, 0, 0, 0, 0, IPOPT_NOP]);
+        match e.process(p) {
+            Action::Emit(0, out) => {
+                // The first slot (header offset 23 = 20 + ptr-1) now holds 1.2.3.4.
+                assert_eq!(&out.bytes()[23..27], &[1, 2, 3, 4]);
+                // The pointer advanced by 4.
+                assert_eq!(out.bytes()[22], 8);
+                // The rewritten header still has a valid checksum.
+                let hl = ((out.bytes()[0] & 0xf) * 4) as usize;
+                assert!(checksum::verify(&out.bytes()[..hl]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_record_route_is_not_modified() {
+        let mut e = IPOptions::new(Ipv4Addr::new(1, 2, 3, 4));
+        // ptr = 8 but optlen = 7: no room, option is left alone.
+        let p = ip_packet_with_options(&[IPOPT_RR, 7, 8, 9, 9, 9, 9, IPOPT_NOP]);
+        match e.process(p.clone()) {
+            Action::Emit(0, out) => assert_eq!(out.bytes(), p.bytes()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_options_are_dropped_not_crashed() {
+        let mut e = IPOptions::with_default_addr();
+        // Option length 0.
+        let p = ip_packet_with_options(&[IPOPT_RR, 0, 0, 0]);
+        assert_eq!(e.process(p), Action::Drop);
+        // Option length running past the header.
+        let p = ip_packet_with_options(&[IPOPT_RR, 40, 0, 0]);
+        assert_eq!(e.process(p), Action::Drop);
+        // Option kind with a missing length byte (kind in the last slot).
+        let p = ip_packet_with_options(&[IPOPT_NOP, IPOPT_NOP, IPOPT_NOP, IPOPT_RR]);
+        assert_eq!(e.process(p), Action::Drop);
+        assert_eq!(e.malformed(), 3);
+        e.reset();
+        assert_eq!(e.malformed(), 0);
+    }
+
+    #[test]
+    fn truncated_packet_with_options_crashes_in_isolation() {
+        // This is the paper's Figure-2 situation: a packet that claims a
+        // 40-byte header but is only 22 bytes long makes the isolated element
+        // read out of bounds. CheckIPHeader upstream would have dropped it.
+        let mut e = IPOptions::with_default_addr();
+        let mut bytes = vec![0u8; 22];
+        bytes[0] = 0x4a; // version 4, IHL 10 (40-byte header)
+        bytes[20] = IPOPT_RR;
+        bytes[21] = 10;
+        let p = Packet::from_bytes(bytes);
+        assert!(e.process(p.clone()).is_crash());
+        let (model, _) = run_model(&e, &p);
+        assert!(model.is_crash());
+    }
+
+    #[test]
+    fn model_agrees_with_native_on_assorted_packets() {
+        let e = IPOptions::with_default_addr();
+        let cases = vec![
+            plain_ip_packet(),
+            ip_packet_with_options(&[IPOPT_NOP; 8]),
+            ip_packet_with_options(&[IPOPT_RR, 11, 4, 0, 0, 0, 0, 0, 0, 0, 0, IPOPT_NOP]),
+            ip_packet_with_options(&[IPOPT_RR, 7, 8, 9, 9, 9, 9, IPOPT_NOP]),
+            ip_packet_with_options(&[IPOPT_RR, 0, 0, 0]),
+            ip_packet_with_options(&[IPOPT_RR, 40, 0, 0]),
+            ip_packet_with_options(&[68, 4, 0, 0]), // timestamp option, ignored
+            ip_packet_with_options(&[IPOPT_EOL, 0, 0, 0]),
+        ];
+        for p in cases {
+            let mut native_e = IPOptions::with_default_addr();
+            let native = native_e.process(p.clone());
+            let (model, _) = run_model(&e, &p);
+            match (&native, &model) {
+                (Action::Emit(0, n), Action::Emit(0, m)) => {
+                    assert_eq!(n.bytes(), m.bytes(), "payload mismatch")
+                }
+                (Action::Drop, Action::Drop) => {}
+                (a, b) => assert_eq!(a.is_crash(), b.is_crash(), "disposition mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_count_scales_with_option_count() {
+        let e = IPOptions::with_default_addr();
+        let (_, few) = run_model(&e, &ip_packet_with_options(&[IPOPT_NOP; 4]));
+        let (_, many) = run_model(&e, &ip_packet_with_options(&[IPOPT_NOP; 36]));
+        assert!(many > few);
+    }
+}

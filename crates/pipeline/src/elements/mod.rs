@@ -1,0 +1,35 @@
+//! The element library.
+//!
+//! Every element here provides both a native implementation and an IR model
+//! (see [`crate::element::Element`]). The set mirrors the elements the paper
+//! verifies — the default Click IP-router elements (`Classifier`,
+//! `EthEncap`/`EthDecap`, `CheckIPHeader`, `IPLookup`, `DecTTL`, `IPOptions`)
+//! plus the stateful elements it was "currently experimenting with"
+//! (`NetFlow`, `Nat`) — along with supporting elements (`Generator`, `Sink`,
+//! `Counter`, `CheckLength`, `Strip`, `Paint`, `SrcFilter`) and deliberately
+//! buggy fixtures for failure-injection tests ([`buggy`]).
+
+pub mod basic;
+pub mod buggy;
+pub mod checkipheader;
+pub mod classifier;
+pub mod common;
+pub mod dectll;
+pub mod ethernet;
+pub mod filter;
+pub mod iplookup;
+pub mod ipoptions;
+pub mod nat;
+pub mod netflow;
+
+pub use basic::{CheckLength, Counter, Generator, Paint, Sink, Strip};
+pub use buggy::{BrokenClassifier, BuggyDecTTL, OverflowingCounter, UncheckedOptions};
+pub use checkipheader::CheckIPHeader;
+pub use classifier::{Classifier, ClassifierRule, MatchField};
+pub use dectll::DecTTL;
+pub use ethernet::{EthDecap, EthEncap};
+pub use filter::SrcFilter;
+pub use iplookup::{IPLookup, Route};
+pub use ipoptions::IPOptions;
+pub use nat::Nat;
+pub use netflow::NetFlow;

@@ -1,0 +1,1530 @@
+//! Exhaustive symbolic exploration of element programs.
+//!
+//! The engine executes an element's IR program with a fully symbolic packet
+//! (every byte and the length unconstrained — "a symbolic bit vector" in the
+//! paper's words) and enumerates **segments**: complete paths through the
+//! element, each carrying its path constraint, the symbolic transformation it
+//! applies to the packet, its data-structure interactions, its instruction
+//! count, and how it ends (emit / drop / crash).
+//!
+//! Two loop-handling modes realise the paper's discussion:
+//!
+//! * [`LoopMode::Unroll`] explores every feasible unrolling up to the loop
+//!   bound. This is what a general-purpose symbolic executor does and is what
+//!   makes the monolithic baseline explode (the paper's "millions of
+//!   segments … months").
+//! * [`LoopMode::Decompose`] treats one loop iteration as a "mini-element":
+//!   the body is explored once with the loop-carried state havocked (made
+//!   unconstrained), every violating body path is surfaced as a segment of
+//!   the element, and execution continues after the loop with the carried
+//!   state havocked again. This over-approximates the loop (it can only add
+//!   false suspects, never hide real ones) while keeping the number of
+//!   segments per element small — the paper's loop decomposition.
+
+use crate::state::SymPacket;
+use crate::term::{self, Term, TermRef, VarId};
+use dataplane_ir::expr::{DsId, Expr, LocalId};
+use dataplane_ir::program::{DsKind, Program, Stmt};
+use dataplane_ir::{BinOp, BitVec, CastKind};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// How loops are handled during exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopMode {
+    /// Unroll loops branch by branch up to their declared bound.
+    Unroll,
+    /// Summarise each loop by exploring its body once over havocked state
+    /// (the paper's mini-element decomposition).
+    Decompose,
+}
+
+/// Engine limits and options.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Abort exploration once this many segments have been produced.
+    pub max_segments: usize,
+    /// Abort exploration once this many branch points have been expanded
+    /// (guards against exponential unrollings that never finish a segment).
+    pub max_branches: u64,
+    /// Loop handling mode.
+    pub loop_mode: LoopMode,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_segments: 200_000,
+            max_branches: 2_000_000,
+            loop_mode: LoopMode::Decompose,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The configuration the compositional verifier uses per element.
+    pub fn decomposed() -> Self {
+        EngineConfig {
+            loop_mode: LoopMode::Decompose,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The configuration of the monolithic baseline (full unrolling) with an
+    /// explicit budget.
+    pub fn monolithic(max_segments: usize, max_branches: u64) -> Self {
+        EngineConfig {
+            max_segments,
+            max_branches,
+            loop_mode: LoopMode::Unroll,
+        }
+    }
+}
+
+/// Why exploration stopped early.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The segment budget was exhausted — the paper's "does not complete
+    /// within 12 hours" situation, surfaced as a hard number.
+    SegmentBudgetExceeded {
+        /// Number of segments produced before giving up.
+        produced: usize,
+    },
+    /// The branch budget was exhausted.
+    BranchBudgetExceeded {
+        /// Number of branch expansions performed before giving up.
+        expanded: u64,
+    },
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::SegmentBudgetExceeded { produced } => {
+                write!(f, "segment budget exceeded after {produced} segments")
+            }
+            ExploreError::BranchBudgetExceeded { expanded } => {
+                write!(f, "branch budget exceeded after {expanded} branch expansions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// How a segment ends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SegmentOutcome {
+    /// The packet is pushed to this output port.
+    Emitted(u8),
+    /// The packet is dropped.
+    Dropped,
+    /// The element crashes.
+    Crashed(CrashKind),
+}
+
+impl SegmentOutcome {
+    /// True if the segment crashes.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, SegmentOutcome::Crashed(_))
+    }
+
+    /// The emitted port, if any.
+    pub fn port(&self) -> Option<u8> {
+        match self {
+            SegmentOutcome::Emitted(p) => Some(*p),
+            _ => None,
+        }
+    }
+}
+
+/// The class of crash a crashing segment exhibits (mirrors
+/// `dataplane_ir::CrashReason` without the concrete payloads, which are not
+/// known symbolically).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CrashKind {
+    /// A failed assertion, with its message.
+    AssertionFailed(String),
+    /// An explicit abort, with its message.
+    Aborted(String),
+    /// A packet access outside the packet bounds.
+    PacketOutOfBounds,
+    /// An array data-structure access with an out-of-range key.
+    DsKeyOutOfRange(String),
+    /// Division or remainder by zero.
+    DivisionByZero,
+    /// A loop exceeded its iteration bound.
+    LoopBoundExceeded,
+    /// A strip of more bytes than the packet holds.
+    StripUnderflow,
+}
+
+impl std::fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashKind::AssertionFailed(m) => write!(f, "assertion failed: {m}"),
+            CrashKind::Aborted(m) => write!(f, "aborted: {m}"),
+            CrashKind::PacketOutOfBounds => write!(f, "packet access out of bounds"),
+            CrashKind::DsKeyOutOfRange(ds) => write!(f, "out-of-range key in '{ds}'"),
+            CrashKind::DivisionByZero => write!(f, "division by zero"),
+            CrashKind::LoopBoundExceeded => write!(f, "loop bound exceeded"),
+            CrashKind::StripUnderflow => write!(f, "strip past end of packet"),
+        }
+    }
+}
+
+/// A recorded data-structure read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DsReadRecord {
+    /// Which data structure.
+    pub ds: DsId,
+    /// The key term.
+    pub key: TermRef,
+    /// Sequence number of this read within the segment.
+    pub seq: u32,
+    /// The term standing for the returned value.
+    pub value: TermRef,
+}
+
+/// A recorded data-structure write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DsWriteRecord {
+    /// Which data structure.
+    pub ds: DsId,
+    /// The key term.
+    pub key: TermRef,
+    /// The written value term.
+    pub value: TermRef,
+}
+
+/// One complete path through an element under symbolic input.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// Conjunction of branch conditions that select this path.
+    pub constraint: Vec<TermRef>,
+    /// How the path ends.
+    pub outcome: SegmentOutcome,
+    /// The symbolic packet transformation along this path (valid for emitted
+    /// and dropped segments; crash segments stop mid-way).
+    pub packet: SymPacket,
+    /// Data-structure reads performed along the path.
+    pub ds_reads: Vec<DsReadRecord>,
+    /// Data-structure writes performed along the path.
+    pub ds_writes: Vec<DsWriteRecord>,
+    /// IR instructions executed along this path (an upper bound when loop
+    /// decomposition abstracted a loop on this path).
+    pub instructions: u64,
+    /// True if a decomposed loop contributed to this segment, in which case
+    /// `instructions` is an upper bound rather than an exact count.
+    pub approximate: bool,
+}
+
+/// The result of exploring one program.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// Every discovered segment.
+    pub segments: Vec<Segment>,
+    /// Number of branch expansions performed (a measure of exploration work,
+    /// reported by the scaling experiments).
+    pub branches_expanded: u64,
+}
+
+impl Exploration {
+    /// Segments that end in a crash.
+    pub fn crash_segments(&self) -> Vec<&Segment> {
+        self.segments
+            .iter()
+            .filter(|s| s.outcome.is_crash())
+            .collect()
+    }
+
+    /// The largest per-path instruction count over all segments.
+    pub fn max_instructions(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| s.instructions)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Symbolically explore a program under a fully symbolic packet.
+pub fn explore(program: &Program, config: &EngineConfig) -> Result<Exploration, ExploreError> {
+    let mut engine = Engine {
+        program,
+        config,
+        segments: Vec::new(),
+        branches: 0,
+        next_var: 0,
+        next_ds_seq: 0,
+        eval_guards: Vec::new(),
+    };
+    let state = PathState {
+        constraint: Vec::new(),
+        locals: program
+            .locals
+            .iter()
+            .map(|d| term::constant(BitVec::zero(d.width)))
+            .collect(),
+        packet: SymPacket::new(),
+        ds_reads: Vec::new(),
+        ds_writes: Vec::new(),
+        instructions: 0,
+        approximate: false,
+    };
+    engine.exec_block(state, &program.body, &Cont::Done)?;
+    Ok(Exploration {
+        segments: engine.segments,
+        branches_expanded: engine.branches,
+    })
+}
+
+/// What remains to be executed after the current block finishes.
+enum Cont<'a> {
+    /// Nothing; falling through drops the packet.
+    Done,
+    /// Execute these statements, then the next continuation.
+    Then(&'a [Stmt], &'a Cont<'a>),
+}
+
+/// The mutable exploration state of one path.
+#[derive(Clone, Debug)]
+struct PathState {
+    constraint: Vec<TermRef>,
+    locals: Vec<TermRef>,
+    packet: SymPacket,
+    ds_reads: Vec<DsReadRecord>,
+    ds_writes: Vec<DsWriteRecord>,
+    instructions: u64,
+    approximate: bool,
+}
+
+impl PathState {
+    fn assume(&mut self, cond: TermRef) {
+        if !cond.is_true() {
+            self.constraint.push(cond);
+        }
+    }
+}
+
+/// The result of evaluating an expression: a value, or a crash branch that
+/// was already emitted (plus the condition under which evaluation survives).
+struct Evaluated {
+    value: TermRef,
+}
+
+struct Engine<'a> {
+    program: &'a Program,
+    config: &'a EngineConfig,
+    segments: Vec<Segment>,
+    branches: u64,
+    next_var: u32,
+    next_ds_seq: u32,
+    /// Conditions guarding the expression currently being evaluated (pushed
+    /// while evaluating the arms of a `Select`). Crash forks are conjoined
+    /// with these guards so that a crash inside an *untaken* select arm is
+    /// not reported — the concrete interpreter evaluates select lazily.
+    eval_guards: Vec<TermRef>,
+}
+
+impl<'a> Engine<'a> {
+    fn fresh_var(&mut self, width: u8) -> TermRef {
+        let id = VarId(self.next_var);
+        self.next_var += 1;
+        Rc::new(Term::Var { id, width })
+    }
+
+    fn finish(&mut self, state: PathState, outcome: SegmentOutcome) -> Result<(), ExploreError> {
+        if self.segments.len() >= self.config.max_segments {
+            return Err(ExploreError::SegmentBudgetExceeded {
+                produced: self.segments.len(),
+            });
+        }
+        self.segments.push(Segment {
+            constraint: state.constraint,
+            outcome,
+            packet: state.packet,
+            ds_reads: state.ds_reads,
+            ds_writes: state.ds_writes,
+            instructions: state.instructions,
+            approximate: state.approximate,
+        });
+        Ok(())
+    }
+
+    fn charge_branch(&mut self) -> Result<(), ExploreError> {
+        self.branches += 1;
+        if self.branches > self.config.max_branches {
+            return Err(ExploreError::BranchBudgetExceeded {
+                expanded: self.branches,
+            });
+        }
+        Ok(())
+    }
+
+    fn exec_cont(&mut self, state: PathState, cont: &Cont<'_>) -> Result<(), ExploreError> {
+        match cont {
+            Cont::Done => self.finish(state, SegmentOutcome::Dropped),
+            Cont::Then(stmts, rest) => self.exec_block(state, stmts, rest),
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        state: PathState,
+        stmts: &[Stmt],
+        cont: &Cont<'_>,
+    ) -> Result<(), ExploreError> {
+        match stmts.split_first() {
+            None => self.exec_cont(state, cont),
+            Some((first, rest)) => {
+                let next = Cont::Then(rest, cont);
+                self.exec_stmt(state, first, &next)
+            }
+        }
+    }
+
+    fn exec_stmt(
+        &mut self,
+        mut state: PathState,
+        stmt: &Stmt,
+        cont: &Cont<'_>,
+    ) -> Result<(), ExploreError> {
+        state.instructions += 1;
+        match stmt {
+            Stmt::Nop => self.exec_cont(state, cont),
+            Stmt::Assign { local, value } => {
+                let evaluated = match self.eval(&mut state, value)? {
+                    Some(e) => e,
+                    None => return Ok(()), // all branches crashed
+                };
+                let width = self.program.locals[local.0 as usize].width;
+                state.locals[local.0 as usize] =
+                    term::cast(CastKind::Resize, width, evaluated.value);
+                self.exec_cont(state, cont)
+            }
+            Stmt::PacketStore {
+                offset,
+                width_bytes,
+                value,
+            } => {
+                let off = match self.eval(&mut state, offset)? {
+                    Some(e) => e,
+                    None => return Ok(()),
+                };
+                let val = match self.eval(&mut state, value)? {
+                    Some(e) => e,
+                    None => return Ok(()),
+                };
+                // Fork on the bounds check.
+                let oob = state.packet.store_oob_condition(&off.value, *width_bytes);
+                self.fork_crash(&mut state, oob, CrashKind::PacketOutOfBounds)?;
+                let mut next_var = self.next_var;
+                state
+                    .packet
+                    .store(&off.value, *width_bytes, &val.value, &mut || {
+                        let v = Rc::new(Term::Var {
+                            id: VarId(next_var),
+                            width: 8,
+                        });
+                        next_var += 1;
+                        v
+                    });
+                self.next_var = next_var;
+                self.exec_cont(state, cont)
+            }
+            Stmt::DsWrite { ds, key, value } => {
+                let key = match self.eval(&mut state, key)? {
+                    Some(e) => e,
+                    None => return Ok(()),
+                };
+                let val = match self.eval(&mut state, value)? {
+                    Some(e) => e,
+                    None => return Ok(()),
+                };
+                let decl = &self.program.data_structures[ds.0 as usize];
+                if let DsKind::Array { size } = decl.kind {
+                    let oob = term::binary(
+                        BinOp::UGe,
+                        key.value.clone(),
+                        term::constant(BitVec::new(decl.key_width, size.min(u64::MAX))),
+                    );
+                    self.fork_crash(&mut state, oob, CrashKind::DsKeyOutOfRange(decl.name.clone()))?;
+                }
+                state.ds_writes.push(DsWriteRecord {
+                    ds: *ds,
+                    key: key.value,
+                    value: val.value,
+                });
+                self.exec_cont(state, cont)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = match self.eval(&mut state, cond)? {
+                    Some(e) => e,
+                    None => return Ok(()),
+                };
+                if c.value.is_true() {
+                    return self.exec_block(state, then_body, cont);
+                }
+                if c.value.is_false() {
+                    return self.exec_block(state, else_body, cont);
+                }
+                self.charge_branch()?;
+                let mut then_state = state.clone();
+                then_state.assume(c.value.clone());
+                self.exec_block(then_state, then_body, cont)?;
+                let mut else_state = state;
+                else_state.assume(term::negate(c.value));
+                self.exec_block(else_state, else_body, cont)
+            }
+            Stmt::Loop {
+                max_iters,
+                cond,
+                body,
+            } => match self.config.loop_mode {
+                LoopMode::Unroll => self.exec_loop_unrolled(state, *max_iters, cond, body, 0, cont),
+                LoopMode::Decompose => self.exec_loop_decomposed(state, *max_iters, cond, body, cont),
+            },
+            Stmt::StripFront { n } => {
+                let underflow = state.packet.strip_underflow_condition(*n);
+                self.fork_crash(&mut state, underflow, CrashKind::StripUnderflow)?;
+                state.packet.strip_front(*n);
+                self.exec_cont(state, cont)
+            }
+            Stmt::PushFront { n } => {
+                state.packet.push_front(*n);
+                self.exec_cont(state, cont)
+            }
+            Stmt::Assert { cond, message } => {
+                let c = match self.eval(&mut state, cond)? {
+                    Some(e) => e,
+                    None => return Ok(()),
+                };
+                if c.value.is_true() {
+                    return self.exec_cont(state, cont);
+                }
+                if c.value.is_false() {
+                    return self.finish(state, SegmentOutcome::Crashed(CrashKind::AssertionFailed(message.clone())));
+                }
+                self.charge_branch()?;
+                let mut crash_state = state.clone();
+                crash_state.assume(term::negate(c.value.clone()));
+                self.finish(
+                    crash_state,
+                    SegmentOutcome::Crashed(CrashKind::AssertionFailed(message.clone())),
+                )?;
+                state.assume(c.value);
+                self.exec_cont(state, cont)
+            }
+            Stmt::Abort { message } => {
+                self.finish(state, SegmentOutcome::Crashed(CrashKind::Aborted(message.clone())))
+            }
+            Stmt::Emit { port } => self.finish(state, SegmentOutcome::Emitted(*port)),
+            Stmt::Drop => self.finish(state, SegmentOutcome::Dropped),
+        }
+    }
+
+    /// Fork off a crash segment under `crash_cond`, and constrain the
+    /// surviving state with its negation. The condition is conjoined with any
+    /// active select-arm guards.
+    fn fork_crash(
+        &mut self,
+        state: &mut PathState,
+        crash_cond: TermRef,
+        kind: CrashKind,
+    ) -> Result<(), ExploreError> {
+        let crash_cond = self
+            .eval_guards
+            .iter()
+            .fold(crash_cond, |acc, g| term::binary(BinOp::BoolAnd, g.clone(), acc));
+        if crash_cond.is_false() {
+            return Ok(());
+        }
+        self.charge_branch()?;
+        let mut crash_state = state.clone();
+        crash_state.assume(crash_cond.clone());
+        self.finish(crash_state, SegmentOutcome::Crashed(kind))?;
+        if crash_cond.is_true() {
+            // The surviving branch is infeasible; mark it so by pushing an
+            // explicit `false` constraint (callers will not extend it into
+            // further segments because every extension carries the `false`).
+            state.assume(term::ff());
+        } else {
+            state.assume(term::negate(crash_cond));
+        }
+        Ok(())
+    }
+
+    fn exec_loop_unrolled(
+        &mut self,
+        mut state: PathState,
+        max_iters: u32,
+        cond: &Expr,
+        body: &[Stmt],
+        done: u32,
+        cont: &Cont<'_>,
+    ) -> Result<(), ExploreError> {
+        state.instructions += 1; // the per-iteration condition check
+        let c = match self.eval(&mut state, cond)? {
+            Some(e) => e,
+            None => return Ok(()),
+        };
+        if c.value.is_false() {
+            return self.exec_cont(state, cont);
+        }
+        // Branch: exit now (condition false) unless the condition is
+        // literally true.
+        if !c.value.is_true() {
+            self.charge_branch()?;
+            let mut exit_state = state.clone();
+            exit_state.assume(term::negate(c.value.clone()));
+            self.exec_cont(exit_state, cont)?;
+            state.assume(c.value.clone());
+        }
+        if done >= max_iters {
+            return self.finish(state, SegmentOutcome::Crashed(CrashKind::LoopBoundExceeded));
+        }
+        // Execute the body, then come back around. The continuation is built
+        // recursively by re-entering this function once the body finishes;
+        // structurally we express it by executing the body with an empty
+        // continuation... which is not possible with the `Cont` list, so we
+        // instead recurse over a freshly built statement list: body followed
+        // by the loop itself is not representable either. We therefore expand
+        // the body inline by chaining `exec_block` with a closure-less
+        // continuation: run the body, and for every state that falls through
+        // it, continue the loop. To do that we use a marker continuation.
+        self.exec_body_then_loop(state, max_iters, cond, body, done, cont)
+    }
+
+    /// Helper for unrolled loops: run `body` and for each fall-through state
+    /// continue with the next loop iteration.
+    fn exec_body_then_loop(
+        &mut self,
+        state: PathState,
+        max_iters: u32,
+        cond: &Expr,
+        body: &[Stmt],
+        done: u32,
+        cont: &Cont<'_>,
+    ) -> Result<(), ExploreError> {
+        // Collect fall-through states by running the body with a sentinel
+        // continuation that records them instead of finishing segments.
+        let mut fallthrough = Vec::new();
+        self.exec_block_collect(state, body, &mut fallthrough)?;
+        for s in fallthrough {
+            self.exec_loop_unrolled(s, max_iters, cond, body, done + 1, cont)?;
+        }
+        Ok(())
+    }
+
+    /// Execute a block; states that fall off its end are pushed into `out`
+    /// instead of being finished as segments. Terminal statements inside the
+    /// block (emit/drop/crash) still finish segments directly.
+    fn exec_block_collect(
+        &mut self,
+        state: PathState,
+        stmts: &[Stmt],
+        out: &mut Vec<PathState>,
+    ) -> Result<(), ExploreError> {
+        match stmts.split_first() {
+            None => {
+                out.push(state);
+                Ok(())
+            }
+            Some((first, rest)) => {
+                // Reuse exec_stmt by temporarily treating the rest of the
+                // block as the continuation, but interception of the final
+                // fall-through needs special handling: we implement the small
+                // subset of statement kinds that can fall through explicitly
+                // here to keep the recursion structure simple.
+                match first {
+                    Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    } => {
+                        let mut state = state;
+                        state.instructions += 1;
+                        let c = match self.eval(&mut state, cond)? {
+                            Some(e) => e,
+                            None => return Ok(()),
+                        };
+                        if c.value.is_true() {
+                            let mut joined = then_body.to_vec();
+                            joined.extend_from_slice(rest);
+                            return self.exec_block_collect(state, &joined, out);
+                        }
+                        if c.value.is_false() {
+                            let mut joined = else_body.to_vec();
+                            joined.extend_from_slice(rest);
+                            return self.exec_block_collect(state, &joined, out);
+                        }
+                        self.charge_branch()?;
+                        let mut then_state = state.clone();
+                        then_state.assume(c.value.clone());
+                        let mut joined = then_body.to_vec();
+                        joined.extend_from_slice(rest);
+                        self.exec_block_collect(then_state, &joined, out)?;
+                        let mut else_state = state;
+                        else_state.assume(term::negate(c.value));
+                        let mut joined = else_body.to_vec();
+                        joined.extend_from_slice(rest);
+                        self.exec_block_collect(else_state, &joined, out)
+                    }
+                    // Terminal statements and everything else that cannot
+                    // fall through to `rest` in a special way: delegate to
+                    // exec_stmt with a continuation that collects into a
+                    // temporary segment list is not possible, so handle the
+                    // simple non-branching statements inline.
+                    Stmt::Emit { .. } | Stmt::Drop | Stmt::Abort { .. } => {
+                        self.exec_stmt(state, first, &Cont::Done)
+                    }
+                    _ => {
+                        // Non-terminal, possibly-forking statements: run the
+                        // statement with an empty continuation replaced by a
+                        // recursive call — easiest is to execute it via
+                        // exec_stmt against a continuation consisting of the
+                        // rest of the block, but exec_stmt would finish
+                        // fall-through states as Dropped segments. Instead we
+                        // inline the supported statements.
+                        let mut state = state;
+                        state.instructions += 1;
+                        match first {
+                            Stmt::Nop => self.exec_block_collect(state, rest, out),
+                            Stmt::Assign { local, value } => {
+                                let evaluated = match self.eval(&mut state, value)? {
+                                    Some(e) => e,
+                                    None => return Ok(()),
+                                };
+                                let width = self.program.locals[local.0 as usize].width;
+                                state.locals[local.0 as usize] =
+                                    term::cast(CastKind::Resize, width, evaluated.value);
+                                self.exec_block_collect(state, rest, out)
+                            }
+                            Stmt::PacketStore {
+                                offset,
+                                width_bytes,
+                                value,
+                            } => {
+                                let off = match self.eval(&mut state, offset)? {
+                                    Some(e) => e,
+                                    None => return Ok(()),
+                                };
+                                let val = match self.eval(&mut state, value)? {
+                                    Some(e) => e,
+                                    None => return Ok(()),
+                                };
+                                let oob =
+                                    state.packet.store_oob_condition(&off.value, *width_bytes);
+                                self.fork_crash(&mut state, oob, CrashKind::PacketOutOfBounds)?;
+                                state.packet.store(
+                                    &off.value,
+                                    *width_bytes,
+                                    &val.value,
+                                    &mut || self.fresh_var_for_store(),
+                                );
+                                self.exec_block_collect(state, rest, out)
+                            }
+                            Stmt::DsWrite { ds, key, value } => {
+                                let key = match self.eval(&mut state, key)? {
+                                    Some(e) => e,
+                                    None => return Ok(()),
+                                };
+                                let val = match self.eval(&mut state, value)? {
+                                    Some(e) => e,
+                                    None => return Ok(()),
+                                };
+                                let decl = &self.program.data_structures[ds.0 as usize];
+                                if let DsKind::Array { size } = decl.kind {
+                                    let oob = term::binary(
+                                        BinOp::UGe,
+                                        key.value.clone(),
+                                        term::constant(BitVec::new(decl.key_width, size)),
+                                    );
+                                    self.fork_crash(
+                                        &mut state,
+                                        oob,
+                                        CrashKind::DsKeyOutOfRange(decl.name.clone()),
+                                    )?;
+                                }
+                                state.ds_writes.push(DsWriteRecord {
+                                    ds: *ds,
+                                    key: key.value,
+                                    value: val.value,
+                                });
+                                self.exec_block_collect(state, rest, out)
+                            }
+                            Stmt::StripFront { n } => {
+                                let underflow = state.packet.strip_underflow_condition(*n);
+                                self.fork_crash(&mut state, underflow, CrashKind::StripUnderflow)?;
+                                state.packet.strip_front(*n);
+                                self.exec_block_collect(state, rest, out)
+                            }
+                            Stmt::PushFront { n } => {
+                                state.packet.push_front(*n);
+                                self.exec_block_collect(state, rest, out)
+                            }
+                            Stmt::Assert { cond, message } => {
+                                let c = match self.eval(&mut state, cond)? {
+                                    Some(e) => e,
+                                    None => return Ok(()),
+                                };
+                                if c.value.is_true() {
+                                    return self.exec_block_collect(state, rest, out);
+                                }
+                                if c.value.is_false() {
+                                    return self.finish(
+                                        state,
+                                        SegmentOutcome::Crashed(CrashKind::AssertionFailed(
+                                            message.clone(),
+                                        )),
+                                    );
+                                }
+                                self.charge_branch()?;
+                                let mut crash_state = state.clone();
+                                crash_state.assume(term::negate(c.value.clone()));
+                                self.finish(
+                                    crash_state,
+                                    SegmentOutcome::Crashed(CrashKind::AssertionFailed(
+                                        message.clone(),
+                                    )),
+                                )?;
+                                state.assume(c.value);
+                                self.exec_block_collect(state, rest, out)
+                            }
+                            Stmt::Loop {
+                                max_iters,
+                                cond,
+                                body,
+                            } => {
+                                // A nested loop inside a collected block: in
+                                // unroll mode this arises for loops inside
+                                // loops; handle it by decomposing (sound
+                                // over-approximation) to keep the collector
+                                // simple. Nested loops do not occur in the
+                                // element library.
+                                let fallthrough = self.decompose_loop(
+                                    &mut state,
+                                    *max_iters,
+                                    cond,
+                                    body,
+                                )?;
+                                if fallthrough {
+                                    self.exec_block_collect(state, rest, out)
+                                } else {
+                                    Ok(())
+                                }
+                            }
+                            Stmt::If { .. }
+                            | Stmt::Emit { .. }
+                            | Stmt::Drop
+                            | Stmt::Abort { .. } => unreachable!("handled above"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn fresh_var_for_store(&mut self) -> TermRef {
+        self.fresh_var(8)
+    }
+
+    fn exec_loop_decomposed(
+        &mut self,
+        mut state: PathState,
+        max_iters: u32,
+        cond: &Expr,
+        body: &[Stmt],
+        cont: &Cont<'_>,
+    ) -> Result<(), ExploreError> {
+        let fallthrough = self.decompose_loop(&mut state, max_iters, cond, body)?;
+        if fallthrough {
+            self.exec_cont(state, cont)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Summarise a loop: surface every violating/terminal body path once
+    /// (over havocked loop state), then mutate `state` into the post-loop
+    /// over-approximation. Returns false when the loop provably never exits
+    /// normally (not the case for any element in the library).
+    fn decompose_loop(
+        &mut self,
+        state: &mut PathState,
+        max_iters: u32,
+        cond: &Expr,
+        body: &[Stmt],
+    ) -> Result<bool, ExploreError> {
+        self.charge_branch()?;
+        // Locals assigned anywhere in the body are loop-carried: havoc them.
+        let mut carried = BTreeSet::new();
+        collect_assigned_locals(body, &mut carried);
+
+        // --- one symbolic iteration over havocked state -------------------
+        let mut iteration = state.clone();
+        iteration.approximate = true;
+        for local in &carried {
+            let width = self.program.locals[local.0 as usize].width;
+            iteration.locals[local.0 as usize] = self.fresh_var(width);
+        }
+        let c_entry = match self.eval(&mut iteration, cond)? {
+            Some(e) => e,
+            None => return Ok(true),
+        };
+        if c_entry.value.is_false() {
+            // The loop can never be entered; nothing carried changes.
+            state.instructions += 1;
+            return Ok(true);
+        }
+        iteration.assume(c_entry.value.clone());
+        let mut fallthrough_states = Vec::new();
+        let before = self.segments.len();
+        self.exec_block_collect(iteration, body, &mut fallthrough_states)?;
+        // Terminal body paths (emit/drop/crash) have been surfaced as
+        // segments by the collector; mark them approximate.
+        for seg in &mut self.segments[before..] {
+            seg.approximate = true;
+        }
+        // Instruction accounting: one iteration costs at most the largest
+        // fall-through/terminal body cost; the loop runs at most max_iters
+        // times.
+        let base_cost = state.instructions;
+        let max_body_cost = fallthrough_states
+            .iter()
+            .map(|s| s.instructions)
+            .chain(self.segments[before..].iter().map(|s| s.instructions))
+            .max()
+            .unwrap_or(base_cost);
+        // The +2 keeps the bound safely above the exact unrolled accounting
+        // (which charges one extra instruction per loop re-entry and one
+        // final condition evaluation).
+        let per_iteration = max_body_cost.saturating_sub(base_cost) + 2;
+
+        // --- post-loop state ----------------------------------------------
+        state.approximate = true;
+        state.instructions = base_cost + per_iteration * max_iters as u64 + 1;
+        for local in &carried {
+            let width = self.program.locals[local.0 as usize].width;
+            state.locals[local.0 as usize] = self.fresh_var(width);
+        }
+        // If the body can write the packet, its effect is unknown here.
+        if body_writes_packet(body) {
+            let clobber = self.fresh_var(8);
+            state.packet.clobber(clobber);
+        }
+        // Data-structure writes performed by the body are recorded
+        // conservatively (key and value havocked) so the stateful-element
+        // analysis knows the tables may have changed.
+        let mut ds_written = BTreeSet::new();
+        collect_ds_writes(body, &mut ds_written);
+        for ds in ds_written {
+            let decl = &self.program.data_structures[ds.0 as usize];
+            let key = self.fresh_var(decl.key_width);
+            let value = self.fresh_var(decl.value_width);
+            state.ds_writes.push(DsWriteRecord { ds, key, value });
+        }
+        // On exit the condition is false for the (havocked) exit state.
+        let c_exit = match self.eval(state, cond)? {
+            Some(e) => e,
+            None => return Ok(true),
+        };
+        if !c_exit.value.is_true() {
+            state.assume(term::negate(c_exit.value));
+        }
+        Ok(true)
+    }
+
+    /// Evaluate an expression symbolically. Crash possibilities inside the
+    /// expression (out-of-bounds loads, division by zero, array key range)
+    /// fork crash segments and constrain the surviving path. Returns `None`
+    /// when evaluation cannot survive (the surviving branch is infeasible by
+    /// construction).
+    fn eval(&mut self, state: &mut PathState, expr: &Expr) -> Result<Option<Evaluated>, ExploreError> {
+        state.instructions += 1;
+        let value = match expr {
+            Expr::Const(v) => term::constant(*v),
+            Expr::Local(LocalId(i)) => state.locals[*i as usize].clone(),
+            Expr::PacketLen => state.packet.len_term(),
+            Expr::PacketLoad {
+                offset,
+                width_bytes,
+            } => {
+                let off = match self.eval(state, offset)? {
+                    Some(e) => e.value,
+                    None => return Ok(None),
+                };
+                let oob = state.packet.load_oob_condition(&off, *width_bytes);
+                self.fork_crash(state, oob, CrashKind::PacketOutOfBounds)?;
+                let mut fresh = || {
+                    let id = VarId(self.next_var);
+                    self.next_var += 1;
+                    Rc::new(Term::Var { id, width: 8 })
+                };
+                state.packet.load(&off, *width_bytes, &mut fresh)
+            }
+            Expr::DsRead { ds, key } => {
+                let key = match self.eval(state, key)? {
+                    Some(e) => e.value,
+                    None => return Ok(None),
+                };
+                let decl = &self.program.data_structures[ds.0 as usize];
+                if let DsKind::Array { size } = decl.kind {
+                    let oob = term::binary(
+                        BinOp::UGe,
+                        key.clone(),
+                        term::constant(BitVec::new(decl.key_width, size)),
+                    );
+                    self.fork_crash(state, oob, CrashKind::DsKeyOutOfRange(decl.name.clone()))?;
+                }
+                let seq = self.next_ds_seq;
+                self.next_ds_seq += 1;
+                let value = Rc::new(Term::DsRead {
+                    ds: *ds,
+                    key: key.clone(),
+                    seq,
+                    width: decl.value_width,
+                });
+                state.ds_reads.push(DsReadRecord {
+                    ds: *ds,
+                    key,
+                    seq,
+                    value: value.clone(),
+                });
+                value
+            }
+            Expr::Unary { op, arg } => {
+                let a = match self.eval(state, arg)? {
+                    Some(e) => e.value,
+                    None => return Ok(None),
+                };
+                term::unary(*op, a)
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = match self.eval(state, lhs)? {
+                    Some(e) => e.value,
+                    None => return Ok(None),
+                };
+                let b = match self.eval(state, rhs)? {
+                    Some(e) => e.value,
+                    None => return Ok(None),
+                };
+                if matches!(op, BinOp::UDiv | BinOp::URem) {
+                    let zero = term::constant(BitVec::zero(b.width()));
+                    let div_by_zero = term::binary(BinOp::Eq, b.clone(), zero);
+                    self.fork_crash(state, div_by_zero, CrashKind::DivisionByZero)?;
+                }
+                term::binary(*op, a, b)
+            }
+            Expr::Select {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                let c = match self.eval(state, cond)? {
+                    Some(e) => e.value,
+                    None => return Ok(None),
+                };
+                // Crash possibilities inside an arm only matter when that arm
+                // is the one the concrete semantics would take, so each arm is
+                // evaluated under the corresponding guard.
+                self.eval_guards.push(c.clone());
+                let t = self.eval(state, then_e)?;
+                self.eval_guards.pop();
+                let t = match t {
+                    Some(e) => e.value,
+                    None => return Ok(None),
+                };
+                self.eval_guards.push(term::negate(c.clone()));
+                let e = self.eval(state, else_e)?;
+                self.eval_guards.pop();
+                let e = match e {
+                    Some(e) => e.value,
+                    None => return Ok(None),
+                };
+                term::select(c, t, e)
+            }
+            Expr::Cast { kind, width, arg } => {
+                let a = match self.eval(state, arg)? {
+                    Some(e) => e.value,
+                    None => return Ok(None),
+                };
+                term::cast(*kind, *width, a)
+            }
+        };
+        Ok(Some(Evaluated { value }))
+    }
+}
+
+fn collect_assigned_locals(stmts: &[Stmt], out: &mut BTreeSet<LocalId>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { local, .. } => {
+                out.insert(*local);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_assigned_locals(then_body, out);
+                collect_assigned_locals(else_body, out);
+            }
+            Stmt::Loop { body, .. } => collect_assigned_locals(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn collect_ds_writes(stmts: &[Stmt], out: &mut BTreeSet<DsId>) {
+    for s in stmts {
+        match s {
+            Stmt::DsWrite { ds, .. } => {
+                out.insert(*ds);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_ds_writes(then_body, out);
+                collect_ds_writes(else_body, out);
+            }
+            Stmt::Loop { body, .. } => collect_ds_writes(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn body_writes_packet(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::PacketStore { .. } | Stmt::StripFront { .. } | Stmt::PushFront { .. } => true,
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => body_writes_packet(then_body) || body_writes_packet(else_body),
+        Stmt::Loop { body, .. } => body_writes_packet(body),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+    use dataplane_ir::builder::{Block, ProgramBuilder};
+    use dataplane_ir::expr::dsl::*;
+
+    /// The toy program of Figure 1: three feasible paths, one of which
+    /// crashes.
+    fn figure1_program() -> Program {
+        let mut pb = ProgramBuilder::new("Figure1", 1);
+        let input = pb.local("in", 32);
+        let out = pb.local("out", 32);
+        let mut b = Block::new();
+        b.assign(input, pkt(0, 4));
+        b.assert(sle(c(32, 0), l(input)), "in >= 0");
+        b.if_else(
+            slt(l(input), c(32, 10)),
+            Block::with(|bb| {
+                bb.assign(out, c(32, 10));
+            }),
+            Block::with(|bb| {
+                bb.assign(out, l(input));
+            }),
+        );
+        b.pkt_store(0, 4, l(out));
+        b.emit(0);
+        pb.finish(b).unwrap()
+    }
+
+    #[test]
+    fn figure1_has_three_interesting_segments() {
+        let result = explore(&figure1_program(), &EngineConfig::default()).unwrap();
+        // Segments: the 4-byte load can be out of bounds (crash), the assert
+        // can fail (crash), and the two if arms emit.
+        let crashes = result.crash_segments();
+        let emits: Vec<_> = result
+            .segments
+            .iter()
+            .filter(|s| s.outcome == SegmentOutcome::Emitted(0))
+            .collect();
+        assert_eq!(emits.len(), 2, "two emitting paths");
+        assert!(
+            crashes
+                .iter()
+                .any(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::AssertionFailed(_)))),
+            "assertion-failure segment present"
+        );
+        assert!(
+            crashes
+                .iter()
+                .any(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::PacketOutOfBounds))),
+            "out-of-bounds segment present"
+        );
+        assert!(result.max_instructions() > 0);
+        assert!(result.branches_expanded >= 2);
+    }
+
+    #[test]
+    fn figure1_crash_segment_yields_negative_witness() {
+        // The assertion-failure segment must be satisfiable, and every model
+        // of it is a packet whose first 32-bit word is negative.
+        let result = explore(&figure1_program(), &EngineConfig::default()).unwrap();
+        let solver = Solver::new();
+        let crash = result
+            .segments
+            .iter()
+            .find(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::AssertionFailed(_))))
+            .unwrap();
+        match solver.check(&crash.constraint) {
+            crate::solver::SolverResult::Sat(model) => {
+                assert!(model.packet.len() >= 4);
+                assert!(model.packet[0] & 0x80 != 0, "sign bit must be set");
+            }
+            other => panic!("expected a witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn emit_segments_of_figure1_are_feasible_and_bounded() {
+        let result = explore(&figure1_program(), &EngineConfig::default()).unwrap();
+        let solver = Solver::new();
+        for seg in result.segments.iter().filter(|s| !s.outcome.is_crash()) {
+            assert!(
+                solver.check(&seg.constraint).is_sat(),
+                "emitting segment must be feasible"
+            );
+            assert!(seg.instructions < 50);
+            assert!(!seg.approximate);
+        }
+    }
+
+    #[test]
+    fn packet_writes_are_visible_in_segments() {
+        let mut pb = ProgramBuilder::new("W", 1);
+        let x = pb.local("x", 8);
+        let mut b = Block::new();
+        b.assign(x, pkt(0, 1));
+        b.pkt_store(1, 1, add(l(x), c(8, 1)));
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        let result = explore(&prog, &EngineConfig::default()).unwrap();
+        let emit = result
+            .segments
+            .iter()
+            .find(|s| s.outcome == SegmentOutcome::Emitted(0))
+            .unwrap();
+        let out_byte = emit.packet.out_byte(1);
+        // The output byte 1 is pkt[0] + 1.
+        let s = out_byte.to_string();
+        assert!(s.contains("pkt[0]"), "got {s}");
+        assert!(s.contains('+'), "got {s}");
+    }
+
+    #[test]
+    fn strip_and_push_shift_output_bytes() {
+        let pb = ProgramBuilder::new("S", 1);
+        let mut b = Block::new();
+        b.strip_front(2);
+        b.push_front(1);
+        b.pkt_store(0, 1, c(8, 0xaa));
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        let result = explore(&prog, &EngineConfig::default()).unwrap();
+        let emit = result
+            .segments
+            .iter()
+            .find(|s| s.outcome == SegmentOutcome::Emitted(0))
+            .unwrap();
+        // Output byte 0 is the constant header byte; byte 1 is original byte 2.
+        assert_eq!(
+            emit.packet.out_byte(0).as_const().unwrap(),
+            BitVec::u8(0xaa)
+        );
+        assert_eq!(emit.packet.out_byte(1).to_string(), "pkt[2]");
+        // And a strip-underflow crash segment exists.
+        assert!(result
+            .segments
+            .iter()
+            .any(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::StripUnderflow))));
+    }
+
+    #[test]
+    fn division_by_zero_creates_crash_segment() {
+        let mut pb = ProgramBuilder::new("D", 1);
+        let x = pb.local("x", 8);
+        let mut b = Block::new();
+        b.assign(x, udiv(c(8, 255), pkt(0, 1)));
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        let result = explore(&prog, &EngineConfig::default()).unwrap();
+        let crash = result
+            .segments
+            .iter()
+            .find(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::DivisionByZero)))
+            .expect("division crash segment");
+        // Its witness has packet byte 0 equal to zero.
+        let solver = Solver::new();
+        match solver.check(&crash.constraint) {
+            crate::solver::SolverResult::Sat(m) => assert_eq!(m.packet.first().copied().unwrap_or(0), 0),
+            other => panic!("expected witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ds_array_access_creates_bounds_segment_and_read_record() {
+        let mut pb = ProgramBuilder::new("A", 1);
+        let t = pb.private_array("table", 16, 16, 32, 0);
+        let x = pb.local("x", 32);
+        let mut b = Block::new();
+        b.assign(x, ds_read(t, pkt(0, 2)));
+        b.ds_write(t, c(16, 3), l(x));
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        let result = explore(&prog, &EngineConfig::default()).unwrap();
+        assert!(result
+            .segments
+            .iter()
+            .any(|s| matches!(&s.outcome, SegmentOutcome::Crashed(CrashKind::DsKeyOutOfRange(n)) if n == "table")));
+        let emit = result
+            .segments
+            .iter()
+            .find(|s| s.outcome == SegmentOutcome::Emitted(0))
+            .unwrap();
+        assert_eq!(emit.ds_reads.len(), 1);
+        assert_eq!(emit.ds_writes.len(), 1);
+        assert_eq!(emit.ds_reads[0].ds, t);
+    }
+
+    #[test]
+    fn bounded_loop_unrolls_to_expected_paths() {
+        // A loop over a 2-bit counter derived from the packet: it can iterate
+        // 0..=3 times.
+        let mut pb = ProgramBuilder::new("L", 1);
+        let n = pb.local("n", 8);
+        let i = pb.local("i", 8);
+        let mut b = Block::new();
+        b.assign(n, and(pkt(0, 1), c(8, 0x03)));
+        b.loop_bounded(
+            4,
+            ult(l(i), l(n)),
+            Block::with(|lb| {
+                lb.assign(i, add(l(i), c(8, 1)));
+            }),
+        );
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        let unrolled = explore(
+            &prog,
+            &EngineConfig {
+                loop_mode: LoopMode::Unroll,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // The engine enumerates paths without pruning; keep only the
+        // feasible emitting ones (the verifier does the same with the
+        // solver).
+        let solver = Solver::new();
+        let feasible_emits: Vec<&Segment> = unrolled
+            .segments
+            .iter()
+            .filter(|s| s.outcome == SegmentOutcome::Emitted(0))
+            .filter(|s| !solver.check(&s.constraint).is_unsat())
+            .collect();
+        // One feasible emitting path per iteration count 0..=3.
+        assert_eq!(feasible_emits.len(), 4);
+        // Instruction counts grow with the iteration count.
+        let mut counts: Vec<u64> = feasible_emits.iter().map(|s| s.instructions).collect();
+        counts.sort_unstable();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn decomposed_loop_keeps_segment_count_small() {
+        // The same loop summarised: a single emitting segment, marked
+        // approximate, with an instruction upper bound at least as large as
+        // the exact maximum.
+        let mut pb = ProgramBuilder::new("L", 1);
+        let n = pb.local("n", 8);
+        let i = pb.local("i", 8);
+        let mut b = Block::new();
+        b.assign(n, and(pkt(0, 1), c(8, 0x03)));
+        b.loop_bounded(
+            4,
+            ult(l(i), l(n)),
+            Block::with(|lb| {
+                lb.assign(i, add(l(i), c(8, 1)));
+            }),
+        );
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        let unrolled = explore(
+            &prog,
+            &EngineConfig {
+                loop_mode: LoopMode::Unroll,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let decomposed = explore(&prog, &EngineConfig::decomposed()).unwrap();
+        assert!(decomposed.segments.len() < unrolled.segments.len());
+        let emit = decomposed
+            .segments
+            .iter()
+            .find(|s| s.outcome == SegmentOutcome::Emitted(0))
+            .unwrap();
+        assert!(emit.approximate);
+        assert!(decomposed.max_instructions() >= unrolled.max_instructions());
+    }
+
+    #[test]
+    fn crash_inside_loop_is_surfaced_in_both_modes() {
+        // The loop body divides by a packet byte; byte == 0 crashes.
+        let mut pb = ProgramBuilder::new("LC", 1);
+        let i = pb.local("i", 8);
+        let x = pb.local("x", 8);
+        let mut b = Block::new();
+        b.loop_bounded(
+            3,
+            ult(l(i), c(8, 3)),
+            Block::with(|lb| {
+                lb.assign(x, udiv(c(8, 9), pkt_at(zext(l(i), 32), 1)));
+                lb.assign(i, add(l(i), c(8, 1)));
+            }),
+        );
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        for mode in [LoopMode::Unroll, LoopMode::Decompose] {
+            let result = explore(
+                &prog,
+                &EngineConfig {
+                    loop_mode: mode,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                result
+                    .segments
+                    .iter()
+                    .any(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::DivisionByZero))),
+                "mode {mode:?} must surface the division crash"
+            );
+        }
+    }
+
+    #[test]
+    fn budgets_are_enforced() {
+        // A program with many sequential branches exceeds a tiny budget.
+        let mut pb = ProgramBuilder::new("B", 1);
+        let x = pb.local("x", 8);
+        let mut b = Block::new();
+        for i in 0..20 {
+            b.if_then(
+                eq(pkt(i, 1), c(8, 1)),
+                Block::with(|bb| {
+                    bb.assign(x, c(8, 1));
+                }),
+            );
+        }
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        let err = explore(
+            &prog,
+            &EngineConfig {
+                max_segments: 10,
+                max_branches: 1_000_000,
+                loop_mode: LoopMode::Unroll,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExploreError::SegmentBudgetExceeded { .. }));
+        let err = explore(
+            &prog,
+            &EngineConfig {
+                max_segments: 1_000_000,
+                max_branches: 5,
+                loop_mode: LoopMode::Unroll,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExploreError::BranchBudgetExceeded { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn abort_and_unconditional_crash() {
+        let pb = ProgramBuilder::new("X", 1);
+        let mut b = Block::new();
+        b.abort("unreachable");
+        let prog = pb.finish(b).unwrap();
+        let result = explore(&prog, &EngineConfig::default()).unwrap();
+        assert_eq!(result.segments.len(), 1);
+        assert!(matches!(
+            result.segments[0].outcome,
+            SegmentOutcome::Crashed(CrashKind::Aborted(_))
+        ));
+        assert_eq!(result.segments[0].constraint.len(), 0);
+    }
+
+    #[test]
+    fn fallthrough_program_drops() {
+        let mut pb = ProgramBuilder::new("F", 1);
+        let x = pb.local("x", 8);
+        let mut b = Block::new();
+        b.assign(x, c(8, 1));
+        let prog = pb.finish(b).unwrap();
+        let result = explore(&prog, &EngineConfig::default()).unwrap();
+        assert_eq!(result.segments.len(), 1);
+        assert_eq!(result.segments[0].outcome, SegmentOutcome::Dropped);
+    }
+
+    #[test]
+    fn crash_in_untaken_select_arm_is_guarded() {
+        // x := (pkt.len >= 2) ? pkt[1] : 0
+        // The load of pkt[1] can only be out of bounds when the guard is
+        // false, i.e. never on the path the concrete semantics takes, so the
+        // crash segment must be infeasible.
+        let mut pb = ProgramBuilder::new("G", 1);
+        let x = pb.local("x", 8);
+        let mut b = Block::new();
+        b.assign(
+            x,
+            select(uge(pkt_len(), c(32, 2)), pkt(1, 1), c(8, 0)),
+        );
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        let result = explore(&prog, &EngineConfig::default()).unwrap();
+        let solver = Solver::new();
+        for seg in result.crash_segments() {
+            assert!(
+                solver.check(&seg.constraint).is_unsat(),
+                "guarded select crash must be infeasible: {:?}",
+                seg.constraint.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn crash_kind_display() {
+        for k in [
+            CrashKind::AssertionFailed("m".into()),
+            CrashKind::Aborted("m".into()),
+            CrashKind::PacketOutOfBounds,
+            CrashKind::DsKeyOutOfRange("t".into()),
+            CrashKind::DivisionByZero,
+            CrashKind::LoopBoundExceeded,
+            CrashKind::StripUnderflow,
+        ] {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

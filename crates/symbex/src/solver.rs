@@ -1,0 +1,1375 @@
+//! A decision procedure for path constraints.
+//!
+//! The solver answers whether a conjunction of 1-bit terms is satisfiable:
+//!
+//! * **`Unsat`** is established analytically, by (in order) constant
+//!   simplification, syntactic contradiction pairs, unsigned interval
+//!   propagation, and Fourier–Motzkin elimination over the linear fragment of
+//!   the constraints. Every rule is conservative, so `Unsat` answers are
+//!   sound — this is the direction the verifier relies on when it discharges
+//!   suspect paths ("this violation cannot occur in the composed pipeline").
+//! * **`Sat`** answers always carry a model, and the model is *verified* by
+//!   concretely evaluating every constraint under it before it is returned,
+//!   so `Sat` answers are sound by construction — this is what makes
+//!   counterexample packets trustworthy.
+//! * When neither side can be established within budget the solver returns
+//!   **`Unknown`**, which the verifier treats pessimistically (a potential
+//!   violation it could not rule out is reported, never dropped).
+
+use crate::term::{eval, Assignment, Term, TermRef};
+use dataplane_ir::{BinOp, UnOp};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Result of a satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverResult {
+    /// The constraints are satisfiable; the model makes every conjunct true.
+    Sat(Assignment),
+    /// The constraints are contradictory.
+    Unsat,
+    /// Neither satisfiability nor unsatisfiability could be established
+    /// within budget.
+    Unknown,
+}
+
+impl SolverResult {
+    /// True if the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolverResult::Sat(_))
+    }
+
+    /// True if the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolverResult::Unsat)
+    }
+}
+
+/// Tunable solver limits.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Attempts of the randomized model search before giving up.
+    pub model_search_tries: u32,
+    /// Maximum packet length considered when synthesising models.
+    pub max_packet_len: u32,
+    /// Cap on the number of inequalities Fourier–Motzkin may generate before
+    /// it aborts (returning no verdict from that stage).
+    pub max_fm_constraints: usize,
+    /// Seed for the deterministic pseudo-random model search.
+    pub search_seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            model_search_tries: 4000,
+            max_packet_len: 2048,
+            max_fm_constraints: 2000,
+            search_seed: 0x5EED_0001,
+        }
+    }
+}
+
+/// The constraint solver.
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+/// Normalised comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Cmp {
+    Eq,
+    Ne,
+    ULt,
+    ULe,
+    SLt,
+    SLe,
+}
+
+/// A normalised atom `lhs <op> rhs`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Atom {
+    op: Cmp,
+    lhs: TermRef,
+    rhs: TermRef,
+}
+
+impl Solver {
+    /// A solver with default limits.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// A solver with explicit limits.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver { config }
+    }
+
+    /// Check satisfiability of the conjunction of `constraints`.
+    pub fn check(&self, constraints: &[TermRef]) -> SolverResult {
+        // 1. Flatten conjunctions and look for literal `false`.
+        let mut conjuncts = Vec::new();
+        for c in constraints {
+            if !flatten(c, &mut conjuncts) {
+                return SolverResult::Unsat;
+            }
+        }
+        if conjuncts.is_empty() {
+            return SolverResult::Sat(Assignment::default());
+        }
+
+        // 2. Normalise comparisons into atoms (opaque conjuncts are kept for
+        //    model checking but do not participate in the analytic stages).
+        let atoms: Vec<Atom> = conjuncts.iter().filter_map(|c| normalize_atom(c)).collect();
+
+        // 3. Syntactic contradiction pairs.
+        if has_contradiction_pair(&atoms) {
+            return SolverResult::Unsat;
+        }
+
+        // 4. Interval propagation.
+        let mut intervals = IntervalMap::default();
+        for c in &conjuncts {
+            intervals.compute(c);
+        }
+        for _ in 0..4 {
+            let mut changed = false;
+            for a in &atoms {
+                changed |= intervals.refine(a);
+            }
+            if intervals.contradiction {
+                return SolverResult::Unsat;
+            }
+            if !changed {
+                break;
+            }
+        }
+        if intervals.contradiction {
+            return SolverResult::Unsat;
+        }
+
+        // 5. Fourier–Motzkin over the linear fragment.
+        if fourier_motzkin_unsat(&atoms, &intervals, self.config.max_fm_constraints) {
+            return SolverResult::Unsat;
+        }
+
+        // 6. Model search.
+        match self.search_model(&conjuncts, &atoms, &intervals) {
+            Some(model) => SolverResult::Sat(model),
+            None => SolverResult::Unknown,
+        }
+    }
+
+    /// Convenience: check a constraint set and return the model only.
+    pub fn find_model(&self, constraints: &[TermRef]) -> Option<Assignment> {
+        match self.check(constraints) {
+            SolverResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Like [`Solver::check`], but first try the caller-provided hint
+    /// assignments (and lightly repaired variants of them). Hints let the
+    /// caller inject domain knowledge — e.g. structurally valid packets with
+    /// correct checksums — that the generic search would be unlikely to
+    /// synthesise. A hint that satisfies every conjunct is returned as a
+    /// verified `Sat` model; otherwise the normal decision procedure runs.
+    pub fn check_with_hints(&self, constraints: &[TermRef], hints: &[Assignment]) -> SolverResult {
+        let mut conjuncts = Vec::new();
+        let mut all_flat = true;
+        for c in constraints {
+            if !flatten(c, &mut conjuncts) {
+                all_flat = false;
+                break;
+            }
+        }
+        if all_flat {
+            let debug_hints = std::env::var_os("DATAPLANE_DEBUG_HINTS").is_some();
+            let atoms: Vec<Atom> = conjuncts.iter().filter_map(|c| normalize_atom(c)).collect();
+            // Round one keeps the hint packets' bytes intact (only auxiliary
+            // variables are adjusted), so a satisfying model stays a
+            // realistic packet; round two may also rewrite packet bytes.
+            for allow_packet in [false, true] {
+                for (hint_idx, hint) in hints.iter().enumerate() {
+                    let mut candidate = hint.clone();
+                    for _ in 0..4 {
+                        if check_all(&conjuncts, &candidate) {
+                            return SolverResult::Sat(candidate);
+                        }
+                        for atom in &atoms {
+                            repair(&mut candidate, atom, allow_packet);
+                        }
+                    }
+                    if check_all(&conjuncts, &candidate) {
+                        return SolverResult::Sat(candidate);
+                    }
+                    if debug_hints && allow_packet && hint_idx == 0 {
+                        for c in &conjuncts {
+                            let ok = eval(c, &candidate).map(|v| v.is_true()).unwrap_or(false);
+                            if !ok {
+                                eprintln!("[hint-debug] unsatisfied after repair: {c}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.check(constraints)
+    }
+
+    // --- model search ------------------------------------------------------
+
+    fn search_model(
+        &self,
+        conjuncts: &[TermRef],
+        atoms: &[Atom],
+        intervals: &IntervalMap,
+    ) -> Option<Assignment> {
+        // Gather leaves.
+        let mut leaves = Vec::new();
+        for c in conjuncts {
+            c.collect_leaves(&mut leaves);
+        }
+        leaves.sort_by_key(|t| format!("{t}"));
+        leaves.dedup();
+
+        let max_byte_index = leaves
+            .iter()
+            .filter_map(|t| match t.as_ref() {
+                Term::PacketByte(i) => Some(*i),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(-1);
+
+        // Interesting constants mentioned anywhere in the constraints.
+        let mut interesting: Vec<u64> = vec![0, 1];
+        for c in conjuncts {
+            collect_constants(c, &mut interesting);
+        }
+        interesting.sort_unstable();
+        interesting.dedup();
+
+        // Candidate packet lengths: enough to cover every referenced byte,
+        // plus interesting constants, plus a few common sizes.
+        let needed = (max_byte_index + 1).max(0) as u32;
+        let mut lengths: Vec<u32> = vec![needed, 0, 20, 34, 60, 64, 1500];
+        for v in &interesting {
+            if *v <= self.config.max_packet_len as u64 {
+                lengths.push(*v as u32);
+            }
+        }
+        lengths.retain(|l| *l <= self.config.max_packet_len);
+        lengths.sort_unstable();
+        lengths.dedup();
+
+        let mut rng = XorShift::new(self.config.search_seed);
+
+        for &len in &lengths {
+            let mut a = Assignment {
+                packet: vec![0u8; len.max(needed) as usize],
+                packet_len: len,
+                vars: BTreeMap::new(),
+                ds_reads: BTreeMap::new(),
+            };
+            // Leaves start at their interval lower bound (or zero); the
+            // packet length keeps the candidate value chosen above.
+            for leaf in &leaves {
+                if matches!(leaf.as_ref(), Term::PacketLen) {
+                    continue;
+                }
+                let lo = intervals.get(leaf).map(|iv| iv.lo).unwrap_or(0);
+                assign_leaf(&mut a, leaf, lo);
+            }
+            // Repair pass: force equalities and inequalities that mention one
+            // leaf and one constant.
+            for _ in 0..3 {
+                for atom in atoms {
+                    repair(&mut a, atom, true);
+                }
+            }
+            if check_all(conjuncts, &a) {
+                return Some(a);
+            }
+            // Randomised hill climbing.
+            let mut best_score = score(conjuncts, &a);
+            let tries = self.config.model_search_tries / lengths.len().max(1) as u32;
+            for _ in 0..tries {
+                let mut candidate = a.clone();
+                let pick = rng.next() as usize % leaves.len().max(1);
+                if let Some(leaf) = leaves.get(pick) {
+                    let value = match rng.next() % 4 {
+                        0 => *interesting
+                            .get(rng.next() as usize % interesting.len().max(1))
+                            .unwrap_or(&0),
+                        1 => rng.next(),
+                        2 => intervals
+                            .get(leaf)
+                            .map(|iv| iv.hi)
+                            .unwrap_or(u64::MAX),
+                        _ => rng.next() % 256,
+                    };
+                    assign_leaf(&mut candidate, leaf, value);
+                }
+                let s = score(conjuncts, &candidate);
+                // Accept improvements and sideways moves (plateau walking
+                // escapes coupled constraints that no single-leaf change can
+                // improve monotonically).
+                if s >= best_score {
+                    best_score = s;
+                    a = candidate;
+                    if s == conjuncts.len() && check_all(conjuncts, &a) {
+                        return Some(a);
+                    }
+                }
+            }
+            if check_all(conjuncts, &a) {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
+/// Flatten a 1-bit term into conjuncts. Returns `false` if a conjunct is the
+/// literal constant `false`.
+fn flatten(term: &TermRef, out: &mut Vec<TermRef>) -> bool {
+    if term.is_true() {
+        return true;
+    }
+    if term.is_false() {
+        return false;
+    }
+    match term.as_ref() {
+        Term::Binary {
+            op: BinOp::BoolAnd,
+            a,
+            b,
+        } => flatten(a, out) && flatten(b, out),
+        Term::Unary {
+            op: UnOp::LogicalNot,
+            a,
+        } => {
+            // ¬(x ∨ y) = ¬x ∧ ¬y
+            if let Term::Binary {
+                op: BinOp::BoolOr,
+                a: x,
+                b: y,
+            } = a.as_ref()
+            {
+                return flatten(&crate::term::negate(x.clone()), out)
+                    && flatten(&crate::term::negate(y.clone()), out);
+            }
+            out.push(term.clone());
+            true
+        }
+        _ => {
+            out.push(term.clone());
+            true
+        }
+    }
+}
+
+/// Normalise a conjunct into a comparison atom if possible. Negated
+/// comparisons become their complements, `UGt`/`UGe` are swapped into
+/// `ULt`/`ULe`.
+fn normalize_atom(term: &TermRef) -> Option<Atom> {
+    match term.as_ref() {
+        Term::Binary { op, a, b } => {
+            let (op, lhs, rhs) = match op {
+                BinOp::Eq => (Cmp::Eq, a.clone(), b.clone()),
+                BinOp::Ne => (Cmp::Ne, a.clone(), b.clone()),
+                BinOp::ULt => (Cmp::ULt, a.clone(), b.clone()),
+                BinOp::ULe => (Cmp::ULe, a.clone(), b.clone()),
+                BinOp::UGt => (Cmp::ULt, b.clone(), a.clone()),
+                BinOp::UGe => (Cmp::ULe, b.clone(), a.clone()),
+                BinOp::SLt => (Cmp::SLt, a.clone(), b.clone()),
+                BinOp::SLe => (Cmp::SLe, a.clone(), b.clone()),
+                _ => return None,
+            };
+            Some(Atom { op, lhs, rhs })
+        }
+        Term::Unary {
+            op: UnOp::LogicalNot,
+            a,
+        } => {
+            let inner = normalize_atom(a)?;
+            // Complement.
+            let (op, lhs, rhs) = match inner.op {
+                Cmp::Eq => (Cmp::Ne, inner.lhs, inner.rhs),
+                Cmp::Ne => (Cmp::Eq, inner.lhs, inner.rhs),
+                Cmp::ULt => (Cmp::ULe, inner.rhs, inner.lhs),
+                Cmp::ULe => (Cmp::ULt, inner.rhs, inner.lhs),
+                Cmp::SLt => (Cmp::SLe, inner.rhs, inner.lhs),
+                Cmp::SLe => (Cmp::SLt, inner.rhs, inner.lhs),
+            };
+            Some(Atom { op, lhs, rhs })
+        }
+        _ => None,
+    }
+}
+
+/// Detect pairs of atoms that directly contradict each other.
+fn has_contradiction_pair(atoms: &[Atom]) -> bool {
+    let set: HashSet<&Atom> = atoms.iter().collect();
+    for a in atoms {
+        let contradictions: Vec<Atom> = match a.op {
+            Cmp::Eq => vec![Atom {
+                op: Cmp::Ne,
+                lhs: a.lhs.clone(),
+                rhs: a.rhs.clone(),
+            }],
+            Cmp::Ne => vec![Atom {
+                op: Cmp::Eq,
+                lhs: a.lhs.clone(),
+                rhs: a.rhs.clone(),
+            }],
+            Cmp::ULt => vec![
+                Atom {
+                    op: Cmp::ULe,
+                    lhs: a.rhs.clone(),
+                    rhs: a.lhs.clone(),
+                },
+                Atom {
+                    op: Cmp::ULt,
+                    lhs: a.rhs.clone(),
+                    rhs: a.lhs.clone(),
+                },
+                Atom {
+                    op: Cmp::Eq,
+                    lhs: a.lhs.clone(),
+                    rhs: a.rhs.clone(),
+                },
+            ],
+            Cmp::SLt => vec![
+                Atom {
+                    op: Cmp::SLe,
+                    lhs: a.rhs.clone(),
+                    rhs: a.lhs.clone(),
+                },
+                Atom {
+                    op: Cmp::SLt,
+                    lhs: a.rhs.clone(),
+                    rhs: a.lhs.clone(),
+                },
+            ],
+            Cmp::ULe | Cmp::SLe => vec![],
+        };
+        if contradictions.iter().any(|c| set.contains(c)) {
+            return true;
+        }
+    }
+    false
+}
+
+fn collect_constants(term: &TermRef, out: &mut Vec<u64>) {
+    match term.as_ref() {
+        Term::Const(v) => {
+            out.push(v.as_u64());
+            if v.as_u64() > 0 {
+                out.push(v.as_u64() - 1);
+            }
+            out.push(v.as_u64().wrapping_add(1));
+        }
+        Term::Unary { a, .. } | Term::Cast { a, .. } => collect_constants(a, out),
+        Term::Binary { a, b, .. } => {
+            collect_constants(a, out);
+            collect_constants(b, out);
+        }
+        Term::Select { c, t, e } => {
+            collect_constants(c, out);
+            collect_constants(t, out);
+            collect_constants(e, out);
+        }
+        Term::PacketByteAt { index } => collect_constants(index, out),
+        Term::DsRead { key, .. } => collect_constants(key, out),
+        _ => {}
+    }
+}
+
+fn assign_leaf(a: &mut Assignment, leaf: &TermRef, value: u64) {
+    match leaf.as_ref() {
+        Term::PacketByte(i) if *i >= 0 => {
+            let idx = *i as usize;
+            if idx >= a.packet.len() {
+                a.packet.resize(idx + 1, 0);
+            }
+            a.packet[idx] = (value & 0xff) as u8;
+        }
+        Term::PacketByte(_) => {}
+        Term::PacketLen => a.packet_len = value.min(u32::MAX as u64) as u32,
+        Term::Var { id, .. } => {
+            a.vars.insert(*id, value);
+        }
+        Term::DsRead { ds, seq, .. } => {
+            a.ds_reads.insert((ds.0, *seq), value);
+        }
+        Term::PacketByteAt { .. } => {}
+        _ => {}
+    }
+}
+
+/// Try to make `atom` true by assigning one of its sides when the other side
+/// evaluates to a constant and the assignable side is a (possibly zero-
+/// extended) single leaf. When `allow_packet` is false, packet bytes and the
+/// packet length are left untouched (only auxiliary variables and
+/// data-structure reads are adjusted).
+fn repair(a: &mut Assignment, atom: &Atom, allow_packet: bool) {
+    let assignable = |t: &TermRef| -> bool {
+        allow_packet
+            || !matches!(
+                t.as_ref(),
+                Term::PacketByte(_) | Term::PacketLen | Term::PacketByteAt { .. }
+            )
+    };
+    fn leaf_of(t: &TermRef) -> Option<TermRef> {
+        match t.as_ref() {
+            Term::PacketByte(_)
+            | Term::PacketLen
+            | Term::Var { .. }
+            | Term::DsRead { .. } => Some(t.clone()),
+            Term::Cast { a, .. } => leaf_of(a),
+            _ => None,
+        }
+    }
+    let lhs_val = eval(&atom.lhs, a);
+    let rhs_val = eval(&atom.rhs, a);
+    let (lhs_val, rhs_val) = match (lhs_val, rhs_val) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return,
+    };
+    let satisfied = match atom.op {
+        Cmp::Eq => lhs_val.as_u64() == rhs_val.as_u64(),
+        Cmp::Ne => lhs_val.as_u64() != rhs_val.as_u64(),
+        Cmp::ULt => lhs_val.as_u64() < rhs_val.as_u64(),
+        Cmp::ULe => lhs_val.as_u64() <= rhs_val.as_u64(),
+        Cmp::SLt => lhs_val.as_i64() < rhs_val.as_i64(),
+        Cmp::SLe => lhs_val.as_i64() <= rhs_val.as_i64(),
+    };
+    if satisfied {
+        return;
+    }
+    // If one side is an arbitrary expression over a single leaf and the other
+    // side currently evaluates to a constant, speculatively try the constant
+    // (and neighbours) as the leaf value — this covers folded-checksum shapes
+    // like `fold(fold(v)) == 0xffff` where `v := 0xffff` works.
+    let speculate = |a: &mut Assignment, expr_side: &TermRef, target: u64| -> bool {
+        let mut leaves = Vec::new();
+        expr_side.collect_leaves(&mut leaves);
+        leaves.dedup();
+        if leaves.len() != 1 {
+            return false;
+        }
+        let leaf = leaves[0].clone();
+        let saved = a.clone();
+        for candidate in [target, target.wrapping_sub(1), target.wrapping_add(1), 0] {
+            assign_leaf(a, &leaf, candidate);
+            if eval(expr_side, a).map(|v| v.as_u64()) == Some(target) {
+                return true;
+            }
+        }
+        *a = saved;
+        false
+    };
+    let side_assignable = |side: &TermRef| -> bool {
+        let mut leaves = Vec::new();
+        side.collect_leaves(&mut leaves);
+        leaves.iter().all(|l| assignable(l))
+    };
+    if atom.op == Cmp::Eq {
+        if (side_assignable(&atom.lhs) && speculate(a, &atom.lhs, rhs_val.as_u64()))
+            || (side_assignable(&atom.rhs) && speculate(a, &atom.rhs, lhs_val.as_u64()))
+        {
+            return;
+        }
+    }
+    // Try assigning the left leaf to a value that satisfies the relation with
+    // the current right value, then vice versa.
+    if let Some(leaf) = leaf_of(&atom.lhs).filter(|l| assignable(l)) {
+        let target = match atom.op {
+            Cmp::Eq => Some(rhs_val.as_u64()),
+            Cmp::Ne => Some(rhs_val.as_u64().wrapping_add(1)),
+            Cmp::ULt => rhs_val.as_u64().checked_sub(1),
+            Cmp::ULe => Some(rhs_val.as_u64()),
+            Cmp::SLt | Cmp::SLe => Some(0),
+        };
+        if let Some(v) = target {
+            assign_leaf(a, &leaf, v);
+            return;
+        }
+    }
+    if let Some(leaf) = leaf_of(&atom.rhs).filter(|l| assignable(l)) {
+        let target = match atom.op {
+            Cmp::Eq => Some(lhs_val.as_u64()),
+            Cmp::Ne => Some(lhs_val.as_u64().wrapping_add(1)),
+            Cmp::ULt | Cmp::ULe => Some(lhs_val.as_u64().wrapping_add(1)),
+            Cmp::SLt | Cmp::SLe => Some(lhs_val.as_u64().wrapping_add(1)),
+        };
+        if let Some(v) = target {
+            assign_leaf(a, &leaf, v);
+        }
+    }
+}
+
+fn check_all(conjuncts: &[TermRef], a: &Assignment) -> bool {
+    conjuncts
+        .iter()
+        .all(|c| eval(c, a).map(|v| v.is_true()).unwrap_or(false))
+}
+
+fn score(conjuncts: &[TermRef], a: &Assignment) -> usize {
+    conjuncts
+        .iter()
+        .filter(|c| eval(c, a).map(|v| v.is_true()).unwrap_or(false))
+        .count()
+}
+
+// --- intervals --------------------------------------------------------------
+
+/// Unsigned interval of a term's possible values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+}
+
+impl Interval {
+    fn full(width: u8) -> Interval {
+        Interval {
+            lo: 0,
+            hi: dataplane_ir::value::mask(width),
+        }
+    }
+    fn point(v: u64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+    fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+}
+
+/// Map of computed intervals keyed by term structure.
+#[derive(Default)]
+struct IntervalMap {
+    map: HashMap<TermRef, Interval>,
+    contradiction: bool,
+}
+
+impl IntervalMap {
+    fn get(&self, t: &TermRef) -> Option<Interval> {
+        self.map.get(t).copied()
+    }
+
+    /// Bottom-up interval computation.
+    fn compute(&mut self, t: &TermRef) -> Interval {
+        if let Some(iv) = self.map.get(t) {
+            return *iv;
+        }
+        let width = t.width();
+        let full = Interval::full(width);
+        let iv = match t.as_ref() {
+            Term::Const(v) => Interval::point(v.as_u64()),
+            Term::PacketByte(_) | Term::PacketByteAt { .. } => Interval { lo: 0, hi: 255 },
+            Term::PacketLen => Interval { lo: 0, hi: 65535 },
+            Term::Var { .. } | Term::DsRead { .. } => full,
+            Term::Unary { .. } => full,
+            Term::Cast { kind, width, a } => {
+                let inner = self.compute(a);
+                match kind {
+                    dataplane_ir::CastKind::ZExt | dataplane_ir::CastKind::Resize
+                        if *width >= a.width() =>
+                    {
+                        inner
+                    }
+                    _ => full,
+                }
+            }
+            Term::Select { t: tt, e, .. } => {
+                let a = self.compute(tt);
+                let b = self.compute(e);
+                Interval {
+                    lo: a.lo.min(b.lo),
+                    hi: a.hi.max(b.hi),
+                }
+            }
+            Term::Binary { op, a, b } => {
+                let x = self.compute(a);
+                let y = self.compute(b);
+                let mask = dataplane_ir::value::mask(width);
+                match op {
+                    BinOp::Add => match (x.hi.checked_add(y.hi), x.lo.checked_add(y.lo)) {
+                        (Some(hi), Some(lo)) if hi <= mask => Interval { lo, hi },
+                        _ => full,
+                    },
+                    BinOp::Sub => {
+                        if x.lo >= y.hi {
+                            Interval {
+                                lo: x.lo - y.hi,
+                                hi: x.hi - y.lo,
+                            }
+                        } else {
+                            full
+                        }
+                    }
+                    BinOp::Mul => match (x.hi.checked_mul(y.hi), x.lo.checked_mul(y.lo)) {
+                        (Some(hi), Some(lo)) if hi <= mask => Interval { lo, hi },
+                        _ => full,
+                    },
+                    BinOp::And => Interval {
+                        lo: 0,
+                        hi: x.hi.min(y.hi),
+                    },
+                    BinOp::UDiv => {
+                        if y.lo > 0 {
+                            Interval {
+                                lo: x.lo / y.hi.max(1),
+                                hi: x.hi / y.lo,
+                            }
+                        } else {
+                            full
+                        }
+                    }
+                    BinOp::URem => Interval {
+                        lo: 0,
+                        hi: if y.hi > 0 { y.hi - 1 } else { full.hi },
+                    },
+                    BinOp::LShr => Interval {
+                        lo: 0,
+                        hi: x.hi >> y.lo.min(63),
+                    },
+                    _ if op.is_comparison() || op.is_boolean() => Interval { lo: 0, hi: 1 },
+                    _ => full,
+                }
+            }
+        };
+        self.map.insert(t.clone(), iv);
+        iv
+    }
+
+    /// Refine intervals using one atom. Returns true if anything changed.
+    fn refine(&mut self, atom: &Atom) -> bool {
+        let lhs = self.compute(&atom.lhs);
+        let rhs = self.compute(&atom.rhs);
+        let mut new_lhs = lhs;
+        let mut new_rhs = rhs;
+        match atom.op {
+            Cmp::Eq => {
+                new_lhs.lo = lhs.lo.max(rhs.lo);
+                new_lhs.hi = lhs.hi.min(rhs.hi);
+                new_rhs = new_lhs;
+            }
+            Cmp::ULt => {
+                if rhs.hi == 0 {
+                    self.contradiction = true;
+                    return false;
+                }
+                new_lhs.hi = lhs.hi.min(rhs.hi - 1);
+                new_rhs.lo = rhs.lo.max(lhs.lo.saturating_add(1));
+            }
+            Cmp::ULe => {
+                new_lhs.hi = lhs.hi.min(rhs.hi);
+                new_rhs.lo = rhs.lo.max(lhs.lo);
+            }
+            // Signed comparisons are refined only when both sides are known
+            // non-negative in the signed sense (top bit clear), in which case
+            // they coincide with the unsigned comparisons.
+            Cmp::SLt => {
+                let w = atom.lhs.width();
+                let top = 1u64 << (w - 1);
+                if lhs.hi < top && rhs.hi < top {
+                    if rhs.hi == 0 {
+                        self.contradiction = true;
+                        return false;
+                    }
+                    new_lhs.hi = lhs.hi.min(rhs.hi - 1);
+                    new_rhs.lo = rhs.lo.max(lhs.lo.saturating_add(1));
+                }
+            }
+            Cmp::SLe => {
+                let w = atom.lhs.width();
+                let top = 1u64 << (w - 1);
+                if lhs.hi < top && rhs.hi < top {
+                    new_lhs.hi = lhs.hi.min(rhs.hi);
+                    new_rhs.lo = rhs.lo.max(lhs.lo);
+                }
+            }
+            Cmp::Ne => {}
+        }
+        if new_lhs.is_empty() || new_rhs.is_empty() {
+            self.contradiction = true;
+            return false;
+        }
+        let mut changed = false;
+        if new_lhs != lhs {
+            self.map.insert(atom.lhs.clone(), new_lhs);
+            changed = true;
+        }
+        if new_rhs != rhs {
+            self.map.insert(atom.rhs.clone(), new_rhs);
+            changed = true;
+        }
+        changed
+    }
+}
+
+// --- linear fragment / Fourier–Motzkin ---------------------------------------
+
+/// A linear expression: `constant + Σ coeff·var`, where the "variables" are
+/// opaque term nodes (leaves or non-linear sub-terms).
+#[derive(Clone, Debug, Default)]
+struct LinExpr {
+    constant: i128,
+    coeffs: BTreeMap<String, (TermRef, i128)>,
+}
+
+impl LinExpr {
+    fn constant(v: i128) -> LinExpr {
+        LinExpr {
+            constant: v,
+            coeffs: BTreeMap::new(),
+        }
+    }
+    fn var(t: TermRef) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(format!("{t}"), (t, 1));
+        LinExpr {
+            constant: 0,
+            coeffs,
+        }
+    }
+    fn add(mut self, other: &LinExpr, sign: i128) -> LinExpr {
+        self.constant += sign * other.constant;
+        for (k, (t, c)) in &other.coeffs {
+            let entry = self
+                .coeffs
+                .entry(k.clone())
+                .or_insert_with(|| (t.clone(), 0));
+            entry.1 += sign * c;
+        }
+        self.coeffs.retain(|_, (_, c)| *c != 0);
+        self
+    }
+    fn scale(mut self, k: i128) -> LinExpr {
+        self.constant *= k;
+        for (_, (_, c)) in self.coeffs.iter_mut() {
+            *c *= k;
+        }
+        self
+    }
+}
+
+/// Linearise a term, treating non-linear nodes as opaque variables. Each
+/// result carries mathematical bounds derived from the (refined) intervals of
+/// its opaque variables; a node whose mathematical value could wrap at its
+/// bit width is kept opaque instead, so the mathematical reading stays sound.
+fn linearize(t: &TermRef, intervals: &IntervalMap) -> Option<LinExpr> {
+    linearize_bounded(t, intervals).map(|(e, _, _)| e)
+}
+
+/// Linearise with bounds: returns `(expr, lo, hi)` where `lo..=hi` encloses
+/// the mathematical value of `expr` given the interval of every opaque
+/// variable in it.
+fn linearize_bounded(t: &TermRef, intervals: &IntervalMap) -> Option<(LinExpr, i128, i128)> {
+    // Bounds of an opaque node come from its (possibly refined) interval.
+    let opaque = |t: &TermRef| -> (LinExpr, i128, i128) {
+        let iv = intervals
+            .get(t)
+            .unwrap_or_else(|| Interval::full(t.width()));
+        (LinExpr::var(t.clone()), iv.lo as i128, iv.hi as i128)
+    };
+    match t.as_ref() {
+        Term::Const(v) => {
+            let c = v.as_u64() as i128;
+            Some((LinExpr::constant(c), c, c))
+        }
+        Term::Binary { op, a, b } => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                let (la, alo, ahi) = linearize_bounded(a, intervals)?;
+                let (lb, blo, bhi) = linearize_bounded(b, intervals)?;
+                let mask = dataplane_ir::value::mask(t.width()) as i128;
+                let (expr, lo, hi) = match op {
+                    BinOp::Add => (la.add(&lb, 1), alo + blo, ahi + bhi),
+                    BinOp::Sub => (la.add(&lb, -1), alo - bhi, ahi - blo),
+                    BinOp::Mul => {
+                        if lb.coeffs.is_empty() {
+                            (la.scale(lb.constant), alo * blo, ahi * bhi)
+                        } else if la.coeffs.is_empty() {
+                            (lb.scale(la.constant), alo * blo, ahi * bhi)
+                        } else {
+                            // Product of two non-constant expressions: opaque.
+                            return Some(opaque(t));
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                // If the mathematical value can leave [0, mask], modular
+                // wrap-around could occur and the linear reading is unsound;
+                // fall back to an opaque variable for this node.
+                if lo < 0 || hi > mask {
+                    return Some(opaque(t));
+                }
+                Some((expr, lo, hi))
+            }
+            _ => Some(opaque(t)),
+        },
+        Term::Cast { kind, width, a } => match kind {
+            dataplane_ir::CastKind::ZExt | dataplane_ir::CastKind::Resize
+                if *width >= a.width() =>
+            {
+                // Value-preserving widening: pass through, but tighten the
+                // bounds with any refinement recorded against the cast node
+                // itself (atoms usually mention the widened form, e.g.
+                // `zext32(v) >= 4`, and that knowledge must reach the bounds
+                // used for wrap checking higher up).
+                let (e, mut lo, mut hi) = linearize_bounded(a, intervals)?;
+                if let Some(iv) = intervals.get(t) {
+                    lo = lo.max(iv.lo as i128);
+                    hi = hi.min(iv.hi as i128);
+                }
+                Some((e, lo, hi))
+            }
+            _ => Some(opaque(t)),
+        },
+        _ => Some(opaque(t)),
+    }
+}
+
+/// One inequality `expr <= 0`.
+#[derive(Clone, Debug)]
+struct Inequality {
+    expr: LinExpr,
+}
+
+/// Decide unsatisfiability of the linear fragment by Fourier–Motzkin
+/// elimination (sound for `Unsat` because rational infeasibility implies
+/// integer infeasibility).
+fn fourier_motzkin_unsat(atoms: &[Atom], intervals: &IntervalMap, max_constraints: usize) -> bool {
+    let mut inequalities: Vec<Inequality> = Vec::new();
+    let mut vars: HashSet<String> = HashSet::new();
+
+    let push = |expr: LinExpr, inequalities: &mut Vec<Inequality>, vars: &mut HashSet<String>| {
+        for k in expr.coeffs.keys() {
+            vars.insert(k.clone());
+        }
+        inequalities.push(Inequality { expr });
+    };
+
+    for atom in atoms {
+        // Signed atoms participate only when both sides are provably
+        // non-negative (then they agree with the unsigned reading).
+        if matches!(atom.op, Cmp::SLt | Cmp::SLe) {
+            let w = atom.lhs.width();
+            let top = 1u64 << (w - 1);
+            let lok = intervals.get(&atom.lhs).map(|iv| iv.hi < top).unwrap_or(false);
+            let rok = intervals.get(&atom.rhs).map(|iv| iv.hi < top).unwrap_or(false);
+            if !lok || !rok {
+                continue;
+            }
+        }
+        if matches!(atom.op, Cmp::Ne) {
+            continue;
+        }
+        let (Some(l), Some(r)) = (
+            linearize(&atom.lhs, intervals),
+            linearize(&atom.rhs, intervals),
+        ) else {
+            continue;
+        };
+        let diff = l.add(&r, -1); // lhs - rhs
+        match atom.op {
+            Cmp::ULe | Cmp::SLe => push(diff, &mut inequalities, &mut vars),
+            Cmp::ULt | Cmp::SLt => {
+                push(diff.add(&LinExpr::constant(-1), -1), &mut inequalities, &mut vars)
+                // lhs - rhs + 1 <= 0
+            }
+            Cmp::Eq => {
+                push(diff.clone(), &mut inequalities, &mut vars);
+                push(diff.scale(-1), &mut inequalities, &mut vars);
+            }
+            Cmp::Ne => {}
+        }
+    }
+
+    // Range constraints for every opaque variable: 0 <= v <= hi.
+    let var_terms: Vec<TermRef> = {
+        let mut seen: HashMap<String, TermRef> = HashMap::new();
+        for ineq in &inequalities {
+            for (k, (t, _)) in &ineq.expr.coeffs {
+                seen.entry(k.clone()).or_insert_with(|| t.clone());
+            }
+        }
+        seen.into_values().collect()
+    };
+    for t in var_terms {
+        let hi = intervals
+            .get(&t)
+            .map(|iv| iv.hi)
+            .unwrap_or_else(|| dataplane_ir::value::mask(t.width()));
+        let lo = intervals.get(&t).map(|iv| iv.lo).unwrap_or(0);
+        // -v + lo <= 0
+        push(
+            LinExpr::var(t.clone()).scale(-1).add(&LinExpr::constant(lo as i128), 1),
+            &mut inequalities,
+            &mut vars,
+        );
+        // v - hi <= 0
+        push(
+            LinExpr::var(t).add(&LinExpr::constant(hi as i128), -1),
+            &mut inequalities,
+            &mut vars,
+        );
+    }
+
+    // Eliminate variables one at a time.
+    let mut var_list: Vec<String> = vars.into_iter().collect();
+    var_list.sort();
+    for var in var_list {
+        if inequalities.len() > max_constraints {
+            return false; // budget exhausted, no verdict from this stage
+        }
+        let (with_var, without): (Vec<Inequality>, Vec<Inequality>) = inequalities
+            .into_iter()
+            .partition(|i| i.expr.coeffs.contains_key(&var));
+        let mut uppers = Vec::new(); // c*v <= rest  (c > 0)
+        let mut lowers = Vec::new(); // rest <= c*v  (coefficient < 0 in <=0 form)
+        for ineq in with_var {
+            let coeff = ineq.expr.coeffs.get(&var).map(|(_, c)| *c).unwrap_or(0);
+            if coeff > 0 {
+                uppers.push((coeff, ineq));
+            } else {
+                lowers.push((-coeff, ineq));
+            }
+        }
+        let mut next = without;
+        for (cu, u) in &uppers {
+            for (cl, l) in &lowers {
+                // cu*v + U <= 0  and  -cl*v + L <= 0
+                // => cl*U + cu*L <= 0 after eliminating v.
+                let mut combined =
+                    u.expr.clone().scale(*cl).add(&l.expr.clone().scale(*cu), 1);
+                combined.coeffs.remove(&var);
+                if combined.coeffs.is_empty() {
+                    if combined.constant > 0 {
+                        return true; // 0 < constant <= 0 is impossible
+                    }
+                } else {
+                    next.push(Inequality { expr: combined });
+                }
+            }
+        }
+        inequalities = next;
+        // A pure-constant contradiction may also already be present.
+        if inequalities
+            .iter()
+            .any(|i| i.expr.coeffs.is_empty() && i.expr.constant > 0)
+        {
+            return true;
+        }
+    }
+    inequalities
+        .iter()
+        .any(|i| i.expr.coeffs.is_empty() && i.expr.constant > 0)
+}
+
+// --- deterministic RNG -------------------------------------------------------
+
+/// A small xorshift generator so the model search is deterministic and does
+/// not pull in `rand` for the library crate.
+struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift {
+            state: seed.max(1),
+        }
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{binary, cast, constant, negate, VarId};
+    use dataplane_ir::{BitVec, CastKind};
+    use std::rc::Rc;
+
+    fn pkt_byte(i: i64) -> TermRef {
+        Rc::new(Term::PacketByte(i))
+    }
+    fn pkt_len() -> TermRef {
+        Rc::new(Term::PacketLen)
+    }
+    fn c32(v: u32) -> TermRef {
+        constant(BitVec::u32(v))
+    }
+    fn b32(i: i64) -> TermRef {
+        cast(CastKind::ZExt, 32, pkt_byte(i))
+    }
+
+    #[test]
+    fn empty_and_trivial_constraints() {
+        let s = Solver::new();
+        assert!(s.check(&[]).is_sat());
+        assert!(s.check(&[crate::term::tt()]).is_sat());
+        assert!(s.check(&[crate::term::ff()]).is_unsat());
+    }
+
+    #[test]
+    fn simple_equality_is_sat_with_correct_model() {
+        let s = Solver::new();
+        // pkt[0] == 0x45
+        let c = binary(BinOp::Eq, pkt_byte(0), constant(BitVec::u8(0x45)));
+        match s.check(&[c]) {
+            SolverResult::Sat(m) => assert_eq!(m.packet[0], 0x45),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_equalities_are_unsat() {
+        let s = Solver::new();
+        let a = binary(BinOp::Eq, pkt_byte(0), constant(BitVec::u8(1)));
+        let b = binary(BinOp::Eq, pkt_byte(0), constant(BitVec::u8(2)));
+        assert!(s.check(&[a, b]).is_unsat());
+    }
+
+    #[test]
+    fn complementary_comparisons_are_unsat() {
+        let s = Solver::new();
+        let x = b32(0);
+        let lt = binary(BinOp::ULt, x.clone(), c32(10));
+        let ge = binary(BinOp::UGe, x.clone(), c32(10));
+        assert!(s.check(&[lt.clone(), ge]).is_unsat());
+        // x < 10 && x == 10 is also a contradiction.
+        let eq = binary(BinOp::Eq, x.clone(), c32(10));
+        assert!(s.check(&[lt, eq]).is_unsat());
+    }
+
+    #[test]
+    fn negated_atom_contradiction() {
+        let s = Solver::new();
+        let x = b32(0);
+        let lt = binary(BinOp::ULt, x.clone(), c32(10));
+        assert!(s.check(&[lt.clone(), negate(lt)]).is_unsat());
+    }
+
+    #[test]
+    fn interval_contradiction_detected() {
+        let s = Solver::new();
+        // A single byte cannot exceed 300.
+        let gt = binary(BinOp::UGt, b32(0), c32(300));
+        assert!(s.check(&[gt]).is_unsat());
+        // But it can exceed 200.
+        let gt = binary(BinOp::UGt, b32(0), c32(200));
+        match s.check(&[gt]) {
+            SolverResult::Sat(m) => assert!(m.packet[0] > 200),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transitive_chain_is_unsat() {
+        // The Figure-2-style composition check:
+        //   hl <= total, total <= len, i < hl, len < i + 1  — impossible.
+        let s = Solver::new();
+        let hl = binary(
+            BinOp::Mul,
+            cast(
+                CastKind::ZExt,
+                32,
+                binary(BinOp::And, pkt_byte(0), constant(BitVec::u8(0x0f))),
+            ),
+            c32(4),
+        );
+        let total = cast(CastKind::ZExt, 32, Rc::new(Term::Var { id: VarId(1), width: 16 }));
+        let i = binary(BinOp::Add, c32(20), cast(CastKind::ZExt, 32, Rc::new(Term::Var { id: VarId(2), width: 8 })));
+        let len = pkt_len();
+
+        let cs = vec![
+            binary(BinOp::ULe, hl.clone(), total.clone()),
+            binary(BinOp::ULe, total, len.clone()),
+            binary(BinOp::ULt, i.clone(), hl),
+            binary(BinOp::ULt, len, binary(BinOp::Add, i, c32(1))),
+        ];
+        assert!(s.check(&cs).is_unsat());
+    }
+
+    #[test]
+    fn monotone_sum_chain_is_unsat() {
+        // ptr + 3 <= optlen, i + optlen <= hl, hl <= len, and the crash
+        // condition i + ptr + 3 > len — the record-route write case.
+        let s = Solver::new();
+        let ptr = cast(CastKind::ZExt, 32, Rc::new(Term::Var { id: VarId(1), width: 8 }));
+        let optlen = cast(CastKind::ZExt, 32, Rc::new(Term::Var { id: VarId(2), width: 8 }));
+        let i = binary(BinOp::Add, c32(20), cast(CastKind::ZExt, 32, Rc::new(Term::Var { id: VarId(3), width: 8 })));
+        let hl = binary(
+            BinOp::Mul,
+            cast(
+                CastKind::ZExt,
+                32,
+                binary(BinOp::And, pkt_byte(0), constant(BitVec::u8(0x0f))),
+            ),
+            c32(4),
+        );
+        let len = pkt_len();
+        let cs = vec![
+            binary(BinOp::ULe, binary(BinOp::Add, ptr.clone(), c32(3)), optlen.clone()),
+            binary(BinOp::ULe, binary(BinOp::Add, i.clone(), optlen), hl.clone()),
+            binary(BinOp::ULe, hl, len.clone()),
+            binary(
+                BinOp::UGt,
+                binary(BinOp::Add, binary(BinOp::Add, i, ptr), c32(3)),
+                len,
+            ),
+        ];
+        assert!(s.check(&cs).is_unsat());
+    }
+
+    #[test]
+    fn satisfiable_chain_produces_model() {
+        // i < hl with hl derived from packet byte 0: needs byte0's low nibble
+        // large enough. The solver must find such a packet.
+        let s = Solver::new();
+        let hl = binary(
+            BinOp::Mul,
+            cast(
+                CastKind::ZExt,
+                32,
+                binary(BinOp::And, pkt_byte(0), constant(BitVec::u8(0x0f))),
+            ),
+            c32(4),
+        );
+        let cs = vec![
+            binary(BinOp::ULt, c32(20), hl.clone()),
+            binary(BinOp::ULe, hl, pkt_len()),
+        ];
+        match s.check(&cs) {
+            SolverResult::Sat(m) => {
+                let ihl = (m.packet[0] & 0x0f) as u32;
+                assert!(ihl * 4 > 20);
+                assert!(m.packet_len >= ihl * 4);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn havocked_counter_chain_is_unsat() {
+        // The shape produced by loop decomposition: a 32-bit havocked loop
+        // counter bounded only by the loop condition. This is the
+        // CheckIPHeader checksum-loop discharge:
+        //   idx < ihl*2, hl = ihl*4 <= len, crash: 2*idx + 2 > len.
+        let s = Solver::new();
+        let idx: TermRef = Rc::new(Term::Var { id: VarId(9), width: 32 });
+        let ihl = cast(
+            CastKind::ZExt,
+            32,
+            binary(BinOp::And, pkt_byte(0), constant(BitVec::u8(0x0f))),
+        );
+        let len = pkt_len();
+        let cs = vec![
+            binary(BinOp::ULt, idx.clone(), binary(BinOp::Mul, ihl.clone(), c32(2))),
+            binary(BinOp::ULe, binary(BinOp::Mul, ihl, c32(4)), len.clone()),
+            binary(
+                BinOp::UGt,
+                binary(BinOp::Add, binary(BinOp::Mul, idx, c32(2)), c32(2)),
+                len,
+            ),
+        ];
+        assert!(s.check(&cs).is_unsat());
+    }
+
+    #[test]
+    fn signed_contradiction_from_figure_one() {
+        // in >= 0 (signed) && in < 0 (signed) over a 32-bit packet field.
+        let s = Solver::new();
+        let field = {
+            // Build (pkt[0]<<24 | ... ) as the engine would; a single byte is
+            // enough to exercise the signed logic here.
+            cast(CastKind::ZExt, 32, pkt_byte(0))
+        };
+        let nonneg = binary(BinOp::SLe, c32(0), field.clone());
+        let neg = binary(BinOp::SLt, field, c32(0));
+        assert!(s.check(&[nonneg, neg]).is_unsat());
+    }
+
+    #[test]
+    fn models_satisfy_packet_length_constraints() {
+        let s = Solver::new();
+        let cs = vec![
+            binary(BinOp::UGe, pkt_len(), c32(34)),
+            binary(BinOp::Eq, pkt_byte(12), constant(BitVec::u8(0x08))),
+            binary(BinOp::Eq, pkt_byte(13), constant(BitVec::u8(0x00))),
+        ];
+        match s.check(&cs) {
+            SolverResult::Sat(m) => {
+                assert!(m.packet_len >= 34);
+                assert_eq!(m.packet[12], 0x08);
+                assert_eq!(m.packet[13], 0x00);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ds_read_constraints_can_be_satisfied() {
+        let s = Solver::new();
+        let read = Rc::new(Term::DsRead {
+            ds: dataplane_ir::DsId(0),
+            key: c32(5),
+            seq: 0,
+            width: 8,
+        });
+        let c = binary(BinOp::Eq, read, constant(BitVec::u8(3)));
+        match s.check(&[c]) {
+            SolverResult::Sat(m) => assert_eq!(m.ds_reads.get(&(0, 0)), Some(&3)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_dominates_even_with_many_conjuncts() {
+        let s = Solver::new();
+        let mut cs = Vec::new();
+        for i in 0..10 {
+            cs.push(binary(
+                BinOp::ULe,
+                b32(i),
+                c32(200),
+            ));
+        }
+        cs.push(binary(BinOp::Eq, pkt_byte(3), constant(BitVec::u8(7))));
+        cs.push(binary(BinOp::Eq, pkt_byte(3), constant(BitVec::u8(8))));
+        assert!(s.check(&cs).is_unsat());
+    }
+
+    #[test]
+    fn sat_results_verify_under_evaluation() {
+        // Whatever model the solver returns must make every constraint true.
+        let s = Solver::new();
+        let cs = vec![
+            binary(BinOp::UGt, b32(8), c32(1)),
+            binary(BinOp::ULt, b32(8), c32(5)),
+            binary(BinOp::UGe, pkt_len(), c32(9)),
+        ];
+        match s.check(&cs) {
+            SolverResult::Sat(m) => {
+                for c in &cs {
+                    assert!(eval(c, &m).unwrap().is_true());
+                }
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+}

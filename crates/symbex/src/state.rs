@@ -1,0 +1,432 @@
+//! Symbolic packet state: how one element transforms the packet along one
+//! path.
+//!
+//! The packet the element received is modelled as an unconstrained byte array
+//! (`Term::PacketByte(i)`) of unconstrained length (`Term::PacketLen`). A
+//! [`SymPacket`] tracks, along one execution path:
+//!
+//! * a **base shift** and **length delta** accumulated by `StripFront` /
+//!   `PushFront` (encapsulation and de-encapsulation),
+//! * an **overlay** of bytes written at concrete offsets,
+//! * whether a write at a *symbolic* offset **clobbered** the packet, after
+//!   which the concrete overlay can no longer be trusted and reads return
+//!   fresh unconstrained values (a sound over-approximation).
+//!
+//! At composition time the downstream element's packet symbols are replaced
+//! by [`SymPacket::out_byte`] / [`SymPacket::out_len`] of the upstream
+//! segment — that is the "stitching" step of the paper's Step 2.
+
+use crate::term::{self, Term, TermRef};
+use dataplane_ir::{BinOp, BitVec, CastKind};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Symbolic packet transformation along one path.
+#[derive(Clone, Debug)]
+pub struct SymPacket {
+    /// Program offset `o` refers to original byte `o + base`.
+    base: i64,
+    /// Current length = original length + `len_delta`.
+    len_delta: i64,
+    /// Bytes written at concrete (absolute) offsets.
+    writes: BTreeMap<i64, TermRef>,
+    /// Set once a write to a symbolic offset happened; afterwards every read
+    /// is over-approximated by a fresh variable.
+    clobbered: bool,
+}
+
+impl Default for SymPacket {
+    fn default() -> Self {
+        SymPacket::new()
+    }
+}
+
+impl SymPacket {
+    /// The identity transformation (packet untouched).
+    pub fn new() -> Self {
+        SymPacket {
+            base: 0,
+            len_delta: 0,
+            writes: BTreeMap::new(),
+            clobbered: false,
+        }
+    }
+
+    /// The accumulated front shift in bytes (positive after strips).
+    pub fn base(&self) -> i64 {
+        self.base
+    }
+
+    /// The accumulated length change in bytes.
+    pub fn len_delta(&self) -> i64 {
+        self.len_delta
+    }
+
+    /// True if any byte was (or may have been) rewritten.
+    pub fn rewrites_bytes(&self) -> bool {
+        self.clobbered || !self.writes.is_empty()
+    }
+
+    /// True if a symbolic-offset write clobbered the byte overlay.
+    pub fn is_clobbered(&self) -> bool {
+        self.clobbered
+    }
+
+    /// The current packet length as a 32-bit term.
+    pub fn len_term(&self) -> TermRef {
+        let original = Rc::new(Term::PacketLen);
+        match self.len_delta.cmp(&0) {
+            std::cmp::Ordering::Equal => original,
+            std::cmp::Ordering::Greater => term::binary(
+                BinOp::Add,
+                original,
+                term::constant(BitVec::u32(self.len_delta as u32)),
+            ),
+            std::cmp::Ordering::Less => term::binary(
+                BinOp::Sub,
+                original,
+                term::constant(BitVec::u32((-self.len_delta) as u32)),
+            ),
+        }
+    }
+
+    /// Alias of [`SymPacket::len_term`] named for the composition step.
+    pub fn out_len(&self) -> TermRef {
+        self.len_term()
+    }
+
+    /// The condition under which a `width_bytes`-byte **load** at `offset`
+    /// (a 32-bit term, program-relative) reads past the end of the packet.
+    /// Computed in 64 bits so the sum cannot wrap.
+    pub fn load_oob_condition(&self, offset: &TermRef, width_bytes: u8) -> TermRef {
+        let end = term::binary(
+            BinOp::Add,
+            term::cast(CastKind::ZExt, 64, offset.clone()),
+            term::constant(BitVec::u64(width_bytes as u64)),
+        );
+        term::binary(
+            BinOp::UGt,
+            end,
+            term::cast(CastKind::ZExt, 64, self.len_term()),
+        )
+    }
+
+    /// The condition under which a store at `offset` writes past the end of
+    /// the packet (same shape as the load condition).
+    pub fn store_oob_condition(&self, offset: &TermRef, width_bytes: u8) -> TermRef {
+        self.load_oob_condition(offset, width_bytes)
+    }
+
+    /// The condition under which stripping `n` bytes underflows the packet.
+    pub fn strip_underflow_condition(&self, n: u32) -> TermRef {
+        term::binary(
+            BinOp::ULt,
+            self.len_term(),
+            term::constant(BitVec::u32(n)),
+        )
+    }
+
+    /// Record a strip of `n` bytes from the front.
+    pub fn strip_front(&mut self, n: u32) {
+        self.base += n as i64;
+        self.len_delta -= n as i64;
+    }
+
+    /// Record prepending `n` zero bytes to the front.
+    pub fn push_front(&mut self, n: u32) {
+        self.base -= n as i64;
+        self.len_delta += n as i64;
+        // The new header bytes read as zero until written.
+        for j in 0..n as i64 {
+            self.writes
+                .insert(self.base + j, term::constant(BitVec::u8(0)));
+        }
+    }
+
+    /// Mark the whole byte overlay unknown (used by loop decomposition when
+    /// the loop body may write the packet). The `representative` argument is
+    /// an arbitrary fresh variable kept only so callers can observe that the
+    /// clobbering happened in debug output.
+    pub fn clobber(&mut self, representative: TermRef) {
+        let _ = representative;
+        self.clobbered = true;
+        self.writes.clear();
+    }
+
+    /// The byte of the *original* packet buffer at absolute index `abs`,
+    /// taking the overlay into account. `fresh` supplies an unconstrained
+    /// 8-bit variable for clobbered state.
+    fn byte_at(&self, abs: i64, fresh: &mut dyn FnMut() -> TermRef) -> TermRef {
+        if self.clobbered {
+            return fresh();
+        }
+        if let Some(t) = self.writes.get(&abs) {
+            return t.clone();
+        }
+        if abs < 0 {
+            // A pushed-front byte that was never written reads as zero (the
+            // engine zero-fills new headers), and an index before the packet
+            // beginning cannot otherwise be reached on a non-crashing path.
+            return term::constant(BitVec::u8(0));
+        }
+        Rc::new(Term::PacketByte(abs))
+    }
+
+    /// Load `width_bytes` bytes (big-endian) at `offset` (program-relative,
+    /// 32-bit term). For symbolic offsets the value is over-approximated by
+    /// fresh variables.
+    pub fn load(
+        &self,
+        offset: &TermRef,
+        width_bytes: u8,
+        fresh: &mut dyn FnMut() -> TermRef,
+    ) -> TermRef {
+        let width_bits = width_bytes * 8;
+        match offset.as_const() {
+            Some(c) => {
+                let start = c.as_u64() as i64 + self.base;
+                let mut value = term::constant(BitVec::new(width_bits, 0));
+                for i in 0..width_bytes as i64 {
+                    let byte = self.byte_at(start + i, fresh);
+                    let widened = term::cast(CastKind::ZExt, width_bits, byte);
+                    value = term::binary(
+                        BinOp::Or,
+                        term::binary(
+                            BinOp::Shl,
+                            value,
+                            term::constant(BitVec::new(width_bits, 8)),
+                        ),
+                        widened,
+                    );
+                }
+                value
+            }
+            None => {
+                // Symbolic offset: the loaded value is unconstrained.
+                let mut value = term::constant(BitVec::new(width_bits, 0));
+                for _ in 0..width_bytes {
+                    let byte = fresh();
+                    let widened = term::cast(CastKind::ZExt, width_bits, byte);
+                    value = term::binary(
+                        BinOp::Or,
+                        term::binary(
+                            BinOp::Shl,
+                            value,
+                            term::constant(BitVec::new(width_bits, 8)),
+                        ),
+                        widened,
+                    );
+                }
+                value
+            }
+        }
+    }
+
+    /// Store `value` (of width `width_bytes * 8`) at `offset`. Writes at
+    /// symbolic offsets clobber the overlay.
+    pub fn store(
+        &mut self,
+        offset: &TermRef,
+        width_bytes: u8,
+        value: &TermRef,
+        fresh: &mut dyn FnMut() -> TermRef,
+    ) {
+        let width_bits = width_bytes * 8;
+        match offset.as_const() {
+            Some(c) => {
+                let start = c.as_u64() as i64 + self.base;
+                for i in 0..width_bytes as i64 {
+                    let shift = 8 * (width_bytes as i64 - 1 - i);
+                    let byte = term::cast(
+                        CastKind::Trunc,
+                        8,
+                        term::binary(
+                            BinOp::LShr,
+                            value.clone(),
+                            term::constant(BitVec::new(width_bits, shift as u64)),
+                        ),
+                    );
+                    if !self.clobbered {
+                        self.writes.insert(start + i, byte);
+                    }
+                }
+            }
+            None => {
+                self.clobber(fresh());
+            }
+        }
+    }
+
+    /// Byte `j` of the packet as the **next** element will see it.
+    pub fn out_byte(&self, j: i64) -> TermRef {
+        if self.clobbered {
+            // Unknown content; callers substitute a fresh variable instead.
+            // Returning a symbolic read keeps the term well-formed if they
+            // don't.
+            return Rc::new(Term::PacketByteAt {
+                index: term::constant(BitVec::u32((j + self.base).max(0) as u32)),
+            });
+        }
+        let abs = j + self.base;
+        if let Some(t) = self.writes.get(&abs) {
+            return t.clone();
+        }
+        if abs < 0 {
+            return term::constant(BitVec::u8(0));
+        }
+        Rc::new(Term::PacketByte(abs))
+    }
+
+    /// Rebase a downstream symbolic byte index (a 32-bit term in the next
+    /// element's offset space) into this element's original offset space.
+    /// Returns `None` when the overlay makes a plain rebase unsound (writes
+    /// or clobbering happened), in which case the caller over-approximates.
+    pub fn rebase_index(&self, index: &TermRef) -> Option<TermRef> {
+        if self.rewrites_bytes() {
+            return None;
+        }
+        Some(match self.base.cmp(&0) {
+            std::cmp::Ordering::Equal => index.clone(),
+            std::cmp::Ordering::Greater => term::binary(
+                BinOp::Add,
+                index.clone(),
+                term::constant(BitVec::u32(self.base as u32)),
+            ),
+            std::cmp::Ordering::Less => term::binary(
+                BinOp::Sub,
+                index.clone(),
+                term::constant(BitVec::u32((-self.base) as u32)),
+            ),
+        })
+    }
+
+    /// The concrete byte indexes written on this path (used by tests and
+    /// reports).
+    pub fn written_indexes(&self) -> Vec<i64> {
+        self.writes.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{eval, Assignment};
+
+    fn c32(v: u32) -> TermRef {
+        term::constant(BitVec::u32(v))
+    }
+
+    fn no_fresh() -> impl FnMut() -> TermRef {
+        || panic!("fresh variable requested unexpectedly")
+    }
+
+    #[test]
+    fn identity_packet_reads_original_bytes() {
+        let p = SymPacket::new();
+        let mut fresh = no_fresh();
+        let v = p.load(&c32(2), 2, &mut fresh);
+        let a = Assignment::from_packet(&[0, 0, 0xab, 0xcd]);
+        assert_eq!(eval(&v, &a).unwrap(), BitVec::u16(0xabcd));
+        assert_eq!(p.out_byte(3).to_string(), "pkt[3]");
+        assert_eq!(p.len_term().to_string(), "pkt.len");
+        assert!(!p.rewrites_bytes());
+    }
+
+    #[test]
+    fn writes_are_visible_to_later_loads_and_outputs() {
+        let mut p = SymPacket::new();
+        let mut fresh = no_fresh();
+        p.store(&c32(1), 2, &term::constant(BitVec::u16(0x1234)), &mut fresh);
+        let v = p.load(&c32(0), 4, &mut fresh);
+        let a = Assignment::from_packet(&[0xaa, 0, 0, 0xbb]);
+        assert_eq!(eval(&v, &a).unwrap(), BitVec::u32(0xaa1234bb));
+        assert_eq!(p.out_byte(1).as_const().unwrap(), BitVec::u8(0x12));
+        assert_eq!(p.out_byte(2).as_const().unwrap(), BitVec::u8(0x34));
+        assert_eq!(p.out_byte(0).to_string(), "pkt[0]");
+        assert!(p.rewrites_bytes());
+        assert_eq!(p.written_indexes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn strip_shifts_offsets_and_length() {
+        let mut p = SymPacket::new();
+        p.strip_front(14);
+        assert_eq!(p.base(), 14);
+        assert_eq!(p.len_delta(), -14);
+        let mut fresh = no_fresh();
+        let v = p.load(&c32(0), 1, &mut fresh);
+        assert_eq!(v.to_string(), "pkt[14]");
+        assert_eq!(p.out_byte(0).to_string(), "pkt[14]");
+        let len = p.len_term().to_string();
+        assert!(len.contains("pkt.len") && len.contains("14"), "{len}");
+        // Rebase of a downstream index adds the shift.
+        let idx = p.rebase_index(&c32(6)).unwrap();
+        assert_eq!(idx.as_const().unwrap(), BitVec::u32(20));
+    }
+
+    #[test]
+    fn push_front_creates_zero_bytes_then_writes_fill_them() {
+        let mut p = SymPacket::new();
+        p.push_front(4);
+        assert_eq!(p.base(), -4);
+        assert_eq!(p.len_delta(), 4);
+        assert_eq!(p.out_byte(0).as_const().unwrap(), BitVec::u8(0));
+        let mut fresh = no_fresh();
+        p.store(&c32(0), 2, &term::constant(BitVec::u16(0xbeef)), &mut fresh);
+        assert_eq!(p.out_byte(0).as_const().unwrap(), BitVec::u8(0xbe));
+        assert_eq!(p.out_byte(1).as_const().unwrap(), BitVec::u8(0xef));
+        // Byte 4 of the new packet is byte 0 of the original.
+        assert_eq!(p.out_byte(4).to_string(), "pkt[0]");
+        // Rebase is refused because bytes were rewritten.
+        assert!(p.rebase_index(&c32(0)).is_none());
+    }
+
+    #[test]
+    fn oob_conditions_reference_current_length() {
+        let p = SymPacket::new();
+        let cond = p.load_oob_condition(&c32(10), 4);
+        // Evaluates true exactly when 14 > len.
+        for (len, expect) in [(13u32, true), (14, false), (20, false)] {
+            let mut a = Assignment::from_packet(&vec![0u8; len as usize]);
+            a.packet_len = len;
+            assert_eq!(eval(&cond, &a).unwrap().is_true(), expect, "len {len}");
+        }
+        let mut stripped = SymPacket::new();
+        stripped.strip_front(14);
+        let cond = stripped.load_oob_condition(&c32(0), 4);
+        // After stripping 14 bytes, reading 4 bytes requires an original
+        // length of at least 18.
+        for (len, expect) in [(17u32, true), (18, false)] {
+            let mut a = Assignment::from_packet(&vec![0u8; len as usize]);
+            a.packet_len = len;
+            assert_eq!(eval(&cond, &a).unwrap().is_true(), expect, "len {len}");
+        }
+        let cond = SymPacket::new().strip_underflow_condition(14);
+        let mut a = Assignment::from_packet(&[0u8; 10]);
+        a.packet_len = 10;
+        assert!(eval(&cond, &a).unwrap().is_true());
+    }
+
+    #[test]
+    fn symbolic_offset_load_is_fresh_and_store_clobbers() {
+        let mut counter = 0u32;
+        let mut fresh = || {
+            counter += 1;
+            Rc::new(Term::Var {
+                id: crate::term::VarId(counter),
+                width: 8,
+            })
+        };
+        let sym_off = Rc::new(Term::PacketLen); // any non-constant term
+        let mut p = SymPacket::new();
+        let v = p.load(&sym_off, 2, &mut fresh);
+        assert!(v.to_string().contains("v1"));
+        assert!(!p.is_clobbered());
+        p.store(&sym_off, 1, &term::constant(BitVec::u8(1)), &mut fresh);
+        assert!(p.is_clobbered());
+        // After clobbering, concrete loads are fresh too.
+        let v = p.load(&c32(0), 1, &mut fresh);
+        assert!(v.to_string().contains('v'));
+        assert!(p.rebase_index(&c32(0)).is_none());
+    }
+}

@@ -1,0 +1,814 @@
+//! Symbolic terms: the expression language of the symbolic engine.
+//!
+//! A [`Term`] is a bit-vector expression over symbolic leaves — packet bytes,
+//! the packet length, data-structure reads, and fresh variables — combined
+//! with the same operators as the element IR. Terms are immutable and shared
+//! through [`TermRef`] (`Rc`); constructors constant-fold and apply a small
+//! set of algebraic simplifications so that fully concrete computations
+//! collapse back to constants (which is what keeps loop counters concrete
+//! during exploration).
+
+use dataplane_ir::interp::{eval_binop, eval_unop};
+use dataplane_ir::{BinOp, BitVec, CastKind, DsId, UnOp};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Shared reference to a term.
+pub type TermRef = Rc<Term>;
+
+/// Identifier of a fresh symbolic variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// A symbolic bit-vector expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A concrete constant.
+    Const(BitVec),
+    /// The original content of packet byte `index` (as the element received
+    /// the packet). 8 bits wide. Negative indexes refer to bytes created by
+    /// `PushFront` that were never written (they read as zero and are folded
+    /// away before a `PacketByte` with a negative index is ever built).
+    PacketByte(i64),
+    /// The length, in bytes, of the packet as the element received it.
+    /// 32 bits wide.
+    PacketLen,
+    /// A packet byte at a symbolic (data-dependent) index. Reads through this
+    /// constructor are over-approximated by the engine (see
+    /// `SymPacket::load`), so it mostly appears inside crash conditions.
+    PacketByteAt {
+        /// Absolute byte index as a 32-bit term.
+        index: TermRef,
+    },
+    /// The value returned by the `seq`-th read of data structure `ds` under
+    /// `key`. Following the paper's data-structure abstraction, the value is
+    /// unconstrained (any value of the declared width may come back).
+    DsRead {
+        /// Which data structure.
+        ds: DsId,
+        /// The key that was read.
+        key: TermRef,
+        /// Read sequence number within the segment (distinguishes successive
+        /// reads of the same key, which the abstraction allows to differ).
+        seq: u32,
+        /// Value width in bits.
+        width: u8,
+    },
+    /// A fresh unconstrained variable of the given width (used for havocked
+    /// loop state and clobbered packet regions).
+    Var {
+        /// Variable identity.
+        id: VarId,
+        /// Width in bits.
+        width: u8,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        a: TermRef,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: TermRef,
+        /// Right operand.
+        b: TermRef,
+    },
+    /// A conditional expression.
+    Select {
+        /// 1-bit condition.
+        c: TermRef,
+        /// Value when the condition is true.
+        t: TermRef,
+        /// Value when the condition is false.
+        e: TermRef,
+    },
+    /// A width-changing cast.
+    Cast {
+        /// Cast kind.
+        kind: CastKind,
+        /// Target width.
+        width: u8,
+        /// Operand.
+        a: TermRef,
+    },
+}
+
+impl Term {
+    /// The width of this term in bits.
+    pub fn width(&self) -> u8 {
+        match self {
+            Term::Const(v) => v.width(),
+            Term::PacketByte(_) | Term::PacketByteAt { .. } => 8,
+            Term::PacketLen => 32,
+            Term::DsRead { width, .. } | Term::Var { width, .. } => *width,
+            Term::Unary { a, .. } => a.width(),
+            Term::Binary { op, a, .. } => {
+                if op.is_comparison() || op.is_boolean() {
+                    1
+                } else {
+                    a.width()
+                }
+            }
+            Term::Select { t, .. } => t.width(),
+            Term::Cast { width, .. } => *width,
+        }
+    }
+
+    /// The constant value, if this term is a constant.
+    pub fn as_const(&self) -> Option<BitVec> {
+        match self {
+            Term::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True if this term is the constant `true` (1-bit, value 1).
+    pub fn is_true(&self) -> bool {
+        matches!(self, Term::Const(v) if v.width() == 1 && v.is_true())
+    }
+
+    /// True if this term is the constant `false`.
+    pub fn is_false(&self) -> bool {
+        matches!(self, Term::Const(v) if v.width() == 1 && v.is_zero())
+    }
+
+    /// Collect the leaf terms (packet bytes, packet length, data-structure
+    /// reads, variables) appearing in this term.
+    pub fn collect_leaves(self: &Rc<Self>, out: &mut Vec<TermRef>) {
+        match self.as_ref() {
+            Term::Const(_) => {}
+            Term::PacketByte(_)
+            | Term::PacketLen
+            | Term::Var { .. }
+            | Term::DsRead { .. }
+            | Term::PacketByteAt { .. } => out.push(self.clone()),
+            Term::Unary { a, .. } | Term::Cast { a, .. } => a.collect_leaves(out),
+            Term::Binary { a, b, .. } => {
+                a.collect_leaves(out);
+                b.collect_leaves(out);
+            }
+            Term::Select { c, t, e } => {
+                c.collect_leaves(out);
+                t.collect_leaves(out);
+                e.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of nodes in the term (a size measure used by engine statistics
+    /// and tests).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Term::Const(_)
+            | Term::PacketByte(_)
+            | Term::PacketLen
+            | Term::Var { .. } => 1,
+            Term::PacketByteAt { index } => 1 + index.node_count(),
+            Term::DsRead { key, .. } => 1 + key.node_count(),
+            Term::Unary { a, .. } | Term::Cast { a, .. } => 1 + a.node_count(),
+            Term::Binary { a, b, .. } => 1 + a.node_count() + b.node_count(),
+            Term::Select { c, t, e } => 1 + c.node_count() + t.node_count() + e.node_count(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::PacketByte(i) => write!(f, "pkt[{i}]"),
+            Term::PacketLen => write!(f, "pkt.len"),
+            Term::PacketByteAt { index } => write!(f, "pkt[{index}]"),
+            Term::DsRead { ds, key, seq, .. } => write!(f, "ds{}[{}]#{}", ds.0, key, seq),
+            Term::Var { id, width } => write!(f, "v{}:u{}", id.0, width),
+            Term::Unary { op, a } => write!(f, "{op:?}({a})"),
+            Term::Binary { op, a, b } => {
+                write!(f, "({a} {} {b})", dataplane_ir::pretty::binop_symbol(*op))
+            }
+            Term::Select { c, t, e } => write!(f, "({c} ? {t} : {e})"),
+            Term::Cast { kind, width, a } => write!(f, "{kind:?}{width}({a})"),
+        }
+    }
+}
+
+/// Build a constant term.
+pub fn constant(v: BitVec) -> TermRef {
+    Rc::new(Term::Const(v))
+}
+
+/// Build the 1-bit constant `true`.
+pub fn tt() -> TermRef {
+    constant(BitVec::bool(true))
+}
+
+/// Build the 1-bit constant `false`.
+pub fn ff() -> TermRef {
+    constant(BitVec::bool(false))
+}
+
+/// Build a unary operation with constant folding.
+pub fn unary(op: UnOp, a: TermRef) -> TermRef {
+    if let Some(v) = a.as_const() {
+        return constant(eval_unop(op, v));
+    }
+    // !!x -> x for 1-bit operands.
+    if op == UnOp::LogicalNot {
+        if let Term::Unary {
+            op: UnOp::LogicalNot,
+            a: inner,
+        } = a.as_ref()
+        {
+            return inner.clone();
+        }
+    }
+    Rc::new(Term::Unary { op, a })
+}
+
+/// Build a binary operation with constant folding and light algebraic
+/// simplification. Division by a constant zero is *not* folded (the engine
+/// turns that situation into a crash branch before building the term).
+pub fn binary(op: BinOp, a: TermRef, b: TermRef) -> TermRef {
+    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+        if let Some(v) = eval_binop(op, x, y) {
+            return constant(v);
+        }
+    }
+    // Algebraic identities that keep concrete machinery concrete.
+    match op {
+        BinOp::Add | BinOp::Or | BinOp::Xor => {
+            if a.as_const().map(|v| v.is_zero()).unwrap_or(false) {
+                return b;
+            }
+            if b.as_const().map(|v| v.is_zero()).unwrap_or(false) {
+                return a;
+            }
+        }
+        BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr => {
+            if b.as_const().map(|v| v.is_zero()).unwrap_or(false) {
+                return a;
+            }
+        }
+        BinOp::Mul => {
+            if let Some(v) = a.as_const() {
+                if v.is_zero() {
+                    return a;
+                }
+                if v.as_u64() == 1 {
+                    return b;
+                }
+            }
+            if let Some(v) = b.as_const() {
+                if v.is_zero() {
+                    return b;
+                }
+                if v.as_u64() == 1 {
+                    return a;
+                }
+            }
+        }
+        BinOp::And => {
+            if a.as_const().map(|v| v.is_zero()).unwrap_or(false) {
+                return a;
+            }
+            if b.as_const().map(|v| v.is_zero()).unwrap_or(false) {
+                return b;
+            }
+        }
+        BinOp::BoolAnd => {
+            if a.is_true() {
+                return b;
+            }
+            if b.is_true() {
+                return a;
+            }
+            if a.is_false() || b.is_false() {
+                return ff();
+            }
+        }
+        BinOp::BoolOr => {
+            if a.is_false() {
+                return b;
+            }
+            if b.is_false() {
+                return a;
+            }
+            if a.is_true() || b.is_true() {
+                return tt();
+            }
+        }
+        BinOp::Eq => {
+            if a == b {
+                return tt();
+            }
+        }
+        BinOp::Ne => {
+            if a == b {
+                return ff();
+            }
+        }
+        _ => {}
+    }
+    if (op == BinOp::ULe || op == BinOp::SLe) && a == b {
+        return tt();
+    }
+    if (op == BinOp::ULt || op == BinOp::SLt) && a == b {
+        return ff();
+    }
+    let node = Rc::new(Term::Binary { op, a, b });
+    // Recognise a big-endian byte-reassembly of a previously stored value:
+    // `(((zext(trunc(x >> 24)) << 8 | zext(trunc(x >> 16))) << 8 | ...) ...`
+    // collapses back to `x`. This keeps "store a word, read the word back
+    // downstream" exact across element composition (e.g. Figure 2 of the
+    // paper, where E2 re-reads the field E1 just wrote).
+    if op == BinOp::Or {
+        if let Some(source) = match_byte_reassembly(&node) {
+            return source;
+        }
+    }
+    node
+}
+
+/// If `t` is a complete big-endian reassembly of all bytes of some term `x`
+/// (of the same width), return `x`.
+fn match_byte_reassembly(t: &TermRef) -> Option<TermRef> {
+    // Returns (source, lowest shift already included).
+    fn walk(t: &TermRef, width: u8) -> Option<(TermRef, u64)> {
+        // A single byte slice: zext_width(trunc8(source >> shift)).
+        fn byte_slice(t: &TermRef, width: u8) -> Option<(TermRef, u64)> {
+            let Term::Cast {
+                kind: CastKind::ZExt,
+                width: w,
+                a: inner,
+            } = t.as_ref()
+            else {
+                return None;
+            };
+            if *w != width {
+                return None;
+            }
+            let Term::Cast {
+                kind: CastKind::Trunc,
+                width: 8,
+                a: arg,
+            } = inner.as_ref()
+            else {
+                return None;
+            };
+            match arg.as_ref() {
+                Term::Binary {
+                    op: BinOp::LShr,
+                    a: source,
+                    b: shift,
+                } => {
+                    let shift = shift.as_const()?.as_u64();
+                    Some((source.clone(), shift))
+                }
+                _ => Some((arg.clone(), 0)),
+            }
+        }
+        if let Some((src, shift)) = byte_slice(t, width) {
+            // The first (deepest) byte must be the most-significant one.
+            if shift == width as u64 - 8 {
+                return Some((src, shift));
+            }
+            return None;
+        }
+        let Term::Binary {
+            op: BinOp::Or,
+            a: left,
+            b: right,
+        } = t.as_ref()
+        else {
+            return None;
+        };
+        let Term::Binary {
+            op: BinOp::Shl,
+            a: inner,
+            b: by,
+        } = left.as_ref()
+        else {
+            return None;
+        };
+        if by.as_const()?.as_u64() != 8 {
+            return None;
+        }
+        let (src, low) = walk(inner, width)?;
+        let (src2, shift) = byte_slice(right, width)?;
+        if src2 != src || shift + 8 != low {
+            return None;
+        }
+        Some((src, shift))
+    }
+    let width = t.width();
+    if width % 8 != 0 || width == 8 {
+        return None;
+    }
+    let (source, low) = walk(t, width)?;
+    if low == 0 && source.width() == width {
+        Some(source)
+    } else {
+        None
+    }
+}
+
+/// Build a select with simplification of constant conditions and equal arms.
+pub fn select(c: TermRef, t: TermRef, e: TermRef) -> TermRef {
+    if c.is_true() {
+        return t;
+    }
+    if c.is_false() {
+        return e;
+    }
+    if t == e {
+        return t;
+    }
+    Rc::new(Term::Select { c, t, e })
+}
+
+/// Build a cast with constant folding and collapse of no-op casts.
+pub fn cast(kind: CastKind, width: u8, a: TermRef) -> TermRef {
+    if a.width() == width {
+        return a;
+    }
+    if let Some(v) = a.as_const() {
+        let folded = match kind {
+            CastKind::ZExt => v.zext(width),
+            CastKind::SExt => v.sext(width),
+            CastKind::Trunc => v.trunc(width),
+            CastKind::Resize => v.resize(width),
+        };
+        return constant(folded);
+    }
+    Rc::new(Term::Cast { kind, width, a })
+}
+
+/// Logical negation of a 1-bit term.
+pub fn negate(a: TermRef) -> TermRef {
+    unary(UnOp::LogicalNot, a)
+}
+
+/// An assignment of concrete values to symbolic leaves, used both by the
+/// solver's model search and by counterexample replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    /// Concrete packet bytes (index 0 is the first byte the element
+    /// received). Reads past the end use zero.
+    pub packet: Vec<u8>,
+    /// Concrete packet length. Usually `packet.len()`, but kept separate so
+    /// the solver can explore lengths shorter than the materialised bytes.
+    pub packet_len: u32,
+    /// Values for fresh variables.
+    pub vars: BTreeMap<VarId, u64>,
+    /// Values for data-structure reads, keyed by `(ds, seq)`.
+    pub ds_reads: BTreeMap<(u32, u32), u64>,
+}
+
+impl Assignment {
+    /// An assignment over a concrete packet.
+    pub fn from_packet(bytes: &[u8]) -> Self {
+        Assignment {
+            packet: bytes.to_vec(),
+            packet_len: bytes.len() as u32,
+            vars: BTreeMap::new(),
+            ds_reads: BTreeMap::new(),
+        }
+    }
+
+    fn byte(&self, index: i64) -> u8 {
+        if index < 0 {
+            return 0;
+        }
+        self.packet.get(index as usize).copied().unwrap_or(0)
+    }
+}
+
+/// Evaluate a term under an assignment. Division by zero evaluates to `None`
+/// (the caller decides what that means — for constraint checking it means the
+/// candidate assignment is rejected).
+pub fn eval(term: &TermRef, a: &Assignment) -> Option<BitVec> {
+    match term.as_ref() {
+        Term::Const(v) => Some(*v),
+        Term::PacketByte(i) => Some(BitVec::u8(a.byte(*i))),
+        Term::PacketLen => Some(BitVec::u32(a.packet_len)),
+        Term::PacketByteAt { index } => {
+            let idx = eval(index, a)?.as_u64() as i64;
+            Some(BitVec::u8(a.byte(idx)))
+        }
+        Term::DsRead { ds, seq, width, .. } => {
+            let raw = a.ds_reads.get(&(ds.0, *seq)).copied().unwrap_or(0);
+            Some(BitVec::new(*width, raw))
+        }
+        Term::Var { id, width } => {
+            let raw = a.vars.get(id).copied().unwrap_or(0);
+            Some(BitVec::new(*width, raw))
+        }
+        Term::Unary { op, a: x } => Some(eval_unop(*op, eval(x, a)?)),
+        Term::Binary { op, a: x, b: y } => eval_binop(*op, eval(x, a)?, eval(y, a)?),
+        Term::Select { c, t, e } => {
+            if eval(c, a)?.is_true() {
+                eval(t, a)
+            } else {
+                eval(e, a)
+            }
+        }
+        Term::Cast { kind, width, a: x } => {
+            let v = eval(x, a)?;
+            Some(match kind {
+                CastKind::ZExt => v.zext(*width),
+                CastKind::SExt => v.sext(*width),
+                CastKind::Trunc => v.trunc(*width),
+                CastKind::Resize => v.resize(*width),
+            })
+        }
+    }
+}
+
+/// Substitute leaves of a term according to `subst`, rebuilding (and
+/// re-simplifying) the term bottom-up. Leaves not present in the map are kept.
+///
+/// This is the core operation of pipeline composition: element *k+1*'s packet
+/// bytes are replaced by element *k*'s symbolic output bytes.
+pub fn substitute(term: &TermRef, subst: &dyn Fn(&Term) -> Option<TermRef>) -> TermRef {
+    if let Some(replacement) = subst(term.as_ref()) {
+        return replacement;
+    }
+    match term.as_ref() {
+        Term::Const(_)
+        | Term::PacketByte(_)
+        | Term::PacketLen
+        | Term::Var { .. } => term.clone(),
+        Term::DsRead {
+            ds,
+            key,
+            seq,
+            width,
+        } => {
+            let new_key = substitute(key, subst);
+            if new_key == *key {
+                term.clone()
+            } else {
+                Rc::new(Term::DsRead {
+                    ds: *ds,
+                    key: new_key,
+                    seq: *seq,
+                    width: *width,
+                })
+            }
+        }
+        Term::PacketByteAt { index } => {
+            let new_index = substitute(index, subst);
+            Rc::new(Term::PacketByteAt { index: new_index })
+        }
+        Term::Unary { op, a } => unary(*op, substitute(a, subst)),
+        Term::Binary { op, a, b } => binary(*op, substitute(a, subst), substitute(b, subst)),
+        Term::Select { c, t, e } => select(
+            substitute(c, subst),
+            substitute(t, subst),
+            substitute(e, subst),
+        ),
+        Term::Cast { kind, width, a } => cast(*kind, *width, substitute(a, subst)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c32(v: u64) -> TermRef {
+        constant(BitVec::u32(v as u32))
+    }
+
+    #[test]
+    fn constant_folding_arithmetic() {
+        let t = binary(BinOp::Add, c32(2), c32(3));
+        assert_eq!(t.as_const().unwrap(), BitVec::u32(5));
+        let t = binary(BinOp::Mul, c32(4), c32(5));
+        assert_eq!(t.as_const().unwrap(), BitVec::u32(20));
+        let t = unary(UnOp::Not, constant(BitVec::u8(0x0f)));
+        assert_eq!(t.as_const().unwrap(), BitVec::u8(0xf0));
+        let t = cast(CastKind::ZExt, 32, constant(BitVec::u8(7)));
+        assert_eq!(t.as_const().unwrap(), BitVec::u32(7));
+    }
+
+    #[test]
+    fn identities_simplify() {
+        let x = Rc::new(Term::PacketByte(3));
+        let x32 = cast(CastKind::ZExt, 32, x.clone());
+        assert_eq!(binary(BinOp::Add, x32.clone(), c32(0)), x32);
+        assert_eq!(binary(BinOp::Mul, x32.clone(), c32(1)), x32);
+        assert!(binary(BinOp::Mul, x32.clone(), c32(0)).as_const().unwrap().is_zero());
+        assert!(binary(BinOp::Eq, x32.clone(), x32.clone()).is_true());
+        assert!(binary(BinOp::ULt, x32.clone(), x32.clone()).is_false());
+        assert!(binary(BinOp::ULe, x32.clone(), x32.clone()).is_true());
+        assert!(binary(BinOp::Ne, x32.clone(), x32).is_false());
+    }
+
+    #[test]
+    fn boolean_simplification() {
+        let p = Rc::new(Term::Var {
+            id: VarId(0),
+            width: 1,
+        });
+        assert_eq!(binary(BinOp::BoolAnd, tt(), p.clone()), p);
+        assert_eq!(binary(BinOp::BoolAnd, p.clone(), tt()), p);
+        assert!(binary(BinOp::BoolAnd, ff(), p.clone()).is_false());
+        assert_eq!(binary(BinOp::BoolOr, ff(), p.clone()), p);
+        assert!(binary(BinOp::BoolOr, p.clone(), tt()).is_true());
+        assert_eq!(negate(negate(p.clone())), p);
+        assert!(negate(tt()).is_false());
+    }
+
+    #[test]
+    fn select_simplification() {
+        let x = c32(5);
+        let y = c32(9);
+        assert_eq!(select(tt(), x.clone(), y.clone()), x);
+        assert_eq!(select(ff(), x.clone(), y.clone()), y);
+        let p = Rc::new(Term::Var {
+            id: VarId(1),
+            width: 1,
+        });
+        assert_eq!(select(p, x.clone(), x.clone()), x);
+    }
+
+    #[test]
+    fn no_op_cast_collapses() {
+        let x = Rc::new(Term::PacketLen);
+        assert_eq!(cast(CastKind::Resize, 32, x.clone()), x);
+    }
+
+    #[test]
+    fn width_computation() {
+        let byte = Rc::new(Term::PacketByte(0));
+        assert_eq!(byte.width(), 8);
+        assert_eq!(Term::PacketLen.width(), 32);
+        let cmp = binary(BinOp::ULt, c32(1), c32(2));
+        assert_eq!(cmp.width(), 1);
+        let w = cast(CastKind::ZExt, 64, byte.clone());
+        assert_eq!(w.width(), 64);
+        let sel = select(
+            Rc::new(Term::Var {
+                id: VarId(0),
+                width: 1,
+            }),
+            byte.clone(),
+            Rc::new(Term::PacketByte(1)),
+        );
+        assert_eq!(sel.width(), 8);
+    }
+
+    #[test]
+    fn evaluation_against_packet() {
+        let a = Assignment::from_packet(&[0x12, 0x34, 0x56]);
+        let b0 = Rc::new(Term::PacketByte(0));
+        let b1 = Rc::new(Term::PacketByte(1));
+        let sum = binary(
+            BinOp::Add,
+            cast(CastKind::ZExt, 32, b0),
+            cast(CastKind::ZExt, 32, b1),
+        );
+        assert_eq!(eval(&sum, &a).unwrap(), BitVec::u32(0x12 + 0x34));
+        assert_eq!(eval(&Rc::new(Term::PacketLen), &a).unwrap(), BitVec::u32(3));
+        // Out-of-range and negative reads yield zero.
+        assert_eq!(
+            eval(&Rc::new(Term::PacketByte(9)), &a).unwrap(),
+            BitVec::u8(0)
+        );
+        assert_eq!(
+            eval(&Rc::new(Term::PacketByte(-3)), &a).unwrap(),
+            BitVec::u8(0)
+        );
+    }
+
+    #[test]
+    fn evaluation_of_vars_and_ds_reads() {
+        let mut a = Assignment::from_packet(&[0u8; 4]);
+        a.vars.insert(VarId(7), 99);
+        a.ds_reads.insert((2, 0), 0xabcd);
+        let v = Rc::new(Term::Var {
+            id: VarId(7),
+            width: 8,
+        });
+        assert_eq!(eval(&v, &a).unwrap(), BitVec::u8(99));
+        let d = Rc::new(Term::DsRead {
+            ds: DsId(2),
+            key: c32(1),
+            seq: 0,
+            width: 16,
+        });
+        assert_eq!(eval(&d, &a).unwrap(), BitVec::u16(0xabcd));
+        // Unassigned leaves default to zero.
+        let v2 = Rc::new(Term::Var {
+            id: VarId(8),
+            width: 8,
+        });
+        assert_eq!(eval(&v2, &a).unwrap(), BitVec::u8(0));
+        // Division by zero propagates None.
+        let div = Rc::new(Term::Binary {
+            op: BinOp::UDiv,
+            a: c32(5),
+            b: c32(0),
+        });
+        assert_eq!(eval(&div, &a), None);
+    }
+
+    #[test]
+    fn substitution_replaces_packet_bytes() {
+        // (pkt[0] + pkt[1]) with pkt[0] := 7 becomes (7 + pkt[1]).
+        let b0 = Rc::new(Term::PacketByte(0));
+        let b1 = Rc::new(Term::PacketByte(1));
+        let sum = binary(BinOp::Add, b0, b1.clone());
+        let replaced = substitute(&sum, &|t| match t {
+            Term::PacketByte(0) => Some(constant(BitVec::u8(7))),
+            _ => None,
+        });
+        match replaced.as_ref() {
+            Term::Binary { op: BinOp::Add, a, b } => {
+                assert_eq!(a.as_const().unwrap(), BitVec::u8(7));
+                assert_eq!(*b, b1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Substituting both operands with constants folds the whole term.
+        let folded = substitute(&sum, &|t| match t {
+            Term::PacketByte(_) => Some(constant(BitVec::u8(3))),
+            _ => None,
+        });
+        assert_eq!(folded.as_const().unwrap(), BitVec::u8(6));
+    }
+
+    #[test]
+    fn leaves_and_node_count() {
+        let b0 = Rc::new(Term::PacketByte(0));
+        let len = Rc::new(Term::PacketLen);
+        let t = binary(
+            BinOp::ULt,
+            cast(CastKind::ZExt, 32, b0.clone()),
+            len.clone(),
+        );
+        let mut leaves = Vec::new();
+        t.collect_leaves(&mut leaves);
+        assert_eq!(leaves.len(), 2);
+        assert!(leaves.contains(&b0));
+        assert!(leaves.contains(&len));
+        assert!(t.node_count() >= 4);
+    }
+
+    #[test]
+    fn byte_reassembly_collapses_to_source() {
+        // Simulate what SymPacket::store followed by a 4-byte load builds.
+        let x: TermRef = Rc::new(Term::Var {
+            id: VarId(9),
+            width: 32,
+        });
+        let byte = |shift: u64| {
+            cast(
+                CastKind::ZExt,
+                32,
+                cast(
+                    CastKind::Trunc,
+                    8,
+                    binary(BinOp::LShr, x.clone(), constant(BitVec::u32(shift as u32))),
+                ),
+            )
+        };
+        let mut value = constant(BitVec::u32(0));
+        for i in 0..4u64 {
+            value = binary(
+                BinOp::Or,
+                binary(BinOp::Shl, value, constant(BitVec::u32(8))),
+                byte(8 * (3 - i)),
+            );
+        }
+        assert_eq!(value, x, "reassembled bytes must collapse to the source");
+        // A partial reassembly does not collapse.
+        let mut partial = constant(BitVec::u32(0));
+        for i in 0..3u64 {
+            partial = binary(
+                BinOp::Or,
+                binary(BinOp::Shl, partial, constant(BitVec::u32(8))),
+                byte(8 * (3 - i)),
+            );
+        }
+        assert_ne!(partial, x);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = binary(
+            BinOp::ULt,
+            cast(CastKind::ZExt, 32, Rc::new(Term::PacketByte(8))),
+            Rc::new(Term::PacketLen),
+        );
+        let s = t.to_string();
+        assert!(s.contains("pkt[8]"));
+        assert!(s.contains("pkt.len"));
+        assert!(s.contains("<u"));
+    }
+}

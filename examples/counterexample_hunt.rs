@@ -1,0 +1,90 @@
+//! Failure injection: plant real dataplane defects (unchecked option walks,
+//! division by the TTL, deep reads without length checks) into otherwise
+//! correct pipelines, let the verifier find them, and replay every witness
+//! packet to show it genuinely triggers the defect.
+//!
+//! Run with `cargo run --example counterexample_hunt`.
+
+use vericlick::net::Packet;
+use vericlick::pipeline::elements::*;
+use vericlick::pipeline::{Element, Pipeline, PipelineBuilder};
+use vericlick::verifier::{Property, Verifier};
+
+fn build(named: Vec<(&str, Box<dyn Element>)>) -> Pipeline {
+    let mut b = PipelineBuilder::new();
+    let mut idxs = Vec::new();
+    for (name, e) in named {
+        idxs.push(b.add(name, e));
+    }
+    b.chain(&idxs);
+    b.build().unwrap()
+}
+
+fn hunt(label: &str, make: impl Fn() -> Pipeline) {
+    println!("=== {label} ===");
+    let mut verifier = Verifier::new();
+    let report = verifier.verify(&make(), &Property::CrashFreedom);
+    println!(
+        "verdict: {:?} ({} suspects, {} discharged, {} counterexamples)",
+        report.verdict,
+        report.stats.suspects,
+        report.stats.discharged,
+        report.counterexamples.len()
+    );
+    for ce in &report.counterexamples {
+        println!(
+            "  witness: {} bytes, path [{}], {}",
+            ce.packet.len(),
+            ce.path.join(" -> "),
+            ce.description
+        );
+        // Replay it on a fresh native pipeline.
+        let mut pipeline = make();
+        let outcome = pipeline.push(Packet::from_bytes(ce.packet.clone()));
+        println!(
+            "  replayed natively: crash = {}, hops = {}",
+            outcome.is_crash(),
+            outcome.hops.len()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    hunt("TTL division bug behind a correct header check", || {
+        build(vec![
+            ("strip", Box::new(EthDecap::new())),
+            ("chk", Box::new(CheckIPHeader::new())),
+            ("ttl", Box::new(BuggyDecTTL::new())),
+            ("out", Box::new(Sink::new())),
+        ])
+    });
+
+    hunt("unchecked IP-options walker with no header check", || {
+        build(vec![
+            ("cls", Box::new(Classifier::ipv4_only())),
+            ("strip", Box::new(EthDecap::new())),
+            ("opts", Box::new(UncheckedOptions::new())),
+            ("out", Box::new(Sink::new())),
+        ])
+    });
+
+    hunt("classifier that reads byte 60 unconditionally", || {
+        build(vec![
+            ("broken", Box::new(BrokenClassifier::new())),
+            ("out", Box::new(Sink::new())),
+        ])
+    });
+
+    println!("=== the correct versions of the same pipelines, for contrast ===");
+    let mut verifier = Verifier::new();
+    let correct = build(vec![
+        ("strip", Box::new(EthDecap::new())),
+        ("chk", Box::new(CheckIPHeader::new())),
+        ("ttl", Box::new(DecTTL::new())),
+        ("opts", Box::new(IPOptions::with_default_addr())),
+        ("out", Box::new(Sink::new())),
+    ]);
+    let report = verifier.verify(&correct, &Property::CrashFreedom);
+    println!("correct pipeline verdict: {:?}", report.verdict);
+}

@@ -1,0 +1,48 @@
+//! E1 + E2 of the paper: prove the IP-router pipeline crash-free for any
+//! input and establish its per-packet instruction bound together with the
+//! packet that drives it to the maximum.
+//!
+//! Run with `cargo run --example ip_router_verification`.
+
+use vericlick::net::WorkloadGen;
+use vericlick::pipeline::presets::{ip_router_pipeline, linear_router_pipeline};
+use vericlick::pipeline::ModelRuntime;
+use vericlick::verifier::{Property, Verifier};
+
+fn main() {
+    // --- E1: crash freedom -------------------------------------------------
+    println!("=== E1: crash freedom of the reference IP router ===");
+    let mut verifier = Verifier::new();
+    let report = verifier.verify(&ip_router_pipeline(), &Property::CrashFreedom);
+    println!("{report}");
+    assert!(report.is_proven(), "the router must be proven crash-free");
+    println!(
+        "suspect segments found in isolation: {}, discharged after composition: {}",
+        report.stats.suspects, report.stats.discharged
+    );
+
+    // --- E2: bounded instructions ------------------------------------------
+    println!("\n=== E2: per-packet instruction bound of the longest pipeline ===");
+    let bound = verifier.max_instructions(&linear_router_pipeline());
+    println!("{bound}");
+
+    // Compare against the most expensive packet we can find concretely.
+    let pipeline = linear_router_pipeline();
+    let mut runtime = ModelRuntime::new(&pipeline);
+    let mut max_concrete = 0;
+    for packet in WorkloadGen::adversarial(7).batch(1_000) {
+        max_concrete = max_concrete.max(runtime.push(packet).instructions);
+    }
+    println!("most expensive packet observed concretely: {max_concrete} instructions");
+    assert!(bound.max_instructions >= max_concrete);
+
+    // Prove the bound as a property.
+    let report = verifier.verify(
+        &linear_router_pipeline(),
+        &Property::BoundedInstructions {
+            max_instructions: bound.max_instructions,
+        },
+    );
+    println!("{report}");
+    assert!(report.is_proven());
+}

@@ -1,0 +1,67 @@
+//! E3 of the paper: decomposed verification scales roughly linearly with
+//! pipeline length, while monolithic whole-pipeline symbolic execution stops
+//! completing as soon as the loop-heavy IP-options element joins the chain —
+//! the "18 minutes vs. more than 12 hours" comparison reproduced as a shape.
+//!
+//! Run with `cargo run --release --example scaling_comparison`.
+
+use std::time::{Duration, Instant};
+use vericlick::pipeline::elements::*;
+use vericlick::pipeline::{Element, PipelineBuilder};
+use vericlick::verifier::{explore_monolithic, MonolithicConfig, Property, Verifier};
+
+fn chain(k: usize) -> vericlick::pipeline::Pipeline {
+    let makers: Vec<(&str, Box<dyn Element>)> = vec![
+        ("cls", Box::new(Classifier::ipv4_only())),
+        ("strip", Box::new(EthDecap::new())),
+        ("chk", Box::new(CheckIPHeader::new())),
+        (
+            "opts",
+            Box::new(IPOptions::new(std::net::Ipv4Addr::new(10, 255, 255, 254))),
+        ),
+        ("rt", Box::new(IPLookup::two_port_default())),
+        ("ttl", Box::new(DecTTL::new())),
+        ("enc", Box::new(EthEncap::ipv4_default())),
+    ];
+    let mut b = PipelineBuilder::new();
+    let mut idxs = Vec::new();
+    for (name, e) in makers.into_iter().take(k) {
+        idxs.push(b.add(name, e));
+    }
+    idxs.push(b.add("sink", Box::new(Sink::new())));
+    b.chain(&idxs);
+    b.build().unwrap()
+}
+
+fn main() {
+    println!("k | decomposed verdict | decomposed time | monolithic completed | monolithic paths | monolithic time");
+    println!("--+--------------------+-----------------+----------------------+------------------+----------------");
+    for k in 1..=7 {
+        let start = Instant::now();
+        let mut verifier = Verifier::new();
+        let report = verifier.verify(&chain(k), &Property::CrashFreedom);
+        let decomposed = start.elapsed();
+
+        let mono = explore_monolithic(
+            &chain(k),
+            &MonolithicConfig {
+                max_paths: 20_000,
+                max_time: Duration::from_secs(10),
+                max_segments_per_element: 20_000,
+                check_feasibility: false,
+            },
+        );
+        println!(
+            "{k} | {:<18?} | {:>13.3}s | {:<20} | {:>16} | {:>13.3}s",
+            report.verdict,
+            decomposed.as_secs_f64(),
+            mono.completed,
+            mono.paths_explored,
+            mono.elapsed.as_secs_f64()
+        );
+    }
+    println!();
+    println!("The decomposed column stays flat (per-element summaries are composed, k·2^n work);");
+    println!("the monolithic column stops completing once the IP-options loops join the chain");
+    println!("(cross-product of unrolled paths, 2^(k·n) work) — the paper's 18-minutes-vs-12-hours gap.");
+}

@@ -1,0 +1,76 @@
+//! Workspace-level property-based tests.
+
+use proptest::prelude::*;
+use vericlick::net::{Packet, PacketBuilder};
+use vericlick::pipeline::presets::{ip_router_pipeline, middlebox_pipeline};
+use vericlick::pipeline::{Disposition, ModelRuntime};
+use std::net::Ipv4Addr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The proven-crash-free router never crashes, whatever bytes arrive.
+    #[test]
+    fn router_never_crashes_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut router = ip_router_pipeline();
+        let outcome = router.push(Packet::from_bytes(bytes));
+        prop_assert!(!outcome.is_crash());
+    }
+
+    /// Native and model execution agree on arbitrary (mostly malformed)
+    /// frames.
+    #[test]
+    fn native_and_model_agree_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut native = ip_router_pipeline();
+        let pipeline = ip_router_pipeline();
+        let mut model = ModelRuntime::new(&pipeline);
+        let n = native.push(Packet::from_bytes(bytes.clone()));
+        let m = model.push(Packet::from_bytes(bytes));
+        prop_assert_eq!(n.hops, m.hops);
+    }
+
+    /// Well-formed UDP packets to routed destinations always traverse the
+    /// full router pipeline (they are never dropped early), and the TTL is
+    /// decremented by exactly one.
+    #[test]
+    fn valid_packets_are_forwarded_with_ttl_decremented(
+        src in 1u8..255,
+        dst in 1u8..255,
+        sport in 1024u16..65000,
+        ttl in 2u8..255,
+    ) {
+        let mut router = ip_router_pipeline();
+        let packet = PacketBuilder::udp(
+            Ipv4Addr::new(10, 0, 0, src),
+            Ipv4Addr::new(192, 168, 0, dst),
+            sport,
+            53,
+            b"payload",
+        )
+        .ttl(ttl)
+        .build();
+        let outcome = router.push(packet);
+        prop_assert_eq!(outcome.hops.len(), 8, "full path expected");
+        prop_assert!(!outcome.is_crash());
+    }
+
+    /// The stateful middlebox never crashes while its tables fill up.
+    #[test]
+    fn middlebox_is_stable_across_flow_churn(seeds in proptest::collection::vec(1u8..250, 1..40)) {
+        let mut pipeline = middlebox_pipeline();
+        for (i, s) in seeds.iter().enumerate() {
+            let packet = PacketBuilder::udp(
+                Ipv4Addr::new(10, 0, (i % 4) as u8, *s),
+                Ipv4Addr::new(8, 8, 8, 8),
+                1024 + i as u16,
+                53,
+                b"q",
+            )
+            .build();
+            let outcome = pipeline.push(packet);
+            let dropped_at_sink = matches!(outcome.disposition, Disposition::Dropped { .. });
+            prop_assert!(dropped_at_sink);
+            prop_assert!(!outcome.is_crash());
+        }
+    }
+}
