@@ -40,16 +40,16 @@ fn main() {
             &[
                 ("chain_length", k.to_string()),
                 ("decomposed_verdict", format!("{:?}", report.verdict)),
-                ("decomposed_segments", report.stats.total_segments.to_string()),
+                (
+                    "decomposed_segments",
+                    report.stats.total_segments.to_string(),
+                ),
                 (
                     "decomposed_composed_paths",
                     report.stats.composed_paths.to_string(),
                 ),
                 ("decomposed_seconds", format!("{decomposed_secs:.3}")),
-                (
-                    "monolithic_completed",
-                    mono.completed.to_string(),
-                ),
+                ("monolithic_completed", mono.completed.to_string()),
                 ("monolithic_paths", mono.paths_explored.to_string()),
                 (
                     "monolithic_seconds",

@@ -1,0 +1,134 @@
+//! E7 — parallel verification: the paper argues compositional verification
+//! is embarrassingly parallel (elements are independent) and cacheable
+//! (summaries are reusable). This bench quantifies both on the full preset
+//! scenario matrix (every preset pipeline × crash freedom, bounded
+//! execution, reachability):
+//!
+//! * `sequential_fresh`  — one fresh `Verifier` per scenario (no reuse),
+//! * `sequential_shared` — one `Verifier` for the whole matrix (the seed's
+//!   best sequential configuration: summaries reused within the process),
+//! * `parallel_cold`     — the orchestrator with an empty summary store,
+//! * `parallel_warm`     — the orchestrator with a pre-warmed store (the
+//!   re-verification case: zero element jobs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataplane_bench::row;
+use dataplane_orchestrator::{preset_scenarios, verify_sequential, Orchestrator};
+use dataplane_verifier::{Verifier, VerifierOptions};
+use std::time::Instant;
+
+fn sequential_fresh() -> usize {
+    let options = VerifierOptions::default();
+    preset_scenarios()
+        .iter()
+        .map(|s| {
+            let report = verify_sequential(&s.pipeline, &s.property, &options);
+            report.counterexamples.len()
+        })
+        .sum()
+}
+
+fn sequential_shared() -> usize {
+    let mut verifier = Verifier::new();
+    preset_scenarios()
+        .iter()
+        .map(|s| {
+            verifier
+                .verify(&s.pipeline, &s.property)
+                .counterexamples
+                .len()
+        })
+        .sum()
+}
+
+fn parallel(threads: usize, orchestrator: &Orchestrator) -> usize {
+    let matrix = orchestrator.run(preset_scenarios());
+    assert_eq!(matrix.threads, threads);
+    matrix
+        .scenarios
+        .iter()
+        .map(|s| s.report.counterexamples.len())
+        .sum()
+}
+
+fn report() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = cores.max(4);
+
+    let start = Instant::now();
+    let fresh_counterexamples = sequential_fresh();
+    let t_fresh = start.elapsed();
+
+    let start = Instant::now();
+    let shared_counterexamples = sequential_shared();
+    let t_shared = start.elapsed();
+
+    let orchestrator = Orchestrator::new().with_threads(threads);
+    let start = Instant::now();
+    let cold_counterexamples = parallel(threads, &orchestrator);
+    let t_cold = start.elapsed();
+
+    // Same orchestrator again: the store is warm, all element jobs skipped.
+    let start = Instant::now();
+    let warm_counterexamples = parallel(threads, &orchestrator);
+    let t_warm = start.elapsed();
+
+    assert_eq!(fresh_counterexamples, shared_counterexamples);
+    assert_eq!(fresh_counterexamples, cold_counterexamples);
+    assert_eq!(fresh_counterexamples, warm_counterexamples);
+
+    for (mode, used_threads, elapsed) in [
+        ("sequential_fresh", 1, t_fresh),
+        ("sequential_shared", 1, t_shared),
+        ("parallel_cold", threads, t_cold),
+        ("parallel_warm", threads, t_warm),
+    ] {
+        row(
+            "e7-parallel-verification",
+            &[
+                ("mode", mode.to_string()),
+                ("threads", used_threads.to_string()),
+                ("seconds", format!("{:.3}", elapsed.as_secs_f64())),
+                (
+                    "speedup_vs_fresh",
+                    format!("{:.2}", t_fresh.as_secs_f64() / elapsed.as_secs_f64()),
+                ),
+            ],
+        );
+    }
+    if cores >= 4 && t_cold >= t_fresh {
+        println!(
+            "[e7-parallel-verification] WARNING: no parallel speedup on {cores} cores \
+             (cold {:.3}s vs sequential {:.3}s)",
+            t_cold.as_secs_f64(),
+            t_fresh.as_secs_f64()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("e7_parallel_verification");
+    group.sample_size(3);
+    group.bench_function("sequential_fresh", |b| b.iter(sequential_fresh));
+    group.bench_function("sequential_shared", |b| b.iter(sequential_shared));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().max(4))
+        .unwrap_or(4);
+    group.bench_function("parallel_cold", |b| {
+        b.iter(|| {
+            // A fresh orchestrator per iteration: the store starts empty.
+            let orchestrator = Orchestrator::new().with_threads(threads);
+            parallel(threads, &orchestrator)
+        })
+    });
+    let warm = Orchestrator::new().with_threads(threads);
+    parallel(threads, &warm); // pre-warm the store
+    group.bench_function("parallel_warm", |b| b.iter(|| parallel(threads, &warm)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

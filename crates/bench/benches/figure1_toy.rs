@@ -23,13 +23,12 @@ fn report() {
         .count();
     let max_instr = feasible.iter().map(|s| s.instructions).max().unwrap_or(0);
     // Witness of the crashing path: a negative 32-bit input.
-    let witness_negative = feasible
-        .iter()
-        .filter(|s| s.outcome.is_crash())
-        .any(|s| match solver.check(&s.constraint) {
+    let witness_negative = feasible.iter().filter(|s| s.outcome.is_crash()).any(|s| {
+        match solver.check(&s.constraint) {
             SolverResult::Sat(m) => m.packet.first().map(|b| b & 0x80 != 0).unwrap_or(false),
             _ => false,
-        });
+        }
+    });
     row(
         "figure1",
         &[

@@ -127,11 +127,16 @@ pub fn figure2_pipeline() -> Pipeline {
     b.build().expect("figure 2 pipeline is valid")
 }
 
+/// A named element constructor of the router chain.
+pub type ChainElement = (&'static str, fn() -> Box<dyn Element>);
+
 /// The ordered router-element constructors used by the scaling experiment:
 /// prefixes of this chain give pipelines of length 1..=7.
-pub fn router_chain_elements() -> Vec<(&'static str, fn() -> Box<dyn Element>)> {
+pub fn router_chain_elements() -> Vec<ChainElement> {
     vec![
-        ("cls", || Box::new(Classifier::ipv4_only()) as Box<dyn Element>),
+        ("cls", || {
+            Box::new(Classifier::ipv4_only()) as Box<dyn Element>
+        }),
         ("strip", || Box::new(EthDecap::new())),
         ("chk", || Box::new(CheckIPHeader::new())),
         ("opts", || {

@@ -1,0 +1,96 @@
+//! Offline stand-in for the `bytes` crate: exactly the `BytesMut`/`BufMut`
+//! surface the workspace uses (append-only big-endian writing), backed by a
+//! plain `Vec<u8>`.
+
+#![forbid(unsafe_code)]
+
+/// A growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out the contents.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Append-only writer operations (big-endian for multi-byte integers).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian 16-bit value.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian 32-bit value.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian 64-bit value.
+    fn put_u64(&mut self, v: u64);
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_are_big_endian_and_appended() {
+        let mut b = BytesMut::with_capacity(8);
+        assert!(b.is_empty());
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x04050607);
+        b.put_slice(&[8, 9]);
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(b.as_ref(), &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+}

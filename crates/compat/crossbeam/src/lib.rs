@@ -1,0 +1,124 @@
+//! Offline stand-in for `crossbeam`: the lock-free queue and scoped-thread
+//! surface the workspace uses, implemented over `std::sync` and
+//! `std::thread::scope`. The queue trades lock-freedom for simplicity (a
+//! mutexed deque) — contention on it is negligible at the batch sizes the
+//! runtimes use.
+
+#![forbid(unsafe_code)]
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC queue (mutex-backed here; the real crate's is
+    /// lock-free segmented).
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// An empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a value to the back.
+        pub fn push(&self, value: T) {
+            self.inner.lock().expect("queue lock").push_back(value);
+        }
+
+        /// Pop a value from the front.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("queue lock").pop_front()
+        }
+
+        /// Number of queued values.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("queue lock").len()
+        }
+
+        /// True if no values are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+/// Scoped threads.
+pub mod thread {
+    /// The result type of [`scope`]: `Err` when a spawned thread panicked.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Handle through which scoped worker threads are spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker; the closure receives the scope so it can spawn
+        /// further workers (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, non-'static threads can be
+    /// spawned; all are joined before `scope` returns. Unlike crossbeam, a
+    /// panicking worker propagates the panic instead of producing `Err` (the
+    /// observable effect for callers that `.expect()` the result is the
+    /// same: a panic).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+
+    #[test]
+    fn queue_is_fifo_and_thread_safe() {
+        let q = SegQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scope_joins_workers_and_collects_results() {
+        let q = SegQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        let drained = std::sync::Mutex::new(0u32);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    let mut local = 0;
+                    while q.pop().is_some() {
+                        local += 1;
+                    }
+                    *drained.lock().unwrap() += local;
+                });
+            }
+        })
+        .expect("worker panicked");
+        assert_eq!(*drained.lock().unwrap(), 100);
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline stand-in for `rand`: the seedable-generator subset the workload
+//! generator uses (`StdRng::seed_from_u64`, `gen`, `gen_range`, `gen_bool`),
+//! backed by SplitMix64. Deterministic for a given seed, which is all the
+//! workspace requires (reproducible packet workloads); it makes no
+//! cryptographic or statistical-suite claims, and its streams differ from
+//! the real crate's.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be produced uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn draw(rng: &mut impl RngCore) -> Self;
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value in the range from `rng`.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience methods, as in the real crate.
+pub trait Rng: RngCore + Sized {
+    /// A uniformly random value.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// A uniformly random value in `range`. Panics on an empty range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 <= p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    /// The standard generator (SplitMix64 here).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain, Sebastiano Vigna).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut impl RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64) - (start as u64) + 1;
+                if span == 0 {
+                    // Full-width inclusive range of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut impl RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sint!(i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u16..20);
+            assert!((10..20).contains(&v));
+            let v = rng.gen_range(1u8..=3);
+            assert!((1..=3).contains(&v));
+            let v = rng.gen_range(0usize..5);
+            assert!(v < 5);
+        }
+        // All values of a small range are eventually hit.
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+    }
+}

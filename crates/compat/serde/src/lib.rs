@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds hermetically (no crates.io), and nothing in it ever
+//! drives a serde serializer: the derives on IR / net / verifier types mark
+//! them as serialisable, and the one place that actually persists data
+//! (`dataplane-orchestrator`'s JSON summary-cache tier) uses a hand-rolled
+//! JSON codec. These traits therefore carry no methods; the derive macros in
+//! the sibling `serde_derive` stub emit empty impls.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialised.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialised.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,48 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in a hermetic environment with no crates.io access,
+//! so the real `serde` cannot be fetched. The workspace code only uses
+//! `#[derive(Serialize, Deserialize)]` as behavioural markers (nothing calls
+//! a serde serializer — JSON persistence is hand-rolled in
+//! `dataplane-orchestrator`), so these derives simply emit impls of the
+//! marker traits defined by the sibling `serde` stub crate.
+//!
+//! The input is scanned token-by-token (no `syn` available) for the item
+//! name; generic items are intentionally unsupported — every derived type in
+//! this workspace is concrete.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the struct/enum the derive is attached to.
+fn item_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: could not find item name");
+}
+
+/// Marker impl of `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Marker impl of `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}

@@ -11,7 +11,7 @@
 use dataplane_symbex::term::{self, Term, TermRef};
 use dataplane_symbex::{SymPacket, VarId};
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Stride between the variable/read namespaces of consecutive pipeline
 /// stages.
@@ -27,7 +27,7 @@ pub enum View {
     /// The packet exactly as it entered the pipeline.
     Original,
     /// The packet after one more element.
-    Stage(Rc<StageView>),
+    Stage(Arc<StageView>),
 }
 
 /// One composition stage: the previous view plus the packet transform of the
@@ -90,7 +90,7 @@ impl Composer {
         let mut n = self.next_fresh.borrow_mut();
         let id = *n;
         *n += 1;
-        Rc::new(Term::Var {
+        Arc::new(Term::Var {
             id: VarId(id),
             width,
         })
@@ -99,7 +99,7 @@ impl Composer {
     /// Extend `view` with the packet transform of a segment taken at
     /// `stride`.
     pub fn extend_view(&self, view: &View, packet: &SymPacket, stride: u32) -> View {
-        View::Stage(Rc::new(StageView {
+        View::Stage(Arc::new(StageView {
             prev: view.clone(),
             packet: packet.clone(),
             stride,
@@ -112,7 +112,7 @@ impl Composer {
         match view {
             View::Original => {
                 if j >= 0 {
-                    Rc::new(Term::PacketByte(j))
+                    Arc::new(Term::PacketByte(j))
                 } else {
                     term::constant(dataplane_ir::BitVec::u8(0))
                 }
@@ -131,7 +131,7 @@ impl Composer {
     /// The length of the packet described by `view`, over original symbols.
     pub fn view_len(&self, view: &View) -> TermRef {
         match view {
-            View::Original => Rc::new(Term::PacketLen),
+            View::Original => Arc::new(Term::PacketLen),
             View::Stage(stage) => {
                 let local = stage.packet.out_len();
                 self.rewrite(&stage.prev, stage.stride, &local)
@@ -161,7 +161,7 @@ impl Composer {
         term::substitute(t, &|leaf| match leaf {
             Term::PacketByte(i) => Some(self.view_byte(view, *i)),
             Term::PacketLen => Some(self.view_len(view)),
-            Term::Var { id, width } => Some(Rc::new(Term::Var {
+            Term::Var { id, width } => Some(Arc::new(Term::Var {
                 id: VarId(id.0 + stride),
                 width: *width,
             })),
@@ -170,7 +170,7 @@ impl Composer {
                 key,
                 seq,
                 width,
-            } => Some(Rc::new(Term::DsRead {
+            } => Some(Arc::new(Term::DsRead {
                 ds: *ds,
                 key: self.rewrite(view, stride, key),
                 seq: seq + stride,
@@ -195,7 +195,7 @@ impl Composer {
                                 term::constant(dataplane_ir::BitVec::u32((-shift) as u32)),
                             )
                         };
-                        Some(Rc::new(Term::PacketByteAt { index: shifted }))
+                        Some(Arc::new(Term::PacketByteAt { index: shifted }))
                     }
                     // Bytes may have been rewritten upstream: the value read
                     // at a symbolic offset is unknown.
@@ -265,7 +265,7 @@ mod tests {
         assert_eq!(composer.view_byte(&view, 0).to_string(), "pkt[14]");
         // Length shrinks by 14.
         let len = composer.view_len(&view);
-        let mut a = Assignment::from_packet(&vec![0u8; 64]);
+        let mut a = Assignment::from_packet(&[0u8; 64]);
         a.packet_len = 64;
         assert_eq!(eval(&len, &a).unwrap(), BitVec::u32(50));
     }
@@ -274,13 +274,13 @@ mod tests {
     fn rewrites_rename_vars_and_reads() {
         let mut composer = Composer::new();
         let stride = composer.alloc_stride(2);
-        let var = Rc::new(Term::Var {
+        let var = Arc::new(Term::Var {
             id: VarId(3),
             width: 8,
         });
-        let read = Rc::new(Term::DsRead {
+        let read = Arc::new(Term::DsRead {
             ds: dataplane_ir::DsId(1),
-            key: Rc::new(Term::PacketByte(0)),
+            key: Arc::new(Term::PacketByte(0)),
             seq: 7,
             width: 16,
         });
@@ -307,7 +307,7 @@ mod tests {
         let mut no_fresh = || panic!("unexpected fresh var");
         let incremented = binary(
             BinOp::Add,
-            Rc::new(Term::PacketByte(0)),
+            Arc::new(Term::PacketByte(0)),
             constant(BitVec::u8(1)),
         );
         packet.store(&c32(1), 1, &incremented, &mut no_fresh);
@@ -316,7 +316,7 @@ mod tests {
         let stride1 = composer.alloc_stride(1);
         let downstream = binary(
             BinOp::Eq,
-            Rc::new(Term::PacketByte(1)),
+            Arc::new(Term::PacketByte(1)),
             constant(BitVec::u8(5)),
         );
         let composed = composer.rewrite(&view, stride1, &downstream);
@@ -335,16 +335,24 @@ mod tests {
         let mut counter = 0;
         let mut fresh = || {
             counter += 1;
-            Rc::new(Term::Var {
+            Arc::new(Term::Var {
                 id: VarId(100 + counter),
                 width: 8,
             })
         };
         // A store at a symbolic offset clobbers the overlay.
-        packet.store(&Rc::new(Term::PacketLen), 1, &constant(BitVec::u8(1)), &mut fresh);
+        packet.store(
+            &Arc::new(Term::PacketLen),
+            1,
+            &constant(BitVec::u8(1)),
+            &mut fresh,
+        );
         let view = composer.extend_view(&View::Original, &packet, stride);
         let b = composer.view_byte(&view, 3);
-        assert!(b.to_string().starts_with('v'), "expected a fresh var, got {b}");
+        assert!(
+            b.to_string().starts_with('v'),
+            "expected a fresh var, got {b}"
+        );
         // Length is still precise.
         assert_eq!(composer.view_len(&view).to_string(), "pkt.len");
     }
@@ -353,14 +361,14 @@ mod tests {
     fn binding_packet_bytes_substitutes_constants() {
         let t = binary(
             BinOp::Eq,
-            Rc::new(Term::PacketByte(30)),
+            Arc::new(Term::PacketByte(30)),
             constant(BitVec::u8(0xc0)),
         );
         let bound = bind_packet_bytes(&[t], &[(30, 0xc0)]);
         assert!(bound[0].is_true());
         let t = binary(
             BinOp::Eq,
-            Rc::new(Term::PacketByte(30)),
+            Arc::new(Term::PacketByte(30)),
             constant(BitVec::u8(0x01)),
         );
         let bound = bind_packet_bytes(&[t], &[(30, 0xc0)]);
@@ -380,7 +388,7 @@ mod tests {
         let v2 = composer.extend_view(&v1, &p1, s1);
         assert_eq!(composer.view_byte(&v2, 0).to_string(), "pkt[34]");
         let len = composer.view_len(&v2);
-        let mut a = Assignment::from_packet(&vec![0u8; 100]);
+        let mut a = Assignment::from_packet(&[0u8; 100]);
         a.packet_len = 100;
         assert_eq!(eval(&len, &a).unwrap(), BitVec::u32(66));
     }

@@ -48,5 +48,5 @@ pub mod verifier;
 pub use monolithic::{explore_monolithic, MonolithicConfig, MonolithicResult};
 pub use property::Property;
 pub use report::{Counterexample, InstructionBoundReport, Report, UnprovenPath, Verdict};
-pub use summary::{ElementSummary, SummaryCache};
+pub use summary::{summary_key, ElementSummary, SummaryCache};
 pub use verifier::{materialise_packet, Verifier, VerifierOptions};

@@ -141,13 +141,7 @@ impl<'a> MonoCtx<'a> {
         self.explorations.get(&element)
     }
 
-    fn walk(
-        &mut self,
-        element: ElementIdx,
-        view: View,
-        stride: u32,
-        constraint: Vec<TermRef>,
-    ) {
+    fn walk(&mut self, element: ElementIdx, view: View, stride: u32, constraint: Vec<TermRef>) {
         if !self.budget_left() {
             self.out_of_budget = true;
             return;

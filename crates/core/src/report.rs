@@ -125,7 +125,12 @@ impl fmt::Display for Report {
             )?;
         }
         for up in &self.unproven {
-            writeln!(f, "  unproven: {} via [{}]", up.reason, up.path.join(" -> "))?;
+            writeln!(
+                f,
+                "  unproven: {} via [{}]",
+                up.reason,
+                up.path.join(" -> ")
+            )?;
         }
         Ok(())
     }

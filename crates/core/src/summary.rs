@@ -9,7 +9,7 @@
 use dataplane_pipeline::Element;
 use dataplane_symbex::{explore, EngineConfig, Exploration, ExploreError};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The symbolic summary of one element behaviour.
@@ -35,9 +35,16 @@ impl ElementSummary {
 /// A cache of element summaries keyed by `(type name, config key)`.
 #[derive(Default)]
 pub struct SummaryCache {
-    entries: HashMap<(String, String), Rc<ElementSummary>>,
+    entries: HashMap<(String, String), Arc<ElementSummary>>,
     hits: u64,
     misses: u64,
+}
+
+/// The cache key of an element's summary: `(type name, config key)`.
+/// Elements agreeing on both share one summary (the paper's "every distinct
+/// element behaviour is explored once").
+pub fn summary_key(element: &dyn Element) -> (String, String) {
+    (element.type_name().to_string(), element.config_key())
 }
 
 impl SummaryCache {
@@ -72,8 +79,8 @@ impl SummaryCache {
         &mut self,
         element: &dyn Element,
         config: &EngineConfig,
-    ) -> Result<Rc<ElementSummary>, ExploreError> {
-        let key = (element.type_name().to_string(), element.config_key());
+    ) -> Result<Arc<ElementSummary>, ExploreError> {
+        let key = summary_key(element);
         if let Some(summary) = self.entries.get(&key) {
             self.hits += 1;
             return Ok(summary.clone());
@@ -82,7 +89,7 @@ impl SummaryCache {
         let program = element.model();
         let start = Instant::now();
         let exploration = explore(&program, config)?;
-        let summary = Rc::new(ElementSummary {
+        let summary = Arc::new(ElementSummary {
             type_name: key.0.clone(),
             config_key: key.1.clone(),
             exploration,
@@ -90,6 +97,17 @@ impl SummaryCache {
         });
         self.entries.insert(key, summary.clone());
         Ok(summary)
+    }
+
+    /// Install a summary computed elsewhere (e.g. by a parallel worker of
+    /// the verification orchestrator) under its own `(type name, config key)`
+    /// pair. Subsequent [`SummaryCache::get_or_explore`] calls for matching
+    /// elements are served from the cache without exploring.
+    pub fn insert(&mut self, summary: Arc<ElementSummary>) {
+        self.entries.insert(
+            (summary.type_name.clone(), summary.config_key.clone()),
+            summary,
+        );
     }
 
     /// Drop every cached summary (used by the ablation benches to measure the
@@ -114,7 +132,7 @@ mod tests {
         let b = cache
             .get_or_explore(&CheckIPHeader::new(), &config)
             .unwrap();
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.len(), 1);

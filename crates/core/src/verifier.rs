@@ -15,7 +15,7 @@ use dataplane_pipeline::{ElementIdx, Pipeline};
 use dataplane_symbex::term::{self, Term, TermRef};
 use dataplane_symbex::{EngineConfig, Segment, SegmentOutcome, Solver, SolverResult};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Options controlling the verifier's behaviour and budgets.
@@ -76,6 +76,17 @@ impl Verifier {
     /// Statistics of the summary cache (hits, misses).
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.cache.hits(), self.cache.misses())
+    }
+
+    /// Pre-load element summaries computed elsewhere (the parallel
+    /// orchestrator's Step-1 workers). Every seeded element behaviour is
+    /// then served from the cache during [`Verifier::verify`], so Step 1
+    /// performs no exploration of its own and the verdict is exactly what a
+    /// sequential run would produce.
+    pub fn seed_summaries(&mut self, summaries: impl IntoIterator<Item = Arc<ElementSummary>>) {
+        for summary in summaries {
+            self.cache.insert(summary);
+        }
     }
 
     /// Verify `property` over `pipeline`.
@@ -240,7 +251,7 @@ impl Verifier {
         fn walk(
             verifier: &Verifier,
             pipeline: &Pipeline,
-            summaries: &[Rc<ElementSummary>],
+            summaries: &[Arc<ElementSummary>],
             composer: &mut Composer,
             element: ElementIdx,
             view: View,
@@ -261,8 +272,7 @@ impl Verifier {
             let node = pipeline.node(element);
             for segment in &summary.exploration.segments {
                 let mut seg_constraint = constraint.clone();
-                seg_constraint
-                    .extend(composer.rewrite_all(&view, stride, &segment.constraint));
+                seg_constraint.extend(composer.rewrite_all(&view, stride, &segment.constraint));
                 let mut seg_path = path.clone();
                 seg_path.push(node.name.clone());
                 let seg_instr = instructions + segment.instructions;
@@ -354,7 +364,7 @@ impl Verifier {
     fn summarise(
         &mut self,
         pipeline: &Pipeline,
-    ) -> Result<Vec<Rc<ElementSummary>>, dataplane_symbex::ExploreError> {
+    ) -> Result<Vec<Arc<ElementSummary>>, dataplane_symbex::ExploreError> {
         let mut summaries = Vec::with_capacity(pipeline.len());
         for (_, node) in pipeline.iter() {
             summaries.push(
@@ -403,7 +413,7 @@ pub fn materialise_packet(model: &dataplane_symbex::Assignment) -> Vec<u8> {
 struct ComposeCtx<'a> {
     pipeline: &'a Pipeline,
     property: &'a Property,
-    summaries: &'a [Rc<ElementSummary>],
+    summaries: &'a [Arc<ElementSummary>],
     suspects: &'a [Vec<usize>],
     composer: Composer,
     counterexamples: Vec<Counterexample>,
@@ -451,7 +461,10 @@ fn build_hints(property: &Property) -> Vec<dataplane_symbex::Assignment> {
     // For reachability the destination is pinned, so provide templates that
     // carry exactly that destination (their checksums are then consistent
     // with the bound bytes).
-    if let Property::Reachability { dst, dst_offset, .. } = property {
+    if let Property::Reachability {
+        dst, dst_offset, ..
+    } = property
+    {
         let extra: Vec<Vec<u8>> = packets
             .iter()
             .take(16)
@@ -607,7 +620,10 @@ impl<'a> ComposeCtx<'a> {
     /// destination the property talks about.
     fn materialise_counterexample(&self, model: &dataplane_symbex::Assignment) -> Vec<u8> {
         let mut packet = materialise_packet(model);
-        if let Property::Reachability { dst, dst_offset, .. } = self.property {
+        if let Property::Reachability {
+            dst, dst_offset, ..
+        } = self.property
+        {
             let off = *dst_offset as usize;
             if packet.len() < off + 4 {
                 packet.resize(off + 4, 0);
@@ -662,7 +678,10 @@ impl<'a> ComposeCtx<'a> {
                 .map(|t| {
                     term::substitute(t, &|leaf| {
                         if let Term::DsRead {
-                            ds, key, seq, width,
+                            ds,
+                            key,
+                            seq,
+                            width,
                         } = leaf
                         {
                             let element_idx = self.composer.element_of_id(*seq)?;
@@ -672,11 +691,8 @@ impl<'a> ComposeCtx<'a> {
                             if decl.class != DsClass::Static {
                                 return None;
                             }
-                            let contents = element
-                                .model_state()
-                                .get(ds)
-                                .cloned()
-                                .unwrap_or_default();
+                            let contents =
+                                element.model_state().get(ds).cloned().unwrap_or_default();
                             if let Some(k) = key.as_const() {
                                 let value = contents
                                     .iter()
@@ -690,10 +706,8 @@ impl<'a> ComposeCtx<'a> {
                             if contents.len() <= MAX_CHAIN {
                                 // Symbolic key over a small table: expand to
                                 // select(key == k1, v1, select(key == k2, ...)).
-                                let mut chain = term::constant(dataplane_ir::BitVec::new(
-                                    *width,
-                                    decl.default,
-                                ));
+                                let mut chain =
+                                    term::constant(dataplane_ir::BitVec::new(*width, decl.default));
                                 for (k, v) in &contents {
                                     chain = term::select(
                                         term::binary(

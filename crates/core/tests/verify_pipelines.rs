@@ -9,6 +9,9 @@
 //! * the stateful middlebox (NetFlow + NAT) is proven crash-free,
 //! * the toy pipeline of Figure 2 is proven crash-free by composition.
 
+use dataplane_ir::builder::{Block, ProgramBuilder};
+use dataplane_ir::expr::dsl::*;
+use dataplane_ir::Program;
 use dataplane_net::Packet;
 use dataplane_pipeline::elements::*;
 use dataplane_pipeline::presets::{
@@ -16,9 +19,6 @@ use dataplane_pipeline::presets::{
     middlebox_pipeline,
 };
 use dataplane_pipeline::{Action, Element, Pipeline};
-use dataplane_ir::builder::{Block, ProgramBuilder};
-use dataplane_ir::expr::dsl::*;
-use dataplane_ir::Program;
 use dataplane_verifier::{Property, Verdict, Verifier};
 use std::net::Ipv4Addr;
 
@@ -35,7 +35,7 @@ fn router_pipeline_is_crash_free() {
     // The interesting part: Step 1 must have found suspects (the options
     // walker can crash in isolation) and Step 2 must have discharged them.
     assert!(report.stats.suspects > 0, "{report}");
-    assert_eq!(report.stats.discharged >= report.stats.suspects, true);
+    assert!(report.stats.discharged >= report.stats.suspects);
 }
 
 #[test]
@@ -79,7 +79,10 @@ fn options_walker_without_header_check_is_unsafe() {
         b.build().unwrap()
     };
     let outcome = native.push(Packet::from_bytes(ce.packet.clone()));
-    assert!(outcome.is_crash(), "witness must crash natively: {outcome:?}");
+    assert!(
+        outcome.is_crash(),
+        "witness must crash natively: {outcome:?}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -101,7 +104,11 @@ fn buggy_ttl_element_is_caught_with_witness() {
     assert!(report.is_violated(), "{report}");
     let ce = &report.counterexamples[0];
     assert!(ce.confirmed);
-    assert!(ce.description.contains("division by zero"), "{}", ce.description);
+    assert!(
+        ce.description.contains("division by zero"),
+        "{}",
+        ce.description
+    );
     // The witness packet has TTL zero in its IPv4 header.
     assert_eq!(ce.packet[14 + 8], 0);
 }
@@ -398,8 +405,5 @@ fn summaries_are_reused_across_positions_and_pipelines() {
     // Verifying a second pipeline built from the same element types computes
     // (almost) nothing new.
     let report = verifier.verify(&linear_router_pipeline(), &Property::CrashFreedom);
-    assert!(
-        report.stats.summaries_computed < computed_first,
-        "{report}"
-    );
+    assert!(report.stats.summaries_computed < computed_first, "{report}");
 }

@@ -69,7 +69,14 @@ impl ProgramBuilder {
         value_width: u8,
         default: u64,
     ) -> DsId {
-        self.ds(name, DsKind::Array { size }, DsClass::Private, key_width, value_width, default)
+        self.ds(
+            name,
+            DsKind::Array { size },
+            DsClass::Private,
+            key_width,
+            value_width,
+            default,
+        )
     }
 
     /// Declare a static (read-only, shared) pre-allocated array.
@@ -81,7 +88,14 @@ impl ProgramBuilder {
         value_width: u8,
         default: u64,
     ) -> DsId {
-        self.ds(name, DsKind::Array { size }, DsClass::Static, key_width, value_width, default)
+        self.ds(
+            name,
+            DsKind::Array { size },
+            DsClass::Static,
+            key_width,
+            value_width,
+            default,
+        )
     }
 
     /// Declare a private (read/write) open map.
@@ -92,7 +106,14 @@ impl ProgramBuilder {
         value_width: u8,
         default: u64,
     ) -> DsId {
-        self.ds(name, DsKind::Map, DsClass::Private, key_width, value_width, default)
+        self.ds(
+            name,
+            DsKind::Map,
+            DsClass::Private,
+            key_width,
+            value_width,
+            default,
+        )
     }
 
     /// Declare a static (read-only) open map.
@@ -103,7 +124,14 @@ impl ProgramBuilder {
         value_width: u8,
         default: u64,
     ) -> DsId {
-        self.ds(name, DsKind::Map, DsClass::Static, key_width, value_width, default)
+        self.ds(
+            name,
+            DsKind::Map,
+            DsClass::Static,
+            key_width,
+            value_width,
+            default,
+        )
     }
 
     fn ds(

@@ -342,11 +342,12 @@ impl<'a> Interp<'a> {
                     Ok(v) => v,
                     Err(c) => return Ok(Flow::Terminated(Outcome::Crashed(c))),
                 };
-                let store = self.state.store_mut(*ds).ok_or_else(|| {
-                    ExecError::MalformedProgram {
-                        detail: format!("write to unknown data structure ds{}", ds.0),
-                    }
-                })?;
+                let store =
+                    self.state
+                        .store_mut(*ds)
+                        .ok_or_else(|| ExecError::MalformedProgram {
+                            detail: format!("write to unknown data structure ds{}", ds.0),
+                        })?;
                 if store.write(k, v) {
                     Ok(Flow::Continue)
                 } else {
@@ -439,11 +440,11 @@ impl<'a> Interp<'a> {
                     )))
                 }
             }
-            Stmt::Abort { message } => Ok(Flow::Terminated(Outcome::Crashed(
-                CrashReason::Aborted {
+            Stmt::Abort { message } => {
+                Ok(Flow::Terminated(Outcome::Crashed(CrashReason::Aborted {
                     message: message.clone(),
-                },
-            ))),
+                })))
+            }
             Stmt::Emit { port } => Ok(Flow::Terminated(Outcome::Emitted(*port))),
             Stmt::Drop => Ok(Flow::Terminated(Outcome::Dropped)),
             Stmt::Nop => Ok(Flow::Continue),
@@ -493,12 +494,12 @@ impl<'a> Interp<'a> {
                     Ok(v) => v.as_u64(),
                     Err(c) => return Ok(Err(c)),
                 };
-                let store =
-                    self.state
-                        .store(*ds)
-                        .ok_or_else(|| ExecError::MalformedProgram {
-                            detail: format!("read of unknown data structure ds{}", ds.0),
-                        })?;
+                let store = self
+                    .state
+                    .store(*ds)
+                    .ok_or_else(|| ExecError::MalformedProgram {
+                        detail: format!("read of unknown data structure ds{}", ds.0),
+                    })?;
                 match store.read(k) {
                     Some(v) => Ok(v),
                     None => {
@@ -783,7 +784,7 @@ mod tests {
         let mut pkt = vec![0u8; 4];
         let r = run(&prog, &mut pkt);
         assert_eq!(r.outcome, Outcome::Emitted(0));
-        assert_eq!(pkt[0], 0 + 1 + 2 + 3 + 4);
+        assert_eq!(pkt[0], 1 + 2 + 3 + 4);
     }
 
     #[test]
@@ -941,11 +942,7 @@ mod tests {
         let mut b = Block::new();
         b.assign(
             x,
-            select(
-                eq(pkt(0, 1), c(8, 1)),
-                udiv(c(8, 1), c(8, 0)),
-                c(8, 5),
-            ),
+            select(eq(pkt(0, 1), c(8, 1)), udiv(c(8, 1), c(8, 0)), c(8, 5)),
         );
         b.pkt_store(1, 1, l(x));
         b.emit(0);
@@ -983,7 +980,10 @@ mod tests {
         assert_eq!(eval_binop(UGe, b, a).unwrap(), BitVec::bool(false));
         assert_eq!(eval_unop(UnOp::Not, a), a.not());
         assert_eq!(eval_unop(UnOp::Neg, a), a.neg());
-        assert_eq!(eval_unop(UnOp::LogicalNot, BitVec::bool(false)), BitVec::bool(true));
+        assert_eq!(
+            eval_unop(UnOp::LogicalNot, BitVec::bool(false)),
+            BitVec::bool(true)
+        );
     }
 
     #[test]

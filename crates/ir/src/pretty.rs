@@ -96,7 +96,12 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
             cond,
             body,
         } => {
-            let _ = writeln!(out, "loop(max={}) while {} {{", max_iters, expr_to_string(cond));
+            let _ = writeln!(
+                out,
+                "loop(max={}) while {} {{",
+                max_iters,
+                expr_to_string(cond)
+            );
             write_block(out, body, depth + 1);
             indent(out, depth);
             let _ = writeln!(out, "}}");
@@ -221,9 +226,13 @@ mod tests {
                 bb.emit(0);
             }),
             Block::with(|bb| {
-                bb.loop_bounded(4, ult(l(x), c(32, 20)), Block::with(|lb| {
-                    lb.assign(x, add(l(x), c(32, 1)));
-                }));
+                bb.loop_bounded(
+                    4,
+                    ult(l(x), c(32, 20)),
+                    Block::with(|lb| {
+                        lb.assign(x, add(l(x), c(32, 1)));
+                    }),
+                );
                 bb.drop_packet();
             }),
         );

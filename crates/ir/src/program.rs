@@ -299,7 +299,11 @@ pub enum CrashReason {
     /// An explicit `Abort`.
     Aborted { message: String },
     /// A packet load or store outside the packet bounds (segfault analog).
-    PacketOutOfBounds { offset: u64, width_bytes: u8, packet_len: u64 },
+    PacketOutOfBounds {
+        offset: u64,
+        width_bytes: u8,
+        packet_len: u64,
+    },
     /// An array data-structure access with an out-of-range key.
     DsKeyOutOfRange { ds: String, key: u64, size: u64 },
     /// Unsigned division or remainder by zero.

@@ -23,7 +23,11 @@ pub enum ValidationError {
     /// A declared width outside `1..=64`.
     InvalidWidth { what: String, width: u8 },
     /// Two sub-expressions that must agree in width do not.
-    WidthMismatch { context: String, left: u8, right: u8 },
+    WidthMismatch {
+        context: String,
+        left: u8,
+        right: u8,
+    },
     /// A 1-bit expression was required (condition, boolean operand).
     ExpectedBool { context: String, found: u8 },
     /// A cast whose target width is invalid for its kind.
@@ -50,7 +54,11 @@ pub enum ValidationError {
     ValueWidthMismatch { ds: String, declared: u8, found: u8 },
     /// An assignment whose value width differs from the local's declared
     /// width.
-    AssignWidthMismatch { local: String, declared: u8, found: u8 },
+    AssignWidthMismatch {
+        local: String,
+        declared: u8,
+        found: u8,
+    },
     /// A packet store whose value width does not match the access width.
     StoreWidthMismatch { access_bits: u8, found: u8 },
     /// The default value of a data structure does not fit its value width.
@@ -81,7 +89,10 @@ impl fmt::Display for ValidationError {
                 write!(f, "invalid {kind} cast from width {from} to {to}")
             }
             ValidationError::InvalidPacketAccessWidth { width_bytes } => {
-                write!(f, "packet access width must be 1..=8 bytes, got {width_bytes}")
+                write!(
+                    f,
+                    "packet access width must be 1..=8 bytes, got {width_bytes}"
+                )
             }
             ValidationError::InvalidPacketOffsetWidth { found } => {
                 write!(f, "packet offset must be 32 bits wide, got {found}")

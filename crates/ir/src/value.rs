@@ -21,6 +21,10 @@ pub struct BitVec {
     bits: u64,
 }
 
+// The arithmetic methods deliberately mirror the IR operator names (add,
+// sub, mul, ...) rather than the std operator traits: they are width-checked
+// value semantics, not operator overloads.
+#[allow(clippy::should_implement_trait)]
 impl BitVec {
     /// Create a new bit-vector of `width` bits holding `value` truncated to
     /// that width.
@@ -29,7 +33,7 @@ impl BitVec {
     /// Panics if `width` is 0 or greater than [`MAX_WIDTH`].
     pub fn new(width: u8, value: u64) -> Self {
         assert!(
-            width >= 1 && width <= MAX_WIDTH,
+            (1..=MAX_WIDTH).contains(&width),
             "bit-vector width must be in 1..=64, got {width}"
         );
         BitVec {
@@ -132,21 +136,17 @@ impl BitVec {
     /// interpreter and the symbolic engine turn this into a crash).
     pub fn udiv(self, rhs: BitVec) -> Option<BitVec> {
         self.check_width(rhs);
-        if rhs.bits == 0 {
-            None
-        } else {
-            Some(BitVec::new(self.width, self.bits / rhs.bits))
-        }
+        self.bits
+            .checked_div(rhs.bits)
+            .map(|v| BitVec::new(self.width, v))
     }
 
     /// Unsigned remainder. Returns `None` when dividing by zero.
     pub fn urem(self, rhs: BitVec) -> Option<BitVec> {
         self.check_width(rhs);
-        if rhs.bits == 0 {
-            None
-        } else {
-            Some(BitVec::new(self.width, self.bits % rhs.bits))
-        }
+        self.bits
+            .checked_rem(rhs.bits)
+            .map(|v| BitVec::new(self.width, v))
     }
 
     /// Two's-complement negation.

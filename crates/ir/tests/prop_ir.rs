@@ -13,7 +13,7 @@ proptest! {
     /// Addition over bit-vectors agrees with wrapping machine arithmetic at
     /// every width.
     #[test]
-    fn add_matches_wrapping(width in 1u8..=64, a: u64, b: u64) {
+    fn add_matches_wrapping(width in 1u8..=64, a in any::<u64>(), b in any::<u64>()) {
         let x = BitVec::new(width, a);
         let y = BitVec::new(width, b);
         let expected = x.as_u64().wrapping_add(y.as_u64()) & BitVec::max_unsigned(width);
@@ -22,7 +22,7 @@ proptest! {
 
     /// Subtraction then addition round-trips.
     #[test]
-    fn sub_add_roundtrip(width in 1u8..=64, a: u64, b: u64) {
+    fn sub_add_roundtrip(width in 1u8..=64, a in any::<u64>(), b in any::<u64>()) {
         let x = BitVec::new(width, a);
         let y = BitVec::new(width, b);
         prop_assert_eq!(x.sub(y).add(y), x);
@@ -30,7 +30,7 @@ proptest! {
 
     /// Unsigned comparison is a total order consistent with the raw values.
     #[test]
-    fn comparison_consistent(width in 1u8..=64, a: u64, b: u64) {
+    fn comparison_consistent(width in 1u8..=64, a in any::<u64>(), b in any::<u64>()) {
         let x = BitVec::new(width, a);
         let y = BitVec::new(width, b);
         prop_assert_eq!(x.ult(y).is_true(), x.as_u64() < y.as_u64());
@@ -42,7 +42,7 @@ proptest! {
     /// Zero/sign extension preserves the numeric value (unsigned/signed
     /// respectively) and truncation keeps the low bits.
     #[test]
-    fn extension_preserves_value(width in 1u8..=32, extra in 0u8..=32, v: u64) {
+    fn extension_preserves_value(width in 1u8..=32, extra in 0u8..=32, v in any::<u64>()) {
         let x = BitVec::new(width, v);
         let wide = width + extra;
         prop_assert_eq!(x.zext(wide).as_u64(), x.as_u64());
@@ -52,7 +52,7 @@ proptest! {
 
     /// De Morgan's law holds for bitwise operations.
     #[test]
-    fn de_morgan(width in 1u8..=64, a: u64, b: u64) {
+    fn de_morgan(width in 1u8..=64, a in any::<u64>(), b in any::<u64>()) {
         let x = BitVec::new(width, a);
         let y = BitVec::new(width, b);
         prop_assert_eq!(x.and(y).not(), x.not().or(y.not()));
@@ -62,7 +62,7 @@ proptest! {
     /// `eval_binop` never panics on arbitrary operands of equal width and
     /// returns a value of the correct width.
     #[test]
-    fn eval_binop_total(width in 1u8..=64, a: u64, b: u64, op_idx in 0usize..21) {
+    fn eval_binop_total(width in 1u8..=64, a in any::<u64>(), b in any::<u64>(), op_idx in 0usize..21) {
         use BinOp::*;
         let ops = [Add, Sub, Mul, UDiv, URem, And, Or, Xor, Shl, LShr, AShr,
                    Eq, Ne, ULt, ULe, UGt, UGe, SLt, SLe, BoolAnd, BoolOr];

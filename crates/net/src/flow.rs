@@ -1,9 +1,9 @@
 //! Flow identification: the classic 5-tuple used by NetFlow and NAT elements.
 
+use crate::ethernet::{EthernetHeader, ETHERNET_HEADER_LEN, ETHERTYPE_IPV4};
 use crate::ipv4::{Ipv4Header, PROTO_TCP, PROTO_UDP};
 use crate::packet::Packet;
 use crate::transport::{TcpHeader, UdpHeader};
-use crate::ethernet::{EthernetHeader, ETHERNET_HEADER_LEN, ETHERTYPE_IPV4};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -41,9 +41,8 @@ impl FiveTuple {
     pub fn fold_u64(&self) -> u64 {
         let s = u32::from(self.src_ip) as u64;
         let d = u32::from(self.dst_ip) as u64;
-        let p = ((self.src_port as u64) << 32)
-            | ((self.dst_port as u64) << 16)
-            | self.protocol as u64;
+        let p =
+            ((self.src_port as u64) << 32) | ((self.dst_port as u64) << 16) | self.protocol as u64;
         s.wrapping_mul(0x9e37_79b9_7f4a_7c15)
             ^ d.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
             ^ p.wrapping_mul(0x1656_67b1_9e37_79f9)

@@ -173,7 +173,7 @@ impl Ipv4Header {
     pub fn to_bytes(&self) -> Vec<u8> {
         let opt_len = self.options.len();
         // Options are padded to a multiple of 4 bytes on serialisation.
-        let padded = (opt_len + 3) / 4 * 4;
+        let padded = opt_len.div_ceil(4) * 4;
         let ihl = 5 + (padded / 4) as u8;
         let header_len = ihl as usize * 4;
         let mut out = vec![0u8; header_len];
@@ -292,7 +292,7 @@ mod tests {
     fn options_are_padded_and_parsed() {
         let mut hdr = Ipv4Header::template();
         hdr.options = vec![IPOPT_NOP, IPOPT_NOP, IPOPT_RR, 7, 4, 0, 0];
-        hdr.total_length = 28 + 0;
+        hdr.total_length = 28;
         let bytes = hdr.to_bytes();
         assert_eq!(bytes.len(), 28); // 20 + 7 padded to 8
         let parsed = Ipv4Header::parse(&bytes).unwrap();
@@ -311,10 +311,7 @@ mod tests {
         assert_eq!(Ipv4Header::parse(&bytes), Err(Ipv4Error::BadIhl));
         let mut bytes = Ipv4Header::template().to_bytes();
         bytes[0] = 0x40 | 10; // claims 40-byte header, buffer has 20
-        assert_eq!(
-            Ipv4Header::parse(&bytes),
-            Err(Ipv4Error::TruncatedOptions)
-        );
+        assert_eq!(Ipv4Header::parse(&bytes), Err(Ipv4Error::TruncatedOptions));
     }
 
     #[test]

@@ -176,7 +176,7 @@ impl PacketBuilder {
 
         // IPv4 header with correct total length (header is serialized with
         // padded options, so compute that length first).
-        let opt_padded = (self.ip.options.len() + 3) / 4 * 4;
+        let opt_padded = self.ip.options.len().div_ceil(4) * 4;
         let ip_header_len = 20 + opt_padded;
         self.ip.total_length = (ip_header_len + l4_bytes.len()) as u16;
         let ip_bytes = self.ip.to_bytes();
@@ -256,21 +256,17 @@ mod tests {
 
     #[test]
     fn ttl_eth_payload_and_meta_setters() {
-        let pkt = PacketBuilder::tcp_syn(
-            Ipv4Addr::new(1, 1, 1, 1),
-            Ipv4Addr::new(2, 2, 2, 2),
-            1,
-            2,
-        )
-        .ttl(3)
-        .eth(MacAddr::local(7), MacAddr::local(8))
-        .payload(b"xyz")
-        .meta(PacketMeta {
-            input_port: 2,
-            paint: 1,
-            sequence: 5,
-        })
-        .build();
+        let pkt =
+            PacketBuilder::tcp_syn(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 1, 2)
+                .ttl(3)
+                .eth(MacAddr::local(7), MacAddr::local(8))
+                .payload(b"xyz")
+                .meta(PacketMeta {
+                    input_port: 2,
+                    paint: 1,
+                    sequence: 5,
+                })
+                .build();
         assert_eq!(pkt.meta().sequence, 5);
         assert_eq!(pkt.bytes()[6..12], MacAddr::local(7).octets());
         let ip = Ipv4Header::parse_checked(&pkt.bytes()[ETHERNET_HEADER_LEN..]).unwrap();

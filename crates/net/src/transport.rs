@@ -130,7 +130,7 @@ impl TcpHeader {
     /// Serialize the header, padding options to a multiple of 4 bytes and
     /// recomputing the data offset accordingly.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let padded = (self.options.len() + 3) / 4 * 4;
+        let padded = self.options.len().div_ceil(4) * 4;
         let data_offset = 5 + (padded / 4) as u8;
         let hlen = data_offset as usize * 4;
         let mut out = vec![0u8; hlen];

@@ -203,7 +203,7 @@ impl WorkloadGen {
             .collect();
         let sport = self.rng.gen_range(1024..65000);
         let dport = *[53u16, 80, 443, 8080, 5000]
-            .get(self.rng.gen_range(0..5))
+            .get(self.rng.gen_range(0usize..5))
             .unwrap();
         match class {
             PacketClass::Udp => PacketBuilder::udp(src, dst, sport, dport, &payload)
@@ -218,7 +218,9 @@ impl WorkloadGen {
                 .build(),
             PacketClass::WithIpOptions => {
                 // A record-route option with room for three hops plus NOP padding.
-                let options = vec![IPOPT_RR, 15, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, IPOPT_NOP];
+                let options = vec![
+                    IPOPT_RR, 15, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, IPOPT_NOP,
+                ];
                 PacketBuilder::udp(src, dst, sport, dport, &payload)
                     .ip_options(&options)
                     .meta(self.meta())
@@ -238,7 +240,7 @@ impl WorkloadGen {
                 let mut pkt = PacketBuilder::udp(src, dst, sport, dport, &payload)
                     .meta(self.meta())
                     .build();
-                pkt.truncate(ETHERNET_HEADER_LEN + self.rng.gen_range(1..12));
+                pkt.truncate(ETHERNET_HEADER_LEN + self.rng.gen_range(1usize..12));
                 pkt
             }
             PacketClass::BadVersion => {

@@ -1,0 +1,268 @@
+//! The content-addressed summary store: an in-memory tier shared by all
+//! worker threads, backed by an optional JSON persistent tier on disk.
+//!
+//! Keys are [`Fingerprint`]s of the element's behaviour + engine
+//! configuration, so the store never confuses summaries across element
+//! edits: change one element and only its key changes — re-verifying a
+//! pipeline then re-explores exactly that element, every other summary is a
+//! hit. That is the paper's "embarrassingly cacheable" property made
+//! operational.
+
+use crate::fingerprint::Fingerprint;
+use crate::json::Json;
+use crate::persist::{summary_from_json, summary_to_json};
+use dataplane_verifier::ElementSummary;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters describing how the store served lookups.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the in-memory tier.
+    pub memory_hits: u64,
+    /// Lookups served by decoding a persisted JSON summary.
+    pub disk_hits: u64,
+    /// Lookups that found nothing (the element must be explored).
+    pub misses: u64,
+    /// Summaries written to the persistent tier.
+    pub persisted: u64,
+    /// Persistent-tier files that failed to read or decode (treated as
+    /// misses; the summary is recomputed and rewritten).
+    pub disk_errors: u64,
+}
+
+impl CacheStats {
+    /// Total hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+}
+
+/// A thread-safe, two-tier, content-addressed summary cache.
+#[derive(Debug, Default)]
+pub struct SummaryStore {
+    memory: Mutex<HashMap<Fingerprint, Arc<ElementSummary>>>,
+    persist_dir: Option<PathBuf>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    persisted: AtomicU64,
+    disk_errors: AtomicU64,
+}
+
+impl SummaryStore {
+    /// A store with only the in-memory tier.
+    pub fn in_memory() -> Self {
+        SummaryStore::default()
+    }
+
+    /// A store that additionally persists summaries as JSON files under
+    /// `dir` (one file per fingerprint), creating the directory if needed.
+    pub fn persistent(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SummaryStore {
+            persist_dir: Some(dir),
+            ..SummaryStore::default()
+        })
+    }
+
+    /// The persistent directory, if the store has one.
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.persist_dir.as_deref()
+    }
+
+    fn file_for(&self, fingerprint: Fingerprint) -> Option<PathBuf> {
+        self.persist_dir
+            .as_ref()
+            .map(|d| d.join(format!("{fingerprint}.json")))
+    }
+
+    /// Look up the summary for `fingerprint`, trying memory then disk.
+    pub fn get(&self, fingerprint: Fingerprint) -> Option<Arc<ElementSummary>> {
+        if let Some(summary) = self
+            .memory
+            .lock()
+            .expect("summary store lock")
+            .get(&fingerprint)
+        {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(summary.clone());
+        }
+        if let Some(path) = self.file_for(fingerprint) {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => match Json::parse(&text)
+                    .map_err(|e| e.to_string())
+                    .and_then(|j| summary_from_json(&j).map_err(|e| e.to_string()))
+                {
+                    Ok(summary) => {
+                        let summary = Arc::new(summary);
+                        self.memory
+                            .lock()
+                            .expect("summary store lock")
+                            .insert(fingerprint, summary.clone());
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(summary);
+                    }
+                    Err(_) => {
+                        // Corrupt file: drop it so the rewrite below is clean.
+                        self.disk_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = std::fs::remove_file(&path);
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(_) => {
+                    self.disk_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Install a freshly computed summary under `fingerprint`, writing the
+    /// persistent tier when configured. The file is written to a unique
+    /// temporary name and renamed into place, so concurrent readers (or a
+    /// crash mid-write) never observe a torn document. Disk failures are
+    /// counted but do not fail the insert — the in-memory tier is
+    /// authoritative for this process.
+    pub fn insert(&self, fingerprint: Fingerprint, summary: Arc<ElementSummary>) {
+        if let (Some(path), Some(dir)) = (self.file_for(fingerprint), &self.persist_dir) {
+            static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+            let temp = dir.join(format!(
+                "{fingerprint}.tmp-{}-{}",
+                std::process::id(),
+                TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let text = summary_to_json(&summary).to_text();
+            let written = std::fs::write(&temp, text).and_then(|()| std::fs::rename(&temp, &path));
+            match written {
+                Ok(()) => {
+                    self.persisted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    let _ = std::fs::remove_file(&temp);
+                    self.disk_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.memory
+            .lock()
+            .expect("summary store lock")
+            .insert(fingerprint, summary);
+    }
+
+    /// Number of summaries resident in memory.
+    pub fn len(&self) -> usize {
+        self.memory.lock().expect("summary store lock").len()
+    }
+
+    /// True if the in-memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop the in-memory tier (persisted files are kept); used by tests to
+    /// force the disk path.
+    pub fn clear_memory(&self) {
+        self.memory.lock().expect("summary store lock").clear();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            persisted: self.persisted.load(Ordering::Relaxed),
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane_pipeline::elements::DecTTL;
+    use dataplane_pipeline::Element;
+    use dataplane_symbex::{explore, EngineConfig};
+    use std::time::Duration;
+
+    fn dec_ttl_summary() -> Arc<ElementSummary> {
+        let element = DecTTL::new();
+        let exploration = explore(&element.model(), &EngineConfig::decomposed()).unwrap();
+        Arc::new(ElementSummary {
+            type_name: element.type_name().to_string(),
+            config_key: element.config_key(),
+            exploration,
+            explore_time: Duration::from_millis(1),
+        })
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("vericlick-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_tier_hits_and_misses() {
+        let store = SummaryStore::in_memory();
+        let fp = Fingerprint(1, 2);
+        assert!(store.get(fp).is_none());
+        store.insert(fp, dec_ttl_summary());
+        let summary = store.get(fp).expect("hit");
+        assert_eq!(summary.type_name, "DecTTL");
+        let stats = store.stats();
+        assert_eq!(stats.memory_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.disk_hits, 0);
+        assert_eq!(stats.persisted, 0);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn persistent_tier_survives_memory_loss() {
+        let dir = temp_dir("persist");
+        let store = SummaryStore::persistent(&dir).unwrap();
+        assert_eq!(store.persist_dir(), Some(dir.as_path()));
+        let fp = Fingerprint(3, 4);
+        store.insert(fp, dec_ttl_summary());
+        assert_eq!(store.stats().persisted, 1);
+
+        // Same store, memory dropped: served from disk.
+        store.clear_memory();
+        let summary = store.get(fp).expect("disk hit");
+        assert!(summary.segment_count() >= 2);
+        assert_eq!(store.stats().disk_hits, 1);
+
+        // A brand-new store over the same directory also sees it.
+        let fresh = SummaryStore::persistent(&dir).unwrap();
+        assert!(fresh.get(fp).is_some());
+        assert_eq!(fresh.stats().disk_hits, 1);
+        assert_eq!(fresh.stats().misses, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_are_dropped_and_recomputed() {
+        let dir = temp_dir("corrupt");
+        let store = SummaryStore::persistent(&dir).unwrap();
+        let fp = Fingerprint(5, 6);
+        std::fs::write(dir.join(format!("{fp}.json")), "{not json").unwrap();
+        assert!(store.get(fp).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.disk_errors, 1);
+        assert_eq!(stats.misses, 1);
+        // The corrupt file was removed; inserting rewrites it cleanly.
+        store.insert(fp, dec_ttl_summary());
+        store.clear_memory();
+        assert!(store.get(fp).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

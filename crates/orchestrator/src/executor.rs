@@ -1,0 +1,239 @@
+//! A work-stealing executor for dependency graphs of verification jobs.
+//!
+//! Jobs are opaque closures arranged in a DAG (explore jobs feed compose
+//! jobs). Each worker owns a deque: it pops its own work LIFO (fresh jobs
+//! are cache-hot) and steals FIFO from its peers when idle (the oldest,
+//! typically largest, work migrates). A job whose last dependency completes
+//! is enqueued on the worker that completed it, so summary producers and the
+//! composition that consumes them tend to share a core.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// One schedulable unit.
+struct TaskNode {
+    /// The work; taken exactly once.
+    run: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    /// Number of incomplete dependencies.
+    pending: AtomicUsize,
+    /// Tasks to notify on completion.
+    dependents: Vec<usize>,
+}
+
+/// A DAG of tasks, built once and executed by [`execute`].
+#[derive(Default)]
+pub struct TaskGraph {
+    tasks: Vec<TaskNode>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Add a task depending on the already-added tasks in `deps`; returns
+    /// its id. Dependencies must be earlier ids, which makes cycles
+    /// unrepresentable.
+    pub fn add(&mut self, deps: &[usize], run: Box<dyn FnOnce() + Send>) -> usize {
+        let id = self.tasks.len();
+        for &d in deps {
+            assert!(d < id, "dependency {d} of task {id} does not exist yet");
+        }
+        self.tasks.push(TaskNode {
+            run: Mutex::new(Some(run)),
+            pending: AtomicUsize::new(deps.len()),
+            dependents: Vec::new(),
+        });
+        for &d in deps {
+            self.tasks[d].dependents.push(id);
+        }
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if no tasks were added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+/// Run every task of `graph` across `threads` workers, respecting
+/// dependencies. Returns when all tasks have completed.
+pub fn execute(graph: TaskGraph, threads: usize) {
+    let threads = threads.max(1);
+    let total = graph.len();
+    if total == 0 {
+        return;
+    }
+    let tasks = &graph.tasks;
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    let remaining = AtomicUsize::new(total);
+    // Idle workers park on this condvar instead of spinning; the epoch
+    // counter is bumped (under the lock) whenever new work may exist — on
+    // every enqueue and when the last task finishes — so a worker that saw
+    // no work re-checks exactly when something changed.
+    let signal = (Mutex::new(0u64), Condvar::new());
+
+    // Distribute the initially-ready tasks round-robin.
+    {
+        let mut worker = 0;
+        for (id, task) in tasks.iter().enumerate() {
+            if task.pending.load(Ordering::Relaxed) == 0 {
+                queues[worker].lock().expect("queue lock").push_back(id);
+                worker = (worker + 1) % threads;
+            }
+        }
+    }
+
+    let wake_all = |signal: &(Mutex<u64>, Condvar)| {
+        let mut epoch = signal.0.lock().expect("signal lock");
+        *epoch += 1;
+        signal.1.notify_all();
+    };
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let queues = &queues;
+            let remaining = &remaining;
+            let signal = &signal;
+            scope.spawn(move || {
+                loop {
+                    // Snapshot the epoch *before* looking for work: any
+                    // enqueue after this point bumps it, so the parked wait
+                    // below cannot miss a wake-up.
+                    let seen_epoch = *signal.0.lock().expect("signal lock");
+                    // Own work first (LIFO), then steal (FIFO).
+                    let next = {
+                        let own = queues[me].lock().expect("queue lock").pop_back();
+                        own.or_else(|| {
+                            (1..queues.len()).find_map(|offset| {
+                                let victim = (me + offset) % queues.len();
+                                queues[victim].lock().expect("queue lock").pop_front()
+                            })
+                        })
+                    };
+                    match next {
+                        Some(id) => {
+                            let run = tasks[id]
+                                .run
+                                .lock()
+                                .expect("task lock")
+                                .take()
+                                .expect("task runs exactly once");
+                            run();
+                            let mut unlocked = false;
+                            for &dep in &tasks[id].dependents {
+                                if tasks[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    queues[me].lock().expect("queue lock").push_back(dep);
+                                    unlocked = true;
+                                }
+                            }
+                            let last = remaining.fetch_sub(1, Ordering::AcqRel) == 1;
+                            if unlocked || last {
+                                wake_all(signal);
+                            }
+                        }
+                        None => {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            let mut epoch = signal.0.lock().expect("signal lock");
+                            while *epoch == seen_epoch && remaining.load(Ordering::Acquire) > 0 {
+                                epoch = signal.1.wait(epoch).expect("signal lock");
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_every_task_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut graph = TaskGraph::new();
+        for _ in 0..100 {
+            let counter = counter.clone();
+            graph.add(
+                &[],
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        assert_eq!(graph.len(), 100);
+        execute(graph, 4);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn dependencies_complete_before_dependents_start() {
+        // A diamond: 2 roots -> 8 middles -> 1 sink; the sink must observe
+        // every middle, each middle must observe both roots. Order is
+        // witnessed with a monotone clock.
+        let clock = Arc::new(AtomicU64::new(1));
+        let stamps: Arc<Vec<AtomicU64>> = Arc::new((0..11).map(|_| AtomicU64::new(0)).collect());
+        let mut graph = TaskGraph::new();
+        let stamp = |i: usize| {
+            let clock = clock.clone();
+            let stamps = stamps.clone();
+            Box::new(move || {
+                stamps[i].store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+            }) as Box<dyn FnOnce() + Send>
+        };
+        let r0 = graph.add(&[], stamp(0));
+        let r1 = graph.add(&[], stamp(1));
+        let middles: Vec<usize> = (0..8).map(|i| graph.add(&[r0, r1], stamp(2 + i))).collect();
+        graph.add(&middles, stamp(10));
+        execute(graph, 4);
+        let at = |i: usize| stamps[i].load(Ordering::SeqCst);
+        for m in 2..10 {
+            assert!(
+                at(m) > at(0) && at(m) > at(1),
+                "middle {m} ran before a root"
+            );
+            assert!(at(10) > at(m), "sink ran before middle {m}");
+        }
+    }
+
+    #[test]
+    fn single_thread_executes_in_topological_order() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut graph = TaskGraph::new();
+        let push = |v: usize| {
+            let order = order.clone();
+            Box::new(move || order.lock().unwrap().push(v)) as Box<dyn FnOnce() + Send>
+        };
+        let a = graph.add(&[], push(0));
+        let b = graph.add(&[a], push(1));
+        graph.add(&[b], push(2));
+        execute(graph, 1);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_dependencies_are_rejected() {
+        let mut graph = TaskGraph::new();
+        graph.add(&[3], Box::new(|| {}));
+    }
+
+    #[test]
+    fn empty_graph_is_a_no_op() {
+        execute(TaskGraph::new(), 4);
+    }
+}

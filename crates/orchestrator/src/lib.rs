@@ -1,0 +1,77 @@
+//! # dataplane-orchestrator — parallel, cached, matrix-scale verification
+//!
+//! The compositional verifier (`dataplane-verifier`) proves pipeline
+//! properties by exploring each element **in isolation** and composing the
+//! per-element summaries. That structure is what this crate exploits
+//! operationally, turning one-shot verification into a service layer:
+//!
+//! * [`orchestrator`] — the job planner ([`plan`]) decomposes a batch of
+//!   verification scenarios into per-element symbolic-exploration jobs plus
+//!   one composition job per scenario, with dependency edges; the
+//!   [`Orchestrator`] runs the graph and streams [`ProgressEvent`]s.
+//! * [`executor`] — the work-stealing thread pool the jobs run on.
+//! * [`cache`] — the content-addressed [`SummaryStore`]: an in-memory tier
+//!   shared across workers and an optional JSON persistent tier, keyed by
+//!   [`Fingerprint`]s of element behaviour + engine configuration. Editing
+//!   one element invalidates exactly one key: re-verification re-explores
+//!   that element only.
+//! * [`matrix`] — the scenario matrix (every preset pipeline × crash
+//!   freedom, bounded execution, reachability) and the aggregate
+//!   machine-readable [`MatrixReport`].
+//! * [`fingerprint`] / [`persist`] / [`json`] — content hashing and the
+//!   hand-rolled JSON codec behind the persistent tier (the workspace's
+//!   `serde` is an offline API stub, so serialisation is explicit here).
+//!
+//! Parallel runs reuse the sequential verifier for composition, seeded with
+//! pre-computed summaries — verdicts are identical to `Verifier::verify`,
+//! only the wall-clock differs.
+//!
+//! ## Example
+//!
+//! ```
+//! use dataplane_orchestrator::{Orchestrator, Scenario};
+//! use dataplane_pipeline::presets::ip_router_pipeline;
+//! use dataplane_verifier::Property;
+//!
+//! let orchestrator = Orchestrator::new().with_threads(4);
+//! let report = orchestrator.verify(ip_router_pipeline(), Property::CrashFreedom);
+//! assert!(report.is_proven(), "{report}");
+//!
+//! // A second verification of the same pipeline plans zero element jobs:
+//! // every summary is served from the warm store.
+//! let matrix = orchestrator.run(vec![Scenario::new(
+//!     "router",
+//!     ip_router_pipeline(),
+//!     Property::CrashFreedom,
+//! )]);
+//! assert_eq!(matrix.explore_jobs, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod executor;
+pub mod fingerprint;
+pub mod json;
+pub mod matrix;
+pub mod orchestrator;
+pub mod persist;
+
+pub use cache::{CacheStats, SummaryStore};
+pub use fingerprint::{element_fingerprint, fingerprint_bytes, Fingerprint};
+pub use matrix::{preset_pipelines, preset_properties, preset_scenarios, MatrixReport};
+pub use orchestrator::{
+    plan, verify_sequential, ExploreSpec, JobPlan, Orchestrator, ProgressEvent, Scenario,
+    ScenarioReport,
+};
+
+// The orchestrator moves pipelines, summaries, and progress observers across
+// worker threads; keep those bounds a compile-time contract.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<Scenario>();
+    assert_send_sync::<SummaryStore>();
+    assert_send_sync::<std::sync::Arc<dataplane_verifier::ElementSummary>>();
+};

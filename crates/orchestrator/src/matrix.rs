@@ -1,0 +1,293 @@
+//! The scenario matrix: every preset pipeline × every property class, and
+//! the aggregate machine-readable report a matrix run produces.
+
+use crate::cache::CacheStats;
+use crate::json::Json;
+use crate::orchestrator::{Scenario, ScenarioReport};
+use dataplane_pipeline::presets::{
+    buggy_pipeline, firewall_pipeline, ip_router_pipeline, linear_router_pipeline,
+    middlebox_pipeline,
+};
+use dataplane_pipeline::Pipeline;
+use dataplane_verifier::{Property, Verdict};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// A named preset-pipeline constructor.
+pub type PresetPipeline = (&'static str, fn() -> Pipeline);
+
+/// The preset pipelines, by name. `buggy` is included deliberately: the
+/// matrix must demonstrate violation-finding, not only proofs.
+pub fn preset_pipelines() -> Vec<PresetPipeline> {
+    vec![
+        ("ip_router", ip_router_pipeline as fn() -> Pipeline),
+        ("linear_router", linear_router_pipeline),
+        ("middlebox", middlebox_pipeline),
+        ("firewall", || firewall_pipeline(vec![])),
+        ("buggy", buggy_pipeline),
+    ]
+}
+
+/// Per-packet instruction budget used by the matrix's bounded-execution
+/// property (comfortably above the ~3.6k instructions the paper reports for
+/// the longest pipeline, so a verdict other than `Proven` signals a crash
+/// path, not a tight constant).
+pub const MATRIX_INSTRUCTION_BOUND: u64 = 1_000_000;
+
+/// The three property classes of the paper, instantiated for `pipeline`.
+/// Reachability needs per-pipeline knowledge (who delivers, who may
+/// legitimately drop), which is what this table encodes.
+pub fn preset_properties(pipeline: &str) -> Vec<Property> {
+    let reachability = |dst: Ipv4Addr, deliver_to: &[&str], may_drop: &[&str]| {
+        Property::Reachability {
+            dst,
+            // Every preset ingests Ethernet frames: the IPv4 destination
+            // sits at byte 30.
+            dst_offset: 30,
+            deliver_to: deliver_to.iter().map(|s| s.to_string()).collect(),
+            may_drop: may_drop.iter().map(|s| s.to_string()).collect(),
+        }
+    };
+    let reach = match pipeline {
+        "ip_router" => reachability(
+            Ipv4Addr::new(10, 1, 2, 3),
+            &["out0", "out1"],
+            &["cls", "strip", "chk", "opts", "ttl0", "ttl1"],
+        ),
+        "linear_router" => reachability(
+            Ipv4Addr::new(10, 1, 2, 3),
+            &["sink"],
+            &["cls", "strip", "chk", "opts", "ttl"],
+        ),
+        "middlebox" => reachability(
+            Ipv4Addr::new(8, 8, 8, 8),
+            &["out"],
+            &["strip", "chk", "flow", "nat"],
+        ),
+        "firewall" => reachability(
+            Ipv4Addr::new(10, 1, 2, 3),
+            &["out0", "out1"],
+            &["strip", "chk", "ttl"],
+        ),
+        "buggy" => reachability(Ipv4Addr::new(10, 1, 2, 3), &["out"], &["cls", "strip"]),
+        other => panic!("unknown preset pipeline '{other}'"),
+    };
+    vec![
+        Property::CrashFreedom,
+        Property::BoundedInstructions {
+            max_instructions: MATRIX_INSTRUCTION_BOUND,
+        },
+        reach,
+    ]
+}
+
+/// The full verification matrix: every preset pipeline under every property
+/// class (each scenario owns its own pipeline instance).
+pub fn preset_scenarios() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    for (name, make) in preset_pipelines() {
+        for property in preset_properties(name) {
+            scenarios.push(Scenario::new(name, make(), property));
+        }
+    }
+    scenarios
+}
+
+/// The aggregate result of a matrix run.
+pub struct MatrixReport {
+    /// Per-scenario reports, in the order the scenarios were submitted.
+    pub scenarios: Vec<ScenarioReport>,
+    /// Step-1 explore jobs that actually ran.
+    pub explore_jobs: usize,
+    /// Distinct element behaviours served by the warm store at plan time
+    /// (jobs skipped).
+    pub cached_jobs: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Summary-store activity during this run.
+    pub cache: CacheStats,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl MatrixReport {
+    /// `(proven, violated, unknown)` counts.
+    pub fn verdict_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for s in &self.scenarios {
+            match s.report.verdict {
+                Verdict::Proven => counts.0 += 1,
+                Verdict::Violated => counts.1 += 1,
+                Verdict::Unknown => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The machine-readable form of the report.
+    pub fn to_json(&self) -> Json {
+        let scenarios: Vec<Json> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                let report = &s.report;
+                Json::obj([
+                    ("pipeline", Json::str(&s.pipeline_name)),
+                    ("property", Json::str(report.property.name())),
+                    (
+                        "verdict",
+                        Json::str(match report.verdict {
+                            Verdict::Proven => "proven",
+                            Verdict::Violated => "violated",
+                            Verdict::Unknown => "unknown",
+                        }),
+                    ),
+                    (
+                        "counterexamples",
+                        Json::int(report.counterexamples.len() as u64),
+                    ),
+                    (
+                        "confirmed_counterexamples",
+                        Json::int(
+                            report
+                                .counterexamples
+                                .iter()
+                                .filter(|c| c.confirmed)
+                                .count() as u64,
+                        ),
+                    ),
+                    ("unproven_paths", Json::int(report.unproven.len() as u64)),
+                    ("elements", Json::int(report.stats.elements as u64)),
+                    (
+                        "summaries_reused",
+                        Json::int(report.stats.summaries_reused as u64),
+                    ),
+                    ("suspects", Json::int(report.stats.suspects as u64)),
+                    ("discharged", Json::int(report.stats.discharged as u64)),
+                    (
+                        "composed_paths",
+                        Json::int(report.stats.composed_paths as u64),
+                    ),
+                    ("solver_calls", Json::int(report.stats.solver_calls as u64)),
+                    (
+                        "elapsed_micros",
+                        Json::int(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+                    ),
+                ])
+            })
+            .collect();
+        let (proven, violated, unknown) = self.verdict_counts();
+        Json::obj([
+            ("scenarios", Json::Arr(scenarios)),
+            ("proven", Json::int(proven as u64)),
+            ("violated", Json::int(violated as u64)),
+            ("unknown", Json::int(unknown as u64)),
+            ("explore_jobs", Json::int(self.explore_jobs as u64)),
+            ("cached_jobs", Json::int(self.cached_jobs as u64)),
+            ("threads", Json::int(self.threads as u64)),
+            (
+                "cache",
+                Json::obj([
+                    ("memory_hits", Json::int(self.cache.memory_hits)),
+                    ("disk_hits", Json::int(self.cache.disk_hits)),
+                    ("misses", Json::int(self.cache.misses)),
+                    ("persisted", Json::int(self.cache.persisted)),
+                    ("disk_errors", Json::int(self.cache.disk_errors)),
+                ]),
+            ),
+            (
+                "elapsed_micros",
+                Json::int(self.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for MatrixReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (proven, violated, unknown) = self.verdict_counts();
+        writeln!(
+            f,
+            "verification matrix: {} scenarios ({} proven, {} violated, {} unknown) in {:.3}s on {} threads",
+            self.scenarios.len(),
+            proven,
+            violated,
+            unknown,
+            self.elapsed.as_secs_f64(),
+            self.threads
+        )?;
+        writeln!(
+            f,
+            "  element jobs: {} explored, {} served warm; cache: {} memory hits, {} disk hits, {} persisted",
+            self.explore_jobs,
+            self.cached_jobs,
+            self.cache.memory_hits,
+            self.cache.disk_hits,
+            self.cache.persisted
+        )?;
+        for s in &self.scenarios {
+            writeln!(
+                f,
+                "  {:<44} {:>9} in {:>8.3}s (suspects {}, discharged {}, counterexamples {})",
+                s.label(),
+                format!("{:?}", s.report.verdict),
+                s.report.elapsed.as_secs_f64(),
+                s.report.stats.suspects,
+                s.report.stats.discharged,
+                s.report.counterexamples.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_every_preset_and_property_class() {
+        let scenarios = preset_scenarios();
+        let pipelines = preset_pipelines();
+        assert_eq!(scenarios.len(), pipelines.len() * 3);
+        for (name, _) in pipelines {
+            let for_pipeline: Vec<_> = scenarios
+                .iter()
+                .filter(|s| s.pipeline_name == name)
+                .collect();
+            assert_eq!(for_pipeline.len(), 3, "{name}");
+            assert!(for_pipeline
+                .iter()
+                .any(|s| matches!(s.property, Property::CrashFreedom)));
+            assert!(for_pipeline
+                .iter()
+                .any(|s| matches!(s.property, Property::BoundedInstructions { .. })));
+            assert!(for_pipeline
+                .iter()
+                .any(|s| matches!(s.property, Property::Reachability { .. })));
+        }
+    }
+
+    #[test]
+    fn reachability_names_refer_to_real_elements() {
+        for (name, make) in preset_pipelines() {
+            let pipeline = make();
+            for property in preset_properties(name) {
+                if let Property::Reachability {
+                    deliver_to,
+                    may_drop,
+                    ..
+                } = property
+                {
+                    for instance in deliver_to.iter().chain(may_drop.iter()) {
+                        assert!(
+                            pipeline.find(instance).is_some(),
+                            "{name}: reachability names unknown element '{instance}'"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! The parallel verification orchestrator.
+//!
+//! A verification request (pipeline × property) is decomposed exactly along
+//! the paper's seam: Step 1 — one symbolic-exploration job per **distinct
+//! element behaviour**, embarrassingly parallel and content-addressed-
+//! cacheable; Step 2 — one composition job per scenario, depending on the
+//! explorations of the elements its pipeline contains. The jobs run on the
+//! work-stealing [`crate::executor`]; summaries flow through the shared
+//! [`SummaryStore`], so a warm store (same process or the persistent tier)
+//! skips every unchanged element job and re-verification touches only what
+//! changed.
+//!
+//! Composition itself reuses `dataplane_verifier::Verifier` seeded with the
+//! pre-computed summaries, so a parallel run performs exactly the
+//! computation a sequential run performs — the verdicts, counterexamples,
+//! and unproven paths are identical (asserted by the equivalence tests in
+//! `tests/orchestrator.rs`).
+
+use crate::cache::{CacheStats, SummaryStore};
+use crate::executor::{execute, TaskGraph};
+use crate::fingerprint::{element_fingerprint, Fingerprint};
+use dataplane_ir::Program;
+use dataplane_pipeline::Pipeline;
+use dataplane_symbex::explore;
+use dataplane_verifier::{ElementSummary, Property, Report, Verdict, Verifier, VerifierOptions};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One cell of a verification matrix: a pipeline to verify and the property
+/// to verify it against.
+pub struct Scenario {
+    /// Label of the pipeline (e.g. `"ip_router"`).
+    pub pipeline_name: String,
+    /// The pipeline itself (consumed by the run).
+    pub pipeline: Pipeline,
+    /// The property to check.
+    pub property: Property,
+}
+
+impl Scenario {
+    /// Build a scenario.
+    pub fn new(pipeline_name: impl Into<String>, pipeline: Pipeline, property: Property) -> Self {
+        Scenario {
+            pipeline_name: pipeline_name.into(),
+            pipeline,
+            property,
+        }
+    }
+
+    /// `pipeline/property` label used in reports and progress events.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.pipeline_name, self.property.name())
+    }
+}
+
+/// An element-exploration job of a [`JobPlan`].
+pub struct ExploreSpec {
+    /// Content-addressed identity of the summary this job produces.
+    pub fingerprint: Fingerprint,
+    /// Element type name (the summary-cache key half).
+    pub type_name: String,
+    /// Element configuration key (the other half).
+    pub config_key: String,
+    /// The IR program to explore.
+    pub program: Program,
+}
+
+/// The decomposition of a batch of scenarios into jobs with dependency
+/// edges: `explore[i]` are the Step-1 jobs (no dependencies, one per
+/// distinct uncached element behaviour across the whole batch);
+/// `scenario_deps[s]` lists the explore jobs scenario `s`'s composition job
+/// depends on.
+pub struct JobPlan {
+    /// Step-1 jobs for behaviours missing from the store.
+    pub explore: Vec<ExploreSpec>,
+    /// Distinct behaviours that were already in the store (no job planned).
+    pub cached: usize,
+    /// Per scenario: indexes into `explore` its composition depends on.
+    pub scenario_deps: Vec<Vec<usize>>,
+    /// Per scenario, per pipeline element: the summary fingerprint the
+    /// composition job will fetch.
+    pub element_fingerprints: Vec<Vec<Fingerprint>>,
+}
+
+/// Build the job plan for `scenarios` against the current contents of
+/// `store`: distinct element behaviours are deduplicated across every
+/// scenario, and behaviours the store already holds produce no job.
+pub fn plan(scenarios: &[Scenario], options: &VerifierOptions, store: &SummaryStore) -> JobPlan {
+    let mut explore: Vec<ExploreSpec> = Vec::new();
+    let mut job_of: std::collections::HashMap<Fingerprint, Option<usize>> =
+        std::collections::HashMap::new();
+    let mut cached = 0usize;
+    let mut scenario_deps = Vec::with_capacity(scenarios.len());
+    let mut element_fingerprints = Vec::with_capacity(scenarios.len());
+    for scenario in scenarios {
+        let mut deps = Vec::new();
+        let mut fps = Vec::with_capacity(scenario.pipeline.len());
+        for (_, node) in scenario.pipeline.iter() {
+            let element = node.element.as_ref();
+            let fp = element_fingerprint(element, &options.engine);
+            fps.push(fp);
+            let entry = job_of.entry(fp).or_insert_with(|| {
+                if store.get(fp).is_some() {
+                    cached += 1;
+                    None
+                } else {
+                    explore.push(ExploreSpec {
+                        fingerprint: fp,
+                        type_name: element.type_name().to_string(),
+                        config_key: element.config_key(),
+                        program: element.model(),
+                    });
+                    Some(explore.len() - 1)
+                }
+            });
+            if let Some(job) = *entry {
+                if !deps.contains(&job) {
+                    deps.push(job);
+                }
+            }
+        }
+        scenario_deps.push(deps);
+        element_fingerprints.push(fps);
+    }
+    JobPlan {
+        explore,
+        cached,
+        scenario_deps,
+        element_fingerprints,
+    }
+}
+
+/// What the orchestrator is doing, streamed to an observer as jobs run.
+#[derive(Clone, Debug)]
+pub enum ProgressEvent {
+    /// The plan is built: how much Step-1 work there is and how much the
+    /// cache already covers.
+    Planned {
+        /// Explore jobs to run.
+        explore_jobs: usize,
+        /// Distinct behaviours served by the warm store.
+        cached: usize,
+        /// Composition jobs (one per scenario).
+        scenarios: usize,
+    },
+    /// An element exploration started.
+    ExploreStarted {
+        /// Element type name.
+        type_name: String,
+    },
+    /// An element exploration finished.
+    ExploreFinished {
+        /// Element type name.
+        type_name: String,
+        /// Wall-clock exploration time.
+        elapsed: Duration,
+        /// False if the exploration exceeded its budget (the composition
+        /// job will surface this exactly as a sequential run would).
+        ok: bool,
+    },
+    /// A scenario's composition started.
+    ComposeStarted {
+        /// `pipeline/property` label.
+        scenario: String,
+    },
+    /// A scenario's composition finished.
+    ComposeFinished {
+        /// `pipeline/property` label.
+        scenario: String,
+        /// The verdict reached.
+        verdict: Verdict,
+        /// Wall-clock composition time.
+        elapsed: Duration,
+    },
+}
+
+type ProgressFn = Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
+
+/// The result of one scenario within a matrix run.
+pub struct ScenarioReport {
+    /// `pipeline` label.
+    pub pipeline_name: String,
+    /// The full verification report (verdict, counterexamples, stats).
+    pub report: Report,
+}
+
+impl ScenarioReport {
+    /// `pipeline/property` label.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.pipeline_name, self.report.property.name())
+    }
+}
+
+/// Orchestrates parallel verification over a shared summary store.
+pub struct Orchestrator {
+    options: VerifierOptions,
+    threads: usize,
+    store: Arc<SummaryStore>,
+    progress: Option<ProgressFn>,
+}
+
+impl Default for Orchestrator {
+    fn default() -> Self {
+        Orchestrator::new()
+    }
+}
+
+impl Orchestrator {
+    /// An orchestrator with default verifier options, an in-memory store,
+    /// and one worker per available core.
+    pub fn new() -> Self {
+        Orchestrator {
+            options: VerifierOptions::default(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            store: Arc::new(SummaryStore::in_memory()),
+            progress: None,
+        }
+    }
+
+    /// Replace the summary store (e.g. with a persistent one).
+    pub fn with_store(mut self, store: Arc<SummaryStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Set the worker-thread count (0 keeps the auto-detected value).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        if threads > 0 {
+            self.threads = threads;
+        }
+        self
+    }
+
+    /// Replace the verifier options (engine budgets, composition budgets).
+    pub fn with_options(mut self, options: VerifierOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Stream progress events to `observer`.
+    pub fn with_progress(
+        mut self,
+        observer: impl Fn(&ProgressEvent) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Arc::new(observer));
+        self
+    }
+
+    /// The shared summary store.
+    pub fn store(&self) -> &Arc<SummaryStore> {
+        &self.store
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured verifier options.
+    pub fn options(&self) -> &VerifierOptions {
+        &self.options
+    }
+
+    fn emit(&self, event: ProgressEvent) {
+        if let Some(observer) = &self.progress {
+            observer(&event);
+        }
+    }
+
+    /// Verify one pipeline against one property, running its element
+    /// explorations in parallel. Equivalent to (and verdict-identical with)
+    /// `Verifier::verify`.
+    pub fn verify(&self, pipeline: Pipeline, property: Property) -> Report {
+        let name = format!("pipeline[{}]", pipeline.len());
+        let mut matrix = self.run(vec![Scenario::new(name, pipeline, property)]);
+        matrix.scenarios.remove(0).report
+    }
+
+    /// Run a batch of scenarios: plan, execute Step-1 jobs across workers,
+    /// then compose each scenario (scenario compositions also run
+    /// concurrently with each other and with unrelated explorations).
+    pub fn run(&self, scenarios: Vec<Scenario>) -> MatrixReport {
+        let started = Instant::now();
+        let stats_before = self.store.stats();
+        let job_plan = plan(&scenarios, &self.options, &self.store);
+        self.emit(ProgressEvent::Planned {
+            explore_jobs: job_plan.explore.len(),
+            cached: job_plan.cached,
+            scenarios: scenarios.len(),
+        });
+
+        let explore_jobs = job_plan.explore.len();
+        let cached_jobs = job_plan.cached;
+        let mut graph = TaskGraph::new();
+
+        // Step-1 tasks: explore one element behaviour each, publish to the
+        // shared store.
+        let mut explore_task_ids = Vec::with_capacity(job_plan.explore.len());
+        for spec in job_plan.explore {
+            let store = self.store.clone();
+            let progress = self.progress.clone();
+            let engine = self.options.engine.clone();
+            explore_task_ids.push(graph.add(
+                &[],
+                Box::new(move || {
+                    if let Some(observer) = &progress {
+                        observer(&ProgressEvent::ExploreStarted {
+                            type_name: spec.type_name.clone(),
+                        });
+                    }
+                    let start = Instant::now();
+                    let result = explore(&spec.program, &engine);
+                    let elapsed = start.elapsed();
+                    let ok = result.is_ok();
+                    if let Ok(exploration) = result {
+                        store.insert(
+                            spec.fingerprint,
+                            Arc::new(ElementSummary {
+                                type_name: spec.type_name.clone(),
+                                config_key: spec.config_key.clone(),
+                                exploration,
+                                explore_time: elapsed,
+                            }),
+                        );
+                    }
+                    // A budget-exceeded exploration publishes nothing; the
+                    // composition job then explores inline and reports the
+                    // failure exactly as the sequential verifier does.
+                    if let Some(observer) = &progress {
+                        observer(&ProgressEvent::ExploreFinished {
+                            type_name: spec.type_name.clone(),
+                            elapsed,
+                            ok,
+                        });
+                    }
+                }),
+            ));
+        }
+
+        // Step-2 tasks: one composition per scenario, gated on its element
+        // explorations.
+        let mut slots: Vec<Arc<Mutex<Option<ScenarioReport>>>> = Vec::new();
+        for (scenario, (deps, fingerprints)) in scenarios.into_iter().zip(
+            job_plan
+                .scenario_deps
+                .into_iter()
+                .zip(job_plan.element_fingerprints),
+        ) {
+            let slot = Arc::new(Mutex::new(None));
+            slots.push(slot.clone());
+            let deps: Vec<usize> = deps.into_iter().map(|j| explore_task_ids[j]).collect();
+            let store = self.store.clone();
+            let progress = self.progress.clone();
+            let options = self.options.clone();
+            graph.add(
+                &deps,
+                Box::new(move || {
+                    let label = scenario.label();
+                    if let Some(observer) = &progress {
+                        observer(&ProgressEvent::ComposeStarted {
+                            scenario: label.clone(),
+                        });
+                    }
+                    let start = Instant::now();
+                    let mut verifier = Verifier::with_options(options);
+                    verifier.seed_summaries(fingerprints.iter().filter_map(|fp| store.get(*fp)));
+                    let report = verifier.verify(&scenario.pipeline, &scenario.property);
+                    if let Some(observer) = &progress {
+                        observer(&ProgressEvent::ComposeFinished {
+                            scenario: label,
+                            verdict: report.verdict.clone(),
+                            elapsed: start.elapsed(),
+                        });
+                    }
+                    *slot.lock().expect("report slot") = Some(ScenarioReport {
+                        pipeline_name: scenario.pipeline_name,
+                        report,
+                    });
+                }),
+            );
+        }
+
+        execute(graph, self.threads);
+
+        let scenario_reports: Vec<ScenarioReport> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("report slot")
+                    .take()
+                    .expect("every composition job ran")
+            })
+            .collect();
+        let stats_after = self.store.stats();
+        MatrixReport {
+            scenarios: scenario_reports,
+            explore_jobs,
+            cached_jobs,
+            threads: self.threads,
+            cache: CacheStats {
+                memory_hits: stats_after.memory_hits - stats_before.memory_hits,
+                disk_hits: stats_after.disk_hits - stats_before.disk_hits,
+                misses: stats_after.misses - stats_before.misses,
+                persisted: stats_after.persisted - stats_before.persisted,
+                disk_errors: stats_after.disk_errors - stats_before.disk_errors,
+            },
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+/// Verify with a fresh sequential `Verifier` — the baseline the parallel
+/// path is compared against in tests and the `e7_parallel_verification`
+/// bench.
+pub fn verify_sequential(
+    pipeline: &Pipeline,
+    property: &Property,
+    options: &VerifierOptions,
+) -> Report {
+    Verifier::with_options(options.clone()).verify(pipeline, property)
+}
+
+pub use crate::matrix::MatrixReport;

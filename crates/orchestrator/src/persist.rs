@@ -1,0 +1,704 @@
+//! JSON encoding of element summaries for the persistent cache tier.
+//!
+//! Symbolic terms form DAGs (subterms are shared through `Arc`), so a
+//! summary is serialised as a flat **term table** — every distinct node once,
+//! children referenced by index — plus segments that refer to constraint and
+//! packet-transform terms by table index. Decoding rebuilds the table bottom-
+//! up, restoring the sharing. Terms are rebuilt *verbatim* (no re-running of
+//! the smart constructors), so a decoded summary is structurally identical
+//! to the one that was encoded and composition over it produces the same
+//! verdicts.
+
+use crate::json::Json;
+use dataplane_ir::{BinOp, BitVec, CastKind, DsId, UnOp};
+use dataplane_symbex::term::Term;
+use dataplane_symbex::{
+    CrashKind, DsReadRecord, DsWriteRecord, Exploration, Segment, SegmentOutcome, SymPacket,
+    TermRef, VarId,
+};
+use dataplane_verifier::ElementSummary;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PersistError(pub String);
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "summary decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn err(message: impl Into<String>) -> PersistError {
+    PersistError(message.into())
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Assigns table indexes to term nodes by pointer identity.
+#[derive(Default)]
+struct TermTable {
+    ids: HashMap<*const Term, usize>,
+    nodes: Vec<Json>,
+}
+
+impl TermTable {
+    /// Intern `term` (and, first, its children), returning its table index.
+    fn intern(&mut self, term: &TermRef) -> usize {
+        let ptr = Arc::as_ptr(term);
+        if let Some(&id) = self.ids.get(&ptr) {
+            return id;
+        }
+        let node = match term.as_ref() {
+            Term::Const(v) => Json::obj([
+                ("t", Json::str("const")),
+                ("w", Json::int(v.width())),
+                ("v", Json::int(v.as_u64())),
+            ]),
+            Term::PacketByte(i) => Json::obj([("t", Json::str("pb")), ("i", Json::int(*i))]),
+            Term::PacketLen => Json::obj([("t", Json::str("plen"))]),
+            Term::PacketByteAt { index } => {
+                let ix = self.intern(index);
+                Json::obj([("t", Json::str("pba")), ("ix", Json::int(ix as u64))])
+            }
+            Term::DsRead {
+                ds,
+                key,
+                seq,
+                width,
+            } => {
+                let k = self.intern(key);
+                Json::obj([
+                    ("t", Json::str("dsr")),
+                    ("ds", Json::int(ds.0)),
+                    ("k", Json::int(k as u64)),
+                    ("s", Json::int(*seq)),
+                    ("w", Json::int(*width)),
+                ])
+            }
+            Term::Var { id, width } => Json::obj([
+                ("t", Json::str("var")),
+                ("id", Json::int(id.0)),
+                ("w", Json::int(*width)),
+            ]),
+            Term::Unary { op, a } => {
+                let a = self.intern(a);
+                Json::obj([
+                    ("t", Json::str("un")),
+                    ("op", Json::str(unop_name(*op))),
+                    ("a", Json::int(a as u64)),
+                ])
+            }
+            Term::Binary { op, a, b } => {
+                let a = self.intern(a);
+                let b = self.intern(b);
+                Json::obj([
+                    ("t", Json::str("bin")),
+                    ("op", Json::str(binop_name(*op))),
+                    ("a", Json::int(a as u64)),
+                    ("b", Json::int(b as u64)),
+                ])
+            }
+            Term::Select { c, t, e } => {
+                let c = self.intern(c);
+                let t = self.intern(t);
+                let e = self.intern(e);
+                Json::obj([
+                    ("t", Json::str("sel")),
+                    ("c", Json::int(c as u64)),
+                    ("tt", Json::int(t as u64)),
+                    ("e", Json::int(e as u64)),
+                ])
+            }
+            Term::Cast { kind, width, a } => {
+                let a = self.intern(a);
+                Json::obj([
+                    ("t", Json::str("cast")),
+                    ("kind", Json::str(cast_name(*kind))),
+                    ("w", Json::int(*width)),
+                    ("a", Json::int(a as u64)),
+                ])
+            }
+        };
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        self.ids.insert(ptr, id);
+        id
+    }
+}
+
+/// Encode a summary to its JSON document.
+pub fn summary_to_json(summary: &ElementSummary) -> Json {
+    let mut table = TermTable::default();
+    let segments: Vec<Json> = summary
+        .exploration
+        .segments
+        .iter()
+        .map(|segment| encode_segment(segment, &mut table))
+        .collect();
+    Json::obj([
+        ("format", Json::int(1)),
+        ("type_name", Json::str(&summary.type_name)),
+        ("config_key", Json::str(&summary.config_key)),
+        (
+            "explore_micros",
+            Json::int(summary.explore_time.as_micros().min(u128::from(u64::MAX)) as u64),
+        ),
+        ("branches", Json::int(summary.exploration.branches_expanded)),
+        ("terms", Json::Arr(table.nodes)),
+        ("segments", Json::Arr(segments)),
+    ])
+}
+
+fn encode_segment(segment: &Segment, table: &mut TermTable) -> Json {
+    let constraint: Vec<Json> = segment
+        .constraint
+        .iter()
+        .map(|t| Json::int(table.intern(t) as u64))
+        .collect();
+    let (base, len_delta, writes, clobbered) = segment.packet.parts();
+    let writes: Vec<Json> = writes
+        .into_iter()
+        .map(|(i, t)| Json::Arr(vec![Json::int(i), Json::int(table.intern(&t) as u64)]))
+        .collect();
+    let ds_reads: Vec<Json> = segment
+        .ds_reads
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("ds", Json::int(r.ds.0)),
+                ("k", Json::int(table.intern(&r.key) as u64)),
+                ("s", Json::int(r.seq)),
+                ("v", Json::int(table.intern(&r.value) as u64)),
+            ])
+        })
+        .collect();
+    let ds_writes: Vec<Json> = segment
+        .ds_writes
+        .iter()
+        .map(|w| {
+            Json::obj([
+                ("ds", Json::int(w.ds.0)),
+                ("k", Json::int(table.intern(&w.key) as u64)),
+                ("v", Json::int(table.intern(&w.value) as u64)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("constraint", Json::Arr(constraint)),
+        ("outcome", encode_outcome(&segment.outcome)),
+        (
+            "packet",
+            Json::obj([
+                ("base", Json::int(base)),
+                ("delta", Json::int(len_delta)),
+                ("writes", Json::Arr(writes)),
+                ("clobbered", Json::Bool(clobbered)),
+            ]),
+        ),
+        ("ds_reads", Json::Arr(ds_reads)),
+        ("ds_writes", Json::Arr(ds_writes)),
+        ("instructions", Json::int(segment.instructions)),
+        ("approximate", Json::Bool(segment.approximate)),
+    ])
+}
+
+fn encode_outcome(outcome: &SegmentOutcome) -> Json {
+    match outcome {
+        SegmentOutcome::Emitted(port) => {
+            Json::obj([("k", Json::str("emit")), ("port", Json::int(*port))])
+        }
+        SegmentOutcome::Dropped => Json::obj([("k", Json::str("drop"))]),
+        SegmentOutcome::Crashed(kind) => {
+            let (name, message) = match kind {
+                CrashKind::AssertionFailed(m) => ("assert", Some(m.clone())),
+                CrashKind::Aborted(m) => ("abort", Some(m.clone())),
+                CrashKind::PacketOutOfBounds => ("oob", None),
+                CrashKind::DsKeyOutOfRange(m) => ("dskey", Some(m.clone())),
+                CrashKind::DivisionByZero => ("div0", None),
+                CrashKind::LoopBoundExceeded => ("loop", None),
+                CrashKind::StripUnderflow => ("strip", None),
+            };
+            let mut pairs = vec![("k", Json::str("crash")), ("kind", Json::str(name))];
+            if let Some(m) = message {
+                pairs.push(("msg", Json::Str(m)));
+            }
+            Json::obj(pairs)
+        }
+    }
+}
+
+fn binop_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "Add",
+        BinOp::Sub => "Sub",
+        BinOp::Mul => "Mul",
+        BinOp::UDiv => "UDiv",
+        BinOp::URem => "URem",
+        BinOp::And => "And",
+        BinOp::Or => "Or",
+        BinOp::Xor => "Xor",
+        BinOp::Shl => "Shl",
+        BinOp::LShr => "LShr",
+        BinOp::AShr => "AShr",
+        BinOp::Eq => "Eq",
+        BinOp::Ne => "Ne",
+        BinOp::ULt => "ULt",
+        BinOp::ULe => "ULe",
+        BinOp::UGt => "UGt",
+        BinOp::UGe => "UGe",
+        BinOp::SLt => "SLt",
+        BinOp::SLe => "SLe",
+        BinOp::BoolAnd => "BoolAnd",
+        BinOp::BoolOr => "BoolOr",
+    }
+}
+
+fn binop_from(name: &str) -> Result<BinOp, PersistError> {
+    Ok(match name {
+        "Add" => BinOp::Add,
+        "Sub" => BinOp::Sub,
+        "Mul" => BinOp::Mul,
+        "UDiv" => BinOp::UDiv,
+        "URem" => BinOp::URem,
+        "And" => BinOp::And,
+        "Or" => BinOp::Or,
+        "Xor" => BinOp::Xor,
+        "Shl" => BinOp::Shl,
+        "LShr" => BinOp::LShr,
+        "AShr" => BinOp::AShr,
+        "Eq" => BinOp::Eq,
+        "Ne" => BinOp::Ne,
+        "ULt" => BinOp::ULt,
+        "ULe" => BinOp::ULe,
+        "UGt" => BinOp::UGt,
+        "UGe" => BinOp::UGe,
+        "SLt" => BinOp::SLt,
+        "SLe" => BinOp::SLe,
+        "BoolAnd" => BinOp::BoolAnd,
+        "BoolOr" => BinOp::BoolOr,
+        other => return Err(err(format!("unknown binop '{other}'"))),
+    })
+}
+
+fn unop_name(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Not => "Not",
+        UnOp::Neg => "Neg",
+        UnOp::LogicalNot => "LogicalNot",
+    }
+}
+
+fn unop_from(name: &str) -> Result<UnOp, PersistError> {
+    Ok(match name {
+        "Not" => UnOp::Not,
+        "Neg" => UnOp::Neg,
+        "LogicalNot" => UnOp::LogicalNot,
+        other => return Err(err(format!("unknown unop '{other}'"))),
+    })
+}
+
+fn cast_name(kind: CastKind) -> &'static str {
+    match kind {
+        CastKind::ZExt => "ZExt",
+        CastKind::SExt => "SExt",
+        CastKind::Trunc => "Trunc",
+        CastKind::Resize => "Resize",
+    }
+}
+
+fn cast_from(name: &str) -> Result<CastKind, PersistError> {
+    Ok(match name {
+        "ZExt" => CastKind::ZExt,
+        "SExt" => CastKind::SExt,
+        "Trunc" => CastKind::Trunc,
+        "Resize" => CastKind::Resize,
+        other => return Err(err(format!("unknown cast '{other}'"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn get_u64(json: &Json, key: &str) -> Result<u64, PersistError> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err(format!("missing integer field '{key}'")))
+}
+
+/// A bit width: must be in `1..=64` (the `BitVec` invariant) — a corrupt
+/// cache file must surface as a decode error, never as a panic or a
+/// silently truncated width.
+fn get_width(json: &Json, key: &str) -> Result<u8, PersistError> {
+    let v = get_u64(json, key)?;
+    if (1..=64).contains(&v) {
+        Ok(v as u8)
+    } else {
+        Err(err(format!("bit width {v} out of range 1..=64")))
+    }
+}
+
+fn get_u32(json: &Json, key: &str) -> Result<u32, PersistError> {
+    let v = get_u64(json, key)?;
+    u32::try_from(v).map_err(|_| err(format!("field '{key}' value {v} exceeds u32")))
+}
+
+fn get_u8(json: &Json, key: &str) -> Result<u8, PersistError> {
+    let v = get_u64(json, key)?;
+    u8::try_from(v).map_err(|_| err(format!("field '{key}' value {v} exceeds u8")))
+}
+
+fn get_str<'a>(json: &'a Json, key: &str) -> Result<&'a str, PersistError> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| err(format!("missing string field '{key}'")))
+}
+
+fn get_arr<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], PersistError> {
+    json.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err(format!("missing array field '{key}'")))
+}
+
+fn term_at(table: &[TermRef], json: &Json, key: &str) -> Result<TermRef, PersistError> {
+    let id = get_u64(json, key)? as usize;
+    table
+        .get(id)
+        .cloned()
+        .ok_or_else(|| err(format!("term id {id} out of range")))
+}
+
+fn decode_terms(nodes: &[Json]) -> Result<Vec<TermRef>, PersistError> {
+    let mut table: Vec<TermRef> = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        let term = match get_str(node, "t")? {
+            "const" => Term::Const(BitVec::new(get_width(node, "w")?, get_u64(node, "v")?)),
+            "pb" => Term::PacketByte(
+                node.get("i")
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| err("missing packet byte index"))?,
+            ),
+            "plen" => Term::PacketLen,
+            "pba" => Term::PacketByteAt {
+                index: term_at(&table, node, "ix")?,
+            },
+            "dsr" => Term::DsRead {
+                ds: DsId(get_u32(node, "ds")?),
+                key: term_at(&table, node, "k")?,
+                seq: get_u32(node, "s")?,
+                width: get_width(node, "w")?,
+            },
+            "var" => Term::Var {
+                id: VarId(get_u32(node, "id")?),
+                width: get_width(node, "w")?,
+            },
+            "un" => Term::Unary {
+                op: unop_from(get_str(node, "op")?)?,
+                a: term_at(&table, node, "a")?,
+            },
+            "bin" => Term::Binary {
+                op: binop_from(get_str(node, "op")?)?,
+                a: term_at(&table, node, "a")?,
+                b: term_at(&table, node, "b")?,
+            },
+            "sel" => Term::Select {
+                c: term_at(&table, node, "c")?,
+                t: term_at(&table, node, "tt")?,
+                e: term_at(&table, node, "e")?,
+            },
+            "cast" => Term::Cast {
+                kind: cast_from(get_str(node, "kind")?)?,
+                width: get_width(node, "w")?,
+                a: term_at(&table, node, "a")?,
+            },
+            other => return Err(err(format!("unknown term tag '{other}'"))),
+        };
+        table.push(Arc::new(term));
+    }
+    Ok(table)
+}
+
+fn decode_outcome(json: &Json) -> Result<SegmentOutcome, PersistError> {
+    Ok(match get_str(json, "k")? {
+        "emit" => SegmentOutcome::Emitted(get_u8(json, "port")?),
+        "drop" => SegmentOutcome::Dropped,
+        "crash" => {
+            let msg = || {
+                json.get("msg")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string()
+            };
+            SegmentOutcome::Crashed(match get_str(json, "kind")? {
+                "assert" => CrashKind::AssertionFailed(msg()),
+                "abort" => CrashKind::Aborted(msg()),
+                "oob" => CrashKind::PacketOutOfBounds,
+                "dskey" => CrashKind::DsKeyOutOfRange(msg()),
+                "div0" => CrashKind::DivisionByZero,
+                "loop" => CrashKind::LoopBoundExceeded,
+                "strip" => CrashKind::StripUnderflow,
+                other => return Err(err(format!("unknown crash kind '{other}'"))),
+            })
+        }
+        other => return Err(err(format!("unknown outcome '{other}'"))),
+    })
+}
+
+fn decode_segment(json: &Json, table: &[TermRef]) -> Result<Segment, PersistError> {
+    let constraint = get_arr(json, "constraint")?
+        .iter()
+        .map(|id| {
+            let id = id.as_u64().ok_or_else(|| err("bad constraint id"))? as usize;
+            table
+                .get(id)
+                .cloned()
+                .ok_or_else(|| err(format!("constraint term {id} out of range")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let packet_json = json
+        .get("packet")
+        .ok_or_else(|| err("missing packet transform"))?;
+    let writes = get_arr(packet_json, "writes")?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().ok_or_else(|| err("bad packet write"))?;
+            let (i, id) = match pair {
+                [i, id] => (
+                    i.as_i64().ok_or_else(|| err("bad write offset"))?,
+                    id.as_u64().ok_or_else(|| err("bad write term id"))? as usize,
+                ),
+                _ => return Err(err("packet write must be a pair")),
+            };
+            let term = table
+                .get(id)
+                .cloned()
+                .ok_or_else(|| err(format!("write term {id} out of range")))?;
+            Ok((i, term))
+        })
+        .collect::<Result<Vec<_>, PersistError>>()?;
+    let packet = SymPacket::from_parts(
+        packet_json
+            .get("base")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| err("missing packet base"))?,
+        packet_json
+            .get("delta")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| err("missing packet delta"))?,
+        writes,
+        packet_json
+            .get("clobbered")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| err("missing clobbered flag"))?,
+    );
+    let ds_reads = get_arr(json, "ds_reads")?
+        .iter()
+        .map(|r| {
+            Ok(DsReadRecord {
+                ds: DsId(get_u32(r, "ds")?),
+                key: term_at(table, r, "k")?,
+                seq: get_u32(r, "s")?,
+                value: term_at(table, r, "v")?,
+            })
+        })
+        .collect::<Result<Vec<_>, PersistError>>()?;
+    let ds_writes = get_arr(json, "ds_writes")?
+        .iter()
+        .map(|w| {
+            Ok(DsWriteRecord {
+                ds: DsId(get_u32(w, "ds")?),
+                key: term_at(table, w, "k")?,
+                value: term_at(table, w, "v")?,
+            })
+        })
+        .collect::<Result<Vec<_>, PersistError>>()?;
+    Ok(Segment {
+        constraint,
+        outcome: decode_outcome(json.get("outcome").ok_or_else(|| err("missing outcome"))?)?,
+        packet,
+        ds_reads,
+        ds_writes,
+        instructions: get_u64(json, "instructions")?,
+        approximate: json
+            .get("approximate")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| err("missing approximate flag"))?,
+    })
+}
+
+/// Decode a summary from its JSON document.
+pub fn summary_from_json(json: &Json) -> Result<ElementSummary, PersistError> {
+    let format = get_u64(json, "format")?;
+    if format != 1 {
+        return Err(err(format!("unsupported summary format {format}")));
+    }
+    let table = decode_terms(get_arr(json, "terms")?)?;
+    let segments = get_arr(json, "segments")?
+        .iter()
+        .map(|s| decode_segment(s, &table))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ElementSummary {
+        type_name: get_str(json, "type_name")?.to_string(),
+        config_key: get_str(json, "config_key")?.to_string(),
+        exploration: Exploration {
+            segments,
+            branches_expanded: get_u64(json, "branches")?,
+        },
+        explore_time: Duration::from_micros(get_u64(json, "explore_micros")?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane_pipeline::elements::{CheckIPHeader, IPLookup, IPOptions, Nat, NetFlow};
+    use dataplane_pipeline::Element;
+    use dataplane_symbex::{explore, EngineConfig};
+    use std::net::Ipv4Addr;
+    use std::time::Instant;
+
+    fn summary_of(element: &dyn Element) -> ElementSummary {
+        let program = element.model();
+        let start = Instant::now();
+        let exploration = explore(&program, &EngineConfig::decomposed()).unwrap();
+        ElementSummary {
+            type_name: element.type_name().to_string(),
+            config_key: element.config_key(),
+            exploration,
+            explore_time: start.elapsed(),
+        }
+    }
+
+    /// Structural equality of two segments (Segment itself does not derive
+    /// PartialEq because SymPacket does not).
+    fn assert_segments_equal(a: &Segment, b: &Segment) {
+        assert_eq!(a.constraint, b.constraint);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.packet.parts(), b.packet.parts());
+        assert_eq!(a.ds_reads, b.ds_reads);
+        assert_eq!(a.ds_writes, b.ds_writes);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.approximate, b.approximate);
+    }
+
+    #[test]
+    fn real_element_summaries_round_trip() {
+        // Cover the interesting encodings: loops + packet rewrites
+        // (IPOptions), data-structure traffic (IPLookup, NetFlow, Nat), and
+        // crash segments (CheckIPHeader's suspect paths).
+        let elements: Vec<Box<dyn Element>> = vec![
+            Box::new(CheckIPHeader::new()),
+            Box::new(IPOptions::new(Ipv4Addr::new(10, 255, 255, 254))),
+            Box::new(IPLookup::two_port_default()),
+            Box::new(NetFlow::new()),
+            Box::new(Nat::with_defaults()),
+        ];
+        for element in &elements {
+            let summary = summary_of(element.as_ref());
+            let json = summary_to_json(&summary);
+            let text = json.to_text();
+            let decoded = summary_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(decoded.type_name, summary.type_name);
+            assert_eq!(decoded.config_key, summary.config_key);
+            assert_eq!(
+                decoded.exploration.branches_expanded,
+                summary.exploration.branches_expanded
+            );
+            assert_eq!(
+                decoded.exploration.segments.len(),
+                summary.exploration.segments.len(),
+                "{}",
+                summary.type_name
+            );
+            for (a, b) in decoded
+                .exploration
+                .segments
+                .iter()
+                .zip(summary.exploration.segments.iter())
+            {
+                assert_segments_equal(a, b);
+            }
+            // Encoding the decoded summary again is byte-stable.
+            assert_eq!(summary_to_json(&decoded).to_text(), text);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_documents() {
+        assert!(summary_from_json(&Json::Null).is_err());
+        assert!(summary_from_json(&Json::obj([("format", Json::int(99))])).is_err());
+        let missing_terms = Json::obj([
+            ("format", Json::int(1)),
+            ("type_name", Json::str("X")),
+            ("config_key", Json::str("")),
+            ("explore_micros", Json::int(1)),
+            ("branches", Json::int(0)),
+            ("terms", Json::Arr(vec![])),
+            (
+                "segments",
+                Json::Arr(vec![Json::obj([("constraint", Json::Arr(vec![]))])]),
+            ),
+        ]);
+        assert!(summary_from_json(&missing_terms).is_err());
+        // A term referencing a forward (not yet decoded) id is rejected.
+        let forward_ref = Json::obj([
+            ("format", Json::int(1)),
+            ("type_name", Json::str("X")),
+            ("config_key", Json::str("")),
+            ("explore_micros", Json::int(1)),
+            ("branches", Json::int(0)),
+            (
+                "terms",
+                Json::Arr(vec![Json::obj([
+                    ("t", Json::str("un")),
+                    ("op", Json::str("Not")),
+                    ("a", Json::int(5)),
+                ])]),
+            ),
+            ("segments", Json::Arr(vec![])),
+        ]);
+        assert!(summary_from_json(&forward_ref).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_scalars() {
+        // Widths outside 1..=64 (the BitVec invariant) and oversized ports
+        // must surface as decode errors, never as panics or silent
+        // truncation (the cache treats a decode error as a recomputable
+        // miss; a worker panic would abort the whole run).
+        let doc_with_term = |term: Json| {
+            Json::obj([
+                ("format", Json::int(1)),
+                ("type_name", Json::str("X")),
+                ("config_key", Json::str("")),
+                ("explore_micros", Json::int(1)),
+                ("branches", Json::int(0)),
+                ("terms", Json::Arr(vec![term])),
+                ("segments", Json::Arr(vec![])),
+            ])
+        };
+        for width in [0u64, 65, 300, u64::from(u32::MAX)] {
+            let doc = doc_with_term(Json::obj([
+                ("t", Json::str("const")),
+                ("w", Json::int(width)),
+                ("v", Json::int(0)),
+            ]));
+            let error = summary_from_json(&doc).expect_err("width must be rejected");
+            assert!(error.0.contains("width"), "{error}");
+        }
+        let doc = doc_with_term(Json::obj([
+            ("t", Json::str("var")),
+            ("id", Json::int(u64::MAX)),
+            ("w", Json::int(8)),
+        ]));
+        assert!(summary_from_json(&doc).is_err(), "u32 overflow accepted");
+    }
+}

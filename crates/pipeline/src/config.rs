@@ -142,11 +142,10 @@ pub fn parse_config(text: &str) -> Result<Pipeline, ConfigError> {
                         statement: stmt_no,
                         message: format!("cannot parse connection source '{}'", pair[0]),
                     })?;
-                let dst_name =
-                    parse_endpoint_dest(pair[1]).ok_or_else(|| ConfigError::Syntax {
-                        statement: stmt_no,
-                        message: format!("cannot parse connection destination '{}'", pair[1]),
-                    })?;
+                let dst_name = parse_endpoint_dest(pair[1]).ok_or_else(|| ConfigError::Syntax {
+                    statement: stmt_no,
+                    message: format!("cannot parse connection destination '{}'", pair[1]),
+                })?;
                 connections.push((src_name, src_port, dst_name));
             }
         } else {
@@ -291,8 +290,12 @@ pub fn instantiate(ty: &str, args: &str) -> Result<Box<dyn Element>, ConfigError
             if arg_list.len() != 2 {
                 return Err(bad("expected min, max"));
             }
-            let min: u32 = arg_list[0].parse().map_err(|_| bad("min must be an integer"))?;
-            let max: u32 = arg_list[1].parse().map_err(|_| bad("max must be an integer"))?;
+            let min: u32 = arg_list[0]
+                .parse()
+                .map_err(|_| bad("min must be an integer"))?;
+            let max: u32 = arg_list[1]
+                .parse()
+                .map_err(|_| bad("max must be an integer"))?;
             if min > max {
                 return Err(bad("min must not exceed max"));
             }
@@ -322,8 +325,7 @@ pub fn instantiate(ty: &str, args: &str) -> Result<Box<dyn Element>, ConfigError
                     let (off, val) = field
                         .split_once('/')
                         .ok_or_else(|| bad("pattern fields look like offset/hexvalue"))?;
-                    let offset: u32 =
-                        off.parse().map_err(|_| bad("offset must be an integer"))?;
+                    let offset: u32 = off.parse().map_err(|_| bad("offset must be an integer"))?;
                     let value = u16::from_str_radix(val, 16)
                         .map_err(|_| bad("value must be 16-bit hex"))?;
                     fields.push(MatchField { offset, value });

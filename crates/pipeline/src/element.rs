@@ -86,6 +86,27 @@ pub trait Element: Send {
 
     /// Reset the element's private state (e.g. between benchmark runs).
     fn reset(&mut self) {}
+
+    /// Canonical text describing this element's verification-relevant
+    /// behaviour: type name, configuration key, the pretty-printed IR model,
+    /// and the model's initial data-structure contents. Two elements with
+    /// equal fingerprint material have identical summaries, so the material
+    /// is what content-addressed summary caches hash.
+    fn fingerprint_material(&self) -> String {
+        let mut material = String::new();
+        material.push_str(self.type_name());
+        material.push('\u{1f}');
+        material.push_str(&self.config_key());
+        material.push('\u{1f}');
+        material.push_str(&dataplane_ir::pretty::program_to_string(&self.model()));
+        for (ds, contents) in self.model_state() {
+            material.push_str(&format!("\u{1f}ds{}:", ds.0));
+            for (k, v) in contents {
+                material.push_str(&format!("{k}={v},"));
+            }
+        }
+        material
+    }
 }
 
 /// Build the concrete [`ElementState`] for an element's model, with the

@@ -222,7 +222,7 @@ impl Element for BrokenClassifier {
     fn process(&mut self, packet: Packet) -> Action {
         // BUG: unconditional deep read.
         match packet.get_u16(60) {
-            Some(v) if v == 0xBEEF => Action::Emit(1, packet),
+            Some(0xBEEF) => Action::Emit(1, packet),
             Some(_) => Action::Emit(0, packet),
             None => Action::Crash(CrashReason::PacketOutOfBounds {
                 offset: 60,
@@ -296,10 +296,7 @@ impl Element for OverflowingCounter {
         );
         b.assign(src, pkt(ip_field::SRC, 4));
         b.assign(count, ds_read(counts, zext(l(src), 64)));
-        b.assert(
-            ult(l(count), c(8, 255)),
-            "per-flow counter overflow",
-        );
+        b.assert(ult(l(count), c(8, 255)), "per-flow counter overflow");
         b.ds_write(counts, zext(l(src), 64), add(l(count), c(8, 1)));
         b.emit(0);
         pb.finish(b).expect("OverflowingCounter model is valid")

@@ -129,14 +129,7 @@ impl Element for CheckIPHeader {
             }),
         );
         // Header checksum must verify (sum of all header words == 0xffff).
-        common::model_ip_checksum_sum(
-            &mut b,
-            0,
-            sum,
-            idx,
-            mul(l(ihl), c(32, 2)),
-            MAX_HEADER_WORDS,
-        );
+        common::model_ip_checksum_sum(&mut b, 0, sum, idx, mul(l(ihl), c(32, 2)), MAX_HEADER_WORDS);
         b.if_then(
             ne(l(sum), c(32, 0xffff)),
             Block::with(|bb| {
@@ -236,7 +229,14 @@ mod tests {
             Packet::from_bytes(vec![0x45; 20]),
         ];
         // A few targeted corruptions.
-        for (i, mask) in [(0usize, 0xf0u8), (0, 0x0f), (2, 0xff), (3, 0x7f), (10, 0x01), (8, 0x80)] {
+        for (i, mask) in [
+            (0usize, 0xf0u8),
+            (0, 0x0f),
+            (2, 0xff),
+            (3, 0x7f),
+            (10, 0x01),
+            (8, 0x80),
+        ] {
             let mut p = ip_packet();
             p.bytes_mut()[i] ^= mask;
             cases.push(p);

@@ -99,7 +99,10 @@ pub fn model_ip_checksum_sum(
                 sum,
                 add(
                     l(sum),
-                    zext(pkt_at(add(c(32, ip_base as u64), mul(l(idx), c(32, 2))), 2), 32),
+                    zext(
+                        pkt_at(add(c(32, ip_base as u64), mul(l(idx), c(32, 2))), 2),
+                        32,
+                    ),
                 ),
             );
             lb.assign(idx, add(l(idx), c(32, 1)));

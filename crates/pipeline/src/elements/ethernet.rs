@@ -153,7 +153,11 @@ mod tests {
     #[test]
     fn decap_model_matches_native() {
         let e = EthDecap::new();
-        for pkt in [ip_frame(), Packet::from_bytes(vec![0u8; 3]), Packet::from_bytes(vec![1u8; 14])] {
+        for pkt in [
+            ip_frame(),
+            Packet::from_bytes(vec![0u8; 3]),
+            Packet::from_bytes(vec![1u8; 14]),
+        ] {
             let mut native_e = EthDecap::new();
             let native = native_e.process(pkt.clone());
             let (model, _) = run_model(&e, &pkt);

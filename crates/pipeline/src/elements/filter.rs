@@ -117,16 +117,21 @@ mod tests {
     use dataplane_net::PacketBuilder;
 
     fn packet_from(src: Ipv4Addr) -> Packet {
-        let frame =
-            PacketBuilder::udp(src, Ipv4Addr::new(192, 168, 0, 1), 1000, 53, b"x").build();
+        let frame = PacketBuilder::udp(src, Ipv4Addr::new(192, 168, 0, 1), 1000, 53, b"x").build();
         Packet::from_bytes(frame.bytes()[ETHERNET_HEADER_LEN..].to_vec())
     }
 
     #[test]
     fn blocks_configured_sources_only() {
         let mut f = SrcFilter::new([Ipv4Addr::new(10, 0, 0, 66), Ipv4Addr::new(10, 0, 0, 67)]);
-        assert_eq!(f.process(packet_from(Ipv4Addr::new(10, 0, 0, 66))), Action::Drop);
-        assert_eq!(f.process(packet_from(Ipv4Addr::new(10, 0, 0, 67))), Action::Drop);
+        assert_eq!(
+            f.process(packet_from(Ipv4Addr::new(10, 0, 0, 66))),
+            Action::Drop
+        );
+        assert_eq!(
+            f.process(packet_from(Ipv4Addr::new(10, 0, 0, 67))),
+            Action::Drop
+        );
         assert_eq!(
             f.process(packet_from(Ipv4Addr::new(10, 0, 0, 68))).port(),
             Some(0)

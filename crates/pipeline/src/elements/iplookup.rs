@@ -286,7 +286,8 @@ mod tests {
             Some(0)
         );
         assert_eq!(
-            e.process(ip_packet_to(Ipv4Addr::new(192, 168, 3, 4))).port(),
+            e.process(ip_packet_to(Ipv4Addr::new(192, 168, 3, 4)))
+                .port(),
             Some(1)
         );
         assert_eq!(

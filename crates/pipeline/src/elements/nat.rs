@@ -85,9 +85,8 @@ impl Element for Nat {
         let ver_ihl = packet.get_u8(0).unwrap_or(0);
         let ihl = (ver_ihl & 0x0f) as usize;
         let hl = ihl * 4;
-        let translatable = (proto == PROTO_UDP || proto == PROTO_TCP)
-            && ihl >= 5
-            && packet.len() >= hl + 4;
+        let translatable =
+            (proto == PROTO_UDP || proto == PROTO_TCP) && ihl >= 5 && packet.len() >= hl + 4;
         if !translatable {
             return Action::Emit(0, packet);
         }
@@ -208,14 +207,7 @@ impl Element for Nat {
         );
         // Recompute the IP header checksum.
         b.pkt_store(ip_field::CHECKSUM, 2, c(16, 0));
-        common::model_ip_checksum_sum(
-            &mut b,
-            0,
-            sum,
-            idx,
-            mul(l(ihl), c(32, 2)),
-            MAX_HEADER_WORDS,
-        );
+        common::model_ip_checksum_sum(&mut b, 0, sum, idx, mul(l(ihl), c(32, 2)), MAX_HEADER_WORDS);
         b.pkt_store(ip_field::CHECKSUM, 2, trunc(not(l(sum)), 16));
         b.emit(0);
         pb.finish(b).expect("Nat model is valid")
@@ -246,7 +238,10 @@ mod tests {
             Action::Emit(0, p) => p,
             other => panic!("unexpected {other:?}"),
         };
-        assert_eq!(out1.get_u32(12).unwrap(), u32::from(Ipv4Addr::new(203, 0, 113, 9)));
+        assert_eq!(
+            out1.get_u32(12).unwrap(),
+            u32::from(Ipv4Addr::new(203, 0, 113, 9))
+        );
         assert_eq!(out1.get_u16(20).unwrap(), 40000);
         assert!(checksum::verify(&out1.bytes()[..20]));
 
@@ -278,8 +273,8 @@ mod tests {
     #[test]
     fn non_transport_packets_pass_unmodified() {
         let mut nat = Nat::with_defaults();
-        let frame = PacketBuilder::icmp_echo(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(8, 8, 8, 8))
-            .build();
+        let frame =
+            PacketBuilder::icmp_echo(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(8, 8, 8, 8)).build();
         let p = Packet::from_bytes(frame.bytes()[ETHERNET_HEADER_LEN..].to_vec());
         match nat.process(p.clone()) {
             Action::Emit(0, out) => assert_eq!(out.bytes(), p.bytes()),

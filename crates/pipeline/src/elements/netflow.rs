@@ -62,8 +62,7 @@ impl NetFlow {
         let proto = packet.get_u8(ip_field::PROTOCOL as usize)?;
         let ver_ihl = packet.get_u8(0)?;
         let hl = ((ver_ihl & 0x0f) as usize) * 4;
-        let (sport, dport) = if (proto == PROTO_UDP || proto == PROTO_TCP)
-            && packet.len() >= hl + 4
+        let (sport, dport) = if (proto == PROTO_UDP || proto == PROTO_TCP) && packet.len() >= hl + 4
         {
             (
                 packet.get_u16(hl).unwrap_or(0),
@@ -117,7 +116,10 @@ impl Element for NetFlow {
         b.assign(proto, pkt(ip_field::PROTOCOL, 1));
         b.assign(
             hl,
-            mul(zext(and(pkt(ip_field::VER_IHL, 1), c(8, 0x0f)), 32), c(32, 4)),
+            mul(
+                zext(and(pkt(ip_field::VER_IHL, 1), c(8, 0x0f)), 32),
+                c(32, 4),
+            ),
         );
         b.assign(sport, c(16, 0));
         b.assign(dport, c(16, 0));
@@ -161,7 +163,7 @@ impl Element for NetFlow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::element::{build_model_state, run_model_with_state, run_model};
+    use crate::element::{build_model_state, run_model, run_model_with_state};
     use dataplane_ir::DsId;
     use dataplane_net::ethernet::ETHERNET_HEADER_LEN;
     use dataplane_net::PacketBuilder;
@@ -208,8 +210,8 @@ mod tests {
             e.process(Packet::from_bytes(vec![0x45; 10])).port(),
             Some(0)
         );
-        let frame = PacketBuilder::icmp_echo(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
-            .build();
+        let frame =
+            PacketBuilder::icmp_echo(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)).build();
         let icmp = Packet::from_bytes(frame.bytes()[ETHERNET_HEADER_LEN..].to_vec());
         assert_eq!(e.process(icmp).port(), Some(0));
         assert_eq!(e.total(), 1); // ICMP counted (ports zero), short packet not

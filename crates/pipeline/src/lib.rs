@@ -51,5 +51,7 @@ pub mod runtime;
 
 pub use config::{parse_config, ConfigError};
 pub use element::{build_model_state, run_model, run_model_with_state, Action, Element};
-pub use pipeline::{Disposition, ElementIdx, Pipeline, PipelineBuilder, PipelineError, PipelineOutcome};
+pub use pipeline::{
+    Disposition, ElementIdx, Pipeline, PipelineBuilder, PipelineError, PipelineOutcome,
+};
 pub use runtime::{run_parallel, run_single_threaded, ModelRun, ModelRuntime, RunStats, TimedRun};

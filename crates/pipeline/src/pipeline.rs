@@ -344,7 +344,12 @@ impl Pipeline {
 
 impl fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Pipeline({} elements, entry={})", self.nodes.len(), self.entry)?;
+        writeln!(
+            f,
+            "Pipeline({} elements, entry={})",
+            self.nodes.len(),
+            self.entry
+        )?;
         for (i, n) in self.nodes.iter().enumerate() {
             writeln!(f, "  [{i}] {:?}", n)?;
         }

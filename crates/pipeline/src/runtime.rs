@@ -289,7 +289,10 @@ mod tests {
             let m = model.push(pkt);
             assert_eq!(n.hops, m.hops, "element paths diverged");
             match (&n.disposition, &m.disposition) {
-                (Disposition::Exited { packet: np, .. }, Disposition::Exited { packet: mp, .. }) => {
+                (
+                    Disposition::Exited { packet: np, .. },
+                    Disposition::Exited { packet: mp, .. },
+                ) => {
                     assert_eq!(np.bytes(), mp.bytes(), "output packets diverged");
                 }
                 (Disposition::Dropped { at: na }, Disposition::Dropped { at: ma }) => {
@@ -315,7 +318,10 @@ mod tests {
             let n = native.push(pkt.clone());
             let m = model.push(pkt);
             match (&n.disposition, &m.disposition) {
-                (Disposition::Exited { packet: np, .. }, Disposition::Exited { packet: mp, .. }) => {
+                (
+                    Disposition::Exited { packet: np, .. },
+                    Disposition::Exited { packet: mp, .. },
+                ) => {
                     assert_eq!(np.bytes(), mp.bytes());
                 }
                 (a, b) => assert_eq!(

@@ -27,7 +27,7 @@ use dataplane_ir::expr::{DsId, Expr, LocalId};
 use dataplane_ir::program::{DsKind, Program, Stmt};
 use dataplane_ir::{BinOp, BitVec, CastKind};
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// How loops are handled during exploration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,7 +104,10 @@ impl std::fmt::Display for ExploreError {
                 write!(f, "segment budget exceeded after {produced} segments")
             }
             ExploreError::BranchBudgetExceeded { expanded } => {
-                write!(f, "branch budget exceeded after {expanded} branch expansions")
+                write!(
+                    f,
+                    "branch budget exceeded after {expanded} branch expansions"
+                )
             }
         }
     }
@@ -331,7 +334,7 @@ impl<'a> Engine<'a> {
     fn fresh_var(&mut self, width: u8) -> TermRef {
         let id = VarId(self.next_var);
         self.next_var += 1;
-        Rc::new(Term::Var { id, width })
+        Arc::new(Term::Var { id, width })
     }
 
     fn finish(&mut self, state: PathState, outcome: SegmentOutcome) -> Result<(), ExploreError> {
@@ -423,7 +426,7 @@ impl<'a> Engine<'a> {
                 state
                     .packet
                     .store(&off.value, *width_bytes, &val.value, &mut || {
-                        let v = Rc::new(Term::Var {
+                        let v = Arc::new(Term::Var {
                             id: VarId(next_var),
                             width: 8,
                         });
@@ -447,9 +450,13 @@ impl<'a> Engine<'a> {
                     let oob = term::binary(
                         BinOp::UGe,
                         key.value.clone(),
-                        term::constant(BitVec::new(decl.key_width, size.min(u64::MAX))),
+                        term::constant(BitVec::new(decl.key_width, size)),
                     );
-                    self.fork_crash(&mut state, oob, CrashKind::DsKeyOutOfRange(decl.name.clone()))?;
+                    self.fork_crash(
+                        &mut state,
+                        oob,
+                        CrashKind::DsKeyOutOfRange(decl.name.clone()),
+                    )?;
                 }
                 state.ds_writes.push(DsWriteRecord {
                     ds: *ds,
@@ -487,7 +494,9 @@ impl<'a> Engine<'a> {
                 body,
             } => match self.config.loop_mode {
                 LoopMode::Unroll => self.exec_loop_unrolled(state, *max_iters, cond, body, 0, cont),
-                LoopMode::Decompose => self.exec_loop_decomposed(state, *max_iters, cond, body, cont),
+                LoopMode::Decompose => {
+                    self.exec_loop_decomposed(state, *max_iters, cond, body, cont)
+                }
             },
             Stmt::StripFront { n } => {
                 let underflow = state.packet.strip_underflow_condition(*n);
@@ -508,7 +517,10 @@ impl<'a> Engine<'a> {
                     return self.exec_cont(state, cont);
                 }
                 if c.value.is_false() {
-                    return self.finish(state, SegmentOutcome::Crashed(CrashKind::AssertionFailed(message.clone())));
+                    return self.finish(
+                        state,
+                        SegmentOutcome::Crashed(CrashKind::AssertionFailed(message.clone())),
+                    );
                 }
                 self.charge_branch()?;
                 let mut crash_state = state.clone();
@@ -520,9 +532,10 @@ impl<'a> Engine<'a> {
                 state.assume(c.value);
                 self.exec_cont(state, cont)
             }
-            Stmt::Abort { message } => {
-                self.finish(state, SegmentOutcome::Crashed(CrashKind::Aborted(message.clone())))
-            }
+            Stmt::Abort { message } => self.finish(
+                state,
+                SegmentOutcome::Crashed(CrashKind::Aborted(message.clone())),
+            ),
             Stmt::Emit { port } => self.finish(state, SegmentOutcome::Emitted(*port)),
             Stmt::Drop => self.finish(state, SegmentOutcome::Dropped),
         }
@@ -537,10 +550,9 @@ impl<'a> Engine<'a> {
         crash_cond: TermRef,
         kind: CrashKind,
     ) -> Result<(), ExploreError> {
-        let crash_cond = self
-            .eval_guards
-            .iter()
-            .fold(crash_cond, |acc, g| term::binary(BinOp::BoolAnd, g.clone(), acc));
+        let crash_cond = self.eval_guards.iter().fold(crash_cond, |acc, g| {
+            term::binary(BinOp::BoolAnd, g.clone(), acc)
+        });
         if crash_cond.is_false() {
             return Ok(());
         }
@@ -807,12 +819,8 @@ impl<'a> Engine<'a> {
                                 // over-approximation) to keep the collector
                                 // simple. Nested loops do not occur in the
                                 // element library.
-                                let fallthrough = self.decompose_loop(
-                                    &mut state,
-                                    *max_iters,
-                                    cond,
-                                    body,
-                                )?;
+                                let fallthrough =
+                                    self.decompose_loop(&mut state, *max_iters, cond, body)?;
                                 if fallthrough {
                                     self.exec_block_collect(state, rest, out)
                                 } else {
@@ -945,7 +953,11 @@ impl<'a> Engine<'a> {
     /// fork crash segments and constrain the surviving path. Returns `None`
     /// when evaluation cannot survive (the surviving branch is infeasible by
     /// construction).
-    fn eval(&mut self, state: &mut PathState, expr: &Expr) -> Result<Option<Evaluated>, ExploreError> {
+    fn eval(
+        &mut self,
+        state: &mut PathState,
+        expr: &Expr,
+    ) -> Result<Option<Evaluated>, ExploreError> {
         state.instructions += 1;
         let value = match expr {
             Expr::Const(v) => term::constant(*v),
@@ -964,7 +976,7 @@ impl<'a> Engine<'a> {
                 let mut fresh = || {
                     let id = VarId(self.next_var);
                     self.next_var += 1;
-                    Rc::new(Term::Var { id, width: 8 })
+                    Arc::new(Term::Var { id, width: 8 })
                 };
                 state.packet.load(&off, *width_bytes, &mut fresh)
             }
@@ -984,7 +996,7 @@ impl<'a> Engine<'a> {
                 }
                 let seq = self.next_ds_seq;
                 self.next_ds_seq += 1;
-                let value = Rc::new(Term::DsRead {
+                let value = Arc::new(Term::DsRead {
                     ds: *ds,
                     key: key.clone(),
                     seq,
@@ -1157,15 +1169,17 @@ mod tests {
             .collect();
         assert_eq!(emits.len(), 2, "two emitting paths");
         assert!(
-            crashes
-                .iter()
-                .any(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::AssertionFailed(_)))),
+            crashes.iter().any(|s| matches!(
+                s.outcome,
+                SegmentOutcome::Crashed(CrashKind::AssertionFailed(_))
+            )),
             "assertion-failure segment present"
         );
         assert!(
-            crashes
-                .iter()
-                .any(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::PacketOutOfBounds))),
+            crashes.iter().any(|s| matches!(
+                s.outcome,
+                SegmentOutcome::Crashed(CrashKind::PacketOutOfBounds)
+            )),
             "out-of-bounds segment present"
         );
         assert!(result.max_instructions() > 0);
@@ -1181,7 +1195,12 @@ mod tests {
         let crash = result
             .segments
             .iter()
-            .find(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::AssertionFailed(_))))
+            .find(|s| {
+                matches!(
+                    s.outcome,
+                    SegmentOutcome::Crashed(CrashKind::AssertionFailed(_))
+                )
+            })
             .unwrap();
         match solver.check(&crash.constraint) {
             crate::solver::SolverResult::Sat(model) => {
@@ -1250,10 +1269,10 @@ mod tests {
         );
         assert_eq!(emit.packet.out_byte(1).to_string(), "pkt[2]");
         // And a strip-underflow crash segment exists.
-        assert!(result
-            .segments
-            .iter()
-            .any(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::StripUnderflow))));
+        assert!(result.segments.iter().any(|s| matches!(
+            s.outcome,
+            SegmentOutcome::Crashed(CrashKind::StripUnderflow)
+        )));
     }
 
     #[test]
@@ -1268,12 +1287,19 @@ mod tests {
         let crash = result
             .segments
             .iter()
-            .find(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::DivisionByZero)))
+            .find(|s| {
+                matches!(
+                    s.outcome,
+                    SegmentOutcome::Crashed(CrashKind::DivisionByZero)
+                )
+            })
             .expect("division crash segment");
         // Its witness has packet byte 0 equal to zero.
         let solver = Solver::new();
         match solver.check(&crash.constraint) {
-            crate::solver::SolverResult::Sat(m) => assert_eq!(m.packet.first().copied().unwrap_or(0), 0),
+            crate::solver::SolverResult::Sat(m) => {
+                assert_eq!(m.packet.first().copied().unwrap_or(0), 0)
+            }
             other => panic!("expected witness, got {other:?}"),
         }
     }
@@ -1412,10 +1438,10 @@ mod tests {
             )
             .unwrap();
             assert!(
-                result
-                    .segments
-                    .iter()
-                    .any(|s| matches!(s.outcome, SegmentOutcome::Crashed(CrashKind::DivisionByZero))),
+                result.segments.iter().any(|s| matches!(
+                    s.outcome,
+                    SegmentOutcome::Crashed(CrashKind::DivisionByZero)
+                )),
                 "mode {mode:?} must surface the division crash"
             );
         }
@@ -1496,10 +1522,7 @@ mod tests {
         let mut pb = ProgramBuilder::new("G", 1);
         let x = pb.local("x", 8);
         let mut b = Block::new();
-        b.assign(
-            x,
-            select(uge(pkt_len(), c(32, 2)), pkt(1, 1), c(8, 0)),
-        );
+        b.assign(x, select(uge(pkt_len(), c(32, 2)), pkt(1, 1), c(8, 0)));
         b.emit(0);
         let prog = pb.finish(b).unwrap();
         let result = explore(&prog, &EngineConfig::default()).unwrap();
@@ -1508,7 +1531,10 @@ mod tests {
             assert!(
                 solver.check(&seg.constraint).is_unsat(),
                 "guarded select crash must be infeasible: {:?}",
-                seg.constraint.iter().map(|c| c.to_string()).collect::<Vec<_>>()
+                seg.constraint
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
             );
         }
     }

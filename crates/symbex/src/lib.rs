@@ -50,3 +50,16 @@ pub use engine::{
 pub use solver::{Solver, SolverConfig, SolverResult};
 pub use state::SymPacket;
 pub use term::{Assignment, Term, TermRef, VarId};
+
+// Terms are shared through `Arc`, so explorations (and everything the
+// parallel verification orchestrator moves between worker threads) are
+// `Send + Sync` by construction. These assertions make that a compile-time
+// contract of the crate rather than an accident of its field types.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TermRef>();
+    assert_send_sync::<Segment>();
+    assert_send_sync::<Exploration>();
+    assert_send_sync::<Solver>();
+    assert_send_sync::<EngineConfig>();
+};

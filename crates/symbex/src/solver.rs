@@ -120,7 +120,7 @@ impl Solver {
 
         // 2. Normalise comparisons into atoms (opaque conjuncts are kept for
         //    model checking but do not participate in the analytic stages).
-        let atoms: Vec<Atom> = conjuncts.iter().filter_map(|c| normalize_atom(c)).collect();
+        let atoms: Vec<Atom> = conjuncts.iter().filter_map(normalize_atom).collect();
 
         // 3. Syntactic contradiction pairs.
         if has_contradiction_pair(&atoms) {
@@ -185,7 +185,7 @@ impl Solver {
         }
         if all_flat {
             let debug_hints = std::env::var_os("DATAPLANE_DEBUG_HINTS").is_some();
-            let atoms: Vec<Atom> = conjuncts.iter().filter_map(|c| normalize_atom(c)).collect();
+            let atoms: Vec<Atom> = conjuncts.iter().filter_map(normalize_atom).collect();
             // Round one keeps the hint packets' bytes intact (only auxiliary
             // variables are adjusted), so a satisfying model stays a
             // realistic packet; round two may also rewrite packet bytes.
@@ -303,10 +303,7 @@ impl Solver {
                             .get(rng.next() as usize % interesting.len().max(1))
                             .unwrap_or(&0),
                         1 => rng.next(),
-                        2 => intervals
-                            .get(leaf)
-                            .map(|iv| iv.hi)
-                            .unwrap_or(u64::MAX),
+                        2 => intervals.get(leaf).map(|iv| iv.hi).unwrap_or(u64::MAX),
                         _ => rng.next() % 256,
                     };
                     assign_leaf(&mut candidate, leaf, value);
@@ -524,10 +521,9 @@ fn repair(a: &mut Assignment, atom: &Atom, allow_packet: bool) {
     };
     fn leaf_of(t: &TermRef) -> Option<TermRef> {
         match t.as_ref() {
-            Term::PacketByte(_)
-            | Term::PacketLen
-            | Term::Var { .. }
-            | Term::DsRead { .. } => Some(t.clone()),
+            Term::PacketByte(_) | Term::PacketLen | Term::Var { .. } | Term::DsRead { .. } => {
+                Some(t.clone())
+            }
             Term::Cast { a, .. } => leaf_of(a),
             _ => None,
         }
@@ -574,14 +570,13 @@ fn repair(a: &mut Assignment, atom: &Atom, allow_packet: bool) {
     let side_assignable = |side: &TermRef| -> bool {
         let mut leaves = Vec::new();
         side.collect_leaves(&mut leaves);
-        leaves.iter().all(|l| assignable(l))
+        leaves.iter().all(&assignable)
     };
-    if atom.op == Cmp::Eq {
-        if (side_assignable(&atom.lhs) && speculate(a, &atom.lhs, rhs_val.as_u64()))
-            || (side_assignable(&atom.rhs) && speculate(a, &atom.rhs, lhs_val.as_u64()))
-        {
-            return;
-        }
+    if atom.op == Cmp::Eq
+        && ((side_assignable(&atom.lhs) && speculate(a, &atom.lhs, rhs_val.as_u64()))
+            || (side_assignable(&atom.rhs) && speculate(a, &atom.rhs, lhs_val.as_u64())))
+    {
+        return;
     }
     // Try assigning the left leaf to a value that satisfies the relation with
     // the current right value, then vice versa.
@@ -721,16 +716,15 @@ impl IntervalMap {
                         lo: 0,
                         hi: x.hi.min(y.hi),
                     },
-                    BinOp::UDiv => {
-                        if y.lo > 0 {
-                            Interval {
-                                lo: x.lo / y.hi.max(1),
-                                hi: x.hi / y.lo,
-                            }
-                        } else {
-                            full
-                        }
-                    }
+                    BinOp::UDiv => match x.hi.checked_div(y.lo) {
+                        // y.lo > 0 bounds the quotient; a zero divisor may
+                        // crash instead of producing a value, so no bound.
+                        Some(hi) => Interval {
+                            lo: x.lo / y.hi.max(1),
+                            hi,
+                        },
+                        None => full,
+                    },
                     BinOp::URem => Interval {
                         lo: 0,
                         hi: if y.hi > 0 { y.hi - 1 } else { full.hi },
@@ -962,8 +956,14 @@ fn fourier_motzkin_unsat(atoms: &[Atom], intervals: &IntervalMap, max_constraint
         if matches!(atom.op, Cmp::SLt | Cmp::SLe) {
             let w = atom.lhs.width();
             let top = 1u64 << (w - 1);
-            let lok = intervals.get(&atom.lhs).map(|iv| iv.hi < top).unwrap_or(false);
-            let rok = intervals.get(&atom.rhs).map(|iv| iv.hi < top).unwrap_or(false);
+            let lok = intervals
+                .get(&atom.lhs)
+                .map(|iv| iv.hi < top)
+                .unwrap_or(false);
+            let rok = intervals
+                .get(&atom.rhs)
+                .map(|iv| iv.hi < top)
+                .unwrap_or(false);
             if !lok || !rok {
                 continue;
             }
@@ -981,7 +981,11 @@ fn fourier_motzkin_unsat(atoms: &[Atom], intervals: &IntervalMap, max_constraint
         match atom.op {
             Cmp::ULe | Cmp::SLe => push(diff, &mut inequalities, &mut vars),
             Cmp::ULt | Cmp::SLt => {
-                push(diff.add(&LinExpr::constant(-1), -1), &mut inequalities, &mut vars)
+                push(
+                    diff.add(&LinExpr::constant(-1), -1),
+                    &mut inequalities,
+                    &mut vars,
+                )
                 // lhs - rhs + 1 <= 0
             }
             Cmp::Eq => {
@@ -1010,7 +1014,9 @@ fn fourier_motzkin_unsat(atoms: &[Atom], intervals: &IntervalMap, max_constraint
         let lo = intervals.get(&t).map(|iv| iv.lo).unwrap_or(0);
         // -v + lo <= 0
         push(
-            LinExpr::var(t.clone()).scale(-1).add(&LinExpr::constant(lo as i128), 1),
+            LinExpr::var(t.clone())
+                .scale(-1)
+                .add(&LinExpr::constant(lo as i128), 1),
             &mut inequalities,
             &mut vars,
         );
@@ -1047,8 +1053,7 @@ fn fourier_motzkin_unsat(atoms: &[Atom], intervals: &IntervalMap, max_constraint
             for (cl, l) in &lowers {
                 // cu*v + U <= 0  and  -cl*v + L <= 0
                 // => cl*U + cu*L <= 0 after eliminating v.
-                let mut combined =
-                    u.expr.clone().scale(*cl).add(&l.expr.clone().scale(*cu), 1);
+                let mut combined = u.expr.clone().scale(*cl).add(&l.expr.clone().scale(*cu), 1);
                 combined.coeffs.remove(&var);
                 if combined.coeffs.is_empty() {
                     if combined.constant > 0 {
@@ -1083,9 +1088,7 @@ struct XorShift {
 
 impl XorShift {
     fn new(seed: u64) -> Self {
-        XorShift {
-            state: seed.max(1),
-        }
+        XorShift { state: seed.max(1) }
     }
     fn next(&mut self) -> u64 {
         let mut x = self.state;
@@ -1102,13 +1105,13 @@ mod tests {
     use super::*;
     use crate::term::{binary, cast, constant, negate, VarId};
     use dataplane_ir::{BitVec, CastKind};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn pkt_byte(i: i64) -> TermRef {
-        Rc::new(Term::PacketByte(i))
+        Arc::new(Term::PacketByte(i))
     }
     fn pkt_len() -> TermRef {
-        Rc::new(Term::PacketLen)
+        Arc::new(Term::PacketLen)
     }
     fn c32(v: u32) -> TermRef {
         constant(BitVec::u32(v))
@@ -1192,8 +1195,26 @@ mod tests {
             ),
             c32(4),
         );
-        let total = cast(CastKind::ZExt, 32, Rc::new(Term::Var { id: VarId(1), width: 16 }));
-        let i = binary(BinOp::Add, c32(20), cast(CastKind::ZExt, 32, Rc::new(Term::Var { id: VarId(2), width: 8 })));
+        let total = cast(
+            CastKind::ZExt,
+            32,
+            Arc::new(Term::Var {
+                id: VarId(1),
+                width: 16,
+            }),
+        );
+        let i = binary(
+            BinOp::Add,
+            c32(20),
+            cast(
+                CastKind::ZExt,
+                32,
+                Arc::new(Term::Var {
+                    id: VarId(2),
+                    width: 8,
+                }),
+            ),
+        );
         let len = pkt_len();
 
         let cs = vec![
@@ -1210,9 +1231,34 @@ mod tests {
         // ptr + 3 <= optlen, i + optlen <= hl, hl <= len, and the crash
         // condition i + ptr + 3 > len — the record-route write case.
         let s = Solver::new();
-        let ptr = cast(CastKind::ZExt, 32, Rc::new(Term::Var { id: VarId(1), width: 8 }));
-        let optlen = cast(CastKind::ZExt, 32, Rc::new(Term::Var { id: VarId(2), width: 8 }));
-        let i = binary(BinOp::Add, c32(20), cast(CastKind::ZExt, 32, Rc::new(Term::Var { id: VarId(3), width: 8 })));
+        let ptr = cast(
+            CastKind::ZExt,
+            32,
+            Arc::new(Term::Var {
+                id: VarId(1),
+                width: 8,
+            }),
+        );
+        let optlen = cast(
+            CastKind::ZExt,
+            32,
+            Arc::new(Term::Var {
+                id: VarId(2),
+                width: 8,
+            }),
+        );
+        let i = binary(
+            BinOp::Add,
+            c32(20),
+            cast(
+                CastKind::ZExt,
+                32,
+                Arc::new(Term::Var {
+                    id: VarId(3),
+                    width: 8,
+                }),
+            ),
+        );
         let hl = binary(
             BinOp::Mul,
             cast(
@@ -1224,8 +1270,16 @@ mod tests {
         );
         let len = pkt_len();
         let cs = vec![
-            binary(BinOp::ULe, binary(BinOp::Add, ptr.clone(), c32(3)), optlen.clone()),
-            binary(BinOp::ULe, binary(BinOp::Add, i.clone(), optlen), hl.clone()),
+            binary(
+                BinOp::ULe,
+                binary(BinOp::Add, ptr.clone(), c32(3)),
+                optlen.clone(),
+            ),
+            binary(
+                BinOp::ULe,
+                binary(BinOp::Add, i.clone(), optlen),
+                hl.clone(),
+            ),
             binary(BinOp::ULe, hl, len.clone()),
             binary(
                 BinOp::UGt,
@@ -1271,7 +1325,10 @@ mod tests {
         // CheckIPHeader checksum-loop discharge:
         //   idx < ihl*2, hl = ihl*4 <= len, crash: 2*idx + 2 > len.
         let s = Solver::new();
-        let idx: TermRef = Rc::new(Term::Var { id: VarId(9), width: 32 });
+        let idx: TermRef = Arc::new(Term::Var {
+            id: VarId(9),
+            width: 32,
+        });
         let ihl = cast(
             CastKind::ZExt,
             32,
@@ -1279,7 +1336,11 @@ mod tests {
         );
         let len = pkt_len();
         let cs = vec![
-            binary(BinOp::ULt, idx.clone(), binary(BinOp::Mul, ihl.clone(), c32(2))),
+            binary(
+                BinOp::ULt,
+                idx.clone(),
+                binary(BinOp::Mul, ihl.clone(), c32(2)),
+            ),
             binary(BinOp::ULe, binary(BinOp::Mul, ihl, c32(4)), len.clone()),
             binary(
                 BinOp::UGt,
@@ -1325,7 +1386,7 @@ mod tests {
     #[test]
     fn ds_read_constraints_can_be_satisfied() {
         let s = Solver::new();
-        let read = Rc::new(Term::DsRead {
+        let read = Arc::new(Term::DsRead {
             ds: dataplane_ir::DsId(0),
             key: c32(5),
             seq: 0,
@@ -1343,11 +1404,7 @@ mod tests {
         let s = Solver::new();
         let mut cs = Vec::new();
         for i in 0..10 {
-            cs.push(binary(
-                BinOp::ULe,
-                b32(i),
-                c32(200),
-            ));
+            cs.push(binary(BinOp::ULe, b32(i), c32(200)));
         }
         cs.push(binary(BinOp::Eq, pkt_byte(3), constant(BitVec::u8(7))));
         cs.push(binary(BinOp::Eq, pkt_byte(3), constant(BitVec::u8(8))));

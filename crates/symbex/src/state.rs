@@ -19,7 +19,7 @@
 use crate::term::{self, Term, TermRef};
 use dataplane_ir::{BinOp, BitVec, CastKind};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Symbolic packet transformation along one path.
 #[derive(Clone, Debug)]
@@ -74,7 +74,7 @@ impl SymPacket {
 
     /// The current packet length as a 32-bit term.
     pub fn len_term(&self) -> TermRef {
-        let original = Rc::new(Term::PacketLen);
+        let original = Arc::new(Term::PacketLen);
         match self.len_delta.cmp(&0) {
             std::cmp::Ordering::Equal => original,
             std::cmp::Ordering::Greater => term::binary(
@@ -119,11 +119,7 @@ impl SymPacket {
 
     /// The condition under which stripping `n` bytes underflows the packet.
     pub fn strip_underflow_condition(&self, n: u32) -> TermRef {
-        term::binary(
-            BinOp::ULt,
-            self.len_term(),
-            term::constant(BitVec::u32(n)),
-        )
+        term::binary(BinOp::ULt, self.len_term(), term::constant(BitVec::u32(n)))
     }
 
     /// Record a strip of `n` bytes from the front.
@@ -169,7 +165,7 @@ impl SymPacket {
             // beginning cannot otherwise be reached on a non-crashing path.
             return term::constant(BitVec::u8(0));
         }
-        Rc::new(Term::PacketByte(abs))
+        Arc::new(Term::PacketByte(abs))
     }
 
     /// Load `width_bytes` bytes (big-endian) at `offset` (program-relative,
@@ -263,7 +259,7 @@ impl SymPacket {
             // Unknown content; callers substitute a fresh variable instead.
             // Returning a symbolic read keeps the term well-formed if they
             // don't.
-            return Rc::new(Term::PacketByteAt {
+            return Arc::new(Term::PacketByteAt {
                 index: term::constant(BitVec::u32((j + self.base).max(0) as u32)),
             });
         }
@@ -274,7 +270,7 @@ impl SymPacket {
         if abs < 0 {
             return term::constant(BitVec::u8(0));
         }
-        Rc::new(Term::PacketByte(abs))
+        Arc::new(Term::PacketByte(abs))
     }
 
     /// Rebase a downstream symbolic byte index (a 32-bit term in the next
@@ -304,6 +300,34 @@ impl SymPacket {
     /// reports).
     pub fn written_indexes(&self) -> Vec<i64> {
         self.writes.keys().copied().collect()
+    }
+
+    /// Decompose into `(base, len_delta, writes, clobbered)` — the full
+    /// observable state, used by the orchestrator's persistent summary cache
+    /// to serialise packet transforms.
+    pub fn parts(&self) -> (i64, i64, Vec<(i64, TermRef)>, bool) {
+        (
+            self.base,
+            self.len_delta,
+            self.writes.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            self.clobbered,
+        )
+    }
+
+    /// Rebuild a packet transform from its [`SymPacket::parts`]
+    /// decomposition.
+    pub fn from_parts(
+        base: i64,
+        len_delta: i64,
+        writes: Vec<(i64, TermRef)>,
+        clobbered: bool,
+    ) -> Self {
+        SymPacket {
+            base,
+            len_delta,
+            writes: writes.into_iter().collect(),
+            clobbered,
+        }
     }
 }
 
@@ -412,12 +436,12 @@ mod tests {
         let mut counter = 0u32;
         let mut fresh = || {
             counter += 1;
-            Rc::new(Term::Var {
+            Arc::new(Term::Var {
                 id: crate::term::VarId(counter),
                 width: 8,
             })
         };
-        let sym_off = Rc::new(Term::PacketLen); // any non-constant term
+        let sym_off = Arc::new(Term::PacketLen); // any non-constant term
         let mut p = SymPacket::new();
         let v = p.load(&sym_off, 2, &mut fresh);
         assert!(v.to_string().contains("v1"));

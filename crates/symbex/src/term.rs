@@ -3,7 +3,7 @@
 //! A [`Term`] is a bit-vector expression over symbolic leaves — packet bytes,
 //! the packet length, data-structure reads, and fresh variables — combined
 //! with the same operators as the element IR. Terms are immutable and shared
-//! through [`TermRef`] (`Rc`); constructors constant-fold and apply a small
+//! through [`TermRef`] (`Arc`); constructors constant-fold and apply a small
 //! set of algebraic simplifications so that fully concrete computations
 //! collapse back to constants (which is what keeps loop counters concrete
 //! during exploration).
@@ -12,10 +12,10 @@ use dataplane_ir::interp::{eval_binop, eval_unop};
 use dataplane_ir::{BinOp, BitVec, CastKind, DsId, UnOp};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Shared reference to a term.
-pub type TermRef = Rc<Term>;
+pub type TermRef = Arc<Term>;
 
 /// Identifier of a fresh symbolic variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -140,7 +140,7 @@ impl Term {
 
     /// Collect the leaf terms (packet bytes, packet length, data-structure
     /// reads, variables) appearing in this term.
-    pub fn collect_leaves(self: &Rc<Self>, out: &mut Vec<TermRef>) {
+    pub fn collect_leaves(self: &Arc<Self>, out: &mut Vec<TermRef>) {
         match self.as_ref() {
             Term::Const(_) => {}
             Term::PacketByte(_)
@@ -165,10 +165,7 @@ impl Term {
     /// and tests).
     pub fn node_count(&self) -> usize {
         match self {
-            Term::Const(_)
-            | Term::PacketByte(_)
-            | Term::PacketLen
-            | Term::Var { .. } => 1,
+            Term::Const(_) | Term::PacketByte(_) | Term::PacketLen | Term::Var { .. } => 1,
             Term::PacketByteAt { index } => 1 + index.node_count(),
             Term::DsRead { key, .. } => 1 + key.node_count(),
             Term::Unary { a, .. } | Term::Cast { a, .. } => 1 + a.node_count(),
@@ -199,7 +196,7 @@ impl fmt::Display for Term {
 
 /// Build a constant term.
 pub fn constant(v: BitVec) -> TermRef {
-    Rc::new(Term::Const(v))
+    Arc::new(Term::Const(v))
 }
 
 /// Build the 1-bit constant `true`.
@@ -227,7 +224,7 @@ pub fn unary(op: UnOp, a: TermRef) -> TermRef {
             return inner.clone();
         }
     }
-    Rc::new(Term::Unary { op, a })
+    Arc::new(Term::Unary { op, a })
 }
 
 /// Build a binary operation with constant folding and light algebraic
@@ -249,10 +246,10 @@ pub fn binary(op: BinOp, a: TermRef, b: TermRef) -> TermRef {
                 return a;
             }
         }
-        BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr => {
-            if b.as_const().map(|v| v.is_zero()).unwrap_or(false) {
-                return a;
-            }
+        BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr
+            if b.as_const().map(|v| v.is_zero()).unwrap_or(false) =>
+        {
+            return a;
         }
         BinOp::Mul => {
             if let Some(v) = a.as_const() {
@@ -302,15 +299,11 @@ pub fn binary(op: BinOp, a: TermRef, b: TermRef) -> TermRef {
                 return tt();
             }
         }
-        BinOp::Eq => {
-            if a == b {
-                return tt();
-            }
+        BinOp::Eq if a == b => {
+            return tt();
         }
-        BinOp::Ne => {
-            if a == b {
-                return ff();
-            }
+        BinOp::Ne if a == b => {
+            return ff();
         }
         _ => {}
     }
@@ -320,7 +313,7 @@ pub fn binary(op: BinOp, a: TermRef, b: TermRef) -> TermRef {
     if (op == BinOp::ULt || op == BinOp::SLt) && a == b {
         return ff();
     }
-    let node = Rc::new(Term::Binary { op, a, b });
+    let node = Arc::new(Term::Binary { op, a, b });
     // Recognise a big-endian byte-reassembly of a previously stored value:
     // `(((zext(trunc(x >> 24)) << 8 | zext(trunc(x >> 16))) << 8 | ...) ...`
     // collapses back to `x`. This keeps "store a word, read the word back
@@ -406,7 +399,7 @@ fn match_byte_reassembly(t: &TermRef) -> Option<TermRef> {
         Some((src, shift))
     }
     let width = t.width();
-    if width % 8 != 0 || width == 8 {
+    if !width.is_multiple_of(8) || width == 8 {
         return None;
     }
     let (source, low) = walk(t, width)?;
@@ -428,7 +421,7 @@ pub fn select(c: TermRef, t: TermRef, e: TermRef) -> TermRef {
     if t == e {
         return t;
     }
-    Rc::new(Term::Select { c, t, e })
+    Arc::new(Term::Select { c, t, e })
 }
 
 /// Build a cast with constant folding and collapse of no-op casts.
@@ -445,7 +438,7 @@ pub fn cast(kind: CastKind, width: u8, a: TermRef) -> TermRef {
         };
         return constant(folded);
     }
-    Rc::new(Term::Cast { kind, width, a })
+    Arc::new(Term::Cast { kind, width, a })
 }
 
 /// Logical negation of a 1-bit term.
@@ -539,10 +532,7 @@ pub fn substitute(term: &TermRef, subst: &dyn Fn(&Term) -> Option<TermRef>) -> T
         return replacement;
     }
     match term.as_ref() {
-        Term::Const(_)
-        | Term::PacketByte(_)
-        | Term::PacketLen
-        | Term::Var { .. } => term.clone(),
+        Term::Const(_) | Term::PacketByte(_) | Term::PacketLen | Term::Var { .. } => term.clone(),
         Term::DsRead {
             ds,
             key,
@@ -553,7 +543,7 @@ pub fn substitute(term: &TermRef, subst: &dyn Fn(&Term) -> Option<TermRef>) -> T
             if new_key == *key {
                 term.clone()
             } else {
-                Rc::new(Term::DsRead {
+                Arc::new(Term::DsRead {
                     ds: *ds,
                     key: new_key,
                     seq: *seq,
@@ -563,7 +553,7 @@ pub fn substitute(term: &TermRef, subst: &dyn Fn(&Term) -> Option<TermRef>) -> T
         }
         Term::PacketByteAt { index } => {
             let new_index = substitute(index, subst);
-            Rc::new(Term::PacketByteAt { index: new_index })
+            Arc::new(Term::PacketByteAt { index: new_index })
         }
         Term::Unary { op, a } => unary(*op, substitute(a, subst)),
         Term::Binary { op, a, b } => binary(*op, substitute(a, subst), substitute(b, subst)),
@@ -598,11 +588,14 @@ mod tests {
 
     #[test]
     fn identities_simplify() {
-        let x = Rc::new(Term::PacketByte(3));
+        let x = Arc::new(Term::PacketByte(3));
         let x32 = cast(CastKind::ZExt, 32, x.clone());
         assert_eq!(binary(BinOp::Add, x32.clone(), c32(0)), x32);
         assert_eq!(binary(BinOp::Mul, x32.clone(), c32(1)), x32);
-        assert!(binary(BinOp::Mul, x32.clone(), c32(0)).as_const().unwrap().is_zero());
+        assert!(binary(BinOp::Mul, x32.clone(), c32(0))
+            .as_const()
+            .unwrap()
+            .is_zero());
         assert!(binary(BinOp::Eq, x32.clone(), x32.clone()).is_true());
         assert!(binary(BinOp::ULt, x32.clone(), x32.clone()).is_false());
         assert!(binary(BinOp::ULe, x32.clone(), x32.clone()).is_true());
@@ -611,7 +604,7 @@ mod tests {
 
     #[test]
     fn boolean_simplification() {
-        let p = Rc::new(Term::Var {
+        let p = Arc::new(Term::Var {
             id: VarId(0),
             width: 1,
         });
@@ -630,7 +623,7 @@ mod tests {
         let y = c32(9);
         assert_eq!(select(tt(), x.clone(), y.clone()), x);
         assert_eq!(select(ff(), x.clone(), y.clone()), y);
-        let p = Rc::new(Term::Var {
+        let p = Arc::new(Term::Var {
             id: VarId(1),
             width: 1,
         });
@@ -639,13 +632,13 @@ mod tests {
 
     #[test]
     fn no_op_cast_collapses() {
-        let x = Rc::new(Term::PacketLen);
+        let x = Arc::new(Term::PacketLen);
         assert_eq!(cast(CastKind::Resize, 32, x.clone()), x);
     }
 
     #[test]
     fn width_computation() {
-        let byte = Rc::new(Term::PacketByte(0));
+        let byte = Arc::new(Term::PacketByte(0));
         assert_eq!(byte.width(), 8);
         assert_eq!(Term::PacketLen.width(), 32);
         let cmp = binary(BinOp::ULt, c32(1), c32(2));
@@ -653,12 +646,12 @@ mod tests {
         let w = cast(CastKind::ZExt, 64, byte.clone());
         assert_eq!(w.width(), 64);
         let sel = select(
-            Rc::new(Term::Var {
+            Arc::new(Term::Var {
                 id: VarId(0),
                 width: 1,
             }),
             byte.clone(),
-            Rc::new(Term::PacketByte(1)),
+            Arc::new(Term::PacketByte(1)),
         );
         assert_eq!(sel.width(), 8);
     }
@@ -666,22 +659,25 @@ mod tests {
     #[test]
     fn evaluation_against_packet() {
         let a = Assignment::from_packet(&[0x12, 0x34, 0x56]);
-        let b0 = Rc::new(Term::PacketByte(0));
-        let b1 = Rc::new(Term::PacketByte(1));
+        let b0 = Arc::new(Term::PacketByte(0));
+        let b1 = Arc::new(Term::PacketByte(1));
         let sum = binary(
             BinOp::Add,
             cast(CastKind::ZExt, 32, b0),
             cast(CastKind::ZExt, 32, b1),
         );
         assert_eq!(eval(&sum, &a).unwrap(), BitVec::u32(0x12 + 0x34));
-        assert_eq!(eval(&Rc::new(Term::PacketLen), &a).unwrap(), BitVec::u32(3));
+        assert_eq!(
+            eval(&Arc::new(Term::PacketLen), &a).unwrap(),
+            BitVec::u32(3)
+        );
         // Out-of-range and negative reads yield zero.
         assert_eq!(
-            eval(&Rc::new(Term::PacketByte(9)), &a).unwrap(),
+            eval(&Arc::new(Term::PacketByte(9)), &a).unwrap(),
             BitVec::u8(0)
         );
         assert_eq!(
-            eval(&Rc::new(Term::PacketByte(-3)), &a).unwrap(),
+            eval(&Arc::new(Term::PacketByte(-3)), &a).unwrap(),
             BitVec::u8(0)
         );
     }
@@ -691,12 +687,12 @@ mod tests {
         let mut a = Assignment::from_packet(&[0u8; 4]);
         a.vars.insert(VarId(7), 99);
         a.ds_reads.insert((2, 0), 0xabcd);
-        let v = Rc::new(Term::Var {
+        let v = Arc::new(Term::Var {
             id: VarId(7),
             width: 8,
         });
         assert_eq!(eval(&v, &a).unwrap(), BitVec::u8(99));
-        let d = Rc::new(Term::DsRead {
+        let d = Arc::new(Term::DsRead {
             ds: DsId(2),
             key: c32(1),
             seq: 0,
@@ -704,13 +700,13 @@ mod tests {
         });
         assert_eq!(eval(&d, &a).unwrap(), BitVec::u16(0xabcd));
         // Unassigned leaves default to zero.
-        let v2 = Rc::new(Term::Var {
+        let v2 = Arc::new(Term::Var {
             id: VarId(8),
             width: 8,
         });
         assert_eq!(eval(&v2, &a).unwrap(), BitVec::u8(0));
         // Division by zero propagates None.
-        let div = Rc::new(Term::Binary {
+        let div = Arc::new(Term::Binary {
             op: BinOp::UDiv,
             a: c32(5),
             b: c32(0),
@@ -721,15 +717,19 @@ mod tests {
     #[test]
     fn substitution_replaces_packet_bytes() {
         // (pkt[0] + pkt[1]) with pkt[0] := 7 becomes (7 + pkt[1]).
-        let b0 = Rc::new(Term::PacketByte(0));
-        let b1 = Rc::new(Term::PacketByte(1));
+        let b0 = Arc::new(Term::PacketByte(0));
+        let b1 = Arc::new(Term::PacketByte(1));
         let sum = binary(BinOp::Add, b0, b1.clone());
         let replaced = substitute(&sum, &|t| match t {
             Term::PacketByte(0) => Some(constant(BitVec::u8(7))),
             _ => None,
         });
         match replaced.as_ref() {
-            Term::Binary { op: BinOp::Add, a, b } => {
+            Term::Binary {
+                op: BinOp::Add,
+                a,
+                b,
+            } => {
                 assert_eq!(a.as_const().unwrap(), BitVec::u8(7));
                 assert_eq!(*b, b1);
             }
@@ -745,8 +745,8 @@ mod tests {
 
     #[test]
     fn leaves_and_node_count() {
-        let b0 = Rc::new(Term::PacketByte(0));
-        let len = Rc::new(Term::PacketLen);
+        let b0 = Arc::new(Term::PacketByte(0));
+        let len = Arc::new(Term::PacketLen);
         let t = binary(
             BinOp::ULt,
             cast(CastKind::ZExt, 32, b0.clone()),
@@ -763,7 +763,7 @@ mod tests {
     #[test]
     fn byte_reassembly_collapses_to_source() {
         // Simulate what SymPacket::store followed by a 4-byte load builds.
-        let x: TermRef = Rc::new(Term::Var {
+        let x: TermRef = Arc::new(Term::Var {
             id: VarId(9),
             width: 32,
         });
@@ -803,8 +803,8 @@ mod tests {
     fn display_is_readable() {
         let t = binary(
             BinOp::ULt,
-            cast(CastKind::ZExt, 32, Rc::new(Term::PacketByte(8))),
-            Rc::new(Term::PacketLen),
+            cast(CastKind::ZExt, 32, Arc::new(Term::PacketByte(8))),
+            Arc::new(Term::PacketLen),
         );
         let s = t.to_string();
         assert!(s.contains("pkt[8]"));

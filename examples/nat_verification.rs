@@ -42,7 +42,10 @@ fn main() {
     let mut verifier = Verifier::new();
     let report = verifier.verify(&middlebox_pipeline(), &Property::CrashFreedom);
     println!("{report}");
-    assert!(report.is_proven(), "the middlebox must be proven crash-free");
+    assert!(
+        report.is_proven(),
+        "the middlebox must be proven crash-free"
+    );
     println!("flow tables are modelled as key/value stores whose reads may return any value —");
     println!("the proof therefore holds for every reachable table state, not just the empty one.");
 }

@@ -63,5 +63,7 @@ fn main() {
     println!();
     println!("The decomposed column stays flat (per-element summaries are composed, k·2^n work);");
     println!("the monolithic column stops completing once the IP-options loops join the chain");
-    println!("(cross-product of unrolled paths, 2^(k·n) work) — the paper's 18-minutes-vs-12-hours gap.");
+    println!(
+        "(cross-product of unrolled paths, 2^(k·n) work) — the paper's 18-minutes-vs-12-hours gap."
+    );
 }

@@ -12,6 +12,9 @@
 //!   constraint solver.
 //! * [`verifier`] (`dataplane-verifier`) — the compositional verifier, the
 //!   paper's contribution.
+//! * [`orchestrator`] (`dataplane-orchestrator`) — the parallel verification
+//!   service layer: per-element jobs on a work-stealing pool, a
+//!   content-addressed summary cache, and the preset scenario matrix.
 //!
 //! See `README.md` for the project overview, `DESIGN.md` for the system
 //! inventory and experiment index, and `EXPERIMENTS.md` for the recorded
@@ -21,6 +24,7 @@
 
 pub use dataplane_ir as ir;
 pub use dataplane_net as net;
+pub use dataplane_orchestrator as orchestrator;
 pub use dataplane_pipeline as pipeline;
 pub use dataplane_symbex as symbex;
 pub use dataplane_verifier as verifier;
@@ -38,6 +42,7 @@ mod tests {
         let _ = crate::pipeline::presets::ip_router_pipeline();
         let _ = crate::symbex::Solver::new();
         let _ = crate::verifier::Verifier::new();
+        let _ = crate::orchestrator::Orchestrator::new();
         assert!(!crate::VERSION.is_empty());
     }
 }

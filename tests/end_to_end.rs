@@ -48,7 +48,13 @@ fn native_and_model_execution_agree_across_the_workspace() {
         let n = native.push(packet.clone());
         let m = models.push(packet);
         assert_eq!(n.hops, m.hops);
-        assert_eq!(n.is_crash(), matches!(m.disposition, vericlick::pipeline::Disposition::Crashed { .. }));
+        assert_eq!(
+            n.is_crash(),
+            matches!(
+                m.disposition,
+                vericlick::pipeline::Disposition::Crashed { .. }
+            )
+        );
     }
 }
 

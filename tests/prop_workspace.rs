@@ -1,10 +1,10 @@
 //! Workspace-level property-based tests.
 
 use proptest::prelude::*;
+use std::net::Ipv4Addr;
 use vericlick::net::{Packet, PacketBuilder};
 use vericlick::pipeline::presets::{ip_router_pipeline, middlebox_pipeline};
 use vericlick::pipeline::{Disposition, ModelRuntime};
-use std::net::Ipv4Addr;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
