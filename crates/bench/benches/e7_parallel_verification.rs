@@ -9,13 +9,19 @@
 //!   best sequential configuration: summaries reused within the process),
 //! * `parallel_cold`     — the orchestrator with an empty summary store,
 //! * `parallel_warm`     — the orchestrator with a pre-warmed store (the
-//!   re-verification case: zero element jobs).
+//!   re-verification case: zero element jobs),
+//! * `step2_sequential` / `step2_parallel` — a warm full-matrix composition
+//!   pass with the suspect × prefix feasibility checks inline vs fanned out
+//!   over the work-stealing pool (`ParallelComposition`); Step 1 is cached,
+//!   so these isolate the Step-2 scaling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dataplane_bench::row;
-use dataplane_orchestrator::{preset_scenarios, verify_sequential, Orchestrator};
+use dataplane_orchestrator::{
+    parallel_composition, preset_scenarios, verify_sequential, Orchestrator,
+};
 use dataplane_verifier::{Verifier, VerifierOptions};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn sequential_fresh() -> usize {
     let options = VerifierOptions::default();
@@ -39,6 +45,27 @@ fn sequential_shared() -> usize {
                 .len()
         })
         .sum()
+}
+
+/// One warm composition pass over the whole matrix: the verifier's summary
+/// cache is pre-filled, so the measured time is Step 2 (composition +
+/// feasibility checks) only.
+fn warm_composition_pass(options: &VerifierOptions) -> (Duration, usize) {
+    let mut verifier = Verifier::with_options(options.clone());
+    for s in preset_scenarios() {
+        verifier.verify(&s.pipeline, &s.property);
+    }
+    let start = Instant::now();
+    let counterexamples = preset_scenarios()
+        .iter()
+        .map(|s| {
+            verifier
+                .verify(&s.pipeline, &s.property)
+                .counterexamples
+                .len()
+        })
+        .sum();
+    (start.elapsed(), counterexamples)
 }
 
 fn parallel(threads: usize, orchestrator: &Orchestrator) -> usize {
@@ -75,9 +102,42 @@ fn report() {
     let warm_counterexamples = parallel(threads, &orchestrator);
     let t_warm = start.elapsed();
 
+    // Step-2 isolation: warm composition passes, inline vs parallel checks.
+    let (t_step2_seq, step2_seq_counterexamples) =
+        warm_composition_pass(&VerifierOptions::default());
+    let (t_step2_par, step2_par_counterexamples) = warm_composition_pass(&VerifierOptions {
+        parallel: parallel_composition(threads),
+        ..VerifierOptions::default()
+    });
+
     assert_eq!(fresh_counterexamples, shared_counterexamples);
     assert_eq!(fresh_counterexamples, cold_counterexamples);
     assert_eq!(fresh_counterexamples, warm_counterexamples);
+    assert_eq!(fresh_counterexamples, step2_seq_counterexamples);
+    assert_eq!(fresh_counterexamples, step2_par_counterexamples);
+
+    row(
+        "e7-parallel-verification",
+        &[
+            ("mode", "step2_parallel_vs_sequential".to_string()),
+            ("threads", threads.to_string()),
+            (
+                "step2_sequential_seconds",
+                format!("{:.3}", t_step2_seq.as_secs_f64()),
+            ),
+            (
+                "step2_parallel_seconds",
+                format!("{:.3}", t_step2_par.as_secs_f64()),
+            ),
+            (
+                "step2_speedup",
+                format!(
+                    "{:.2}",
+                    t_step2_seq.as_secs_f64() / t_step2_par.as_secs_f64()
+                ),
+            ),
+        ],
+    );
 
     for (mode, used_threads, elapsed) in [
         ("sequential_fresh", 1, t_fresh),
@@ -127,6 +187,34 @@ fn bench(c: &mut Criterion) {
     let warm = Orchestrator::new().with_threads(threads);
     parallel(threads, &warm); // pre-warm the store
     group.bench_function("parallel_warm", |b| b.iter(|| parallel(threads, &warm)));
+    // Warm verifiers reused across iterations: the measured body is one
+    // full-matrix composition pass (Step 2 only).
+    let mut step2_seq = Verifier::new();
+    let mut step2_par = Verifier::with_options(VerifierOptions {
+        parallel: parallel_composition(threads),
+        ..VerifierOptions::default()
+    });
+    for s in preset_scenarios() {
+        step2_seq.verify(&s.pipeline, &s.property);
+        step2_par.verify(&s.pipeline, &s.property);
+    }
+    let compose_pass = |verifier: &mut Verifier| -> usize {
+        preset_scenarios()
+            .iter()
+            .map(|s| {
+                verifier
+                    .verify(&s.pipeline, &s.property)
+                    .counterexamples
+                    .len()
+            })
+            .sum()
+    };
+    group.bench_function("step2_sequential", |b| {
+        b.iter(|| compose_pass(&mut step2_seq))
+    });
+    group.bench_function("step2_parallel", |b| {
+        b.iter(|| compose_pass(&mut step2_par))
+    });
     group.finish();
 }
 

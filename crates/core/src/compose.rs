@@ -10,7 +10,7 @@
 
 use dataplane_symbex::term::{self, Term, TermRef};
 use dataplane_symbex::{SymPacket, VarId};
-use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Stride between the variable/read namespaces of consecutive pipeline
@@ -43,7 +43,9 @@ pub struct StageView {
 /// to concretise static state later).
 pub struct Composer {
     next_stride: u32,
-    next_fresh: RefCell<u32>,
+    /// Atomic (rather than `Cell`) so a fully-composed `Composer` can be
+    /// shared across the worker threads of a parallel Step-2 run.
+    next_fresh: AtomicU32,
     /// `(stride, element index)` pairs in allocation order.
     pub stride_elements: Vec<(u32, usize)>,
 }
@@ -59,7 +61,7 @@ impl Composer {
     pub fn new() -> Self {
         Composer {
             next_stride: STAGE_STRIDE,
-            next_fresh: RefCell::new(FRESH_BASE),
+            next_fresh: AtomicU32::new(FRESH_BASE),
             stride_elements: Vec::new(),
         }
     }
@@ -87,9 +89,7 @@ impl Composer {
     }
 
     fn fresh(&self, width: u8) -> TermRef {
-        let mut n = self.next_fresh.borrow_mut();
-        let id = *n;
-        *n += 1;
+        let id = self.next_fresh.fetch_add(1, Ordering::Relaxed);
         Arc::new(Term::Var {
             id: VarId(id),
             width,
@@ -118,8 +118,11 @@ impl Composer {
                 }
             }
             View::Stage(stage) => {
-                if stage.packet.is_clobbered() {
-                    // Unknown content after a symbolic-offset rewrite.
+                if stage.packet.out_byte_is_unknown(j) {
+                    // Unknown content after a symbolic-offset rewrite that
+                    // may have reached this byte. Bytes outside the clobber
+                    // range stay precise — that is what lets fixed header
+                    // fields flow through option-processing elements.
                     return self.fresh(8);
                 }
                 let local = stage.packet.out_byte(j);

@@ -47,6 +47,10 @@ pub mod verifier;
 
 pub use monolithic::{explore_monolithic, MonolithicConfig, MonolithicResult};
 pub use property::Property;
-pub use report::{Counterexample, InstructionBoundReport, Report, UnprovenPath, Verdict};
+pub use report::{
+    Counterexample, InstructionBoundReport, Report, UnprovenPath, Verdict, VerificationStats,
+};
 pub use summary::{summary_key, ElementSummary, SummaryCache};
-pub use verifier::{materialise_packet, Verifier, VerifierOptions};
+pub use verifier::{
+    materialise_packet, ComposeExecutor, ParallelComposition, Verifier, VerifierOptions,
+};

@@ -62,6 +62,15 @@ pub struct VerificationStats {
     pub composed_paths: usize,
     /// Solver invocations.
     pub solver_calls: usize,
+    /// Step-2 feasibility checks whose Fourier–Motzkin stage aborted at its
+    /// `max_fm_constraints` budget (the check may still have been decided by
+    /// a later stage; a raised budget might decide it analytically).
+    pub fm_budget_aborts: usize,
+    /// Step-2 feasibility checks whose randomized model search ran through
+    /// all its tries without finding a model. Every `Unknown` feasibility
+    /// verdict has this set, so `unknown = Unknown` causes are diagnosable
+    /// from the stats alone.
+    pub model_search_aborts: usize,
 }
 
 /// The full result of verifying one property of one pipeline.
@@ -114,6 +123,13 @@ impl fmt::Display for Report {
             self.stats.composed_paths,
             self.stats.solver_calls
         )?;
+        if self.stats.fm_budget_aborts > 0 || self.stats.model_search_aborts > 0 {
+            writeln!(
+                f,
+                "  stage aborts: fourier-motzkin budget {}, model search exhausted {}",
+                self.stats.fm_budget_aborts, self.stats.model_search_aborts
+            )?;
+        }
         for ce in &self.counterexamples {
             writeln!(
                 f,

@@ -13,10 +13,65 @@ use dataplane_net::Packet;
 use dataplane_pipeline::pipeline::Disposition;
 use dataplane_pipeline::{ElementIdx, Pipeline};
 use dataplane_symbex::term::{self, Term, TermRef};
-use dataplane_symbex::{EngineConfig, Segment, SegmentOutcome, Solver, SolverResult};
+use dataplane_symbex::{
+    CheckDiagnostics, EngineConfig, Segment, SegmentOutcome, Solver, SolverResult,
+};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Runs a batch of independent Step-2 feasibility-check jobs. Implementations
+/// may run the jobs in any order, concurrently; every job must have returned
+/// before `run_batch` does. The verifier's sequential fallback simply runs
+/// them in submission order, so an executor never changes *what* is computed
+/// — only on how many cores.
+pub trait ComposeExecutor: Send + Sync {
+    /// Run every job to completion.
+    fn run_batch<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>);
+}
+
+/// Step-2 parallelism configuration: how the suspect × prefix feasibility
+/// checks inside one composition are dispatched. The checks are independent
+/// solver calls, so fanning them out over a thread pool preserves the report
+/// byte-for-byte (results are folded back in enumeration order) while the
+/// slowest verification phase scales with cores.
+#[derive(Clone, Default)]
+pub struct ParallelComposition {
+    executor: Option<Arc<dyn ComposeExecutor>>,
+}
+
+impl ParallelComposition {
+    /// Run feasibility checks inline, in enumeration order (the default).
+    pub fn sequential() -> Self {
+        ParallelComposition::default()
+    }
+
+    /// Dispatch feasibility checks over `executor`.
+    pub fn over(executor: Arc<dyn ComposeExecutor>) -> Self {
+        ParallelComposition {
+            executor: Some(executor),
+        }
+    }
+
+    /// The configured executor, if any.
+    pub fn executor(&self) -> Option<&Arc<dyn ComposeExecutor>> {
+        self.executor.as_ref()
+    }
+
+    /// True when checks will be dispatched to an executor.
+    pub fn is_parallel(&self) -> bool {
+        self.executor.is_some()
+    }
+}
+
+impl fmt::Debug for ParallelComposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelComposition")
+            .field("parallel", &self.is_parallel())
+            .finish()
+    }
+}
 
 /// Options controlling the verifier's behaviour and budgets.
 #[derive(Clone, Debug)]
@@ -31,6 +86,8 @@ pub struct VerifierOptions {
     pub max_composed_paths: usize,
     /// Symbolic-execution configuration used for element summaries.
     pub engine: EngineConfig,
+    /// How Step-2 feasibility checks are dispatched (sequential by default).
+    pub parallel: ParallelComposition,
 }
 
 impl Default for VerifierOptions {
@@ -40,6 +97,7 @@ impl Default for VerifierOptions {
             validate_counterexamples: true,
             max_composed_paths: 100_000,
             engine: EngineConfig::decomposed(),
+            parallel: ParallelComposition::sequential(),
         }
     }
 }
@@ -152,19 +210,26 @@ impl Verifier {
         }
 
         // ---------------- Step 2: composition ------------------------------
-        let hints = build_hints(property);
+        // The walk composes prefixes sequentially (prefix pruning steers
+        // which subtrees are entered at all) and *enumerates* the suspect ×
+        // prefix feasibility checks into a bounded buffer; each full batch
+        // is decided — inline, or across the configured `ParallelComposition`
+        // executor — with outcomes folded back in enumeration order, which
+        // keeps the report byte-identical between the two modes while
+        // holding at most one batch of composed constraints in memory.
         let mut ctx = ComposeCtx {
             pipeline,
             property,
             summaries: &summaries,
             suspects: &suspects,
             composer: Composer::new(),
+            pending: Vec::new(),
+            hints: build_hints(property),
             counterexamples: Vec::new(),
             unproven: Vec::new(),
             stats: &mut stats,
             options: &self.options,
             solver: &self.solver,
-            hints,
             budget_exhausted: false,
         };
         let entry = pipeline.entry();
@@ -177,6 +242,7 @@ impl Verifier {
             Vec::new(),
             0,
         );
+        ctx.flush_pending();
         let budget_exhausted = ctx.budget_exhausted;
         let counterexamples = ctx.counterexamples;
         let mut unproven = ctx.unproven;
@@ -409,6 +475,11 @@ pub fn materialise_packet(model: &dataplane_symbex::Assignment) -> Vec<u8> {
     bytes
 }
 
+/// Upper bound on buffered feasibility checks: large enough to saturate a
+/// worker pool, small enough that the composed constraints of a huge walk
+/// are not all resident at once.
+const CHECK_BATCH: usize = 1024;
+
 /// Mutable context for the Step-2 walk over the pipeline.
 struct ComposeCtx<'a> {
     pipeline: &'a Pipeline,
@@ -416,13 +487,50 @@ struct ComposeCtx<'a> {
     summaries: &'a [Arc<ElementSummary>],
     suspects: &'a [Vec<usize>],
     composer: Composer,
+    /// Enumerated-but-undecided checks, flushed at [`CHECK_BATCH`].
+    pending: Vec<PendingCheck>,
+    hints: Vec<dataplane_symbex::Assignment>,
     counterexamples: Vec<Counterexample>,
     unproven: Vec<UnprovenPath>,
     stats: &'a mut VerificationStats,
     options: &'a VerifierOptions,
     solver: &'a Solver,
-    hints: Vec<dataplane_symbex::Assignment>,
     budget_exhausted: bool,
+}
+
+/// One suspect × prefix feasibility check enumerated by the walk, decided in
+/// phase 2 (possibly on another worker thread).
+struct PendingCheck {
+    /// The element whose suspect segment is checked.
+    element: ElementIdx,
+    /// Index of the suspect segment within that element's summary.
+    seg_idx: usize,
+    /// The fully composed, property-contextualised constraint.
+    constraint: Vec<TermRef>,
+    /// Instance names along the composed path, ending at `element`.
+    path: Vec<String>,
+}
+
+/// What one feasibility check established.
+enum CheckOutcome {
+    /// Infeasible (directly, or via the stateful-element second chance).
+    Discharged,
+    /// Feasible: a concrete (possibly replay-confirmed) counterexample.
+    Violation(Counterexample),
+    /// The solver gave up; the reason names the stage that aborted.
+    Undecided(UnprovenPath),
+}
+
+/// Immutable context shared by phase-2 feasibility checks. Everything in
+/// here is `Sync`, so a [`ComposeExecutor`] can hand `&CheckCtx` to many
+/// worker threads at once.
+struct CheckCtx<'a> {
+    pipeline: &'a Pipeline,
+    property: &'a Property,
+    summaries: &'a [Arc<ElementSummary>],
+    options: &'a VerifierOptions,
+    solver: &'a Solver,
+    hints: &'a [dataplane_symbex::Assignment],
 }
 
 /// Build hint assignments for the solver's model search: structurally valid
@@ -497,6 +605,86 @@ fn build_hints(property: &Property) -> Vec<dataplane_symbex::Assignment> {
         .collect()
 }
 
+/// Replace reads of *static* data structures with the values installed by
+/// the element's configuration (the paper's "certain properties can only
+/// be proved for a specific configuration"): reads with a concrete key
+/// are looked up directly; reads of small tables with a symbolic key
+/// become a select chain over the table's populated entries.
+fn concretise_static_reads(
+    pipeline: &Pipeline,
+    composer: &Composer,
+    mut terms: Vec<TermRef>,
+) -> Vec<TermRef> {
+    // The select-chain expansion is only worthwhile (and only bounded)
+    // for small tables.
+    const MAX_CHAIN: usize = 32;
+    // Concretising one read can make another read's key concrete, so run
+    // a few passes until the terms stop changing.
+    for _ in 0..3 {
+        let next: Vec<TermRef> = terms
+            .iter()
+            .map(|t| {
+                term::substitute(t, &|leaf| {
+                    if let Term::DsRead {
+                        ds,
+                        key,
+                        seq,
+                        width,
+                    } = leaf
+                    {
+                        let element_idx = composer.element_of_id(*seq)?;
+                        let element = pipeline.node(element_idx).element.as_ref();
+                        let program = element.model();
+                        let decl = program.ds(*ds)?;
+                        if decl.class != DsClass::Static {
+                            return None;
+                        }
+                        let contents = element.model_state().get(ds).cloned().unwrap_or_default();
+                        if let Some(k) = key.as_const() {
+                            let value = contents
+                                .iter()
+                                .find(|(ck, _)| *ck == k.as_u64())
+                                .map(|(_, v)| *v)
+                                .unwrap_or(decl.default);
+                            return Some(term::constant(dataplane_ir::BitVec::new(*width, value)));
+                        }
+                        if contents.len() <= MAX_CHAIN {
+                            // Symbolic key over a small table: expand to
+                            // select(key == k1, v1, select(key == k2, ...)).
+                            let mut chain =
+                                term::constant(dataplane_ir::BitVec::new(*width, decl.default));
+                            for (k, v) in &contents {
+                                chain = term::select(
+                                    term::binary(
+                                        dataplane_ir::BinOp::Eq,
+                                        key.clone(),
+                                        term::constant(dataplane_ir::BitVec::new(
+                                            decl.key_width,
+                                            *k,
+                                        )),
+                                    ),
+                                    term::constant(dataplane_ir::BitVec::new(*width, *v)),
+                                    chain,
+                                );
+                            }
+                            return Some(chain);
+                        }
+                        None
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        let changed = next != terms;
+        terms = next;
+        if !changed {
+            break;
+        }
+    }
+    terms
+}
+
 impl<'a> ComposeCtx<'a> {
     /// Walk the pipeline DAG from `element`, carrying the composed prefix.
     #[allow(clippy::too_many_arguments)]
@@ -519,7 +707,8 @@ impl<'a> ComposeCtx<'a> {
         let mut path = prefix_path.clone();
         path.push(node.name.clone());
 
-        // Check this element's suspects against the composed prefix.
+        // Enumerate this element's suspects against the composed prefix; the
+        // actual solver calls run in phase 2.
         for &seg_idx in &self.suspects[element] {
             let segment = &summary.exploration.segments[seg_idx];
             // For the instruction-bound property, only paths whose cumulative
@@ -536,44 +725,14 @@ impl<'a> ComposeCtx<'a> {
                 self.composer
                     .rewrite_all(&view, stride, &segment.constraint),
             );
-            let constraint = self.apply_property_context(constraint);
-            self.stats.solver_calls += 1;
-            match self.solver.check_with_hints(&constraint, &self.hints) {
-                SolverResult::Unsat => {
-                    self.stats.discharged += 1;
-                }
-                SolverResult::Sat(model) => {
-                    let packet = self.materialise_counterexample(&model);
-                    let confirmed = self.options.validate_counterexamples
-                        && self.confirm(&packet, element, segment);
-                    self.counterexamples.push(Counterexample {
-                        packet,
-                        path: path.clone(),
-                        description: format!(
-                            "{} at element '{}'",
-                            describe_outcome(&segment.outcome),
-                            node.name
-                        ),
-                        confirmed,
-                    });
-                }
-                SolverResult::Unknown => {
-                    // Second chance: the stateful-element analysis (reads of
-                    // never-written private state can be replaced by the
-                    // default value).
-                    if self.discharged_by_ds_analysis(&constraint, element) {
-                        self.stats.discharged += 1;
-                    } else {
-                        self.unproven.push(UnprovenPath {
-                            path: path.clone(),
-                            reason: format!(
-                                "could not decide feasibility of {} at '{}'",
-                                describe_outcome(&segment.outcome),
-                                node.name
-                            ),
-                        });
-                    }
-                }
+            self.pending.push(PendingCheck {
+                element,
+                seg_idx,
+                constraint: self.apply_property_context(constraint),
+                path: path.clone(),
+            });
+            if self.pending.len() >= CHECK_BATCH {
+                self.flush_pending();
             }
         }
 
@@ -613,6 +772,142 @@ impl<'a> ComposeCtx<'a> {
         }
     }
 
+    /// Add the property's input assumptions (e.g. the reachability
+    /// destination binding) and concretise static state.
+    fn apply_property_context(&self, constraint: Vec<TermRef>) -> Vec<TermRef> {
+        match self.property {
+            Property::Reachability {
+                dst, dst_offset, ..
+            } => {
+                let octets = dst.octets();
+                let bindings: Vec<(i64, u8)> = octets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| (*dst_offset as i64 + i as i64, *b))
+                    .collect();
+                let bound = bind_packet_bytes(&constraint, &bindings);
+                concretise_static_reads(self.pipeline, &self.composer, bound)
+            }
+            _ => constraint,
+        }
+    }
+
+    /// Decide every buffered check and fold the outcomes — in enumeration
+    /// order, so the report is identical however the batch was executed.
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let check_ctx = CheckCtx {
+            pipeline: self.pipeline,
+            property: self.property,
+            summaries: self.summaries,
+            options: self.options,
+            solver: self.solver,
+            hints: &self.hints,
+        };
+        let outcomes = check_ctx.run_all(&pending);
+        for (outcome, diag) in outcomes {
+            self.stats.solver_calls += 1;
+            self.stats.fm_budget_aborts += usize::from(diag.fm_budget_exhausted);
+            self.stats.model_search_aborts += usize::from(diag.model_search_exhausted);
+            match outcome {
+                CheckOutcome::Discharged => self.stats.discharged += 1,
+                CheckOutcome::Violation(ce) => self.counterexamples.push(ce),
+                CheckOutcome::Undecided(up) => self.unproven.push(up),
+            }
+        }
+    }
+}
+
+impl<'a> CheckCtx<'a> {
+    /// Decide every pending check, inline or across the configured
+    /// executor's workers. The returned outcomes are in `pending` order
+    /// regardless of execution order.
+    fn run_all(&self, pending: &[PendingCheck]) -> Vec<(CheckOutcome, CheckDiagnostics)> {
+        let slots: Vec<Mutex<Option<(CheckOutcome, CheckDiagnostics)>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
+        match self.options.parallel.executor() {
+            Some(executor) if pending.len() > 1 => {
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = pending
+                    .iter()
+                    .zip(&slots)
+                    .map(|(check, slot)| {
+                        Box::new(move || {
+                            *slot.lock().expect("check slot") = Some(self.run_one(check));
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                executor.run_batch(jobs);
+            }
+            _ => {
+                for (check, slot) in pending.iter().zip(&slots) {
+                    *slot.lock().expect("check slot") = Some(self.run_one(check));
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("check slot")
+                    .expect("every check ran")
+            })
+            .collect()
+    }
+
+    /// Decide one suspect × prefix feasibility check.
+    fn run_one(&self, check: &PendingCheck) -> (CheckOutcome, CheckDiagnostics) {
+        let node = self.pipeline.node(check.element);
+        let segment = &self.summaries[check.element].exploration.segments[check.seg_idx];
+        let (result, diag) = self
+            .solver
+            .check_with_hints_diagnosed(&check.constraint, self.hints);
+        let outcome = match result {
+            SolverResult::Unsat => CheckOutcome::Discharged,
+            SolverResult::Sat(model) => {
+                let packet = self.materialise_counterexample(&model);
+                let confirmed = self.options.validate_counterexamples
+                    && self.confirm(&packet, check.element, segment);
+                CheckOutcome::Violation(Counterexample {
+                    packet,
+                    path: check.path.clone(),
+                    description: format!(
+                        "{} at element '{}'",
+                        describe_outcome(&segment.outcome),
+                        node.name
+                    ),
+                    confirmed,
+                })
+            }
+            SolverResult::Unknown => {
+                // Second chance: the stateful-element analysis (reads of
+                // never-written private state can be replaced by the
+                // default value).
+                if self.discharged_by_ds_analysis(&check.constraint, check.element) {
+                    CheckOutcome::Discharged
+                } else {
+                    let stages = diag.describe();
+                    let why = if stages.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" ({stages})")
+                    };
+                    CheckOutcome::Undecided(UnprovenPath {
+                        path: check.path.clone(),
+                        reason: format!(
+                            "could not decide feasibility of {} at '{}'{why}",
+                            describe_outcome(&segment.outcome),
+                            node.name
+                        ),
+                    })
+                }
+            }
+        };
+        (outcome, diag)
+    }
+
     /// Turn a solver model into the packet reported to the user. For the
     /// reachability property the destination bytes were substituted away
     /// before solving, so they are restored here (and the IPv4 header
@@ -639,105 +934,6 @@ impl<'a> ComposeCtx<'a> {
             }
         }
         packet
-    }
-
-    /// Add the property's input assumptions (e.g. the reachability
-    /// destination binding) and concretise static state.
-    fn apply_property_context(&self, constraint: Vec<TermRef>) -> Vec<TermRef> {
-        match self.property {
-            Property::Reachability {
-                dst, dst_offset, ..
-            } => {
-                let octets = dst.octets();
-                let bindings: Vec<(i64, u8)> = octets
-                    .iter()
-                    .enumerate()
-                    .map(|(i, b)| (*dst_offset as i64 + i as i64, *b))
-                    .collect();
-                let bound = bind_packet_bytes(&constraint, &bindings);
-                self.concretise_static_reads(bound)
-            }
-            _ => constraint,
-        }
-    }
-
-    /// Replace reads of *static* data structures with the values installed by
-    /// the element's configuration (the paper's "certain properties can only
-    /// be proved for a specific configuration"): reads with a concrete key
-    /// are looked up directly; reads of small tables with a symbolic key
-    /// become a select chain over the table's populated entries.
-    fn concretise_static_reads(&self, mut terms: Vec<TermRef>) -> Vec<TermRef> {
-        // The select-chain expansion is only worthwhile (and only bounded)
-        // for small tables.
-        const MAX_CHAIN: usize = 32;
-        // Concretising one read can make another read's key concrete, so run
-        // a few passes until the terms stop changing.
-        for _ in 0..3 {
-            let next: Vec<TermRef> = terms
-                .iter()
-                .map(|t| {
-                    term::substitute(t, &|leaf| {
-                        if let Term::DsRead {
-                            ds,
-                            key,
-                            seq,
-                            width,
-                        } = leaf
-                        {
-                            let element_idx = self.composer.element_of_id(*seq)?;
-                            let element = self.pipeline.node(element_idx).element.as_ref();
-                            let program = element.model();
-                            let decl = program.ds(*ds)?;
-                            if decl.class != DsClass::Static {
-                                return None;
-                            }
-                            let contents =
-                                element.model_state().get(ds).cloned().unwrap_or_default();
-                            if let Some(k) = key.as_const() {
-                                let value = contents
-                                    .iter()
-                                    .find(|(ck, _)| *ck == k.as_u64())
-                                    .map(|(_, v)| *v)
-                                    .unwrap_or(decl.default);
-                                return Some(term::constant(dataplane_ir::BitVec::new(
-                                    *width, value,
-                                )));
-                            }
-                            if contents.len() <= MAX_CHAIN {
-                                // Symbolic key over a small table: expand to
-                                // select(key == k1, v1, select(key == k2, ...)).
-                                let mut chain =
-                                    term::constant(dataplane_ir::BitVec::new(*width, decl.default));
-                                for (k, v) in &contents {
-                                    chain = term::select(
-                                        term::binary(
-                                            dataplane_ir::BinOp::Eq,
-                                            key.clone(),
-                                            term::constant(dataplane_ir::BitVec::new(
-                                                decl.key_width,
-                                                *k,
-                                            )),
-                                        ),
-                                        term::constant(dataplane_ir::BitVec::new(*width, *v)),
-                                        chain,
-                                    );
-                                }
-                                return Some(chain);
-                            }
-                            None
-                        } else {
-                            None
-                        }
-                    })
-                })
-                .collect();
-            let changed = next != terms;
-            terms = next;
-            if !changed {
-                break;
-            }
-        }
-        terms
     }
 
     /// Try to discharge a constraint the solver could not decide by replacing

@@ -8,14 +8,24 @@
 //! hit. That is the paper's "embarrassingly cacheable" property made
 //! operational.
 
-use crate::fingerprint::Fingerprint;
+use crate::fingerprint::{fingerprint_bytes, Fingerprint};
 use crate::json::Json;
-use crate::persist::{summary_from_json, summary_to_json};
+use crate::persist::ManifestEntry;
+use crate::persist::{manifest_from_json, manifest_to_json, summary_from_json, summary_to_json};
 use dataplane_verifier::ElementSummary;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Default size bound for the persistent tier's directory (the JSON summary
+/// files; the manifest itself is not counted). Summaries are a few KiB to a
+/// few hundred KiB each, so this comfortably holds thousands of element
+/// behaviours while bounding a long-lived cache directory.
+pub const DEFAULT_PERSIST_BYTES: u64 = 64 * 1024 * 1024;
+
+/// File name of the cache-directory manifest.
+pub(crate) const MANIFEST_FILE: &str = "manifest.json";
 
 /// Counters describing how the store served lookups.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -28,9 +38,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Summaries written to the persistent tier.
     pub persisted: u64,
-    /// Persistent-tier files that failed to read or decode (treated as
-    /// misses; the summary is recomputed and rewritten).
+    /// Persistent-tier files that failed to read or decode, or whose content
+    /// hash did not match the manifest checksum (treated as misses; the
+    /// summary is recomputed and rewritten).
     pub disk_errors: u64,
+    /// Summary files evicted to keep the persistent directory under its size
+    /// bound (least-recently-used first).
+    pub evicted: u64,
 }
 
 impl CacheStats {
@@ -45,11 +59,40 @@ impl CacheStats {
 pub struct SummaryStore {
     memory: Mutex<HashMap<Fingerprint, Arc<ElementSummary>>>,
     persist_dir: Option<PathBuf>,
+    /// Size bound for the persistent directory's summary files.
+    max_persist_bytes: u64,
+    /// The persistent directory's manifest, least-recently-used first.
+    /// Every summary file the tier trusts has an entry with the content
+    /// hash it was written with; the on-disk copy (`manifest.json`) is
+    /// rewritten atomically whenever the entries change.
+    manifest: Mutex<Vec<ManifestEntry>>,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     persisted: AtomicU64,
     disk_errors: AtomicU64,
+    evicted: AtomicU64,
+}
+
+/// Read and decode `dir`'s manifest (empty on any failure — every file then
+/// counts as unvouched and is recomputed rather than trusted).
+fn read_manifest(dir: &Path) -> Vec<ManifestEntry> {
+    std::fs::read_to_string(dir.join(MANIFEST_FILE))
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|json| manifest_from_json(&json).ok())
+        .unwrap_or_default()
+}
+
+/// Insert `disk` entries for files `manifest` does not track at the
+/// least-recently-used end (their true recency is unknown, so they are the
+/// first eviction candidates).
+fn adopt_unknown_entries(manifest: &mut Vec<ManifestEntry>, disk: &[ManifestEntry]) {
+    for entry in disk {
+        if !manifest.iter().any(|e| e.file == entry.file) {
+            manifest.insert(0, entry.clone());
+        }
+    }
 }
 
 impl SummaryStore {
@@ -60,11 +103,28 @@ impl SummaryStore {
 
     /// A store that additionally persists summaries as JSON files under
     /// `dir` (one file per fingerprint), creating the directory if needed.
+    /// The directory is bounded at [`DEFAULT_PERSIST_BYTES`]; see
+    /// [`SummaryStore::persistent_with_limit`].
     pub fn persistent(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        SummaryStore::persistent_with_limit(dir, DEFAULT_PERSIST_BYTES)
+    }
+
+    /// A persistent store whose summary files are bounded at `max_bytes`
+    /// total: when an insert pushes the directory over the bound, the
+    /// least-recently-used files are evicted (the manifest records use
+    /// order across processes). An existing `manifest.json` under `dir` is
+    /// loaded; files the manifest does not vouch for — or whose content
+    /// hash no longer matches — are never trusted, so a corrupted or
+    /// half-written cache directory degrades to recomputation, not to
+    /// wrong summaries.
+    pub fn persistent_with_limit(dir: impl Into<PathBuf>, max_bytes: u64) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        let manifest = read_manifest(&dir);
         Ok(SummaryStore {
             persist_dir: Some(dir),
+            max_persist_bytes: max_bytes,
+            manifest: Mutex::new(manifest),
             ..SummaryStore::default()
         })
     }
@@ -92,7 +152,16 @@ impl SummaryStore {
             return Some(summary.clone());
         }
         if let Some(path) = self.file_for(fingerprint) {
+            let file_name = format!("{fingerprint}.json");
             match std::fs::read_to_string(&path) {
+                // The manifest vouches (by content hash) for every file the
+                // tier trusts; a mismatching or unknown file is corrupt or
+                // stale — drop it and recompute rather than decode blindly.
+                Ok(text) if !self.manifest_vouches(&file_name, &text) => {
+                    self.disk_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = std::fs::remove_file(&path);
+                    self.forget_manifest_entry(&file_name);
+                }
                 Ok(text) => match Json::parse(&text)
                     .map_err(|e| e.to_string())
                     .and_then(|j| summary_from_json(&j).map_err(|e| e.to_string()))
@@ -103,6 +172,7 @@ impl SummaryStore {
                             .lock()
                             .expect("summary store lock")
                             .insert(fingerprint, summary.clone());
+                        self.touch_manifest_entry(&file_name);
                         self.disk_hits.fetch_add(1, Ordering::Relaxed);
                         return Some(summary);
                     }
@@ -110,6 +180,7 @@ impl SummaryStore {
                         // Corrupt file: drop it so the rewrite below is clean.
                         self.disk_errors.fetch_add(1, Ordering::Relaxed);
                         let _ = std::fs::remove_file(&path);
+                        self.forget_manifest_entry(&file_name);
                     }
                 },
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -120,6 +191,87 @@ impl SummaryStore {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
+    }
+
+    /// True if a manifest — this process's, or the one currently on disk —
+    /// has an entry for `file_name` whose checksum matches `text`.
+    ///
+    /// Consulting the on-disk manifest handles concurrent orchestrators
+    /// sharing a cache directory: a file written by another process after
+    /// our snapshot is vouched for by *its* manifest write, and must not be
+    /// destroyed as untrusted. (A process racing exactly between a peer's
+    /// file rename and manifest write can still drop that one file — the
+    /// peer recomputes it; cross-process locking is a ROADMAP item.)
+    fn manifest_vouches(&self, file_name: &str, text: &str) -> bool {
+        let checksum = fingerprint_bytes(text).to_string();
+        let vouched = |entries: &[ManifestEntry]| {
+            entries
+                .iter()
+                .any(|e| e.file == file_name && e.checksum == checksum)
+        };
+        let mut manifest = self.manifest.lock().expect("manifest lock");
+        if vouched(&manifest) {
+            return true;
+        }
+        let disk = self.read_disk_manifest();
+        adopt_unknown_entries(&mut manifest, &disk);
+        if vouched(&manifest) {
+            return true;
+        }
+        if vouched(&disk) {
+            // A peer rewrote a file we also track; its record describes the
+            // bytes now on disk.
+            if let Some(ours) = manifest.iter_mut().find(|e| e.file == file_name) {
+                ours.checksum = checksum;
+                ours.bytes = text.len() as u64;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// The manifest currently on disk (empty on any read/parse failure).
+    fn read_disk_manifest(&self) -> Vec<ManifestEntry> {
+        self.persist_dir
+            .as_deref()
+            .map(read_manifest)
+            .unwrap_or_default()
+    }
+
+    /// Move `file_name`'s entry to the most-recently-used end. In-memory
+    /// only — use order is best-effort across crashes; the next insert
+    /// persists it.
+    fn touch_manifest_entry(&self, file_name: &str) {
+        let mut manifest = self.manifest.lock().expect("manifest lock");
+        if let Some(pos) = manifest.iter().position(|e| e.file == file_name) {
+            let entry = manifest.remove(pos);
+            manifest.push(entry);
+        }
+    }
+
+    /// Drop `file_name`'s manifest entry (its file is gone or untrusted)
+    /// and persist the change.
+    fn forget_manifest_entry(&self, file_name: &str) {
+        let mut manifest = self.manifest.lock().expect("manifest lock");
+        if let Some(pos) = manifest.iter().position(|e| e.file == file_name) {
+            manifest.remove(pos);
+            self.write_manifest(&manifest);
+        }
+    }
+
+    /// Atomically rewrite `manifest.json` (callers hold the manifest lock).
+    fn write_manifest(&self, manifest: &[ManifestEntry]) {
+        let Some(dir) = &self.persist_dir else {
+            return;
+        };
+        let temp = dir.join(format!("manifest.tmp-{}", std::process::id()));
+        let text = manifest_to_json(manifest).to_text();
+        let ok = std::fs::write(&temp, text)
+            .and_then(|()| std::fs::rename(&temp, dir.join(MANIFEST_FILE)));
+        if ok.is_err() {
+            let _ = std::fs::remove_file(&temp);
+            self.disk_errors.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Install a freshly computed summary under `fingerprint`, writing the
@@ -137,6 +289,18 @@ impl SummaryStore {
                 TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
             ));
             let text = summary_to_json(&summary).to_text();
+            let entry = ManifestEntry {
+                file: format!("{fingerprint}.json"),
+                bytes: text.len() as u64,
+                checksum: fingerprint_bytes(&text).to_string(),
+            };
+            // Register the entry *before* the rename makes the file
+            // visible: a concurrent `get` of the same fingerprint must
+            // never observe a file the manifest does not vouch for (it
+            // would delete it as untrusted). The reverse window — entry
+            // without file — is a clean NotFound miss and merely recomputes.
+            let file_name = entry.file.clone();
+            self.record_and_evict(dir.clone(), entry);
             let written = std::fs::write(&temp, text).and_then(|()| std::fs::rename(&temp, &path));
             match written {
                 Ok(()) => {
@@ -145,6 +309,7 @@ impl SummaryStore {
                 Err(_) => {
                     let _ = std::fs::remove_file(&temp);
                     self.disk_errors.fetch_add(1, Ordering::Relaxed);
+                    self.forget_manifest_entry(&file_name);
                 }
             }
         }
@@ -152,6 +317,29 @@ impl SummaryStore {
             .lock()
             .expect("summary store lock")
             .insert(fingerprint, summary);
+    }
+
+    /// Record a freshly written summary file in the manifest, evict
+    /// least-recently-used files while the directory exceeds its size
+    /// bound (the newest entry is never evicted), and persist the manifest.
+    fn record_and_evict(&self, dir: PathBuf, entry: ManifestEntry) {
+        let mut manifest = self.manifest.lock().expect("manifest lock");
+        // Adopt entries a concurrent orchestrator added since our snapshot,
+        // so the rewrite below does not drop its records.
+        let disk = self.read_disk_manifest();
+        adopt_unknown_entries(&mut manifest, &disk);
+        if let Some(pos) = manifest.iter().position(|e| e.file == entry.file) {
+            manifest.remove(pos);
+        }
+        manifest.push(entry);
+        let mut total: u64 = manifest.iter().map(|e| e.bytes).sum();
+        while total > self.max_persist_bytes && manifest.len() > 1 {
+            let victim = manifest.remove(0);
+            total -= victim.bytes;
+            let _ = std::fs::remove_file(dir.join(&victim.file));
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.write_manifest(&manifest);
     }
 
     /// Number of summaries resident in memory.
@@ -170,6 +358,16 @@ impl SummaryStore {
         self.memory.lock().expect("summary store lock").clear();
     }
 
+    /// Total bytes of summary files the manifest currently tracks.
+    pub fn persisted_bytes(&self) -> u64 {
+        self.manifest
+            .lock()
+            .expect("manifest lock")
+            .iter()
+            .map(|e| e.bytes)
+            .sum()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -178,6 +376,7 @@ impl SummaryStore {
             misses: self.misses.load(Ordering::Relaxed),
             persisted: self.persisted.load(Ordering::Relaxed),
             disk_errors: self.disk_errors.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -246,6 +445,109 @@ mod tests {
         assert_eq!(fresh.stats().disk_hits, 1);
         assert_eq!(fresh.stats().misses, 0);
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_bounds_the_directory_size() {
+        let dir = temp_dir("evict");
+        // A limit that holds roughly two DecTTL summaries.
+        let summary = dec_ttl_summary();
+        let one_file = crate::persist::summary_to_json(&summary).to_text().len() as u64;
+        let store = SummaryStore::persistent_with_limit(&dir, one_file * 2).unwrap();
+        for i in 0..5 {
+            store.insert(Fingerprint(100 + i, 1), summary.clone());
+        }
+        let stats = store.stats();
+        assert_eq!(stats.persisted, 5);
+        assert!(stats.evicted >= 3, "expected evictions, got {stats:?}");
+        assert!(
+            store.persisted_bytes() <= one_file * 2,
+            "directory over its bound: {} > {}",
+            store.persisted_bytes(),
+            one_file * 2
+        );
+        // The newest entry survives, the oldest were evicted from disk.
+        store.clear_memory();
+        assert!(store.get(Fingerprint(104, 1)).is_some());
+        assert!(store.get(Fingerprint(100, 1)).is_none());
+        // Use order matters: a disk hit refreshes an entry's recency.
+        let lru = SummaryStore::persistent_with_limit(&dir, one_file * 2).unwrap();
+        lru.clear_memory();
+        assert!(lru.get(Fingerprint(103, 1)).is_some()); // touch the older one
+        lru.insert(Fingerprint(200, 1), summary.clone()); // evicts 104, not 103
+        lru.clear_memory();
+        assert!(lru.get(Fingerprint(103, 1)).is_some());
+        assert!(lru.get(Fingerprint(104, 1)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_files_fail_the_manifest_checksum() {
+        let dir = temp_dir("tamper");
+        let store = SummaryStore::persistent(&dir).unwrap();
+        let fp = Fingerprint(7, 8);
+        store.insert(fp, dec_ttl_summary());
+        // Tamper with the file in a way that still parses and decodes: a
+        // trailing space changes no JSON semantics, so only the manifest
+        // checksum can catch it.
+        let path = dir.join(format!("{fp}.json"));
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push(' ');
+        std::fs::write(&path, text).unwrap();
+        store.clear_memory();
+        assert!(store.get(fp).is_none(), "tampered file must not be trusted");
+        let stats = store.stats();
+        assert_eq!(stats.disk_errors, 1);
+        assert!(!path.exists(), "tampered file must be dropped");
+        // A file the manifest never vouched for is equally untrusted.
+        let stray = Fingerprint(9, 9);
+        std::fs::write(
+            dir.join(format!("{stray}.json")),
+            crate::persist::summary_to_json(&dec_ttl_summary()).to_text(),
+        )
+        .unwrap();
+        assert!(store.get(stray).is_none());
+        assert_eq!(store.stats().disk_errors, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_do_not_destroy_each_others_files() {
+        let dir = temp_dir("concurrent");
+        // Both "processes" snapshot the (empty) manifest at startup.
+        let a = SummaryStore::persistent(&dir).unwrap();
+        let b = SummaryStore::persistent(&dir).unwrap();
+        let fp_a = Fingerprint(21, 1);
+        let fp_b = Fingerprint(22, 1);
+        a.insert(fp_a, dec_ttl_summary());
+        b.insert(fp_b, dec_ttl_summary());
+        // B must trust A's file (vouched by the on-disk manifest A wrote),
+        // not delete it as unknown — and vice versa.
+        b.clear_memory();
+        assert!(b.get(fp_a).is_some(), "B destroyed A's valid summary");
+        a.clear_memory();
+        assert!(a.get(fp_b).is_some(), "A destroyed B's valid summary");
+        assert_eq!(a.stats().disk_errors, 0);
+        assert_eq!(b.stats().disk_errors, 0);
+        // Neither manifest rewrite dropped the other's entry.
+        let fresh = SummaryStore::persistent(&dir).unwrap();
+        assert!(fresh.get(fp_a).is_some());
+        assert!(fresh.get(fp_b).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_survives_a_fresh_process() {
+        let dir = temp_dir("manifest-restart");
+        let store = SummaryStore::persistent(&dir).unwrap();
+        let fp = Fingerprint(11, 12);
+        store.insert(fp, dec_ttl_summary());
+        drop(store);
+        let fresh = SummaryStore::persistent(&dir).unwrap();
+        assert!(fresh.persisted_bytes() > 0, "manifest entries reloaded");
+        assert!(fresh.get(fp).is_some(), "checksum verifies after reload");
+        assert_eq!(fresh.stats().disk_hits, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

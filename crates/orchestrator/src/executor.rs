@@ -12,9 +12,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// One schedulable unit.
-struct TaskNode {
+///
+/// The lifetime `'env` lets jobs borrow from the caller's stack — [`execute`]
+/// runs everything under a `std::thread::scope`, so non-`'static` closures
+/// (e.g. a parallel Step-2 batch borrowing the verifier's composition
+/// context) are sound.
+struct TaskNode<'env> {
     /// The work; taken exactly once.
-    run: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    run: Mutex<Option<Box<dyn FnOnce() + Send + 'env>>>,
     /// Number of incomplete dependencies.
     pending: AtomicUsize,
     /// Tasks to notify on completion.
@@ -23,11 +28,11 @@ struct TaskNode {
 
 /// A DAG of tasks, built once and executed by [`execute`].
 #[derive(Default)]
-pub struct TaskGraph {
-    tasks: Vec<TaskNode>,
+pub struct TaskGraph<'env> {
+    tasks: Vec<TaskNode<'env>>,
 }
 
-impl TaskGraph {
+impl<'env> TaskGraph<'env> {
     /// An empty graph.
     pub fn new() -> Self {
         TaskGraph::default()
@@ -36,7 +41,7 @@ impl TaskGraph {
     /// Add a task depending on the already-added tasks in `deps`; returns
     /// its id. Dependencies must be earlier ids, which makes cycles
     /// unrepresentable.
-    pub fn add(&mut self, deps: &[usize], run: Box<dyn FnOnce() + Send>) -> usize {
+    pub fn add(&mut self, deps: &[usize], run: Box<dyn FnOnce() + Send + 'env>) -> usize {
         let id = self.tasks.len();
         for &d in deps {
             assert!(d < id, "dependency {d} of task {id} does not exist yet");
@@ -63,9 +68,23 @@ impl TaskGraph {
     }
 }
 
+/// Run a batch of independent jobs (no dependency edges) across at most
+/// `threads` workers (never more workers than jobs); returns when every job
+/// has completed. This is the entry point the parallel Step-2 composition
+/// uses: each job is one suspect × prefix feasibility check borrowing the
+/// (shared, immutable) composition context.
+pub fn run_batch<'env>(jobs: Vec<Box<dyn FnOnce() + Send + 'env>>, threads: usize) {
+    let threads = threads.min(jobs.len());
+    let mut graph = TaskGraph::new();
+    for job in jobs {
+        graph.add(&[], job);
+    }
+    execute(graph, threads);
+}
+
 /// Run every task of `graph` across `threads` workers, respecting
 /// dependencies. Returns when all tasks have completed.
-pub fn execute(graph: TaskGraph, threads: usize) {
+pub fn execute(graph: TaskGraph<'_>, threads: usize) {
     let threads = threads.max(1);
     let total = graph.len();
     if total == 0 {

@@ -62,8 +62,8 @@ pub use cache::{CacheStats, SummaryStore};
 pub use fingerprint::{element_fingerprint, fingerprint_bytes, Fingerprint};
 pub use matrix::{preset_pipelines, preset_properties, preset_scenarios, MatrixReport};
 pub use orchestrator::{
-    plan, verify_sequential, ExploreSpec, JobPlan, Orchestrator, ProgressEvent, Scenario,
-    ScenarioReport,
+    parallel_composition, plan, verify_sequential, ExploreSpec, JobPlan, Orchestrator,
+    ProgressEvent, Scenario, ScenarioReport, WorkStealingComposition,
 };
 
 // The orchestrator moves pipelines, summaries, and progress observers across

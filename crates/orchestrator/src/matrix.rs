@@ -171,6 +171,14 @@ impl MatrixReport {
                     ),
                     ("solver_calls", Json::int(report.stats.solver_calls as u64)),
                     (
+                        "fm_budget_aborts",
+                        Json::int(report.stats.fm_budget_aborts as u64),
+                    ),
+                    (
+                        "model_search_aborts",
+                        Json::int(report.stats.model_search_aborts as u64),
+                    ),
+                    (
                         "elapsed_micros",
                         Json::int(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
                     ),
@@ -194,6 +202,7 @@ impl MatrixReport {
                     ("misses", Json::int(self.cache.misses)),
                     ("persisted", Json::int(self.cache.persisted)),
                     ("disk_errors", Json::int(self.cache.disk_errors)),
+                    ("evicted", Json::int(self.cache.evicted)),
                 ]),
             ),
             (

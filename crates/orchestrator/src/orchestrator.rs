@@ -17,14 +17,46 @@
 //! `tests/orchestrator.rs`).
 
 use crate::cache::{CacheStats, SummaryStore};
-use crate::executor::{execute, TaskGraph};
+use crate::executor::{execute, run_batch, TaskGraph};
 use crate::fingerprint::{element_fingerprint, Fingerprint};
 use dataplane_ir::Program;
 use dataplane_pipeline::Pipeline;
 use dataplane_symbex::explore;
-use dataplane_verifier::{ElementSummary, Property, Report, Verdict, Verifier, VerifierOptions};
+use dataplane_verifier::{
+    ComposeExecutor, ElementSummary, ParallelComposition, Property, Report, Verdict, Verifier,
+    VerifierOptions,
+};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// The verifier-facing handle onto the work-stealing pool: fans one
+/// composition's suspect × prefix feasibility checks out across `threads`
+/// workers. Configure it through [`parallel_composition`] or
+/// [`Orchestrator::with_parallel_composition`].
+#[derive(Debug)]
+pub struct WorkStealingComposition {
+    threads: usize,
+}
+
+impl ComposeExecutor for WorkStealingComposition {
+    fn run_batch<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        run_batch(jobs, self.threads);
+    }
+}
+
+/// A [`ParallelComposition`] config that dispatches Step-2 feasibility
+/// checks over the work-stealing executor with `threads` workers (0 =
+/// one per available core).
+pub fn parallel_composition(threads: usize) -> ParallelComposition {
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    ParallelComposition::over(Arc::new(WorkStealingComposition { threads }))
+}
 
 /// One cell of a verification matrix: a pipeline to verify and the property
 /// to verify it against.
@@ -239,6 +271,21 @@ impl Orchestrator {
         self
     }
 
+    /// Fan each composition's Step-2 feasibility checks out over `threads`
+    /// batch workers (0 = one per core). Reports stay byte-identical to
+    /// sequential composition; only the wall-clock of the suspect × prefix
+    /// checks changes.
+    ///
+    /// The batch workers are scoped threads *per composition*, on top of
+    /// the orchestrator's scenario-level pool: with S compositions running
+    /// concurrently the ceiling is `S × threads` live solver threads. When
+    /// verifying many scenarios at once, size the two knobs to multiply to
+    /// roughly the core count.
+    pub fn with_parallel_composition(mut self, threads: usize) -> Self {
+        self.options.parallel = parallel_composition(threads);
+        self
+    }
+
     /// Stream progress events to `observer`.
     pub fn with_progress(
         mut self,
@@ -405,6 +452,7 @@ impl Orchestrator {
                 misses: stats_after.misses - stats_before.misses,
                 persisted: stats_after.persisted - stats_before.persisted,
                 disk_errors: stats_after.disk_errors - stats_before.disk_errors,
+                evicted: stats_after.evicted - stats_before.evicted,
             },
             elapsed: started.elapsed(),
         }

@@ -134,6 +134,12 @@ impl TermTable {
     }
 }
 
+/// The current on-disk format version. Version 2 replaced the boolean
+/// `clobbered` flag of a packet transform with an optional clobber *range*;
+/// version-1 files fail to decode and are recomputed (the cache treats any
+/// decode failure as a miss).
+pub const SUMMARY_FORMAT: u64 = 2;
+
 /// Encode a summary to its JSON document.
 pub fn summary_to_json(summary: &ElementSummary) -> Json {
     let mut table = TermTable::default();
@@ -144,7 +150,7 @@ pub fn summary_to_json(summary: &ElementSummary) -> Json {
         .map(|segment| encode_segment(segment, &mut table))
         .collect();
     Json::obj([
-        ("format", Json::int(1)),
+        ("format", Json::int(SUMMARY_FORMAT)),
         ("type_name", Json::str(&summary.type_name)),
         ("config_key", Json::str(&summary.config_key)),
         (
@@ -163,7 +169,7 @@ fn encode_segment(segment: &Segment, table: &mut TermTable) -> Json {
         .iter()
         .map(|t| Json::int(table.intern(t) as u64))
         .collect();
-    let (base, len_delta, writes, clobbered) = segment.packet.parts();
+    let (base, len_delta, writes, clobber) = segment.packet.parts();
     let writes: Vec<Json> = writes
         .into_iter()
         .map(|(i, t)| Json::Arr(vec![Json::int(i), Json::int(table.intern(&t) as u64)]))
@@ -200,7 +206,13 @@ fn encode_segment(segment: &Segment, table: &mut TermTable) -> Json {
                 ("base", Json::int(base)),
                 ("delta", Json::int(len_delta)),
                 ("writes", Json::Arr(writes)),
-                ("clobbered", Json::Bool(clobbered)),
+                (
+                    "clobber",
+                    match clobber {
+                        Some((lo, hi)) => Json::Arr(vec![Json::int(lo), Json::int(hi)]),
+                        None => Json::Null,
+                    },
+                ),
             ]),
         ),
         ("ds_reads", Json::Arr(ds_reads)),
@@ -484,6 +496,19 @@ fn decode_segment(json: &Json, table: &[TermRef]) -> Result<Segment, PersistErro
             Ok((i, term))
         })
         .collect::<Result<Vec<_>, PersistError>>()?;
+    let clobber = match packet_json.get("clobber") {
+        Some(Json::Null) | None => None,
+        Some(range) => {
+            let pair = range.as_arr().ok_or_else(|| err("bad clobber range"))?;
+            match pair {
+                [lo, hi] => Some((
+                    lo.as_i64().ok_or_else(|| err("bad clobber lower bound"))?,
+                    hi.as_i64().ok_or_else(|| err("bad clobber upper bound"))?,
+                )),
+                _ => return Err(err("clobber range must be a pair")),
+            }
+        }
+    };
     let packet = SymPacket::from_parts(
         packet_json
             .get("base")
@@ -494,10 +519,7 @@ fn decode_segment(json: &Json, table: &[TermRef]) -> Result<Segment, PersistErro
             .and_then(Json::as_i64)
             .ok_or_else(|| err("missing packet delta"))?,
         writes,
-        packet_json
-            .get("clobbered")
-            .and_then(Json::as_bool)
-            .ok_or_else(|| err("missing clobbered flag"))?,
+        clobber,
     );
     let ds_reads = get_arr(json, "ds_reads")?
         .iter()
@@ -537,7 +559,7 @@ fn decode_segment(json: &Json, table: &[TermRef]) -> Result<Segment, PersistErro
 /// Decode a summary from its JSON document.
 pub fn summary_from_json(json: &Json) -> Result<ElementSummary, PersistError> {
     let format = get_u64(json, "format")?;
-    if format != 1 {
+    if format != SUMMARY_FORMAT {
         return Err(err(format!("unsupported summary format {format}")));
     }
     let table = decode_terms(get_arr(json, "terms")?)?;
@@ -556,10 +578,116 @@ pub fn summary_from_json(json: &Json) -> Result<ElementSummary, PersistError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// The cache-directory manifest
+// ---------------------------------------------------------------------------
+
+/// One persisted summary file as the cache manifest records it. The manifest
+/// is the directory's source of truth: a summary file whose content hash does
+/// not match its manifest checksum (or that the manifest does not know at
+/// all) is treated as corrupt/stale and recomputed instead of trusted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// File name within the cache directory (`<fingerprint>.json`).
+    pub file: String,
+    /// Size of the file in bytes (what eviction sums).
+    pub bytes: u64,
+    /// Content hash (hex [`crate::fingerprint::Fingerprint`]) of the file's
+    /// exact text.
+    pub checksum: String,
+}
+
+/// Encode a manifest. Entries are stored least-recently-used first, which is
+/// the order eviction consumes them in.
+pub fn manifest_to_json(entries: &[ManifestEntry]) -> Json {
+    Json::obj([
+        ("format", Json::int(1)),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("file", Json::str(&e.file)),
+                            ("bytes", Json::int(e.bytes)),
+                            ("checksum", Json::str(&e.checksum)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode a manifest document. File names are validated here — they are
+/// later joined onto the cache directory and *deleted* during eviction, so a
+/// tampered manifest must not be able to name a path outside the directory
+/// (no separators, no leading dot, `.json` suffix only).
+pub fn manifest_from_json(json: &Json) -> Result<Vec<ManifestEntry>, PersistError> {
+    if get_u64(json, "format")? != 1 {
+        return Err(err("unsupported manifest format"));
+    }
+    get_arr(json, "entries")?
+        .iter()
+        .map(|e| {
+            let file = get_str(e, "file")?;
+            let safe = file.ends_with(".json")
+                && !file.starts_with('.')
+                && file != crate::cache::MANIFEST_FILE
+                && file
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_');
+            if !safe {
+                return Err(err(format!("unsafe manifest file name '{file}'")));
+            }
+            Ok(ManifestEntry {
+                file: file.to_string(),
+                bytes: get_u64(e, "bytes")?,
+                checksum: get_str(e, "checksum")?.to_string(),
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dataplane_pipeline::elements::{CheckIPHeader, IPLookup, IPOptions, Nat, NetFlow};
+
+    #[test]
+    fn manifest_round_trips_and_rejects_unsafe_names() {
+        let entries = vec![ManifestEntry {
+            file: "ab12cd.json".into(),
+            bytes: 42,
+            checksum: "ff00".into(),
+        }];
+        let text = manifest_to_json(&entries).to_text();
+        let decoded = manifest_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded, entries);
+        // Eviction deletes manifest-named files, so traversal or
+        // non-summary names must never decode.
+        for name in [
+            "../../etc/passwd.json",
+            "a/b.json",
+            "..",
+            ".hidden.json",
+            "manifest.json",
+            "plain.txt",
+            "x\\y.json",
+            "",
+        ] {
+            let doc = manifest_to_json(&[ManifestEntry {
+                file: name.into(),
+                bytes: 1,
+                checksum: "0".into(),
+            }]);
+            assert!(
+                manifest_from_json(&doc).is_err(),
+                "unsafe name '{name}' accepted"
+            );
+        }
+    }
     use dataplane_pipeline::Element;
     use dataplane_symbex::{explore, EngineConfig};
     use std::net::Ipv4Addr;
@@ -636,7 +764,7 @@ mod tests {
         assert!(summary_from_json(&Json::Null).is_err());
         assert!(summary_from_json(&Json::obj([("format", Json::int(99))])).is_err());
         let missing_terms = Json::obj([
-            ("format", Json::int(1)),
+            ("format", Json::int(SUMMARY_FORMAT)),
             ("type_name", Json::str("X")),
             ("config_key", Json::str("")),
             ("explore_micros", Json::int(1)),
@@ -650,7 +778,7 @@ mod tests {
         assert!(summary_from_json(&missing_terms).is_err());
         // A term referencing a forward (not yet decoded) id is rejected.
         let forward_ref = Json::obj([
-            ("format", Json::int(1)),
+            ("format", Json::int(SUMMARY_FORMAT)),
             ("type_name", Json::str("X")),
             ("config_key", Json::str("")),
             ("explore_micros", Json::int(1)),
@@ -676,7 +804,7 @@ mod tests {
         // miss; a worker panic would abort the whole run).
         let doc_with_term = |term: Json| {
             Json::obj([
-                ("format", Json::int(1)),
+                ("format", Json::int(SUMMARY_FORMAT)),
                 ("type_name", Json::str("X")),
                 ("config_key", Json::str("")),
                 ("explore_micros", Json::int(1)),

@@ -9,8 +9,9 @@
 //!   asserted).
 
 use dataplane_orchestrator::{
-    element_fingerprint, fingerprint_bytes, plan, preset_pipelines, preset_scenarios,
-    verify_sequential, Fingerprint, Orchestrator, ProgressEvent, Scenario, SummaryStore,
+    element_fingerprint, fingerprint_bytes, parallel_composition, plan, preset_pipelines,
+    preset_scenarios, verify_sequential, Fingerprint, Orchestrator, ProgressEvent, Scenario,
+    SummaryStore,
 };
 use dataplane_verifier::{Report, VerifierOptions};
 use proptest::prelude::*;
@@ -53,6 +54,36 @@ fn assert_reports_identical(parallel: &Report, sequential: &Report, label: &str)
         parallel.stats.solver_calls, sequential.stats.solver_calls,
         "{label}: solver calls"
     );
+    assert_eq!(
+        parallel.stats.fm_budget_aborts, sequential.stats.fm_budget_aborts,
+        "{label}: fm budget aborts"
+    );
+    assert_eq!(
+        parallel.stats.model_search_aborts, sequential.stats.model_search_aborts,
+        "{label}: model search aborts"
+    );
+}
+
+#[test]
+fn parallel_step2_reports_identical_to_sequential_on_all_presets() {
+    // Same verifier, same scenarios — the only difference is whether the
+    // suspect × prefix feasibility checks of each composition run inline or
+    // across the work-stealing pool. Everything deterministic about the
+    // report must be byte-identical.
+    let sequential_options = VerifierOptions::default();
+    let parallel_options = VerifierOptions {
+        parallel: parallel_composition(4),
+        ..VerifierOptions::default()
+    };
+    assert!(parallel_options.parallel.is_parallel());
+    assert!(!sequential_options.parallel.is_parallel());
+    for scenario in preset_scenarios() {
+        let label = scenario.label();
+        let sequential =
+            verify_sequential(&scenario.pipeline, &scenario.property, &sequential_options);
+        let parallel = verify_sequential(&scenario.pipeline, &scenario.property, &parallel_options);
+        assert_reports_identical(&parallel, &sequential, &label);
+    }
 }
 
 #[test]

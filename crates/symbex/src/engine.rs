@@ -261,6 +261,7 @@ pub fn explore(program: &Program, config: &EngineConfig) -> Result<Exploration, 
         next_var: 0,
         next_ds_seq: 0,
         eval_guards: Vec::new(),
+        store_spans: Vec::new(),
     };
     let state = PathState {
         constraint: Vec::new(),
@@ -316,6 +317,30 @@ struct Evaluated {
     value: TermRef,
 }
 
+/// The union of packet-byte ranges the stores executed under one decomposed
+/// loop body may touch (program-relative, half-open).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StoreSpan {
+    /// No store executed.
+    None,
+    /// Every store provably lands inside `[lo, hi)`.
+    Bounded(i64, i64),
+    /// At least one store's offset could not be bounded.
+    Unbounded,
+}
+
+impl StoreSpan {
+    fn merge(&mut self, other: StoreSpan) {
+        *self = match (*self, other) {
+            (StoreSpan::Unbounded, _) | (_, StoreSpan::Unbounded) => StoreSpan::Unbounded,
+            (StoreSpan::None, s) | (s, StoreSpan::None) => s,
+            (StoreSpan::Bounded(a, b), StoreSpan::Bounded(c, d)) => {
+                StoreSpan::Bounded(a.min(c), b.max(d))
+            }
+        };
+    }
+}
+
 struct Engine<'a> {
     program: &'a Program,
     config: &'a EngineConfig,
@@ -328,6 +353,11 @@ struct Engine<'a> {
     /// with these guards so that a crash inside an *untaken* select arm is
     /// not reported — the concrete interpreter evaluates select lazily.
     eval_guards: Vec<TermRef>,
+    /// One frame per decomposed loop currently being explored; every packet
+    /// store merges the range it may touch into the innermost frame, so the
+    /// post-loop state can clobber exactly that range instead of the whole
+    /// packet.
+    store_spans: Vec<StoreSpan>,
 }
 
 impl<'a> Engine<'a> {
@@ -335,6 +365,52 @@ impl<'a> Engine<'a> {
         let id = VarId(self.next_var);
         self.next_var += 1;
         Arc::new(Term::Var { id, width })
+    }
+
+    /// Execute a packet store: bound the offset under the path constraint
+    /// when it is symbolic (so the clobber stays local to the range the
+    /// store can actually reach), log the touched range into the innermost
+    /// decomposed-loop frame, and apply the store to the state's packet.
+    fn packet_store(
+        &mut self,
+        state: &mut PathState,
+        off: &TermRef,
+        width_bytes: u8,
+        value: &TermRef,
+    ) {
+        let bounds = if off.as_const().is_some() {
+            None
+        } else {
+            // A bound close to the index-space maximum carries no
+            // information; treat it as unbounded so the behaviour matches
+            // the old whole-packet clobbering.
+            const MAX_USEFUL_OFFSET: u64 = 1 << 16;
+            let iv = crate::solver::term_bounds(&state.constraint, off);
+            (iv.hi < MAX_USEFUL_OFFSET).then_some((iv.lo as i64, iv.hi as i64))
+        };
+        if let Some(frame) = self.store_spans.last_mut() {
+            let span = match (off.as_const(), bounds) {
+                (Some(c), _) => {
+                    let at = c.as_u64() as i64;
+                    StoreSpan::Bounded(at, at + width_bytes as i64)
+                }
+                (None, Some((lo, hi))) => StoreSpan::Bounded(lo, hi + width_bytes as i64),
+                (None, None) => StoreSpan::Unbounded,
+            };
+            frame.merge(span);
+        }
+        let mut next_var = self.next_var;
+        state
+            .packet
+            .store_bounded(off, width_bytes, value, bounds, &mut || {
+                let v = Arc::new(Term::Var {
+                    id: VarId(next_var),
+                    width: 8,
+                });
+                next_var += 1;
+                v
+            });
+        self.next_var = next_var;
     }
 
     fn finish(&mut self, state: PathState, outcome: SegmentOutcome) -> Result<(), ExploreError> {
@@ -422,18 +498,7 @@ impl<'a> Engine<'a> {
                 // Fork on the bounds check.
                 let oob = state.packet.store_oob_condition(&off.value, *width_bytes);
                 self.fork_crash(&mut state, oob, CrashKind::PacketOutOfBounds)?;
-                let mut next_var = self.next_var;
-                state
-                    .packet
-                    .store(&off.value, *width_bytes, &val.value, &mut || {
-                        let v = Arc::new(Term::Var {
-                            id: VarId(next_var),
-                            width: 8,
-                        });
-                        next_var += 1;
-                        v
-                    });
-                self.next_var = next_var;
+                self.packet_store(&mut state, &off.value, *width_bytes, &val.value);
                 self.exec_cont(state, cont)
             }
             Stmt::DsWrite { ds, key, value } => {
@@ -733,12 +798,7 @@ impl<'a> Engine<'a> {
                                 let oob =
                                     state.packet.store_oob_condition(&off.value, *width_bytes);
                                 self.fork_crash(&mut state, oob, CrashKind::PacketOutOfBounds)?;
-                                state.packet.store(
-                                    &off.value,
-                                    *width_bytes,
-                                    &val.value,
-                                    &mut || self.fresh_var_for_store(),
-                                );
+                                self.packet_store(&mut state, &off.value, *width_bytes, &val.value);
                                 self.exec_block_collect(state, rest, out)
                             }
                             Stmt::DsWrite { ds, key, value } => {
@@ -838,10 +898,6 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn fresh_var_for_store(&mut self) -> TermRef {
-        self.fresh_var(8)
-    }
-
     fn exec_loop_decomposed(
         &mut self,
         mut state: PathState,
@@ -856,6 +912,102 @@ impl<'a> Engine<'a> {
         } else {
             Ok(())
         }
+    }
+
+    /// Infer inductive lower-bound invariants for the loop-carried locals of
+    /// a decomposed loop body: a local whose entry value has lower bound
+    /// `lo > 0` keeps `lo <= local` across iterations if every fall-through
+    /// body path provably re-establishes the bound (assuming it — plus the
+    /// loop condition — at iteration entry). This is what preserves
+    /// `20 <= i` for option-walking cursors, which in turn bounds the
+    /// symbolic record-route stores away from the fixed IP header.
+    ///
+    /// The validation explorations emit no segments and consume no budget
+    /// (segments *and* the branch counter are rolled back after every
+    /// round); only the surviving hypotheses escape. A validation round
+    /// that runs out of budget abandons inference — throwaway work must
+    /// never fail the real exploration. Dropping a failed hypothesis can
+    /// invalidate others (their validation assumed it), so validation
+    /// repeats until the surviving set is stable.
+    fn infer_loop_invariants(
+        &mut self,
+        state: &PathState,
+        carried: &BTreeSet<LocalId>,
+        cond: &Expr,
+        body: &[Stmt],
+    ) -> Result<Vec<(LocalId, u64)>, ExploreError> {
+        let mut hypotheses: Vec<(LocalId, u64)> = Vec::new();
+        for local in carried {
+            let entry = &state.locals[local.0 as usize];
+            let lo = crate::solver::term_bounds(&state.constraint, entry).lo;
+            if lo > 0 {
+                hypotheses.push((*local, lo));
+            }
+        }
+        let branches_mark = self.branches;
+        while !hypotheses.is_empty() {
+            let mut trial = state.clone();
+            trial.approximate = true;
+            for local in carried {
+                let width = self.program.locals[local.0 as usize].width;
+                trial.locals[local.0 as usize] = self.fresh_var(width);
+            }
+            // The trial models an arbitrary iteration, whose packet may
+            // already hold bytes written by earlier iterations (inference
+            // only runs for packet-writing bodies); havoc the packet so
+            // constant-offset reads cannot smuggle in pre-loop values.
+            let clobber = self.fresh_var(8);
+            trial.packet.clobber(clobber);
+            for (local, lo) in &hypotheses {
+                let width = self.program.locals[local.0 as usize].width;
+                trial.assume(term::binary(
+                    BinOp::ULe,
+                    term::constant(BitVec::new(width, *lo)),
+                    trial.locals[local.0 as usize].clone(),
+                ));
+            }
+            let segments_mark = self.segments.len();
+            // A sacrificial span frame absorbs the trial's packet stores:
+            // spans computed from havocked validation state must not widen
+            // the enclosing real loop's frame.
+            let spans_mark = self.store_spans.len();
+            self.store_spans.push(StoreSpan::None);
+            let mut fallthrough = Vec::new();
+            let run = match self.eval(&mut trial, cond) {
+                Ok(Some(c)) if c.value.is_false() => Ok(()),
+                Ok(Some(c)) => {
+                    trial.assume(c.value);
+                    self.exec_block_collect(trial, body, &mut fallthrough)
+                }
+                Ok(None) => Ok(()),
+                Err(e) => Err(e),
+            };
+            // Validation only: nothing it produced is a real segment, a real
+            // branch expansion, or a real store span.
+            self.segments.truncate(segments_mark);
+            self.branches = branches_mark;
+            self.store_spans.truncate(spans_mark);
+            if run.is_err() {
+                // Validation ran out of budget: abandon inference rather
+                // than fail the real exploration over throwaway work.
+                return Ok(Vec::new());
+            }
+            let surviving: Vec<(LocalId, u64)> = hypotheses
+                .iter()
+                .filter(|(local, lo)| {
+                    fallthrough.iter().all(|s| {
+                        let end = &s.locals[local.0 as usize];
+                        crate::solver::term_bounds(&s.constraint, end).lo >= *lo
+                    })
+                })
+                .copied()
+                .collect();
+            if surviving.len() == hypotheses.len() {
+                break;
+            }
+            hypotheses = surviving;
+        }
+        Ok(hypotheses)
     }
 
     /// Summarise a loop: surface every violating/terminal body path once
@@ -874,6 +1026,30 @@ impl<'a> Engine<'a> {
         let mut carried = BTreeSet::new();
         collect_assigned_locals(body, &mut carried);
 
+        // Invariant inference pays off exactly when the body writes the
+        // packet (the invariants bound the store offsets); skip it otherwise.
+        // A resizing body is excluded: the validation trial havocs packet
+        // bytes but not the length/base shift, so a length-dependent bound
+        // could validate against the entry-time length and be unsound — and
+        // resizing bodies whole-packet-clobber anyway, so a span bound would
+        // buy nothing.
+        let writes_packet = body_writes_packet(body);
+        let invariants = if writes_packet && !body_resizes_packet(body) {
+            self.infer_loop_invariants(state, &carried, cond, body)?
+        } else {
+            Vec::new()
+        };
+        let assume_invariants = |engine: &Engine<'_>, s: &mut PathState| {
+            for (local, lo) in &invariants {
+                let width = engine.program.locals[local.0 as usize].width;
+                s.assume(term::binary(
+                    BinOp::ULe,
+                    term::constant(BitVec::new(width, *lo)),
+                    s.locals[local.0 as usize].clone(),
+                ));
+            }
+        };
+
         // --- one symbolic iteration over havocked state -------------------
         let mut iteration = state.clone();
         iteration.approximate = true;
@@ -881,6 +1057,17 @@ impl<'a> Engine<'a> {
             let width = self.program.locals[local.0 as usize].width;
             iteration.locals[local.0 as usize] = self.fresh_var(width);
         }
+        // This iteration stands for *every* iteration, including ones whose
+        // packet already holds bytes written by earlier iterations. Havoc
+        // the packet for packet-writing bodies so a constant-offset read
+        // cannot observe a stale pre-loop byte and (via `term_bounds`)
+        // under-approximate the store span below. Symbolic-offset loads
+        // already read as fresh variables, so the presets lose nothing.
+        if writes_packet {
+            let clobber = self.fresh_var(8);
+            iteration.packet.clobber(clobber);
+        }
+        assume_invariants(self, &mut iteration);
         let c_entry = match self.eval(&mut iteration, cond)? {
             Some(e) => e,
             None => return Ok(true),
@@ -893,7 +1080,21 @@ impl<'a> Engine<'a> {
         iteration.assume(c_entry.value.clone());
         let mut fallthrough_states = Vec::new();
         let before = self.segments.len();
-        self.exec_block_collect(iteration, body, &mut fallthrough_states)?;
+        // Every store the body executes merges the range it may touch into
+        // this frame; the generic havocked iteration covers all iterations,
+        // so the merged span bounds what the whole loop can rewrite. The
+        // frame is popped before any error propagates — a caller that
+        // recovers from the error (invariant validation does) must find the
+        // stack balanced.
+        self.store_spans.push(StoreSpan::None);
+        let body_result = self.exec_block_collect(iteration, body, &mut fallthrough_states);
+        let body_span = self.store_spans.pop().unwrap_or(StoreSpan::Unbounded);
+        body_result?;
+        // A nested decomposed loop must also surface its stores to the
+        // enclosing frame.
+        if let Some(outer) = self.store_spans.last_mut() {
+            outer.merge(body_span);
+        }
         // Terminal body paths (emit/drop/crash) have been surfaced as
         // segments by the collector; mark them approximate.
         for seg in &mut self.segments[before..] {
@@ -921,10 +1122,25 @@ impl<'a> Engine<'a> {
             let width = self.program.locals[local.0 as usize].width;
             state.locals[local.0 as usize] = self.fresh_var(width);
         }
-        // If the body can write the packet, its effect is unknown here.
-        if body_writes_packet(body) {
+        assume_invariants(self, state);
+        // If the body can write the packet, the touched range is unknown
+        // here — but only that range. A body that resizes the packet shifts
+        // every offset, so no range is trustworthy in that case.
+        if body_resizes_packet(body) {
             let clobber = self.fresh_var(8);
             state.packet.clobber(clobber);
+        } else {
+            match body_span {
+                // The generic iteration executed no store, so no concrete
+                // iteration stores either (the havocked exploration covers
+                // every iteration's paths).
+                StoreSpan::None => {}
+                StoreSpan::Bounded(lo, hi) => state.packet.clobber_program_range(lo, hi),
+                StoreSpan::Unbounded => {
+                    let clobber = self.fresh_var(8);
+                    state.packet.clobber(clobber);
+                }
+            }
         }
         // Data-structure writes performed by the body are recorded
         // conservatively (key and value havocked) so the stateful-element
@@ -1122,6 +1338,21 @@ fn body_writes_packet(stmts: &[Stmt]) -> bool {
             ..
         } => body_writes_packet(then_body) || body_writes_packet(else_body),
         Stmt::Loop { body, .. } => body_writes_packet(body),
+        _ => false,
+    })
+}
+
+/// True if the statements can change the packet's length or base offset, in
+/// which case per-iteration byte ranges are meaningless after decomposition.
+fn body_resizes_packet(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::StripFront { .. } | Stmt::PushFront { .. } => true,
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => body_resizes_packet(then_body) || body_resizes_packet(else_body),
+        Stmt::Loop { body, .. } => body_resizes_packet(body),
         _ => false,
     })
 }
@@ -1445,6 +1676,46 @@ mod tests {
                 "mode {mode:?} must surface the division crash"
             );
         }
+    }
+
+    #[test]
+    fn decomposed_span_covers_offsets_read_from_loop_written_bytes() {
+        // Iteration 1 rewrites the cursor byte 10 (pre-loop value 3) to 100;
+        // iteration 2 then stores at the offset *read from byte 10*, i.e. at
+        // byte 100. The decomposed summary must not bound the loop's stores
+        // using the stale pre-loop cursor value: byte 100 really can change,
+        // so the post-loop assert on it must keep a feasible crash path.
+        let mut pb = ProgramBuilder::new("SelfRead", 1);
+        let i = pb.local("i", 8);
+        let off = pb.local("off", 32);
+        let mut b = Block::new();
+        b.pkt_store(10, 1, c(8, 3));
+        b.pkt_store(100, 1, c(8, 7));
+        b.loop_bounded(
+            2,
+            ult(l(i), c(8, 2)),
+            Block::with(|lb| {
+                lb.assign(off, zext(pkt(10, 1), 32));
+                lb.pkt_store_at(l(off), 1, c(8, 55));
+                lb.pkt_store(10, 1, c(8, 100));
+                lb.assign(i, add(l(i), c(8, 1)));
+            }),
+        );
+        b.assert(eq(pkt(100, 1), c(8, 7)), "byte 100 kept its pre-loop value");
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        let decomposed = explore(&prog, &EngineConfig::decomposed()).unwrap();
+        let solver = Solver::new();
+        let assert_can_fail = decomposed.segments.iter().any(|s| {
+            matches!(
+                &s.outcome,
+                SegmentOutcome::Crashed(CrashKind::AssertionFailed(m)) if m.contains("byte 100")
+            ) && !solver.check(&s.constraint).is_unsat()
+        });
+        assert!(
+            assert_can_fail,
+            "the loop can write byte 100; its assert must keep a feasible crash path"
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use engine::{
     explore, CrashKind, DsReadRecord, DsWriteRecord, EngineConfig, Exploration, ExploreError,
     LoopMode, Segment, SegmentOutcome,
 };
-pub use solver::{Solver, SolverConfig, SolverResult};
+pub use solver::{term_bounds, CheckDiagnostics, Interval, Solver, SolverConfig, SolverResult};
 pub use state::SymPacket;
 pub use term::{Assignment, Term, TermRef, VarId};
 

@@ -32,6 +32,38 @@ pub enum SolverResult {
     Unknown,
 }
 
+/// Which analytic stage gave up within budget during a check. Both flags stay
+/// `false` on decided (`Sat`/`Unsat`) results reached before the stage in
+/// question ran out; an `Unknown` result always has at least
+/// `model_search_exhausted` set, and `fm_budget_exhausted` additionally says
+/// that Fourier–Motzkin aborted mid-elimination (so a larger
+/// `max_fm_constraints` budget might have decided the system).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckDiagnostics {
+    /// Fourier–Motzkin hit `max_fm_constraints` and returned no verdict from
+    /// that stage.
+    pub fm_budget_exhausted: bool,
+    /// The randomized model search ran through `model_search_tries` without
+    /// finding a model.
+    pub model_search_exhausted: bool,
+}
+
+impl CheckDiagnostics {
+    /// Human-readable description of the stages that gave up, for `Unknown`
+    /// reports (empty when nothing aborted).
+    pub fn describe(&self) -> String {
+        match (self.fm_budget_exhausted, self.model_search_exhausted) {
+            (true, true) => {
+                "fourier-motzkin aborted at its constraint budget, model search exhausted its tries"
+                    .to_string()
+            }
+            (true, false) => "fourier-motzkin aborted at its constraint budget".to_string(),
+            (false, true) => "model search exhausted its tries".to_string(),
+            (false, false) => String::new(),
+        }
+    }
+}
+
 impl SolverResult {
     /// True if the result is `Sat`.
     pub fn is_sat(&self) -> bool {
@@ -107,15 +139,24 @@ impl Solver {
 
     /// Check satisfiability of the conjunction of `constraints`.
     pub fn check(&self, constraints: &[TermRef]) -> SolverResult {
+        self.check_diagnosed(constraints).0
+    }
+
+    /// Like [`Solver::check`], additionally reporting which analytic stage
+    /// (if any) gave up within its budget — the information the verifier
+    /// surfaces so `Unknown` verdicts are diagnosable.
+    pub fn check_diagnosed(&self, constraints: &[TermRef]) -> (SolverResult, CheckDiagnostics) {
+        let mut diag = CheckDiagnostics::default();
+
         // 1. Flatten conjunctions and look for literal `false`.
         let mut conjuncts = Vec::new();
         for c in constraints {
             if !flatten(c, &mut conjuncts) {
-                return SolverResult::Unsat;
+                return (SolverResult::Unsat, diag);
             }
         }
         if conjuncts.is_empty() {
-            return SolverResult::Sat(Assignment::default());
+            return (SolverResult::Sat(Assignment::default()), diag);
         }
 
         // 2. Normalise comparisons into atoms (opaque conjuncts are kept for
@@ -124,7 +165,7 @@ impl Solver {
 
         // 3. Syntactic contradiction pairs.
         if has_contradiction_pair(&atoms) {
-            return SolverResult::Unsat;
+            return (SolverResult::Unsat, diag);
         }
 
         // 4. Interval propagation.
@@ -138,25 +179,30 @@ impl Solver {
                 changed |= intervals.refine(a);
             }
             if intervals.contradiction {
-                return SolverResult::Unsat;
+                return (SolverResult::Unsat, diag);
             }
             if !changed {
                 break;
             }
         }
         if intervals.contradiction {
-            return SolverResult::Unsat;
+            return (SolverResult::Unsat, diag);
         }
 
         // 5. Fourier–Motzkin over the linear fragment.
-        if fourier_motzkin_unsat(&atoms, &intervals, self.config.max_fm_constraints) {
-            return SolverResult::Unsat;
+        match fourier_motzkin(&atoms, &intervals, self.config.max_fm_constraints) {
+            FmOutcome::Unsat => return (SolverResult::Unsat, diag),
+            FmOutcome::NoVerdict => {}
+            FmOutcome::BudgetExhausted => diag.fm_budget_exhausted = true,
         }
 
         // 6. Model search.
         match self.search_model(&conjuncts, &atoms, &intervals) {
-            Some(model) => SolverResult::Sat(model),
-            None => SolverResult::Unknown,
+            Some(model) => (SolverResult::Sat(model), diag),
+            None => {
+                diag.model_search_exhausted = true;
+                (SolverResult::Unknown, diag)
+            }
         }
     }
 
@@ -175,6 +221,18 @@ impl Solver {
     /// synthesise. A hint that satisfies every conjunct is returned as a
     /// verified `Sat` model; otherwise the normal decision procedure runs.
     pub fn check_with_hints(&self, constraints: &[TermRef], hints: &[Assignment]) -> SolverResult {
+        self.check_with_hints_diagnosed(constraints, hints).0
+    }
+
+    /// [`Solver::check_with_hints`] with the stage diagnostics of the
+    /// fallback decision procedure (a hint that satisfies everything decides
+    /// the check before any stage can give up, so the diagnostics are empty
+    /// in that case).
+    pub fn check_with_hints_diagnosed(
+        &self,
+        constraints: &[TermRef],
+        hints: &[Assignment],
+    ) -> (SolverResult, CheckDiagnostics) {
         let mut conjuncts = Vec::new();
         let mut all_flat = true;
         for c in constraints {
@@ -194,14 +252,14 @@ impl Solver {
                     let mut candidate = hint.clone();
                     for _ in 0..4 {
                         if check_all(&conjuncts, &candidate) {
-                            return SolverResult::Sat(candidate);
+                            return (SolverResult::Sat(candidate), CheckDiagnostics::default());
                         }
                         for atom in &atoms {
                             repair(&mut candidate, atom, allow_packet);
                         }
                     }
                     if check_all(&conjuncts, &candidate) {
-                        return SolverResult::Sat(candidate);
+                        return (SolverResult::Sat(candidate), CheckDiagnostics::default());
                     }
                     if debug_hints && allow_packet && hint_idx == 0 {
                         for c in &conjuncts {
@@ -214,7 +272,7 @@ impl Solver {
                 }
             }
         }
-        self.check(constraints)
+        self.check_diagnosed(constraints)
     }
 
     // --- model search ------------------------------------------------------
@@ -643,6 +701,55 @@ impl Interval {
     fn is_empty(&self) -> bool {
         self.lo > self.hi
     }
+    fn intersect(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+}
+
+/// Sound unsigned bounds of `term` under the conjunction of `constraints`.
+///
+/// This runs the solver's interval-propagation stage (bottom-up computation
+/// plus atom-driven refinement) and reads the resulting bounds back out
+/// compositionally, so refinements recorded against sub-terms (e.g. a loop
+/// counter bounded by the loop condition, or an invariant the engine seeded)
+/// reach the bounds of composite expressions built from them. Used by the
+/// engine to bound symbolic packet-store offsets. When the constraints are
+/// contradictory any answer is sound; the degenerate `[0, 0]` point is
+/// returned.
+pub fn term_bounds(constraints: &[TermRef], term: &TermRef) -> Interval {
+    let mut conjuncts = Vec::new();
+    for c in constraints {
+        if !flatten(c, &mut conjuncts) {
+            return Interval::point(0);
+        }
+    }
+    let atoms: Vec<Atom> = conjuncts.iter().filter_map(normalize_atom).collect();
+    let mut intervals = IntervalMap::default();
+    for c in &conjuncts {
+        intervals.compute(c);
+    }
+    intervals.compute(term);
+    for _ in 0..4 {
+        let mut changed = false;
+        for a in &atoms {
+            changed |= intervals.refine(a);
+        }
+        if intervals.contradiction {
+            return Interval::point(0);
+        }
+        if !changed {
+            break;
+        }
+    }
+    let bounds = intervals.bounds_bottom_up(term);
+    if bounds.is_empty() {
+        Interval::point(0)
+    } else {
+        bounds
+    }
 }
 
 /// Map of computed intervals keyed by term structure.
@@ -662,84 +769,41 @@ impl IntervalMap {
         if let Some(iv) = self.map.get(t) {
             return *iv;
         }
-        let width = t.width();
-        let full = Interval::full(width);
-        let iv = match t.as_ref() {
-            Term::Const(v) => Interval::point(v.as_u64()),
-            Term::PacketByte(_) | Term::PacketByteAt { .. } => Interval { lo: 0, hi: 255 },
-            Term::PacketLen => Interval { lo: 0, hi: 65535 },
-            Term::Var { .. } | Term::DsRead { .. } => full,
-            Term::Unary { .. } => full,
-            Term::Cast { kind, width, a } => {
-                let inner = self.compute(a);
-                match kind {
-                    dataplane_ir::CastKind::ZExt | dataplane_ir::CastKind::Resize
-                        if *width >= a.width() =>
-                    {
-                        inner
-                    }
-                    _ => full,
-                }
-            }
-            Term::Select { t: tt, e, .. } => {
-                let a = self.compute(tt);
-                let b = self.compute(e);
-                Interval {
-                    lo: a.lo.min(b.lo),
-                    hi: a.hi.max(b.hi),
-                }
-            }
-            Term::Binary { op, a, b } => {
-                let x = self.compute(a);
-                let y = self.compute(b);
-                let mask = dataplane_ir::value::mask(width);
-                match op {
-                    BinOp::Add => match (x.hi.checked_add(y.hi), x.lo.checked_add(y.lo)) {
-                        (Some(hi), Some(lo)) if hi <= mask => Interval { lo, hi },
-                        _ => full,
-                    },
-                    BinOp::Sub => {
-                        if x.lo >= y.hi {
-                            Interval {
-                                lo: x.lo - y.hi,
-                                hi: x.hi - y.lo,
-                            }
-                        } else {
-                            full
-                        }
-                    }
-                    BinOp::Mul => match (x.hi.checked_mul(y.hi), x.lo.checked_mul(y.lo)) {
-                        (Some(hi), Some(lo)) if hi <= mask => Interval { lo, hi },
-                        _ => full,
-                    },
-                    BinOp::And => Interval {
-                        lo: 0,
-                        hi: x.hi.min(y.hi),
-                    },
-                    BinOp::UDiv => match x.hi.checked_div(y.lo) {
-                        // y.lo > 0 bounds the quotient; a zero divisor may
-                        // crash instead of producing a value, so no bound.
-                        Some(hi) => Interval {
-                            lo: x.lo / y.hi.max(1),
-                            hi,
-                        },
-                        None => full,
-                    },
-                    BinOp::URem => Interval {
-                        lo: 0,
-                        hi: if y.hi > 0 { y.hi - 1 } else { full.hi },
-                    },
-                    BinOp::LShr => Interval {
-                        lo: 0,
-                        hi: x.hi >> y.lo.min(63),
-                    },
-                    _ if op.is_comparison() || op.is_boolean() => Interval { lo: 0, hi: 1 },
-                    _ => full,
-                }
-            }
+        let iv = {
+            let mut children = |c: &TermRef| self.compute(c);
+            node_interval(t, &mut children)
         };
         self.map.insert(t.clone(), iv);
         iv
+    }
+
+    /// Sound bounds of `t` recomputed bottom-up against the *refined* map
+    /// entries. [`IntervalMap::compute`] caches a composite node's interval
+    /// before any refinement happens, so a plain map lookup of a composite
+    /// can be stale; this walk re-derives every node from its children and
+    /// intersects with whatever (refined) knowledge the map holds about the
+    /// node itself. Memoized per call: terms are DAGs (subterms shared via
+    /// `Arc`), so an unmemoized walk would be exponential in chain depth.
+    fn bounds_bottom_up(&self, t: &TermRef) -> Interval {
+        self.bounds_bottom_up_memo(t, &mut HashMap::new())
+    }
+
+    fn bounds_bottom_up_memo(
+        &self,
+        t: &TermRef,
+        memo: &mut HashMap<TermRef, Interval>,
+    ) -> Interval {
+        if let Some(iv) = memo.get(t) {
+            return *iv;
+        }
+        let mut children = |c: &TermRef| self.bounds_bottom_up_memo(c, memo);
+        let computed = node_interval(t, &mut children);
+        let result = match self.map.get(t) {
+            Some(iv) => computed.intersect(*iv),
+            None => computed,
+        };
+        memo.insert(t.clone(), result);
+        result
     }
 
     /// Refine intervals using one atom. Returns true if anything changed.
@@ -805,6 +869,180 @@ impl IntervalMap {
             changed = true;
         }
         changed
+    }
+}
+
+/// The interval of one term node as a function of its children's intervals
+/// (supplied by `children`, which may recurse with or without caching). Every
+/// rule is conservative: the returned range always encloses every value the
+/// node can take when each child stays within its reported range.
+fn node_interval(t: &TermRef, children: &mut dyn FnMut(&TermRef) -> Interval) -> Interval {
+    let width = t.width();
+    let full = Interval::full(width);
+    match t.as_ref() {
+        Term::Const(v) => Interval::point(v.as_u64()),
+        Term::PacketByte(_) | Term::PacketByteAt { .. } => Interval { lo: 0, hi: 255 },
+        Term::PacketLen => Interval { lo: 0, hi: 65535 },
+        Term::Var { .. } | Term::DsRead { .. } => full,
+        Term::Unary { op, a } => {
+            let x = children(a);
+            match op {
+                // Bitwise complement reverses the order of values.
+                UnOp::Not => {
+                    let mask = dataplane_ir::value::mask(width);
+                    Interval {
+                        lo: mask - x.hi.min(mask),
+                        hi: mask - x.lo.min(mask),
+                    }
+                }
+                UnOp::LogicalNot => Interval { lo: 0, hi: 1 },
+                UnOp::Neg => full,
+            }
+        }
+        Term::Cast { kind, width, a } => {
+            let inner = children(a);
+            match kind {
+                dataplane_ir::CastKind::ZExt | dataplane_ir::CastKind::Resize
+                    if *width >= a.width() =>
+                {
+                    inner
+                }
+                // A narrowing truncation (or resize) preserves the value
+                // whenever the value provably fits in the target width.
+                dataplane_ir::CastKind::Trunc | dataplane_ir::CastKind::Resize
+                    if inner.hi <= dataplane_ir::value::mask(*width) =>
+                {
+                    inner
+                }
+                // Sign extension of a provably non-negative value is a zero
+                // extension.
+                dataplane_ir::CastKind::SExt
+                    if *width >= a.width() && a.width() > 0 && inner.hi < top_bit(a.width()) =>
+                {
+                    inner
+                }
+                _ => full,
+            }
+        }
+        Term::Select { t: tt, e, .. } => {
+            let a = children(tt);
+            let b = children(e);
+            Interval {
+                lo: a.lo.min(b.lo),
+                hi: a.hi.max(b.hi),
+            }
+        }
+        Term::Binary { op, a, b } => {
+            let x = children(a);
+            let y = children(b);
+            let mask = dataplane_ir::value::mask(width);
+            match op {
+                BinOp::Add => match (x.hi.checked_add(y.hi), x.lo.checked_add(y.lo)) {
+                    (Some(hi), Some(lo)) if hi <= mask => Interval { lo, hi },
+                    _ => full,
+                },
+                BinOp::Sub => {
+                    if x.lo >= y.hi {
+                        Interval {
+                            lo: x.lo - y.hi,
+                            hi: x.hi - y.lo,
+                        }
+                    } else {
+                        full
+                    }
+                }
+                BinOp::Mul => match (x.hi.checked_mul(y.hi), x.lo.checked_mul(y.lo)) {
+                    (Some(hi), Some(lo)) if hi <= mask => Interval { lo, hi },
+                    _ => full,
+                },
+                BinOp::And => Interval {
+                    lo: 0,
+                    hi: x.hi.min(y.hi),
+                },
+                // Every set bit of `x | y` is bounded by the highest set bit
+                // either side can contribute, and neither side can lower the
+                // other's value.
+                BinOp::Or => Interval {
+                    lo: x.lo.max(y.lo),
+                    hi: bit_ceiling(x.hi | y.hi).min(mask),
+                },
+                BinOp::Xor => Interval {
+                    lo: 0,
+                    hi: bit_ceiling(x.hi | y.hi).min(mask),
+                },
+                BinOp::Shl => {
+                    // Only bounded when the largest shifted value provably
+                    // stays in range (no bits shifted out for any operand
+                    // values).
+                    if y.hi < 64 {
+                        match x.hi.checked_shl(y.hi as u32) {
+                            Some(hi) if hi <= mask => Interval {
+                                lo: x.lo << y.lo.min(63),
+                                hi,
+                            },
+                            _ => full,
+                        }
+                    } else {
+                        full
+                    }
+                }
+                BinOp::UDiv => match x.hi.checked_div(y.lo) {
+                    // y.lo > 0 bounds the quotient; a zero divisor may
+                    // crash instead of producing a value, so no bound.
+                    Some(hi) => Interval {
+                        lo: x.lo / y.hi.max(1),
+                        hi,
+                    },
+                    None => full,
+                },
+                BinOp::URem => {
+                    if y.lo > 0 && x.hi < y.lo {
+                        // The dividend is provably smaller than every
+                        // possible divisor: the remainder is the dividend.
+                        x
+                    } else {
+                        Interval {
+                            lo: 0,
+                            hi: if y.hi > 0 {
+                                x.hi.min(y.hi - 1)
+                            } else {
+                                full.hi
+                            },
+                        }
+                    }
+                }
+                // A shift of >= 64 produces 0 (not shift-by-63), so the
+                // lower bound collapses once the amount can reach 64; the
+                // upper bound may stay, as `x.hi >> 63` over-approximates 0.
+                BinOp::LShr => Interval {
+                    lo: if y.hi >= 64 { 0 } else { x.lo >> y.hi },
+                    hi: x.hi >> y.lo.min(63),
+                },
+                // An arithmetic shift of a provably non-negative value is a
+                // logical shift.
+                BinOp::AShr if width > 0 && x.hi < top_bit(width) => Interval {
+                    lo: if y.hi >= 64 { 0 } else { x.lo >> y.hi },
+                    hi: x.hi >> y.lo.min(63),
+                },
+                _ if op.is_comparison() || op.is_boolean() => Interval { lo: 0, hi: 1 },
+                _ => full,
+            }
+        }
+    }
+}
+
+/// `2^(width-1)`, the value of the sign bit at `width`.
+fn top_bit(width: u8) -> u64 {
+    1u64 << (width - 1).min(63)
+}
+
+/// The smallest all-ones value `>= v` (`0b0110 -> 0b0111`): the tightest
+/// power-of-two-minus-one upper bound for bitwise combinations.
+fn bit_ceiling(v: u64) -> u64 {
+    if v == 0 {
+        0
+    } else {
+        u64::MAX >> v.leading_zeros()
     }
 }
 
@@ -879,6 +1117,57 @@ fn linearize_bounded(t: &TermRef, intervals: &IntervalMap) -> Option<(LinExpr, i
             Some((LinExpr::constant(c), c, c))
         }
         Term::Binary { op, a, b } => match op {
+            // A left shift by a constant is multiplication by a power of two
+            // — linear, provided the mathematical value cannot wrap (checked
+            // below like every other arithmetic node). This is the shape
+            // shifted header reads (`x << 2`-style scaling) take.
+            BinOp::Shl => {
+                // A variable shift amount is not linear, but the node is
+                // still a bounded value — keep it opaque rather than
+                // dropping every atom that mentions it from the fragment.
+                let Some(k) = b.as_const().map(|v| v.as_u64()) else {
+                    return Some(opaque(t));
+                };
+                if k >= 64 {
+                    return Some(opaque(t));
+                }
+                let factor = 1i128 << k;
+                let (la, alo, ahi) = linearize_bounded(a, intervals)?;
+                let mask = dataplane_ir::value::mask(t.width()) as i128;
+                let (lo, hi) = (alo * factor, ahi * factor);
+                if lo < 0 || hi > mask {
+                    return Some(opaque(t));
+                }
+                Some((la.scale(factor), lo, hi))
+            }
+            // Masking with a low bit mask (`x & 0x0f`, `x & 0xff`, …) is the
+            // identity whenever the operand provably fits in the mask — the
+            // masked header reads the router elements emit then join the
+            // linear fragment instead of opacifying every constraint that
+            // mentions them.
+            BinOp::And => {
+                let (value, mask_const) = if let Some(m) = b.as_const() {
+                    (a, m.as_u64())
+                } else if let Some(m) = a.as_const() {
+                    (b, m.as_u64())
+                } else {
+                    return Some(opaque(t));
+                };
+                if mask_const.wrapping_add(1).is_power_of_two() || mask_const == u64::MAX {
+                    let (lv, lo, hi) = linearize_bounded(value, intervals)?;
+                    if lo >= 0 && hi <= mask_const as i128 {
+                        // Tighten with any refinement recorded on the masked
+                        // node itself, mirroring the cast pass-through.
+                        let (mut lo, mut hi) = (lo, hi);
+                        if let Some(iv) = intervals.get(t) {
+                            lo = lo.max(iv.lo as i128);
+                            hi = hi.min(iv.hi as i128);
+                        }
+                        return Some((lv, lo, hi));
+                    }
+                }
+                Some(opaque(t))
+            }
             BinOp::Add | BinOp::Sub | BinOp::Mul => {
                 let (la, alo, ahi) = linearize_bounded(a, intervals)?;
                 let (lb, blo, bhi) = linearize_bounded(b, intervals)?;
@@ -936,10 +1225,22 @@ struct Inequality {
     expr: LinExpr,
 }
 
+/// What the Fourier–Motzkin stage established.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FmOutcome {
+    /// The linear fragment is infeasible (sound: the whole system is Unsat).
+    Unsat,
+    /// Elimination completed without deriving a contradiction.
+    NoVerdict,
+    /// Elimination aborted at `max_fm_constraints`; no verdict from this
+    /// stage, and a larger budget might have decided the system.
+    BudgetExhausted,
+}
+
 /// Decide unsatisfiability of the linear fragment by Fourier–Motzkin
 /// elimination (sound for `Unsat` because rational infeasibility implies
 /// integer infeasibility).
-fn fourier_motzkin_unsat(atoms: &[Atom], intervals: &IntervalMap, max_constraints: usize) -> bool {
+fn fourier_motzkin(atoms: &[Atom], intervals: &IntervalMap, max_constraints: usize) -> FmOutcome {
     let mut inequalities: Vec<Inequality> = Vec::new();
     let mut vars: HashSet<String> = HashSet::new();
 
@@ -1033,7 +1334,7 @@ fn fourier_motzkin_unsat(atoms: &[Atom], intervals: &IntervalMap, max_constraint
     var_list.sort();
     for var in var_list {
         if inequalities.len() > max_constraints {
-            return false; // budget exhausted, no verdict from this stage
+            return FmOutcome::BudgetExhausted;
         }
         let (with_var, without): (Vec<Inequality>, Vec<Inequality>) = inequalities
             .into_iter()
@@ -1057,7 +1358,7 @@ fn fourier_motzkin_unsat(atoms: &[Atom], intervals: &IntervalMap, max_constraint
                 combined.coeffs.remove(&var);
                 if combined.coeffs.is_empty() {
                     if combined.constant > 0 {
-                        return true; // 0 < constant <= 0 is impossible
+                        return FmOutcome::Unsat; // 0 < constant <= 0 is impossible
                     }
                 } else {
                     next.push(Inequality { expr: combined });
@@ -1070,12 +1371,17 @@ fn fourier_motzkin_unsat(atoms: &[Atom], intervals: &IntervalMap, max_constraint
             .iter()
             .any(|i| i.expr.coeffs.is_empty() && i.expr.constant > 0)
         {
-            return true;
+            return FmOutcome::Unsat;
         }
     }
-    inequalities
+    if inequalities
         .iter()
         .any(|i| i.expr.coeffs.is_empty() && i.expr.constant > 0)
+    {
+        FmOutcome::Unsat
+    } else {
+        FmOutcome::NoVerdict
+    }
 }
 
 // --- deterministic RNG -------------------------------------------------------
@@ -1109,6 +1415,27 @@ mod tests {
 
     fn pkt_byte(i: i64) -> TermRef {
         Arc::new(Term::PacketByte(i))
+    }
+
+    #[test]
+    fn oversized_shift_collapses_the_lower_bound() {
+        // `x >> y` with x = 2^63 and an unconstrained 64-bit y: any y >= 64
+        // yields 0, so the only sound lower bound is 0 (a clamp-to-63 model
+        // would wrongly claim >= 1 — and an unsound store-offset lower bound
+        // lets a clobber range exclude bytes a store can really reach).
+        let x = constant(BitVec::new(64, 1u64 << 63));
+        let y = Arc::new(Term::Var {
+            id: VarId(0),
+            width: 64,
+        });
+        let t = binary(BinOp::LShr, x, y.clone());
+        let bounds = term_bounds(&[], &t);
+        assert_eq!(bounds.lo, 0, "shift by >= 64 can produce 0");
+        // With y provably small, the tight bound comes back.
+        let small = binary(BinOp::ULe, y.clone(), constant(BitVec::new(64, 3)));
+        let t = binary(BinOp::LShr, constant(BitVec::new(64, 1u64 << 63)), y);
+        let bounds = term_bounds(&[small], &t);
+        assert!(bounds.lo >= 1u64 << 60, "bounded shift keeps precision");
     }
     fn pkt_len() -> TermRef {
         Arc::new(Term::PacketLen)

@@ -8,9 +8,15 @@
 //! * a **base shift** and **length delta** accumulated by `StripFront` /
 //!   `PushFront` (encapsulation and de-encapsulation),
 //! * an **overlay** of bytes written at concrete offsets,
-//! * whether a write at a *symbolic* offset **clobbered** the packet, after
-//!   which the concrete overlay can no longer be trusted and reads return
-//!   fresh unconstrained values (a sound over-approximation).
+//! * a **clobber range**: the byte range a write at a *symbolic* offset may
+//!   have touched. Reads inside the range return fresh unconstrained values
+//!   (a sound over-approximation); reads outside it stay precise. When no
+//!   bound on the offset is known the range covers the whole packet —
+//!   the old whole-packet clobbering — but when the engine can bound the
+//!   offset (e.g. the record-route writes of `IPOptions` land inside the
+//!   options area) the fixed IP header bytes upstream of the range keep
+//!   flowing to downstream elements, which is what lets the verifier prove
+//!   reachability through option-processing elements.
 //!
 //! At composition time the downstream element's packet symbols are replaced
 //! by [`SymPacket::out_byte`] / [`SymPacket::out_len`] of the upstream
@@ -21,6 +27,10 @@ use dataplane_ir::{BinOp, BitVec, CastKind};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// The whole-packet clobber range (used when a symbolic-offset write cannot
+/// be bounded).
+const FULL_CLOBBER: (i64, i64) = (i64::MIN, i64::MAX);
+
 /// Symbolic packet transformation along one path.
 #[derive(Clone, Debug)]
 pub struct SymPacket {
@@ -28,11 +38,15 @@ pub struct SymPacket {
     base: i64,
     /// Current length = original length + `len_delta`.
     len_delta: i64,
-    /// Bytes written at concrete (absolute) offsets.
+    /// Bytes written at concrete (absolute) offsets. Entries recorded *after*
+    /// a clobber override the clobber range (last write wins); entries inside
+    /// the range at clobber time are discarded.
     writes: BTreeMap<i64, TermRef>,
-    /// Set once a write to a symbolic offset happened; afterwards every read
-    /// is over-approximated by a fresh variable.
-    clobbered: bool,
+    /// Absolute half-open byte range `[lo, hi)` a symbolic-offset write may
+    /// have touched; `None` when no such write happened. Reads inside the
+    /// range (and not overridden by a later concrete write) are
+    /// over-approximated by fresh variables.
+    clobber: Option<(i64, i64)>,
 }
 
 impl Default for SymPacket {
@@ -48,7 +62,7 @@ impl SymPacket {
             base: 0,
             len_delta: 0,
             writes: BTreeMap::new(),
-            clobbered: false,
+            clobber: None,
         }
     }
 
@@ -64,12 +78,18 @@ impl SymPacket {
 
     /// True if any byte was (or may have been) rewritten.
     pub fn rewrites_bytes(&self) -> bool {
-        self.clobbered || !self.writes.is_empty()
+        self.clobber.is_some() || !self.writes.is_empty()
     }
 
-    /// True if a symbolic-offset write clobbered the byte overlay.
+    /// True if a symbolic-offset write clobbered (part of) the byte overlay.
     pub fn is_clobbered(&self) -> bool {
-        self.clobbered
+        self.clobber.is_some()
+    }
+
+    /// The absolute half-open byte range a symbolic-offset write may have
+    /// touched, if any.
+    pub fn clobber_range(&self) -> Option<(i64, i64)> {
+        self.clobber
     }
 
     /// The current packet length as a 32-bit term.
@@ -140,24 +160,54 @@ impl SymPacket {
     }
 
     /// Mark the whole byte overlay unknown (used by loop decomposition when
-    /// the loop body may write the packet). The `representative` argument is
-    /// an arbitrary fresh variable kept only so callers can observe that the
-    /// clobbering happened in debug output.
+    /// the loop body may write the packet at unbounded offsets). The
+    /// `representative` argument is an arbitrary fresh variable kept only so
+    /// callers can observe that the clobbering happened in debug output.
     pub fn clobber(&mut self, representative: TermRef) {
         let _ = representative;
-        self.clobbered = true;
-        self.writes.clear();
+        self.mark_clobber_range(FULL_CLOBBER.0, FULL_CLOBBER.1);
+    }
+
+    /// Mark the *program-relative* half-open byte range `[lo, hi)` unknown:
+    /// a symbolic-offset write landed somewhere in it. Overlay writes inside
+    /// the range are discarded (the symbolic write may have overwritten
+    /// them); bytes outside the range stay precise. Ranges accumulate as
+    /// their convex hull.
+    pub fn clobber_program_range(&mut self, lo: i64, hi: i64) {
+        // Saturating: FULL_CLOBBER endpoints must survive the base shift.
+        self.mark_clobber_range(lo.saturating_add(self.base), hi.saturating_add(self.base));
+    }
+
+    fn mark_clobber_range(&mut self, lo: i64, hi: i64) {
+        if lo >= hi {
+            return;
+        }
+        let (lo, hi) = match self.clobber {
+            Some((old_lo, old_hi)) => (old_lo.min(lo), old_hi.max(hi)),
+            None => (lo, hi),
+        };
+        self.clobber = Some((lo, hi));
+        self.writes.retain(|abs, _| *abs < lo || *abs >= hi);
+    }
+
+    /// True when the byte at absolute index `abs` is inside the clobber
+    /// range and not overridden by a later concrete write.
+    fn byte_is_unknown(&self, abs: i64) -> bool {
+        match self.clobber {
+            Some((lo, hi)) => (lo..hi).contains(&abs) && !self.writes.contains_key(&abs),
+            None => false,
+        }
     }
 
     /// The byte of the *original* packet buffer at absolute index `abs`,
     /// taking the overlay into account. `fresh` supplies an unconstrained
-    /// 8-bit variable for clobbered state.
+    /// 8-bit variable for clobbered bytes.
     fn byte_at(&self, abs: i64, fresh: &mut dyn FnMut() -> TermRef) -> TermRef {
-        if self.clobbered {
-            return fresh();
-        }
         if let Some(t) = self.writes.get(&abs) {
             return t.clone();
+        }
+        if self.byte_is_unknown(abs) {
+            return fresh();
         }
         if abs < 0 {
             // A pushed-front byte that was never written reads as zero (the
@@ -219,12 +269,29 @@ impl SymPacket {
     }
 
     /// Store `value` (of width `width_bytes * 8`) at `offset`. Writes at
-    /// symbolic offsets clobber the overlay.
+    /// symbolic offsets clobber the whole overlay; use
+    /// [`SymPacket::store_bounded`] when the offset can be bounded.
     pub fn store(
         &mut self,
         offset: &TermRef,
         width_bytes: u8,
         value: &TermRef,
+        fresh: &mut dyn FnMut() -> TermRef,
+    ) {
+        self.store_bounded(offset, width_bytes, value, None, fresh)
+    }
+
+    /// Store `value` at `offset`, with optional *inclusive* bounds
+    /// `(lo, hi)` on the program-relative offset for the symbolic case
+    /// (typically derived from the path constraint by the engine). A bounded
+    /// symbolic write clobbers only `[lo, hi + width_bytes)`; an unbounded
+    /// one clobbers the whole packet.
+    pub fn store_bounded(
+        &mut self,
+        offset: &TermRef,
+        width_bytes: u8,
+        value: &TermRef,
+        offset_bounds: Option<(i64, i64)>,
         fresh: &mut dyn FnMut() -> TermRef,
     ) {
         let width_bits = width_bytes * 8;
@@ -242,30 +309,40 @@ impl SymPacket {
                             term::constant(BitVec::new(width_bits, shift as u64)),
                         ),
                     );
-                    if !self.clobbered {
-                        self.writes.insert(start + i, byte);
-                    }
+                    // Recorded even over a clobber range: a concrete write
+                    // after the symbolic one wins (last write wins).
+                    self.writes.insert(start + i, byte);
                 }
             }
-            None => {
-                self.clobber(fresh());
-            }
+            None => match offset_bounds {
+                Some((lo, hi)) => {
+                    self.clobber_program_range(lo, hi.saturating_add(width_bytes as i64));
+                }
+                None => self.clobber(fresh()),
+            },
         }
+    }
+
+    /// True when byte `j` of the **output** packet (as the next element sees
+    /// it) is unknown because a symbolic-offset write may have touched it.
+    /// Composition over-approximates such bytes with fresh variables.
+    pub fn out_byte_is_unknown(&self, j: i64) -> bool {
+        self.byte_is_unknown(j + self.base)
     }
 
     /// Byte `j` of the packet as the **next** element will see it.
     pub fn out_byte(&self, j: i64) -> TermRef {
-        if self.clobbered {
-            // Unknown content; callers substitute a fresh variable instead.
-            // Returning a symbolic read keeps the term well-formed if they
-            // don't.
-            return Arc::new(Term::PacketByteAt {
-                index: term::constant(BitVec::u32((j + self.base).max(0) as u32)),
-            });
-        }
         let abs = j + self.base;
         if let Some(t) = self.writes.get(&abs) {
             return t.clone();
+        }
+        if self.byte_is_unknown(abs) {
+            // Unknown content; callers substitute a fresh variable instead
+            // (see `out_byte_is_unknown`). Returning a symbolic read keeps
+            // the term well-formed if they don't.
+            return Arc::new(Term::PacketByteAt {
+                index: term::constant(BitVec::u32(abs.max(0) as u32)),
+            });
         }
         if abs < 0 {
             return term::constant(BitVec::u8(0));
@@ -302,15 +379,17 @@ impl SymPacket {
         self.writes.keys().copied().collect()
     }
 
-    /// Decompose into `(base, len_delta, writes, clobbered)` — the full
+    /// Decompose into `(base, len_delta, writes, clobber)` — the full
     /// observable state, used by the orchestrator's persistent summary cache
-    /// to serialise packet transforms.
-    pub fn parts(&self) -> (i64, i64, Vec<(i64, TermRef)>, bool) {
+    /// to serialise packet transforms. The clobber component is the absolute
+    /// half-open byte range a symbolic-offset write may have touched, if any.
+    #[allow(clippy::type_complexity)]
+    pub fn parts(&self) -> (i64, i64, Vec<(i64, TermRef)>, Option<(i64, i64)>) {
         (
             self.base,
             self.len_delta,
             self.writes.iter().map(|(k, v)| (*k, v.clone())).collect(),
-            self.clobbered,
+            self.clobber,
         )
     }
 
@@ -320,13 +399,13 @@ impl SymPacket {
         base: i64,
         len_delta: i64,
         writes: Vec<(i64, TermRef)>,
-        clobbered: bool,
+        clobber: Option<(i64, i64)>,
     ) -> Self {
         SymPacket {
             base,
             len_delta,
             writes: writes.into_iter().collect(),
-            clobbered,
+            clobber,
         }
     }
 }

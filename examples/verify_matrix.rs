@@ -1,9 +1,13 @@
 //! The verification matrix: every preset pipeline verified against every
 //! property class (crash freedom, bounded execution, reachability) on the
-//! parallel orchestrator, with content-addressed summary caching.
+//! parallel orchestrator, with content-addressed summary caching and
+//! parallel Step-2 composition.
 //!
 //! Run with `cargo run --release --example verify_matrix`.
 //! The machine-readable report is written to `target/verify_matrix.json`.
+//! Exits non-zero if any preset scenario ends `Unknown` — every preset is
+//! expected to be decided (proven, or violated with a counterexample), so
+//! an `Unknown` is a solver-precision regression. CI relies on this.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -13,12 +17,21 @@ fn main() {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    println!("=== verification matrix on {threads} worker threads ===\n");
+    // The scenario pool and the per-composition Step-2 batch workers
+    // multiply (batch workers are scoped per live composition — see
+    // `Orchestrator::with_parallel_composition`), so split the core budget
+    // between the two knobs instead of oversubscribing quadratically.
+    let compose_threads = (threads as f64).sqrt().round().max(1.0) as usize;
+    let pool_threads = threads.div_ceil(compose_threads);
+    println!(
+        "=== verification matrix on {pool_threads} workers x {compose_threads} step-2 threads ===\n"
+    );
 
     let explored = Arc::new(AtomicUsize::new(0));
     let observer_count = explored.clone();
     let orchestrator = Orchestrator::new()
-        .with_threads(threads)
+        .with_threads(pool_threads)
+        .with_parallel_composition(compose_threads)
         .with_progress(move |event| match event {
             ProgressEvent::Planned {
                 explore_jobs,
@@ -70,5 +83,20 @@ fn main() {
             Ok(()) => println!("machine-readable report: {}", json_path.display()),
             Err(e) => println!("could not write {}: {e}", json_path.display()),
         }
+    }
+
+    if unknown > 0 {
+        for s in &cold.scenarios {
+            for up in &s.report.unproven {
+                eprintln!(
+                    "UNKNOWN {}: {} via [{}]",
+                    s.label(),
+                    up.reason,
+                    up.path.join(" -> ")
+                );
+            }
+        }
+        eprintln!("{unknown} scenario(s) ended Unknown — the matrix must decide every preset");
+        std::process::exit(1);
     }
 }
