@@ -18,7 +18,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dataplane_bench::row;
 use dataplane_orchestrator::{
-    parallel_composition, preset_scenarios, verify_sequential, Orchestrator,
+    parallel_composition, preset_scenarios, verify_sequential, CompositionMode, Orchestrator,
 };
 use dataplane_verifier::{Verifier, VerifierOptions};
 use std::time::{Duration, Instant};
@@ -138,6 +138,51 @@ fn report() {
             ),
         ],
     );
+
+    // Scheduling-mode comparison on a warm store: the shared pool (one
+    // thread budget for scenario- and check-level work; live solver threads
+    // bounded by the pool size) vs the legacy per-composition scoped
+    // budgets (ceiling `scenarios × step2_threads` live threads) vs inline
+    // Step-2.
+    let step2_threads = 2usize;
+    let mut scheduler_rows = Vec::new();
+    for (scheduler, mode) in [
+        ("shared_pool", CompositionMode::SharedPool),
+        ("per_composition", CompositionMode::Scoped(step2_threads)),
+        ("sequential_step2", CompositionMode::Sequential),
+    ] {
+        let orchestrator = Orchestrator::new()
+            .with_threads(threads)
+            .with_composition_mode(mode);
+        let warm_count = parallel(threads, &orchestrator); // warm the store
+        assert_eq!(warm_count, fresh_counterexamples);
+        let start = Instant::now();
+        let matrix = orchestrator.run(preset_scenarios());
+        let elapsed = start.elapsed();
+        let thread_ceiling = match mode {
+            CompositionMode::SharedPool => threads,
+            CompositionMode::Scoped(n) => threads * n,
+            CompositionMode::Sequential => threads,
+        };
+        assert!(
+            matrix.peak_live_threads <= threads,
+            "pool budget exceeded: {}",
+            matrix.peak_live_threads
+        );
+        scheduler_rows.push((scheduler, elapsed, matrix.peak_live_threads, thread_ceiling));
+    }
+    for (scheduler, elapsed, peak, ceiling) in scheduler_rows {
+        row(
+            "e7-parallel-verification",
+            &[
+                ("mode", format!("scheduler_{scheduler}")),
+                ("threads", threads.to_string()),
+                ("seconds", format!("{:.3}", elapsed.as_secs_f64())),
+                ("pool_peak_live_threads", peak.to_string()),
+                ("solver_thread_ceiling", ceiling.to_string()),
+            ],
+        );
+    }
 
     for (mode, used_threads, elapsed) in [
         ("sequential_fresh", 1, t_fresh),

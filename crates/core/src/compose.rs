@@ -19,6 +19,69 @@ pub const STAGE_STRIDE: u32 = 1_000_000;
 /// First variable id used for over-approximation variables created during
 /// composition (far above any renamed engine variable).
 const FRESH_BASE: u32 = 0x4000_0000;
+/// Span of the over-approximation variable namespace owned by one
+/// composition depth (see [`FreshScope`]).
+const FRESH_SPAN: u32 = 1 << 20;
+/// Deepest composition depth the depth-indexed namespaces support: past
+/// this, stage strides would run into [`FRESH_BASE`] (and fresh spans would
+/// approach `u32::MAX`), silently aliasing ids from different depths. No
+/// real pipeline path approaches this (paths are acyclic, so depth is
+/// bounded by the element count), and aliased namespaces could corrupt
+/// verdicts — so exceeding the bound is a loud panic, never an alias.
+pub const MAX_COMPOSE_DEPTH: usize = 1024;
+
+/// The variable namespace of composition depth `depth` (0 = the pipeline
+/// entry element). Depth-indexed strides make the rewritten terms of a
+/// composed path a pure function of the path itself — independent of the
+/// order in which paths are explored — which is what lets a parallel Step-2
+/// walk produce terms identical to the sequential walk.
+pub fn stride_for_depth(depth: usize) -> u32 {
+    assert!(
+        depth < MAX_COMPOSE_DEPTH,
+        "composed path depth {depth} exceeds MAX_COMPOSE_DEPTH ({MAX_COMPOSE_DEPTH})"
+    );
+    (depth as u32 + 1) * STAGE_STRIDE
+}
+
+/// The composition depth owning renamed variable/read id `id`, if any
+/// (inverse of [`stride_for_depth`]; `None` for original-namespace ids and
+/// for over-approximation variables).
+pub fn depth_of_id(id: u32) -> Option<usize> {
+    if id >= FRESH_BASE {
+        return None;
+    }
+    (id / STAGE_STRIDE).checked_sub(1).map(|d| d as usize)
+}
+
+/// A deterministic allocator for over-approximation variables, scoped to one
+/// rewrite call at one composition depth. Within a composed path each depth
+/// contributes exactly one rewrite call, so per-depth bases keep the ids
+/// unique within any one constraint set while staying reproducible across
+/// walk orders (unlike [`Composer`]'s process-global counter).
+pub struct FreshScope {
+    next: AtomicU32,
+}
+
+impl FreshScope {
+    /// The allocator for a rewrite performed at composition depth `depth`.
+    pub fn for_depth(depth: usize) -> FreshScope {
+        assert!(
+            depth < MAX_COMPOSE_DEPTH,
+            "composed path depth {depth} exceeds MAX_COMPOSE_DEPTH ({MAX_COMPOSE_DEPTH})"
+        );
+        FreshScope {
+            next: AtomicU32::new(FRESH_BASE + depth as u32 * FRESH_SPAN),
+        }
+    }
+
+    fn fresh(&self, width: u8) -> TermRef {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        Arc::new(Term::Var {
+            id: VarId(id),
+            width,
+        })
+    }
+}
 
 /// The symbolic view of the packet at some point in the pipeline, expressed
 /// over the original input packet's symbols.
@@ -76,7 +139,10 @@ impl Composer {
     }
 
     /// Which element owns the namespace that variable/read id `id` falls in,
-    /// if any.
+    /// if any. Serves the legacy allocation-order stride scheme
+    /// ([`Composer::alloc_stride`], still used by the monolithic baseline
+    /// and the instruction-bound walk); the Step-2 walk's depth-indexed
+    /// scheme resolves elements through [`depth_of_id`] instead.
     pub fn element_of_id(&self, id: u32) -> Option<usize> {
         if id >= FRESH_BASE {
             return None;
@@ -96,6 +162,16 @@ impl Composer {
         })
     }
 
+    /// Allocate an over-approximation variable from `scope` when one is
+    /// given (the deterministic Step-2 walk), else from the process-global
+    /// counter (legacy sequential callers).
+    fn fresh_in(&self, scope: Option<&FreshScope>, width: u8) -> TermRef {
+        match scope {
+            Some(scope) => scope.fresh(width),
+            None => self.fresh(width),
+        }
+    }
+
     /// Extend `view` with the packet transform of a segment taken at
     /// `stride`.
     pub fn extend_view(&self, view: &View, packet: &SymPacket, stride: u32) -> View {
@@ -109,6 +185,10 @@ impl Composer {
     /// Byte `j` of the packet described by `view`, as a term over the
     /// original input symbols.
     pub fn view_byte(&self, view: &View, j: i64) -> TermRef {
+        self.view_byte_in(view, j, None)
+    }
+
+    fn view_byte_in(&self, view: &View, j: i64, scope: Option<&FreshScope>) -> TermRef {
         match view {
             View::Original => {
                 if j >= 0 {
@@ -123,21 +203,25 @@ impl Composer {
                     // may have reached this byte. Bytes outside the clobber
                     // range stay precise — that is what lets fixed header
                     // fields flow through option-processing elements.
-                    return self.fresh(8);
+                    return self.fresh_in(scope, 8);
                 }
                 let local = stage.packet.out_byte(j);
-                self.rewrite(&stage.prev, stage.stride, &local)
+                self.rewrite_in(&stage.prev, stage.stride, &local, scope)
             }
         }
     }
 
     /// The length of the packet described by `view`, over original symbols.
     pub fn view_len(&self, view: &View) -> TermRef {
+        self.view_len_in(view, None)
+    }
+
+    fn view_len_in(&self, view: &View, scope: Option<&FreshScope>) -> TermRef {
         match view {
             View::Original => Arc::new(Term::PacketLen),
             View::Stage(stage) => {
                 let local = stage.packet.out_len();
-                self.rewrite(&stage.prev, stage.stride, &local)
+                self.rewrite_in(&stage.prev, stage.stride, &local, scope)
             }
         }
     }
@@ -161,9 +245,19 @@ impl Composer {
     /// *after* `view` (whose fresh-variable namespace is `stride`) into a
     /// term over the original input symbols.
     pub fn rewrite(&self, view: &View, stride: u32, t: &TermRef) -> TermRef {
+        self.rewrite_in(view, stride, t, None)
+    }
+
+    fn rewrite_in(
+        &self,
+        view: &View,
+        stride: u32,
+        t: &TermRef,
+        scope: Option<&FreshScope>,
+    ) -> TermRef {
         term::substitute(t, &|leaf| match leaf {
-            Term::PacketByte(i) => Some(self.view_byte(view, *i)),
-            Term::PacketLen => Some(self.view_len(view)),
+            Term::PacketByte(i) => Some(self.view_byte_in(view, *i, scope)),
+            Term::PacketLen => Some(self.view_len_in(view, scope)),
             Term::Var { id, width } => Some(Arc::new(Term::Var {
                 id: VarId(id.0 + stride),
                 width: *width,
@@ -175,12 +269,12 @@ impl Composer {
                 width,
             } => Some(Arc::new(Term::DsRead {
                 ds: *ds,
-                key: self.rewrite(view, stride, key),
+                key: self.rewrite_in(view, stride, key, scope),
                 seq: seq + stride,
                 width: *width,
             })),
             Term::PacketByteAt { index } => {
-                let rewritten_index = self.rewrite(view, stride, index);
+                let rewritten_index = self.rewrite_in(view, stride, index, scope);
                 match self.pure_shift(view) {
                     Some(shift) => {
                         let shifted = if shift == 0 {
@@ -202,7 +296,7 @@ impl Composer {
                     }
                     // Bytes may have been rewritten upstream: the value read
                     // at a symbolic offset is unknown.
-                    None => Some(self.fresh(8)),
+                    None => Some(self.fresh_in(scope, 8)),
                 }
             }
             _ => None,
@@ -214,6 +308,24 @@ impl Composer {
         terms
             .iter()
             .map(|t| self.rewrite(view, stride, t))
+            .collect()
+    }
+
+    /// [`Composer::rewrite_all`] with over-approximation variables drawn from
+    /// `scope` instead of the process-global counter: the resulting terms are
+    /// a pure function of `(view, stride, terms)`, which the parallel Step-2
+    /// walk relies on for order-independent (and thus sequential-identical)
+    /// composition.
+    pub fn rewrite_all_scoped(
+        &self,
+        view: &View,
+        stride: u32,
+        terms: &[TermRef],
+        scope: &FreshScope,
+    ) -> Vec<TermRef> {
+        terms
+            .iter()
+            .map(|t| self.rewrite_in(view, stride, t, Some(scope)))
             .collect()
     }
 }
@@ -358,6 +470,63 @@ mod tests {
         );
         // Length is still precise.
         assert_eq!(composer.view_len(&view).to_string(), "pkt.len");
+    }
+
+    #[test]
+    fn depth_strides_round_trip() {
+        assert_eq!(stride_for_depth(0), STAGE_STRIDE);
+        assert_eq!(depth_of_id(stride_for_depth(3) + 17), Some(3));
+        assert_eq!(depth_of_id(5), None, "original namespace has no depth");
+        assert_eq!(depth_of_id(FRESH_BASE + 1), None, "fresh vars have none");
+    }
+
+    #[test]
+    fn scoped_rewrites_are_order_independent() {
+        // A clobbered view forces fresh-variable allocation; scoped rewrites
+        // must produce identical terms regardless of unrelated allocations
+        // in between (the global counter would drift).
+        let mut composer = Composer::new();
+        let stride = composer.alloc_stride(0);
+        let mut packet = SymPacket::new();
+        let mut counter = 0;
+        let mut fresh = || {
+            counter += 1;
+            Arc::new(Term::Var {
+                id: VarId(100 + counter),
+                width: 8,
+            })
+        };
+        packet.store(
+            &Arc::new(Term::PacketLen),
+            1,
+            &constant(BitVec::u8(1)),
+            &mut fresh,
+        );
+        let view = composer.extend_view(&View::Original, &packet, stride);
+        let t = binary(
+            BinOp::Eq,
+            Arc::new(Term::PacketByte(3)),
+            constant(BitVec::u8(7)),
+        );
+        let a = composer.rewrite_all_scoped(
+            &view,
+            stride_for_depth(1),
+            std::slice::from_ref(&t),
+            &FreshScope::for_depth(1),
+        );
+        composer.fresh(8); // perturb the global counter
+        composer.fresh(8);
+        let b = composer.rewrite_all_scoped(
+            &view,
+            stride_for_depth(1),
+            &[t],
+            &FreshScope::for_depth(1),
+        );
+        assert_eq!(a, b, "scoped rewrite must be a pure function");
+        assert!(
+            a[0].to_string().contains('v'),
+            "clobber produced a fresh var"
+        );
     }
 
     #[test]

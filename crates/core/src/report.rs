@@ -71,6 +71,12 @@ pub struct VerificationStats {
     /// verdict has this set, so `unknown = Unknown` causes are diagnosable
     /// from the stats alone.
     pub model_search_aborts: usize,
+    /// Checks that aborted a stage under the base solver budgets and were
+    /// retried once with escalated budgets before being reported.
+    pub budget_escalations: usize,
+    /// Escalated retries that decided the check (Sat or Unsat) where the
+    /// base budgets could not.
+    pub escalations_decided: usize,
 }
 
 /// The full result of verifying one property of one pipeline.
@@ -128,6 +134,13 @@ impl fmt::Display for Report {
                 f,
                 "  stage aborts: fourier-motzkin budget {}, model search exhausted {}",
                 self.stats.fm_budget_aborts, self.stats.model_search_aborts
+            )?;
+        }
+        if self.stats.budget_escalations > 0 {
+            writeln!(
+                f,
+                "  budget escalations: {} retried ({} decided by the raised budgets)",
+                self.stats.budget_escalations, self.stats.escalations_decided
             )?;
         }
         for ce in &self.counterexamples {

@@ -2,7 +2,9 @@
 //! tagging) followed by Step 2 (composition of suspects into pipeline paths
 //! and feasibility checking), as described in §3 of the paper.
 
-use crate::compose::{bind_packet_bytes, Composer, View};
+use crate::compose::{
+    bind_packet_bytes, depth_of_id, stride_for_depth, Composer, FreshScope, View,
+};
 use crate::property::Property;
 use crate::report::{
     Counterexample, InstructionBoundReport, Report, UnprovenPath, Verdict, VerificationStats,
@@ -14,21 +16,31 @@ use dataplane_pipeline::pipeline::Disposition;
 use dataplane_pipeline::{ElementIdx, Pipeline};
 use dataplane_symbex::term::{self, Term, TermRef};
 use dataplane_symbex::{
-    CheckDiagnostics, EngineConfig, Segment, SegmentOutcome, Solver, SolverResult,
+    CancelToken, CheckDiagnostics, EngineConfig, Segment, SegmentOutcome, Solver, SolverConfig,
+    SolverResult,
 };
 use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// Runs a batch of independent Step-2 feasibility-check jobs. Implementations
-/// may run the jobs in any order, concurrently; every job must have returned
-/// before `run_batch` does. The verifier's sequential fallback simply runs
-/// them in submission order, so an executor never changes *what* is computed
-/// — only on how many cores.
+/// Runs a batch of independent Step-2 worker jobs. Implementations may run
+/// the jobs in any order, concurrently; every job must have returned before
+/// `run_batch` does. The verifier hands this executor *worker loops* over
+/// its own walk queue (so the executor never needs to understand the walk),
+/// and the sequential fallback simply runs them in submission order — an
+/// executor never changes *what* is computed, only on how many cores.
 pub trait ComposeExecutor: Send + Sync {
     /// Run every job to completion.
     fn run_batch<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>);
+
+    /// How many jobs this executor can usefully run at once (including the
+    /// calling thread). The verifier submits this many walk workers.
+    fn parallelism(&self) -> usize {
+        1
+    }
 }
 
 /// Step-2 parallelism configuration: how the suspect × prefix feasibility
@@ -86,9 +98,21 @@ pub struct VerifierOptions {
     pub max_composed_paths: usize,
     /// Symbolic-execution configuration used for element summaries.
     pub engine: EngineConfig,
+    /// Base solver limits for feasibility checks.
+    pub solver: SolverConfig,
+    /// When a check aborts a solver stage at its budget
+    /// (`fm_budget_aborts` / `model_search_aborts`) and the stateful-element
+    /// second chance does not discharge it, retry once with budgets scaled
+    /// by [`ESCALATION_FACTOR`] before reporting. Escalations are counted in
+    /// `Report.stats.budget_escalations`.
+    pub escalate_budgets: bool,
     /// How Step-2 feasibility checks are dispatched (sequential by default).
     pub parallel: ParallelComposition,
 }
+
+/// How much the solver budgets grow on the adaptive retry of an aborted
+/// check (see [`VerifierOptions::escalate_budgets`]).
+pub const ESCALATION_FACTOR: u32 = 8;
 
 impl Default for VerifierOptions {
     fn default() -> Self {
@@ -97,6 +121,8 @@ impl Default for VerifierOptions {
             validate_counterexamples: true,
             max_composed_paths: 100_000,
             engine: EngineConfig::decomposed(),
+            solver: SolverConfig::default(),
+            escalate_budgets: true,
             parallel: ParallelComposition::sequential(),
         }
     }
@@ -124,9 +150,10 @@ impl Verifier {
 
     /// A verifier with explicit options.
     pub fn with_options(options: VerifierOptions) -> Self {
+        let solver = Solver::with_config(options.solver.clone());
         Verifier {
             options,
-            solver: Solver::new(),
+            solver,
             cache: SummaryCache::new(),
         }
     }
@@ -210,42 +237,75 @@ impl Verifier {
         }
 
         // ---------------- Step 2: composition ------------------------------
-        // The walk composes prefixes sequentially (prefix pruning steers
-        // which subtrees are entered at all) and *enumerates* the suspect ×
-        // prefix feasibility checks into a bounded buffer; each full batch
-        // is decided — inline, or across the configured `ParallelComposition`
-        // executor — with outcomes folded back in enumeration order, which
-        // keeps the report byte-identical between the two modes while
-        // holding at most one batch of composed constraints in memory.
-        let mut ctx = ComposeCtx {
+        // The walk over the pipeline's prefix tree is expressed as tasks:
+        // visiting a node decides its suspect × prefix feasibility checks
+        // and, for every forwarding segment, *speculatively* schedules the
+        // child subtree before the prefix-feasibility (pruning) check for
+        // that child has finished — a pruned prefix then cancels its
+        // in-flight descendants through a `CancelToken` tree. All composed
+        // terms use depth-indexed namespaces, so what a node computes is a
+        // pure function of its path, independent of scheduling. A final
+        // single-threaded fold replays the sequential walk order over the
+        // computed records (computing inline whatever speculation did not
+        // cover), which makes the report byte-identical however many
+        // workers the configured `ParallelComposition` executor brought.
+        let ctx = WalkCtx {
             pipeline,
             property,
             summaries: &summaries,
             suspects: &suspects,
             composer: Composer::new(),
-            pending: Vec::new(),
             hints: build_hints(property),
-            counterexamples: Vec::new(),
-            unproven: Vec::new(),
-            stats: &mut stats,
             options: &self.options,
             solver: &self.solver,
-            budget_exhausted: false,
+            escalated: self.options.escalate_budgets.then(|| {
+                let base = self.solver.config();
+                Solver::with_config(SolverConfig {
+                    model_search_tries: base.model_search_tries.saturating_mul(ESCALATION_FACTOR),
+                    max_fm_constraints: base
+                        .max_fm_constraints
+                        .saturating_mul(ESCALATION_FACTOR as usize),
+                    ..base.clone()
+                })
+            }),
         };
         let entry = pipeline.entry();
-        let first_stride = ctx.composer.alloc_stride(entry);
-        ctx.walk(
-            entry,
-            View::Original,
-            first_stride,
-            Vec::new(),
-            Vec::new(),
-            0,
-        );
-        ctx.flush_pending();
-        let budget_exhausted = ctx.budget_exhausted;
-        let counterexamples = ctx.counterexamples;
-        let mut unproven = ctx.unproven;
+        let root = WalkInput {
+            element: entry,
+            view: View::Original,
+            depth: 0,
+            constraint: Vec::new(),
+            path: vec![pipeline.node(entry).name.clone()],
+            elements: vec![entry],
+            instructions: 0,
+        };
+        let mut fold = FoldState {
+            ctx: &ctx,
+            stats: &mut stats,
+            counterexamples: Vec::new(),
+            unproven: Vec::new(),
+            budget_exhausted: false,
+        };
+        match self.options.parallel.executor() {
+            Some(executor) if executor.parallelism() > 1 => {
+                let state = WalkState::new(&ctx, self.options.max_composed_paths);
+                let root_id = state.seed(root);
+                let workers = executor.parallelism();
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..workers)
+                    .map(|_| {
+                        let state = &state;
+                        Box::new(move || state.drain()) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                executor.run_batch(jobs);
+                let slot = state.take(root_id);
+                fold.fold_slot(slot, &state);
+            }
+            _ => fold.fold_input(root, None),
+        }
+        let budget_exhausted = fold.budget_exhausted;
+        let counterexamples = fold.counterexamples;
+        let mut unproven = fold.unproven;
         if budget_exhausted {
             unproven.push(UnprovenPath {
                 path: vec![],
@@ -475,40 +535,23 @@ pub fn materialise_packet(model: &dataplane_symbex::Assignment) -> Vec<u8> {
     bytes
 }
 
-/// Upper bound on buffered feasibility checks: large enough to saturate a
-/// worker pool, small enough that the composed constraints of a huge walk
-/// are not all resident at once.
-const CHECK_BATCH: usize = 1024;
-
-/// Mutable context for the Step-2 walk over the pipeline.
-struct ComposeCtx<'a> {
-    pipeline: &'a Pipeline,
-    property: &'a Property,
-    summaries: &'a [Arc<ElementSummary>],
-    suspects: &'a [Vec<usize>],
-    composer: Composer,
-    /// Enumerated-but-undecided checks, flushed at [`CHECK_BATCH`].
-    pending: Vec<PendingCheck>,
-    hints: Vec<dataplane_symbex::Assignment>,
-    counterexamples: Vec<Counterexample>,
-    unproven: Vec<UnprovenPath>,
-    stats: &'a mut VerificationStats,
-    options: &'a VerifierOptions,
-    solver: &'a Solver,
-    budget_exhausted: bool,
-}
-
-/// One suspect × prefix feasibility check enumerated by the walk, decided in
-/// phase 2 (possibly on another worker thread).
-struct PendingCheck {
-    /// The element whose suspect segment is checked.
+/// Everything that identifies one node of the Step-2 prefix tree: the
+/// element reached, the composed view and constraint of the prefix leading
+/// to it, and the path metadata reports need. Because composition
+/// namespaces are depth-indexed ([`stride_for_depth`] / [`FreshScope`]),
+/// the node's entire computation is a pure function of this value.
+#[derive(Clone)]
+struct WalkInput {
     element: ElementIdx,
-    /// Index of the suspect segment within that element's summary.
-    seg_idx: usize,
-    /// The fully composed, property-contextualised constraint.
+    view: View,
+    depth: usize,
     constraint: Vec<TermRef>,
-    /// Instance names along the composed path, ending at `element`.
+    /// Instance names along the path, ending at `element`.
     path: Vec<String>,
+    /// Element index per composition depth (for static-state concretisation
+    /// of depth-strided data-structure reads).
+    elements: Vec<ElementIdx>,
+    instructions: u64,
 }
 
 /// What one feasibility check established.
@@ -521,16 +564,58 @@ enum CheckOutcome {
     Undecided(UnprovenPath),
 }
 
-/// Immutable context shared by phase-2 feasibility checks. Everything in
-/// here is `Sync`, so a [`ComposeExecutor`] can hand `&CheckCtx` to many
-/// worker threads at once.
-struct CheckCtx<'a> {
+/// One decided suspect × prefix check, with the bookkeeping the fold turns
+/// into `Report.stats`.
+struct CheckRecord {
+    outcome: CheckOutcome,
+    diag: CheckDiagnostics,
+    /// The check aborted a stage under base budgets and was retried once
+    /// with escalated budgets.
+    escalated: bool,
+    /// The escalated retry decided the check.
+    escalation_decided: bool,
+}
+
+/// Where a forwarding edge's child subtree lives.
+enum ChildSlot {
+    /// Speculatively scheduled into the parallel walk's arena.
+    Spawned(usize),
+    /// Not scheduled — the fold computes it inline when it commits the edge.
+    Inline(WalkInput),
+    /// Pruned before any child state was kept.
+    None,
+}
+
+/// One forwarding edge out of a walk node, in segment-enumeration order.
+struct EdgeRecord {
+    /// A prefix-feasibility solver call was made for this edge.
+    pruned_call: bool,
+    /// The composed prefix through this edge is (possibly) feasible.
+    feasible: bool,
+    child: ChildSlot,
+}
+
+/// Everything one walk node computed: its decided suspect checks and its
+/// forwarding edges, both in enumeration order.
+struct NodeRecord {
+    checks: Vec<CheckRecord>,
+    edges: Vec<EdgeRecord>,
+}
+
+/// Immutable context shared by the whole Step-2 walk. Everything in here is
+/// `Sync`, so walk workers on any [`ComposeExecutor`] can share it.
+struct WalkCtx<'a> {
     pipeline: &'a Pipeline,
     property: &'a Property,
     summaries: &'a [Arc<ElementSummary>],
+    suspects: &'a [Vec<usize>],
+    composer: Composer,
+    hints: Vec<dataplane_symbex::Assignment>,
     options: &'a VerifierOptions,
     solver: &'a Solver,
-    hints: &'a [dataplane_symbex::Assignment],
+    /// The budget-escalated solver for the adaptive retry of aborted checks
+    /// (`None` when escalation is disabled).
+    escalated: Option<Solver>,
 }
 
 /// Build hint assignments for the solver's model search: structurally valid
@@ -612,7 +697,7 @@ fn build_hints(property: &Property) -> Vec<dataplane_symbex::Assignment> {
 /// become a select chain over the table's populated entries.
 fn concretise_static_reads(
     pipeline: &Pipeline,
-    composer: &Composer,
+    elements: &[ElementIdx],
     mut terms: Vec<TermRef>,
 ) -> Vec<TermRef> {
     // The select-chain expansion is only worthwhile (and only bounded)
@@ -632,7 +717,7 @@ fn concretise_static_reads(
                         width,
                     } = leaf
                     {
-                        let element_idx = composer.element_of_id(*seq)?;
+                        let element_idx = *elements.get(depth_of_id(*seq)?)?;
                         let element = pipeline.node(element_idx).element.as_ref();
                         let program = element.model();
                         let decl = program.ds(*ds)?;
@@ -685,58 +770,49 @@ fn concretise_static_reads(
     terms
 }
 
-impl<'a> ComposeCtx<'a> {
-    /// Walk the pipeline DAG from `element`, carrying the composed prefix.
-    #[allow(clippy::too_many_arguments)]
-    fn walk(
-        &mut self,
-        element: ElementIdx,
-        view: View,
-        stride: u32,
-        prefix_constraint: Vec<TermRef>,
-        prefix_path: Vec<String>,
-        prefix_instructions: u64,
-    ) {
-        if self.stats.composed_paths >= self.options.max_composed_paths {
-            self.budget_exhausted = true;
-            return;
-        }
-        self.stats.composed_paths += 1;
-        let node = self.pipeline.node(element);
-        let summary = &self.summaries[element];
-        let mut path = prefix_path.clone();
-        path.push(node.name.clone());
+impl<'a> WalkCtx<'a> {
+    /// Enumerate and decide everything local to one walk node: its suspect ×
+    /// prefix feasibility checks and the feasibility of each forwarding
+    /// edge. When `spawn` is given (the parallel walk), every child input is
+    /// handed to it *before* that child's pruning check runs — speculative
+    /// subtree exploration — together with a derived [`CancelToken`]; a
+    /// pruning check that then defeats the edge cancels the token, stopping
+    /// the child's in-flight descendants however deep they have got.
+    fn compute_node(
+        &self,
+        input: &WalkInput,
+        cancel: &CancelToken,
+        mut spawn: Option<&mut dyn FnMut(WalkInput, CancelToken) -> usize>,
+    ) -> NodeRecord {
+        let node = self.pipeline.node(input.element);
+        let summary = &self.summaries[input.element];
+        let stride = stride_for_depth(input.depth);
 
-        // Enumerate this element's suspects against the composed prefix; the
-        // actual solver calls run in phase 2.
-        for &seg_idx in &self.suspects[element] {
+        let mut checks = Vec::new();
+        for &seg_idx in &self.suspects[input.element] {
             let segment = &summary.exploration.segments[seg_idx];
             // For the instruction-bound property, only paths whose cumulative
             // count exceeds the bound matter.
             if let Property::BoundedInstructions { max_instructions } = self.property {
                 if !segment.outcome.is_crash()
-                    && prefix_instructions + segment.instructions <= *max_instructions
+                    && input.instructions + segment.instructions <= *max_instructions
                 {
                     continue;
                 }
             }
-            let mut constraint = prefix_constraint.clone();
-            constraint.extend(
-                self.composer
-                    .rewrite_all(&view, stride, &segment.constraint),
-            );
-            self.pending.push(PendingCheck {
-                element,
-                seg_idx,
-                constraint: self.apply_property_context(constraint),
-                path: path.clone(),
-            });
-            if self.pending.len() >= CHECK_BATCH {
-                self.flush_pending();
-            }
+            let scope = FreshScope::for_depth(input.depth);
+            let mut constraint = input.constraint.clone();
+            constraint.extend(self.composer.rewrite_all_scoped(
+                &input.view,
+                stride,
+                &segment.constraint,
+                &scope,
+            ));
+            let constraint = self.apply_property_context(constraint, &input.elements);
+            checks.push(self.run_check(input.element, seg_idx, &constraint, &input.path, cancel));
         }
 
-        // Extend the prefix through every forwarding segment.
+        let mut edges = Vec::new();
         for segment in &summary.exploration.segments {
             let Some(port) = segment.outcome.port() else {
                 continue;
@@ -744,37 +820,82 @@ impl<'a> ComposeCtx<'a> {
             let Some(Some(next)) = node.successors.get(port as usize).copied() else {
                 continue;
             };
-            let mut constraint = prefix_constraint.clone();
-            constraint.extend(
-                self.composer
-                    .rewrite_all(&view, stride, &segment.constraint),
-            );
-            if self.options.prune_prefixes {
-                self.stats.solver_calls += 1;
-                if self
-                    .solver
-                    .check(&self.apply_property_context(constraint.clone()))
-                    .is_unsat()
-                {
-                    continue;
+            let scope = FreshScope::for_depth(input.depth);
+            let mut constraint = input.constraint.clone();
+            constraint.extend(self.composer.rewrite_all_scoped(
+                &input.view,
+                stride,
+                &segment.constraint,
+                &scope,
+            ));
+            let child = WalkInput {
+                element: next,
+                view: self
+                    .composer
+                    .extend_view(&input.view, &segment.packet, stride),
+                depth: input.depth + 1,
+                constraint: constraint.clone(),
+                path: {
+                    let mut p = input.path.clone();
+                    p.push(self.pipeline.node(next).name.clone());
+                    p
+                },
+                elements: {
+                    let mut e = input.elements.clone();
+                    e.push(next);
+                    e
+                },
+                instructions: input.instructions + segment.instructions,
+            };
+            // Speculate first, prune second: the child subtree may already
+            // be exploring on another worker while its prefix is checked.
+            let (slot, child_token) = match spawn.as_deref_mut() {
+                Some(spawn) => {
+                    let token = cancel.child();
+                    (ChildSlot::Spawned(spawn(child, token.clone())), Some(token))
                 }
-            }
-            let new_view = self.composer.extend_view(&view, &segment.packet, stride);
-            let new_stride = self.composer.alloc_stride(next);
-            self.walk(
-                next,
-                new_view,
-                new_stride,
-                constraint,
-                path.clone(),
-                prefix_instructions + segment.instructions,
-            );
+                None => (ChildSlot::Inline(child), None),
+            };
+            let (pruned_call, feasible) = if self.options.prune_prefixes {
+                let contextual = self.apply_property_context(constraint, &input.elements);
+                let infeasible = self
+                    .solver
+                    .check_diagnosed_cancel(&contextual, cancel)
+                    .0
+                    .is_unsat();
+                (true, !infeasible)
+            } else {
+                (false, true)
+            };
+            let slot = if feasible {
+                slot
+            } else {
+                // The prefix through this edge is infeasible: cancel the
+                // speculative subtree (its in-flight solver calls abort).
+                if let Some(token) = child_token {
+                    token.cancel();
+                }
+                match slot {
+                    spawned @ ChildSlot::Spawned(_) => spawned,
+                    _ => ChildSlot::None,
+                }
+            };
+            edges.push(EdgeRecord {
+                pruned_call,
+                feasible,
+                child: slot,
+            });
         }
+        NodeRecord { checks, edges }
     }
 
     /// Add the property's input assumptions (e.g. the reachability
     /// destination binding) and concretise static state.
-    fn apply_property_context(&self, constraint: Vec<TermRef>) -> Vec<TermRef> {
+    fn apply_property_context(
+        &self,
+        constraint: Vec<TermRef>,
+        elements: &[ElementIdx],
+    ) -> Vec<TermRef> {
         match self.property {
             Property::Reachability {
                 dst, dst_offset, ..
@@ -786,126 +907,105 @@ impl<'a> ComposeCtx<'a> {
                     .map(|(i, b)| (*dst_offset as i64 + i as i64, *b))
                     .collect();
                 let bound = bind_packet_bytes(&constraint, &bindings);
-                concretise_static_reads(self.pipeline, &self.composer, bound)
+                concretise_static_reads(self.pipeline, elements, bound)
             }
             _ => constraint,
         }
     }
 
-    /// Decide every buffered check and fold the outcomes — in enumeration
-    /// order, so the report is identical however the batch was executed.
-    fn flush_pending(&mut self) {
-        if self.pending.is_empty() {
-            return;
-        }
-        let pending = std::mem::take(&mut self.pending);
-        let check_ctx = CheckCtx {
-            pipeline: self.pipeline,
-            property: self.property,
-            summaries: self.summaries,
-            options: self.options,
-            solver: self.solver,
-            hints: &self.hints,
-        };
-        let outcomes = check_ctx.run_all(&pending);
-        for (outcome, diag) in outcomes {
-            self.stats.solver_calls += 1;
-            self.stats.fm_budget_aborts += usize::from(diag.fm_budget_exhausted);
-            self.stats.model_search_aborts += usize::from(diag.model_search_exhausted);
-            match outcome {
-                CheckOutcome::Discharged => self.stats.discharged += 1,
-                CheckOutcome::Violation(ce) => self.counterexamples.push(ce),
-                CheckOutcome::Undecided(up) => self.unproven.push(up),
-            }
-        }
-    }
-}
-
-impl<'a> CheckCtx<'a> {
-    /// Decide every pending check, inline or across the configured
-    /// executor's workers. The returned outcomes are in `pending` order
-    /// regardless of execution order.
-    fn run_all(&self, pending: &[PendingCheck]) -> Vec<(CheckOutcome, CheckDiagnostics)> {
-        let slots: Vec<Mutex<Option<(CheckOutcome, CheckDiagnostics)>>> =
-            pending.iter().map(|_| Mutex::new(None)).collect();
-        match self.options.parallel.executor() {
-            Some(executor) if pending.len() > 1 => {
-                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = pending
-                    .iter()
-                    .zip(&slots)
-                    .map(|(check, slot)| {
-                        Box::new(move || {
-                            *slot.lock().expect("check slot") = Some(self.run_one(check));
-                        }) as Box<dyn FnOnce() + Send + '_>
-                    })
-                    .collect();
-                executor.run_batch(jobs);
-            }
-            _ => {
-                for (check, slot) in pending.iter().zip(&slots) {
-                    *slot.lock().expect("check slot") = Some(self.run_one(check));
-                }
-            }
-        }
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("check slot")
-                    .expect("every check ran")
+    /// Decide one suspect × prefix feasibility check: base solver budgets,
+    /// then the stateful-element second chance, then (for stage-budget
+    /// aborts) one adaptive retry with escalated budgets.
+    fn run_check(
+        &self,
+        element: ElementIdx,
+        seg_idx: usize,
+        constraint: &[TermRef],
+        path: &[String],
+        cancel: &CancelToken,
+    ) -> CheckRecord {
+        let node = self.pipeline.node(element);
+        let segment = &self.summaries[element].exploration.segments[seg_idx];
+        let violation = |model: &dataplane_symbex::Assignment| {
+            let packet = self.materialise_counterexample(model);
+            let confirmed =
+                self.options.validate_counterexamples && self.confirm(&packet, element, segment);
+            CheckOutcome::Violation(Counterexample {
+                packet,
+                path: path.to_vec(),
+                description: format!(
+                    "{} at element '{}'",
+                    describe_outcome(&segment.outcome),
+                    node.name
+                ),
+                confirmed,
             })
-            .collect()
-    }
-
-    /// Decide one suspect × prefix feasibility check.
-    fn run_one(&self, check: &PendingCheck) -> (CheckOutcome, CheckDiagnostics) {
-        let node = self.pipeline.node(check.element);
-        let segment = &self.summaries[check.element].exploration.segments[check.seg_idx];
-        let (result, diag) = self
-            .solver
-            .check_with_hints_diagnosed(&check.constraint, self.hints);
+        };
+        let (result, diag) =
+            self.solver
+                .check_with_hints_diagnosed_cancel(constraint, &self.hints, cancel);
+        let mut escalated = false;
+        let mut escalation_decided = false;
         let outcome = match result {
             SolverResult::Unsat => CheckOutcome::Discharged,
-            SolverResult::Sat(model) => {
-                let packet = self.materialise_counterexample(&model);
-                let confirmed = self.options.validate_counterexamples
-                    && self.confirm(&packet, check.element, segment);
-                CheckOutcome::Violation(Counterexample {
-                    packet,
-                    path: check.path.clone(),
-                    description: format!(
-                        "{} at element '{}'",
-                        describe_outcome(&segment.outcome),
-                        node.name
-                    ),
-                    confirmed,
-                })
-            }
+            SolverResult::Sat(model) => violation(&model),
             SolverResult::Unknown => {
                 // Second chance: the stateful-element analysis (reads of
                 // never-written private state can be replaced by the
                 // default value).
-                if self.discharged_by_ds_analysis(&check.constraint, check.element) {
+                if self.discharged_by_ds_analysis(constraint, element) {
                     CheckOutcome::Discharged
                 } else {
-                    let stages = diag.describe();
-                    let why = if stages.is_empty() {
-                        String::new()
-                    } else {
-                        format!(" ({stages})")
-                    };
-                    CheckOutcome::Undecided(UnprovenPath {
-                        path: check.path.clone(),
-                        reason: format!(
-                            "could not decide feasibility of {} at '{}'{why}",
-                            describe_outcome(&segment.outcome),
-                            node.name
-                        ),
-                    })
+                    // Adaptive budgets: a stage gave up at its limit — retry
+                    // once with everything scaled up before reporting.
+                    let mut retried = None;
+                    if let Some(escalated_solver) = &self.escalated {
+                        if (diag.fm_budget_exhausted || diag.model_search_exhausted)
+                            && !cancel.is_cancelled()
+                        {
+                            escalated = true;
+                            let (retry, _) = escalated_solver.check_with_hints_diagnosed_cancel(
+                                constraint,
+                                &self.hints,
+                                cancel,
+                            );
+                            if !matches!(retry, SolverResult::Unknown) {
+                                escalation_decided = true;
+                                retried = Some(retry);
+                            }
+                        }
+                    }
+                    match retried {
+                        Some(SolverResult::Unsat) => CheckOutcome::Discharged,
+                        Some(SolverResult::Sat(model)) => violation(&model),
+                        _ => {
+                            let stages = diag.describe();
+                            let why = if stages.is_empty() {
+                                String::new()
+                            } else if escalated {
+                                format!(" ({stages}; budgets escalated x{ESCALATION_FACTOR} without a verdict)")
+                            } else {
+                                format!(" ({stages})")
+                            };
+                            CheckOutcome::Undecided(UnprovenPath {
+                                path: path.to_vec(),
+                                reason: format!(
+                                    "could not decide feasibility of {} at '{}'{why}",
+                                    describe_outcome(&segment.outcome),
+                                    node.name
+                                ),
+                            })
+                        }
+                    }
                 }
             }
         };
-        (outcome, diag)
+        CheckRecord {
+            outcome,
+            diag,
+            escalated,
+            escalation_decided,
+        }
     }
 
     /// Turn a solver model into the packet reported to the user. For the
@@ -1008,6 +1108,234 @@ impl<'a> CheckCtx<'a> {
                     }
                     Disposition::Exited { .. } => !deliver_to.contains(&last_name),
                 }
+            }
+        }
+    }
+}
+
+/// Arena slot for one node of the parallel walk.
+enum Slot {
+    /// Scheduled, not yet processed.
+    Pending,
+    /// Fully processed.
+    Done(NodeRecord),
+    /// Skipped because the speculation cap was reached; the fold computes
+    /// it inline if it commits the node.
+    Deferred(WalkInput),
+    /// Skipped (or abandoned mid-computation) because its token fired. A
+    /// cancelled node sits behind a pruned edge, which the fold never
+    /// commits; the input is kept so even a logic slip stays recoverable
+    /// instead of panicking.
+    Cancelled(WalkInput),
+}
+
+/// One scheduled subtree visit of the parallel walk.
+struct QueueItem {
+    id: usize,
+    input: WalkInput,
+    token: CancelToken,
+}
+
+/// Shared state of the speculative parallel walk: the work queue of
+/// scheduled subtree visits and the arena their results land in. Workers
+/// are plain closures over [`WalkState::drain`], so any [`ComposeExecutor`]
+/// can run them.
+struct WalkState<'w, 'a> {
+    ctx: &'w WalkCtx<'a>,
+    queue: Mutex<VecDeque<QueueItem>>,
+    /// Results per node. Processed nodes drop their composed constraints
+    /// (a `Done` record keeps only outcomes and edge bits); inputs survive
+    /// only in unprocessed queue items and `Deferred`/`Cancelled` slots,
+    /// all bounded through `cap` — a different memory shape from the old
+    /// 1024-check buffer, bounded by the composed-path budget instead.
+    arena: Mutex<Vec<Slot>>,
+    /// Scheduled-but-unfinished items (queued or mid-process).
+    pending: AtomicUsize,
+    /// Nodes actually processed. Bounds speculative work at the composed-
+    /// path budget, so a walk the sequential verifier would abandon cannot
+    /// explode under speculation; anything past the cap is deferred to the
+    /// fold, which applies the real budget.
+    entered: AtomicUsize,
+    cap: usize,
+    /// Parked-worker wakeup: the epoch bumps whenever new work may exist.
+    signal: (Mutex<u64>, Condvar),
+}
+
+impl<'w, 'a> WalkState<'w, 'a> {
+    fn new(ctx: &'w WalkCtx<'a>, cap: usize) -> Self {
+        WalkState {
+            ctx,
+            queue: Mutex::new(VecDeque::new()),
+            arena: Mutex::new(Vec::new()),
+            pending: AtomicUsize::new(0),
+            entered: AtomicUsize::new(0),
+            cap,
+            signal: (Mutex::new(0), Condvar::new()),
+        }
+    }
+
+    /// Schedule the root node; returns its arena id.
+    fn seed(&self, input: WalkInput) -> usize {
+        self.spawn(input, CancelToken::new())
+    }
+
+    fn spawn(&self, input: WalkInput, token: CancelToken) -> usize {
+        let id = {
+            let mut arena = self.arena.lock().expect("walk arena");
+            arena.push(Slot::Pending);
+            arena.len() - 1
+        };
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.queue
+            .lock()
+            .expect("walk queue")
+            .push_back(QueueItem { id, input, token });
+        self.wake();
+        id
+    }
+
+    fn wake(&self) {
+        let mut epoch = self.signal.0.lock().expect("walk signal");
+        *epoch += 1;
+        self.signal.1.notify_all();
+    }
+
+    /// Remove and return the slot for `id` (the fold consumes each node
+    /// exactly once).
+    fn take(&self, id: usize) -> Slot {
+        std::mem::replace(
+            &mut self.arena.lock().expect("walk arena")[id],
+            Slot::Pending,
+        )
+    }
+
+    /// Worker loop: process scheduled visits until every one has finished.
+    fn drain(&self) {
+        loop {
+            // Snapshot the epoch before looking for work so the parked wait
+            // below cannot miss a wake-up.
+            let seen_epoch = *self.signal.0.lock().expect("walk signal");
+            let item = self.queue.lock().expect("walk queue").pop_front();
+            match item {
+                Some(item) => {
+                    self.process(item);
+                    if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        self.wake();
+                    }
+                }
+                None => {
+                    if self.pending.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    let mut epoch = self.signal.0.lock().expect("walk signal");
+                    while *epoch == seen_epoch && self.pending.load(Ordering::Acquire) > 0 {
+                        epoch = self.signal.1.wait(epoch).expect("walk signal");
+                    }
+                }
+            }
+        }
+    }
+
+    fn process(&self, item: QueueItem) {
+        let QueueItem { id, input, token } = item;
+        let slot = if token.is_cancelled() {
+            Slot::Cancelled(input)
+        } else if self.entered.fetch_add(1, Ordering::Relaxed) >= self.cap {
+            Slot::Deferred(input)
+        } else {
+            let mut spawn = |child: WalkInput, child_token: CancelToken| -> usize {
+                self.spawn(child, child_token)
+            };
+            let record = self.ctx.compute_node(&input, &token, Some(&mut spawn));
+            if token.is_cancelled() {
+                // Cancelled mid-computation: the record may contain
+                // early-aborted solver results; never publish it.
+                Slot::Cancelled(input)
+            } else {
+                Slot::Done(record)
+            }
+        };
+        self.arena.lock().expect("walk arena")[id] = slot;
+    }
+}
+
+/// Folds walk records in exact sequential-walk (depth-first enumeration)
+/// order, producing outcomes, statistics, and budget accounting identical
+/// to a one-thread walk — whatever speculation computed, over-computed, or
+/// skipped. Missing nodes are computed inline, so the fold is also the
+/// entire sequential mode.
+struct FoldState<'f, 'a> {
+    ctx: &'f WalkCtx<'a>,
+    stats: &'f mut VerificationStats,
+    counterexamples: Vec<Counterexample>,
+    unproven: Vec<UnprovenPath>,
+    budget_exhausted: bool,
+}
+
+impl<'f, 'a> FoldState<'f, 'a> {
+    /// The sequential walk's node-entry bookkeeping: budget, then count.
+    fn enter(&mut self) -> bool {
+        if self.stats.composed_paths >= self.ctx.options.max_composed_paths {
+            self.budget_exhausted = true;
+            return false;
+        }
+        self.stats.composed_paths += 1;
+        true
+    }
+
+    /// Commit a node the parallel walk may have precomputed.
+    fn fold_slot(&mut self, slot: Slot, state: &WalkState<'_, 'a>) {
+        if !self.enter() {
+            return;
+        }
+        match slot {
+            Slot::Done(record) => self.consume(record, Some(state)),
+            Slot::Deferred(input) | Slot::Cancelled(input) => {
+                let record = self.ctx.compute_node(&input, &CancelToken::new(), None);
+                self.consume(record, Some(state));
+            }
+            Slot::Pending => unreachable!("walk drained with a pending node"),
+        }
+    }
+
+    /// Commit a node nobody precomputed (sequential mode, or a deferred
+    /// subtree's descendants).
+    fn fold_input(&mut self, input: WalkInput, state: Option<&WalkState<'_, 'a>>) {
+        if !self.enter() {
+            return;
+        }
+        let record = self.ctx.compute_node(&input, &CancelToken::new(), None);
+        self.consume(record, state);
+    }
+
+    fn consume(&mut self, record: NodeRecord, state: Option<&WalkState<'_, 'a>>) {
+        for check in record.checks {
+            self.stats.solver_calls += 1;
+            self.stats.fm_budget_aborts += usize::from(check.diag.fm_budget_exhausted);
+            self.stats.model_search_aborts += usize::from(check.diag.model_search_exhausted);
+            self.stats.budget_escalations += usize::from(check.escalated);
+            self.stats.escalations_decided += usize::from(check.escalation_decided);
+            match check.outcome {
+                CheckOutcome::Discharged => self.stats.discharged += 1,
+                CheckOutcome::Violation(ce) => self.counterexamples.push(ce),
+                CheckOutcome::Undecided(up) => self.unproven.push(up),
+            }
+        }
+        for edge in record.edges {
+            if edge.pruned_call {
+                self.stats.solver_calls += 1;
+            }
+            if !edge.feasible {
+                continue;
+            }
+            match edge.child {
+                ChildSlot::Spawned(id) => {
+                    let state = state.expect("spawned children only exist in the parallel walk");
+                    let slot = state.take(id);
+                    self.fold_slot(slot, state);
+                }
+                ChildSlot::Inline(input) => self.fold_input(input, state),
+                ChildSlot::None => unreachable!("feasible edge lost its child"),
             }
         }
     }

@@ -391,6 +391,65 @@ fn reachability_with_blocking_filter_is_not_proven() {
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive solver budgets
+// ---------------------------------------------------------------------------
+
+#[test]
+fn aborted_budgets_escalate_once_and_are_counted() {
+    use dataplane_symbex::SolverConfig;
+    use dataplane_verifier::VerifierOptions;
+    // Starve the solver so checks abort a stage; the firewall reachability
+    // scenario is proven under default budgets, so any Unknown here is a
+    // budget artefact — exactly what escalation exists for.
+    let tiny = SolverConfig {
+        model_search_tries: 8,
+        max_fm_constraints: 4,
+        ..SolverConfig::default()
+    };
+    let property = Property::Reachability {
+        dst: Ipv4Addr::new(192, 168, 7, 7),
+        dst_offset: 30,
+        deliver_to: vec!["out1".to_string()],
+        may_drop: vec!["strip".to_string(), "chk".to_string(), "ttl".to_string()],
+    };
+
+    let mut fixed = Verifier::with_options(VerifierOptions {
+        solver: tiny.clone(),
+        escalate_budgets: false,
+        ..VerifierOptions::default()
+    });
+    let base = fixed.verify(&firewall_pipeline(vec![]), &property);
+    assert_eq!(base.stats.budget_escalations, 0);
+    assert!(
+        base.stats.fm_budget_aborts + base.stats.model_search_aborts > 0,
+        "starved budgets must abort at least one stage:\n{base}"
+    );
+    assert!(
+        !base.unproven.is_empty(),
+        "starved budgets should leave undecided checks:\n{base}"
+    );
+
+    let mut adaptive = Verifier::with_options(VerifierOptions {
+        solver: tiny,
+        escalate_budgets: true,
+        ..VerifierOptions::default()
+    });
+    let report = adaptive.verify(&firewall_pipeline(vec![]), &property);
+    assert!(
+        report.stats.budget_escalations > 0,
+        "every aborted undecided check must be retried escalated:\n{report}"
+    );
+    assert!(
+        report.unproven.len() <= base.unproven.len(),
+        "escalation must not lose decisions"
+    );
+    assert!(
+        report.stats.escalations_decided <= report.stats.budget_escalations,
+        "decided escalations are a subset of escalations"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Summary reuse
 // ---------------------------------------------------------------------------
 

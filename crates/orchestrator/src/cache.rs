@@ -250,11 +250,25 @@ impl SummaryStore {
     }
 
     /// Drop `file_name`'s manifest entry (its file is gone or untrusted)
-    /// and persist the change.
+    /// and persist the change. Takes the directory's advisory lock: the
+    /// manifest rewrite must not lose a peer's concurrent entry.
     fn forget_manifest_entry(&self, file_name: &str) {
+        let _dir_lock = self
+            .persist_dir
+            .as_deref()
+            .and_then(crate::persist::DirLock::acquire);
+        self.forget_manifest_entry_locked(file_name);
+    }
+
+    /// [`SummaryStore::forget_manifest_entry`] for callers already holding
+    /// the directory lock.
+    fn forget_manifest_entry_locked(&self, file_name: &str) {
         let mut manifest = self.manifest.lock().expect("manifest lock");
         if let Some(pos) = manifest.iter().position(|e| e.file == file_name) {
             manifest.remove(pos);
+            let disk = self.read_disk_manifest();
+            adopt_unknown_entries(&mut manifest, &disk);
+            manifest.retain(|e| e.file != file_name);
             self.write_manifest(&manifest);
         }
     }
@@ -277,11 +291,17 @@ impl SummaryStore {
     /// Install a freshly computed summary under `fingerprint`, writing the
     /// persistent tier when configured. The file is written to a unique
     /// temporary name and renamed into place, so concurrent readers (or a
-    /// crash mid-write) never observe a torn document. Disk failures are
-    /// counted but do not fail the insert — the in-memory tier is
-    /// authoritative for this process.
+    /// crash mid-write) never observe a torn document. The rename +
+    /// `manifest.json` write pair runs under the directory's advisory
+    /// [`crate::persist::DirLock`], so a concurrent orchestrator can no
+    /// longer sample the directory between a peer's two writes and drop the
+    /// not-yet-vouched file (if the lock cannot be had, the old best-effort
+    /// merge-on-demand path still applies). Disk failures are counted but
+    /// do not fail the insert — the in-memory tier is authoritative for
+    /// this process.
     pub fn insert(&self, fingerprint: Fingerprint, summary: Arc<ElementSummary>) {
         if let (Some(path), Some(dir)) = (self.file_for(fingerprint), &self.persist_dir) {
+            let _dir_lock = crate::persist::DirLock::acquire(dir);
             static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
             let temp = dir.join(format!(
                 "{fingerprint}.tmp-{}-{}",
@@ -309,7 +329,8 @@ impl SummaryStore {
                 Err(_) => {
                     let _ = std::fs::remove_file(&temp);
                     self.disk_errors.fetch_add(1, Ordering::Relaxed);
-                    self.forget_manifest_entry(&file_name);
+                    // The insert path already holds the directory lock.
+                    self.forget_manifest_entry_locked(&file_name);
                 }
             }
         }

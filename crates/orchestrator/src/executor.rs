@@ -1,258 +1,384 @@
-//! A work-stealing executor for dependency graphs of verification jobs.
+//! The shared scheduler every kind of verification work runs on.
 //!
-//! Jobs are opaque closures arranged in a DAG (explore jobs feed compose
-//! jobs). Each worker owns a deque: it pops its own work LIFO (fresh jobs
-//! are cache-hot) and steals FIFO from its peers when idle (the oldest,
-//! typically largest, work migrates). A job whose last dependency completes
-//! is enqueued on the worker that completed it, so summary producers and the
-//! composition that consumes them tend to share a core.
+//! Two pieces cooperate:
+//!
+//! * [`Pool`] — a work-stealing pool of worker threads fed by **dynamically
+//!   spawned** tasks: any task may spawn further tasks while the pool runs
+//!   (the orchestrator's explore jobs unlock composition jobs through
+//!   [`Latch`]es rather than a pre-built DAG). Each worker owns a deque: it
+//!   pops its own work LIFO (fresh jobs are cache-hot) and steals FIFO from
+//!   its peers when idle.
+//! * [`ThreadBudget`] — the pool-wide ledger of how many threads may do
+//!   verification work at once. Pool workers hold a permit while running a
+//!   task and release it while parked; Step-2 batch helpers (see
+//!   `BudgetedComposition` in the orchestrator module) borrow the *free*
+//!   permits. The invariant: live working threads never exceed the single
+//!   pool size, however many compositions fan their checks out — the
+//!   old per-composition scoped workers had a `scenarios × threads`
+//!   ceiling instead.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
-/// One schedulable unit.
-///
-/// The lifetime `'env` lets jobs borrow from the caller's stack — [`execute`]
-/// runs everything under a `std::thread::scope`, so non-`'static` closures
-/// (e.g. a parallel Step-2 batch borrowing the verifier's composition
-/// context) are sound.
-struct TaskNode<'env> {
-    /// The work; taken exactly once.
-    run: Mutex<Option<Box<dyn FnOnce() + Send + 'env>>>,
-    /// Number of incomplete dependencies.
+/// A counting ledger of concurrently working threads, shared by the pool's
+/// workers and the Step-2 batch helpers. Tracks the high-water mark so runs
+/// can assert the bound they promise.
+#[derive(Debug)]
+pub struct ThreadBudget {
+    total: usize,
+    free: Mutex<usize>,
+    freed: Condvar,
+    in_use_peak: AtomicUsize,
+}
+
+impl ThreadBudget {
+    /// A budget of `total` simultaneous working threads (at least 1).
+    pub fn new(total: usize) -> Arc<Self> {
+        let total = total.max(1);
+        Arc::new(ThreadBudget {
+            total,
+            free: Mutex::new(total),
+            freed: Condvar::new(),
+            in_use_peak: AtomicUsize::new(0),
+        })
+    }
+
+    /// The budget's size.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Block until a permit is free, then take it.
+    pub fn acquire_one(&self) {
+        let mut free = self.free.lock().expect("budget lock");
+        while *free == 0 {
+            free = self.freed.wait(free).expect("budget lock");
+        }
+        *free -= 1;
+        self.note_in_use(self.total - *free);
+    }
+
+    /// Take up to `want` permits without blocking; returns how many were
+    /// taken (possibly 0).
+    pub fn try_acquire(&self, want: usize) -> usize {
+        if want == 0 {
+            return 0;
+        }
+        let mut free = self.free.lock().expect("budget lock");
+        let got = want.min(*free);
+        *free -= got;
+        self.note_in_use(self.total - *free);
+        got
+    }
+
+    /// Return `n` permits.
+    pub fn release(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut free = self.free.lock().expect("budget lock");
+        *free += n;
+        assert!(*free <= self.total, "budget over-released");
+        drop(free);
+        self.freed.notify_all();
+    }
+
+    fn note_in_use(&self, in_use: usize) {
+        self.in_use_peak.fetch_max(in_use, Ordering::Relaxed);
+    }
+
+    /// The most permits ever simultaneously in use — i.e. the peak number of
+    /// live working (solver) threads this budget admitted.
+    pub fn peak_in_use(&self) -> usize {
+        self.in_use_peak.load(Ordering::Relaxed)
+    }
+
+    /// Reset the high-water mark (between runs that want per-run peaks).
+    pub fn reset_peak(&self) {
+        self.in_use_peak.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A task: receives the pool so it can spawn follow-up work.
+pub type Job<'env> = Box<dyn FnOnce(&Pool<'env>) + Send + 'env>;
+
+/// The dynamic work-stealing pool. Create-and-run with [`Pool::run`]; tasks
+/// spawned at any point (from the seeder or from running tasks) are executed
+/// before `run` returns.
+pub struct Pool<'env> {
+    queues: Vec<Mutex<VecDeque<Job<'env>>>>,
+    /// Tasks spawned but not yet finished.
     pending: AtomicUsize,
-    /// Tasks to notify on completion.
-    dependents: Vec<usize>,
+    /// Round-robin cursor for queue placement.
+    place: AtomicUsize,
+    /// Parked-worker wakeup: the epoch bumps whenever new work may exist.
+    signal: (Mutex<u64>, Condvar),
+    budget: Arc<ThreadBudget>,
 }
 
-/// A DAG of tasks, built once and executed by [`execute`].
-#[derive(Default)]
-pub struct TaskGraph<'env> {
-    tasks: Vec<TaskNode<'env>>,
-}
-
-impl<'env> TaskGraph<'env> {
-    /// An empty graph.
-    pub fn new() -> Self {
-        TaskGraph::default()
-    }
-
-    /// Add a task depending on the already-added tasks in `deps`; returns
-    /// its id. Dependencies must be earlier ids, which makes cycles
-    /// unrepresentable.
-    pub fn add(&mut self, deps: &[usize], run: Box<dyn FnOnce() + Send + 'env>) -> usize {
-        let id = self.tasks.len();
-        for &d in deps {
-            assert!(d < id, "dependency {d} of task {id} does not exist yet");
+impl<'env> Pool<'env> {
+    /// Run a pool of `threads` workers over `budget`. `seed` is called with
+    /// the pool to spawn the initial tasks; `run` returns when every task
+    /// (including all dynamically spawned ones) has completed.
+    pub fn run(threads: usize, budget: Arc<ThreadBudget>, seed: impl FnOnce(&Pool<'env>)) {
+        let threads = threads.max(1);
+        let pool = Pool {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            place: AtomicUsize::new(0),
+            signal: (Mutex::new(0), Condvar::new()),
+            budget,
+        };
+        seed(&pool);
+        if pool.pending.load(Ordering::Acquire) == 0 {
+            return;
         }
-        self.tasks.push(TaskNode {
-            run: Mutex::new(Some(run)),
-            pending: AtomicUsize::new(deps.len()),
-            dependents: Vec::new(),
+        std::thread::scope(|scope| {
+            for me in 0..threads {
+                let pool = &pool;
+                scope.spawn(move || pool.worker(me));
+            }
         });
-        for &d in deps {
-            self.tasks[d].dependents.push(id);
-        }
-        id
     }
 
-    /// Number of tasks.
-    pub fn len(&self) -> usize {
-        self.tasks.len()
+    /// The budget this pool's workers draw from.
+    pub fn budget(&self) -> &Arc<ThreadBudget> {
+        &self.budget
     }
 
-    /// True if no tasks were added.
-    pub fn is_empty(&self) -> bool {
-        self.tasks.is_empty()
+    /// Number of tasks spawned but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
     }
-}
 
-/// Run a batch of independent jobs (no dependency edges) across at most
-/// `threads` workers (never more workers than jobs); returns when every job
-/// has completed. This is the entry point the parallel Step-2 composition
-/// uses: each job is one suspect × prefix feasibility check borrowing the
-/// (shared, immutable) composition context.
-pub fn run_batch<'env>(jobs: Vec<Box<dyn FnOnce() + Send + 'env>>, threads: usize) {
-    let threads = threads.min(jobs.len());
-    let mut graph = TaskGraph::new();
-    for job in jobs {
-        graph.add(&[], job);
+    /// Spawn a task; it will run on some worker before [`Pool::run`]
+    /// returns.
+    pub fn spawn(&self, job: Job<'env>) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        let at = self.place.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[at].lock().expect("queue lock").push_back(job);
+        self.wake();
     }
-    execute(graph, threads);
-}
 
-/// Run every task of `graph` across `threads` workers, respecting
-/// dependencies. Returns when all tasks have completed.
-pub fn execute(graph: TaskGraph<'_>, threads: usize) {
-    let threads = threads.max(1);
-    let total = graph.len();
-    if total == 0 {
-        return;
+    fn wake(&self) {
+        let mut epoch = self.signal.0.lock().expect("signal lock");
+        *epoch += 1;
+        self.signal.1.notify_all();
     }
-    let tasks = &graph.tasks;
-    let queues: Vec<Mutex<VecDeque<usize>>> =
-        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
-    let remaining = AtomicUsize::new(total);
-    // Idle workers park on this condvar instead of spinning; the epoch
-    // counter is bumped (under the lock) whenever new work may exist — on
-    // every enqueue and when the last task finishes — so a worker that saw
-    // no work re-checks exactly when something changed.
-    let signal = (Mutex::new(0u64), Condvar::new());
 
-    // Distribute the initially-ready tasks round-robin.
-    {
-        let mut worker = 0;
-        for (id, task) in tasks.iter().enumerate() {
-            if task.pending.load(Ordering::Relaxed) == 0 {
-                queues[worker].lock().expect("queue lock").push_back(id);
-                worker = (worker + 1) % threads;
+    fn worker(&self, me: usize) {
+        loop {
+            // Snapshot the epoch before looking for work: any spawn after
+            // this point bumps it, so the parked wait cannot miss a wake-up.
+            let seen_epoch = *self.signal.0.lock().expect("signal lock");
+            // Own work first (LIFO), then steal (FIFO).
+            let job = {
+                let own = self.queues[me].lock().expect("queue lock").pop_back();
+                own.or_else(|| {
+                    (1..self.queues.len()).find_map(|offset| {
+                        let victim = (me + offset) % self.queues.len();
+                        self.queues[victim].lock().expect("queue lock").pop_front()
+                    })
+                })
+            };
+            match job {
+                Some(job) => {
+                    // Hold a budget permit exactly while working; a parked
+                    // worker's permit is what Step-2 batch helpers borrow.
+                    self.budget.acquire_one();
+                    job(self);
+                    self.budget.release(1);
+                    if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        self.wake();
+                    }
+                }
+                None => {
+                    if self.pending.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    let mut epoch = self.signal.0.lock().expect("signal lock");
+                    while *epoch == seen_epoch && self.pending.load(Ordering::Acquire) > 0 {
+                        epoch = self.signal.1.wait(epoch).expect("signal lock");
+                    }
+                }
             }
         }
     }
+}
 
-    let wake_all = |signal: &(Mutex<u64>, Condvar)| {
-        let mut epoch = signal.0.lock().expect("signal lock");
-        *epoch += 1;
-        signal.1.notify_all();
-    };
+/// A countdown gate: holds a job until `deps` prerequisite completions have
+/// been signalled, then spawns it on the pool. This is how dependency edges
+/// (explore jobs → composition jobs) are expressed on a dynamic pool.
+pub struct Latch<'env> {
+    remaining: AtomicUsize,
+    job: Mutex<Option<Job<'env>>>,
+}
 
-    std::thread::scope(|scope| {
-        for me in 0..threads {
-            let queues = &queues;
-            let remaining = &remaining;
-            let signal = &signal;
-            scope.spawn(move || {
-                loop {
-                    // Snapshot the epoch *before* looking for work: any
-                    // enqueue after this point bumps it, so the parked wait
-                    // below cannot miss a wake-up.
-                    let seen_epoch = *signal.0.lock().expect("signal lock");
-                    // Own work first (LIFO), then steal (FIFO).
-                    let next = {
-                        let own = queues[me].lock().expect("queue lock").pop_back();
-                        own.or_else(|| {
-                            (1..queues.len()).find_map(|offset| {
-                                let victim = (me + offset) % queues.len();
-                                queues[victim].lock().expect("queue lock").pop_front()
-                            })
-                        })
-                    };
-                    match next {
-                        Some(id) => {
-                            let run = tasks[id]
-                                .run
-                                .lock()
-                                .expect("task lock")
-                                .take()
-                                .expect("task runs exactly once");
-                            run();
-                            let mut unlocked = false;
-                            for &dep in &tasks[id].dependents {
-                                if tasks[dep].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    queues[me].lock().expect("queue lock").push_back(dep);
-                                    unlocked = true;
-                                }
-                            }
-                            let last = remaining.fetch_sub(1, Ordering::AcqRel) == 1;
-                            if unlocked || last {
-                                wake_all(signal);
-                            }
-                        }
-                        None => {
-                            if remaining.load(Ordering::Acquire) == 0 {
-                                break;
-                            }
-                            let mut epoch = signal.0.lock().expect("signal lock");
-                            while *epoch == seen_epoch && remaining.load(Ordering::Acquire) > 0 {
-                                epoch = signal.1.wait(epoch).expect("signal lock");
-                            }
-                        }
-                    }
-                }
-            });
+impl<'env> Latch<'env> {
+    /// A latch releasing `job` after `deps` completions. With `deps == 0`
+    /// the caller should invoke [`Latch::ready`] once (or just spawn the job
+    /// directly).
+    pub fn new(deps: usize, job: Job<'env>) -> Arc<Self> {
+        Arc::new(Latch {
+            remaining: AtomicUsize::new(deps.max(1)),
+            job: Mutex::new(Some(job)),
+        })
+    }
+
+    /// Signal one completed dependency; the last signal spawns the job.
+    pub fn ready(&self, pool: &Pool<'env>) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let job = self
+                .job
+                .lock()
+                .expect("latch job")
+                .take()
+                .expect("latch released twice");
+            pool.spawn(job);
         }
-    });
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]
-    fn runs_every_task_once() {
+    fn runs_every_seeded_task_once() {
         let counter = Arc::new(AtomicUsize::new(0));
-        let mut graph = TaskGraph::new();
-        for _ in 0..100 {
-            let counter = counter.clone();
-            graph.add(
-                &[],
-                Box::new(move || {
+        let budget = ThreadBudget::new(4);
+        Pool::run(4, budget, |pool| {
+            for _ in 0..100 {
+                let counter = counter.clone();
+                pool.spawn(Box::new(move |_| {
                     counter.fetch_add(1, Ordering::Relaxed);
-                }),
-            );
-        }
-        assert_eq!(graph.len(), 100);
-        execute(graph, 4);
+                }));
+            }
+        });
         assert_eq!(counter.load(Ordering::Relaxed), 100);
     }
 
     #[test]
-    fn dependencies_complete_before_dependents_start() {
-        // A diamond: 2 roots -> 8 middles -> 1 sink; the sink must observe
-        // every middle, each middle must observe both roots. Order is
-        // witnessed with a monotone clock.
-        let clock = Arc::new(AtomicU64::new(1));
-        let stamps: Arc<Vec<AtomicU64>> = Arc::new((0..11).map(|_| AtomicU64::new(0)).collect());
-        let mut graph = TaskGraph::new();
-        let stamp = |i: usize| {
-            let clock = clock.clone();
-            let stamps = stamps.clone();
-            Box::new(move || {
-                stamps[i].store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
-            }) as Box<dyn FnOnce() + Send>
-        };
-        let r0 = graph.add(&[], stamp(0));
-        let r1 = graph.add(&[], stamp(1));
-        let middles: Vec<usize> = (0..8).map(|i| graph.add(&[r0, r1], stamp(2 + i))).collect();
-        graph.add(&middles, stamp(10));
-        execute(graph, 4);
+    fn tasks_spawned_from_tasks_run_before_the_pool_exits() {
+        // A 3-level dynamic fan-out: 4 roots each spawn 4 children, each
+        // child spawns 2 grandchildren — none of which exist when the pool
+        // starts.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let budget = ThreadBudget::new(4);
+        Pool::run(4, budget, |pool| {
+            for _ in 0..4 {
+                let counter = counter.clone();
+                pool.spawn(Box::new(move |pool| {
+                    for _ in 0..4 {
+                        let counter = counter.clone();
+                        pool.spawn(Box::new(move |pool| {
+                            for _ in 0..2 {
+                                let counter = counter.clone();
+                                pool.spawn(Box::new(move |_| {
+                                    counter.fetch_add(1, Ordering::Relaxed);
+                                }));
+                            }
+                        }));
+                    }
+                }));
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn latches_enforce_dependency_order() {
+        // 2 roots -> 8 middles -> 1 sink, with order witnessed by a clock.
+        let clock = Arc::new(AtomicUsize::new(1));
+        let stamps: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..11).map(|_| AtomicUsize::new(0)).collect());
+        let budget = ThreadBudget::new(4);
+        Pool::run(4, budget, |pool| {
+            let stamp = |i: usize| {
+                let clock = clock.clone();
+                let stamps = stamps.clone();
+                move || stamps[i].store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst)
+            };
+            let sink = Latch::new(8, {
+                let s = stamp(10);
+                Box::new(move |_| s())
+            });
+            let middles: Vec<Arc<Latch>> = (0..8)
+                .map(|i| {
+                    let s = stamp(2 + i);
+                    let sink = sink.clone();
+                    Latch::new(
+                        2,
+                        Box::new(move |pool| {
+                            s();
+                            sink.ready(pool);
+                        }),
+                    )
+                })
+                .collect();
+            for r in 0..2 {
+                let s = stamp(r);
+                let middles = middles.clone();
+                pool.spawn(Box::new(move |pool| {
+                    s();
+                    for m in &middles {
+                        m.ready(pool);
+                    }
+                }));
+            }
+        });
         let at = |i: usize| stamps[i].load(Ordering::SeqCst);
         for m in 2..10 {
-            assert!(
-                at(m) > at(0) && at(m) > at(1),
-                "middle {m} ran before a root"
-            );
+            assert!(at(m) > at(0) && at(m) > at(1), "middle {m} ran early");
             assert!(at(10) > at(m), "sink ran before middle {m}");
         }
     }
 
     #[test]
-    fn single_thread_executes_in_topological_order() {
-        let order = Arc::new(Mutex::new(Vec::new()));
-        let mut graph = TaskGraph::new();
-        let push = |v: usize| {
-            let order = order.clone();
-            Box::new(move || order.lock().unwrap().push(v)) as Box<dyn FnOnce() + Send>
-        };
-        let a = graph.add(&[], push(0));
-        let b = graph.add(&[a], push(1));
-        graph.add(&[b], push(2));
-        execute(graph, 1);
-        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+    fn budget_bounds_concurrent_work_and_tracks_the_peak() {
+        // 32 tasks on a 3-permit budget with 8 workers: no more than 3 may
+        // ever be inside a task at once.
+        let live = Arc::new(AtomicUsize::new(0));
+        let observed_max = Arc::new(AtomicUsize::new(0));
+        let budget = ThreadBudget::new(3);
+        Pool::run(8, budget.clone(), |pool| {
+            for _ in 0..32 {
+                let live = live.clone();
+                let observed_max = observed_max.clone();
+                pool.spawn(Box::new(move |_| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    observed_max.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }));
+            }
+        });
+        assert!(
+            observed_max.load(Ordering::SeqCst) <= 3,
+            "more than 3 tasks ran concurrently"
+        );
+        assert!(budget.peak_in_use() <= 3);
+        assert!(budget.peak_in_use() >= 1);
+        budget.reset_peak();
+        assert_eq!(budget.peak_in_use(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "does not exist yet")]
-    fn forward_dependencies_are_rejected() {
-        let mut graph = TaskGraph::new();
-        graph.add(&[3], Box::new(|| {}));
+    fn helpers_can_borrow_only_parked_workers_permits() {
+        let budget = ThreadBudget::new(4);
+        assert_eq!(budget.try_acquire(10), 4, "all permits free initially");
+        assert_eq!(budget.try_acquire(1), 0, "nothing left");
+        budget.release(3);
+        assert_eq!(budget.try_acquire(2), 2);
+        budget.release(3);
+        assert_eq!(budget.total(), 4);
     }
 
     #[test]
-    fn empty_graph_is_a_no_op() {
-        execute(TaskGraph::new(), 4);
+    fn empty_pool_is_a_no_op() {
+        Pool::run(4, ThreadBudget::new(4), |_| {});
     }
 }

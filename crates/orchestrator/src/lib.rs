@@ -8,8 +8,15 @@
 //! * [`orchestrator`] — the job planner ([`plan`]) decomposes a batch of
 //!   verification scenarios into per-element symbolic-exploration jobs plus
 //!   one composition job per scenario, with dependency edges; the
-//!   [`Orchestrator`] runs the graph and streams [`ProgressEvent`]s.
-//! * [`executor`] — the work-stealing thread pool the jobs run on.
+//!   [`Orchestrator`] runs them and streams [`ProgressEvent`]s.
+//! * [`executor`] — the **shared scheduler**: one dynamic work-stealing
+//!   pool ([`executor::Pool`]) plus a pool-wide thread ledger
+//!   ([`executor::ThreadBudget`]) that scenario jobs and each
+//!   composition's Step-2 walk workers draw from together, so peak live
+//!   solver threads are bounded by the single pool size.
+//! * [`diff`] — incremental re-verification: fingerprint two pipeline
+//!   configs and re-verify only scenarios whose element set changed (a
+//!   composition-only pass for wiring-only diffs).
 //! * [`cache`] — the content-addressed [`SummaryStore`]: an in-memory tier
 //!   shared across workers and an optional JSON persistent tier, keyed by
 //!   [`Fingerprint`]s of element behaviour + engine configuration. Editing
@@ -51,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod diff;
 pub mod executor;
 pub mod fingerprint;
 pub mod json;
@@ -59,11 +67,13 @@ pub mod orchestrator;
 pub mod persist;
 
 pub use cache::{CacheStats, SummaryStore};
+pub use diff::{DiffEntry, DiffKind, DiffReport, NamedConfig};
+pub use executor::ThreadBudget;
 pub use fingerprint::{element_fingerprint, fingerprint_bytes, Fingerprint};
 pub use matrix::{preset_pipelines, preset_properties, preset_scenarios, MatrixReport};
 pub use orchestrator::{
-    parallel_composition, plan, verify_sequential, ExploreSpec, JobPlan, Orchestrator,
-    ProgressEvent, Scenario, ScenarioReport, WorkStealingComposition,
+    parallel_composition, plan, verify_sequential, BudgetedComposition, CompositionMode,
+    ExploreSpec, JobPlan, Orchestrator, ProgressEvent, Scenario, ScenarioReport,
 };
 
 // The orchestrator moves pipelines, summaries, and progress observers across

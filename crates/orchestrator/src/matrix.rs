@@ -105,6 +105,11 @@ pub struct MatrixReport {
     pub cached_jobs: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// High-water mark of simultaneously working threads on the shared
+    /// scheduler during this run (never exceeds `threads` in
+    /// [`crate::orchestrator::CompositionMode::SharedPool`] mode, however
+    /// many compositions fanned out their checks).
+    pub peak_live_threads: usize,
     /// Summary-store activity during this run.
     pub cache: CacheStats,
     /// Wall-clock time of the whole run.
@@ -179,6 +184,14 @@ impl MatrixReport {
                         Json::int(report.stats.model_search_aborts as u64),
                     ),
                     (
+                        "budget_escalations",
+                        Json::int(report.stats.budget_escalations as u64),
+                    ),
+                    (
+                        "escalations_decided",
+                        Json::int(report.stats.escalations_decided as u64),
+                    ),
+                    (
                         "elapsed_micros",
                         Json::int(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
                     ),
@@ -194,6 +207,10 @@ impl MatrixReport {
             ("explore_jobs", Json::int(self.explore_jobs as u64)),
             ("cached_jobs", Json::int(self.cached_jobs as u64)),
             ("threads", Json::int(self.threads as u64)),
+            (
+                "peak_live_threads",
+                Json::int(self.peak_live_threads as u64),
+            ),
             (
                 "cache",
                 Json::obj([
@@ -218,13 +235,14 @@ impl fmt::Display for MatrixReport {
         let (proven, violated, unknown) = self.verdict_counts();
         writeln!(
             f,
-            "verification matrix: {} scenarios ({} proven, {} violated, {} unknown) in {:.3}s on {} threads",
+            "verification matrix: {} scenarios ({} proven, {} violated, {} unknown) in {:.3}s on {} threads (peak live {})",
             self.scenarios.len(),
             proven,
             violated,
             unknown,
             self.elapsed.as_secs_f64(),
-            self.threads
+            self.threads,
+            self.peak_live_threads
         )?;
         writeln!(
             f,

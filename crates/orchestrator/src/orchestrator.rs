@@ -17,11 +17,11 @@
 //! `tests/orchestrator.rs`).
 
 use crate::cache::{CacheStats, SummaryStore};
-use crate::executor::{execute, run_batch, TaskGraph};
+use crate::executor::{Latch, Pool, ThreadBudget};
 use crate::fingerprint::{element_fingerprint, Fingerprint};
 use dataplane_ir::Program;
 use dataplane_pipeline::Pipeline;
-use dataplane_symbex::explore;
+use dataplane_symbex::{explore_with_cancel, CancelToken};
 use dataplane_verifier::{
     ComposeExecutor, ElementSummary, ParallelComposition, Property, Report, Verdict, Verifier,
     VerifierOptions,
@@ -29,24 +29,77 @@ use dataplane_verifier::{
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// The verifier-facing handle onto the work-stealing pool: fans one
-/// composition's suspect × prefix feasibility checks out across `threads`
-/// workers. Configure it through [`parallel_composition`] or
-/// [`Orchestrator::with_parallel_composition`].
+/// The verifier-facing handle onto the shared scheduler: a composition's
+/// Step-2 walk workers draw threads from a [`ThreadBudget`] instead of
+/// spawning a scoped pool of their own. When the budget is the
+/// orchestrator's, the *free* permits are exactly the parked scenario
+/// workers — so Step-2 parallelism expands onto idle cores and contracts to
+/// inline execution when every core is already composing, and the peak
+/// number of live solver threads never exceeds the one pool size.
 #[derive(Debug)]
-pub struct WorkStealingComposition {
-    threads: usize,
+pub struct BudgetedComposition {
+    budget: Arc<ThreadBudget>,
+    /// True when the calling thread does not already hold a permit (callers
+    /// outside the orchestrator pool, e.g. a bare `Verifier`): the caller's
+    /// own work then also draws from the budget.
+    caller_needs_permit: bool,
 }
 
-impl ComposeExecutor for WorkStealingComposition {
-    fn run_batch<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
-        run_batch(jobs, self.threads);
+impl BudgetedComposition {
+    /// A composition executor over the orchestrator's shared budget (the
+    /// caller is a pool worker that already holds a permit).
+    pub fn shared(budget: Arc<ThreadBudget>) -> Self {
+        BudgetedComposition {
+            budget,
+            caller_needs_permit: false,
+        }
+    }
+
+    /// A composition executor over its own budget of `threads` (for callers
+    /// outside any pool — each such verifier caps its Step-2 work at
+    /// `threads` live threads including the caller).
+    pub fn standalone(threads: usize) -> Self {
+        BudgetedComposition {
+            budget: ThreadBudget::new(threads),
+            caller_needs_permit: true,
+        }
     }
 }
 
-/// A [`ParallelComposition`] config that dispatches Step-2 feasibility
-/// checks over the work-stealing executor with `threads` workers (0 =
-/// one per available core).
+impl ComposeExecutor for BudgetedComposition {
+    fn run_batch<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        let mut jobs = jobs;
+        let caller_permits = if self.caller_needs_permit {
+            self.budget.try_acquire(1)
+        } else {
+            0
+        };
+        // Helpers borrow only *free* permits — parked pool workers — and
+        // never block waiting for one: with none free the batch simply runs
+        // on the caller alone.
+        let helpers = self.budget.try_acquire(jobs.len().saturating_sub(1));
+        let helper_jobs: Vec<_> = (0..helpers).filter_map(|_| jobs.pop()).collect();
+        std::thread::scope(|scope| {
+            for job in helper_jobs {
+                scope.spawn(job);
+            }
+            for job in jobs {
+                job();
+            }
+        });
+        self.budget.release(helpers + caller_permits);
+    }
+
+    fn parallelism(&self) -> usize {
+        self.budget.total()
+    }
+}
+
+/// A [`ParallelComposition`] config that fans Step-2 work out over a
+/// standalone budget of `threads` live threads (0 = one per available
+/// core). Each verifier configured this way schedules independently — use
+/// [`Orchestrator`]'s default shared scheduler when verifying many
+/// scenarios at once.
 pub fn parallel_composition(threads: usize) -> ParallelComposition {
     let threads = if threads > 0 {
         threads
@@ -55,7 +108,21 @@ pub fn parallel_composition(threads: usize) -> ParallelComposition {
             .map(|n| n.get())
             .unwrap_or(1)
     };
-    ParallelComposition::over(Arc::new(WorkStealingComposition { threads }))
+    ParallelComposition::over(Arc::new(BudgetedComposition::standalone(threads)))
+}
+
+/// How the orchestrator dispatches each composition's Step-2 work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompositionMode {
+    /// Step-2 walk workers borrow idle capacity from the orchestrator's own
+    /// scenario pool (the default): one scheduler, one thread bound.
+    SharedPool,
+    /// Each composition gets its own standalone budget of this many threads
+    /// (the pre-shared-scheduler behaviour; ceiling `scenarios × threads`
+    /// live threads — kept for comparison benches).
+    Scoped(usize),
+    /// Step-2 checks run inline on the composition's thread.
+    Sequential,
 }
 
 /// One cell of a verification matrix: a pipeline to verify and the property
@@ -229,6 +296,8 @@ pub struct Orchestrator {
     threads: usize,
     store: Arc<SummaryStore>,
     progress: Option<ProgressFn>,
+    budget: Arc<ThreadBudget>,
+    compose_mode: CompositionMode,
 }
 
 impl Default for Orchestrator {
@@ -239,15 +308,19 @@ impl Default for Orchestrator {
 
 impl Orchestrator {
     /// An orchestrator with default verifier options, an in-memory store,
-    /// and one worker per available core.
+    /// one worker per available core, and the shared scheduler dispatching
+    /// both scenario- and check-level work.
     pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Orchestrator {
             options: VerifierOptions::default(),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads,
             store: Arc::new(SummaryStore::in_memory()),
             progress: None,
+            budget: ThreadBudget::new(threads),
+            compose_mode: CompositionMode::SharedPool,
         }
     }
 
@@ -257,33 +330,46 @@ impl Orchestrator {
         self
     }
 
-    /// Set the worker-thread count (0 keeps the auto-detected value).
+    /// Set the worker-thread count — which is also the pool-wide bound on
+    /// live solver threads (0 keeps the auto-detected value).
     pub fn with_threads(mut self, threads: usize) -> Self {
         if threads > 0 {
             self.threads = threads;
+            self.budget = ThreadBudget::new(threads);
         }
         self
     }
 
     /// Replace the verifier options (engine budgets, composition budgets).
+    /// An explicit `options.parallel` executor takes precedence over the
+    /// orchestrator's composition mode.
     pub fn with_options(mut self, options: VerifierOptions) -> Self {
         self.options = options;
         self
     }
 
-    /// Fan each composition's Step-2 feasibility checks out over `threads`
-    /// batch workers (0 = one per core). Reports stay byte-identical to
-    /// sequential composition; only the wall-clock of the suspect × prefix
-    /// checks changes.
-    ///
-    /// The batch workers are scoped threads *per composition*, on top of
-    /// the orchestrator's scenario-level pool: with S compositions running
-    /// concurrently the ceiling is `S × threads` live solver threads. When
-    /// verifying many scenarios at once, size the two knobs to multiply to
-    /// roughly the core count.
-    pub fn with_parallel_composition(mut self, threads: usize) -> Self {
-        self.options.parallel = parallel_composition(threads);
+    /// Choose how each composition's Step-2 work is dispatched (the default
+    /// is [`CompositionMode::SharedPool`]).
+    pub fn with_composition_mode(mut self, mode: CompositionMode) -> Self {
+        self.compose_mode = mode;
         self
+    }
+
+    /// Compatibility knob: `threads == 0` selects the shared scheduler
+    /// (the default); a positive count selects the legacy per-composition
+    /// scoped budget of that many threads (ceiling `scenarios × threads`
+    /// live solver threads — useful only for comparison benches).
+    pub fn with_parallel_composition(self, threads: usize) -> Self {
+        self.with_composition_mode(if threads == 0 {
+            CompositionMode::SharedPool
+        } else {
+            CompositionMode::Scoped(threads)
+        })
+    }
+
+    /// The shared thread budget (exposes the live-thread high-water mark).
+    pub fn thread_budget(&self) -> &Arc<ThreadBudget> {
+        &self.budget
     }
 
     /// Stream progress events to `observer`.
@@ -325,12 +411,32 @@ impl Orchestrator {
         matrix.scenarios.remove(0).report
     }
 
-    /// Run a batch of scenarios: plan, execute Step-1 jobs across workers,
-    /// then compose each scenario (scenario compositions also run
-    /// concurrently with each other and with unrelated explorations).
+    /// The verifier options a composition job of this orchestrator runs
+    /// with: the configured options, with Step-2 dispatch wired per the
+    /// composition mode unless the caller installed an explicit executor.
+    fn composition_options(&self) -> VerifierOptions {
+        let mut options = self.options.clone();
+        if !options.parallel.is_parallel() {
+            options.parallel = match self.compose_mode {
+                CompositionMode::SharedPool => ParallelComposition::over(Arc::new(
+                    BudgetedComposition::shared(self.budget.clone()),
+                )),
+                CompositionMode::Scoped(threads) => parallel_composition(threads),
+                CompositionMode::Sequential => ParallelComposition::sequential(),
+            };
+        }
+        options
+    }
+
+    /// Run a batch of scenarios on the shared scheduler: plan, spawn Step-1
+    /// explore tasks, and let each completed dependency set dynamically
+    /// spawn its composition task onto the *same* pool — whose idle workers
+    /// in turn serve as Step-2 walk helpers, so every kind of work competes
+    /// for one thread budget.
     pub fn run(&self, scenarios: Vec<Scenario>) -> MatrixReport {
         let started = Instant::now();
         let stats_before = self.store.stats();
+        self.budget.reset_peak();
         let job_plan = plan(&scenarios, &self.options, &self.store);
         self.emit(ProgressEvent::Planned {
             explore_jobs: job_plan.explore.len(),
@@ -340,25 +446,76 @@ impl Orchestrator {
 
         let explore_jobs = job_plan.explore.len();
         let cached_jobs = job_plan.cached;
-        let mut graph = TaskGraph::new();
+        let options = self.composition_options();
+        let cancel = CancelToken::new();
+        let mut slots: Vec<Arc<Mutex<Option<ScenarioReport>>>> = Vec::new();
 
-        // Step-1 tasks: explore one element behaviour each, publish to the
-        // shared store.
-        let mut explore_task_ids = Vec::with_capacity(job_plan.explore.len());
-        for spec in job_plan.explore {
-            let store = self.store.clone();
-            let progress = self.progress.clone();
-            let engine = self.options.engine.clone();
-            explore_task_ids.push(graph.add(
-                &[],
-                Box::new(move || {
+        Pool::run(self.threads, self.budget.clone(), |pool| {
+            // Composition tasks, latched on their element explorations.
+            // `dependents[j]` collects the latches explore job `j` must
+            // signal when it completes.
+            let mut dependents: Vec<Vec<Arc<Latch<'_>>>> = vec![Vec::new(); explore_jobs];
+            for (scenario, (deps, fingerprints)) in scenarios.into_iter().zip(
+                job_plan
+                    .scenario_deps
+                    .into_iter()
+                    .zip(job_plan.element_fingerprints),
+            ) {
+                let slot = Arc::new(Mutex::new(None));
+                slots.push(slot.clone());
+                let store = self.store.clone();
+                let progress = self.progress.clone();
+                let options = options.clone();
+                let job = Box::new(move |_: &Pool<'_>| {
+                    let label = scenario.label();
+                    if let Some(observer) = &progress {
+                        observer(&ProgressEvent::ComposeStarted {
+                            scenario: label.clone(),
+                        });
+                    }
+                    let start = Instant::now();
+                    let mut verifier = Verifier::with_options(options);
+                    verifier.seed_summaries(fingerprints.iter().filter_map(|fp| store.get(*fp)));
+                    let report = verifier.verify(&scenario.pipeline, &scenario.property);
+                    if let Some(observer) = &progress {
+                        observer(&ProgressEvent::ComposeFinished {
+                            scenario: label,
+                            verdict: report.verdict.clone(),
+                            elapsed: start.elapsed(),
+                        });
+                    }
+                    *slot.lock().expect("report slot") = Some(ScenarioReport {
+                        pipeline_name: scenario.pipeline_name,
+                        report,
+                    });
+                });
+                if deps.is_empty() {
+                    pool.spawn(job);
+                } else {
+                    let latch = Latch::new(deps.len(), job);
+                    for dep in deps {
+                        dependents[dep].push(latch.clone());
+                    }
+                }
+            }
+
+            // Step-1 tasks: explore one element behaviour each, publish to
+            // the shared store, then release whatever compositions were
+            // waiting on it.
+            for (idx, spec) in job_plan.explore.into_iter().enumerate() {
+                let store = self.store.clone();
+                let progress = self.progress.clone();
+                let engine = self.options.engine.clone();
+                let cancel = cancel.clone();
+                let latches = std::mem::take(&mut dependents[idx]);
+                pool.spawn(Box::new(move |pool| {
                     if let Some(observer) = &progress {
                         observer(&ProgressEvent::ExploreStarted {
                             type_name: spec.type_name.clone(),
                         });
                     }
                     let start = Instant::now();
-                    let result = explore(&spec.program, &engine);
+                    let result = explore_with_cancel(&spec.program, &engine, &cancel);
                     let elapsed = start.elapsed();
                     let ok = result.is_ok();
                     if let Ok(exploration) = result {
@@ -382,54 +539,12 @@ impl Orchestrator {
                             ok,
                         });
                     }
-                }),
-            ));
-        }
-
-        // Step-2 tasks: one composition per scenario, gated on its element
-        // explorations.
-        let mut slots: Vec<Arc<Mutex<Option<ScenarioReport>>>> = Vec::new();
-        for (scenario, (deps, fingerprints)) in scenarios.into_iter().zip(
-            job_plan
-                .scenario_deps
-                .into_iter()
-                .zip(job_plan.element_fingerprints),
-        ) {
-            let slot = Arc::new(Mutex::new(None));
-            slots.push(slot.clone());
-            let deps: Vec<usize> = deps.into_iter().map(|j| explore_task_ids[j]).collect();
-            let store = self.store.clone();
-            let progress = self.progress.clone();
-            let options = self.options.clone();
-            graph.add(
-                &deps,
-                Box::new(move || {
-                    let label = scenario.label();
-                    if let Some(observer) = &progress {
-                        observer(&ProgressEvent::ComposeStarted {
-                            scenario: label.clone(),
-                        });
+                    for latch in &latches {
+                        latch.ready(pool);
                     }
-                    let start = Instant::now();
-                    let mut verifier = Verifier::with_options(options);
-                    verifier.seed_summaries(fingerprints.iter().filter_map(|fp| store.get(*fp)));
-                    let report = verifier.verify(&scenario.pipeline, &scenario.property);
-                    if let Some(observer) = &progress {
-                        observer(&ProgressEvent::ComposeFinished {
-                            scenario: label,
-                            verdict: report.verdict.clone(),
-                            elapsed: start.elapsed(),
-                        });
-                    }
-                    *slot.lock().expect("report slot") = Some(ScenarioReport {
-                        pipeline_name: scenario.pipeline_name,
-                        report,
-                    });
-                }),
-            );
-        }
-
-        execute(graph, self.threads);
+                }));
+            }
+        });
 
         let scenario_reports: Vec<ScenarioReport> = slots
             .into_iter()
@@ -446,6 +561,7 @@ impl Orchestrator {
             explore_jobs,
             cached_jobs,
             threads: self.threads,
+            peak_live_threads: self.budget.peak_in_use(),
             cache: CacheStats {
                 memory_hits: stats_after.memory_hits - stats_before.memory_hits,
                 disk_hits: stats_after.disk_hits - stats_before.disk_hits,

@@ -579,6 +579,125 @@ pub fn summary_from_json(json: &Json) -> Result<ElementSummary, PersistError> {
 }
 
 // ---------------------------------------------------------------------------
+// The cache-directory advisory lock
+// ---------------------------------------------------------------------------
+
+/// An advisory cross-process lock over a cache directory, closing the race
+/// between a peer's summary-file rename and its `manifest.json` rewrite
+/// (previously a process sampling the directory exactly between the two
+/// could see — and destroy — a file no manifest vouched for yet).
+///
+/// Implemented as an atomically created lock file (`O_EXCL` semantics via
+/// `create_new`), which is the only primitive available without platform
+/// APIs. The lock is **best-effort**: acquisition times out (callers then
+/// proceed under the pre-existing merge-on-demand protocol, which at worst
+/// recomputes a summary) and a lock file older than the staleness bound is
+/// broken, so a crashed holder cannot wedge the directory.
+#[derive(Debug)]
+pub struct DirLock {
+    path: std::path::PathBuf,
+}
+
+/// File name of the advisory lock. Starts with a dot, so manifest
+/// validation can never name it (eviction deletes only manifest-named
+/// files) and the summary reader never opens it.
+pub const LOCK_FILE: &str = ".dirlock";
+
+impl DirLock {
+    /// Acquire the lock for `dir` with default bounds: wait up to 500 ms,
+    /// break lock files older than 5 s.
+    pub fn acquire(dir: &std::path::Path) -> Option<DirLock> {
+        DirLock::acquire_with(
+            dir,
+            std::time::Duration::from_millis(500),
+            std::time::Duration::from_secs(5),
+        )
+    }
+
+    /// Acquire with explicit bounds (tests shrink them).
+    pub fn acquire_with(
+        dir: &std::path::Path,
+        timeout: std::time::Duration,
+        stale_after: std::time::Duration,
+    ) -> Option<DirLock> {
+        let path = dir.join(LOCK_FILE);
+        let start = std::time::Instant::now();
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    use std::io::Write;
+                    // Contents are diagnostic only; the file's existence is
+                    // the lock.
+                    let _ = write!(file, "{}", std::process::id());
+                    return Some(DirLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    // Break a stale lock (crashed or wedged holder) by
+                    // *renaming* it to a unique grave name first: rename is
+                    // atomic, so of several processes that all judged the
+                    // same lock stale only one wins the break — a plain
+                    // remove here could delete a peer's freshly created
+                    // live lock and reopen the race this type closes.
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|modified| {
+                            std::time::SystemTime::now().duration_since(modified).ok()
+                        })
+                        .is_some_and(|age| age > stale_after);
+                    if stale {
+                        let grave = dir.join(format!(".dirlock-stale-{}", std::process::id()));
+                        if std::fs::rename(&path, &grave).is_ok() {
+                            // Re-check age *after* the atomic rename: if the
+                            // grave turns out fresh, a peer broke the stale
+                            // lock and re-acquired between our stat and our
+                            // rename — restore its lock (hard_link never
+                            // clobbers a newer one) and wait like any other
+                            // contender.
+                            let grave_fresh = std::fs::metadata(&grave)
+                                .and_then(|m| m.modified())
+                                .ok()
+                                .and_then(|modified| {
+                                    std::time::SystemTime::now().duration_since(modified).ok()
+                                })
+                                .is_some_and(|age| age <= stale_after);
+                            if grave_fresh {
+                                let _ = std::fs::hard_link(&grave, &path);
+                                let _ = std::fs::remove_file(&grave);
+                                if start.elapsed() > timeout {
+                                    return None;
+                                }
+                                std::thread::sleep(std::time::Duration::from_millis(2));
+                                continue;
+                            }
+                            let _ = std::fs::remove_file(&grave);
+                        }
+                        continue;
+                    }
+                    if start.elapsed() > timeout {
+                        return None;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                // The directory vanished or permissions changed: the write
+                // pair will fail on its own; do not spin here.
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The cache-directory manifest
 // ---------------------------------------------------------------------------
 
@@ -654,6 +773,35 @@ pub fn manifest_from_json(json: &Json) -> Result<Vec<ManifestEntry>, PersistErro
 mod tests {
     use super::*;
     use dataplane_pipeline::elements::{CheckIPHeader, IPLookup, IPOptions, Nat, NetFlow};
+
+    #[test]
+    fn dir_lock_is_mutually_exclusive_and_breaks_stale_holders() {
+        let dir = std::env::temp_dir().join(format!("vericlick-dirlock-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let short = std::time::Duration::from_millis(30);
+        let long = std::time::Duration::from_secs(60);
+
+        let lock = DirLock::acquire_with(&dir, short, long).expect("first acquire");
+        assert!(
+            DirLock::acquire_with(&dir, short, long).is_none(),
+            "second acquire must time out while held"
+        );
+        drop(lock);
+        assert!(
+            DirLock::acquire_with(&dir, short, long).is_some(),
+            "released lock must be acquirable"
+        );
+
+        // A stale lock file (e.g. a crashed holder) is broken, not waited on.
+        std::fs::write(dir.join(LOCK_FILE), "stale").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            DirLock::acquire_with(&dir, short, std::time::Duration::from_millis(10)).is_some(),
+            "stale lock must be broken"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn manifest_round_trips_and_rejects_unsafe_names() {

@@ -125,6 +125,34 @@ fn parallel_matrix_verdicts_equal_sequential_on_all_presets() {
         violated >= 2,
         "the buggy pipeline must be caught, got {violated} violations"
     );
+
+    // The shared scheduler's promise: however many compositions fanned out
+    // Step-2 work, live working threads never exceeded the pool size.
+    assert!(
+        matrix.peak_live_threads <= matrix.threads,
+        "peak live threads {} exceeded the pool size {}",
+        matrix.peak_live_threads,
+        matrix.threads
+    );
+}
+
+#[test]
+fn shared_pool_bounds_live_solver_threads_under_many_scenarios() {
+    // 15 scenarios on a 3-thread pool: each composition's Step-2 walk may
+    // borrow only parked workers, so live solver threads stay bounded by
+    // the single pool size (the old per-composition scoped workers had a
+    // `scenarios × threads` ceiling instead).
+    let orchestrator = Orchestrator::new().with_threads(3);
+    let matrix = orchestrator.run(preset_scenarios());
+    assert_eq!(matrix.scenarios.len(), 15);
+    assert!(
+        (1..=3).contains(&matrix.peak_live_threads),
+        "peak live threads {} outside 1..=3",
+        matrix.peak_live_threads
+    );
+    let (_, violated, unknown) = matrix.verdict_counts();
+    assert_eq!(unknown, 0, "every preset must decide");
+    assert!(violated >= 2, "the planted bugs must still be found");
 }
 
 #[test]

@@ -1,0 +1,157 @@
+//! Structural diffing of pipelines, the foundation of incremental
+//! re-verification.
+//!
+//! Two pipelines are compared instance-by-instance (matched by instance
+//! name) on their **verification-relevant behaviour** — the
+//! [`crate::Element::fingerprint_material`] text, i.e. type, configuration,
+//! IR model, and initial table contents — and on their wiring (entry point
+//! and port-level connections). The verifier's summaries are keyed by
+//! exactly that behaviour text, so:
+//!
+//! * an unchanged instance's summary is reusable verbatim,
+//! * a wiring-only diff needs no re-exploration at all (composition only),
+//! * and only behaviour-changed instances force fresh Step-1 work.
+
+use crate::pipeline::Pipeline;
+use std::collections::BTreeMap;
+
+/// What changed between two pipelines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineDiff {
+    /// Instances present in both pipelines whose verification-relevant
+    /// behaviour differs (sorted by name).
+    pub changed: Vec<String>,
+    /// Instances only the new pipeline has (sorted).
+    pub added: Vec<String>,
+    /// Instances only the old pipeline has (sorted).
+    pub removed: Vec<String>,
+    /// The connection graph (entry point or port-level edges) differs.
+    pub wiring_changed: bool,
+}
+
+impl PipelineDiff {
+    /// True if the set of element behaviours differs (any change, addition,
+    /// or removal — the diffs that require new Step-1 exploration).
+    pub fn elements_changed(&self) -> bool {
+        !self.changed.is_empty() || !self.added.is_empty() || !self.removed.is_empty()
+    }
+
+    /// True if nothing verification-relevant differs at all.
+    pub fn is_identical(&self) -> bool {
+        !self.elements_changed() && !self.wiring_changed
+    }
+
+    /// True if only the wiring differs: every instance's behaviour is
+    /// unchanged, so re-verification needs no element exploration.
+    pub fn is_wiring_only(&self) -> bool {
+        !self.elements_changed() && self.wiring_changed
+    }
+}
+
+/// The wiring of `pipeline` as comparable data: the entry instance plus
+/// every `(source, port) -> destination` edge, by instance name.
+fn wiring(pipeline: &Pipeline) -> (String, Vec<(String, u8, String)>) {
+    let entry = pipeline.node(pipeline.entry()).name.clone();
+    let mut edges = Vec::new();
+    for (_, node) in pipeline.iter() {
+        for (port, successor) in node.successors.iter().enumerate() {
+            if let Some(dst) = successor {
+                edges.push((
+                    node.name.clone(),
+                    port as u8,
+                    pipeline.node(*dst).name.clone(),
+                ));
+            }
+        }
+    }
+    edges.sort();
+    (entry, edges)
+}
+
+/// Compare two pipelines instance-by-instance and on wiring.
+pub fn diff_pipelines(old: &Pipeline, new: &Pipeline) -> PipelineDiff {
+    let materials = |p: &Pipeline| -> BTreeMap<String, String> {
+        p.iter()
+            .map(|(_, node)| (node.name.clone(), node.element.fingerprint_material()))
+            .collect()
+    };
+    let old_materials = materials(old);
+    let new_materials = materials(new);
+
+    let mut diff = PipelineDiff::default();
+    for (name, material) in &new_materials {
+        match old_materials.get(name) {
+            None => diff.added.push(name.clone()),
+            Some(old_material) if old_material != material => diff.changed.push(name.clone()),
+            Some(_) => {}
+        }
+    }
+    for name in old_materials.keys() {
+        if !new_materials.contains_key(name) {
+            diff.removed.push(name.clone());
+        }
+    }
+    diff.wiring_changed = wiring(old) != wiring(new);
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::parse_config;
+
+    const BASE: &str = r#"
+        cls :: Classifier(12/0800);
+        strip :: EthDecap();
+        chk :: CheckIPHeader();
+        rt :: IPLookup(10.0.0.0/8 0, 192.168.0.0/16 1);
+        ttl :: DecTTL();
+        out0 :: Sink();
+        out1 :: Sink();
+        cls -> strip -> chk -> rt;
+        rt[0] -> ttl -> out0;
+        rt[1] -> out1;
+    "#;
+
+    #[test]
+    fn identical_configs_diff_empty() {
+        let a = parse_config(BASE).unwrap();
+        let b = parse_config(BASE).unwrap();
+        let diff = diff_pipelines(&a, &b);
+        assert!(diff.is_identical(), "{diff:?}");
+        assert!(!diff.is_wiring_only());
+        assert!(!diff.elements_changed());
+    }
+
+    #[test]
+    fn one_edited_element_is_the_only_change() {
+        let a = parse_config(BASE).unwrap();
+        let b = parse_config(&BASE.replace("10.0.0.0/8 0", "10.0.0.0/8 1")).unwrap();
+        let diff = diff_pipelines(&a, &b);
+        assert_eq!(diff.changed, vec!["rt".to_string()]);
+        assert!(diff.added.is_empty() && diff.removed.is_empty());
+        assert!(diff.elements_changed());
+        // Changing a route's output port changes behaviour, not wiring.
+        assert!(!diff.wiring_changed);
+    }
+
+    #[test]
+    fn rerouted_edge_is_wiring_only() {
+        let rewired = BASE.replace("rt[1] -> out1;", "rt[1] -> ttl;");
+        let a = parse_config(BASE).unwrap();
+        let b = parse_config(&rewired).unwrap();
+        let diff = diff_pipelines(&a, &b);
+        assert!(diff.is_wiring_only(), "{diff:?}");
+        assert!(!diff.elements_changed());
+    }
+
+    #[test]
+    fn added_and_removed_instances_are_reported() {
+        let grown = BASE.replace("ttl :: DecTTL();", "ttl :: DecTTL();\nflow :: NetFlow();");
+        let a = parse_config(BASE).unwrap();
+        let b = parse_config(&grown).unwrap();
+        let diff = diff_pipelines(&a, &b);
+        assert_eq!(diff.added, vec!["flow".to_string()]);
+        assert_eq!(diff_pipelines(&b, &a).removed, vec!["flow".to_string()]);
+    }
+}

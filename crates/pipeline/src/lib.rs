@@ -11,6 +11,8 @@
 //!   stateful NetFlow/NAT elements, support elements, and buggy fixtures).
 //! * [`pipeline`] — the element graph and the native push runtime.
 //! * [`config`] — the Click-like textual configuration language.
+//! * [`diff`] — structural pipeline diffing by verification-relevant
+//!   behaviour and wiring (what incremental re-verification plans from).
 //! * [`presets`] — ready-made pipelines (the reference IP router, the
 //!   stateful middlebox, the firewall, a deliberately buggy pipeline).
 //! * [`runtime`] — batch runtimes: single-threaded, multi-threaded
@@ -43,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod diff;
 pub mod element;
 pub mod elements;
 pub mod pipeline;
@@ -50,6 +53,7 @@ pub mod presets;
 pub mod runtime;
 
 pub use config::{parse_config, ConfigError};
+pub use diff::{diff_pipelines, PipelineDiff};
 pub use element::{build_model_state, run_model, run_model_with_state, Action, Element};
 pub use pipeline::{
     Disposition, ElementIdx, Pipeline, PipelineBuilder, PipelineError, PipelineOutcome,

@@ -1,0 +1,95 @@
+//! Cooperative cancellation for long-running symbolic work.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle that exploration and solver
+//! loops poll between iterations. Tokens form a tree: cancelling a token
+//! cancels every token derived from it via [`CancelToken::child`], which is
+//! what lets a Step-2 walk prune a prefix and have all speculative work on
+//! that prefix's descendants stop — however deep the in-flight subtree goes —
+//! without tracking the individual jobs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Node {
+    cancelled: AtomicBool,
+    parent: Option<Arc<Node>>,
+}
+
+/// A handle in a cancellation tree. Cloning shares the same node; `child`
+/// derives a new node that additionally observes every ancestor.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    node: Arc<Node>,
+}
+
+impl CancelToken {
+    /// A fresh root token (not cancelled).
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that is cancelled when either it or `self` (or any ancestor
+    /// of `self`) is cancelled.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            node: Arc::new(Node {
+                cancelled: AtomicBool::new(false),
+                parent: Some(self.node.clone()),
+            }),
+        }
+    }
+
+    /// Cancel this token and, transitively, every token derived from it.
+    pub fn cancel(&self) {
+        self.node.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True if this token or any ancestor has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        let mut node = Some(&self.node);
+        while let Some(n) = node {
+            if n.cancelled.load(Ordering::Acquire) {
+                return true;
+            }
+            node = n.parent.as_ref();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tokens_are_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_propagates_to_descendants_only() {
+        let root = CancelToken::new();
+        let a = root.child();
+        let b = root.child();
+        let aa = a.child();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(aa.is_cancelled(), "grandchild must observe the ancestor");
+        assert!(!b.is_cancelled(), "siblings are unaffected");
+        assert!(!root.is_cancelled(), "cancellation never flows upward");
+        root.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_cancellation() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+}

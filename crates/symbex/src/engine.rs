@@ -95,6 +95,9 @@ pub enum ExploreError {
         /// Number of branch expansions performed before giving up.
         expanded: u64,
     },
+    /// The caller's [`crate::CancelToken`] was cancelled mid-exploration
+    /// (e.g. a speculative job whose prefix turned out infeasible).
+    Cancelled,
 }
 
 impl std::fmt::Display for ExploreError {
@@ -109,6 +112,7 @@ impl std::fmt::Display for ExploreError {
                     "branch budget exceeded after {expanded} branch expansions"
                 )
             }
+            ExploreError::Cancelled => write!(f, "exploration cancelled"),
         }
     }
 }
@@ -253,9 +257,22 @@ impl Exploration {
 
 /// Symbolically explore a program under a fully symbolic packet.
 pub fn explore(program: &Program, config: &EngineConfig) -> Result<Exploration, ExploreError> {
+    explore_with_cancel(program, config, &crate::CancelToken::new())
+}
+
+/// [`explore`] under a [`crate::CancelToken`]: the engine loop polls the
+/// token at every branch expansion and aborts with
+/// [`ExploreError::Cancelled`] once it fires, so speculatively scheduled
+/// explorations stop promptly when their work becomes moot.
+pub fn explore_with_cancel(
+    program: &Program,
+    config: &EngineConfig,
+    cancel: &crate::CancelToken,
+) -> Result<Exploration, ExploreError> {
     let mut engine = Engine {
         program,
         config,
+        cancel,
         segments: Vec::new(),
         branches: 0,
         next_var: 0,
@@ -344,6 +361,7 @@ impl StoreSpan {
 struct Engine<'a> {
     program: &'a Program,
     config: &'a EngineConfig,
+    cancel: &'a crate::CancelToken,
     segments: Vec<Segment>,
     branches: u64,
     next_var: u32,
@@ -432,6 +450,9 @@ impl<'a> Engine<'a> {
     }
 
     fn charge_branch(&mut self) -> Result<(), ExploreError> {
+        if self.cancel.is_cancelled() {
+            return Err(ExploreError::Cancelled);
+        }
         self.branches += 1;
         if self.branches > self.config.max_branches {
             return Err(ExploreError::BranchBudgetExceeded {
@@ -1558,6 +1579,42 @@ mod tests {
         assert_eq!(emit.ds_reads.len(), 1);
         assert_eq!(emit.ds_writes.len(), 1);
         assert_eq!(emit.ds_reads[0].ds, t);
+    }
+
+    #[test]
+    fn cancelled_exploration_aborts_with_cancelled() {
+        // A branchy program: exploration expands branches, which is where
+        // the token is polled.
+        let mut pb = ProgramBuilder::new("C", 1);
+        let x = pb.local("x", 8);
+        let mut b = Block::new();
+        for i in 0..4 {
+            b.if_else(
+                eq(pkt(i, 1), c(8, 0)),
+                Block::with(|t| {
+                    t.assign(x, c(8, 1));
+                }),
+                Block::with(|e| {
+                    e.assign(x, c(8, 2));
+                }),
+            );
+        }
+        b.emit(0);
+        let prog = pb.finish(b).unwrap();
+        let token = crate::CancelToken::new();
+        token.cancel();
+        match explore_with_cancel(&prog, &EngineConfig::default(), &token) {
+            Err(ExploreError::Cancelled) => {}
+            other => panic!(
+                "expected Cancelled, got {:?}",
+                other.map(|e| e.segments.len())
+            ),
+        }
+        // An un-cancelled token changes nothing.
+        let live = crate::CancelToken::new();
+        let a = explore(&prog, &EngineConfig::default()).unwrap();
+        let b = explore_with_cancel(&prog, &EngineConfig::default(), &live).unwrap();
+        assert_eq!(a.segments.len(), b.segments.len());
     }
 
     #[test]

@@ -38,14 +38,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod engine;
 pub mod solver;
 pub mod state;
 pub mod term;
 
+pub use cancel::CancelToken;
 pub use engine::{
-    explore, CrashKind, DsReadRecord, DsWriteRecord, EngineConfig, Exploration, ExploreError,
-    LoopMode, Segment, SegmentOutcome,
+    explore, explore_with_cancel, CrashKind, DsReadRecord, DsWriteRecord, EngineConfig,
+    Exploration, ExploreError, LoopMode, Segment, SegmentOutcome,
 };
 pub use solver::{term_bounds, CheckDiagnostics, Interval, Solver, SolverConfig, SolverResult};
 pub use state::SymPacket;
@@ -62,4 +64,5 @@ const _: fn() = || {
     assert_send_sync::<Exploration>();
     assert_send_sync::<Solver>();
     assert_send_sync::<EngineConfig>();
+    assert_send_sync::<CancelToken>();
 };

@@ -137,6 +137,11 @@ impl Solver {
         Solver { config }
     }
 
+    /// The solver's limits (used by callers that derive escalated budgets).
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
     /// Check satisfiability of the conjunction of `constraints`.
     pub fn check(&self, constraints: &[TermRef]) -> SolverResult {
         self.check_diagnosed(constraints).0
@@ -146,6 +151,18 @@ impl Solver {
     /// (if any) gave up within its budget — the information the verifier
     /// surfaces so `Unknown` verdicts are diagnosable.
     pub fn check_diagnosed(&self, constraints: &[TermRef]) -> (SolverResult, CheckDiagnostics) {
+        self.check_diagnosed_cancel(constraints, &crate::CancelToken::new())
+    }
+
+    /// [`Solver::check_diagnosed`] under a [`crate::CancelToken`]: the model
+    /// search polls the token and gives up early once it fires. A cancelled
+    /// check returns `Unknown`; callers that cancel are discarding the
+    /// result anyway, so the early exit only reclaims the wasted work.
+    pub fn check_diagnosed_cancel(
+        &self,
+        constraints: &[TermRef],
+        cancel: &crate::CancelToken,
+    ) -> (SolverResult, CheckDiagnostics) {
         let mut diag = CheckDiagnostics::default();
 
         // 1. Flatten conjunctions and look for literal `false`.
@@ -197,7 +214,7 @@ impl Solver {
         }
 
         // 6. Model search.
-        match self.search_model(&conjuncts, &atoms, &intervals) {
+        match self.search_model(&conjuncts, &atoms, &intervals, cancel) {
             Some(model) => (SolverResult::Sat(model), diag),
             None => {
                 diag.model_search_exhausted = true;
@@ -233,6 +250,18 @@ impl Solver {
         constraints: &[TermRef],
         hints: &[Assignment],
     ) -> (SolverResult, CheckDiagnostics) {
+        self.check_with_hints_diagnosed_cancel(constraints, hints, &crate::CancelToken::new())
+    }
+
+    /// [`Solver::check_with_hints_diagnosed`] under a [`crate::CancelToken`]
+    /// (see [`Solver::check_diagnosed_cancel`] for the cancellation
+    /// contract).
+    pub fn check_with_hints_diagnosed_cancel(
+        &self,
+        constraints: &[TermRef],
+        hints: &[Assignment],
+        cancel: &crate::CancelToken,
+    ) -> (SolverResult, CheckDiagnostics) {
         let mut conjuncts = Vec::new();
         let mut all_flat = true;
         for c in constraints {
@@ -249,6 +278,9 @@ impl Solver {
             // realistic packet; round two may also rewrite packet bytes.
             for allow_packet in [false, true] {
                 for (hint_idx, hint) in hints.iter().enumerate() {
+                    if cancel.is_cancelled() {
+                        return (SolverResult::Unknown, CheckDiagnostics::default());
+                    }
                     let mut candidate = hint.clone();
                     for _ in 0..4 {
                         if check_all(&conjuncts, &candidate) {
@@ -272,7 +304,7 @@ impl Solver {
                 }
             }
         }
-        self.check_diagnosed(constraints)
+        self.check_diagnosed_cancel(constraints, cancel)
     }
 
     // --- model search ------------------------------------------------------
@@ -282,6 +314,7 @@ impl Solver {
         conjuncts: &[TermRef],
         atoms: &[Atom],
         intervals: &IntervalMap,
+        cancel: &crate::CancelToken,
     ) -> Option<Assignment> {
         // Gather leaves.
         let mut leaves = Vec::new();
@@ -352,7 +385,12 @@ impl Solver {
             // Randomised hill climbing.
             let mut best_score = score(conjuncts, &a);
             let tries = self.config.model_search_tries / lengths.len().max(1) as u32;
-            for _ in 0..tries {
+            for attempt in 0..tries {
+                // Poll coarsely: the atomic walk is cheap next to an
+                // evaluation pass, but not free.
+                if attempt % 64 == 0 && cancel.is_cancelled() {
+                    return None;
+                }
                 let mut candidate = a.clone();
                 let pick = rng.next() as usize % leaves.len().max(1);
                 if let Some(leaf) = leaves.get(pick) {

@@ -17,21 +17,15 @@ fn main() {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    // The scenario pool and the per-composition Step-2 batch workers
-    // multiply (batch workers are scoped per live composition — see
-    // `Orchestrator::with_parallel_composition`), so split the core budget
-    // between the two knobs instead of oversubscribing quadratically.
-    let compose_threads = (threads as f64).sqrt().round().max(1.0) as usize;
-    let pool_threads = threads.div_ceil(compose_threads);
-    println!(
-        "=== verification matrix on {pool_threads} workers x {compose_threads} step-2 threads ===\n"
-    );
+    // One shared scheduler: scenario jobs and every composition's Step-2
+    // walk workers draw from the same thread budget, so there is exactly
+    // one knob and live solver threads never exceed it.
+    println!("=== verification matrix on a {threads}-thread shared scheduler ===\n");
 
     let explored = Arc::new(AtomicUsize::new(0));
     let observer_count = explored.clone();
     let orchestrator = Orchestrator::new()
-        .with_threads(pool_threads)
-        .with_parallel_composition(compose_threads)
+        .with_threads(threads)
         .with_progress(move |event| match event {
             ProgressEvent::Planned {
                 explore_jobs,
@@ -71,6 +65,13 @@ fn main() {
     );
     assert_eq!(warm.explore_jobs, 0, "warm run must skip all element jobs");
     assert_eq!(explored.load(Ordering::Relaxed), cold.explore_jobs);
+    for (label, matrix) in [("cold", &cold), ("warm", &warm)] {
+        assert!(
+            matrix.peak_live_threads <= threads,
+            "{label} run exceeded the pool bound: {} > {threads} live threads",
+            matrix.peak_live_threads
+        );
+    }
 
     let (proven, violated, unknown) = cold.verdict_counts();
     println!(
