@@ -7,8 +7,8 @@
 //! * `sequential_fresh`  — one fresh `Verifier` per scenario (no reuse),
 //! * `sequential_shared` — one `Verifier` for the whole matrix (the seed's
 //!   best sequential configuration: summaries reused within the process),
-//! * `parallel_cold`     — the orchestrator with an empty summary store,
-//! * `parallel_warm`     — the orchestrator with a pre-warmed store (the
+//! * `parallel_cold`     — the verification service with an empty summary store,
+//! * `parallel_warm`     — the service with a pre-warmed store (the
 //!   re-verification case: zero element jobs),
 //! * `step2_sequential` / `step2_parallel` — a warm full-matrix composition
 //!   pass with the suspect × prefix feasibility checks inline vs fanned out
@@ -18,7 +18,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dataplane_bench::row;
 use dataplane_orchestrator::{
-    parallel_composition, preset_scenarios, verify_sequential, CompositionMode, Orchestrator,
+    parallel_composition, preset_scenarios, verify_sequential, CompositionMode, VerifyService,
 };
 use dataplane_verifier::{Verifier, VerifierOptions};
 use std::time::{Duration, Instant};
@@ -68,8 +68,8 @@ fn warm_composition_pass(options: &VerifierOptions) -> (Duration, usize) {
     (start.elapsed(), counterexamples)
 }
 
-fn parallel(threads: usize, orchestrator: &Orchestrator) -> usize {
-    let matrix = orchestrator.run(preset_scenarios());
+fn parallel(threads: usize, service: &VerifyService) -> usize {
+    let matrix = service.run_matrix(preset_scenarios());
     assert_eq!(matrix.threads, threads);
     matrix
         .scenarios
@@ -92,14 +92,14 @@ fn report() {
     let shared_counterexamples = sequential_shared();
     let t_shared = start.elapsed();
 
-    let orchestrator = Orchestrator::new().with_threads(threads);
+    let service = VerifyService::new().with_threads(threads);
     let start = Instant::now();
-    let cold_counterexamples = parallel(threads, &orchestrator);
+    let cold_counterexamples = parallel(threads, &service);
     let t_cold = start.elapsed();
 
-    // Same orchestrator again: the store is warm, all element jobs skipped.
+    // Same service again: the store is warm, all element jobs skipped.
     let start = Instant::now();
-    let warm_counterexamples = parallel(threads, &orchestrator);
+    let warm_counterexamples = parallel(threads, &service);
     let t_warm = start.elapsed();
 
     // Step-2 isolation: warm composition passes, inline vs parallel checks.
@@ -151,13 +151,13 @@ fn report() {
         ("per_composition", CompositionMode::Scoped(step2_threads)),
         ("sequential_step2", CompositionMode::Sequential),
     ] {
-        let orchestrator = Orchestrator::new()
+        let service = VerifyService::new()
             .with_threads(threads)
             .with_composition_mode(mode);
-        let warm_count = parallel(threads, &orchestrator); // warm the store
+        let warm_count = parallel(threads, &service); // warm the store
         assert_eq!(warm_count, fresh_counterexamples);
         let start = Instant::now();
-        let matrix = orchestrator.run(preset_scenarios());
+        let matrix = service.run_matrix(preset_scenarios());
         let elapsed = start.elapsed();
         let thread_ceiling = match mode {
             CompositionMode::SharedPool => threads,
@@ -224,12 +224,12 @@ fn bench(c: &mut Criterion) {
         .unwrap_or(4);
     group.bench_function("parallel_cold", |b| {
         b.iter(|| {
-            // A fresh orchestrator per iteration: the store starts empty.
-            let orchestrator = Orchestrator::new().with_threads(threads);
-            parallel(threads, &orchestrator)
+            // A fresh service per iteration: the store starts empty.
+            let service = VerifyService::new().with_threads(threads);
+            parallel(threads, &service)
         })
     });
-    let warm = Orchestrator::new().with_threads(threads);
+    let warm = VerifyService::new().with_threads(threads);
     parallel(threads, &warm); // pre-warm the store
     group.bench_function("parallel_warm", |b| b.iter(|| parallel(threads, &warm)));
     // Warm verifiers reused across iterations: the measured body is one

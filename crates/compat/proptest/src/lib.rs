@@ -128,7 +128,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// A length range for [`vec`].
+    /// A length range for [`fn@vec`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         start: usize,
@@ -161,7 +161,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`fn@vec`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -23,7 +23,7 @@ const FRESH_BASE: u32 = 0x4000_0000;
 /// composition depth (see [`FreshScope`]).
 const FRESH_SPAN: u32 = 1 << 20;
 /// Deepest composition depth the depth-indexed namespaces support: past
-/// this, stage strides would run into [`FRESH_BASE`] (and fresh spans would
+/// this, stage strides would run into `FRESH_BASE` (and fresh spans would
 /// approach `u32::MAX`), silently aliasing ids from different depths. No
 /// real pipeline path approaches this (paths are acyclic, so depth is
 /// bounded by the element count), and aliased namespaces could corrupt

@@ -52,5 +52,6 @@ pub use report::{
 };
 pub use summary::{summary_key, ElementSummary, SummaryCache};
 pub use verifier::{
-    materialise_packet, ComposeExecutor, ParallelComposition, Verifier, VerifierOptions,
+    materialise_packet, ComposeExecutor, EscalationLadder, ParallelComposition, Verifier,
+    VerifierOptions, ESCALATION_FACTOR,
 };

@@ -71,12 +71,17 @@ pub struct VerificationStats {
     /// verdict has this set, so `unknown = Unknown` causes are diagnosable
     /// from the stats alone.
     pub model_search_aborts: usize,
-    /// Checks that aborted a stage under the base solver budgets and were
-    /// retried once with escalated budgets before being reported.
+    /// Checks that aborted a stage under the base solver budgets and
+    /// entered the geometric escalation ladder before being reported.
     pub budget_escalations: usize,
     /// Escalated retries that decided the check (Sat or Unsat) where the
     /// base budgets could not.
     pub escalations_decided: usize,
+    /// Checks decided per ladder rung: `escalations_by_step[i]` counts the
+    /// checks the `i`-th escalation rung (budgets ×factor^(i+1)) decided.
+    /// The vector is only as long as the highest rung that decided
+    /// anything, so it stays empty on the common all-decided-at-base path.
+    pub escalations_by_step: Vec<usize>,
 }
 
 /// The full result of verifying one property of one pipeline.
@@ -137,11 +142,25 @@ impl fmt::Display for Report {
             )?;
         }
         if self.stats.budget_escalations > 0 {
-            writeln!(
+            write!(
                 f,
-                "  budget escalations: {} retried ({} decided by the raised budgets)",
+                "  budget escalations: {} climbed the ladder ({} decided by the raised budgets",
                 self.stats.budget_escalations, self.stats.escalations_decided
             )?;
+            if !self.stats.escalations_by_step.is_empty() {
+                write!(
+                    f,
+                    "; per rung: {}",
+                    self.stats
+                        .escalations_by_step
+                        .iter()
+                        .enumerate()
+                        .map(|(i, n)| format!("#{}: {n}", i + 1))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )?;
+            }
+            writeln!(f, ")")?;
         }
         for ce in &self.counterexamples {
             writeln!(

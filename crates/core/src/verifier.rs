@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Runs a batch of independent Step-2 worker jobs. Implementations may run
 /// the jobs in any order, concurrently; every job must have returned before
@@ -102,17 +102,96 @@ pub struct VerifierOptions {
     pub solver: SolverConfig,
     /// When a check aborts a solver stage at its budget
     /// (`fm_budget_aborts` / `model_search_aborts`) and the stateful-element
-    /// second chance does not discharge it, retry once with budgets scaled
-    /// by [`ESCALATION_FACTOR`] before reporting. Escalations are counted in
-    /// `Report.stats.budget_escalations`.
+    /// second chance does not discharge it, retry it up the geometric
+    /// [`EscalationLadder`] before reporting. Escalations are counted per
+    /// rung in `Report.stats.escalations_by_step`.
     pub escalate_budgets: bool,
+    /// The escalation ladder climbed when `escalate_budgets` is set.
+    pub ladder: EscalationLadder,
     /// How Step-2 feasibility checks are dispatched (sequential by default).
     pub parallel: ParallelComposition,
 }
 
-/// How much the solver budgets grow on the adaptive retry of an aborted
-/// check (see [`VerifierOptions::escalate_budgets`]).
+/// The default geometric growth factor of the escalation ladder (each rung
+/// multiplies the solver budgets by another factor of this).
 pub const ESCALATION_FACTOR: u32 = 8;
+
+/// The geometric budget-escalation ladder for undecided feasibility checks.
+///
+/// A check that aborts a solver stage at its budget is retried with the
+/// budgets scaled by `factor`, then `factor²`, ... up to `steps` rungs,
+/// stopping at the first rung that decides it (Sat or Unsat). An optional
+/// wall-clock cap bounds how long one check may keep climbing.
+///
+/// With `wall_cap: None` (the default) ladder behaviour is a deterministic
+/// function of the constraints, so reports stay byte-identical across runs
+/// and processes; a cap trades that determinism for bounded latency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EscalationLadder {
+    /// Geometric growth factor per rung (at least 2).
+    pub factor: u32,
+    /// Number of rungs (0 disables escalation even when
+    /// `escalate_budgets` is set).
+    pub steps: u32,
+    /// Skip remaining rungs once a single check has spent this much
+    /// wall-clock time climbing. `None` keeps the ladder deterministic.
+    pub wall_cap: Option<Duration>,
+}
+
+impl Default for EscalationLadder {
+    fn default() -> Self {
+        EscalationLadder {
+            factor: ESCALATION_FACTOR,
+            steps: 2,
+            wall_cap: None,
+        }
+    }
+}
+
+impl EscalationLadder {
+    /// A ladder that never escalates.
+    pub fn disabled() -> Self {
+        EscalationLadder {
+            steps: 0,
+            ..EscalationLadder::default()
+        }
+    }
+
+    /// The single ×8 retry this ladder generalises (the pre-ladder
+    /// behaviour).
+    pub fn single_retry() -> Self {
+        EscalationLadder {
+            steps: 1,
+            ..EscalationLadder::default()
+        }
+    }
+
+    /// The budget multiplier of rung `step` (0-based): `factor^(step+1)`,
+    /// saturating.
+    pub fn multiplier(&self, step: u32) -> u64 {
+        (u64::from(self.factor.max(2))).saturating_pow(step.saturating_add(1))
+    }
+
+    /// The solvers of the ladder's rungs, cheapest first.
+    fn solvers(&self, base: &SolverConfig) -> Vec<Solver> {
+        (0..self.steps)
+            .map(|step| {
+                let m = self.multiplier(step);
+                Solver::with_config(SolverConfig {
+                    model_search_tries: u32::try_from(
+                        u64::from(base.model_search_tries).saturating_mul(m),
+                    )
+                    .unwrap_or(u32::MAX),
+                    max_fm_constraints: usize::try_from(
+                        (base.max_fm_constraints as u64).saturating_mul(m),
+                    )
+                    .unwrap_or(usize::MAX),
+                    ..base.clone()
+                })
+            })
+            .collect()
+    }
+}
 
 impl Default for VerifierOptions {
     fn default() -> Self {
@@ -123,6 +202,7 @@ impl Default for VerifierOptions {
             engine: EngineConfig::decomposed(),
             solver: SolverConfig::default(),
             escalate_budgets: true,
+            ladder: EscalationLadder::default(),
             parallel: ParallelComposition::sequential(),
         }
     }
@@ -258,16 +338,12 @@ impl Verifier {
             hints: build_hints(property),
             options: &self.options,
             solver: &self.solver,
-            escalated: self.options.escalate_budgets.then(|| {
-                let base = self.solver.config();
-                Solver::with_config(SolverConfig {
-                    model_search_tries: base.model_search_tries.saturating_mul(ESCALATION_FACTOR),
-                    max_fm_constraints: base
-                        .max_fm_constraints
-                        .saturating_mul(ESCALATION_FACTOR as usize),
-                    ..base.clone()
-                })
-            }),
+            ladder: if self.options.escalate_budgets {
+                self.options.ladder.solvers(self.solver.config())
+            } else {
+                Vec::new()
+            },
+            ladder_spec: self.options.ladder.clone(),
         };
         let entry = pipeline.entry();
         let root = WalkInput {
@@ -569,11 +645,12 @@ enum CheckOutcome {
 struct CheckRecord {
     outcome: CheckOutcome,
     diag: CheckDiagnostics,
-    /// The check aborted a stage under base budgets and was retried once
-    /// with escalated budgets.
+    /// The check aborted a stage under base budgets and entered the
+    /// escalation ladder.
     escalated: bool,
-    /// The escalated retry decided the check.
-    escalation_decided: bool,
+    /// The 0-based ladder rung whose raised budgets decided the check, if
+    /// any rung did.
+    decided_at_rung: Option<usize>,
 }
 
 /// Where a forwarding edge's child subtree lives.
@@ -613,9 +690,11 @@ struct WalkCtx<'a> {
     hints: Vec<dataplane_symbex::Assignment>,
     options: &'a VerifierOptions,
     solver: &'a Solver,
-    /// The budget-escalated solver for the adaptive retry of aborted checks
-    /// (`None` when escalation is disabled).
-    escalated: Option<Solver>,
+    /// The budget-escalated solvers of the ladder's rungs, cheapest first
+    /// (empty when escalation is disabled).
+    ladder: Vec<Solver>,
+    /// The ladder configuration (for the wall-clock cap and reporting).
+    ladder_spec: EscalationLadder,
 }
 
 /// Build hint assignments for the solver's model search: structurally valid
@@ -915,7 +994,7 @@ impl<'a> WalkCtx<'a> {
 
     /// Decide one suspect × prefix feasibility check: base solver budgets,
     /// then the stateful-element second chance, then (for stage-budget
-    /// aborts) one adaptive retry with escalated budgets.
+    /// aborts) adaptive retries up the geometric escalation ladder.
     fn run_check(
         &self,
         element: ElementIdx,
@@ -941,11 +1020,13 @@ impl<'a> WalkCtx<'a> {
                 confirmed,
             })
         };
+        let check_started = Instant::now();
         let (result, diag) =
             self.solver
                 .check_with_hints_diagnosed_cancel(constraint, &self.hints, cancel);
         let mut escalated = false;
-        let mut escalation_decided = false;
+        let mut decided_at_rung = None;
+        let mut rungs_climbed = 0u32;
         let outcome = match result {
             SolverResult::Unsat => CheckOutcome::Discharged,
             SolverResult::Sat(model) => violation(&model),
@@ -956,22 +1037,40 @@ impl<'a> WalkCtx<'a> {
                 if self.discharged_by_ds_analysis(constraint, element) {
                     CheckOutcome::Discharged
                 } else {
-                    // Adaptive budgets: a stage gave up at its limit — retry
-                    // once with everything scaled up before reporting.
+                    // Adaptive budgets: a stage gave up at its limit — climb
+                    // the geometric escalation ladder, stopping at the first
+                    // rung that decides (or at the optional wall-clock cap).
                     let mut retried = None;
-                    if let Some(escalated_solver) = &self.escalated {
-                        if (diag.fm_budget_exhausted || diag.model_search_exhausted)
-                            && !cancel.is_cancelled()
-                        {
+                    if (diag.fm_budget_exhausted || diag.model_search_exhausted)
+                        && !cancel.is_cancelled()
+                    {
+                        for (rung, solver) in self.ladder.iter().enumerate() {
+                            if self
+                                .ladder_spec
+                                .wall_cap
+                                .is_some_and(|cap| check_started.elapsed() >= cap)
+                                || cancel.is_cancelled()
+                            {
+                                break;
+                            }
                             escalated = true;
-                            let (retry, _) = escalated_solver.check_with_hints_diagnosed_cancel(
+                            rungs_climbed = rung as u32 + 1;
+                            let (retry, retry_diag) = solver.check_with_hints_diagnosed_cancel(
                                 constraint,
                                 &self.hints,
                                 cancel,
                             );
                             if !matches!(retry, SolverResult::Unknown) {
-                                escalation_decided = true;
+                                decided_at_rung = Some(rung);
                                 retried = Some(retry);
+                                break;
+                            }
+                            // A rung that no longer aborts any stage gave
+                            // the solver its full analysis and still said
+                            // Unknown: higher budgets cannot change that.
+                            if !retry_diag.fm_budget_exhausted && !retry_diag.model_search_exhausted
+                            {
+                                break;
                             }
                         }
                     }
@@ -983,7 +1082,10 @@ impl<'a> WalkCtx<'a> {
                             let why = if stages.is_empty() {
                                 String::new()
                             } else if escalated {
-                                format!(" ({stages}; budgets escalated x{ESCALATION_FACTOR} without a verdict)")
+                                format!(
+                                    " ({stages}; budgets escalated to x{} without a verdict)",
+                                    self.ladder_spec.multiplier(rungs_climbed.saturating_sub(1))
+                                )
                             } else {
                                 format!(" ({stages})")
                             };
@@ -1004,7 +1106,7 @@ impl<'a> WalkCtx<'a> {
             outcome,
             diag,
             escalated,
-            escalation_decided,
+            decided_at_rung,
         }
     }
 
@@ -1314,7 +1416,13 @@ impl<'f, 'a> FoldState<'f, 'a> {
             self.stats.fm_budget_aborts += usize::from(check.diag.fm_budget_exhausted);
             self.stats.model_search_aborts += usize::from(check.diag.model_search_exhausted);
             self.stats.budget_escalations += usize::from(check.escalated);
-            self.stats.escalations_decided += usize::from(check.escalation_decided);
+            if let Some(rung) = check.decided_at_rung {
+                self.stats.escalations_decided += 1;
+                if self.stats.escalations_by_step.len() <= rung {
+                    self.stats.escalations_by_step.resize(rung + 1, 0);
+                }
+                self.stats.escalations_by_step[rung] += 1;
+            }
             match check.outcome {
                 CheckOutcome::Discharged => self.stats.discharged += 1,
                 CheckOutcome::Violation(ce) => self.counterexamples.push(ce),

@@ -447,6 +447,72 @@ fn aborted_budgets_escalate_once_and_are_counted() {
         report.stats.escalations_decided <= report.stats.budget_escalations,
         "decided escalations are a subset of escalations"
     );
+    assert_eq!(
+        report.stats.escalations_by_step.iter().sum::<usize>(),
+        report.stats.escalations_decided,
+        "per-rung counters must sum to the decided escalations"
+    );
+}
+
+#[test]
+fn escalation_ladder_rungs_grow_geometrically_and_are_counted_per_rung() {
+    use dataplane_symbex::SolverConfig;
+    use dataplane_verifier::{EscalationLadder, VerifierOptions};
+
+    let ladder = EscalationLadder::default();
+    assert_eq!(ladder.multiplier(0), 8);
+    assert_eq!(ladder.multiplier(1), 64);
+    assert_eq!(EscalationLadder::disabled().steps, 0);
+    assert_eq!(EscalationLadder::single_retry().steps, 1);
+
+    // Starve the solver hard enough that the first rung (×8) still aborts
+    // for some checks; a two-rung ladder then decides strictly no fewer
+    // checks than the single retry, and every decision lands in a per-rung
+    // counter.
+    let starved = SolverConfig {
+        model_search_tries: 2,
+        max_fm_constraints: 2,
+        ..SolverConfig::default()
+    };
+    let property = Property::Reachability {
+        dst: Ipv4Addr::new(192, 168, 7, 7),
+        dst_offset: 30,
+        deliver_to: vec!["out1".to_string()],
+        may_drop: vec!["strip".to_string(), "chk".to_string(), "ttl".to_string()],
+    };
+    let verify_with = |ladder: EscalationLadder| {
+        Verifier::with_options(VerifierOptions {
+            solver: starved.clone(),
+            escalate_budgets: true,
+            ladder,
+            ..VerifierOptions::default()
+        })
+        .verify(&firewall_pipeline(vec![]), &property)
+    };
+
+    let single = verify_with(EscalationLadder::single_retry());
+    let two_rungs = verify_with(EscalationLadder::default());
+    assert!(
+        two_rungs.stats.escalations_decided >= single.stats.escalations_decided,
+        "a taller ladder must not decide fewer checks"
+    );
+    assert!(
+        two_rungs.unproven.len() <= single.unproven.len(),
+        "a taller ladder must not lose decisions"
+    );
+    assert_eq!(
+        two_rungs.stats.escalations_by_step.iter().sum::<usize>(),
+        two_rungs.stats.escalations_decided,
+    );
+    assert!(
+        two_rungs.stats.escalations_by_step.len() <= 2,
+        "a two-rung ladder cannot decide at rung 3"
+    );
+
+    // A zero-height ladder behaves exactly like escalation off.
+    let off = verify_with(EscalationLadder::disabled());
+    assert_eq!(off.stats.budget_escalations, 0);
+    assert!(off.stats.escalations_by_step.is_empty());
 }
 
 // ---------------------------------------------------------------------------

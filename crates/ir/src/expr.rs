@@ -3,7 +3,7 @@
 //! Expressions are side-effect free: they read locals, packet bytes, and
 //! data-structure entries, and combine them with bit-vector operators. All
 //! side effects (packet writes, table writes, control flow) live in
-//! [`crate::stmt::Stmt`].
+//! [`crate::program::Stmt`].
 
 use crate::value::BitVec;
 use serde::{Deserialize, Serialize};

@@ -25,7 +25,7 @@
 //! * [`expr`] — side-effect-free expressions and the [`expr::dsl`] helpers.
 //! * [`program`] — statements, declarations, programs, outcomes.
 //! * [`builder`] — ergonomic program construction.
-//! * [`validate`] — static width/type checking.
+//! * [`mod@validate`] — static width/type checking.
 //! * [`interp`] — the concrete interpreter with instruction counting.
 //! * [`pretty`] — human-readable rendering for reports.
 //!

@@ -2,7 +2,8 @@
 //! diff` entry point.
 //!
 //! Given the *old* and *new* versions of a set of named pipeline configs,
-//! [`Orchestrator::verify_diff`] fingerprints both sides
+//! [`crate::service::VerifyService::verify_diff`] (or serving a
+//! [`crate::service::VerifyRequest::Diff`]) fingerprints both sides
 //! ([`dataplane_pipeline::diff`]) and re-verifies **only** the scenarios
 //! whose pipeline actually changed:
 //!
@@ -12,16 +13,15 @@
 //! * behaviour diffs re-explore exactly the changed element behaviours (the
 //!   content-addressed store serves every unchanged one).
 //!
-//! The scenarios of changed configs run on the orchestrator's shared
+//! The scenarios of changed configs run on the service's shared
 //! scheduler exactly like a full run, so verdicts are identical to
 //! verifying the new configs from scratch — only the work is smaller.
 
-use crate::matrix::MATRIX_INSTRUCTION_BOUND;
-use crate::orchestrator::{MatrixReport, Orchestrator, Scenario};
-use dataplane_pipeline::diff::diff_pipelines;
-use dataplane_pipeline::{parse_config, ConfigError, Pipeline};
+use crate::json::Json;
+use crate::matrix::{MatrixReport, MATRIX_INSTRUCTION_BOUND};
+use crate::orchestrator::Scenario;
+use dataplane_pipeline::{parse_config, ConfigError};
 use dataplane_verifier::Property;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// One named pipeline configuration (Click-like text).
@@ -88,6 +88,53 @@ impl DiffReport {
     pub fn reverified_scenarios(&self) -> usize {
         self.matrix.scenarios.len()
     }
+
+    fn entries_json(&self) -> Json {
+        Json::Arr(
+            self.entries
+                .iter()
+                .map(crate::wire::diff_entry_to_json)
+                .collect(),
+        )
+    }
+
+    /// The machine-readable (operational) form of the report,
+    /// schema-versioned for forward compatibility.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::int(crate::wire::REPORT_SCHEMA)),
+            ("kind", Json::str("diff")),
+            ("entries", self.entries_json()),
+            (
+                "removed_configs",
+                Json::Arr(self.removed_configs.iter().map(Json::str).collect()),
+            ),
+            (
+                "skipped_scenarios",
+                Json::int(self.skipped_scenarios as u64),
+            ),
+            ("matrix", self.matrix.to_json()),
+        ])
+    }
+
+    /// The deterministic form: the diff decision plus the matrix's
+    /// deterministic content — byte-identical across runs and processes.
+    pub fn deterministic_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::int(crate::wire::REPORT_SCHEMA)),
+            ("kind", Json::str("diff")),
+            ("entries", self.entries_json()),
+            (
+                "removed_configs",
+                Json::Arr(self.removed_configs.iter().map(Json::str).collect()),
+            ),
+            (
+                "skipped_scenarios",
+                Json::int(self.skipped_scenarios as u64),
+            ),
+            ("matrix", self.matrix.deterministic_json()),
+        ])
+    }
 }
 
 impl fmt::Display for DiffReport {
@@ -146,84 +193,6 @@ pub fn config_scenarios(
         }
     }
     Ok(scenarios)
-}
-
-impl Orchestrator {
-    /// Incrementally re-verify `new` against `old`: only scenarios of
-    /// configs whose element set or wiring changed are re-run (see the
-    /// module docs). For the composition-only guarantee on wiring-only
-    /// diffs the summary store must be warm with the old configs' element
-    /// behaviours — run the old configs first (same process, or a
-    /// persistent store).
-    pub fn verify_diff(
-        &self,
-        old: &[NamedConfig],
-        new: &[NamedConfig],
-        properties: &dyn Fn(&str) -> Vec<Property>,
-    ) -> Result<DiffReport, ConfigError> {
-        let mut old_pipelines: BTreeMap<&str, Pipeline> = BTreeMap::new();
-        for config in old {
-            old_pipelines.insert(&config.name, parse_config(&config.config)?);
-        }
-
-        let mut entries = Vec::with_capacity(new.len());
-        let mut scenarios = Vec::new();
-        let mut skipped_scenarios = 0usize;
-        for config in new {
-            let new_pipeline = parse_config(&config.config)?;
-            let scenario_properties = properties(&config.name);
-            let (kind, changed_elements) = match old_pipelines.get(config.name.as_str()) {
-                None => (DiffKind::Added, Vec::new()),
-                Some(old_pipeline) => {
-                    let diff = diff_pipelines(old_pipeline, &new_pipeline);
-                    if diff.is_identical() {
-                        (DiffKind::Identical, Vec::new())
-                    } else if diff.is_wiring_only() {
-                        (DiffKind::WiringOnly, Vec::new())
-                    } else {
-                        let mut changed = diff.changed;
-                        changed.extend(diff.added);
-                        changed.extend(diff.removed);
-                        changed.sort();
-                        (DiffKind::ElementsChanged, changed)
-                    }
-                }
-            };
-            let before = scenarios.len();
-            if kind == DiffKind::Identical {
-                skipped_scenarios += scenario_properties.len();
-            } else {
-                for property in scenario_properties {
-                    // Each scenario owns its pipeline instance.
-                    scenarios.push(Scenario::new(
-                        config.name.clone(),
-                        parse_config(&config.config)?,
-                        property,
-                    ));
-                }
-            }
-            let scenarios_planned = scenarios.len() - before;
-            entries.push(DiffEntry {
-                name: config.name.clone(),
-                kind,
-                changed_elements,
-                scenarios_planned,
-            });
-        }
-        let removed_configs = old
-            .iter()
-            .map(|c| c.name.clone())
-            .filter(|name| !new.iter().any(|c| &c.name == name))
-            .collect();
-
-        let matrix = self.run(scenarios);
-        Ok(DiffReport {
-            entries,
-            removed_configs,
-            skipped_scenarios,
-            matrix,
-        })
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,478 @@
+//! Plan execution backends: the [`Executor`] trait and its two
+//! implementations.
+//!
+//! A [`crate::wire::PlanSpec`]'s explore jobs are pure functions of their
+//! [`crate::wire::JobSpec`] (element factory spec + engine configuration),
+//! so *where* they run is a deployment decision:
+//!
+//! * [`InProcessExecutor`] — today's behaviour: jobs run on the shared
+//!   work-stealing [`crate::executor::Pool`] of the calling process.
+//! * [`SubprocessWorker`] — the remote-worker path proven end to end: jobs
+//!   are partitioned across worker *processes*, shipped as one JSON line
+//!   over each worker's stdin, and the summaries come back as one JSON line
+//!   on its stdout (the same framing works over a socket). Results are
+//!   folded back **by job index**, so the report is byte-identical to the
+//!   in-process run no matter which worker finished first.
+//!
+//! Workers re-instantiate each element from the config factory and verify
+//! the job's content fingerprint before exploring, so a worker built from
+//! different element code fails loudly instead of poisoning the cache.
+
+use crate::executor::{Pool, ThreadBudget};
+use crate::fingerprint::element_fingerprint;
+use crate::json::Json;
+use crate::persist::{summary_from_json, summary_to_json};
+use crate::wire::{engine_from_json, engine_to_json, job_from_json, job_to_json, JobSpec};
+use dataplane_pipeline::config::instantiate;
+use dataplane_symbex::{explore, EngineConfig};
+use dataplane_verifier::ElementSummary;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Schema version of the worker-protocol frames.
+pub const WORKER_SCHEMA: u64 = 1;
+
+/// A plan-execution failure.
+#[derive(Clone, Debug)]
+pub enum ExecError {
+    /// A worker process could not be spawned or waited on.
+    Spawn(String),
+    /// A protocol frame did not parse or had the wrong shape.
+    Protocol(String),
+    /// A job failed inside a worker (unknown element type, fingerprint
+    /// mismatch, ...).
+    Job(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Spawn(m) => write!(f, "executor: cannot run worker: {m}"),
+            ExecError::Protocol(m) => write!(f, "executor: protocol error: {m}"),
+            ExecError::Job(m) => write!(f, "executor: job failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// How a plan's element-exploration jobs are computed.
+///
+/// `explore_jobs` must return one slot per input job, **in input order**
+/// (`None` where the exploration exceeded its engine budget — the
+/// composition then explores inline and reports the failure exactly as a
+/// sequential run would). Implementations may compute the slots in any
+/// order or place; the order of the returned vector is the determinism
+/// contract.
+pub trait Executor: Send + Sync {
+    /// A human-readable name for logs and reports.
+    fn describe(&self) -> String;
+
+    /// Compute the summaries of `jobs` under `engine`.
+    fn explore_jobs(
+        &self,
+        jobs: &[JobSpec],
+        engine: &EngineConfig,
+    ) -> Result<Vec<Option<ElementSummary>>, ExecError>;
+}
+
+/// Run one job: factory-instantiate, fingerprint-check, explore.
+fn run_job(job: &JobSpec, engine: &EngineConfig) -> Result<Option<ElementSummary>, ExecError> {
+    let element = instantiate(&job.type_name, &job.config_args).map_err(|e| {
+        ExecError::Job(format!(
+            "{}({}) does not instantiate: {e}",
+            job.type_name, job.config_args
+        ))
+    })?;
+    let actual = element_fingerprint(element.as_ref(), engine);
+    if actual != job.fingerprint {
+        return Err(ExecError::Job(format!(
+            "{}({}) fingerprint mismatch: plan says {}, this build computes {} \
+             (worker built from different element code?)",
+            job.type_name, job.config_args, job.fingerprint, actual
+        )));
+    }
+    let start = Instant::now();
+    match explore(&element.model(), engine) {
+        Ok(exploration) => Ok(Some(ElementSummary {
+            type_name: element.type_name().to_string(),
+            config_key: element.config_key(),
+            exploration,
+            explore_time: start.elapsed(),
+        })),
+        // Budget exceeded: publish nothing; composition handles it inline.
+        Err(_) => Ok(None),
+    }
+}
+
+/// The in-process executor: explore jobs fan out over a work-stealing pool
+/// in this process (the pre-plan behaviour of the orchestrator).
+#[derive(Clone, Debug)]
+pub struct InProcessExecutor {
+    threads: usize,
+}
+
+impl InProcessExecutor {
+    /// An executor over `threads` pool workers (0 = one per available
+    /// core).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads > 0 {
+            threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        InProcessExecutor { threads }
+    }
+}
+
+impl Executor for InProcessExecutor {
+    fn describe(&self) -> String {
+        format!("in-process pool ({} threads)", self.threads)
+    }
+
+    fn explore_jobs(
+        &self,
+        jobs: &[JobSpec],
+        engine: &EngineConfig,
+    ) -> Result<Vec<Option<ElementSummary>>, ExecError> {
+        type JobSlot = Mutex<Option<Result<Option<ElementSummary>, ExecError>>>;
+        let slots: Vec<JobSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        Pool::run(self.threads, ThreadBudget::new(self.threads), |pool| {
+            for (job, slot) in jobs.iter().zip(&slots) {
+                pool.spawn(Box::new(move |_| {
+                    *slot.lock().expect("job slot") = Some(run_job(job, engine));
+                }));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("job slot")
+                    .expect("every job slot filled")
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The stdio worker protocol
+// ---------------------------------------------------------------------------
+
+fn batch_to_json(jobs: &[JobSpec], engine: &EngineConfig) -> Json {
+    Json::obj([
+        ("schema", Json::int(WORKER_SCHEMA)),
+        ("engine", engine_to_json(engine)),
+        ("jobs", Json::Arr(jobs.iter().map(job_to_json).collect())),
+    ])
+}
+
+/// Serve the worker side of the subprocess protocol: read one JSON batch
+/// frame per line from `input`, explore every job, and write one JSON
+/// response frame per batch to `output`. Returns when `input` reaches EOF.
+///
+/// This is what `vericlick worker` runs over stdin/stdout; the framing is
+/// line-delimited JSON, so the same function serves a socket.
+pub fn worker_serve(input: &mut dyn BufRead, output: &mut dyn Write) -> Result<(), ExecError> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = input
+            .read_line(&mut line)
+            .map_err(|e| ExecError::Protocol(format!("reading batch frame: {e}")))?;
+        if n == 0 {
+            return Ok(());
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame = Json::parse(line.trim())
+            .map_err(|e| ExecError::Protocol(format!("bad batch frame: {e}")))?;
+        let schema = frame.get("schema").and_then(Json::as_u64);
+        if schema != Some(WORKER_SCHEMA) {
+            return Err(ExecError::Protocol(format!(
+                "unsupported worker schema {schema:?}"
+            )));
+        }
+        let engine = engine_from_json(
+            frame
+                .get("engine")
+                .ok_or_else(|| ExecError::Protocol("batch frame has no engine".into()))?,
+        )
+        .map_err(|e| ExecError::Protocol(e.to_string()))?;
+        let jobs = frame
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ExecError::Protocol("batch frame has no jobs".into()))?
+            .iter()
+            .map(|j| job_from_json(j).map_err(|e| ExecError::Protocol(e.to_string())))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut summaries = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            let summary = run_job(job, &engine)?;
+            summaries.push(match summary {
+                Some(s) => summary_to_json(&s),
+                None => Json::Null,
+            });
+        }
+        let response = Json::obj([
+            ("schema", Json::int(WORKER_SCHEMA)),
+            ("summaries", Json::Arr(summaries)),
+        ]);
+        writeln!(output, "{}", response.to_text())
+            .map_err(|e| ExecError::Protocol(format!("writing response frame: {e}")))?;
+        output
+            .flush()
+            .map_err(|e| ExecError::Protocol(format!("flushing response frame: {e}")))?;
+    }
+}
+
+fn decode_response(text: &str, expected: usize) -> Result<Vec<Option<ElementSummary>>, ExecError> {
+    let frame =
+        Json::parse(text.trim()).map_err(|e| ExecError::Protocol(format!("bad response: {e}")))?;
+    if frame.get("schema").and_then(Json::as_u64) != Some(WORKER_SCHEMA) {
+        return Err(ExecError::Protocol("unsupported response schema".into()));
+    }
+    let summaries = frame
+        .get("summaries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ExecError::Protocol("response has no summaries".into()))?;
+    if summaries.len() != expected {
+        return Err(ExecError::Protocol(format!(
+            "worker returned {} summaries for {} jobs",
+            summaries.len(),
+            expected
+        )));
+    }
+    summaries
+        .iter()
+        .map(|s| match s {
+            Json::Null => Ok(None),
+            doc => summary_from_json(doc)
+                .map(Some)
+                .map_err(|e| ExecError::Protocol(format!("undecodable summary: {e}"))),
+        })
+        .collect()
+}
+
+/// The subprocess worker transport: explore jobs are shipped to `workers`
+/// child processes over stdio and their summaries folded back in job order.
+///
+/// The command is typically the `vericlick` binary itself with the `worker`
+/// argument — any program that speaks the [`worker_serve`] protocol on
+/// stdin/stdout works, which is precisely the contract a remote (socket)
+/// worker would implement.
+#[derive(Clone, Debug)]
+pub struct SubprocessWorker {
+    program: PathBuf,
+    args: Vec<String>,
+    workers: usize,
+}
+
+impl SubprocessWorker {
+    /// A transport spawning `workers` copies of `program args...` (0
+    /// workers = one per available core).
+    pub fn new(program: impl Into<PathBuf>, args: Vec<String>, workers: usize) -> Self {
+        let workers = if workers > 0 {
+            workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        SubprocessWorker {
+            program: program.into(),
+            args,
+            workers,
+        }
+    }
+
+    /// The transport that spawns the current executable with the `worker`
+    /// argument — how `vericlick exec-plan --workers N` reaches its own
+    /// worker mode.
+    pub fn current_exe(workers: usize) -> Result<Self, ExecError> {
+        let exe = std::env::current_exe()
+            .map_err(|e| ExecError::Spawn(format!("cannot locate current executable: {e}")))?;
+        Ok(SubprocessWorker::new(
+            exe,
+            vec!["worker".to_string()],
+            workers,
+        ))
+    }
+
+    /// The number of worker processes this transport spawns.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl Executor for SubprocessWorker {
+    fn describe(&self) -> String {
+        format!(
+            "subprocess workers ({} × {})",
+            self.workers,
+            self.program.display()
+        )
+    }
+
+    fn explore_jobs(
+        &self,
+        jobs: &[JobSpec],
+        engine: &EngineConfig,
+    ) -> Result<Vec<Option<ElementSummary>>, ExecError> {
+        use std::process::{Command, Stdio};
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.workers.min(jobs.len());
+        // Round-robin partition: worker w owns jobs w, w+workers, ...
+        let batches: Vec<Vec<JobSpec>> = (0..workers)
+            .map(|w| jobs.iter().skip(w).step_by(workers).cloned().collect())
+            .collect();
+
+        // Spawn every worker and hand each its batch, then collect. The
+        // children all compute concurrently; reading them in spawn order is
+        // fine because the fold is by index, not completion order.
+        let mut children = Vec::with_capacity(workers);
+        for batch in &batches {
+            let mut child = Command::new(&self.program)
+                .args(&self.args)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| ExecError::Spawn(format!("{}: {e}", self.program.display())))?;
+            let mut stdin = child
+                .stdin
+                .take()
+                .ok_or_else(|| ExecError::Spawn("worker stdin not piped".into()))?;
+            let frame = batch_to_json(batch, engine).to_text();
+            writeln!(stdin, "{frame}")
+                .map_err(|e| ExecError::Protocol(format!("writing batch: {e}")))?;
+            // Dropping stdin closes it; the worker answers and exits at EOF.
+            drop(stdin);
+            children.push(child);
+        }
+
+        let mut slots: Vec<Option<Option<ElementSummary>>> = vec![None; jobs.len()];
+        for (w, mut child) in children.into_iter().enumerate() {
+            let mut text = String::new();
+            use std::io::Read;
+            child
+                .stdout
+                .take()
+                .ok_or_else(|| ExecError::Spawn("worker stdout not piped".into()))?
+                .read_to_string(&mut text)
+                .map_err(|e| ExecError::Protocol(format!("reading response: {e}")))?;
+            let status = child
+                .wait()
+                .map_err(|e| ExecError::Spawn(format!("waiting for worker: {e}")))?;
+            if !status.success() {
+                return Err(ExecError::Job(format!("worker {w} exited with {status}")));
+            }
+            let summaries = decode_response(&text, batches[w].len())?;
+            for (i, summary) in summaries.into_iter().enumerate() {
+                // Undo the round-robin: batch item i of worker w is job
+                // w + i*workers.
+                slots[w + i * workers] = Some(summary);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every job assigned to exactly one worker"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane_pipeline::presets::ip_router_pipeline;
+
+    fn router_jobs(engine: &EngineConfig) -> Vec<JobSpec> {
+        let pipeline = ip_router_pipeline();
+        let mut seen = std::collections::HashSet::new();
+        let mut jobs = Vec::new();
+        for (_, node) in pipeline.iter() {
+            let element = node.element.as_ref();
+            let fp = element_fingerprint(element, engine);
+            if seen.insert(fp) {
+                jobs.push(JobSpec {
+                    fingerprint: fp,
+                    type_name: element.type_name().to_string(),
+                    config_args: element.config_args().expect("preset elements serialise"),
+                });
+            }
+        }
+        jobs
+    }
+
+    #[test]
+    fn in_process_executor_computes_every_job_in_order() {
+        let engine = EngineConfig::decomposed();
+        let jobs = router_jobs(&engine);
+        let summaries = InProcessExecutor::new(4)
+            .explore_jobs(&jobs, &engine)
+            .unwrap();
+        assert_eq!(summaries.len(), jobs.len());
+        for (job, summary) in jobs.iter().zip(&summaries) {
+            let summary = summary.as_ref().expect("preset exploration succeeds");
+            assert_eq!(summary.type_name, job.type_name);
+        }
+    }
+
+    #[test]
+    fn worker_protocol_round_trips_through_buffers() {
+        // Drive the exact stdio protocol through in-memory buffers: what
+        // the parent writes is what `worker_serve` reads, and vice versa.
+        let engine = EngineConfig::decomposed();
+        let jobs = router_jobs(&engine);
+        let batch = batch_to_json(&jobs, &engine).to_text();
+        let mut input = std::io::Cursor::new(format!("{batch}\n"));
+        let mut output = Vec::new();
+        worker_serve(&mut input, &mut output).unwrap();
+        let response = String::from_utf8(output).unwrap();
+        let summaries = decode_response(&response, jobs.len()).unwrap();
+        // Same jobs computed in-process must match the protocol's results
+        // byte for byte (the persist encoding is canonical).
+        let local = InProcessExecutor::new(2)
+            .explore_jobs(&jobs, &engine)
+            .unwrap();
+        for (a, b) in summaries.iter().zip(local.iter()) {
+            // Wall-clock exploration time legitimately differs; everything
+            // else must be byte-identical.
+            let mut a = a.clone().unwrap();
+            let mut b = b.clone().unwrap();
+            a.explore_time = std::time::Duration::ZERO;
+            b.explore_time = std::time::Duration::ZERO;
+            assert_eq!(summary_to_json(&a).to_text(), summary_to_json(&b).to_text());
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_fails_loudly() {
+        let engine = EngineConfig::decomposed();
+        let mut jobs = router_jobs(&engine);
+        jobs[0].fingerprint = crate::fingerprint::fingerprint_bytes("not this element");
+        let result = InProcessExecutor::new(1).explore_jobs(&jobs, &engine);
+        assert!(matches!(result, Err(ExecError::Job(_))), "{result:?}");
+    }
+
+    #[test]
+    fn worker_rejects_malformed_frames() {
+        let mut output = Vec::new();
+        let mut input = std::io::Cursor::new("{\"schema\":99}\n".to_string());
+        assert!(worker_serve(&mut input, &mut output).is_err());
+        let mut input = std::io::Cursor::new("not json\n".to_string());
+        assert!(worker_serve(&mut input, &mut output).is_err());
+        // EOF without a frame is a clean exit.
+        let mut input = std::io::Cursor::new(String::new());
+        assert!(worker_serve(&mut input, &mut output).is_ok());
+    }
+}

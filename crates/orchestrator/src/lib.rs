@@ -1,14 +1,24 @@
-//! # dataplane-orchestrator — parallel, cached, matrix-scale verification
+//! # dataplane-orchestrator — the verification service layer
 //!
 //! The compositional verifier (`dataplane-verifier`) proves pipeline
 //! properties by exploring each element **in isolation** and composing the
-//! per-element summaries. That structure is what this crate exploits
-//! operationally, turning one-shot verification into a service layer:
+//! per-element summaries. This crate turns that structure into a service
+//! with **one front door**:
 //!
-//! * [`orchestrator`] — the job planner ([`plan`]) decomposes a batch of
-//!   verification scenarios into per-element symbolic-exploration jobs plus
-//!   one composition job per scenario, with dependency edges; the
-//!   [`Orchestrator`] runs them and streams [`ProgressEvent`]s.
+//! * [`service`] — [`VerifyService`] serves typed, serialisable
+//!   [`VerifyRequest`]s (`Single` / `Matrix` / `Diff` / `Watch`) and
+//!   returns [`VerifyResponse`]s; it owns the summary store, the
+//!   worker-thread budget, and the verifier options. The **plan/execute
+//!   split** makes the job plan a first-class artifact:
+//!   [`VerifyService::plan_request`] produces a [`wire::PlanSpec`] that
+//!   round-trips through JSON, [`VerifyService::execute_plan`] runs one
+//!   through any [`exec::Executor`].
+//! * [`exec`] — the execution backends: the in-process work-stealing pool
+//!   and the [`exec::SubprocessWorker`] transport that ships serialised
+//!   job specs to worker processes over stdio (the remote-worker path,
+//!   byte-identical reports proven end to end).
+//! * [`wire`] — the JSON codecs for requests, plans, options, and the
+//!   deterministic report form, all schema-versioned.
 //! * [`executor`] — the **shared scheduler**: one dynamic work-stealing
 //!   pool ([`executor::Pool`]) plus a pool-wide thread ledger
 //!   ([`executor::ThreadBudget`]) that scenario jobs and each
@@ -19,39 +29,47 @@
 //!   composition-only pass for wiring-only diffs).
 //! * [`cache`] — the content-addressed [`SummaryStore`]: an in-memory tier
 //!   shared across workers and an optional JSON persistent tier, keyed by
-//!   [`Fingerprint`]s of element behaviour + engine configuration. Editing
-//!   one element invalidates exactly one key: re-verification re-explores
-//!   that element only.
+//!   [`Fingerprint`]s of element behaviour + engine configuration.
 //! * [`matrix`] — the scenario matrix (every preset pipeline × crash
 //!   freedom, bounded execution, reachability) and the aggregate
 //!   machine-readable [`MatrixReport`].
+//! * [`orchestrator`] — the job-planning vocabulary ([`plan`],
+//!   [`Scenario`]) and the deprecated [`Orchestrator`] shim (kept one
+//!   release; see its docs for the migration map).
 //! * [`fingerprint`] / [`persist`] / [`json`] — content hashing and the
-//!   hand-rolled JSON codec behind the persistent tier (the workspace's
-//!   `serde` is an offline API stub, so serialisation is explicit here).
+//!   hand-rolled JSON codec (the workspace's `serde` is an offline API
+//!   stub, so serialisation is explicit here).
 //!
 //! Parallel runs reuse the sequential verifier for composition, seeded with
 //! pre-computed summaries — verdicts are identical to `Verifier::verify`,
-//! only the wall-clock differs.
+//! only the wall-clock differs. The same holds across *processes*: a plan
+//! serialised by one process and executed by another yields byte-identical
+//! deterministic reports.
 //!
 //! ## Example
 //!
 //! ```
-//! use dataplane_orchestrator::{Orchestrator, Scenario};
+//! use dataplane_orchestrator::{Scenario, VerifyRequest, VerifyService};
 //! use dataplane_pipeline::presets::ip_router_pipeline;
 //! use dataplane_verifier::Property;
 //!
-//! let orchestrator = Orchestrator::new().with_threads(4);
-//! let report = orchestrator.verify(ip_router_pipeline(), Property::CrashFreedom);
+//! let service = VerifyService::new().with_threads(4);
+//! let report = service.verify(ip_router_pipeline(), Property::CrashFreedom);
 //! assert!(report.is_proven(), "{report}");
 //!
-//! // A second verification of the same pipeline plans zero element jobs:
-//! // every summary is served from the warm store.
-//! let matrix = orchestrator.run(vec![Scenario::new(
-//!     "router",
-//!     ip_router_pipeline(),
-//!     Property::CrashFreedom,
-//! )]);
-//! assert_eq!(matrix.explore_jobs, 0);
+//! // The same verification through the front door, as a typed request —
+//! // and a second run plans zero element jobs: every summary is served
+//! // from the warm store.
+//! let response = service
+//!     .serve(VerifyRequest::Matrix {
+//!         scenarios: vec![Scenario::new(
+//!             "router",
+//!             ip_router_pipeline(),
+//!             Property::CrashFreedom,
+//!         )],
+//!     })
+//!     .unwrap();
+//! assert_eq!(response.matrix().unwrap().explore_jobs, 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -59,29 +77,41 @@
 
 pub mod cache;
 pub mod diff;
+pub mod exec;
 pub mod executor;
 pub mod fingerprint;
 pub mod json;
 pub mod matrix;
 pub mod orchestrator;
 pub mod persist;
+pub mod service;
+pub mod wire;
 
 pub use cache::{CacheStats, SummaryStore};
-pub use diff::{DiffEntry, DiffKind, DiffReport, NamedConfig};
+pub use diff::{config_scenarios, DiffEntry, DiffKind, DiffReport, NamedConfig};
+pub use exec::{worker_serve, ExecError, Executor, InProcessExecutor, SubprocessWorker};
 pub use executor::ThreadBudget;
 pub use fingerprint::{element_fingerprint, fingerprint_bytes, Fingerprint};
 pub use matrix::{preset_pipelines, preset_properties, preset_scenarios, MatrixReport};
+#[allow(deprecated)]
+pub use orchestrator::Orchestrator;
 pub use orchestrator::{
     parallel_composition, plan, verify_sequential, BudgetedComposition, CompositionMode,
-    ExploreSpec, JobPlan, Orchestrator, ProgressEvent, Scenario, ScenarioReport,
+    ExploreSpec, JobPlan, ProgressEvent, Scenario, ScenarioReport,
 };
+pub use service::{
+    PropertySelect, ServiceError, VerifyOutcome, VerifyRequest, VerifyResponse, VerifyService,
+};
+pub use wire::{JobSpec, PlanSpec, ScenarioSpec, WireError};
 
-// The orchestrator moves pipelines, summaries, and progress observers across
+// The service moves pipelines, summaries, and progress observers across
 // worker threads; keep those bounds a compile-time contract.
 const _: fn() = || {
     fn assert_send<T: Send>() {}
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send::<Scenario>();
+    assert_send::<VerifyRequest>();
+    assert_send_sync::<VerifyService>();
     assert_send_sync::<SummaryStore>();
     assert_send_sync::<std::sync::Arc<dataplane_verifier::ElementSummary>>();
 };

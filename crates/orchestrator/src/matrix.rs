@@ -130,7 +130,9 @@ impl MatrixReport {
         counts
     }
 
-    /// The machine-readable form of the report.
+    /// The machine-readable (operational) form of the report: everything,
+    /// including timings, thread counts, and cache statistics.
+    /// Schema-versioned for forward compatibility of persisted reports.
     pub fn to_json(&self) -> Json {
         let scenarios: Vec<Json> = self
             .scenarios
@@ -192,6 +194,17 @@ impl MatrixReport {
                         Json::int(report.stats.escalations_decided as u64),
                     ),
                     (
+                        "escalations_by_step",
+                        Json::Arr(
+                            report
+                                .stats
+                                .escalations_by_step
+                                .iter()
+                                .map(|&n| Json::int(n as u64))
+                                .collect(),
+                        ),
+                    ),
+                    (
                         "elapsed_micros",
                         Json::int(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
                     ),
@@ -200,6 +213,8 @@ impl MatrixReport {
             .collect();
         let (proven, violated, unknown) = self.verdict_counts();
         Json::obj([
+            ("schema", Json::int(crate::wire::REPORT_SCHEMA)),
+            ("kind", Json::str("matrix")),
             ("scenarios", Json::Arr(scenarios)),
             ("proven", Json::int(proven as u64)),
             ("violated", Json::int(violated as u64)),
@@ -226,6 +241,37 @@ impl MatrixReport {
                 "elapsed_micros",
                 Json::int(self.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
             ),
+        ])
+    }
+
+    /// The deterministic form of the report: per-scenario verdicts, full
+    /// counterexamples, unproven paths, and work statistics — but no
+    /// wall-clock times, thread counts, or cache weather. Two runs of the
+    /// same scenarios under the same options serialise to byte-identical
+    /// text whatever process or executor produced them; this is the
+    /// document the cross-process byte-identity tests compare.
+    pub fn deterministic_json(&self) -> Json {
+        let (proven, violated, unknown) = self.verdict_counts();
+        Json::obj([
+            ("schema", Json::int(crate::wire::REPORT_SCHEMA)),
+            ("kind", Json::str("matrix")),
+            (
+                "scenarios",
+                Json::Arr(
+                    self.scenarios
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("pipeline", Json::str(&s.pipeline_name)),
+                                ("report", crate::wire::report_to_json(&s.report)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("proven", Json::int(proven as u64)),
+            ("violated", Json::int(violated as u64)),
+            ("unknown", Json::int(unknown as u64)),
         ])
     }
 }

@@ -1,38 +1,34 @@
-//! The parallel verification orchestrator.
+//! The job-planning vocabulary and the deprecated `Orchestrator` shim.
 //!
 //! A verification request (pipeline × property) is decomposed exactly along
 //! the paper's seam: Step 1 — one symbolic-exploration job per **distinct
 //! element behaviour**, embarrassingly parallel and content-addressed-
 //! cacheable; Step 2 — one composition job per scenario, depending on the
-//! explorations of the elements its pipeline contains. The jobs run on the
-//! work-stealing [`crate::executor`]; summaries flow through the shared
-//! [`SummaryStore`], so a warm store (same process or the persistent tier)
-//! skips every unchanged element job and re-verification touches only what
-//! changed.
+//! explorations of the elements its pipeline contains. The planning
+//! primitives live here ([`plan`], [`JobPlan`], [`Scenario`]); the engine
+//! that runs them is [`crate::service::VerifyService`], today's front door.
 //!
-//! Composition itself reuses `dataplane_verifier::Verifier` seeded with the
-//! pre-computed summaries, so a parallel run performs exactly the
-//! computation a sequential run performs — the verdicts, counterexamples,
-//! and unproven paths are identical (asserted by the equivalence tests in
-//! `tests/orchestrator.rs`).
+//! [`Orchestrator`] — the pre-`VerifyService` builder API — remains as a
+//! thin deprecated shim for one release so downstream code migrates without
+//! breaking: every method delegates to an owned `VerifyService`.
 
-use crate::cache::{CacheStats, SummaryStore};
-use crate::executor::{Latch, Pool, ThreadBudget};
+use crate::cache::SummaryStore;
+use crate::diff::{DiffReport, NamedConfig};
+use crate::executor::ThreadBudget;
 use crate::fingerprint::{element_fingerprint, Fingerprint};
+use crate::service::VerifyService;
 use dataplane_ir::Program;
-use dataplane_pipeline::Pipeline;
-use dataplane_symbex::{explore_with_cancel, CancelToken};
+use dataplane_pipeline::{ConfigError, Pipeline};
 use dataplane_verifier::{
-    ComposeExecutor, ElementSummary, ParallelComposition, Property, Report, Verdict, Verifier,
-    VerifierOptions,
+    ComposeExecutor, ParallelComposition, Property, Report, Verdict, Verifier, VerifierOptions,
 };
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// The verifier-facing handle onto the shared scheduler: a composition's
 /// Step-2 walk workers draw threads from a [`ThreadBudget`] instead of
 /// spawning a scoped pool of their own. When the budget is the
-/// orchestrator's, the *free* permits are exactly the parked scenario
+/// service's, the *free* permits are exactly the parked scenario
 /// workers — so Step-2 parallelism expands onto idle cores and contracts to
 /// inline execution when every core is already composing, and the peak
 /// number of live solver threads never exceeds the one pool size.
@@ -40,13 +36,13 @@ use std::time::{Duration, Instant};
 pub struct BudgetedComposition {
     budget: Arc<ThreadBudget>,
     /// True when the calling thread does not already hold a permit (callers
-    /// outside the orchestrator pool, e.g. a bare `Verifier`): the caller's
+    /// outside the service pool, e.g. a bare `Verifier`): the caller's
     /// own work then also draws from the budget.
     caller_needs_permit: bool,
 }
 
 impl BudgetedComposition {
-    /// A composition executor over the orchestrator's shared budget (the
+    /// A composition executor over the service's shared budget (the
     /// caller is a pool worker that already holds a permit).
     pub fn shared(budget: Arc<ThreadBudget>) -> Self {
         BudgetedComposition {
@@ -98,7 +94,7 @@ impl ComposeExecutor for BudgetedComposition {
 /// A [`ParallelComposition`] config that fans Step-2 work out over a
 /// standalone budget of `threads` live threads (0 = one per available
 /// core). Each verifier configured this way schedules independently — use
-/// [`Orchestrator`]'s default shared scheduler when verifying many
+/// [`VerifyService`]'s default shared scheduler when verifying many
 /// scenarios at once.
 pub fn parallel_composition(threads: usize) -> ParallelComposition {
     let threads = if threads > 0 {
@@ -111,10 +107,10 @@ pub fn parallel_composition(threads: usize) -> ParallelComposition {
     ParallelComposition::over(Arc::new(BudgetedComposition::standalone(threads)))
 }
 
-/// How the orchestrator dispatches each composition's Step-2 work.
+/// How the service dispatches each composition's Step-2 work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CompositionMode {
-    /// Step-2 walk workers borrow idle capacity from the orchestrator's own
+    /// Step-2 walk workers borrow idle capacity from the service's own
     /// scenario pool (the default): one scheduler, one thread bound.
     SharedPool,
     /// Each composition gets its own standalone budget of this many threads
@@ -184,6 +180,9 @@ pub struct JobPlan {
 /// Build the job plan for `scenarios` against the current contents of
 /// `store`: distinct element behaviours are deduplicated across every
 /// scenario, and behaviours the store already holds produce no job.
+///
+/// (For the *serialisable* plan artifact that crosses process boundaries,
+/// see [`VerifyService::plan_request`] and [`crate::wire::PlanSpec`].)
 pub fn plan(scenarios: &[Scenario], options: &VerifierOptions, store: &SummaryStore) -> JobPlan {
     let mut explore: Vec<ExploreSpec> = Vec::new();
     let mut job_of: std::collections::HashMap<Fingerprint, Option<usize>> =
@@ -229,7 +228,7 @@ pub fn plan(scenarios: &[Scenario], options: &VerifierOptions, store: &SummarySt
     }
 }
 
-/// What the orchestrator is doing, streamed to an observer as jobs run.
+/// What the service is doing, streamed to an observer as jobs run.
 #[derive(Clone, Debug)]
 pub enum ProgressEvent {
     /// The plan is built: how much Step-1 work there is and how much the
@@ -273,8 +272,6 @@ pub enum ProgressEvent {
     },
 }
 
-type ProgressFn = Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
-
 /// The result of one scenario within a matrix run.
 pub struct ScenarioReport {
     /// `pipeline` label.
@@ -290,75 +287,70 @@ impl ScenarioReport {
     }
 }
 
-/// Orchestrates parallel verification over a shared summary store.
+/// The pre-`VerifyService` builder API, kept as a thin shim for one
+/// release: every method delegates to an owned [`VerifyService`].
+///
+/// Migration map:
+///
+/// | old                              | new                                   |
+/// |----------------------------------|---------------------------------------|
+/// | `Orchestrator::new()…`           | `VerifyService::new()…` (same builder) |
+/// | `orchestrator.verify(p, prop)`   | `service.verify(p, prop)` or `serve(VerifyRequest::Single{…})` |
+/// | `orchestrator.run(scenarios)`    | `service.run_matrix(scenarios)` or `serve(VerifyRequest::Matrix{…})` |
+/// | `orchestrator.verify_diff(…)`    | `service.verify_diff(…)` or `serve(VerifyRequest::Diff{…})` |
+#[deprecated(
+    since = "0.1.0",
+    note = "use VerifyService — the typed front door (serve / plan_request / execute_plan)"
+)]
 pub struct Orchestrator {
-    options: VerifierOptions,
-    threads: usize,
-    store: Arc<SummaryStore>,
-    progress: Option<ProgressFn>,
-    budget: Arc<ThreadBudget>,
-    compose_mode: CompositionMode,
+    service: VerifyService,
 }
 
+#[allow(deprecated)]
 impl Default for Orchestrator {
     fn default() -> Self {
         Orchestrator::new()
     }
 }
 
+#[allow(deprecated)]
 impl Orchestrator {
     /// An orchestrator with default verifier options, an in-memory store,
     /// one worker per available core, and the shared scheduler dispatching
     /// both scenario- and check-level work.
     pub fn new() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
         Orchestrator {
-            options: VerifierOptions::default(),
-            threads,
-            store: Arc::new(SummaryStore::in_memory()),
-            progress: None,
-            budget: ThreadBudget::new(threads),
-            compose_mode: CompositionMode::SharedPool,
+            service: VerifyService::new(),
         }
     }
 
     /// Replace the summary store (e.g. with a persistent one).
     pub fn with_store(mut self, store: Arc<SummaryStore>) -> Self {
-        self.store = store;
+        self.service = self.service.with_store(store);
         self
     }
 
-    /// Set the worker-thread count — which is also the pool-wide bound on
-    /// live solver threads (0 keeps the auto-detected value).
+    /// Set the worker-thread count (0 keeps the auto-detected value).
     pub fn with_threads(mut self, threads: usize) -> Self {
-        if threads > 0 {
-            self.threads = threads;
-            self.budget = ThreadBudget::new(threads);
-        }
+        self.service = self.service.with_threads(threads);
         self
     }
 
-    /// Replace the verifier options (engine budgets, composition budgets).
-    /// An explicit `options.parallel` executor takes precedence over the
-    /// orchestrator's composition mode.
+    /// Replace the verifier options.
     pub fn with_options(mut self, options: VerifierOptions) -> Self {
-        self.options = options;
+        self.service = self.service.with_options(options);
         self
     }
 
-    /// Choose how each composition's Step-2 work is dispatched (the default
-    /// is [`CompositionMode::SharedPool`]).
+    /// Choose how each composition's Step-2 work is dispatched.
     pub fn with_composition_mode(mut self, mode: CompositionMode) -> Self {
-        self.compose_mode = mode;
+        self.service = self.service.with_composition_mode(mode);
         self
     }
 
     /// Compatibility knob: `threads == 0` selects the shared scheduler
     /// (the default); a positive count selects the legacy per-composition
-    /// scoped budget of that many threads (ceiling `scenarios × threads`
-    /// live solver threads — useful only for comparison benches).
+    /// scoped budget of that many threads.
     pub fn with_parallel_composition(self, threads: usize) -> Self {
         self.with_composition_mode(if threads == 0 {
             CompositionMode::SharedPool
@@ -367,211 +359,58 @@ impl Orchestrator {
         })
     }
 
-    /// The shared thread budget (exposes the live-thread high-water mark).
-    pub fn thread_budget(&self) -> &Arc<ThreadBudget> {
-        &self.budget
-    }
-
     /// Stream progress events to `observer`.
     pub fn with_progress(
         mut self,
         observer: impl Fn(&ProgressEvent) + Send + Sync + 'static,
     ) -> Self {
-        self.progress = Some(Arc::new(observer));
+        self.service = self.service.with_progress(observer);
         self
+    }
+
+    /// The shared thread budget (exposes the live-thread high-water mark).
+    pub fn thread_budget(&self) -> &Arc<ThreadBudget> {
+        self.service.thread_budget()
     }
 
     /// The shared summary store.
     pub fn store(&self) -> &Arc<SummaryStore> {
-        &self.store
+        self.service.store()
     }
 
     /// The configured worker count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.service.threads()
     }
 
     /// The configured verifier options.
     pub fn options(&self) -> &VerifierOptions {
-        &self.options
+        self.service.options()
     }
 
-    fn emit(&self, event: ProgressEvent) {
-        if let Some(observer) = &self.progress {
-            observer(&event);
-        }
+    /// The owned [`VerifyService`] — the permanent API this shim fronts.
+    pub fn service(&self) -> &VerifyService {
+        &self.service
     }
 
-    /// Verify one pipeline against one property, running its element
-    /// explorations in parallel. Equivalent to (and verdict-identical with)
-    /// `Verifier::verify`.
+    /// Verify one pipeline against one property.
     pub fn verify(&self, pipeline: Pipeline, property: Property) -> Report {
-        let name = format!("pipeline[{}]", pipeline.len());
-        let mut matrix = self.run(vec![Scenario::new(name, pipeline, property)]);
-        matrix.scenarios.remove(0).report
+        self.service.verify(pipeline, property)
     }
 
-    /// The verifier options a composition job of this orchestrator runs
-    /// with: the configured options, with Step-2 dispatch wired per the
-    /// composition mode unless the caller installed an explicit executor.
-    fn composition_options(&self) -> VerifierOptions {
-        let mut options = self.options.clone();
-        if !options.parallel.is_parallel() {
-            options.parallel = match self.compose_mode {
-                CompositionMode::SharedPool => ParallelComposition::over(Arc::new(
-                    BudgetedComposition::shared(self.budget.clone()),
-                )),
-                CompositionMode::Scoped(threads) => parallel_composition(threads),
-                CompositionMode::Sequential => ParallelComposition::sequential(),
-            };
-        }
-        options
-    }
-
-    /// Run a batch of scenarios on the shared scheduler: plan, spawn Step-1
-    /// explore tasks, and let each completed dependency set dynamically
-    /// spawn its composition task onto the *same* pool — whose idle workers
-    /// in turn serve as Step-2 walk helpers, so every kind of work competes
-    /// for one thread budget.
+    /// Run a batch of scenarios on the shared scheduler.
     pub fn run(&self, scenarios: Vec<Scenario>) -> MatrixReport {
-        let started = Instant::now();
-        let stats_before = self.store.stats();
-        self.budget.reset_peak();
-        let job_plan = plan(&scenarios, &self.options, &self.store);
-        self.emit(ProgressEvent::Planned {
-            explore_jobs: job_plan.explore.len(),
-            cached: job_plan.cached,
-            scenarios: scenarios.len(),
-        });
+        self.service.run_matrix(scenarios)
+    }
 
-        let explore_jobs = job_plan.explore.len();
-        let cached_jobs = job_plan.cached;
-        let options = self.composition_options();
-        let cancel = CancelToken::new();
-        let mut slots: Vec<Arc<Mutex<Option<ScenarioReport>>>> = Vec::new();
-
-        Pool::run(self.threads, self.budget.clone(), |pool| {
-            // Composition tasks, latched on their element explorations.
-            // `dependents[j]` collects the latches explore job `j` must
-            // signal when it completes.
-            let mut dependents: Vec<Vec<Arc<Latch<'_>>>> = vec![Vec::new(); explore_jobs];
-            for (scenario, (deps, fingerprints)) in scenarios.into_iter().zip(
-                job_plan
-                    .scenario_deps
-                    .into_iter()
-                    .zip(job_plan.element_fingerprints),
-            ) {
-                let slot = Arc::new(Mutex::new(None));
-                slots.push(slot.clone());
-                let store = self.store.clone();
-                let progress = self.progress.clone();
-                let options = options.clone();
-                let job = Box::new(move |_: &Pool<'_>| {
-                    let label = scenario.label();
-                    if let Some(observer) = &progress {
-                        observer(&ProgressEvent::ComposeStarted {
-                            scenario: label.clone(),
-                        });
-                    }
-                    let start = Instant::now();
-                    let mut verifier = Verifier::with_options(options);
-                    verifier.seed_summaries(fingerprints.iter().filter_map(|fp| store.get(*fp)));
-                    let report = verifier.verify(&scenario.pipeline, &scenario.property);
-                    if let Some(observer) = &progress {
-                        observer(&ProgressEvent::ComposeFinished {
-                            scenario: label,
-                            verdict: report.verdict.clone(),
-                            elapsed: start.elapsed(),
-                        });
-                    }
-                    *slot.lock().expect("report slot") = Some(ScenarioReport {
-                        pipeline_name: scenario.pipeline_name,
-                        report,
-                    });
-                });
-                if deps.is_empty() {
-                    pool.spawn(job);
-                } else {
-                    let latch = Latch::new(deps.len(), job);
-                    for dep in deps {
-                        dependents[dep].push(latch.clone());
-                    }
-                }
-            }
-
-            // Step-1 tasks: explore one element behaviour each, publish to
-            // the shared store, then release whatever compositions were
-            // waiting on it.
-            for (idx, spec) in job_plan.explore.into_iter().enumerate() {
-                let store = self.store.clone();
-                let progress = self.progress.clone();
-                let engine = self.options.engine.clone();
-                let cancel = cancel.clone();
-                let latches = std::mem::take(&mut dependents[idx]);
-                pool.spawn(Box::new(move |pool| {
-                    if let Some(observer) = &progress {
-                        observer(&ProgressEvent::ExploreStarted {
-                            type_name: spec.type_name.clone(),
-                        });
-                    }
-                    let start = Instant::now();
-                    let result = explore_with_cancel(&spec.program, &engine, &cancel);
-                    let elapsed = start.elapsed();
-                    let ok = result.is_ok();
-                    if let Ok(exploration) = result {
-                        store.insert(
-                            spec.fingerprint,
-                            Arc::new(ElementSummary {
-                                type_name: spec.type_name.clone(),
-                                config_key: spec.config_key.clone(),
-                                exploration,
-                                explore_time: elapsed,
-                            }),
-                        );
-                    }
-                    // A budget-exceeded exploration publishes nothing; the
-                    // composition job then explores inline and reports the
-                    // failure exactly as the sequential verifier does.
-                    if let Some(observer) = &progress {
-                        observer(&ProgressEvent::ExploreFinished {
-                            type_name: spec.type_name.clone(),
-                            elapsed,
-                            ok,
-                        });
-                    }
-                    for latch in &latches {
-                        latch.ready(pool);
-                    }
-                }));
-            }
-        });
-
-        let scenario_reports: Vec<ScenarioReport> = slots
-            .into_iter()
-            .map(|slot| {
-                slot.lock()
-                    .expect("report slot")
-                    .take()
-                    .expect("every composition job ran")
-            })
-            .collect();
-        let stats_after = self.store.stats();
-        MatrixReport {
-            scenarios: scenario_reports,
-            explore_jobs,
-            cached_jobs,
-            threads: self.threads,
-            peak_live_threads: self.budget.peak_in_use(),
-            cache: CacheStats {
-                memory_hits: stats_after.memory_hits - stats_before.memory_hits,
-                disk_hits: stats_after.disk_hits - stats_before.disk_hits,
-                misses: stats_after.misses - stats_before.misses,
-                persisted: stats_after.persisted - stats_before.persisted,
-                disk_errors: stats_after.disk_errors - stats_before.disk_errors,
-                evicted: stats_after.evicted - stats_before.evicted,
-            },
-            elapsed: started.elapsed(),
-        }
+    /// Incrementally re-verify `new` against `old`.
+    pub fn verify_diff(
+        &self,
+        old: &[NamedConfig],
+        new: &[NamedConfig],
+        properties: &dyn Fn(&str) -> Vec<Property>,
+    ) -> Result<DiffReport, ConfigError> {
+        self.service.verify_diff(old, new, properties)
     }
 }
 

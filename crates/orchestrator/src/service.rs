@@ -1,0 +1,922 @@
+//! The front door: one typed, serialisable request/response API over every
+//! way this crate verifies dataplanes.
+//!
+//! [`VerifyService`] owns what the deprecated `Orchestrator` builder used to
+//! configure — the summary store, the worker-thread budget, the verifier
+//! options — and serves [`VerifyRequest`]s:
+//!
+//! * [`VerifyRequest::Single`] — one pipeline × one property,
+//! * [`VerifyRequest::Matrix`] — a batch of scenarios on the shared
+//!   scheduler,
+//! * [`VerifyRequest::Diff`] — incremental re-verification of a config
+//!   edit,
+//! * [`VerifyRequest::Watch`] — diff against the service's *rolling
+//!   baseline*: the first watch request verifies everything and records the
+//!   configs; every subsequent one re-verifies only what changed since the
+//!   last and rolls the baseline forward.
+//!
+//! Requests and responses are plain data; requests serialise through
+//! [`crate::wire`], so the same API shape works in-process, across a pipe,
+//! or over a socket.
+//!
+//! ## The plan/execute split
+//!
+//! [`VerifyService::plan_request`] turns a request into a first-class
+//! [`PlanSpec`] — scenarios as config text, one [`crate::wire::JobSpec`]
+//! per distinct element behaviour, dependency edges, fingerprints — which
+//! round-trips through JSON. [`VerifyService::execute_plan`] runs one,
+//! computing the missing element summaries through any [`Executor`]
+//! (in-process pool, or subprocess workers over stdio) and composing on the
+//! shared scheduler. A plan serialised by one process and executed by
+//! another produces a byte-identical deterministic report — the remote
+//! worker path, proven end to end by the `plan`/`exec-plan` round-trip
+//! tests and CI smoke.
+
+use crate::cache::{CacheStats, SummaryStore};
+use crate::diff::{
+    config_scenarios, default_properties, DiffEntry, DiffKind, DiffReport, NamedConfig,
+};
+use crate::exec::{ExecError, Executor};
+use crate::executor::{Latch, Pool, ThreadBudget};
+use crate::json::Json;
+use crate::matrix::{preset_pipelines, preset_properties, MatrixReport};
+use crate::orchestrator::{
+    parallel_composition, plan, BudgetedComposition, CompositionMode, ProgressEvent, Scenario,
+    ScenarioReport,
+};
+use crate::wire::{self, DiffMeta, JobSpec, PlanSpec, ScenarioSpec, WireError};
+use dataplane_pipeline::diff::diff_pipelines;
+use dataplane_pipeline::{parse_config, ConfigError, Pipeline};
+use dataplane_symbex::{explore_with_cancel, CancelToken};
+use dataplane_verifier::{
+    ElementSummary, ParallelComposition, Property, Report, Verdict, Verifier, VerifierOptions,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+type ProgressFn = Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
+
+/// Which properties a diff/watch request verifies for each named config.
+/// Serialisable, unlike the old `&dyn Fn(&str) -> Vec<Property>` parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PropertySelect {
+    /// Crash freedom and bounded per-packet execution — the classes
+    /// checkable for any config without per-pipeline knowledge.
+    Default,
+    /// The preset property table ([`preset_properties`]) for configs named
+    /// like a preset pipeline (including reachability); [`Self::Default`]
+    /// classes for everything else.
+    Preset,
+    /// Exactly these properties, for every config.
+    Explicit(Vec<Property>),
+}
+
+impl PropertySelect {
+    /// The properties to verify for the config named `name`.
+    pub fn properties_for(&self, name: &str) -> Vec<Property> {
+        match self {
+            PropertySelect::Default => default_properties(name),
+            PropertySelect::Preset => {
+                if preset_pipelines().iter().any(|(preset, _)| *preset == name) {
+                    preset_properties(name)
+                } else {
+                    default_properties(name)
+                }
+            }
+            PropertySelect::Explicit(properties) => properties.clone(),
+        }
+    }
+}
+
+/// A verification request — the one front door.
+///
+/// Serialisable via [`VerifyRequest::to_json`] (pipelines travel as config
+/// text), so the same request type is the in-process API and the wire API.
+pub enum VerifyRequest {
+    /// Verify one pipeline against one property.
+    Single {
+        /// Label used in reports.
+        name: String,
+        /// The pipeline (consumed by the run).
+        pipeline: Pipeline,
+        /// The property to check.
+        property: Property,
+    },
+    /// Verify a batch of scenarios on the shared scheduler.
+    Matrix {
+        /// The scenarios, each owning its pipeline.
+        scenarios: Vec<Scenario>,
+    },
+    /// Re-verify only what changed between two config sets.
+    Diff {
+        /// The baseline configs.
+        old: Vec<NamedConfig>,
+        /// The edited configs.
+        new: Vec<NamedConfig>,
+        /// Which properties to verify per config.
+        properties: PropertySelect,
+    },
+    /// Diff against the service's rolling baseline (see the module docs);
+    /// the incremental shape a file-watcher loop submits on every change.
+    Watch {
+        /// The current configs.
+        configs: Vec<NamedConfig>,
+        /// Which properties to verify per config.
+        properties: PropertySelect,
+    },
+}
+
+impl VerifyRequest {
+    /// The request kind's wire name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VerifyRequest::Single { .. } => "single",
+            VerifyRequest::Matrix { .. } => "matrix",
+            VerifyRequest::Diff { .. } => "diff",
+            VerifyRequest::Watch { .. } => "watch",
+        }
+    }
+
+    /// Serialise (see [`crate::wire::request_to_json`]).
+    pub fn to_json(&self) -> Result<Json, WireError> {
+        wire::request_to_json(self)
+    }
+
+    /// Deserialise (see [`crate::wire::request_from_json`]).
+    pub fn from_json(json: &Json) -> Result<VerifyRequest, WireError> {
+        wire::request_from_json(json)
+    }
+}
+
+/// What a served request produced.
+pub enum VerifyOutcome {
+    /// The report of a [`VerifyRequest::Single`] run.
+    Single(Box<ScenarioReport>),
+    /// The matrix of a [`VerifyRequest::Matrix`] run (also the first
+    /// [`VerifyRequest::Watch`] call, which establishes the baseline).
+    Matrix(MatrixReport),
+    /// The incremental report of a [`VerifyRequest::Diff`] or follow-up
+    /// [`VerifyRequest::Watch`] run.
+    Diff(DiffReport),
+}
+
+/// The front door's response: the outcome plus which request shape produced
+/// it.
+pub struct VerifyResponse {
+    /// The served request's kind (`"single"`, `"matrix"`, ...).
+    pub request: &'static str,
+    /// What the run produced.
+    pub outcome: VerifyOutcome,
+}
+
+impl VerifyResponse {
+    /// The matrix report of whatever ran: the outcome itself for matrix
+    /// runs, the re-verification matrix for diff runs, a one-scenario view
+    /// for single runs.
+    pub fn matrix(&self) -> Option<&MatrixReport> {
+        match &self.outcome {
+            VerifyOutcome::Single(_) => None,
+            VerifyOutcome::Matrix(m) => Some(m),
+            VerifyOutcome::Diff(d) => Some(&d.matrix),
+        }
+    }
+
+    /// The single report, if this response answered a `Single` request.
+    pub fn report(&self) -> Option<&Report> {
+        match &self.outcome {
+            VerifyOutcome::Single(s) => Some(&s.report),
+            _ => None,
+        }
+    }
+
+    /// `(proven, violated, unknown)` counts across every scenario that ran.
+    pub fn verdict_counts(&self) -> (usize, usize, usize) {
+        match &self.outcome {
+            VerifyOutcome::Single(s) => match s.report.verdict {
+                Verdict::Proven => (1, 0, 0),
+                Verdict::Violated => (0, 1, 0),
+                Verdict::Unknown => (0, 0, 1),
+            },
+            VerifyOutcome::Matrix(m) => m.verdict_counts(),
+            VerifyOutcome::Diff(d) => d.matrix.verdict_counts(),
+        }
+    }
+
+    /// The machine-readable (operational) document: schema-versioned, with
+    /// timings and cache statistics.
+    pub fn to_json(&self) -> Json {
+        match &self.outcome {
+            VerifyOutcome::Single(s) => Json::obj([
+                ("schema", Json::int(wire::REPORT_SCHEMA)),
+                ("kind", Json::str("single")),
+                ("pipeline", Json::str(&s.pipeline_name)),
+                ("report", wire::report_to_json(&s.report)),
+                (
+                    "elapsed_micros",
+                    Json::int(s.report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+                ),
+            ]),
+            VerifyOutcome::Matrix(m) => m.to_json(),
+            VerifyOutcome::Diff(d) => d.to_json(),
+        }
+    }
+
+    /// The deterministic document: verdicts, counterexamples, unproven
+    /// paths, and work statistics only — byte-identical across runs,
+    /// processes, schedulers, and cache temperatures.
+    pub fn deterministic_json(&self) -> Json {
+        match &self.outcome {
+            VerifyOutcome::Single(s) => Json::obj([
+                ("schema", Json::int(wire::REPORT_SCHEMA)),
+                ("kind", Json::str("single")),
+                ("pipeline", Json::str(&s.pipeline_name)),
+                ("report", wire::report_to_json(&s.report)),
+            ]),
+            VerifyOutcome::Matrix(m) => m.deterministic_json(),
+            VerifyOutcome::Diff(d) => d.deterministic_json(),
+        }
+    }
+}
+
+impl fmt::Display for VerifyResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.outcome {
+            VerifyOutcome::Single(s) => write!(f, "{}", s.report),
+            VerifyOutcome::Matrix(m) => write!(f, "{m}"),
+            VerifyOutcome::Diff(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// A front-door failure.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A config string does not parse.
+    Config(ConfigError),
+    /// A request, plan, or pipeline does not (de)serialise.
+    Wire(WireError),
+    /// Plan execution failed (worker spawn, protocol, job).
+    Exec(ExecError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Config(e) => write!(f, "service: {e}"),
+            ServiceError::Wire(e) => write!(f, "service: {e}"),
+            ServiceError::Exec(e) => write!(f, "service: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ConfigError> for ServiceError {
+    fn from(e: ConfigError) -> Self {
+        ServiceError::Config(e)
+    }
+}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}
+
+impl From<ExecError> for ServiceError {
+    fn from(e: ExecError) -> Self {
+        ServiceError::Exec(e)
+    }
+}
+
+/// The verification service: the owner of the summary store, the shared
+/// scheduler's thread budget, and the verifier options — serving typed
+/// [`VerifyRequest`]s (see the module docs).
+pub struct VerifyService {
+    options: VerifierOptions,
+    threads: usize,
+    store: Arc<SummaryStore>,
+    progress: Option<ProgressFn>,
+    budget: Arc<ThreadBudget>,
+    compose_mode: CompositionMode,
+    /// The rolling baseline of [`VerifyRequest::Watch`]: the configs the
+    /// last watch call verified.
+    baseline: Mutex<Option<Vec<NamedConfig>>>,
+}
+
+impl Default for VerifyService {
+    fn default() -> Self {
+        VerifyService::new()
+    }
+}
+
+impl VerifyService {
+    /// A service with default verifier options, an in-memory store, one
+    /// worker per available core, and the shared scheduler dispatching both
+    /// scenario- and check-level work.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        VerifyService {
+            options: VerifierOptions::default(),
+            threads,
+            store: Arc::new(SummaryStore::in_memory()),
+            progress: None,
+            budget: ThreadBudget::new(threads),
+            compose_mode: CompositionMode::SharedPool,
+            baseline: Mutex::new(None),
+        }
+    }
+
+    /// Replace the summary store (e.g. with a persistent one).
+    pub fn with_store(mut self, store: Arc<SummaryStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Set the worker-thread count — which is also the pool-wide bound on
+    /// live solver threads (0 keeps the auto-detected value).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        if threads > 0 {
+            self.threads = threads;
+            self.budget = ThreadBudget::new(threads);
+        }
+        self
+    }
+
+    /// Replace the verifier options (engine budgets, solver budgets,
+    /// escalation ladder). An explicit `options.parallel` executor takes
+    /// precedence over the service's composition mode.
+    pub fn with_options(mut self, options: VerifierOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Choose how each composition's Step-2 work is dispatched (the default
+    /// is [`CompositionMode::SharedPool`]).
+    pub fn with_composition_mode(mut self, mode: CompositionMode) -> Self {
+        self.compose_mode = mode;
+        self
+    }
+
+    /// Stream progress events to `observer`.
+    pub fn with_progress(
+        mut self,
+        observer: impl Fn(&ProgressEvent) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Arc::new(observer));
+        self
+    }
+
+    /// The shared summary store.
+    pub fn store(&self) -> &Arc<SummaryStore> {
+        &self.store
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured verifier options.
+    pub fn options(&self) -> &VerifierOptions {
+        &self.options
+    }
+
+    /// The shared thread budget (exposes the live-thread high-water mark).
+    pub fn thread_budget(&self) -> &Arc<ThreadBudget> {
+        &self.budget
+    }
+
+    fn emit(&self, event: ProgressEvent) {
+        if let Some(observer) = &self.progress {
+            observer(&event);
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Serving
+    // -----------------------------------------------------------------------
+
+    /// Serve one request (see [`VerifyRequest`] for the shapes).
+    pub fn serve(&self, request: VerifyRequest) -> Result<VerifyResponse, ServiceError> {
+        let kind = request.kind();
+        let outcome = match request {
+            VerifyRequest::Single {
+                name,
+                pipeline,
+                property,
+            } => {
+                let mut matrix = self.run_matrix(vec![Scenario::new(name, pipeline, property)]);
+                VerifyOutcome::Single(Box::new(matrix.scenarios.remove(0)))
+            }
+            VerifyRequest::Matrix { scenarios } => {
+                VerifyOutcome::Matrix(self.run_matrix(scenarios))
+            }
+            VerifyRequest::Diff {
+                old,
+                new,
+                properties,
+            } => VerifyOutcome::Diff(
+                self.verify_diff(&old, &new, &|name| properties.properties_for(name))?,
+            ),
+            VerifyRequest::Watch {
+                configs,
+                properties,
+            } => {
+                let previous = self.baseline.lock().expect("watch baseline").clone();
+                let outcome = match previous {
+                    // First watch call: verify everything, establish the
+                    // baseline.
+                    None => {
+                        let scenarios =
+                            config_scenarios(&configs, &|name| properties.properties_for(name))?;
+                        VerifyOutcome::Matrix(self.run_matrix(scenarios))
+                    }
+                    // Every later call: re-verify only what changed since
+                    // the previous configs.
+                    Some(old) => VerifyOutcome::Diff(self.verify_diff(
+                        &old,
+                        &configs,
+                        &|name| properties.properties_for(name),
+                    )?),
+                };
+                // Roll the baseline forward only after the tick verified:
+                // a tick that errors (e.g. a config syntax error) must not
+                // become the baseline, or the eventual fix would diff as
+                // `Identical` against it and skip verification of the edit.
+                *self.baseline.lock().expect("watch baseline") = Some(configs);
+                outcome
+            }
+        };
+        Ok(VerifyResponse {
+            request: kind,
+            outcome,
+        })
+    }
+
+    /// Verify one pipeline against one property. Equivalent to (and
+    /// verdict-identical with) `Verifier::verify`, with element
+    /// explorations on the shared pool and summaries served from the store.
+    pub fn verify(&self, pipeline: Pipeline, property: Property) -> Report {
+        let name = format!("pipeline[{}]", pipeline.len());
+        let mut matrix = self.run_matrix(vec![Scenario::new(name, pipeline, property)]);
+        matrix.scenarios.remove(0).report
+    }
+
+    /// The verifier options a composition job runs with: `base`, with
+    /// Step-2 dispatch wired per the composition mode unless the caller
+    /// installed an explicit executor.
+    fn composition_options(&self, base: &VerifierOptions) -> VerifierOptions {
+        let mut options = base.clone();
+        if !options.parallel.is_parallel() {
+            options.parallel = match self.compose_mode {
+                CompositionMode::SharedPool => ParallelComposition::over(Arc::new(
+                    BudgetedComposition::shared(self.budget.clone()),
+                )),
+                CompositionMode::Scoped(threads) => parallel_composition(threads),
+                CompositionMode::Sequential => ParallelComposition::sequential(),
+            };
+        }
+        options
+    }
+
+    /// Run a batch of scenarios on the shared scheduler with the service's
+    /// options.
+    pub fn run_matrix(&self, scenarios: Vec<Scenario>) -> MatrixReport {
+        let options = self.options.clone();
+        self.run_matrix_with(scenarios, &options)
+    }
+
+    /// Run a batch of scenarios on the shared scheduler: plan, spawn Step-1
+    /// explore tasks, and let each completed dependency set dynamically
+    /// spawn its composition task onto the *same* pool — whose idle workers
+    /// in turn serve as Step-2 walk helpers, so every kind of work competes
+    /// for one thread budget.
+    fn run_matrix_with(
+        &self,
+        scenarios: Vec<Scenario>,
+        base_options: &VerifierOptions,
+    ) -> MatrixReport {
+        let started = Instant::now();
+        let stats_before = self.store.stats();
+        self.budget.reset_peak();
+        let job_plan = plan(&scenarios, base_options, &self.store);
+        self.emit(ProgressEvent::Planned {
+            explore_jobs: job_plan.explore.len(),
+            cached: job_plan.cached,
+            scenarios: scenarios.len(),
+        });
+
+        let explore_jobs = job_plan.explore.len();
+        let cached_jobs = job_plan.cached;
+        let options = self.composition_options(base_options);
+        let cancel = CancelToken::new();
+        let mut slots: Vec<Arc<Mutex<Option<ScenarioReport>>>> = Vec::new();
+
+        Pool::run(self.threads, self.budget.clone(), |pool| {
+            // Composition tasks, latched on their element explorations.
+            // `dependents[j]` collects the latches explore job `j` must
+            // signal when it completes.
+            let mut dependents: Vec<Vec<Arc<Latch<'_>>>> = vec![Vec::new(); explore_jobs];
+            for (scenario, (deps, fingerprints)) in scenarios.into_iter().zip(
+                job_plan
+                    .scenario_deps
+                    .into_iter()
+                    .zip(job_plan.element_fingerprints),
+            ) {
+                let slot = Arc::new(Mutex::new(None));
+                slots.push(slot.clone());
+                let store = self.store.clone();
+                let progress = self.progress.clone();
+                let options = options.clone();
+                let job = Box::new(move |_: &Pool<'_>| {
+                    let label = scenario.label();
+                    if let Some(observer) = &progress {
+                        observer(&ProgressEvent::ComposeStarted {
+                            scenario: label.clone(),
+                        });
+                    }
+                    let start = Instant::now();
+                    let mut verifier = Verifier::with_options(options);
+                    verifier.seed_summaries(fingerprints.iter().filter_map(|fp| store.get(*fp)));
+                    let report = verifier.verify(&scenario.pipeline, &scenario.property);
+                    if let Some(observer) = &progress {
+                        observer(&ProgressEvent::ComposeFinished {
+                            scenario: label,
+                            verdict: report.verdict.clone(),
+                            elapsed: start.elapsed(),
+                        });
+                    }
+                    *slot.lock().expect("report slot") = Some(ScenarioReport {
+                        pipeline_name: scenario.pipeline_name,
+                        report,
+                    });
+                });
+                if deps.is_empty() {
+                    pool.spawn(job);
+                } else {
+                    let latch = Latch::new(deps.len(), job);
+                    for dep in deps {
+                        dependents[dep].push(latch.clone());
+                    }
+                }
+            }
+
+            // Step-1 tasks: explore one element behaviour each, publish to
+            // the shared store, then release whatever compositions were
+            // waiting on it.
+            for (idx, spec) in job_plan.explore.into_iter().enumerate() {
+                let store = self.store.clone();
+                let progress = self.progress.clone();
+                let engine = base_options.engine.clone();
+                let cancel = cancel.clone();
+                let latches = std::mem::take(&mut dependents[idx]);
+                pool.spawn(Box::new(move |pool| {
+                    if let Some(observer) = &progress {
+                        observer(&ProgressEvent::ExploreStarted {
+                            type_name: spec.type_name.clone(),
+                        });
+                    }
+                    let start = Instant::now();
+                    let result = explore_with_cancel(&spec.program, &engine, &cancel);
+                    let elapsed = start.elapsed();
+                    let ok = result.is_ok();
+                    if let Ok(exploration) = result {
+                        store.insert(
+                            spec.fingerprint,
+                            Arc::new(ElementSummary {
+                                type_name: spec.type_name.clone(),
+                                config_key: spec.config_key.clone(),
+                                exploration,
+                                explore_time: elapsed,
+                            }),
+                        );
+                    }
+                    // A budget-exceeded exploration publishes nothing; the
+                    // composition job then explores inline and reports the
+                    // failure exactly as the sequential verifier does.
+                    if let Some(observer) = &progress {
+                        observer(&ProgressEvent::ExploreFinished {
+                            type_name: spec.type_name.clone(),
+                            elapsed,
+                            ok,
+                        });
+                    }
+                    for latch in &latches {
+                        latch.ready(pool);
+                    }
+                }));
+            }
+        });
+
+        let scenario_reports: Vec<ScenarioReport> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("report slot")
+                    .take()
+                    .expect("every composition job ran")
+            })
+            .collect();
+        let stats_after = self.store.stats();
+        MatrixReport {
+            scenarios: scenario_reports,
+            explore_jobs,
+            cached_jobs,
+            threads: self.threads,
+            peak_live_threads: self.budget.peak_in_use(),
+            cache: CacheStats {
+                memory_hits: stats_after.memory_hits - stats_before.memory_hits,
+                disk_hits: stats_after.disk_hits - stats_before.disk_hits,
+                misses: stats_after.misses - stats_before.misses,
+                persisted: stats_after.persisted - stats_before.persisted,
+                disk_errors: stats_after.disk_errors - stats_before.disk_errors,
+                evicted: stats_after.evicted - stats_before.evicted,
+            },
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Incrementally re-verify `new` against `old`: only scenarios of
+    /// configs whose element set or wiring changed are re-run. For the
+    /// composition-only guarantee on wiring-only diffs the summary store
+    /// must be warm with the old configs' element behaviours — run the old
+    /// configs first (same process, or a persistent store).
+    pub fn verify_diff(
+        &self,
+        old: &[NamedConfig],
+        new: &[NamedConfig],
+        properties: &dyn Fn(&str) -> Vec<Property>,
+    ) -> Result<DiffReport, ConfigError> {
+        let (scenarios, meta) = diff_scenarios(old, new, properties)?;
+        let matrix = self.run_matrix(scenarios);
+        Ok(DiffReport {
+            entries: meta.entries,
+            removed_configs: meta.removed_configs,
+            skipped_scenarios: meta.skipped_scenarios,
+            matrix,
+        })
+    }
+
+    // -----------------------------------------------------------------------
+    // The plan/execute split
+    // -----------------------------------------------------------------------
+
+    /// Turn a request into a serialisable [`PlanSpec`] without running
+    /// anything: scenarios as config text, one job per distinct element
+    /// behaviour (regardless of this service's store temperature — the
+    /// *executing* process skips what its own store holds), dependency
+    /// edges, fingerprints.
+    ///
+    /// A `Watch` request plans like its serve would run: a full matrix when
+    /// no baseline is recorded, a diff against the rolling baseline
+    /// otherwise (planning does **not** roll the baseline forward — only
+    /// serving does).
+    pub fn plan_request(&self, request: &VerifyRequest) -> Result<PlanSpec, ServiceError> {
+        match request {
+            VerifyRequest::Single {
+                name,
+                pipeline,
+                property,
+            } => {
+                let spec = ScenarioSpec {
+                    name: name.clone(),
+                    config: dataplane_pipeline::write_config(pipeline).map_err(WireError::Write)?,
+                    property: property.clone(),
+                };
+                self.plan_scenario_specs(vec![spec], None)
+            }
+            VerifyRequest::Matrix { scenarios } => {
+                let specs = scenarios
+                    .iter()
+                    .map(ScenarioSpec::from_scenario)
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.plan_scenario_specs(specs, None)
+            }
+            VerifyRequest::Diff {
+                old,
+                new,
+                properties,
+            } => {
+                let (scenarios, meta) =
+                    diff_scenarios(old, new, &|name| properties.properties_for(name))?;
+                let specs = scenarios
+                    .iter()
+                    .map(ScenarioSpec::from_scenario)
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.plan_scenario_specs(specs, Some(meta))
+            }
+            VerifyRequest::Watch {
+                configs,
+                properties,
+            } => {
+                let baseline = self.baseline.lock().expect("watch baseline").clone();
+                match baseline {
+                    None => {
+                        let scenarios =
+                            config_scenarios(configs, &|name| properties.properties_for(name))?;
+                        let specs = scenarios
+                            .iter()
+                            .map(ScenarioSpec::from_scenario)
+                            .collect::<Result<Vec<_>, _>>()?;
+                        self.plan_scenario_specs(specs, None)
+                    }
+                    Some(old) => {
+                        let (scenarios, meta) =
+                            diff_scenarios(&old, configs, &|name| properties.properties_for(name))?;
+                        let specs = scenarios
+                            .iter()
+                            .map(ScenarioSpec::from_scenario)
+                            .collect::<Result<Vec<_>, _>>()?;
+                        self.plan_scenario_specs(specs, Some(meta))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Build the plan document for already-rendered scenario specs.
+    fn plan_scenario_specs(
+        &self,
+        specs: Vec<ScenarioSpec>,
+        diff: Option<DiffMeta>,
+    ) -> Result<PlanSpec, ServiceError> {
+        let engine = &self.options.engine;
+        let mut jobs: Vec<JobSpec> = Vec::new();
+        let mut job_of: BTreeMap<crate::fingerprint::Fingerprint, usize> = BTreeMap::new();
+        let mut scenario_jobs = Vec::with_capacity(specs.len());
+        let mut element_fingerprints = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let pipeline = parse_config(&spec.config)?;
+            let mut deps = Vec::new();
+            let mut fps = Vec::with_capacity(pipeline.len());
+            for (_, node) in pipeline.iter() {
+                let element = node.element.as_ref();
+                let fp = crate::fingerprint::element_fingerprint(element, engine);
+                fps.push(fp);
+                let job = *job_of.entry(fp).or_insert_with(|| {
+                    jobs.push(JobSpec {
+                        fingerprint: fp,
+                        type_name: element.type_name().to_string(),
+                        // Elements of a parsed config always render back.
+                        config_args: element
+                            .config_args()
+                            .expect("factory-built elements have config args"),
+                    });
+                    jobs.len() - 1
+                });
+                if !deps.contains(&job) {
+                    deps.push(job);
+                }
+            }
+            scenario_jobs.push(deps);
+            element_fingerprints.push(fps);
+        }
+        Ok(PlanSpec {
+            options: self.options.clone(),
+            scenarios: specs,
+            jobs,
+            scenario_jobs,
+            element_fingerprints,
+            diff,
+        })
+    }
+
+    /// Execute a plan — typically one another process serialised: compute
+    /// the element summaries this service's store does not already hold
+    /// through `executor` (in-process pool or subprocess workers), fold
+    /// them into the store in job order, then compose every scenario on the
+    /// shared scheduler under the *plan's* options.
+    ///
+    /// The deterministic report content is byte-identical to serving the
+    /// original request in the planning process.
+    pub fn execute_plan(
+        &self,
+        plan_spec: &PlanSpec,
+        executor: &dyn Executor,
+    ) -> Result<VerifyResponse, ServiceError> {
+        // Step 1 through the pluggable executor: only behaviours the local
+        // store is missing.
+        let missing: Vec<JobSpec> = plan_spec
+            .jobs
+            .iter()
+            .filter(|job| self.store.get(job.fingerprint).is_none())
+            .cloned()
+            .collect();
+        let summaries = executor.explore_jobs(&missing, &plan_spec.options.engine)?;
+        // Explorations that produced a summary. A budget-exceeded job
+        // returns `None` and publishes nothing — the composition phase then
+        // surfaces the failure exactly as a cold in-process run would, and
+        // only *its* attempt is counted, so the job is not counted twice.
+        let mut published = 0usize;
+        for (job, summary) in missing.iter().zip(summaries) {
+            if let Some(summary) = summary {
+                self.store.insert(job.fingerprint, Arc::new(summary));
+                published += 1;
+            }
+        }
+
+        // Step 2 on the shared scheduler, under the plan's pinned options.
+        let scenarios = plan_spec
+            .scenarios
+            .iter()
+            .map(|spec| spec.to_scenario())
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut matrix = self.run_matrix_with(scenarios, &plan_spec.options);
+        // Operational bookkeeping: the executor phase explored `published`
+        // behaviours, which the inner planner then found warm — move them
+        // from its cached count to the explore count. What the store held
+        // before the executor ran stays "cached".
+        matrix.explore_jobs += published;
+        matrix.cached_jobs = matrix.cached_jobs.saturating_sub(published);
+
+        let outcome = match &plan_spec.diff {
+            Some(meta) => VerifyOutcome::Diff(DiffReport {
+                entries: meta.entries.clone(),
+                removed_configs: meta.removed_configs.clone(),
+                skipped_scenarios: meta.skipped_scenarios,
+                matrix,
+            }),
+            None => VerifyOutcome::Matrix(matrix),
+        };
+        Ok(VerifyResponse {
+            request: "exec-plan",
+            outcome,
+        })
+    }
+}
+
+/// The diff decision: which scenarios to re-verify and the per-config
+/// bookkeeping, shared by serving and planning.
+fn diff_scenarios(
+    old: &[NamedConfig],
+    new: &[NamedConfig],
+    properties: &dyn Fn(&str) -> Vec<Property>,
+) -> Result<(Vec<Scenario>, DiffMeta), ConfigError> {
+    let mut old_pipelines: BTreeMap<&str, Pipeline> = BTreeMap::new();
+    for config in old {
+        old_pipelines.insert(&config.name, parse_config(&config.config)?);
+    }
+
+    let mut entries = Vec::with_capacity(new.len());
+    let mut scenarios = Vec::new();
+    let mut skipped_scenarios = 0usize;
+    for config in new {
+        let new_pipeline = parse_config(&config.config)?;
+        let scenario_properties = properties(&config.name);
+        let (kind, changed_elements) = match old_pipelines.get(config.name.as_str()) {
+            None => (DiffKind::Added, Vec::new()),
+            Some(old_pipeline) => {
+                let diff = diff_pipelines(old_pipeline, &new_pipeline);
+                if diff.is_identical() {
+                    (DiffKind::Identical, Vec::new())
+                } else if diff.is_wiring_only() {
+                    (DiffKind::WiringOnly, Vec::new())
+                } else {
+                    let mut changed = diff.changed;
+                    changed.extend(diff.added);
+                    changed.extend(diff.removed);
+                    changed.sort();
+                    (DiffKind::ElementsChanged, changed)
+                }
+            }
+        };
+        let before = scenarios.len();
+        if kind == DiffKind::Identical {
+            skipped_scenarios += scenario_properties.len();
+        } else {
+            for property in scenario_properties {
+                // Each scenario owns its pipeline instance.
+                scenarios.push(Scenario::new(
+                    config.name.clone(),
+                    parse_config(&config.config)?,
+                    property,
+                ));
+            }
+        }
+        let scenarios_planned = scenarios.len() - before;
+        entries.push(DiffEntry {
+            name: config.name.clone(),
+            kind,
+            changed_elements,
+            scenarios_planned,
+        });
+    }
+    let removed_configs = old
+        .iter()
+        .map(|c| c.name.clone())
+        .filter(|name| !new.iter().any(|c| &c.name == name))
+        .collect();
+    Ok((
+        scenarios,
+        DiffMeta {
+            entries,
+            removed_configs,
+            skipped_scenarios,
+        },
+    ))
+}

@@ -1,0 +1,958 @@
+//! Wire codecs for the plan/execute split: everything a verification job
+//! needs to cross a process boundary, expressed through the crate's own
+//! [`Json`] model (the workspace's `serde` is an offline API stub, so
+//! serialisation is explicit).
+//!
+//! The shapes on the wire:
+//!
+//! * [`PlanSpec`] — the first-class, serialisable job plan: scenarios (as
+//!   config text + property), one [`JobSpec`] per distinct element
+//!   behaviour, dependency edges, and the content fingerprints everything is
+//!   keyed by. `vericlick plan` writes one; `vericlick exec-plan` (possibly
+//!   another process, possibly another machine) executes it.
+//! * [`crate::service::VerifyRequest`] — the front-door request, also fully
+//!   serialisable ([`request_to_json`] / [`request_from_json`]).
+//! * [`VerifierOptions`] (minus the in-memory Step-2 executor, which the
+//!   executing side chooses) — so a plan pins the exact budgets and engine
+//!   configuration its fingerprints were computed under.
+//! * [`Report`] — the deterministic verification result, byte-stable across
+//!   processes ([`report_to_json`]); this is what the byte-identity
+//!   acceptance tests compare.
+//!
+//! Every document carries a `schema` version field so persisted artifacts
+//! stay recognisable as the formats evolve.
+
+use crate::diff::{DiffEntry, DiffKind};
+use crate::fingerprint::Fingerprint;
+use crate::json::{Json, JsonError};
+use crate::orchestrator::Scenario;
+use crate::service::{PropertySelect, VerifyRequest};
+use dataplane_pipeline::{parse_config, write_config, ConfigError, ConfigWriteError};
+use dataplane_symbex::{EngineConfig, LoopMode, SolverConfig};
+use dataplane_verifier::{
+    Counterexample, EscalationLadder, Property, Report, UnprovenPath, Verdict, VerificationStats,
+    VerifierOptions,
+};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// Schema version of serialised [`PlanSpec`] documents.
+pub const PLAN_SCHEMA: u64 = 1;
+
+/// Schema version of serialised [`crate::service::VerifyRequest`] documents.
+pub const REQUEST_SCHEMA: u64 = 1;
+
+/// Schema version of the matrix / diff report JSON documents.
+pub const REPORT_SCHEMA: u64 = 1;
+
+/// A serialisation or deserialisation failure.
+#[derive(Clone, Debug)]
+pub enum WireError {
+    /// The JSON text does not parse.
+    Json(JsonError),
+    /// A config string in the document does not parse into a pipeline.
+    Config(ConfigError),
+    /// A pipeline in the request cannot be rendered to config text.
+    Write(ConfigWriteError),
+    /// The document parses as JSON but not as the expected shape.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Json(e) => write!(f, "wire: {e}"),
+            WireError::Config(e) => write!(f, "wire: embedded config: {e}"),
+            WireError::Write(e) => write!(f, "wire: pipeline not serialisable: {e}"),
+            WireError::Malformed(m) => write!(f, "wire: malformed document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<JsonError> for WireError {
+    fn from(e: JsonError) -> Self {
+        WireError::Json(e)
+    }
+}
+
+impl From<ConfigError> for WireError {
+    fn from(e: ConfigError) -> Self {
+        WireError::Config(e)
+    }
+}
+
+impl From<ConfigWriteError> for WireError {
+    fn from(e: ConfigWriteError) -> Self {
+        WireError::Write(e)
+    }
+}
+
+fn malformed(message: impl Into<String>) -> WireError {
+    WireError::Malformed(message.into())
+}
+
+fn get<'a>(json: &'a Json, key: &str) -> Result<&'a Json, WireError> {
+    json.get(key)
+        .ok_or_else(|| malformed(format!("missing field '{key}'")))
+}
+
+fn get_u64(json: &Json, key: &str) -> Result<u64, WireError> {
+    get(json, key)?
+        .as_u64()
+        .ok_or_else(|| malformed(format!("field '{key}' is not an unsigned integer")))
+}
+
+fn get_usize(json: &Json, key: &str) -> Result<usize, WireError> {
+    usize::try_from(get_u64(json, key)?)
+        .map_err(|_| malformed(format!("field '{key}' exceeds usize")))
+}
+
+fn get_bool(json: &Json, key: &str) -> Result<bool, WireError> {
+    get(json, key)?
+        .as_bool()
+        .ok_or_else(|| malformed(format!("field '{key}' is not a boolean")))
+}
+
+fn get_str<'a>(json: &'a Json, key: &str) -> Result<&'a str, WireError> {
+    get(json, key)?
+        .as_str()
+        .ok_or_else(|| malformed(format!("field '{key}' is not a string")))
+}
+
+fn get_arr<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], WireError> {
+    get(json, key)?
+        .as_arr()
+        .ok_or_else(|| malformed(format!("field '{key}' is not an array")))
+}
+
+fn str_arr(items: &[Json]) -> Result<Vec<String>, WireError> {
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| malformed("expected an array of strings"))
+        })
+        .collect()
+}
+
+fn check_schema(json: &Json, expected: u64, what: &str) -> Result<(), WireError> {
+    let schema = get_u64(json, "schema")?;
+    if schema != expected {
+        return Err(malformed(format!(
+            "unsupported {what} schema {schema} (this build reads schema {expected})"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+/// Encode a property.
+pub fn property_to_json(property: &Property) -> Json {
+    match property {
+        Property::CrashFreedom => Json::obj([("kind", Json::str("crash-freedom"))]),
+        Property::BoundedInstructions { max_instructions } => Json::obj([
+            ("kind", Json::str("bounded-instructions")),
+            ("max_instructions", Json::int(*max_instructions)),
+        ]),
+        Property::Reachability {
+            dst,
+            dst_offset,
+            deliver_to,
+            may_drop,
+        } => Json::obj([
+            ("kind", Json::str("reachability")),
+            ("dst", Json::str(dst.to_string())),
+            ("dst_offset", Json::int(*dst_offset)),
+            (
+                "deliver_to",
+                Json::Arr(deliver_to.iter().map(Json::str).collect()),
+            ),
+            (
+                "may_drop",
+                Json::Arr(may_drop.iter().map(Json::str).collect()),
+            ),
+        ]),
+    }
+}
+
+/// Decode a property.
+pub fn property_from_json(json: &Json) -> Result<Property, WireError> {
+    match get_str(json, "kind")? {
+        "crash-freedom" => Ok(Property::CrashFreedom),
+        "bounded-instructions" => Ok(Property::BoundedInstructions {
+            max_instructions: get_u64(json, "max_instructions")?,
+        }),
+        "reachability" => Ok(Property::Reachability {
+            dst: get_str(json, "dst")?
+                .parse::<Ipv4Addr>()
+                .map_err(|_| malformed("reachability dst is not an IPv4 address"))?,
+            dst_offset: u32::try_from(get_u64(json, "dst_offset")?)
+                .map_err(|_| malformed("dst_offset exceeds u32"))?,
+            deliver_to: str_arr(get_arr(json, "deliver_to")?)?,
+            may_drop: str_arr(get_arr(json, "may_drop")?)?,
+        }),
+        other => Err(malformed(format!("unknown property kind '{other}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options (engine, solver, ladder)
+// ---------------------------------------------------------------------------
+
+/// Encode an engine configuration.
+pub fn engine_to_json(engine: &EngineConfig) -> Json {
+    Json::obj([
+        ("max_segments", Json::int(engine.max_segments as u64)),
+        ("max_branches", Json::int(engine.max_branches)),
+        (
+            "loop_mode",
+            Json::str(match engine.loop_mode {
+                LoopMode::Unroll => "unroll",
+                LoopMode::Decompose => "decompose",
+            }),
+        ),
+    ])
+}
+
+/// Decode an engine configuration.
+pub fn engine_from_json(json: &Json) -> Result<EngineConfig, WireError> {
+    Ok(EngineConfig {
+        max_segments: get_usize(json, "max_segments")?,
+        max_branches: get_u64(json, "max_branches")?,
+        loop_mode: match get_str(json, "loop_mode")? {
+            "unroll" => LoopMode::Unroll,
+            "decompose" => LoopMode::Decompose,
+            other => return Err(malformed(format!("unknown loop mode '{other}'"))),
+        },
+    })
+}
+
+fn solver_to_json(solver: &SolverConfig) -> Json {
+    Json::obj([
+        ("model_search_tries", Json::int(solver.model_search_tries)),
+        ("max_packet_len", Json::int(solver.max_packet_len)),
+        (
+            "max_fm_constraints",
+            Json::int(solver.max_fm_constraints as u64),
+        ),
+        ("search_seed", Json::int(solver.search_seed)),
+    ])
+}
+
+fn solver_from_json(json: &Json) -> Result<SolverConfig, WireError> {
+    Ok(SolverConfig {
+        model_search_tries: u32::try_from(get_u64(json, "model_search_tries")?)
+            .map_err(|_| malformed("model_search_tries exceeds u32"))?,
+        max_packet_len: u32::try_from(get_u64(json, "max_packet_len")?)
+            .map_err(|_| malformed("max_packet_len exceeds u32"))?,
+        max_fm_constraints: get_usize(json, "max_fm_constraints")?,
+        search_seed: get_u64(json, "search_seed")?,
+    })
+}
+
+fn ladder_to_json(ladder: &EscalationLadder) -> Json {
+    Json::obj([
+        ("factor", Json::int(ladder.factor)),
+        ("steps", Json::int(ladder.steps)),
+        (
+            "wall_cap_micros",
+            match ladder.wall_cap {
+                Some(cap) => Json::int(cap.as_micros().min(u128::from(u64::MAX)) as u64),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn ladder_from_json(json: &Json) -> Result<EscalationLadder, WireError> {
+    Ok(EscalationLadder {
+        factor: u32::try_from(get_u64(json, "factor")?)
+            .map_err(|_| malformed("ladder factor exceeds u32"))?,
+        steps: u32::try_from(get_u64(json, "steps")?)
+            .map_err(|_| malformed("ladder steps exceeds u32"))?,
+        wall_cap: match get(json, "wall_cap_micros")? {
+            Json::Null => None,
+            v => Some(Duration::from_micros(v.as_u64().ok_or_else(|| {
+                malformed("wall_cap_micros is not an unsigned integer")
+            })?)),
+        },
+    })
+}
+
+/// Encode verifier options. The Step-2 `parallel` executor is deliberately
+/// *not* on the wire: how checks are dispatched is an executing-process
+/// decision and does not affect the report.
+pub fn options_to_json(options: &VerifierOptions) -> Json {
+    Json::obj([
+        ("prune_prefixes", Json::Bool(options.prune_prefixes)),
+        (
+            "validate_counterexamples",
+            Json::Bool(options.validate_counterexamples),
+        ),
+        (
+            "max_composed_paths",
+            Json::int(options.max_composed_paths as u64),
+        ),
+        ("engine", engine_to_json(&options.engine)),
+        ("solver", solver_to_json(&options.solver)),
+        ("escalate_budgets", Json::Bool(options.escalate_budgets)),
+        ("ladder", ladder_to_json(&options.ladder)),
+    ])
+}
+
+/// Decode verifier options (Step-2 dispatch comes back sequential; the
+/// executing service installs its own executor).
+pub fn options_from_json(json: &Json) -> Result<VerifierOptions, WireError> {
+    Ok(VerifierOptions {
+        prune_prefixes: get_bool(json, "prune_prefixes")?,
+        validate_counterexamples: get_bool(json, "validate_counterexamples")?,
+        max_composed_paths: get_usize(json, "max_composed_paths")?,
+        engine: engine_from_json(get(json, "engine")?)?,
+        solver: solver_from_json(get(json, "solver")?)?,
+        escalate_budgets: get_bool(json, "escalate_budgets")?,
+        ladder: ladder_from_json(get(json, "ladder")?)?,
+        ..VerifierOptions::default()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios and plans
+// ---------------------------------------------------------------------------
+
+/// One scenario on the wire: a named pipeline (as config text) and the
+/// property to verify it against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// The pipeline's label.
+    pub name: String,
+    /// The pipeline as config text ([`dataplane_pipeline::parse_config`]
+    /// syntax).
+    pub config: String,
+    /// The property to check.
+    pub property: Property,
+}
+
+impl ScenarioSpec {
+    /// Render an in-memory scenario to its wire form (fails if the pipeline
+    /// contains an element the config language cannot express).
+    pub fn from_scenario(scenario: &Scenario) -> Result<ScenarioSpec, WireError> {
+        Ok(ScenarioSpec {
+            name: scenario.pipeline_name.clone(),
+            config: write_config(&scenario.pipeline)?,
+            property: scenario.property.clone(),
+        })
+    }
+
+    /// Instantiate the scenario (parses the config text).
+    pub fn to_scenario(&self) -> Result<Scenario, WireError> {
+        Ok(Scenario::new(
+            self.name.clone(),
+            parse_config(&self.config)?,
+            self.property.clone(),
+        ))
+    }
+}
+
+fn scenario_spec_to_json(spec: &ScenarioSpec) -> Json {
+    Json::obj([
+        ("name", Json::str(&spec.name)),
+        ("config", Json::str(&spec.config)),
+        ("property", property_to_json(&spec.property)),
+    ])
+}
+
+fn scenario_spec_from_json(json: &Json) -> Result<ScenarioSpec, WireError> {
+    Ok(ScenarioSpec {
+        name: get_str(json, "name")?.to_string(),
+        config: get_str(json, "config")?.to_string(),
+        property: property_from_json(get(json, "property")?)?,
+    })
+}
+
+/// One element-exploration job on the wire. A worker reconstructs the
+/// element from the config factory (`type_name(config_args)`), checks that
+/// the reconstruction's fingerprint matches, explores it, and returns the
+/// summary — so a stale or mismatched worker build fails loudly instead of
+/// silently caching the wrong behaviour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Content-addressed identity of the summary this job produces.
+    pub fingerprint: Fingerprint,
+    /// Element type name (a config-factory type).
+    pub type_name: String,
+    /// Factory argument string ([`dataplane_pipeline::Element::config_args`]).
+    pub config_args: String,
+}
+
+/// Encode a job spec.
+pub fn job_to_json(job: &JobSpec) -> Json {
+    Json::obj([
+        ("fingerprint", Json::str(job.fingerprint.to_string())),
+        ("type_name", Json::str(&job.type_name)),
+        ("config_args", Json::str(&job.config_args)),
+    ])
+}
+
+/// Decode a job spec.
+pub fn job_from_json(json: &Json) -> Result<JobSpec, WireError> {
+    Ok(JobSpec {
+        fingerprint: parse_fingerprint(get_str(json, "fingerprint")?)?,
+        type_name: get_str(json, "type_name")?.to_string(),
+        config_args: get_str(json, "config_args")?.to_string(),
+    })
+}
+
+fn parse_fingerprint(text: &str) -> Result<Fingerprint, WireError> {
+    Fingerprint::parse(text).ok_or_else(|| malformed(format!("bad fingerprint '{text}'")))
+}
+
+/// Diff bookkeeping attached to a plan built from a `Diff` or `Watch`
+/// request: what changed, what was skipped — so the executing process can
+/// reproduce the full [`crate::diff::DiffReport`], not only the matrix.
+#[derive(Clone, Debug)]
+pub struct DiffMeta {
+    /// Per-config diff verdicts, in new-set order.
+    pub entries: Vec<DiffEntry>,
+    /// Old config names absent from the new set.
+    pub removed_configs: Vec<String>,
+    /// Scenarios skipped because their config was identical.
+    pub skipped_scenarios: usize,
+}
+
+pub(crate) fn diff_kind_name(kind: DiffKind) -> &'static str {
+    match kind {
+        DiffKind::Identical => "identical",
+        DiffKind::WiringOnly => "wiring-only",
+        DiffKind::ElementsChanged => "elements-changed",
+        DiffKind::Added => "added",
+    }
+}
+
+fn diff_kind_from(name: &str) -> Result<DiffKind, WireError> {
+    Ok(match name {
+        "identical" => DiffKind::Identical,
+        "wiring-only" => DiffKind::WiringOnly,
+        "elements-changed" => DiffKind::ElementsChanged,
+        "added" => DiffKind::Added,
+        other => return Err(malformed(format!("unknown diff kind '{other}'"))),
+    })
+}
+
+/// The one JSON shape of a [`DiffEntry`], shared by plan metadata and
+/// `DiffReport` documents.
+pub(crate) fn diff_entry_to_json(e: &DiffEntry) -> Json {
+    Json::obj([
+        ("name", Json::str(&e.name)),
+        ("kind", Json::str(diff_kind_name(e.kind))),
+        (
+            "changed_elements",
+            Json::Arr(e.changed_elements.iter().map(Json::str).collect()),
+        ),
+        ("scenarios_planned", Json::int(e.scenarios_planned as u64)),
+    ])
+}
+
+fn diff_meta_to_json(meta: &DiffMeta) -> Json {
+    Json::obj([
+        (
+            "entries",
+            Json::Arr(meta.entries.iter().map(diff_entry_to_json).collect()),
+        ),
+        (
+            "removed_configs",
+            Json::Arr(meta.removed_configs.iter().map(Json::str).collect()),
+        ),
+        (
+            "skipped_scenarios",
+            Json::int(meta.skipped_scenarios as u64),
+        ),
+    ])
+}
+
+fn diff_meta_from_json(json: &Json) -> Result<DiffMeta, WireError> {
+    Ok(DiffMeta {
+        entries: get_arr(json, "entries")?
+            .iter()
+            .map(|e| {
+                Ok(DiffEntry {
+                    name: get_str(e, "name")?.to_string(),
+                    kind: diff_kind_from(get_str(e, "kind")?)?,
+                    changed_elements: str_arr(get_arr(e, "changed_elements")?)?,
+                    scenarios_planned: get_usize(e, "scenarios_planned")?,
+                })
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+        removed_configs: str_arr(get_arr(json, "removed_configs")?)?,
+        skipped_scenarios: get_usize(json, "skipped_scenarios")?,
+    })
+}
+
+/// The first-class, serialisable job plan: everything another process needs
+/// to reproduce a verification run bit for bit.
+///
+/// Scenarios travel as config text (the element factory re-instantiates
+/// them), jobs as `type(args)` + content fingerprint, and the options pin
+/// the engine/solver budgets the fingerprints were computed under. The
+/// dependency edges (`scenario_jobs`) and per-element fingerprints are what
+/// a scheduler needs to overlap exploration with composition without
+/// re-deriving the decomposition.
+#[derive(Clone, Debug)]
+pub struct PlanSpec {
+    /// The verifier options the plan was built under (and must be executed
+    /// under — fingerprints embed the engine configuration).
+    pub options: VerifierOptions,
+    /// The scenarios to verify, in submission order.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// One explore job per distinct element behaviour across the whole
+    /// batch (regardless of any store's current temperature: the executing
+    /// process skips what its own store already holds).
+    pub jobs: Vec<JobSpec>,
+    /// Per scenario: indexes into `jobs` its composition depends on.
+    pub scenario_jobs: Vec<Vec<usize>>,
+    /// Per scenario, per pipeline element: the summary fingerprint its
+    /// composition will fetch.
+    pub element_fingerprints: Vec<Vec<Fingerprint>>,
+    /// Present when the plan was built from a diff/watch request.
+    pub diff: Option<DiffMeta>,
+}
+
+/// Encode a plan.
+pub fn plan_to_json(plan: &PlanSpec) -> Json {
+    Json::obj([
+        ("schema", Json::int(PLAN_SCHEMA)),
+        ("options", options_to_json(&plan.options)),
+        (
+            "scenarios",
+            Json::Arr(plan.scenarios.iter().map(scenario_spec_to_json).collect()),
+        ),
+        (
+            "jobs",
+            Json::Arr(plan.jobs.iter().map(job_to_json).collect()),
+        ),
+        (
+            "scenario_jobs",
+            Json::Arr(
+                plan.scenario_jobs
+                    .iter()
+                    .map(|deps| Json::Arr(deps.iter().map(|&d| Json::int(d as u64)).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "element_fingerprints",
+            Json::Arr(
+                plan.element_fingerprints
+                    .iter()
+                    .map(|fps| Json::Arr(fps.iter().map(|fp| Json::str(fp.to_string())).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "diff",
+            match &plan.diff {
+                Some(meta) => diff_meta_to_json(meta),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// Decode a plan, validating its internal references (job indexes in range,
+/// per-scenario fingerprint lists matching the scenario count).
+pub fn plan_from_json(json: &Json) -> Result<PlanSpec, WireError> {
+    check_schema(json, PLAN_SCHEMA, "plan")?;
+    let scenarios = get_arr(json, "scenarios")?
+        .iter()
+        .map(scenario_spec_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let jobs = get_arr(json, "jobs")?
+        .iter()
+        .map(job_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let scenario_jobs = get_arr(json, "scenario_jobs")?
+        .iter()
+        .map(|deps| {
+            deps.as_arr()
+                .ok_or_else(|| malformed("scenario_jobs entry is not an array"))?
+                .iter()
+                .map(|d| {
+                    let idx = d
+                        .as_u64()
+                        .and_then(|v| usize::try_from(v).ok())
+                        .ok_or_else(|| malformed("bad job index"))?;
+                    if idx >= jobs.len() {
+                        return Err(malformed(format!("job index {idx} out of range")));
+                    }
+                    Ok(idx)
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let element_fingerprints = get_arr(json, "element_fingerprints")?
+        .iter()
+        .map(|fps| {
+            fps.as_arr()
+                .ok_or_else(|| malformed("element_fingerprints entry is not an array"))?
+                .iter()
+                .map(|fp| {
+                    parse_fingerprint(
+                        fp.as_str()
+                            .ok_or_else(|| malformed("fingerprint is not a string"))?,
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if scenario_jobs.len() != scenarios.len() || element_fingerprints.len() != scenarios.len() {
+        return Err(malformed(
+            "scenario_jobs / element_fingerprints do not match the scenario count",
+        ));
+    }
+    let diff = match get(json, "diff")? {
+        Json::Null => None,
+        meta => Some(diff_meta_from_json(meta)?),
+    };
+    Ok(PlanSpec {
+        options: options_from_json(get(json, "options")?)?,
+        scenarios,
+        jobs,
+        scenario_jobs,
+        element_fingerprints,
+        diff,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+fn named_configs_to_json(configs: &[crate::diff::NamedConfig]) -> Json {
+    Json::Arr(
+        configs
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("name", Json::str(&c.name)),
+                    ("config", Json::str(&c.config)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn named_configs_from_json(items: &[Json]) -> Result<Vec<crate::diff::NamedConfig>, WireError> {
+    items
+        .iter()
+        .map(|c| {
+            Ok(crate::diff::NamedConfig {
+                name: get_str(c, "name")?.to_string(),
+                config: get_str(c, "config")?.to_string(),
+            })
+        })
+        .collect()
+}
+
+fn property_select_to_json(select: &PropertySelect) -> Json {
+    match select {
+        PropertySelect::Default => Json::obj([("kind", Json::str("default"))]),
+        PropertySelect::Preset => Json::obj([("kind", Json::str("preset"))]),
+        PropertySelect::Explicit(properties) => Json::obj([
+            ("kind", Json::str("explicit")),
+            (
+                "properties",
+                Json::Arr(properties.iter().map(property_to_json).collect()),
+            ),
+        ]),
+    }
+}
+
+fn property_select_from_json(json: &Json) -> Result<PropertySelect, WireError> {
+    Ok(match get_str(json, "kind")? {
+        "default" => PropertySelect::Default,
+        "preset" => PropertySelect::Preset,
+        "explicit" => PropertySelect::Explicit(
+            get_arr(json, "properties")?
+                .iter()
+                .map(property_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        other => return Err(malformed(format!("unknown property selection '{other}'"))),
+    })
+}
+
+/// Encode a front-door request. `Single` and `Matrix` requests carry their
+/// pipelines as config text, so the encoding fails for pipelines containing
+/// elements the config language cannot express.
+pub fn request_to_json(request: &VerifyRequest) -> Result<Json, WireError> {
+    Ok(match request {
+        VerifyRequest::Single {
+            name,
+            pipeline,
+            property,
+        } => Json::obj([
+            ("schema", Json::int(REQUEST_SCHEMA)),
+            ("kind", Json::str("single")),
+            ("name", Json::str(name)),
+            ("config", Json::str(write_config(pipeline)?)),
+            ("property", property_to_json(property)),
+        ]),
+        VerifyRequest::Matrix { scenarios } => Json::obj([
+            ("schema", Json::int(REQUEST_SCHEMA)),
+            ("kind", Json::str("matrix")),
+            (
+                "scenarios",
+                Json::Arr(
+                    scenarios
+                        .iter()
+                        .map(|s| Ok(scenario_spec_to_json(&ScenarioSpec::from_scenario(s)?)))
+                        .collect::<Result<Vec<_>, WireError>>()?,
+                ),
+            ),
+        ]),
+        VerifyRequest::Diff {
+            old,
+            new,
+            properties,
+        } => Json::obj([
+            ("schema", Json::int(REQUEST_SCHEMA)),
+            ("kind", Json::str("diff")),
+            ("old", named_configs_to_json(old)),
+            ("new", named_configs_to_json(new)),
+            ("properties", property_select_to_json(properties)),
+        ]),
+        VerifyRequest::Watch {
+            configs,
+            properties,
+        } => Json::obj([
+            ("schema", Json::int(REQUEST_SCHEMA)),
+            ("kind", Json::str("watch")),
+            ("configs", named_configs_to_json(configs)),
+            ("properties", property_select_to_json(properties)),
+        ]),
+    })
+}
+
+/// Decode a front-door request.
+pub fn request_from_json(json: &Json) -> Result<VerifyRequest, WireError> {
+    check_schema(json, REQUEST_SCHEMA, "request")?;
+    Ok(match get_str(json, "kind")? {
+        "single" => VerifyRequest::Single {
+            name: get_str(json, "name")?.to_string(),
+            pipeline: parse_config(get_str(json, "config")?)?,
+            property: property_from_json(get(json, "property")?)?,
+        },
+        "matrix" => VerifyRequest::Matrix {
+            scenarios: get_arr(json, "scenarios")?
+                .iter()
+                .map(|s| scenario_spec_from_json(s)?.to_scenario())
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        "diff" => VerifyRequest::Diff {
+            old: named_configs_from_json(get_arr(json, "old")?)?,
+            new: named_configs_from_json(get_arr(json, "new")?)?,
+            properties: property_select_from_json(get(json, "properties")?)?,
+        },
+        "watch" => VerifyRequest::Watch {
+            configs: named_configs_from_json(get_arr(json, "configs")?)?,
+            properties: property_select_from_json(get(json, "properties")?)?,
+        },
+        other => return Err(malformed(format!("unknown request kind '{other}'"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reports (deterministic content only — no wall-clock, no cache weather)
+// ---------------------------------------------------------------------------
+
+fn hex_bytes(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// The verdict's wire spelling.
+pub fn verdict_name(verdict: &Verdict) -> &'static str {
+    match verdict {
+        Verdict::Proven => "proven",
+        Verdict::Violated => "violated",
+        Verdict::Unknown => "unknown",
+    }
+}
+
+fn stats_to_json(stats: &VerificationStats) -> Json {
+    Json::obj([
+        ("elements", Json::int(stats.elements as u64)),
+        (
+            "summaries_computed",
+            Json::int(stats.summaries_computed as u64),
+        ),
+        ("summaries_reused", Json::int(stats.summaries_reused as u64)),
+        ("total_segments", Json::int(stats.total_segments as u64)),
+        ("suspects", Json::int(stats.suspects as u64)),
+        ("discharged", Json::int(stats.discharged as u64)),
+        ("composed_paths", Json::int(stats.composed_paths as u64)),
+        ("solver_calls", Json::int(stats.solver_calls as u64)),
+        ("fm_budget_aborts", Json::int(stats.fm_budget_aborts as u64)),
+        (
+            "model_search_aborts",
+            Json::int(stats.model_search_aborts as u64),
+        ),
+        (
+            "budget_escalations",
+            Json::int(stats.budget_escalations as u64),
+        ),
+        (
+            "escalations_decided",
+            Json::int(stats.escalations_decided as u64),
+        ),
+        (
+            "escalations_by_step",
+            Json::Arr(
+                stats
+                    .escalations_by_step
+                    .iter()
+                    .map(|&n| Json::int(n as u64))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn counterexample_to_json(ce: &Counterexample) -> Json {
+    Json::obj([
+        ("packet_hex", Json::str(hex_bytes(&ce.packet))),
+        ("path", Json::Arr(ce.path.iter().map(Json::str).collect())),
+        ("description", Json::str(&ce.description)),
+        ("confirmed", Json::Bool(ce.confirmed)),
+    ])
+}
+
+fn unproven_to_json(up: &UnprovenPath) -> Json {
+    Json::obj([
+        ("path", Json::Arr(up.path.iter().map(Json::str).collect())),
+        ("reason", Json::str(&up.reason)),
+    ])
+}
+
+/// Encode everything deterministic about a report: the verdict, the full
+/// counterexamples (packet bytes included), the unproven paths, and the
+/// work statistics — but no wall-clock times. Two runs of the same
+/// scenarios under the same options produce byte-identical documents,
+/// whatever process, scheduler, or cache temperature produced them.
+pub fn report_to_json(report: &Report) -> Json {
+    Json::obj([
+        ("property", Json::str(report.property.name())),
+        ("verdict", Json::str(verdict_name(&report.verdict))),
+        (
+            "counterexamples",
+            Json::Arr(
+                report
+                    .counterexamples
+                    .iter()
+                    .map(counterexample_to_json)
+                    .collect(),
+            ),
+        ),
+        (
+            "unproven",
+            Json::Arr(report.unproven.iter().map(unproven_to_json).collect()),
+        ),
+        ("stats", stats_to_json(&report.stats)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{preset_properties, preset_scenarios};
+
+    #[test]
+    fn properties_round_trip() {
+        for name in ["ip_router", "middlebox", "buggy"] {
+            for property in preset_properties(name) {
+                let json = property_to_json(&property);
+                let text = json.to_text();
+                let back = property_from_json(&Json::parse(&text).unwrap()).unwrap();
+                assert_eq!(back, property);
+            }
+        }
+    }
+
+    #[test]
+    fn options_round_trip_everything_but_the_executor() {
+        let options = VerifierOptions {
+            prune_prefixes: false,
+            validate_counterexamples: false,
+            max_composed_paths: 1234,
+            escalate_budgets: false,
+            ladder: EscalationLadder {
+                factor: 4,
+                steps: 3,
+                wall_cap: Some(Duration::from_millis(250)),
+            },
+            ..VerifierOptions::default()
+        };
+        let text = options_to_json(&options).to_text();
+        let back = options_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.prune_prefixes, options.prune_prefixes);
+        assert_eq!(
+            back.validate_counterexamples,
+            options.validate_counterexamples
+        );
+        assert_eq!(back.max_composed_paths, options.max_composed_paths);
+        assert_eq!(back.escalate_budgets, options.escalate_budgets);
+        assert_eq!(back.ladder, options.ladder);
+        assert_eq!(back.solver.search_seed, options.solver.search_seed);
+        assert_eq!(back.engine.max_segments, options.engine.max_segments);
+        assert!(!back.parallel.is_parallel(), "executors never travel");
+    }
+
+    #[test]
+    fn scenario_specs_round_trip_every_preset_scenario() {
+        for scenario in preset_scenarios() {
+            let spec = ScenarioSpec::from_scenario(&scenario).unwrap();
+            let text = scenario_spec_to_json(&spec).to_text();
+            let back = scenario_spec_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec);
+            let rebuilt = back.to_scenario().unwrap();
+            assert_eq!(rebuilt.pipeline_name, scenario.pipeline_name);
+            assert_eq!(rebuilt.property, scenario.property);
+            assert_eq!(rebuilt.pipeline.len(), scenario.pipeline.len());
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_context() {
+        assert!(property_from_json(&Json::obj([("kind", Json::str("warp"))])).is_err());
+        assert!(plan_from_json(&Json::obj([("schema", Json::int(99))])).is_err());
+        assert!(request_from_json(&Json::obj([
+            ("schema", Json::int(REQUEST_SCHEMA)),
+            ("kind", Json::str("nope")),
+        ]))
+        .is_err());
+        // A plan whose dependency edges point outside the job table must
+        // not decode (execution would index out of bounds).
+        let bogus = Json::obj([
+            ("schema", Json::int(PLAN_SCHEMA)),
+            ("options", options_to_json(&VerifierOptions::default())),
+            ("scenarios", Json::Arr(vec![])),
+            ("jobs", Json::Arr(vec![])),
+            (
+                "scenario_jobs",
+                Json::Arr(vec![Json::Arr(vec![Json::int(7)])]),
+            ),
+            ("element_fingerprints", Json::Arr(vec![])),
+            ("diff", Json::Null),
+        ]);
+        assert!(plan_from_json(&bogus).is_err());
+    }
+}

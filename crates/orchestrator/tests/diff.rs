@@ -2,6 +2,10 @@
 //! a one-element edit re-plans only the affected scenarios and re-explores
 //! only the edited behaviour; wiring-only diffs get a composition-only pass
 //! (zero element jobs); identical configs are skipped outright.
+//!
+//! Runs through the deprecated [`Orchestrator`] shim on purpose — the
+//! deprecation contract is that its existing tests keep passing.
+#![allow(deprecated)]
 
 use dataplane_orchestrator::diff::{config_scenarios, default_properties, DiffKind, NamedConfig};
 use dataplane_orchestrator::Orchestrator;

@@ -7,6 +7,11 @@
 //!   tier,
 //! * a warm-cache rerun skips every unchanged element job (hit counts
 //!   asserted).
+//!
+//! These tests deliberately run through the deprecated [`Orchestrator`]
+//! shim: the deprecation contract is that it keeps passing its existing
+//! tests unchanged. The service-first equivalents live in `service.rs`.
+#![allow(deprecated)]
 
 use dataplane_orchestrator::{
     element_fingerprint, fingerprint_bytes, parallel_composition, plan, preset_pipelines,

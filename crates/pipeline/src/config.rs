@@ -173,6 +173,119 @@ pub fn parse_config(text: &str) -> Result<Pipeline, ConfigError> {
     builder.build().map_err(ConfigError::Graph)
 }
 
+/// Errors raised while serialising a pipeline to configuration text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigWriteError {
+    /// An element cannot be expressed in the config language (its
+    /// [`Element::config_args`] returned `None`).
+    NotExpressible {
+        /// Instance name of the inexpressible element.
+        instance: String,
+        /// Its element type.
+        type_name: String,
+    },
+    /// An instance name is not a valid config-language identifier.
+    BadName(String),
+    /// Re-instantiating an element from its emitted `Type(args)` produced
+    /// different verification behaviour (a `config_args` implementation is
+    /// out of sync with the factory).
+    RoundTrip {
+        /// Instance name of the drifting element.
+        instance: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ConfigWriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigWriteError::NotExpressible {
+                instance,
+                type_name,
+            } => write!(
+                f,
+                "element '{instance}' ({type_name}) cannot be expressed in the config language"
+            ),
+            ConfigWriteError::BadName(name) => {
+                write!(f, "'{name}' is not a valid config-language instance name")
+            }
+            ConfigWriteError::RoundTrip { instance, message } => {
+                write!(f, "element '{instance}' does not round-trip: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigWriteError {}
+
+/// Serialise a pipeline to configuration text that [`parse_config`] parses
+/// back into a pipeline with the same instance names, the same wiring, and
+/// element-for-element identical verification behaviour (equal
+/// [`Element::fingerprint_material`] — checked here, so a drifting
+/// [`Element::config_args`] implementation fails loudly at write time
+/// instead of silently shipping the wrong element).
+///
+/// This is what makes a pipeline a *wire* type: the orchestrator's
+/// serialisable job plans carry pipelines in exactly this form.
+pub fn write_config(pipeline: &Pipeline) -> Result<String, ConfigWriteError> {
+    let mut out = String::new();
+    // `parse_config` makes the first declared element the entry, so the
+    // entry is emitted first and the remaining elements follow in index
+    // order.
+    let entry = pipeline.entry();
+    let order: Vec<usize> = std::iter::once(entry)
+        .chain((0..pipeline.len()).filter(|&i| i != entry))
+        .collect();
+    for &idx in &order {
+        let node = pipeline.node(idx);
+        if !is_identifier(&node.name) {
+            return Err(ConfigWriteError::BadName(node.name.clone()));
+        }
+        let element = node.element.as_ref();
+        let args = element
+            .config_args()
+            .ok_or_else(|| ConfigWriteError::NotExpressible {
+                instance: node.name.clone(),
+                type_name: element.type_name().to_string(),
+            })?;
+        let rebuilt =
+            instantiate(element.type_name(), &args).map_err(|e| ConfigWriteError::RoundTrip {
+                instance: node.name.clone(),
+                message: format!("{}({args}) does not instantiate: {e}", element.type_name()),
+            })?;
+        if rebuilt.fingerprint_material() != element.fingerprint_material() {
+            return Err(ConfigWriteError::RoundTrip {
+                instance: node.name.clone(),
+                message: format!(
+                    "{}({args}) instantiates to different behaviour",
+                    element.type_name()
+                ),
+            });
+        }
+        out.push_str(&format!(
+            "{} :: {}({});\n",
+            node.name,
+            element.type_name(),
+            args
+        ));
+    }
+    for &idx in &order {
+        let node = pipeline.node(idx);
+        for (port, succ) in node.successors.iter().enumerate() {
+            if let Some(succ) = succ {
+                out.push_str(&format!(
+                    "{}[{}] -> {};\n",
+                    node.name,
+                    port,
+                    pipeline.node(*succ).name
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
         && s.chars()
@@ -550,6 +663,118 @@ mod tests {
             let e = instantiate(ty, args);
             assert!(e.is_ok(), "failed to instantiate {ty}({args}): {e:?}");
         }
+    }
+
+    #[test]
+    fn write_config_round_trips_every_preset() {
+        use crate::presets;
+        type PresetRow = (&'static str, fn() -> Pipeline);
+        let presets: Vec<PresetRow> = vec![
+            ("ip_router", presets::ip_router_pipeline),
+            ("linear_router", presets::linear_router_pipeline),
+            ("middlebox", presets::middlebox_pipeline),
+            ("firewall", || presets::firewall_pipeline(vec![])),
+            ("buggy", presets::buggy_pipeline),
+        ];
+        for (name, make) in presets {
+            let original = make();
+            let text = write_config(&original)
+                .unwrap_or_else(|e| panic!("{name} does not serialise: {e}"));
+            let reparsed =
+                parse_config(&text).unwrap_or_else(|e| panic!("{name} does not re-parse: {e}"));
+            assert_eq!(reparsed.len(), original.len(), "{name}: element count");
+            assert_eq!(
+                reparsed.node(reparsed.entry()).name,
+                original.node(original.entry()).name,
+                "{name}: entry"
+            );
+            for idx in 0..original.len() {
+                let a = original.node(idx);
+                let b = reparsed
+                    .find(&a.name)
+                    .map(|i| reparsed.node(i))
+                    .unwrap_or_else(|| panic!("{name}: instance '{}' lost", a.name));
+                assert_eq!(
+                    a.element.fingerprint_material(),
+                    b.element.fingerprint_material(),
+                    "{name}: behaviour of '{}' drifted",
+                    a.name
+                );
+                let succ_names =
+                    |p: &Pipeline, n: &crate::pipeline::ElementNode| -> Vec<Option<String>> {
+                        n.successors
+                            .iter()
+                            .map(|s| s.map(|i| p.node(i).name.clone()))
+                            .collect()
+                    };
+                assert_eq!(
+                    succ_names(&original, a),
+                    succ_names(&reparsed, b),
+                    "{name}: wiring of '{}' drifted",
+                    a.name
+                );
+            }
+            // Serialising the reparsed pipeline is byte-stable.
+            assert_eq!(write_config(&reparsed).unwrap(), text, "{name}");
+        }
+    }
+
+    #[test]
+    fn write_config_round_trips_every_factory_type() {
+        // Every element the factory can build must also serialise back to
+        // arguments the factory accepts, with identical behaviour.
+        for (ty, args) in [
+            ("Generator", ""),
+            ("Sink", ""),
+            ("Counter", ""),
+            ("CheckIPHeader", ""),
+            ("DecTTL", ""),
+            ("EthDecap", ""),
+            ("EthEncap", ""),
+            ("NetFlow", ""),
+            ("Paint", "3"),
+            ("Strip", "14"),
+            ("CheckLength", "64, 1500"),
+            ("IPOptions", "10.0.0.1"),
+            ("Classifier", "12/0800 20/0001, -"),
+            ("IPLookup", "10.0.0.0/8 0, 192.168.0.0/16 1"),
+            ("SrcFilter", "10.0.0.1, 192.0.2.7"),
+            ("SrcFilter", ""),
+            ("Nat", "203.0.113.1, 20000"),
+            ("BuggyDecTTL", ""),
+            ("UncheckedOptions", ""),
+            ("BrokenClassifier", ""),
+            ("OverflowingCounter", ""),
+        ] {
+            let element = instantiate(ty, args).unwrap();
+            let rendered = element
+                .config_args()
+                .unwrap_or_else(|| panic!("{ty}({args}) renders no config args"));
+            let rebuilt = instantiate(ty, &rendered)
+                .unwrap_or_else(|e| panic!("{ty}({rendered}) does not re-instantiate: {e}"));
+            assert_eq!(
+                rebuilt.fingerprint_material(),
+                element.fingerprint_material(),
+                "{ty}({args}) -> ({rendered}) drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn write_config_rejects_inexpressible_elements() {
+        use dataplane_net::MacAddr;
+        let mut b = Pipeline::builder();
+        let enc = b.add(
+            "enc",
+            Box::new(EthEncap::new(MacAddr::local(9), MacAddr::local(8), 0x86dd)),
+        );
+        let out = b.add("out", Box::new(Sink::new()));
+        b.connect(enc, 0, out);
+        let p = b.build().unwrap();
+        assert!(matches!(
+            write_config(&p),
+            Err(ConfigWriteError::NotExpressible { .. })
+        ));
     }
 
     #[test]

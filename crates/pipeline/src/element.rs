@@ -91,6 +91,23 @@ pub trait Element: Send + Sync {
     /// Reset the element's private state (e.g. between benchmark runs).
     fn reset(&mut self) {}
 
+    /// The argument string that, passed to the config-language factory
+    /// ([`crate::config::instantiate`]) together with [`Element::type_name`],
+    /// reconstructs an element with identical verification behaviour.
+    /// `None` means this element cannot be expressed in the config language
+    /// (then a pipeline containing it cannot be serialised to config text —
+    /// see [`crate::config::write_config`]).
+    ///
+    /// The default covers configuration-free elements; every element with a
+    /// non-empty [`Element::config_key`] must override it.
+    fn config_args(&self) -> Option<String> {
+        if self.config_key().is_empty() {
+            Some(String::new())
+        } else {
+            None
+        }
+    }
+
     /// Canonical text describing this element's verification-relevant
     /// behaviour: type name, configuration key, the pretty-printed IR model,
     /// and the model's initial data-structure contents. Two elements with

@@ -129,6 +129,27 @@ impl Element for Classifier {
         parts.join(";")
     }
 
+    fn config_args(&self) -> Option<String> {
+        // Factory syntax: patterns separated by commas, fields within a
+        // pattern by whitespace, the match-anything pattern written `-`.
+        let patterns: Vec<String> = self
+            .rules
+            .iter()
+            .map(|r| {
+                if r.fields.is_empty() {
+                    "-".to_string()
+                } else {
+                    r.fields
+                        .iter()
+                        .map(|f| format!("{}/{:04x}", f.offset, f.value))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                }
+            })
+            .collect();
+        Some(patterns.join(", "))
+    }
+
     fn output_ports(&self) -> usize {
         self.rules.len()
     }

@@ -92,6 +92,18 @@ impl Element for EthEncap {
     fn config_key(&self) -> String {
         format!("{}>{}@{:04x}", self.src, self.dst, self.ethertype)
     }
+    fn config_args(&self) -> Option<String> {
+        // The factory only builds the default IPv4 encapsulation
+        // (`EthEncap()`); any other MAC/EtherType configuration has no
+        // config-language spelling.
+        let default = EthEncap::ipv4_default();
+        if self.src == default.src && self.dst == default.dst && self.ethertype == default.ethertype
+        {
+            Some(String::new())
+        } else {
+            None
+        }
+    }
     fn output_ports(&self) -> usize {
         1
     }

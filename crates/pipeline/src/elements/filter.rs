@@ -61,6 +61,15 @@ impl Element for SrcFilter {
             .collect::<Vec<_>>()
             .join(",")
     }
+    fn config_args(&self) -> Option<String> {
+        Some(
+            self.blocked()
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+    }
     fn output_ports(&self) -> usize {
         1
     }
@@ -97,11 +106,13 @@ impl Element for SrcFilter {
         pb.finish(b).expect("SrcFilter model is valid")
     }
     fn model_state(&self) -> BTreeMap<DsId, DsContents> {
+        // Sorted, not HashSet iteration order: the contents feed
+        // `fingerprint_material`, which must be deterministic across
+        // instances and processes for content-addressed summary caching.
+        let mut contents: DsContents = self.blocked.iter().map(|&a| (a as u64, 1u64)).collect();
+        contents.sort_unstable();
         let mut m = BTreeMap::new();
-        m.insert(
-            DsId(0),
-            self.blocked.iter().map(|&a| (a as u64, 1u64)).collect(),
-        );
+        m.insert(DsId(0), contents);
         m
     }
     fn reset(&mut self) {

@@ -184,6 +184,15 @@ impl Element for IPLookup {
             .collect::<Vec<_>>()
             .join(",")
     }
+    fn config_args(&self) -> Option<String> {
+        Some(
+            self.routes
+                .iter()
+                .map(|r| format!("{}/{} {}", r.prefix, r.prefix_len, r.port))
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+    }
     fn output_ports(&self) -> usize {
         self.ports
     }

@@ -159,6 +159,9 @@ impl Element for IPOptions {
     fn config_key(&self) -> String {
         self.router_addr.to_string()
     }
+    fn config_args(&self) -> Option<String> {
+        Some(self.router_addr.to_string())
+    }
     fn output_ports(&self) -> usize {
         1
     }

@@ -74,6 +74,9 @@ impl Element for Nat {
     fn config_key(&self) -> String {
         format!("{}:{}", self.external_ip, self.port_base)
     }
+    fn config_args(&self) -> Option<String> {
+        Some(format!("{}, {}", self.external_ip, self.port_base))
+    }
     fn output_ports(&self) -> usize {
         1
     }

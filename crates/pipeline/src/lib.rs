@@ -52,7 +52,7 @@ pub mod pipeline;
 pub mod presets;
 pub mod runtime;
 
-pub use config::{parse_config, ConfigError};
+pub use config::{parse_config, write_config, ConfigError, ConfigWriteError};
 pub use diff::{diff_pipelines, PipelineDiff};
 pub use element::{build_model_state, run_model, run_model_with_state, Action, Element};
 pub use pipeline::{

@@ -6,9 +6,10 @@
 //! Run with `cargo run --example counterexample_hunt`.
 
 use vericlick::net::Packet;
+use vericlick::orchestrator::{VerifyRequest, VerifyService};
 use vericlick::pipeline::elements::*;
 use vericlick::pipeline::{Element, Pipeline, PipelineBuilder};
-use vericlick::verifier::{Property, Verifier};
+use vericlick::verifier::Property;
 
 fn build(named: Vec<(&str, Box<dyn Element>)>) -> Pipeline {
     let mut b = PipelineBuilder::new();
@@ -20,10 +21,19 @@ fn build(named: Vec<(&str, Box<dyn Element>)>) -> Pipeline {
     b.build().unwrap()
 }
 
-fn hunt(label: &str, make: impl Fn() -> Pipeline) {
+fn hunt(service: &VerifyService, label: &str, make: impl Fn() -> Pipeline) {
     println!("=== {label} ===");
-    let mut verifier = Verifier::new();
-    let report = verifier.verify(&make(), &Property::CrashFreedom);
+    // One typed request through the front door per defective pipeline; the
+    // service's shared store reuses the correct elements' summaries across
+    // hunts.
+    let response = service
+        .serve(VerifyRequest::Single {
+            name: label.to_string(),
+            pipeline: make(),
+            property: Property::CrashFreedom,
+        })
+        .expect("hunt request");
+    let report = response.report().expect("single outcome");
     println!(
         "verdict: {:?} ({} suspects, {} discharged, {} counterexamples)",
         report.verdict,
@@ -51,33 +61,45 @@ fn hunt(label: &str, make: impl Fn() -> Pipeline) {
 }
 
 fn main() {
-    hunt("TTL division bug behind a correct header check", || {
-        build(vec![
-            ("strip", Box::new(EthDecap::new())),
-            ("chk", Box::new(CheckIPHeader::new())),
-            ("ttl", Box::new(BuggyDecTTL::new())),
-            ("out", Box::new(Sink::new())),
-        ])
-    });
+    let service = VerifyService::new();
+    hunt(
+        &service,
+        "TTL division bug behind a correct header check",
+        || {
+            build(vec![
+                ("strip", Box::new(EthDecap::new())),
+                ("chk", Box::new(CheckIPHeader::new())),
+                ("ttl", Box::new(BuggyDecTTL::new())),
+                ("out", Box::new(Sink::new())),
+            ])
+        },
+    );
 
-    hunt("unchecked IP-options walker with no header check", || {
-        build(vec![
-            ("cls", Box::new(Classifier::ipv4_only())),
-            ("strip", Box::new(EthDecap::new())),
-            ("opts", Box::new(UncheckedOptions::new())),
-            ("out", Box::new(Sink::new())),
-        ])
-    });
+    hunt(
+        &service,
+        "unchecked IP-options walker with no header check",
+        || {
+            build(vec![
+                ("cls", Box::new(Classifier::ipv4_only())),
+                ("strip", Box::new(EthDecap::new())),
+                ("opts", Box::new(UncheckedOptions::new())),
+                ("out", Box::new(Sink::new())),
+            ])
+        },
+    );
 
-    hunt("classifier that reads byte 60 unconditionally", || {
-        build(vec![
-            ("broken", Box::new(BrokenClassifier::new())),
-            ("out", Box::new(Sink::new())),
-        ])
-    });
+    hunt(
+        &service,
+        "classifier that reads byte 60 unconditionally",
+        || {
+            build(vec![
+                ("broken", Box::new(BrokenClassifier::new())),
+                ("out", Box::new(Sink::new())),
+            ])
+        },
+    );
 
     println!("=== the correct versions of the same pipelines, for contrast ===");
-    let mut verifier = Verifier::new();
     let correct = build(vec![
         ("strip", Box::new(EthDecap::new())),
         ("chk", Box::new(CheckIPHeader::new())),
@@ -85,6 +107,6 @@ fn main() {
         ("opts", Box::new(IPOptions::with_default_addr())),
         ("out", Box::new(Sink::new())),
     ]);
-    let report = verifier.verify(&correct, &Property::CrashFreedom);
+    let report = service.verify(correct, Property::CrashFreedom);
     println!("correct pipeline verdict: {:?}", report.verdict);
 }

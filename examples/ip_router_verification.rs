@@ -5,6 +5,7 @@
 //! Run with `cargo run --example ip_router_verification`.
 
 use vericlick::net::WorkloadGen;
+use vericlick::orchestrator::VerifyService;
 use vericlick::pipeline::presets::{ip_router_pipeline, linear_router_pipeline};
 use vericlick::pipeline::ModelRuntime;
 use vericlick::verifier::{Property, Verifier};
@@ -12,8 +13,8 @@ use vericlick::verifier::{Property, Verifier};
 fn main() {
     // --- E1: crash freedom -------------------------------------------------
     println!("=== E1: crash freedom of the reference IP router ===");
-    let mut verifier = Verifier::new();
-    let report = verifier.verify(&ip_router_pipeline(), &Property::CrashFreedom);
+    let service = VerifyService::new();
+    let report = service.verify(ip_router_pipeline(), Property::CrashFreedom);
     println!("{report}");
     assert!(report.is_proven(), "the router must be proven crash-free");
     println!(
@@ -22,7 +23,10 @@ fn main() {
     );
 
     // --- E2: bounded instructions ------------------------------------------
+    // The instruction-bound analysis is a verifier-level API (it has no
+    // request shape yet); the proof of the bound goes through the service.
     println!("\n=== E2: per-packet instruction bound of the longest pipeline ===");
+    let mut verifier = Verifier::new();
     let bound = verifier.max_instructions(&linear_router_pipeline());
     println!("{bound}");
 
@@ -37,9 +41,9 @@ fn main() {
     assert!(bound.max_instructions >= max_concrete);
 
     // Prove the bound as a property.
-    let report = verifier.verify(
-        &linear_router_pipeline(),
-        &Property::BoundedInstructions {
+    let report = service.verify(
+        linear_router_pipeline(),
+        Property::BoundedInstructions {
             max_instructions: bound.max_instructions,
         },
     );

@@ -6,9 +6,10 @@
 
 use std::net::Ipv4Addr;
 use vericlick::net::PacketBuilder;
+use vericlick::orchestrator::VerifyService;
 use vericlick::pipeline::presets::middlebox_pipeline;
 use vericlick::pipeline::Disposition;
-use vericlick::verifier::{Property, Verifier};
+use vericlick::verifier::Property;
 
 fn main() {
     // --- concrete behaviour -------------------------------------------------
@@ -39,8 +40,8 @@ fn main() {
 
     // --- verification --------------------------------------------------------
     println!("\n=== NAT middlebox: crash freedom for any packet sequence ===");
-    let mut verifier = Verifier::new();
-    let report = verifier.verify(&middlebox_pipeline(), &Property::CrashFreedom);
+    let service = VerifyService::new();
+    let report = service.verify(middlebox_pipeline(), Property::CrashFreedom);
     println!("{report}");
     assert!(
         report.is_proven(),

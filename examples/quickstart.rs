@@ -4,8 +4,9 @@
 //! Run with `cargo run --example quickstart`.
 
 use vericlick::net::WorkloadGen;
+use vericlick::orchestrator::VerifyService;
 use vericlick::pipeline::{parse_config, presets};
-use vericlick::verifier::{Property, Verifier};
+use vericlick::verifier::Property;
 
 fn main() {
     // 1. Build the reference IP router from its textual configuration.
@@ -31,8 +32,10 @@ fn main() {
     println!("processed 5000 packets: {forwarded} delivered to a sink, {dropped} dropped early");
 
     // 3. Prove that no packet — not just the ones we tried — can crash it.
-    let mut verifier = Verifier::new();
-    let report = verifier.verify(&presets::ip_router_pipeline(), &Property::CrashFreedom);
+    //    The service is the one front door: it plans per-element jobs,
+    //    runs them on a shared pool, and composes the summaries.
+    let service = VerifyService::new();
+    let report = service.verify(presets::ip_router_pipeline(), Property::CrashFreedom);
     println!("{report}");
     assert!(report.is_proven());
     println!("crash freedom proven for any input packet");

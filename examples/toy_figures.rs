@@ -10,7 +10,7 @@
 use vericlick::ir::builder::{Block, ProgramBuilder};
 use vericlick::ir::expr::dsl::*;
 use vericlick::symbex::{explore, EngineConfig, Solver, SolverResult};
-use vericlick::verifier::{Property, Verifier};
+use vericlick::verifier::Property;
 
 fn main() {
     figure1();
@@ -72,10 +72,10 @@ fn figure1() {
 
 fn figure2() {
     println!("=== Figure 2: composition discharges the suspect segment ===");
-    let mut verifier = Verifier::new();
-    let report = verifier.verify(
-        &dataplane_bench_free::figure2_pipeline(),
-        &Property::CrashFreedom,
+    let service = vericlick::orchestrator::VerifyService::new();
+    let report = service.verify(
+        dataplane_bench_free::figure2_pipeline(),
+        Property::CrashFreedom,
     );
     println!("{report}");
     assert!(report.is_proven());

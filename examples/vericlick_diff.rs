@@ -1,5 +1,8 @@
 //! `vericlick diff` — incremental re-verification on a config diff.
 //!
+//! A thin shim over the umbrella CLI: `vericlick_diff ARGS...` is
+//! `vericlick diff ARGS...`.
+//!
 //! ```sh
 //! # Compare two Click-style configs: verify the old one as the baseline,
 //! # then re-verify only what the edit actually changed.
@@ -14,174 +17,8 @@
 //! Options: `--threads N` (worker pool size), `--cache DIR` (persistent
 //! summary store, letting the baseline come from an earlier process).
 
-use std::sync::Arc;
-use vericlick::orchestrator::diff::{config_scenarios, default_properties, NamedConfig};
-use vericlick::orchestrator::{Orchestrator, SummaryStore};
-
-const DEMO_ROUTER: &str = r#"
-    cls :: Classifier(12/0800);
-    strip :: EthDecap();
-    chk :: CheckIPHeader();
-    rt :: IPLookup(10.0.0.0/8 0, 192.168.0.0/16 1);
-    ttl0 :: DecTTL();
-    ttl1 :: DecTTL();
-    out0 :: Sink();
-    out1 :: Sink();
-    cls -> strip -> chk -> rt;
-    rt[0] -> ttl0 -> out0;
-    rt[1] -> ttl1 -> out1;
-"#;
-
-const DEMO_FILTER: &str = r#"
-    strip :: EthDecap();
-    chk :: CheckIPHeader();
-    f :: SrcFilter(203.0.113.9);
-    out :: Sink();
-    strip -> chk -> f -> out;
-"#;
-
-const DEMO_MINI: &str = r#"
-    cnt :: Counter();
-    ttl :: DecTTL();
-    s0 :: Sink();
-    s1 :: Sink();
-    cnt -> ttl -> s0;
-"#;
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut threads = 0usize;
-    let mut cache: Option<String> = None;
-    let mut demo = false;
-    let mut files: Vec<String> = Vec::new();
-    let mut iter = args.into_iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--demo" => demo = true,
-            "--threads" => {
-                threads = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--threads needs a number"))
-            }
-            "--cache" => cache = Some(iter.next().unwrap_or_else(|| usage("--cache needs a dir"))),
-            other if other.starts_with('-') => usage(&format!("unknown option '{other}'")),
-            file => files.push(file.to_string()),
-        }
-    }
-
-    let (old, new) = if demo {
-        let old = vec![
-            NamedConfig::new("router", DEMO_ROUTER),
-            NamedConfig::new("filter", DEMO_FILTER),
-            NamedConfig::new("mini", DEMO_MINI),
-        ];
-        let new = vec![
-            // One element edit: the second route's prefix length changes.
-            NamedConfig::new(
-                "router",
-                DEMO_ROUTER.replace("192.168.0.0/16 1", "192.168.0.0/24 1"),
-            ),
-            // Untouched.
-            NamedConfig::new("filter", DEMO_FILTER),
-            // Wiring-only: the packet now exits through the other sink.
-            NamedConfig::new(
-                "mini",
-                DEMO_MINI.replace("cnt -> ttl -> s0;", "cnt -> ttl -> s1;"),
-            ),
-        ];
-        (old, new)
-    } else {
-        if files.len() != 2 {
-            usage("expected exactly two config files (or --demo)");
-        }
-        let read = |path: &str| -> NamedConfig {
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
-                std::process::exit(2);
-            });
-            NamedConfig::new("pipeline", text)
-        };
-        (vec![read(&files[0])], vec![read(&files[1])])
-    };
-
-    let mut orchestrator = Orchestrator::new();
-    if threads > 0 {
-        orchestrator = orchestrator.with_threads(threads);
-    }
-    let used_cache = cache.is_some();
-    if let Some(dir) = cache {
-        let store = SummaryStore::persistent(&dir).unwrap_or_else(|e| {
-            eprintln!("cannot open cache dir: {e}");
-            std::process::exit(2);
-        });
-        orchestrator = orchestrator.with_store(Arc::new(store));
-    }
-
-    // Baseline: verify the old configs, warming the summary store — which
-    // is what makes the diff incremental. With a persistent --cache the
-    // store already *is* the baseline (an earlier process verified the old
-    // configs into it), so re-running it would throw away the savings.
-    if used_cache {
-        println!("=== baseline served by the persistent cache ===\n");
-    } else {
-        let baseline_scenarios = config_scenarios(&old, &default_properties).unwrap_or_else(|e| {
-            eprintln!("old config: {e}");
-            std::process::exit(2);
-        });
-        let baseline = orchestrator.run(baseline_scenarios);
-        println!("=== baseline (old configs) ===\n{baseline}");
-    }
-
-    // The diff: re-verify only what changed.
-    let report = orchestrator
-        .verify_diff(&old, &new, &default_properties)
-        .unwrap_or_else(|e| {
-            eprintln!("new config: {e}");
-            std::process::exit(2);
-        });
-    println!("=== incremental re-verification (new configs) ===\n{report}");
-    println!(
-        "element jobs: {} explored, {} served warm",
-        report.matrix.explore_jobs, report.matrix.cached_jobs
-    );
-
-    let (_, _, unknown) = report.matrix.verdict_counts();
-    if unknown > 0 {
-        eprintln!("{unknown} re-verified scenario(s) ended Unknown");
-        std::process::exit(1);
-    }
-
-    if demo {
-        use vericlick::orchestrator::diff::DiffKind;
-        let kind = |name: &str| {
-            report
-                .entries
-                .iter()
-                .find(|e| e.name == name)
-                .unwrap_or_else(|| panic!("no diff entry for {name}"))
-        };
-        assert_eq!(kind("router").kind, DiffKind::ElementsChanged);
-        assert_eq!(kind("router").changed_elements, vec!["rt".to_string()]);
-        assert_eq!(kind("filter").kind, DiffKind::Identical);
-        assert_eq!(kind("mini").kind, DiffKind::WiringOnly);
-        // Only the two changed configs' scenarios were re-verified; the
-        // identical config's were skipped.
-        assert_eq!(report.reverified_scenarios(), 4, "partial re-verification");
-        assert_eq!(report.skipped_scenarios, 2);
-        // Exactly one element behaviour was re-explored (the edited rt);
-        // the wiring-only diff contributed a composition-only pass.
-        assert_eq!(
-            report.matrix.explore_jobs, 1,
-            "expected exactly the edited element to be re-explored"
-        );
-        println!("\ndemo assertions passed: partial re-verification confirmed");
-    }
-}
-
-fn usage(message: &str) -> ! {
-    eprintln!("error: {message}");
-    eprintln!("usage: vericlick_diff <old.click> <new.click> [--threads N] [--cache DIR]");
-    eprintln!("       vericlick_diff --demo");
-    std::process::exit(2);
+    let mut args = vec!["diff".to_string()];
+    args.extend(std::env::args().skip(1));
+    std::process::exit(vericlick::cli::main(args));
 }

@@ -1,103 +1,21 @@
 //! The verification matrix: every preset pipeline verified against every
 //! property class (crash freedom, bounded execution, reachability) on the
-//! parallel orchestrator, with content-addressed summary caching and
+//! verification service, with content-addressed summary caching and
 //! parallel Step-2 composition.
 //!
+//! This is a thin shim over the umbrella CLI — identical to running
+//! `vericlick run --matrix --selftest`. The machine-readable report is
+//! written to `target/verify_matrix.json`; the process exits non-zero if
+//! any preset scenario ends `Unknown` (a solver-precision regression) or
+//! if the warm-rerun/thread-bound selftest assertions fail. CI relies on
+//! this.
+//!
 //! Run with `cargo run --release --example verify_matrix`.
-//! The machine-readable report is written to `target/verify_matrix.json`.
-//! Exits non-zero if any preset scenario ends `Unknown` — every preset is
-//! expected to be decided (proven, or violated with a counterexample), so
-//! an `Unknown` is a solver-precision regression. CI relies on this.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use vericlick::orchestrator::{preset_scenarios, Orchestrator, ProgressEvent};
 
 fn main() {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    // One shared scheduler: scenario jobs and every composition's Step-2
-    // walk workers draw from the same thread budget, so there is exactly
-    // one knob and live solver threads never exceed it.
-    println!("=== verification matrix on a {threads}-thread shared scheduler ===\n");
-
-    let explored = Arc::new(AtomicUsize::new(0));
-    let observer_count = explored.clone();
-    let orchestrator = Orchestrator::new()
-        .with_threads(threads)
-        .with_progress(move |event| match event {
-            ProgressEvent::Planned {
-                explore_jobs,
-                cached,
-                scenarios,
-            } => println!(
-                "plan: {scenarios} scenarios -> {explore_jobs} element jobs ({cached} already cached)"
-            ),
-            ProgressEvent::ExploreFinished {
-                type_name, elapsed, ..
-            } => {
-                observer_count.fetch_add(1, Ordering::Relaxed);
-                println!("  explored {type_name} in {elapsed:?}");
-            }
-            ProgressEvent::ComposeFinished {
-                scenario,
-                verdict,
-                elapsed,
-            } => println!("  composed {scenario}: {verdict:?} in {elapsed:?}"),
-            _ => {}
-        });
-
-    // Cold run: every distinct element behaviour is explored once, in
-    // parallel, then the 15 compositions run concurrently.
-    let cold = orchestrator.run(preset_scenarios());
-    println!("\n{cold}");
-
-    // Warm rerun: the content-addressed store already holds every summary —
-    // zero element jobs, only composition.
-    let warm = orchestrator.run(preset_scenarios());
-    println!(
-        "warm rerun: {} element jobs, {} served from cache, {:.3}s (cold was {:.3}s)",
-        warm.explore_jobs,
-        warm.cached_jobs,
-        warm.elapsed.as_secs_f64(),
-        cold.elapsed.as_secs_f64()
-    );
-    assert_eq!(warm.explore_jobs, 0, "warm run must skip all element jobs");
-    assert_eq!(explored.load(Ordering::Relaxed), cold.explore_jobs);
-    for (label, matrix) in [("cold", &cold), ("warm", &warm)] {
-        assert!(
-            matrix.peak_live_threads <= threads,
-            "{label} run exceeded the pool bound: {} > {threads} live threads",
-            matrix.peak_live_threads
-        );
-    }
-
-    let (proven, violated, unknown) = cold.verdict_counts();
-    println!(
-        "\nverdicts: {proven} proven, {violated} violated (the planted bugs), {unknown} unknown"
-    );
-
-    let json_path = std::path::Path::new("target").join("verify_matrix.json");
-    if std::fs::create_dir_all("target").is_ok() {
-        match std::fs::write(&json_path, cold.to_json().to_text()) {
-            Ok(()) => println!("machine-readable report: {}", json_path.display()),
-            Err(e) => println!("could not write {}: {e}", json_path.display()),
-        }
-    }
-
-    if unknown > 0 {
-        for s in &cold.scenarios {
-            for up in &s.report.unproven {
-                eprintln!(
-                    "UNKNOWN {}: {} via [{}]",
-                    s.label(),
-                    up.reason,
-                    up.path.join(" -> ")
-                );
-            }
-        }
-        eprintln!("{unknown} scenario(s) ended Unknown — the matrix must decide every preset");
-        std::process::exit(1);
-    }
+    std::process::exit(vericlick::cli::main(vec![
+        "run".into(),
+        "--matrix".into(),
+        "--selftest".into(),
+    ]));
 }

@@ -22,6 +22,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
+
 pub use dataplane_ir as ir;
 pub use dataplane_net as net;
 pub use dataplane_orchestrator as orchestrator;
@@ -42,7 +44,7 @@ mod tests {
         let _ = crate::pipeline::presets::ip_router_pipeline();
         let _ = crate::symbex::Solver::new();
         let _ = crate::verifier::Verifier::new();
-        let _ = crate::orchestrator::Orchestrator::new();
+        let _ = crate::orchestrator::VerifyService::new();
         assert!(!crate::VERSION.is_empty());
     }
 }

@@ -1,0 +1,5 @@
+//! The `vericlick` binary — see [`vericlick::cli`] for the subcommands.
+
+fn main() {
+    std::process::exit(vericlick::cli::main(std::env::args().skip(1).collect()));
+}
