@@ -82,6 +82,14 @@ pub struct VerificationStats {
     /// The vector is only as long as the highest rung that decided
     /// anything, so it stays empty on the common all-decided-at-base path.
     pub escalations_by_step: Vec<usize>,
+    /// Per-stage rung counters: `escalations_fm[i]` counts the checks
+    /// decided at rung `i` whose retry raised the Fourier–Motzkin budget
+    /// (the ladder raises only the stages that actually aborted, so a
+    /// check that never exhausted the FM budget never appears here).
+    pub escalations_fm: Vec<usize>,
+    /// Per-stage rung counters for the model-search stage: checks decided
+    /// at rung `i` whose retry raised the model-search try budget.
+    pub escalations_search: Vec<usize>,
 }
 
 /// The full result of verifying one property of one pipeline.
@@ -159,6 +167,23 @@ impl fmt::Display for Report {
                         .collect::<Vec<_>>()
                         .join(", ")
                 )?;
+            }
+            let per_stage = |label: &str, rungs: &[usize]| {
+                if rungs.is_empty() {
+                    None
+                } else {
+                    Some(format!("{label} {}", rungs.iter().sum::<usize>()))
+                }
+            };
+            let stages: Vec<String> = [
+                per_stage("fm", &self.stats.escalations_fm),
+                per_stage("search", &self.stats.escalations_search),
+            ]
+            .into_iter()
+            .flatten()
+            .collect();
+            if !stages.is_empty() {
+                write!(f, "; raised stages: {}", stages.join(", "))?;
             }
             writeln!(f, ")")?;
         }

@@ -172,24 +172,33 @@ impl EscalationLadder {
         (u64::from(self.factor.max(2))).saturating_pow(step.saturating_add(1))
     }
 
-    /// The solvers of the ladder's rungs, cheapest first.
-    fn solvers(&self, base: &SolverConfig) -> Vec<Solver> {
-        (0..self.steps)
-            .map(|step| {
-                let m = self.multiplier(step);
-                Solver::with_config(SolverConfig {
-                    model_search_tries: u32::try_from(
-                        u64::from(base.model_search_tries).saturating_mul(m),
-                    )
-                    .unwrap_or(u32::MAX),
-                    max_fm_constraints: usize::try_from(
-                        (base.max_fm_constraints as u64).saturating_mul(m),
-                    )
-                    .unwrap_or(usize::MAX),
-                    ..base.clone()
-                })
-            })
-            .collect()
+    /// The solver of rung `step`, raising only the stages that actually
+    /// aborted so far: a stage that never hit its budget keeps its base
+    /// limits, so escalation spends solver work exactly where the base run
+    /// ran out of it.
+    fn solver_for(
+        &self,
+        base: &SolverConfig,
+        step: u32,
+        raise_fm: bool,
+        raise_search: bool,
+    ) -> Solver {
+        let m = self.multiplier(step);
+        Solver::with_config(SolverConfig {
+            model_search_tries: if raise_search {
+                u32::try_from(u64::from(base.model_search_tries).saturating_mul(m))
+                    .unwrap_or(u32::MAX)
+            } else {
+                base.model_search_tries
+            },
+            max_fm_constraints: if raise_fm {
+                usize::try_from((base.max_fm_constraints as u64).saturating_mul(m))
+                    .unwrap_or(usize::MAX)
+            } else {
+                base.max_fm_constraints
+            },
+            ..base.clone()
+        })
     }
 }
 
@@ -252,6 +261,24 @@ impl Verifier {
         for summary in summaries {
             self.cache.insert(summary);
         }
+    }
+
+    /// Decide one composition (Step 2) from pre-computed — typically
+    /// *deserialized* — element summaries: seed them, then verify. This is
+    /// the entry point a remote worker uses when a composition job arrives
+    /// on the wire carrying the scenario and its summaries: every seeded
+    /// behaviour is served from the cache, any summary missing (its
+    /// exploration exceeded the engine budget) is re-attempted inline, and
+    /// the report is byte-identical to a fully local run under the same
+    /// options.
+    pub fn decide_composition(
+        &mut self,
+        pipeline: &Pipeline,
+        property: &Property,
+        summaries: impl IntoIterator<Item = Arc<ElementSummary>>,
+    ) -> Report {
+        self.seed_summaries(summaries);
+        self.verify(pipeline, property)
     }
 
     /// Verify `property` over `pipeline`.
@@ -338,11 +365,7 @@ impl Verifier {
             hints: build_hints(property),
             options: &self.options,
             solver: &self.solver,
-            ladder: if self.options.escalate_budgets {
-                self.options.ladder.solvers(self.solver.config())
-            } else {
-                Vec::new()
-            },
+            escalate: self.options.escalate_budgets,
             ladder_spec: self.options.ladder.clone(),
         };
         let entry = pipeline.entry();
@@ -651,6 +674,10 @@ struct CheckRecord {
     /// The 0-based ladder rung whose raised budgets decided the check, if
     /// any rung did.
     decided_at_rung: Option<usize>,
+    /// The deciding rung had the Fourier–Motzkin budget raised.
+    raised_fm: bool,
+    /// The deciding rung had the model-search try budget raised.
+    raised_search: bool,
 }
 
 /// Where a forwarding edge's child subtree lives.
@@ -690,9 +717,8 @@ struct WalkCtx<'a> {
     hints: Vec<dataplane_symbex::Assignment>,
     options: &'a VerifierOptions,
     solver: &'a Solver,
-    /// The budget-escalated solvers of the ladder's rungs, cheapest first
-    /// (empty when escalation is disabled).
-    ladder: Vec<Solver>,
+    /// Whether undecided stage-budget aborts climb the escalation ladder.
+    escalate: bool,
     /// The ladder configuration (for the wall-clock cap and reporting).
     ladder_spec: EscalationLadder,
 }
@@ -1027,6 +1053,8 @@ impl<'a> WalkCtx<'a> {
         let mut escalated = false;
         let mut decided_at_rung = None;
         let mut rungs_climbed = 0u32;
+        let mut raised_fm = false;
+        let mut raised_search = false;
         let outcome = match result {
             SolverResult::Unsat => CheckOutcome::Discharged,
             SolverResult::Sat(model) => violation(&model),
@@ -1038,13 +1066,17 @@ impl<'a> WalkCtx<'a> {
                     CheckOutcome::Discharged
                 } else {
                     // Adaptive budgets: a stage gave up at its limit — climb
-                    // the geometric escalation ladder, stopping at the first
-                    // rung that decides (or at the optional wall-clock cap).
+                    // the geometric escalation ladder, raising only the
+                    // stages that have aborted so far and stopping at the
+                    // first rung that decides (or at the optional wall-clock
+                    // cap). A stage that first aborts mid-climb (say the
+                    // model search only runs out once a raised FM budget
+                    // lets it start) joins the raised set at the next rung.
                     let mut retried = None;
-                    if (diag.fm_budget_exhausted || diag.model_search_exhausted)
-                        && !cancel.is_cancelled()
-                    {
-                        for (rung, solver) in self.ladder.iter().enumerate() {
+                    let mut abort_fm = diag.fm_budget_exhausted;
+                    let mut abort_search = diag.model_search_exhausted;
+                    if (abort_fm || abort_search) && self.escalate && !cancel.is_cancelled() {
+                        for rung in 0..self.ladder_spec.steps as usize {
                             if self
                                 .ladder_spec
                                 .wall_cap
@@ -1055,6 +1087,12 @@ impl<'a> WalkCtx<'a> {
                             }
                             escalated = true;
                             rungs_climbed = rung as u32 + 1;
+                            let solver = self.ladder_spec.solver_for(
+                                self.solver.config(),
+                                rung as u32,
+                                abort_fm,
+                                abort_search,
+                            );
                             let (retry, retry_diag) = solver.check_with_hints_diagnosed_cancel(
                                 constraint,
                                 &self.hints,
@@ -1062,6 +1100,8 @@ impl<'a> WalkCtx<'a> {
                             );
                             if !matches!(retry, SolverResult::Unknown) {
                                 decided_at_rung = Some(rung);
+                                raised_fm = abort_fm;
+                                raised_search = abort_search;
                                 retried = Some(retry);
                                 break;
                             }
@@ -1072,6 +1112,8 @@ impl<'a> WalkCtx<'a> {
                             {
                                 break;
                             }
+                            abort_fm |= retry_diag.fm_budget_exhausted;
+                            abort_search |= retry_diag.model_search_exhausted;
                         }
                     }
                     match retried {
@@ -1107,6 +1149,8 @@ impl<'a> WalkCtx<'a> {
             diag,
             escalated,
             decided_at_rung,
+            raised_fm,
+            raised_search,
         }
     }
 
@@ -1418,10 +1462,19 @@ impl<'f, 'a> FoldState<'f, 'a> {
             self.stats.budget_escalations += usize::from(check.escalated);
             if let Some(rung) = check.decided_at_rung {
                 self.stats.escalations_decided += 1;
-                if self.stats.escalations_by_step.len() <= rung {
-                    self.stats.escalations_by_step.resize(rung + 1, 0);
+                let bump = |rungs: &mut Vec<usize>| {
+                    if rungs.len() <= rung {
+                        rungs.resize(rung + 1, 0);
+                    }
+                    rungs[rung] += 1;
+                };
+                bump(&mut self.stats.escalations_by_step);
+                if check.raised_fm {
+                    bump(&mut self.stats.escalations_fm);
                 }
-                self.stats.escalations_by_step[rung] += 1;
+                if check.raised_search {
+                    bump(&mut self.stats.escalations_search);
+                }
             }
             match check.outcome {
                 CheckOutcome::Discharged => self.stats.discharged += 1,

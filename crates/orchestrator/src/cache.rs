@@ -52,6 +52,19 @@ impl CacheStats {
     pub fn hits(&self) -> u64 {
         self.memory_hits + self.disk_hits
     }
+
+    /// The activity between two snapshots of a store's counters
+    /// (`after - before`, field-wise) — what one run contributed.
+    pub fn delta(before: &CacheStats, after: &CacheStats) -> CacheStats {
+        CacheStats {
+            memory_hits: after.memory_hits - before.memory_hits,
+            disk_hits: after.disk_hits - before.disk_hits,
+            misses: after.misses - before.misses,
+            persisted: after.persisted - before.persisted,
+            disk_errors: after.disk_errors - before.disk_errors,
+            evicted: after.evicted - before.evicted,
+        }
+    }
 }
 
 /// A thread-safe, two-tier, content-addressed summary cache.

@@ -1,0 +1,262 @@
+//! Pull-based dispatch: one shared job queue, drained by however many
+//! workers joined, each at its own pace.
+//!
+//! This replaces the old round-robin pre-partitioning. No job belongs to a
+//! worker until that worker pulls it, so a fast worker (or one whose jobs
+//! happened to be cheap — Step-2 walks on prune-heavy pipelines vary
+//! wildly) simply pulls more, and a worker that dies mid-plan has its
+//! in-flight jobs requeued for the survivors. Results land in per-job
+//! slots **by job index**, which is the determinism contract: however the
+//! queue was drained, the folded output is identical.
+//!
+//! Per worker, the coordinator runs one thread: handshake (hello frames
+//! carrying protocol + schema version and the session's verifier options),
+//! then a window of up to `capacity` outstanding jobs, refilled from the
+//! shared queue as results return.
+
+use super::registry::WorkerRegistry;
+use super::transport::Connector;
+use super::{ExecError, WORKER_PROTO, WORKER_SCHEMA};
+use crate::json::Json;
+use dataplane_verifier::VerifierOptions;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Shared dispatch state: the job queue and the result slots.
+struct State {
+    queue: VecDeque<usize>,
+    /// Jobs not yet completed (queued or in flight).
+    remaining: usize,
+    /// A job-level failure (wrong worker build, malformed job): abort the
+    /// whole dispatch — requeueing cannot fix it.
+    fatal: Option<ExecError>,
+    /// Result frames, one slot per job index.
+    results: Vec<Option<Json>>,
+    /// The most recent worker-level failure, for the terminal error when
+    /// every worker is gone.
+    last_failure: Option<String>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// The coordinator's hello frame, opening a session pinned to `options`.
+pub(crate) fn hello_frame(options: &VerifierOptions) -> Json {
+    Json::obj([
+        ("schema", Json::int(WORKER_SCHEMA)),
+        ("kind", Json::str("hello")),
+        ("proto", Json::str(WORKER_PROTO)),
+        ("options", crate::wire::options_to_json(options)),
+    ])
+}
+
+/// Dispatch `count` jobs over `connectors` and return the raw result
+/// frames by job index. `frame_for(i)` builds the complete job frame for
+/// job `i` (including its id and any attachments); it may be called again
+/// if the job is requeued after a worker death.
+pub(crate) fn dispatch(
+    connectors: &[Box<dyn Connector>],
+    registry: &WorkerRegistry,
+    options: &VerifierOptions,
+    count: usize,
+    frame_for: &(dyn Fn(usize) -> Json + Sync),
+) -> Result<Vec<Json>, ExecError> {
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let shared = Shared {
+        state: Mutex::new(State {
+            queue: (0..count).collect(),
+            remaining: count,
+            fatal: None,
+            results: (0..count).map(|_| None).collect(),
+            last_failure: None,
+        }),
+        cv: Condvar::new(),
+    };
+
+    std::thread::scope(|scope| {
+        for connector in connectors {
+            let shared = &shared;
+            scope.spawn(move || {
+                worker_loop(connector.as_ref(), registry, options, shared, frame_for)
+            });
+        }
+    });
+
+    let state = shared.state.into_inner().expect("dispatch state");
+    if let Some(fatal) = state.fatal {
+        return Err(fatal);
+    }
+    if state.remaining > 0 {
+        let why = state
+            .last_failure
+            .unwrap_or_else(|| "no worker ever connected".to_string());
+        return Err(ExecError::NoWorkers(format!(
+            "{} of {count} jobs unfinished: {why}",
+            state.remaining
+        )));
+    }
+    Ok(state
+        .results
+        .into_iter()
+        .map(|slot| slot.expect("remaining == 0 implies every slot filled"))
+        .collect())
+}
+
+/// One worker's coordinator-side loop.
+fn worker_loop(
+    connector: &dyn Connector,
+    registry: &WorkerRegistry,
+    options: &VerifierOptions,
+    shared: &Shared,
+    frame_for: &(dyn Fn(usize) -> Json + Sync),
+) {
+    // Connect + handshake. Failures here lose the worker, never the jobs
+    // (nothing was pulled yet).
+    let fail = |note: String| {
+        registry.register_dead(connector.describe(), note.clone());
+        let mut state = shared.state.lock().expect("dispatch state");
+        state.last_failure = Some(format!("{}: {note}", connector.describe()));
+        shared.cv.notify_all();
+    };
+    let mut transport = match connector.connect() {
+        Ok(t) => t,
+        Err(e) => return fail(e.to_string()),
+    };
+    if let Err(e) = transport.send(&hello_frame(options)) {
+        return fail(format!("hello not sent: {e}"));
+    }
+    let capacity = match transport.recv() {
+        Ok(Some(frame)) => match frame.get("kind").and_then(Json::as_str) {
+            Some("hello") => {
+                let schema = frame.get("schema").and_then(Json::as_u64);
+                let proto = frame.get("proto").and_then(Json::as_str);
+                if schema != Some(WORKER_SCHEMA) || proto != Some(WORKER_PROTO) {
+                    return fail(format!(
+                        "version mismatch: worker speaks {proto:?} schema {schema:?}, \
+                         this build speaks {WORKER_PROTO} schema {WORKER_SCHEMA}"
+                    ));
+                }
+                frame
+                    .get("capacity")
+                    .and_then(Json::as_u64)
+                    .map(|c| c.max(1) as usize)
+                    .unwrap_or(1)
+            }
+            Some("error") => {
+                let message = frame
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("worker rejected the session");
+                return fail(format!("hello rejected: {message}"));
+            }
+            other => return fail(format!("unexpected handshake frame kind {other:?}")),
+        },
+        Ok(None) => return fail("connection closed during handshake".into()),
+        Err(e) => return fail(e.to_string()),
+    };
+    let peer = transport.peer();
+    let id = registry.register(peer.clone(), capacity);
+
+    // The pull loop: keep up to `capacity` jobs in flight.
+    let mut outstanding: VecDeque<usize> = VecDeque::new();
+    let die = |outstanding: &mut VecDeque<usize>, note: String| {
+        let requeued = outstanding.len();
+        let mut state = shared.state.lock().expect("dispatch state");
+        for job in outstanding.drain(..) {
+            state.queue.push_back(job);
+        }
+        state.last_failure = Some(format!("{peer}: {note}"));
+        drop(state);
+        registry.mark_dead(id, requeued, note);
+        shared.cv.notify_all();
+    };
+    loop {
+        // Top up the window from the shared queue.
+        while outstanding.len() < capacity {
+            let next = {
+                let mut state = shared.state.lock().expect("dispatch state");
+                if state.fatal.is_some() {
+                    return; // another worker hit a fatal job error
+                }
+                state.queue.pop_front()
+            };
+            let Some(job) = next else { break };
+            if let Err(e) = transport.send(&frame_for(job)) {
+                outstanding.push_back(job);
+                return die(&mut outstanding, format!("job not sent: {e}"));
+            }
+            registry.record_dispatched();
+            outstanding.push_back(job);
+        }
+
+        if outstanding.is_empty() {
+            // Nothing in flight and the queue is dry: park until another
+            // worker's death requeues something, or the run finishes.
+            let mut state = shared.state.lock().expect("dispatch state");
+            loop {
+                if state.fatal.is_some() || state.remaining == 0 {
+                    return;
+                }
+                if !state.queue.is_empty() {
+                    break;
+                }
+                state = shared.cv.wait(state).expect("dispatch state");
+            }
+            continue;
+        }
+
+        // Await one result.
+        match transport.recv() {
+            Ok(Some(frame)) => match frame.get("kind").and_then(Json::as_str) {
+                Some("result") => {
+                    let Some(job) = frame
+                        .get("id")
+                        .and_then(Json::as_u64)
+                        .and_then(|v| usize::try_from(v).ok())
+                    else {
+                        return die(&mut outstanding, "result frame without an id".into());
+                    };
+                    let Some(pos) = outstanding.iter().position(|&j| j == job) else {
+                        return die(
+                            &mut outstanding,
+                            format!("result for job {job} this worker does not hold"),
+                        );
+                    };
+                    outstanding.remove(pos);
+                    registry.record_completed(id);
+                    let mut state = shared.state.lock().expect("dispatch state");
+                    if state.results[job].is_none() {
+                        state.results[job] = Some(frame);
+                        state.remaining -= 1;
+                        if state.remaining == 0 {
+                            shared.cv.notify_all();
+                        }
+                    }
+                }
+                Some("error") => {
+                    let message = frame
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("worker reported a job failure");
+                    let mut state = shared.state.lock().expect("dispatch state");
+                    state.fatal = Some(ExecError::Job(message.to_string()));
+                    shared.cv.notify_all();
+                    return;
+                }
+                other => return die(&mut outstanding, format!("unexpected frame kind {other:?}")),
+            },
+            Ok(None) => {
+                let in_flight = outstanding.len();
+                return die(
+                    &mut outstanding,
+                    format!("connection closed with {in_flight} jobs in flight"),
+                );
+            }
+            Err(e) => return die(&mut outstanding, e.to_string()),
+        }
+    }
+}

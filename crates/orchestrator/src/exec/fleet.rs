@@ -1,0 +1,204 @@
+//! [`WorkerFleet`] — the remote [`Executor`]: a set of worker
+//! [`Connector`]s (spawned subprocesses over stdio, or socket workers by
+//! address), a [`WorkerRegistry`], and the pull-based dispatch queue
+//! (see [`super::dispatch`]'s module docs).
+//! Both Step-1 explorations and Step-2 compositions execute on the fleet;
+//! results fold back by job index, so the report is byte-identical to an
+//! in-process run.
+
+use super::dispatch::dispatch;
+use super::registry::{DispatchStats, WorkerRegistry};
+use super::transport::{Connector, SocketConnector, SpawnConnector, WorkerAddr};
+use super::worker::WORKER_SCHEMA;
+use super::{ExecError, Executor};
+use crate::fingerprint::Fingerprint;
+use crate::json::Json;
+use crate::persist::{summary_from_json, summary_to_json};
+use crate::wire::{job_to_json, report_from_json, ComposeJob, ExploreJob, JobSpec};
+use dataplane_verifier::{ElementSummary, Report, VerifierOptions};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The remote-worker executor. See the module docs.
+pub struct WorkerFleet {
+    connectors: Vec<Box<dyn Connector>>,
+    registry: WorkerRegistry,
+    label: String,
+}
+
+impl WorkerFleet {
+    /// A fleet of `workers` subprocess workers running `program args...`
+    /// over stdio (0 workers = one per available core).
+    pub fn subprocess(program: impl Into<PathBuf>, args: Vec<String>, workers: usize) -> Self {
+        let workers = super::default_parallelism(workers);
+        let program = program.into();
+        let label = format!("subprocess workers ({} × {})", workers, program.display());
+        WorkerFleet {
+            connectors: (0..workers)
+                .map(|i| {
+                    Box::new(SpawnConnector {
+                        program: program.clone(),
+                        args: args.clone(),
+                        label: format!("stdio#{i}"),
+                    }) as Box<dyn Connector>
+                })
+                .collect(),
+            registry: WorkerRegistry::new(),
+            label,
+        }
+    }
+
+    /// The fleet that spawns the current executable with the `worker`
+    /// argument — how `vericlick exec-plan --workers N` reaches its own
+    /// worker mode.
+    pub fn current_exe(workers: usize) -> Result<Self, ExecError> {
+        let exe = std::env::current_exe()
+            .map_err(|e| ExecError::Spawn(format!("cannot locate current executable: {e}")))?;
+        Ok(WorkerFleet::subprocess(
+            exe,
+            vec!["worker".to_string()],
+            workers,
+        ))
+    }
+
+    /// A fleet of socket workers, one per address (TCP `host:port` or
+    /// Unix-socket path) — how `vericlick exec-plan --workers addr,...`
+    /// reaches `vericlick worker --listen addr`.
+    pub fn sockets(addrs: Vec<WorkerAddr>) -> Self {
+        let label = format!(
+            "socket workers ({})",
+            addrs
+                .iter()
+                .map(WorkerAddr::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        WorkerFleet {
+            connectors: addrs
+                .into_iter()
+                .map(|addr| Box::new(SocketConnector { addr }) as Box<dyn Connector>)
+                .collect(),
+            registry: WorkerRegistry::new(),
+            label,
+        }
+    }
+
+    /// The number of workers this fleet dispatches to.
+    pub fn workers(&self) -> usize {
+        self.connectors.len()
+    }
+
+    /// The fleet's registry (per-worker liveness and work counts).
+    pub fn registry(&self) -> &WorkerRegistry {
+        &self.registry
+    }
+}
+
+fn job_frame(id: usize, job: &JobSpec, summaries: Option<Json>) -> Json {
+    let mut fields = vec![
+        ("schema", Json::int(WORKER_SCHEMA)),
+        ("kind", Json::str("job")),
+        ("id", Json::int(id as u64)),
+        ("job", job_to_json(job)),
+    ];
+    if let Some(summaries) = summaries {
+        fields.push(("summaries", summaries));
+    }
+    Json::obj(fields)
+}
+
+impl Executor for WorkerFleet {
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+
+    fn explore_jobs(
+        &self,
+        jobs: &[ExploreJob],
+        options: &VerifierOptions,
+    ) -> Result<Vec<Option<ElementSummary>>, ExecError> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.registry.record_offered(jobs.len(), 0);
+        let frame_for = |id: usize| job_frame(id, &JobSpec::Explore(jobs[id].clone()), None);
+        let results = dispatch(
+            &self.connectors,
+            &self.registry,
+            options,
+            jobs.len(),
+            &frame_for,
+        )?;
+        results
+            .iter()
+            .map(|frame| match frame.get("summary") {
+                Some(Json::Null) => Ok(None),
+                Some(doc) => summary_from_json(doc)
+                    .map(Some)
+                    .map_err(|e| ExecError::Protocol(format!("undecodable summary: {e}"))),
+                None => Err(ExecError::Protocol(
+                    "explore result without a summary".into(),
+                )),
+            })
+            .collect()
+    }
+
+    fn compose_jobs(
+        &self,
+        jobs: &[ComposeJob],
+        options: &VerifierOptions,
+        summaries: &(dyn Fn(Fingerprint) -> Option<Arc<ElementSummary>> + Sync),
+    ) -> Option<Result<Vec<Report>, ExecError>> {
+        if jobs.is_empty() {
+            return Some(Ok(Vec::new()));
+        }
+        self.registry.record_offered(0, jobs.len());
+        let frame_for = |id: usize| {
+            let job = &jobs[id];
+            let shipped = Json::Arr(
+                job.fingerprints
+                    .iter()
+                    .map(|fp| match summaries(*fp) {
+                        Some(summary) => summary_to_json(&summary),
+                        None => Json::Null,
+                    })
+                    .collect(),
+            );
+            job_frame(id, &JobSpec::Compose(job.clone()), Some(shipped))
+        };
+        let results = match dispatch(
+            &self.connectors,
+            &self.registry,
+            options,
+            jobs.len(),
+            &frame_for,
+        ) {
+            Ok(results) => results,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(
+            results
+                .iter()
+                .zip(jobs)
+                .map(|(frame, job)| {
+                    let elapsed = Duration::from_micros(
+                        frame
+                            .get("elapsed_micros")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0),
+                    );
+                    let doc = frame.get("report").ok_or_else(|| {
+                        ExecError::Protocol("compose result without a report".into())
+                    })?;
+                    report_from_json(doc, job.scenario.property.clone(), elapsed)
+                        .map_err(|e| ExecError::Protocol(format!("undecodable report: {e}")))
+                })
+                .collect(),
+        )
+    }
+
+    fn dispatch_stats(&self) -> Option<DispatchStats> {
+        Some(self.registry.stats())
+    }
+}

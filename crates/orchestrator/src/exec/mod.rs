@@ -1,0 +1,275 @@
+//! Plan execution backends, layered for distribution:
+//!
+//! * [`transport`] — the line-JSON framing every worker conversation uses,
+//!   behind one [`transport::Transport`] trait with **stdio** (spawned
+//!   subprocess), **TCP**, and **Unix-socket** implementations. A
+//!   [`transport::Connector`] knows how to open one.
+//! * [`registry`] — the [`WorkerRegistry`]: which workers joined (hello
+//!   with protocol + schema version and capacity), which died, how much
+//!   work each did, and the aggregate [`DispatchStats`] reported in
+//!   `MatrixReport`.
+//! * [`dispatch`] — **pull-based dispatch**: one shared job queue that
+//!   connected workers drain at their own pace (each keeps up to its
+//!   advertised capacity in flight). A worker that dies mid-plan has its
+//!   in-flight jobs requeued and the survivors drain them — no job is
+//!   pre-assigned to a worker, which is what makes uneven job costs (the
+//!   prune-heavy Step-2 walks especially) load-balance.
+//! * [`worker`] — the worker side of the protocol: handshake, concurrent
+//!   job execution, [`worker_serve`] over any read/write pair and
+//!   [`serve_listener`] for `vericlick worker --listen`.
+//! * [`fleet`] — [`WorkerFleet`], the [`Executor`] over all of the above:
+//!   subprocess workers (`--workers N`) or socket workers
+//!   (`--workers host:port,...`), executing **both** Step-1 explorations
+//!   and Step-2 compositions remotely.
+//!
+//! Results are folded back **by job index**, so reports are byte-identical
+//! to an in-process run no matter which worker finished what, in which
+//! order, or how often a job was requeued.
+//!
+//! Workers re-instantiate each element from the config factory and verify
+//! the job's content fingerprint before exploring, so a worker built from
+//! different element code fails loudly instead of poisoning the cache.
+
+pub mod dispatch;
+pub mod fleet;
+pub mod registry;
+pub mod transport;
+pub mod worker;
+
+pub use fleet::WorkerFleet;
+pub use registry::{DispatchStats, WorkerRegistry};
+pub use transport::{Connector, SocketConnector, SpawnConnector, Transport, WorkerAddr};
+pub use worker::{serve_listener, worker_serve, WORKER_PROTO, WORKER_SCHEMA};
+
+use crate::executor::{Pool, ThreadBudget};
+use crate::fingerprint::{element_fingerprint, Fingerprint};
+use crate::wire::{ComposeJob, ExploreJob};
+use dataplane_pipeline::config::instantiate;
+use dataplane_symbex::{explore, EngineConfig};
+use dataplane_verifier::{ElementSummary, Report, VerifierOptions};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A plan-execution failure.
+#[derive(Clone, Debug)]
+pub enum ExecError {
+    /// A worker process could not be spawned or waited on.
+    Spawn(String),
+    /// A socket worker could not be reached.
+    Connect(String),
+    /// A protocol frame did not parse or had the wrong shape.
+    Protocol(String),
+    /// A job failed inside a worker (unknown element type, fingerprint
+    /// mismatch, ...). Fatal: it means the worker build disagrees with the
+    /// plan, not that the worker is unhealthy.
+    Job(String),
+    /// Every worker died (or never completed its handshake) with jobs
+    /// still queued.
+    NoWorkers(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Spawn(m) => write!(f, "executor: cannot run worker: {m}"),
+            ExecError::Connect(m) => write!(f, "executor: cannot reach worker: {m}"),
+            ExecError::Protocol(m) => write!(f, "executor: protocol error: {m}"),
+            ExecError::Job(m) => write!(f, "executor: job failed: {m}"),
+            ExecError::NoWorkers(m) => write!(f, "executor: out of workers: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// How a plan's jobs are computed.
+///
+/// `explore_jobs` must return one slot per input job, **in input order**
+/// (`None` where the exploration exceeded its engine budget — the
+/// composition then explores inline and reports the failure exactly as a
+/// sequential run would). Implementations may compute the slots in any
+/// order or place; the order of the returned vector is the determinism
+/// contract. The same contract applies to `compose_jobs` where supported.
+pub trait Executor: Send + Sync {
+    /// A human-readable name for logs and reports.
+    fn describe(&self) -> String;
+
+    /// Compute the summaries of `jobs` under `options.engine`.
+    fn explore_jobs(
+        &self,
+        jobs: &[ExploreJob],
+        options: &VerifierOptions,
+    ) -> Result<Vec<Option<ElementSummary>>, ExecError>;
+
+    /// Decide Step-2 compositions remotely, one report per job in input
+    /// order. `summaries` resolves a fingerprint to the summary that ships
+    /// with the job (`None` for behaviours whose exploration exceeded its
+    /// budget — the worker re-attempts inline).
+    ///
+    /// Returns `None` when this executor has no remote composition path
+    /// (the service then composes in-process on its shared scheduler).
+    fn compose_jobs(
+        &self,
+        jobs: &[ComposeJob],
+        options: &VerifierOptions,
+        summaries: &(dyn Fn(Fingerprint) -> Option<Arc<ElementSummary>> + Sync),
+    ) -> Option<Result<Vec<Report>, ExecError>> {
+        let _ = (jobs, options, summaries);
+        None
+    }
+
+    /// Registry/queue statistics of the last dispatch, for executors that
+    /// track them.
+    fn dispatch_stats(&self) -> Option<DispatchStats> {
+        None
+    }
+}
+
+/// The "0 means one per available core" defaulting rule shared by every
+/// parallelism knob in this module family.
+pub(crate) fn default_parallelism(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Run one explore job: factory-instantiate, fingerprint-check, explore.
+pub(crate) fn run_explore_job(
+    job: &ExploreJob,
+    engine: &EngineConfig,
+) -> Result<Option<ElementSummary>, ExecError> {
+    let element = instantiate(&job.type_name, &job.config_args).map_err(|e| {
+        ExecError::Job(format!(
+            "{}({}) does not instantiate: {e}",
+            job.type_name, job.config_args
+        ))
+    })?;
+    let actual = element_fingerprint(element.as_ref(), engine);
+    if actual != job.fingerprint {
+        return Err(ExecError::Job(format!(
+            "{}({}) fingerprint mismatch: plan says {}, this build computes {} \
+             (worker built from different element code?)",
+            job.type_name, job.config_args, job.fingerprint, actual
+        )));
+    }
+    let start = Instant::now();
+    match explore(&element.model(), engine) {
+        Ok(exploration) => Ok(Some(ElementSummary {
+            type_name: element.type_name().to_string(),
+            config_key: element.config_key(),
+            exploration,
+            explore_time: start.elapsed(),
+        })),
+        // Budget exceeded: publish nothing; composition handles it inline.
+        Err(_) => Ok(None),
+    }
+}
+
+/// The in-process executor: explore jobs fan out over a work-stealing pool
+/// in this process (the pre-plan behaviour of the orchestrator).
+/// Compositions stay with the service's shared scheduler.
+#[derive(Clone, Debug)]
+pub struct InProcessExecutor {
+    threads: usize,
+}
+
+impl InProcessExecutor {
+    /// An executor over `threads` pool workers (0 = one per available
+    /// core).
+    pub fn new(threads: usize) -> Self {
+        InProcessExecutor {
+            threads: default_parallelism(threads),
+        }
+    }
+}
+
+impl Executor for InProcessExecutor {
+    fn describe(&self) -> String {
+        format!("in-process pool ({} threads)", self.threads)
+    }
+
+    fn explore_jobs(
+        &self,
+        jobs: &[ExploreJob],
+        options: &VerifierOptions,
+    ) -> Result<Vec<Option<ElementSummary>>, ExecError> {
+        let engine = &options.engine;
+        type JobSlot = Mutex<Option<Result<Option<ElementSummary>, ExecError>>>;
+        let slots: Vec<JobSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        Pool::run(self.threads, ThreadBudget::new(self.threads), |pool| {
+            for (job, slot) in jobs.iter().zip(&slots) {
+                pool.spawn(Box::new(move |_| {
+                    *slot.lock().expect("job slot") = Some(run_explore_job(job, engine));
+                }));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("job slot")
+                    .expect("every job slot filled")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use dataplane_pipeline::presets::ip_router_pipeline;
+
+    /// The distinct explore jobs of the preset IP router, as a plan would
+    /// emit them.
+    pub fn router_jobs(engine: &EngineConfig) -> Vec<ExploreJob> {
+        let pipeline = ip_router_pipeline();
+        let mut seen = std::collections::HashSet::new();
+        let mut jobs = Vec::new();
+        for (_, node) in pipeline.iter() {
+            let element = node.element.as_ref();
+            let fp = element_fingerprint(element, engine);
+            if seen.insert(fp) {
+                jobs.push(ExploreJob {
+                    fingerprint: fp,
+                    type_name: element.type_name().to_string(),
+                    config_args: element.config_args().expect("preset elements serialise"),
+                });
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::router_jobs;
+    use super::*;
+
+    #[test]
+    fn in_process_executor_computes_every_job_in_order() {
+        let options = VerifierOptions::default();
+        let jobs = router_jobs(&options.engine);
+        let summaries = InProcessExecutor::new(4)
+            .explore_jobs(&jobs, &options)
+            .unwrap();
+        assert_eq!(summaries.len(), jobs.len());
+        for (job, summary) in jobs.iter().zip(&summaries) {
+            let summary = summary.as_ref().expect("preset exploration succeeds");
+            assert_eq!(summary.type_name, job.type_name);
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_fails_loudly() {
+        let options = VerifierOptions::default();
+        let mut jobs = router_jobs(&options.engine);
+        jobs[0].fingerprint = crate::fingerprint::fingerprint_bytes("not this element");
+        let result = InProcessExecutor::new(1).explore_jobs(&jobs, &options);
+        assert!(matches!(result, Err(ExecError::Job(_))), "{result:?}");
+    }
+}

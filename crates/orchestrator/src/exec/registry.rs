@@ -1,0 +1,205 @@
+//! The worker registry: who joined the fleet, with what capacity, who
+//! died, and how the pull-based queue behaved — the operational record of
+//! a distributed execution, surfaced as [`DispatchStats`] in
+//! `MatrixReport`.
+
+use std::sync::Mutex;
+
+/// Aggregate registry/queue statistics of a dispatch (operational data:
+/// excluded from deterministic report documents).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Workers that completed the hello handshake.
+    pub workers: usize,
+    /// Workers that died (connection lost, handshake rejected) during the
+    /// run.
+    pub workers_lost: usize,
+    /// Total advertised capacity (maximum jobs in flight fleet-wide).
+    pub capacity: usize,
+    /// Job frames sent (a requeued job counts once per send).
+    pub jobs_dispatched: usize,
+    /// Results received.
+    pub jobs_completed: usize,
+    /// Jobs requeued after their worker died.
+    pub jobs_requeued: usize,
+    /// Step-1 exploration jobs offered to the queue.
+    pub explore_jobs: usize,
+    /// Step-2 composition jobs offered to the queue.
+    pub compose_jobs: usize,
+}
+
+/// One worker's registry entry.
+#[derive(Clone, Debug)]
+pub struct WorkerEntry {
+    /// Peer description (pid or socket address).
+    pub peer: String,
+    /// Advertised capacity (jobs it keeps in flight).
+    pub capacity: usize,
+    /// Still connected (or cleanly drained).
+    pub alive: bool,
+    /// Results this worker returned.
+    pub jobs_done: usize,
+    /// Why the worker was marked dead, if it was.
+    pub note: Option<String>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    entries: Vec<WorkerEntry>,
+    dispatched: usize,
+    completed: usize,
+    requeued: usize,
+    explore_jobs: usize,
+    compose_jobs: usize,
+}
+
+/// The shared registry a fleet's dispatch threads report into. Lives for
+/// the lifetime of the fleet, accumulating across dispatch phases (explore,
+/// then compose), so the stats describe the whole plan execution.
+#[derive(Default)]
+pub struct WorkerRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl WorkerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        WorkerRegistry::default()
+    }
+
+    /// Record a worker that completed its handshake; returns its id.
+    pub(crate) fn register(&self, peer: String, capacity: usize) -> usize {
+        let mut inner = self.inner.lock().expect("registry");
+        inner.entries.push(WorkerEntry {
+            peer,
+            capacity,
+            alive: true,
+            jobs_done: 0,
+            note: None,
+        });
+        inner.entries.len() - 1
+    }
+
+    /// Record a worker that never joined (connect or handshake failure).
+    pub(crate) fn register_dead(&self, peer: String, note: String) {
+        let mut inner = self.inner.lock().expect("registry");
+        inner.entries.push(WorkerEntry {
+            peer,
+            capacity: 0,
+            alive: false,
+            jobs_done: 0,
+            note: Some(note),
+        });
+    }
+
+    /// Record how many jobs of each kind a dispatch phase offered.
+    pub(crate) fn record_offered(&self, explore: usize, compose: usize) {
+        let mut inner = self.inner.lock().expect("registry");
+        inner.explore_jobs += explore;
+        inner.compose_jobs += compose;
+    }
+
+    /// A job frame went out.
+    pub(crate) fn record_dispatched(&self) {
+        self.inner.lock().expect("registry").dispatched += 1;
+    }
+
+    /// Worker `id` returned a result.
+    pub(crate) fn record_completed(&self, id: usize) {
+        let mut inner = self.inner.lock().expect("registry");
+        inner.completed += 1;
+        inner.entries[id].jobs_done += 1;
+    }
+
+    /// Worker `id` died with `requeued` jobs put back on the queue.
+    pub(crate) fn mark_dead(&self, id: usize, requeued: usize, note: String) {
+        let mut inner = self.inner.lock().expect("registry");
+        inner.requeued += requeued;
+        let entry = &mut inner.entries[id];
+        entry.alive = false;
+        entry.note = Some(note);
+    }
+
+    /// Snapshot of every entry.
+    pub fn workers(&self) -> Vec<WorkerEntry> {
+        self.inner.lock().expect("registry").entries.clone()
+    }
+
+    /// The aggregate statistics.
+    pub fn stats(&self) -> DispatchStats {
+        let inner = self.inner.lock().expect("registry");
+        // A worker that reconnects each phase re-registers; count distinct
+        // peers so the fleet size reads as configured, not × phases.
+        let mut peers: Vec<&str> = inner.entries.iter().map(|e| e.peer.as_str()).collect();
+        peers.sort_unstable();
+        peers.dedup();
+        let mut lost: Vec<&str> = inner
+            .entries
+            .iter()
+            .filter(|e| !e.alive)
+            .map(|e| e.peer.as_str())
+            .collect();
+        lost.sort_unstable();
+        lost.dedup();
+        // Capacity of the most recent *handshaken* registration per peer
+        // (a worker that reconnects each phase re-registers with the same
+        // capacity; a `register_dead` entry has capacity 0 and must not
+        // shadow what the peer actually advertised).
+        let mut capacity = 0;
+        let mut seen: Vec<&str> = Vec::new();
+        for e in inner.entries.iter().rev() {
+            if e.capacity > 0 && !seen.contains(&e.peer.as_str()) {
+                seen.push(&e.peer);
+                capacity += e.capacity;
+            }
+        }
+        DispatchStats {
+            workers: peers.len(),
+            workers_lost: lost.len(),
+            capacity,
+            jobs_dispatched: inner.dispatched,
+            jobs_completed: inner.completed,
+            jobs_requeued: inner.requeued,
+            explore_jobs: inner.explore_jobs,
+            compose_jobs: inner.compose_jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_aggregates_across_phases() {
+        let registry = WorkerRegistry::new();
+        registry.record_offered(3, 0);
+        let a = registry.register("w1".into(), 2);
+        let b = registry.register("w2".into(), 1);
+        registry.record_dispatched();
+        registry.record_dispatched();
+        registry.record_dispatched();
+        registry.record_completed(a);
+        registry.record_completed(a);
+        registry.mark_dead(b, 1, "connection closed".into());
+        // Second phase: w1 reconnects.
+        registry.record_offered(0, 2);
+        let a2 = registry.register("w1".into(), 2);
+        registry.record_dispatched();
+        registry.record_dispatched();
+        registry.record_completed(a2);
+        registry.record_completed(a2);
+
+        let stats = registry.stats();
+        assert_eq!(stats.workers, 2, "distinct peers");
+        assert_eq!(stats.workers_lost, 1);
+        // Capacity counts each peer's latest advertisement, whether the
+        // peer later died or not: w1's 2 plus the late w2's 1.
+        assert_eq!(stats.capacity, 3);
+        assert_eq!(stats.jobs_dispatched, 5);
+        assert_eq!(stats.jobs_completed, 4);
+        assert_eq!(stats.jobs_requeued, 1);
+        assert_eq!(stats.explore_jobs, 3);
+        assert_eq!(stats.compose_jobs, 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! The transport layer of the worker protocol: line-delimited JSON frames
+//! over any byte stream, behind one [`Transport`] trait.
+//!
+//! The framing is deliberately trivial — one JSON document per line — so
+//! the *same* protocol runs over a spawned child's stdio, a TCP socket, or
+//! a Unix-domain socket, and a conversation captured on one transport
+//! replays on another. [`Connector`]s open transports: [`SpawnConnector`]
+//! forks a worker subprocess, [`SocketConnector`] dials a
+//! [`WorkerAddr`].
+
+use super::ExecError;
+use crate::json::Json;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+/// Read one frame (one non-blank line) from `reader`; `Ok(None)` at EOF.
+pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<Json>, ExecError> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| ExecError::Protocol(format!("reading frame: {e}")))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        return Json::parse(line.trim())
+            .map(Some)
+            .map_err(|e| ExecError::Protocol(format!("bad frame: {e}")));
+    }
+}
+
+/// Write one frame as one line and flush it.
+pub fn write_frame(writer: &mut impl Write, frame: &Json) -> Result<(), ExecError> {
+    writeln!(writer, "{}", frame.to_text())
+        .and_then(|()| writer.flush())
+        .map_err(|e| ExecError::Protocol(format!("writing frame: {e}")))
+}
+
+/// One side of a framed worker conversation.
+pub trait Transport: Send {
+    /// Send one frame.
+    fn send(&mut self, frame: &Json) -> Result<(), ExecError>;
+
+    /// Receive one frame; `Ok(None)` when the peer closed the stream.
+    fn recv(&mut self) -> Result<Option<Json>, ExecError>;
+
+    /// A human-readable peer description for logs and the registry.
+    fn peer(&self) -> String;
+}
+
+/// A transport over any buffered-read / write pair (a socket's two halves,
+/// in-memory buffers in tests).
+pub struct LineTransport<R, W> {
+    reader: R,
+    writer: W,
+    peer: String,
+}
+
+impl<R: BufRead + Send, W: Write + Send> LineTransport<R, W> {
+    /// A transport over `reader`/`writer`, described as `peer`.
+    pub fn new(reader: R, writer: W, peer: impl Into<String>) -> Self {
+        LineTransport {
+            reader,
+            writer,
+            peer: peer.into(),
+        }
+    }
+}
+
+impl<R: BufRead + Send, W: Write + Send> Transport for LineTransport<R, W> {
+    fn send(&mut self, frame: &Json) -> Result<(), ExecError> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    fn recv(&mut self) -> Result<Option<Json>, ExecError> {
+        read_frame(&mut self.reader)
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// A transport over a spawned worker subprocess's stdio. Dropping it
+/// closes the child's stdin (the worker drains and exits at EOF) and reaps
+/// the process.
+pub struct ChildTransport {
+    child: Child,
+    reader: BufReader<ChildStdout>,
+    writer: Option<ChildStdin>,
+    peer: String,
+}
+
+impl Transport for ChildTransport {
+    fn send(&mut self, frame: &Json) -> Result<(), ExecError> {
+        let writer = self
+            .writer
+            .as_mut()
+            .ok_or_else(|| ExecError::Protocol("worker stdin already closed".into()))?;
+        write_frame(writer, frame)
+    }
+
+    fn recv(&mut self) -> Result<Option<Json>, ExecError> {
+        read_frame(&mut self.reader)
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+impl Drop for ChildTransport {
+    fn drop(&mut self) {
+        // Closing stdin is the shutdown signal; then reap.
+        drop(self.writer.take());
+        let _ = self.child.wait();
+    }
+}
+
+/// Where a socket worker listens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerAddr {
+    /// A TCP address (`host:port`).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl WorkerAddr {
+    /// Parse an address: `unix:PATH` or anything containing a `/` is a
+    /// Unix-socket path, everything else is `host:port` TCP.
+    pub fn parse(text: &str) -> WorkerAddr {
+        if let Some(path) = text.strip_prefix("unix:") {
+            WorkerAddr::Unix(PathBuf::from(path))
+        } else if text.contains('/') {
+            WorkerAddr::Unix(PathBuf::from(text))
+        } else {
+            WorkerAddr::Tcp(text.to_string())
+        }
+    }
+}
+
+impl fmt::Display for WorkerAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerAddr::Tcp(addr) => write!(f, "{addr}"),
+            WorkerAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// Opens a transport to one worker. Connectors are reusable: dispatch
+/// phases reconnect (a stdio worker is respawned, a socket worker's
+/// listener accepts a fresh connection).
+pub trait Connector: Send + Sync {
+    /// Open a fresh transport.
+    fn connect(&self) -> Result<Box<dyn Transport>, ExecError>;
+
+    /// A human-readable description for logs and errors.
+    fn describe(&self) -> String;
+}
+
+/// Spawns `program args...` and talks to it over stdio.
+pub struct SpawnConnector {
+    /// The worker program (typically the `vericlick` binary).
+    pub program: PathBuf,
+    /// Its arguments (typically `["worker"]`).
+    pub args: Vec<String>,
+    /// The worker's stable identity in the registry. Each dispatch phase
+    /// respawns the child, so the pid changes — the registry deduplicates
+    /// by this label instead, keeping fleet-size stats honest.
+    pub label: String,
+}
+
+impl Connector for SpawnConnector {
+    fn connect(&self) -> Result<Box<dyn Transport>, ExecError> {
+        let mut child = Command::new(&self.program)
+            .args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| ExecError::Spawn(format!("{}: {e}", self.program.display())))?;
+        let stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| ExecError::Spawn("worker stdin not piped".into()))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| ExecError::Spawn("worker stdout not piped".into()))?;
+        Ok(Box::new(ChildTransport {
+            child,
+            reader: BufReader::new(stdout),
+            writer: Some(stdin),
+            peer: self.label.clone(),
+        }))
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Dials a socket worker at a [`WorkerAddr`].
+pub struct SocketConnector {
+    /// The worker's listen address.
+    pub addr: WorkerAddr,
+}
+
+impl Connector for SocketConnector {
+    fn connect(&self) -> Result<Box<dyn Transport>, ExecError> {
+        match &self.addr {
+            WorkerAddr::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)
+                    .map_err(|e| ExecError::Connect(format!("{addr}: {e}")))?;
+                let reader = stream
+                    .try_clone()
+                    .map_err(|e| ExecError::Connect(format!("{addr}: {e}")))?;
+                Ok(Box::new(LineTransport::new(
+                    BufReader::new(reader),
+                    stream,
+                    addr.clone(),
+                )))
+            }
+            WorkerAddr::Unix(path) => {
+                let stream = UnixStream::connect(path)
+                    .map_err(|e| ExecError::Connect(format!("{}: {e}", path.display())))?;
+                let reader = stream
+                    .try_clone()
+                    .map_err(|e| ExecError::Connect(format!("{}: {e}", path.display())))?;
+                Ok(Box::new(LineTransport::new(
+                    BufReader::new(reader),
+                    stream,
+                    format!("unix:{}", path.display()),
+                )))
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_addr_parses_tcp_and_unix() {
+        assert_eq!(
+            WorkerAddr::parse("127.0.0.1:7777"),
+            WorkerAddr::Tcp("127.0.0.1:7777".into())
+        );
+        assert_eq!(
+            WorkerAddr::parse("/tmp/w.sock"),
+            WorkerAddr::Unix(PathBuf::from("/tmp/w.sock"))
+        );
+        assert_eq!(
+            WorkerAddr::parse("unix:relative.sock"),
+            WorkerAddr::Unix(PathBuf::from("relative.sock"))
+        );
+        assert_eq!(WorkerAddr::parse("unix:/x/y").to_string(), "unix:/x/y");
+    }
+
+    #[test]
+    fn line_transport_round_trips_frames() {
+        let mut out = Vec::new();
+        {
+            let mut t = LineTransport::new(std::io::Cursor::new(""), &mut out, "test");
+            t.send(&Json::obj([("a", Json::int(1u64))])).unwrap();
+            t.send(&Json::obj([("b", Json::str("two"))])).unwrap();
+        }
+        let mut t = LineTransport::new(std::io::Cursor::new(out), Vec::new(), "test");
+        assert_eq!(
+            t.recv().unwrap().unwrap().get("a").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            t.recv()
+                .unwrap()
+                .unwrap()
+                .get("b")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            Some("two".to_string())
+        );
+        assert!(t.recv().unwrap().is_none(), "EOF is a clean None");
+    }
+}

@@ -1,0 +1,410 @@
+//! The worker side of the dispatch protocol: handshake, then execute
+//! every job frame the coordinator pushes into this worker's window —
+//! Step-1 explorations *and* Step-2 compositions — replying with result
+//! frames as each job finishes (possibly out of order; the coordinator
+//! folds by job id).
+//!
+//! [`worker_serve`] runs the protocol over any read/write pair — stdin and
+//! stdout for `vericlick worker`, an accepted socket for
+//! `vericlick worker --listen` (see [`serve_listener`]). The framing is
+//! identical on every transport.
+
+use super::transport::{read_frame, write_frame, WorkerAddr};
+use super::{run_explore_job, ExecError};
+use crate::json::Json;
+use crate::persist::{summary_from_json, summary_to_json};
+use crate::wire::{job_from_json, options_from_json, report_to_json, JobSpec};
+use dataplane_verifier::{ElementSummary, Verifier, VerifierOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Schema version of the worker-protocol frames. Version 2 is the
+/// registry protocol: hello handshake, pull-dispatched tagged jobs
+/// (explore *and* compose), out-of-order results by id.
+pub const WORKER_SCHEMA: u64 = 2;
+
+/// Protocol name announced in hello frames, so a mismatched peer is told
+/// what this endpoint speaks.
+pub const WORKER_PROTO: &str = "vericlick-worker";
+
+fn error_frame(id: Option<u64>, message: &str) -> Json {
+    let mut fields = vec![
+        ("schema", Json::int(WORKER_SCHEMA)),
+        ("kind", Json::str("error")),
+        ("message", Json::str(message)),
+    ];
+    if let Some(id) = id {
+        fields.insert(2, ("id", Json::int(id)));
+    }
+    Json::obj(fields)
+}
+
+/// Execute one decoded job; returns the result frame's payload fields.
+fn run_job(
+    job: &JobSpec,
+    summaries: Vec<Option<ElementSummary>>,
+    options: &VerifierOptions,
+) -> Result<Vec<(&'static str, Json)>, ExecError> {
+    match job {
+        JobSpec::Explore(job) => {
+            let summary = run_explore_job(job, &options.engine)?;
+            Ok(vec![(
+                "summary",
+                match summary {
+                    Some(s) => summary_to_json(&s),
+                    None => Json::Null,
+                },
+            )])
+        }
+        JobSpec::Compose(job) => {
+            let scenario = job
+                .scenario
+                .to_scenario()
+                .map_err(|e| ExecError::Job(format!("compose job scenario: {e}")))?;
+            let mut verifier = Verifier::with_options(options.clone());
+            let report = verifier.decide_composition(
+                &scenario.pipeline,
+                &scenario.property,
+                summaries.into_iter().flatten().map(Arc::new),
+            );
+            Ok(vec![
+                ("report", report_to_json(&report)),
+                (
+                    "elapsed_micros",
+                    Json::int(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+                ),
+            ])
+        }
+    }
+}
+
+/// Serve one coordinator session: handshake on the first frame, then
+/// execute job frames (up to `capacity` concurrently — the coordinator
+/// never keeps more than the advertised capacity in flight) until the
+/// peer closes the stream. `capacity` 0 means one per available core.
+///
+/// This is what `vericlick worker` runs over stdin/stdout; the framing is
+/// line-delimited JSON, so the same function serves an accepted socket.
+pub fn worker_serve<R, W>(input: R, output: W, capacity: usize) -> Result<(), ExecError>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let capacity = super::default_parallelism(capacity);
+    let mut input = input;
+    let writer = Mutex::new(output);
+
+    // Handshake: the first frame must be a hello with our protocol and
+    // schema. EOF before any frame is a clean no-op session.
+    let Some(hello) = read_frame(&mut input)? else {
+        return Ok(());
+    };
+    let kind = hello.get("kind").and_then(Json::as_str);
+    let schema = hello.get("schema").and_then(Json::as_u64);
+    let proto = hello.get("proto").and_then(Json::as_str);
+    if kind != Some("hello") || schema != Some(WORKER_SCHEMA) || proto != Some(WORKER_PROTO) {
+        // Reject cleanly: tell the peer what this build speaks, then
+        // refuse the session.
+        let message = format!(
+            "version mismatch: peer sent kind {kind:?} proto {proto:?} schema {schema:?}; \
+             this worker speaks {WORKER_PROTO} schema {WORKER_SCHEMA}"
+        );
+        let _ = write_frame(
+            &mut *writer.lock().expect("worker writer"),
+            &error_frame(None, &message),
+        );
+        return Err(ExecError::Protocol(message));
+    }
+    let options = options_from_json(
+        hello
+            .get("options")
+            .ok_or_else(|| ExecError::Protocol("hello frame has no options".into()))?,
+    )
+    .map_err(|e| ExecError::Protocol(e.to_string()))?;
+    write_frame(
+        &mut *writer.lock().expect("worker writer"),
+        &Json::obj([
+            ("schema", Json::int(WORKER_SCHEMA)),
+            ("kind", Json::str("hello")),
+            ("proto", Json::str(WORKER_PROTO)),
+            ("capacity", Json::int(capacity as u64)),
+        ]),
+    )?;
+
+    // The job loop. Jobs run on scoped threads; results are written as
+    // they finish. The in-flight gate enforces the advertised capacity on
+    // *this* side too — an honest coordinator never exceeds the window,
+    // but a remote peer is not trusted to spawn unbounded solver threads
+    // here.
+    let options = &options;
+    let writer = &writer;
+    let in_flight = &(Mutex::new(0usize), Condvar::new());
+    std::thread::scope(|scope| -> Result<(), ExecError> {
+        loop {
+            let Some(frame) = read_frame(&mut input)? else {
+                return Ok(()); // coordinator closed the session: drain and exit
+            };
+            if frame.get("schema").and_then(Json::as_u64) != Some(WORKER_SCHEMA) {
+                return Err(ExecError::Protocol("job frame with wrong schema".into()));
+            }
+            match frame.get("kind").and_then(Json::as_str) {
+                Some("job") => {
+                    let id = frame
+                        .get("id")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ExecError::Protocol("job frame without an id".into()))?;
+                    let job =
+                        job_from_json(frame.get("job").ok_or_else(|| {
+                            ExecError::Protocol("job frame without a job".into())
+                        })?)
+                        .map_err(|e| ExecError::Protocol(e.to_string()))?;
+                    let summaries = match frame.get("summaries") {
+                        None | Some(Json::Null) => Vec::new(),
+                        Some(doc) => doc
+                            .as_arr()
+                            .ok_or_else(|| {
+                                ExecError::Protocol("job summaries is not an array".into())
+                            })?
+                            .iter()
+                            .map(|s| match s {
+                                Json::Null => Ok(None),
+                                doc => summary_from_json(doc).map(Some).map_err(|e| {
+                                    ExecError::Protocol(format!("undecodable summary: {e}"))
+                                }),
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    };
+                    {
+                        let (count, cv) = in_flight;
+                        let mut running = count.lock().expect("in-flight gate");
+                        while *running >= capacity {
+                            running = cv.wait(running).expect("in-flight gate");
+                        }
+                        *running += 1;
+                    }
+                    scope.spawn(move || {
+                        let frame = match run_job(&job, summaries, options) {
+                            Ok(payload) => {
+                                let mut fields = vec![
+                                    ("schema", Json::int(WORKER_SCHEMA)),
+                                    ("kind", Json::str("result")),
+                                    ("id", Json::int(id)),
+                                ];
+                                fields.extend(payload);
+                                Json::obj(fields)
+                            }
+                            Err(e) => error_frame(Some(id), &e.to_string()),
+                        };
+                        // A write failure means the coordinator is gone;
+                        // the read loop will see EOF and exit.
+                        let _ = write_frame(&mut *writer.lock().expect("worker writer"), &frame);
+                        let (count, cv) = in_flight;
+                        *count.lock().expect("in-flight gate") -= 1;
+                        cv.notify_one();
+                    });
+                }
+                Some("shutdown") => return Ok(()),
+                other => {
+                    return Err(ExecError::Protocol(format!(
+                        "unexpected frame kind {other:?}"
+                    )))
+                }
+            }
+        }
+    })
+}
+
+/// Bind `addr` and serve coordinator connections: the body of
+/// `vericlick worker --listen`. Every accepted connection is one
+/// [`worker_serve`] session; sessions are served sequentially (one
+/// coordinator at a time — parallelism lives *inside* a session, bounded
+/// by `capacity`). With `once`, exit after the first session (used by
+/// tests); otherwise loop until killed.
+///
+/// `log` receives one line per lifecycle event; the first is always
+/// `listening on <addr>` with the *actual* bound address (so `:0` TCP
+/// listeners report their chosen port).
+pub fn serve_listener(
+    addr: &WorkerAddr,
+    capacity: usize,
+    once: bool,
+    log: &mut dyn FnMut(&str),
+) -> Result<(), ExecError> {
+    match addr {
+        WorkerAddr::Tcp(spec) => {
+            let listener = std::net::TcpListener::bind(spec)
+                .map_err(|e| ExecError::Connect(format!("bind {spec}: {e}")))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| ExecError::Connect(format!("bind {spec}: {e}")))?;
+            log(&format!("listening on {local}"));
+            loop {
+                let (stream, peer) = listener
+                    .accept()
+                    .map_err(|e| ExecError::Connect(format!("accept: {e}")))?;
+                log(&format!("session from {peer}"));
+                let reader = stream
+                    .try_clone()
+                    .map_err(|e| ExecError::Connect(format!("clone stream: {e}")))?;
+                match worker_serve(BufReader::new(reader), stream, capacity) {
+                    Ok(()) => log(&format!("session from {peer} done")),
+                    Err(e) => log(&format!("session from {peer} failed: {e}")),
+                }
+                if once {
+                    return Ok(());
+                }
+            }
+        }
+        WorkerAddr::Unix(path) => {
+            // Reclaim only a *stale* socket file: if a live worker still
+            // answers on it, refuse instead of silently stealing its
+            // address (the old worker would keep running, unreachable).
+            if path.exists() {
+                if std::os::unix::net::UnixStream::connect(path).is_ok() {
+                    return Err(ExecError::Connect(format!(
+                        "{} is in use by a live worker",
+                        path.display()
+                    )));
+                }
+                let _ = std::fs::remove_file(path);
+            }
+            let listener = std::os::unix::net::UnixListener::bind(path)
+                .map_err(|e| ExecError::Connect(format!("bind {}: {e}", path.display())))?;
+            log(&format!("listening on unix:{}", path.display()));
+            loop {
+                let (stream, _) = listener
+                    .accept()
+                    .map_err(|e| ExecError::Connect(format!("accept: {e}")))?;
+                log("session on unix socket");
+                let reader = stream
+                    .try_clone()
+                    .map_err(|e| ExecError::Connect(format!("clone stream: {e}")))?;
+                match worker_serve(BufReader::new(reader), stream, capacity) {
+                    Ok(()) => log("session done"),
+                    Err(e) => log(&format!("session failed: {e}")),
+                }
+                if once {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::dispatch::hello_frame;
+    use super::super::testutil::router_jobs;
+    use super::*;
+    use crate::wire::{job_to_json, ExploreJob};
+
+    fn frames_to_input(frames: &[Json]) -> std::io::Cursor<String> {
+        let text: String = frames
+            .iter()
+            .map(|f| format!("{}\n", f.to_text()))
+            .collect();
+        std::io::Cursor::new(text)
+    }
+
+    fn job_frame(id: u64, job: &ExploreJob) -> Json {
+        Json::obj([
+            ("schema", Json::int(WORKER_SCHEMA)),
+            ("kind", Json::str("job")),
+            ("id", Json::int(id)),
+            ("job", job_to_json(&JobSpec::Explore(job.clone()))),
+        ])
+    }
+
+    fn parse_output(output: &[u8]) -> Vec<Json> {
+        String::from_utf8(output.to_vec())
+            .unwrap()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| Json::parse(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn worker_serves_a_session_over_buffers() {
+        // Drive the exact protocol through in-memory buffers: hello, two
+        // explore jobs, EOF.
+        let options = VerifierOptions::default();
+        let jobs = router_jobs(&options.engine);
+        let mut frames = vec![hello_frame(&options)];
+        frames.push(job_frame(0, &jobs[0]));
+        frames.push(job_frame(1, &jobs[1]));
+        let mut output = Vec::new();
+        worker_serve(frames_to_input(&frames), &mut output, 2).unwrap();
+        let replies = parse_output(&output);
+        assert_eq!(
+            replies[0].get("kind").and_then(Json::as_str),
+            Some("hello"),
+            "first reply is the hello"
+        );
+        assert_eq!(replies[0].get("schema").and_then(Json::as_u64), Some(2));
+        let mut ids: Vec<u64> = replies[1..]
+            .iter()
+            .map(|r| {
+                assert_eq!(r.get("kind").and_then(Json::as_str), Some("result"));
+                assert!(
+                    r.get("summary").is_some(),
+                    "explore results carry a summary"
+                );
+                r.get("id").and_then(Json::as_u64).unwrap()
+            })
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1], "every job answered exactly once");
+    }
+
+    #[test]
+    fn version_mismatch_hello_is_rejected_cleanly() {
+        let bad_hello = Json::obj([
+            ("schema", Json::int(99u64)),
+            ("kind", Json::str("hello")),
+            ("proto", Json::str(WORKER_PROTO)),
+        ]);
+        let mut output = Vec::new();
+        let result = worker_serve(frames_to_input(&[bad_hello]), &mut output, 1);
+        assert!(matches!(result, Err(ExecError::Protocol(_))), "{result:?}");
+        let replies = parse_output(&output);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].get("kind").and_then(Json::as_str), Some("error"));
+        let message = replies[0]
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or_default();
+        assert!(
+            message.contains("schema 2"),
+            "tells the peer what we speak: {message}"
+        );
+    }
+
+    #[test]
+    fn worker_rejects_malformed_frames_and_eof_is_clean() {
+        let mut output = Vec::new();
+        let result = worker_serve(
+            std::io::Cursor::new("not json\n".to_string()),
+            &mut output,
+            1,
+        );
+        assert!(result.is_err());
+        // EOF without a frame is a clean exit.
+        let mut output = Vec::new();
+        worker_serve(std::io::Cursor::new(String::new()), &mut output, 1).unwrap();
+        assert!(output.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_becomes_an_error_frame() {
+        let options = VerifierOptions::default();
+        let mut jobs = router_jobs(&options.engine);
+        jobs[0].fingerprint = crate::fingerprint::fingerprint_bytes("not this element");
+        let frames = vec![hello_frame(&options), job_frame(7, &jobs[0])];
+        let mut output = Vec::new();
+        worker_serve(frames_to_input(&frames), &mut output, 1).unwrap();
+        let replies = parse_output(&output);
+        assert_eq!(replies[1].get("kind").and_then(Json::as_str), Some("error"));
+        assert_eq!(replies[1].get("id").and_then(Json::as_u64), Some(7));
+    }
+}

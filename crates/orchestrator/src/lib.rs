@@ -13,12 +13,17 @@
 //!   [`VerifyService::plan_request`] produces a [`wire::PlanSpec`] that
 //!   round-trips through JSON, [`VerifyService::execute_plan`] runs one
 //!   through any [`exec::Executor`].
-//! * [`exec`] — the execution backends: the in-process work-stealing pool
-//!   and the [`exec::SubprocessWorker`] transport that ships serialised
-//!   job specs to worker processes over stdio (the remote-worker path,
-//!   byte-identical reports proven end to end).
-//! * [`wire`] — the JSON codecs for requests, plans, options, and the
-//!   deterministic report form, all schema-versioned.
+//! * [`exec`] — the execution backends, layered for distribution: a
+//!   line-JSON [`exec::transport::Transport`] abstraction (stdio, TCP,
+//!   Unix sockets), the [`exec::WorkerRegistry`] (hello handshake with
+//!   protocol/schema versions and capacity, liveness,
+//!   drain-and-requeue), pull-based dispatch over one shared job queue,
+//!   and the [`exec::WorkerFleet`] executor that runs Step-1
+//!   explorations *and* Step-2 compositions on local or networked
+//!   workers — byte-identical reports proven end to end.
+//! * [`wire`] — the JSON codecs for requests, plans, options, jobs
+//!   (explore *and* compose), and the deterministic report form, all
+//!   schema-versioned.
 //! * [`executor`] — the **shared scheduler**: one dynamic work-stealing
 //!   pool ([`executor::Pool`]) plus a pool-wide thread ledger
 //!   ([`executor::ThreadBudget`]) that scenario jobs and each
@@ -89,7 +94,10 @@ pub mod wire;
 
 pub use cache::{CacheStats, SummaryStore};
 pub use diff::{config_scenarios, DiffEntry, DiffKind, DiffReport, NamedConfig};
-pub use exec::{worker_serve, ExecError, Executor, InProcessExecutor, SubprocessWorker};
+pub use exec::{
+    serve_listener, worker_serve, DispatchStats, ExecError, Executor, InProcessExecutor,
+    WorkerAddr, WorkerFleet, WorkerRegistry,
+};
 pub use executor::ThreadBudget;
 pub use fingerprint::{element_fingerprint, fingerprint_bytes, Fingerprint};
 pub use matrix::{preset_pipelines, preset_properties, preset_scenarios, MatrixReport};
@@ -100,9 +108,10 @@ pub use orchestrator::{
     ExploreSpec, JobPlan, ProgressEvent, Scenario, ScenarioReport,
 };
 pub use service::{
-    PropertySelect, ServiceError, VerifyOutcome, VerifyRequest, VerifyResponse, VerifyService,
+    BoundOutcome, PropertySelect, ServiceError, VerifyOutcome, VerifyRequest, VerifyResponse,
+    VerifyService,
 };
-pub use wire::{JobSpec, PlanSpec, ScenarioSpec, WireError};
+pub use wire::{ComposeJob, ExploreJob, JobSpec, PlanSpec, ScenarioSpec, WireError};
 
 // The service moves pipelines, summaries, and progress observers across
 // worker threads; keep those bounds a compile-time contract.

@@ -112,6 +112,10 @@ pub struct MatrixReport {
     pub peak_live_threads: usize,
     /// Summary-store activity during this run.
     pub cache: CacheStats,
+    /// Registry/queue statistics when the run executed on a worker fleet
+    /// (`None` for purely in-process runs). Operational data — excluded
+    /// from the deterministic report form.
+    pub stats: Option<crate::exec::DispatchStats>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -205,6 +209,28 @@ impl MatrixReport {
                         ),
                     ),
                     (
+                        "escalations_fm",
+                        Json::Arr(
+                            report
+                                .stats
+                                .escalations_fm
+                                .iter()
+                                .map(|&n| Json::int(n as u64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "escalations_search",
+                        Json::Arr(
+                            report
+                                .stats
+                                .escalations_search
+                                .iter()
+                                .map(|&n| Json::int(n as u64))
+                                .collect(),
+                        ),
+                    ),
+                    (
                         "elapsed_micros",
                         Json::int(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
                     ),
@@ -236,6 +262,22 @@ impl MatrixReport {
                     ("disk_errors", Json::int(self.cache.disk_errors)),
                     ("evicted", Json::int(self.cache.evicted)),
                 ]),
+            ),
+            (
+                "dispatch",
+                match &self.stats {
+                    None => Json::Null,
+                    Some(d) => Json::obj([
+                        ("workers", Json::int(d.workers as u64)),
+                        ("workers_lost", Json::int(d.workers_lost as u64)),
+                        ("capacity", Json::int(d.capacity as u64)),
+                        ("jobs_dispatched", Json::int(d.jobs_dispatched as u64)),
+                        ("jobs_completed", Json::int(d.jobs_completed as u64)),
+                        ("jobs_requeued", Json::int(d.jobs_requeued as u64)),
+                        ("explore_jobs", Json::int(d.explore_jobs as u64)),
+                        ("compose_jobs", Json::int(d.compose_jobs as u64)),
+                    ]),
+                },
             ),
             (
                 "elapsed_micros",
@@ -299,6 +341,20 @@ impl fmt::Display for MatrixReport {
             self.cache.disk_hits,
             self.cache.persisted
         )?;
+        if let Some(d) = &self.stats {
+            writeln!(
+                f,
+                "  fleet: {} workers (capacity {}, {} lost), {} dispatched / {} completed / {} requeued ({} explore + {} compose jobs)",
+                d.workers,
+                d.capacity,
+                d.workers_lost,
+                d.jobs_dispatched,
+                d.jobs_completed,
+                d.jobs_requeued,
+                d.explore_jobs,
+                d.compose_jobs
+            )?;
+        }
         for s in &self.scenarios {
             writeln!(
                 f,

@@ -36,7 +36,7 @@ use crate::cache::{CacheStats, SummaryStore};
 use crate::diff::{
     config_scenarios, default_properties, DiffEntry, DiffKind, DiffReport, NamedConfig,
 };
-use crate::exec::{ExecError, Executor};
+use crate::exec::{ExecError, Executor, InProcessExecutor};
 use crate::executor::{Latch, Pool, ThreadBudget};
 use crate::json::Json;
 use crate::matrix::{preset_pipelines, preset_properties, MatrixReport};
@@ -44,12 +44,15 @@ use crate::orchestrator::{
     parallel_composition, plan, BudgetedComposition, CompositionMode, ProgressEvent, Scenario,
     ScenarioReport,
 };
-use crate::wire::{self, DiffMeta, JobSpec, PlanSpec, ScenarioSpec, WireError};
+use crate::wire::{
+    self, BoundSpec, ComposeJob, DiffMeta, ExploreJob, PlanSpec, ScenarioSpec, WireError,
+};
 use dataplane_pipeline::diff::diff_pipelines;
 use dataplane_pipeline::{parse_config, ConfigError, Pipeline};
-use dataplane_symbex::{explore_with_cancel, CancelToken};
+use dataplane_symbex::{explore_with_cancel, CancelToken, EngineConfig};
 use dataplane_verifier::{
-    ElementSummary, ParallelComposition, Property, Report, Verdict, Verifier, VerifierOptions,
+    ElementSummary, InstructionBoundReport, ParallelComposition, Property, Report, Verdict,
+    Verifier, VerifierOptions,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -126,6 +129,17 @@ pub enum VerifyRequest {
         /// Which properties to verify per config.
         properties: PropertySelect,
     },
+    /// Establish the pipeline's per-packet instruction bound and witness
+    /// packet ([`Verifier::max_instructions`]) — the paper's second
+    /// experiment, as a typed request so the bound analysis rides the
+    /// plan/execute split (its element explorations run through any
+    /// [`Executor`]).
+    Bound {
+        /// Label used in reports.
+        name: String,
+        /// The pipeline to bound.
+        pipeline: Pipeline,
+    },
 }
 
 impl VerifyRequest {
@@ -136,6 +150,7 @@ impl VerifyRequest {
             VerifyRequest::Matrix { .. } => "matrix",
             VerifyRequest::Diff { .. } => "diff",
             VerifyRequest::Watch { .. } => "watch",
+            VerifyRequest::Bound { .. } => "bound",
         }
     }
 
@@ -150,6 +165,14 @@ impl VerifyRequest {
     }
 }
 
+/// The named result of a [`VerifyRequest::Bound`] analysis.
+pub struct BoundOutcome {
+    /// The pipeline's label.
+    pub pipeline_name: String,
+    /// The instruction-bound analysis result.
+    pub report: InstructionBoundReport,
+}
+
 /// What a served request produced.
 pub enum VerifyOutcome {
     /// The report of a [`VerifyRequest::Single`] run.
@@ -160,6 +183,8 @@ pub enum VerifyOutcome {
     /// The incremental report of a [`VerifyRequest::Diff`] or follow-up
     /// [`VerifyRequest::Watch`] run.
     Diff(DiffReport),
+    /// The instruction bound of a [`VerifyRequest::Bound`] analysis.
+    Bound(Box<BoundOutcome>),
 }
 
 /// The front door's response: the outcome plus which request shape produced
@@ -177,7 +202,7 @@ impl VerifyResponse {
     /// for single runs.
     pub fn matrix(&self) -> Option<&MatrixReport> {
         match &self.outcome {
-            VerifyOutcome::Single(_) => None,
+            VerifyOutcome::Single(_) | VerifyOutcome::Bound(_) => None,
             VerifyOutcome::Matrix(m) => Some(m),
             VerifyOutcome::Diff(d) => Some(&d.matrix),
         }
@@ -201,6 +226,8 @@ impl VerifyResponse {
             },
             VerifyOutcome::Matrix(m) => m.verdict_counts(),
             VerifyOutcome::Diff(d) => d.matrix.verdict_counts(),
+            // A bound analysis has no verdicts; nothing can be Unknown.
+            VerifyOutcome::Bound(_) => (0, 0, 0),
         }
     }
 
@@ -220,6 +247,16 @@ impl VerifyResponse {
             ]),
             VerifyOutcome::Matrix(m) => m.to_json(),
             VerifyOutcome::Diff(d) => d.to_json(),
+            VerifyOutcome::Bound(b) => Json::obj([
+                ("schema", Json::int(wire::REPORT_SCHEMA)),
+                ("kind", Json::str("bound")),
+                ("pipeline", Json::str(&b.pipeline_name)),
+                ("report", wire::bound_report_to_json(&b.report)),
+                (
+                    "elapsed_micros",
+                    Json::int(b.report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+                ),
+            ]),
         }
     }
 
@@ -236,6 +273,12 @@ impl VerifyResponse {
             ]),
             VerifyOutcome::Matrix(m) => m.deterministic_json(),
             VerifyOutcome::Diff(d) => d.deterministic_json(),
+            VerifyOutcome::Bound(b) => Json::obj([
+                ("schema", Json::int(wire::REPORT_SCHEMA)),
+                ("kind", Json::str("bound")),
+                ("pipeline", Json::str(&b.pipeline_name)),
+                ("report", wire::bound_report_to_json(&b.report)),
+            ]),
         }
     }
 }
@@ -246,6 +289,7 @@ impl fmt::Display for VerifyResponse {
             VerifyOutcome::Single(s) => write!(f, "{}", s.report),
             VerifyOutcome::Matrix(m) => write!(f, "{m}"),
             VerifyOutcome::Diff(d) => write!(f, "{d}"),
+            VerifyOutcome::Bound(b) => write!(f, "{}: {}", b.pipeline_name, b.report),
         }
     }
 }
@@ -451,6 +495,14 @@ impl VerifyService {
                 *self.baseline.lock().expect("watch baseline") = Some(configs);
                 outcome
             }
+            request @ VerifyRequest::Bound { .. } => {
+                // Serve through the same plan/execute machinery the remote
+                // path uses: element explorations on the in-process pool,
+                // the bound analysis decided from the warmed store.
+                let plan = self.plan_request(&request)?;
+                self.execute_plan(&plan, &InProcessExecutor::new(self.threads))?
+                    .outcome
+            }
         };
         Ok(VerifyResponse {
             request: kind,
@@ -629,14 +681,8 @@ impl VerifyService {
             cached_jobs,
             threads: self.threads,
             peak_live_threads: self.budget.peak_in_use(),
-            cache: CacheStats {
-                memory_hits: stats_after.memory_hits - stats_before.memory_hits,
-                disk_hits: stats_after.disk_hits - stats_before.disk_hits,
-                misses: stats_after.misses - stats_before.misses,
-                persisted: stats_after.persisted - stats_before.persisted,
-                disk_errors: stats_after.disk_errors - stats_before.disk_errors,
-                evicted: stats_after.evicted - stats_before.evicted,
-            },
+            cache: CacheStats::delta(&stats_before, &stats_after),
+            stats: None,
             elapsed: started.elapsed(),
         }
     }
@@ -736,6 +782,26 @@ impl VerifyService {
                     }
                 }
             }
+            VerifyRequest::Bound { name, pipeline } => {
+                let config =
+                    dataplane_pipeline::write_config(pipeline).map_err(WireError::Write)?;
+                let parsed = parse_config(&config)?;
+                let mut table = JobTable::new(&self.options.engine);
+                let fingerprints = table.add_pipeline(&parsed);
+                Ok(PlanSpec {
+                    options: self.options.clone(),
+                    scenarios: Vec::new(),
+                    jobs: table.jobs,
+                    scenario_jobs: Vec::new(),
+                    element_fingerprints: Vec::new(),
+                    diff: None,
+                    bound: Some(BoundSpec {
+                        name: name.clone(),
+                        config,
+                        fingerprints,
+                    }),
+                })
+            }
         }
     }
 
@@ -745,30 +811,15 @@ impl VerifyService {
         specs: Vec<ScenarioSpec>,
         diff: Option<DiffMeta>,
     ) -> Result<PlanSpec, ServiceError> {
-        let engine = &self.options.engine;
-        let mut jobs: Vec<JobSpec> = Vec::new();
-        let mut job_of: BTreeMap<crate::fingerprint::Fingerprint, usize> = BTreeMap::new();
+        let mut table = JobTable::new(&self.options.engine);
         let mut scenario_jobs = Vec::with_capacity(specs.len());
         let mut element_fingerprints = Vec::with_capacity(specs.len());
         for spec in &specs {
             let pipeline = parse_config(&spec.config)?;
+            let fps = table.add_pipeline(&pipeline);
             let mut deps = Vec::new();
-            let mut fps = Vec::with_capacity(pipeline.len());
-            for (_, node) in pipeline.iter() {
-                let element = node.element.as_ref();
-                let fp = crate::fingerprint::element_fingerprint(element, engine);
-                fps.push(fp);
-                let job = *job_of.entry(fp).or_insert_with(|| {
-                    jobs.push(JobSpec {
-                        fingerprint: fp,
-                        type_name: element.type_name().to_string(),
-                        // Elements of a parsed config always render back.
-                        config_args: element
-                            .config_args()
-                            .expect("factory-built elements have config args"),
-                    });
-                    jobs.len() - 1
-                });
+            for fp in &fps {
+                let job = table.job_of[fp];
                 if !deps.contains(&job) {
                     deps.push(job);
                 }
@@ -779,10 +830,11 @@ impl VerifyService {
         Ok(PlanSpec {
             options: self.options.clone(),
             scenarios: specs,
-            jobs,
+            jobs: table.jobs,
             scenario_jobs,
             element_fingerprints,
             diff,
+            bound: None,
         })
     }
 
@@ -799,15 +851,17 @@ impl VerifyService {
         plan_spec: &PlanSpec,
         executor: &dyn Executor,
     ) -> Result<VerifyResponse, ServiceError> {
+        let started = Instant::now();
+        let stats_before = self.store.stats();
         // Step 1 through the pluggable executor: only behaviours the local
         // store is missing.
-        let missing: Vec<JobSpec> = plan_spec
+        let missing: Vec<ExploreJob> = plan_spec
             .jobs
             .iter()
             .filter(|job| self.store.get(job.fingerprint).is_none())
             .cloned()
             .collect();
-        let summaries = executor.explore_jobs(&missing, &plan_spec.options.engine)?;
+        let summaries = executor.explore_jobs(&missing, &plan_spec.options)?;
         // Explorations that produced a summary. A budget-exceeded job
         // returns `None` and publishes nothing — the composition phase then
         // surfaces the failure exactly as a cold in-process run would, and
@@ -820,19 +874,83 @@ impl VerifyService {
             }
         }
 
-        // Step 2 on the shared scheduler, under the plan's pinned options.
-        let scenarios = plan_spec
+        // An instruction-bound plan: decide the analysis from the (now
+        // warm) store under the plan's pinned options.
+        if let Some(bound) = &plan_spec.bound {
+            let pipeline = parse_config(&bound.config)?;
+            let mut verifier = Verifier::with_options(plan_spec.options.clone());
+            verifier.seed_summaries(
+                bound
+                    .fingerprints
+                    .iter()
+                    .filter_map(|fp| self.store.get(*fp)),
+            );
+            let report = verifier.max_instructions(&pipeline);
+            return Ok(VerifyResponse {
+                request: "exec-plan",
+                outcome: VerifyOutcome::Bound(Box::new(BoundOutcome {
+                    pipeline_name: bound.name.clone(),
+                    report,
+                })),
+            });
+        }
+
+        // Step 2: through the executor too if it has a remote composition
+        // path (sockets, subprocess workers), on the shared scheduler
+        // otherwise — both under the plan's pinned options, both
+        // byte-identical.
+        let compose_specs: Vec<ComposeJob> = plan_spec
             .scenarios
             .iter()
-            .map(|spec| spec.to_scenario())
-            .collect::<Result<Vec<_>, _>>()?;
-        let mut matrix = self.run_matrix_with(scenarios, &plan_spec.options);
-        // Operational bookkeeping: the executor phase explored `published`
-        // behaviours, which the inner planner then found warm — move them
-        // from its cached count to the explore count. What the store held
-        // before the executor ran stays "cached".
-        matrix.explore_jobs += published;
-        matrix.cached_jobs = matrix.cached_jobs.saturating_sub(published);
+            .zip(&plan_spec.element_fingerprints)
+            .map(|(spec, fps)| ComposeJob {
+                scenario: spec.clone(),
+                fingerprints: fps.clone(),
+            })
+            .collect();
+        let fetch = |fp: crate::fingerprint::Fingerprint| self.store.get(fp);
+        let mut matrix = match executor.compose_jobs(&compose_specs, &plan_spec.options, &fetch) {
+            Some(reports) => {
+                let reports = reports?;
+                let stats_after = self.store.stats();
+                MatrixReport {
+                    scenarios: plan_spec
+                        .scenarios
+                        .iter()
+                        .zip(reports)
+                        .map(|(spec, report)| ScenarioReport {
+                            pipeline_name: spec.name.clone(),
+                            report,
+                        })
+                        .collect(),
+                    explore_jobs: missing.len(),
+                    cached_jobs: plan_spec.jobs.len() - missing.len(),
+                    threads: self.threads,
+                    // No composition ran in this process.
+                    peak_live_threads: 0,
+                    cache: CacheStats::delta(&stats_before, &stats_after),
+                    stats: None,
+                    elapsed: started.elapsed(),
+                }
+            }
+            None => {
+                let scenarios = plan_spec
+                    .scenarios
+                    .iter()
+                    .map(|spec| spec.to_scenario())
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut matrix = self.run_matrix_with(scenarios, &plan_spec.options);
+                // Operational bookkeeping: the executor phase explored
+                // `published` behaviours, which the inner planner then found
+                // warm — move them from its cached count to the explore
+                // count. What the store held before the executor ran stays
+                // "cached".
+                matrix.explore_jobs += published;
+                matrix.cached_jobs = matrix.cached_jobs.saturating_sub(published);
+                matrix
+            }
+        };
+        matrix.stats = executor.dispatch_stats();
 
         let outcome = match &plan_spec.diff {
             Some(meta) => VerifyOutcome::Diff(DiffReport {
@@ -847,6 +965,53 @@ impl VerifyService {
             request: "exec-plan",
             outcome,
         })
+    }
+}
+
+/// Deduplicating explore-job table shared by scenario and bound planning:
+/// one [`ExploreJob`] per distinct element behaviour across everything
+/// added.
+struct JobTable<'a> {
+    engine: &'a EngineConfig,
+    jobs: Vec<ExploreJob>,
+    job_of: BTreeMap<crate::fingerprint::Fingerprint, usize>,
+}
+
+impl<'a> JobTable<'a> {
+    fn new(engine: &'a EngineConfig) -> Self {
+        JobTable {
+            engine,
+            jobs: Vec::new(),
+            job_of: BTreeMap::new(),
+        }
+    }
+
+    /// Add every element of `pipeline`; returns its per-element summary
+    /// fingerprints in pipeline order.
+    fn add_pipeline(&mut self, pipeline: &Pipeline) -> Vec<crate::fingerprint::Fingerprint> {
+        let JobTable {
+            engine,
+            jobs,
+            job_of,
+        } = self;
+        let mut fps = Vec::with_capacity(pipeline.len());
+        for (_, node) in pipeline.iter() {
+            let element = node.element.as_ref();
+            let fp = crate::fingerprint::element_fingerprint(element, engine);
+            fps.push(fp);
+            job_of.entry(fp).or_insert_with(|| {
+                jobs.push(ExploreJob {
+                    fingerprint: fp,
+                    type_name: element.type_name().to_string(),
+                    // Elements of a parsed config always render back.
+                    config_args: element
+                        .config_args()
+                        .expect("factory-built elements have config args"),
+                });
+                jobs.len() - 1
+            });
+        }
+        fps
     }
 }
 

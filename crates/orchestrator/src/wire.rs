@@ -37,8 +37,10 @@ use std::fmt;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
-/// Schema version of serialised [`PlanSpec`] documents.
-pub const PLAN_SCHEMA: u64 = 1;
+/// Schema version of serialised [`PlanSpec`] documents. Version 2 tags
+/// each job with its kind (`explore` / `compose`) and adds the optional
+/// `bound` section for instruction-bound analyses.
+pub const PLAN_SCHEMA: u64 = 2;
 
 /// Schema version of serialised [`crate::service::VerifyRequest`] documents.
 pub const REQUEST_SCHEMA: u64 = 1;
@@ -382,7 +384,7 @@ fn scenario_spec_from_json(json: &Json) -> Result<ScenarioSpec, WireError> {
 /// summary — so a stale or mismatched worker build fails loudly instead of
 /// silently caching the wrong behaviour.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct JobSpec {
+pub struct ExploreJob {
     /// Content-addressed identity of the summary this job produces.
     pub fingerprint: Fingerprint,
     /// Element type name (a config-factory type).
@@ -391,22 +393,90 @@ pub struct JobSpec {
     pub config_args: String,
 }
 
-/// Encode a job spec.
-pub fn job_to_json(job: &JobSpec) -> Json {
+/// One Step-2 composition job on the wire: the scenario (as config text +
+/// property) and, per pipeline element, the fingerprint of the summary its
+/// composition consumes. The summaries themselves travel alongside the job
+/// in the dispatch frame (a fingerprint whose exploration exceeded its
+/// budget ships no summary — the worker then re-attempts it inline and
+/// reports the failure exactly as a local run would).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComposeJob {
+    /// The scenario to compose.
+    pub scenario: ScenarioSpec,
+    /// Per pipeline element: the summary fingerprint the composition
+    /// consumes, in pipeline order.
+    pub fingerprints: Vec<Fingerprint>,
+}
+
+/// One job a worker executes: a Step-1 exploration or a Step-2
+/// composition. This is the unit of the pull-based dispatch protocol —
+/// both kinds of work travel over the same wire and drain from the same
+/// queue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobSpec {
+    /// Explore one element behaviour.
+    Explore(ExploreJob),
+    /// Decide one scenario's composition from shipped summaries.
+    Compose(ComposeJob),
+}
+
+/// Encode an explore job (tagged with its kind, like every wire job).
+pub fn explore_job_to_json(job: &ExploreJob) -> Json {
     Json::obj([
+        ("kind", Json::str("explore")),
         ("fingerprint", Json::str(job.fingerprint.to_string())),
         ("type_name", Json::str(&job.type_name)),
         ("config_args", Json::str(&job.config_args)),
     ])
 }
 
-/// Decode a job spec.
-pub fn job_from_json(json: &Json) -> Result<JobSpec, WireError> {
-    Ok(JobSpec {
+/// Decode an explore job.
+pub fn explore_job_from_json(json: &Json) -> Result<ExploreJob, WireError> {
+    Ok(ExploreJob {
         fingerprint: parse_fingerprint(get_str(json, "fingerprint")?)?,
         type_name: get_str(json, "type_name")?.to_string(),
         config_args: get_str(json, "config_args")?.to_string(),
     })
+}
+
+fn fingerprints_to_json(fps: &[Fingerprint]) -> Json {
+    Json::Arr(fps.iter().map(|fp| Json::str(fp.to_string())).collect())
+}
+
+fn fingerprints_from_json(items: &[Json]) -> Result<Vec<Fingerprint>, WireError> {
+    items
+        .iter()
+        .map(|fp| {
+            parse_fingerprint(
+                fp.as_str()
+                    .ok_or_else(|| malformed("fingerprint is not a string"))?,
+            )
+        })
+        .collect()
+}
+
+/// Encode a wire job of either kind.
+pub fn job_to_json(job: &JobSpec) -> Json {
+    match job {
+        JobSpec::Explore(job) => explore_job_to_json(job),
+        JobSpec::Compose(job) => Json::obj([
+            ("kind", Json::str("compose")),
+            ("scenario", scenario_spec_to_json(&job.scenario)),
+            ("fingerprints", fingerprints_to_json(&job.fingerprints)),
+        ]),
+    }
+}
+
+/// Decode a wire job of either kind.
+pub fn job_from_json(json: &Json) -> Result<JobSpec, WireError> {
+    match get_str(json, "kind")? {
+        "explore" => Ok(JobSpec::Explore(explore_job_from_json(json)?)),
+        "compose" => Ok(JobSpec::Compose(ComposeJob {
+            scenario: scenario_spec_from_json(get(json, "scenario")?)?,
+            fingerprints: fingerprints_from_json(get_arr(json, "fingerprints")?)?,
+        })),
+        other => Err(malformed(format!("unknown job kind '{other}'"))),
+    }
 }
 
 fn parse_fingerprint(text: &str) -> Result<Fingerprint, WireError> {
@@ -513,7 +583,7 @@ pub struct PlanSpec {
     /// One explore job per distinct element behaviour across the whole
     /// batch (regardless of any store's current temperature: the executing
     /// process skips what its own store already holds).
-    pub jobs: Vec<JobSpec>,
+    pub jobs: Vec<ExploreJob>,
     /// Per scenario: indexes into `jobs` its composition depends on.
     pub scenario_jobs: Vec<Vec<usize>>,
     /// Per scenario, per pipeline element: the summary fingerprint its
@@ -521,6 +591,38 @@ pub struct PlanSpec {
     pub element_fingerprints: Vec<Vec<Fingerprint>>,
     /// Present when the plan was built from a diff/watch request.
     pub diff: Option<DiffMeta>,
+    /// Present when the plan was built from an instruction-bound request:
+    /// the analysis decided (locally, from the executed summaries) once
+    /// the explore jobs have run.
+    pub bound: Option<BoundSpec>,
+}
+
+/// The instruction-bound analysis section of a plan: which pipeline to
+/// bound and the summary fingerprints the analysis consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundSpec {
+    /// The pipeline's label.
+    pub name: String,
+    /// The pipeline as config text.
+    pub config: String,
+    /// Per pipeline element: the summary fingerprint the analysis reads.
+    pub fingerprints: Vec<Fingerprint>,
+}
+
+fn bound_spec_to_json(bound: &BoundSpec) -> Json {
+    Json::obj([
+        ("name", Json::str(&bound.name)),
+        ("config", Json::str(&bound.config)),
+        ("fingerprints", fingerprints_to_json(&bound.fingerprints)),
+    ])
+}
+
+fn bound_spec_from_json(json: &Json) -> Result<BoundSpec, WireError> {
+    Ok(BoundSpec {
+        name: get_str(json, "name")?.to_string(),
+        config: get_str(json, "config")?.to_string(),
+        fingerprints: fingerprints_from_json(get_arr(json, "fingerprints")?)?,
+    })
 }
 
 /// Encode a plan.
@@ -534,7 +636,7 @@ pub fn plan_to_json(plan: &PlanSpec) -> Json {
         ),
         (
             "jobs",
-            Json::Arr(plan.jobs.iter().map(job_to_json).collect()),
+            Json::Arr(plan.jobs.iter().map(explore_job_to_json).collect()),
         ),
         (
             "scenario_jobs",
@@ -561,6 +663,13 @@ pub fn plan_to_json(plan: &PlanSpec) -> Json {
                 None => Json::Null,
             },
         ),
+        (
+            "bound",
+            match &plan.bound {
+                Some(bound) => bound_spec_to_json(bound),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -574,7 +683,7 @@ pub fn plan_from_json(json: &Json) -> Result<PlanSpec, WireError> {
         .collect::<Result<Vec<_>, _>>()?;
     let jobs = get_arr(json, "jobs")?
         .iter()
-        .map(job_from_json)
+        .map(explore_job_from_json)
         .collect::<Result<Vec<_>, _>>()?;
     let scenario_jobs = get_arr(json, "scenario_jobs")?
         .iter()
@@ -619,6 +728,10 @@ pub fn plan_from_json(json: &Json) -> Result<PlanSpec, WireError> {
         Json::Null => None,
         meta => Some(diff_meta_from_json(meta)?),
     };
+    let bound = match get(json, "bound")? {
+        Json::Null => None,
+        spec => Some(bound_spec_from_json(spec)?),
+    };
     Ok(PlanSpec {
         options: options_from_json(get(json, "options")?)?,
         scenarios,
@@ -626,6 +739,7 @@ pub fn plan_from_json(json: &Json) -> Result<PlanSpec, WireError> {
         scenario_jobs,
         element_fingerprints,
         diff,
+        bound,
     })
 }
 
@@ -736,6 +850,12 @@ pub fn request_to_json(request: &VerifyRequest) -> Result<Json, WireError> {
             ("configs", named_configs_to_json(configs)),
             ("properties", property_select_to_json(properties)),
         ]),
+        VerifyRequest::Bound { name, pipeline } => Json::obj([
+            ("schema", Json::int(REQUEST_SCHEMA)),
+            ("kind", Json::str("bound")),
+            ("name", Json::str(name)),
+            ("config", Json::str(write_config(pipeline)?)),
+        ]),
     })
 }
 
@@ -763,6 +883,10 @@ pub fn request_from_json(json: &Json) -> Result<VerifyRequest, WireError> {
             configs: named_configs_from_json(get_arr(json, "configs")?)?,
             properties: property_select_from_json(get(json, "properties")?)?,
         },
+        "bound" => VerifyRequest::Bound {
+            name: get_str(json, "name")?.to_string(),
+            pipeline: parse_config(get_str(json, "config")?)?,
+        },
         other => return Err(malformed(format!("unknown request kind '{other}'"))),
     })
 }
@@ -779,6 +903,21 @@ fn hex_bytes(bytes: &[u8]) -> String {
     out
 }
 
+fn bytes_from_hex(text: &str) -> Result<Vec<u8>, WireError> {
+    // Work on bytes: slicing the &str at fixed offsets would panic on a
+    // (malformed) multi-byte character instead of erroring.
+    if !text.is_ascii() {
+        return Err(malformed("hex string with non-ASCII characters"));
+    }
+    if !text.len().is_multiple_of(2) {
+        return Err(malformed("odd-length hex string"));
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&text[i..i + 2], 16).map_err(|_| malformed("bad hex byte")))
+        .collect()
+}
+
 /// The verdict's wire spelling.
 pub fn verdict_name(verdict: &Verdict) -> &'static str {
     match verdict {
@@ -786,6 +925,15 @@ pub fn verdict_name(verdict: &Verdict) -> &'static str {
         Verdict::Violated => "violated",
         Verdict::Unknown => "unknown",
     }
+}
+
+fn verdict_from_name(name: &str) -> Result<Verdict, WireError> {
+    Ok(match name {
+        "proven" => Verdict::Proven,
+        "violated" => Verdict::Violated,
+        "unknown" => Verdict::Unknown,
+        other => return Err(malformed(format!("unknown verdict '{other}'"))),
+    })
 }
 
 fn stats_to_json(stats: &VerificationStats) -> Json {
@@ -824,7 +972,58 @@ fn stats_to_json(stats: &VerificationStats) -> Json {
                     .collect(),
             ),
         ),
+        (
+            "escalations_fm",
+            Json::Arr(
+                stats
+                    .escalations_fm
+                    .iter()
+                    .map(|&n| Json::int(n as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "escalations_search",
+            Json::Arr(
+                stats
+                    .escalations_search
+                    .iter()
+                    .map(|&n| Json::int(n as u64))
+                    .collect(),
+            ),
+        ),
     ])
+}
+
+fn usize_arr(items: &[Json]) -> Result<Vec<usize>, WireError> {
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| malformed("expected an array of unsigned integers"))
+        })
+        .collect()
+}
+
+fn stats_from_json(json: &Json) -> Result<VerificationStats, WireError> {
+    Ok(VerificationStats {
+        elements: get_usize(json, "elements")?,
+        summaries_computed: get_usize(json, "summaries_computed")?,
+        summaries_reused: get_usize(json, "summaries_reused")?,
+        total_segments: get_usize(json, "total_segments")?,
+        suspects: get_usize(json, "suspects")?,
+        discharged: get_usize(json, "discharged")?,
+        composed_paths: get_usize(json, "composed_paths")?,
+        solver_calls: get_usize(json, "solver_calls")?,
+        fm_budget_aborts: get_usize(json, "fm_budget_aborts")?,
+        model_search_aborts: get_usize(json, "model_search_aborts")?,
+        budget_escalations: get_usize(json, "budget_escalations")?,
+        escalations_decided: get_usize(json, "escalations_decided")?,
+        escalations_by_step: usize_arr(get_arr(json, "escalations_by_step")?)?,
+        escalations_fm: usize_arr(get_arr(json, "escalations_fm")?)?,
+        escalations_search: usize_arr(get_arr(json, "escalations_search")?)?,
+    })
 }
 
 fn counterexample_to_json(ce: &Counterexample) -> Json {
@@ -867,6 +1066,78 @@ pub fn report_to_json(report: &Report) -> Json {
             Json::Arr(report.unproven.iter().map(unproven_to_json).collect()),
         ),
         ("stats", stats_to_json(&report.stats)),
+    ])
+}
+
+/// Decode a report produced by [`report_to_json`]. The wire form carries
+/// only the property's *name*, so the full `property` (whose parameters a
+/// composition job already knows) is supplied by the caller; `elapsed` is
+/// operational data carried outside the deterministic document and is
+/// likewise supplied. Re-encoding the result reproduces the input byte for
+/// byte — the invariant the remote-composition path rests on.
+pub fn report_from_json(
+    json: &Json,
+    property: Property,
+    elapsed: Duration,
+) -> Result<Report, WireError> {
+    let name = get_str(json, "property")?;
+    if name != property.name() {
+        return Err(malformed(format!(
+            "report is for property '{name}', expected '{}'",
+            property.name()
+        )));
+    }
+    Ok(Report {
+        property,
+        verdict: verdict_from_name(get_str(json, "verdict")?)?,
+        counterexamples: get_arr(json, "counterexamples")?
+            .iter()
+            .map(|ce| {
+                Ok(Counterexample {
+                    packet: bytes_from_hex(get_str(ce, "packet_hex")?)?,
+                    path: str_arr(get_arr(ce, "path")?)?,
+                    description: get_str(ce, "description")?.to_string(),
+                    confirmed: get_bool(ce, "confirmed")?,
+                })
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+        unproven: get_arr(json, "unproven")?
+            .iter()
+            .map(|up| {
+                Ok(UnprovenPath {
+                    path: str_arr(get_arr(up, "path")?)?,
+                    reason: get_str(up, "reason")?.to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+        stats: stats_from_json(get(json, "stats")?)?,
+        elapsed,
+    })
+}
+
+/// Encode everything deterministic about an instruction-bound analysis
+/// (the witness packet is a deterministic function of the summaries and
+/// solver seed, so it belongs here; wall-clock time does not).
+pub fn bound_report_to_json(report: &dataplane_verifier::InstructionBoundReport) -> Json {
+    Json::obj([
+        ("max_instructions", Json::int(report.max_instructions)),
+        (
+            "witness_hex",
+            match &report.witness {
+                Some(bytes) => Json::str(hex_bytes(bytes)),
+                None => Json::Null,
+            },
+        ),
+        (
+            "path",
+            Json::Arr(report.path.iter().map(Json::str).collect()),
+        ),
+        ("approximate", Json::Bool(report.approximate)),
+        (
+            "paths_considered",
+            Json::int(report.paths_considered as u64),
+        ),
+        ("feasible_paths", Json::int(report.feasible_paths as u64)),
     ])
 }
 
@@ -928,6 +1199,82 @@ mod tests {
             assert_eq!(rebuilt.property, scenario.property);
             assert_eq!(rebuilt.pipeline.len(), scenario.pipeline.len());
         }
+    }
+
+    #[test]
+    fn jobs_round_trip_including_compose() {
+        let scenario = preset_scenarios().remove(0);
+        let spec = ScenarioSpec::from_scenario(&scenario).unwrap();
+        let fp = crate::fingerprint::fingerprint_bytes("some element behaviour");
+        for job in [
+            JobSpec::Explore(ExploreJob {
+                fingerprint: fp,
+                type_name: "DecTTL".into(),
+                config_args: String::new(),
+            }),
+            JobSpec::Compose(ComposeJob {
+                scenario: spec,
+                fingerprints: vec![fp, fp],
+            }),
+        ] {
+            let text = job_to_json(&job).to_text();
+            let back = job_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, job);
+            assert_eq!(job_to_json(&back).to_text(), text, "re-encoding is stable");
+        }
+        assert!(job_from_json(&Json::obj([("kind", Json::str("warp"))])).is_err());
+    }
+
+    #[test]
+    fn reports_round_trip_byte_for_byte() {
+        use dataplane_verifier::{Counterexample, UnprovenPath, VerificationStats};
+        let report = Report {
+            property: Property::CrashFreedom,
+            verdict: Verdict::Violated,
+            counterexamples: vec![Counterexample {
+                packet: vec![0x00, 0xff, 0x7e, 0x01],
+                path: vec!["cls".into(), "opts".into()],
+                description: "division by zero".into(),
+                confirmed: true,
+            }],
+            unproven: vec![UnprovenPath {
+                path: vec!["cls".into()],
+                reason: "model search exhausted".into(),
+            }],
+            stats: VerificationStats {
+                elements: 5,
+                suspects: 2,
+                escalations_by_step: vec![1, 2],
+                escalations_fm: vec![0, 2],
+                escalations_search: vec![1],
+                ..Default::default()
+            },
+            elapsed: Duration::from_millis(5),
+        };
+        let text = report_to_json(&report).to_text();
+        let back = report_from_json(
+            &Json::parse(&text).unwrap(),
+            Property::CrashFreedom,
+            report.elapsed,
+        )
+        .unwrap();
+        assert_eq!(
+            report_to_json(&back).to_text(),
+            text,
+            "decode → re-encode is byte-stable"
+        );
+        assert_eq!(back.counterexamples, report.counterexamples);
+        assert_eq!(back.stats, report.stats);
+        // The wire form names the property; decoding under a different one
+        // must fail instead of mislabeling the report.
+        assert!(report_from_json(
+            &Json::parse(&text).unwrap(),
+            Property::BoundedInstructions {
+                max_instructions: 1
+            },
+            Duration::ZERO,
+        )
+        .is_err());
     }
 
     #[test]

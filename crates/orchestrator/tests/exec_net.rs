@@ -1,0 +1,298 @@
+//! Integration tests of the networked execution path: socket workers
+//! served by real in-process listener threads, the pull-based dispatch
+//! queue, worker-fault recovery (drain-and-requeue), and the hello
+//! version gate.
+//!
+//! The acceptance bar everywhere is byte-identity: whatever transport ran
+//! the jobs — and whatever died along the way — the deterministic report
+//! must equal the in-process one.
+
+use dataplane_orchestrator::exec::transport::{read_frame, write_frame};
+use dataplane_orchestrator::json::Json;
+use dataplane_orchestrator::{
+    serve_listener, NamedConfig, PropertySelect, VerifyRequest, VerifyService, WorkerAddr,
+    WorkerFleet,
+};
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::sync::mpsc;
+
+const ROUTER: &str = r#"
+    cls :: Classifier(12/0800);
+    strip :: EthDecap();
+    chk :: CheckIPHeader();
+    rt :: IPLookup(10.0.0.0/8 0, 192.168.0.0/16 1);
+    ttl0 :: DecTTL();
+    ttl1 :: DecTTL();
+    out0 :: Sink();
+    out1 :: Sink();
+    cls -> strip -> chk -> rt;
+    rt[0] -> ttl0 -> out0;
+    rt[1] -> ttl1 -> out1;
+"#;
+
+const FILTER: &str = r#"
+    strip :: EthDecap();
+    chk :: CheckIPHeader();
+    f :: SrcFilter(203.0.113.9);
+    out :: Sink();
+    strip -> chk -> f -> out;
+"#;
+
+/// Start a real worker on a loopback TCP listener (port chosen by the
+/// OS), serving `sessions` coordinator sessions on a background thread.
+/// Returns its address.
+fn spawn_tcp_worker(sessions: usize) -> WorkerAddr {
+    assert_eq!(sessions, 1, "multi-session tests use the persistent worker");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut tx = Some(tx);
+        let mut log = move |line: &str| {
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                if let Some(tx) = tx.take() {
+                    tx.send(addr.to_string()).unwrap();
+                }
+            }
+        };
+        let _ = serve_listener(&WorkerAddr::Tcp("127.0.0.1:0".into()), 2, true, &mut log);
+    });
+    WorkerAddr::Tcp(rx.recv().expect("worker announced its address"))
+}
+
+/// Start a worker that keeps accepting sessions on one listener until the
+/// test process exits.
+fn spawn_persistent_tcp_worker() -> WorkerAddr {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut tx = Some(tx);
+        let mut log = move |line: &str| {
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                if let Some(tx) = tx.take() {
+                    tx.send(addr.to_string()).unwrap();
+                }
+            }
+        };
+        let _ = serve_listener(&WorkerAddr::Tcp("127.0.0.1:0".into()), 2, false, &mut log);
+    });
+    WorkerAddr::Tcp(rx.recv().expect("worker announced its address"))
+}
+
+/// A worker that completes the handshake, reads one job frame, then drops
+/// the connection — the "killed mid-plan" peer. Accepts any number of
+/// sessions (the explore phase and the compose phase each reconnect) and
+/// dies the same way in each.
+fn spawn_flaky_tcp_worker() -> WorkerAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = WorkerAddr::Tcp(listener.local_addr().unwrap().to_string());
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            // Handshake like a healthy worker would.
+            let Ok(Some(hello)) = read_frame(&mut reader) else {
+                continue;
+            };
+            assert_eq!(hello.get("kind").and_then(Json::as_str), Some("hello"));
+            let reply = Json::obj([
+                ("schema", Json::int(2u64)),
+                ("kind", Json::str("hello")),
+                ("proto", Json::str("vericlick-worker")),
+                ("capacity", Json::int(1u64)),
+            ]);
+            if write_frame(&mut writer, &reply).is_err() {
+                continue;
+            }
+            // Accept one job, answer nothing, die.
+            let _ = read_frame(&mut reader);
+            drop(writer);
+        }
+    });
+    addr
+}
+
+fn two_config_request() -> VerifyRequest {
+    VerifyRequest::Matrix {
+        scenarios: dataplane_orchestrator::config_scenarios(
+            &[
+                NamedConfig::new("router", ROUTER),
+                NamedConfig::new("filter", FILTER),
+            ],
+            &|name| PropertySelect::Default.properties_for(name),
+        )
+        .unwrap(),
+    }
+}
+
+#[test]
+fn tcp_fleet_executes_explores_and_compositions_byte_identical() {
+    // Reference: serve in-process.
+    let service = VerifyService::new().with_threads(2);
+    let served = service.serve(two_config_request()).unwrap();
+    let reference = served.deterministic_json().to_text();
+
+    // Remote: two real TCP workers, plan executed by a fresh service with
+    // a cold store — every exploration AND every composition goes over
+    // the wire.
+    let fleet = WorkerFleet::sockets(vec![
+        spawn_persistent_tcp_worker(),
+        spawn_persistent_tcp_worker(),
+    ]);
+    let fresh = VerifyService::new().with_threads(2);
+    let plan = fresh.plan_request(&two_config_request()).unwrap();
+    let executed = fresh.execute_plan(&plan, &fleet).unwrap();
+    assert_eq!(
+        executed.deterministic_json().to_text(),
+        reference,
+        "TCP-executed plan must reproduce the in-process report byte for byte"
+    );
+
+    let matrix = executed.matrix().unwrap();
+    assert_eq!(
+        matrix.peak_live_threads, 0,
+        "no composition may run in the coordinating process"
+    );
+    let stats = matrix.stats.as_ref().expect("fleet runs report stats");
+    assert_eq!(stats.workers, 2);
+    assert_eq!(stats.workers_lost, 0);
+    assert_eq!(stats.explore_jobs, plan.jobs.len());
+    assert_eq!(stats.compose_jobs, plan.scenarios.len());
+    assert_eq!(
+        stats.jobs_completed,
+        plan.jobs.len() + plan.scenarios.len(),
+        "every job completed exactly once"
+    );
+    assert_eq!(stats.jobs_requeued, 0);
+}
+
+#[test]
+fn unix_socket_worker_round_trips() {
+    let dir = std::env::temp_dir().join(format!("vericlick-unix-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("worker.sock");
+    let addr = WorkerAddr::Unix(path.clone());
+    {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let _ = serve_listener(&addr, 2, false, &mut |_| {});
+        });
+    }
+    // Wait for the socket file to appear.
+    for _ in 0..100 {
+        if path.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let service = VerifyService::new().with_threads(2);
+    let reference = service
+        .serve(two_config_request())
+        .unwrap()
+        .deterministic_json()
+        .to_text();
+    let fresh = VerifyService::new().with_threads(2);
+    let plan = fresh.plan_request(&two_config_request()).unwrap();
+    let executed = fresh
+        .execute_plan(&plan, &WorkerFleet::sockets(vec![addr]))
+        .unwrap();
+    assert_eq!(executed.deterministic_json().to_text(), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dead_worker_jobs_are_requeued_and_report_stays_byte_identical() {
+    let service = VerifyService::new().with_threads(2);
+    let reference = service
+        .serve(two_config_request())
+        .unwrap()
+        .deterministic_json()
+        .to_text();
+
+    // One healthy worker, one that dies after pulling a job in every
+    // session: the healthy one must drain the requeued work.
+    let fleet = WorkerFleet::sockets(vec![
+        spawn_flaky_tcp_worker(),
+        spawn_persistent_tcp_worker(),
+    ]);
+    let fresh = VerifyService::new().with_threads(2);
+    let plan = fresh.plan_request(&two_config_request()).unwrap();
+    let executed = fresh.execute_plan(&plan, &fleet).unwrap();
+    assert_eq!(
+        executed.deterministic_json().to_text(),
+        reference,
+        "a worker death mid-plan must not change the report"
+    );
+    let stats = executed.matrix().unwrap().stats.clone().unwrap();
+    assert_eq!(stats.workers_lost, 1, "the flaky worker was noticed");
+    assert!(
+        stats.jobs_requeued >= 1,
+        "its in-flight jobs were requeued: {stats:?}"
+    );
+    assert_eq!(
+        stats.jobs_completed,
+        plan.jobs.len() + plan.scenarios.len(),
+        "every job still completed exactly once"
+    );
+}
+
+#[test]
+fn version_mismatch_worker_is_rejected_cleanly() {
+    // A "worker" that replies to the hello with a wrong schema version.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = WorkerAddr::Tcp(listener.local_addr().unwrap().to_string());
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let _ = read_frame(&mut reader);
+            let reply = Json::obj([
+                ("schema", Json::int(1u64)),
+                ("kind", Json::str("hello")),
+                ("proto", Json::str("vericlick-worker")),
+                ("capacity", Json::int(1u64)),
+            ]);
+            let _ = write_frame(&mut writer, &reply);
+        }
+    });
+
+    let fleet = WorkerFleet::sockets(vec![addr]);
+    let service = VerifyService::new().with_threads(2);
+    let plan = service.plan_request(&two_config_request()).unwrap();
+    let result = service.execute_plan(&plan, &fleet);
+    let err = result.err().expect("mismatched fleet cannot execute");
+    let text = err.to_string();
+    assert!(
+        text.contains("version mismatch") || text.contains("unfinished"),
+        "the error names the cause: {text}"
+    );
+    let stats = fleet.registry().stats();
+    assert_eq!(stats.workers_lost, 1);
+    assert_eq!(stats.jobs_completed, 0);
+}
+
+#[test]
+fn single_session_listener_exits_after_once() {
+    // `--once` semantics: the listener serves one session and returns.
+    let addr = spawn_tcp_worker(1);
+    let service = VerifyService::new().with_threads(1);
+    let plan = service
+        .plan_request(&VerifyRequest::Matrix {
+            scenarios: dataplane_orchestrator::config_scenarios(
+                &[NamedConfig::new("filter", FILTER)],
+                &|name| PropertySelect::Default.properties_for(name),
+            )
+            .unwrap(),
+        })
+        .unwrap();
+    // One session is enough only for the explore phase; compose reconnects
+    // and must fail — which proves the session actually closed.
+    let fleet = WorkerFleet::sockets(vec![addr]);
+    let result = service.execute_plan(&plan, &fleet);
+    assert!(
+        result.is_err(),
+        "the once-listener is gone for the compose phase"
+    );
+}

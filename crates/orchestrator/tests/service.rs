@@ -266,6 +266,55 @@ fn watch_does_not_roll_the_baseline_on_failed_ticks() {
 }
 
 #[test]
+fn bound_requests_ride_the_plan_execute_split() {
+    use dataplane_pipeline::presets::ip_router_pipeline;
+    let request = || VerifyRequest::Bound {
+        name: "router".into(),
+        pipeline: ip_router_pipeline(),
+    };
+
+    // Serve directly: the analysis itself.
+    let service = VerifyService::new().with_threads(2);
+    let served = service.serve(request()).unwrap();
+    assert_eq!(served.request, "bound");
+    let reference = served.deterministic_json().to_text();
+    let VerifyOutcome::Bound(bound) = &served.outcome else {
+        panic!("bound requests produce bound outcomes");
+    };
+    assert!(bound.report.max_instructions > 0, "{}", bound.report);
+    assert!(bound.report.feasible_paths > 0);
+    assert!(reference.contains("\"kind\":\"bound\""));
+
+    // The request round-trips through its wire form.
+    let text = request().to_json().unwrap().to_text();
+    let decoded = VerifyRequest::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(decoded.kind(), "bound");
+    assert_eq!(decoded.to_json().unwrap().to_text(), text);
+
+    // Plan → JSON → execute on a fresh service (cold store: every element
+    // exploration goes through the executor) reproduces the analysis byte
+    // for byte — the bound analysis rides the plan/execute split.
+    let plan = service.plan_request(&request()).unwrap();
+    assert!(
+        plan.bound.is_some(),
+        "bound plans carry their analysis spec"
+    );
+    assert!(plan.scenarios.is_empty());
+    assert!(!plan.jobs.is_empty(), "the pipeline's explores are planned");
+    let text = plan_to_json(&plan).to_text();
+    let decoded = plan_from_json(&Json::parse(&text).unwrap()).unwrap();
+    let fresh = VerifyService::new().with_threads(2);
+    let executed = fresh
+        .execute_plan(&decoded, &InProcessExecutor::new(2))
+        .unwrap();
+    assert_eq!(
+        executed.deterministic_json().to_text(),
+        reference,
+        "executed bound plan must reproduce the served analysis byte for byte"
+    );
+}
+
+#[test]
 fn single_requests_return_single_outcomes() {
     use dataplane_pipeline::presets::ip_router_pipeline;
     use dataplane_verifier::Property;

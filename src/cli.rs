@@ -25,8 +25,9 @@
 use crate::orchestrator::json::Json;
 use crate::orchestrator::wire::{plan_from_json, plan_to_json};
 use crate::orchestrator::{
-    preset_scenarios, Executor, InProcessExecutor, NamedConfig, ProgressEvent, PropertySelect,
-    SubprocessWorker, SummaryStore, VerifyOutcome, VerifyRequest, VerifyResponse, VerifyService,
+    preset_scenarios, serve_listener, worker_serve, Executor, InProcessExecutor, NamedConfig,
+    ProgressEvent, PropertySelect, SummaryStore, VerifyOutcome, VerifyRequest, VerifyResponse,
+    VerifyService, WorkerAddr, WorkerFleet,
 };
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -85,7 +86,8 @@ pub fn main(args: Vec<String>) -> i32 {
         Some("plan") => cmd_plan(args.collect()),
         Some("exec-plan") => cmd_exec_plan(args.collect()),
         Some("watch") => cmd_watch(args.collect()),
-        Some("worker") => cmd_worker(),
+        Some("bound") => cmd_bound(args.collect()),
+        Some("worker") => cmd_worker(args.collect()),
         Some("--help" | "-h" | "help") => {
             eprintln!("{USAGE}");
             0
@@ -105,10 +107,13 @@ const USAGE: &str = "usage: vericlick <subcommand> [options]
   run [--matrix] [cfg.click...] [--threads N] [--cache DIR] [--json PATH] [--selftest]
   diff <old.click> <new.click> | --demo   [--threads N] [--cache DIR]
   plan [--matrix] [cfg.click...] [-o PATH] [--threads N]
-  exec-plan [PATH|-] [--workers N] [--in-process] [--threads N] [--cache DIR]
-            [--json PATH] [--det-json PATH]
-  watch --demo [--threads N] [--cache DIR]
-  worker";
+  exec-plan [PATH|-] [--workers N | --workers addr,addr,...] [--in-process]
+            [--threads N] [--cache DIR] [--json PATH] [--det-json PATH]
+  watch <cfg.click...> [--poll-ms N] [--max-polls N] | --demo
+            [--threads N] [--cache DIR]
+  bound <cfg.click...> [--threads N] [--cache DIR]
+  worker [--listen addr] [--capacity N] [--once]
+    (addr is host:port for TCP or a path / unix:PATH for a Unix socket)";
 
 /// Common service flags: `--threads N`, `--cache DIR`.
 struct ServiceFlags {
@@ -619,7 +624,7 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
         threads: 0,
         cache: None,
     };
-    let mut workers = 0usize;
+    let mut workers: Option<String> = None;
     let mut in_process = false;
     let mut json_path: Option<String> = None;
     let mut det_json_path: Option<String> = None;
@@ -628,9 +633,9 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--in-process" => in_process = true,
-            "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(n) => workers = n,
-                None => return usage_error("--workers needs a number"),
+            "--workers" => match iter.next() {
+                Some(spec) => workers = Some(spec),
+                None => return usage_error("--workers needs a count or address list"),
             },
             "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => flags.threads = n,
@@ -691,32 +696,49 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
         Ok(s) => s,
         Err(code) => return code,
     };
-    // Default executor: subprocess workers (the remote path); --in-process
-    // keeps everything in this process.
-    let response = if in_process {
-        let executor = InProcessExecutor::new(flags.threads);
-        eprintln!(
-            "executing {} scenarios via {}",
-            plan.scenarios.len(),
-            executor.describe()
-        );
-        service.execute_plan(&plan, &executor)
+    // Default executor: subprocess workers (the remote path). A numeric
+    // --workers spawns that many stdio workers; an address list dials
+    // `vericlick worker --listen` peers over TCP / Unix sockets;
+    // --in-process keeps everything in this process.
+    let executor: Box<dyn Executor> = if in_process {
+        Box::new(InProcessExecutor::new(flags.threads))
     } else {
-        let executor = match SubprocessWorker::current_exe(workers) {
-            Ok(e) => e,
+        // Guard the numeric branch: a bare port typed where an address
+        // belongs (`--workers 8080` for `--workers host:8080`) must not
+        // fork thousands of worker processes.
+        const MAX_SUBPROCESS_WORKERS: usize = 256;
+        let fleet = match workers.as_deref() {
+            None => WorkerFleet::current_exe(0),
+            Some(spec) => match spec.parse::<usize>() {
+                Ok(n) if n > MAX_SUBPROCESS_WORKERS => {
+                    return usage_error(&format!(
+                        "--workers {n} exceeds {MAX_SUBPROCESS_WORKERS} subprocess workers \
+                         (for a TCP worker, use host:port, e.g. 127.0.0.1:{n})"
+                    ));
+                }
+                Ok(n) => WorkerFleet::current_exe(n),
+                Err(_) => Ok(WorkerFleet::sockets(
+                    spec.split(',')
+                        .filter(|a| !a.is_empty())
+                        .map(WorkerAddr::parse)
+                        .collect(),
+                )),
+            },
+        };
+        match fleet {
+            Ok(fleet) => Box::new(fleet),
             Err(e) => {
                 eprintln!("error: {e}");
                 return 2;
             }
-        };
-        eprintln!(
-            "executing {} scenarios via {}",
-            plan.scenarios.len(),
-            executor.describe()
-        );
-        service.execute_plan(&plan, &executor)
+        }
     };
-    let response = match response {
+    eprintln!(
+        "executing {} scenarios via {}",
+        plan.scenarios.len(),
+        executor.describe()
+    );
+    let response = match service.execute_plan(&plan, executor.as_ref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -730,16 +752,93 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
 // watch
 // ---------------------------------------------------------------------------
 
+/// Watch real config files: a polling loop over the service's
+/// rolling-baseline `Watch` request — tick 0 verifies everything, every
+/// later tick re-verifies only what changed since the last good tick.
+/// Each poll re-reads the files and compares *contents* (configs are
+/// small; an mtime-only stamp would miss same-length edits within one
+/// mtime granule on coarse filesystems). `max_polls` bounds the loop for
+/// tests and scripting (0 = forever).
+fn watch_files(service: &VerifyService, files: &[String], poll_ms: u64, max_polls: usize) -> i32 {
+    println!(
+        "=== vericlick watch: polling {} config file(s) every {poll_ms}ms ===",
+        files.len()
+    );
+    let mut last_seen: Option<Vec<String>> = None;
+    let mut tick = 0usize;
+    let mut polls = 0usize;
+    loop {
+        match load_configs(files) {
+            // Only the very first poll fails fast (startup typo); later
+            // unreadable polls are an editor's atomic-save window and
+            // must not kill the watcher — even before any tick verified.
+            Err(code) if polls == 0 => return code,
+            Err(_) => {
+                eprintln!("watch: config files unreadable; retrying");
+            }
+            Ok(configs) => {
+                let contents: Vec<String> = configs.iter().map(|c| c.config.clone()).collect();
+                if last_seen.as_ref() != Some(&contents) {
+                    match service.serve(VerifyRequest::Watch {
+                        configs,
+                        properties: PropertySelect::Default,
+                    }) {
+                        Ok(response) => {
+                            match &response.outcome {
+                                VerifyOutcome::Matrix(m) => println!(
+                                    "watch tick {tick}: verified {} scenarios\n{m}",
+                                    m.scenarios.len()
+                                ),
+                                VerifyOutcome::Diff(d) => println!(
+                                    "watch tick {tick}: re-verified {} scenarios ({} skipped)\n{d}",
+                                    d.reverified_scenarios(),
+                                    d.skipped_scenarios
+                                ),
+                                _ => {}
+                            }
+                            let _ = std::io::stdout().flush();
+                            tick += 1;
+                        }
+                        // A syntax error in a half-saved edit: report it,
+                        // keep the baseline (the service does the same),
+                        // re-verify when the file changes again.
+                        Err(e) => eprintln!("watch: {e}"),
+                    }
+                    last_seen = Some(contents);
+                }
+            }
+        }
+        polls += 1;
+        if max_polls > 0 && polls >= max_polls {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
+    println!("watch: stopped after {polls} polls, {tick} ticks");
+    0
+}
+
 fn cmd_watch(args: Vec<String>) -> i32 {
     let mut flags = ServiceFlags {
         threads: 0,
         cache: None,
     };
     let mut demo = false;
+    let mut poll_ms = 500u64;
+    let mut max_polls = 0usize;
+    let mut files = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--demo" => demo = true,
+            "--poll-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => poll_ms = n,
+                None => return usage_error("--poll-ms needs a number"),
+            },
+            "--max-polls" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_polls = n,
+                None => return usage_error("--max-polls needs a number"),
+            },
             "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => flags.threads = n,
                 None => return usage_error("--threads needs a number"),
@@ -748,17 +847,22 @@ fn cmd_watch(args: Vec<String>) -> i32 {
                 Some(dir) => flags.cache = Some(dir),
                 None => return usage_error("--cache needs a directory"),
             },
-            other => return usage_error(&format!("unknown option '{other}'")),
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown option '{other}'"))
+            }
+            file => files.push(file.to_string()),
         }
     }
-    if !demo {
-        return usage_error("watch currently supports --demo (simulated edits)");
-    }
-
     let service = match flags.build(false) {
         Ok(s) => s,
         Err(code) => return code,
     };
+    if !demo {
+        if files.is_empty() {
+            return usage_error("watch needs config files (or --demo)");
+        }
+        return watch_files(&service, &files, poll_ms, max_polls);
+    }
     let watch = |router: String, mini: String| VerifyRequest::Watch {
         configs: vec![
             NamedConfig::new("router", router),
@@ -881,20 +985,118 @@ fn cmd_watch(args: Vec<String>) -> i32 {
 }
 
 // ---------------------------------------------------------------------------
+// bound
+// ---------------------------------------------------------------------------
+
+fn cmd_bound(args: Vec<String>) -> i32 {
+    let mut flags = ServiceFlags {
+        threads: 0,
+        cache: None,
+    };
+    let mut files = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => flags.threads = n,
+                None => return usage_error("--threads needs a number"),
+            },
+            "--cache" => match iter.next() {
+                Some(dir) => flags.cache = Some(dir),
+                None => return usage_error("--cache needs a directory"),
+            },
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown option '{other}'"))
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return usage_error("bound needs at least one config file");
+    }
+    let service = match flags.build(false) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    for config in match load_configs(&files) {
+        Ok(c) => c,
+        Err(code) => return code,
+    } {
+        let pipeline = match crate::pipeline::parse_config(&config.config) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {}: {e}", config.name);
+                return 2;
+            }
+        };
+        match service.serve(VerifyRequest::Bound {
+            name: config.name,
+            pipeline,
+        }) {
+            Ok(response) => println!("{response}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        }
+    }
+    0
+}
+
+// ---------------------------------------------------------------------------
 // worker
 // ---------------------------------------------------------------------------
 
-fn cmd_worker() -> i32 {
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut input = stdin.lock();
-    let mut output = stdout.lock();
-    match crate::orchestrator::worker_serve(&mut input, &mut output) {
-        Ok(()) => 0,
-        Err(e) => {
-            eprintln!("worker: {e}");
-            let _ = output.flush();
-            2
+fn cmd_worker(args: Vec<String>) -> i32 {
+    let mut listen: Option<String> = None;
+    let mut capacity = 0usize;
+    let mut once = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--listen" => match iter.next() {
+                Some(addr) => listen = Some(addr),
+                None => return usage_error("--listen needs an address"),
+            },
+            "--capacity" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => capacity = n,
+                None => return usage_error("--capacity needs a number"),
+            },
+            "--once" => once = true,
+            other => return usage_error(&format!("unknown option '{other}'")),
+        }
+    }
+    match listen {
+        // Socket worker: bind, announce the actual address (`:0` picks a
+        // port), serve coordinator sessions.
+        Some(addr) => {
+            let addr = WorkerAddr::parse(&addr);
+            // Logs are best-effort: a worker must keep serving even if
+            // whoever spawned it stopped reading its stdout.
+            let mut log = |line: &str| {
+                let mut out = std::io::stdout();
+                let _ = writeln!(out, "worker: {line}");
+                let _ = out.flush();
+            };
+            match serve_listener(&addr, capacity, once, &mut log) {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("worker: {e}");
+                    2
+                }
+            }
+        }
+        // Stdio worker: one session over stdin/stdout (spawned by
+        // `exec-plan --workers N`).
+        None => {
+            let stdin = std::io::stdin();
+            match worker_serve(stdin.lock(), std::io::stdout(), capacity) {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("worker: {e}");
+                    2
+                }
+            }
         }
     }
 }

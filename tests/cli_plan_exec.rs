@@ -43,7 +43,7 @@ fn plan_in_one_process_execute_in_another_byte_identical() {
     assert!(status.success(), "plan failed: {status}");
     let plan_text = std::fs::read_to_string(&plan_path).expect("plan file");
     assert!(
-        plan_text.contains("\"schema\":1"),
+        plan_text.contains("\"schema\":2"),
         "plan is schema-versioned"
     );
 
@@ -114,6 +114,88 @@ fn plan_pipes_into_exec_plan_in_process_mode() {
         text.contains("15 scenarios (12 proven, 3 violated, 0 unknown)"),
         "unexpected exec-plan output:\n{text}"
     );
+}
+
+/// The loopback-TCP acceptance test: `vericlick worker --listen` processes
+/// on OS-chosen ports, a planner process, and an executor process wired to
+/// them with `--workers addr,addr` — the deterministic report must equal
+/// in-process serving byte for byte, with both explorations and Step-2
+/// compositions executed by the socket workers.
+#[test]
+fn exec_plan_over_loopback_tcp_workers_byte_identical() {
+    use std::io::BufRead;
+    use std::process::Stdio;
+
+    // Start two socket workers; parse the announced address of each. The
+    // stdout readers stay alive for the whole test so worker logging never
+    // hits a closed pipe.
+    let mut workers = Vec::new();
+    let mut readers = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..2 {
+        let mut child = vericlick()
+            .args(["worker", "--listen", "127.0.0.1:0", "--capacity", "2"])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn vericlick worker --listen");
+        let stdout = child.stdout.take().expect("worker stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("worker announces its address")
+                .expect("read worker stdout");
+            if let Some(addr) = line.trim().strip_prefix("worker: listening on ") {
+                break addr.to_string();
+            }
+        };
+        addrs.push(addr);
+        readers.push(lines);
+        workers.push(child);
+    }
+
+    let dir = temp_dir("tcp-exec");
+    let plan_path = dir.join("plan.json");
+    let det_path = dir.join("deterministic.json");
+
+    // Planner process.
+    let status = vericlick()
+        .args(["plan", "--matrix", "-o"])
+        .arg(&plan_path)
+        .status()
+        .expect("spawn vericlick plan");
+    assert!(status.success(), "plan failed: {status}");
+
+    // Executor process, dispatching to the TCP workers.
+    let status = vericlick()
+        .arg("exec-plan")
+        .arg(&plan_path)
+        .args(["--workers", &addrs.join(","), "--det-json"])
+        .arg(&det_path)
+        .status()
+        .expect("spawn vericlick exec-plan");
+    assert!(status.success(), "exec-plan failed: {status}");
+
+    // Reference: serve the same request in this process.
+    let service = VerifyService::new().with_threads(4);
+    let served = service
+        .serve(VerifyRequest::Matrix {
+            scenarios: preset_scenarios(),
+        })
+        .expect("serve matrix");
+    assert_eq!(served.verdict_counts(), (12, 3, 0));
+    let executed = std::fs::read_to_string(&det_path).expect("deterministic report");
+    assert_eq!(
+        executed,
+        served.deterministic_json().to_text(),
+        "TCP-worker execution must be byte-identical to in-process serving"
+    );
+
+    for mut worker in workers {
+        let _ = worker.kill();
+        let _ = worker.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
