@@ -17,8 +17,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dataplane_bench::row;
+use dataplane_orchestrator::conformance::{plan_fuzz_shards, run_fuzz_jobs};
 use dataplane_orchestrator::{
-    parallel_composition, preset_scenarios, verify_sequential, CompositionMode, VerifyService,
+    parallel_composition, preset_scenarios, verify_sequential, CompositionMode, Executor,
+    ScenarioSpec, VerifyService, WorkerFleet,
 };
 use dataplane_verifier::{Verifier, VerifierOptions};
 use std::time::{Duration, Instant};
@@ -211,6 +213,91 @@ fn report() {
             t_fresh.as_secs_f64()
         );
     }
+
+    fuzz_report();
+}
+
+/// Conformance-fuzz throughput: the same seeded shard plan (every proven
+/// preset, fixed seed) pushed through the model runtime on the shared
+/// pool at 1/2/4/8 threads, then sharded over a 2-worker stdio fleet
+/// (the `vericlick fuzz --workers 2` wire path).
+fn fuzz_report() {
+    let specs: Vec<ScenarioSpec> = preset_scenarios()
+        .iter()
+        .filter(|s| s.pipeline_name != "buggy") // proven presets only
+        .map(|s| ScenarioSpec::from_scenario(s).expect("preset specs serialise"))
+        .collect();
+    let options = VerifierOptions::default();
+    let jobs = plan_fuzz_shards(&specs, 1, 50_000);
+
+    let mut single_thread_seconds = f64::NAN;
+    for fuzz_threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let shards = run_fuzz_jobs(&jobs, &options, fuzz_threads).expect("fuzz shards run");
+        let secs = start.elapsed().as_secs_f64();
+        let pushed: u64 = shards.iter().map(|s| s.packets).sum();
+        let contradictions: u64 = shards.iter().map(|s| s.contradiction_count).sum();
+        assert_eq!(contradictions, 0, "a proven preset was contradicted");
+        if fuzz_threads == 1 {
+            single_thread_seconds = secs;
+        }
+        row(
+            "e7-parallel-verification",
+            &[
+                ("mode", "fuzz_pool".to_string()),
+                ("threads", fuzz_threads.to_string()),
+                ("packets", pushed.to_string()),
+                ("seconds", format!("{secs:.3}")),
+                ("packets_per_second", format!("{:.0}", pushed as f64 / secs)),
+                (
+                    "speedup_vs_single",
+                    format!("{:.2}", single_thread_seconds / secs),
+                ),
+            ],
+        );
+    }
+
+    // The bench executable lives in target/<profile>/deps; the vericlick
+    // binary the fleet spawns is one directory up.
+    let vericlick = std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.parent()
+                .and_then(|deps| deps.parent())
+                .map(|dir| dir.join("vericlick"))
+        })
+        .filter(|p| p.exists());
+    let Some(vericlick) = vericlick else {
+        println!(
+            "[e7-parallel-verification] SKIP fuzz_fleet_stdio: vericlick binary not built \
+             alongside this bench (run `cargo build` for the same profile first)"
+        );
+        return;
+    };
+    let fleet = WorkerFleet::subprocess(vericlick, vec!["worker".to_string()], 2);
+    let start = Instant::now();
+    let shards = fleet
+        .fuzz_jobs(&jobs, &options)
+        .expect("worker fleets accept fuzz jobs")
+        .expect("fleet fuzz run succeeds");
+    let secs = start.elapsed().as_secs_f64();
+    let pushed: u64 = shards.iter().map(|s| s.packets).sum();
+    let contradictions: u64 = shards.iter().map(|s| s.contradiction_count).sum();
+    assert_eq!(
+        contradictions, 0,
+        "a proven preset was contradicted on the wire"
+    );
+    row(
+        "e7-parallel-verification",
+        &[
+            ("mode", "fuzz_fleet_stdio".to_string()),
+            ("workers", "2".to_string()),
+            ("shards", jobs.len().to_string()),
+            ("packets", pushed.to_string()),
+            ("seconds", format!("{secs:.3}")),
+            ("packets_per_second", format!("{:.0}", pushed as f64 / secs)),
+        ],
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -52,6 +52,6 @@ pub use report::{
 };
 pub use summary::{summary_key, ElementSummary, SummaryCache};
 pub use verifier::{
-    materialise_packet, ComposeExecutor, EscalationLadder, ParallelComposition, Verifier,
-    VerifierOptions, ESCALATION_FACTOR,
+    materialise_packet, run_violates_property, ComposeExecutor, EscalationLadder,
+    ParallelComposition, Verifier, VerifierOptions, ESCALATION_FACTOR,
 };

@@ -628,10 +628,47 @@ pub fn materialise_packet(model: &dataplane_symbex::Assignment) -> Vec<u8> {
     // The model's packet length is authoritative: the concrete packet must
     // have exactly that many bytes (capped at a sane jumbo-frame size), with
     // any bytes the model did not pin set to zero.
-    let len = (model.packet_len as usize).min(4096);
-    let mut bytes = model.packet.clone();
-    bytes.resize(len, 0);
-    bytes
+    model.concrete_packet()
+}
+
+/// Judge whether a finished concrete execution violates `property` — the
+/// replay predicate of the differential-conformance subsystem, and the
+/// segment-free generalisation of the verifier's own counterexample
+/// confirmation. Crash-freedom is violated by any crash; the instruction
+/// bound by a crash or an over-budget run; reachability by a crash, a drop
+/// at an element that is neither a delivery target nor a licensed dropper,
+/// or an exit anywhere but a delivery target. For reachability the caller
+/// is responsible for only judging packets that actually carry the
+/// property's destination address (the property says nothing about others).
+pub fn run_violates_property(
+    pipeline: &Pipeline,
+    property: &Property,
+    run: &dataplane_pipeline::ModelRun,
+) -> bool {
+    match property {
+        Property::CrashFreedom => matches!(run.disposition, Disposition::Crashed { .. }),
+        Property::BoundedInstructions { max_instructions } => {
+            matches!(run.disposition, Disposition::Crashed { .. })
+                || run.instructions > *max_instructions
+        }
+        Property::Reachability {
+            deliver_to,
+            may_drop,
+            ..
+        } => match &run.disposition {
+            Disposition::Crashed { .. } => true,
+            // A drop at a licensed dropper means the packet was judged
+            // malformed, which the property explicitly permits.
+            Disposition::Dropped { at } => {
+                let name = &pipeline.node(*at).name;
+                !deliver_to.contains(name) && !may_drop.contains(name)
+            }
+            Disposition::Exited { at, .. } => {
+                let name = &pipeline.node(*at).name;
+                !deliver_to.contains(name)
+            }
+        },
+    }
 }
 
 /// Everything that identifies one node of the Step-2 prefix tree: the

@@ -47,4 +47,4 @@ pub use ipv4::{Ipv4Error, Ipv4Header, IPV4_MIN_HEADER_LEN, PROTO_ICMP, PROTO_TCP
 pub use packet::{Packet, PacketMeta};
 pub use pktbuild::PacketBuilder;
 pub use transport::{IcmpHeader, TcpHeader, UdpHeader};
-pub use workload::{PacketClass, WorkloadConfig, WorkloadGen, WorkloadMix};
+pub use workload::{PacketClass, WorkloadConfig, WorkloadGen, WorkloadMix, DEFAULT_SEED};

@@ -103,6 +103,11 @@ impl WorkloadMix {
     }
 }
 
+/// The default workload seed. Every place that generates a workload without
+/// an explicit `--seed` uses this value, and reports record the seed actually
+/// used so any run is reproducible from its artifact.
+pub const DEFAULT_SEED: u64 = 0xDA7A_0001_2013_0011;
+
 /// Configuration of a synthetic workload.
 #[derive(Clone, Debug)]
 pub struct WorkloadConfig {
@@ -121,7 +126,7 @@ pub struct WorkloadConfig {
 impl Default for WorkloadConfig {
     fn default() -> Self {
         WorkloadConfig {
-            seed: 0xDA7A_0001_2013_0011,
+            seed: DEFAULT_SEED,
             mix: WorkloadMix::clean(),
             src_hosts: 64,
             dst_hosts: 16,
@@ -354,5 +359,89 @@ mod tests {
     #[should_panic]
     fn empty_mix_rejected() {
         WorkloadMix::custom(vec![(PacketClass::Udp, 0)]);
+    }
+
+    /// Classify a generated packet back into its class by inspection. The
+    /// adversarial classes are mutually distinguishable on the wire, which
+    /// is what lets the distribution test below audit the mix weights.
+    fn classify(pkt: &Packet) -> PacketClass {
+        let bytes = pkt.bytes();
+        if bytes.len() < ETHERNET_HEADER_LEN + 20 {
+            return PacketClass::TruncatedIp;
+        }
+        if bytes[ETHERNET_HEADER_LEN] >> 4 != 4 {
+            return PacketClass::BadVersion;
+        }
+        let Ok(ip) = Ipv4Header::parse_checked(&bytes[ETHERNET_HEADER_LEN..]) else {
+            return PacketClass::BadChecksum;
+        };
+        if ip.ihl > 5 {
+            return PacketClass::WithIpOptions;
+        }
+        if ip.ttl <= 1 {
+            return PacketClass::ExpiringTtl;
+        }
+        match ip.protocol {
+            crate::ipv4::PROTO_TCP => PacketClass::TcpSyn,
+            crate::ipv4::PROTO_ICMP => PacketClass::IcmpEcho,
+            _ => PacketClass::Udp,
+        }
+    }
+
+    #[test]
+    fn adversarial_class_mix_matches_weights() {
+        let packets = WorkloadGen::adversarial(41).batch(2000);
+        let mut counts = std::collections::HashMap::new();
+        for pkt in &packets {
+            *counts.entry(classify(pkt)).or_insert(0usize) += 1;
+        }
+        // Expected counts out of 2000 for the 30/10/20/10/10/10/10 mix;
+        // bounds are generous (±50%) so the test checks the mix, not the RNG.
+        let expectations = [
+            (PacketClass::Udp, 600),
+            (PacketClass::TcpSyn, 200),
+            (PacketClass::WithIpOptions, 400),
+            (PacketClass::BadChecksum, 200),
+            (PacketClass::TruncatedIp, 200),
+            (PacketClass::BadVersion, 200),
+            (PacketClass::ExpiringTtl, 200),
+        ];
+        for (class, expected) in expectations {
+            let got = counts.get(&class).copied().unwrap_or(0);
+            assert!(
+                got >= expected / 2 && got <= expected * 3 / 2,
+                "{class:?}: got {got}, expected around {expected}"
+            );
+        }
+        assert_eq!(counts.get(&PacketClass::IcmpEcho), None);
+    }
+
+    #[test]
+    fn adversarial_generator_is_deterministic_under_a_fixed_seed() {
+        let a = WorkloadGen::adversarial(9).batch(200);
+        let b = WorkloadGen::adversarial(9).batch(200);
+        assert_eq!(a, b);
+        let c = WorkloadGen::adversarial(10).batch(200);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batch_matches_successive_next_packets() {
+        let batched = WorkloadGen::adversarial(12).batch(64);
+        assert_eq!(batched.len(), 64);
+        let mut gen = WorkloadGen::adversarial(12);
+        let singles: Vec<_> = (0..64).map(|_| gen.next_packet()).collect();
+        assert_eq!(
+            batched, singles,
+            "batch() must equal repeated next_packet()"
+        );
+        for (i, pkt) in batched.iter().enumerate() {
+            assert_eq!(pkt.meta().sequence, i as u64, "batch preserves ordering");
+        }
+    }
+
+    #[test]
+    fn default_seed_is_the_documented_constant() {
+        assert_eq!(WorkloadConfig::default().seed, DEFAULT_SEED);
     }
 }

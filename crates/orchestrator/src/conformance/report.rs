@@ -1,0 +1,441 @@
+//! The conformance subsystem's report types and their JSON codecs.
+//!
+//! Everything here obeys the same determinism contract as the matrix
+//! report: the *deterministic* document is a pure function of the inputs
+//! (scenarios, seed, packet count, pinned options) — no wall-clock, no
+//! thread counts, no cache weather — so a fixed seed serialises to
+//! byte-identical text whether the fuzz shards ran on the in-process pool
+//! or were dispatched over a worker fleet.
+
+use crate::json::Json;
+use crate::wire::{
+    bytes_from_hex, check_schema, get, get_arr, get_bool, get_str, get_u64, hex_bytes, malformed,
+    str_arr, WireError,
+};
+use std::fmt;
+use std::time::Duration;
+
+/// Schema version of every conformance document (shard reports on the
+/// wire, and the aggregate report's JSON forms).
+pub const CONFORMANCE_SCHEMA: u64 = 1;
+
+/// How many contradictions a single fuzz shard records in full (packet
+/// bytes, shrunk form, trace). Contradictions beyond the cap are still
+/// *counted* — only their bytes are elided, so a pathological run cannot
+/// balloon the wire frames.
+pub const MAX_RECORDED_CONTRADICTIONS: usize = 8;
+
+/// A fuzzed packet whose concrete model execution contradicted a `Proven`
+/// verdict — the fuzzer's equivalent of a soundness bug, reported with
+/// everything needed to reproduce it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Contradiction {
+    /// The offending packet, exactly as pushed.
+    pub packet: Vec<u8>,
+    /// The greedily minimised packet that still violates the property on a
+    /// fresh model runtime (`None` when the contradiction needs the
+    /// shard's accumulated element state to reproduce).
+    pub shrunk: Option<Vec<u8>>,
+    /// Terminal disposition kind (`"exited"`, `"dropped"`, `"crashed"`).
+    pub disposition: String,
+    /// Instance name of the element where the run terminated.
+    pub at: String,
+    /// IR instructions the run executed.
+    pub instructions: u64,
+    /// Zero-based index of the packet within its shard's push order
+    /// (model-seeded packets come first).
+    pub packet_index: u64,
+    /// Whether the violation also reproduces on a *fresh* model runtime
+    /// (false means it depended on state earlier shard packets built up).
+    pub reproduces_fresh: bool,
+}
+
+/// The result of one fuzz shard: counts and contradictions for one slice
+/// of one proven scenario's seeded packet stream. This is the unit that
+/// travels over the worker wire and the unit the deterministic fold
+/// consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzShardReport {
+    /// `pipeline/property` label of the fuzzed scenario.
+    pub scenario: String,
+    /// Index of the scenario in the conformance run.
+    pub scenario_index: u32,
+    /// Index of this shard within its scenario (the fold key).
+    pub shard_index: u32,
+    /// Packets pushed (model seeds included).
+    pub packets: u64,
+    /// Packets the property's violation predicate applied to (for
+    /// reachability: packets actually carrying the target address).
+    pub checked: u64,
+    /// Packets that exited through an unconnected port.
+    pub forwarded: u64,
+    /// Packets dropped by some element.
+    pub dropped: u64,
+    /// Packets whose model execution crashed.
+    pub crashed: u64,
+    /// Highest per-packet instruction count observed.
+    pub max_instructions: u64,
+    /// Packets materialised from the solver's Sat models (0 unless this
+    /// was the scenario's model-seed shard).
+    pub model_seeds: u64,
+    /// Total contradictions observed (recorded or not).
+    pub contradiction_count: u64,
+    /// The first [`MAX_RECORDED_CONTRADICTIONS`] contradictions in full.
+    pub contradictions: Vec<Contradiction>,
+}
+
+fn contradiction_to_json(c: &Contradiction) -> Json {
+    Json::obj([
+        ("packet_hex", Json::str(hex_bytes(&c.packet))),
+        (
+            "shrunk_hex",
+            match &c.shrunk {
+                Some(bytes) => Json::str(hex_bytes(bytes)),
+                None => Json::Null,
+            },
+        ),
+        ("disposition", Json::str(&c.disposition)),
+        ("at", Json::str(&c.at)),
+        ("instructions", Json::int(c.instructions)),
+        ("packet_index", Json::int(c.packet_index)),
+        ("reproduces_fresh", Json::Bool(c.reproduces_fresh)),
+    ])
+}
+
+fn contradiction_from_json(json: &Json) -> Result<Contradiction, WireError> {
+    let shrunk = match get(json, "shrunk_hex")? {
+        Json::Null => None,
+        other => Some(bytes_from_hex(other.as_str().ok_or_else(|| {
+            malformed("field 'shrunk_hex' is neither a hex string nor null")
+        })?)?),
+    };
+    Ok(Contradiction {
+        packet: bytes_from_hex(get_str(json, "packet_hex")?)?,
+        shrunk,
+        disposition: get_str(json, "disposition")?.to_string(),
+        at: get_str(json, "at")?.to_string(),
+        instructions: get_u64(json, "instructions")?,
+        packet_index: get_u64(json, "packet_index")?,
+        reproduces_fresh: get_bool(json, "reproduces_fresh")?,
+    })
+}
+
+/// Encode a fuzz shard report (the `"fuzz"` result payload of the worker
+/// protocol).
+pub fn shard_report_to_json(report: &FuzzShardReport) -> Json {
+    Json::obj([
+        ("schema", Json::int(CONFORMANCE_SCHEMA)),
+        ("scenario", Json::str(&report.scenario)),
+        (
+            "scenario_index",
+            Json::int(u64::from(report.scenario_index)),
+        ),
+        ("shard_index", Json::int(u64::from(report.shard_index))),
+        ("packets", Json::int(report.packets)),
+        ("checked", Json::int(report.checked)),
+        ("forwarded", Json::int(report.forwarded)),
+        ("dropped", Json::int(report.dropped)),
+        ("crashed", Json::int(report.crashed)),
+        ("max_instructions", Json::int(report.max_instructions)),
+        ("model_seeds", Json::int(report.model_seeds)),
+        ("contradiction_count", Json::int(report.contradiction_count)),
+        (
+            "contradictions",
+            Json::Arr(
+                report
+                    .contradictions
+                    .iter()
+                    .map(contradiction_to_json)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode a fuzz shard report.
+pub fn shard_report_from_json(json: &Json) -> Result<FuzzShardReport, WireError> {
+    check_schema(json, CONFORMANCE_SCHEMA, "conformance shard")?;
+    let index_u32 = |key: &str| -> Result<u32, WireError> {
+        u32::try_from(get_u64(json, key)?)
+            .map_err(|_| malformed(format!("field '{key}' exceeds u32")))
+    };
+    Ok(FuzzShardReport {
+        scenario: get_str(json, "scenario")?.to_string(),
+        scenario_index: index_u32("scenario_index")?,
+        shard_index: index_u32("shard_index")?,
+        packets: get_u64(json, "packets")?,
+        checked: get_u64(json, "checked")?,
+        forwarded: get_u64(json, "forwarded")?,
+        dropped: get_u64(json, "dropped")?,
+        crashed: get_u64(json, "crashed")?,
+        max_instructions: get_u64(json, "max_instructions")?,
+        model_seeds: get_u64(json, "model_seeds")?,
+        contradiction_count: get_u64(json, "contradiction_count")?,
+        contradictions: get_arr(json, "contradictions")?
+            .iter()
+            .map(contradiction_from_json)
+            .collect::<Result<Vec<_>, WireError>>()?,
+    })
+}
+
+/// The deterministic fold of one scenario's shard reports, in shard-index
+/// order: counts summed, instruction maxima maxed, recorded
+/// contradictions concatenated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzScenarioReport {
+    /// `pipeline/property` label.
+    pub scenario: String,
+    /// How many shards the scenario's stream was split into.
+    pub shards: u32,
+    /// Total packets pushed across all shards.
+    pub packets: u64,
+    /// Packets the violation predicate applied to.
+    pub checked: u64,
+    /// Packets that exited through an unconnected port.
+    pub forwarded: u64,
+    /// Packets dropped by some element.
+    pub dropped: u64,
+    /// Packets whose model execution crashed.
+    pub crashed: u64,
+    /// Highest per-packet instruction count across all shards.
+    pub max_instructions: u64,
+    /// Solver-model-seeded packets pushed.
+    pub model_seeds: u64,
+    /// Total contradictions across all shards.
+    pub contradiction_count: u64,
+    /// Recorded contradictions, concatenated in shard order.
+    pub contradictions: Vec<Contradiction>,
+}
+
+impl FuzzScenarioReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::str(&self.scenario)),
+            ("shards", Json::int(u64::from(self.shards))),
+            ("packets", Json::int(self.packets)),
+            ("checked", Json::int(self.checked)),
+            ("forwarded", Json::int(self.forwarded)),
+            ("dropped", Json::int(self.dropped)),
+            ("crashed", Json::int(self.crashed)),
+            ("max_instructions", Json::int(self.max_instructions)),
+            ("model_seeds", Json::int(self.model_seeds)),
+            ("contradiction_count", Json::int(self.contradiction_count)),
+            (
+                "contradictions",
+                Json::Arr(
+                    self.contradictions
+                        .iter()
+                        .map(contradiction_to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The concrete re-execution of one symbolic counterexample: what the
+/// verifier predicted, what the model runtime did, and whether they agree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// The pipeline's label.
+    pub scenario: String,
+    /// The violated property's name.
+    pub property: String,
+    /// The counterexample's description from the symbolic report.
+    pub description: String,
+    /// The element path the symbolic verifier predicted.
+    pub symbolic_path: Vec<String>,
+    /// The counterexample packet that was pushed.
+    pub packet: Vec<u8>,
+    /// Whether the concrete run violated the property as predicted. A
+    /// `false` here is a soundness bug in the verifier or a divergence
+    /// between the element models and the composition — it fails the run.
+    pub reproduced: bool,
+    /// Terminal disposition kind of the concrete run.
+    pub disposition: String,
+    /// Instance name of the element where the concrete run terminated.
+    pub at: String,
+    /// IR instructions the concrete run executed.
+    pub instructions: u64,
+    /// The element path the concrete run actually took.
+    pub concrete_path: Vec<String>,
+}
+
+impl ReplayOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::str(&self.scenario)),
+            ("property", Json::str(&self.property)),
+            ("description", Json::str(&self.description)),
+            (
+                "symbolic_path",
+                Json::Arr(self.symbolic_path.iter().map(Json::str).collect()),
+            ),
+            ("packet_hex", Json::str(hex_bytes(&self.packet))),
+            ("reproduced", Json::Bool(self.reproduced)),
+            ("disposition", Json::str(&self.disposition)),
+            ("at", Json::str(&self.at)),
+            ("instructions", Json::int(self.instructions)),
+            (
+                "concrete_path",
+                Json::Arr(self.concrete_path.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<ReplayOutcome, WireError> {
+        Ok(ReplayOutcome {
+            scenario: get_str(json, "scenario")?.to_string(),
+            property: get_str(json, "property")?.to_string(),
+            description: get_str(json, "description")?.to_string(),
+            symbolic_path: str_arr(get_arr(json, "symbolic_path")?)?,
+            packet: bytes_from_hex(get_str(json, "packet_hex")?)?,
+            reproduced: get_bool(json, "reproduced")?,
+            disposition: get_str(json, "disposition")?.to_string(),
+            at: get_str(json, "at")?.to_string(),
+            instructions: get_u64(json, "instructions")?,
+            concrete_path: str_arr(get_arr(json, "concrete_path")?)?,
+        })
+    }
+}
+
+/// The aggregate result of a conformance run: every counterexample
+/// replayed, every proven scenario fuzzed.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// The run's base seed.
+    pub seed: u64,
+    /// Total fuzz packets the run was asked to generate (split across the
+    /// proven scenarios; model-seeded packets come on top).
+    pub packets_requested: u64,
+    /// One entry per replayed counterexample.
+    pub replay: Vec<ReplayOutcome>,
+    /// One entry per fuzzed (proven) scenario, in scenario order.
+    pub fuzz: Vec<FuzzScenarioReport>,
+    /// Pool threads the run used (operational only).
+    pub threads: usize,
+    /// Wall-clock time (operational only).
+    pub elapsed: Duration,
+}
+
+impl ConformanceReport {
+    /// Counterexamples whose concrete replay did *not* reproduce the
+    /// symbolic violation.
+    pub fn replay_mismatches(&self) -> usize {
+        self.replay.iter().filter(|r| !r.reproduced).count()
+    }
+
+    /// Total fuzz contradictions across every scenario.
+    pub fn contradictions(&self) -> u64 {
+        self.fuzz.iter().map(|f| f.contradiction_count).sum()
+    }
+
+    /// Total packets actually pushed across every scenario.
+    pub fn packets_pushed(&self) -> u64 {
+        self.fuzz.iter().map(|f| f.packets).sum()
+    }
+
+    /// The run's verdict: every replay reproduced and zero contradictions.
+    pub fn ok(&self) -> bool {
+        self.replay_mismatches() == 0 && self.contradictions() == 0
+    }
+
+    fn body(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("schema", Json::int(CONFORMANCE_SCHEMA)),
+            ("kind", Json::str("conformance")),
+            ("seed", Json::int(self.seed)),
+            ("packets_requested", Json::int(self.packets_requested)),
+            ("packets_pushed", Json::int(self.packets_pushed())),
+            (
+                "replay",
+                Json::Arr(self.replay.iter().map(ReplayOutcome::to_json).collect()),
+            ),
+            (
+                "fuzz",
+                Json::Arr(self.fuzz.iter().map(FuzzScenarioReport::to_json).collect()),
+            ),
+            (
+                "replay_mismatches",
+                Json::int(self.replay_mismatches() as u64),
+            ),
+            ("contradictions", Json::int(self.contradictions())),
+            ("ok", Json::Bool(self.ok())),
+        ]
+    }
+
+    /// The machine-readable (operational) document: the deterministic body
+    /// plus timings and the thread count.
+    pub fn to_json(&self) -> Json {
+        let mut body = self.body();
+        body.push(("threads", Json::int(self.threads as u64)));
+        body.push((
+            "elapsed_micros",
+            Json::int(self.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+        ));
+        Json::obj(body)
+    }
+
+    /// The deterministic document: a pure function of scenarios, seed, and
+    /// packet count — byte-identical across runs, processes, and executors
+    /// (the in-process-vs-fleet byte-identity tests compare this form).
+    pub fn deterministic_json(&self) -> Json {
+        Json::obj(self.body())
+    }
+
+    /// Decode the deterministic document's replay outcomes (used by tests
+    /// and tooling that inspect saved conformance reports).
+    pub fn replay_from_json(json: &Json) -> Result<Vec<ReplayOutcome>, WireError> {
+        check_schema(json, CONFORMANCE_SCHEMA, "conformance report")?;
+        get_arr(json, "replay")?
+            .iter()
+            .map(ReplayOutcome::from_json)
+            .collect()
+    }
+}
+
+impl fmt::Display for ConformanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "conformance: {} counterexamples replayed ({} mismatches), \
+             {} packets fuzzed over {} scenarios ({} contradictions) in {:.3}s on {} threads",
+            self.replay.len(),
+            self.replay_mismatches(),
+            self.packets_pushed(),
+            self.fuzz.len(),
+            self.contradictions(),
+            self.elapsed.as_secs_f64(),
+            self.threads,
+        )?;
+        for outcome in &self.replay {
+            writeln!(
+                f,
+                "  replay {}/{}: {} — concrete run {} at {} ({} instr)",
+                outcome.scenario,
+                outcome.property,
+                if outcome.reproduced {
+                    "reproduced"
+                } else {
+                    "MISMATCH"
+                },
+                outcome.disposition,
+                outcome.at,
+                outcome.instructions,
+            )?;
+        }
+        for fuzz in &self.fuzz {
+            writeln!(
+                f,
+                "  fuzz {}: {} packets / {} shards, {} checked, max {} instr, {} contradictions",
+                fuzz.scenario,
+                fuzz.packets,
+                fuzz.shards,
+                fuzz.checked,
+                fuzz.max_instructions,
+                fuzz.contradiction_count,
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,139 @@
+//! Greedy counterexample minimisation for fuzz contradictions.
+//!
+//! When a fuzzed packet contradicts a `Proven` verdict the raw packet is
+//! rarely minimal — random payload bytes, oversized options, trailing
+//! garbage. Before reporting, the fuzzer shrinks it: first truncating from
+//! the end in halving steps, then zeroing aligned byte spans at shrinking
+//! granularities, keeping every candidate that still violates. The
+//! predicate is supplied by the caller (a fresh model run plus the
+//! property's applicability gate), so the shrinker itself is a pure,
+//! deterministic byte-level loop.
+
+/// Upper bound on predicate evaluations one [`shrink`] call may spend.
+/// Each evaluation is one fresh model run (microseconds), so the bound
+/// keeps even a pathological shard's shrink phase to milliseconds.
+pub const SHRINK_BUDGET: usize = 512;
+
+/// Greedily minimise `bytes` while `still_violates` holds.
+///
+/// Two phases, both deterministic and bounded by [`SHRINK_BUDGET`]
+/// predicate calls:
+///
+/// 1. **Truncate**: repeatedly drop the largest suffix (halving from
+///    `len/2` down to one byte) that keeps the violation.
+/// 2. **Zero**: for span widths 16, 8, 4, 2, 1, try zeroing each aligned
+///    span; keep the zeroed form when the violation survives.
+///
+/// Returns the smallest (then most-zeroed) form found — `bytes` itself
+/// when nothing smaller violates. The caller guarantees `still_violates`
+/// already holds for `bytes`.
+pub fn shrink(bytes: &[u8], still_violates: &mut dyn FnMut(&[u8]) -> bool) -> Vec<u8> {
+    let mut best = bytes.to_vec();
+    let mut spent = 0usize;
+
+    // Phase 1: truncate from the end.
+    loop {
+        let mut progressed = false;
+        let mut cut = best.len() / 2;
+        while cut >= 1 && spent < SHRINK_BUDGET {
+            let candidate = &best[..best.len() - cut];
+            spent += 1;
+            if still_violates(candidate) {
+                best = candidate.to_vec();
+                progressed = true;
+                break;
+            }
+            cut /= 2;
+        }
+        if !progressed || best.is_empty() || spent >= SHRINK_BUDGET {
+            break;
+        }
+    }
+
+    // Phase 2: zero aligned spans, coarse to fine.
+    for width in [16usize, 8, 4, 2, 1] {
+        let mut start = 0;
+        while start < best.len() && spent < SHRINK_BUDGET {
+            let end = (start + width).min(best.len());
+            if best[start..end].iter().all(|&b| b == 0) {
+                start += width;
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate[start..end].fill(0);
+            spent += 1;
+            if still_violates(&candidate) {
+                best = candidate;
+            }
+            start += width;
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_finds_the_single_load_bearing_byte() {
+        // Violation: the packet contains 0x7f anywhere. One byte at index
+        // 100 of a 400-byte packet is load-bearing; everything else is
+        // noise the shrinker must remove.
+        let mut packet = vec![0xaau8; 400];
+        packet[100] = 0x7f;
+        let mut check = |bytes: &[u8]| bytes.contains(&0x7f);
+        let shrunk = shrink(&packet, &mut check);
+        assert!(check(&shrunk), "shrunk form must still violate");
+        assert!(
+            shrunk.len() <= 101,
+            "suffix after the byte must go: {}",
+            shrunk.len()
+        );
+        // Every non-load-bearing byte is zeroed.
+        assert_eq!(shrunk.iter().filter(|&&b| b == 0x7f).count(), 1);
+        assert!(shrunk.iter().all(|&b| b == 0 || b == 0x7f));
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let mut packet = vec![0x55u8; 233];
+        packet[42] = 0x7f;
+        packet[200] = 0x7f;
+        let a = shrink(&packet, &mut |b: &[u8]| b.contains(&0x7f));
+        let b = shrink(&packet, &mut |b: &[u8]| b.contains(&0x7f));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrink_respects_a_minimum_length_gate() {
+        // Predicates with an applicability gate (reachability needs the
+        // packet to still carry the target address at its offset) must not
+        // be shrunk through the gate.
+        let packet = vec![0x11u8; 64];
+        let shrunk = shrink(&packet, &mut |b: &[u8]| b.len() >= 34);
+        assert!(shrunk.len() >= 34);
+        assert!(shrunk.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn unshrinkable_packets_come_back_unchanged() {
+        let packet = vec![1u8, 2, 3, 4];
+        let original = packet.clone();
+        // Only the exact original violates.
+        let shrunk = shrink(&packet, &mut |b: &[u8]| b == original.as_slice());
+        assert_eq!(shrunk, original);
+    }
+
+    #[test]
+    fn shrink_stays_within_its_budget() {
+        let packet = vec![0xffu8; 4096];
+        let mut calls = 0usize;
+        let _ = shrink(&packet, &mut |_b: &[u8]| {
+            calls += 1;
+            false
+        });
+        assert!(calls <= SHRINK_BUDGET);
+    }
+}

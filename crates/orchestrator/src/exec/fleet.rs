@@ -11,10 +11,11 @@ use super::registry::{DispatchStats, WorkerRegistry};
 use super::transport::{Connector, SocketConnector, SpawnConnector, WorkerAddr};
 use super::worker::WORKER_SCHEMA;
 use super::{ExecError, Executor};
+use crate::conformance::{shard_report_from_json, FuzzShardReport};
 use crate::fingerprint::Fingerprint;
 use crate::json::Json;
 use crate::persist::{summary_from_json, summary_to_json};
-use crate::wire::{job_to_json, report_from_json, ComposeJob, ExploreJob, JobSpec};
+use crate::wire::{job_to_json, report_from_json, ComposeJob, ExploreJob, FuzzJob, JobSpec};
 use dataplane_verifier::{ElementSummary, Report, VerifierOptions};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -121,7 +122,7 @@ impl Executor for WorkerFleet {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
-        self.registry.record_offered(jobs.len(), 0);
+        self.registry.record_offered(jobs.len(), 0, 0);
         let frame_for = |id: usize| job_frame(id, &JobSpec::Explore(jobs[id].clone()), None);
         let results = dispatch(
             &self.connectors,
@@ -153,7 +154,7 @@ impl Executor for WorkerFleet {
         if jobs.is_empty() {
             return Some(Ok(Vec::new()));
         }
-        self.registry.record_offered(0, jobs.len());
+        self.registry.record_offered(0, jobs.len(), 0);
         let frame_for = |id: usize| {
             let job = &jobs[id];
             let shipped = Json::Arr(
@@ -193,6 +194,40 @@ impl Executor for WorkerFleet {
                     })?;
                     report_from_json(doc, job.scenario.property.clone(), elapsed)
                         .map_err(|e| ExecError::Protocol(format!("undecodable report: {e}")))
+                })
+                .collect(),
+        )
+    }
+
+    fn fuzz_jobs(
+        &self,
+        jobs: &[FuzzJob],
+        options: &VerifierOptions,
+    ) -> Option<Result<Vec<FuzzShardReport>, ExecError>> {
+        if jobs.is_empty() {
+            return Some(Ok(Vec::new()));
+        }
+        self.registry.record_offered(0, 0, jobs.len());
+        let frame_for = |id: usize| job_frame(id, &JobSpec::Fuzz(jobs[id].clone()), None);
+        let results = match dispatch(
+            &self.connectors,
+            &self.registry,
+            options,
+            jobs.len(),
+            &frame_for,
+        ) {
+            Ok(results) => results,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(
+            results
+                .iter()
+                .map(|frame| {
+                    let doc = frame.get("fuzz").ok_or_else(|| {
+                        ExecError::Protocol("fuzz result without a shard report".into())
+                    })?;
+                    shard_report_from_json(doc)
+                        .map_err(|e| ExecError::Protocol(format!("undecodable shard report: {e}")))
                 })
                 .collect(),
         )

@@ -119,6 +119,21 @@ pub trait Executor: Send + Sync {
         None
     }
 
+    /// Run conformance fuzz shards remotely, one shard report per job in
+    /// input order (the fold key is the job's `shard_index`; input order is
+    /// the determinism contract, as for the other job kinds).
+    ///
+    /// Returns `None` when this executor has no remote fuzz path (the
+    /// conformance runner then fuzzes in-process on the shared pool).
+    fn fuzz_jobs(
+        &self,
+        jobs: &[crate::wire::FuzzJob],
+        options: &VerifierOptions,
+    ) -> Option<Result<Vec<crate::conformance::FuzzShardReport>, ExecError>> {
+        let _ = (jobs, options);
+        None
+    }
+
     /// Registry/queue statistics of the last dispatch, for executors that
     /// track them.
     fn dispatch_stats(&self) -> Option<DispatchStats> {

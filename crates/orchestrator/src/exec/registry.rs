@@ -26,6 +26,8 @@ pub struct DispatchStats {
     pub explore_jobs: usize,
     /// Step-2 composition jobs offered to the queue.
     pub compose_jobs: usize,
+    /// Conformance fuzz shards offered to the queue.
+    pub fuzz_jobs: usize,
 }
 
 /// One worker's registry entry.
@@ -51,6 +53,7 @@ struct RegistryInner {
     requeued: usize,
     explore_jobs: usize,
     compose_jobs: usize,
+    fuzz_jobs: usize,
 }
 
 /// The shared registry a fleet's dispatch threads report into. Lives for
@@ -93,10 +96,11 @@ impl WorkerRegistry {
     }
 
     /// Record how many jobs of each kind a dispatch phase offered.
-    pub(crate) fn record_offered(&self, explore: usize, compose: usize) {
+    pub(crate) fn record_offered(&self, explore: usize, compose: usize, fuzz: usize) {
         let mut inner = self.inner.lock().expect("registry");
         inner.explore_jobs += explore;
         inner.compose_jobs += compose;
+        inner.fuzz_jobs += fuzz;
     }
 
     /// A job frame went out.
@@ -162,6 +166,7 @@ impl WorkerRegistry {
             jobs_requeued: inner.requeued,
             explore_jobs: inner.explore_jobs,
             compose_jobs: inner.compose_jobs,
+            fuzz_jobs: inner.fuzz_jobs,
         }
     }
 }
@@ -173,7 +178,7 @@ mod tests {
     #[test]
     fn registry_aggregates_across_phases() {
         let registry = WorkerRegistry::new();
-        registry.record_offered(3, 0);
+        registry.record_offered(3, 0, 0);
         let a = registry.register("w1".into(), 2);
         let b = registry.register("w2".into(), 1);
         registry.record_dispatched();
@@ -183,7 +188,7 @@ mod tests {
         registry.record_completed(a);
         registry.mark_dead(b, 1, "connection closed".into());
         // Second phase: w1 reconnects.
-        registry.record_offered(0, 2);
+        registry.record_offered(0, 2, 4);
         let a2 = registry.register("w1".into(), 2);
         registry.record_dispatched();
         registry.record_dispatched();
@@ -201,5 +206,6 @@ mod tests {
         assert_eq!(stats.jobs_requeued, 1);
         assert_eq!(stats.explore_jobs, 3);
         assert_eq!(stats.compose_jobs, 2);
+        assert_eq!(stats.fuzz_jobs, 4);
     }
 }

@@ -20,8 +20,11 @@ use std::sync::{Arc, Condvar, Mutex};
 
 /// Schema version of the worker-protocol frames. Version 2 is the
 /// registry protocol: hello handshake, pull-dispatched tagged jobs
-/// (explore *and* compose), out-of-order results by id.
-pub const WORKER_SCHEMA: u64 = 2;
+/// (explore *and* compose), out-of-order results by id. Version 3 adds
+/// `fuzz` to the job vocabulary (conformance fuzz shards) — a bump, not
+/// an addition, because a v2 worker would reject the new kind mid-plan
+/// instead of at the handshake.
+pub const WORKER_SCHEMA: u64 = 3;
 
 /// Protocol name announced in hello frames, so a mismatched peer is told
 /// what this endpoint speaks.
@@ -74,6 +77,13 @@ fn run_job(
                     Json::int(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
                 ),
             ])
+        }
+        JobSpec::Fuzz(job) => {
+            let report = crate::conformance::run_fuzz_shard(job, options)?;
+            Ok(vec![(
+                "fuzz",
+                crate::conformance::shard_report_to_json(&report),
+            )])
         }
     }
 }
@@ -341,7 +351,10 @@ mod tests {
             Some("hello"),
             "first reply is the hello"
         );
-        assert_eq!(replies[0].get("schema").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            replies[0].get("schema").and_then(Json::as_u64),
+            Some(WORKER_SCHEMA)
+        );
         let mut ids: Vec<u64> = replies[1..]
             .iter()
             .map(|r| {
@@ -375,7 +388,7 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap_or_default();
         assert!(
-            message.contains("schema 2"),
+            message.contains(&format!("schema {WORKER_SCHEMA}")),
             "tells the peer what we speak: {message}"
         );
     }

@@ -81,6 +81,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod conformance;
 pub mod diff;
 pub mod exec;
 pub mod executor;
@@ -93,6 +94,9 @@ pub mod service;
 pub mod wire;
 
 pub use cache::{CacheStats, SummaryStore};
+pub use conformance::{
+    ConformanceReport, Contradiction, FuzzScenarioReport, FuzzShardReport, ReplayOutcome,
+};
 pub use diff::{config_scenarios, DiffEntry, DiffKind, DiffReport, NamedConfig};
 pub use exec::{
     serve_listener, worker_serve, DispatchStats, ExecError, Executor, InProcessExecutor,
@@ -111,7 +115,7 @@ pub use service::{
     BoundOutcome, PropertySelect, ServiceError, VerifyOutcome, VerifyRequest, VerifyResponse,
     VerifyService,
 };
-pub use wire::{ComposeJob, ExploreJob, JobSpec, PlanSpec, ScenarioSpec, WireError};
+pub use wire::{ComposeJob, ExploreJob, FuzzJob, JobSpec, PlanSpec, ScenarioSpec, WireError};
 
 // The service moves pipelines, summaries, and progress observers across
 // worker threads; keep those bounds a compile-time contract.

@@ -276,6 +276,7 @@ impl MatrixReport {
                         ("jobs_requeued", Json::int(d.jobs_requeued as u64)),
                         ("explore_jobs", Json::int(d.explore_jobs as u64)),
                         ("compose_jobs", Json::int(d.compose_jobs as u64)),
+                        ("fuzz_jobs", Json::int(d.fuzz_jobs as u64)),
                     ]),
                 },
             ),
@@ -344,7 +345,7 @@ impl fmt::Display for MatrixReport {
         if let Some(d) = &self.stats {
             writeln!(
                 f,
-                "  fleet: {} workers (capacity {}, {} lost), {} dispatched / {} completed / {} requeued ({} explore + {} compose jobs)",
+                "  fleet: {} workers (capacity {}, {} lost), {} dispatched / {} completed / {} requeued ({} explore + {} compose + {} fuzz jobs)",
                 d.workers,
                 d.capacity,
                 d.workers_lost,
@@ -352,7 +353,8 @@ impl fmt::Display for MatrixReport {
                 d.jobs_completed,
                 d.jobs_requeued,
                 d.explore_jobs,
-                d.compose_jobs
+                d.compose_jobs,
+                d.fuzz_jobs
             )?;
         }
         for s in &self.scenarios {

@@ -140,6 +140,19 @@ pub enum VerifyRequest {
         /// The pipeline to bound.
         pipeline: Pipeline,
     },
+    /// Differentially test the scenarios' verdicts against the concrete
+    /// model interpreter: verify the matrix, replay every `Violated`
+    /// counterexample, and fuzz every `Proven` scenario with `packets`
+    /// seeded packets (see [`crate::conformance`]).
+    Conformance {
+        /// The scenarios, each owning its pipeline.
+        scenarios: Vec<Scenario>,
+        /// Base seed of the fuzz streams (fixed seed ⇒ byte-identical
+        /// deterministic report).
+        seed: u64,
+        /// Total fuzz packets, split across the proven scenarios.
+        packets: u64,
+    },
 }
 
 impl VerifyRequest {
@@ -151,6 +164,7 @@ impl VerifyRequest {
             VerifyRequest::Diff { .. } => "diff",
             VerifyRequest::Watch { .. } => "watch",
             VerifyRequest::Bound { .. } => "bound",
+            VerifyRequest::Conformance { .. } => "conformance",
         }
     }
 
@@ -185,6 +199,8 @@ pub enum VerifyOutcome {
     Diff(DiffReport),
     /// The instruction bound of a [`VerifyRequest::Bound`] analysis.
     Bound(Box<BoundOutcome>),
+    /// The replay + fuzz result of a [`VerifyRequest::Conformance`] run.
+    Conformance(Box<crate::conformance::ConformanceReport>),
 }
 
 /// The front door's response: the outcome plus which request shape produced
@@ -202,7 +218,9 @@ impl VerifyResponse {
     /// for single runs.
     pub fn matrix(&self) -> Option<&MatrixReport> {
         match &self.outcome {
-            VerifyOutcome::Single(_) | VerifyOutcome::Bound(_) => None,
+            VerifyOutcome::Single(_) | VerifyOutcome::Bound(_) | VerifyOutcome::Conformance(_) => {
+                None
+            }
             VerifyOutcome::Matrix(m) => Some(m),
             VerifyOutcome::Diff(d) => Some(&d.matrix),
         }
@@ -226,8 +244,9 @@ impl VerifyResponse {
             },
             VerifyOutcome::Matrix(m) => m.verdict_counts(),
             VerifyOutcome::Diff(d) => d.matrix.verdict_counts(),
-            // A bound analysis has no verdicts; nothing can be Unknown.
-            VerifyOutcome::Bound(_) => (0, 0, 0),
+            // Bound analyses and conformance runs carry no verdicts of
+            // their own (conformance *consumes* a matrix's verdicts).
+            VerifyOutcome::Bound(_) | VerifyOutcome::Conformance(_) => (0, 0, 0),
         }
     }
 
@@ -257,6 +276,7 @@ impl VerifyResponse {
                     Json::int(b.report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
                 ),
             ]),
+            VerifyOutcome::Conformance(c) => c.to_json(),
         }
     }
 
@@ -279,6 +299,7 @@ impl VerifyResponse {
                 ("pipeline", Json::str(&b.pipeline_name)),
                 ("report", wire::bound_report_to_json(&b.report)),
             ]),
+            VerifyOutcome::Conformance(c) => c.deterministic_json(),
         }
     }
 }
@@ -290,6 +311,7 @@ impl fmt::Display for VerifyResponse {
             VerifyOutcome::Matrix(m) => write!(f, "{m}"),
             VerifyOutcome::Diff(d) => write!(f, "{d}"),
             VerifyOutcome::Bound(b) => write!(f, "{}: {}", b.pipeline_name, b.report),
+            VerifyOutcome::Conformance(c) => write!(f, "{c}"),
         }
     }
 }
@@ -495,6 +517,13 @@ impl VerifyService {
                 *self.baseline.lock().expect("watch baseline") = Some(configs);
                 outcome
             }
+            VerifyRequest::Conformance {
+                scenarios,
+                seed,
+                packets,
+            } => VerifyOutcome::Conformance(Box::new(
+                self.run_conformance(scenarios, seed, packets, None)?,
+            )),
             request @ VerifyRequest::Bound { .. } => {
                 // Serve through the same plan/execute machinery the remote
                 // path uses: element explorations on the in-process pool,
@@ -708,6 +737,68 @@ impl VerifyService {
         })
     }
 
+    /// Differentially test the scenarios' verdicts against the concrete
+    /// model interpreter (see [`crate::conformance`]): run the matrix on
+    /// the shared scheduler, replay every `Violated` counterexample on a
+    /// fresh model runtime, and fuzz every `Proven` scenario with
+    /// `packets` seeded packets split into [`crate::wire::FuzzJob`]
+    /// shards. The shards run through `executor` when it has a remote
+    /// fuzz path (a [`crate::exec::WorkerFleet`]) and on the in-process
+    /// pool otherwise — the deterministic report is byte-identical either
+    /// way under a fixed seed.
+    pub fn run_conformance(
+        &self,
+        scenarios: Vec<Scenario>,
+        seed: u64,
+        packets: u64,
+        executor: Option<&dyn Executor>,
+    ) -> Result<crate::conformance::ConformanceReport, ServiceError> {
+        use crate::conformance as conf;
+        let started = Instant::now();
+        // Render the wire specs before the matrix run consumes the
+        // scenarios — fuzz shards travel as config text, and replay
+        // rebuilds each violated pipeline from the same text the shards
+        // see.
+        let specs = scenarios
+            .iter()
+            .map(ScenarioSpec::from_scenario)
+            .collect::<Result<Vec<_>, _>>()?;
+        let matrix = self.run_matrix(scenarios);
+
+        let mut replay = Vec::new();
+        let mut proven_specs = Vec::new();
+        for (spec, scenario_report) in specs.iter().zip(&matrix.scenarios) {
+            match scenario_report.report.verdict {
+                Verdict::Violated => {
+                    let pipeline = parse_config(&spec.config)?;
+                    replay.extend(conf::replay_report(
+                        &pipeline,
+                        &scenario_report.pipeline_name,
+                        &scenario_report.report,
+                    ));
+                }
+                Verdict::Proven => proven_specs.push(spec.clone()),
+                // An Unknown verdict claims nothing — there is no verdict
+                // for concrete execution to contradict.
+                Verdict::Unknown => {}
+            }
+        }
+
+        let jobs = conf::plan_fuzz_shards(&proven_specs, seed, packets);
+        let shards = match executor.and_then(|e| e.fuzz_jobs(&jobs, &self.options)) {
+            Some(result) => result?,
+            None => conf::run_fuzz_jobs(&jobs, &self.options, self.threads)?,
+        };
+        Ok(conf::ConformanceReport {
+            seed,
+            packets_requested: packets,
+            replay,
+            fuzz: conf::fold_fuzz_shards(shards),
+            threads: self.threads,
+            elapsed: started.elapsed(),
+        })
+    }
+
     // -----------------------------------------------------------------------
     // The plan/execute split
     // -----------------------------------------------------------------------
@@ -802,6 +893,10 @@ impl VerifyService {
                     }),
                 })
             }
+            VerifyRequest::Conformance { .. } => Err(ServiceError::Wire(wire::malformed(
+                "conformance requests are served directly (their fuzz shards dispatch as \
+                 wire jobs themselves); there is no plan form",
+            ))),
         }
     }
 

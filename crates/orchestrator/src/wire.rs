@@ -92,45 +92,45 @@ impl From<ConfigWriteError> for WireError {
     }
 }
 
-fn malformed(message: impl Into<String>) -> WireError {
+pub(crate) fn malformed(message: impl Into<String>) -> WireError {
     WireError::Malformed(message.into())
 }
 
-fn get<'a>(json: &'a Json, key: &str) -> Result<&'a Json, WireError> {
+pub(crate) fn get<'a>(json: &'a Json, key: &str) -> Result<&'a Json, WireError> {
     json.get(key)
         .ok_or_else(|| malformed(format!("missing field '{key}'")))
 }
 
-fn get_u64(json: &Json, key: &str) -> Result<u64, WireError> {
+pub(crate) fn get_u64(json: &Json, key: &str) -> Result<u64, WireError> {
     get(json, key)?
         .as_u64()
         .ok_or_else(|| malformed(format!("field '{key}' is not an unsigned integer")))
 }
 
-fn get_usize(json: &Json, key: &str) -> Result<usize, WireError> {
+pub(crate) fn get_usize(json: &Json, key: &str) -> Result<usize, WireError> {
     usize::try_from(get_u64(json, key)?)
         .map_err(|_| malformed(format!("field '{key}' exceeds usize")))
 }
 
-fn get_bool(json: &Json, key: &str) -> Result<bool, WireError> {
+pub(crate) fn get_bool(json: &Json, key: &str) -> Result<bool, WireError> {
     get(json, key)?
         .as_bool()
         .ok_or_else(|| malformed(format!("field '{key}' is not a boolean")))
 }
 
-fn get_str<'a>(json: &'a Json, key: &str) -> Result<&'a str, WireError> {
+pub(crate) fn get_str<'a>(json: &'a Json, key: &str) -> Result<&'a str, WireError> {
     get(json, key)?
         .as_str()
         .ok_or_else(|| malformed(format!("field '{key}' is not a string")))
 }
 
-fn get_arr<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], WireError> {
+pub(crate) fn get_arr<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], WireError> {
     get(json, key)?
         .as_arr()
         .ok_or_else(|| malformed(format!("field '{key}' is not an array")))
 }
 
-fn str_arr(items: &[Json]) -> Result<Vec<String>, WireError> {
+pub(crate) fn str_arr(items: &[Json]) -> Result<Vec<String>, WireError> {
     items
         .iter()
         .map(|v| {
@@ -141,7 +141,7 @@ fn str_arr(items: &[Json]) -> Result<Vec<String>, WireError> {
         .collect()
 }
 
-fn check_schema(json: &Json, expected: u64, what: &str) -> Result<(), WireError> {
+pub(crate) fn check_schema(json: &Json, expected: u64, what: &str) -> Result<(), WireError> {
     let schema = get_u64(json, "schema")?;
     if schema != expected {
         return Err(malformed(format!(
@@ -408,16 +408,43 @@ pub struct ComposeJob {
     pub fingerprints: Vec<Fingerprint>,
 }
 
-/// One job a worker executes: a Step-1 exploration or a Step-2
-/// composition. This is the unit of the pull-based dispatch protocol —
-/// both kinds of work travel over the same wire and drain from the same
-/// queue.
+/// One conformance fuzz shard on the wire: a scenario (as config text +
+/// property) and the slice of the seeded packet stream this shard pushes
+/// through a fresh model runtime. The shard is both the determinism unit
+/// and the state unit — element state (flow tables, NAT maps) accumulates
+/// within a shard and never across shards, so a shard's report is a pure
+/// function of this job and the pinned options, wherever it executes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzJob {
+    /// The proven scenario to fuzz.
+    pub scenario: ScenarioSpec,
+    /// Index of the scenario in the conformance run (part of the per-shard
+    /// stream seed, so scenarios draw independent packet streams).
+    pub scenario_index: u32,
+    /// Index of this shard within its scenario (the fold key).
+    pub shard_index: u32,
+    /// The run's base seed (shards derive their stream seeds from it).
+    pub seed: u64,
+    /// Packets this shard generates and pushes.
+    pub packets: u64,
+    /// Additionally seed the stream with concrete packets materialised from
+    /// the solver's Sat models of every element segment (shard 0 only —
+    /// the model-seed set is per scenario, not per shard).
+    pub model_seeds: bool,
+}
+
+/// One job a worker executes: a Step-1 exploration, a Step-2 composition,
+/// or a conformance fuzz shard. This is the unit of the pull-based
+/// dispatch protocol — all kinds of work travel over the same wire and
+/// drain from the same queue.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JobSpec {
     /// Explore one element behaviour.
     Explore(ExploreJob),
     /// Decide one scenario's composition from shipped summaries.
     Compose(ComposeJob),
+    /// Push one seeded packet-stream shard through a proven scenario.
+    Fuzz(FuzzJob),
 }
 
 /// Encode an explore job (tagged with its kind, like every wire job).
@@ -464,6 +491,15 @@ pub fn job_to_json(job: &JobSpec) -> Json {
             ("scenario", scenario_spec_to_json(&job.scenario)),
             ("fingerprints", fingerprints_to_json(&job.fingerprints)),
         ]),
+        JobSpec::Fuzz(job) => Json::obj([
+            ("kind", Json::str("fuzz")),
+            ("scenario", scenario_spec_to_json(&job.scenario)),
+            ("scenario_index", Json::int(u64::from(job.scenario_index))),
+            ("shard_index", Json::int(u64::from(job.shard_index))),
+            ("seed", Json::int(job.seed)),
+            ("packets", Json::int(job.packets)),
+            ("model_seeds", Json::Bool(job.model_seeds)),
+        ]),
     }
 }
 
@@ -475,6 +511,20 @@ pub fn job_from_json(json: &Json) -> Result<JobSpec, WireError> {
             scenario: scenario_spec_from_json(get(json, "scenario")?)?,
             fingerprints: fingerprints_from_json(get_arr(json, "fingerprints")?)?,
         })),
+        "fuzz" => {
+            let scenario_index = get_u64(json, "scenario_index")?;
+            let shard_index = get_u64(json, "shard_index")?;
+            Ok(JobSpec::Fuzz(FuzzJob {
+                scenario: scenario_spec_from_json(get(json, "scenario")?)?,
+                scenario_index: u32::try_from(scenario_index)
+                    .map_err(|_| malformed("scenario_index exceeds u32"))?,
+                shard_index: u32::try_from(shard_index)
+                    .map_err(|_| malformed("shard_index exceeds u32"))?,
+                seed: get_u64(json, "seed")?,
+                packets: get_u64(json, "packets")?,
+                model_seeds: get_bool(json, "model_seeds")?,
+            }))
+        }
         other => Err(malformed(format!("unknown job kind '{other}'"))),
     }
 }
@@ -856,6 +906,25 @@ pub fn request_to_json(request: &VerifyRequest) -> Result<Json, WireError> {
             ("name", Json::str(name)),
             ("config", Json::str(write_config(pipeline)?)),
         ]),
+        VerifyRequest::Conformance {
+            scenarios,
+            seed,
+            packets,
+        } => Json::obj([
+            ("schema", Json::int(REQUEST_SCHEMA)),
+            ("kind", Json::str("conformance")),
+            (
+                "scenarios",
+                Json::Arr(
+                    scenarios
+                        .iter()
+                        .map(|s| Ok(scenario_spec_to_json(&ScenarioSpec::from_scenario(s)?)))
+                        .collect::<Result<Vec<_>, WireError>>()?,
+                ),
+            ),
+            ("seed", Json::int(*seed)),
+            ("packets", Json::int(*packets)),
+        ]),
     })
 }
 
@@ -887,6 +956,14 @@ pub fn request_from_json(json: &Json) -> Result<VerifyRequest, WireError> {
             name: get_str(json, "name")?.to_string(),
             pipeline: parse_config(get_str(json, "config")?)?,
         },
+        "conformance" => VerifyRequest::Conformance {
+            scenarios: get_arr(json, "scenarios")?
+                .iter()
+                .map(|s| scenario_spec_from_json(s)?.to_scenario())
+                .collect::<Result<Vec<_>, _>>()?,
+            seed: get_u64(json, "seed")?,
+            packets: get_u64(json, "packets")?,
+        },
         other => return Err(malformed(format!("unknown request kind '{other}'"))),
     })
 }
@@ -895,7 +972,7 @@ pub fn request_from_json(json: &Json) -> Result<VerifyRequest, WireError> {
 // Reports (deterministic content only — no wall-clock, no cache weather)
 // ---------------------------------------------------------------------------
 
-fn hex_bytes(bytes: &[u8]) -> String {
+pub(crate) fn hex_bytes(bytes: &[u8]) -> String {
     let mut out = String::with_capacity(bytes.len() * 2);
     for b in bytes {
         out.push_str(&format!("{b:02x}"));
@@ -903,7 +980,7 @@ fn hex_bytes(bytes: &[u8]) -> String {
     out
 }
 
-fn bytes_from_hex(text: &str) -> Result<Vec<u8>, WireError> {
+pub(crate) fn bytes_from_hex(text: &str) -> Result<Vec<u8>, WireError> {
     // Work on bytes: slicing the &str at fixed offsets would panic on a
     // (malformed) multi-byte character instead of erroring.
     if !text.is_ascii() {
@@ -1301,5 +1378,52 @@ mod tests {
             ("diff", Json::Null),
         ]);
         assert!(plan_from_json(&bogus).is_err());
+    }
+
+    #[test]
+    fn counterexample_packets_round_trip_losslessly() {
+        // Every possible byte value must survive the hex encoding, so a
+        // decoded report.json replays the exact packet the solver built.
+        let packet: Vec<u8> = (0..=255u8).collect();
+        let ce = Counterexample {
+            packet: packet.clone(),
+            path: vec!["cls".into(), "chk".into()],
+            description: "synthetic".into(),
+            confirmed: true,
+        };
+        let json = counterexample_to_json(&ce);
+        let text = json.to_text();
+        let doc = Json::parse(&text).unwrap();
+        let back = bytes_from_hex(get_str(&doc, "packet_hex").unwrap()).unwrap();
+        assert_eq!(back, packet);
+    }
+
+    #[test]
+    fn hex_decode_is_panic_free_on_malformed_input() {
+        assert!(bytes_from_hex("0").is_err(), "odd length");
+        assert!(bytes_from_hex("zz").is_err(), "non-hex digit");
+        assert!(bytes_from_hex("caf\u{e9}").is_err(), "non-ASCII");
+        assert_eq!(bytes_from_hex("").unwrap(), Vec::<u8>::new());
+        assert_eq!(bytes_from_hex("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+    }
+
+    #[test]
+    fn fuzz_jobs_round_trip() {
+        let scenario = preset_scenarios().remove(0);
+        let job = JobSpec::Fuzz(FuzzJob {
+            scenario: ScenarioSpec::from_scenario(&scenario).unwrap(),
+            scenario_index: 3,
+            shard_index: 17,
+            seed: 0xFEED_5EED,
+            packets: 4096,
+            model_seeds: true,
+        });
+        let text = job_to_json(&job).to_text();
+        let back = job_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, job);
+        assert!(
+            job_from_json(&Json::obj([("kind", Json::str("fuzzz"))])).is_err(),
+            "unknown job kinds are rejected"
+        );
     }
 }

@@ -95,7 +95,10 @@ fn spawn_flaky_tcp_worker() -> WorkerAddr {
             };
             assert_eq!(hello.get("kind").and_then(Json::as_str), Some("hello"));
             let reply = Json::obj([
-                ("schema", Json::int(2u64)),
+                (
+                    "schema",
+                    Json::int(dataplane_orchestrator::exec::WORKER_SCHEMA),
+                ),
                 ("kind", Json::str("hello")),
                 ("proto", Json::str("vericlick-worker")),
                 ("capacity", Json::int(1u64)),

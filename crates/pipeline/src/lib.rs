@@ -58,4 +58,6 @@ pub use element::{build_model_state, run_model, run_model_with_state, Action, El
 pub use pipeline::{
     Disposition, ElementIdx, Pipeline, PipelineBuilder, PipelineError, PipelineOutcome,
 };
-pub use runtime::{run_parallel, run_single_threaded, ModelRun, ModelRuntime, RunStats, TimedRun};
+pub use runtime::{
+    model_run_fresh, run_parallel, run_single_threaded, ModelRun, ModelRuntime, RunStats, TimedRun,
+};

@@ -129,6 +129,14 @@ where
     }
 }
 
+/// Push one packet through a *fresh* model state: the replay primitive of
+/// differential conformance, where no prior packet's element state may
+/// influence the verdict. Equivalent to `ModelRuntime::new(pipeline).push(p)`
+/// but names the intent at the call site.
+pub fn model_run_fresh(pipeline: &Pipeline, packet: Packet) -> ModelRun {
+    ModelRuntime::new(pipeline).push(packet)
+}
+
 /// How one packet fared when executed through the pipeline *via the element
 /// models* (IR interpretation) rather than the native implementations.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -473,6 +473,17 @@ impl Assignment {
         }
     }
 
+    /// The concrete packet this assignment denotes: the pinned bytes,
+    /// zero-extended to `packet_len` and capped at a sane jumbo-frame size.
+    /// This is how a `Sat` model becomes a real packet — counterexample
+    /// replay and model-seeded conformance fuzzing both go through here.
+    pub fn concrete_packet(&self) -> Vec<u8> {
+        let len = (self.packet_len as usize).min(4096);
+        let mut bytes = self.packet.clone();
+        bytes.resize(len, 0);
+        bytes
+    }
+
     fn byte(&self, index: i64) -> u8 {
         if index < 0 {
             return 0;

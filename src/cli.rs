@@ -1,5 +1,6 @@
 //! The `vericlick` umbrella CLI: one binary over the whole verification
-//! service (`run | diff | plan | exec-plan | watch | worker`).
+//! service (`run | diff | plan | exec-plan | watch | conform | fuzz |
+//! worker`).
 //!
 //! Every subcommand is a thin shell over [`VerifyService`] — the examples
 //! under `examples/` are in turn thin shells over this module, so the
@@ -14,6 +15,11 @@
 //! vericlick exec-plan plan.json            # execute a plan (any process)
 //! vericlick exec-plan - --workers 4        # ... on subprocess workers
 //! vericlick watch --demo                   # rolling-baseline watch demo
+//! vericlick conform report.json            # replay every counterexample
+//!                                          #  of a saved deterministic
+//!                                          #  matrix report concretely
+//! vericlick fuzz --packets 100000          # differential-fuzz all Proven
+//!                                          #  presets (seeded, sharded)
 //! vericlick worker                         # stdio worker (spawned by
 //!                                          #  exec-plan; speaks the
 //!                                          #  line-JSON protocol)
@@ -87,6 +93,8 @@ pub fn main(args: Vec<String>) -> i32 {
         Some("exec-plan") => cmd_exec_plan(args.collect()),
         Some("watch") => cmd_watch(args.collect()),
         Some("bound") => cmd_bound(args.collect()),
+        Some("conform") => cmd_conform(args.collect()),
+        Some("fuzz") => cmd_fuzz(args.collect()),
         Some("worker") => cmd_worker(args.collect()),
         Some("--help" | "-h" | "help") => {
             eprintln!("{USAGE}");
@@ -112,6 +120,13 @@ const USAGE: &str = "usage: vericlick <subcommand> [options]
   watch <cfg.click...> [--poll-ms N] [--max-polls N] | --demo
             [--threads N] [--cache DIR]
   bound <cfg.click...> [--threads N] [--cache DIR]
+  conform <report.json>
+    (replays every counterexample of a deterministic matrix report,
+     e.g. `vericlick run --matrix --det-json report.json`)
+  fuzz [--seed S] [--packets N] [--threads N] [--cache DIR]
+       [--workers N | --workers addr,addr,...] [--json PATH] [--det-json PATH]
+    (differential conformance over the presets: replay Violated
+     counterexamples, fuzz Proven scenarios with N seeded packets)
   worker [--listen addr] [--capacity N] [--once]
     (addr is host:port for TCP or a path / unix:PATH for a Unix socket)";
 
@@ -1046,6 +1061,221 @@ fn cmd_bound(args: Vec<String>) -> i32 {
 // ---------------------------------------------------------------------------
 // worker
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// conform / fuzz (differential conformance)
+// ---------------------------------------------------------------------------
+
+fn cmd_conform(args: Vec<String>) -> i32 {
+    let mut file: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown option '{other}'"))
+            }
+            path => {
+                if file.is_some() {
+                    return usage_error("conform takes one report file");
+                }
+                file = Some(path.to_string());
+            }
+        }
+    }
+    let Some(path) = file else {
+        return usage_error(
+            "conform needs a deterministic matrix report (run --matrix --det-json)",
+        );
+    };
+    let text = match read_file(&path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: {path} is not JSON: {e}");
+            return 2;
+        }
+    };
+    let outcomes = match crate::orchestrator::conformance::replay_matrix_json(&doc) {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let mut mismatches = 0usize;
+    for outcome in &outcomes {
+        println!(
+            "replay {}/{}: {} — concrete run {} at {} ({} instructions, path [{}])",
+            outcome.scenario,
+            outcome.property,
+            if outcome.reproduced {
+                "reproduced"
+            } else {
+                "MISMATCH"
+            },
+            outcome.disposition,
+            outcome.at,
+            outcome.instructions,
+            outcome.concrete_path.join(" -> "),
+        );
+        if !outcome.reproduced {
+            mismatches += 1;
+            eprintln!(
+                "SOUNDNESS: symbolic violation '{}' via [{}] did not reproduce concretely",
+                outcome.description,
+                outcome.symbolic_path.join(" -> "),
+            );
+        }
+    }
+    println!(
+        "conform: {} counterexamples replayed, {mismatches} mismatches",
+        outcomes.len()
+    );
+    if mismatches > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Parse a seed: decimal or `0x`-prefixed hex.
+fn parse_seed(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        text.replace('_', "").parse().ok()
+    }
+}
+
+fn cmd_fuzz(args: Vec<String>) -> i32 {
+    let mut flags = ServiceFlags {
+        threads: 0,
+        cache: None,
+    };
+    let mut seed = crate::net::DEFAULT_SEED;
+    let mut packets = 100_000u64;
+    let mut workers: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut det_json_path: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => match iter.next().as_deref().and_then(parse_seed) {
+                Some(s) => seed = s,
+                None => return usage_error("--seed needs a number (decimal or 0x-hex)"),
+            },
+            "--packets" => match iter.next().and_then(|v| v.replace('_', "").parse().ok()) {
+                Some(n) => packets = n,
+                None => return usage_error("--packets needs a number"),
+            },
+            "--workers" => match iter.next() {
+                Some(spec) => workers = Some(spec),
+                None => return usage_error("--workers needs a count or address list"),
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => flags.threads = n,
+                None => return usage_error("--threads needs a number"),
+            },
+            "--cache" => match iter.next() {
+                Some(dir) => flags.cache = Some(dir),
+                None => return usage_error("--cache needs a directory"),
+            },
+            "--json" => match iter.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage_error("--json needs a path"),
+            },
+            "--det-json" => match iter.next() {
+                Some(p) => det_json_path = Some(p),
+                None => return usage_error("--det-json needs a path"),
+            },
+            other => return usage_error(&format!("unknown option '{other}'")),
+        }
+    }
+
+    // `--workers` dispatches the fuzz shards over a fleet (subprocess
+    // stdio workers for a count, `vericlick worker --listen` peers for an
+    // address list); without it the shards run on the in-process pool.
+    // Same guard as exec-plan: a bare port typed where an address belongs
+    // must not fork thousands of processes.
+    const MAX_SUBPROCESS_WORKERS: usize = 256;
+    let fleet: Option<WorkerFleet> = match workers.as_deref() {
+        None => None,
+        Some(spec) => {
+            let fleet = match spec.parse::<usize>() {
+                Ok(n) if n > MAX_SUBPROCESS_WORKERS => {
+                    return usage_error(&format!(
+                        "--workers {n} exceeds {MAX_SUBPROCESS_WORKERS} subprocess workers \
+                         (for a TCP worker, use host:port, e.g. 127.0.0.1:{n})"
+                    ));
+                }
+                Ok(n) => WorkerFleet::current_exe(n),
+                Err(_) => Ok(WorkerFleet::sockets(
+                    spec.split(',')
+                        .filter(|a| !a.is_empty())
+                        .map(WorkerAddr::parse)
+                        .collect(),
+                )),
+            };
+            match fleet {
+                Ok(fleet) => Some(fleet),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            }
+        }
+    };
+
+    let service = match flags.build(false) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    println!(
+        "=== vericlick fuzz: {packets} packets, seed {seed:#x}, {} ===\n",
+        match &fleet {
+            Some(fleet) => fleet.describe(),
+            None => format!("in-process pool ({} threads)", service.threads()),
+        }
+    );
+    let report = match service.run_conformance(
+        preset_scenarios(),
+        seed,
+        packets,
+        fleet.as_ref().map(|f| f as &dyn Executor),
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    print!("{report}");
+    if let Some(path) = &json_path {
+        let code = write_file(path, &report.to_json().to_text());
+        if code != 0 {
+            return code;
+        }
+    }
+    if let Some(path) = &det_json_path {
+        let code = write_file(path, &report.deterministic_json().to_text());
+        if code != 0 {
+            return code;
+        }
+    }
+    if report.ok() {
+        println!("conformance: OK");
+        0
+    } else {
+        eprintln!(
+            "conformance FAILED: {} replay mismatches, {} fuzz contradictions",
+            report.replay_mismatches(),
+            report.contradictions()
+        );
+        1
+    }
+}
 
 fn cmd_worker(args: Vec<String>) -> i32 {
     let mut listen: Option<String> = None;
