@@ -18,9 +18,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dataplane_bench::row;
 use dataplane_orchestrator::conformance::{plan_fuzz_shards, run_fuzz_jobs};
+use dataplane_orchestrator::json::Json;
 use dataplane_orchestrator::{
-    parallel_composition, preset_scenarios, verify_sequential, CompositionMode, Executor,
-    ScenarioSpec, VerifyService, WorkerFleet,
+    join_fleet, parallel_composition, preset_scenarios, serve_listener, verify_sequential,
+    CompositionMode, Daemon, DaemonClient, DaemonConfig, Executor, ScenarioSpec, VerifyRequest,
+    VerifyService, WorkerAddr, WorkerFleet,
 };
 use dataplane_verifier::{Verifier, VerifierOptions};
 use std::time::{Duration, Instant};
@@ -215,6 +217,130 @@ fn report() {
     }
 
     fuzz_report();
+    daemon_report();
+}
+
+/// `vericlick serve` economics: cold-plan vs warm-daemon latency for the
+/// preset matrix over a real client connection, then the wire-dedup win
+/// against a socket worker — the first session ships every summary
+/// document, the second session's hello advertises them all and ships
+/// none (worker protocol v4).
+fn daemon_report() {
+    use std::sync::{mpsc, Arc, Mutex};
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().max(4))
+        .unwrap_or(4);
+
+    let daemon = Daemon::new(DaemonConfig {
+        threads,
+        ..DaemonConfig::default()
+    });
+    let serving = daemon.clone();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let tx = Mutex::new(Some(tx));
+        let log: Arc<dyn Fn(&str) + Send + Sync> = Arc::new(move |line: &str| {
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                if let Some(tx) = tx.lock().unwrap().take() {
+                    let _ = tx.send(addr.to_string());
+                }
+            }
+        });
+        let _ = serving.serve(&WorkerAddr::Tcp("127.0.0.1:0".into()), false, log);
+    });
+    let addr = WorkerAddr::Tcp(rx.recv().expect("daemon announced its address"));
+    let request = || VerifyRequest::Matrix {
+        scenarios: preset_scenarios(),
+    };
+    let explores = |reply: &dataplane_orchestrator::ClientReply| {
+        reply
+            .report
+            .get("explore_jobs")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+
+    // Session one against the cold daemon: Step-1 explorations run.
+    let mut client = DaemonClient::connect(&addr, None).expect("connect to daemon");
+    let start = Instant::now();
+    let cold = client.verify(&request()).expect("cold daemon plan");
+    let t_cold = start.elapsed();
+    drop(client);
+
+    // A new session, same daemon: the shared store is warm, zero element
+    // jobs — the latency a long-lived daemon buys every client after the
+    // first.
+    let mut client = DaemonClient::connect(&addr, None).expect("reconnect to daemon");
+    let start = Instant::now();
+    let warm = client.verify(&request()).expect("warm daemon plan");
+    let t_warm = start.elapsed();
+    assert_eq!(explores(&warm), 0, "a warm daemon re-plans element jobs");
+    for (mode, elapsed, reply) in [
+        ("daemon_cold_plan", t_cold, &cold),
+        ("daemon_warm_plan", t_warm, &warm),
+    ] {
+        row(
+            "e7-parallel-verification",
+            &[
+                ("mode", mode.to_string()),
+                ("threads", threads.to_string()),
+                ("seconds", format!("{:.3}", elapsed.as_secs_f64())),
+                ("explore_jobs", explores(reply).to_string()),
+                (
+                    "speedup_vs_cold",
+                    format!("{:.2}", t_cold.as_secs_f64() / elapsed.as_secs_f64()),
+                ),
+            ],
+        );
+    }
+
+    // Wire dedup: join a socket worker to the running daemon, then run
+    // the matrix twice more on one session. Both runs are compose-only
+    // (the store is warm); the first ships every summary document, the
+    // second ships none — the worker's hello advertises its held set.
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut tx = Some(tx);
+        let mut log = move |line: &str| {
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                if let Some(tx) = tx.take() {
+                    let _ = tx.send(addr.to_string());
+                }
+            }
+        };
+        let _ = serve_listener(&WorkerAddr::Tcp("127.0.0.1:0".into()), 2, false, &mut log);
+    });
+    let worker = WorkerAddr::Tcp(rx.recv().expect("worker announced its address"));
+    join_fleet(&addr, &worker).expect("worker joins the fleet");
+    let mut client = DaemonClient::connect(&addr, None).expect("reconnect to daemon");
+    for (mode, reply) in [
+        (
+            "daemon_fleet_cold_worker",
+            client.verify(&request()).expect("fleet run"),
+        ),
+        (
+            "daemon_fleet_warm_worker",
+            client.verify(&request()).expect("fleet rerun"),
+        ),
+    ] {
+        let stat = |key: &str| reply.dispatch_stat(key).unwrap_or(0);
+        row(
+            "e7-parallel-verification",
+            &[
+                ("mode", mode.to_string()),
+                ("summaries_shipped", stat("summaries_shipped").to_string()),
+                ("summaries_deduped", stat("summaries_deduped").to_string()),
+                (
+                    "summary_bytes_shipped",
+                    stat("summary_bytes_shipped").to_string(),
+                ),
+                (
+                    "summary_bytes_deduped",
+                    stat("summary_bytes_deduped").to_string(),
+                ),
+            ],
+        );
+    }
 }
 
 /// Conformance-fuzz throughput: the same seeded shard plan (every proven

@@ -15,12 +15,53 @@
 //! shared queue as results return.
 
 use super::registry::WorkerRegistry;
-use super::transport::Connector;
+use super::transport::{Connector, Transport};
 use super::{ExecError, WORKER_PROTO, WORKER_SCHEMA};
+use crate::fingerprint::Fingerprint;
 use crate::json::Json;
 use dataplane_verifier::VerifierOptions;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Read-deadline and heartbeat tuning of a dispatch session.
+///
+/// Only socket transports can arm read deadlines; a stdio worker keeps
+/// the pre-v4 blocking behaviour (its process is local — if it wedges,
+/// so did this machine). On a timed-out read the coordinator sends a
+/// `ping`; a worker whose read loop is alive answers `pong` immediately
+/// even while its jobs grind. A worker silent past `deadline` — no
+/// results, no pongs — is marked **suspect** and its in-flight jobs are
+/// requeued to the survivors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// How often a silent connection is probed (also the recv poll
+    /// interval).
+    pub interval: Duration,
+    /// How long a worker may stay silent before it is marked suspect.
+    pub deadline: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: Duration::from_secs(2),
+            deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl HeartbeatConfig {
+    /// The single-knob form `--heartbeat-ms` exposes: probe every
+    /// `ms` milliseconds, suspect after four unanswered intervals.
+    pub fn from_interval_ms(ms: u64) -> Self {
+        let interval = Duration::from_millis(ms.max(1));
+        HeartbeatConfig {
+            interval,
+            deadline: interval * 4,
+        }
+    }
+}
 
 /// Shared dispatch state: the job queue and the result slots.
 struct State {
@@ -42,26 +83,73 @@ struct Shared {
     cv: Condvar,
 }
 
-/// The coordinator's hello frame, opening a session pinned to `options`.
+/// The coordinator's hello frame, opening a session pinned to `options` —
+/// by digest only; the full document follows in an options frame when the
+/// worker replies `need_options`.
 pub(crate) fn hello_frame(options: &VerifierOptions) -> Json {
     Json::obj([
         ("schema", Json::int(WORKER_SCHEMA)),
         ("kind", Json::str("hello")),
         ("proto", Json::str(WORKER_PROTO)),
+        (
+            "options_digest",
+            Json::str(crate::wire::options_digest(options)),
+        ),
+    ])
+}
+
+/// The full-options fallback frame, sent when a worker does not know the
+/// hello's digest.
+pub(crate) fn options_frame(options: &VerifierOptions) -> Json {
+    Json::obj([
+        ("schema", Json::int(WORKER_SCHEMA)),
+        ("kind", Json::str("options")),
+        (
+            "options_digest",
+            Json::str(crate::wire::options_digest(options)),
+        ),
         ("options", crate::wire::options_to_json(options)),
     ])
 }
 
+fn ping_frame(seq: u64) -> Json {
+    Json::obj([
+        ("schema", Json::int(WORKER_SCHEMA)),
+        ("kind", Json::str("ping")),
+        ("seq", Json::int(seq)),
+    ])
+}
+
+/// Keep receiving past read timeouts until `deadline` has elapsed since
+/// `start` — the handshake's tolerance for a worker that is alive but
+/// slow to answer its first frame.
+fn recv_within(
+    transport: &mut Box<dyn Transport>,
+    start: Instant,
+    deadline: Duration,
+) -> Result<Option<Json>, ExecError> {
+    loop {
+        match transport.recv() {
+            Err(ExecError::Timeout) if start.elapsed() < deadline => continue,
+            other => return other,
+        }
+    }
+}
+
 /// Dispatch `count` jobs over `connectors` and return the raw result
-/// frames by job index. `frame_for(i)` builds the complete job frame for
-/// job `i` (including its id and any attachments); it may be called again
-/// if the job is requeued after a worker death.
+/// frames by job index. `frame_for(i, held)` builds the complete job
+/// frame for job `i` (including its id and any attachments) **for one
+/// specific worker**: `held` is that worker's summary held-set, which the
+/// builder consults to ship only missing summaries (and updates with what
+/// it ships). The builder may be called again with a *different* worker's
+/// held-set if the job is requeued after a worker death.
 pub(crate) fn dispatch(
     connectors: &[Box<dyn Connector>],
     registry: &WorkerRegistry,
     options: &VerifierOptions,
+    heartbeat: HeartbeatConfig,
     count: usize,
-    frame_for: &(dyn Fn(usize) -> Json + Sync),
+    frame_for: &(dyn Fn(usize, &mut BTreeSet<Fingerprint>) -> Json + Sync),
 ) -> Result<Vec<Json>, ExecError> {
     if count == 0 {
         return Ok(Vec::new());
@@ -81,7 +169,14 @@ pub(crate) fn dispatch(
         for connector in connectors {
             let shared = &shared;
             scope.spawn(move || {
-                worker_loop(connector.as_ref(), registry, options, shared, frame_for)
+                worker_loop(
+                    connector.as_ref(),
+                    registry,
+                    options,
+                    heartbeat,
+                    shared,
+                    frame_for,
+                )
             });
         }
     });
@@ -111,8 +206,9 @@ fn worker_loop(
     connector: &dyn Connector,
     registry: &WorkerRegistry,
     options: &VerifierOptions,
+    heartbeat: HeartbeatConfig,
     shared: &Shared,
-    frame_for: &(dyn Fn(usize) -> Json + Sync),
+    frame_for: &(dyn Fn(usize, &mut BTreeSet<Fingerprint>) -> Json + Sync),
 ) {
     // Connect + handshake. Failures here lose the worker, never the jobs
     // (nothing was pulled yet).
@@ -126,44 +222,75 @@ fn worker_loop(
         Ok(t) => t,
         Err(e) => return fail(e.to_string()),
     };
+    // Arm the read deadline where the transport supports it (sockets).
+    // Stdio pipes cannot time out; they keep the blocking behaviour and
+    // `recv` never returns `Timeout` for them.
+    let timed = transport.set_read_timeout(Some(heartbeat.interval));
     if let Err(e) = transport.send(&hello_frame(options)) {
         return fail(format!("hello not sent: {e}"));
     }
-    let capacity = match transport.recv() {
-        Ok(Some(frame)) => match frame.get("kind").and_then(Json::as_str) {
-            Some("hello") => {
-                let schema = frame.get("schema").and_then(Json::as_u64);
-                let proto = frame.get("proto").and_then(Json::as_str);
-                if schema != Some(WORKER_SCHEMA) || proto != Some(WORKER_PROTO) {
-                    return fail(format!(
-                        "version mismatch: worker speaks {proto:?} schema {schema:?}, \
+    let handshake_start = Instant::now();
+    let (capacity, mut held) =
+        match recv_within(&mut transport, handshake_start, heartbeat.deadline) {
+            Ok(Some(frame)) => match frame.get("kind").and_then(Json::as_str) {
+                Some("hello") => {
+                    let schema = frame.get("schema").and_then(Json::as_u64);
+                    let proto = frame.get("proto").and_then(Json::as_str);
+                    if schema != Some(WORKER_SCHEMA) || proto != Some(WORKER_PROTO) {
+                        return fail(format!(
+                            "version mismatch: worker speaks {proto:?} schema {schema:?}, \
                          this build speaks {WORKER_PROTO} schema {WORKER_SCHEMA}"
-                    ));
+                        ));
+                    }
+                    let capacity = frame
+                        .get("capacity")
+                        .and_then(Json::as_u64)
+                        .map(|c| c.max(1) as usize)
+                        .unwrap_or(1);
+                    // The worker's held-summary advertisement seeds this
+                    // session's dedup set.
+                    let mut held: BTreeSet<Fingerprint> = BTreeSet::new();
+                    if let Some(fps) = frame.get("held").and_then(Json::as_arr) {
+                        for fp in fps {
+                            match fp.as_str().and_then(Fingerprint::parse) {
+                                Some(fp) => {
+                                    held.insert(fp);
+                                }
+                                None => return fail("unparsable held fingerprint".into()),
+                            }
+                        }
+                    }
+                    if frame.get("need_options").and_then(Json::as_bool) == Some(true) {
+                        if let Err(e) = transport.send(&options_frame(options)) {
+                            return fail(format!("options not sent: {e}"));
+                        }
+                    }
+                    (capacity, held)
                 }
-                frame
-                    .get("capacity")
-                    .and_then(Json::as_u64)
-                    .map(|c| c.max(1) as usize)
-                    .unwrap_or(1)
+                Some("error") => {
+                    let message = frame
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("worker rejected the session");
+                    return fail(format!("hello rejected: {message}"));
+                }
+                other => return fail(format!("unexpected handshake frame kind {other:?}")),
+            },
+            Ok(None) => return fail("connection closed during handshake".into()),
+            Err(ExecError::Timeout) => {
+                return fail(format!(
+                    "suspect: no hello within the {:?} heartbeat deadline",
+                    heartbeat.deadline
+                ))
             }
-            Some("error") => {
-                let message = frame
-                    .get("message")
-                    .and_then(Json::as_str)
-                    .unwrap_or("worker rejected the session");
-                return fail(format!("hello rejected: {message}"));
-            }
-            other => return fail(format!("unexpected handshake frame kind {other:?}")),
-        },
-        Ok(None) => return fail("connection closed during handshake".into()),
-        Err(e) => return fail(e.to_string()),
-    };
+            Err(e) => return fail(e.to_string()),
+        };
     let peer = transport.peer();
     let id = registry.register(peer.clone(), capacity);
 
     // The pull loop: keep up to `capacity` jobs in flight.
     let mut outstanding: VecDeque<usize> = VecDeque::new();
-    let die = |outstanding: &mut VecDeque<usize>, note: String| {
+    let die = |outstanding: &mut VecDeque<usize>, note: String, suspect: bool| {
         let requeued = outstanding.len();
         let mut state = shared.state.lock().expect("dispatch state");
         for job in outstanding.drain(..) {
@@ -171,9 +298,15 @@ fn worker_loop(
         }
         state.last_failure = Some(format!("{peer}: {note}"));
         drop(state);
-        registry.mark_dead(id, requeued, note);
+        if suspect {
+            registry.mark_suspect(id, requeued, note);
+        } else {
+            registry.mark_dead(id, requeued, note);
+        }
         shared.cv.notify_all();
     };
+    let mut last_heard = Instant::now();
+    let mut ping_seq = 0u64;
     loop {
         // Top up the window from the shared queue.
         while outstanding.len() < capacity {
@@ -185,9 +318,9 @@ fn worker_loop(
                 state.queue.pop_front()
             };
             let Some(job) = next else { break };
-            if let Err(e) = transport.send(&frame_for(job)) {
+            if let Err(e) = transport.send(&frame_for(job, &mut held)) {
                 outstanding.push_back(job);
-                return die(&mut outstanding, format!("job not sent: {e}"));
+                return die(&mut outstanding, format!("job not sent: {e}"), false);
             }
             registry.record_dispatched();
             outstanding.push_back(job);
@@ -209,54 +342,100 @@ fn worker_loop(
             continue;
         }
 
-        // Await one result.
+        // Await one result. With a read deadline armed, a silent interval
+        // surfaces as `Timeout`: probe with a ping, and once the worker
+        // has been silent past the heartbeat deadline, mark it suspect
+        // and requeue — a SIGSTOPped or silently partitioned worker must
+        // never block plan completion.
         match transport.recv() {
-            Ok(Some(frame)) => match frame.get("kind").and_then(Json::as_str) {
-                Some("result") => {
-                    let Some(job) = frame
-                        .get("id")
-                        .and_then(Json::as_u64)
-                        .and_then(|v| usize::try_from(v).ok())
-                    else {
-                        return die(&mut outstanding, "result frame without an id".into());
-                    };
-                    let Some(pos) = outstanding.iter().position(|&j| j == job) else {
-                        return die(
-                            &mut outstanding,
-                            format!("result for job {job} this worker does not hold"),
-                        );
-                    };
-                    outstanding.remove(pos);
-                    registry.record_completed(id);
-                    let mut state = shared.state.lock().expect("dispatch state");
-                    if state.results[job].is_none() {
-                        state.results[job] = Some(frame);
-                        state.remaining -= 1;
-                        if state.remaining == 0 {
-                            shared.cv.notify_all();
+            Ok(Some(frame)) => {
+                last_heard = Instant::now();
+                match frame.get("kind").and_then(Json::as_str) {
+                    Some("result") => {
+                        let Some(job) = frame
+                            .get("id")
+                            .and_then(Json::as_u64)
+                            .and_then(|v| usize::try_from(v).ok())
+                        else {
+                            return die(
+                                &mut outstanding,
+                                "result frame without an id".into(),
+                                false,
+                            );
+                        };
+                        let Some(pos) = outstanding.iter().position(|&j| j == job) else {
+                            return die(
+                                &mut outstanding,
+                                format!("result for job {job} this worker does not hold"),
+                                false,
+                            );
+                        };
+                        outstanding.remove(pos);
+                        // Fold acks: the worker confirms which summaries it
+                        // now holds (its own explore results included).
+                        if let Some(fps) = frame.get("folded").and_then(Json::as_arr) {
+                            for fp in fps {
+                                if let Some(fp) = fp.as_str().and_then(Fingerprint::parse) {
+                                    held.insert(fp);
+                                }
+                            }
+                        }
+                        registry.record_completed(id);
+                        let mut state = shared.state.lock().expect("dispatch state");
+                        if state.results[job].is_none() {
+                            state.results[job] = Some(frame);
+                            state.remaining -= 1;
+                            if state.remaining == 0 {
+                                shared.cv.notify_all();
+                            }
                         }
                     }
+                    Some("pong") => {}
+                    Some("error") => {
+                        let message = frame
+                            .get("message")
+                            .and_then(Json::as_str)
+                            .unwrap_or("worker reported a job failure");
+                        let mut state = shared.state.lock().expect("dispatch state");
+                        state.fatal = Some(ExecError::Job(message.to_string()));
+                        shared.cv.notify_all();
+                        return;
+                    }
+                    other => {
+                        return die(
+                            &mut outstanding,
+                            format!("unexpected frame kind {other:?}"),
+                            false,
+                        )
+                    }
                 }
-                Some("error") => {
-                    let message = frame
-                        .get("message")
-                        .and_then(Json::as_str)
-                        .unwrap_or("worker reported a job failure");
-                    let mut state = shared.state.lock().expect("dispatch state");
-                    state.fatal = Some(ExecError::Job(message.to_string()));
-                    shared.cv.notify_all();
-                    return;
-                }
-                other => return die(&mut outstanding, format!("unexpected frame kind {other:?}")),
-            },
+            }
             Ok(None) => {
                 let in_flight = outstanding.len();
                 return die(
                     &mut outstanding,
                     format!("connection closed with {in_flight} jobs in flight"),
+                    false,
                 );
             }
-            Err(e) => return die(&mut outstanding, e.to_string()),
+            Err(ExecError::Timeout) if timed => {
+                let silent = last_heard.elapsed();
+                if silent >= heartbeat.deadline {
+                    return die(
+                        &mut outstanding,
+                        format!(
+                            "suspect: silent for {silent:?} (heartbeat deadline {:?})",
+                            heartbeat.deadline
+                        ),
+                        true,
+                    );
+                }
+                ping_seq += 1;
+                if let Err(e) = transport.send(&ping_frame(ping_seq)) {
+                    return die(&mut outstanding, format!("ping not sent: {e}"), false);
+                }
+            }
+            Err(e) => return die(&mut outstanding, e.to_string(), false),
         }
     }
 }

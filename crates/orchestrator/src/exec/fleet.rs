@@ -6,7 +6,7 @@
 //! results fold back by job index, so the report is byte-identical to an
 //! in-process run.
 
-use super::dispatch::dispatch;
+use super::dispatch::{dispatch, HeartbeatConfig};
 use super::registry::{DispatchStats, WorkerRegistry};
 use super::transport::{Connector, SocketConnector, SpawnConnector, WorkerAddr};
 use super::worker::WORKER_SCHEMA;
@@ -17,8 +17,9 @@ use crate::json::Json;
 use crate::persist::{summary_from_json, summary_to_json};
 use crate::wire::{job_to_json, report_from_json, ComposeJob, ExploreJob, FuzzJob, JobSpec};
 use dataplane_verifier::{ElementSummary, Report, VerifierOptions};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The remote-worker executor. See the module docs.
@@ -26,6 +27,11 @@ pub struct WorkerFleet {
     connectors: Vec<Box<dyn Connector>>,
     registry: WorkerRegistry,
     label: String,
+    heartbeat: HeartbeatConfig,
+    /// Serialised sizes of summaries seen by this fleet, so the dedup
+    /// stats can price a slot the wire never carried (a worker holding a
+    /// summary it explored itself) without re-serialising per frame.
+    summary_sizes: Mutex<BTreeMap<Fingerprint, u64>>,
 }
 
 impl WorkerFleet {
@@ -47,6 +53,8 @@ impl WorkerFleet {
                 .collect(),
             registry: WorkerRegistry::new(),
             label,
+            heartbeat: HeartbeatConfig::default(),
+            summary_sizes: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -82,7 +90,16 @@ impl WorkerFleet {
                 .collect(),
             registry: WorkerRegistry::new(),
             label,
+            heartbeat: HeartbeatConfig::default(),
+            summary_sizes: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Replace the fleet's heartbeat tuning (read-deadline probing of
+    /// socket workers; see [`HeartbeatConfig`]).
+    pub fn with_heartbeat(mut self, heartbeat: HeartbeatConfig) -> Self {
+        self.heartbeat = heartbeat;
+        self
     }
 
     /// The number of workers this fleet dispatches to.
@@ -93,6 +110,22 @@ impl WorkerFleet {
     /// The fleet's registry (per-worker liveness and work counts).
     pub fn registry(&self) -> &WorkerRegistry {
         &self.registry
+    }
+
+    /// What `fp`'s summary would cost on the wire, for dedup accounting —
+    /// cached so slots a worker already held (including ones this fleet
+    /// never shipped, like a worker's own explore results) are priced
+    /// without re-serialising per frame.
+    fn summary_size(&self, fp: Fingerprint, summary: &ElementSummary) -> u64 {
+        if let Some(bytes) = self.summary_sizes.lock().expect("summary sizes").get(&fp) {
+            return *bytes;
+        }
+        let bytes = summary_to_json(summary).to_text().len() as u64;
+        self.summary_sizes
+            .lock()
+            .expect("summary sizes")
+            .insert(fp, bytes);
+        bytes
     }
 }
 
@@ -123,11 +156,14 @@ impl Executor for WorkerFleet {
             return Ok(Vec::new());
         }
         self.registry.record_offered(jobs.len(), 0, 0);
-        let frame_for = |id: usize| job_frame(id, &JobSpec::Explore(jobs[id].clone()), None);
+        let frame_for = |id: usize, _held: &mut std::collections::BTreeSet<Fingerprint>| {
+            job_frame(id, &JobSpec::Explore(jobs[id].clone()), None)
+        };
         let results = dispatch(
             &self.connectors,
             &self.registry,
             options,
+            self.heartbeat,
             jobs.len(),
             &frame_for,
         )?;
@@ -155,23 +191,49 @@ impl Executor for WorkerFleet {
             return Some(Ok(Vec::new()));
         }
         self.registry.record_offered(0, jobs.len(), 0);
-        let frame_for = |id: usize| {
+        // Per-(job, worker) frame building: the receiving worker's held
+        // set decides which summary slots ship as full documents and
+        // which collapse to the `"held"` marker. A requeued job is
+        // rebuilt against the surviving worker's own held set.
+        let frame_for = |id: usize, held: &mut std::collections::BTreeSet<Fingerprint>| {
             let job = &jobs[id];
-            let shipped = Json::Arr(
+            let (mut shipped_n, mut shipped_b) = (0usize, 0u64);
+            let (mut deduped_n, mut deduped_b) = (0usize, 0u64);
+            let slots = Json::Arr(
                 job.fingerprints
                     .iter()
                     .map(|fp| match summaries(*fp) {
-                        Some(summary) => summary_to_json(&summary),
                         None => Json::Null,
+                        Some(summary) => {
+                            if held.contains(fp) {
+                                deduped_n += 1;
+                                deduped_b += self.summary_size(*fp, &summary);
+                                Json::str("held")
+                            } else {
+                                let doc = summary_to_json(&summary);
+                                let bytes = doc.to_text().len() as u64;
+                                self.summary_sizes
+                                    .lock()
+                                    .expect("summary sizes")
+                                    .insert(*fp, bytes);
+                                shipped_n += 1;
+                                shipped_b += bytes;
+                                held.insert(*fp);
+                                doc
+                            }
+                        }
                     })
                     .collect(),
             );
-            job_frame(id, &JobSpec::Compose(job.clone()), Some(shipped))
+            self.registry
+                .record_summaries(shipped_n, shipped_b, deduped_n, deduped_b);
+            job_frame(id, &JobSpec::Compose(job.clone()), Some(slots))
         };
         let results = match dispatch(
             &self.connectors,
             &self.registry,
             options,
+            self.heartbeat,
             jobs.len(),
             &frame_for,
         ) {
@@ -208,11 +270,14 @@ impl Executor for WorkerFleet {
             return Some(Ok(Vec::new()));
         }
         self.registry.record_offered(0, 0, jobs.len());
-        let frame_for = |id: usize| job_frame(id, &JobSpec::Fuzz(jobs[id].clone()), None);
+        let frame_for = |id: usize, _held: &mut std::collections::BTreeSet<Fingerprint>| {
+            job_frame(id, &JobSpec::Fuzz(jobs[id].clone()), None)
+        };
         let results = match dispatch(
             &self.connectors,
             &self.registry,
             options,
+            self.heartbeat,
             jobs.len(),
             &frame_for,
         ) {

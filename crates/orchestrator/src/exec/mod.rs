@@ -36,10 +36,11 @@ pub mod registry;
 pub mod transport;
 pub mod worker;
 
+pub use dispatch::HeartbeatConfig;
 pub use fleet::WorkerFleet;
 pub use registry::{DispatchStats, WorkerRegistry};
 pub use transport::{Connector, SocketConnector, SpawnConnector, Transport, WorkerAddr};
-pub use worker::{serve_listener, worker_serve, WORKER_PROTO, WORKER_SCHEMA};
+pub use worker::{serve_listener, worker_serve, WorkerState, WORKER_PROTO, WORKER_SCHEMA};
 
 use crate::executor::{Pool, ThreadBudget};
 use crate::fingerprint::{element_fingerprint, Fingerprint};
@@ -67,6 +68,11 @@ pub enum ExecError {
     /// Every worker died (or never completed its handshake) with jobs
     /// still queued.
     NoWorkers(String),
+    /// A read deadline elapsed with no complete frame: the peer may be
+    /// wedged (stopped, silently partitioned) rather than dead. Dispatch
+    /// turns repeated timeouts into heartbeat pings, and an unanswered
+    /// deadline into a suspect-marking requeue.
+    Timeout,
 }
 
 impl fmt::Display for ExecError {
@@ -77,6 +83,12 @@ impl fmt::Display for ExecError {
             ExecError::Protocol(m) => write!(f, "executor: protocol error: {m}"),
             ExecError::Job(m) => write!(f, "executor: job failed: {m}"),
             ExecError::NoWorkers(m) => write!(f, "executor: out of workers: {m}"),
+            ExecError::Timeout => {
+                write!(
+                    f,
+                    "executor: worker read timed out (no frame within the deadline)"
+                )
+            }
         }
     }
 }

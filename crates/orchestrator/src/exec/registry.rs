@@ -28,6 +28,21 @@ pub struct DispatchStats {
     pub compose_jobs: usize,
     /// Conformance fuzz shards offered to the queue.
     pub fuzz_jobs: usize,
+    /// Full summary documents shipped in job frames (protocol v4 ships a
+    /// summary only to workers that do not already hold it).
+    pub summaries_shipped: usize,
+    /// Summary slots satisfied by a worker's held set instead of a wire
+    /// transfer — the dedup win of protocol v4.
+    pub summaries_deduped: usize,
+    /// Serialised bytes of the summaries actually shipped.
+    pub summary_bytes_shipped: u64,
+    /// Serialised bytes the deduplicated slots would have cost on a v3
+    /// wire (every summary re-shipped per frame).
+    pub summary_bytes_deduped: u64,
+    /// Workers marked suspect: connected but silent past the heartbeat
+    /// deadline (SIGSTOP, silent partition). Suspect workers also count
+    /// in `workers_lost`.
+    pub workers_suspect: usize,
 }
 
 /// One worker's registry entry.
@@ -54,6 +69,11 @@ struct RegistryInner {
     explore_jobs: usize,
     compose_jobs: usize,
     fuzz_jobs: usize,
+    summaries_shipped: usize,
+    summaries_deduped: usize,
+    summary_bytes_shipped: u64,
+    summary_bytes_deduped: u64,
+    suspects: usize,
 }
 
 /// The shared registry a fleet's dispatch threads report into. Lives for
@@ -124,6 +144,36 @@ impl WorkerRegistry {
         entry.note = Some(note);
     }
 
+    /// Worker `id` went silent past the heartbeat deadline: still
+    /// connected as far as the kernel knows, but not answering. Treated
+    /// like a death (its jobs are requeued) and additionally counted as a
+    /// suspect.
+    pub(crate) fn mark_suspect(&self, id: usize, requeued: usize, note: String) {
+        let mut inner = self.inner.lock().expect("registry");
+        inner.requeued += requeued;
+        inner.suspects += 1;
+        let entry = &mut inner.entries[id];
+        entry.alive = false;
+        entry.note = Some(note);
+    }
+
+    /// Record a job frame's summary-transfer split: `shipped` full
+    /// documents (costing `shipped_bytes` on the wire) and `deduped` slots
+    /// the receiving worker already held (`deduped_bytes` saved).
+    pub(crate) fn record_summaries(
+        &self,
+        shipped: usize,
+        shipped_bytes: u64,
+        deduped: usize,
+        deduped_bytes: u64,
+    ) {
+        let mut inner = self.inner.lock().expect("registry");
+        inner.summaries_shipped += shipped;
+        inner.summary_bytes_shipped += shipped_bytes;
+        inner.summaries_deduped += deduped;
+        inner.summary_bytes_deduped += deduped_bytes;
+    }
+
     /// Snapshot of every entry.
     pub fn workers(&self) -> Vec<WorkerEntry> {
         self.inner.lock().expect("registry").entries.clone()
@@ -167,6 +217,11 @@ impl WorkerRegistry {
             explore_jobs: inner.explore_jobs,
             compose_jobs: inner.compose_jobs,
             fuzz_jobs: inner.fuzz_jobs,
+            summaries_shipped: inner.summaries_shipped,
+            summaries_deduped: inner.summaries_deduped,
+            summary_bytes_shipped: inner.summary_bytes_shipped,
+            summary_bytes_deduped: inner.summary_bytes_deduped,
+            workers_suspect: inner.suspects,
         }
     }
 }
@@ -187,11 +242,12 @@ mod tests {
         registry.record_completed(a);
         registry.record_completed(a);
         registry.mark_dead(b, 1, "connection closed".into());
-        // Second phase: w1 reconnects.
+        // Second phase: w1 reconnects and composes with partial dedup.
         registry.record_offered(0, 2, 4);
         let a2 = registry.register("w1".into(), 2);
         registry.record_dispatched();
         registry.record_dispatched();
+        registry.record_summaries(3, 900, 1, 250);
         registry.record_completed(a2);
         registry.record_completed(a2);
 
@@ -207,5 +263,26 @@ mod tests {
         assert_eq!(stats.explore_jobs, 3);
         assert_eq!(stats.compose_jobs, 2);
         assert_eq!(stats.fuzz_jobs, 4);
+        assert_eq!(stats.summaries_shipped, 3);
+        assert_eq!(stats.summaries_deduped, 1);
+        assert_eq!(stats.summary_bytes_shipped, 900);
+        assert_eq!(stats.summary_bytes_deduped, 250);
+        assert_eq!(stats.workers_suspect, 0);
+    }
+
+    #[test]
+    fn suspect_workers_count_as_lost_and_as_suspect() {
+        let registry = WorkerRegistry::new();
+        let a = registry.register("w1".into(), 2);
+        registry.register("w2".into(), 2);
+        registry.mark_suspect(a, 2, "suspect: no heartbeat".into());
+        let stats = registry.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.workers_lost, 1);
+        assert_eq!(stats.workers_suspect, 1);
+        assert_eq!(stats.jobs_requeued, 2);
+        let entry = &registry.workers()[a];
+        assert!(!entry.alive);
+        assert!(entry.note.as_deref().unwrap().contains("suspect"));
     }
 }

@@ -11,11 +11,12 @@
 use super::ExecError;
 use crate::json::Json;
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::Duration;
 
 /// Read one frame (one non-blank line) from `reader`; `Ok(None)` at EOF.
 pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<Json>, ExecError> {
@@ -52,6 +53,17 @@ pub trait Transport: Send {
     /// Receive one frame; `Ok(None)` when the peer closed the stream.
     fn recv(&mut self) -> Result<Option<Json>, ExecError>;
 
+    /// Arm (or disarm, with `None`) a read deadline. Once armed, `recv`
+    /// may return [`ExecError::Timeout`] when no complete frame arrives in
+    /// time; any partially received frame stays buffered for the next
+    /// call, so timing out is always safe mid-stream. Returns `false`
+    /// when this transport cannot time out reads (stdio pipes): such
+    /// transports keep blocking indefinitely and never return `Timeout`.
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> bool {
+        let _ = timeout;
+        false
+    }
+
     /// A human-readable peer description for logs and the registry.
     fn peer(&self) -> String;
 }
@@ -82,6 +94,131 @@ impl<R: BufRead + Send, W: Write + Send> Transport for LineTransport<R, W> {
 
     fn recv(&mut self) -> Result<Option<Json>, ExecError> {
         read_frame(&mut self.reader)
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// Either flavour of connected stream socket, behind one Read/Write
+/// implementation so [`SocketTransport`] handles TCP and Unix-domain
+/// workers identically.
+enum SocketStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl SocketStream {
+    fn try_clone(&self) -> std::io::Result<SocketStream> {
+        match self {
+            SocketStream::Tcp(s) => s.try_clone().map(SocketStream::Tcp),
+            SocketStream::Unix(s) => s.try_clone().map(SocketStream::Unix),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            SocketStream::Tcp(s) => s.set_read_timeout(timeout),
+            SocketStream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for SocketStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            SocketStream::Tcp(s) => s.read(buf),
+            SocketStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SocketStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            SocketStream::Tcp(s) => s.write(buf),
+            SocketStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            SocketStream::Tcp(s) => s.flush(),
+            SocketStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A timeout-capable transport over a connected socket. Unlike a
+/// `BufReader::read_line` loop — which discards partial data when a read
+/// errors — this keeps its own accumulation buffer, so a `recv` that
+/// times out mid-frame resumes cleanly on the next call. That property is
+/// what makes heartbeat-driven read deadlines safe: the coordinator can
+/// poll, ping, and keep reading without ever corrupting the framing.
+pub struct SocketTransport {
+    read: SocketStream,
+    write: SocketStream,
+    /// Bytes received but not yet consumed as complete lines.
+    buf: Vec<u8>,
+    peer: String,
+}
+
+impl SocketTransport {
+    fn new(stream: SocketStream, peer: String) -> Result<Self, ExecError> {
+        let read = stream
+            .try_clone()
+            .map_err(|e| ExecError::Connect(format!("{peer}: {e}")))?;
+        Ok(SocketTransport {
+            read,
+            write: stream,
+            buf: Vec::new(),
+            peer,
+        })
+    }
+}
+
+impl Transport for SocketTransport {
+    fn send(&mut self, frame: &Json) -> Result<(), ExecError> {
+        write_frame(&mut self.write, frame)
+    }
+
+    fn recv(&mut self) -> Result<Option<Json>, ExecError> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                let text = std::str::from_utf8(&line)
+                    .map_err(|e| ExecError::Protocol(format!("bad frame: {e}")))?
+                    .trim();
+                if text.is_empty() {
+                    continue;
+                }
+                return Json::parse(text)
+                    .map(Some)
+                    .map_err(|e| ExecError::Protocol(format!("bad frame: {e}")));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.read.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.iter().any(|b| !b.is_ascii_whitespace()) {
+                        return Err(ExecError::Protocol("connection closed mid-frame".into()));
+                    }
+                    return Ok(None);
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(ExecError::Timeout)
+                }
+                Err(e) => return Err(ExecError::Protocol(format!("reading frame: {e}"))),
+            }
+        }
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> bool {
+        self.read.set_read_timeout(timeout).is_ok()
     }
 
     fn peer(&self) -> String {
@@ -222,26 +359,18 @@ impl Connector for SocketConnector {
             WorkerAddr::Tcp(addr) => {
                 let stream = TcpStream::connect(addr)
                     .map_err(|e| ExecError::Connect(format!("{addr}: {e}")))?;
-                let reader = stream
-                    .try_clone()
-                    .map_err(|e| ExecError::Connect(format!("{addr}: {e}")))?;
-                Ok(Box::new(LineTransport::new(
-                    BufReader::new(reader),
-                    stream,
+                Ok(Box::new(SocketTransport::new(
+                    SocketStream::Tcp(stream),
                     addr.clone(),
-                )))
+                )?))
             }
             WorkerAddr::Unix(path) => {
                 let stream = UnixStream::connect(path)
                     .map_err(|e| ExecError::Connect(format!("{}: {e}", path.display())))?;
-                let reader = stream
-                    .try_clone()
-                    .map_err(|e| ExecError::Connect(format!("{}: {e}", path.display())))?;
-                Ok(Box::new(LineTransport::new(
-                    BufReader::new(reader),
-                    stream,
+                Ok(Box::new(SocketTransport::new(
+                    SocketStream::Unix(stream),
                     format!("unix:{}", path.display()),
-                )))
+                )?))
             }
         }
     }
@@ -295,5 +424,38 @@ mod tests {
             Some("two".to_string())
         );
         assert!(t.recv().unwrap().is_none(), "EOF is a clean None");
+    }
+
+    #[test]
+    fn socket_transport_times_out_without_losing_a_partial_frame() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Half a frame, a pause long enough for the reader's deadline
+            // to fire, then the rest plus a second complete frame.
+            stream.write_all(b"{\"a\":").unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(200));
+            stream.write_all(b"1}\n{\"b\":2}\n").unwrap();
+            stream.flush().unwrap();
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut t = SocketTransport::new(SocketStream::Tcp(stream), addr.to_string()).unwrap();
+        assert!(t.set_read_timeout(Some(Duration::from_millis(50))));
+        assert!(
+            matches!(t.recv(), Err(ExecError::Timeout)),
+            "the deadline fires before the frame completes"
+        );
+        assert!(t.set_read_timeout(Some(Duration::from_millis(2000))));
+        let first = t.recv().unwrap().unwrap();
+        assert_eq!(
+            first.get("a").and_then(Json::as_u64),
+            Some(1),
+            "the partial frame was retained across the timeout"
+        );
+        let second = t.recv().unwrap().unwrap();
+        assert_eq!(second.get("b").and_then(Json::as_u64), Some(2));
+        peer.join().unwrap();
     }
 }

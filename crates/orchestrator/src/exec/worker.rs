@@ -11,10 +11,12 @@
 
 use super::transport::{read_frame, write_frame, WorkerAddr};
 use super::{run_explore_job, ExecError};
+use crate::fingerprint::Fingerprint;
 use crate::json::Json;
 use crate::persist::{summary_from_json, summary_to_json};
-use crate::wire::{job_from_json, options_from_json, report_to_json, JobSpec};
+use crate::wire::{job_from_json, options_digest, options_from_json, report_to_json, JobSpec};
 use dataplane_verifier::{ElementSummary, Verifier, VerifierOptions};
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -23,12 +25,86 @@ use std::sync::{Arc, Condvar, Mutex};
 /// (explore *and* compose), out-of-order results by id. Version 3 adds
 /// `fuzz` to the job vocabulary (conformance fuzz shards) — a bump, not
 /// an addition, because a v2 worker would reject the new kind mid-plan
-/// instead of at the handshake.
-pub const WORKER_SCHEMA: u64 = 3;
+/// instead of at the handshake. Version 4 is the summary-transfer and
+/// fleet-health upgrade: hellos carry an `options_digest` instead of the
+/// full options (with a full-options fallback when the worker does not
+/// know the digest), workers advertise the summary fingerprints they
+/// already `held` and ack newly `folded` ones per result, compose frames
+/// mark already-held summary slots with `"held"` instead of re-shipping
+/// the document, and `ping`/`pong` frames let the coordinator detect a
+/// wedged-but-connected worker.
+pub const WORKER_SCHEMA: u64 = 4;
 
 /// Protocol name announced in hello frames, so a mismatched peer is told
 /// what this endpoint speaks.
 pub const WORKER_PROTO: &str = "vericlick-worker";
+
+/// A worker process's cross-session memory. One instance outlives every
+/// coordinator session a listener serves, which is what makes the v4
+/// protocol's dedup real: verifier options are remembered by digest (a
+/// reconnecting coordinator sends 32 hex chars instead of the options
+/// document), and element summaries — folded from job frames or computed
+/// by this worker's own explore jobs — are retained and advertised in
+/// hello replies, so the dispatcher ships only what this worker is
+/// missing.
+#[derive(Default)]
+pub struct WorkerState {
+    options: Mutex<BTreeMap<String, VerifierOptions>>,
+    summaries: Mutex<BTreeMap<Fingerprint, Arc<ElementSummary>>>,
+}
+
+impl WorkerState {
+    /// An empty state (a worker that has seen nothing yet).
+    pub fn new() -> Self {
+        WorkerState::default()
+    }
+
+    /// Fingerprints of every summary this worker holds, in sorted order —
+    /// the `held` advertisement of a hello reply.
+    pub fn held(&self) -> Vec<Fingerprint> {
+        self.summaries
+            .lock()
+            .expect("worker summaries")
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Retain `summary` under `fingerprint` for future sessions.
+    pub fn fold(&self, fingerprint: Fingerprint, summary: Arc<ElementSummary>) {
+        self.summaries
+            .lock()
+            .expect("worker summaries")
+            .insert(fingerprint, summary);
+    }
+
+    /// The summary held under `fingerprint`, if any.
+    pub fn get(&self, fingerprint: Fingerprint) -> Option<Arc<ElementSummary>> {
+        self.summaries
+            .lock()
+            .expect("worker summaries")
+            .get(&fingerprint)
+            .cloned()
+    }
+
+    /// Remember `options` under their content digest.
+    pub fn remember_options(&self, options: &VerifierOptions) {
+        self.options
+            .lock()
+            .expect("worker options")
+            .insert(options_digest(options), options.clone());
+    }
+
+    /// The options previously pinned under `digest`, if this worker has
+    /// seen them.
+    pub fn options_for(&self, digest: &str) -> Option<VerifierOptions> {
+        self.options
+            .lock()
+            .expect("worker options")
+            .get(digest)
+            .cloned()
+    }
+}
 
 fn error_frame(id: Option<u64>, message: &str) -> Json {
     let mut fields = vec![
@@ -42,22 +118,39 @@ fn error_frame(id: Option<u64>, message: &str) -> Json {
     Json::obj(fields)
 }
 
-/// Execute one decoded job; returns the result frame's payload fields.
+/// A job's result-frame payload fields, plus the fingerprints the job
+/// folded into this worker's held set.
+type JobOutput = (Vec<(&'static str, Json)>, Vec<Fingerprint>);
+
+/// Resolved summary attachments, plus the fingerprints newly folded from
+/// the frame they arrived in.
+type DecodedSummaries = (Vec<Option<Arc<ElementSummary>>>, Vec<Fingerprint>);
+
+/// Execute one decoded job; returns the result frame's payload fields
+/// plus any fingerprints the job folded into this worker's held set (an
+/// explore job retains its own result for future compose sessions).
 fn run_job(
     job: &JobSpec,
-    summaries: Vec<Option<ElementSummary>>,
+    summaries: Vec<Option<Arc<ElementSummary>>>,
     options: &VerifierOptions,
-) -> Result<Vec<(&'static str, Json)>, ExecError> {
+    state: &WorkerState,
+) -> Result<JobOutput, ExecError> {
     match job {
         JobSpec::Explore(job) => {
-            let summary = run_explore_job(job, &options.engine)?;
-            Ok(vec![(
+            let summary = run_explore_job(job, &options.engine)?.map(Arc::new);
+            let payload = vec![(
                 "summary",
-                match summary {
-                    Some(s) => summary_to_json(&s),
+                match &summary {
+                    Some(s) => summary_to_json(s),
                     None => Json::Null,
                 },
-            )])
+            )];
+            let mut folded = Vec::new();
+            if let Some(summary) = summary {
+                state.fold(job.fingerprint, summary);
+                folded.push(job.fingerprint);
+            }
+            Ok((payload, folded))
         }
         JobSpec::Compose(job) => {
             let scenario = job
@@ -68,34 +161,112 @@ fn run_job(
             let report = verifier.decide_composition(
                 &scenario.pipeline,
                 &scenario.property,
-                summaries.into_iter().flatten().map(Arc::new),
+                summaries.into_iter().flatten(),
             );
-            Ok(vec![
-                ("report", report_to_json(&report)),
-                (
-                    "elapsed_micros",
-                    Json::int(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
-                ),
-            ])
+            Ok((
+                vec![
+                    ("report", report_to_json(&report)),
+                    (
+                        "elapsed_micros",
+                        Json::int(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+                    ),
+                ],
+                Vec::new(),
+            ))
         }
         JobSpec::Fuzz(job) => {
             let report = crate::conformance::run_fuzz_shard(job, options)?;
-            Ok(vec![(
-                "fuzz",
-                crate::conformance::shard_report_to_json(&report),
-            )])
+            Ok((
+                vec![("fuzz", crate::conformance::shard_report_to_json(&report))],
+                Vec::new(),
+            ))
         }
     }
+}
+
+/// Decode a job frame's `summaries` attachment under the v4 vocabulary:
+/// a full document is folded into `state` (keyed by the job's fingerprint
+/// at that position) and used, the string `"held"` resolves from `state`,
+/// and `null` stays empty (budget-exceeded exploration). Returns the
+/// resolved summaries plus the fingerprints newly folded from this frame.
+fn decode_summaries(
+    frame: &Json,
+    job: &JobSpec,
+    state: &WorkerState,
+) -> Result<DecodedSummaries, ExecError> {
+    let doc = match frame.get("summaries") {
+        None | Some(Json::Null) => return Ok((Vec::new(), Vec::new())),
+        Some(doc) => doc,
+    };
+    let arr = doc
+        .as_arr()
+        .ok_or_else(|| ExecError::Protocol("job summaries is not an array".into()))?;
+    let fingerprints: &[Fingerprint] = match job {
+        JobSpec::Compose(job) => &job.fingerprints,
+        _ => &[],
+    };
+    let mut folded = Vec::new();
+    let summaries = arr
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| match entry {
+            Json::Null => Ok(None),
+            entry if entry.as_str() == Some("held") => {
+                let fp = fingerprints.get(i).ok_or_else(|| {
+                    ExecError::Protocol(format!(
+                        "held summary slot {i} beyond the job's fingerprints"
+                    ))
+                })?;
+                state.get(*fp).map(Some).ok_or_else(|| {
+                    ExecError::Protocol(format!(
+                        "summary {fp} marked held but absent from this worker's store"
+                    ))
+                })
+            }
+            entry => {
+                let summary = Arc::new(
+                    summary_from_json(entry)
+                        .map_err(|e| ExecError::Protocol(format!("undecodable summary: {e}")))?,
+                );
+                if let Some(fp) = fingerprints.get(i) {
+                    state.fold(*fp, summary.clone());
+                    folded.push(*fp);
+                }
+                Ok(Some(summary))
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((summaries, folded))
+}
+
+/// Serve one coordinator session with a fresh [`WorkerState`] — the
+/// stdio form, where the worker process lives exactly one session. See
+/// [`worker_serve_with`] for listeners that retain state across sessions.
+pub fn worker_serve<R, W>(input: R, output: W, capacity: usize) -> Result<(), ExecError>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    worker_serve_with(input, output, capacity, &WorkerState::new())
 }
 
 /// Serve one coordinator session: handshake on the first frame, then
 /// execute job frames (up to `capacity` concurrently — the coordinator
 /// never keeps more than the advertised capacity in flight) until the
 /// peer closes the stream. `capacity` 0 means one per available core.
+/// `state` is this worker's cross-session memory: the hello reply
+/// advertises its held summaries and resolves the coordinator's options
+/// digest against it (replying `need_options` and awaiting the full
+/// document when the digest is unknown).
 ///
 /// This is what `vericlick worker` runs over stdin/stdout; the framing is
 /// line-delimited JSON, so the same function serves an accepted socket.
-pub fn worker_serve<R, W>(input: R, output: W, capacity: usize) -> Result<(), ExecError>
+pub fn worker_serve_with<R, W>(
+    input: R,
+    output: W,
+    capacity: usize,
+    state: &WorkerState,
+) -> Result<(), ExecError>
 where
     R: BufRead,
     W: Write + Send,
@@ -125,21 +296,72 @@ where
         );
         return Err(ExecError::Protocol(message));
     }
-    let options = options_from_json(
-        hello
-            .get("options")
-            .ok_or_else(|| ExecError::Protocol("hello frame has no options".into()))?,
-    )
-    .map_err(|e| ExecError::Protocol(e.to_string()))?;
+    // Pin this session's options: a full document wins (and is remembered
+    // under its digest), otherwise the digest must resolve against this
+    // worker's memory — and when it does not, the hello reply asks for
+    // the full document before any job.
+    let mut need_options = false;
+    let options = if let Some(doc) = hello.get("options") {
+        let options = options_from_json(doc).map_err(|e| ExecError::Protocol(e.to_string()))?;
+        state.remember_options(&options);
+        Some(options)
+    } else if let Some(digest) = hello.get("options_digest").and_then(Json::as_str) {
+        let known = state.options_for(digest);
+        need_options = known.is_none();
+        known
+    } else {
+        return Err(ExecError::Protocol(
+            "hello frame has neither options nor options_digest".into(),
+        ));
+    };
+    let mut reply = vec![
+        ("schema", Json::int(WORKER_SCHEMA)),
+        ("kind", Json::str("hello")),
+        ("proto", Json::str(WORKER_PROTO)),
+        ("capacity", Json::int(capacity as u64)),
+        (
+            "held",
+            Json::Arr(
+                state
+                    .held()
+                    .iter()
+                    .map(|fp| Json::str(fp.to_string()))
+                    .collect(),
+            ),
+        ),
+    ];
+    if need_options {
+        reply.push(("need_options", Json::Bool(true)));
+    }
     write_frame(
         &mut *writer.lock().expect("worker writer"),
-        &Json::obj([
-            ("schema", Json::int(WORKER_SCHEMA)),
-            ("kind", Json::str("hello")),
-            ("proto", Json::str(WORKER_PROTO)),
-            ("capacity", Json::int(capacity as u64)),
-        ]),
+        &Json::obj(reply),
     )?;
+    let options = match options {
+        Some(options) => options,
+        None => {
+            // The digest fallback: the very next frame must carry the
+            // full options document.
+            let Some(frame) = read_frame(&mut input)? else {
+                return Err(ExecError::Protocol(
+                    "connection closed awaiting the full options document".into(),
+                ));
+            };
+            if frame.get("kind").and_then(Json::as_str) != Some("options") {
+                return Err(ExecError::Protocol(
+                    "expected an options frame after need_options".into(),
+                ));
+            }
+            let options = options_from_json(
+                frame
+                    .get("options")
+                    .ok_or_else(|| ExecError::Protocol("options frame without options".into()))?,
+            )
+            .map_err(|e| ExecError::Protocol(e.to_string()))?;
+            state.remember_options(&options);
+            options
+        }
+    };
 
     // The job loop. Jobs run on scoped threads; results are written as
     // they finish. The in-flight gate enforces the advertised capacity on
@@ -168,22 +390,7 @@ where
                             ExecError::Protocol("job frame without a job".into())
                         })?)
                         .map_err(|e| ExecError::Protocol(e.to_string()))?;
-                    let summaries = match frame.get("summaries") {
-                        None | Some(Json::Null) => Vec::new(),
-                        Some(doc) => doc
-                            .as_arr()
-                            .ok_or_else(|| {
-                                ExecError::Protocol("job summaries is not an array".into())
-                            })?
-                            .iter()
-                            .map(|s| match s {
-                                Json::Null => Ok(None),
-                                doc => summary_from_json(doc).map(Some).map_err(|e| {
-                                    ExecError::Protocol(format!("undecodable summary: {e}"))
-                                }),
-                            })
-                            .collect::<Result<Vec<_>, _>>()?,
-                    };
+                    let (summaries, folded) = decode_summaries(&frame, &job, state)?;
                     {
                         let (count, cv) = in_flight;
                         let mut running = count.lock().expect("in-flight gate");
@@ -193,14 +400,27 @@ where
                         *running += 1;
                     }
                     scope.spawn(move || {
-                        let frame = match run_job(&job, summaries, options) {
-                            Ok(payload) => {
+                        let frame = match run_job(&job, summaries, options, state) {
+                            Ok((payload, run_folded)) => {
                                 let mut fields = vec![
                                     ("schema", Json::int(WORKER_SCHEMA)),
                                     ("kind", Json::str("result")),
                                     ("id", Json::int(id)),
                                 ];
                                 fields.extend(payload);
+                                let mut folded = folded;
+                                folded.extend(run_folded);
+                                if !folded.is_empty() {
+                                    fields.push((
+                                        "folded",
+                                        Json::Arr(
+                                            folded
+                                                .iter()
+                                                .map(|fp| Json::str(fp.to_string()))
+                                                .collect(),
+                                        ),
+                                    ));
+                                }
                                 Json::obj(fields)
                             }
                             Err(e) => error_frame(Some(id), &e.to_string()),
@@ -212,6 +432,32 @@ where
                         *count.lock().expect("in-flight gate") -= 1;
                         cv.notify_one();
                     });
+                }
+                Some("ping") => {
+                    // Heartbeat: answer immediately from the read loop,
+                    // even while jobs are in flight — that immediacy is
+                    // exactly what tells a coordinator this worker is
+                    // busy rather than wedged.
+                    let mut pong = vec![
+                        ("schema", Json::int(WORKER_SCHEMA)),
+                        ("kind", Json::str("pong")),
+                    ];
+                    if let Some(seq) = frame.get("seq").and_then(Json::as_u64) {
+                        pong.push(("seq", Json::int(seq)));
+                    }
+                    write_frame(
+                        &mut *writer.lock().expect("worker writer"),
+                        &Json::obj(pong),
+                    )?;
+                }
+                Some("options") => {
+                    // An idempotent re-pin (a coordinator may push the
+                    // full document even when the digest resolved).
+                    let options = options_from_json(frame.get("options").ok_or_else(|| {
+                        ExecError::Protocol("options frame without options".into())
+                    })?)
+                    .map_err(|e| ExecError::Protocol(e.to_string()))?;
+                    state.remember_options(&options);
                 }
                 Some("shutdown") => return Ok(()),
                 other => {
@@ -240,6 +486,10 @@ pub fn serve_listener(
     once: bool,
     log: &mut dyn FnMut(&str),
 ) -> Result<(), ExecError> {
+    // One state for every session this listener serves: options stay
+    // pinned by digest and summaries stay held across coordinator
+    // reconnects — the warm half of the v4 dedup.
+    let state = WorkerState::new();
     match addr {
         WorkerAddr::Tcp(spec) => {
             let listener = std::net::TcpListener::bind(spec)
@@ -256,7 +506,7 @@ pub fn serve_listener(
                 let reader = stream
                     .try_clone()
                     .map_err(|e| ExecError::Connect(format!("clone stream: {e}")))?;
-                match worker_serve(BufReader::new(reader), stream, capacity) {
+                match worker_serve_with(BufReader::new(reader), stream, capacity, &state) {
                     Ok(()) => log(&format!("session from {peer} done")),
                     Err(e) => log(&format!("session from {peer} failed: {e}")),
                 }
@@ -289,7 +539,7 @@ pub fn serve_listener(
                 let reader = stream
                     .try_clone()
                     .map_err(|e| ExecError::Connect(format!("clone stream: {e}")))?;
-                match worker_serve(BufReader::new(reader), stream, capacity) {
+                match worker_serve_with(BufReader::new(reader), stream, capacity, &state) {
                     Ok(()) => log("session done"),
                     Err(e) => log(&format!("session failed: {e}")),
                 }
@@ -303,7 +553,7 @@ pub fn serve_listener(
 
 #[cfg(test)]
 mod tests {
-    use super::super::dispatch::hello_frame;
+    use super::super::dispatch::{hello_frame, options_frame};
     use super::super::testutil::router_jobs;
     use super::*;
     use crate::wire::{job_to_json, ExploreJob};
@@ -336,11 +586,12 @@ mod tests {
 
     #[test]
     fn worker_serves_a_session_over_buffers() {
-        // Drive the exact protocol through in-memory buffers: hello, two
-        // explore jobs, EOF.
+        // Drive the exact protocol through in-memory buffers: hello
+        // (digest-only, so the fresh worker asks for and receives the
+        // full options), two explore jobs, EOF.
         let options = VerifierOptions::default();
         let jobs = router_jobs(&options.engine);
-        let mut frames = vec![hello_frame(&options)];
+        let mut frames = vec![hello_frame(&options), options_frame(&options)];
         frames.push(job_frame(0, &jobs[0]));
         frames.push(job_frame(1, &jobs[1]));
         let mut output = Vec::new();
@@ -355,6 +606,15 @@ mod tests {
             replies[0].get("schema").and_then(Json::as_u64),
             Some(WORKER_SCHEMA)
         );
+        assert_eq!(
+            replies[0].get("need_options").and_then(Json::as_bool),
+            Some(true),
+            "a fresh worker cannot resolve the digest"
+        );
+        assert!(
+            matches!(replies[0].get("held"), Some(Json::Arr(held)) if held.is_empty()),
+            "a fresh worker holds no summaries"
+        );
         let mut ids: Vec<u64> = replies[1..]
             .iter()
             .map(|r| {
@@ -368,6 +628,81 @@ mod tests {
             .collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1], "every job answered exactly once");
+    }
+
+    #[test]
+    fn digest_hello_resolves_against_a_preseeded_state() {
+        let options = VerifierOptions::default();
+        let state = WorkerState::new();
+        state.remember_options(&options);
+        let jobs = router_jobs(&options.engine);
+        let frames = vec![hello_frame(&options), job_frame(0, &jobs[0])];
+        let mut output = Vec::new();
+        worker_serve_with(frames_to_input(&frames), &mut output, 1, &state).unwrap();
+        let replies = parse_output(&output);
+        assert!(
+            replies[0].get("need_options").is_none(),
+            "a known digest needs no options round trip"
+        );
+        let result = &replies[1];
+        assert_eq!(result.get("kind").and_then(Json::as_str), Some("result"));
+        assert!(
+            matches!(result.get("folded"), Some(Json::Arr(folded)) if folded.len() == 1),
+            "an explore result acks the summary it folded into the store"
+        );
+        assert_eq!(
+            state.held().len(),
+            1,
+            "the explored summary is held for the next session's hello"
+        );
+    }
+
+    #[test]
+    fn second_session_hello_advertises_summaries_held_from_the_first() {
+        let options = VerifierOptions::default();
+        let state = WorkerState::new();
+        let jobs = router_jobs(&options.engine);
+        let frames = vec![
+            hello_frame(&options),
+            options_frame(&options),
+            job_frame(0, &jobs[0]),
+        ];
+        let mut output = Vec::new();
+        worker_serve_with(frames_to_input(&frames), &mut output, 1, &state).unwrap();
+        // Session 2 on the same state: the digest resolves and the hello
+        // advertises the summary explored in session 1.
+        let frames = vec![hello_frame(&options)];
+        let mut output = Vec::new();
+        worker_serve_with(frames_to_input(&frames), &mut output, 1, &state).unwrap();
+        let replies = parse_output(&output);
+        assert!(replies[0].get("need_options").is_none());
+        assert!(
+            matches!(replies[0].get("held"), Some(Json::Arr(held)) if held.len() == 1),
+            "the second hello advertises the held summary: {:?}",
+            replies[0]
+        );
+    }
+
+    #[test]
+    fn ping_frames_are_answered_with_pongs() {
+        let options = VerifierOptions::default();
+        let frames = vec![
+            hello_frame(&options),
+            options_frame(&options),
+            Json::obj([
+                ("schema", Json::int(WORKER_SCHEMA)),
+                ("kind", Json::str("ping")),
+                ("seq", Json::int(3u64)),
+            ]),
+        ];
+        let mut output = Vec::new();
+        worker_serve(frames_to_input(&frames), &mut output, 1).unwrap();
+        let replies = parse_output(&output);
+        let pong = replies
+            .iter()
+            .find(|r| r.get("kind").and_then(Json::as_str) == Some("pong"))
+            .expect("a ping is answered with a pong");
+        assert_eq!(pong.get("seq").and_then(Json::as_u64), Some(3));
     }
 
     #[test]
@@ -413,7 +748,11 @@ mod tests {
         let options = VerifierOptions::default();
         let mut jobs = router_jobs(&options.engine);
         jobs[0].fingerprint = crate::fingerprint::fingerprint_bytes("not this element");
-        let frames = vec![hello_frame(&options), job_frame(7, &jobs[0])];
+        let frames = vec![
+            hello_frame(&options),
+            options_frame(&options),
+            job_frame(7, &jobs[0]),
+        ];
         let mut output = Vec::new();
         worker_serve(frames_to_input(&frames), &mut output, 1).unwrap();
         let replies = parse_output(&output);

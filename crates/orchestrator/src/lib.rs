@@ -82,6 +82,7 @@
 
 pub mod cache;
 pub mod conformance;
+pub mod daemon;
 pub mod diff;
 pub mod exec;
 pub mod executor;
@@ -97,10 +98,11 @@ pub use cache::{CacheStats, SummaryStore};
 pub use conformance::{
     ConformanceReport, Contradiction, FuzzScenarioReport, FuzzShardReport, ReplayOutcome,
 };
+pub use daemon::{join_fleet, ClientReply, Daemon, DaemonClient, DaemonConfig};
 pub use diff::{config_scenarios, DiffEntry, DiffKind, DiffReport, NamedConfig};
 pub use exec::{
-    serve_listener, worker_serve, DispatchStats, ExecError, Executor, InProcessExecutor,
-    WorkerAddr, WorkerFleet, WorkerRegistry,
+    serve_listener, worker_serve, DispatchStats, ExecError, Executor, HeartbeatConfig,
+    InProcessExecutor, WorkerAddr, WorkerFleet, WorkerRegistry,
 };
 pub use executor::ThreadBudget;
 pub use fingerprint::{element_fingerprint, fingerprint_bytes, Fingerprint};

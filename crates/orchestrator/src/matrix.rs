@@ -277,6 +277,11 @@ impl MatrixReport {
                         ("explore_jobs", Json::int(d.explore_jobs as u64)),
                         ("compose_jobs", Json::int(d.compose_jobs as u64)),
                         ("fuzz_jobs", Json::int(d.fuzz_jobs as u64)),
+                        ("summaries_shipped", Json::int(d.summaries_shipped as u64)),
+                        ("summaries_deduped", Json::int(d.summaries_deduped as u64)),
+                        ("summary_bytes_shipped", Json::int(d.summary_bytes_shipped)),
+                        ("summary_bytes_deduped", Json::int(d.summary_bytes_deduped)),
+                        ("workers_suspect", Json::int(d.workers_suspect as u64)),
                     ]),
                 },
             ),
@@ -345,16 +350,25 @@ impl fmt::Display for MatrixReport {
         if let Some(d) = &self.stats {
             writeln!(
                 f,
-                "  fleet: {} workers (capacity {}, {} lost), {} dispatched / {} completed / {} requeued ({} explore + {} compose + {} fuzz jobs)",
+                "  fleet: {} workers (capacity {}, {} lost, {} suspect), {} dispatched / {} completed / {} requeued ({} explore + {} compose + {} fuzz jobs)",
                 d.workers,
                 d.capacity,
                 d.workers_lost,
+                d.workers_suspect,
                 d.jobs_dispatched,
                 d.jobs_completed,
                 d.jobs_requeued,
                 d.explore_jobs,
                 d.compose_jobs,
                 d.fuzz_jobs
+            )?;
+            writeln!(
+                f,
+                "  wire: {} summaries shipped ({} bytes), {} deduped ({} bytes saved)",
+                d.summaries_shipped,
+                d.summary_bytes_shipped,
+                d.summaries_deduped,
+                d.summary_bytes_deduped
             )?;
         }
         for s in &self.scenarios {

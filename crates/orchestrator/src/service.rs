@@ -539,6 +539,65 @@ impl VerifyService {
         })
     }
 
+    /// Serve one request, running its jobs on `executor` where the
+    /// request has a plannable form — the daemon's serving path, where
+    /// the executor is the fleet of currently joined socket workers.
+    ///
+    /// With `None` this is exactly [`VerifyService::serve`]. With an
+    /// executor, plannable requests (single, matrix, diff, bound, watch)
+    /// go through [`VerifyService::plan_request`] /
+    /// [`VerifyService::execute_plan`] — a `Watch` additionally rolls the
+    /// service's baseline forward after the tick, exactly as `serve`
+    /// would — and a conformance request fuzzes its shards on the
+    /// executor. Deterministic report content is byte-identical to
+    /// serving in-process either way.
+    pub fn serve_with(
+        &self,
+        request: VerifyRequest,
+        executor: Option<&dyn Executor>,
+    ) -> Result<VerifyResponse, ServiceError> {
+        let Some(executor) = executor else {
+            return self.serve(request);
+        };
+        let kind = request.kind();
+        let mut response = match request {
+            VerifyRequest::Conformance {
+                scenarios,
+                seed,
+                packets,
+            } => VerifyResponse {
+                request: kind,
+                outcome: VerifyOutcome::Conformance(Box::new(self.run_conformance(
+                    scenarios,
+                    seed,
+                    packets,
+                    Some(executor),
+                )?)),
+            },
+            VerifyRequest::Watch {
+                configs,
+                properties,
+            } => {
+                let plan = self.plan_request(&VerifyRequest::Watch {
+                    configs: configs.clone(),
+                    properties,
+                })?;
+                let response = self.execute_plan(&plan, executor)?;
+                // Roll the baseline exactly as `serve` would (see there
+                // for why this happens only after a successful tick).
+                *self.baseline.lock().expect("watch baseline") = Some(configs);
+                response
+            }
+            request => {
+                let plan = self.plan_request(&request)?;
+                self.execute_plan(&plan, executor)?
+            }
+        };
+        // `execute_plan` reports as "exec-plan"; keep the caller's kind.
+        response.request = kind;
+        Ok(response)
+    }
+
     /// Verify one pipeline against one property. Equivalent to (and
     /// verdict-identical with) `Verifier::verify`, with element
     /// explorations on the shared pool and summaries served from the store.

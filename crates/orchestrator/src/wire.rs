@@ -324,6 +324,15 @@ pub fn options_from_json(json: &Json) -> Result<VerifierOptions, WireError> {
     })
 }
 
+/// Content digest of a serialised [`VerifierOptions`] document — 32 hex
+/// characters. Worker-protocol v4 hellos send this instead of the full
+/// options on every reconnect: a worker that already holds the options
+/// under this digest skips the transfer, one that does not asks for the
+/// full document (see the `exec::worker` hello exchange).
+pub fn options_digest(options: &VerifierOptions) -> String {
+    crate::fingerprint::fingerprint_bytes(&options_to_json(options).to_text()).to_string()
+}
+
 // ---------------------------------------------------------------------------
 // Scenarios and plans
 // ---------------------------------------------------------------------------

@@ -1,0 +1,309 @@
+//! Integration tests of the verification daemon: warm-store reuse across
+//! client sessions, admission control, runtime worker joins with summary
+//! dedup, and the client protocol's error handling.
+//!
+//! The acceptance bar mirrors the exec tests: whatever path served the
+//! request — in-process, via the daemon, via the daemon *and* a socket
+//! fleet — the deterministic report must be byte-identical.
+
+use dataplane_orchestrator::daemon::{CLIENT_PROTO, CLIENT_SCHEMA};
+use dataplane_orchestrator::exec::transport::{read_frame, write_frame};
+use dataplane_orchestrator::json::Json;
+use dataplane_orchestrator::{
+    config_scenarios, join_fleet, serve_listener, Daemon, DaemonClient, DaemonConfig, NamedConfig,
+    PropertySelect, VerifyRequest, VerifyService, WorkerAddr,
+};
+use std::io::BufReader;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+const ROUTER: &str = r#"
+    cls :: Classifier(12/0800);
+    strip :: EthDecap();
+    chk :: CheckIPHeader();
+    rt :: IPLookup(10.0.0.0/8 0, 192.168.0.0/16 1);
+    ttl0 :: DecTTL();
+    ttl1 :: DecTTL();
+    out0 :: Sink();
+    out1 :: Sink();
+    cls -> strip -> chk -> rt;
+    rt[0] -> ttl0 -> out0;
+    rt[1] -> ttl1 -> out1;
+"#;
+
+const FILTER: &str = r#"
+    strip :: EthDecap();
+    chk :: CheckIPHeader();
+    f :: SrcFilter(203.0.113.9);
+    out :: Sink();
+    strip -> chk -> f -> out;
+"#;
+
+fn two_config_request() -> VerifyRequest {
+    VerifyRequest::Matrix {
+        scenarios: config_scenarios(
+            &[
+                NamedConfig::new("router", ROUTER),
+                NamedConfig::new("filter", FILTER),
+            ],
+            &|name| PropertySelect::Default.properties_for(name),
+        )
+        .unwrap(),
+    }
+}
+
+/// Start `daemon` on a loopback TCP listener (port chosen by the OS) on a
+/// background thread; returns the bound address parsed from its first log
+/// line.
+fn spawn_daemon(daemon: Daemon) -> WorkerAddr {
+    let (tx, rx) = mpsc::channel();
+    let serving = daemon.clone();
+    std::thread::spawn(move || {
+        let tx = Mutex::new(Some(tx));
+        let log: Arc<dyn Fn(&str) + Send + Sync> = Arc::new(move |line: &str| {
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                if let Some(tx) = tx.lock().unwrap().take() {
+                    let _ = tx.send(addr.to_string());
+                }
+            }
+        });
+        let _ = serving.serve(&WorkerAddr::Tcp("127.0.0.1:0".into()), false, log);
+    });
+    WorkerAddr::Tcp(rx.recv().expect("daemon announced its address"))
+}
+
+/// Start a worker that keeps accepting sessions on one listener until the
+/// test process exits.
+fn spawn_persistent_tcp_worker() -> WorkerAddr {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut tx = Some(tx);
+        let mut log = move |line: &str| {
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                if let Some(tx) = tx.take() {
+                    tx.send(addr.to_string()).unwrap();
+                }
+            }
+        };
+        let _ = serve_listener(&WorkerAddr::Tcp("127.0.0.1:0".into()), 2, false, &mut log);
+    });
+    WorkerAddr::Tcp(rx.recv().expect("worker announced its address"))
+}
+
+#[test]
+fn second_session_on_a_warm_daemon_plans_zero_element_jobs() {
+    let reference = VerifyService::new()
+        .with_threads(2)
+        .serve(two_config_request())
+        .unwrap()
+        .deterministic_json()
+        .to_text();
+
+    let addr = spawn_daemon(Daemon::new(DaemonConfig {
+        threads: 2,
+        ..DaemonConfig::default()
+    }));
+
+    // Session one: a cold store, so Step-1 explorations run.
+    let mut first = DaemonClient::connect(&addr, None).unwrap();
+    let reply = first.verify(&two_config_request()).unwrap();
+    assert_eq!(reply.request, "matrix");
+    assert!(reply.ok, "{}", reply.display);
+    assert!(
+        reply.report.get("explore_jobs").and_then(Json::as_u64) > Some(0),
+        "a cold daemon explores elements: {}",
+        reply.report.to_text()
+    );
+    assert_eq!(reply.det_report.to_text(), reference);
+    drop(first);
+
+    // Session two, a *new connection*: the shared store is warm, so the
+    // same matrix plans zero element jobs — Step 1 entirely from memory.
+    let mut second = DaemonClient::connect(&addr, None).unwrap();
+    let reply = second.verify(&two_config_request()).unwrap();
+    assert_eq!(
+        reply.report.get("explore_jobs").and_then(Json::as_u64),
+        Some(0),
+        "a warm daemon re-plans no element jobs: {}",
+        reply.report.to_text()
+    );
+    assert_eq!(
+        reply.det_report.to_text(),
+        reference,
+        "cache temperature must not change the deterministic report"
+    );
+}
+
+#[test]
+fn admission_refuses_sessions_past_the_limit_and_recovers() {
+    let addr = spawn_daemon(Daemon::new(DaemonConfig {
+        threads: 2,
+        max_sessions: 1,
+        ..DaemonConfig::default()
+    }));
+
+    // The one admitted session holds its slot as long as it is connected.
+    let admitted = DaemonClient::connect(&addr, None).unwrap();
+    let refused = DaemonClient::connect(&addr, None);
+    match refused {
+        Err(e) => assert!(
+            e.to_string().contains("busy"),
+            "the refusal names the reason: {e}"
+        ),
+        Ok(_) => panic!("a second session must be refused at max_sessions = 1"),
+    }
+    drop(admitted);
+
+    // Once the admitted session closes, the slot frees (the session
+    // thread notices the closed stream asynchronously — poll briefly).
+    let mut recovered = None;
+    for _ in 0..100 {
+        match DaemonClient::connect(&addr, None) {
+            Ok(client) => {
+                recovered = Some(client);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let mut client = recovered.expect("the slot frees after the first session closes");
+    let reply = client.verify(&two_config_request()).unwrap();
+    assert!(reply.ok, "{}", reply.display);
+}
+
+#[test]
+fn a_worker_joined_at_runtime_executes_jobs_and_dedups_summaries() {
+    let reference = VerifyService::new()
+        .with_threads(2)
+        .serve(two_config_request())
+        .unwrap()
+        .deterministic_json()
+        .to_text();
+
+    let daemon = Daemon::new(DaemonConfig {
+        threads: 2,
+        ..DaemonConfig::default()
+    });
+    let addr = spawn_daemon(daemon.clone());
+    assert!(daemon.workers().is_empty(), "the pool starts empty");
+
+    // A worker joins the running daemon through the same listener the
+    // clients use.
+    let worker = spawn_persistent_tcp_worker();
+    assert_eq!(join_fleet(&addr, &worker).unwrap(), 1);
+    assert_eq!(daemon.workers().len(), 1);
+
+    // First request: dispatched to the joined worker (dispatch stats are
+    // present and account for every job).
+    let mut client = DaemonClient::connect(&addr, None).unwrap();
+    let first = client.verify(&two_config_request()).unwrap();
+    assert!(first.ok, "{}", first.display);
+    assert_eq!(first.det_report.to_text(), reference);
+    assert_eq!(first.dispatch_stat("workers"), Some(1));
+    assert!(
+        first.dispatch_stat("jobs_completed") > Some(0),
+        "the joined worker ran the plan: {}",
+        first.dispatch.to_text()
+    );
+
+    // Second request on the same session: the daemon's store is warm
+    // (zero explore jobs) and the worker's summary store is warm too —
+    // its hello advertises every fingerprint it folded, so no summary
+    // document is re-shipped.
+    let second = client.verify(&two_config_request()).unwrap();
+    assert_eq!(second.det_report.to_text(), reference);
+    assert_eq!(
+        second.report.get("explore_jobs").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        second.dispatch_stat("summaries_shipped"),
+        Some(0),
+        "a warm worker receives no summary documents: {}",
+        second.dispatch.to_text()
+    );
+    assert!(
+        second.dispatch_stat("summaries_deduped") > Some(0),
+        "the dedup win is visible to the client: {}",
+        second.dispatch.to_text()
+    );
+}
+
+#[test]
+fn version_mismatch_and_bad_frames_are_refused_with_error_frames() {
+    let daemon = Daemon::new(DaemonConfig::default());
+
+    // A peer speaking the wrong schema is refused before admission.
+    let mut input = Vec::new();
+    write_frame(
+        &mut input,
+        &Json::obj([
+            ("schema", Json::int(999u64)),
+            ("kind", Json::str("hello")),
+            ("proto", Json::str(CLIENT_PROTO)),
+        ]),
+    )
+    .unwrap();
+    let mut output = Vec::new();
+    let result = daemon.serve_connection(input.as_slice(), &mut output);
+    assert!(result.is_err(), "a version mismatch fails the session");
+    let mut frames = BufReader::new(output.as_slice());
+    let error = read_frame(&mut frames).unwrap().unwrap();
+    assert_eq!(error.get("kind").and_then(Json::as_str), Some("error"));
+    assert!(
+        error
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("version mismatch"),
+        "the error frame names the mismatch"
+    );
+
+    // A malformed verify frame draws an error frame but the session
+    // survives: the next (valid) request on the same connection is
+    // served.
+    let mut input = Vec::new();
+    write_frame(
+        &mut input,
+        &Json::obj([
+            ("schema", Json::int(CLIENT_SCHEMA)),
+            ("kind", Json::str("hello")),
+            ("proto", Json::str(CLIENT_PROTO)),
+        ]),
+    )
+    .unwrap();
+    write_frame(
+        &mut input,
+        &Json::obj([
+            ("schema", Json::int(CLIENT_SCHEMA)),
+            ("kind", Json::str("verify")),
+            ("request", Json::str("not a request document")),
+        ]),
+    )
+    .unwrap();
+    write_frame(
+        &mut input,
+        &Json::obj([
+            ("schema", Json::int(CLIENT_SCHEMA)),
+            ("kind", Json::str("verify")),
+            ("request", two_config_request().to_json().unwrap()),
+        ]),
+    )
+    .unwrap();
+    let mut output = Vec::new();
+    daemon
+        .serve_connection(input.as_slice(), &mut output)
+        .unwrap();
+    let mut frames = BufReader::new(output.as_slice());
+    let hello = read_frame(&mut frames).unwrap().unwrap();
+    assert_eq!(hello.get("kind").and_then(Json::as_str), Some("hello"));
+    let error = read_frame(&mut frames).unwrap().unwrap();
+    assert_eq!(error.get("kind").and_then(Json::as_str), Some("error"));
+    let response = read_frame(&mut frames).unwrap().unwrap();
+    assert_eq!(
+        response.get("kind").and_then(Json::as_str),
+        Some("response"),
+        "the session survives a bad request"
+    );
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+}

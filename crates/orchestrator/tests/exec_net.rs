@@ -10,8 +10,8 @@
 use dataplane_orchestrator::exec::transport::{read_frame, write_frame};
 use dataplane_orchestrator::json::Json;
 use dataplane_orchestrator::{
-    serve_listener, NamedConfig, PropertySelect, VerifyRequest, VerifyService, WorkerAddr,
-    WorkerFleet,
+    serve_listener, HeartbeatConfig, NamedConfig, PropertySelect, VerifyRequest, VerifyService,
+    WorkerAddr, WorkerFleet,
 };
 use std::io::BufReader;
 use std::net::TcpListener;
@@ -109,6 +109,44 @@ fn spawn_flaky_tcp_worker() -> WorkerAddr {
             // Accept one job, answer nothing, die.
             let _ = read_frame(&mut reader);
             drop(writer);
+        }
+    });
+    addr
+}
+
+/// A worker that completes the handshake and then wedges: the connection
+/// stays open, but no job result (and no pong) ever comes back — the
+/// SIGSTOP / silent-partition failure mode a plain disconnect test cannot
+/// reproduce. Accepts any number of sessions and wedges in each.
+fn spawn_wedged_tcp_worker() -> WorkerAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = WorkerAddr::Tcp(listener.local_addr().unwrap().to_string());
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let Ok(Some(hello)) = read_frame(&mut reader) else {
+                    return;
+                };
+                assert_eq!(hello.get("kind").and_then(Json::as_str), Some("hello"));
+                let reply = Json::obj([
+                    (
+                        "schema",
+                        Json::int(dataplane_orchestrator::exec::WORKER_SCHEMA),
+                    ),
+                    ("kind", Json::str("hello")),
+                    ("proto", Json::str("vericlick-worker")),
+                    ("capacity", Json::int(1u64)),
+                    ("held", Json::Arr(Vec::new())),
+                ]);
+                if write_frame(&mut writer, &reply).is_err() {
+                    return;
+                }
+                // Wedge: keep both stream halves open, answer nothing.
+                std::thread::sleep(std::time::Duration::from_secs(30));
+            });
         }
     });
     addr
@@ -237,6 +275,103 @@ fn dead_worker_jobs_are_requeued_and_report_stays_byte_identical() {
         stats.jobs_completed,
         plan.jobs.len() + plan.scenarios.len(),
         "every job still completed exactly once"
+    );
+}
+
+#[test]
+fn wedged_worker_is_marked_suspect_and_its_jobs_requeue_to_survivors() {
+    let service = VerifyService::new().with_threads(2);
+    let reference = service
+        .serve(two_config_request())
+        .unwrap()
+        .deterministic_json()
+        .to_text();
+
+    // One worker that handshakes and then goes silent without closing its
+    // connection, one healthy worker. Without read deadlines the dispatch
+    // would block on the silent socket forever; with the heartbeat it
+    // must mark the wedge suspect and requeue to the survivor.
+    let fleet = WorkerFleet::sockets(vec![
+        spawn_wedged_tcp_worker(),
+        spawn_persistent_tcp_worker(),
+    ])
+    .with_heartbeat(HeartbeatConfig::from_interval_ms(100));
+    let fresh = VerifyService::new().with_threads(2);
+    let plan = fresh.plan_request(&two_config_request()).unwrap();
+    let executed = fresh.execute_plan(&plan, &fleet).unwrap();
+    assert_eq!(
+        executed.deterministic_json().to_text(),
+        reference,
+        "a wedged worker must not change the report"
+    );
+    let stats = executed.matrix().unwrap().stats.clone().unwrap();
+    assert!(
+        stats.workers_suspect >= 1,
+        "the silent worker was marked suspect: {stats:?}"
+    );
+    assert!(
+        stats.jobs_requeued >= 1,
+        "its in-flight jobs were requeued: {stats:?}"
+    );
+    assert_eq!(
+        stats.jobs_completed,
+        plan.jobs.len() + plan.scenarios.len(),
+        "every job still completed exactly once"
+    );
+    // The registry notes name the heartbeat, not a generic disconnect.
+    assert!(
+        fleet
+            .registry()
+            .workers()
+            .iter()
+            .any(|e| e.note.as_deref().is_some_and(|n| n.contains("suspect"))),
+        "the worker entry records why it was abandoned"
+    );
+}
+
+#[test]
+fn second_plan_against_a_warm_worker_ships_zero_summaries() {
+    // Warm the coordinator's store in-process so the explore phase has
+    // nothing to dispatch and *every* summary must travel in compose
+    // frames (a fresh socket worker holds none of them).
+    let service = VerifyService::new().with_threads(2);
+    let reference = service
+        .serve(two_config_request())
+        .unwrap()
+        .deterministic_json()
+        .to_text();
+    let addr = spawn_persistent_tcp_worker();
+    let plan = service.plan_request(&two_config_request()).unwrap();
+
+    let cold = WorkerFleet::sockets(vec![addr.clone()]);
+    let first = service.execute_plan(&plan, &cold).unwrap();
+    assert_eq!(first.deterministic_json().to_text(), reference);
+    let stats = cold.registry().stats();
+    assert!(
+        stats.summaries_shipped > 0 && stats.summary_bytes_shipped > 0,
+        "a cold worker receives full summary documents: {stats:?}"
+    );
+    // Later compose jobs in the *same* session already dedup against
+    // what the first frames shipped — only the first touch travels.
+
+    // Second plan, fresh fleet, same worker process: its hello advertises
+    // everything it folded in the first session, so no summary document
+    // is re-shipped — only `held` markers travel.
+    let warm = WorkerFleet::sockets(vec![addr]);
+    let second = service.execute_plan(&plan, &warm).unwrap();
+    assert_eq!(
+        second.deterministic_json().to_text(),
+        reference,
+        "dedup must not change the report"
+    );
+    let stats = warm.registry().stats();
+    assert_eq!(
+        stats.summaries_shipped, 0,
+        "the warm worker already holds every summary: {stats:?}"
+    );
+    assert!(
+        stats.summaries_deduped > 0 && stats.summary_bytes_deduped > 0,
+        "the dedup win is visible in the stats: {stats:?}"
     );
 }
 

@@ -1,6 +1,6 @@
 //! The `vericlick` umbrella CLI: one binary over the whole verification
-//! service (`run | diff | plan | exec-plan | watch | conform | fuzz |
-//! worker`).
+//! service (`run | diff | plan | exec-plan | watch | bound | conform |
+//! fuzz | worker | serve | client`).
 //!
 //! Every subcommand is a thin shell over [`VerifyService`] — the examples
 //! under `examples/` are in turn thin shells over this module, so the
@@ -23,6 +23,12 @@
 //! vericlick worker                         # stdio worker (spawned by
 //!                                          #  exec-plan; speaks the
 //!                                          #  line-JSON protocol)
+//! vericlick serve --listen :0              # persistent daemon: warm
+//!                                          #  summary store across
+//!                                          #  requests, socket workers
+//!                                          #  join at runtime
+//! vericlick client --connect addr --matrix # submit a request to a
+//!                                          #  running daemon
 //! ```
 //!
 //! Exit codes: `0` success, `1` Unknown verdicts or failed demo assertions,
@@ -31,9 +37,10 @@
 use crate::orchestrator::json::Json;
 use crate::orchestrator::wire::{plan_from_json, plan_to_json};
 use crate::orchestrator::{
-    preset_scenarios, serve_listener, worker_serve, Executor, InProcessExecutor, NamedConfig,
-    ProgressEvent, PropertySelect, SummaryStore, VerifyOutcome, VerifyRequest, VerifyResponse,
-    VerifyService, WorkerAddr, WorkerFleet,
+    join_fleet, preset_scenarios, serve_listener, worker_serve, ClientReply, Daemon, DaemonClient,
+    DaemonConfig, Executor, HeartbeatConfig, InProcessExecutor, NamedConfig, ProgressEvent,
+    PropertySelect, SummaryStore, VerifyOutcome, VerifyRequest, VerifyResponse, VerifyService,
+    WorkerAddr, WorkerFleet,
 };
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -96,6 +103,8 @@ pub fn main(args: Vec<String>) -> i32 {
         Some("conform") => cmd_conform(args.collect()),
         Some("fuzz") => cmd_fuzz(args.collect()),
         Some("worker") => cmd_worker(args.collect()),
+        Some("serve") => cmd_serve(args.collect()),
+        Some("client") => cmd_client(args.collect()),
         Some("--help" | "-h" | "help") => {
             eprintln!("{USAGE}");
             0
@@ -113,22 +122,34 @@ pub fn main(args: Vec<String>) -> i32 {
 
 const USAGE: &str = "usage: vericlick <subcommand> [options]
   run [--matrix] [cfg.click...] [--threads N] [--cache DIR] [--json PATH] [--selftest]
-  diff <old.click> <new.click> | --demo   [--threads N] [--cache DIR]
+      [--connect addr]
+  diff <old.click> <new.click> | --demo   [--threads N] [--cache DIR] [--connect addr]
   plan [--matrix] [cfg.click...] [-o PATH] [--threads N]
   exec-plan [PATH|-] [--workers N | --workers addr,addr,...] [--in-process]
             [--threads N] [--cache DIR] [--json PATH] [--det-json PATH]
+            [--heartbeat-ms N]
   watch <cfg.click...> [--poll-ms N] [--max-polls N] | --demo
-            [--threads N] [--cache DIR]
+            [--threads N] [--cache DIR] [--connect addr]
   bound <cfg.click...> [--threads N] [--cache DIR]
   conform <report.json>
     (replays every counterexample of a deterministic matrix report,
      e.g. `vericlick run --matrix --det-json report.json`)
   fuzz [--seed S] [--packets N] [--threads N] [--cache DIR]
        [--workers N | --workers addr,addr,...] [--json PATH] [--det-json PATH]
+       [--heartbeat-ms N] [--connect addr]
     (differential conformance over the presets: replay Violated
      counterexamples, fuzz Proven scenarios with N seeded packets)
-  worker [--listen addr] [--capacity N] [--once]
-    (addr is host:port for TCP or a path / unix:PATH for a Unix socket)";
+  worker [--listen addr] [--capacity N] [--once] [--join daemon-addr]
+    (addr is host:port for TCP or a path / unix:PATH for a Unix socket;
+     --join announces the bound address to a running daemon's fleet)
+  serve --listen addr [--threads N] [--cache DIR] [--max-sessions N]
+        [--workers addr,addr,...] [--heartbeat-ms N] [--once]
+    (persistent daemon: a warm summary store shared across requests;
+     clients connect with `client`/`--connect`, workers with `--join`)
+  client --connect addr [--matrix] [cfg.click...] [--request PATH]
+        [--json PATH] [--det-json PATH]
+    (submit one request to a running daemon; --request sends a
+     serialised VerifyRequest document instead of building a matrix)";
 
 /// Common service flags: `--threads N`, `--cache DIR`.
 struct ServiceFlags {
@@ -279,6 +300,60 @@ fn finish(response: &VerifyResponse, json_path: Option<&str>, det_json_path: Opt
     }
 }
 
+/// Submit one request to the daemon at `addr` and report the reply like a
+/// local run: server-rendered display text, optional JSON artifacts, a
+/// dispatch summary when the daemon executed on socket workers.
+fn client_request(
+    addr: &str,
+    request: &VerifyRequest,
+    json_path: Option<&str>,
+    det_json_path: Option<&str>,
+) -> Result<ClientReply, i32> {
+    let addr = WorkerAddr::parse(addr);
+    let mut client = DaemonClient::connect(&addr, None).map_err(|e| {
+        eprintln!("error: {e}");
+        2
+    })?;
+    let reply = client.verify(request).map_err(|e| {
+        eprintln!("error: {e}");
+        2
+    })?;
+    println!("{}", reply.display.trim_end());
+    if let Some(shipped) = reply.dispatch_stat("summaries_shipped") {
+        println!(
+            "daemon fleet: {shipped} summaries shipped, {} deduped",
+            reply.dispatch_stat("summaries_deduped").unwrap_or(0)
+        );
+    }
+    if let Some(path) = json_path {
+        let code = write_file(path, &reply.report.to_text());
+        if code != 0 {
+            return Err(code);
+        }
+    }
+    if let Some(path) = det_json_path {
+        let code = write_file(path, &reply.det_report.to_text());
+        if code != 0 {
+            return Err(code);
+        }
+    }
+    Ok(reply)
+}
+
+/// Exit code for a daemon reply, matching the local subcommands: `1` for
+/// Unknown verdicts (or a failed conformance run), `0` otherwise.
+fn reply_code(reply: &ClientReply) -> i32 {
+    if reply.request == "conformance" {
+        return if reply.ok { 0 } else { 1 };
+    }
+    if reply.unknown > 0 {
+        eprintln!("{} scenario(s) ended Unknown", reply.unknown);
+        1
+    } else {
+        0
+    }
+}
+
 // ---------------------------------------------------------------------------
 // run
 // ---------------------------------------------------------------------------
@@ -290,6 +365,7 @@ fn cmd_run(args: Vec<String>) -> i32 {
     };
     let mut matrix = false;
     let mut selftest = false;
+    let mut connect: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut det_json_path: Option<String> = None;
     let mut files = Vec::new();
@@ -298,6 +374,10 @@ fn cmd_run(args: Vec<String>) -> i32 {
         match arg.as_str() {
             "--matrix" => matrix = true,
             "--selftest" => selftest = true,
+            "--connect" => match iter.next() {
+                Some(addr) => connect = Some(addr),
+                None => return usage_error("--connect needs a daemon address"),
+            },
             "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => flags.threads = n,
                 None => return usage_error("--threads needs a number"),
@@ -325,6 +405,25 @@ fn cmd_run(args: Vec<String>) -> i32 {
         Ok(r) => r,
         Err(code) => return code,
     };
+    if let Some(addr) = connect {
+        if selftest {
+            return usage_error("--selftest runs in-process (not with --connect)");
+        }
+        if flags.threads != 0 || flags.cache.is_some() {
+            return usage_error(
+                "--threads/--cache are daemon-side (set them on `vericlick serve`)",
+            );
+        }
+        return match client_request(
+            &addr,
+            &request,
+            json_path.as_deref(),
+            det_json_path.as_deref(),
+        ) {
+            Ok(reply) => reply_code(&reply),
+            Err(code) => code,
+        };
+    }
     let service = match flags.build(true) {
         Ok(s) => s,
         Err(code) => return code,
@@ -402,11 +501,16 @@ fn cmd_diff(args: Vec<String>) -> i32 {
         cache: None,
     };
     let mut demo = false;
+    let mut connect: Option<String> = None;
     let mut files = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--demo" => demo = true,
+            "--connect" => match iter.next() {
+                Some(addr) => connect = Some(addr),
+                None => return usage_error("--connect needs a daemon address"),
+            },
             "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => flags.threads = n,
                 None => return usage_error("--threads needs a number"),
@@ -420,6 +524,10 @@ fn cmd_diff(args: Vec<String>) -> i32 {
             }
             file => files.push(file.to_string()),
         }
+    }
+    if connect.is_some() && demo {
+        // The demo asserts on the in-process DiffReport structure.
+        return usage_error("diff --demo runs in-process (not with --connect)");
     }
 
     let (old, new) = if demo {
@@ -455,6 +563,23 @@ fn cmd_diff(args: Vec<String>) -> i32 {
             (Err(code), _) | (_, Err(code)) => return code,
         }
     };
+
+    if let Some(addr) = connect {
+        if flags.threads != 0 || flags.cache.is_some() {
+            return usage_error(
+                "--threads/--cache are daemon-side (set them on `vericlick serve`)",
+            );
+        }
+        let request = VerifyRequest::Diff {
+            old,
+            new,
+            properties: PropertySelect::Default,
+        };
+        return match client_request(&addr, &request, None, None) {
+            Ok(reply) => reply_code(&reply),
+            Err(code) => code,
+        };
+    }
 
     let service = match flags.build(false) {
         Ok(s) => s,
@@ -641,6 +766,7 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
     };
     let mut workers: Option<String> = None;
     let mut in_process = false;
+    let mut heartbeat_ms: Option<u64> = None;
     let mut json_path: Option<String> = None;
     let mut det_json_path: Option<String> = None;
     let mut file: Option<String> = None;
@@ -651,6 +777,10 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
             "--workers" => match iter.next() {
                 Some(spec) => workers = Some(spec),
                 None => return usage_error("--workers needs a count or address list"),
+            },
+            "--heartbeat-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => heartbeat_ms = Some(ms),
+                None => return usage_error("--heartbeat-ms needs a number of milliseconds"),
             },
             "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => flags.threads = n,
@@ -741,7 +871,13 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
             },
         };
         match fleet {
-            Ok(fleet) => Box::new(fleet),
+            // Heartbeat tuning only bites on socket transports (stdio
+            // pipes cannot time out), so applying it unconditionally is
+            // harmless for subprocess fleets.
+            Ok(fleet) => Box::new(match heartbeat_ms {
+                Some(ms) => fleet.with_heartbeat(HeartbeatConfig::from_interval_ms(ms)),
+                None => fleet,
+            }),
             Err(e) => {
                 eprintln!("error: {e}");
                 return 2;
@@ -833,12 +969,71 @@ fn watch_files(service: &VerifyService, files: &[String], poll_ms: u64, max_poll
     0
 }
 
+/// The remote flavour of [`watch_files`]: the same polling loop, but each
+/// tick is submitted to a daemon session — whose per-connection rolling
+/// baseline makes tick 0 a full verification and every later tick an
+/// incremental one, exactly like the in-process service.
+fn watch_files_remote(
+    client: &mut DaemonClient,
+    files: &[String],
+    poll_ms: u64,
+    max_polls: usize,
+) -> i32 {
+    println!(
+        "=== vericlick watch (daemon session): polling {} config file(s) every {poll_ms}ms ===",
+        files.len()
+    );
+    let mut last_seen: Option<Vec<String>> = None;
+    let mut tick = 0usize;
+    let mut polls = 0usize;
+    loop {
+        match load_configs(files) {
+            Err(code) if polls == 0 => return code,
+            Err(_) => {
+                eprintln!("watch: config files unreadable; retrying");
+            }
+            Ok(configs) => {
+                let contents: Vec<String> = configs.iter().map(|c| c.config.clone()).collect();
+                if last_seen.as_ref() != Some(&contents) {
+                    match client.verify(&VerifyRequest::Watch {
+                        configs,
+                        properties: PropertySelect::Default,
+                    }) {
+                        Ok(reply) => {
+                            println!(
+                                "watch tick {tick} ({}):\n{}",
+                                reply.request,
+                                reply.display.trim_end()
+                            );
+                            let _ = std::io::stdout().flush();
+                            tick += 1;
+                        }
+                        // A rejected tick (half-saved syntax error): the
+                        // daemon keeps the session's baseline, so report
+                        // and re-verify on the next change.
+                        Err(e) => eprintln!("watch: {e}"),
+                    }
+                    last_seen = Some(contents);
+                }
+            }
+        }
+        polls += 1;
+        if max_polls > 0 && polls >= max_polls {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
+    println!("watch: stopped after {polls} polls, {tick} ticks");
+    0
+}
+
 fn cmd_watch(args: Vec<String>) -> i32 {
     let mut flags = ServiceFlags {
         threads: 0,
         cache: None,
     };
     let mut demo = false;
+    let mut connect: Option<String> = None;
     let mut poll_ms = 500u64;
     let mut max_polls = 0usize;
     let mut files = Vec::new();
@@ -846,6 +1041,10 @@ fn cmd_watch(args: Vec<String>) -> i32 {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--demo" => demo = true,
+            "--connect" => match iter.next() {
+                Some(addr) => connect = Some(addr),
+                None => return usage_error("--connect needs a daemon address"),
+            },
             "--poll-ms" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => poll_ms = n,
                 None => return usage_error("--poll-ms needs a number"),
@@ -867,6 +1066,28 @@ fn cmd_watch(args: Vec<String>) -> i32 {
             }
             file => files.push(file.to_string()),
         }
+    }
+    if let Some(addr) = connect {
+        if demo {
+            // The demo asserts on in-process DiffReport structure.
+            return usage_error("watch --demo runs in-process (not with --connect)");
+        }
+        if flags.threads != 0 || flags.cache.is_some() {
+            return usage_error(
+                "--threads/--cache are daemon-side (set them on `vericlick serve`)",
+            );
+        }
+        if files.is_empty() {
+            return usage_error("watch needs config files (or --demo)");
+        }
+        let mut client = match DaemonClient::connect(&WorkerAddr::parse(&addr), None) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        return watch_files_remote(&mut client, &files, poll_ms, max_polls);
     }
     let service = match flags.build(false) {
         Ok(s) => s,
@@ -1157,11 +1378,21 @@ fn cmd_fuzz(args: Vec<String>) -> i32 {
     let mut seed = crate::net::DEFAULT_SEED;
     let mut packets = 100_000u64;
     let mut workers: Option<String> = None;
+    let mut heartbeat_ms: Option<u64> = None;
+    let mut connect: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut det_json_path: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--heartbeat-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => heartbeat_ms = Some(ms),
+                None => return usage_error("--heartbeat-ms needs a number of milliseconds"),
+            },
+            "--connect" => match iter.next() {
+                Some(addr) => connect = Some(addr),
+                None => return usage_error("--connect needs a daemon address"),
+            },
             "--seed" => match iter.next().as_deref().and_then(parse_seed) {
                 Some(s) => seed = s,
                 None => return usage_error("--seed needs a number (decimal or 0x-hex)"),
@@ -1194,6 +1425,34 @@ fn cmd_fuzz(args: Vec<String>) -> i32 {
         }
     }
 
+    if let Some(addr) = connect {
+        if workers.is_some() {
+            return usage_error(
+                "--workers is daemon-side with --connect (join workers to the daemon)",
+            );
+        }
+        if flags.threads != 0 || flags.cache.is_some() {
+            return usage_error(
+                "--threads/--cache are daemon-side (set them on `vericlick serve`)",
+            );
+        }
+        let request = VerifyRequest::Conformance {
+            scenarios: preset_scenarios(),
+            seed,
+            packets,
+        };
+        println!("=== vericlick fuzz: {packets} packets, seed {seed:#x}, daemon {addr} ===\n");
+        return match client_request(
+            &addr,
+            &request,
+            json_path.as_deref(),
+            det_json_path.as_deref(),
+        ) {
+            Ok(reply) => reply_code(&reply),
+            Err(code) => code,
+        };
+    }
+
     // `--workers` dispatches the fuzz shards over a fleet (subprocess
     // stdio workers for a count, `vericlick worker --listen` peers for an
     // address list); without it the shards run on the in-process pool.
@@ -1219,7 +1478,10 @@ fn cmd_fuzz(args: Vec<String>) -> i32 {
                 )),
             };
             match fleet {
-                Ok(fleet) => Some(fleet),
+                Ok(fleet) => Some(match heartbeat_ms {
+                    Some(ms) => fleet.with_heartbeat(HeartbeatConfig::from_interval_ms(ms)),
+                    None => fleet,
+                }),
                 Err(e) => {
                     eprintln!("error: {e}");
                     return 2;
@@ -1279,6 +1541,7 @@ fn cmd_fuzz(args: Vec<String>) -> i32 {
 
 fn cmd_worker(args: Vec<String>) -> i32 {
     let mut listen: Option<String> = None;
+    let mut join: Option<String> = None;
     let mut capacity = 0usize;
     let mut once = false;
     let mut iter = args.into_iter();
@@ -1288,6 +1551,10 @@ fn cmd_worker(args: Vec<String>) -> i32 {
                 Some(addr) => listen = Some(addr),
                 None => return usage_error("--listen needs an address"),
             },
+            "--join" => match iter.next() {
+                Some(addr) => join = Some(addr),
+                None => return usage_error("--join needs a daemon address"),
+            },
             "--capacity" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => capacity = n,
                 None => return usage_error("--capacity needs a number"),
@@ -1296,17 +1563,37 @@ fn cmd_worker(args: Vec<String>) -> i32 {
             other => return usage_error(&format!("unknown option '{other}'")),
         }
     }
+    if join.is_some() && listen.is_none() {
+        return usage_error("--join needs --listen (the daemon dials the worker back)");
+    }
     match listen {
         // Socket worker: bind, announce the actual address (`:0` picks a
         // port), serve coordinator sessions.
         Some(addr) => {
             let addr = WorkerAddr::parse(&addr);
+            let daemon = join.map(|d| WorkerAddr::parse(&d));
             // Logs are best-effort: a worker must keep serving even if
             // whoever spawned it stopped reading its stdout.
             let mut log = |line: &str| {
                 let mut out = std::io::stdout();
                 let _ = writeln!(out, "worker: {line}");
                 let _ = out.flush();
+                // The first log line carries the *actual* bound address
+                // (`:0` picks a port) — the moment the worker is
+                // dialable, announce it to the daemon's fleet.
+                if let Some(daemon) = &daemon {
+                    if let Some(bound) = line.strip_prefix("listening on ") {
+                        match join_fleet(daemon, &WorkerAddr::parse(bound)) {
+                            Ok(n) => {
+                                let _ = writeln!(out, "worker: joined {daemon} (fleet of {n})");
+                                let _ = out.flush();
+                            }
+                            Err(e) => {
+                                eprintln!("worker: join {daemon} failed: {e}");
+                            }
+                        }
+                    }
+                }
             };
             match serve_listener(&addr, capacity, once, &mut log) {
                 Ok(()) => 0,
@@ -1328,5 +1615,175 @@ fn cmd_worker(args: Vec<String>) -> i32 {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serve / client (the persistent daemon)
+// ---------------------------------------------------------------------------
+
+fn cmd_serve(args: Vec<String>) -> i32 {
+    let mut listen: Option<String> = None;
+    let mut threads = 0usize;
+    let mut cache: Option<String> = None;
+    let mut max_sessions = 4usize;
+    let mut workers: Option<String> = None;
+    let mut heartbeat_ms: Option<u64> = None;
+    let mut once = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--listen" => match iter.next() {
+                Some(addr) => listen = Some(addr),
+                None => return usage_error("--listen needs an address"),
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = n,
+                None => return usage_error("--threads needs a number"),
+            },
+            "--cache" => match iter.next() {
+                Some(dir) => cache = Some(dir),
+                None => return usage_error("--cache needs a directory"),
+            },
+            "--max-sessions" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_sessions = n,
+                None => return usage_error("--max-sessions needs a number (0 = unlimited)"),
+            },
+            "--workers" => match iter.next() {
+                Some(spec) => workers = Some(spec),
+                None => return usage_error("--workers needs an address list"),
+            },
+            "--heartbeat-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => heartbeat_ms = Some(ms),
+                None => return usage_error("--heartbeat-ms needs a number of milliseconds"),
+            },
+            "--once" => once = true,
+            other => return usage_error(&format!("unknown option '{other}'")),
+        }
+    }
+    let Some(listen) = listen else {
+        return usage_error("serve needs --listen (host:port, a path, or unix:PATH)");
+    };
+    let store = match &cache {
+        None => None,
+        Some(dir) => match SummaryStore::persistent(dir) {
+            Ok(store) => Some(Arc::new(store)),
+            Err(e) => {
+                eprintln!("error: cannot open cache dir {dir}: {e}");
+                return 2;
+            }
+        },
+    };
+    let config = DaemonConfig {
+        threads,
+        store,
+        max_sessions,
+        workers: workers
+            .map(|spec| {
+                spec.split(',')
+                    .filter(|a| !a.is_empty())
+                    .map(WorkerAddr::parse)
+                    .collect()
+            })
+            .unwrap_or_default(),
+        heartbeat: heartbeat_ms
+            .map(HeartbeatConfig::from_interval_ms)
+            .unwrap_or_default(),
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::new(config);
+    // Logs are best-effort, like the worker's: the daemon must keep
+    // serving even if whoever spawned it stopped reading its stdout.
+    let log: Arc<dyn Fn(&str) + Send + Sync> = Arc::new(|line: &str| {
+        let mut out = std::io::stdout();
+        let _ = writeln!(out, "serve: {line}");
+        let _ = out.flush();
+    });
+    match daemon.serve(&WorkerAddr::parse(&listen), once, log) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            2
+        }
+    }
+}
+
+fn cmd_client(args: Vec<String>) -> i32 {
+    let mut connect: Option<String> = None;
+    let mut matrix = false;
+    let mut request_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut det_json_path: Option<String> = None;
+    let mut files = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--connect" => match iter.next() {
+                Some(addr) => connect = Some(addr),
+                None => return usage_error("--connect needs a daemon address"),
+            },
+            "--matrix" => matrix = true,
+            "--request" => match iter.next() {
+                Some(p) => request_path = Some(p),
+                None => return usage_error("--request needs a path"),
+            },
+            "--json" => match iter.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage_error("--json needs a path"),
+            },
+            "--det-json" => match iter.next() {
+                Some(p) => det_json_path = Some(p),
+                None => return usage_error("--det-json needs a path"),
+            },
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown option '{other}'"))
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    let Some(addr) = connect else {
+        return usage_error("client needs --connect (the daemon's address)");
+    };
+    // The request: a serialised VerifyRequest document with --request,
+    // the run-style matrix shape otherwise.
+    let request = match request_path {
+        Some(path) => {
+            if matrix || !files.is_empty() {
+                return usage_error("--request replaces --matrix/config files");
+            }
+            let text = match read_file(&path) {
+                Ok(text) => text,
+                Err(code) => return code,
+            };
+            match Json::parse(&text)
+                .map_err(|e| e.to_string())
+                .and_then(|doc| VerifyRequest::from_json(&doc).map_err(|e| e.to_string()))
+            {
+                Ok(request) => request,
+                Err(e) => {
+                    eprintln!("error: bad request: {e}");
+                    return 2;
+                }
+            }
+        }
+        None => match build_request(matrix, &files) {
+            Ok(r) => r,
+            Err(code) => return code,
+        },
+    };
+    match client_request(
+        &addr,
+        &request,
+        json_path.as_deref(),
+        det_json_path.as_deref(),
+    ) {
+        Ok(reply) => {
+            println!(
+                "daemon served a {} request: {} proven, {} violated, {} unknown",
+                reply.request, reply.proven, reply.violated, reply.unknown
+            );
+            reply_code(&reply)
+        }
+        Err(code) => code,
     }
 }
