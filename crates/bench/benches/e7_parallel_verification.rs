@@ -16,15 +16,16 @@
 //!   so these isolate the Step-2 scaling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dataplane_bench::row;
+use dataplane_bench::{json_record, json_write, row};
 use dataplane_orchestrator::conformance::{plan_fuzz_shards, run_fuzz_jobs};
 use dataplane_orchestrator::json::Json;
 use dataplane_orchestrator::{
     join_fleet, parallel_composition, preset_scenarios, serve_listener, verify_sequential,
-    CompositionMode, Daemon, DaemonClient, DaemonConfig, Executor, ScenarioSpec, VerifyRequest,
-    VerifyService, WorkerAddr, WorkerFleet,
+    CompositionMode, Daemon, DaemonClient, DaemonConfig, Executor, ScenarioSpec, SummaryStore,
+    VerifyRequest, VerifyService, WorkerAddr, WorkerFleet,
 };
 use dataplane_verifier::{Verifier, VerifierOptions};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn sequential_fresh() -> usize {
@@ -206,6 +207,16 @@ fn report() {
                 ),
             ],
         );
+        json_record(
+            mode,
+            &[
+                ("ns_per_op", elapsed.as_secs_f64() * 1e9),
+                (
+                    "speedup_vs_fresh",
+                    t_fresh.as_secs_f64() / elapsed.as_secs_f64(),
+                ),
+            ],
+        );
     }
     if cores >= 4 && t_cold >= t_fresh {
         println!(
@@ -217,7 +228,128 @@ fn report() {
     }
 
     fuzz_report();
+    shard_report();
     daemon_report();
+}
+
+/// Compose-shard fleet scaling (`--compose-shard` on the wire): the
+/// heaviest preset scenario — ip_router × crash freedom, the largest
+/// suspect set of the matrix — has its Step-2 suspect×prefix enumeration
+/// split into wire shards pulled by capacity-1 TCP workers. Every run
+/// shares one pre-warmed summary store, so the measured time is shard
+/// dispatch + decide + fold only, and the deterministic report must stay
+/// byte-identical to the in-process run at every fleet size.
+fn shard_report() {
+    use std::sync::mpsc;
+
+    fn heavy_request() -> VerifyRequest {
+        VerifyRequest::Matrix {
+            scenarios: preset_scenarios()
+                .into_iter()
+                .filter(|s| {
+                    s.pipeline_name == "ip_router"
+                        && matches!(s.property, dataplane_verifier::Property::CrashFreedom)
+                })
+                .collect(),
+        }
+    }
+
+    fn spawn_worker() -> WorkerAddr {
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let mut tx = Some(tx);
+            let mut log = move |line: &str| {
+                if let Some(addr) = line.strip_prefix("listening on ") {
+                    if let Some(tx) = tx.take() {
+                        let _ = tx.send(addr.to_string());
+                    }
+                }
+            };
+            // Capacity 1: fleet size alone sets the shard parallelism.
+            let _ = serve_listener(&WorkerAddr::Tcp("127.0.0.1:0".into()), 1, false, &mut log);
+        });
+        WorkerAddr::Tcp(rx.recv().expect("shard worker announced its address"))
+    }
+
+    let reference = VerifyService::new()
+        .with_threads(2)
+        .serve(heavy_request())
+        .expect("in-process reference run")
+        .deterministic_json()
+        .to_text();
+
+    // One shared, pre-warmed store: every fleet run below is compose-only.
+    let store = Arc::new(SummaryStore::in_memory());
+    VerifyService::new()
+        .with_threads(2)
+        .with_store(store.clone())
+        .serve(heavy_request())
+        .expect("store warm-up run");
+
+    let mut single_worker_seconds = f64::NAN;
+    for workers in [1usize, 2, 4] {
+        let fleet = WorkerFleet::sockets((0..workers).map(|_| spawn_worker()).collect());
+        let service = VerifyService::new()
+            .with_threads(2)
+            .with_compose_shard(16)
+            .with_store(store.clone());
+        let plan = service.plan_request(&heavy_request()).expect("shard plan");
+        // Unmeasured warm-up session: ships the summary documents once;
+        // the workers' next hello advertises them all, so the measured
+        // sessions ship none (protocol-v4 dedup).
+        service
+            .execute_plan(&plan, &fleet)
+            .expect("fleet warm-up run");
+        let mut best = f64::INFINITY;
+        let mut executed = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            executed = Some(
+                service
+                    .execute_plan(&plan, &fleet)
+                    .expect("fleet shard run"),
+            );
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let executed = executed.expect("at least one measured run");
+        assert_eq!(
+            executed.deterministic_json().to_text(),
+            reference,
+            "a {workers}-worker sharded run must reproduce the in-process report byte for byte"
+        );
+        let matrix = executed.matrix().expect("matrix report");
+        let stats = matrix.stats.as_ref().expect("fleet runs report stats");
+        assert!(stats.compose_shards > 0, "the heavy scenario must shard");
+        if workers == 1 {
+            single_worker_seconds = best;
+        }
+        let name = format!("compose_shard_fleet_{workers}w");
+        row(
+            "e7-parallel-verification",
+            &[
+                ("mode", name.clone()),
+                ("workers", workers.to_string()),
+                ("compose_shards", stats.compose_shards.to_string()),
+                ("seconds", format!("{best:.3}")),
+                (
+                    "summary_bytes_shipped",
+                    stats.summary_bytes_shipped.to_string(),
+                ),
+                (
+                    "speedup_vs_1w",
+                    format!("{:.2}", single_worker_seconds / best),
+                ),
+            ],
+        );
+        json_record(
+            &name,
+            &[
+                ("ns_per_op", best * 1e9),
+                ("bytes_shipped", stats.summary_bytes_shipped as f64),
+                ("speedup_vs_1w", single_worker_seconds / best),
+            ],
+        );
+    }
 }
 
 /// `vericlick serve` economics: cold-plan vs warm-daemon latency for the
@@ -340,6 +472,13 @@ fn daemon_report() {
                 ),
             ],
         );
+        json_record(
+            mode,
+            &[
+                ("bytes_shipped", stat("summary_bytes_shipped") as f64),
+                ("bytes_deduped", stat("summary_bytes_deduped") as f64),
+            ],
+        );
     }
 }
 
@@ -379,6 +518,13 @@ fn fuzz_report() {
                     "speedup_vs_single",
                     format!("{:.2}", single_thread_seconds / secs),
                 ),
+            ],
+        );
+        json_record(
+            &format!("fuzz_pool_{fuzz_threads}t"),
+            &[
+                ("ns_per_op", secs * 1e9),
+                ("packets_per_second", pushed as f64 / secs),
             ],
         );
     }
@@ -422,6 +568,13 @@ fn fuzz_report() {
             ("packets", pushed.to_string()),
             ("seconds", format!("{secs:.3}")),
             ("packets_per_second", format!("{:.0}", pushed as f64 / secs)),
+        ],
+    );
+    json_record(
+        "fuzz_fleet_stdio",
+        &[
+            ("ns_per_op", secs * 1e9),
+            ("packets_per_second", pushed as f64 / secs),
         ],
     );
 }
@@ -474,6 +627,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| compose_pass(&mut step2_par))
     });
     group.finish();
+    // `--json [PATH]` on the bench argv writes every recorded row as
+    // machine-readable JSON (default BENCH_e7.json); a no-op otherwise.
+    let _ = json_write("e7");
 }
 
 criterion_group!(benches, bench);

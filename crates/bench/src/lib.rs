@@ -173,6 +173,65 @@ pub fn row(experiment: &str, fields: &[(&str, String)]) {
     println!("{line}");
 }
 
+use std::sync::Mutex;
+
+/// One recorded bench row: name plus its numeric metrics.
+type JsonRow = (String, Vec<(&'static str, f64)>);
+
+static JSON_ROWS: Mutex<Vec<JsonRow>> = Mutex::new(Vec::new());
+
+/// Record one machine-readable bench row (row name → numeric metrics such
+/// as `ns_per_op`, `packets_per_second`, `bytes_shipped`). Rows accumulate
+/// across the whole bench run; [`json_write`] emits them at the end. A
+/// name recorded twice keeps its latest metrics.
+pub fn json_record(name: &str, metrics: &[(&'static str, f64)]) {
+    let mut rows = JSON_ROWS.lock().expect("bench json rows");
+    rows.retain(|(n, _)| n != name);
+    rows.push((name.to_string(), metrics.to_vec()));
+}
+
+/// When the bench's argv contains `--json [PATH]`, write every recorded
+/// row as one JSON object `{row: {metric: value}}` to PATH (default
+/// `BENCH_<tag>.json` in the working directory) and return the path.
+/// Without `--json` this is a no-op — the human-readable [`row`] lines
+/// stay the only output. Hand-rendered: the bench harness stays free of
+/// serialisation dependencies.
+pub fn json_write(tag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let at = args.iter().position(|a| a == "--json")?;
+    let path = match args.get(at + 1) {
+        Some(p) if !p.starts_with('-') => p.clone(),
+        _ => format!("BENCH_{tag}.json"),
+    };
+    let rows = JSON_ROWS.lock().expect("bench json rows");
+    let mut text = String::from("{\n");
+    for (i, (name, metrics)) in rows.iter().enumerate() {
+        text.push_str(&format!("  {:?}: {{", name));
+        for (j, (key, value)) in metrics.iter().enumerate() {
+            // f64 Display never uses exponent notation, so every value is
+            // a plain JSON number.
+            text.push_str(&format!(
+                "{}{:?}: {}",
+                if j > 0 { ", " } else { "" },
+                key,
+                value
+            ));
+        }
+        text.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
+    }
+    text.push_str("}\n");
+    match std::fs::write(&path, text) {
+        Ok(()) => {
+            println!("bench json written to {path}");
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("bench json: cannot write {path}: {e}");
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -62,6 +62,15 @@ pub struct VerificationStats {
     pub composed_paths: usize,
     /// Solver invocations.
     pub solver_calls: usize,
+    /// Step-2 checks (suspect × prefix feasibility checks and prefix
+    /// pruning checks) decided by the interval-only pre-filter alone —
+    /// provably infeasible before the Fourier–Motzkin or model-search
+    /// stages ever ran. These do **not** count as `solver_calls`.
+    pub prefilter_decided: usize,
+    /// Step-2 checks the interval-only pre-filter could not decide, which
+    /// therefore went on to the full staged solver (each of these is also a
+    /// `solver_calls` entry).
+    pub prefilter_passed: usize,
     /// Step-2 feasibility checks whose Fourier–Motzkin stage aborted at its
     /// `max_fm_constraints` budget (the check may still have been decided by
     /// a later stage; a raised budget might decide it analytically).
@@ -142,6 +151,13 @@ impl fmt::Display for Report {
             self.stats.composed_paths,
             self.stats.solver_calls
         )?;
+        if self.stats.prefilter_decided > 0 || self.stats.prefilter_passed > 0 {
+            writeln!(
+                f,
+                "  interval pre-filter: decided {}, passed {} to the full solver",
+                self.stats.prefilter_decided, self.stats.prefilter_passed
+            )?;
+        }
         if self.stats.fm_budget_aborts > 0 || self.stats.model_search_aborts > 0 {
             writeln!(
                 f,

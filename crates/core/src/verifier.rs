@@ -16,8 +16,8 @@ use dataplane_pipeline::pipeline::Disposition;
 use dataplane_pipeline::{ElementIdx, Pipeline};
 use dataplane_symbex::term::{self, Term, TermRef};
 use dataplane_symbex::{
-    CancelToken, CheckDiagnostics, EngineConfig, Segment, SegmentOutcome, Solver, SolverConfig,
-    SolverResult,
+    interval_infeasible, CancelToken, CheckDiagnostics, EngineConfig, Segment, SegmentOutcome,
+    Solver, SolverConfig, SolverResult,
 };
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -217,6 +217,10 @@ impl Default for VerifierOptions {
     }
 }
 
+/// Step 1's product: per-element summaries plus, per element, the indices
+/// of its suspect segments.
+type Step1Product = (Vec<Arc<ElementSummary>>, Vec<Vec<usize>>);
+
 /// The compositional dataplane verifier.
 pub struct Verifier {
     /// Verification options.
@@ -281,33 +285,19 @@ impl Verifier {
         self.verify(pipeline, property)
     }
 
-    /// Verify `property` over `pipeline`.
-    pub fn verify(&mut self, pipeline: &Pipeline, property: &Property) -> Report {
-        let start = Instant::now();
-        let mut stats = VerificationStats {
-            elements: pipeline.len(),
-            ..Default::default()
-        };
-
-        // ---------------- Step 1: summaries and suspects -------------------
+    /// Step 1: summaries and suspect tagging, with the stats bookkeeping of
+    /// a full run. `Err` carries the exploration-budget failure message.
+    fn step1(
+        &mut self,
+        pipeline: &Pipeline,
+        property: &Property,
+        stats: &mut VerificationStats,
+    ) -> Result<Step1Product, String> {
         let hits_before = self.cache.hits();
         let misses_before = self.cache.misses();
-        let summaries = match self.summarise(pipeline) {
-            Ok(s) => s,
-            Err(e) => {
-                return Report {
-                    property: property.clone(),
-                    verdict: Verdict::Unknown,
-                    counterexamples: vec![],
-                    unproven: vec![UnprovenPath {
-                        path: vec![],
-                        reason: format!("element exploration exceeded its budget: {e}"),
-                    }],
-                    stats,
-                    elapsed: start.elapsed(),
-                }
-            }
-        };
+        let summaries = self
+            .summarise(pipeline)
+            .map_err(|e| format!("element exploration exceeded its budget: {e}"))?;
         stats.summaries_computed = (self.cache.misses() - misses_before) as usize;
         stats.summaries_reused = (self.cache.hits() - hits_before) as usize;
         stats.total_segments = summaries.iter().map(|s| s.segment_count()).sum();
@@ -331,6 +321,57 @@ impl Verifier {
             stats.suspects += element_suspects.len();
             suspects.push(element_suspects);
         }
+        Ok((summaries, suspects))
+    }
+
+    /// The Step-2 walk's root node.
+    fn root_input(pipeline: &Pipeline) -> WalkInput {
+        let entry = pipeline.entry();
+        WalkInput {
+            element: entry,
+            view: View::Original,
+            depth: 0,
+            constraint: Vec::new(),
+            path: vec![pipeline.node(entry).name.clone()],
+            elements: vec![entry],
+            instructions: 0,
+        }
+    }
+
+    /// Verify `property` over `pipeline`.
+    pub fn verify(&mut self, pipeline: &Pipeline, property: &Property) -> Report {
+        self.verify_inner(pipeline, property, None)
+    }
+
+    fn verify_inner(
+        &mut self,
+        pipeline: &Pipeline,
+        property: &Property,
+        shard: Option<(&ComposeOutline, BTreeMap<usize, ShardNodeRecord>)>,
+    ) -> Report {
+        let start = Instant::now();
+        let mut stats = VerificationStats {
+            elements: pipeline.len(),
+            ..Default::default()
+        };
+
+        // ---------------- Step 1: summaries and suspects -------------------
+        let (summaries, suspects) = match self.step1(pipeline, property, &mut stats) {
+            Ok(s) => s,
+            Err(reason) => {
+                return Report {
+                    property: property.clone(),
+                    verdict: Verdict::Unknown,
+                    counterexamples: vec![],
+                    unproven: vec![UnprovenPath {
+                        path: vec![],
+                        reason,
+                    }],
+                    stats,
+                    elapsed: start.elapsed(),
+                }
+            }
+        };
 
         if stats.suspects == 0 {
             return Report {
@@ -368,16 +409,7 @@ impl Verifier {
             escalate: self.options.escalate_budgets,
             ladder_spec: self.options.ladder.clone(),
         };
-        let entry = pipeline.entry();
-        let root = WalkInput {
-            element: entry,
-            view: View::Original,
-            depth: 0,
-            constraint: Vec::new(),
-            path: vec![pipeline.node(entry).name.clone()],
-            elements: vec![entry],
-            instructions: 0,
-        };
+        let root = Verifier::root_input(pipeline);
         let mut fold = FoldState {
             ctx: &ctx,
             stats: &mut stats,
@@ -385,22 +417,27 @@ impl Verifier {
             unproven: Vec::new(),
             budget_exhausted: false,
         };
-        match self.options.parallel.executor() {
-            Some(executor) if executor.parallelism() > 1 => {
-                let state = WalkState::new(&ctx, self.options.max_composed_paths);
-                let root_id = state.seed(root);
-                let workers = executor.parallelism();
-                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..workers)
-                    .map(|_| {
-                        let state = &state;
-                        Box::new(move || state.drain()) as Box<dyn FnOnce() + Send + '_>
-                    })
-                    .collect();
-                executor.run_batch(jobs);
-                let slot = state.take(root_id);
-                fold.fold_slot(slot, &state);
+        match shard {
+            Some((outline, mut records)) => {
+                fold.fold_sharded(root, Some(0), outline, &mut records);
             }
-            _ => fold.fold_input(root, None),
+            None => match self.options.parallel.executor() {
+                Some(executor) if executor.parallelism() > 1 => {
+                    let state = WalkState::new(&ctx, self.options.max_composed_paths);
+                    let root_id = state.seed(root);
+                    let workers = executor.parallelism();
+                    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..workers)
+                        .map(|_| {
+                            let state = &state;
+                            Box::new(move || state.drain()) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    executor.run_batch(jobs);
+                    let slot = state.take(root_id);
+                    fold.fold_slot(slot, &state);
+                }
+                _ => fold.fold_input(root, None),
+            },
         }
         let budget_exhausted = fold.budget_exhausted;
         let counterexamples = fold.counterexamples;
@@ -586,6 +623,115 @@ impl Verifier {
         }
     }
 
+    /// Build the shard enumeration of one composition: Step 1 plus a
+    /// pre-order walk of the interval-pruned prefix tree (capped at the
+    /// composed-path budget). Returns `None` when there is nothing to shard
+    /// — Step 1 failed (the ordinary verify path reports that) or no
+    /// segment is suspect (the composition is decided without Step 2).
+    pub fn outline_composition(
+        &mut self,
+        pipeline: &Pipeline,
+        property: &Property,
+        summaries: impl IntoIterator<Item = Arc<ElementSummary>>,
+    ) -> Option<ComposeOutline> {
+        self.seed_summaries(summaries);
+        let mut stats = VerificationStats::default();
+        let (summaries, suspects) = self.step1(pipeline, property, &mut stats).ok()?;
+        if stats.suspects == 0 {
+            return None;
+        }
+        let ctx = WalkCtx {
+            pipeline,
+            property,
+            summaries: &summaries,
+            suspects: &suspects,
+            composer: Composer::new(),
+            hints: Vec::new(),
+            options: &self.options,
+            solver: &self.solver,
+            escalate: self.options.escalate_budgets,
+            ladder_spec: self.options.ladder.clone(),
+        };
+        let mut outline = ComposeOutline::default();
+        outline_walk(
+            &ctx,
+            Verifier::root_input(pipeline),
+            self.options.max_composed_paths,
+            &mut outline,
+        );
+        Some(outline)
+    }
+
+    /// Compute one `ComposeShard` job: records for the enumerated nodes in
+    /// `[start, end)` of this composition's shard enumeration (the worker
+    /// side of compose sharding). The records are exactly what the fold
+    /// would compute inline for those nodes, so folding them back yields a
+    /// byte-identical report. A fired `cancel` token stops the walk at the
+    /// next node boundary — finished records stay valid and ship back.
+    pub fn decide_composition_shard(
+        &mut self,
+        pipeline: &Pipeline,
+        property: &Property,
+        summaries: impl IntoIterator<Item = Arc<ElementSummary>>,
+        start: usize,
+        end: usize,
+        cancel: &CancelToken,
+    ) -> ComposeShardResult {
+        self.seed_summaries(summaries);
+        let mut stats = VerificationStats::default();
+        let Ok((summaries, suspects)) = self.step1(pipeline, property, &mut stats) else {
+            return ComposeShardResult::default();
+        };
+        if stats.suspects == 0 {
+            return ComposeShardResult::default();
+        }
+        let ctx = WalkCtx {
+            pipeline,
+            property,
+            summaries: &summaries,
+            suspects: &suspects,
+            composer: Composer::new(),
+            hints: build_hints(property),
+            options: &self.options,
+            solver: &self.solver,
+            escalate: self.options.escalate_budgets,
+            ladder_spec: self.options.ladder.clone(),
+        };
+        let mut result = ComposeShardResult::default();
+        let mut next = 0usize;
+        shard_walk(
+            &ctx,
+            Verifier::root_input(pipeline),
+            true,
+            start,
+            end.min(self.options.max_composed_paths),
+            &mut next,
+            cancel,
+            &mut result,
+        );
+        result
+    }
+
+    /// Fold shard records back into the composition's report, replaying the
+    /// sequential walk order: every node with a shipped record consumes it,
+    /// every node without one (sparse shards, a cancelled sibling, the
+    /// enumeration cap) is computed inline. The result is byte-identical to
+    /// [`Verifier::decide_composition`] under the same options, whatever
+    /// the shard boundaries or fleet shape were.
+    pub fn fold_composition_shards(
+        &mut self,
+        pipeline: &Pipeline,
+        property: &Property,
+        summaries: impl IntoIterator<Item = Arc<ElementSummary>>,
+        outline: &ComposeOutline,
+        records: impl IntoIterator<Item = ShardNodeRecord>,
+    ) -> Report {
+        self.seed_summaries(summaries);
+        let records: BTreeMap<usize, ShardNodeRecord> =
+            records.into_iter().map(|r| (r.index, r)).collect();
+        self.verify_inner(pipeline, property, Some((outline, records)))
+    }
+
     fn summarise(
         &mut self,
         pipeline: &Pipeline,
@@ -691,7 +837,8 @@ struct WalkInput {
 }
 
 /// What one feasibility check established.
-enum CheckOutcome {
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckOutcome {
     /// Infeasible (directly, or via the stateful-element second chance).
     Discharged,
     /// Feasible: a concrete (possibly replay-confirmed) counterexample.
@@ -701,39 +848,168 @@ enum CheckOutcome {
 }
 
 /// One decided suspect × prefix check, with the bookkeeping the fold turns
-/// into `Report.stats`.
-struct CheckRecord {
-    outcome: CheckOutcome,
-    diag: CheckDiagnostics,
+/// into `Report.stats`. Because node computation is a pure function of the
+/// node's walk input (its prefix path and composed constraint set), a
+/// `CheckRecord` computed on a remote worker (as part of a
+/// [`ShardNodeRecord`]) is byte-identical to what the fold would have
+/// computed inline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckRecord {
+    /// What the check established.
+    pub outcome: CheckOutcome,
+    /// Which solver stages gave up within their budgets.
+    pub diag: CheckDiagnostics,
     /// The check aborted a stage under base budgets and entered the
     /// escalation ladder.
-    escalated: bool,
+    pub escalated: bool,
     /// The 0-based ladder rung whose raised budgets decided the check, if
     /// any rung did.
-    decided_at_rung: Option<usize>,
+    pub decided_at_rung: Option<usize>,
     /// The deciding rung had the Fourier–Motzkin budget raised.
-    raised_fm: bool,
+    pub raised_fm: bool,
     /// The deciding rung had the model-search try budget raised.
-    raised_search: bool,
+    pub raised_search: bool,
+    /// The interval-only pre-filter decided the check (always `Discharged`)
+    /// before any budgeted solver stage ran.
+    pub prefiltered: bool,
 }
 
 /// Where a forwarding edge's child subtree lives.
 enum ChildSlot {
     /// Speculatively scheduled into the parallel walk's arena.
     Spawned(usize),
-    /// Not scheduled — the fold computes it inline when it commits the edge.
+    /// Not scheduled — the fold computes it inline when it commits the edge
+    /// (the input is kept even for pruned edges, so the shard walk can keep
+    /// enumerating the interval-feasible tree past them).
     Inline(WalkInput),
-    /// Pruned before any child state was kept.
-    None,
+}
+
+/// One derived forwarding edge: the child node's input and the
+/// contextualised prefix constraint the pruning check (and its interval
+/// pre-filter) decides.
+struct EdgeChild {
+    child: WalkInput,
+    contextual: Vec<TermRef>,
+    /// The interval-only pre-filter proved the prefix infeasible (only
+    /// evaluated when the caller asked for it and pruning is on).
+    prefiltered: bool,
 }
 
 /// One forwarding edge out of a walk node, in segment-enumeration order.
 struct EdgeRecord {
+    /// The interval-only pre-filter proved the prefix through this edge
+    /// infeasible; no pruning solver call was made.
+    prefiltered: bool,
     /// A prefix-feasibility solver call was made for this edge.
     pruned_call: bool,
     /// The composed prefix through this edge is (possibly) feasible.
     feasible: bool,
     child: ChildSlot,
+}
+
+/// The serialisable form of one forwarding edge's pruning outcome, as a
+/// `ComposeShard` job reports it over the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardEdge {
+    /// The interval-only pre-filter pruned the edge without a solver call.
+    pub prefiltered: bool,
+    /// A full prefix-feasibility solver call was made.
+    pub pruned_call: bool,
+    /// The composed prefix through this edge is (possibly) feasible.
+    pub feasible: bool,
+}
+
+/// Everything one enumerated walk node decided, in the serialisable form a
+/// `ComposeShard` job returns: exactly what the deterministic fold would
+/// compute inline for that node, keyed by the node's pre-order index in the
+/// [`ComposeOutline`] enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardNodeRecord {
+    /// The node's pre-order index in the shard enumeration.
+    pub index: usize,
+    /// Decided suspect × prefix checks, in suspect-enumeration order.
+    pub checks: Vec<CheckRecord>,
+    /// Forwarding-edge pruning outcomes, in segment-enumeration order.
+    pub edges: Vec<ShardEdge>,
+}
+
+/// What one `ComposeShard` job computed: records for every enumerated node
+/// in the shard's `[start, end)` range that the worker reached (a cancelled
+/// shard returns the complete records it finished; the fold computes the
+/// rest inline, so cancellation never changes the report).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ComposeShardResult {
+    /// Complete per-node records, in enumeration order.
+    pub records: Vec<ShardNodeRecord>,
+    /// The shard was cancelled before covering its whole range.
+    pub cancelled: bool,
+}
+
+/// One node of the shard enumeration: its estimated solver weight and the
+/// pre-order indices of its enumerated children.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutlineNode {
+    /// Estimated full-solver calls at this node: suspect checks that survive
+    /// the instruction-bound skip, plus one pruning call per enumerated
+    /// (non-pre-filtered) edge when pruning is on.
+    pub weight: usize,
+    /// Child pre-order index per forwarding edge, in segment-enumeration
+    /// order. `None` where the interval pre-filter pruned the edge (the
+    /// child was never enumerated) or where the enumeration cap cut it off.
+    pub children: Vec<Option<usize>>,
+}
+
+/// The deterministic pre-order enumeration of a composition's Step-2 prefix
+/// tree after interval-only pruning — the shared coordinate system of
+/// compose sharding. The coordinator builds it to split the tree into
+/// contiguous `[start, end)` index ranges, every worker reproduces the same
+/// enumeration to locate its range, and the fold uses the recorded child
+/// indices to match worker records back to the nodes of its sequential
+/// replay. The enumeration never makes a budgeted solver call, so it is a
+/// deterministic function of the scenario alone.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ComposeOutline {
+    /// Enumerated nodes, indexed by pre-order position.
+    pub nodes: Vec<OutlineNode>,
+    /// The enumeration hit the composed-path cap; nodes past it carry no
+    /// index and are always computed inline by the fold.
+    pub truncated: bool,
+}
+
+impl ComposeOutline {
+    /// Total estimated solver weight of the enumerated tree.
+    pub fn total_weight(&self) -> usize {
+        self.nodes.iter().map(|n| n.weight).sum()
+    }
+
+    /// Split the enumeration into contiguous `[start, end)` index ranges of
+    /// roughly `max_weight` estimated solver calls each (a single node
+    /// heavier than `max_weight` gets a range of its own). Covers every
+    /// enumerated node; returns at least one range when any node exists.
+    pub fn shards(&self, max_weight: usize) -> Vec<(usize, usize)> {
+        let max_weight = max_weight.max(1);
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i > start && acc > 0 && acc + node.weight > max_weight {
+                out.push((start, i));
+                start = i;
+                acc = 0;
+            }
+            acc += node.weight;
+        }
+        if start < self.nodes.len() {
+            out.push((start, self.nodes.len()));
+        }
+        out
+    }
+
+    /// The pre-order index of `node`'s `edge`-th forwarding edge's child,
+    /// if it was enumerated.
+    pub fn child_index(&self, node: usize, edge: usize) -> Option<usize> {
+        self.nodes.get(node)?.children.get(edge).copied().flatten()
+    }
 }
 
 /// Everything one walk node computed: its decided suspect checks and its
@@ -926,7 +1202,6 @@ impl<'a> WalkCtx<'a> {
         cancel: &CancelToken,
         mut spawn: Option<&mut dyn FnMut(WalkInput, CancelToken) -> usize>,
     ) -> NodeRecord {
-        let node = self.pipeline.node(input.element);
         let summary = &self.summaries[input.element];
         let stride = stride_for_depth(input.depth);
 
@@ -955,6 +1230,63 @@ impl<'a> WalkCtx<'a> {
         }
 
         let mut edges = Vec::new();
+        for ec in self.edge_children(input, true) {
+            let EdgeChild {
+                child,
+                contextual,
+                prefiltered,
+            } = ec;
+            // Speculate first, prune second: the child subtree may already
+            // be exploring on another worker while its prefix is checked.
+            let (slot, child_token) = match spawn.as_deref_mut() {
+                Some(spawn) => {
+                    let token = cancel.child();
+                    (ChildSlot::Spawned(spawn(child, token.clone())), Some(token))
+                }
+                None => (ChildSlot::Inline(child), None),
+            };
+            let (pruned_call, feasible) = if prefiltered {
+                // The interval-only pre-filter already proved the prefix
+                // infeasible: prune without a full solver call.
+                (false, false)
+            } else if self.options.prune_prefixes {
+                let infeasible = self
+                    .solver
+                    .check_diagnosed_cancel(&contextual, cancel)
+                    .0
+                    .is_unsat();
+                (true, !infeasible)
+            } else {
+                (false, true)
+            };
+            if !feasible {
+                // The prefix through this edge is infeasible: cancel the
+                // speculative subtree (its in-flight solver calls abort).
+                if let Some(token) = child_token {
+                    token.cancel();
+                }
+            }
+            edges.push(EdgeRecord {
+                prefiltered,
+                pruned_call,
+                feasible,
+                child: slot,
+            });
+        }
+        NodeRecord { checks, edges }
+    }
+
+    /// Derive the forwarding edges of `input`, in segment-enumeration
+    /// order: the child [`WalkInput`] plus the contextualised prefix
+    /// constraint its pruning check decides. When `prefilter` is set (and
+    /// pruning is on) each edge is also run through the interval-only
+    /// pre-filter; callers that already know the pruning outcome (the fold
+    /// consuming a shard record) skip that evaluation.
+    fn edge_children(&self, input: &WalkInput, prefilter: bool) -> Vec<EdgeChild> {
+        let node = self.pipeline.node(input.element);
+        let summary = &self.summaries[input.element];
+        let stride = stride_for_depth(input.depth);
+        let mut out = Vec::new();
         for segment in &summary.exploration.segments {
             let Some(port) = segment.outcome.port() else {
                 continue;
@@ -989,46 +1321,35 @@ impl<'a> WalkCtx<'a> {
                 },
                 instructions: input.instructions + segment.instructions,
             };
-            // Speculate first, prune second: the child subtree may already
-            // be exploring on another worker while its prefix is checked.
-            let (slot, child_token) = match spawn.as_deref_mut() {
-                Some(spawn) => {
-                    let token = cancel.child();
-                    (ChildSlot::Spawned(spawn(child, token.clone())), Some(token))
-                }
-                None => (ChildSlot::Inline(child), None),
-            };
-            let (pruned_call, feasible) = if self.options.prune_prefixes {
-                let contextual = self.apply_property_context(constraint, &input.elements);
-                let infeasible = self
-                    .solver
-                    .check_diagnosed_cancel(&contextual, cancel)
-                    .0
-                    .is_unsat();
-                (true, !infeasible)
-            } else {
-                (false, true)
-            };
-            let slot = if feasible {
-                slot
-            } else {
-                // The prefix through this edge is infeasible: cancel the
-                // speculative subtree (its in-flight solver calls abort).
-                if let Some(token) = child_token {
-                    token.cancel();
-                }
-                match slot {
-                    spawned @ ChildSlot::Spawned(_) => spawned,
-                    _ => ChildSlot::None,
-                }
-            };
-            edges.push(EdgeRecord {
-                pruned_call,
-                feasible,
-                child: slot,
+            let contextual = self.apply_property_context(constraint, &input.elements);
+            let prefiltered =
+                prefilter && self.options.prune_prefixes && interval_infeasible(&contextual);
+            out.push(EdgeChild {
+                child,
+                contextual,
+                prefiltered,
             });
         }
-        NodeRecord { checks, edges }
+        out
+    }
+
+    /// How many suspect checks `input` will actually run (after the
+    /// instruction-bound skip) — the check part of an [`OutlineNode`]'s
+    /// weight.
+    fn check_count(&self, input: &WalkInput) -> usize {
+        let summary = &self.summaries[input.element];
+        self.suspects[input.element]
+            .iter()
+            .filter(|&&seg_idx| {
+                let segment = &summary.exploration.segments[seg_idx];
+                if let Property::BoundedInstructions { max_instructions } = self.property {
+                    segment.outcome.is_crash()
+                        || input.instructions + segment.instructions > *max_instructions
+                } else {
+                    true
+                }
+            })
+            .count()
     }
 
     /// Add the property's input assumptions (e.g. the reachability
@@ -1066,6 +1387,22 @@ impl<'a> WalkCtx<'a> {
         path: &[String],
         cancel: &CancelToken,
     ) -> CheckRecord {
+        // Interval-only pre-filter: a prefix the cheap analytic stages
+        // already prove infeasible is discharged without touching the
+        // hint-repair, Fourier–Motzkin, or model-search machinery. Sound
+        // because the pre-filter is a prefix of the full decision procedure
+        // (`true` implies the full solver would answer Unsat).
+        if interval_infeasible(constraint) {
+            return CheckRecord {
+                outcome: CheckOutcome::Discharged,
+                diag: CheckDiagnostics::default(),
+                escalated: false,
+                decided_at_rung: None,
+                raised_fm: false,
+                raised_search: false,
+                prefiltered: true,
+            };
+        }
         let node = self.pipeline.node(element);
         let segment = &self.summaries[element].exploration.segments[seg_idx];
         let violation = |model: &dataplane_symbex::Assignment| {
@@ -1188,6 +1525,7 @@ impl<'a> WalkCtx<'a> {
             decided_at_rung,
             raised_fm,
             raised_search,
+            prefiltered: false,
         }
     }
 
@@ -1491,38 +1829,56 @@ impl<'f, 'a> FoldState<'f, 'a> {
         self.consume(record, state);
     }
 
-    fn consume(&mut self, record: NodeRecord, state: Option<&WalkState<'_, 'a>>) {
-        for check in record.checks {
+    /// Stats and outcome bookkeeping of one decided check.
+    fn tally_check(&mut self, check: CheckRecord) {
+        if check.prefiltered {
+            self.stats.prefilter_decided += 1;
+        } else {
             self.stats.solver_calls += 1;
-            self.stats.fm_budget_aborts += usize::from(check.diag.fm_budget_exhausted);
-            self.stats.model_search_aborts += usize::from(check.diag.model_search_exhausted);
-            self.stats.budget_escalations += usize::from(check.escalated);
-            if let Some(rung) = check.decided_at_rung {
-                self.stats.escalations_decided += 1;
-                let bump = |rungs: &mut Vec<usize>| {
-                    if rungs.len() <= rung {
-                        rungs.resize(rung + 1, 0);
-                    }
-                    rungs[rung] += 1;
-                };
-                bump(&mut self.stats.escalations_by_step);
-                if check.raised_fm {
-                    bump(&mut self.stats.escalations_fm);
+            self.stats.prefilter_passed += 1;
+        }
+        self.stats.fm_budget_aborts += usize::from(check.diag.fm_budget_exhausted);
+        self.stats.model_search_aborts += usize::from(check.diag.model_search_exhausted);
+        self.stats.budget_escalations += usize::from(check.escalated);
+        if let Some(rung) = check.decided_at_rung {
+            self.stats.escalations_decided += 1;
+            let bump = |rungs: &mut Vec<usize>| {
+                if rungs.len() <= rung {
+                    rungs.resize(rung + 1, 0);
                 }
-                if check.raised_search {
-                    bump(&mut self.stats.escalations_search);
-                }
+                rungs[rung] += 1;
+            };
+            bump(&mut self.stats.escalations_by_step);
+            if check.raised_fm {
+                bump(&mut self.stats.escalations_fm);
             }
-            match check.outcome {
-                CheckOutcome::Discharged => self.stats.discharged += 1,
-                CheckOutcome::Violation(ce) => self.counterexamples.push(ce),
-                CheckOutcome::Undecided(up) => self.unproven.push(up),
+            if check.raised_search {
+                bump(&mut self.stats.escalations_search);
             }
         }
+        match check.outcome {
+            CheckOutcome::Discharged => self.stats.discharged += 1,
+            CheckOutcome::Violation(ce) => self.counterexamples.push(ce),
+            CheckOutcome::Undecided(up) => self.unproven.push(up),
+        }
+    }
+
+    /// Stats bookkeeping of one forwarding edge's pruning outcome.
+    fn tally_edge(&mut self, prefiltered: bool, pruned_call: bool) {
+        if prefiltered {
+            self.stats.prefilter_decided += 1;
+        } else if pruned_call {
+            self.stats.solver_calls += 1;
+            self.stats.prefilter_passed += 1;
+        }
+    }
+
+    fn consume(&mut self, record: NodeRecord, state: Option<&WalkState<'_, 'a>>) {
+        for check in record.checks {
+            self.tally_check(check);
+        }
         for edge in record.edges {
-            if edge.pruned_call {
-                self.stats.solver_calls += 1;
-            }
+            self.tally_edge(edge.prefiltered, edge.pruned_call);
             if !edge.feasible {
                 continue;
             }
@@ -1533,10 +1889,193 @@ impl<'f, 'a> FoldState<'f, 'a> {
                     self.fold_slot(slot, state);
                 }
                 ChildSlot::Inline(input) => self.fold_input(input, state),
-                ChildSlot::None => unreachable!("feasible edge lost its child"),
             }
         }
     }
+
+    /// Commit one node of the sharded walk: consume its shipped record if a
+    /// shard covered it (and the record's shape matches this build), else
+    /// compute it inline. `index` is the node's pre-order position in the
+    /// shard enumeration (`None` once the walk leaves the enumerated tree —
+    /// past the cap, or below a node whose record a cancelled shard never
+    /// shipped).
+    fn fold_sharded(
+        &mut self,
+        input: WalkInput,
+        index: Option<usize>,
+        outline: &ComposeOutline,
+        records: &mut BTreeMap<usize, ShardNodeRecord>,
+    ) {
+        if !self.enter() {
+            return;
+        }
+        let record = index.and_then(|i| records.remove(&i));
+        match record {
+            Some(rec) => {
+                // The record carries the pruning outcomes, so the edge
+                // derivation can skip re-evaluating the interval pre-filter.
+                let children = self.ctx.edge_children(&input, false);
+                if children.len() != rec.edges.len() {
+                    // A record whose edge shape disagrees with this build
+                    // cannot be trusted; recompute the node instead.
+                    let record = self.ctx.compute_node(&input, &CancelToken::new(), None);
+                    return self.consume_sharded(record, index, outline, records);
+                }
+                for check in rec.checks {
+                    self.tally_check(check);
+                }
+                for (k, (edge, ec)) in rec.edges.iter().zip(children).enumerate() {
+                    self.tally_edge(edge.prefiltered, edge.pruned_call);
+                    if !edge.feasible {
+                        continue;
+                    }
+                    let child_index = index.and_then(|i| outline.child_index(i, k));
+                    self.fold_sharded(ec.child, child_index, outline, records);
+                }
+            }
+            None => {
+                let record = self.ctx.compute_node(&input, &CancelToken::new(), None);
+                self.consume_sharded(record, index, outline, records);
+            }
+        }
+    }
+
+    /// Consume an inline-computed record inside the sharded walk, keeping
+    /// the enumeration indices of its children so deeper shard records can
+    /// still be matched.
+    fn consume_sharded(
+        &mut self,
+        record: NodeRecord,
+        index: Option<usize>,
+        outline: &ComposeOutline,
+        records: &mut BTreeMap<usize, ShardNodeRecord>,
+    ) {
+        for check in record.checks {
+            self.tally_check(check);
+        }
+        for (k, edge) in record.edges.into_iter().enumerate() {
+            self.tally_edge(edge.prefiltered, edge.pruned_call);
+            if !edge.feasible {
+                continue;
+            }
+            let child_index = index.and_then(|i| outline.child_index(i, k));
+            match edge.child {
+                ChildSlot::Inline(child) => self.fold_sharded(child, child_index, outline, records),
+                ChildSlot::Spawned(_) => {
+                    unreachable!("the sharded fold never runs the speculative walk")
+                }
+            }
+        }
+    }
+}
+
+/// Pre-order enumeration of the interval-pruned prefix tree, recording each
+/// node's estimated solver weight and its children's indices. Returns the
+/// node's index, or `None` when the cap cut the subtree off.
+fn outline_walk(
+    ctx: &WalkCtx<'_>,
+    input: WalkInput,
+    cap: usize,
+    out: &mut ComposeOutline,
+) -> Option<usize> {
+    if out.nodes.len() >= cap {
+        out.truncated = true;
+        return None;
+    }
+    let idx = out.nodes.len();
+    out.nodes.push(OutlineNode {
+        weight: 0,
+        children: Vec::new(),
+    });
+    let mut weight = ctx.check_count(&input);
+    let mut children = Vec::new();
+    for ec in ctx.edge_children(&input, true) {
+        if ec.prefiltered {
+            // Interval-pruned: the child is never enumerated (every walk —
+            // outline, shard, fold — prunes it the same way without a
+            // budgeted solver call).
+            children.push(None);
+        } else {
+            if ctx.options.prune_prefixes {
+                weight += 1;
+            }
+            children.push(outline_walk(ctx, ec.child, cap, out));
+        }
+    }
+    out.nodes[idx] = OutlineNode { weight, children };
+    Some(idx)
+}
+
+/// The worker side of one shard: replay the enumeration, computing full
+/// node records inside `[start, end)` (while the subtree is still live —
+/// not behind an edge this shard itself proved infeasible) and traversing
+/// shape-only outside it. Returns `false` once the walk is past `end` or
+/// cancelled, unwinding the recursion.
+#[allow(clippy::too_many_arguments)]
+fn shard_walk(
+    ctx: &WalkCtx<'_>,
+    input: WalkInput,
+    live: bool,
+    start: usize,
+    end: usize,
+    next: &mut usize,
+    cancel: &CancelToken,
+    out: &mut ComposeShardResult,
+) -> bool {
+    let idx = *next;
+    if idx >= end {
+        return false;
+    }
+    *next += 1;
+    if cancel.is_cancelled() {
+        out.cancelled = true;
+        return false;
+    }
+    if live && idx >= start {
+        // In range: decide the node's checks and pruning calls for real.
+        // The node gets a fresh token so a cancellation between nodes never
+        // truncates a record mid-computation — shipped records are always
+        // complete and exact.
+        let record = ctx.compute_node(&input, &CancelToken::new(), None);
+        let mut shard_edges = Vec::with_capacity(record.edges.len());
+        let mut recurse = Vec::new();
+        for edge in record.edges {
+            shard_edges.push(ShardEdge {
+                prefiltered: edge.prefiltered,
+                pruned_call: edge.pruned_call,
+                feasible: edge.feasible,
+            });
+            if edge.prefiltered {
+                continue; // not enumerated
+            }
+            match edge.child {
+                ChildSlot::Inline(child) => recurse.push((child, edge.feasible)),
+                ChildSlot::Spawned(_) => unreachable!("shard walk computes inline"),
+            }
+        }
+        out.records.push(ShardNodeRecord {
+            index: idx,
+            checks: record.checks,
+            edges: shard_edges,
+        });
+        for (child, feasible) in recurse {
+            if !shard_walk(ctx, child, feasible, start, end, next, cancel, out) {
+                return false;
+            }
+        }
+    } else {
+        // Out of range (or already dead): advance the enumeration counter
+        // through the subtree without any budgeted solver call.
+        for ec in ctx.edge_children(&input, true) {
+            if ec.prefiltered {
+                continue;
+            }
+            if !shard_walk(ctx, ec.child, live, start, end, next, cancel, out) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 fn describe_outcome(outcome: &SegmentOutcome) -> String {
@@ -1556,4 +2095,118 @@ pub fn suspect_overview(report: &Report) -> BTreeMap<&'static str, usize> {
     m.insert("counterexamples", report.counterexamples.len());
     m.insert("unproven", report.unproven.len());
     m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane_pipeline::presets::{buggy_pipeline, ip_router_pipeline};
+
+    /// Shard the composition at `max_weight`, compute every shard on a
+    /// fresh "worker" verifier, fold on a fresh "coordinator" verifier, and
+    /// require the result to match an unsharded run field for field.
+    fn assert_shard_identity(pipeline: &Pipeline, property: &Property, max_weight: usize) {
+        let mut baseline = Verifier::new();
+        let base = baseline.verify(pipeline, property);
+
+        let mut outliner = Verifier::new();
+        let Some(outline) = outliner.outline_composition(pipeline, property, Vec::new()) else {
+            // No suspects: the sharded path is never taken for this scenario.
+            return;
+        };
+        let ranges = outline.shards(max_weight);
+        // The ranges tile the enumeration: contiguous, disjoint, complete.
+        let mut expected_start = 0usize;
+        for &(start, end) in &ranges {
+            assert_eq!(start, expected_start);
+            assert!(end > start);
+            expected_start = end;
+        }
+        assert_eq!(expected_start, outline.nodes.len());
+
+        let mut records = Vec::new();
+        for (start, end) in ranges {
+            let mut worker = Verifier::new();
+            let shard = worker.decide_composition_shard(
+                pipeline,
+                property,
+                Vec::new(),
+                start,
+                end,
+                &CancelToken::new(),
+            );
+            assert!(!shard.cancelled);
+            for rec in &shard.records {
+                assert!(rec.index >= start && rec.index < end);
+            }
+            records.extend(shard.records);
+        }
+
+        let mut folder = Verifier::new();
+        let folded =
+            folder.fold_composition_shards(pipeline, property, Vec::new(), &outline, records);
+        assert_eq!(folded.verdict, base.verdict, "{property:?}");
+        assert_eq!(folded.counterexamples, base.counterexamples);
+        assert_eq!(folded.unproven, base.unproven);
+        assert_eq!(folded.stats, base.stats);
+    }
+
+    #[test]
+    fn sharded_compose_matches_in_process_ip_router() {
+        let pipeline = ip_router_pipeline();
+        for max_weight in [1, 4] {
+            assert_shard_identity(&pipeline, &Property::CrashFreedom, max_weight);
+        }
+    }
+
+    #[test]
+    fn sharded_compose_matches_in_process_buggy_violation() {
+        let pipeline = buggy_pipeline();
+        for max_weight in [1, 8] {
+            assert_shard_identity(&pipeline, &Property::CrashFreedom, max_weight);
+        }
+    }
+
+    #[test]
+    fn fold_without_records_computes_everything_inline() {
+        // A fully cancelled fleet ships no records at all; the fold must
+        // still reproduce the unsharded report exactly.
+        let pipeline = buggy_pipeline();
+        let property = Property::CrashFreedom;
+        let mut baseline = Verifier::new();
+        let base = baseline.verify(&pipeline, &property);
+        let mut outliner = Verifier::new();
+        let outline = outliner
+            .outline_composition(&pipeline, &property, Vec::new())
+            .expect("buggy pipeline has suspects");
+        let mut folder = Verifier::new();
+        let folded =
+            folder.fold_composition_shards(&pipeline, &property, Vec::new(), &outline, Vec::new());
+        assert_eq!(folded.verdict, base.verdict);
+        assert_eq!(folded.counterexamples, base.counterexamples);
+        assert_eq!(folded.stats, base.stats);
+    }
+
+    #[test]
+    fn cancelled_shard_keeps_complete_records_only() {
+        let pipeline = buggy_pipeline();
+        let property = Property::CrashFreedom;
+        let mut outliner = Verifier::new();
+        let outline = outliner
+            .outline_composition(&pipeline, &property, Vec::new())
+            .expect("buggy pipeline has suspects");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let mut worker = Verifier::new();
+        let shard = worker.decide_composition_shard(
+            &pipeline,
+            &property,
+            Vec::new(),
+            0,
+            outline.nodes.len(),
+            &cancel,
+        );
+        assert!(shard.cancelled);
+        assert!(shard.records.is_empty());
+    }
 }

@@ -77,6 +77,9 @@ pub struct DaemonConfig {
     /// The initial socket-worker pool (workers can also [`Daemon::join`]
     /// at runtime).
     pub workers: Vec<WorkerAddr>,
+    /// Per-scenario compose-shard target for fleet-dispatched requests
+    /// (see [`VerifyService::with_compose_shard`]; 0 = unsharded).
+    pub compose_shard: usize,
     /// Heartbeat tuning for the fleets built per request.
     pub heartbeat: HeartbeatConfig,
 }
@@ -89,6 +92,7 @@ impl Default for DaemonConfig {
             store: None,
             max_sessions: 4,
             workers: Vec::new(),
+            compose_shard: 0,
             heartbeat: HeartbeatConfig::default(),
         }
     }
@@ -100,6 +104,7 @@ struct DaemonInner {
     threads: usize,
     max_sessions: usize,
     heartbeat: HeartbeatConfig,
+    compose_shard: usize,
     workers: Mutex<Vec<WorkerAddr>>,
     active: Mutex<usize>,
 }
@@ -153,7 +158,10 @@ fn dispatch_json(d: &DispatchStats) -> Json {
         ("jobs_requeued", Json::int(d.jobs_requeued as u64)),
         ("explore_jobs", Json::int(d.explore_jobs as u64)),
         ("compose_jobs", Json::int(d.compose_jobs as u64)),
+        ("compose_shards", Json::int(d.compose_shards as u64)),
+        ("shards_cancelled", Json::int(d.shards_cancelled as u64)),
         ("fuzz_jobs", Json::int(d.fuzz_jobs as u64)),
+        ("workers_idle", Json::int(d.workers_idle as u64)),
         ("summaries_shipped", Json::int(d.summaries_shipped as u64)),
         ("summaries_deduped", Json::int(d.summaries_deduped as u64)),
         ("summary_bytes_shipped", Json::int(d.summary_bytes_shipped)),
@@ -201,6 +209,7 @@ impl Daemon {
                 threads: config.threads,
                 max_sessions: config.max_sessions,
                 heartbeat: config.heartbeat,
+                compose_shard: config.compose_shard,
                 workers: Mutex::new(config.workers),
                 active: Mutex::new(0),
             }),
@@ -347,6 +356,7 @@ impl Daemon {
         let service = VerifyService::new()
             .with_threads(inner.threads)
             .with_options(options)
+            .with_compose_shard(inner.compose_shard)
             .with_store(inner.store.clone());
         while let Some(frame) = read_frame(&mut input)? {
             let reply = match frame.get("kind").and_then(Json::as_str) {

@@ -76,6 +76,29 @@ struct State {
     /// The most recent worker-level failure, for the terminal error when
     /// every worker is gone.
     last_failure: Option<String>,
+    /// Sibling groups whose outcome is already decided (a shard reported a
+    /// violation): queued members resolve synthetically, in-flight members
+    /// get a cancel frame.
+    cancelled_groups: BTreeSet<u64>,
+}
+
+/// Sibling-group cancellation policy for a dispatch (compose sharding's
+/// early exit). When a result frame `ends_group`, the group's queued
+/// members are resolved with `synthetic` frames without ever being sent,
+/// and its in-flight members are sent `cancel` frames — each worker sends
+/// them for its own outstanding jobs when it next wakes (a result, a pong,
+/// or a heartbeat-interval read timeout). Cancellation is purely a
+/// work-avoidance signal: a cancelled job still answers with the complete
+/// partial records it finished, and the fold computes the remainder
+/// inline, so the folded output is identical with or without it.
+pub(crate) struct CancelSpec<'a> {
+    /// The sibling-group key of job `i` (`None`: not cancellable).
+    pub group_of: &'a (dyn Fn(usize) -> Option<u64> + Sync),
+    /// Does this result frame decide its whole group?
+    pub ends_group: &'a (dyn Fn(&Json) -> bool + Sync),
+    /// The result frame recorded for a queued job resolved by its group's
+    /// cancellation (never dispatched).
+    pub synthetic: &'a (dyn Fn(usize) -> Json + Sync),
 }
 
 struct Shared {
@@ -151,6 +174,22 @@ pub(crate) fn dispatch(
     count: usize,
     frame_for: &(dyn Fn(usize, &mut BTreeSet<Fingerprint>) -> Json + Sync),
 ) -> Result<Vec<Json>, ExecError> {
+    dispatch_with_cancel(
+        connectors, registry, options, heartbeat, count, frame_for, None,
+    )
+}
+
+/// [`dispatch`] with an optional sibling-group cancellation policy (see
+/// [`CancelSpec`]) — the compose-shard early exit.
+pub(crate) fn dispatch_with_cancel(
+    connectors: &[Box<dyn Connector>],
+    registry: &WorkerRegistry,
+    options: &VerifierOptions,
+    heartbeat: HeartbeatConfig,
+    count: usize,
+    frame_for: &(dyn Fn(usize, &mut BTreeSet<Fingerprint>) -> Json + Sync),
+    cancel: Option<&CancelSpec<'_>>,
+) -> Result<Vec<Json>, ExecError> {
     if count == 0 {
         return Ok(Vec::new());
     }
@@ -161,6 +200,7 @@ pub(crate) fn dispatch(
             fatal: None,
             results: (0..count).map(|_| None).collect(),
             last_failure: None,
+            cancelled_groups: BTreeSet::new(),
         }),
         cv: Condvar::new(),
     };
@@ -176,6 +216,7 @@ pub(crate) fn dispatch(
                     heartbeat,
                     shared,
                     frame_for,
+                    cancel,
                 )
             });
         }
@@ -201,7 +242,16 @@ pub(crate) fn dispatch(
         .collect())
 }
 
+fn cancel_frame(id: usize) -> Json {
+    Json::obj([
+        ("schema", Json::int(WORKER_SCHEMA)),
+        ("kind", Json::str("cancel")),
+        ("id", Json::int(id as u64)),
+    ])
+}
+
 /// One worker's coordinator-side loop.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     connector: &dyn Connector,
     registry: &WorkerRegistry,
@@ -209,6 +259,7 @@ fn worker_loop(
     heartbeat: HeartbeatConfig,
     shared: &Shared,
     frame_for: &(dyn Fn(usize, &mut BTreeSet<Fingerprint>) -> Json + Sync),
+    cancel: Option<&CancelSpec<'_>>,
 ) {
     // Connect + handshake. Failures here lose the worker, never the jobs
     // (nothing was pulled yet).
@@ -307,6 +358,8 @@ fn worker_loop(
     };
     let mut last_heard = Instant::now();
     let mut ping_seq = 0u64;
+    // Jobs this worker has already sent a cancel frame for.
+    let mut cancel_sent: BTreeSet<usize> = BTreeSet::new();
     loop {
         // Top up the window from the shared queue.
         while outstanding.len() < capacity {
@@ -315,7 +368,27 @@ fn worker_loop(
                 if state.fatal.is_some() {
                     return; // another worker hit a fatal job error
                 }
-                state.queue.pop_front()
+                loop {
+                    let Some(job) = state.queue.pop_front() else {
+                        break None;
+                    };
+                    // A queued member of a cancelled group resolves right
+                    // here, without ever reaching a worker.
+                    let group = cancel.and_then(|spec| (spec.group_of)(job));
+                    if let (Some(spec), Some(g)) = (cancel, group) {
+                        if state.cancelled_groups.contains(&g) {
+                            if state.results[job].is_none() {
+                                state.results[job] = Some((spec.synthetic)(job));
+                                state.remaining -= 1;
+                                if state.remaining == 0 {
+                                    shared.cv.notify_all();
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                    break Some(job);
+                }
             };
             let Some(job) = next else { break };
             if let Err(e) = transport.send(&frame_for(job, &mut held)) {
@@ -340,6 +413,27 @@ fn worker_loop(
                 state = shared.cv.wait(state).expect("dispatch state");
             }
             continue;
+        }
+
+        // Relay group cancellations to this worker's own in-flight jobs —
+        // once per job. A worker blocked in `recv` notices at its next
+        // wake-up: a result, a pong, or a heartbeat-interval read timeout.
+        if let Some(spec) = cancel {
+            let groups = {
+                let state = shared.state.lock().expect("dispatch state");
+                state.cancelled_groups.clone()
+            };
+            if !groups.is_empty() {
+                for &job in &outstanding {
+                    if !cancel_sent.contains(&job)
+                        && (spec.group_of)(job).is_some_and(|g| groups.contains(&g))
+                    {
+                        // A send failure surfaces on the next recv.
+                        let _ = transport.send(&cancel_frame(job));
+                        cancel_sent.insert(job);
+                    }
+                }
+            }
         }
 
         // Await one result. With a read deadline armed, a silent interval
@@ -381,13 +475,35 @@ fn worker_loop(
                             }
                         }
                         registry.record_completed(id);
+                        let ended_group = cancel.and_then(|spec| {
+                            (spec.group_of)(job).filter(|_| (spec.ends_group)(&frame))
+                        });
                         let mut state = shared.state.lock().expect("dispatch state");
                         if state.results[job].is_none() {
                             state.results[job] = Some(frame);
                             state.remaining -= 1;
-                            if state.remaining == 0 {
-                                shared.cv.notify_all();
+                        }
+                        if let (Some(spec), Some(g)) = (cancel, ended_group) {
+                            if state.cancelled_groups.insert(g) {
+                                // The group's verdict is in: resolve its
+                                // queued members synthetically so no
+                                // worker ever pulls them.
+                                let mut kept = VecDeque::new();
+                                while let Some(j) = state.queue.pop_front() {
+                                    if (spec.group_of)(j) == Some(g) {
+                                        if state.results[j].is_none() {
+                                            state.results[j] = Some((spec.synthetic)(j));
+                                            state.remaining -= 1;
+                                        }
+                                    } else {
+                                        kept.push_back(j);
+                                    }
+                                }
+                                state.queue = kept;
                             }
+                        }
+                        if state.remaining == 0 {
+                            shared.cv.notify_all();
                         }
                     }
                     Some("pong") => {}

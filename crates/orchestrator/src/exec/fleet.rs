@@ -6,7 +6,7 @@
 //! results fold back by job index, so the report is byte-identical to an
 //! in-process run.
 
-use super::dispatch::{dispatch, HeartbeatConfig};
+use super::dispatch::{dispatch, dispatch_with_cancel, CancelSpec, HeartbeatConfig};
 use super::registry::{DispatchStats, WorkerRegistry};
 use super::transport::{Connector, SocketConnector, SpawnConnector, WorkerAddr};
 use super::worker::WORKER_SCHEMA;
@@ -15,8 +15,11 @@ use crate::conformance::{shard_report_from_json, FuzzShardReport};
 use crate::fingerprint::Fingerprint;
 use crate::json::Json;
 use crate::persist::{summary_from_json, summary_to_json};
-use crate::wire::{job_to_json, report_from_json, ComposeJob, ExploreJob, FuzzJob, JobSpec};
-use dataplane_verifier::{ElementSummary, Report, VerifierOptions};
+use crate::wire::{
+    job_to_json, report_from_json, shard_result_from_json, shard_result_to_json, ComposeJob,
+    ComposeShardJob, ExploreJob, FuzzJob, JobSpec,
+};
+use dataplane_verifier::{ComposeShardResult, ElementSummary, Report, VerifierOptions};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -127,6 +130,75 @@ impl WorkerFleet {
             .insert(fp, bytes);
         bytes
     }
+
+    /// Build a job frame's `summaries` attachment against one worker's
+    /// held set: full documents for summaries the worker is missing,
+    /// `"held"` markers for ones it already holds (the protocol-v4 dedup),
+    /// `null` for budget-exceeded explorations. Records the transfer
+    /// split in the registry.
+    fn summary_slots(
+        &self,
+        fingerprints: &[Fingerprint],
+        summaries: &(dyn Fn(Fingerprint) -> Option<Arc<ElementSummary>> + Sync),
+        held: &mut std::collections::BTreeSet<Fingerprint>,
+    ) -> Json {
+        let (mut shipped_n, mut shipped_b) = (0usize, 0u64);
+        let (mut deduped_n, mut deduped_b) = (0usize, 0u64);
+        let slots = Json::Arr(
+            fingerprints
+                .iter()
+                .map(|fp| match summaries(*fp) {
+                    None => Json::Null,
+                    Some(summary) => {
+                        if held.contains(fp) {
+                            deduped_n += 1;
+                            deduped_b += self.summary_size(*fp, &summary);
+                            Json::str("held")
+                        } else {
+                            let doc = summary_to_json(&summary);
+                            let bytes = doc.to_text().len() as u64;
+                            self.summary_sizes
+                                .lock()
+                                .expect("summary sizes")
+                                .insert(*fp, bytes);
+                            shipped_n += 1;
+                            shipped_b += bytes;
+                            held.insert(*fp);
+                            doc
+                        }
+                    }
+                })
+                .collect(),
+        );
+        self.registry
+            .record_summaries(shipped_n, shipped_b, deduped_n, deduped_b);
+        slots
+    }
+}
+
+/// Does a compose-shard result frame carry a violation check? This is the
+/// sibling-group early-exit trigger, decided on the raw frame without a
+/// full decode.
+fn shard_frame_has_violation(frame: &Json) -> bool {
+    let Some(records) = frame
+        .get("shard")
+        .and_then(|s| s.get("records"))
+        .and_then(Json::as_arr)
+    else {
+        return false;
+    };
+    records.iter().any(|rec| {
+        rec.get("checks")
+            .and_then(Json::as_arr)
+            .is_some_and(|checks| {
+                checks.iter().any(|c| {
+                    c.get("outcome")
+                        .and_then(|o| o.get("kind"))
+                        .and_then(Json::as_str)
+                        == Some("violation")
+                })
+            })
+    })
 }
 
 fn job_frame(id: usize, job: &JobSpec, summaries: Option<Json>) -> Json {
@@ -197,36 +269,7 @@ impl Executor for WorkerFleet {
         // rebuilt against the surviving worker's own held set.
         let frame_for = |id: usize, held: &mut std::collections::BTreeSet<Fingerprint>| {
             let job = &jobs[id];
-            let (mut shipped_n, mut shipped_b) = (0usize, 0u64);
-            let (mut deduped_n, mut deduped_b) = (0usize, 0u64);
-            let slots = Json::Arr(
-                job.fingerprints
-                    .iter()
-                    .map(|fp| match summaries(*fp) {
-                        None => Json::Null,
-                        Some(summary) => {
-                            if held.contains(fp) {
-                                deduped_n += 1;
-                                deduped_b += self.summary_size(*fp, &summary);
-                                Json::str("held")
-                            } else {
-                                let doc = summary_to_json(&summary);
-                                let bytes = doc.to_text().len() as u64;
-                                self.summary_sizes
-                                    .lock()
-                                    .expect("summary sizes")
-                                    .insert(*fp, bytes);
-                                shipped_n += 1;
-                                shipped_b += bytes;
-                                held.insert(*fp);
-                                doc
-                            }
-                        }
-                    })
-                    .collect(),
-            );
-            self.registry
-                .record_summaries(shipped_n, shipped_b, deduped_n, deduped_b);
+            let slots = self.summary_slots(&job.fingerprints, summaries, held);
             job_frame(id, &JobSpec::Compose(job.clone()), Some(slots))
         };
         let results = match dispatch(
@@ -256,6 +299,78 @@ impl Executor for WorkerFleet {
                     })?;
                     report_from_json(doc, job.scenario.property.clone(), elapsed)
                         .map_err(|e| ExecError::Protocol(format!("undecodable report: {e}")))
+                })
+                .collect(),
+        )
+    }
+
+    fn compose_shard_jobs(
+        &self,
+        jobs: &[ComposeShardJob],
+        options: &VerifierOptions,
+        summaries: &(dyn Fn(Fingerprint) -> Option<Arc<ElementSummary>> + Sync),
+    ) -> Option<Result<Vec<ComposeShardResult>, ExecError>> {
+        if jobs.is_empty() {
+            return Some(Ok(Vec::new()));
+        }
+        self.registry.record_shards_offered(jobs.len());
+        // Shards ride the same summary-dedup frames as whole compositions:
+        // every shard of a scenario names the same fingerprints, so after
+        // a worker's first shard the rest collapse to `"held"` markers.
+        let frame_for = |id: usize, held: &mut std::collections::BTreeSet<Fingerprint>| {
+            let job = &jobs[id];
+            let slots = self.summary_slots(&job.fingerprints, summaries, held);
+            job_frame(id, &JobSpec::ComposeShard(job.clone()), Some(slots))
+        };
+        // Early exit: the first violation in a scenario decides the
+        // scenario's verdict, so sibling shards are cancelled (queued ones
+        // resolve empty, in-flight ones get a cancel frame). The fold
+        // computes whatever the cancelled shards did not ship.
+        let group_of = |id: usize| Some(u64::from(jobs[id].scenario_index));
+        let synthetic = |id: usize| {
+            Json::obj([
+                ("schema", Json::int(WORKER_SCHEMA)),
+                ("kind", Json::str("result")),
+                ("id", Json::int(id as u64)),
+                (
+                    "shard",
+                    shard_result_to_json(&ComposeShardResult {
+                        records: Vec::new(),
+                        cancelled: true,
+                    }),
+                ),
+            ])
+        };
+        let spec = CancelSpec {
+            group_of: &group_of,
+            ends_group: &shard_frame_has_violation,
+            synthetic: &synthetic,
+        };
+        let results = match dispatch_with_cancel(
+            &self.connectors,
+            &self.registry,
+            options,
+            self.heartbeat,
+            jobs.len(),
+            &frame_for,
+            Some(&spec),
+        ) {
+            Ok(results) => results,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(
+            results
+                .iter()
+                .map(|frame| {
+                    let doc = frame.get("shard").ok_or_else(|| {
+                        ExecError::Protocol("compose-shard result without a shard".into())
+                    })?;
+                    let result = shard_result_from_json(doc)
+                        .map_err(|e| ExecError::Protocol(format!("undecodable shard: {e}")))?;
+                    if result.cancelled {
+                        self.registry.record_shard_cancelled();
+                    }
+                    Ok(result)
                 })
                 .collect(),
         )

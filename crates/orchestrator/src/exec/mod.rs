@@ -131,6 +131,25 @@ pub trait Executor: Send + Sync {
         None
     }
 
+    /// Decide Step-2 compose *shards* remotely, one
+    /// [`dataplane_verifier::ComposeShardResult`] per job in input order
+    /// (the fold replays the sequential enumeration, so input order is the
+    /// determinism contract here too). A shard whose sibling reported a
+    /// violation first may come back partial or empty (`cancelled`) — the
+    /// fold computes the remainder inline.
+    ///
+    /// Returns `None` when this executor has no remote shard path (the
+    /// service then composes the scenario in-process).
+    fn compose_shard_jobs(
+        &self,
+        jobs: &[crate::wire::ComposeShardJob],
+        options: &VerifierOptions,
+        summaries: &(dyn Fn(Fingerprint) -> Option<Arc<ElementSummary>> + Sync),
+    ) -> Option<Result<Vec<dataplane_verifier::ComposeShardResult>, ExecError>> {
+        let _ = (jobs, options, summaries);
+        None
+    }
+
     /// Run conformance fuzz shards remotely, one shard report per job in
     /// input order (the fold key is the job's `shard_index`; input order is
     /// the determinism contract, as for the other job kinds).

@@ -26,8 +26,18 @@ pub struct DispatchStats {
     pub explore_jobs: usize,
     /// Step-2 composition jobs offered to the queue.
     pub compose_jobs: usize,
+    /// Step-2 compose shards offered to the queue (contiguous slices of a
+    /// scenario's check enumeration).
+    pub compose_shards: usize,
+    /// Compose shards cancelled because a sibling shard of the same
+    /// scenario reported a violation first (the fold recomputes their
+    /// remainder inline, so cancellation never changes the report).
+    pub shards_cancelled: usize,
     /// Conformance fuzz shards offered to the queue.
     pub fuzz_jobs: usize,
+    /// Handshaken workers that returned no result at all — a fleet-shape
+    /// smell (more workers than shards, or a dispatch imbalance).
+    pub workers_idle: usize,
     /// Full summary documents shipped in job frames (protocol v4 ships a
     /// summary only to workers that do not already hold it).
     pub summaries_shipped: usize,
@@ -68,6 +78,8 @@ struct RegistryInner {
     requeued: usize,
     explore_jobs: usize,
     compose_jobs: usize,
+    compose_shards: usize,
+    shards_cancelled: usize,
     fuzz_jobs: usize,
     summaries_shipped: usize,
     summaries_deduped: usize,
@@ -121,6 +133,18 @@ impl WorkerRegistry {
         inner.explore_jobs += explore;
         inner.compose_jobs += compose;
         inner.fuzz_jobs += fuzz;
+    }
+
+    /// Record compose shards offered to the queue.
+    pub(crate) fn record_shards_offered(&self, shards: usize) {
+        self.inner.lock().expect("registry").compose_shards += shards;
+    }
+
+    /// Record a compose shard cancelled because a sibling found a
+    /// violation (whether in flight — a cancel frame went out — or still
+    /// queued).
+    pub(crate) fn record_shard_cancelled(&self) {
+        self.inner.lock().expect("registry").shards_cancelled += 1;
     }
 
     /// A job frame went out.
@@ -207,6 +231,18 @@ impl WorkerRegistry {
                 capacity += e.capacity;
             }
         }
+        // A handshaken peer none of whose registrations returned a single
+        // result sat idle for the whole run.
+        let idle = seen
+            .iter()
+            .filter(|peer| {
+                inner
+                    .entries
+                    .iter()
+                    .filter(|e| e.peer == **peer)
+                    .all(|e| e.jobs_done == 0)
+            })
+            .count();
         DispatchStats {
             workers: peers.len(),
             workers_lost: lost.len(),
@@ -216,7 +252,10 @@ impl WorkerRegistry {
             jobs_requeued: inner.requeued,
             explore_jobs: inner.explore_jobs,
             compose_jobs: inner.compose_jobs,
+            compose_shards: inner.compose_shards,
+            shards_cancelled: inner.shards_cancelled,
             fuzz_jobs: inner.fuzz_jobs,
+            workers_idle: idle,
             summaries_shipped: inner.summaries_shipped,
             summaries_deduped: inner.summaries_deduped,
             summary_bytes_shipped: inner.summary_bytes_shipped,
@@ -244,6 +283,8 @@ mod tests {
         registry.mark_dead(b, 1, "connection closed".into());
         // Second phase: w1 reconnects and composes with partial dedup.
         registry.record_offered(0, 2, 4);
+        registry.record_shards_offered(3);
+        registry.record_shard_cancelled();
         let a2 = registry.register("w1".into(), 2);
         registry.record_dispatched();
         registry.record_dispatched();
@@ -262,7 +303,10 @@ mod tests {
         assert_eq!(stats.jobs_requeued, 1);
         assert_eq!(stats.explore_jobs, 3);
         assert_eq!(stats.compose_jobs, 2);
+        assert_eq!(stats.compose_shards, 3);
+        assert_eq!(stats.shards_cancelled, 1);
         assert_eq!(stats.fuzz_jobs, 4);
+        assert_eq!(stats.workers_idle, 1, "w2 joined but returned nothing");
         assert_eq!(stats.summaries_shipped, 3);
         assert_eq!(stats.summaries_deduped, 1);
         assert_eq!(stats.summary_bytes_shipped, 900);

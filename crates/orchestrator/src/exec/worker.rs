@@ -14,7 +14,10 @@ use super::{run_explore_job, ExecError};
 use crate::fingerprint::Fingerprint;
 use crate::json::Json;
 use crate::persist::{summary_from_json, summary_to_json};
-use crate::wire::{job_from_json, options_digest, options_from_json, report_to_json, JobSpec};
+use crate::wire::{
+    job_from_json, options_digest, options_from_json, report_to_json, shard_result_to_json, JobSpec,
+};
+use dataplane_symbex::CancelToken;
 use dataplane_verifier::{ElementSummary, Verifier, VerifierOptions};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -32,8 +35,14 @@ use std::sync::{Arc, Condvar, Mutex};
 /// already `held` and ack newly `folded` ones per result, compose frames
 /// mark already-held summary slots with `"held"` instead of re-shipping
 /// the document, and `ping`/`pong` frames let the coordinator detect a
-/// wedged-but-connected worker.
-pub const WORKER_SCHEMA: u64 = 4;
+/// wedged-but-connected worker. Version 5 is compose sharding: the
+/// `compose-shard` job kind (a contiguous slice of a scenario's Step-2
+/// check enumeration, riding the same summary-dedup attachments as
+/// `compose`) and the `cancel` frame, which fires a running shard's
+/// cancellation token so a sibling's violation stops work the fold no
+/// longer needs — the cancelled job still answers with the complete
+/// records it finished.
+pub const WORKER_SCHEMA: u64 = 5;
 
 /// Protocol name announced in hello frames, so a mismatched peer is told
 /// what this endpoint speaks.
@@ -134,6 +143,7 @@ fn run_job(
     summaries: Vec<Option<Arc<ElementSummary>>>,
     options: &VerifierOptions,
     state: &WorkerState,
+    cancel: &CancelToken,
 ) -> Result<JobOutput, ExecError> {
     match job {
         JobSpec::Explore(job) => {
@@ -174,6 +184,22 @@ fn run_job(
                 Vec::new(),
             ))
         }
+        JobSpec::ComposeShard(job) => {
+            let scenario = job
+                .scenario
+                .to_scenario()
+                .map_err(|e| ExecError::Job(format!("compose-shard job scenario: {e}")))?;
+            let mut verifier = Verifier::with_options(options.clone());
+            let result = verifier.decide_composition_shard(
+                &scenario.pipeline,
+                &scenario.property,
+                summaries.into_iter().flatten(),
+                job.start,
+                job.end,
+                cancel,
+            );
+            Ok((vec![("shard", shard_result_to_json(&result))], Vec::new()))
+        }
         JobSpec::Fuzz(job) => {
             let report = crate::conformance::run_fuzz_shard(job, options)?;
             Ok((
@@ -203,6 +229,7 @@ fn decode_summaries(
         .ok_or_else(|| ExecError::Protocol("job summaries is not an array".into()))?;
     let fingerprints: &[Fingerprint] = match job {
         JobSpec::Compose(job) => &job.fingerprints,
+        JobSpec::ComposeShard(job) => &job.fingerprints,
         _ => &[],
     };
     let mut folded = Vec::new();
@@ -371,6 +398,10 @@ where
     let options = &options;
     let writer = &writer;
     let in_flight = &(Mutex::new(0usize), Condvar::new());
+    // Cancellation tokens of in-flight jobs, by id: a `cancel` frame fires
+    // the token from the read loop while the job's thread keeps running —
+    // the job notices between walk nodes and answers with what it has.
+    let cancels = &Mutex::new(BTreeMap::<u64, CancelToken>::new());
     std::thread::scope(|scope| -> Result<(), ExecError> {
         loop {
             let Some(frame) = read_frame(&mut input)? else {
@@ -399,8 +430,13 @@ where
                         }
                         *running += 1;
                     }
+                    let cancel = CancelToken::new();
+                    cancels
+                        .lock()
+                        .expect("cancel registry")
+                        .insert(id, cancel.clone());
                     scope.spawn(move || {
-                        let frame = match run_job(&job, summaries, options, state) {
+                        let frame = match run_job(&job, summaries, options, state, &cancel) {
                             Ok((payload, run_folded)) => {
                                 let mut fields = vec![
                                     ("schema", Json::int(WORKER_SCHEMA)),
@@ -425,6 +461,7 @@ where
                             }
                             Err(e) => error_frame(Some(id), &e.to_string()),
                         };
+                        cancels.lock().expect("cancel registry").remove(&id);
                         // A write failure means the coordinator is gone;
                         // the read loop will see EOF and exit.
                         let _ = write_frame(&mut *writer.lock().expect("worker writer"), &frame);
@@ -449,6 +486,18 @@ where
                         &mut *writer.lock().expect("worker writer"),
                         &Json::obj(pong),
                     )?;
+                }
+                Some("cancel") => {
+                    // Fire the named job's token if it is still running; a
+                    // cancel racing a finished job is a clean no-op (its
+                    // result frame is already on the wire).
+                    let id = frame
+                        .get("id")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ExecError::Protocol("cancel frame without an id".into()))?;
+                    if let Some(token) = cancels.lock().expect("cancel registry").get(&id) {
+                        token.cancel();
+                    }
                 }
                 Some("options") => {
                     // An idempotent re-pin (a coordinator may push the

@@ -117,7 +117,9 @@ pub use service::{
     BoundOutcome, PropertySelect, ServiceError, VerifyOutcome, VerifyRequest, VerifyResponse,
     VerifyService,
 };
-pub use wire::{ComposeJob, ExploreJob, FuzzJob, JobSpec, PlanSpec, ScenarioSpec, WireError};
+pub use wire::{
+    ComposeJob, ComposeShardJob, ExploreJob, FuzzJob, JobSpec, PlanSpec, ScenarioSpec, WireError,
+};
 
 // The service moves pipelines, summaries, and progress observers across
 // worker threads; keep those bounds a compile-time contract.

@@ -276,7 +276,10 @@ impl MatrixReport {
                         ("jobs_requeued", Json::int(d.jobs_requeued as u64)),
                         ("explore_jobs", Json::int(d.explore_jobs as u64)),
                         ("compose_jobs", Json::int(d.compose_jobs as u64)),
+                        ("compose_shards", Json::int(d.compose_shards as u64)),
+                        ("shards_cancelled", Json::int(d.shards_cancelled as u64)),
                         ("fuzz_jobs", Json::int(d.fuzz_jobs as u64)),
+                        ("workers_idle", Json::int(d.workers_idle as u64)),
                         ("summaries_shipped", Json::int(d.summaries_shipped as u64)),
                         ("summaries_deduped", Json::int(d.summaries_deduped as u64)),
                         ("summary_bytes_shipped", Json::int(d.summary_bytes_shipped)),
@@ -350,11 +353,12 @@ impl fmt::Display for MatrixReport {
         if let Some(d) = &self.stats {
             writeln!(
                 f,
-                "  fleet: {} workers (capacity {}, {} lost, {} suspect), {} dispatched / {} completed / {} requeued ({} explore + {} compose + {} fuzz jobs)",
+                "  fleet: {} workers (capacity {}, {} lost, {} suspect, {} idle), {} dispatched / {} completed / {} requeued ({} explore + {} compose + {} fuzz jobs)",
                 d.workers,
                 d.capacity,
                 d.workers_lost,
                 d.workers_suspect,
+                d.workers_idle,
                 d.jobs_dispatched,
                 d.jobs_completed,
                 d.jobs_requeued,
@@ -362,6 +366,13 @@ impl fmt::Display for MatrixReport {
                 d.compose_jobs,
                 d.fuzz_jobs
             )?;
+            if d.compose_shards > 0 {
+                writeln!(
+                    f,
+                    "  shards: {} compose shards offered, {} cancelled early",
+                    d.compose_shards, d.shards_cancelled
+                )?;
+            }
             writeln!(
                 f,
                 "  wire: {} summaries shipped ({} bytes), {} deduped ({} bytes saved)",

@@ -45,7 +45,8 @@ use crate::orchestrator::{
     ScenarioReport,
 };
 use crate::wire::{
-    self, BoundSpec, ComposeJob, DiffMeta, ExploreJob, PlanSpec, ScenarioSpec, WireError,
+    self, BoundSpec, ComposeJob, ComposeShardJob, DiffMeta, ExploreJob, PlanSpec, ScenarioSpec,
+    WireError,
 };
 use dataplane_pipeline::diff::diff_pipelines;
 use dataplane_pipeline::{parse_config, ConfigError, Pipeline};
@@ -367,6 +368,7 @@ pub struct VerifyService {
     progress: Option<ProgressFn>,
     budget: Arc<ThreadBudget>,
     compose_mode: CompositionMode,
+    compose_shard: usize,
     /// The rolling baseline of [`VerifyRequest::Watch`]: the configs the
     /// last watch call verified.
     baseline: Mutex<Option<Vec<NamedConfig>>>,
@@ -393,6 +395,7 @@ impl VerifyService {
             progress: None,
             budget: ThreadBudget::new(threads),
             compose_mode: CompositionMode::SharedPool,
+            compose_shard: 0,
             baseline: Mutex::new(None),
         }
     }
@@ -426,6 +429,21 @@ impl VerifyService {
     pub fn with_composition_mode(mut self, mode: CompositionMode) -> Self {
         self.compose_mode = mode;
         self
+    }
+
+    /// Split each scenario's Step-2 suspect×prefix enumeration into about
+    /// `shards` contiguous wire shards when executing plans on a fleet with
+    /// a remote shard path (0 — the default — keeps whole compositions as
+    /// single [`ComposeJob`]s). The fold replays the sequential enumeration,
+    /// so deterministic reports are byte-identical at any value.
+    pub fn with_compose_shard(mut self, shards: usize) -> Self {
+        self.compose_shard = shards;
+        self
+    }
+
+    /// The configured per-scenario compose-shard count (0 = unsharded).
+    pub fn compose_shard(&self) -> usize {
+        self.compose_shard
     }
 
     /// Stream progress events to `observer`.
@@ -1063,9 +1081,18 @@ impl VerifyService {
             })
             .collect();
         let fetch = |fp: crate::fingerprint::Fingerprint| self.store.get(fp);
-        let mut matrix = match executor.compose_jobs(&compose_specs, &plan_spec.options, &fetch) {
+        // Sharded Step-2 takes precedence when configured and the executor
+        // has a remote shard path; otherwise whole-composition jobs, then
+        // the in-process scheduler.
+        let remote_reports: Option<Vec<Report>> = match self.compose_sharded(plan_spec, executor)? {
+            Some(reports) => Some(reports),
+            None => match executor.compose_jobs(&compose_specs, &plan_spec.options, &fetch) {
+                Some(reports) => Some(reports?),
+                None => None,
+            },
+        };
+        let mut matrix = match remote_reports {
             Some(reports) => {
-                let reports = reports?;
                 let stats_after = self.store.stats();
                 MatrixReport {
                     scenarios: plan_spec
@@ -1119,6 +1146,115 @@ impl VerifyService {
             request: "exec-plan",
             outcome,
         })
+    }
+
+    /// The sharded Step-2 path of [`VerifyService::execute_plan`]: outline
+    /// each scenario's suspect×prefix enumeration from the (warm) store,
+    /// split it into about [`VerifyService::compose_shard`] contiguous
+    /// [`ComposeShardJob`]s, dispatch them all as one pull-based batch (so
+    /// the fleet load-balances across scenarios, not just within one), and
+    /// fold each scenario's shard records back into its report by replaying
+    /// the sequential enumeration — byte-identical to an unsharded run.
+    ///
+    /// Returns `Ok(None)` when sharding is off (`compose_shard == 0`) or
+    /// the executor has no remote shard path; the caller then falls back to
+    /// whole-composition jobs. Scenarios with no shardable enumeration (no
+    /// suspects, or a Step-1 failure the composition must surface) verify
+    /// in place.
+    fn compose_sharded(
+        &self,
+        plan_spec: &PlanSpec,
+        executor: &dyn Executor,
+    ) -> Result<Option<Vec<Report>>, ServiceError> {
+        if self.compose_shard == 0 {
+            return Ok(None);
+        }
+        let fetch = |fp: crate::fingerprint::Fingerprint| self.store.get(fp);
+        // Capability probe: an executor without a remote shard path answers
+        // `None` even for an empty batch.
+        if executor
+            .compose_shard_jobs(&[], &plan_spec.options, &fetch)
+            .is_none()
+        {
+            return Ok(None);
+        }
+
+        let mut outlines = Vec::with_capacity(plan_spec.scenarios.len());
+        let mut jobs: Vec<ComposeShardJob> = Vec::new();
+        let mut shard_counts = Vec::with_capacity(plan_spec.scenarios.len());
+        for (index, (spec, fps)) in plan_spec
+            .scenarios
+            .iter()
+            .zip(&plan_spec.element_fingerprints)
+            .enumerate()
+        {
+            let scenario = spec.to_scenario()?;
+            let outline = Verifier::with_options(plan_spec.options.clone()).outline_composition(
+                &scenario.pipeline,
+                &scenario.property,
+                fps.iter().filter_map(|fp| self.store.get(*fp)),
+            );
+            let before = jobs.len();
+            if let Some(outline) = &outline {
+                // `compose_shard` is a target count; the greedy splitter
+                // packs whole nodes, so the actual count can differ by one
+                // or two.
+                let width = outline.total_weight().div_ceil(self.compose_shard).max(1);
+                for (start, end) in outline.shards(width) {
+                    jobs.push(ComposeShardJob {
+                        scenario: spec.clone(),
+                        fingerprints: fps.clone(),
+                        scenario_index: index as u32,
+                        start,
+                        end,
+                    });
+                }
+            }
+            shard_counts.push(jobs.len() - before);
+            outlines.push(outline);
+        }
+
+        let results = match executor.compose_shard_jobs(&jobs, &plan_spec.options, &fetch) {
+            Some(results) => results?,
+            None => return Ok(None),
+        };
+
+        // Shards were emitted scenario-by-scenario, so each scenario's
+        // results are the next `shard_counts[i]` slots in order.
+        let mut results = results.into_iter();
+        let mut reports = Vec::with_capacity(plan_spec.scenarios.len());
+        for ((spec, fps), (outline, count)) in plan_spec
+            .scenarios
+            .iter()
+            .zip(&plan_spec.element_fingerprints)
+            .zip(outlines.into_iter().zip(shard_counts))
+        {
+            let scenario = spec.to_scenario()?;
+            let records = results
+                .by_ref()
+                .take(count)
+                .flat_map(|result| result.records);
+            let report = match outline {
+                Some(outline) => Verifier::with_options(plan_spec.options.clone())
+                    .fold_composition_shards(
+                        &scenario.pipeline,
+                        &scenario.property,
+                        fps.iter().filter_map(|fp| self.store.get(*fp)),
+                        &outline,
+                        records,
+                    ),
+                // No shardable enumeration: verify in place, exactly as
+                // the unsharded in-process path would.
+                None => {
+                    let mut verifier =
+                        Verifier::with_options(self.composition_options(&plan_spec.options));
+                    verifier.seed_summaries(fps.iter().filter_map(|fp| self.store.get(*fp)));
+                    verifier.verify(&scenario.pipeline, &scenario.property)
+                }
+            };
+            reports.push(report);
+        }
+        Ok(Some(reports))
     }
 }
 

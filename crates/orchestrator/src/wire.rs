@@ -28,10 +28,10 @@ use crate::json::{Json, JsonError};
 use crate::orchestrator::Scenario;
 use crate::service::{PropertySelect, VerifyRequest};
 use dataplane_pipeline::{parse_config, write_config, ConfigError, ConfigWriteError};
-use dataplane_symbex::{EngineConfig, LoopMode, SolverConfig};
+use dataplane_symbex::{CheckDiagnostics, EngineConfig, LoopMode, SolverConfig};
 use dataplane_verifier::{
-    Counterexample, EscalationLadder, Property, Report, UnprovenPath, Verdict, VerificationStats,
-    VerifierOptions,
+    CheckOutcome, CheckRecord, ComposeShardResult, Counterexample, EscalationLadder, Property,
+    Report, ShardEdge, ShardNodeRecord, UnprovenPath, Verdict, VerificationStats, VerifierOptions,
 };
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -417,6 +417,31 @@ pub struct ComposeJob {
     pub fingerprints: Vec<Fingerprint>,
 }
 
+/// One Step-2 composition *shard* on the wire: a [`ComposeJob`]'s scenario
+/// and summary fingerprints plus a contiguous `[start, end)` slice of the
+/// deterministic check enumeration (the pre-order walk of the
+/// interval-pruned prefix tree — see `dataplane_verifier::ComposeOutline`).
+/// The worker reproduces the enumeration locally, decides only the nodes in
+/// its range, and ships the per-node records back; the coordinator folds
+/// all ranges in sequential enumeration order, so the report is
+/// byte-identical to an in-process run at any shard size or fleet shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComposeShardJob {
+    /// The scenario whose composition is being sharded.
+    pub scenario: ScenarioSpec,
+    /// Per pipeline element: the summary fingerprint the composition
+    /// consumes, in pipeline order.
+    pub fingerprints: Vec<Fingerprint>,
+    /// Index of the scenario in the run — the sibling-group key: when one
+    /// shard of a group reports a violation, the group's outstanding
+    /// shards are cancelled.
+    pub scenario_index: u32,
+    /// First enumeration index this shard decides (inclusive).
+    pub start: usize,
+    /// One past the last enumeration index this shard decides.
+    pub end: usize,
+}
+
 /// One conformance fuzz shard on the wire: a scenario (as config text +
 /// property) and the slice of the seeded packet stream this shard pushes
 /// through a fresh model runtime. The shard is both the determinism unit
@@ -452,6 +477,8 @@ pub enum JobSpec {
     Explore(ExploreJob),
     /// Decide one scenario's composition from shipped summaries.
     Compose(ComposeJob),
+    /// Decide one contiguous slice of a scenario's composition enumeration.
+    ComposeShard(ComposeShardJob),
     /// Push one seeded packet-stream shard through a proven scenario.
     Fuzz(FuzzJob),
 }
@@ -500,6 +527,14 @@ pub fn job_to_json(job: &JobSpec) -> Json {
             ("scenario", scenario_spec_to_json(&job.scenario)),
             ("fingerprints", fingerprints_to_json(&job.fingerprints)),
         ]),
+        JobSpec::ComposeShard(job) => Json::obj([
+            ("kind", Json::str("compose-shard")),
+            ("scenario", scenario_spec_to_json(&job.scenario)),
+            ("fingerprints", fingerprints_to_json(&job.fingerprints)),
+            ("scenario_index", Json::int(u64::from(job.scenario_index))),
+            ("start", Json::int(job.start as u64)),
+            ("end", Json::int(job.end as u64)),
+        ]),
         JobSpec::Fuzz(job) => Json::obj([
             ("kind", Json::str("fuzz")),
             ("scenario", scenario_spec_to_json(&job.scenario)),
@@ -519,6 +554,14 @@ pub fn job_from_json(json: &Json) -> Result<JobSpec, WireError> {
         "compose" => Ok(JobSpec::Compose(ComposeJob {
             scenario: scenario_spec_from_json(get(json, "scenario")?)?,
             fingerprints: fingerprints_from_json(get_arr(json, "fingerprints")?)?,
+        })),
+        "compose-shard" => Ok(JobSpec::ComposeShard(ComposeShardJob {
+            scenario: scenario_spec_from_json(get(json, "scenario")?)?,
+            fingerprints: fingerprints_from_json(get_arr(json, "fingerprints")?)?,
+            scenario_index: u32::try_from(get_u64(json, "scenario_index")?)
+                .map_err(|_| malformed("scenario_index exceeds u32"))?,
+            start: get_usize(json, "start")?,
+            end: get_usize(json, "end")?,
         })),
         "fuzz" => {
             let scenario_index = get_u64(json, "scenario_index")?;
@@ -1035,6 +1078,11 @@ fn stats_to_json(stats: &VerificationStats) -> Json {
         ("discharged", Json::int(stats.discharged as u64)),
         ("composed_paths", Json::int(stats.composed_paths as u64)),
         ("solver_calls", Json::int(stats.solver_calls as u64)),
+        (
+            "prefilter_decided",
+            Json::int(stats.prefilter_decided as u64),
+        ),
+        ("prefilter_passed", Json::int(stats.prefilter_passed as u64)),
         ("fm_budget_aborts", Json::int(stats.fm_budget_aborts as u64)),
         (
             "model_search_aborts",
@@ -1102,6 +1150,8 @@ fn stats_from_json(json: &Json) -> Result<VerificationStats, WireError> {
         discharged: get_usize(json, "discharged")?,
         composed_paths: get_usize(json, "composed_paths")?,
         solver_calls: get_usize(json, "solver_calls")?,
+        prefilter_decided: get_usize(json, "prefilter_decided")?,
+        prefilter_passed: get_usize(json, "prefilter_passed")?,
         fm_budget_aborts: get_usize(json, "fm_budget_aborts")?,
         model_search_aborts: get_usize(json, "model_search_aborts")?,
         budget_escalations: get_usize(json, "budget_escalations")?,
@@ -1121,11 +1171,165 @@ fn counterexample_to_json(ce: &Counterexample) -> Json {
     ])
 }
 
+fn counterexample_from_json(json: &Json) -> Result<Counterexample, WireError> {
+    Ok(Counterexample {
+        packet: bytes_from_hex(get_str(json, "packet_hex")?)?,
+        path: str_arr(get_arr(json, "path")?)?,
+        description: get_str(json, "description")?.to_string(),
+        confirmed: get_bool(json, "confirmed")?,
+    })
+}
+
 fn unproven_to_json(up: &UnprovenPath) -> Json {
     Json::obj([
         ("path", Json::Arr(up.path.iter().map(Json::str).collect())),
         ("reason", Json::str(&up.reason)),
     ])
+}
+
+fn unproven_from_json(json: &Json) -> Result<UnprovenPath, WireError> {
+    Ok(UnprovenPath {
+        path: str_arr(get_arr(json, "path")?)?,
+        reason: get_str(json, "reason")?.to_string(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Compose-shard results
+// ---------------------------------------------------------------------------
+
+fn check_record_to_json(check: &CheckRecord) -> Json {
+    let outcome = match &check.outcome {
+        CheckOutcome::Discharged => Json::obj([("kind", Json::str("discharged"))]),
+        CheckOutcome::Violation(ce) => Json::obj([
+            ("kind", Json::str("violation")),
+            ("counterexample", counterexample_to_json(ce)),
+        ]),
+        CheckOutcome::Undecided(up) => Json::obj([
+            ("kind", Json::str("undecided")),
+            ("unproven", unproven_to_json(up)),
+        ]),
+    };
+    Json::obj([
+        ("outcome", outcome),
+        ("fm_exhausted", Json::Bool(check.diag.fm_budget_exhausted)),
+        (
+            "search_exhausted",
+            Json::Bool(check.diag.model_search_exhausted),
+        ),
+        ("escalated", Json::Bool(check.escalated)),
+        (
+            "decided_at_rung",
+            match check.decided_at_rung {
+                Some(rung) => Json::int(rung as u64),
+                None => Json::Null,
+            },
+        ),
+        ("raised_fm", Json::Bool(check.raised_fm)),
+        ("raised_search", Json::Bool(check.raised_search)),
+        ("prefiltered", Json::Bool(check.prefiltered)),
+    ])
+}
+
+fn check_record_from_json(json: &Json) -> Result<CheckRecord, WireError> {
+    let outcome = get(json, "outcome")?;
+    let outcome = match get_str(outcome, "kind")? {
+        "discharged" => CheckOutcome::Discharged,
+        "violation" => {
+            CheckOutcome::Violation(counterexample_from_json(get(outcome, "counterexample")?)?)
+        }
+        "undecided" => CheckOutcome::Undecided(unproven_from_json(get(outcome, "unproven")?)?),
+        other => return Err(malformed(format!("unknown check outcome '{other}'"))),
+    };
+    Ok(CheckRecord {
+        outcome,
+        diag: CheckDiagnostics {
+            fm_budget_exhausted: get_bool(json, "fm_exhausted")?,
+            model_search_exhausted: get_bool(json, "search_exhausted")?,
+        },
+        escalated: get_bool(json, "escalated")?,
+        decided_at_rung: match get(json, "decided_at_rung")? {
+            Json::Null => None,
+            v => Some(
+                v.as_u64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| malformed("decided_at_rung is not an unsigned integer"))?,
+            ),
+        },
+        raised_fm: get_bool(json, "raised_fm")?,
+        raised_search: get_bool(json, "raised_search")?,
+        prefiltered: get_bool(json, "prefiltered")?,
+    })
+}
+
+fn shard_edge_to_json(edge: &ShardEdge) -> Json {
+    Json::obj([
+        ("prefiltered", Json::Bool(edge.prefiltered)),
+        ("pruned_call", Json::Bool(edge.pruned_call)),
+        ("feasible", Json::Bool(edge.feasible)),
+    ])
+}
+
+fn shard_edge_from_json(json: &Json) -> Result<ShardEdge, WireError> {
+    Ok(ShardEdge {
+        prefiltered: get_bool(json, "prefiltered")?,
+        pruned_call: get_bool(json, "pruned_call")?,
+        feasible: get_bool(json, "feasible")?,
+    })
+}
+
+/// Encode what one `ComposeShard` job computed: the per-node records (each
+/// byte-identical to what the fold would compute inline) and whether the
+/// shard was cancelled before covering its range.
+pub fn shard_result_to_json(result: &ComposeShardResult) -> Json {
+    Json::obj([
+        (
+            "records",
+            Json::Arr(
+                result
+                    .records
+                    .iter()
+                    .map(|rec| {
+                        Json::obj([
+                            ("index", Json::int(rec.index as u64)),
+                            (
+                                "checks",
+                                Json::Arr(rec.checks.iter().map(check_record_to_json).collect()),
+                            ),
+                            (
+                                "edges",
+                                Json::Arr(rec.edges.iter().map(shard_edge_to_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("cancelled", Json::Bool(result.cancelled)),
+    ])
+}
+
+/// Decode a `ComposeShard` job result.
+pub fn shard_result_from_json(json: &Json) -> Result<ComposeShardResult, WireError> {
+    Ok(ComposeShardResult {
+        records: get_arr(json, "records")?
+            .iter()
+            .map(|rec| {
+                Ok(ShardNodeRecord {
+                    index: get_usize(rec, "index")?,
+                    checks: get_arr(rec, "checks")?
+                        .iter()
+                        .map(check_record_from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    edges: get_arr(rec, "edges")?
+                        .iter()
+                        .map(shard_edge_from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                })
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+        cancelled: get_bool(json, "cancelled")?,
+    })
 }
 
 /// Encode everything deterministic about a report: the verdict, the full
@@ -1178,23 +1382,11 @@ pub fn report_from_json(
         verdict: verdict_from_name(get_str(json, "verdict")?)?,
         counterexamples: get_arr(json, "counterexamples")?
             .iter()
-            .map(|ce| {
-                Ok(Counterexample {
-                    packet: bytes_from_hex(get_str(ce, "packet_hex")?)?,
-                    path: str_arr(get_arr(ce, "path")?)?,
-                    description: get_str(ce, "description")?.to_string(),
-                    confirmed: get_bool(ce, "confirmed")?,
-                })
-            })
+            .map(counterexample_from_json)
             .collect::<Result<Vec<_>, WireError>>()?,
         unproven: get_arr(json, "unproven")?
             .iter()
-            .map(|up| {
-                Ok(UnprovenPath {
-                    path: str_arr(get_arr(up, "path")?)?,
-                    reason: get_str(up, "reason")?.to_string(),
-                })
-            })
+            .map(unproven_from_json)
             .collect::<Result<Vec<_>, WireError>>()?,
         stats: stats_from_json(get(json, "stats")?)?,
         elapsed,
@@ -1414,6 +1606,103 @@ mod tests {
         assert!(bytes_from_hex("caf\u{e9}").is_err(), "non-ASCII");
         assert_eq!(bytes_from_hex("").unwrap(), Vec::<u8>::new());
         assert_eq!(bytes_from_hex("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+    }
+
+    #[test]
+    fn compose_shard_jobs_round_trip() {
+        let scenario = preset_scenarios().remove(0);
+        let fp = crate::fingerprint::fingerprint_bytes("behaviour");
+        let job = JobSpec::ComposeShard(ComposeShardJob {
+            scenario: ScenarioSpec::from_scenario(&scenario).unwrap(),
+            fingerprints: vec![fp, fp, fp],
+            scenario_index: 7,
+            start: 3,
+            end: 19,
+        });
+        let text = job_to_json(&job).to_text();
+        let back = job_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, job);
+        assert_eq!(job_to_json(&back).to_text(), text, "re-encoding is stable");
+    }
+
+    #[test]
+    fn shard_results_round_trip_byte_for_byte() {
+        let result = ComposeShardResult {
+            records: vec![
+                ShardNodeRecord {
+                    index: 4,
+                    checks: vec![
+                        CheckRecord {
+                            outcome: CheckOutcome::Discharged,
+                            diag: CheckDiagnostics::default(),
+                            escalated: false,
+                            decided_at_rung: None,
+                            raised_fm: false,
+                            raised_search: false,
+                            prefiltered: true,
+                        },
+                        CheckRecord {
+                            outcome: CheckOutcome::Violation(Counterexample {
+                                packet: vec![0x45, 0x00, 0xff],
+                                path: vec!["cls".into(), "chk".into()],
+                                description: "division by zero".into(),
+                                confirmed: true,
+                            }),
+                            diag: CheckDiagnostics {
+                                fm_budget_exhausted: true,
+                                model_search_exhausted: false,
+                            },
+                            escalated: true,
+                            decided_at_rung: Some(2),
+                            raised_fm: true,
+                            raised_search: false,
+                            prefiltered: false,
+                        },
+                        CheckRecord {
+                            outcome: CheckOutcome::Undecided(UnprovenPath {
+                                path: vec!["cls".into()],
+                                reason: "model search exhausted its tries".into(),
+                            }),
+                            diag: CheckDiagnostics {
+                                fm_budget_exhausted: false,
+                                model_search_exhausted: true,
+                            },
+                            escalated: false,
+                            decided_at_rung: None,
+                            raised_fm: false,
+                            raised_search: true,
+                            prefiltered: false,
+                        },
+                    ],
+                    edges: vec![
+                        ShardEdge {
+                            prefiltered: true,
+                            pruned_call: false,
+                            feasible: false,
+                        },
+                        ShardEdge {
+                            prefiltered: false,
+                            pruned_call: true,
+                            feasible: true,
+                        },
+                    ],
+                },
+                ShardNodeRecord {
+                    index: 5,
+                    checks: vec![],
+                    edges: vec![],
+                },
+            ],
+            cancelled: true,
+        };
+        let text = shard_result_to_json(&result).to_text();
+        let back = shard_result_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, result);
+        assert_eq!(
+            shard_result_to_json(&back).to_text(),
+            text,
+            "decode → re-encode is byte-stable"
+        );
     }
 
     #[test]

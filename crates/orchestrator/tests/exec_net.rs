@@ -329,6 +329,136 @@ fn wedged_worker_is_marked_suspect_and_its_jobs_requeue_to_survivors() {
     );
 }
 
+/// The linear_router preset rows: every property has a non-empty suspect
+/// set (outline weights 31/31/37), so compose sharding actually produces
+/// wire shards — the ROUTER/FILTER configs above are suspect-free and
+/// would verify in place.
+fn linear_router_request() -> VerifyRequest {
+    VerifyRequest::Matrix {
+        scenarios: dataplane_orchestrator::preset_scenarios()
+            .into_iter()
+            .filter(|s| s.pipeline_name == "linear_router")
+            .collect(),
+    }
+}
+
+#[test]
+fn sharded_compose_over_tcp_is_byte_identical() {
+    let service = VerifyService::new().with_threads(2);
+    let reference = service
+        .serve(linear_router_request())
+        .unwrap()
+        .deterministic_json()
+        .to_text();
+
+    // Same request, but Step-2 split into about 4 shards per scenario and
+    // dispatched across two real TCP workers.
+    let fleet = WorkerFleet::sockets(vec![
+        spawn_persistent_tcp_worker(),
+        spawn_persistent_tcp_worker(),
+    ]);
+    let fresh = VerifyService::new().with_threads(2).with_compose_shard(4);
+    let plan = fresh.plan_request(&linear_router_request()).unwrap();
+    let executed = fresh.execute_plan(&plan, &fleet).unwrap();
+    assert_eq!(
+        executed.deterministic_json().to_text(),
+        reference,
+        "sharded TCP execution must reproduce the in-process report byte for byte"
+    );
+    let stats = executed.matrix().unwrap().stats.clone().unwrap();
+    assert!(
+        stats.compose_shards > 0,
+        "shards were offered to the queue: {stats:?}"
+    );
+    assert_eq!(
+        stats.compose_jobs, 0,
+        "the shard path replaces whole-composition jobs: {stats:?}"
+    );
+    assert_eq!(stats.workers_lost, 0);
+}
+
+#[test]
+fn killed_worker_mid_shard_requeues_and_report_stays_byte_identical() {
+    let service = VerifyService::new().with_threads(2);
+    let reference = service
+        .serve(linear_router_request())
+        .unwrap()
+        .deterministic_json()
+        .to_text();
+
+    // One worker that dies after pulling its first job in every session,
+    // one healthy worker: shards the flaky peer pulled must requeue to
+    // the survivor without changing the report.
+    let fleet = WorkerFleet::sockets(vec![
+        spawn_flaky_tcp_worker(),
+        spawn_persistent_tcp_worker(),
+    ]);
+    let fresh = VerifyService::new().with_threads(2).with_compose_shard(4);
+    let plan = fresh.plan_request(&linear_router_request()).unwrap();
+    let executed = fresh.execute_plan(&plan, &fleet).unwrap();
+    assert_eq!(
+        executed.deterministic_json().to_text(),
+        reference,
+        "a worker death mid-shard must not change the report"
+    );
+    let stats = executed.matrix().unwrap().stats.clone().unwrap();
+    assert!(
+        stats.compose_shards > 0,
+        "shards were offered to the queue: {stats:?}"
+    );
+    assert_eq!(stats.workers_lost, 1, "the flaky worker was noticed");
+    assert!(
+        stats.jobs_requeued >= 1,
+        "its in-flight work was requeued: {stats:?}"
+    );
+}
+
+#[test]
+fn violation_cancels_sibling_shards_without_changing_the_report() {
+    // The three buggy presets all violate their property, so every
+    // scenario's first violating shard fires the cancellation path for
+    // its siblings — whether a cancel frame lands in time or a queued
+    // sibling resolves synthetically, the fold computes the remainder
+    // inline and the report must not move.
+    let buggy = || VerifyRequest::Matrix {
+        scenarios: dataplane_orchestrator::preset_scenarios()
+            .into_iter()
+            .filter(|s| s.pipeline_name == "buggy")
+            .collect(),
+    };
+    let reference = VerifyService::new()
+        .with_threads(2)
+        .serve(buggy())
+        .unwrap()
+        .deterministic_json()
+        .to_text();
+
+    let fleet = WorkerFleet::sockets(vec![
+        spawn_persistent_tcp_worker(),
+        spawn_persistent_tcp_worker(),
+    ]);
+    let fresh = VerifyService::new().with_threads(2).with_compose_shard(8);
+    let plan = fresh.plan_request(&buggy()).unwrap();
+    let executed = fresh.execute_plan(&plan, &fleet).unwrap();
+    assert_eq!(
+        executed.deterministic_json().to_text(),
+        reference,
+        "early-exit cancellation must be pure work-avoidance"
+    );
+    let stats = executed.matrix().unwrap().stats.clone().unwrap();
+    assert!(
+        stats.compose_shards > 0,
+        "shards were offered to the queue: {stats:?}"
+    );
+    // Whether any sibling was actually cancelled is a race (a fast fleet
+    // may finish every shard first); the counter just must not exceed
+    // what was offered.
+    assert!(
+        stats.shards_cancelled <= stats.compose_shards,
+        "cancellation accounting stays within the offered shards: {stats:?}"
+    );
+}
+
 #[test]
 fn second_plan_against_a_warm_worker_ships_zero_summaries() {
     // Warm the coordinator's store in-process so the explore phase has

@@ -49,7 +49,10 @@ pub use engine::{
     explore, explore_with_cancel, CrashKind, DsReadRecord, DsWriteRecord, EngineConfig,
     Exploration, ExploreError, LoopMode, Segment, SegmentOutcome,
 };
-pub use solver::{term_bounds, CheckDiagnostics, Interval, Solver, SolverConfig, SolverResult};
+pub use solver::{
+    interval_infeasible, term_bounds, CheckDiagnostics, Interval, Solver, SolverConfig,
+    SolverResult,
+};
 pub use state::SymPacket;
 pub use term::{Assignment, Term, TermRef, VarId};
 

@@ -790,6 +790,51 @@ pub fn term_bounds(constraints: &[TermRef], term: &TermRef) -> Interval {
     }
 }
 
+/// Interval-only infeasibility pre-check: run the cheap analytic prefix of
+/// the full decision procedure — conjunction flattening, atom
+/// normalisation, syntactic contradiction pairs, and interval propagation —
+/// and report whether it already proves the conjunction unsatisfiable.
+///
+/// Sound by construction: every stage here is literally a prefix of
+/// [`Solver::check`], so `true` implies the full solver would return
+/// `Unsat` (never `Sat`). `false` says nothing — the conjunction may still
+/// be infeasible for reasons only Fourier–Motzkin or the model search can
+/// establish. Because no stage with a tunable budget runs, the answer is a
+/// deterministic function of the constraints alone, independent of
+/// [`SolverConfig`].
+pub fn interval_infeasible(constraints: &[TermRef]) -> bool {
+    let mut conjuncts = Vec::new();
+    for c in constraints {
+        if !flatten(c, &mut conjuncts) {
+            return true;
+        }
+    }
+    if conjuncts.is_empty() {
+        return false;
+    }
+    let atoms: Vec<Atom> = conjuncts.iter().filter_map(normalize_atom).collect();
+    if has_contradiction_pair(&atoms) {
+        return true;
+    }
+    let mut intervals = IntervalMap::default();
+    for c in &conjuncts {
+        intervals.compute(c);
+    }
+    for _ in 0..4 {
+        let mut changed = false;
+        for a in &atoms {
+            changed |= intervals.refine(a);
+        }
+        if intervals.contradiction {
+            return true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    intervals.contradiction
+}
+
 /// Map of computed intervals keyed by term structure.
 #[derive(Default)]
 struct IntervalMap {

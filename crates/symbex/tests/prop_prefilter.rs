@@ -1,0 +1,77 @@
+//! Soundness of the interval-only feasibility pre-filter.
+//!
+//! `interval_infeasible` runs only the cheap analytic prefix of the full
+//! decision procedure, so its `true` verdicts must never contradict the
+//! full solver: whenever the pre-filter declares a conjunction infeasible,
+//! `Solver::check` must return `Unsat` on the same conjunction. The
+//! property test below drives both through randomly built constraint
+//! conjunctions over packet bytes.
+
+use dataplane_ir::value::BitVec;
+use dataplane_ir::BinOp;
+use dataplane_symbex::term::{self, Term};
+use dataplane_symbex::{interval_infeasible, Solver, TermRef};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Build one comparison conjunct from 64 random bits: a packet-byte leaf
+/// (possibly wrapped in an add or a mask) compared against a constant.
+fn conjunct(p: u64) -> TermRef {
+    let cmp = [
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::ULt,
+        BinOp::ULe,
+        BinOp::UGt,
+        BinOp::UGe,
+        BinOp::SLt,
+        BinOp::SLe,
+    ][(p % 8) as usize];
+    let leaf: TermRef = Arc::new(Term::PacketByte(((p >> 3) % 3) as i64));
+    let mixer = term::constant(BitVec::new(8, (p >> 8) & 0xff));
+    let lhs = match (p >> 5) % 3 {
+        0 => leaf,
+        1 => term::binary(BinOp::Add, leaf, mixer),
+        _ => term::binary(BinOp::And, leaf, mixer),
+    };
+    let rhs = term::constant(BitVec::new(8, (p >> 16) & 0xff));
+    term::binary(cmp, lhs, rhs)
+}
+
+proptest! {
+    /// The pre-filter's `true` verdict always agrees with the full solver.
+    #[test]
+    fn prefilter_never_contradicts_full_solver(
+        picks in proptest::collection::vec(any::<u64>(), 1..6)
+    ) {
+        let constraints: Vec<TermRef> = picks.iter().map(|&p| conjunct(p)).collect();
+        if interval_infeasible(&constraints) {
+            prop_assert!(
+                Solver::new().check(&constraints).is_unsat(),
+                "pre-filter declared a solver-satisfiable conjunction infeasible: {constraints:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn prefilter_catches_disjoint_intervals() {
+    let byte: TermRef = Arc::new(Term::PacketByte(0));
+    let constraints = vec![
+        term::binary(BinOp::ULt, byte.clone(), term::constant(BitVec::new(8, 3))),
+        term::binary(BinOp::UGt, byte, term::constant(BitVec::new(8, 5))),
+    ];
+    assert!(interval_infeasible(&constraints));
+    assert!(Solver::new().check(&constraints).is_unsat());
+}
+
+#[test]
+fn prefilter_passes_satisfiable_conjunctions() {
+    let byte: TermRef = Arc::new(Term::PacketByte(0));
+    let constraints = vec![
+        term::binary(BinOp::UGe, byte.clone(), term::constant(BitVec::new(8, 3))),
+        term::binary(BinOp::ULe, byte, term::constant(BitVec::new(8, 5))),
+    ];
+    assert!(!interval_infeasible(&constraints));
+    assert!(Solver::new().check(&constraints).is_sat());
+}

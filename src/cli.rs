@@ -122,12 +122,15 @@ pub fn main(args: Vec<String>) -> i32 {
 
 const USAGE: &str = "usage: vericlick <subcommand> [options]
   run [--matrix] [cfg.click...] [--threads N] [--cache DIR] [--json PATH] [--selftest]
-      [--connect addr]
+      [--compose-shard N] [--connect addr]
   diff <old.click> <new.click> | --demo   [--threads N] [--cache DIR] [--connect addr]
   plan [--matrix] [cfg.click...] [-o PATH] [--threads N]
   exec-plan [PATH|-] [--workers N | --workers addr,addr,...] [--in-process]
             [--threads N] [--cache DIR] [--json PATH] [--det-json PATH]
-            [--heartbeat-ms N]
+            [--heartbeat-ms N] [--compose-shard N]
+    (--compose-shard splits each scenario's Step-2 check enumeration
+     into about N wire shards the fleet load-balances; reports stay
+     byte-identical to an unsharded run)
   watch <cfg.click...> [--poll-ms N] [--max-polls N] | --demo
             [--threads N] [--cache DIR] [--connect addr]
   bound <cfg.click...> [--threads N] [--cache DIR]
@@ -143,7 +146,8 @@ const USAGE: &str = "usage: vericlick <subcommand> [options]
     (addr is host:port for TCP or a path / unix:PATH for a Unix socket;
      --join announces the bound address to a running daemon's fleet)
   serve --listen addr [--threads N] [--cache DIR] [--max-sessions N]
-        [--workers addr,addr,...] [--heartbeat-ms N] [--once]
+        [--workers addr,addr,...] [--heartbeat-ms N] [--compose-shard N]
+        [--once]
     (persistent daemon: a warm summary store shared across requests;
      clients connect with `client`/`--connect`, workers with `--join`)
   client --connect addr [--matrix] [cfg.click...] [--request PATH]
@@ -366,6 +370,7 @@ fn cmd_run(args: Vec<String>) -> i32 {
     let mut matrix = false;
     let mut selftest = false;
     let mut connect: Option<String> = None;
+    let mut compose_shard = 0usize;
     let mut json_path: Option<String> = None;
     let mut det_json_path: Option<String> = None;
     let mut files = Vec::new();
@@ -377,6 +382,10 @@ fn cmd_run(args: Vec<String>) -> i32 {
             "--connect" => match iter.next() {
                 Some(addr) => connect = Some(addr),
                 None => return usage_error("--connect needs a daemon address"),
+            },
+            "--compose-shard" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => compose_shard = n,
+                None => return usage_error("--compose-shard needs a shard count (0 = unsharded)"),
             },
             "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => flags.threads = n,
@@ -409,9 +418,9 @@ fn cmd_run(args: Vec<String>) -> i32 {
         if selftest {
             return usage_error("--selftest runs in-process (not with --connect)");
         }
-        if flags.threads != 0 || flags.cache.is_some() {
+        if flags.threads != 0 || flags.cache.is_some() || compose_shard != 0 {
             return usage_error(
-                "--threads/--cache are daemon-side (set them on `vericlick serve`)",
+                "--threads/--cache/--compose-shard are daemon-side (set them on `vericlick serve`)",
             );
         }
         return match client_request(
@@ -425,7 +434,7 @@ fn cmd_run(args: Vec<String>) -> i32 {
         };
     }
     let service = match flags.build(true) {
-        Ok(s) => s,
+        Ok(s) => s.with_compose_shard(compose_shard),
         Err(code) => return code,
     };
     let threads = service.threads();
@@ -767,6 +776,7 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
     let mut workers: Option<String> = None;
     let mut in_process = false;
     let mut heartbeat_ms: Option<u64> = None;
+    let mut compose_shard = 0usize;
     let mut json_path: Option<String> = None;
     let mut det_json_path: Option<String> = None;
     let mut file: Option<String> = None;
@@ -777,6 +787,10 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
             "--workers" => match iter.next() {
                 Some(spec) => workers = Some(spec),
                 None => return usage_error("--workers needs a count or address list"),
+            },
+            "--compose-shard" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => compose_shard = n,
+                None => return usage_error("--compose-shard needs a shard count (0 = unsharded)"),
             },
             "--heartbeat-ms" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(ms) => heartbeat_ms = Some(ms),
@@ -838,7 +852,7 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
     };
 
     let service = match flags.build(false) {
-        Ok(s) => s,
+        Ok(s) => s.with_compose_shard(compose_shard),
         Err(code) => return code,
     };
     // Default executor: subprocess workers (the remote path). A numeric
@@ -1629,6 +1643,7 @@ fn cmd_serve(args: Vec<String>) -> i32 {
     let mut max_sessions = 4usize;
     let mut workers: Option<String> = None;
     let mut heartbeat_ms: Option<u64> = None;
+    let mut compose_shard = 0usize;
     let mut once = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -1656,6 +1671,10 @@ fn cmd_serve(args: Vec<String>) -> i32 {
             "--heartbeat-ms" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(ms) => heartbeat_ms = Some(ms),
                 None => return usage_error("--heartbeat-ms needs a number of milliseconds"),
+            },
+            "--compose-shard" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => compose_shard = n,
+                None => return usage_error("--compose-shard needs a shard count (0 = unsharded)"),
             },
             "--once" => once = true,
             other => return usage_error(&format!("unknown option '{other}'")),
@@ -1689,6 +1708,7 @@ fn cmd_serve(args: Vec<String>) -> i32 {
         heartbeat: heartbeat_ms
             .map(HeartbeatConfig::from_interval_ms)
             .unwrap_or_default(),
+        compose_shard,
         ..DaemonConfig::default()
     };
     let daemon = Daemon::new(config);
