@@ -230,6 +230,121 @@ fn report() {
     fuzz_report();
     shard_report();
     daemon_report();
+    temporal_report();
+}
+
+/// Temporal (LTL) verification economics: the bundled Büchi-product
+/// scenarios — one `Property::Temporal` per preset pipeline — run
+/// in-process, then over a 2-worker TCP fleet as `JobSpec::Temporal`
+/// wire jobs. The artefact records automaton and product sizes alongside
+/// latency, and the fleet report must stay byte-identical.
+fn temporal_report() {
+    use std::sync::mpsc;
+
+    fn temporal_request() -> VerifyRequest {
+        VerifyRequest::Matrix {
+            scenarios: preset_scenarios()
+                .into_iter()
+                .filter(|s| matches!(s.property, dataplane_verifier::Property::Temporal(_)))
+                .collect(),
+        }
+    }
+
+    fn spawn_worker() -> WorkerAddr {
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let mut tx = Some(tx);
+            let mut log = move |line: &str| {
+                if let Some(addr) = line.strip_prefix("listening on ") {
+                    if let Some(tx) = tx.take() {
+                        let _ = tx.send(addr.to_string());
+                    }
+                }
+            };
+            let _ = serve_listener(&WorkerAddr::Tcp("127.0.0.1:0".into()), 2, false, &mut log);
+        });
+        WorkerAddr::Tcp(rx.recv().expect("worker announced its address"))
+    }
+
+    let service = VerifyService::new().with_threads(2);
+    let start = Instant::now();
+    let served = service.serve(temporal_request()).expect("temporal matrix");
+    let secs = start.elapsed().as_secs_f64();
+    let reference = served.deterministic_json().to_text();
+    let matrix = served.matrix().expect("matrix report");
+    let scenarios = matrix.scenarios.len();
+    let sum = |f: fn(&dataplane_verifier::VerificationStats) -> usize| -> usize {
+        matrix.scenarios.iter().map(|s| f(&s.report.stats)).sum()
+    };
+    let (buchi, product, lassos) = (
+        sum(|s| s.buchi_states),
+        sum(|s| s.product_states),
+        sum(|s| s.lasso_found),
+    );
+    assert!(buchi > 0, "temporal scenarios compile Büchi automata");
+    assert!(lassos > 0, "the planted violations yield lassos");
+    row(
+        "e7-parallel-verification",
+        &[
+            ("mode", "temporal_matrix".to_string()),
+            ("scenarios", scenarios.to_string()),
+            ("buchi_states", buchi.to_string()),
+            ("product_states", product.to_string()),
+            ("lassos", lassos.to_string()),
+            ("seconds", format!("{secs:.3}")),
+        ],
+    );
+    json_record(
+        "temporal_matrix",
+        &[
+            ("ns_per_op", secs * 1e9 / scenarios.max(1) as f64),
+            ("buchi_states", buchi as f64),
+            ("product_states", product as f64),
+            ("lassos", lassos as f64),
+        ],
+    );
+
+    // The same request dispatched as wire jobs: best of three sessions
+    // against two persistent TCP workers (the first session ships the
+    // summary documents; later hellos advertise them).
+    let fleet = WorkerFleet::sockets(vec![spawn_worker(), spawn_worker()]);
+    let fresh = VerifyService::new().with_threads(2);
+    let plan = fresh.plan_request(&temporal_request()).expect("plan");
+    let mut best = f64::INFINITY;
+    let mut executed = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        executed = Some(fresh.execute_plan(&plan, &fleet).expect("fleet run"));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let executed = executed.expect("at least one measured run");
+    assert_eq!(
+        executed.deterministic_json().to_text(),
+        reference,
+        "fleet temporal run must reproduce the in-process report byte for byte"
+    );
+    let stats = executed.matrix().unwrap().stats.clone().expect("stats");
+    // The fleet registry accumulates across the three measured sessions.
+    assert!(
+        stats.temporal_jobs >= scenarios,
+        "every scenario went remote as a temporal job: {stats:?}"
+    );
+    row(
+        "e7-parallel-verification",
+        &[
+            ("mode", "temporal_fleet_2w".to_string()),
+            ("workers", "2".to_string()),
+            ("temporal_jobs_per_session", scenarios.to_string()),
+            ("seconds", format!("{best:.3}")),
+        ],
+    );
+    json_record(
+        "temporal_fleet_2w",
+        &[
+            ("ns_per_op", best * 1e9 / scenarios.max(1) as f64),
+            ("temporal_jobs", scenarios as f64),
+        ],
+    );
 }
 
 /// Compose-shard fleet scaling (`--compose-shard` on the wire): the
@@ -487,9 +602,15 @@ fn daemon_report() {
 /// pool at 1/2/4/8 threads, then sharded over a 2-worker stdio fleet
 /// (the `vericlick fuzz --workers 2` wire path).
 fn fuzz_report() {
+    // Proven presets only: buggy violates everything, and the firewall's
+    // bundled temporal spec is a planted violation — fuzzing measures the
+    // historical 12-scenario reachability/crash workload.
     let specs: Vec<ScenarioSpec> = preset_scenarios()
         .iter()
-        .filter(|s| s.pipeline_name != "buggy") // proven presets only
+        .filter(|s| {
+            s.pipeline_name != "buggy"
+                && !matches!(s.property, dataplane_verifier::Property::Temporal(_))
+        })
         .map(|s| ScenarioSpec::from_scenario(s).expect("preset specs serialise"))
         .collect();
     let options = VerifierOptions::default();

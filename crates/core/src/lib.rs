@@ -43,8 +43,10 @@ pub mod monolithic;
 pub mod property;
 pub mod report;
 pub mod summary;
+pub mod temporal;
 pub mod verifier;
 
+pub use dataplane_temporal::LtlSpec;
 pub use monolithic::{explore_monolithic, MonolithicConfig, MonolithicResult};
 pub use property::Property;
 pub use report::{

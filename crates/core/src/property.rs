@@ -6,6 +6,7 @@
 //! A [`Property`] determines which segments Step 1 tags as *suspect*.
 
 use dataplane_symbex::{Segment, SegmentOutcome};
+use dataplane_temporal::LtlSpec;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -44,6 +45,14 @@ pub enum Property {
         /// property's "unless it is malformed" escape hatch).
         may_drop: Vec<String>,
     },
+    /// A linear-temporal-logic property over the pipeline trace of each
+    /// packet: the sequence of element instances it visits, extended to an
+    /// infinite word by repeating the final disposition (forwarded /
+    /// dropped / crashed) forever. Checked by compiling the negated spec to
+    /// a Büchi automaton and searching the product with the per-element
+    /// summary transition system for an accepting lasso — compositional
+    /// like every other property class.
+    Temporal(LtlSpec),
 }
 
 impl Property {
@@ -55,6 +64,7 @@ impl Property {
                 format!("bounded-instructions(<= {max_instructions})")
             }
             Property::Reachability { dst, .. } => format!("reachability(dst {dst})"),
+            Property::Temporal(spec) => format!("temporal({spec})"),
         }
     }
 
@@ -74,6 +84,11 @@ impl Property {
             Property::Reachability { .. } => {
                 matches!(segment.outcome, SegmentOutcome::Dropped) || segment.outcome.is_crash()
             }
+            // Temporal properties are not decided by the suspect×prefix
+            // walk at all: the Büchi-product search enumerates its own
+            // candidate lassos, so no segment is "suspect" in the Step-2
+            // sense (this also keeps compose sharding a no-op for them).
+            Property::Temporal(_) => false,
         }
     }
 }
@@ -133,6 +148,19 @@ mod tests {
             1
         )));
         assert!(!p.is_suspect_segment(&segment(SegmentOutcome::Emitted(1), 1)));
+    }
+
+    #[test]
+    fn temporal_segments_are_never_suspect() {
+        let spec = LtlSpec::parse("G (at(chk) -> F (forwarded | dropped))").unwrap();
+        let p = Property::Temporal(spec);
+        assert!(!p.is_suspect_segment(&segment(
+            SegmentOutcome::Crashed(CrashKind::DivisionByZero),
+            5
+        )));
+        assert!(!p.is_suspect_segment(&segment(SegmentOutcome::Dropped, 5)));
+        assert!(p.name().starts_with("temporal("));
+        assert!(p.name().contains("at(chk)"));
     }
 
     #[test]

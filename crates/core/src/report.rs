@@ -99,6 +99,15 @@ pub struct VerificationStats {
     /// Per-stage rung counters for the model-search stage: checks decided
     /// at rung `i` whose retry raised the model-search try budget.
     pub escalations_search: Vec<usize>,
+    /// States of the Büchi automaton compiled from the negated temporal
+    /// spec (zero for non-temporal properties).
+    pub buchi_states: usize,
+    /// Reachable states of the product of that automaton with the summary
+    /// transition system explored by the emptiness pre-check.
+    pub product_states: usize,
+    /// Accepting lassos whose composed path constraint was satisfiable
+    /// (each yields a temporal counterexample).
+    pub lasso_found: usize,
 }
 
 /// The full result of verifying one property of one pipeline.
@@ -151,6 +160,13 @@ impl fmt::Display for Report {
             self.stats.composed_paths,
             self.stats.solver_calls
         )?;
+        if self.stats.buchi_states > 0 {
+            writeln!(
+                f,
+                "  temporal: buchi states {}, product states {}, lassos found {}",
+                self.stats.buchi_states, self.stats.product_states, self.stats.lasso_found
+            )?;
+        }
         if self.stats.prefilter_decided > 0 || self.stats.prefilter_passed > 0 {
             writeln!(
                 f,

@@ -225,8 +225,8 @@ type Step1Product = (Vec<Arc<ElementSummary>>, Vec<Vec<usize>>);
 pub struct Verifier {
     /// Verification options.
     pub options: VerifierOptions,
-    solver: Solver,
-    cache: SummaryCache,
+    pub(crate) solver: Solver,
+    pub(crate) cache: SummaryCache,
 }
 
 impl Default for Verifier {
@@ -372,6 +372,13 @@ impl Verifier {
                 }
             }
         };
+
+        // Temporal properties tag no suspects; they are decided by the
+        // Büchi-product search over the same Step-1 summaries instead of
+        // the suspect × prefix walk.
+        if let Property::Temporal(spec) = property {
+            return self.verify_temporal(pipeline, spec, &summaries, stats, start);
+        }
 
         if stats.suspects == 0 {
             return Report {
@@ -786,9 +793,12 @@ pub fn materialise_packet(model: &dataplane_symbex::Assignment) -> Vec<u8> {
 /// or an exit anywhere but a delivery target. For reachability the caller
 /// is responsible for only judging packets that actually carry the
 /// property's destination address (the property says nothing about others).
+/// Temporal properties are violated when the run's trace word — `packet`
+/// resolves the header atoms — fails the LTL formula.
 pub fn run_violates_property(
     pipeline: &Pipeline,
     property: &Property,
+    packet: &[u8],
     run: &dataplane_pipeline::ModelRun,
 ) -> bool {
     match property {
@@ -814,6 +824,9 @@ pub fn run_violates_property(
                 !deliver_to.contains(name)
             }
         },
+        Property::Temporal(spec) => {
+            crate::temporal::run_violates_temporal(pipeline, spec, packet, run)
+        }
     }
 }
 
@@ -1629,6 +1642,12 @@ impl<'a> WalkCtx<'a> {
                     }
                     Disposition::Exited { .. } => !deliver_to.contains(&last_name),
                 }
+            }
+            // Temporal counterexamples are confirmed by the Büchi-product
+            // search itself (the trace evaluator); suspect-walk checks
+            // never see a temporal property.
+            (Property::Temporal(spec), _) => {
+                crate::temporal::run_violates_temporal(self.pipeline, spec, packet, &run)
             }
         }
     }

@@ -1,0 +1,157 @@
+//! Soundness of reported temporal counterexample lassos.
+//!
+//! The Büchi-product search reports a `Violated` verdict only after a
+//! candidate lasso's materialised packet has been replayed through the
+//! concrete model runtime and judged by the direct trace evaluator. This
+//! property test re-runs that judgement *from scratch* for every reported
+//! counterexample: a fresh `model_run_fresh` of the reported packet must
+//! genuinely violate the LTL property. Mirrors
+//! `crates/symbex/tests/prop_prefilter.rs`: the cheap layer (here the
+//! symbolic lasso search) must never contradict the ground truth (here
+//! concrete execution).
+
+use dataplane_net::Packet;
+use dataplane_pipeline::presets::{
+    buggy_pipeline, firewall_pipeline, ip_router_pipeline, linear_router_pipeline,
+    middlebox_pipeline,
+};
+use dataplane_pipeline::{model_run_fresh, Pipeline};
+use dataplane_temporal::{Atom, Ltl};
+use dataplane_verifier::{run_violates_property, LtlSpec, Property, Verdict, Verifier};
+use proptest::prelude::*;
+
+/// The preset pipelines the random specs are checked against.
+fn presets() -> Vec<(&'static str, Pipeline)> {
+    vec![
+        ("ip_router", ip_router_pipeline()),
+        ("linear_router", linear_router_pipeline()),
+        ("middlebox", middlebox_pipeline()),
+        ("firewall", firewall_pipeline(vec![])),
+        ("buggy", buggy_pipeline()),
+    ]
+}
+
+/// Atom pool: element names drawn from the presets (atoms naming elements
+/// a pipeline lacks are simply false there), the three terminals, and one
+/// header atom to push the solver through the dst case split.
+fn atom(pick: u64) -> Ltl {
+    let atoms = [
+        Atom::At("chk".into()),
+        Atom::At("rt".into()),
+        Atom::At("nat".into()),
+        Atom::At("strip".into()),
+        Atom::Forwarded,
+        Atom::Dropped,
+        Atom::Crashed,
+        Atom::Dst([10, 0, 0, 1]),
+    ];
+    Ltl::Atom(atoms[(pick % atoms.len() as u64) as usize].clone())
+}
+
+/// Deterministic random formula from a pick stream, like the parser
+/// round-trip test's builder: small depth keeps the Büchi automata and
+/// the product search cheap enough for a debug-profile sweep.
+fn formula(picks: &mut impl Iterator<Item = u64>, depth: usize) -> Ltl {
+    let pick = picks.next().unwrap_or(0);
+    if depth == 0 {
+        return atom(pick);
+    }
+    match pick % 8 {
+        0 => atom(pick >> 3),
+        1 => Ltl::Not(Box::new(formula(picks, depth - 1))),
+        2 => Ltl::And(
+            Box::new(formula(picks, depth - 1)),
+            Box::new(formula(picks, depth - 1)),
+        ),
+        3 => Ltl::Or(
+            Box::new(formula(picks, depth - 1)),
+            Box::new(formula(picks, depth - 1)),
+        ),
+        4 => Ltl::Implies(
+            Box::new(formula(picks, depth - 1)),
+            Box::new(formula(picks, depth - 1)),
+        ),
+        5 => Ltl::Eventually(Box::new(formula(picks, depth - 1))),
+        6 => Ltl::Always(Box::new(formula(picks, depth - 1))),
+        _ => Ltl::Until(
+            Box::new(formula(picks, depth - 1)),
+            Box::new(formula(picks, depth - 1)),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every reported lasso counterexample replays, from a fresh runtime,
+    /// to a concrete run that violates the property; a `Violated` verdict
+    /// always rests on at least one such confirmed replay.
+    #[test]
+    fn reported_lassos_replay_to_real_violations(
+        picks in proptest::collection::vec(any::<u64>(), 1..24),
+        preset in 0usize..5,
+    ) {
+        let mut stream = picks.iter().copied();
+        let f = formula(&mut stream, 2);
+        // Round-trip through the parser so the checked spec is exactly
+        // what would arrive over the wire.
+        let spec = LtlSpec::parse(&f.to_string()).expect("printed formulas re-parse");
+        let property = Property::Temporal(spec);
+        let (name, pipeline) = presets().swap_remove(preset);
+
+        let mut verifier = Verifier::new();
+        let report = verifier.verify(&pipeline, &property);
+
+        for ce in &report.counterexamples {
+            if !ce.confirmed {
+                continue;
+            }
+            let run = model_run_fresh(&pipeline, Packet::from_bytes(ce.packet.clone()));
+            prop_assert!(
+                run_violates_property(&pipeline, &property, &ce.packet, &run),
+                "{name}: confirmed lasso does not reproduce for {}\n{report}",
+                property.name(),
+            );
+        }
+        if report.verdict == Verdict::Violated {
+            prop_assert!(
+                report.counterexamples.iter().any(|c| c.confirmed),
+                "{name}: Violated without a confirmed lasso for {}\n{report}",
+                property.name(),
+            );
+        }
+        // Proven means the product search discharged everything: no
+        // counterexamples may survive in the report.
+        if report.verdict == Verdict::Proven {
+            prop_assert!(report.counterexamples.is_empty(), "{name}:\n{report}");
+        }
+    }
+}
+
+/// The bundled planted-violation specs ship confirmed, reproducing lassos
+/// (the fixed-spec complement of the random sweep above).
+#[test]
+fn bundled_violations_ship_reproducing_lassos() {
+    for (pipeline, spec) in [
+        (firewall_pipeline(vec![]), "G !dropped"),
+        (buggy_pipeline(), "F (forwarded | dropped)"),
+    ] {
+        let property = Property::Temporal(LtlSpec::parse(spec).unwrap());
+        let mut verifier = Verifier::new();
+        let report = verifier.verify(&pipeline, &property);
+        assert_eq!(report.verdict, Verdict::Violated, "{spec}\n{report}");
+        let confirmed: Vec<_> = report
+            .counterexamples
+            .iter()
+            .filter(|c| c.confirmed)
+            .collect();
+        assert!(!confirmed.is_empty(), "{spec}\n{report}");
+        for ce in confirmed {
+            let run = model_run_fresh(&pipeline, Packet::from_bytes(ce.packet.clone()));
+            assert!(
+                run_violates_property(&pipeline, &property, &ce.packet, &run),
+                "{spec}: lasso does not reproduce\n{report}"
+            );
+        }
+    }
+}

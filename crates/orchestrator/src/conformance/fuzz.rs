@@ -101,6 +101,9 @@ pub fn plan_fuzz_shards(scenarios: &[ScenarioSpec], seed: u64, total_packets: u6
 fn predicate_applies(property: &Property, bytes: &[u8]) -> bool {
     match property {
         Property::CrashFreedom | Property::BoundedInstructions { .. } => true,
+        // A temporal spec quantifies over every packet's trace; header
+        // atoms are resolved per packet inside the trace evaluator.
+        Property::Temporal(_) => true,
         Property::Reachability {
             dst, dst_offset, ..
         } => {
@@ -201,7 +204,7 @@ fn push_one(
         Disposition::Crashed { .. } => report.crashed += 1,
     }
     report.max_instructions = report.max_instructions.max(run.instructions);
-    if !applicable || !run_violates_property(pipeline, property, &run) {
+    if !applicable || !run_violates_property(pipeline, property, &bytes, &run) {
         return;
     }
     report.contradiction_count += 1;
@@ -216,6 +219,7 @@ fn push_one(
             && run_violates_property(
                 pipeline,
                 property,
+                candidate,
                 &model_run_fresh(pipeline, Packet::from_bytes(candidate.to_vec())),
             )
     };

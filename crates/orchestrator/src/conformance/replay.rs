@@ -66,7 +66,7 @@ pub fn replay_report(
                 description: ce.description.clone(),
                 symbolic_path: ce.path.clone(),
                 packet: ce.packet.clone(),
-                reproduced: run_violates_property(pipeline, &report.property, &run),
+                reproduced: run_violates_property(pipeline, &report.property, &ce.packet, &run),
                 disposition: disposition_kind(&run.disposition).to_string(),
                 at: disposition_element(pipeline, &run.disposition),
                 instructions: run.instructions,

@@ -18,8 +18,12 @@
 //!    full options document pins this session's [`VerifierOptions`];
 //!    omitted, the session runs under the daemon's defaults.
 //! 2. daemon → `{schema, kind: "hello", proto, sessions, workers}` on
-//!    admission, or `{kind: "error", message: "busy: ..."}` when
-//!    `max_sessions` verify sessions are already in flight.
+//!    admission. When `max_sessions` verify sessions are already in
+//!    flight the hello is held in a bounded line instead: the client
+//!    gets `{kind: "queued", position}` at once and the normal `hello`
+//!    reply when a slot frees. Past `max_queue` pending hellos the
+//!    daemon refuses outright with `{kind: "error", message: "busy:
+//!    ...", retry_after_ms}`.
 //! 3. client → `{kind: "verify", request}` — any serialised
 //!    [`VerifyRequest`], repeatable; a watch session's rolling baseline
 //!    lives exactly as long as the connection.
@@ -51,14 +55,19 @@ use crate::service::{VerifyOutcome, VerifyRequest, VerifyResponse, VerifyService
 use crate::wire::{options_from_json, options_to_json};
 use dataplane_verifier::VerifierOptions;
 use std::io::{BufRead, BufReader, Write};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Client protocol name, sent in every hello/join frame.
 pub const CLIENT_PROTO: &str = "vericlick-client";
 
 /// Client protocol schema version. Version 1 speaks hello (with optional
-/// session options), verify, join, response, and error frames.
+/// session options), verify, join, queued, response, and error frames.
 pub const CLIENT_SCHEMA: u64 = 1;
+
+/// The per-queue-slot component of the `retry_after_ms` hint a full
+/// daemon puts in its busy error frame: a refused client is told to come
+/// back after roughly this long per session it would have waited behind.
+pub const BUSY_RETRY_HINT_MS: u64 = 250;
 
 /// How a [`Daemon`] is built: the warm core plus admission and fleet
 /// tuning.
@@ -71,9 +80,16 @@ pub struct DaemonConfig {
     /// fresh in-memory store; pass a persistent store to keep summaries
     /// across daemon restarts too.
     pub store: Option<Arc<SummaryStore>>,
-    /// Verify sessions admitted concurrently; further hellos are refused
-    /// with a `busy` error frame (0 = unlimited).
+    /// Verify sessions admitted concurrently; further hellos queue (up to
+    /// `max_queue`) or are refused with a `busy` error frame
+    /// (0 = unlimited).
     pub max_sessions: usize,
+    /// Hellos held in line when all `max_sessions` slots are taken. A
+    /// queued client gets a `queued` frame (with its position) at once
+    /// and the normal `hello` reply when a slot frees; past this depth
+    /// the busy error frame carries a `retry_after_ms` hint instead
+    /// (0 = never queue, refuse immediately).
+    pub max_queue: usize,
     /// The initial socket-worker pool (workers can also [`Daemon::join`]
     /// at runtime).
     pub workers: Vec<WorkerAddr>,
@@ -91,6 +107,7 @@ impl Default for DaemonConfig {
             threads: 0,
             store: None,
             max_sessions: 4,
+            max_queue: 4,
             workers: Vec::new(),
             compose_shard: 0,
             heartbeat: HeartbeatConfig::default(),
@@ -103,10 +120,29 @@ struct DaemonInner {
     options: VerifierOptions,
     threads: usize,
     max_sessions: usize,
+    max_queue: usize,
     heartbeat: HeartbeatConfig,
     compose_shard: usize,
     workers: Mutex<Vec<WorkerAddr>>,
-    active: Mutex<usize>,
+    admission: Mutex<Admission>,
+    freed: Condvar,
+}
+
+/// The admission ledger: sessions holding a slot plus hellos in line.
+#[derive(Default)]
+struct Admission {
+    active: usize,
+    queued: usize,
+}
+
+/// What the admission gate decided for one hello.
+enum Admit {
+    /// A slot was free; the session runs now.
+    Admitted(SessionGuard),
+    /// All slots taken, queue has room: the 1-based position in line.
+    Queued(usize),
+    /// Slots and queue both full — refuse with a retry hint.
+    Busy,
 }
 
 /// The daemon: cheap to clone (sessions share one inner state), so the
@@ -121,20 +157,41 @@ pub struct Daemon {
 struct SessionGuard(Arc<DaemonInner>);
 
 impl SessionGuard {
-    /// Admit a session, or `None` when the daemon is full.
-    fn admit(inner: &Arc<DaemonInner>) -> Option<SessionGuard> {
-        let mut active = inner.active.lock().expect("daemon sessions");
-        if inner.max_sessions > 0 && *active >= inner.max_sessions {
-            return None;
+    /// Admit a session, queue it, or refuse it.
+    fn admit(inner: &Arc<DaemonInner>) -> Admit {
+        let mut admission = inner.admission.lock().expect("daemon sessions");
+        if inner.max_sessions == 0 || admission.active < inner.max_sessions {
+            admission.active += 1;
+            return Admit::Admitted(SessionGuard(inner.clone()));
         }
-        *active += 1;
-        Some(SessionGuard(inner.clone()))
+        if admission.queued < inner.max_queue {
+            admission.queued += 1;
+            return Admit::Queued(admission.queued);
+        }
+        Admit::Busy
+    }
+
+    /// Block a queued hello until a slot frees, then take it. The caller
+    /// must have incremented `queued` via [`SessionGuard::admit`].
+    fn wait_from_queue(inner: &Arc<DaemonInner>) -> SessionGuard {
+        let mut admission = inner.admission.lock().expect("daemon sessions");
+        loop {
+            if admission.active < inner.max_sessions {
+                admission.queued -= 1;
+                admission.active += 1;
+                return SessionGuard(inner.clone());
+            }
+            admission = inner.freed.wait(admission).expect("daemon sessions");
+        }
     }
 }
 
 impl Drop for SessionGuard {
     fn drop(&mut self) {
-        *self.0.active.lock().expect("daemon sessions") -= 1;
+        let mut admission = self.0.admission.lock().expect("daemon sessions");
+        admission.active -= 1;
+        drop(admission);
+        self.0.freed.notify_all();
     }
 }
 
@@ -158,6 +215,7 @@ fn dispatch_json(d: &DispatchStats) -> Json {
         ("jobs_requeued", Json::int(d.jobs_requeued as u64)),
         ("explore_jobs", Json::int(d.explore_jobs as u64)),
         ("compose_jobs", Json::int(d.compose_jobs as u64)),
+        ("temporal_jobs", Json::int(d.temporal_jobs as u64)),
         ("compose_shards", Json::int(d.compose_shards as u64)),
         ("shards_cancelled", Json::int(d.shards_cancelled as u64)),
         ("fuzz_jobs", Json::int(d.fuzz_jobs as u64)),
@@ -208,10 +266,12 @@ impl Daemon {
                 options: config.options,
                 threads: config.threads,
                 max_sessions: config.max_sessions,
+                max_queue: config.max_queue,
                 heartbeat: config.heartbeat,
                 compose_shard: config.compose_shard,
                 workers: Mutex::new(config.workers),
-                active: Mutex::new(0),
+                admission: Mutex::new(Admission::default()),
+                freed: Condvar::new(),
             }),
         }
     }
@@ -310,17 +370,35 @@ impl Daemon {
             }
         }
 
-        // Admission: refuse (with a frame the client can report) rather
-        // than queue — a daemon wedged behind a deep backlog looks
-        // exactly like a wedged daemon.
-        let Some(guard) = SessionGuard::admit(inner) else {
-            return write_frame(
-                &mut output,
-                &error_frame(&format!(
-                    "busy: {} sessions in flight (max {})",
-                    inner.max_sessions, inner.max_sessions
-                )),
-            );
+        // Admission: hold a bounded line of pending hellos (each told its
+        // position at once, served as slots free), and past that refuse
+        // with a retry hint — an *unbounded* backlog would make a daemon
+        // wedged behind deep queues look exactly like a wedged daemon.
+        let guard = match SessionGuard::admit(inner) {
+            Admit::Admitted(guard) => guard,
+            Admit::Queued(position) => {
+                write_frame(
+                    &mut output,
+                    &Json::obj([
+                        ("schema", Json::int(CLIENT_SCHEMA)),
+                        ("kind", Json::str("queued")),
+                        ("position", Json::int(position as u64)),
+                    ]),
+                )?;
+                SessionGuard::wait_from_queue(inner)
+            }
+            Admit::Busy => {
+                let retry_after_ms = BUSY_RETRY_HINT_MS * (inner.max_queue as u64 + 1);
+                let mut frame = error_frame(&format!(
+                    "busy: {} sessions in flight (max {}) and the queue of {} is full; \
+                     retry in ~{retry_after_ms}ms",
+                    inner.max_sessions, inner.max_sessions, inner.max_queue
+                ));
+                if let Json::Obj(map) = &mut frame {
+                    map.insert("retry_after_ms".into(), Json::int(retry_after_ms));
+                }
+                return write_frame(&mut output, &frame);
+            }
         };
 
         // Session options: a full document in the hello pins them for
@@ -345,7 +423,7 @@ impl Daemon {
                 ("proto", Json::str(CLIENT_PROTO)),
                 (
                     "sessions",
-                    Json::int(*inner.active.lock().expect("daemon sessions") as u64),
+                    Json::int(inner.admission.lock().expect("daemon sessions").active as u64),
                 ),
                 ("workers", Json::int(self.workers().len() as u64)),
             ]),
@@ -562,21 +640,34 @@ impl DaemonClient {
             hello.push(("options", options_to_json(options)));
         }
         transport.send(&Json::obj(hello))?;
-        let reply = transport.recv()?.ok_or_else(|| {
-            ExecError::Protocol("daemon closed the stream before a hello reply".into())
-        })?;
-        match reply.get("kind").and_then(Json::as_str) {
-            Some("hello") => Ok(DaemonClient { transport }),
-            Some("error") => Err(ExecError::Protocol(format!(
-                "daemon: {}",
-                reply
-                    .get("message")
-                    .and_then(Json::as_str)
-                    .unwrap_or("unspecified daemon error")
-            ))),
-            other => Err(ExecError::Protocol(format!(
-                "expected a hello reply, got kind {other:?}"
-            ))),
+        // A busy daemon may park us in its admission queue first: a
+        // `queued` frame names our position, and the real hello follows
+        // once a slot frees. Keep waiting through it.
+        loop {
+            let reply = transport.recv()?.ok_or_else(|| {
+                ExecError::Protocol("daemon closed the stream before a hello reply".into())
+            })?;
+            match reply.get("kind").and_then(Json::as_str) {
+                Some("hello") => return Ok(DaemonClient { transport }),
+                Some("queued") => continue,
+                Some("error") => {
+                    let message = reply
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unspecified daemon error");
+                    let hint = reply
+                        .get("retry_after_ms")
+                        .and_then(Json::as_u64)
+                        .map(|ms| format!(" (retry_after_ms {ms})"))
+                        .unwrap_or_default();
+                    return Err(ExecError::Protocol(format!("daemon: {message}{hint}")));
+                }
+                other => {
+                    return Err(ExecError::Protocol(format!(
+                        "expected a hello reply, got kind {other:?}"
+                    )))
+                }
+            }
         }
     }
 

@@ -19,7 +19,7 @@ use crate::wire::{
     job_to_json, report_from_json, shard_result_from_json, shard_result_to_json, ComposeJob,
     ComposeShardJob, ExploreJob, FuzzJob, JobSpec,
 };
-use dataplane_verifier::{ComposeShardResult, ElementSummary, Report, VerifierOptions};
+use dataplane_verifier::{ComposeShardResult, ElementSummary, Property, Report, VerifierOptions};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -262,7 +262,12 @@ impl Executor for WorkerFleet {
         if jobs.is_empty() {
             return Some(Ok(Vec::new()));
         }
-        self.registry.record_offered(0, jobs.len(), 0);
+        let temporal = jobs
+            .iter()
+            .filter(|j| matches!(j.scenario.property, Property::Temporal(_)))
+            .count();
+        self.registry.record_offered(0, jobs.len() - temporal, 0);
+        self.registry.record_temporal_offered(temporal);
         // Per-(job, worker) frame building: the receiving worker's held
         // set decides which summary slots ship as full documents and
         // which collapse to the `"held"` marker. A requeued job is
@@ -270,7 +275,14 @@ impl Executor for WorkerFleet {
         let frame_for = |id: usize, held: &mut std::collections::BTreeSet<Fingerprint>| {
             let job = &jobs[id];
             let slots = self.summary_slots(&job.fingerprints, summaries, held);
-            job_frame(id, &JobSpec::Compose(job.clone()), Some(slots))
+            // Temporal scenarios ride the compose queue but announce their
+            // own job kind on the wire (WORKER_SCHEMA 6).
+            let spec = if matches!(job.scenario.property, Property::Temporal(_)) {
+                JobSpec::Temporal(job.clone())
+            } else {
+                JobSpec::Compose(job.clone())
+            };
+            job_frame(id, &spec, Some(slots))
         };
         let results = match dispatch(
             &self.connectors,

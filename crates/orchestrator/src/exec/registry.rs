@@ -26,6 +26,9 @@ pub struct DispatchStats {
     pub explore_jobs: usize,
     /// Step-2 composition jobs offered to the queue.
     pub compose_jobs: usize,
+    /// Temporal (LTL) jobs offered to the queue — compose-shaped work
+    /// decided by the Büchi-product search.
+    pub temporal_jobs: usize,
     /// Step-2 compose shards offered to the queue (contiguous slices of a
     /// scenario's check enumeration).
     pub compose_shards: usize,
@@ -78,6 +81,7 @@ struct RegistryInner {
     requeued: usize,
     explore_jobs: usize,
     compose_jobs: usize,
+    temporal_jobs: usize,
     compose_shards: usize,
     shards_cancelled: usize,
     fuzz_jobs: usize,
@@ -133,6 +137,11 @@ impl WorkerRegistry {
         inner.explore_jobs += explore;
         inner.compose_jobs += compose;
         inner.fuzz_jobs += fuzz;
+    }
+
+    /// Record temporal (LTL) jobs offered to the queue.
+    pub(crate) fn record_temporal_offered(&self, temporal: usize) {
+        self.inner.lock().expect("registry").temporal_jobs += temporal;
     }
 
     /// Record compose shards offered to the queue.
@@ -232,17 +241,23 @@ impl WorkerRegistry {
             }
         }
         // A handshaken peer none of whose registrations returned a single
-        // result sat idle for the whole run.
-        let idle = seen
+        // result sat idle for the whole run. Derived as total minus active
+        // with a saturating subtraction: a worker that joins mid-batch
+        // registers extra entries for an already-counted peer, so the
+        // active tally is clamped to the distinct peer count and the
+        // difference can never underflow.
+        let active = seen
             .iter()
             .filter(|peer| {
                 inner
                     .entries
                     .iter()
                     .filter(|e| e.peer == **peer)
-                    .all(|e| e.jobs_done == 0)
+                    .any(|e| e.jobs_done > 0)
             })
-            .count();
+            .count()
+            .min(seen.len());
+        let idle = seen.len().saturating_sub(active);
         DispatchStats {
             workers: peers.len(),
             workers_lost: lost.len(),
@@ -252,6 +267,7 @@ impl WorkerRegistry {
             jobs_requeued: inner.requeued,
             explore_jobs: inner.explore_jobs,
             compose_jobs: inner.compose_jobs,
+            temporal_jobs: inner.temporal_jobs,
             compose_shards: inner.compose_shards,
             shards_cancelled: inner.shards_cancelled,
             fuzz_jobs: inner.fuzz_jobs,
@@ -312,6 +328,31 @@ mod tests {
         assert_eq!(stats.summary_bytes_shipped, 900);
         assert_eq!(stats.summary_bytes_deduped, 250);
         assert_eq!(stats.workers_suspect, 0);
+    }
+
+    #[test]
+    fn workers_idle_clamps_at_zero_when_worker_joins_mid_batch() {
+        let registry = WorkerRegistry::new();
+        let a = registry.register("w1".into(), 2);
+        registry.record_offered(0, 3, 0);
+        registry.record_temporal_offered(2);
+        registry.record_dispatched();
+        registry.record_completed(a);
+        // w2 joins mid-batch — and w1's reconnect re-registers the same
+        // peer, so entries outnumber distinct peers while every peer is
+        // active. The idle derivation must clamp at zero, never wrap.
+        let b = registry.register("w2".into(), 1);
+        let a2 = registry.register("w1".into(), 2);
+        registry.record_dispatched();
+        registry.record_dispatched();
+        registry.record_completed(b);
+        registry.record_completed(a2);
+        let stats = registry.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.workers_idle, 0, "every peer returned results");
+        assert!(stats.workers_idle <= stats.workers);
+        assert_eq!(stats.temporal_jobs, 2);
+        assert_eq!(stats.compose_jobs, 3);
     }
 
     #[test]

@@ -41,8 +41,12 @@ use std::sync::{Arc, Condvar, Mutex};
 /// `compose`) and the `cancel` frame, which fires a running shard's
 /// cancellation token so a sibling's violation stops work the fold no
 /// longer needs — the cancelled job still answers with the complete
-/// records it finished.
-pub const WORKER_SCHEMA: u64 = 5;
+/// records it finished. Version 6 adds the `temporal` job kind: a
+/// compose-shaped job (scenario + summary fingerprints, same dedup
+/// attachments) whose property is an LTL spec decided by the
+/// Büchi-product search — a bump so a v5 worker refuses it at decode
+/// time instead of failing mid-plan.
+pub const WORKER_SCHEMA: u64 = 6;
 
 /// Protocol name announced in hello frames, so a mismatched peer is told
 /// what this endpoint speaks.
@@ -162,7 +166,10 @@ fn run_job(
             }
             Ok((payload, folded))
         }
-        JobSpec::Compose(job) => {
+        // Temporal jobs are compose-shaped and decided through the same
+        // entry point; `verify` routes the property to the Büchi-product
+        // search, so the report matches an in-process run byte for byte.
+        JobSpec::Compose(job) | JobSpec::Temporal(job) => {
             let scenario = job
                 .scenario
                 .to_scenario()
@@ -228,7 +235,7 @@ fn decode_summaries(
         .as_arr()
         .ok_or_else(|| ExecError::Protocol("job summaries is not an array".into()))?;
     let fingerprints: &[Fingerprint] = match job {
-        JobSpec::Compose(job) => &job.fingerprints,
+        JobSpec::Compose(job) | JobSpec::Temporal(job) => &job.fingerprints,
         JobSpec::ComposeShard(job) => &job.fingerprints,
         _ => &[],
     };

@@ -9,6 +9,7 @@ use dataplane_pipeline::presets::{
     middlebox_pipeline,
 };
 use dataplane_pipeline::Pipeline;
+use dataplane_temporal::LtlSpec;
 use dataplane_verifier::{Property, Verdict};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -35,9 +36,37 @@ pub fn preset_pipelines() -> Vec<PresetPipeline> {
 /// path, not a tight constant).
 pub const MATRIX_INSTRUCTION_BOUND: u64 = 1_000_000;
 
-/// The three property classes of the paper, instantiated for `pipeline`.
-/// Reachability needs per-pipeline knowledge (who delivers, who may
-/// legitimately drop), which is what this table encodes.
+/// The bundled temporal (LTL) spec for `pipeline` — the matrix's fourth
+/// property class. Three are liveness/fairness specs expected to prove
+/// (`ip_router`, `linear_router`, `middlebox`); two are planted
+/// violations (`firewall`'s header checker drops malformed frames, and
+/// `buggy` crashes), expected to yield confirmed lassos. All five are
+/// header-free so every verdict is decided without a solver `Unknown`.
+pub fn preset_temporal_spec(pipeline: &str) -> &'static str {
+    match pipeline {
+        // Termination: every packet is eventually forwarded or dropped
+        // (the crash terminal is the only way to violate this).
+        "ip_router" => "F (forwarded | dropped)",
+        // Fairness: a packet that clears the header checker is never
+        // starved of a disposition.
+        "linear_router" => "G (at(chk) -> F (forwarded | dropped))",
+        // Liveness through the stateful core: reaching the NAT commits
+        // the pipeline to a disposition.
+        "middlebox" => "G (at(nat) -> F (forwarded | dropped))",
+        // Planted violation: the firewall *does* drop (malformed frames
+        // at `chk`), so "never drops" must produce a confirmed lasso.
+        "firewall" => "G !dropped",
+        // Planted violation: the unchecked options walker crashes, so
+        // termination fails with a crash-terminal lasso.
+        "buggy" => "F (forwarded | dropped)",
+        other => panic!("unknown preset pipeline '{other}'"),
+    }
+}
+
+/// The four property classes of the paper's evaluation plus the temporal
+/// extension, instantiated for `pipeline`. Reachability needs
+/// per-pipeline knowledge (who delivers, who may legitimately drop),
+/// which is what this table encodes.
 pub fn preset_properties(pipeline: &str) -> Vec<Property> {
     let reachability = |dst: Ipv4Addr, deliver_to: &[&str], may_drop: &[&str]| {
         Property::Reachability {
@@ -73,12 +102,16 @@ pub fn preset_properties(pipeline: &str) -> Vec<Property> {
         "buggy" => reachability(Ipv4Addr::new(10, 1, 2, 3), &["out"], &["cls", "strip"]),
         other => panic!("unknown preset pipeline '{other}'"),
     };
+    let temporal = Property::Temporal(
+        LtlSpec::parse(preset_temporal_spec(pipeline)).expect("bundled temporal specs parse"),
+    );
     vec![
         Property::CrashFreedom,
         Property::BoundedInstructions {
             max_instructions: MATRIX_INSTRUCTION_BOUND,
         },
         reach,
+        temporal,
     ]
 }
 
@@ -276,6 +309,7 @@ impl MatrixReport {
                         ("jobs_requeued", Json::int(d.jobs_requeued as u64)),
                         ("explore_jobs", Json::int(d.explore_jobs as u64)),
                         ("compose_jobs", Json::int(d.compose_jobs as u64)),
+                        ("temporal_jobs", Json::int(d.temporal_jobs as u64)),
                         ("compose_shards", Json::int(d.compose_shards as u64)),
                         ("shards_cancelled", Json::int(d.shards_cancelled as u64)),
                         ("fuzz_jobs", Json::int(d.fuzz_jobs as u64)),
@@ -353,7 +387,7 @@ impl fmt::Display for MatrixReport {
         if let Some(d) = &self.stats {
             writeln!(
                 f,
-                "  fleet: {} workers (capacity {}, {} lost, {} suspect, {} idle), {} dispatched / {} completed / {} requeued ({} explore + {} compose + {} fuzz jobs)",
+                "  fleet: {} workers (capacity {}, {} lost, {} suspect, {} idle), {} dispatched / {} completed / {} requeued ({} explore + {} compose + {} temporal + {} fuzz jobs)",
                 d.workers,
                 d.capacity,
                 d.workers_lost,
@@ -364,6 +398,7 @@ impl fmt::Display for MatrixReport {
                 d.jobs_requeued,
                 d.explore_jobs,
                 d.compose_jobs,
+                d.temporal_jobs,
                 d.fuzz_jobs
             )?;
             if d.compose_shards > 0 {
@@ -406,13 +441,13 @@ mod tests {
     fn matrix_covers_every_preset_and_property_class() {
         let scenarios = preset_scenarios();
         let pipelines = preset_pipelines();
-        assert_eq!(scenarios.len(), pipelines.len() * 3);
+        assert_eq!(scenarios.len(), pipelines.len() * 4);
         for (name, _) in pipelines {
             let for_pipeline: Vec<_> = scenarios
                 .iter()
                 .filter(|s| s.pipeline_name == name)
                 .collect();
-            assert_eq!(for_pipeline.len(), 3, "{name}");
+            assert_eq!(for_pipeline.len(), 4, "{name}");
             assert!(for_pipeline
                 .iter()
                 .any(|s| matches!(s.property, Property::CrashFreedom)));
@@ -422,6 +457,26 @@ mod tests {
             assert!(for_pipeline
                 .iter()
                 .any(|s| matches!(s.property, Property::Reachability { .. })));
+            assert!(for_pipeline
+                .iter()
+                .any(|s| matches!(s.property, Property::Temporal(_))));
+        }
+    }
+
+    #[test]
+    fn temporal_at_atoms_name_real_elements() {
+        use dataplane_temporal::Atom;
+        for (name, make) in preset_pipelines() {
+            let pipeline = make();
+            let spec = LtlSpec::parse(preset_temporal_spec(name)).unwrap();
+            for atom in spec.formula().atoms() {
+                if let Atom::At(instance) = atom {
+                    assert!(
+                        pipeline.find(&instance).is_some(),
+                        "{name}: temporal spec names unknown element '{instance}'"
+                    );
+                }
+            }
         }
     }
 

@@ -29,6 +29,7 @@ use crate::orchestrator::Scenario;
 use crate::service::{PropertySelect, VerifyRequest};
 use dataplane_pipeline::{parse_config, write_config, ConfigError, ConfigWriteError};
 use dataplane_symbex::{CheckDiagnostics, EngineConfig, LoopMode, SolverConfig};
+use dataplane_temporal::LtlSpec;
 use dataplane_verifier::{
     CheckOutcome, CheckRecord, ComposeShardResult, Counterexample, EscalationLadder, Property,
     Report, ShardEdge, ShardNodeRecord, UnprovenPath, Verdict, VerificationStats, VerifierOptions,
@@ -181,6 +182,12 @@ pub fn property_to_json(property: &Property) -> Json {
                 Json::Arr(may_drop.iter().map(Json::str).collect()),
             ),
         ]),
+        // The spec travels as its canonical source text and is re-parsed on
+        // decode, so the wire form stays readable and version-stable.
+        Property::Temporal(spec) => Json::obj([
+            ("kind", Json::str("temporal")),
+            ("spec", Json::str(spec.source())),
+        ]),
     }
 }
 
@@ -200,6 +207,10 @@ pub fn property_from_json(json: &Json) -> Result<Property, WireError> {
             deliver_to: str_arr(get_arr(json, "deliver_to")?)?,
             may_drop: str_arr(get_arr(json, "may_drop")?)?,
         }),
+        "temporal" => Ok(Property::Temporal(
+            LtlSpec::parse(get_str(json, "spec")?)
+                .map_err(|e| malformed(format!("temporal spec: {e}")))?,
+        )),
         other => Err(malformed(format!("unknown property kind '{other}'"))),
     }
 }
@@ -477,6 +488,12 @@ pub enum JobSpec {
     Explore(ExploreJob),
     /// Decide one scenario's composition from shipped summaries.
     Compose(ComposeJob),
+    /// Decide one scenario's temporal (LTL) property from shipped
+    /// summaries. The payload is compose-shaped — scenario plus summary
+    /// fingerprints — but the kind is distinct on the wire so a worker
+    /// that predates the Büchi-product search rejects it at decode time
+    /// instead of mis-deciding it through the suspect walk.
+    Temporal(ComposeJob),
     /// Decide one contiguous slice of a scenario's composition enumeration.
     ComposeShard(ComposeShardJob),
     /// Push one seeded packet-stream shard through a proven scenario.
@@ -527,6 +544,11 @@ pub fn job_to_json(job: &JobSpec) -> Json {
             ("scenario", scenario_spec_to_json(&job.scenario)),
             ("fingerprints", fingerprints_to_json(&job.fingerprints)),
         ]),
+        JobSpec::Temporal(job) => Json::obj([
+            ("kind", Json::str("temporal")),
+            ("scenario", scenario_spec_to_json(&job.scenario)),
+            ("fingerprints", fingerprints_to_json(&job.fingerprints)),
+        ]),
         JobSpec::ComposeShard(job) => Json::obj([
             ("kind", Json::str("compose-shard")),
             ("scenario", scenario_spec_to_json(&job.scenario)),
@@ -552,6 +574,10 @@ pub fn job_from_json(json: &Json) -> Result<JobSpec, WireError> {
     match get_str(json, "kind")? {
         "explore" => Ok(JobSpec::Explore(explore_job_from_json(json)?)),
         "compose" => Ok(JobSpec::Compose(ComposeJob {
+            scenario: scenario_spec_from_json(get(json, "scenario")?)?,
+            fingerprints: fingerprints_from_json(get_arr(json, "fingerprints")?)?,
+        })),
+        "temporal" => Ok(JobSpec::Temporal(ComposeJob {
             scenario: scenario_spec_from_json(get(json, "scenario")?)?,
             fingerprints: fingerprints_from_json(get_arr(json, "fingerprints")?)?,
         })),
@@ -1126,6 +1152,9 @@ fn stats_to_json(stats: &VerificationStats) -> Json {
                     .collect(),
             ),
         ),
+        ("buchi_states", Json::int(stats.buchi_states as u64)),
+        ("product_states", Json::int(stats.product_states as u64)),
+        ("lasso_found", Json::int(stats.lasso_found as u64)),
     ])
 }
 
@@ -1159,6 +1188,9 @@ fn stats_from_json(json: &Json) -> Result<VerificationStats, WireError> {
         escalations_by_step: usize_arr(get_arr(json, "escalations_by_step")?)?,
         escalations_fm: usize_arr(get_arr(json, "escalations_fm")?)?,
         escalations_search: usize_arr(get_arr(json, "escalations_search")?)?,
+        buchi_states: get_usize(json, "buchi_states")?,
+        product_states: get_usize(json, "product_states")?,
+        lasso_found: get_usize(json, "lasso_found")?,
     })
 }
 
@@ -1434,6 +1466,19 @@ mod tests {
                 assert_eq!(back, property);
             }
         }
+        // Temporal specs travel as canonical source text and re-parse to
+        // structurally equal formulas (including header atoms).
+        let spec = LtlSpec::parse("G (dst(10.0.0.1) -> F (forwarded | dropped))").unwrap();
+        let property = Property::Temporal(spec);
+        let text = property_to_json(&property).to_text();
+        let back = property_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, property);
+        // A malformed spec on the wire is a decode error, not a panic.
+        let bad = Json::obj([
+            ("kind", Json::str("temporal")),
+            ("spec", Json::str("G (forwarded")),
+        ]);
+        assert!(property_from_json(&bad).is_err());
     }
 
     #[test]
@@ -1491,8 +1536,17 @@ mod tests {
                 config_args: String::new(),
             }),
             JobSpec::Compose(ComposeJob {
-                scenario: spec,
+                scenario: spec.clone(),
                 fingerprints: vec![fp, fp],
+            }),
+            JobSpec::Temporal(ComposeJob {
+                scenario: ScenarioSpec {
+                    property: Property::Temporal(
+                        LtlSpec::parse("F (forwarded | dropped)").unwrap(),
+                    ),
+                    ..spec
+                },
+                fingerprints: vec![fp],
             }),
         ] {
             let text = job_to_json(&job).to_text();
@@ -1525,6 +1579,9 @@ mod tests {
                 escalations_by_step: vec![1, 2],
                 escalations_fm: vec![0, 2],
                 escalations_search: vec![1],
+                buchi_states: 7,
+                product_states: 42,
+                lasso_found: 1,
                 ..Default::default()
             },
             elapsed: Duration::from_millis(5),

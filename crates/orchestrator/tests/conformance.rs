@@ -27,10 +27,11 @@ fn conformance(service: &VerifyService, seed: u64, packets: u64) -> ConformanceR
 fn every_preset_counterexample_reproduces_concretely() {
     let service = VerifyService::new().with_threads(4);
     let report = conformance(&service, 1, 0);
-    // The preset matrix has 3 violated scenarios (the buggy pipeline's),
-    // each with at least one counterexample; every replay must reproduce.
+    // The preset matrix has 5 violated scenarios (the buggy pipeline's
+    // three, plus the two planted temporal violations), each with at
+    // least one counterexample; every replay must reproduce.
     assert!(
-        report.replay.len() >= 3,
+        report.replay.len() >= 5,
         "expected counterexamples from the violated presets, got {}",
         report.replay.len()
     );
@@ -47,8 +48,10 @@ fn every_preset_counterexample_reproduces_concretely() {
             outcome.concrete_path.join(" -> "),
         );
         assert!(
-            outcome.scenario == "buggy",
-            "only buggy presets are violated"
+            outcome.scenario == "buggy" || outcome.scenario == "firewall",
+            "only the buggy presets and the planted temporal violations \
+             are violated, got '{}'",
+            outcome.scenario
         );
     }
     assert_eq!(report.replay_mismatches(), 0);
@@ -58,8 +61,8 @@ fn every_preset_counterexample_reproduces_concretely() {
 fn fuzzing_the_proven_presets_finds_zero_contradictions() {
     let service = VerifyService::new().with_threads(4);
     let report = conformance(&service, 0xF00D, 6_000);
-    // 12 proven scenarios in the preset matrix, all fuzzed.
-    assert_eq!(report.fuzz.len(), 12);
+    // 15 proven scenarios in the preset matrix, all fuzzed.
+    assert_eq!(report.fuzz.len(), 15);
     assert_eq!(
         report.contradictions(),
         0,
@@ -133,7 +136,7 @@ fn saved_matrix_reports_replay_through_the_json_path() {
         })
         .unwrap();
     let (proven, violated, unknown) = response.verdict_counts();
-    assert_eq!((proven, violated, unknown), (12, 3, 0));
+    assert_eq!((proven, violated, unknown), (15, 5, 0));
     let text = response.deterministic_json().to_text();
     let doc = dataplane_orchestrator::json::Json::parse(&text).unwrap();
     let outcomes = replay_matrix_json(&doc).unwrap();

@@ -136,9 +136,12 @@ fn second_session_on_a_warm_daemon_plans_zero_element_jobs() {
 
 #[test]
 fn admission_refuses_sessions_past_the_limit_and_recovers() {
+    // max_queue: 0 restores the pre-queue behaviour: an over-limit hello
+    // is refused outright (with a retry hint) instead of waiting in line.
     let addr = spawn_daemon(Daemon::new(DaemonConfig {
         threads: 2,
         max_sessions: 1,
+        max_queue: 0,
         ..DaemonConfig::default()
     }));
 
@@ -146,10 +149,14 @@ fn admission_refuses_sessions_past_the_limit_and_recovers() {
     let admitted = DaemonClient::connect(&addr, None).unwrap();
     let refused = DaemonClient::connect(&addr, None);
     match refused {
-        Err(e) => assert!(
-            e.to_string().contains("busy"),
-            "the refusal names the reason: {e}"
-        ),
+        Err(e) => {
+            let text = e.to_string();
+            assert!(text.contains("busy"), "the refusal names the reason: {e}");
+            assert!(
+                text.contains("retry_after_ms"),
+                "the refusal carries a retry hint: {e}"
+            );
+        }
         Ok(_) => panic!("a second session must be refused at max_sessions = 1"),
     }
     drop(admitted);
@@ -227,6 +234,86 @@ fn a_worker_joined_at_runtime_executes_jobs_and_dedups_summaries() {
         "the dedup win is visible to the client: {}",
         second.dispatch.to_text()
     );
+}
+
+#[test]
+fn over_limit_hellos_queue_and_are_served_when_a_slot_frees() {
+    let addr = spawn_daemon(Daemon::new(DaemonConfig {
+        threads: 2,
+        max_sessions: 1,
+        max_queue: 1,
+        ..DaemonConfig::default()
+    }));
+    let spec = match &addr {
+        WorkerAddr::Tcp(spec) => spec.clone(),
+        other => panic!("expected a TCP daemon address, got {other:?}"),
+    };
+    let hello = || {
+        Json::obj([
+            ("schema", Json::int(CLIENT_SCHEMA)),
+            ("kind", Json::str("hello")),
+            ("proto", Json::str(CLIENT_PROTO)),
+        ])
+    };
+
+    // The one admitted session holds the only slot.
+    let admitted = DaemonClient::connect(&addr, None).unwrap();
+
+    // The second hello is parked in the queue and told its position.
+    let mut stream = std::net::TcpStream::connect(&spec).unwrap();
+    write_frame(&mut stream, &hello()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let queued = read_frame(&mut reader).unwrap().expect("a queued frame");
+    assert_eq!(queued.get("kind").and_then(Json::as_str), Some("queued"));
+    assert_eq!(queued.get("position").and_then(Json::as_u64), Some(1));
+
+    // A third hello finds slots and queue both full: busy, with a retry
+    // hint (the queue keeps the backlog bounded).
+    let mut third = std::net::TcpStream::connect(&spec).unwrap();
+    write_frame(&mut third, &hello()).unwrap();
+    let mut third_reader = BufReader::new(third.try_clone().unwrap());
+    let busy = read_frame(&mut third_reader)
+        .unwrap()
+        .expect("a busy frame");
+    assert_eq!(busy.get("kind").and_then(Json::as_str), Some("error"));
+    assert!(
+        busy.get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("busy"),
+        "{}",
+        busy.to_text()
+    );
+    assert!(
+        busy.get("retry_after_ms").and_then(Json::as_u64).unwrap() > 0,
+        "{}",
+        busy.to_text()
+    );
+    drop(third);
+
+    // When the admitted session leaves, the queued hello takes the slot:
+    // the held connection receives the real hello reply and then serves
+    // requests like any admitted session.
+    drop(admitted);
+    let served = read_frame(&mut reader).unwrap().expect("a hello reply");
+    assert_eq!(served.get("kind").and_then(Json::as_str), Some("hello"));
+    write_frame(
+        &mut stream,
+        &Json::obj([
+            ("schema", Json::int(CLIENT_SCHEMA)),
+            ("kind", Json::str("verify")),
+            ("request", two_config_request().to_json().unwrap()),
+        ]),
+    )
+    .unwrap();
+    let response = read_frame(&mut reader).unwrap().expect("a response frame");
+    assert_eq!(
+        response.get("kind").and_then(Json::as_str),
+        Some("response"),
+        "{}",
+        response.to_text()
+    );
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
 }
 
 #[test]

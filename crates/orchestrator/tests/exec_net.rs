@@ -342,6 +342,72 @@ fn linear_router_request() -> VerifyRequest {
     }
 }
 
+/// The temporal preset rows: one bundled LTL spec per preset pipeline,
+/// shipped over the wire as `JobSpec::Temporal` frames (temporal
+/// properties tag no suspects, so they never shard — each travels as one
+/// whole-scenario job even under `--compose-shard`).
+fn temporal_request() -> VerifyRequest {
+    VerifyRequest::Matrix {
+        scenarios: dataplane_orchestrator::preset_scenarios()
+            .into_iter()
+            .filter(|s| matches!(s.property, dataplane_verifier::Property::Temporal(_)))
+            .collect(),
+    }
+}
+
+#[test]
+fn temporal_jobs_over_tcp_are_byte_identical_even_when_a_worker_dies() {
+    let service = VerifyService::new().with_threads(2);
+    let served = service.serve(temporal_request()).unwrap();
+    let reference = served.deterministic_json().to_text();
+    assert!(
+        reference.contains("\"buchi_states\""),
+        "temporal scenarios report automaton sizes"
+    );
+
+    // Two healthy TCP workers: every Büchi product search runs remote.
+    let fleet = WorkerFleet::sockets(vec![
+        spawn_persistent_tcp_worker(),
+        spawn_persistent_tcp_worker(),
+    ]);
+    let fresh = VerifyService::new().with_threads(2);
+    let plan = fresh.plan_request(&temporal_request()).unwrap();
+    let executed = fresh.execute_plan(&plan, &fleet).unwrap();
+    assert_eq!(
+        executed.deterministic_json().to_text(),
+        reference,
+        "TCP-executed temporal plan must reproduce the in-process report byte for byte"
+    );
+    let stats = executed.matrix().unwrap().stats.clone().unwrap();
+    assert_eq!(
+        stats.temporal_jobs,
+        plan.scenarios.len(),
+        "every scenario travelled as a temporal wire job: {stats:?}"
+    );
+    assert_eq!(stats.workers_lost, 0);
+
+    // Same plan with one worker that dies after pulling a job in every
+    // session: requeue to the survivor must not change a byte.
+    let fleet = WorkerFleet::sockets(vec![
+        spawn_flaky_tcp_worker(),
+        spawn_persistent_tcp_worker(),
+    ]);
+    let fresh = VerifyService::new().with_threads(2);
+    let plan = fresh.plan_request(&temporal_request()).unwrap();
+    let executed = fresh.execute_plan(&plan, &fleet).unwrap();
+    assert_eq!(
+        executed.deterministic_json().to_text(),
+        reference,
+        "a worker death mid-plan must not change the temporal report"
+    );
+    let stats = executed.matrix().unwrap().stats.clone().unwrap();
+    assert_eq!(stats.workers_lost, 1, "the flaky worker was noticed");
+    assert!(
+        stats.jobs_requeued >= 1,
+        "its in-flight jobs were requeued: {stats:?}"
+    );
+}
+
 #[test]
 fn sharded_compose_over_tcp_is_byte_identical() {
     let service = VerifyService::new().with_threads(2);

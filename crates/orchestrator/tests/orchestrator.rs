@@ -143,7 +143,7 @@ fn parallel_matrix_verdicts_equal_sequential_on_all_presets() {
 
 #[test]
 fn shared_pool_bounds_live_solver_threads_under_many_scenarios() {
-    // 15 scenarios on a 3-thread pool: each composition's Step-2 walk may
+    // 20 scenarios on a 3-thread pool: each composition's Step-2 walk may
     // borrow only parked workers, so live solver threads stay bounded by
     // the single pool size (the old per-composition scoped workers had a
     // `scenarios × threads` ceiling instead).

@@ -51,7 +51,7 @@ fn plan_round_trips_and_executes_byte_identical_for_all_presets() {
     let (proven, violated, unknown) = served.verdict_counts();
     assert_eq!(
         (proven, violated, unknown),
-        (12, 3, 0),
+        (15, 5, 0),
         "preset verdict mix drifted"
     );
 

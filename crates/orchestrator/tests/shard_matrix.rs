@@ -88,7 +88,7 @@ fn preset_request() -> VerifyRequest {
 
 #[test]
 fn sharded_preset_matrix_is_byte_identical_at_every_shard_count() {
-    // Reference: the plain in-process serve of all 15 presets.
+    // Reference: the plain in-process serve of all 20 presets.
     let reference = VerifyService::new()
         .with_threads(2)
         .serve(preset_request())

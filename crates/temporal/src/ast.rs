@@ -1,0 +1,180 @@
+//! The LTL formula type and its atomic propositions.
+
+use std::fmt;
+
+/// An atomic proposition over one position of a pipeline trace.
+///
+/// A trace is the sequence of element instances a packet visits, extended to
+/// an infinite word by repeating the final disposition forever (the
+/// terminal "self-loop"). Header predicates are properties of the *input*
+/// packet, so they hold either at every position of a trace or at none.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Atom {
+    /// The packet is currently at the element instance with this name.
+    At(String),
+    /// The packet has left the pipeline through an output port.
+    Forwarded,
+    /// The packet has been dropped.
+    Dropped,
+    /// The pipeline crashed while processing the packet.
+    Crashed,
+    /// The input packet's IPv4 destination (frame offset 30, as in the
+    /// reachability property's default layout) equals this address.
+    Dst([u8; 4]),
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::At(name) => write!(f, "at({name})"),
+            Atom::Forwarded => write!(f, "forwarded"),
+            Atom::Dropped => write!(f, "dropped"),
+            Atom::Crashed => write!(f, "crashed"),
+            Atom::Dst(a) => write!(f, "dst({}.{}.{}.{})", a[0], a[1], a[2], a[3]),
+        }
+    }
+}
+
+/// A linear temporal logic formula.
+///
+/// Operator precedence, loosest to tightest: `->` (right-associative),
+/// `|`, `&`, `U`/`R` (right-associative), then the unary `!`, `X`, `F`,
+/// `G`. [`fmt::Display`] renders the canonical form: minimal parentheses,
+/// single spaces — re-parsing the rendering yields a structurally identical
+/// formula.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Ltl {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// An atomic proposition.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Ltl>),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// Implication (sugar for `!a | b`).
+    Implies(Box<Ltl>, Box<Ltl>),
+    /// Next: the operand holds at the following position.
+    Next(Box<Ltl>),
+    /// Eventually (`F`).
+    Eventually(Box<Ltl>),
+    /// Always (`G`).
+    Always(Box<Ltl>),
+    /// Until: the right operand eventually holds, and the left holds at
+    /// every position before it.
+    Until(Box<Ltl>, Box<Ltl>),
+    /// Release: the right operand holds up to and including the first
+    /// position where the left does (or forever).
+    Release(Box<Ltl>, Box<Ltl>),
+}
+
+/// Precedence levels used by the printer (match the parser's grammar).
+const PREC_IMPLIES: u8 = 0;
+const PREC_OR: u8 = 1;
+const PREC_AND: u8 = 2;
+const PREC_UNTIL: u8 = 3;
+const PREC_UNARY: u8 = 4;
+
+impl Ltl {
+    /// Every atom mentioned in the formula, in first-occurrence order
+    /// without duplicates.
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<Atom>) {
+        match self {
+            Ltl::True | Ltl::False => {}
+            Ltl::Atom(a) => {
+                if !out.contains(a) {
+                    out.push(a.clone());
+                }
+            }
+            Ltl::Not(x) | Ltl::Next(x) | Ltl::Eventually(x) | Ltl::Always(x) => {
+                x.collect_atoms(out)
+            }
+            Ltl::And(l, r)
+            | Ltl::Or(l, r)
+            | Ltl::Implies(l, r)
+            | Ltl::Until(l, r)
+            | Ltl::Release(l, r) => {
+                l.collect_atoms(out);
+                r.collect_atoms(out);
+            }
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, min: u8) -> fmt::Result {
+        let prec = match self {
+            Ltl::Implies(..) => PREC_IMPLIES,
+            Ltl::Or(..) => PREC_OR,
+            Ltl::And(..) => PREC_AND,
+            Ltl::Until(..) | Ltl::Release(..) => PREC_UNTIL,
+            Ltl::Not(..) | Ltl::Next(..) | Ltl::Eventually(..) | Ltl::Always(..) => PREC_UNARY,
+            Ltl::True | Ltl::False | Ltl::Atom(..) => u8::MAX,
+        };
+        if prec < min {
+            f.write_str("(")?;
+            self.fmt_prec(f, 0)?;
+            return f.write_str(")");
+        }
+        match self {
+            Ltl::True => f.write_str("true"),
+            Ltl::False => f.write_str("false"),
+            Ltl::Atom(a) => write!(f, "{a}"),
+            Ltl::Not(x) => {
+                f.write_str("!")?;
+                x.fmt_prec(f, PREC_UNARY)
+            }
+            Ltl::Next(x) => {
+                f.write_str("X ")?;
+                x.fmt_prec(f, PREC_UNARY)
+            }
+            Ltl::Eventually(x) => {
+                f.write_str("F ")?;
+                x.fmt_prec(f, PREC_UNARY)
+            }
+            Ltl::Always(x) => {
+                f.write_str("G ")?;
+                x.fmt_prec(f, PREC_UNARY)
+            }
+            Ltl::And(l, r) => {
+                l.fmt_prec(f, PREC_AND)?;
+                f.write_str(" & ")?;
+                r.fmt_prec(f, PREC_AND + 1)
+            }
+            Ltl::Or(l, r) => {
+                l.fmt_prec(f, PREC_OR)?;
+                f.write_str(" | ")?;
+                r.fmt_prec(f, PREC_OR + 1)
+            }
+            Ltl::Implies(l, r) => {
+                l.fmt_prec(f, PREC_IMPLIES + 1)?;
+                f.write_str(" -> ")?;
+                r.fmt_prec(f, PREC_IMPLIES)
+            }
+            Ltl::Until(l, r) => {
+                l.fmt_prec(f, PREC_UNARY)?;
+                f.write_str(" U ")?;
+                r.fmt_prec(f, PREC_UNTIL)
+            }
+            Ltl::Release(l, r) => {
+                l.fmt_prec(f, PREC_UNARY)?;
+                f.write_str(" R ")?;
+                r.fmt_prec(f, PREC_UNTIL)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}

@@ -1,0 +1,620 @@
+//! LTL → Büchi compilation, following the LTL2BA construction
+//! (Gastin–Oddoux): negation normal form → very weak alternating automaton
+//! (VWAA) → transition-based generalized Büchi automaton (GBA, one
+//! acceptance set per `U`-subformula) → degeneralized state-based Büchi
+//! automaton via the counter construction.
+//!
+//! Everything is deterministic: subformulas and atoms are interned in
+//! traversal order, all sets are `BTreeSet`s, and automaton states are
+//! numbered in BFS discovery order — two compilations of equal formulas
+//! yield identical automata.
+
+use crate::ast::{Atom, Ltl};
+use crate::nnf::{nnf, Nnf};
+use crate::search::{find_accepting_lasso, Lasso};
+use std::collections::{BTreeSet, HashMap};
+
+/// One transition of the Büchi automaton: the guard is a conjunction of
+/// literals over interned atoms (`pos` must all hold, `neg` must all fail).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Atom ids (indices into [`Buchi::atoms`]) required true.
+    pub pos: Vec<usize>,
+    /// Atom ids required false.
+    pub neg: Vec<usize>,
+    /// Successor state.
+    pub target: usize,
+}
+
+impl Edge {
+    /// True if the guard is satisfied by the valuation `val` (the set of
+    /// atom ids that hold).
+    pub fn satisfied(&self, val: &BTreeSet<usize>) -> bool {
+        self.pos.iter().all(|a| val.contains(a)) && self.neg.iter().all(|a| !val.contains(a))
+    }
+}
+
+/// A (state-based, possibly multi-initial) Büchi automaton.
+#[derive(Clone, Debug)]
+pub struct Buchi {
+    /// The interned atoms; edge guards index into this table.
+    pub atoms: Vec<Atom>,
+    /// Initial states.
+    pub initial: Vec<usize>,
+    /// Per-state acceptance flags.
+    pub accepting: Vec<bool>,
+    /// Per-state outgoing edges, deterministically ordered.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl Buchi {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// True if the automaton has no states.
+    pub fn is_empty(&self) -> bool {
+        self.accepting.is_empty()
+    }
+
+    /// The interned id of `atom`, if the formula mentioned it.
+    pub fn atom_id(&self, atom: &Atom) -> Option<usize> {
+        self.atoms.iter().position(|a| a == atom)
+    }
+
+    /// Successors of `state` under the valuation `val`, sorted and deduped.
+    pub fn successors(&self, state: usize, val: &BTreeSet<usize>) -> Vec<usize> {
+        let mut out: Vec<usize> = self.edges[state]
+            .iter()
+            .filter(|e| e.satisfied(val))
+            .map(|e| e.target)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// One step of the subset construction: every state reachable from
+    /// `from` by an edge enabled under `val`.
+    pub fn subset_step(&self, from: &BTreeSet<usize>, val: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for &q in from {
+            for e in &self.edges[q] {
+                if e.satisfied(val) {
+                    out.insert(e.target);
+                }
+            }
+        }
+        out
+    }
+
+    /// Translate a set of concrete atoms into the valuation (set of interned
+    /// atom ids) this automaton's guards read. Atoms the formula never
+    /// mentions are irrelevant and simply dropped.
+    pub fn valuation(&self, letter: &BTreeSet<Atom>) -> BTreeSet<usize> {
+        letter.iter().filter_map(|a| self.atom_id(a)).collect()
+    }
+}
+
+/// Compile `f` into a Büchi automaton accepting exactly the infinite words
+/// satisfying `f`.
+pub fn compile(f: &Ltl) -> Buchi {
+    let mut ctx = Ctx::default();
+    let root = ctx.intern(&nnf(f));
+    ctx.build(root)
+}
+
+// ---------------------------------------------------------------------------
+// Subformula interning
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Node {
+    True,
+    False,
+    Lit(usize, bool),
+    And(usize, usize),
+    Or(usize, usize),
+    Next(usize),
+    Until(usize, usize),
+    Release(usize, usize),
+}
+
+#[derive(Default)]
+struct Ctx {
+    nodes: Vec<Node>,
+    node_ids: HashMap<Node, usize>,
+    atoms: Vec<Atom>,
+    atom_ids: HashMap<Atom, usize>,
+    delta_memo: HashMap<usize, Vec<Disjunct>>,
+}
+
+impl Ctx {
+    fn intern(&mut self, f: &Nnf) -> usize {
+        let node = match f {
+            Nnf::True => Node::True,
+            Nnf::False => Node::False,
+            Nnf::Lit { atom, positive } => {
+                let aid = match self.atom_ids.get(atom) {
+                    Some(&id) => id,
+                    None => {
+                        let id = self.atoms.len();
+                        self.atoms.push(atom.clone());
+                        self.atom_ids.insert(atom.clone(), id);
+                        id
+                    }
+                };
+                Node::Lit(aid, *positive)
+            }
+            Nnf::And(l, r) => {
+                let (l, r) = (self.intern(l), self.intern(r));
+                Node::And(l, r)
+            }
+            Nnf::Or(l, r) => {
+                let (l, r) = (self.intern(l), self.intern(r));
+                Node::Or(l, r)
+            }
+            Nnf::Next(x) => {
+                let x = self.intern(x);
+                Node::Next(x)
+            }
+            Nnf::Until(l, r) => {
+                let (l, r) = (self.intern(l), self.intern(r));
+                Node::Until(l, r)
+            }
+            Nnf::Release(l, r) => {
+                let (l, r) = (self.intern(l), self.intern(r));
+                Node::Release(l, r)
+            }
+        };
+        if let Some(&id) = self.node_ids.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(node.clone());
+        self.node_ids.insert(node, id);
+        id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VWAA transition function
+// ---------------------------------------------------------------------------
+
+/// One disjunct of a VWAA (or GBA) transition in the symbolic DNF form of
+/// LTL2BA: a guard (conjunction of literals), the set of successor VWAA
+/// states, and the set of `U`-subformulas this disjunct *fulfils* (its
+/// derivation took the right-operand branch of that `U`, which is what the
+/// generalized acceptance condition watches for).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Disjunct {
+    pos: BTreeSet<usize>,
+    neg: BTreeSet<usize>,
+    next: BTreeSet<usize>,
+    fulfilled: BTreeSet<usize>,
+}
+
+impl Disjunct {
+    fn top() -> Disjunct {
+        Disjunct {
+            pos: BTreeSet::new(),
+            neg: BTreeSet::new(),
+            next: BTreeSet::new(),
+            fulfilled: BTreeSet::new(),
+        }
+    }
+
+    /// Conjoin two disjuncts; `None` if the merged guard is contradictory.
+    fn merge(&self, other: &Disjunct) -> Option<Disjunct> {
+        let mut pos = self.pos.clone();
+        pos.extend(other.pos.iter().copied());
+        let mut neg = self.neg.clone();
+        neg.extend(other.neg.iter().copied());
+        if pos.intersection(&neg).next().is_some() {
+            return None;
+        }
+        let mut next = self.next.clone();
+        next.extend(other.next.iter().copied());
+        let mut fulfilled = self.fulfilled.clone();
+        fulfilled.extend(other.fulfilled.iter().copied());
+        Some(Disjunct {
+            pos,
+            neg,
+            next,
+            fulfilled,
+        })
+    }
+}
+
+fn product(a: &[Disjunct], b: &[Disjunct]) -> Vec<Disjunct> {
+    let mut out = Vec::new();
+    for x in a {
+        for y in b {
+            if let Some(m) = x.merge(y) {
+                out.push(m);
+            }
+        }
+    }
+    normalise(out)
+}
+
+fn normalise(mut v: Vec<Disjunct>) -> Vec<Disjunct> {
+    v.sort();
+    v.dedup();
+    v
+}
+
+impl Ctx {
+    /// `bar(f)`: decompose a formula into the sets of elementary VWAA states
+    /// whose conjunction covers it (LTL2BA's overline operator).
+    fn bar(&self, id: usize) -> Vec<BTreeSet<usize>> {
+        match self.nodes[id] {
+            Node::True => vec![BTreeSet::new()],
+            Node::False => vec![],
+            Node::And(l, r) => {
+                let (bl, br) = (self.bar(l), self.bar(r));
+                let mut out = Vec::new();
+                for x in &bl {
+                    for y in &br {
+                        let mut s = x.clone();
+                        s.extend(y.iter().copied());
+                        out.push(s);
+                    }
+                }
+                out.sort();
+                out.dedup();
+                out
+            }
+            Node::Or(l, r) => {
+                let mut out = self.bar(l);
+                out.extend(self.bar(r));
+                out.sort();
+                out.dedup();
+                out
+            }
+            _ => vec![[id].into_iter().collect()],
+        }
+    }
+
+    /// The VWAA transition function Δ, memoized per interned subformula.
+    fn delta(&mut self, id: usize) -> Vec<Disjunct> {
+        if let Some(d) = self.delta_memo.get(&id) {
+            return d.clone();
+        }
+        let result = match self.nodes[id] {
+            Node::True => vec![Disjunct::top()],
+            Node::False => vec![],
+            Node::Lit(atom, positive) => {
+                let mut d = Disjunct::top();
+                if positive {
+                    d.pos.insert(atom);
+                } else {
+                    d.neg.insert(atom);
+                }
+                vec![d]
+            }
+            Node::And(l, r) => {
+                let (dl, dr) = (self.delta(l), self.delta(r));
+                product(&dl, &dr)
+            }
+            Node::Or(l, r) => {
+                let mut d = self.delta(l);
+                d.extend(self.delta(r));
+                normalise(d)
+            }
+            Node::Next(x) => normalise(
+                self.bar(x)
+                    .into_iter()
+                    .map(|next| Disjunct {
+                        next,
+                        ..Disjunct::top()
+                    })
+                    .collect(),
+            ),
+            // Δ(l U r) = Δ(r)[fulfils U] ∪ (Δ(l) ⊗ {true → {l U r}})
+            Node::Until(l, r) => {
+                let mut fulfilled = self.delta(r);
+                for d in &mut fulfilled {
+                    d.fulfilled.insert(id);
+                }
+                let mut keep = Disjunct::top();
+                keep.next.insert(id);
+                let looped = product(&self.delta(l), &[keep]);
+                let mut out = fulfilled;
+                out.extend(looped);
+                normalise(out)
+            }
+            // Δ(l R r) = Δ(r) ⊗ (Δ(l) ∪ {true → {l R r}})
+            Node::Release(l, r) => {
+                let mut release = self.delta(l);
+                let mut keep = Disjunct::top();
+                keep.next.insert(id);
+                release.push(keep);
+                product(&self.delta(r), &normalise(release))
+            }
+        };
+        self.delta_memo.insert(id, result.clone());
+        result
+    }
+
+    /// Build the degeneralized Büchi automaton for the interned root.
+    fn build(&mut self, root: usize) -> Buchi {
+        // ---- GBA over sets of VWAA states --------------------------------
+        let initial_sets = self.bar(root);
+        let mut gba_states: Vec<BTreeSet<usize>> = Vec::new();
+        let mut gba_ids: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        let intern_state = |s: BTreeSet<usize>,
+                            states: &mut Vec<BTreeSet<usize>>,
+                            ids: &mut HashMap<BTreeSet<usize>, usize>,
+                            queue: &mut Vec<usize>| {
+            if let Some(&i) = ids.get(&s) {
+                return i;
+            }
+            let i = states.len();
+            states.push(s.clone());
+            ids.insert(s, i);
+            queue.push(i);
+            i
+        };
+        let gba_initial: Vec<usize> = initial_sets
+            .into_iter()
+            .map(|s| intern_state(s, &mut gba_states, &mut gba_ids, &mut queue))
+            .collect();
+
+        struct GTrans {
+            pos: BTreeSet<usize>,
+            neg: BTreeSet<usize>,
+            target: usize,
+            fulfilled: BTreeSet<usize>,
+        }
+        let mut gba_edges: Vec<Vec<GTrans>> = Vec::new();
+        let mut head = 0usize;
+        while head < queue.len() {
+            let idx = queue[head];
+            head += 1;
+            let members: Vec<usize> = gba_states[idx].iter().copied().collect();
+            let mut acc = vec![Disjunct::top()];
+            for m in members {
+                let dm = self.delta(m);
+                acc = product(&acc, &dm);
+            }
+            let mut edges = Vec::new();
+            for d in acc {
+                let target =
+                    intern_state(d.next.clone(), &mut gba_states, &mut gba_ids, &mut queue);
+                edges.push(GTrans {
+                    pos: d.pos,
+                    neg: d.neg,
+                    target,
+                    fulfilled: d.fulfilled,
+                });
+            }
+            if gba_edges.len() <= idx {
+                gba_edges.resize_with(idx + 1, Vec::new);
+            }
+            gba_edges[idx] = edges;
+        }
+        // All queued states got an edge vector (possibly empty).
+        gba_edges.resize_with(gba_states.len(), Vec::new);
+
+        // ---- Degeneralization (counter construction) ----------------------
+        // One acceptance set per U-subformula: a GBA transition satisfies
+        // set `f` iff `f` is not carried to the target or the transition
+        // fulfils it.
+        let untils: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| matches!(n, Node::Until(..)).then_some(i))
+            .collect();
+        let k = untils.len();
+        let sat = |t: &GTrans, f: usize| -> bool {
+            !gba_states[t.target].contains(&f) || t.fulfilled.contains(&f)
+        };
+
+        let mut ba_states: Vec<(usize, usize)> = Vec::new();
+        let mut ba_ids: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut ba_queue: Vec<usize> = Vec::new();
+        let intern_ba = |s: (usize, usize),
+                         states: &mut Vec<(usize, usize)>,
+                         ids: &mut HashMap<(usize, usize), usize>,
+                         queue: &mut Vec<usize>| {
+            if let Some(&i) = ids.get(&s) {
+                return i;
+            }
+            let i = states.len();
+            states.push(s);
+            ids.insert(s, i);
+            queue.push(i);
+            i
+        };
+        let initial: Vec<usize> = gba_initial
+            .iter()
+            .map(|&g| intern_ba((g, 0), &mut ba_states, &mut ba_ids, &mut ba_queue))
+            .collect();
+        let mut edges: Vec<Vec<Edge>> = Vec::new();
+        let mut head = 0usize;
+        while head < ba_queue.len() {
+            let idx = ba_queue[head];
+            head += 1;
+            let (g, counter) = ba_states[idx];
+            let base = if counter == k { 0 } else { counter };
+            let mut out = Vec::new();
+            for t in &gba_edges[g] {
+                let mut j = base;
+                while j < k && sat(t, untils[j]) {
+                    j += 1;
+                }
+                let target = intern_ba((t.target, j), &mut ba_states, &mut ba_ids, &mut ba_queue);
+                out.push(Edge {
+                    pos: t.pos.iter().copied().collect(),
+                    neg: t.neg.iter().copied().collect(),
+                    target,
+                });
+            }
+            out.sort_by(|a, b| (&a.pos, &a.neg, a.target).cmp(&(&b.pos, &b.neg, b.target)));
+            out.dedup();
+            if edges.len() <= idx {
+                edges.resize_with(idx + 1, Vec::new);
+            }
+            edges[idx] = out;
+        }
+        edges.resize_with(ba_states.len(), Vec::new);
+
+        let accepting: Vec<bool> = ba_states.iter().map(|&(_, c)| c == k).collect();
+        Buchi {
+            atoms: self.atoms.clone(),
+            initial,
+            accepting,
+            edges,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-letter analysis and lasso acceptance
+// ---------------------------------------------------------------------------
+
+/// States from which an accepting run exists when the automaton reads the
+/// fixed valuation `val` forever (the terminal self-loop of a pipeline
+/// trace): `fatal[q]` is true iff, inside the subgraph of `val`-enabled
+/// edges, `q` can reach a cycle through an accepting state.
+pub fn fatal_states(b: &Buchi, val: &BTreeSet<usize>) -> Vec<bool> {
+    let n = b.len();
+    let succs: Vec<Vec<usize>> = (0..n).map(|q| b.successors(q, val)).collect();
+    // Accepting states lying on a (val-enabled) cycle through themselves.
+    let mut on_cycle = vec![false; n];
+    for a in 0..n {
+        if !b.accepting[a] {
+            continue;
+        }
+        // BFS from a's successors back to a.
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = succs[a].clone();
+        while let Some(s) = stack.pop() {
+            if s == a {
+                on_cycle[a] = true;
+                break;
+            }
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            stack.extend(succs[s].iter().copied());
+        }
+    }
+    // Backward closure: states that can reach an on-cycle accepting state.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (q, sq) in succs.iter().enumerate() {
+        for &t in sq {
+            preds[t].push(q);
+        }
+    }
+    let mut fatal = on_cycle.clone();
+    let mut stack: Vec<usize> = (0..n).filter(|&q| fatal[q]).collect();
+    while let Some(q) = stack.pop() {
+        for &p in &preds[q] {
+            if !fatal[p] {
+                fatal[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    fatal
+}
+
+/// True if the automaton accepts the ultimately periodic word
+/// `stem · cycle^ω` (used by the differential tests against the direct
+/// evaluator). `cycle` must be non-empty.
+pub fn accepts_lasso(
+    b: &Buchi,
+    stem: &[BTreeSet<Atom>],
+    cycle: &[BTreeSet<Atom>],
+) -> Option<Lasso> {
+    assert!(!cycle.is_empty(), "lasso cycle must be non-empty");
+    let vals: Vec<BTreeSet<usize>> = stem
+        .iter()
+        .chain(cycle.iter())
+        .map(|l| b.valuation(l))
+        .collect();
+    let (n, p, m) = (stem.len(), cycle.len(), b.len());
+    // Product of the word's position graph with the automaton: state
+    // pos * m + q; the position successor wraps the cycle.
+    let total = (n + p) * m;
+    let accepting: Vec<bool> = (0..total).map(|s| b.accepting[s % m]).collect();
+    let initials: Vec<usize> = b.initial.to_vec();
+    let mut succ = |s: usize| -> Vec<usize> {
+        let (pos, q) = (s / m, s % m);
+        let next_pos = if pos + 1 < n + p { pos + 1 } else { n };
+        b.successors(q, &vals[pos])
+            .into_iter()
+            .map(|q2| next_pos * m + q2)
+            .collect()
+    };
+    find_accepting_lasso(total, &initials, &accepting, &mut succ)
+}
+
+#[cfg(test)]
+// Single-element slice literals read better than slice::from_ref in
+// these lasso fixtures.
+#[allow(clippy::cloned_ref_to_slice_refs)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn letter(atoms: &[Atom]) -> BTreeSet<Atom> {
+        atoms.iter().cloned().collect()
+    }
+
+    #[test]
+    fn eventually_accepts_and_rejects() {
+        let b = compile(&parse("F forwarded").unwrap());
+        assert!(!b.is_empty());
+        let fwd = letter(&[Atom::Forwarded]);
+        let empty = letter(&[]);
+        // forwarded eventually: accepted.
+        assert!(accepts_lasso(&b, &[empty.clone(), empty.clone()], &[fwd.clone()]).is_some());
+        // never forwarded: rejected.
+        assert!(accepts_lasso(&b, &[], &[empty.clone()]).is_none());
+        // forwarded only in the stem, not the cycle: still accepted (F).
+        assert!(accepts_lasso(&b, &[fwd.clone()], &[empty]).is_some());
+    }
+
+    #[test]
+    fn negated_liveness_catches_starvation() {
+        // The verifier model-checks the negation: !(F fwd) = G !fwd.
+        let b = compile(&parse("!(F forwarded)").unwrap());
+        let fwd = letter(&[Atom::Forwarded]);
+        let drop = letter(&[Atom::Dropped]);
+        assert!(accepts_lasso(&b, &[], &[drop]).is_some());
+        assert!(accepts_lasso(&b, &[], &[fwd]).is_none());
+    }
+
+    #[test]
+    fn until_requires_left_to_hold() {
+        let b = compile(&parse("at(a) U forwarded").unwrap());
+        let a = letter(&[Atom::At("a".into())]);
+        let other = letter(&[Atom::At("b".into())]);
+        let fwd = letter(&[Atom::Forwarded]);
+        assert!(accepts_lasso(&b, &[a.clone(), a.clone()], &[fwd.clone()]).is_some());
+        assert!(accepts_lasso(&b, &[a.clone(), other], &[fwd]).is_none());
+        // U demands the right side eventually.
+        assert!(accepts_lasso(&b, &[], &[a]).is_none());
+    }
+
+    #[test]
+    fn fatal_states_spot_terminal_violations() {
+        // ¬(F (forwarded | dropped)) accepts words that never terminate
+        // well; under the `crashed` letter forever, some initial state must
+        // be fatal, under `forwarded` none may be.
+        let b = compile(&parse("!(F (forwarded | dropped))").unwrap());
+        let crash_val = b.valuation(&letter(&[Atom::Crashed]));
+        let fwd_val = b.valuation(&letter(&[Atom::Forwarded]));
+        let fatal_crash = fatal_states(&b, &crash_val);
+        let fatal_fwd = fatal_states(&b, &fwd_val);
+        assert!(b.initial.iter().any(|&q| fatal_crash[q]));
+        assert!(b.initial.iter().all(|&q| !fatal_fwd[q]));
+    }
+}

@@ -1,0 +1,210 @@
+//! Direct LTL evaluation on ultimately periodic words.
+//!
+//! A pipeline trace is finite; it denotes the infinite word
+//! `stem · cycle^ω` (the cycle is the terminal self-loop, or the cycle of
+//! a reported lasso). On such words LTL truth is decidable by elementary
+//! means: positions inside the cycle repeat with period `p`, so `U`/`R`
+//! values on the cycle are fixpoints (least for `U`, greatest for `R`) and
+//! stem positions fold backwards. This evaluator is deliberately naive —
+//! it is the oracle the Büchi construction is differentially tested
+//! against, and the judge for concrete counterexample replays.
+
+use crate::ast::{Atom, Ltl};
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// Truth of `f` on the infinite word `stem · cycle^ω` (evaluated at
+/// position 0). `cycle` must be non-empty.
+pub fn holds(f: &Ltl, stem: &[BTreeSet<Atom>], cycle: &[BTreeSet<Atom>]) -> bool {
+    assert!(!cycle.is_empty(), "lasso cycle must be non-empty");
+    let letters: Vec<&BTreeSet<Atom>> = stem.iter().chain(cycle.iter()).collect();
+    let mut ev = Evaluator {
+        letters,
+        stem_len: stem.len(),
+        memo: HashMap::new(),
+    };
+    ev.values(f)[0]
+}
+
+struct Evaluator<'a> {
+    letters: Vec<&'a BTreeSet<Atom>>,
+    stem_len: usize,
+    memo: HashMap<Ltl, Rc<Vec<bool>>>,
+}
+
+impl Evaluator<'_> {
+    /// Successor of a position (the last cycle position wraps to the cycle
+    /// start).
+    fn succ(&self, i: usize) -> usize {
+        if i + 1 < self.letters.len() {
+            i + 1
+        } else {
+            self.stem_len
+        }
+    }
+
+    fn cycle_positions(&self) -> std::ops::Range<usize> {
+        self.stem_len..self.letters.len()
+    }
+
+    /// Truth of `f` at every position of the folded word.
+    fn values(&mut self, f: &Ltl) -> Rc<Vec<bool>> {
+        if let Some(v) = self.memo.get(f) {
+            return v.clone();
+        }
+        let total = self.letters.len();
+        let v: Vec<bool> = match f {
+            Ltl::True => vec![true; total],
+            Ltl::False => vec![false; total],
+            Ltl::Atom(a) => self.letters.iter().map(|l| l.contains(a)).collect(),
+            Ltl::Not(x) => self.values(x).iter().map(|b| !b).collect(),
+            Ltl::And(l, r) => {
+                let (l, r) = (self.values(l), self.values(r));
+                l.iter().zip(r.iter()).map(|(a, b)| *a && *b).collect()
+            }
+            Ltl::Or(l, r) => {
+                let (l, r) = (self.values(l), self.values(r));
+                l.iter().zip(r.iter()).map(|(a, b)| *a || *b).collect()
+            }
+            Ltl::Implies(l, r) => {
+                let (l, r) = (self.values(l), self.values(r));
+                l.iter().zip(r.iter()).map(|(a, b)| !*a || *b).collect()
+            }
+            Ltl::Next(x) => {
+                let x = self.values(x);
+                (0..total).map(|i| x[self.succ(i)]).collect()
+            }
+            Ltl::Eventually(x) => {
+                let x = self.values(x);
+                let mut v = vec![false; total];
+                // On the cycle, F x is the same everywhere: any position.
+                let on_cycle = self.cycle_positions().any(|i| x[i]);
+                for i in self.cycle_positions() {
+                    v[i] = on_cycle;
+                }
+                for i in (0..self.stem_len).rev() {
+                    v[i] = x[i] || v[i + 1];
+                }
+                v
+            }
+            Ltl::Always(x) => {
+                let x = self.values(x);
+                let mut v = vec![false; total];
+                let on_cycle = self.cycle_positions().all(|i| x[i]);
+                for i in self.cycle_positions() {
+                    v[i] = on_cycle;
+                }
+                for i in (0..self.stem_len).rev() {
+                    v[i] = x[i] && v[i + 1];
+                }
+                v
+            }
+            Ltl::Until(l, r) => {
+                let (l, r) = (self.values(l), self.values(r));
+                let mut v = vec![false; total];
+                // Least fixpoint on the cycle.
+                loop {
+                    let mut changed = false;
+                    for i in self.cycle_positions().rev() {
+                        let next = v[self.succ(i)];
+                        let nv = r[i] || (l[i] && next);
+                        if nv != v[i] {
+                            v[i] = nv;
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                for i in (0..self.stem_len).rev() {
+                    v[i] = r[i] || (l[i] && v[i + 1]);
+                }
+                v
+            }
+            Ltl::Release(l, r) => {
+                let (l, r) = (self.values(l), self.values(r));
+                let mut v = vec![false; total];
+                // Greatest fixpoint on the cycle.
+                for i in self.cycle_positions() {
+                    v[i] = true;
+                }
+                loop {
+                    let mut changed = false;
+                    for i in self.cycle_positions().rev() {
+                        let next = v[self.succ(i)];
+                        let nv = r[i] && (l[i] || next);
+                        if nv != v[i] {
+                            v[i] = nv;
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                for i in (0..self.stem_len).rev() {
+                    v[i] = r[i] && (l[i] || v[i + 1]);
+                }
+                v
+            }
+        };
+        let rc = Rc::new(v);
+        self.memo.insert(f.clone(), rc.clone());
+        rc
+    }
+}
+
+#[cfg(test)]
+// Single-element slice literals read better than slice::from_ref in
+// these lasso fixtures.
+#[allow(clippy::cloned_ref_to_slice_refs)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn letter(atoms: &[Atom]) -> BTreeSet<Atom> {
+        atoms.iter().cloned().collect()
+    }
+
+    #[test]
+    fn liveness_on_terminal_self_loops() {
+        let spec = parse("F (forwarded | dropped)").unwrap();
+        let at = |n: &str| letter(&[Atom::At(n.into())]);
+        let fwd = letter(&[Atom::Forwarded]);
+        let crash = letter(&[Atom::Crashed]);
+        assert!(holds(&spec, &[at("cls"), at("rt")], &[fwd]));
+        assert!(!holds(&spec, &[at("cls"), at("rt")], &[crash]));
+    }
+
+    #[test]
+    fn fairness_with_implication() {
+        let spec = parse("G (at(chk) -> F forwarded)").unwrap();
+        let at = |n: &str| letter(&[Atom::At(n.into())]);
+        let fwd = letter(&[Atom::Forwarded]);
+        let drop = letter(&[Atom::Dropped]);
+        // chk visited, then forwarded: holds.
+        assert!(holds(&spec, &[at("cls"), at("chk")], &[fwd.clone()]));
+        // chk visited, then dropped: violated.
+        assert!(!holds(&spec, &[at("cls"), at("chk")], &[drop.clone()]));
+        // chk never visited: vacuously true.
+        assert!(holds(&spec, &[at("cls"), at("rt")], &[drop]));
+    }
+
+    #[test]
+    fn until_and_release_fixpoints() {
+        let a = letter(&[Atom::At("a".into())]);
+        let b = letter(&[Atom::At("b".into())]);
+        let spec = parse("at(a) U at(b)").unwrap();
+        assert!(holds(&spec, &[a.clone(), a.clone()], &[b.clone()]));
+        assert!(!holds(&spec, &[], &[a.clone()]));
+        // R: the right side must hold forever if the left never fires.
+        let spec = parse("at(a) R at(b)").unwrap();
+        assert!(holds(&spec, &[], &[b.clone()]));
+        assert!(!holds(&spec, &[b.clone()], &[a.clone()]));
+        // Next steps into the cycle.
+        let spec = parse("X at(b)").unwrap();
+        assert!(holds(&spec, &[a.clone()], &[b.clone()]));
+        assert!(!holds(&spec, &[a.clone(), a.clone()], &[b]));
+    }
+}

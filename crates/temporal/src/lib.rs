@@ -1,0 +1,101 @@
+//! Linear temporal logic over pipeline traces.
+//!
+//! The property classes of the core verifier are state predicates (crash
+//! freedom, instruction bounds, reachability). This crate opens the liveness
+//! dimension: formulas like "every packet is eventually forwarded or
+//! dropped" or "after the checksum element, delivery is inevitable" are
+//! stated in LTL over atomic propositions drawn from pipeline trace events —
+//! the packet being *at* an element instance, the final disposition
+//! (forwarded / dropped / crashed), and header predicates on the input
+//! packet.
+//!
+//! The crate is self-contained and purely combinatorial; it knows nothing
+//! about summaries or solvers:
+//!
+//! - [`ast`]: the [`Ltl`] formula type and its [`Atom`]s, with a canonical
+//!   pretty-printer (parse → print → parse is the identity).
+//! - [`mod@parse`]: a recursive-descent parser with byte-span errors.
+//! - [`mod@nnf`]: negation normal form (the compiler front half).
+//! - [`buchi`]: the LTL2BA-style compilation chain — NNF → very weak
+//!   alternating automaton → transition-based generalized Büchi →
+//!   degeneralized (state-based) Büchi automaton.
+//! - [`search`]: nested-DFS emptiness with accepting-lasso extraction, plus
+//!   the fixed-letter "fatal state" analysis used when a trace parks in a
+//!   terminal self-loop.
+//! - [`eval`]: a direct evaluator of LTL on ultimately periodic words
+//!   (stem + cycle) — the trivially-correct oracle the Büchi chain is
+//!   differentially tested against, and the predicate concrete replays are
+//!   judged with.
+//!
+//! The verifier builds the product of the Büchi automaton for the *negated*
+//! spec with its per-element summary transition system, so the check stays
+//! compositional exactly like the paper's Step 2.
+
+pub mod ast;
+pub mod buchi;
+pub mod eval;
+pub mod nnf;
+pub mod parse;
+pub mod search;
+
+pub use ast::{Atom, Ltl};
+pub use buchi::{accepts_lasso, fatal_states, Buchi, Edge};
+pub use eval::holds;
+pub use nnf::{nnf, Nnf};
+pub use parse::{parse, ParseError};
+pub use search::{find_accepting_lasso, Lasso};
+
+use std::fmt;
+
+/// A parsed LTL specification in canonical (pretty-printed) form.
+///
+/// This is the value carried by the verifier's `Property::Temporal` variant
+/// and shipped over the worker wire: the `source` text is the canonical
+/// rendering of `formula`, so equality, hashing of report text, and wire
+/// round-trips are all stable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LtlSpec {
+    source: String,
+    formula: Ltl,
+}
+
+impl LtlSpec {
+    /// Parse `text` into a spec; the stored source is the canonical
+    /// pretty-printed form (not the raw input).
+    pub fn parse(text: &str) -> Result<LtlSpec, ParseError> {
+        let formula = parse(text)?;
+        Ok(LtlSpec {
+            source: formula.to_string(),
+            formula,
+        })
+    }
+
+    /// The canonical source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed formula.
+    pub fn formula(&self) -> &Ltl {
+        &self.formula
+    }
+}
+
+impl fmt::Display for LtlSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_source_is_canonical() {
+        let spec = LtlSpec::parse("G ((at(chk)) -> F (forwarded|dropped))").unwrap();
+        assert_eq!(spec.source(), "G (at(chk) -> F (forwarded | dropped))");
+        let again = LtlSpec::parse(spec.source()).unwrap();
+        assert_eq!(spec, again);
+    }
+}

@@ -1,0 +1,147 @@
+//! Negation normal form: negations pushed down to the atoms, implications
+//! expanded, and `F`/`G` rewritten to `U`/`R` — the input form of the
+//! Büchi compilation chain.
+
+use crate::ast::{Atom, Ltl};
+
+/// An LTL formula in negation normal form.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Nnf {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// A possibly-negated atom.
+    Lit {
+        /// The atom.
+        atom: Atom,
+        /// True for the atom itself, false for its negation.
+        positive: bool,
+    },
+    /// Conjunction.
+    And(Box<Nnf>, Box<Nnf>),
+    /// Disjunction.
+    Or(Box<Nnf>, Box<Nnf>),
+    /// Next.
+    Next(Box<Nnf>),
+    /// Until (`F x` arrives here as `true U x`).
+    Until(Box<Nnf>, Box<Nnf>),
+    /// Release (`G x` arrives here as `false R x`).
+    Release(Box<Nnf>, Box<Nnf>),
+}
+
+/// Convert `f` to negation normal form.
+pub fn nnf(f: &Ltl) -> Nnf {
+    convert(f, false)
+}
+
+fn convert(f: &Ltl, negated: bool) -> Nnf {
+    match f {
+        Ltl::True => {
+            if negated {
+                Nnf::False
+            } else {
+                Nnf::True
+            }
+        }
+        Ltl::False => {
+            if negated {
+                Nnf::True
+            } else {
+                Nnf::False
+            }
+        }
+        Ltl::Atom(a) => Nnf::Lit {
+            atom: a.clone(),
+            positive: !negated,
+        },
+        Ltl::Not(x) => convert(x, !negated),
+        Ltl::And(l, r) => {
+            let (l, r) = (convert(l, negated), convert(r, negated));
+            if negated {
+                Nnf::Or(Box::new(l), Box::new(r))
+            } else {
+                Nnf::And(Box::new(l), Box::new(r))
+            }
+        }
+        Ltl::Or(l, r) => {
+            let (l, r) = (convert(l, negated), convert(r, negated));
+            if negated {
+                Nnf::And(Box::new(l), Box::new(r))
+            } else {
+                Nnf::Or(Box::new(l), Box::new(r))
+            }
+        }
+        // a -> b  ==  !a | b
+        Ltl::Implies(l, r) => {
+            let (nl, r) = (convert(l, !negated), convert(r, negated));
+            if negated {
+                // !(a -> b) == a & !b
+                Nnf::And(Box::new(nl), Box::new(r))
+            } else {
+                Nnf::Or(Box::new(nl), Box::new(r))
+            }
+        }
+        Ltl::Next(x) => Nnf::Next(Box::new(convert(x, negated))),
+        // F x == true U x;  !(F x) == G !x == false R !x
+        Ltl::Eventually(x) => {
+            let x = convert(x, negated);
+            if negated {
+                Nnf::Release(Box::new(Nnf::False), Box::new(x))
+            } else {
+                Nnf::Until(Box::new(Nnf::True), Box::new(x))
+            }
+        }
+        // G x == false R x;  !(G x) == F !x == true U !x
+        Ltl::Always(x) => {
+            let x = convert(x, negated);
+            if negated {
+                Nnf::Until(Box::new(Nnf::True), Box::new(x))
+            } else {
+                Nnf::Release(Box::new(Nnf::False), Box::new(x))
+            }
+        }
+        Ltl::Until(l, r) => {
+            let (l, r) = (convert(l, negated), convert(r, negated));
+            if negated {
+                Nnf::Release(Box::new(l), Box::new(r))
+            } else {
+                Nnf::Until(Box::new(l), Box::new(r))
+            }
+        }
+        Ltl::Release(l, r) => {
+            let (l, r) = (convert(l, negated), convert(r, negated));
+            if negated {
+                Nnf::Until(Box::new(l), Box::new(r))
+            } else {
+                Nnf::Release(Box::new(l), Box::new(r))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn pushes_negations_to_literals() {
+        let f = parse("!(G (at(a) -> F forwarded))").unwrap();
+        let n = nnf(&f);
+        // !(G x) == true U !x; !(a -> b) == a & !b; !(F b) == false R !b.
+        match n {
+            Nnf::Until(l, r) => {
+                assert_eq!(*l, Nnf::True);
+                match *r {
+                    Nnf::And(a, fr) => {
+                        assert!(matches!(*a, Nnf::Lit { positive: true, .. }));
+                        assert!(matches!(*fr, Nnf::Release(..)));
+                    }
+                    other => panic!("expected And, got {other:?}"),
+                }
+            }
+            other => panic!("expected Until, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Recursive-descent LTL parser with byte-span error reporting.
+//!
+//! Grammar (loosest binding first):
+//!
+//! ```text
+//! implies := or ('->' implies)?
+//! or      := and ('|' and)*
+//! and     := until ('&' until)*
+//! until   := unary (('U' | 'R') until)?
+//! unary   := ('!' | 'X' | 'F' | 'G') unary | primary
+//! primary := 'true' | 'false' | 'forwarded' | 'dropped' | 'crashed'
+//!          | 'at' '(' ident ')' | 'dst' '(' n '.' n '.' n '.' n ')'
+//!          | '(' implies ')'
+//! ```
+
+use crate::ast::{Atom, Ltl};
+use std::fmt;
+
+/// A parse failure: what went wrong and the byte range of the offending
+/// input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte span `[start, end)` of the offending token (empty at EOF).
+    pub span: (usize, usize),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at {}..{}: {}",
+            self.span.0, self.span.1, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>, span: (usize, usize)) -> Result<T, ParseError> {
+    Err(ParseError {
+        message: message.into(),
+        span,
+    })
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TokKind {
+    Ident(String),
+    Number(u64),
+    LParen,
+    RParen,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+    Dot,
+}
+
+#[derive(Clone, Debug)]
+struct Tok {
+    kind: TokKind,
+    span: (usize, usize),
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, ParseError> {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'(' => {
+                toks.push(Tok {
+                    kind: TokKind::LParen,
+                    span: (start, i + 1),
+                });
+                i += 1;
+            }
+            b')' => {
+                toks.push(Tok {
+                    kind: TokKind::RParen,
+                    span: (start, i + 1),
+                });
+                i += 1;
+            }
+            b'!' => {
+                toks.push(Tok {
+                    kind: TokKind::Bang,
+                    span: (start, i + 1),
+                });
+                i += 1;
+            }
+            b'&' => {
+                toks.push(Tok {
+                    kind: TokKind::Amp,
+                    span: (start, i + 1),
+                });
+                i += 1;
+            }
+            b'|' => {
+                toks.push(Tok {
+                    kind: TokKind::Pipe,
+                    span: (start, i + 1),
+                });
+                i += 1;
+            }
+            b'.' => {
+                toks.push(Tok {
+                    kind: TokKind::Dot,
+                    span: (start, i + 1),
+                });
+                i += 1;
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(Tok {
+                        kind: TokKind::Arrow,
+                        span: (start, i + 2),
+                    });
+                    i += 2;
+                } else {
+                    return err("expected `->`", (start, (i + 1).min(bytes.len())));
+                }
+            }
+            b'0'..=b'9' => {
+                let mut n: u64 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    n = n
+                        .saturating_mul(10)
+                        .saturating_add((bytes[i] - b'0') as u64);
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number(n),
+                    span: (start, i),
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident(text[start..i].to_string()),
+                    span: (start, i),
+                });
+            }
+            _ => {
+                return err(
+                    format!(
+                        "unexpected character `{}`",
+                        text[i..].chars().next().unwrap()
+                    ),
+                    (start, start + text[i..].chars().next().unwrap().len_utf8()),
+                );
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    eof: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: TokKind, what: &str) -> Result<Tok, ParseError> {
+        match self.next() {
+            Some(t) if t.kind == kind => Ok(t),
+            Some(t) => err(format!("expected {what}"), t.span),
+            None => err(
+                format!("expected {what}, found end of input"),
+                (self.eof, self.eof),
+            ),
+        }
+    }
+
+    fn implies(&mut self) -> Result<Ltl, ParseError> {
+        let lhs = self.or()?;
+        if matches!(self.peek().map(|t| &t.kind), Some(TokKind::Arrow)) {
+            self.next();
+            let rhs = self.implies()?;
+            return Ok(Ltl::Implies(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Ltl, ParseError> {
+        let mut lhs = self.and()?;
+        while matches!(self.peek().map(|t| &t.kind), Some(TokKind::Pipe)) {
+            self.next();
+            let rhs = self.and()?;
+            lhs = Ltl::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Ltl, ParseError> {
+        let mut lhs = self.until()?;
+        while matches!(self.peek().map(|t| &t.kind), Some(TokKind::Amp)) {
+            self.next();
+            let rhs = self.until()?;
+            lhs = Ltl::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn until(&mut self) -> Result<Ltl, ParseError> {
+        let lhs = self.unary()?;
+        if let Some(TokKind::Ident(id)) = self.peek().map(|t| &t.kind) {
+            if id == "U" || id == "R" {
+                let release = id == "R";
+                self.next();
+                let rhs = self.until()?;
+                return Ok(if release {
+                    Ltl::Release(Box::new(lhs), Box::new(rhs))
+                } else {
+                    Ltl::Until(Box::new(lhs), Box::new(rhs))
+                });
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Ltl, ParseError> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokKind::Bang) => {
+                self.next();
+                Ok(Ltl::Not(Box::new(self.unary()?)))
+            }
+            Some(TokKind::Ident(id)) if id == "X" || id == "F" || id == "G" => {
+                self.next();
+                let operand = Box::new(self.unary()?);
+                Ok(match id.as_str() {
+                    "X" => Ltl::Next(operand),
+                    "F" => Ltl::Eventually(operand),
+                    _ => Ltl::Always(operand),
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn octet(&mut self) -> Result<u8, ParseError> {
+        match self.next() {
+            Some(Tok {
+                kind: TokKind::Number(n),
+                span,
+            }) => {
+                if n > 255 {
+                    err("IPv4 octet out of range (0..=255)", span)
+                } else {
+                    Ok(n as u8)
+                }
+            }
+            Some(t) => err("expected an IPv4 octet", t.span),
+            None => err(
+                "expected an IPv4 octet, found end of input",
+                (self.eof, self.eof),
+            ),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Ltl, ParseError> {
+        match self.next() {
+            Some(Tok {
+                kind: TokKind::LParen,
+                ..
+            }) => {
+                let inner = self.implies()?;
+                self.expect(TokKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(Tok {
+                kind: TokKind::Ident(id),
+                span,
+            }) => match id.as_str() {
+                "true" => Ok(Ltl::True),
+                "false" => Ok(Ltl::False),
+                "forwarded" => Ok(Ltl::Atom(Atom::Forwarded)),
+                "dropped" => Ok(Ltl::Atom(Atom::Dropped)),
+                "crashed" => Ok(Ltl::Atom(Atom::Crashed)),
+                "at" => {
+                    self.expect(TokKind::LParen, "`(` after `at`")?;
+                    let name = match self.next() {
+                        Some(Tok {
+                            kind: TokKind::Ident(name),
+                            ..
+                        }) => name,
+                        Some(t) => return err("expected an element name", t.span),
+                        None => {
+                            return err(
+                                "expected an element name, found end of input",
+                                (self.eof, self.eof),
+                            )
+                        }
+                    };
+                    self.expect(TokKind::RParen, "`)` after the element name")?;
+                    Ok(Ltl::Atom(Atom::At(name)))
+                }
+                "dst" => {
+                    self.expect(TokKind::LParen, "`(` after `dst`")?;
+                    let mut addr = [0u8; 4];
+                    for (i, slot) in addr.iter_mut().enumerate() {
+                        if i > 0 {
+                            self.expect(TokKind::Dot, "`.` in the IPv4 address")?;
+                        }
+                        *slot = self.octet()?;
+                    }
+                    self.expect(TokKind::RParen, "`)` after the IPv4 address")?;
+                    Ok(Ltl::Atom(Atom::Dst(addr)))
+                }
+                _ => err(
+                    format!(
+                        "unknown atom `{id}` (expected at(...), dst(...), forwarded, dropped, \
+                         crashed, true or false)"
+                    ),
+                    span,
+                ),
+            },
+            Some(t) => err("expected a formula", t.span),
+            None => err(
+                "expected a formula, found end of input",
+                (self.eof, self.eof),
+            ),
+        }
+    }
+}
+
+/// Parse an LTL specification.
+pub fn parse(text: &str) -> Result<Ltl, ParseError> {
+    let toks = lex(text)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        eof: text.len(),
+    };
+    let formula = p.implies()?;
+    if let Some(t) = p.peek() {
+        return err("unexpected trailing input", t.span);
+    }
+    Ok(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_precedence_and_associativity() {
+        let f = parse("a U b -> c | d & !e").unwrap_err();
+        // `a` is not a known atom: spans point at it.
+        assert_eq!(f.span, (0, 1));
+
+        let f = parse("at(a) U at(b) -> at(c) | at(d) & !at(e)").unwrap();
+        assert_eq!(f.to_string(), "at(a) U at(b) -> at(c) | at(d) & !at(e)");
+        // -> binds loosest.
+        assert!(matches!(f, Ltl::Implies(..)));
+    }
+
+    #[test]
+    fn until_is_right_associative() {
+        let f = parse("at(a) U at(b) U at(c)").unwrap();
+        match f {
+            Ltl::Until(_, rhs) => assert!(matches!(*rhs, Ltl::Until(..))),
+            other => panic!("expected Until, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_dst_atom() {
+        let f = parse("F dst(10.0.0.1)").unwrap();
+        assert_eq!(
+            f,
+            Ltl::Eventually(Box::new(Ltl::Atom(Atom::Dst([10, 0, 0, 1]))))
+        );
+        assert_eq!(f.to_string(), "F dst(10.0.0.1)");
+    }
+
+    #[test]
+    fn rejects_with_spans() {
+        let e = parse("G (forwarded").unwrap_err();
+        assert_eq!(e.span, (12, 12));
+        assert!(e.message.contains("`)`"), "{e}");
+
+        let e = parse("dst(10.0.0.999)").unwrap_err();
+        assert_eq!(e.span, (11, 14));
+        assert!(e.message.contains("octet"), "{e}");
+
+        let e = parse("forwarded @").unwrap_err();
+        assert_eq!(e.span, (10, 11));
+
+        let e = parse("forwarded - dropped").unwrap_err();
+        assert!(e.message.contains("->"), "{e}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Nested-DFS emptiness checking (Courcoubetis–Vardi–Wolper–Yannakakis)
+//! with accepting-lasso extraction.
+//!
+//! The outer (blue) DFS visits states in post-order; when it retreats over
+//! an accepting state it launches an inner (red) DFS that searches for a
+//! path back to that seed. Red marks persist across inner searches, which
+//! keeps the whole check linear in the graph. The search order is fully
+//! deterministic: successors are explored in the order the caller yields
+//! them.
+
+/// An accepting lasso: `stem` leads from an initial state to the loop head
+/// (inclusive), `cycle` continues from the head's successor back to and
+/// including the head. The head is accepting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lasso {
+    /// Initial state … loop head.
+    pub stem: Vec<usize>,
+    /// Head's successor … loop head (non-empty; a self-loop yields
+    /// `[head]`).
+    pub cycle: Vec<usize>,
+}
+
+struct Search<'a> {
+    accepting: &'a [bool],
+    succ: &'a mut dyn FnMut(usize) -> Vec<usize>,
+    blue: Vec<bool>,
+    red: Vec<bool>,
+    path: Vec<usize>,
+}
+
+impl Search<'_> {
+    fn dfs_blue(&mut self, s: usize) -> Option<Lasso> {
+        self.blue[s] = true;
+        self.path.push(s);
+        for t in (self.succ)(s) {
+            if !self.blue[t] {
+                if let Some(l) = self.dfs_blue(t) {
+                    return Some(l);
+                }
+            }
+        }
+        if self.accepting[s] {
+            let mut cycle = Vec::new();
+            if self.dfs_red(s, s, &mut cycle) {
+                cycle.reverse();
+                return Some(Lasso {
+                    stem: self.path.clone(),
+                    cycle,
+                });
+            }
+        }
+        self.path.pop();
+        None
+    }
+
+    /// Search for a non-trivial path from `s` back to `seed`; on success
+    /// `cycle` holds the path's states seed-ward first (it is reversed by
+    /// the caller).
+    fn dfs_red(&mut self, s: usize, seed: usize, cycle: &mut Vec<usize>) -> bool {
+        for t in (self.succ)(s) {
+            if t == seed {
+                cycle.push(t);
+                return true;
+            }
+            if !self.red[t] {
+                self.red[t] = true;
+                if self.dfs_red(t, seed, cycle) {
+                    cycle.push(t);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Search the implicit graph for an accepting lasso: a cycle through an
+/// accepting state reachable from one of `initials`. Returns `None` iff the
+/// Büchi language of the graph is empty.
+pub fn find_accepting_lasso(
+    n: usize,
+    initials: &[usize],
+    accepting: &[bool],
+    succ: &mut dyn FnMut(usize) -> Vec<usize>,
+) -> Option<Lasso> {
+    let mut search = Search {
+        accepting,
+        succ,
+        blue: vec![false; n],
+        red: vec![false; n],
+        path: Vec::new(),
+    };
+    for &init in initials {
+        if !search.blue[init] {
+            if let Some(lasso) = search.dfs_blue(init) {
+                return Some(lasso);
+            }
+        }
+        debug_assert!(search.path.is_empty());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explicit(edges: &[(usize, usize)], n: usize) -> impl FnMut(usize) -> Vec<usize> + '_ {
+        move |s: usize| {
+            let _ = n;
+            edges
+                .iter()
+                .filter(|(a, _)| *a == s)
+                .map(|&(_, b)| b)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn finds_reachable_accepting_cycle() {
+        // 0 -> 1 -> 2 -> 1 with 2 accepting.
+        let edges = [(0, 1), (1, 2), (2, 1)];
+        let accepting = [false, false, true];
+        let mut succ = explicit(&edges, 3);
+        let lasso = find_accepting_lasso(3, &[0], &accepting, &mut succ).unwrap();
+        assert_eq!(*lasso.stem.last().unwrap(), 2);
+        assert_eq!(*lasso.cycle.last().unwrap(), 2);
+        assert!(lasso.cycle.contains(&1));
+    }
+
+    #[test]
+    fn empty_when_accepting_state_is_transient() {
+        // 0 -> 1(acc) -> 2 -> 2; the accepting state is not on a cycle.
+        let edges = [(0, 1), (1, 2), (2, 2)];
+        let accepting = [false, true, false];
+        let mut succ = explicit(&edges, 3);
+        assert!(find_accepting_lasso(3, &[0], &accepting, &mut succ).is_none());
+    }
+
+    #[test]
+    fn accepting_self_loop() {
+        let edges = [(0, 0)];
+        let accepting = [true];
+        let mut succ = explicit(&edges, 1);
+        let lasso = find_accepting_lasso(1, &[0], &accepting, &mut succ).unwrap();
+        assert_eq!(lasso.stem, vec![0]);
+        assert_eq!(lasso.cycle, vec![0]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Differential test of the Büchi compilation chain against the direct
+//! lasso evaluator: for random formulas and random ultimately periodic
+//! words, `compile(f)` accepts `stem · cycle^ω` exactly when `holds(f, …)`
+//! says the word satisfies `f`. This exercises NNF, the VWAA transition
+//! function, the generalized acceptance sets, degeneralization, and the
+//! nested-DFS emptiness check end to end.
+
+use dataplane_temporal::{accepts_lasso, buchi, holds, Atom, Ltl};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const ATOMS: [Atom; 4] = [
+    Atom::Forwarded,
+    Atom::Dropped,
+    Atom::Crashed,
+    Atom::Dst([10, 0, 0, 1]),
+];
+
+fn atom(p: u64) -> Ltl {
+    match p % 5 {
+        0 => Ltl::Atom(Atom::At("a".into())),
+        n => Ltl::Atom(ATOMS[(n - 1) as usize].clone()),
+    }
+}
+
+fn build(picks: &[u64], cursor: &mut usize, depth: u32) -> Ltl {
+    let mut draw = || {
+        let p = picks[*cursor % picks.len()].wrapping_add(*cursor as u64 * 0x9E37_79B9);
+        *cursor += 1;
+        p
+    };
+    let p = draw();
+    if depth == 0 {
+        return match p % 7 {
+            5 => Ltl::True,
+            6 => Ltl::False,
+            _ => atom(p),
+        };
+    }
+    match p % 11 {
+        0 => Ltl::Not(Box::new(build(picks, cursor, depth - 1))),
+        1 => Ltl::Next(Box::new(build(picks, cursor, depth - 1))),
+        2 => Ltl::Eventually(Box::new(build(picks, cursor, depth - 1))),
+        3 => Ltl::Always(Box::new(build(picks, cursor, depth - 1))),
+        4 => Ltl::And(
+            Box::new(build(picks, cursor, depth - 1)),
+            Box::new(build(picks, cursor, depth - 1)),
+        ),
+        5 => Ltl::Or(
+            Box::new(build(picks, cursor, depth - 1)),
+            Box::new(build(picks, cursor, depth - 1)),
+        ),
+        6 => Ltl::Implies(
+            Box::new(build(picks, cursor, depth - 1)),
+            Box::new(build(picks, cursor, depth - 1)),
+        ),
+        7 => Ltl::Until(
+            Box::new(build(picks, cursor, depth - 1)),
+            Box::new(build(picks, cursor, depth - 1)),
+        ),
+        8 => Ltl::Release(
+            Box::new(build(picks, cursor, depth - 1)),
+            Box::new(build(picks, cursor, depth - 1)),
+        ),
+        _ => atom(p),
+    }
+}
+
+/// Build one letter (a set of atoms) from 5 bits.
+fn letter(bits: u64) -> BTreeSet<Atom> {
+    let mut l = BTreeSet::new();
+    if bits & 1 != 0 {
+        l.insert(Atom::At("a".into()));
+    }
+    for (i, a) in ATOMS.iter().enumerate() {
+        if bits & (2 << i) != 0 {
+            l.insert(a.clone());
+        }
+    }
+    l
+}
+
+proptest! {
+    /// The compiled automaton and the direct evaluator agree on every
+    /// (formula, lasso word) pair.
+    #[test]
+    fn buchi_agrees_with_direct_evaluator(
+        picks in proptest::collection::vec(any::<u64>(), 4..16),
+        word in proptest::collection::vec(any::<u64>(), 1..7),
+        stem_len in 0usize..4,
+    ) {
+        let mut cursor = 0usize;
+        let f = build(&picks, &mut cursor, 3);
+        let stem_len = stem_len.min(word.len() - 1);
+        let stem: Vec<BTreeSet<Atom>> = word[..stem_len].iter().map(|&b| letter(b)).collect();
+        let cycle: Vec<BTreeSet<Atom>> = word[stem_len..].iter().map(|&b| letter(b)).collect();
+
+        let expected = holds(&f, &stem, &cycle);
+        let automaton = buchi::compile(&f);
+        let accepted = accepts_lasso(&automaton, &stem, &cycle).is_some();
+        prop_assert_eq!(
+            accepted,
+            expected,
+            "formula `{}` on stem {:?} cycle {:?}: automaton={}, evaluator={}",
+            f, stem, cycle, accepted, expected
+        );
+    }
+}
+
+#[test]
+fn negation_duality_on_fixed_words() {
+    // For every word, exactly one of f and !f holds — checked through the
+    // automaton for a handful of nontrivial formulas.
+    let formulas = [
+        "G (at(a) -> F forwarded)",
+        "F G dropped",
+        "G F at(a)",
+        "(at(a) U forwarded) R !crashed",
+        "X X forwarded",
+    ];
+    let words: [(&[u64], &[u64]); 3] = [(&[1, 2], &[4]), (&[], &[1]), (&[8, 1, 2], &[2, 1])];
+    for src in formulas {
+        let f = dataplane_temporal::parse(src).unwrap();
+        let nf = Ltl::Not(Box::new(f.clone()));
+        for (s, c) in words {
+            let stem: Vec<BTreeSet<Atom>> = s.iter().map(|&b| letter(b)).collect();
+            let cycle: Vec<BTreeSet<Atom>> = c.iter().map(|&b| letter(b)).collect();
+            let pos = accepts_lasso(&buchi::compile(&f), &stem, &cycle).is_some();
+            let neg = accepts_lasso(&buchi::compile(&nf), &stem, &cycle).is_some();
+            assert_ne!(pos, neg, "duality violated for `{src}` on {s:?}/{c:?}");
+            assert_eq!(pos, holds(&f, &stem, &cycle), "`{src}` on {s:?}/{c:?}");
+        }
+    }
+}

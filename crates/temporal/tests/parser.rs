@@ -1,0 +1,108 @@
+//! Parser coverage: canonical round-trips under random formulas, and
+//! span-ed rejection of malformed specs.
+
+use dataplane_temporal::{parse, Atom, Ltl, LtlSpec};
+use proptest::prelude::*;
+
+/// Deterministically build a random formula from a stream of picks.
+fn build(picks: &[u64], cursor: &mut usize, depth: u32) -> Ltl {
+    let mut draw = || {
+        let p = picks[*cursor % picks.len()].wrapping_add(*cursor as u64 * 0x9E37_79B9);
+        *cursor += 1;
+        p
+    };
+    let atom = |p: u64| -> Ltl {
+        match p % 6 {
+            0 => Ltl::Atom(Atom::At("a".into())),
+            1 => Ltl::Atom(Atom::At("b".into())),
+            2 => Ltl::Atom(Atom::Forwarded),
+            3 => Ltl::Atom(Atom::Dropped),
+            4 => Ltl::Atom(Atom::Crashed),
+            _ => Ltl::Atom(Atom::Dst([10, 0, 0, 1])),
+        }
+    };
+    let p = draw();
+    if depth == 0 {
+        return match p % 8 {
+            6 => Ltl::True,
+            7 => Ltl::False,
+            _ => atom(p),
+        };
+    }
+    let sub = |cursor: &mut usize| build(picks, cursor, depth - 1);
+    match p % 12 {
+        0 => Ltl::Not(Box::new(sub(cursor))),
+        1 => Ltl::Next(Box::new(sub(cursor))),
+        2 => Ltl::Eventually(Box::new(sub(cursor))),
+        3 => Ltl::Always(Box::new(sub(cursor))),
+        4 => Ltl::And(Box::new(sub(cursor)), Box::new(sub(cursor))),
+        5 => Ltl::Or(Box::new(sub(cursor)), Box::new(sub(cursor))),
+        6 => Ltl::Implies(Box::new(sub(cursor)), Box::new(sub(cursor))),
+        7 => Ltl::Until(Box::new(sub(cursor)), Box::new(sub(cursor))),
+        8 => Ltl::Release(Box::new(sub(cursor)), Box::new(sub(cursor))),
+        9 => Ltl::True,
+        10 => Ltl::False,
+        _ => atom(p),
+    }
+}
+
+proptest! {
+    /// parse ∘ print is the identity on ASTs, and the printed form is a
+    /// fixpoint of canonicalisation.
+    #[test]
+    fn roundtrip_parse_print_parse(picks in proptest::collection::vec(any::<u64>(), 1..24)) {
+        let mut cursor = 0usize;
+        let f = build(&picks, &mut cursor, 3);
+        let printed = f.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("canonical form `{printed}` failed to parse: {e}"));
+        prop_assert_eq!(&reparsed, &f, "print/parse mismatch for `{}`", printed);
+        let spec = LtlSpec::parse(&printed).unwrap();
+        prop_assert_eq!(spec.source(), printed.as_str());
+    }
+}
+
+#[test]
+fn malformed_specs_are_rejected_with_spans() {
+    // (input, expected span, fragment the message must mention)
+    let cases: &[(&str, (usize, usize), &str)] = &[
+        ("", (0, 0), "formula"),
+        ("G", (1, 1), "formula"),
+        ("G (forwarded", (12, 12), "`)`"),
+        ("forwarded dropped", (10, 17), "trailing"),
+        ("at()", (3, 4), "element name"),
+        ("at(1)", (3, 4), "element name"),
+        ("dst(1.2.3)", (9, 10), "IPv4"),
+        ("dst(256.0.0.1)", (4, 7), "octet"),
+        ("flooded", (0, 7), "unknown atom"),
+        ("forwarded & & dropped", (12, 13), "formula"),
+        ("forwarded - dropped", (10, 11), "->"),
+        ("forwarded # dropped", (10, 11), "unexpected character"),
+        ("(forwarded | dropped))", (21, 22), "trailing"),
+    ];
+    for (input, span, fragment) in cases {
+        let err = match parse(input) {
+            Err(e) => e,
+            Ok(f) => panic!("`{input}` unexpectedly parsed as {f}"),
+        };
+        assert_eq!(err.span, *span, "span mismatch for `{input}`: {err}");
+        assert!(
+            err.message.contains(fragment),
+            "message for `{input}` should mention {fragment:?}: {err}"
+        );
+        // The Display form carries the span for the user.
+        let shown = err.to_string();
+        assert!(
+            shown.contains(&format!("{}..{}", span.0, span.1)),
+            "{shown}"
+        );
+    }
+}
+
+#[test]
+fn spec_equality_is_structural() {
+    let a = LtlSpec::parse("G ((at(chk)) -> F (forwarded | dropped))").unwrap();
+    let b = LtlSpec::parse("G (at(chk) -> F (forwarded | dropped))").unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.source(), b.source());
+}

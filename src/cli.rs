@@ -7,7 +7,7 @@
 //! scenario/flag/JSON plumbing lives exactly once.
 //!
 //! ```text
-//! vericlick run --matrix [--selftest]      # the 15-scenario preset matrix
+//! vericlick run --matrix [--selftest]      # the 20-scenario preset matrix
 //! vericlick run cfg.click...               # crash+bounded for your configs
 //! vericlick diff old.click new.click       # incremental re-verification
 //! vericlick diff --demo                    # self-asserting demo (CI smoke)
@@ -39,8 +39,8 @@ use crate::orchestrator::wire::{plan_from_json, plan_to_json};
 use crate::orchestrator::{
     join_fleet, preset_scenarios, serve_listener, worker_serve, ClientReply, Daemon, DaemonClient,
     DaemonConfig, Executor, HeartbeatConfig, InProcessExecutor, NamedConfig, ProgressEvent,
-    PropertySelect, SummaryStore, VerifyOutcome, VerifyRequest, VerifyResponse, VerifyService,
-    WorkerAddr, WorkerFleet,
+    PropertySelect, Scenario, SummaryStore, VerifyOutcome, VerifyRequest, VerifyResponse,
+    VerifyService, WorkerAddr, WorkerFleet,
 };
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -122,9 +122,14 @@ pub fn main(args: Vec<String>) -> i32 {
 
 const USAGE: &str = "usage: vericlick <subcommand> [options]
   run [--matrix] [cfg.click...] [--threads N] [--cache DIR] [--json PATH] [--selftest]
-      [--compose-shard N] [--connect addr]
+      [--compose-shard N] [--connect addr] [--ltl SPEC]...
+    (--ltl verifies a temporal (LTL) property instead of the default
+     crash+bounded pair: repeatable, SPEC is a formula like
+     'G (at(chk) -> F (forwarded | dropped))' or @FILE to read one from
+     a file; with --matrix the spec(s) replace the presets' bundled
+     temporal specs)
   diff <old.click> <new.click> | --demo   [--threads N] [--cache DIR] [--connect addr]
-  plan [--matrix] [cfg.click...] [-o PATH] [--threads N]
+  plan [--matrix] [cfg.click...] [-o PATH] [--threads N] [--ltl SPEC]...
   exec-plan [PATH|-] [--workers N | --workers addr,addr,...] [--in-process]
             [--threads N] [--cache DIR] [--json PATH] [--det-json PATH]
             [--heartbeat-ms N] [--compose-shard N]
@@ -146,8 +151,8 @@ const USAGE: &str = "usage: vericlick <subcommand> [options]
     (addr is host:port for TCP or a path / unix:PATH for a Unix socket;
      --join announces the bound address to a running daemon's fleet)
   serve --listen addr [--threads N] [--cache DIR] [--max-sessions N]
-        [--workers addr,addr,...] [--heartbeat-ms N] [--compose-shard N]
-        [--once]
+        [--max-queue N] [--workers addr,addr,...] [--heartbeat-ms N]
+        [--compose-shard N] [--once]
     (persistent daemon: a warm summary store shared across requests;
      clients connect with `client`/`--connect`, workers with `--join`)
   client --connect addr [--matrix] [cfg.click...] [--request PATH]
@@ -267,6 +272,61 @@ fn build_request(matrix: bool, files: &[String]) -> Result<VerifyRequest, i32> {
     }
 }
 
+/// Parse `--ltl` arguments — formula text, or `@FILE` to read one from a
+/// file — into temporal properties. A malformed spec is a usage error
+/// carrying the parser's span-ed message.
+fn parse_ltl_specs(specs: &[String]) -> Result<Vec<crate::verifier::Property>, i32> {
+    let mut properties = Vec::new();
+    for raw in specs {
+        let text = match raw.strip_prefix('@') {
+            Some(path) => read_file(path)?,
+            None => raw.clone(),
+        };
+        match crate::verifier::LtlSpec::parse(text.trim()) {
+            Ok(spec) => properties.push(crate::verifier::Property::Temporal(spec)),
+            Err(e) => {
+                eprintln!("error: --ltl '{}': {e}", text.trim());
+                return Err(2);
+            }
+        }
+    }
+    Ok(properties)
+}
+
+/// The `run` request: [`build_request`]'s default property sets, unless
+/// `--ltl` specs narrow the run to exactly those temporal properties —
+/// against the preset pipelines with `--matrix`, or the given configs.
+fn build_run_request(matrix: bool, files: &[String], ltl: &[String]) -> Result<VerifyRequest, i32> {
+    if ltl.is_empty() {
+        return build_request(matrix, files);
+    }
+    let properties = parse_ltl_specs(ltl)?;
+    if matrix {
+        if !files.is_empty() {
+            return Err(usage_error("--matrix takes no config files"));
+        }
+        let mut scenarios = Vec::new();
+        for (name, make) in crate::orchestrator::preset_pipelines() {
+            for property in &properties {
+                scenarios.push(Scenario::new(name, make(), property.clone()));
+            }
+        }
+        Ok(VerifyRequest::Matrix { scenarios })
+    } else if files.is_empty() {
+        Err(usage_error(
+            "--ltl needs --matrix or at least one config file",
+        ))
+    } else {
+        let configs = load_configs(files)?;
+        let scenarios = crate::orchestrator::config_scenarios(&configs, &|_| properties.clone())
+            .map_err(|e| {
+                eprintln!("error: {e}");
+                2
+            })?;
+        Ok(VerifyRequest::Matrix { scenarios })
+    }
+}
+
 /// Report a response to stdout, optionally persisting the JSON forms;
 /// returns the exit code (1 when any scenario ended Unknown).
 fn finish(response: &VerifyResponse, json_path: Option<&str>, det_json_path: Option<&str>) -> i32 {
@@ -373,12 +433,17 @@ fn cmd_run(args: Vec<String>) -> i32 {
     let mut compose_shard = 0usize;
     let mut json_path: Option<String> = None;
     let mut det_json_path: Option<String> = None;
+    let mut ltl_specs: Vec<String> = Vec::new();
     let mut files = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--matrix" => matrix = true,
             "--selftest" => selftest = true,
+            "--ltl" => match iter.next() {
+                Some(spec) => ltl_specs.push(spec),
+                None => return usage_error("--ltl needs a spec (a formula, or @FILE)"),
+            },
             "--connect" => match iter.next() {
                 Some(addr) => connect = Some(addr),
                 None => return usage_error("--connect needs a daemon address"),
@@ -410,7 +475,7 @@ fn cmd_run(args: Vec<String>) -> i32 {
         }
     }
 
-    let request = match build_request(matrix, &files) {
+    let request = match build_run_request(matrix, &files, &ltl_specs) {
         Ok(r) => r,
         Err(code) => return code,
     };
@@ -463,7 +528,8 @@ fn cmd_run(args: Vec<String>) -> i32 {
         VerifyOutcome::Matrix(m) => m,
         _ => unreachable!("run serves matrix requests"),
     };
-    let warm = service.serve(build_request(matrix, &files).expect("request rebuilt")); // same request
+    let warm =
+        service.serve(build_run_request(matrix, &files, &ltl_specs).expect("request rebuilt")); // same request
     let warm = match warm {
         Ok(r) => r,
         Err(e) => {
@@ -719,6 +785,7 @@ fn cmd_plan(args: Vec<String>) -> i32 {
     let mut matrix = false;
     let mut out: Option<String> = None;
     let mut files = Vec::new();
+    let mut ltl_specs: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -731,6 +798,10 @@ fn cmd_plan(args: Vec<String>) -> i32 {
                 Some(n) => flags.threads = n,
                 None => return usage_error("--threads needs a number"),
             },
+            "--ltl" => match iter.next() {
+                Some(spec) => ltl_specs.push(spec),
+                None => return usage_error("--ltl needs a spec (a formula, or @FILE)"),
+            },
             other if other.starts_with('-') => {
                 return usage_error(&format!("unknown option '{other}'"))
             }
@@ -738,7 +809,7 @@ fn cmd_plan(args: Vec<String>) -> i32 {
         }
     }
 
-    let request = match build_request(matrix, &files) {
+    let request = match build_run_request(matrix, &files, &ltl_specs) {
         Ok(r) => r,
         Err(code) => return code,
     };
@@ -1641,6 +1712,7 @@ fn cmd_serve(args: Vec<String>) -> i32 {
     let mut threads = 0usize;
     let mut cache: Option<String> = None;
     let mut max_sessions = 4usize;
+    let mut max_queue = 4usize;
     let mut workers: Option<String> = None;
     let mut heartbeat_ms: Option<u64> = None;
     let mut compose_shard = 0usize;
@@ -1663,6 +1735,10 @@ fn cmd_serve(args: Vec<String>) -> i32 {
             "--max-sessions" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => max_sessions = n,
                 None => return usage_error("--max-sessions needs a number (0 = unlimited)"),
+            },
+            "--max-queue" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_queue = n,
+                None => return usage_error("--max-queue needs a number (0 = refuse when full)"),
             },
             "--workers" => match iter.next() {
                 Some(spec) => workers = Some(spec),
@@ -1697,6 +1773,7 @@ fn cmd_serve(args: Vec<String>) -> i32 {
         threads,
         store,
         max_sessions,
+        max_queue,
         workers: workers
             .map(|spec| {
                 spec.split(',')

@@ -7,7 +7,7 @@
 //!   over stdio,
 //! * the deterministic report B writes is byte-identical to serving the
 //!   same request in *this* process, with the preset verdict mix
-//!   (12 proven / 3 violated / 0 unknown) preserved.
+//!   (15 proven / 5 violated / 0 unknown) preserved.
 //!
 //! This is the acceptance test for the remote-worker path: three distinct
 //! processes (planner, executor, workers) cooperating through nothing but
@@ -67,7 +67,7 @@ fn plan_in_one_process_execute_in_another_byte_identical() {
         .expect("serve matrix");
     assert_eq!(
         served.verdict_counts(),
-        (12, 3, 0),
+        (15, 5, 0),
         "preset verdict mix drifted"
     );
 
@@ -111,7 +111,7 @@ fn plan_pipes_into_exec_plan_in_process_mode() {
     assert!(out.status.success(), "exec-plan failed: {}", out.status);
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(
-        text.contains("15 scenarios (12 proven, 3 violated, 0 unknown)"),
+        text.contains("20 scenarios (15 proven, 5 violated, 0 unknown)"),
         "unexpected exec-plan output:\n{text}"
     );
 }
@@ -183,7 +183,7 @@ fn exec_plan_over_loopback_tcp_workers_byte_identical() {
             scenarios: preset_scenarios(),
         })
         .expect("serve matrix");
-    assert_eq!(served.verdict_counts(), (12, 3, 0));
+    assert_eq!(served.verdict_counts(), (15, 5, 0));
     let executed = std::fs::read_to_string(&det_path).expect("deterministic report");
     assert_eq!(
         executed,
