@@ -56,5 +56,5 @@ pub use summary::{summary_key, ElementSummary, SummaryCache};
 pub use verifier::{
     materialise_packet, run_violates_property, CheckOutcome, CheckRecord, ComposeExecutor,
     ComposeOutline, ComposeShardResult, EscalationLadder, OutlineNode, ParallelComposition,
-    ShardEdge, ShardNodeRecord, Verifier, VerifierOptions, ESCALATION_FACTOR,
+    ShardEdge, ShardNodeRecord, ShardTiming, Verifier, VerifierOptions, ESCALATION_FACTOR,
 };

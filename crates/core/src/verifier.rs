@@ -669,12 +669,12 @@ impl Verifier {
         Some(outline)
     }
 
-    /// Compute one `ComposeShard` job: records for the enumerated nodes in
-    /// `[start, end)` of this composition's shard enumeration (the worker
-    /// side of compose sharding). The records are exactly what the fold
-    /// would compute inline for those nodes, so folding them back yields a
-    /// byte-identical report. A fired `cancel` token stops the walk at the
-    /// next node boundary — finished records stay valid and ship back.
+    /// Compute one `ComposeShard` job: the solver units in `[start, end)`
+    /// of this composition's shard enumeration (the worker side of compose
+    /// sharding). The shipped slots are exactly what the fold would compute
+    /// inline for those units, so folding them back yields a byte-identical
+    /// report. A fired `cancel` token stops the walk at the next node
+    /// boundary — finished slots stay valid and ship back.
     pub fn decide_composition_shard(
         &mut self,
         pipeline: &Pipeline,
@@ -683,6 +683,34 @@ impl Verifier {
         start: usize,
         end: usize,
         cancel: &CancelToken,
+    ) -> ComposeShardResult {
+        self.decide_composition_shard_split(
+            pipeline,
+            property,
+            summaries,
+            start,
+            end,
+            cancel,
+            &CancelToken::new(),
+        )
+    }
+
+    /// [`Verifier::decide_composition_shard`] with a live `split` channel:
+    /// when the coordinator fires `split` (a steal request from an idle
+    /// worker), the walk stops at the next unit boundary and reports the
+    /// uncovered tail in [`ComposeShardResult::remainder`], which the
+    /// coordinator requeues as a fresh job. Splits are pure work movement —
+    /// covered units ship normally, so the fold stays byte-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_composition_shard_split(
+        &mut self,
+        pipeline: &Pipeline,
+        property: &Property,
+        summaries: impl IntoIterator<Item = Arc<ElementSummary>>,
+        start: usize,
+        end: usize,
+        cancel: &CancelToken,
+        split: &CancelToken,
     ) -> ComposeShardResult {
         self.seed_summaries(summaries);
         let mut stats = VerificationStats::default();
@@ -705,26 +733,34 @@ impl Verifier {
             ladder_spec: self.options.ladder.clone(),
         };
         let mut result = ComposeShardResult::default();
-        let mut next = 0usize;
+        let mut st = ShardWalkState {
+            start,
+            end,
+            unit: 0,
+            node: 0,
+            cap: self.options.max_composed_paths,
+            progress: 0,
+            cancel,
+            split,
+        };
         shard_walk(
             &ctx,
             Verifier::root_input(pipeline),
             true,
-            start,
-            end.min(self.options.max_composed_paths),
-            &mut next,
-            cancel,
+            &mut st,
             &mut result,
         );
         result
     }
 
     /// Fold shard records back into the composition's report, replaying the
-    /// sequential walk order: every node with a shipped record consumes it,
-    /// every node without one (sparse shards, a cancelled sibling, the
-    /// enumeration cap) is computed inline. The result is byte-identical to
-    /// [`Verifier::decide_composition`] under the same options, whatever
-    /// the shard boundaries or fleet shape were.
+    /// sequential walk order: every node with a shipped record consumes it
+    /// (several partial records of one node — unit cuts inside the node,
+    /// stolen remainders — are merged slot-wise first), and every slot or
+    /// node nothing shipped (sparse shards, a cancelled sibling, the
+    /// enumeration cap, a dead worker) is computed inline. The result is
+    /// byte-identical to [`Verifier::decide_composition`] under the same
+    /// options, whatever the shard boundaries or fleet shape were.
     pub fn fold_composition_shards(
         &mut self,
         pipeline: &Pipeline,
@@ -734,9 +770,40 @@ impl Verifier {
         records: impl IntoIterator<Item = ShardNodeRecord>,
     ) -> Report {
         self.seed_summaries(summaries);
-        let records: BTreeMap<usize, ShardNodeRecord> =
-            records.into_iter().map(|r| (r.index, r)).collect();
-        self.verify_inner(pipeline, property, Some((outline, records)))
+        let mut merged: BTreeMap<usize, ShardNodeRecord> = BTreeMap::new();
+        let mut poisoned: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for rec in records {
+            if poisoned.contains(&rec.index) {
+                continue;
+            }
+            match merged.entry(rec.index) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(rec);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let have = e.get_mut();
+                    if have.checks.len() != rec.checks.len() || have.edges.len() != rec.edges.len()
+                    {
+                        // Records of one node that disagree on shape cannot
+                        // be trusted; drop them all and compute inline.
+                        poisoned.insert(rec.index);
+                        e.remove();
+                        continue;
+                    }
+                    for (slot, extra) in have.checks.iter_mut().zip(rec.checks) {
+                        if slot.is_none() {
+                            *slot = extra;
+                        }
+                    }
+                    for (slot, extra) in have.edges.iter_mut().zip(rec.edges) {
+                        if slot.is_none() {
+                            *slot = extra;
+                        }
+                    }
+                }
+            }
+        }
+        self.verify_inner(pipeline, property, Some((outline, merged)))
     }
 
     fn summarise(
@@ -932,30 +999,58 @@ pub struct ShardEdge {
     pub feasible: bool,
 }
 
-/// Everything one enumerated walk node decided, in the serialisable form a
-/// `ComposeShard` job returns: exactly what the deterministic fold would
-/// compute inline for that node, keyed by the node's pre-order index in the
-/// [`ComposeOutline`] enumeration.
+/// Everything one enumerated walk node decided (or the part of it a shard's
+/// unit range covered), in the serialisable form a `ComposeShard` job
+/// returns, keyed by the node's pre-order index in the [`ComposeOutline`]
+/// enumeration. Since shard ranges are *unit* ranges that may cut inside a
+/// node's block, both vectors are slot vectors: `None` marks a solver unit
+/// this shard's range did not cover (another shard — or the fold itself —
+/// supplies it). Free slots (pre-filtered edges, edges with pruning off) are
+/// always `Some` when the node was touched at all.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardNodeRecord {
     /// The node's pre-order index in the shard enumeration.
     pub index: usize,
-    /// Decided suspect × prefix checks, in suspect-enumeration order.
-    pub checks: Vec<CheckRecord>,
-    /// Forwarding-edge pruning outcomes, in segment-enumeration order.
-    pub edges: Vec<ShardEdge>,
+    /// Decided suspect × prefix checks, in suspect-enumeration order (one
+    /// slot per check surviving the instruction-bound skip).
+    pub checks: Vec<Option<CheckRecord>>,
+    /// Forwarding-edge pruning outcomes, in segment-enumeration order (one
+    /// slot per forwarding edge).
+    pub edges: Vec<Option<ShardEdge>>,
+}
+
+/// Per-node compute time of one shard visit — operational calibration data
+/// (never part of the deterministic report): the coordinator feeds it back
+/// into the warm store so future shard cuts weigh nodes by observed solver
+/// cost instead of unit count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardTiming {
+    /// The node's pre-order index in the shard enumeration.
+    pub index: usize,
+    /// Solver units actually computed during this visit.
+    pub units: usize,
+    /// Wall-clock nanoseconds spent computing them.
+    pub ns: u64,
 }
 
 /// What one `ComposeShard` job computed: records for every enumerated node
-/// in the shard's `[start, end)` range that the worker reached (a cancelled
-/// shard returns the complete records it finished; the fold computes the
+/// in the shard's `[start, end)` unit range that the worker reached (a
+/// cancelled shard returns the records it finished; the fold computes the
 /// rest inline, so cancellation never changes the report).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ComposeShardResult {
-    /// Complete per-node records, in enumeration order.
+    /// Per-node records, in enumeration order.
     pub records: Vec<ShardNodeRecord>,
     /// The shard was cancelled before covering its whole range.
     pub cancelled: bool,
+    /// A `split` request arrived mid-walk: the uncovered unit tail
+    /// `[first_uncovered, end)` handed back for requeueing. Everything
+    /// before it is covered by `records`, so requeueing exactly this range
+    /// to another worker reconstructs the full shard.
+    pub remainder: Option<(usize, usize)>,
+    /// Per-node compute times (operational; excluded from deterministic
+    /// report documents).
+    pub timings: Vec<ShardTiming>,
 }
 
 /// One node of the shard enumeration: its estimated solver weight and the
@@ -966,6 +1061,9 @@ pub struct OutlineNode {
     /// the instruction-bound skip, plus one pruning call per enumerated
     /// (non-pre-filtered) edge when pruning is on.
     pub weight: usize,
+    /// The pipeline element this node instantiates — the key the
+    /// coordinator uses to calibrate unit costs from observed solver times.
+    pub element: ElementIdx,
     /// Child pre-order index per forwarding edge, in segment-enumeration
     /// order. `None` where the interval pre-filter pruned the edge (the
     /// child was never enumerated) or where the enumeration cap cut it off.
@@ -974,12 +1072,14 @@ pub struct OutlineNode {
 
 /// The deterministic pre-order enumeration of a composition's Step-2 prefix
 /// tree after interval-only pruning — the shared coordinate system of
-/// compose sharding. The coordinator builds it to split the tree into
-/// contiguous `[start, end)` index ranges, every worker reproduces the same
-/// enumeration to locate its range, and the fold uses the recorded child
-/// indices to match worker records back to the nodes of its sequential
-/// replay. The enumeration never makes a budgeted solver call, so it is a
-/// deterministic function of the scenario alone.
+/// compose sharding. The coordinator builds it to split the tree's *solver
+/// units* (each node's surviving suspect checks followed by its weighted
+/// pruning calls, in pre-order block order) into contiguous `[start, end)`
+/// unit ranges, every worker reproduces the same enumeration to locate its
+/// range, and the fold uses the recorded child indices to match worker
+/// records back to the nodes of its sequential replay. The enumeration
+/// never makes a budgeted solver call, so it is a deterministic function of
+/// the scenario alone.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ComposeOutline {
     /// Enumerated nodes, indexed by pre-order position.
@@ -990,31 +1090,88 @@ pub struct ComposeOutline {
 }
 
 impl ComposeOutline {
-    /// Total estimated solver weight of the enumerated tree.
+    /// Total estimated solver weight of the enumerated tree — also the
+    /// length of the shard *unit* space: every node's units (checks first,
+    /// then weighted edges) sit consecutively at its pre-order position,
+    /// before its descendants' units, so unit `u` of the enumeration is a
+    /// deterministic address every worker resolves identically.
     pub fn total_weight(&self) -> usize {
         self.nodes.iter().map(|n| n.weight).sum()
     }
 
-    /// Split the enumeration into contiguous `[start, end)` index ranges of
-    /// roughly `max_weight` estimated solver calls each (a single node
-    /// heavier than `max_weight` gets a range of its own). Covers every
-    /// enumerated node; returns at least one range when any node exists.
-    pub fn shards(&self, max_weight: usize) -> Vec<(usize, usize)> {
-        let max_weight = max_weight.max(1);
-        let mut out = Vec::new();
-        let mut start = 0usize;
+    /// The first unit of each node's block, by pre-order index (the prefix
+    /// sums of the node weights).
+    pub fn unit_offsets(&self) -> Vec<usize> {
+        let mut off = Vec::with_capacity(self.nodes.len());
         let mut acc = 0usize;
-        for (i, node) in self.nodes.iter().enumerate() {
-            if i > start && acc > 0 && acc + node.weight > max_weight {
-                out.push((start, i));
-                start = i;
-                acc = 0;
-            }
+        for node in &self.nodes {
+            off.push(acc);
             acc += node.weight;
         }
-        if start < self.nodes.len() {
-            out.push((start, self.nodes.len()));
+        off
+    }
+
+    /// Split the unit space `[0, total_weight())` into contiguous
+    /// `[start, end)` ranges of at most `max_weight` solver units each.
+    /// Cuts may land *inside* a node's block (intra-suspect splits), so one
+    /// pathological suspect subtree no longer pins a whole shard; workers
+    /// ship partial slot records for straddled nodes and the fold merges
+    /// them. Returns no ranges when the enumeration has no units (the fold
+    /// then computes the pure traversal inline).
+    pub fn shards(&self, max_weight: usize) -> Vec<(usize, usize)> {
+        let max_weight = max_weight.max(1);
+        let total = self.total_weight();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + max_weight).min(total);
+            out.push((start, end));
+            start = end;
         }
+        out
+    }
+
+    /// Split the unit space into at most `shard_count` ranges balanced by
+    /// *observed cost* instead of unit count: `node_costs[i]` is the
+    /// calibrated cost of node `i`'s whole block (any scale — nanoseconds
+    /// in practice), spread uniformly over the block's units. Falls back to
+    /// uniform [`ComposeOutline::shards`] when no calibration is available
+    /// (`node_costs` empty, mis-sized, or all zero). The returned ranges
+    /// are plain unit addresses, so workers need no knowledge of the
+    /// calibration that placed the cuts.
+    pub fn shards_by_cost(&self, node_costs: &[u64], shard_count: usize) -> Vec<(usize, usize)> {
+        let total = self.total_weight();
+        let shard_count = shard_count.max(1);
+        if total == 0 {
+            return Vec::new();
+        }
+        let uniform_width = total.div_ceil(shard_count).max(1);
+        if node_costs.len() != self.nodes.len() || node_costs.iter().all(|&c| c == 0) {
+            return self.shards(uniform_width);
+        }
+        // Flatten to per-unit costs in enumeration order.
+        let mut unit_cost = Vec::with_capacity(total);
+        for (node, &cost) in self.nodes.iter().zip(node_costs) {
+            if node.weight == 0 {
+                continue;
+            }
+            let per = (cost / node.weight as u64).max(1);
+            unit_cost.extend(std::iter::repeat_n(per, node.weight));
+        }
+        let total_cost: u64 = unit_cost.iter().sum();
+        let budget = total_cost.div_ceil(shard_count as u64).max(1);
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        for (u, &c) in unit_cost.iter().enumerate() {
+            if u > start && acc + c > budget && out.len() + 1 < shard_count {
+                out.push((start, u));
+                start = u;
+                acc = 0;
+            }
+            acc += c;
+        }
+        out.push((start, total));
         out
     }
 
@@ -1215,30 +1372,9 @@ impl<'a> WalkCtx<'a> {
         cancel: &CancelToken,
         mut spawn: Option<&mut dyn FnMut(WalkInput, CancelToken) -> usize>,
     ) -> NodeRecord {
-        let summary = &self.summaries[input.element];
-        let stride = stride_for_depth(input.depth);
-
         let mut checks = Vec::new();
-        for &seg_idx in &self.suspects[input.element] {
-            let segment = &summary.exploration.segments[seg_idx];
-            // For the instruction-bound property, only paths whose cumulative
-            // count exceeds the bound matter.
-            if let Property::BoundedInstructions { max_instructions } = self.property {
-                if !segment.outcome.is_crash()
-                    && input.instructions + segment.instructions <= *max_instructions
-                {
-                    continue;
-                }
-            }
-            let scope = FreshScope::for_depth(input.depth);
-            let mut constraint = input.constraint.clone();
-            constraint.extend(self.composer.rewrite_all_scoped(
-                &input.view,
-                stride,
-                &segment.constraint,
-                &scope,
-            ));
-            let constraint = self.apply_property_context(constraint, &input.elements);
+        for seg_idx in self.surviving_suspects(input) {
+            let constraint = self.check_constraint(input, seg_idx);
             checks.push(self.run_check(input.element, seg_idx, &constraint, &input.path, cancel));
         }
 
@@ -1346,15 +1482,18 @@ impl<'a> WalkCtx<'a> {
         out
     }
 
-    /// How many suspect checks `input` will actually run (after the
-    /// instruction-bound skip) — the check part of an [`OutlineNode`]'s
-    /// weight.
-    fn check_count(&self, input: &WalkInput) -> usize {
+    /// The suspect segments of `input` that will actually be checked (after
+    /// the instruction-bound skip), in suspect-enumeration order — the
+    /// check units of the node's shard block.
+    fn surviving_suspects(&self, input: &WalkInput) -> Vec<usize> {
         let summary = &self.summaries[input.element];
         self.suspects[input.element]
             .iter()
-            .filter(|&&seg_idx| {
+            .copied()
+            .filter(|&seg_idx| {
                 let segment = &summary.exploration.segments[seg_idx];
+                // For the instruction-bound property, only paths whose
+                // cumulative count exceeds the bound matter.
                 if let Property::BoundedInstructions { max_instructions } = self.property {
                     segment.outcome.is_crash()
                         || input.instructions + segment.instructions > *max_instructions
@@ -1362,7 +1501,81 @@ impl<'a> WalkCtx<'a> {
                     true
                 }
             })
-            .count()
+            .collect()
+    }
+
+    /// The fully contextualised constraint of one suspect check at `input`.
+    fn check_constraint(&self, input: &WalkInput, seg_idx: usize) -> Vec<TermRef> {
+        let summary = &self.summaries[input.element];
+        let segment = &summary.exploration.segments[seg_idx];
+        let scope = FreshScope::for_depth(input.depth);
+        let mut constraint = input.constraint.clone();
+        constraint.extend(self.composer.rewrite_all_scoped(
+            &input.view,
+            stride_for_depth(input.depth),
+            &segment.constraint,
+            &scope,
+        ));
+        self.apply_property_context(constraint, &input.elements)
+    }
+
+    /// How many suspect checks `input` will actually run (after the
+    /// instruction-bound skip) — the check part of an [`OutlineNode`]'s
+    /// weight.
+    fn check_count(&self, input: &WalkInput) -> usize {
+        self.surviving_suspects(input).len()
+    }
+
+    /// Compute the subset of `input`'s suspect checks selected by `want`
+    /// (by surviving-check position), returning a slot vector aligned with
+    /// the node's check enumeration. The fold uses this to fill the check
+    /// slots no shard's unit range covered.
+    fn compute_checks_where(
+        &self,
+        input: &WalkInput,
+        mut want: impl FnMut(usize) -> bool,
+        cancel: &CancelToken,
+    ) -> Vec<Option<CheckRecord>> {
+        self.surviving_suspects(input)
+            .into_iter()
+            .enumerate()
+            .map(|(k, seg_idx)| {
+                want(k).then(|| {
+                    let constraint = self.check_constraint(input, seg_idx);
+                    self.run_check(input.element, seg_idx, &constraint, &input.path, cancel)
+                })
+            })
+            .collect()
+    }
+
+    /// Decide one forwarding edge's pruning outcome exactly as the
+    /// sequential walk would: interval pre-filter first, then the pruning
+    /// solver call. The fold uses this for edge slots no shard covered.
+    fn decide_edge(&self, contextual: &[TermRef], cancel: &CancelToken) -> ShardEdge {
+        if !self.options.prune_prefixes {
+            return ShardEdge {
+                prefiltered: false,
+                pruned_call: false,
+                feasible: true,
+            };
+        }
+        if interval_infeasible(contextual) {
+            return ShardEdge {
+                prefiltered: true,
+                pruned_call: false,
+                feasible: false,
+            };
+        }
+        let infeasible = self
+            .solver
+            .check_diagnosed_cancel(contextual, cancel)
+            .0
+            .is_unsat();
+        ShardEdge {
+            prefiltered: false,
+            pruned_call: true,
+            feasible: !infeasible,
+        }
     }
 
     /// Add the property's input assumptions (e.g. the reachability
@@ -1934,16 +2147,32 @@ impl<'f, 'a> FoldState<'f, 'a> {
                 // The record carries the pruning outcomes, so the edge
                 // derivation can skip re-evaluating the interval pre-filter.
                 let children = self.ctx.edge_children(&input, false);
-                if children.len() != rec.edges.len() {
-                    // A record whose edge shape disagrees with this build
-                    // cannot be trusted; recompute the node instead.
+                if children.len() != rec.edges.len()
+                    || rec.checks.len() != self.ctx.check_count(&input)
+                {
+                    // A record whose shape disagrees with this build cannot
+                    // be trusted; recompute the node instead.
                     let record = self.ctx.compute_node(&input, &CancelToken::new(), None);
                     return self.consume_sharded(record, index, outline, records);
                 }
-                for check in rec.checks {
+                // Fill the check slots no shard covered (unit cuts inside
+                // the node, a stolen remainder that never landed, a dead
+                // worker mid-block), then replay them in enumeration order.
+                let token = CancelToken::new();
+                let filled =
+                    self.ctx
+                        .compute_checks_where(&input, |k| rec.checks[k].is_none(), &token);
+                for (slot, fallback) in rec.checks.into_iter().zip(filled) {
+                    let check = slot
+                        .or(fallback)
+                        .expect("every check slot is shipped or computed inline");
                     self.tally_check(check);
                 }
-                for (k, (edge, ec)) in rec.edges.iter().zip(children).enumerate() {
+                for (k, (slot, ec)) in rec.edges.iter().zip(children).enumerate() {
+                    let edge = match slot {
+                        Some(edge) => *edge,
+                        None => self.ctx.decide_edge(&ec.contextual, &token),
+                    };
                     self.tally_edge(edge.prefiltered, edge.pruned_call);
                     if !edge.feasible {
                         continue;
@@ -2002,8 +2231,10 @@ fn outline_walk(
         return None;
     }
     let idx = out.nodes.len();
+    let element = input.element;
     out.nodes.push(OutlineNode {
         weight: 0,
+        element,
         children: Vec::new(),
     });
     let mut weight = ctx.check_count(&input);
@@ -2021,77 +2252,192 @@ fn outline_walk(
             children.push(outline_walk(ctx, ec.child, cap, out));
         }
     }
-    out.nodes[idx] = OutlineNode { weight, children };
+    out.nodes[idx] = OutlineNode {
+        weight,
+        element,
+        children,
+    };
     Some(idx)
 }
 
-/// The worker side of one shard: replay the enumeration, computing full
-/// node records inside `[start, end)` (while the subtree is still live —
-/// not behind an edge this shard itself proved infeasible) and traversing
-/// shape-only outside it. Returns `false` once the walk is past `end` or
-/// cancelled, unwinding the recursion.
-#[allow(clippy::too_many_arguments)]
+/// Mutable state threaded through one shard's worker walk.
+struct ShardWalkState<'s> {
+    /// The shard's `[start, end)` unit range.
+    start: usize,
+    end: usize,
+    /// Next unclaimed unit (units of visited node blocks are claimed at
+    /// node entry, so this grows in pre-order block order).
+    unit: usize,
+    /// Next pre-order node index.
+    node: usize,
+    /// The enumeration's node cap (the composed-path budget); nodes past
+    /// it were never outlined and always fold inline.
+    cap: usize,
+    /// Units actually computed so far — split requests are honoured only
+    /// after some progress, so a handoff always shrinks the range.
+    progress: usize,
+    /// Hard cancellation: sibling shard found a violation; stop and ship
+    /// what is finished.
+    cancel: &'s CancelToken,
+    /// Soft split request: stop at the next unit boundary and report the
+    /// uncovered tail as a remainder for an idle worker.
+    split: &'s CancelToken,
+}
+
+/// The worker side of one shard: replay the enumeration, computing the
+/// solver units inside the `[start, end)` unit range (while the subtree is
+/// still live — not behind an edge this shard itself proved infeasible) and
+/// traversing shape-only outside it. A node whose unit block straddles the
+/// range boundary yields a partial slot record; units behind an edge whose
+/// feasibility this shard did not itself decide are computed optimistically
+/// (the fold ignores records behind edges it prunes). Returns `false` once
+/// the walk is past `end`, cancelled, or split, unwinding the recursion.
 fn shard_walk(
     ctx: &WalkCtx<'_>,
     input: WalkInput,
     live: bool,
-    start: usize,
-    end: usize,
-    next: &mut usize,
-    cancel: &CancelToken,
+    st: &mut ShardWalkState<'_>,
     out: &mut ComposeShardResult,
 ) -> bool {
-    let idx = *next;
-    if idx >= end {
+    if st.unit >= st.end || st.node >= st.cap {
+        // Unit blocks grow in pre-order, so nothing at or below this point
+        // can intersect the range any more.
         return false;
     }
-    *next += 1;
-    if cancel.is_cancelled() {
+    if st.cancel.is_cancelled() {
         out.cancelled = true;
         return false;
     }
-    if live && idx >= start {
-        // In range: decide the node's checks and pruning calls for real.
-        // The node gets a fresh token so a cancellation between nodes never
-        // truncates a record mid-computation — shipped records are always
-        // complete and exact.
-        let record = ctx.compute_node(&input, &CancelToken::new(), None);
-        let mut shard_edges = Vec::with_capacity(record.edges.len());
-        let mut recurse = Vec::new();
-        for edge in record.edges {
-            shard_edges.push(ShardEdge {
-                prefiltered: edge.prefiltered,
-                pruned_call: edge.pruned_call,
-                feasible: edge.feasible,
-            });
-            if edge.prefiltered {
-                continue; // not enumerated
-            }
-            match edge.child {
-                ChildSlot::Inline(child) => recurse.push((child, edge.feasible)),
-                ChildSlot::Spawned(_) => unreachable!("shard walk computes inline"),
-            }
-        }
-        out.records.push(ShardNodeRecord {
-            index: idx,
-            checks: record.checks,
-            edges: shard_edges,
-        });
-        for (child, feasible) in recurse {
-            if !shard_walk(ctx, child, feasible, start, end, next, cancel, out) {
-                return false;
-            }
-        }
+    let idx = st.node;
+    st.node += 1;
+    let suspects = ctx.surviving_suspects(&input);
+    let edges = ctx.edge_children(&input, true);
+    let prune = ctx.options.prune_prefixes;
+    let weighted = if prune {
+        edges.iter().filter(|e| !e.prefiltered).count()
     } else {
-        // Out of range (or already dead): advance the enumeration counter
+        0
+    };
+    let weight = suspects.len() + weighted;
+    let u0 = st.unit;
+    st.unit += weight;
+
+    let covered = live && weight > 0 && u0 < st.end && u0 + weight > st.start;
+    if !covered {
+        // Out of range (or already dead): advance the enumeration counters
         // through the subtree without any budgeted solver call.
-        for ec in ctx.edge_children(&input, true) {
+        for ec in edges {
             if ec.prefiltered {
                 continue;
             }
-            if !shard_walk(ctx, ec.child, live, start, end, next, cancel, out) {
+            if !shard_walk(ctx, ec.child, live, st, out) {
                 return false;
             }
+        }
+        return true;
+    }
+
+    // In range (at least partly): decide the covered units for real. The
+    // node gets a fresh token so a cancellation between nodes never
+    // truncates a solver call mid-flight — shipped slots are always exact.
+    let started = Instant::now();
+    let mut units_done = 0usize;
+    let token = CancelToken::new();
+    let mut split_at: Option<usize> = None;
+
+    let mut checks: Vec<Option<CheckRecord>> = Vec::with_capacity(suspects.len());
+    for (k, &seg_idx) in suspects.iter().enumerate() {
+        let u = u0 + k;
+        let in_range = u >= st.start && u < st.end;
+        if in_range && split_at.is_none() && !(st.split.is_cancelled() && st.progress > 0) {
+            let constraint = ctx.check_constraint(&input, seg_idx);
+            checks.push(Some(ctx.run_check(
+                input.element,
+                seg_idx,
+                &constraint,
+                &input.path,
+                &token,
+            )));
+            st.progress += 1;
+            units_done += 1;
+        } else {
+            if in_range && split_at.is_none() {
+                split_at = Some(u);
+            }
+            checks.push(None);
+        }
+    }
+
+    let mut edge_slots: Vec<Option<ShardEdge>> = Vec::with_capacity(edges.len());
+    let mut recurse: Vec<(WalkInput, bool)> = Vec::new();
+    let mut wu = u0 + suspects.len();
+    for ec in edges {
+        if ec.prefiltered {
+            // Free slot: the pre-filter already decided it, no unit spent.
+            edge_slots.push(Some(ShardEdge {
+                prefiltered: true,
+                pruned_call: false,
+                feasible: false,
+            }));
+            continue; // not enumerated
+        }
+        if !prune {
+            edge_slots.push(Some(ShardEdge {
+                prefiltered: false,
+                pruned_call: false,
+                feasible: true,
+            }));
+            recurse.push((ec.child, live));
+            continue;
+        }
+        let u = wu;
+        wu += 1;
+        let in_range = u >= st.start && u < st.end;
+        if in_range && split_at.is_none() && !(st.split.is_cancelled() && st.progress > 0) {
+            let infeasible = ctx
+                .solver
+                .check_diagnosed_cancel(&ec.contextual, &token)
+                .0
+                .is_unsat();
+            edge_slots.push(Some(ShardEdge {
+                prefiltered: false,
+                pruned_call: true,
+                feasible: !infeasible,
+            }));
+            recurse.push((ec.child, !infeasible));
+            st.progress += 1;
+            units_done += 1;
+        } else {
+            if in_range && split_at.is_none() {
+                split_at = Some(u);
+            }
+            // Feasibility unknown to this shard: recurse optimistically —
+            // wasted work at worst, never a wrong report (the fold skips
+            // records behind edges it prunes).
+            edge_slots.push(None);
+            recurse.push((ec.child, live));
+        }
+    }
+
+    out.records.push(ShardNodeRecord {
+        index: idx,
+        checks,
+        edges: edge_slots,
+    });
+    if units_done > 0 {
+        out.timings.push(ShardTiming {
+            index: idx,
+            units: units_done,
+            ns: started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        });
+    }
+    if let Some(at) = split_at {
+        out.remainder = Some((at, st.end));
+        return false;
+    }
+    for (child, child_live) in recurse {
+        if !shard_walk(ctx, child, child_live, st, out) {
+            return false;
         }
     }
     true
@@ -2134,15 +2480,17 @@ mod tests {
             return;
         };
         let ranges = outline.shards(max_weight);
-        // The ranges tile the enumeration: contiguous, disjoint, complete.
+        // The ranges tile the unit space: contiguous, disjoint, complete.
         let mut expected_start = 0usize;
         for &(start, end) in &ranges {
             assert_eq!(start, expected_start);
             assert!(end > start);
+            assert!(end - start <= max_weight);
             expected_start = end;
         }
-        assert_eq!(expected_start, outline.nodes.len());
+        assert_eq!(expected_start, outline.total_weight());
 
+        let offsets = outline.unit_offsets();
         let mut records = Vec::new();
         for (start, end) in ranges {
             let mut worker = Verifier::new();
@@ -2155,8 +2503,14 @@ mod tests {
                 &CancelToken::new(),
             );
             assert!(!shard.cancelled);
+            assert!(shard.remainder.is_none());
             for rec in &shard.records {
-                assert!(rec.index >= start && rec.index < end);
+                // Every record names an enumerated node whose unit block
+                // intersects the shard's range, with build-matching shape.
+                let node = &outline.nodes[rec.index];
+                let u0 = offsets[rec.index];
+                assert!(u0 < end && u0 + node.weight > start);
+                assert_eq!(rec.edges.len(), node.children.len());
             }
             records.extend(shard.records);
         }
@@ -2207,6 +2561,166 @@ mod tests {
     }
 
     #[test]
+    fn unit_shards_cut_inside_a_node() {
+        // With one unit per shard, any node worth more than one solver unit
+        // is split across shards; each shard ships a partial slot record
+        // for it and the fold merges them back (identity is asserted by
+        // `sharded_compose_matches_in_process_*`; here we check a split
+        // really happens).
+        let pipeline = ip_router_pipeline();
+        let property = Property::CrashFreedom;
+        let mut outliner = Verifier::new();
+        let outline = outliner
+            .outline_composition(&pipeline, &property, Vec::new())
+            .expect("ip router has suspects");
+        assert!(
+            outline.nodes.iter().any(|n| n.weight > 1),
+            "preset should have a multi-unit node"
+        );
+        let mut seen: BTreeMap<usize, usize> = BTreeMap::new();
+        for (start, end) in outline.shards(1) {
+            let mut worker = Verifier::new();
+            let shard = worker.decide_composition_shard(
+                &pipeline,
+                &property,
+                Vec::new(),
+                start,
+                end,
+                &CancelToken::new(),
+            );
+            for rec in &shard.records {
+                *seen.entry(rec.index).or_default() += 1;
+            }
+        }
+        assert!(
+            seen.values().any(|&n| n > 1),
+            "no node was split across unit shards: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn split_request_hands_back_a_remainder_and_preserves_identity() {
+        let pipeline = ip_router_pipeline();
+        let property = Property::CrashFreedom;
+        let mut baseline = Verifier::new();
+        let base = baseline.verify(&pipeline, &property);
+        let mut outliner = Verifier::new();
+        let outline = outliner
+            .outline_composition(&pipeline, &property, Vec::new())
+            .expect("ip router has suspects");
+        let total = outline.total_weight();
+        assert!(total > 1, "need at least two units to split");
+
+        // A pre-fired split token: the worker makes minimal progress then
+        // hands the tail back; chase the remainders until the range drains,
+        // as the dispatch steal loop would across workers.
+        let mut records = Vec::new();
+        let mut range = (0usize, total);
+        let mut handoffs = 0usize;
+        loop {
+            let split = CancelToken::new();
+            split.cancel();
+            let mut worker = Verifier::new();
+            let shard = worker.decide_composition_shard_split(
+                &pipeline,
+                &property,
+                Vec::new(),
+                range.0,
+                range.1,
+                &CancelToken::new(),
+                &split,
+            );
+            assert!(!shard.cancelled);
+            records.extend(shard.records);
+            match shard.remainder {
+                Some((r, e)) => {
+                    assert!(r > range.0 && r < e && e == range.1);
+                    range = (r, e);
+                    handoffs += 1;
+                }
+                None => break,
+            }
+        }
+        assert!(
+            handoffs > 0,
+            "a pre-fired split should hand off at least once"
+        );
+
+        let mut folder = Verifier::new();
+        let folded =
+            folder.fold_composition_shards(&pipeline, &property, Vec::new(), &outline, records);
+        assert_eq!(folded.verdict, base.verdict);
+        assert_eq!(folded.counterexamples, base.counterexamples);
+        assert_eq!(folded.unproven, base.unproven);
+        assert_eq!(folded.stats, base.stats);
+    }
+
+    #[test]
+    fn cost_calibrated_shards_rebalance_a_skewed_tree() {
+        // A synthetic outline whose first node dominates observed cost:
+        // uniform unit cuts leave one shard carrying nearly everything,
+        // cost-calibrated cuts split inside that node's block and the
+        // heaviest-shard cost ratio drops.
+        let outline = ComposeOutline {
+            nodes: vec![
+                OutlineNode {
+                    weight: 4,
+                    element: 0,
+                    children: vec![Some(1), Some(2)],
+                },
+                OutlineNode {
+                    weight: 4,
+                    element: 1,
+                    children: vec![],
+                },
+                OutlineNode {
+                    weight: 4,
+                    element: 2,
+                    children: vec![],
+                },
+            ],
+            truncated: false,
+        };
+        let node_costs = vec![120_000u64, 1_200, 1_200];
+        let total = outline.total_weight();
+        let shard_count = 3;
+
+        let unit_costs: Vec<u64> = outline
+            .nodes
+            .iter()
+            .zip(&node_costs)
+            .flat_map(|(n, &c)| std::iter::repeat_n(c / n.weight as u64, n.weight))
+            .collect();
+        let shard_cost =
+            |&(s, e): &(usize, usize)| -> u64 { unit_costs[s..e].iter().copied().sum() };
+        let total_cost: u64 = unit_costs.iter().sum();
+
+        let uniform = outline.shards(total.div_ceil(shard_count).max(1));
+        let calibrated = outline.shards_by_cost(&node_costs, shard_count);
+
+        // The calibrated ranges still tile the unit space.
+        let mut expected_start = 0usize;
+        for &(s, e) in &calibrated {
+            assert_eq!(s, expected_start);
+            assert!(e > s);
+            expected_start = e;
+        }
+        assert_eq!(expected_start, total);
+        assert!(calibrated.len() <= shard_count);
+
+        let heaviest_uniform = uniform.iter().map(shard_cost).max().unwrap();
+        let heaviest_calibrated = calibrated.iter().map(shard_cost).max().unwrap();
+        assert!(
+            heaviest_calibrated < heaviest_uniform,
+            "calibration should shrink the heaviest shard: {heaviest_calibrated} vs {heaviest_uniform}"
+        );
+        // Ratio of the heaviest shard to the whole tree drops well below
+        // the uniform split's near-total share.
+        assert!(heaviest_uniform * 2 > total_cost);
+        assert!(heaviest_calibrated * 2 < total_cost + heaviest_uniform);
+    }
+
+    #[test]
     fn cancelled_shard_keeps_complete_records_only() {
         let pipeline = buggy_pipeline();
         let property = Property::CrashFreedom;
@@ -2222,7 +2736,7 @@ mod tests {
             &property,
             Vec::new(),
             0,
-            outline.nodes.len(),
+            outline.total_weight(),
             &cancel,
         );
         assert!(shard.cancelled);

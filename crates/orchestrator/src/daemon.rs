@@ -51,7 +51,9 @@ use crate::cache::SummaryStore;
 use crate::exec::transport::{read_frame, write_frame, Connector, SocketConnector, WorkerAddr};
 use crate::exec::{DispatchStats, ExecError, HeartbeatConfig, Transport, WorkerFleet};
 use crate::json::Json;
-use crate::service::{VerifyOutcome, VerifyRequest, VerifyResponse, VerifyService};
+use crate::service::{
+    ComposeShardMode, VerifyOutcome, VerifyRequest, VerifyResponse, VerifyService,
+};
 use crate::wire::{options_from_json, options_to_json};
 use dataplane_verifier::VerifierOptions;
 use std::io::{BufRead, BufReader, Write};
@@ -93,9 +95,10 @@ pub struct DaemonConfig {
     /// The initial socket-worker pool (workers can also [`Daemon::join`]
     /// at runtime).
     pub workers: Vec<WorkerAddr>,
-    /// Per-scenario compose-shard target for fleet-dispatched requests
-    /// (see [`VerifyService::with_compose_shard`]; 0 = unsharded).
-    pub compose_shard: usize,
+    /// How fleet-dispatched requests shard Step-2 work (see
+    /// [`VerifyService::with_compose_shard_mode`]; the default is
+    /// [`ComposeShardMode::Auto`]).
+    pub compose_shard: ComposeShardMode,
     /// Heartbeat tuning for the fleets built per request.
     pub heartbeat: HeartbeatConfig,
 }
@@ -109,7 +112,7 @@ impl Default for DaemonConfig {
             max_sessions: 4,
             max_queue: 4,
             workers: Vec::new(),
-            compose_shard: 0,
+            compose_shard: ComposeShardMode::default(),
             heartbeat: HeartbeatConfig::default(),
         }
     }
@@ -122,7 +125,7 @@ struct DaemonInner {
     max_sessions: usize,
     max_queue: usize,
     heartbeat: HeartbeatConfig,
-    compose_shard: usize,
+    compose_shard: ComposeShardMode,
     workers: Mutex<Vec<WorkerAddr>>,
     admission: Mutex<Admission>,
     freed: Condvar,
@@ -218,6 +221,9 @@ fn dispatch_json(d: &DispatchStats) -> Json {
         ("temporal_jobs", Json::int(d.temporal_jobs as u64)),
         ("compose_shards", Json::int(d.compose_shards as u64)),
         ("shards_cancelled", Json::int(d.shards_cancelled as u64)),
+        ("shards_split", Json::int(d.shards_split as u64)),
+        ("shards_stolen", Json::int(d.shards_stolen as u64)),
+        ("steal_wait_ns", Json::int(d.steal_wait_ns)),
         ("fuzz_jobs", Json::int(d.fuzz_jobs as u64)),
         ("workers_idle", Json::int(d.workers_idle as u64)),
         ("summaries_shipped", Json::int(d.summaries_shipped as u64)),
@@ -434,7 +440,7 @@ impl Daemon {
         let service = VerifyService::new()
             .with_threads(inner.threads)
             .with_options(options)
-            .with_compose_shard(inner.compose_shard)
+            .with_compose_shard_mode(inner.compose_shard)
             .with_store(inner.store.clone());
         while let Some(frame) = read_frame(&mut input)? {
             let reply = match frame.get("kind").and_then(Json::as_str) {

@@ -170,6 +170,14 @@ pub trait Executor: Send + Sync {
     fn dispatch_stats(&self) -> Option<DispatchStats> {
         None
     }
+
+    /// The live fleet capacity `--compose-shard auto` plans against: the
+    /// summed advertised capacity of workers alive right now, re-read per
+    /// request (before any handshake, a connection-count estimate).
+    /// `None` for executors with no notion of a fleet.
+    fn live_capacity(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The "0 means one per available core" defaulting rule shared by every

@@ -56,6 +56,15 @@ pub struct DispatchStats {
     /// deadline (SIGSTOP, silent partition). Suspect workers also count
     /// in `workers_lost`.
     pub workers_suspect: usize,
+    /// Split requests issued against loaded workers' in-flight compose
+    /// shards, asking for the unwalked tail back (shard stealing).
+    pub shards_split: usize,
+    /// Remainder slices actually handed back and requeued to idle workers
+    /// (a split racing the job's completion steals nothing).
+    pub shards_stolen: usize,
+    /// Total nanoseconds between each split request and its remainder
+    /// landing back on the queue — the latency cost of stealing.
+    pub steal_wait_ns: u64,
 }
 
 /// One worker's registry entry.
@@ -90,6 +99,9 @@ struct RegistryInner {
     summary_bytes_shipped: u64,
     summary_bytes_deduped: u64,
     suspects: usize,
+    shards_split: usize,
+    shards_stolen: usize,
+    steal_wait_ns: u64,
 }
 
 /// The shared registry a fleet's dispatch threads report into. Lives for
@@ -156,6 +168,19 @@ impl WorkerRegistry {
         self.inner.lock().expect("registry").shards_cancelled += 1;
     }
 
+    /// A `split` frame went out to a loaded worker.
+    pub(crate) fn record_shard_split(&self) {
+        self.inner.lock().expect("registry").shards_split += 1;
+    }
+
+    /// A remainder slice came back and was requeued, `wait_ns` after the
+    /// split was requested.
+    pub(crate) fn record_shard_stolen(&self, wait_ns: u64) {
+        let mut inner = self.inner.lock().expect("registry");
+        inner.shards_stolen += 1;
+        inner.steal_wait_ns += wait_ns;
+    }
+
     /// A job frame went out.
     pub(crate) fn record_dispatched(&self) {
         self.inner.lock().expect("registry").dispatched += 1;
@@ -210,6 +235,20 @@ impl WorkerRegistry {
     /// Snapshot of every entry.
     pub fn workers(&self) -> Vec<WorkerEntry> {
         self.inner.lock().expect("registry").entries.clone()
+    }
+
+    /// Total advertised capacity of the workers currently alive — what
+    /// `--compose-shard auto` plans against. Zero when no worker has
+    /// handshaken yet (a fresh fleet before its first dispatch).
+    pub fn live_capacity(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("registry")
+            .entries
+            .iter()
+            .filter(|e| e.alive)
+            .map(|e| e.capacity)
+            .sum()
     }
 
     /// The aggregate statistics.
@@ -277,6 +316,9 @@ impl WorkerRegistry {
             summary_bytes_shipped: inner.summary_bytes_shipped,
             summary_bytes_deduped: inner.summary_bytes_deduped,
             workers_suspect: inner.suspects,
+            shards_split: inner.shards_split,
+            shards_stolen: inner.shards_stolen,
+            steal_wait_ns: inner.steal_wait_ns,
         }
     }
 }

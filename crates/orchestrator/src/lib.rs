@@ -94,7 +94,7 @@ pub mod persist;
 pub mod service;
 pub mod wire;
 
-pub use cache::{CacheStats, SummaryStore};
+pub use cache::{CacheStats, SummaryStore, UnitCost};
 pub use conformance::{
     ConformanceReport, Contradiction, FuzzScenarioReport, FuzzShardReport, ReplayOutcome,
 };
@@ -114,8 +114,8 @@ pub use orchestrator::{
     ExploreSpec, JobPlan, ProgressEvent, Scenario, ScenarioReport,
 };
 pub use service::{
-    BoundOutcome, PropertySelect, ServiceError, VerifyOutcome, VerifyRequest, VerifyResponse,
-    VerifyService,
+    BoundOutcome, ComposeShardMode, PropertySelect, ServiceError, VerifyOutcome, VerifyRequest,
+    VerifyResponse, VerifyService,
 };
 pub use wire::{
     ComposeJob, ComposeShardJob, ExploreJob, FuzzJob, JobSpec, PlanSpec, ScenarioSpec, WireError,

@@ -312,6 +312,9 @@ impl MatrixReport {
                         ("temporal_jobs", Json::int(d.temporal_jobs as u64)),
                         ("compose_shards", Json::int(d.compose_shards as u64)),
                         ("shards_cancelled", Json::int(d.shards_cancelled as u64)),
+                        ("shards_split", Json::int(d.shards_split as u64)),
+                        ("shards_stolen", Json::int(d.shards_stolen as u64)),
+                        ("steal_wait_ns", Json::int(d.steal_wait_ns)),
                         ("fuzz_jobs", Json::int(d.fuzz_jobs as u64)),
                         ("workers_idle", Json::int(d.workers_idle as u64)),
                         ("summaries_shipped", Json::int(d.summaries_shipped as u64)),
@@ -404,8 +407,12 @@ impl fmt::Display for MatrixReport {
             if d.compose_shards > 0 {
                 writeln!(
                     f,
-                    "  shards: {} compose shards offered, {} cancelled early",
-                    d.compose_shards, d.shards_cancelled
+                    "  shards: {} compose shards offered, {} cancelled early, {} split / {} stolen ({:.1}ms steal wait)",
+                    d.compose_shards,
+                    d.shards_cancelled,
+                    d.shards_split,
+                    d.shards_stolen,
+                    d.steal_wait_ns as f64 / 1e6
                 )?;
             }
             writeln!(

@@ -62,6 +62,13 @@ use std::time::Instant;
 
 type ProgressFn = Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
 
+/// `--compose-shard auto`'s fleet-wide shard target per live capacity
+/// slot: enough over-decomposition that the pull queue load-balances and
+/// a straggler costs at most ~1/4 of a slot's share, without drowning the
+/// wire in per-job overhead (stealing splits whatever this still gets
+/// wrong).
+const AUTO_SHARDS_PER_SLOT: usize = 4;
+
 /// Which properties a diff/watch request verifies for each named config.
 /// Serialisable, unlike the old `&dyn Fn(&str) -> Vec<Property>` parameter.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -358,6 +365,53 @@ impl From<ExecError> for ServiceError {
     }
 }
 
+/// How each scenario's Step-2 enumeration splits into wire shards when a
+/// plan executes on a fleet with a remote shard path. Whatever the mode,
+/// the fold replays the sequential enumeration, so deterministic reports
+/// are byte-identical across all of them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ComposeShardMode {
+    /// Whole compositions as single [`ComposeJob`]s (the pre-sharding
+    /// wire shape).
+    Off,
+    /// A fixed per-scenario target shard count.
+    Fixed(usize),
+    /// Derive the shard count per request from the executor's live fleet
+    /// capacity, and place the cuts by calibrated outline weights (the
+    /// warm store's observed per-element solver costs) instead of raw
+    /// unit counts.
+    #[default]
+    Auto,
+}
+
+impl ComposeShardMode {
+    /// Parse the `--compose-shard` argument: `auto`, `off` (or `0`), or a
+    /// fixed per-scenario shard count.
+    pub fn parse(text: &str) -> Option<ComposeShardMode> {
+        match text {
+            "auto" => Some(ComposeShardMode::Auto),
+            "off" => Some(ComposeShardMode::Off),
+            n => n.parse().ok().map(|n: usize| {
+                if n == 0 {
+                    ComposeShardMode::Off
+                } else {
+                    ComposeShardMode::Fixed(n)
+                }
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for ComposeShardMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComposeShardMode::Off => f.write_str("off"),
+            ComposeShardMode::Fixed(n) => write!(f, "{n}"),
+            ComposeShardMode::Auto => f.write_str("auto"),
+        }
+    }
+}
+
 /// The verification service: the owner of the summary store, the shared
 /// scheduler's thread budget, and the verifier options — serving typed
 /// [`VerifyRequest`]s (see the module docs).
@@ -368,7 +422,7 @@ pub struct VerifyService {
     progress: Option<ProgressFn>,
     budget: Arc<ThreadBudget>,
     compose_mode: CompositionMode,
-    compose_shard: usize,
+    compose_shard: ComposeShardMode,
     /// The rolling baseline of [`VerifyRequest::Watch`]: the configs the
     /// last watch call verified.
     baseline: Mutex<Option<Vec<NamedConfig>>>,
@@ -395,7 +449,7 @@ impl VerifyService {
             progress: None,
             budget: ThreadBudget::new(threads),
             compose_mode: CompositionMode::SharedPool,
-            compose_shard: 0,
+            compose_shard: ComposeShardMode::Auto,
             baseline: Mutex::new(None),
         }
     }
@@ -433,16 +487,27 @@ impl VerifyService {
 
     /// Split each scenario's Step-2 suspect×prefix enumeration into about
     /// `shards` contiguous wire shards when executing plans on a fleet with
-    /// a remote shard path (0 — the default — keeps whole compositions as
-    /// single [`ComposeJob`]s). The fold replays the sequential enumeration,
-    /// so deterministic reports are byte-identical at any value.
-    pub fn with_compose_shard(mut self, shards: usize) -> Self {
-        self.compose_shard = shards;
+    /// a remote shard path (0 = whole compositions as single
+    /// [`ComposeJob`]s). Shorthand for [`VerifyService::with_compose_shard_mode`]
+    /// with [`ComposeShardMode::Fixed`] / [`ComposeShardMode::Off`].
+    pub fn with_compose_shard(self, shards: usize) -> Self {
+        self.with_compose_shard_mode(if shards == 0 {
+            ComposeShardMode::Off
+        } else {
+            ComposeShardMode::Fixed(shards)
+        })
+    }
+
+    /// Choose how Step-2 work shards onto a fleet (the default is
+    /// [`ComposeShardMode::Auto`]: per-request counts from live fleet
+    /// capacity, cuts placed by calibrated weights).
+    pub fn with_compose_shard_mode(mut self, mode: ComposeShardMode) -> Self {
+        self.compose_shard = mode;
         self
     }
 
-    /// The configured per-scenario compose-shard count (0 = unsharded).
-    pub fn compose_shard(&self) -> usize {
+    /// The configured compose-shard mode.
+    pub fn compose_shard(&self) -> ComposeShardMode {
         self.compose_shard
     }
 
@@ -1166,7 +1231,7 @@ impl VerifyService {
         plan_spec: &PlanSpec,
         executor: &dyn Executor,
     ) -> Result<Option<Vec<Report>>, ServiceError> {
-        if self.compose_shard == 0 {
+        if self.compose_shard == ComposeShardMode::Off {
             return Ok(None);
         }
         let fetch = |fp: crate::fingerprint::Fingerprint| self.store.get(fp);
@@ -1179,14 +1244,15 @@ impl VerifyService {
             return Ok(None);
         }
 
+        // Outline every scenario first; with `auto`, per-scenario shard
+        // counts are then allocated out of one fleet-wide target, so a
+        // cheap scenario does not get the same fan-out as the heavy one.
         let mut outlines = Vec::with_capacity(plan_spec.scenarios.len());
-        let mut jobs: Vec<ComposeShardJob> = Vec::new();
-        let mut shard_counts = Vec::with_capacity(plan_spec.scenarios.len());
-        for (index, (spec, fps)) in plan_spec
+        let mut node_costs: Vec<Vec<u64>> = Vec::with_capacity(plan_spec.scenarios.len());
+        for (spec, fps) in plan_spec
             .scenarios
             .iter()
             .zip(&plan_spec.element_fingerprints)
-            .enumerate()
         {
             let scenario = spec.to_scenario()?;
             let outline = Verifier::with_options(plan_spec.options.clone()).outline_composition(
@@ -1194,13 +1260,78 @@ impl VerifyService {
                 &scenario.property,
                 fps.iter().filter_map(|fp| self.store.get(*fp)),
             );
+            // Calibrated cost of each node's block: the warm store's
+            // observed per-unit solver time for the node's element (1 ns
+            // per unit before any observation — uniform cuts).
+            let costs = outline
+                .as_ref()
+                .map(|outline| {
+                    outline
+                        .nodes
+                        .iter()
+                        .map(|node| {
+                            let per_unit = fps
+                                .get(node.element)
+                                .and_then(|fp| self.store.unit_cost_ns(*fp))
+                                .unwrap_or(1);
+                            per_unit.saturating_mul(node.weight as u64)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            node_costs.push(costs);
+            outlines.push(outline);
+        }
+
+        // Resolve each scenario's target shard count.
+        let targets: Vec<usize> = match self.compose_shard {
+            ComposeShardMode::Off => unreachable!("handled above"),
+            ComposeShardMode::Fixed(n) => outlines.iter().map(|_| n.max(1)).collect(),
+            ComposeShardMode::Auto => {
+                // One fleet-wide target — a few shards per live capacity
+                // slot keeps the pull queue balanced, and stealing absorbs
+                // whatever the calibration still mispredicts — allocated
+                // to scenarios in proportion to their calibrated cost.
+                let capacity = executor.live_capacity().unwrap_or(self.threads).max(1);
+                let fleet_target = capacity * AUTO_SHARDS_PER_SLOT;
+                let scenario_cost: Vec<u64> = node_costs
+                    .iter()
+                    .map(|costs| costs.iter().sum::<u64>())
+                    .collect();
+                let total_cost: u64 = scenario_cost.iter().sum();
+                scenario_cost
+                    .iter()
+                    .map(|&cost| {
+                        if total_cost == 0 {
+                            return 1;
+                        }
+                        ((fleet_target as u64).saturating_mul(cost) / total_cost).max(1) as usize
+                    })
+                    .collect()
+            }
+        };
+
+        let mut jobs: Vec<ComposeShardJob> = Vec::new();
+        let mut shard_counts = Vec::with_capacity(plan_spec.scenarios.len());
+        for (index, ((spec, fps), ((outline, costs), target))) in plan_spec
+            .scenarios
+            .iter()
+            .zip(&plan_spec.element_fingerprints)
+            .zip(outlines.iter().zip(&node_costs).zip(&targets))
+            .enumerate()
+        {
             let before = jobs.len();
-            if let Some(outline) = &outline {
-                // `compose_shard` is a target count; the greedy splitter
-                // packs whole nodes, so the actual count can differ by one
-                // or two.
-                let width = outline.total_weight().div_ceil(self.compose_shard).max(1);
-                for (start, end) in outline.shards(width) {
+            if let Some(outline) = outline {
+                // The target is a goal, not a contract: the splitters pack
+                // whole units, so the actual count can differ by one or two.
+                let ranges = match self.compose_shard {
+                    ComposeShardMode::Auto => outline.shards_by_cost(costs, *target),
+                    _ => {
+                        let width = outline.total_weight().div_ceil(*target).max(1);
+                        outline.shards(width)
+                    }
+                };
+                for (start, end) in ranges {
                     jobs.push(ComposeShardJob {
                         scenario: spec.clone(),
                         fingerprints: fps.clone(),
@@ -1211,13 +1342,40 @@ impl VerifyService {
                 }
             }
             shard_counts.push(jobs.len() - before);
-            outlines.push(outline);
+        }
+        if jobs.is_empty() {
+            // Nothing shardable in the whole request: let the caller
+            // dispatch whole compositions instead of idling the fleet.
+            return Ok(None);
         }
 
         let results = match executor.compose_shard_jobs(&jobs, &plan_spec.options, &fetch) {
             Some(results) => results?,
             None => return Ok(None),
         };
+
+        // Feed observed per-node solver times back into the warm store, so
+        // the next request's `auto` cuts weigh nodes by real cost.
+        for (result, job) in results.iter().zip(&jobs) {
+            let index = job.scenario_index as usize;
+            let (Some(outline), Some(fps)) = (
+                outlines.get(index).and_then(Option::as_ref),
+                plan_spec.element_fingerprints.get(index),
+            ) else {
+                continue;
+            };
+            for timing in &result.timings {
+                if let Some(fp) = outline
+                    .nodes
+                    .get(timing.index)
+                    .and_then(|node| fps.get(node.element))
+                {
+                    self.store
+                        .record_unit_cost(*fp, timing.units as u64, timing.ns);
+                }
+            }
+        }
+        self.store.flush_calibration();
 
         // Shards were emitted scenario-by-scenario, so each scenario's
         // results are the next `shard_counts[i]` slots in order.

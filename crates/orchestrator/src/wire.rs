@@ -430,12 +430,17 @@ pub struct ComposeJob {
 
 /// One Step-2 composition *shard* on the wire: a [`ComposeJob`]'s scenario
 /// and summary fingerprints plus a contiguous `[start, end)` slice of the
-/// deterministic check enumeration (the pre-order walk of the
-/// interval-pruned prefix tree — see `dataplane_verifier::ComposeOutline`).
-/// The worker reproduces the enumeration locally, decides only the nodes in
-/// its range, and ships the per-node records back; the coordinator folds
-/// all ranges in sequential enumeration order, so the report is
-/// byte-identical to an in-process run at any shard size or fleet shape.
+/// deterministic *work-unit* enumeration — one unit per surviving suspect
+/// check and one per solver-weighted feasibility edge, in the pre-order
+/// walk of the interval-pruned prefix tree (see
+/// `dataplane_verifier::ComposeOutline::total_weight`). Unit addressing
+/// means a shard boundary may fall *inside* one suspect node's subtree; the
+/// worker reproduces the enumeration locally, decides only the units in its
+/// range (shipping partially-filled records with `null` slots for units
+/// outside it), and the coordinator folds all ranges in sequential
+/// enumeration order, so the report is byte-identical to an in-process run
+/// at any shard size or fleet shape — including mid-slice splits, where the
+/// result additionally names a `remainder` range requeued elsewhere.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ComposeShardJob {
     /// The scenario whose composition is being sharded.
@@ -1311,8 +1316,13 @@ fn shard_edge_from_json(json: &Json) -> Result<ShardEdge, WireError> {
 }
 
 /// Encode what one `ComposeShard` job computed: the per-node records (each
-/// byte-identical to what the fold would compute inline) and whether the
-/// shard was cancelled before covering its range.
+/// byte-identical to what the fold would compute inline), whether the shard
+/// was cancelled before covering its range, the unit range handed back when
+/// a `split` frame interrupted the walk (`remainder`, requeued by the
+/// coordinator to an idle worker), and the per-node solver timings the
+/// service feeds into shard-width calibration. A check or edge slot is
+/// `null` when the corresponding work unit lies outside the shard's range —
+/// the fold computes those slots inline or takes them from another shard.
 pub fn shard_result_to_json(result: &ComposeShardResult) -> Json {
     Json::obj([
         (
@@ -1326,11 +1336,27 @@ pub fn shard_result_to_json(result: &ComposeShardResult) -> Json {
                             ("index", Json::int(rec.index as u64)),
                             (
                                 "checks",
-                                Json::Arr(rec.checks.iter().map(check_record_to_json).collect()),
+                                Json::Arr(
+                                    rec.checks
+                                        .iter()
+                                        .map(|slot| match slot {
+                                            Some(check) => check_record_to_json(check),
+                                            None => Json::Null,
+                                        })
+                                        .collect(),
+                                ),
                             ),
                             (
                                 "edges",
-                                Json::Arr(rec.edges.iter().map(shard_edge_to_json).collect()),
+                                Json::Arr(
+                                    rec.edges
+                                        .iter()
+                                        .map(|slot| match slot {
+                                            Some(edge) => shard_edge_to_json(edge),
+                                            None => Json::Null,
+                                        })
+                                        .collect(),
+                                ),
                             ),
                         ])
                     })
@@ -1338,6 +1364,31 @@ pub fn shard_result_to_json(result: &ComposeShardResult) -> Json {
             ),
         ),
         ("cancelled", Json::Bool(result.cancelled)),
+        (
+            "remainder",
+            match result.remainder {
+                Some((start, end)) => {
+                    Json::Arr(vec![Json::int(start as u64), Json::int(end as u64)])
+                }
+                None => Json::Null,
+            },
+        ),
+        (
+            "timings",
+            Json::Arr(
+                result
+                    .timings
+                    .iter()
+                    .map(|t| {
+                        Json::obj([
+                            ("index", Json::int(t.index as u64)),
+                            ("units", Json::int(t.units as u64)),
+                            ("ns", Json::int(t.ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -1351,16 +1402,46 @@ pub fn shard_result_from_json(json: &Json) -> Result<ComposeShardResult, WireErr
                     index: get_usize(rec, "index")?,
                     checks: get_arr(rec, "checks")?
                         .iter()
-                        .map(check_record_from_json)
+                        .map(|slot| match slot {
+                            Json::Null => Ok(None),
+                            v => check_record_from_json(v).map(Some),
+                        })
                         .collect::<Result<Vec<_>, _>>()?,
                     edges: get_arr(rec, "edges")?
                         .iter()
-                        .map(shard_edge_from_json)
+                        .map(|slot| match slot {
+                            Json::Null => Ok(None),
+                            v => shard_edge_from_json(v).map(Some),
+                        })
                         .collect::<Result<Vec<_>, _>>()?,
                 })
             })
             .collect::<Result<Vec<_>, WireError>>()?,
         cancelled: get_bool(json, "cancelled")?,
+        remainder: match get(json, "remainder")? {
+            Json::Null => None,
+            Json::Arr(pair) if pair.len() == 2 => {
+                let num = |v: &Json| {
+                    v.as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| malformed("remainder bound is not an unsigned integer"))
+                };
+                Some((num(&pair[0])?, num(&pair[1])?))
+            }
+            _ => return Err(malformed("remainder is not null or a two-element array")),
+        },
+        timings: get_arr(json, "timings")?
+            .iter()
+            .map(|t| {
+                Ok(dataplane_verifier::ShardTiming {
+                    index: get_usize(t, "index")?,
+                    units: get_usize(t, "units")?,
+                    ns: get(t, "ns")?
+                        .as_u64()
+                        .ok_or_else(|| malformed("timing ns is not an unsigned integer"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
     })
 }
 
@@ -1689,7 +1770,7 @@ mod tests {
                 ShardNodeRecord {
                     index: 4,
                     checks: vec![
-                        CheckRecord {
+                        Some(CheckRecord {
                             outcome: CheckOutcome::Discharged,
                             diag: CheckDiagnostics::default(),
                             escalated: false,
@@ -1697,8 +1778,9 @@ mod tests {
                             raised_fm: false,
                             raised_search: false,
                             prefiltered: true,
-                        },
-                        CheckRecord {
+                        }),
+                        None,
+                        Some(CheckRecord {
                             outcome: CheckOutcome::Violation(Counterexample {
                                 packet: vec![0x45, 0x00, 0xff],
                                 path: vec!["cls".into(), "chk".into()],
@@ -1714,8 +1796,8 @@ mod tests {
                             raised_fm: true,
                             raised_search: false,
                             prefiltered: false,
-                        },
-                        CheckRecord {
+                        }),
+                        Some(CheckRecord {
                             outcome: CheckOutcome::Undecided(UnprovenPath {
                                 path: vec!["cls".into()],
                                 reason: "model search exhausted its tries".into(),
@@ -1729,19 +1811,20 @@ mod tests {
                             raised_fm: false,
                             raised_search: true,
                             prefiltered: false,
-                        },
+                        }),
                     ],
                     edges: vec![
-                        ShardEdge {
+                        Some(ShardEdge {
                             prefiltered: true,
                             pruned_call: false,
                             feasible: false,
-                        },
-                        ShardEdge {
+                        }),
+                        None,
+                        Some(ShardEdge {
                             prefiltered: false,
                             pruned_call: true,
                             feasible: true,
-                        },
+                        }),
                     ],
                 },
                 ShardNodeRecord {
@@ -1751,6 +1834,19 @@ mod tests {
                 },
             ],
             cancelled: true,
+            remainder: Some((12, 40)),
+            timings: vec![
+                dataplane_verifier::ShardTiming {
+                    index: 4,
+                    units: 3,
+                    ns: 812_500,
+                },
+                dataplane_verifier::ShardTiming {
+                    index: 5,
+                    units: 1,
+                    ns: 91_000,
+                },
+            ],
         };
         let text = shard_result_to_json(&result).to_text();
         let back = shard_result_from_json(&Json::parse(&text).unwrap()).unwrap();

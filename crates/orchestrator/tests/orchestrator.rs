@@ -149,7 +149,7 @@ fn shared_pool_bounds_live_solver_threads_under_many_scenarios() {
     // `scenarios × threads` ceiling instead).
     let orchestrator = Orchestrator::new().with_threads(3);
     let matrix = orchestrator.run(preset_scenarios());
-    assert_eq!(matrix.scenarios.len(), 15);
+    assert_eq!(matrix.scenarios.len(), 20);
     assert!(
         (1..=3).contains(&matrix.peak_live_threads),
         "peak live threads {} outside 1..=3",

@@ -3,7 +3,7 @@
 //!
 //! * a `PlanSpec` serialised to JSON and executed by a *different* service
 //!   instance (fresh store, fresh scheduler) produces a deterministic
-//!   report byte-identical to serving the original request — across all 15
+//!   report byte-identical to serving the original request — across all 20
 //!   preset scenarios and for diff plans,
 //! * requests round-trip through their JSON form,
 //! * watch requests establish a rolling baseline and then re-verify only
@@ -64,7 +64,7 @@ fn plan_round_trips_and_executes_byte_identical_for_all_presets() {
         })
         .unwrap();
     assert!(plan.jobs.len() >= 10, "plan lost jobs: {}", plan.jobs.len());
-    assert_eq!(plan.scenarios.len(), 15);
+    assert_eq!(plan.scenarios.len(), 20);
     let text = plan_to_json(&plan).to_text();
     let decoded = plan_from_json(&Json::parse(&text).unwrap()).unwrap();
     assert_eq!(decoded.jobs.len(), plan.jobs.len());
@@ -155,7 +155,7 @@ fn requests_round_trip_through_json() {
     let VerifyRequest::Matrix { scenarios } = &decoded else {
         panic!("kind drifted");
     };
-    assert_eq!(scenarios.len(), 15);
+    assert_eq!(scenarios.len(), 20);
     // Re-encoding is byte-stable (configs and properties are canonical).
     assert_eq!(decoded.to_json().unwrap().to_text(), text);
 

@@ -4,7 +4,9 @@
 //!
 //! * **`Unsat`** is established analytically, by (in order) constant
 //!   simplification, syntactic contradiction pairs, unsigned interval
-//!   propagation, and Fourier–Motzkin elimination over the linear fragment of
+//!   propagation, an arithmetic pass (known-bits/congruence propagation and
+//!   difference bounds over the no-wrap linear fragment), and
+//!   Fourier–Motzkin elimination over the linear fragment of
 //!   the constraints. Every rule is conservative, so `Unsat` answers are
 //!   sound — this is the direction the verifier relies on when it discharges
 //!   suspect paths ("this violation cannot occur in the composed pipeline").
@@ -206,14 +208,20 @@ impl Solver {
             return (SolverResult::Unsat, diag);
         }
 
-        // 5. Fourier–Motzkin over the linear fragment.
+        // 5. Arithmetic pass: known-bits/congruence propagation and
+        //    difference bounds over the no-wrap linear fragment.
+        if arithmetic_infeasible(&atoms, &intervals) {
+            return (SolverResult::Unsat, diag);
+        }
+
+        // 6. Fourier–Motzkin over the linear fragment.
         match fourier_motzkin(&atoms, &intervals, self.config.max_fm_constraints) {
             FmOutcome::Unsat => return (SolverResult::Unsat, diag),
             FmOutcome::NoVerdict => {}
             FmOutcome::BudgetExhausted => diag.fm_budget_exhausted = true,
         }
 
-        // 6. Model search.
+        // 7. Model search.
         match self.search_model(&conjuncts, &atoms, &intervals, cancel) {
             Some(model) => (SolverResult::Sat(model), diag),
             None => {
@@ -790,10 +798,12 @@ pub fn term_bounds(constraints: &[TermRef], term: &TermRef) -> Interval {
     }
 }
 
-/// Interval-only infeasibility pre-check: run the cheap analytic prefix of
+/// Analytic infeasibility pre-check: run the cheap budget-free prefix of
 /// the full decision procedure — conjunction flattening, atom
-/// normalisation, syntactic contradiction pairs, and interval propagation —
-/// and report whether it already proves the conjunction unsatisfiable.
+/// normalisation, syntactic contradiction pairs, interval propagation, and
+/// the arithmetic pass (known-bits/congruence propagation plus difference
+/// bounds over the no-wrap `base ± const` fragment) — and report whether it
+/// already proves the conjunction unsatisfiable.
 ///
 /// Sound by construction: every stage here is literally a prefix of
 /// [`Solver::check`], so `true` implies the full solver would return
@@ -832,7 +842,10 @@ pub fn interval_infeasible(constraints: &[TermRef]) -> bool {
             break;
         }
     }
-    intervals.contradiction
+    if intervals.contradiction {
+        return true;
+    }
+    arithmetic_infeasible(&atoms, &intervals)
 }
 
 /// Map of computed intervals keyed by term structure.
@@ -953,6 +966,616 @@ impl IntervalMap {
         }
         changed
     }
+}
+
+// --- arithmetic pre-filter (known bits + difference bounds) ------------------
+
+/// Bit-level knowledge about a term's value: `zeros` has a 1 for every bit
+/// known to be 0, `ones` for every bit known to be 1. The sets are disjoint
+/// on consistent facts; an overlap means the constraints force a bit to be
+/// both, i.e. a contradiction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct KnownBits {
+    zeros: u64,
+    ones: u64,
+}
+
+impl KnownBits {
+    /// No information beyond the width: bits at and above `width` are zero.
+    fn unknown(width: u8) -> KnownBits {
+        KnownBits {
+            zeros: !dataplane_ir::value::mask(width),
+            ones: 0,
+        }
+    }
+
+    /// A fully-determined value at `width`.
+    fn constant(v: u64, width: u8) -> KnownBits {
+        let m = dataplane_ir::value::mask(width);
+        KnownBits {
+            zeros: !(v & m),
+            ones: v & m,
+        }
+    }
+
+    fn known(&self) -> u64 {
+        self.zeros | self.ones
+    }
+
+    fn conflict(&self) -> bool {
+        self.zeros & self.ones != 0
+    }
+
+    /// Union of two fact sets about the same value (may conflict).
+    fn union(self, o: KnownBits) -> KnownBits {
+        KnownBits {
+            zeros: self.zeros | o.zeros,
+            ones: self.ones | o.ones,
+        }
+    }
+
+    /// Sound lower bound: every known-one bit is set in the value.
+    fn min_value(&self) -> u64 {
+        self.ones
+    }
+
+    /// Sound upper bound: unknown bits at most all-ones within the width.
+    fn max_value(&self, width: u8) -> u64 {
+        self.ones | (dataplane_ir::value::mask(width) & !self.zeros)
+    }
+}
+
+/// Known bits of `a + b + carry_in` over `width` bits: ripple the carry
+/// through bit positions, keeping the sum bit whenever both addend bits and
+/// the incoming carry are determined, and tracking the carry through the
+/// recoverable partial cases (a known-zero addend with no carry cannot
+/// generate one; two known-one addend bits always do).
+fn add_known_bits(x: KnownBits, y: KnownBits, carry_in: u64, width: u8) -> KnownBits {
+    let m = dataplane_ir::value::mask(width);
+    let mut zeros = !m;
+    let mut ones = 0u64;
+    let mut carry: Option<u64> = Some(carry_in);
+    let bit_of = |kb: KnownBits, i: u32| -> Option<u64> {
+        let bit = 1u64 << i;
+        if kb.zeros & bit != 0 {
+            Some(0)
+        } else if kb.ones & bit != 0 {
+            Some(1)
+        } else {
+            None
+        }
+    };
+    for i in 0..u32::from(width).min(64) {
+        let bit = 1u64 << i;
+        match (bit_of(x, i), bit_of(y, i), carry) {
+            (Some(xv), Some(yv), Some(c)) => {
+                let s = xv + yv + c;
+                if s & 1 == 1 {
+                    ones |= bit;
+                } else {
+                    zeros |= bit;
+                }
+                carry = Some(s >> 1);
+            }
+            // The sum bit is lost, but the carry out is still determined.
+            (Some(0), Some(0), _) | (Some(0), _, Some(0)) | (_, Some(0), Some(0)) => {
+                carry = Some(0);
+            }
+            (Some(1), Some(1), _) | (Some(1), _, Some(1)) | (_, Some(1), Some(1)) => {
+                carry = Some(1);
+            }
+            _ => carry = None,
+        }
+    }
+    KnownBits { zeros, ones }
+}
+
+/// Length of the known-zero low-bit run (number of trailing bits provably 0).
+fn low_zero_run(kb: KnownBits) -> u32 {
+    (!kb.zeros).trailing_zeros()
+}
+
+/// Known bits of one term node as a function of its children's known bits.
+/// Every rule is conservative: a bit is reported known only when it takes
+/// that value for all values the children can take.
+fn known_bits_node(t: &TermRef, children: &mut dyn FnMut(&TermRef) -> KnownBits) -> KnownBits {
+    let width = t.width();
+    let m = dataplane_ir::value::mask(width);
+    let unknown = KnownBits::unknown(width);
+    match t.as_ref() {
+        Term::Const(v) => KnownBits::constant(v.as_u64(), width),
+        Term::Unary { op: UnOp::Not, a } => {
+            let x = children(a);
+            KnownBits {
+                zeros: (x.ones & m) | !m,
+                ones: x.zeros & m,
+            }
+        }
+        Term::Unary { .. } => unknown,
+        Term::Cast { kind, width: w, a } => {
+            let inner = children(a);
+            match kind {
+                // Widening zero extension keeps every fact: the inner facts
+                // already mark the bits above the inner width as zero.
+                dataplane_ir::CastKind::ZExt | dataplane_ir::CastKind::Resize
+                    if *w >= a.width() =>
+                {
+                    inner
+                }
+                dataplane_ir::CastKind::Trunc | dataplane_ir::CastKind::Resize => KnownBits {
+                    zeros: (inner.zeros & m) | !m,
+                    ones: inner.ones & m,
+                },
+                // Sign extension propagates only when the sign bit is known.
+                dataplane_ir::CastKind::SExt if *w >= a.width() && a.width() > 0 => {
+                    let sign = top_bit(a.width());
+                    let ext = m & !dataplane_ir::value::mask(a.width());
+                    if inner.zeros & sign != 0 {
+                        inner
+                    } else if inner.ones & sign != 0 {
+                        KnownBits {
+                            zeros: (inner.zeros & dataplane_ir::value::mask(a.width())) | !m,
+                            ones: inner.ones | ext,
+                        }
+                    } else {
+                        unknown
+                    }
+                }
+                _ => unknown,
+            }
+        }
+        Term::Select { t: tt, e, .. } => {
+            let x = children(tt);
+            let y = children(e);
+            KnownBits {
+                zeros: (x.zeros & y.zeros) | !m,
+                ones: x.ones & y.ones & m,
+            }
+        }
+        Term::Binary { op, a, b } => {
+            let x = children(a);
+            let y = children(b);
+            match op {
+                BinOp::And => KnownBits {
+                    zeros: x.zeros | y.zeros | !m,
+                    ones: x.ones & y.ones & m,
+                },
+                BinOp::Or => KnownBits {
+                    zeros: (x.zeros & y.zeros) | !m,
+                    ones: (x.ones | y.ones) & m,
+                },
+                BinOp::Xor => {
+                    let k = x.known() & y.known();
+                    let v = (x.ones ^ y.ones) & k & m;
+                    KnownBits {
+                        zeros: (k & !v) | !m,
+                        ones: v,
+                    }
+                }
+                BinOp::Add => add_known_bits(x, y, 0, width),
+                // a - b = a + !b + 1 over `width` bits.
+                BinOp::Sub => add_known_bits(
+                    x,
+                    KnownBits {
+                        zeros: y.ones & m,
+                        ones: y.zeros & m,
+                    },
+                    1,
+                    width,
+                ),
+                // Congruence only: the product is divisible by 2^(tz(a)+tz(b)).
+                BinOp::Mul => {
+                    let tz = (low_zero_run(x) + low_zero_run(y)).min(64);
+                    let low = if tz >= 64 { u64::MAX } else { (1u64 << tz) - 1 };
+                    KnownBits {
+                        zeros: low | !m,
+                        ones: 0,
+                    }
+                }
+                BinOp::Shl => match b.as_ref() {
+                    Term::Const(c) if c.as_u64() < u64::from(width) => {
+                        let s = c.as_u64() as u32;
+                        let ones = (x.ones << s) & m;
+                        let unknown_out = ((!x.known() & m) << s) & m;
+                        KnownBits {
+                            zeros: !(ones | unknown_out),
+                            ones,
+                        }
+                    }
+                    _ => unknown,
+                },
+                BinOp::LShr => match b.as_ref() {
+                    Term::Const(c) if c.as_u64() < u64::from(width) => {
+                        let s = c.as_u64() as u32;
+                        let ones = (x.ones & m) >> s;
+                        let unknown_out = (!x.known() & m) >> s;
+                        KnownBits {
+                            zeros: !(ones | unknown_out),
+                            ones,
+                        }
+                    }
+                    _ => unknown,
+                },
+                _ => unknown,
+            }
+        }
+        _ => unknown,
+    }
+}
+
+/// Downward-propagation recursion limit for [`KnownBitsMap::narrow`].
+const NARROW_DEPTH: u32 = 8;
+
+/// Map of known-bit facts keyed by term structure, refined from equality
+/// atoms the way [`IntervalMap`] is refined from comparisons. This is the
+/// congruence half of the arithmetic pre-filter: facts learned about a
+/// composite (`x & 1 == 0`) are pushed down through masks, xors, shifts by
+/// constants, and add/sub of constants, so parity- and alignment-style
+/// contradictions surface without a model search.
+#[derive(Default)]
+struct KnownBitsMap {
+    map: HashMap<TermRef, KnownBits>,
+    contradiction: bool,
+}
+
+impl KnownBitsMap {
+    /// Bottom-up known-bits computation (memoized; refined entries win).
+    fn compute(&mut self, t: &TermRef) -> KnownBits {
+        if let Some(kb) = self.map.get(t) {
+            return *kb;
+        }
+        let kb = {
+            let mut children = |c: &TermRef| self.compute(c);
+            known_bits_node(t, &mut children)
+        };
+        self.map.insert(t.clone(), kb);
+        kb
+    }
+
+    /// Record that `t` also satisfies `kb` and push the new facts down
+    /// through invertible structure. Returns true if anything changed.
+    fn narrow(&mut self, t: &TermRef, kb: KnownBits, depth: u32) -> bool {
+        let cur = self.compute(t);
+        let merged = cur.union(kb);
+        if merged.conflict() {
+            self.contradiction = true;
+            return false;
+        }
+        if merged == cur {
+            return false;
+        }
+        self.map.insert(t.clone(), merged);
+        if depth == 0 {
+            return true;
+        }
+        let width = t.width();
+        let m = dataplane_ir::value::mask(width);
+        match t.as_ref() {
+            Term::Unary { op: UnOp::Not, a } => {
+                self.narrow(
+                    a,
+                    KnownBits {
+                        zeros: merged.ones & m,
+                        ones: merged.zeros & m,
+                    },
+                    depth - 1,
+                );
+            }
+            Term::Cast { kind, width: w, a }
+                if matches!(
+                    kind,
+                    dataplane_ir::CastKind::ZExt | dataplane_ir::CastKind::Resize
+                ) && *w >= a.width() =>
+            {
+                // The inner value equals the outer one; ones above the inner
+                // width conflict with the inner facts and flag Unsat.
+                self.narrow(
+                    a,
+                    KnownBits {
+                        zeros: merged.zeros & dataplane_ir::value::mask(a.width()),
+                        ones: merged.ones,
+                    },
+                    depth - 1,
+                );
+            }
+            Term::Binary { op, a, b } => {
+                let (sub, c) = match (a.as_ref(), b.as_ref()) {
+                    (_, Term::Const(c)) => (a, c.as_u64() & m),
+                    (Term::Const(c), _) => (b, c.as_u64() & m),
+                    _ => return true,
+                };
+                let const_on_left = matches!(a.as_ref(), Term::Const(_));
+                match op {
+                    // Where the mask bit is 1 the operand bit equals ours.
+                    BinOp::And => {
+                        self.narrow(
+                            sub,
+                            KnownBits {
+                                zeros: merged.zeros & c,
+                                ones: merged.ones & c,
+                            },
+                            depth - 1,
+                        );
+                    }
+                    // Where the mask bit is 0 the operand bit equals ours.
+                    BinOp::Or => {
+                        self.narrow(
+                            sub,
+                            KnownBits {
+                                zeros: merged.zeros & !c & m,
+                                ones: merged.ones & !c & m,
+                            },
+                            depth - 1,
+                        );
+                    }
+                    // operand = t ^ c, bit for bit where t is known.
+                    BinOp::Xor => {
+                        let k = merged.known() & m;
+                        let v = (merged.ones ^ c) & k;
+                        self.narrow(
+                            sub,
+                            KnownBits {
+                                zeros: k & !v,
+                                ones: v,
+                            },
+                            depth - 1,
+                        );
+                    }
+                    // operand = t - c: ripple-subtract through t's known run.
+                    BinOp::Add => {
+                        let neg = KnownBits::constant(!c & m, width);
+                        self.narrow(sub, add_known_bits(merged, neg, 1, width), depth - 1);
+                    }
+                    BinOp::Sub => {
+                        let derived = if const_on_left {
+                            // t = c - x  ⇒  x = c - t.
+                            add_known_bits(
+                                KnownBits::constant(c, width),
+                                KnownBits {
+                                    zeros: merged.ones & m,
+                                    ones: merged.zeros & m,
+                                },
+                                1,
+                                width,
+                            )
+                        } else {
+                            // t = x - c  ⇒  x = t + c.
+                            add_known_bits(merged, KnownBits::constant(c, width), 0, width)
+                        };
+                        self.narrow(sub, derived, depth - 1);
+                    }
+                    // t = x << s: x bit j (j < width - s) equals t bit j + s.
+                    BinOp::Shl if !const_on_left && c < u64::from(width) => {
+                        let s = c as u32;
+                        let keep = m >> s;
+                        self.narrow(
+                            sub,
+                            KnownBits {
+                                zeros: (merged.zeros >> s) & keep,
+                                ones: (merged.ones >> s) & keep,
+                            },
+                            depth - 1,
+                        );
+                    }
+                    // t = x >> s: x bit j + s equals t bit j.
+                    BinOp::LShr if !const_on_left && c < u64::from(width) => {
+                        let s = c as u32;
+                        let keep = m >> s;
+                        self.narrow(
+                            sub,
+                            KnownBits {
+                                zeros: (merged.zeros & keep) << s,
+                                ones: (merged.ones & keep) << s,
+                            },
+                            depth - 1,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        true
+    }
+
+    /// Refine known bits from one atom. Returns true if anything changed.
+    fn refine(&mut self, atom: &Atom) -> bool {
+        let l = self.compute(&atom.lhs);
+        let r = self.compute(&atom.rhs);
+        match atom.op {
+            Cmp::Eq => {
+                let merged = l.union(r);
+                if merged.conflict() {
+                    self.contradiction = true;
+                    return false;
+                }
+                let mut changed = false;
+                if merged != l {
+                    changed |= self.narrow(&atom.lhs, merged, NARROW_DEPTH);
+                }
+                if merged != r {
+                    changed |= self.narrow(&atom.rhs, merged, NARROW_DEPTH);
+                }
+                changed
+            }
+            Cmp::Ne => {
+                // Both sides fully determined and equal is a contradiction.
+                if l.known() == u64::MAX && r.known() == u64::MAX && l.ones == r.ones {
+                    self.contradiction = true;
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+}
+
+/// View an atom side as `base + offset` over the integers: peel `base ± c`
+/// layers whose wrap-around the interval bounds rule out, so the resulting
+/// equation is exact integer arithmetic, not merely modulo 2^width.
+fn offset_view(t: &TermRef, intervals: &IntervalMap) -> (TermRef, i128) {
+    if let Term::Binary { op, a, b } = t.as_ref() {
+        let width = t.width();
+        let m = dataplane_ir::value::mask(width);
+        match (op, a.as_ref(), b.as_ref()) {
+            (BinOp::Add, _, Term::Const(c)) => {
+                let c = c.as_u64() & m;
+                let base = intervals.bounds_bottom_up(a);
+                if u128::from(base.hi) + u128::from(c) <= u128::from(m) {
+                    let (root, off) = offset_view(a, intervals);
+                    return (root, off + i128::from(c));
+                }
+            }
+            (BinOp::Add, Term::Const(c), _) => {
+                let c = c.as_u64() & m;
+                let base = intervals.bounds_bottom_up(b);
+                if u128::from(base.hi) + u128::from(c) <= u128::from(m) {
+                    let (root, off) = offset_view(b, intervals);
+                    return (root, off + i128::from(c));
+                }
+            }
+            (BinOp::Sub, _, Term::Const(c)) => {
+                let c = c.as_u64() & m;
+                let base = intervals.bounds_bottom_up(a);
+                if base.lo >= c {
+                    let (root, off) = offset_view(a, intervals);
+                    return (root, off - i128::from(c));
+                }
+            }
+            _ => {}
+        }
+    }
+    (t.clone(), 0)
+}
+
+/// Difference-bound infeasibility: collect integer constraints of the form
+/// `u - v <= w` from atoms whose sides decompose as no-wrap `base ± const`
+/// (plus interval range edges against a virtual zero node) and look for a
+/// negative cycle with Bellman–Ford. A negative cycle certifies the
+/// conjunction unsatisfiable over the integers, hence unsatisfiable. This
+/// catches transitive-chain contradictions (`x + 1 <= y`, `y + 1 <= x`)
+/// that per-term intervals cannot see.
+fn difference_infeasible(atoms: &[Atom], intervals: &IntervalMap) -> bool {
+    // Edge (v, u, w) encodes `u - v <= w`. Node 0 is the virtual zero.
+    let mut ids: HashMap<TermRef, usize> = HashMap::new();
+    let mut edges: Vec<(usize, usize, i128)> = Vec::new();
+    fn intern(
+        t: &TermRef,
+        ids: &mut HashMap<TermRef, usize>,
+        edges: &mut Vec<(usize, usize, i128)>,
+        intervals: &IntervalMap,
+    ) -> usize {
+        if let Some(&i) = ids.get(t) {
+            return i;
+        }
+        let i = ids.len() + 1;
+        ids.insert(t.clone(), i);
+        let iv = intervals.bounds_bottom_up(t);
+        edges.push((0, i, i128::from(iv.hi)));
+        edges.push((i, 0, -i128::from(iv.lo)));
+        i
+    }
+    let nonneg = |t: &TermRef| {
+        let w = t.width();
+        w > 0 && intervals.bounds_bottom_up(t).hi < top_bit(w)
+    };
+    let mut cmp_edges = 0usize;
+    for atom in atoms {
+        let op = match atom.op {
+            Cmp::SLt | Cmp::SLe if nonneg(&atom.lhs) && nonneg(&atom.rhs) => {
+                if atom.op == Cmp::SLt {
+                    Cmp::ULt
+                } else {
+                    Cmp::ULe
+                }
+            }
+            Cmp::Ne | Cmp::SLt | Cmp::SLe => continue,
+            op => op,
+        };
+        let (bl, cl) = offset_view(&atom.lhs, intervals);
+        let (br, cr) = offset_view(&atom.rhs, intervals);
+        if op != Cmp::Eq && cl == 0 && cr == 0 && bl == br {
+            continue;
+        }
+        let u = intern(&bl, &mut ids, &mut edges, intervals);
+        let v = intern(&br, &mut ids, &mut edges, intervals);
+        // lhs <= rhs  ⇔  bl + cl <= br + cr  ⇔  bl - br <= cr - cl.
+        match op {
+            Cmp::Eq => {
+                edges.push((v, u, cr - cl));
+                edges.push((u, v, cl - cr));
+            }
+            Cmp::ULe => edges.push((v, u, cr - cl)),
+            Cmp::ULt => edges.push((v, u, cr - cl - 1)),
+            _ => unreachable!(),
+        }
+        cmp_edges += 1;
+    }
+    if cmp_edges == 0 {
+        return false;
+    }
+    // Bellman–Ford from an implicit all-zero source; a relaxation that still
+    // fires after n rounds witnesses a negative cycle.
+    let n = ids.len() + 1;
+    let mut dist = vec![0i128; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for &(v, u, w) in &edges {
+            if dist[v] + w < dist[u] {
+                if round == n {
+                    return true;
+                }
+                dist[u] = dist[v] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+    false
+}
+
+/// The arithmetic pre-filter stage shared by [`interval_infeasible`] and
+/// [`Solver::check`]: a known-bits/congruence pass over the mask, shift,
+/// xor, and add/sub relations in the atoms (cross-checked against the
+/// refined intervals), followed by a difference-bound negative-cycle pass
+/// over the no-wrap `base ± const` fragment. `true` is sound (the
+/// conjunction is unsatisfiable); both passes are budget-free and
+/// deterministic, so the answer depends only on the constraints.
+fn arithmetic_infeasible(atoms: &[Atom], intervals: &IntervalMap) -> bool {
+    let mut known = KnownBitsMap::default();
+    for a in atoms {
+        known.compute(&a.lhs);
+        known.compute(&a.rhs);
+    }
+    for _ in 0..4 {
+        let mut changed = false;
+        for a in atoms {
+            changed |= known.refine(a);
+        }
+        if known.contradiction {
+            return true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    if known.contradiction {
+        return true;
+    }
+    // Bit knowledge and interval knowledge must overlap on every atom side.
+    for a in atoms {
+        for side in [&a.lhs, &a.rhs] {
+            let kb = known.compute(side);
+            if let Some(iv) = intervals.get(side) {
+                if kb.min_value() > iv.hi || kb.max_value(side.width()) < iv.lo {
+                    return true;
+                }
+            }
+        }
+    }
+    difference_infeasible(atoms, intervals)
 }
 
 /// The interval of one term node as a function of its children's intervals

@@ -38,6 +38,41 @@ fn conjunct(p: u64) -> TermRef {
     term::binary(cmp, lhs, rhs)
 }
 
+/// Build one conjunct biased towards the arithmetic pre-filter's domain:
+/// mask/xor/shift/add-sub combinations compared against constants, and
+/// offset comparisons between two leaves (`x + a <= y + b`) that feed the
+/// difference-bound pass.
+fn arith_conjunct(p: u64) -> TermRef {
+    let cmp = [
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::ULt,
+        BinOp::ULe,
+        BinOp::UGt,
+        BinOp::UGe,
+    ][(p % 6) as usize];
+    let x: TermRef = Arc::new(Term::PacketByte(((p >> 3) % 3) as i64));
+    let y: TermRef = Arc::new(Term::PacketByte(((p >> 5) % 3) as i64));
+    let c1 = term::constant(BitVec::new(8, (p >> 8) & 0xff));
+    let c2 = term::constant(BitVec::new(8, (p >> 16) & 0xff));
+    let shift = term::constant(BitVec::new(8, (p >> 24) & 0x7));
+    let lhs = match (p >> 27) % 7 {
+        0 => term::binary(BinOp::And, x, c1),
+        1 => term::binary(BinOp::Or, x, c1),
+        2 => term::binary(BinOp::Xor, x, c1),
+        3 => term::binary(BinOp::Add, x, c1),
+        4 => term::binary(BinOp::Sub, x, c1),
+        5 => term::binary(BinOp::Shl, x, shift),
+        _ => term::binary(BinOp::LShr, x, shift),
+    };
+    let rhs = match (p >> 30) % 3 {
+        0 => c2,
+        1 => y,
+        _ => term::binary(BinOp::Add, y, c2),
+    };
+    term::binary(cmp, lhs, rhs)
+}
+
 proptest! {
     /// The pre-filter's `true` verdict always agrees with the full solver.
     #[test]
@@ -45,6 +80,21 @@ proptest! {
         picks in proptest::collection::vec(any::<u64>(), 1..6)
     ) {
         let constraints: Vec<TermRef> = picks.iter().map(|&p| conjunct(p)).collect();
+        if interval_infeasible(&constraints) {
+            prop_assert!(
+                Solver::new().check(&constraints).is_unsat(),
+                "pre-filter declared a solver-satisfiable conjunction infeasible: {constraints:?}"
+            );
+        }
+    }
+
+    /// Same soundness property over the arithmetic fragment the
+    /// known-bits/difference-bound passes were built for.
+    #[test]
+    fn arithmetic_prefilter_never_contradicts_full_solver(
+        picks in proptest::collection::vec(any::<u64>(), 1..6)
+    ) {
+        let constraints: Vec<TermRef> = picks.iter().map(|&p| arith_conjunct(p)).collect();
         if interval_infeasible(&constraints) {
             prop_assert!(
                 Solver::new().check(&constraints).is_unsat(),
@@ -60,6 +110,55 @@ fn prefilter_catches_disjoint_intervals() {
     let constraints = vec![
         term::binary(BinOp::ULt, byte.clone(), term::constant(BitVec::new(8, 3))),
         term::binary(BinOp::UGt, byte, term::constant(BitVec::new(8, 5))),
+    ];
+    assert!(interval_infeasible(&constraints));
+    assert!(Solver::new().check(&constraints).is_unsat());
+}
+
+#[test]
+fn prefilter_catches_bitmask_congruence_conflict() {
+    // (x & 1) == 0 forces bit 0 of x to 0; (x | 0xfe) == 0xff forces it to
+    // 1. Neither intervals nor contradiction pairs see this — the
+    // known-bits pass must.
+    let x: TermRef = Arc::new(Term::PacketByte(0));
+    let constraints = vec![
+        term::binary(
+            BinOp::Eq,
+            term::binary(BinOp::And, x.clone(), term::constant(BitVec::new(8, 1))),
+            term::constant(BitVec::new(8, 0)),
+        ),
+        term::binary(
+            BinOp::Eq,
+            term::binary(BinOp::Or, x, term::constant(BitVec::new(8, 0xfe))),
+            term::constant(BitVec::new(8, 0xff)),
+        ),
+    ];
+    assert!(interval_infeasible(&constraints));
+    assert!(Solver::new().check(&constraints).is_unsat());
+}
+
+#[test]
+fn prefilter_catches_difference_bound_cycle() {
+    // x + 1 <= y and y + 1 <= x cannot both hold; both terms stay
+    // full-range individually, so only the difference-bound pass sees it.
+    let x: TermRef = Arc::new(Term::PacketByte(0));
+    let y: TermRef = Arc::new(Term::PacketByte(1));
+    let lo =
+        |t: &TermRef| term::binary(BinOp::ULe, t.clone(), term::constant(BitVec::new(8, 0x7f)));
+    let constraints = vec![
+        // Keep both bytes below 0x80 so the +1 offsets provably never wrap.
+        lo(&x),
+        lo(&y),
+        term::binary(
+            BinOp::ULe,
+            term::binary(BinOp::Add, x.clone(), term::constant(BitVec::new(8, 1))),
+            y.clone(),
+        ),
+        term::binary(
+            BinOp::ULe,
+            term::binary(BinOp::Add, y, term::constant(BitVec::new(8, 1))),
+            x,
+        ),
     ];
     assert!(interval_infeasible(&constraints));
     assert!(Solver::new().check(&constraints).is_unsat());

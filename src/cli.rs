@@ -37,10 +37,10 @@
 use crate::orchestrator::json::Json;
 use crate::orchestrator::wire::{plan_from_json, plan_to_json};
 use crate::orchestrator::{
-    join_fleet, preset_scenarios, serve_listener, worker_serve, ClientReply, Daemon, DaemonClient,
-    DaemonConfig, Executor, HeartbeatConfig, InProcessExecutor, NamedConfig, ProgressEvent,
-    PropertySelect, Scenario, SummaryStore, VerifyOutcome, VerifyRequest, VerifyResponse,
-    VerifyService, WorkerAddr, WorkerFleet,
+    join_fleet, preset_scenarios, serve_listener, worker_serve, ClientReply, ComposeShardMode,
+    Daemon, DaemonClient, DaemonConfig, Executor, HeartbeatConfig, InProcessExecutor, NamedConfig,
+    ProgressEvent, PropertySelect, Scenario, SummaryStore, VerifyOutcome, VerifyRequest,
+    VerifyResponse, VerifyService, WorkerAddr, WorkerFleet,
 };
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -122,7 +122,7 @@ pub fn main(args: Vec<String>) -> i32 {
 
 const USAGE: &str = "usage: vericlick <subcommand> [options]
   run [--matrix] [cfg.click...] [--threads N] [--cache DIR] [--json PATH] [--selftest]
-      [--compose-shard N] [--connect addr] [--ltl SPEC]...
+      [--compose-shard auto|off|N] [--connect addr] [--ltl SPEC]...
     (--ltl verifies a temporal (LTL) property instead of the default
      crash+bounded pair: repeatable, SPEC is a formula like
      'G (at(chk) -> F (forwarded | dropped))' or @FILE to read one from
@@ -132,10 +132,12 @@ const USAGE: &str = "usage: vericlick <subcommand> [options]
   plan [--matrix] [cfg.click...] [-o PATH] [--threads N] [--ltl SPEC]...
   exec-plan [PATH|-] [--workers N | --workers addr,addr,...] [--in-process]
             [--threads N] [--cache DIR] [--json PATH] [--det-json PATH]
-            [--heartbeat-ms N] [--compose-shard N]
+            [--heartbeat-ms N] [--compose-shard auto|off|N]
     (--compose-shard splits each scenario's Step-2 check enumeration
-     into about N wire shards the fleet load-balances; reports stay
-     byte-identical to an unsharded run)
+     into wire shards the fleet load-balances and steals between;
+     `auto` — the default — sizes the shards from live fleet capacity
+     and calibrated solver costs; reports stay byte-identical to an
+     unsharded run at any setting)
   watch <cfg.click...> [--poll-ms N] [--max-polls N] | --demo
             [--threads N] [--cache DIR] [--connect addr]
   bound <cfg.click...> [--threads N] [--cache DIR]
@@ -152,7 +154,7 @@ const USAGE: &str = "usage: vericlick <subcommand> [options]
      --join announces the bound address to a running daemon's fleet)
   serve --listen addr [--threads N] [--cache DIR] [--max-sessions N]
         [--max-queue N] [--workers addr,addr,...] [--heartbeat-ms N]
-        [--compose-shard N] [--once]
+        [--compose-shard auto|off|N] [--once]
     (persistent daemon: a warm summary store shared across requests;
      clients connect with `client`/`--connect`, workers with `--join`)
   client --connect addr [--matrix] [cfg.click...] [--request PATH]
@@ -430,7 +432,7 @@ fn cmd_run(args: Vec<String>) -> i32 {
     let mut matrix = false;
     let mut selftest = false;
     let mut connect: Option<String> = None;
-    let mut compose_shard = 0usize;
+    let mut compose_shard = ComposeShardMode::default();
     let mut json_path: Option<String> = None;
     let mut det_json_path: Option<String> = None;
     let mut ltl_specs: Vec<String> = Vec::new();
@@ -448,9 +450,11 @@ fn cmd_run(args: Vec<String>) -> i32 {
                 Some(addr) => connect = Some(addr),
                 None => return usage_error("--connect needs a daemon address"),
             },
-            "--compose-shard" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(n) => compose_shard = n,
-                None => return usage_error("--compose-shard needs a shard count (0 = unsharded)"),
+            "--compose-shard" => match iter.next().as_deref().and_then(ComposeShardMode::parse) {
+                Some(mode) => compose_shard = mode,
+                None => {
+                    return usage_error("--compose-shard needs `auto`, `off`, or a shard count")
+                }
             },
             "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => flags.threads = n,
@@ -483,7 +487,10 @@ fn cmd_run(args: Vec<String>) -> i32 {
         if selftest {
             return usage_error("--selftest runs in-process (not with --connect)");
         }
-        if flags.threads != 0 || flags.cache.is_some() || compose_shard != 0 {
+        if flags.threads != 0
+            || flags.cache.is_some()
+            || compose_shard != ComposeShardMode::default()
+        {
             return usage_error(
                 "--threads/--cache/--compose-shard are daemon-side (set them on `vericlick serve`)",
             );
@@ -499,7 +506,7 @@ fn cmd_run(args: Vec<String>) -> i32 {
         };
     }
     let service = match flags.build(true) {
-        Ok(s) => s.with_compose_shard(compose_shard),
+        Ok(s) => s.with_compose_shard_mode(compose_shard),
         Err(code) => return code,
     };
     let threads = service.threads();
@@ -847,7 +854,7 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
     let mut workers: Option<String> = None;
     let mut in_process = false;
     let mut heartbeat_ms: Option<u64> = None;
-    let mut compose_shard = 0usize;
+    let mut compose_shard = ComposeShardMode::default();
     let mut json_path: Option<String> = None;
     let mut det_json_path: Option<String> = None;
     let mut file: Option<String> = None;
@@ -859,9 +866,11 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
                 Some(spec) => workers = Some(spec),
                 None => return usage_error("--workers needs a count or address list"),
             },
-            "--compose-shard" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(n) => compose_shard = n,
-                None => return usage_error("--compose-shard needs a shard count (0 = unsharded)"),
+            "--compose-shard" => match iter.next().as_deref().and_then(ComposeShardMode::parse) {
+                Some(mode) => compose_shard = mode,
+                None => {
+                    return usage_error("--compose-shard needs `auto`, `off`, or a shard count")
+                }
             },
             "--heartbeat-ms" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(ms) => heartbeat_ms = Some(ms),
@@ -923,7 +932,7 @@ fn cmd_exec_plan(args: Vec<String>) -> i32 {
     };
 
     let service = match flags.build(false) {
-        Ok(s) => s.with_compose_shard(compose_shard),
+        Ok(s) => s.with_compose_shard_mode(compose_shard),
         Err(code) => return code,
     };
     // Default executor: subprocess workers (the remote path). A numeric
@@ -1715,7 +1724,7 @@ fn cmd_serve(args: Vec<String>) -> i32 {
     let mut max_queue = 4usize;
     let mut workers: Option<String> = None;
     let mut heartbeat_ms: Option<u64> = None;
-    let mut compose_shard = 0usize;
+    let mut compose_shard = ComposeShardMode::default();
     let mut once = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -1748,9 +1757,11 @@ fn cmd_serve(args: Vec<String>) -> i32 {
                 Some(ms) => heartbeat_ms = Some(ms),
                 None => return usage_error("--heartbeat-ms needs a number of milliseconds"),
             },
-            "--compose-shard" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(n) => compose_shard = n,
-                None => return usage_error("--compose-shard needs a shard count (0 = unsharded)"),
+            "--compose-shard" => match iter.next().as_deref().and_then(ComposeShardMode::parse) {
+                Some(mode) => compose_shard = mode,
+                None => {
+                    return usage_error("--compose-shard needs `auto`, `off`, or a shard count")
+                }
             },
             "--once" => once = true,
             other => return usage_error(&format!("unknown option '{other}'")),
